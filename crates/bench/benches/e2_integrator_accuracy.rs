@@ -1,0 +1,78 @@
+//! E2 — fixed-step integrator accuracy/cost trade-off.
+//!
+//! Paper claim (§3-O3): linear ODEs are discretized with explicit or
+//! implicit formulas and "solved without iterations" at a fixed step
+//! synchronized with the SDF rate. The choice of formula sets the
+//! error-per-cost ratio.
+//!
+//! Measured: global error vs. step size (convergence-order table printed
+//! once) and wall time per simulated second for each method on an RLC
+//! resonator.
+
+use ams_math::implicit::{ImplicitMethod, ImplicitStepper};
+use ams_math::ode::{FixedStep, OdeMethod};
+use criterion::{criterion_group, criterion_main, Criterion};
+
+/// Series RLC resonator as a 2-state system (ω₀ = 1 rad/s, ζ = 0.1):
+/// x'' + 0.2 x' + x = 0, x(0) = 1. Analytic solution known.
+fn rlc(_t: f64, x: &[f64], dx: &mut [f64]) {
+    dx[0] = x[1];
+    dx[1] = -x[0] - 0.2 * x[1];
+}
+
+fn analytic(t: f64) -> f64 {
+    // x(t) = e^{−ζω t}(cos ω_d t + ζω/ω_d sin ω_d t), ζω = 0.1,
+    // ω_d = √(1−0.01).
+    let wd = (1.0f64 - 0.01).sqrt();
+    (-0.1 * t).exp() * ((wd * t).cos() + 0.1 / wd * (wd * t).sin())
+}
+
+fn explicit_error(method: OdeMethod, h: f64) -> f64 {
+    let mut x = vec![1.0, 0.0];
+    let mut s = FixedStep::new(method, h);
+    s.integrate(&mut rlc, 0.0, 10.0, &mut x);
+    (x[0] - analytic(10.0)).abs()
+}
+
+fn implicit_error(method: ImplicitMethod, h: f64) -> f64 {
+    let mut x = vec![1.0, 0.0];
+    let mut s = ImplicitStepper::new(method, h);
+    s.integrate(&mut rlc, 0.0, 10.0, &mut x).unwrap();
+    (x[0] - analytic(10.0)).abs()
+}
+
+fn bench(c: &mut Criterion) {
+    println!("\n=== E2: global error at t = 10 s vs step size (RLC resonator) ===");
+    println!(
+        "{:>10} {:>14} {:>14} {:>14} {:>14} {:>14}",
+        "h", "euler", "heun", "rk4", "be", "trapezoid"
+    );
+    for &h in &[0.1, 0.05, 0.025, 0.0125] {
+        println!(
+            "{h:>10} {:>14.3e} {:>14.3e} {:>14.3e} {:>14.3e} {:>14.3e}",
+            explicit_error(OdeMethod::Euler, h),
+            explicit_error(OdeMethod::Heun, h),
+            explicit_error(OdeMethod::Rk4, h),
+            implicit_error(ImplicitMethod::BackwardEuler, h),
+            implicit_error(ImplicitMethod::Trapezoidal, h),
+        );
+    }
+    println!("(expect halving h → error ÷2 for order 1, ÷4 for order 2, ÷16 for order 4)\n");
+
+    let mut group = c.benchmark_group("e2_integrator_cost");
+    group.sample_size(20);
+    let h = 0.01;
+    group.bench_function("euler", |b| b.iter(|| explicit_error(OdeMethod::Euler, h)));
+    group.bench_function("heun", |b| b.iter(|| explicit_error(OdeMethod::Heun, h)));
+    group.bench_function("rk4", |b| b.iter(|| explicit_error(OdeMethod::Rk4, h)));
+    group.bench_function("backward_euler", |b| {
+        b.iter(|| implicit_error(ImplicitMethod::BackwardEuler, h))
+    });
+    group.bench_function("trapezoidal", |b| {
+        b.iter(|| implicit_error(ImplicitMethod::Trapezoidal, h))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,68 @@
+//! E5 — "efficient dedicated algorithms" for linear networks.
+//!
+//! Paper claim (§3-O5, seed \[8\]): linear network macromodels "can be
+//! simulated using efficient dedicated algorithms". For a fixed timestep
+//! the MNA matrix is constant, so the dedicated linear path factors once
+//! and re-solves per step; the generic path refactors every step.
+//!
+//! Measured: transient wall time vs ladder size N for both paths, and
+//! the speedup factor (expected to grow with N, since factorization is
+//! O(N³) and the resolve is O(N²)).
+
+use ams_net::{Circuit, IntegrationMethod, TransientSolver, Waveform};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn ladder(n: usize) -> (Circuit, ams_net::NodeId) {
+    let mut ckt = Circuit::new();
+    let mut prev = ckt.node("in");
+    ckt.voltage_source_wave(
+        "V",
+        prev,
+        Circuit::GROUND,
+        Waveform::Sine {
+            offset: 0.0,
+            ampl: 1.0,
+            freq: 10e3,
+            phase: 0.0,
+        },
+    )
+    .unwrap();
+    for i in 0..n {
+        let node = ckt.node(format!("n{i}"));
+        ckt.resistor(format!("R{i}"), prev, node, 100.0).unwrap();
+        ckt.capacitor(format!("C{i}"), node, Circuit::GROUND, 1e-9).unwrap();
+        prev = node;
+    }
+    (ckt, prev)
+}
+
+fn run(n: usize, reuse: bool, steps: u32) -> f64 {
+    let (ckt, out) = ladder(n);
+    let mut tr = TransientSolver::new(&ckt, IntegrationMethod::Trapezoidal).unwrap();
+    tr.reuse_factorization = reuse;
+    tr.initialize_dc().unwrap();
+    for _ in 0..steps {
+        tr.step(1e-7).unwrap();
+    }
+    tr.voltage(out)
+}
+
+fn bench(c: &mut Criterion) {
+    println!("\n=== E5: RC ladder transient, 200 steps — factor-once vs refactor-every-step ===");
+    println!("(both paths produce bit-identical trajectories; see test e5)");
+
+    let mut group = c.benchmark_group("e5_mna_scaling");
+    group.sample_size(10);
+    for &n in &[8usize, 32, 64, 128] {
+        group.bench_with_input(BenchmarkId::new("factor_once", n), &n, |b, &n| {
+            b.iter(|| run(n, true, 200))
+        });
+        group.bench_with_input(BenchmarkId::new("refactor_each_step", n), &n, |b, &n| {
+            b.iter(|| run(n, false, 200))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,436 @@
+//! Arithmetic and structural signal-flow blocks.
+
+use ams_core::{AcIo, CoreError, TdfIn, TdfIo, TdfModule, TdfOut, TdfSetup};
+use ams_math::Complex64;
+
+/// `out = k · in`.
+#[derive(Debug, Clone)]
+pub struct Gain {
+    inp: TdfIn,
+    out: TdfOut,
+    k: f64,
+}
+
+impl Gain {
+    /// Creates a gain block.
+    pub fn new(inp: TdfIn, out: TdfOut, k: f64) -> Self {
+        Gain { inp, out, k }
+    }
+}
+
+impl TdfModule for Gain {
+    fn setup(&mut self, cfg: &mut TdfSetup) {
+        cfg.input(self.inp);
+        cfg.output(self.out);
+    }
+    fn processing(&mut self, io: &mut TdfIo<'_>) -> Result<(), CoreError> {
+        let x = io.read1(self.inp);
+        io.write1(self.out, self.k * x);
+        Ok(())
+    }
+    fn ac_processing(&mut self, ac: &mut AcIo<'_>) {
+        ac.set_gain(self.inp, self.out, Complex64::from_real(self.k));
+    }
+}
+
+/// `out = k1·a + k2·b` (weighted two-input sum; use negative weights for
+/// subtraction).
+#[derive(Debug, Clone)]
+pub struct Sum {
+    a: TdfIn,
+    b: TdfIn,
+    out: TdfOut,
+    k1: f64,
+    k2: f64,
+}
+
+impl Sum {
+    /// Creates an unweighted adder.
+    pub fn new(a: TdfIn, b: TdfIn, out: TdfOut) -> Self {
+        Sum::weighted(a, b, out, 1.0, 1.0)
+    }
+
+    /// Creates `out = a − b`.
+    pub fn subtract(a: TdfIn, b: TdfIn, out: TdfOut) -> Self {
+        Sum::weighted(a, b, out, 1.0, -1.0)
+    }
+
+    /// Creates a weighted sum.
+    pub fn weighted(a: TdfIn, b: TdfIn, out: TdfOut, k1: f64, k2: f64) -> Self {
+        Sum { a, b, out, k1, k2 }
+    }
+}
+
+impl TdfModule for Sum {
+    fn setup(&mut self, cfg: &mut TdfSetup) {
+        cfg.input(self.a);
+        cfg.input(self.b);
+        cfg.output(self.out);
+    }
+    fn processing(&mut self, io: &mut TdfIo<'_>) -> Result<(), CoreError> {
+        let a = io.read1(self.a);
+        let b = io.read1(self.b);
+        io.write1(self.out, self.k1 * a + self.k2 * b);
+        Ok(())
+    }
+    fn ac_processing(&mut self, ac: &mut AcIo<'_>) {
+        ac.set_gain(self.a, self.out, Complex64::from_real(self.k1));
+        ac.set_gain(self.b, self.out, Complex64::from_real(self.k2));
+    }
+}
+
+/// `out = a · b` (mixer / variable-gain core).
+///
+/// Multiplication is nonlinear, so by default the block contributes
+/// nothing to AC analysis. When the `b` input is a slowly varying control
+/// (e.g. an AGC gain), [`Product::with_ac_gain_from_a`] linearizes the
+/// block as `out = k·a` at an assumed operating gain `k`.
+#[derive(Debug, Clone)]
+pub struct Product {
+    a: TdfIn,
+    b: TdfIn,
+    out: TdfOut,
+    ac_gain_a: Option<f64>,
+}
+
+impl Product {
+    /// Creates a multiplier.
+    pub fn new(a: TdfIn, b: TdfIn, out: TdfOut) -> Self {
+        Product {
+            a,
+            b,
+            out,
+            ac_gain_a: None,
+        }
+    }
+
+    /// Linearizes the block for AC analysis as `out = k·a` (treating the
+    /// `b` input as a bias at operating value `k`).
+    pub fn with_ac_gain_from_a(mut self, k: f64) -> Self {
+        self.ac_gain_a = Some(k);
+        self
+    }
+}
+
+impl TdfModule for Product {
+    fn setup(&mut self, cfg: &mut TdfSetup) {
+        cfg.input(self.a);
+        cfg.input(self.b);
+        cfg.output(self.out);
+    }
+    fn processing(&mut self, io: &mut TdfIo<'_>) -> Result<(), CoreError> {
+        let a = io.read1(self.a);
+        let b = io.read1(self.b);
+        io.write1(self.out, a * b);
+        Ok(())
+    }
+    fn ac_processing(&mut self, ac: &mut AcIo<'_>) {
+        if let Some(k) = self.ac_gain_a {
+            ac.set_gain(self.a, self.out, Complex64::from_real(k));
+        }
+    }
+}
+
+/// `out[n] = in[n−1]` — a one-sample delay (uses a TDF port delay, so it
+/// may sit inside feedback loops).
+#[derive(Debug, Clone)]
+pub struct UnitDelay {
+    inp: TdfIn,
+    out: TdfOut,
+    initial: f64,
+}
+
+impl UnitDelay {
+    /// Creates a unit delay with the given initial output sample.
+    pub fn new(inp: TdfIn, out: TdfOut, initial: f64) -> Self {
+        UnitDelay { inp, out, initial }
+    }
+}
+
+impl TdfModule for UnitDelay {
+    fn setup(&mut self, cfg: &mut TdfSetup) {
+        cfg.input_with(self.inp, 1, 1);
+        cfg.output(self.out);
+    }
+    fn initialize(&mut self, init: &mut ams_core::TdfInit<'_>) -> Result<(), CoreError> {
+        init.set_initial(self.inp, 0, self.initial);
+        Ok(())
+    }
+    fn processing(&mut self, io: &mut TdfIo<'_>) -> Result<(), CoreError> {
+        let prev = io.read1(self.inp);
+        io.write1(self.out, prev);
+        Ok(())
+    }
+}
+
+/// Discrete-time integrator: `out[n] = out[n−1] + ts·in[n]` (backward
+/// Euler accumulation of the continuous integral).
+#[derive(Debug, Clone)]
+pub struct Integrator {
+    inp: TdfIn,
+    out: TdfOut,
+    state: f64,
+}
+
+impl Integrator {
+    /// Creates an integrator with initial state 0.
+    pub fn new(inp: TdfIn, out: TdfOut) -> Self {
+        Integrator {
+            inp,
+            out,
+            state: 0.0,
+        }
+    }
+
+    /// Sets the initial integral value.
+    pub fn with_initial(mut self, v: f64) -> Self {
+        self.state = v;
+        self
+    }
+}
+
+impl TdfModule for Integrator {
+    fn setup(&mut self, cfg: &mut TdfSetup) {
+        cfg.input(self.inp);
+        cfg.output(self.out);
+    }
+    fn processing(&mut self, io: &mut TdfIo<'_>) -> Result<(), CoreError> {
+        let x = io.read1(self.inp);
+        self.state += io.timestep() * x;
+        io.write1(self.out, self.state);
+        Ok(())
+    }
+    fn ac_processing(&mut self, ac: &mut AcIo<'_>) {
+        // Continuous-time equivalent: 1/(jω).
+        let w = ac.omega();
+        if w != 0.0 {
+            ac.set_gain(self.inp, self.out, Complex64::new(0.0, -1.0 / w));
+        }
+    }
+}
+
+/// Rate-converting decimator: consumes `factor` samples, emits their
+/// average (boxcar anti-aliasing) or the last sample.
+#[derive(Debug, Clone)]
+pub struct Decimator {
+    inp: TdfIn,
+    out: TdfOut,
+    factor: u64,
+    average: bool,
+}
+
+impl Decimator {
+    /// Averaging decimator (boxcar filter + downsample).
+    pub fn averaging(inp: TdfIn, out: TdfOut, factor: u64) -> Self {
+        assert!(factor > 0, "decimation factor must be at least 1");
+        Decimator {
+            inp,
+            out,
+            factor,
+            average: true,
+        }
+    }
+
+    /// Plain downsampler (keeps the last of each block).
+    pub fn downsampling(inp: TdfIn, out: TdfOut, factor: u64) -> Self {
+        assert!(factor > 0, "decimation factor must be at least 1");
+        Decimator {
+            inp,
+            out,
+            factor,
+            average: false,
+        }
+    }
+}
+
+impl TdfModule for Decimator {
+    fn setup(&mut self, cfg: &mut TdfSetup) {
+        cfg.input_with(self.inp, self.factor, 0);
+        cfg.output(self.out);
+    }
+    fn processing(&mut self, io: &mut TdfIo<'_>) -> Result<(), CoreError> {
+        let v = if self.average {
+            (0..self.factor).map(|k| io.read(self.inp, k)).sum::<f64>() / self.factor as f64
+        } else {
+            io.read(self.inp, self.factor - 1)
+        };
+        io.write1(self.out, v);
+        Ok(())
+    }
+}
+
+/// Rate-converting upsampler: zero-order hold, producing `factor` copies
+/// of each input sample.
+#[derive(Debug, Clone)]
+pub struct Upsampler {
+    inp: TdfIn,
+    out: TdfOut,
+    factor: u64,
+}
+
+impl Upsampler {
+    /// Creates a hold-type upsampler.
+    pub fn new(inp: TdfIn, out: TdfOut, factor: u64) -> Self {
+        assert!(factor > 0, "upsampling factor must be at least 1");
+        Upsampler { inp, out, factor }
+    }
+}
+
+impl TdfModule for Upsampler {
+    fn setup(&mut self, cfg: &mut TdfSetup) {
+        cfg.input(self.inp);
+        cfg.output_with(self.out, self.factor);
+    }
+    fn processing(&mut self, io: &mut TdfIo<'_>) -> Result<(), CoreError> {
+        let v = io.read1(self.inp);
+        for k in 0..self.factor {
+            io.write(self.out, k, v);
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sources::ConstSource;
+    use ams_core::TdfGraph;
+    use ams_kernel::SimTime;
+
+    #[test]
+    fn gain_and_sum() {
+        let mut g = TdfGraph::new("t");
+        let a = g.signal("a");
+        let b = g.signal("b");
+        let ga = g.signal("ga");
+        let s = g.signal("sum");
+        let probe = g.probe(s);
+        g.add_module("ca", ConstSource::new(a.writer(), 2.0, Some(SimTime::from_us(1))));
+        g.add_module("cb", ConstSource::new(b.writer(), 10.0, None));
+        g.add_module("g", Gain::new(a.reader(), ga.writer(), 3.0));
+        g.add_module("s", Sum::weighted(ga.reader(), b.reader(), s.writer(), 1.0, -0.5));
+        let mut c = g.elaborate().unwrap();
+        c.run_standalone(2).unwrap();
+        assert_eq!(probe.values(), vec![1.0, 1.0]); // 6 − 5
+    }
+
+    #[test]
+    fn product_multiplies() {
+        let mut g = TdfGraph::new("t");
+        let a = g.signal("a");
+        let b = g.signal("b");
+        let p = g.signal("p");
+        let probe = g.probe(p);
+        g.add_module("ca", ConstSource::new(a.writer(), 3.0, Some(SimTime::from_us(1))));
+        g.add_module("cb", ConstSource::new(b.writer(), -4.0, None));
+        g.add_module("m", Product::new(a.reader(), b.reader(), p.writer()));
+        let mut c = g.elaborate().unwrap();
+        c.run_standalone(1).unwrap();
+        assert_eq!(probe.values(), vec![-12.0]);
+    }
+
+    #[test]
+    fn unit_delay_shifts_by_one() {
+        struct Ramp {
+            out: TdfOut,
+            v: f64,
+        }
+        impl TdfModule for Ramp {
+            fn setup(&mut self, cfg: &mut TdfSetup) {
+                cfg.output(self.out);
+                cfg.set_timestep(SimTime::from_us(1));
+            }
+            fn processing(&mut self, io: &mut TdfIo<'_>) -> Result<(), CoreError> {
+                io.write1(self.out, self.v);
+                self.v += 1.0;
+                Ok(())
+            }
+        }
+        let mut g = TdfGraph::new("t");
+        let x = g.signal("x");
+        let y = g.signal("y");
+        let probe = g.probe(y);
+        g.add_module("ramp", Ramp { out: x.writer(), v: 1.0 });
+        g.add_module("z", UnitDelay::new(x.reader(), y.writer(), -1.0));
+        let mut c = g.elaborate().unwrap();
+        c.run_standalone(4).unwrap();
+        assert_eq!(probe.values(), vec![-1.0, 1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn integrator_accumulates() {
+        let mut g = TdfGraph::new("t");
+        let x = g.signal("x");
+        let y = g.signal("y");
+        let probe = g.probe(y);
+        g.add_module("one", ConstSource::new(x.writer(), 1.0, Some(SimTime::from_ms(1))));
+        g.add_module("int", Integrator::new(x.reader(), y.writer()));
+        let mut c = g.elaborate().unwrap();
+        c.run_standalone(1000).unwrap(); // ∫ 1 dt over 1 s
+        let last = *probe.values().last().unwrap();
+        assert!((last - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn decimator_averages_blocks() {
+        struct Ramp {
+            out: TdfOut,
+            v: f64,
+        }
+        impl TdfModule for Ramp {
+            fn setup(&mut self, cfg: &mut TdfSetup) {
+                cfg.output(self.out);
+                cfg.set_timestep(SimTime::from_us(1));
+            }
+            fn processing(&mut self, io: &mut TdfIo<'_>) -> Result<(), CoreError> {
+                io.write1(self.out, self.v);
+                self.v += 1.0;
+                Ok(())
+            }
+        }
+        let mut g = TdfGraph::new("t");
+        let x = g.signal("x");
+        let y = g.signal("y");
+        let probe = g.probe(y);
+        g.add_module("ramp", Ramp { out: x.writer(), v: 1.0 });
+        g.add_module("dec", Decimator::averaging(x.reader(), y.writer(), 4));
+        let mut c = g.elaborate().unwrap();
+        c.run_standalone(2).unwrap();
+        assert_eq!(probe.values(), vec![2.5, 6.5]);
+    }
+
+    #[test]
+    fn upsampler_holds_value() {
+        let mut g = TdfGraph::new("t");
+        let x = g.signal("x");
+        let y = g.signal("y");
+        let probe = g.probe(y);
+        g.add_module("c", ConstSource::new(x.writer(), 7.0, Some(SimTime::from_us(4))));
+        g.add_module("up", Upsampler::new(x.reader(), y.writer(), 4));
+        let mut c = g.elaborate().unwrap();
+        c.run_standalone(2).unwrap();
+        assert_eq!(probe.values(), vec![7.0; 8]);
+        // Output sample period is a quarter of the input period.
+        let t = probe.times();
+        assert!((t[1] - 1e-6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ac_gain_chain_with_integrator() {
+        let mut g = TdfGraph::new("t");
+        let x = g.signal("x");
+        let y = g.signal("y");
+        g.add_module(
+            "src",
+            crate::sources::SineSource::new(x.writer(), 1.0, 1.0, Some(SimTime::from_us(1)))
+                .with_ac_magnitude(1.0),
+        );
+        g.add_module("int", Integrator::new(x.reader(), y.writer()));
+        let mut c = g.elaborate().unwrap();
+        let ac = c.ac_analysis(&[1.0 / (2.0 * std::f64::consts::PI)]).unwrap();
+        // At ω = 1 rad/s the integrator's gain is 1∠−90°.
+        let h = ac.response(y)[0];
+        assert!((h.abs() - 1.0).abs() < 1e-9);
+        assert!((h.arg() + std::f64::consts::FRAC_PI_2).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,225 @@
+//! Control blocks (paper phase 3, automotive): a discrete PID controller
+//! for software-in-the-loop style closed loops.
+
+use ams_core::{CoreError, TdfIn, TdfIo, TdfModule, TdfOut, TdfSetup};
+
+/// Discrete PID controller `u = kp·e + ki·∫e dt + kd·de/dt` with
+/// anti-windup output clamping and a filtered derivative.
+#[derive(Debug, Clone)]
+pub struct Pid {
+    setpoint: TdfIn,
+    feedback: TdfIn,
+    out: TdfOut,
+    kp: f64,
+    ki: f64,
+    kd: f64,
+    integral: f64,
+    prev_error: f64,
+    deriv_state: f64,
+    /// Derivative low-pass coefficient (0 = unfiltered).
+    deriv_alpha: f64,
+    out_min: f64,
+    out_max: f64,
+    first: bool,
+}
+
+impl Pid {
+    /// Creates a PID controller with unbounded output.
+    pub fn new(setpoint: TdfIn, feedback: TdfIn, out: TdfOut, kp: f64, ki: f64, kd: f64) -> Self {
+        Pid {
+            setpoint,
+            feedback,
+            out,
+            kp,
+            ki,
+            kd,
+            integral: 0.0,
+            prev_error: 0.0,
+            deriv_state: 0.0,
+            deriv_alpha: 0.8,
+            out_min: f64::NEG_INFINITY,
+            out_max: f64::INFINITY,
+            first: true,
+        }
+    }
+
+    /// Clamps the output (with integral anti-windup).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `min >= max`.
+    pub fn with_limits(mut self, min: f64, max: f64) -> Self {
+        assert!(min < max, "output limits must satisfy min < max");
+        self.out_min = min;
+        self.out_max = max;
+        self
+    }
+
+    /// Sets the derivative filter coefficient in `[0, 1)` (higher =
+    /// smoother).
+    ///
+    /// # Panics
+    ///
+    /// Panics for values outside `[0, 1)`.
+    pub fn with_derivative_filter(mut self, alpha: f64) -> Self {
+        assert!((0.0..1.0).contains(&alpha), "alpha must be in [0, 1)");
+        self.deriv_alpha = alpha;
+        self
+    }
+}
+
+impl TdfModule for Pid {
+    fn setup(&mut self, cfg: &mut TdfSetup) {
+        cfg.input(self.setpoint);
+        cfg.input(self.feedback);
+        cfg.output(self.out);
+    }
+    fn processing(&mut self, io: &mut TdfIo<'_>) -> Result<(), CoreError> {
+        let sp = io.read1(self.setpoint);
+        let fb = io.read1(self.feedback);
+        let e = sp - fb;
+        let ts = io.timestep();
+
+        // Derivative with first-order filtering; skipped on first sample.
+        let raw_d = if self.first {
+            self.first = false;
+            0.0
+        } else {
+            (e - self.prev_error) / ts
+        };
+        self.deriv_state =
+            self.deriv_alpha * self.deriv_state + (1.0 - self.deriv_alpha) * raw_d;
+        self.prev_error = e;
+
+        // Trial output with current integral.
+        let trial = self.kp * e + self.ki * (self.integral + e * ts) + self.kd * self.deriv_state;
+        // Anti-windup: only accumulate when not saturating further.
+        if (trial < self.out_max || e < 0.0) && (trial > self.out_min || e > 0.0) {
+            self.integral += e * ts;
+        }
+        let u = (self.kp * e + self.ki * self.integral + self.kd * self.deriv_state)
+            .clamp(self.out_min, self.out_max);
+        io.write1(self.out, u);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sources::ConstSource;
+    use ams_core::{TdfGraph, TdfInit};
+    use ams_kernel::SimTime;
+
+    /// First-order plant `τ·ẏ + y = u` closed around the PID.
+    struct Plant {
+        u: TdfIn,
+        y: TdfOut,
+        state: f64,
+        tau: f64,
+    }
+    impl TdfModule for Plant {
+        fn setup(&mut self, cfg: &mut TdfSetup) {
+            cfg.input_with(self.u, 1, 1); // delay breaks the loop
+            cfg.output(self.y);
+            cfg.set_timestep(SimTime::from_us(100));
+        }
+        fn initialize(&mut self, init: &mut TdfInit<'_>) -> Result<(), CoreError> {
+            init.set_initial(self.u, 0, 0.0);
+            Ok(())
+        }
+        fn processing(&mut self, io: &mut TdfIo<'_>) -> Result<(), CoreError> {
+            let u = io.read1(self.u);
+            let ts = io.timestep();
+            // Backward Euler on τ·ẏ = u − y.
+            self.state = (self.state + ts / self.tau * u) / (1.0 + ts / self.tau);
+            io.write1(self.y, self.state);
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn pi_loop_settles_to_setpoint_without_offset() {
+        let mut g = TdfGraph::new("loop");
+        let sp = g.signal("sp");
+        let y = g.signal("y");
+        let u = g.signal("u");
+        let probe = g.probe(y);
+        g.add_module("sp", ConstSource::new(sp.writer(), 3.0, None));
+        g.add_module(
+            "pid",
+            Pid::new(sp.reader(), y.reader(), u.writer(), 2.0, 50.0, 0.0),
+        );
+        g.add_module(
+            "plant",
+            Plant {
+                u: u.reader(),
+                y: y.writer(),
+                state: 0.0,
+                tau: 10e-3,
+            },
+        );
+        let mut c = g.elaborate().unwrap();
+        c.run_standalone(5000).unwrap(); // 0.5 s
+        let last = *probe.values().last().unwrap();
+        assert!((last - 3.0).abs() < 1e-3, "settled to {last}");
+    }
+
+    #[test]
+    fn p_only_loop_has_steady_state_error() {
+        let mut g = TdfGraph::new("loop");
+        let sp = g.signal("sp");
+        let y = g.signal("y");
+        let u = g.signal("u");
+        let probe = g.probe(y);
+        g.add_module("sp", ConstSource::new(sp.writer(), 1.0, None));
+        g.add_module(
+            "pid",
+            Pid::new(sp.reader(), y.reader(), u.writer(), 4.0, 0.0, 0.0),
+        );
+        g.add_module(
+            "plant",
+            Plant {
+                u: u.reader(),
+                y: y.writer(),
+                state: 0.0,
+                tau: 10e-3,
+            },
+        );
+        let mut c = g.elaborate().unwrap();
+        c.run_standalone(5000).unwrap();
+        let last = *probe.values().last().unwrap();
+        // Unity-feedback P loop on a unity-gain plant: y∞ = kp/(1+kp).
+        assert!((last - 0.8).abs() < 0.01, "settled to {last}");
+    }
+
+    #[test]
+    fn output_clamping_respected() {
+        let mut g = TdfGraph::new("clamp");
+        let sp = g.signal("sp");
+        let fb = g.signal("fb");
+        let u = g.signal("u");
+        let probe = g.probe(u);
+        g.add_module("sp", ConstSource::new(sp.writer(), 100.0, Some(SimTime::from_ms(1))));
+        g.add_module("fb", ConstSource::new(fb.writer(), 0.0, None));
+        g.add_module(
+            "pid",
+            Pid::new(sp.reader(), fb.reader(), u.writer(), 10.0, 100.0, 0.0)
+                .with_limits(-1.0, 1.0),
+        );
+        let mut c = g.elaborate().unwrap();
+        c.run_standalone(100).unwrap();
+        assert!(probe.values().iter().all(|&v| (-1.0..=1.0).contains(&v)));
+        assert_eq!(*probe.values().last().unwrap(), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "min < max")]
+    fn bad_limits_panic() {
+        let mut g = TdfGraph::new("bad");
+        let a = g.signal("a");
+        let b = g.signal("b");
+        let c = g.signal("c");
+        let _ = Pid::new(a.reader(), b.reader(), c.writer(), 1.0, 0.0, 0.0).with_limits(1.0, -1.0);
+    }
+}

@@ -1,0 +1,408 @@
+//! Data-converter behavioural models, including the pipelined ADC with
+//! digital noise cancellation from seed work \[2\] (Bonnerud et al., CICC
+//! 2001): "the digital noise cancellation technique, to allow an
+//! efficient exploration of pipelined architectures at a more abstract
+//! level, while achieving comparable accuracy to MATLAB".
+
+use ams_core::{CoreError, TdfIn, TdfIo, TdfModule, TdfOut, TdfSetup};
+
+/// Ideal ADC: samples, quantizes to `bits` over ±`full_scale`, outputs
+/// the integer code as `f64` (two's-complement value).
+#[derive(Debug, Clone)]
+pub struct IdealAdc {
+    inp: TdfIn,
+    out: TdfOut,
+    bits: u32,
+    full_scale: f64,
+}
+
+impl IdealAdc {
+    /// Creates an ideal ADC.
+    ///
+    /// # Panics
+    ///
+    /// Panics for zero bits or non-positive full scale.
+    pub fn new(inp: TdfIn, out: TdfOut, bits: u32, full_scale: f64) -> Self {
+        assert!((1..=32).contains(&bits), "bits must be in 1..=32");
+        assert!(full_scale > 0.0, "full scale must be positive");
+        IdealAdc {
+            inp,
+            out,
+            bits,
+            full_scale,
+        }
+    }
+
+    /// Converts one voltage to a signed code.
+    pub fn convert(&self, v: f64) -> i64 {
+        let levels = 1i64 << self.bits;
+        let lsb = 2.0 * self.full_scale / levels as f64;
+        let code = (v / lsb).round() as i64;
+        code.clamp(-(levels / 2), levels / 2 - 1)
+    }
+}
+
+impl TdfModule for IdealAdc {
+    fn setup(&mut self, cfg: &mut TdfSetup) {
+        cfg.input(self.inp);
+        cfg.output(self.out);
+    }
+    fn processing(&mut self, io: &mut TdfIo<'_>) -> Result<(), CoreError> {
+        let v = io.read1(self.inp);
+        io.write1(self.out, self.convert(v) as f64);
+        Ok(())
+    }
+}
+
+/// Ideal DAC: input codes (as `f64`) → output voltage.
+#[derive(Debug, Clone)]
+pub struct IdealDac {
+    inp: TdfIn,
+    out: TdfOut,
+    bits: u32,
+    full_scale: f64,
+}
+
+impl IdealDac {
+    /// Creates an ideal DAC matching [`IdealAdc`]'s coding.
+    ///
+    /// # Panics
+    ///
+    /// Panics for zero bits or non-positive full scale.
+    pub fn new(inp: TdfIn, out: TdfOut, bits: u32, full_scale: f64) -> Self {
+        assert!((1..=32).contains(&bits), "bits must be in 1..=32");
+        assert!(full_scale > 0.0, "full scale must be positive");
+        IdealDac {
+            inp,
+            out,
+            bits,
+            full_scale,
+        }
+    }
+}
+
+impl TdfModule for IdealDac {
+    fn setup(&mut self, cfg: &mut TdfSetup) {
+        cfg.input(self.inp);
+        cfg.output(self.out);
+    }
+    fn processing(&mut self, io: &mut TdfIo<'_>) -> Result<(), CoreError> {
+        let code = io.read1(self.inp);
+        let lsb = 2.0 * self.full_scale / (1i64 << self.bits) as f64;
+        io.write1(self.out, code * lsb);
+        Ok(())
+    }
+}
+
+/// Track-free sample & hold: decimates by `factor`, holding the first
+/// sample of each block (models a slower ADC clock on a faster TDF rate).
+#[derive(Debug, Clone)]
+pub struct SampleHold {
+    inp: TdfIn,
+    out: TdfOut,
+    factor: u64,
+}
+
+impl SampleHold {
+    /// Creates a sample & hold consuming `factor` input samples per
+    /// output sample.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a zero factor.
+    pub fn new(inp: TdfIn, out: TdfOut, factor: u64) -> Self {
+        assert!(factor > 0, "sample-hold factor must be at least 1");
+        SampleHold { inp, out, factor }
+    }
+}
+
+impl TdfModule for SampleHold {
+    fn setup(&mut self, cfg: &mut TdfSetup) {
+        cfg.input_with(self.inp, self.factor, 0);
+        cfg.output(self.out);
+    }
+    fn processing(&mut self, io: &mut TdfIo<'_>) -> Result<(), CoreError> {
+        let v = io.read(self.inp, 0);
+        io.write1(self.out, v);
+        Ok(())
+    }
+}
+
+/// Per-stage error parameters of the pipelined ADC.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct StageErrors {
+    /// Comparator offset in volts (both comparators of the 1.5-bit
+    /// stage).
+    pub comparator_offset: f64,
+    /// Relative inter-stage gain error (0.01 = +1 %).
+    pub gain_error: f64,
+    /// DAC reference error in volts.
+    pub dac_offset: f64,
+}
+
+/// Behavioural pipelined ADC with 1.5-bit stages and digital error
+/// correction (seed work \[2\]).
+///
+/// Each stage resolves {−1, 0, +1} with two comparators at ±Vref/4,
+/// subtracts the stage DAC value and amplifies the residue by 2. The
+/// digital backend recombines the redundant stage decisions, which is
+/// what cancels comparator offsets up to ±Vref/4 — enabled or disabled
+/// via [`PipelinedAdc::with_correction`] so the benefit is measurable
+/// (experiment E7).
+#[derive(Debug, Clone)]
+pub struct PipelinedAdc {
+    inp: TdfIn,
+    out: TdfOut,
+    stages: usize,
+    vref: f64,
+    errors: Vec<StageErrors>,
+    correction: bool,
+}
+
+impl PipelinedAdc {
+    /// Creates an N-stage pipelined ADC (resolution ≈ `stages` + 1 bits)
+    /// with ideal stages and digital correction enabled.
+    ///
+    /// # Panics
+    ///
+    /// Panics for zero stages or a non-positive reference.
+    pub fn new(inp: TdfIn, out: TdfOut, stages: usize, vref: f64) -> Self {
+        assert!(stages >= 1, "need at least one stage");
+        assert!(vref > 0.0, "reference must be positive");
+        PipelinedAdc {
+            inp,
+            out,
+            stages,
+            vref,
+            errors: vec![StageErrors::default(); stages],
+            correction: true,
+        }
+    }
+
+    /// Sets per-stage error parameters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slice length differs from the stage count.
+    pub fn with_errors(mut self, errors: &[StageErrors]) -> Self {
+        assert_eq!(errors.len(), self.stages, "one error record per stage");
+        self.errors = errors.to_vec();
+        self
+    }
+
+    /// Enables/disables the digital correction backend.
+    pub fn with_correction(mut self, on: bool) -> Self {
+        self.correction = on;
+        self
+    }
+
+    /// Converts one sample, returning the reconstructed analog value.
+    ///
+    /// With correction enabled, each stage is a redundant 1.5-bit stage
+    /// (decisions in {−1, 0, +1} at ±Vref/4): comparator offsets up to
+    /// ±Vref/4 leave the residue within range and cancel in the digital
+    /// recombination. With correction disabled, each stage is a plain
+    /// 1-bit stage (threshold at 0, no redundancy): the same comparator
+    /// offsets drive the residue out of range and corrupt the result —
+    /// exactly the architectural trade-off seed work \[2\] explores.
+    pub fn convert(&self, v_in: f64) -> f64 {
+        let vref = self.vref;
+        let mut residue = v_in.clamp(-vref, vref);
+        let mut acc = 0.0;
+        for (i, e) in self.errors.iter().enumerate() {
+            let d: i32 = if self.correction {
+                // 1.5-bit sub-ADC: thresholds at ±Vref/4 (+ offset error).
+                if residue > vref / 4.0 + e.comparator_offset {
+                    1
+                } else if residue < -vref / 4.0 + e.comparator_offset {
+                    -1
+                } else {
+                    0
+                }
+            } else {
+                // 1-bit sub-ADC: single threshold at 0 (+ offset error).
+                if residue > e.comparator_offset {
+                    1
+                } else {
+                    -1
+                }
+            };
+            acc += d as f64 * vref / 2.0 / (1u64 << i) as f64;
+            let dac = d as f64 * vref / 2.0 + e.dac_offset;
+            let gain = 2.0 * (1.0 + e.gain_error);
+            residue = gain * (residue - dac);
+        }
+        // The final residue is discarded (no backend flash), bounding the
+        // ideal error at Vref/2^{stages+1} — i.e. stages+1 bits.
+        acc
+    }
+}
+
+impl TdfModule for PipelinedAdc {
+    fn setup(&mut self, cfg: &mut TdfSetup) {
+        cfg.input(self.inp);
+        cfg.output(self.out);
+    }
+    fn processing(&mut self, io: &mut TdfIo<'_>) -> Result<(), CoreError> {
+        let v = io.read1(self.inp);
+        io.write1(self.out, self.convert(v));
+        Ok(())
+    }
+}
+
+/// The ideal-quantizer signal-to-noise ratio for a full-scale sine:
+/// `6.02·bits + 1.76` dB (the reference line of experiment E7).
+pub fn ideal_sine_snr_db(bits: u32) -> f64 {
+    6.02 * bits as f64 + 1.76
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ams_core::TdfGraph;
+
+    fn dummy_ports() -> (TdfIn, TdfOut) {
+        let mut g = TdfGraph::new("d");
+        let a = g.signal("a");
+        let b = g.signal("b");
+        (a.reader(), b.writer())
+    }
+
+    #[test]
+    fn ideal_adc_codes() {
+        let (i, o) = dummy_ports();
+        let adc = IdealAdc::new(i, o, 8, 1.0);
+        assert_eq!(adc.convert(0.0), 0);
+        assert_eq!(adc.convert(1.0), 127); // clipped to FS − 1 LSB
+        assert_eq!(adc.convert(-1.0), -128);
+        let lsb = 2.0 / 256.0;
+        assert_eq!(adc.convert(10.0 * lsb), 10);
+    }
+
+    #[test]
+    fn adc_dac_roundtrip() {
+        let mut g = TdfGraph::new("t");
+        let x = g.signal("x");
+        let code = g.signal("code");
+        let y = g.signal("y");
+        let p_in = g.probe(x);
+        let p_out = g.probe(y);
+        g.add_module(
+            "src",
+            crate::sources::SineSource::new(
+                x.writer(),
+                100.0,
+                0.8,
+                Some(ams_kernel::SimTime::from_us(10)),
+            ),
+        );
+        g.add_module("adc", IdealAdc::new(x.reader(), code.writer(), 12, 1.0));
+        g.add_module("dac", IdealDac::new(code.reader(), y.writer(), 12, 1.0));
+        let mut c = g.elaborate().unwrap();
+        c.run_standalone(1000).unwrap();
+        let lsb = 2.0 / 4096.0;
+        for (a, b) in p_in.values().iter().zip(p_out.values()) {
+            assert!((a - b).abs() <= lsb, "error {} > lsb", (a - b).abs());
+        }
+    }
+
+    #[test]
+    fn ideal_pipelined_adc_is_accurate() {
+        let (i, o) = dummy_ports();
+        let adc = PipelinedAdc::new(i, o, 10, 1.0);
+        // ~11-bit accuracy: error below 1/2^10.
+        for k in -50..=50 {
+            let v = k as f64 / 51.0 * 0.99;
+            let err = (adc.convert(v) - v).abs();
+            assert!(err < 1.0 / 1024.0, "v={v}: err={err}");
+        }
+    }
+
+    #[test]
+    fn correction_cancels_comparator_offset() {
+        let (i, o) = dummy_ports();
+        let errors = vec![
+            StageErrors {
+                comparator_offset: 0.1, // large: Vref/10
+                ..Default::default()
+            };
+            8
+        ];
+        let with = PipelinedAdc::new(i, o, 8, 1.0).with_errors(&errors);
+        let (i2, o2) = dummy_ports();
+        let without = PipelinedAdc::new(i2, o2, 8, 1.0)
+            .with_errors(&errors)
+            .with_correction(false);
+        let mut err_with = 0.0f64;
+        let mut err_without = 0.0f64;
+        for k in -40..=40 {
+            let v = k as f64 / 41.0 * 0.9;
+            err_with = err_with.max((with.convert(v) - v).abs());
+            err_without = err_without.max((without.convert(v) - v).abs());
+        }
+        assert!(
+            err_with < 0.01,
+            "corrected error should be small: {err_with}"
+        );
+        assert!(
+            err_without > 5.0 * err_with,
+            "correction should help: {err_without} vs {err_with}"
+        );
+    }
+
+    #[test]
+    fn gain_error_limits_accuracy_even_with_correction() {
+        let (i, o) = dummy_ports();
+        let errors = vec![
+            StageErrors {
+                gain_error: 0.02, // 2 % inter-stage gain error
+                ..Default::default()
+            };
+            8
+        ];
+        let adc = PipelinedAdc::new(i, o, 8, 1.0).with_errors(&errors);
+        let mut max_err = 0.0f64;
+        for k in -40..=40 {
+            let v = k as f64 / 41.0 * 0.9;
+            max_err = max_err.max((adc.convert(v) - v).abs());
+        }
+        // Gain errors are NOT cancelled by redundancy: error well above
+        // the ideal 9-bit level but bounded.
+        assert!(max_err > 1.0 / 512.0, "gain error visible: {max_err}");
+        assert!(max_err < 0.05);
+    }
+
+    #[test]
+    fn sample_hold_decimates() {
+        let mut g = TdfGraph::new("t");
+        let x = g.signal("x");
+        let y = g.signal("y");
+        let probe = g.probe(y);
+        struct Ramp {
+            out: TdfOut,
+            v: f64,
+        }
+        impl TdfModule for Ramp {
+            fn setup(&mut self, cfg: &mut TdfSetup) {
+                cfg.output(self.out);
+                cfg.set_timestep(ams_kernel::SimTime::from_us(1));
+            }
+            fn processing(&mut self, io: &mut TdfIo<'_>) -> Result<(), CoreError> {
+                io.write1(self.out, self.v);
+                self.v += 1.0;
+                Ok(())
+            }
+        }
+        g.add_module("r", Ramp { out: x.writer(), v: 0.0 });
+        g.add_module("sh", SampleHold::new(x.reader(), y.writer(), 4));
+        let mut c = g.elaborate().unwrap();
+        c.run_standalone(3).unwrap();
+        assert_eq!(probe.values(), vec![0.0, 4.0, 8.0]);
+    }
+
+    #[test]
+    fn ideal_snr_formula() {
+        assert!((ideal_sine_snr_db(8) - 49.92).abs() < 0.01);
+        assert!((ideal_sine_snr_db(12) - 74.0).abs() < 0.1);
+    }
+}

@@ -1,0 +1,52 @@
+//! Mixed-signal module library for the SystemC-AMS reproduction.
+//!
+//! The paper's phased plan calls for an evolving module library: phase 1
+//! "linear network elements … continuous behaviour encapsulated in static
+//! dataflow modules", phase 2 "an enriched mixed-signal library with more
+//! complex functional (signal-flow) models, e.g. amplifiers, converters",
+//! phase 3 power-electronics and control blocks. This crate provides all
+//! of them as [`ams_core::TdfModule`] implementations:
+//!
+//! * [`sources`] — DC, sine (with AC-stimulus designation), pulse, PRBS,
+//!   seeded Gaussian noise;
+//! * [`arith`] — gain, weighted sum, product, unit delay, integrator,
+//!   decimator/upsampler;
+//! * [`filters`] — continuous LTI filters (1st/2nd order, Butterworth)
+//!   embedded per the phase-1 execution model, plus dataflow FIR filters
+//!   with a windowed-sinc designer;
+//! * [`nonlinear`] — saturating/tanh amplifiers, comparators with
+//!   hysteresis, dead zone, quantizer;
+//! * [`converters`] — ideal ADC/DAC, sample & hold, and the pipelined ADC
+//!   with digital error correction of seed work \[2\];
+//! * [`sigma_delta`] — 1st/2nd-order Σ∆ modulators and CIC decimation
+//!   (Figure 1's Σ∆ prefi/pofi);
+//! * [`rf`] — oscillators, VCO, mixer, Rapp power amplifier, AWGN
+//!   channel, QPSK mapping and the theoretical BER reference (phase 2);
+//! * [`power`] — PWM and dead-time gate drive (phase 3, seed work \[8\]);
+//! * [`control`] — discrete PID with anti-windup (phase 3).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod arith;
+pub mod control;
+pub mod converters;
+pub mod filters;
+pub mod nonlinear;
+pub mod power;
+pub mod rf;
+pub mod sigma_delta;
+pub mod sources;
+
+pub use arith::{Decimator, Gain, Integrator, Product, Sum, UnitDelay, Upsampler};
+pub use control::Pid;
+pub use converters::{ideal_sine_snr_db, IdealAdc, IdealDac, PipelinedAdc, SampleHold, StageErrors};
+pub use filters::{FirFilter, LtiFilter};
+pub use nonlinear::{Comparator, DeadZone, Quantizer, SaturatingAmp, TanhAmp};
+pub use power::{GateDriver, PwmGenerator};
+pub use rf::{
+    erfc, qpsk_theoretical_ber, AwgnChannel, Mixer, Oscillator, PowerAmp, QpskDemapper,
+    QpskMapper, Vco,
+};
+pub use sigma_delta::{CicDecimator, SigmaDelta1, SigmaDelta2};
+pub use sources::{ConstSource, NoiseSource, PrbsSource, PulseSource, SineSource};

@@ -1,0 +1,383 @@
+//! Static nonlinear blocks: amplifiers with saturation, comparators,
+//! quantizers — the behavioural models phase 2 of the paper calls the
+//! "enriched mixed-signal library … e.g. amplifiers, converters".
+
+use ams_core::{AcIo, CoreError, TdfIn, TdfIo, TdfModule, TdfOut, TdfSetup};
+use ams_math::Complex64;
+
+/// Linear amplifier with hard output clipping at ±`limit`.
+#[derive(Debug, Clone)]
+pub struct SaturatingAmp {
+    inp: TdfIn,
+    out: TdfOut,
+    gain: f64,
+    limit: f64,
+}
+
+impl SaturatingAmp {
+    /// Creates a clipping amplifier.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `limit` is not strictly positive.
+    pub fn new(inp: TdfIn, out: TdfOut, gain: f64, limit: f64) -> Self {
+        assert!(limit > 0.0, "saturation limit must be positive");
+        SaturatingAmp {
+            inp,
+            out,
+            gain,
+            limit,
+        }
+    }
+}
+
+impl TdfModule for SaturatingAmp {
+    fn setup(&mut self, cfg: &mut TdfSetup) {
+        cfg.input(self.inp);
+        cfg.output(self.out);
+    }
+    fn processing(&mut self, io: &mut TdfIo<'_>) -> Result<(), CoreError> {
+        let x = io.read1(self.inp);
+        io.write1(self.out, (self.gain * x).clamp(-self.limit, self.limit));
+        Ok(())
+    }
+    fn ac_processing(&mut self, ac: &mut AcIo<'_>) {
+        // Small-signal: the linear gain (valid in the unclipped region).
+        ac.set_gain(self.inp, self.out, Complex64::from_real(self.gain));
+    }
+}
+
+/// Soft-limiting amplifier `out = limit·tanh(gain·in / limit)` — a smooth
+/// compression model for line drivers and power amplifiers.
+#[derive(Debug, Clone)]
+pub struct TanhAmp {
+    inp: TdfIn,
+    out: TdfOut,
+    gain: f64,
+    limit: f64,
+}
+
+impl TanhAmp {
+    /// Creates a tanh-compression amplifier.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `limit` is not strictly positive.
+    pub fn new(inp: TdfIn, out: TdfOut, gain: f64, limit: f64) -> Self {
+        assert!(limit > 0.0, "saturation limit must be positive");
+        TanhAmp {
+            inp,
+            out,
+            gain,
+            limit,
+        }
+    }
+}
+
+impl TdfModule for TanhAmp {
+    fn setup(&mut self, cfg: &mut TdfSetup) {
+        cfg.input(self.inp);
+        cfg.output(self.out);
+    }
+    fn processing(&mut self, io: &mut TdfIo<'_>) -> Result<(), CoreError> {
+        let x = io.read1(self.inp);
+        io.write1(self.out, self.limit * (self.gain * x / self.limit).tanh());
+        Ok(())
+    }
+    fn ac_processing(&mut self, ac: &mut AcIo<'_>) {
+        ac.set_gain(self.inp, self.out, Complex64::from_real(self.gain));
+    }
+}
+
+/// Comparator with optional hysteresis: output `high`/`low` depending on
+/// the input relative to `threshold` (± `hysteresis`/2).
+#[derive(Debug, Clone)]
+pub struct Comparator {
+    inp: TdfIn,
+    out: TdfOut,
+    threshold: f64,
+    hysteresis: f64,
+    low: f64,
+    high: f64,
+    state_high: bool,
+}
+
+impl Comparator {
+    /// Creates a comparator with 0/1 output and no hysteresis.
+    pub fn new(inp: TdfIn, out: TdfOut, threshold: f64) -> Self {
+        Comparator {
+            inp,
+            out,
+            threshold,
+            hysteresis: 0.0,
+            low: 0.0,
+            high: 1.0,
+            state_high: false,
+        }
+    }
+
+    /// Sets the output levels.
+    pub fn with_levels(mut self, low: f64, high: f64) -> Self {
+        self.low = low;
+        self.high = high;
+        self
+    }
+
+    /// Adds hysteresis (total width).
+    ///
+    /// # Panics
+    ///
+    /// Panics on a negative width.
+    pub fn with_hysteresis(mut self, width: f64) -> Self {
+        assert!(width >= 0.0, "hysteresis width must be non-negative");
+        self.hysteresis = width;
+        self
+    }
+}
+
+impl TdfModule for Comparator {
+    fn setup(&mut self, cfg: &mut TdfSetup) {
+        cfg.input(self.inp);
+        cfg.output(self.out);
+    }
+    fn processing(&mut self, io: &mut TdfIo<'_>) -> Result<(), CoreError> {
+        let x = io.read1(self.inp);
+        let half = self.hysteresis / 2.0;
+        if self.state_high {
+            if x < self.threshold - half {
+                self.state_high = false;
+            }
+        } else if x > self.threshold + half {
+            self.state_high = true;
+        }
+        io.write1(self.out, if self.state_high { self.high } else { self.low });
+        Ok(())
+    }
+}
+
+/// Dead-zone block: zero output for `|in| < width/2`, linear beyond.
+#[derive(Debug, Clone)]
+pub struct DeadZone {
+    inp: TdfIn,
+    out: TdfOut,
+    width: f64,
+}
+
+impl DeadZone {
+    /// Creates a dead zone of total `width`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a negative width.
+    pub fn new(inp: TdfIn, out: TdfOut, width: f64) -> Self {
+        assert!(width >= 0.0, "dead zone width must be non-negative");
+        DeadZone { inp, out, width }
+    }
+}
+
+impl TdfModule for DeadZone {
+    fn setup(&mut self, cfg: &mut TdfSetup) {
+        cfg.input(self.inp);
+        cfg.output(self.out);
+    }
+    fn processing(&mut self, io: &mut TdfIo<'_>) -> Result<(), CoreError> {
+        let x = io.read1(self.inp);
+        let half = self.width / 2.0;
+        let y = if x > half {
+            x - half
+        } else if x < -half {
+            x + half
+        } else {
+            0.0
+        };
+        io.write1(self.out, y);
+        Ok(())
+    }
+}
+
+/// Uniform midtread quantizer with `bits` resolution over ±`full_scale`,
+/// saturating at the rails. Output is the reconstructed analog value.
+#[derive(Debug, Clone)]
+pub struct Quantizer {
+    inp: TdfIn,
+    out: TdfOut,
+    bits: u32,
+    full_scale: f64,
+}
+
+impl Quantizer {
+    /// Creates a quantizer.
+    ///
+    /// # Panics
+    ///
+    /// Panics for zero bits or a non-positive full scale.
+    pub fn new(inp: TdfIn, out: TdfOut, bits: u32, full_scale: f64) -> Self {
+        assert!(bits >= 1 && bits <= 32, "bits must be in 1..=32");
+        assert!(full_scale > 0.0, "full scale must be positive");
+        Quantizer {
+            inp,
+            out,
+            bits,
+            full_scale,
+        }
+    }
+
+    /// The LSB size of this quantizer.
+    pub fn lsb(&self) -> f64 {
+        2.0 * self.full_scale / (1u64 << self.bits) as f64
+    }
+
+    /// Quantizes one value (also usable outside a TDF context).
+    pub fn quantize(&self, x: f64) -> f64 {
+        let lsb = self.lsb();
+        let clipped = x.clamp(-self.full_scale, self.full_scale - lsb);
+        (clipped / lsb).round() * lsb
+    }
+}
+
+impl TdfModule for Quantizer {
+    fn setup(&mut self, cfg: &mut TdfSetup) {
+        cfg.input(self.inp);
+        cfg.output(self.out);
+    }
+    fn processing(&mut self, io: &mut TdfIo<'_>) -> Result<(), CoreError> {
+        let x = io.read1(self.inp);
+        io.write1(self.out, self.quantize(x));
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sources::SineSource;
+    use ams_core::TdfGraph;
+    use ams_kernel::SimTime;
+
+    fn run_block<M: TdfModule + 'static>(
+        input: impl Fn(u64) -> f64 + 'static,
+        build: impl FnOnce(TdfIn, TdfOut) -> M,
+        n: u64,
+    ) -> Vec<f64> {
+        struct Driver<F> {
+            out: TdfOut,
+            f: F,
+            k: u64,
+        }
+        impl<F: Fn(u64) -> f64 + 'static> TdfModule for Driver<F> {
+            fn setup(&mut self, cfg: &mut TdfSetup) {
+                cfg.output(self.out);
+                cfg.set_timestep(SimTime::from_us(1));
+            }
+            fn processing(&mut self, io: &mut TdfIo<'_>) -> Result<(), CoreError> {
+                io.write1(self.out, (self.f)(self.k));
+                self.k += 1;
+                Ok(())
+            }
+        }
+        let mut g = TdfGraph::new("t");
+        let x = g.signal("x");
+        let y = g.signal("y");
+        let probe = g.probe(y);
+        g.add_module("drv", Driver { out: x.writer(), f: input, k: 0 });
+        g.add_module("dut", build(x.reader(), y.writer()));
+        let mut c = g.elaborate().unwrap();
+        c.run_standalone(n).unwrap();
+        probe.values()
+    }
+
+    #[test]
+    fn saturating_amp_clips() {
+        let v = run_block(
+            |k| k as f64 - 2.0, // −2, −1, 0, 1, 2
+            |i, o| SaturatingAmp::new(i, o, 3.0, 4.0),
+            5,
+        );
+        assert_eq!(v, vec![-4.0, -3.0, 0.0, 3.0, 4.0]);
+    }
+
+    #[test]
+    fn tanh_amp_linear_small_compressive_large() {
+        let v = run_block(
+            |k| if k == 0 { 0.001 } else { 100.0 },
+            |i, o| TanhAmp::new(i, o, 10.0, 1.0),
+            2,
+        );
+        assert!((v[0] - 0.01).abs() < 1e-5, "linear region: {}", v[0]);
+        assert!((v[1] - 1.0).abs() < 1e-9, "saturated: {}", v[1]);
+    }
+
+    #[test]
+    fn comparator_no_hysteresis() {
+        let v = run_block(
+            |k| [0.2, 0.8, 0.4, 0.9][k as usize],
+            |i, o| Comparator::new(i, o, 0.5),
+            4,
+        );
+        assert_eq!(v, vec![0.0, 1.0, 0.0, 1.0]);
+    }
+
+    #[test]
+    fn comparator_hysteresis_rejects_chatter() {
+        // Signal oscillating within the hysteresis band: state is held.
+        let v = run_block(
+            |k| [0.0, 1.0, 0.45, 0.55, 0.45, 0.55, -0.2][k as usize],
+            |i, o| Comparator::new(i, o, 0.5).with_hysteresis(0.4),
+            7,
+        );
+        assert_eq!(v, vec![0.0, 1.0, 1.0, 1.0, 1.0, 1.0, 0.0]);
+    }
+
+    #[test]
+    fn comparator_custom_levels() {
+        let v = run_block(
+            |k| if k == 0 { -1.0 } else { 1.0 },
+            |i, o| Comparator::new(i, o, 0.0).with_levels(-5.0, 5.0),
+            2,
+        );
+        assert_eq!(v, vec![-5.0, 5.0]);
+    }
+
+    #[test]
+    fn dead_zone_blocks_small_signals() {
+        let v = run_block(
+            |k| [-2.0, -0.3, 0.0, 0.3, 2.0][k as usize],
+            |i, o| DeadZone::new(i, o, 1.0),
+            5,
+        );
+        assert_eq!(v, vec![-1.5, 0.0, 0.0, 0.0, 1.5]);
+    }
+
+    #[test]
+    fn quantizer_lsb_and_snap() {
+        let mut g = TdfGraph::new("q");
+        let x = g.signal("x");
+        let y = g.signal("y");
+        let q = Quantizer::new(x.reader(), y.writer(), 3, 1.0);
+        assert!((q.lsb() - 0.25).abs() < 1e-12);
+        assert_eq!(q.quantize(0.3), 0.25);
+        assert_eq!(q.quantize(0.38), 0.5);
+        assert_eq!(q.quantize(5.0), 0.75); // clipped to FS − LSB
+        assert_eq!(q.quantize(-5.0), -1.0);
+    }
+
+    #[test]
+    fn quantized_sine_error_bounded_by_half_lsb() {
+        let mut g = TdfGraph::new("q");
+        let x = g.signal("x");
+        let y = g.signal("y");
+        let p_in = g.probe(x);
+        let p_out = g.probe(y);
+        g.add_module(
+            "src",
+            SineSource::new(x.writer(), 100.0, 0.9, Some(SimTime::from_us(10))),
+        );
+        g.add_module("q", Quantizer::new(x.reader(), y.writer(), 8, 1.0));
+        let mut c = g.elaborate().unwrap();
+        c.run_standalone(1000).unwrap();
+        let lsb = 2.0 / 256.0;
+        for (xi, yi) in p_in.values().iter().zip(p_out.values()) {
+            assert!((xi - yi).abs() <= lsb / 2.0 + 1e-12);
+        }
+    }
+}

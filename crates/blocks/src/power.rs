@@ -1,0 +1,164 @@
+//! Power-electronics behavioural blocks (paper phase 3 and seed work \[8\],
+//! Grimm et al., *AnalogSL: A Library for Modeling Analog Power Drivers in
+//! C++*): PWM generation and gate-drive logic for switch-level power
+//! stages built from `ams-net` switches.
+
+use ams_core::{CoreError, TdfIn, TdfIo, TdfModule, TdfOut, TdfSetup};
+
+/// Natural-sampling PWM generator: compares the duty-cycle input
+/// (0.0–1.0) against an internal sawtooth carrier and outputs 0.0/1.0.
+#[derive(Debug, Clone)]
+pub struct PwmGenerator {
+    duty: TdfIn,
+    out: TdfOut,
+    carrier_hz: f64,
+}
+
+impl PwmGenerator {
+    /// Creates a PWM generator with the given carrier frequency.
+    ///
+    /// # Panics
+    ///
+    /// Panics for a non-positive carrier frequency.
+    pub fn new(duty: TdfIn, out: TdfOut, carrier_hz: f64) -> Self {
+        assert!(carrier_hz > 0.0, "carrier frequency must be positive");
+        PwmGenerator {
+            duty,
+            out,
+            carrier_hz,
+        }
+    }
+}
+
+impl TdfModule for PwmGenerator {
+    fn setup(&mut self, cfg: &mut TdfSetup) {
+        cfg.input(self.duty);
+        cfg.output(self.out);
+    }
+    fn processing(&mut self, io: &mut TdfIo<'_>) -> Result<(), CoreError> {
+        let duty = io.read1(self.duty).clamp(0.0, 1.0);
+        let phase = (io.time() * self.carrier_hz).fract();
+        io.write1(self.out, if phase < duty { 1.0 } else { 0.0 });
+        Ok(())
+    }
+}
+
+/// Complementary gate-drive splitter with dead time: turns one PWM input
+/// into high-side/low-side commands that are never simultaneously high.
+#[derive(Debug, Clone)]
+pub struct GateDriver {
+    pwm: TdfIn,
+    high: TdfOut,
+    low: TdfOut,
+    dead_samples: u64,
+    countdown: u64,
+    last_pwm: bool,
+}
+
+impl GateDriver {
+    /// Creates a gate driver inserting `dead_samples` samples of dead
+    /// time after each transition.
+    pub fn new(pwm: TdfIn, high: TdfOut, low: TdfOut, dead_samples: u64) -> Self {
+        GateDriver {
+            pwm,
+            high,
+            low,
+            dead_samples,
+            countdown: 0,
+            last_pwm: false,
+        }
+    }
+}
+
+impl TdfModule for GateDriver {
+    fn setup(&mut self, cfg: &mut TdfSetup) {
+        cfg.input(self.pwm);
+        cfg.output(self.high);
+        cfg.output(self.low);
+    }
+    fn processing(&mut self, io: &mut TdfIo<'_>) -> Result<(), CoreError> {
+        let pwm = io.read1(self.pwm) >= 0.5;
+        if pwm != self.last_pwm {
+            self.countdown = self.dead_samples;
+            self.last_pwm = pwm;
+        }
+        let (h, l) = if self.countdown > 0 {
+            self.countdown -= 1;
+            (0.0, 0.0) // dead time: both off
+        } else if pwm {
+            (1.0, 0.0)
+        } else {
+            (0.0, 1.0)
+        };
+        io.write1(self.high, h);
+        io.write1(self.low, l);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sources::ConstSource;
+    use ams_core::TdfGraph;
+    use ams_kernel::SimTime;
+
+    #[test]
+    fn pwm_duty_cycle_matches_command() {
+        let mut g = TdfGraph::new("pwm");
+        let duty = g.signal("duty");
+        let out = g.signal("pwm");
+        let probe = g.probe(out);
+        // 10 kHz carrier sampled at 1 MHz: 100 samples per period.
+        g.add_module("d", ConstSource::new(duty.writer(), 0.3, Some(SimTime::from_us(1))));
+        g.add_module("pwm", PwmGenerator::new(duty.reader(), out.writer(), 10_000.0));
+        let mut c = g.elaborate().unwrap();
+        c.run_standalone(10_000).unwrap(); // 100 carrier periods
+        let v = probe.values();
+        let high = v.iter().filter(|&&x| x == 1.0).count();
+        let ratio = high as f64 / v.len() as f64;
+        assert!((ratio - 0.3).abs() < 0.01, "duty {ratio}");
+        assert!(v.iter().all(|&x| x == 0.0 || x == 1.0));
+    }
+
+    #[test]
+    fn pwm_zero_and_full_duty() {
+        for (cmd, expect) in [(0.0, 0.0), (1.0, 1.0)] {
+            let mut g = TdfGraph::new("pwm");
+            let duty = g.signal("duty");
+            let out = g.signal("pwm");
+            let probe = g.probe(out);
+            g.add_module("d", ConstSource::new(duty.writer(), cmd, Some(SimTime::from_us(1))));
+            g.add_module("pwm", PwmGenerator::new(duty.reader(), out.writer(), 10_000.0));
+            let mut c = g.elaborate().unwrap();
+            c.run_standalone(500).unwrap();
+            assert!(probe.values().iter().all(|&x| x == expect));
+        }
+    }
+
+    #[test]
+    fn gate_driver_never_shoot_through() {
+        let mut g = TdfGraph::new("gd");
+        let duty = g.signal("duty");
+        let pwm = g.signal("pwm");
+        let hi = g.signal("hi");
+        let lo = g.signal("lo");
+        let p_hi = g.probe(hi);
+        let p_lo = g.probe(lo);
+        g.add_module("d", ConstSource::new(duty.writer(), 0.5, Some(SimTime::from_us(1))));
+        g.add_module("pwm", PwmGenerator::new(duty.reader(), pwm.writer(), 50_000.0));
+        g.add_module("gd", GateDriver::new(pwm.reader(), hi.writer(), lo.writer(), 2));
+        let mut c = g.elaborate().unwrap();
+        c.run_standalone(2000).unwrap();
+        let hi_v = p_hi.values();
+        let lo_v = p_lo.values();
+        // Never both on.
+        assert!(hi_v.iter().zip(&lo_v).all(|(h, l)| h + l <= 1.0));
+        // Dead time present: some samples with both off.
+        let dead = hi_v.iter().zip(&lo_v).filter(|(h, l)| **h == 0.0 && **l == 0.0).count();
+        assert!(dead > 0, "dead time samples expected");
+        // Both sides actually switch.
+        assert!(hi_v.iter().any(|&x| x == 1.0));
+        assert!(lo_v.iter().any(|&x| x == 1.0));
+    }
+}

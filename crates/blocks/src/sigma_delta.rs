@@ -1,0 +1,261 @@
+//! Sigma-delta modulators and decimation — the Σ∆ prefi/pofi converters
+//! of the paper's Figure 1 (ADSL subscriber line interface).
+
+use ams_core::{CoreError, TdfIn, TdfIo, TdfModule, TdfOut, TdfSetup};
+
+/// First-order single-bit sigma-delta modulator.
+///
+/// `int[n] = int[n−1] + (x[n] − y[n−1])`, `y[n] = sign(int[n])` — the
+/// classic noise-shaping loop: quantization noise is pushed to high
+/// frequencies at 20 dB/decade, recovered by the decimation filter.
+#[derive(Debug, Clone)]
+pub struct SigmaDelta1 {
+    inp: TdfIn,
+    out: TdfOut,
+    integrator: f64,
+    feedback: f64,
+}
+
+impl SigmaDelta1 {
+    /// Creates a first-order modulator with ±1 output levels.
+    pub fn new(inp: TdfIn, out: TdfOut) -> Self {
+        SigmaDelta1 {
+            inp,
+            out,
+            integrator: 0.0,
+            feedback: 0.0,
+        }
+    }
+}
+
+impl TdfModule for SigmaDelta1 {
+    fn setup(&mut self, cfg: &mut TdfSetup) {
+        cfg.input(self.inp);
+        cfg.output(self.out);
+    }
+    fn processing(&mut self, io: &mut TdfIo<'_>) -> Result<(), CoreError> {
+        let x = io.read1(self.inp);
+        self.integrator += x - self.feedback;
+        let y = if self.integrator >= 0.0 { 1.0 } else { -1.0 };
+        self.feedback = y;
+        io.write1(self.out, y);
+        Ok(())
+    }
+}
+
+/// Second-order single-bit sigma-delta modulator (Boser–Wooley topology
+/// with ½/½ integrator gains): 40 dB/decade noise shaping.
+#[derive(Debug, Clone)]
+pub struct SigmaDelta2 {
+    inp: TdfIn,
+    out: TdfOut,
+    int1: f64,
+    int2: f64,
+    feedback: f64,
+}
+
+impl SigmaDelta2 {
+    /// Creates a second-order modulator with ±1 output levels.
+    pub fn new(inp: TdfIn, out: TdfOut) -> Self {
+        SigmaDelta2 {
+            inp,
+            out,
+            int1: 0.0,
+            int2: 0.0,
+            feedback: 0.0,
+        }
+    }
+}
+
+impl TdfModule for SigmaDelta2 {
+    fn setup(&mut self, cfg: &mut TdfSetup) {
+        cfg.input(self.inp);
+        cfg.output(self.out);
+    }
+    fn processing(&mut self, io: &mut TdfIo<'_>) -> Result<(), CoreError> {
+        let x = io.read1(self.inp);
+        self.int1 += 0.5 * (x - self.feedback);
+        self.int2 += 0.5 * (self.int1 - self.feedback);
+        let y = if self.int2 >= 0.0 { 1.0 } else { -1.0 };
+        self.feedback = y;
+        io.write1(self.out, y);
+        Ok(())
+    }
+}
+
+/// Cascaded integrator–comb (CIC) decimation filter: `order` boxcar
+/// stages of length `factor`, then downsampling by `factor`. Gain is
+/// normalized to 1 at DC.
+#[derive(Debug, Clone)]
+pub struct CicDecimator {
+    inp: TdfIn,
+    out: TdfOut,
+    factor: u64,
+    order: u32,
+    /// Integrator states (one per stage).
+    integrators: Vec<f64>,
+    /// Comb delay lines (one previous decimated value per stage).
+    combs: Vec<f64>,
+}
+
+impl CicDecimator {
+    /// Creates a CIC decimator.
+    ///
+    /// # Panics
+    ///
+    /// Panics for factor 0 or order 0.
+    pub fn new(inp: TdfIn, out: TdfOut, factor: u64, order: u32) -> Self {
+        assert!(factor >= 1, "decimation factor must be at least 1");
+        assert!(order >= 1, "cic order must be at least 1");
+        CicDecimator {
+            inp,
+            out,
+            factor,
+            order,
+            integrators: vec![0.0; order as usize],
+            combs: vec![0.0; order as usize],
+        }
+    }
+}
+
+impl TdfModule for CicDecimator {
+    fn setup(&mut self, cfg: &mut TdfSetup) {
+        cfg.input_with(self.inp, self.factor, 0);
+        cfg.output(self.out);
+    }
+    fn processing(&mut self, io: &mut TdfIo<'_>) -> Result<(), CoreError> {
+        // Integrators run at the fast rate over the block.
+        for k in 0..self.factor {
+            let mut v = io.read(self.inp, k);
+            for int in &mut self.integrators {
+                *int += v;
+                v = *int;
+            }
+        }
+        // Combs run at the slow rate.
+        let mut v = *self.integrators.last().expect("order >= 1");
+        for comb in &mut self.combs {
+            let prev = *comb;
+            *comb = v;
+            v -= prev;
+        }
+        // Normalize the DC gain (factor^order).
+        let gain = (self.factor as f64).powi(self.order as i32);
+        io.write1(self.out, v / gain);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sources::{ConstSource, SineSource};
+    use ams_core::TdfGraph;
+    use ams_kernel::SimTime;
+
+    #[test]
+    fn first_order_mean_tracks_input() {
+        let mut g = TdfGraph::new("sd1");
+        let x = g.signal("x");
+        let y = g.signal("y");
+        let probe = g.probe(y);
+        g.add_module("src", ConstSource::new(x.writer(), 0.25, Some(SimTime::from_ns(100))));
+        g.add_module("sd", SigmaDelta1::new(x.reader(), y.writer()));
+        let mut c = g.elaborate().unwrap();
+        c.run_standalone(10_000).unwrap();
+        let v = probe.values();
+        assert!(v.iter().all(|&b| b == 1.0 || b == -1.0), "single-bit");
+        let mean = v.iter().sum::<f64>() / v.len() as f64;
+        assert!((mean - 0.25).abs() < 0.01, "mean {mean}");
+    }
+
+    #[test]
+    fn second_order_mean_tracks_input() {
+        let mut g = TdfGraph::new("sd2");
+        let x = g.signal("x");
+        let y = g.signal("y");
+        let probe = g.probe(y);
+        g.add_module("src", ConstSource::new(x.writer(), -0.4, Some(SimTime::from_ns(100))));
+        g.add_module("sd", SigmaDelta2::new(x.reader(), y.writer()));
+        let mut c = g.elaborate().unwrap();
+        c.run_standalone(10_000).unwrap();
+        let mean = probe.values().iter().sum::<f64>() / 10_000.0;
+        assert!((mean + 0.4).abs() < 0.01, "mean {mean}");
+    }
+
+    #[test]
+    fn cic_recovers_slow_sine_from_bitstream() {
+        // 1 kHz sine, modulator at 2.56 MHz, decimate by 64 → 40 kHz.
+        let mut g = TdfGraph::new("dsm");
+        let x = g.signal("x");
+        let bits = g.signal("bits");
+        let dec = g.signal("dec");
+        let p_dec = g.probe(dec);
+        g.add_module(
+            "src",
+            SineSource::new(x.writer(), 1000.0, 0.5, Some(SimTime::from_ps(390_625))),
+        );
+        g.add_module("sd", SigmaDelta2::new(x.reader(), bits.writer()));
+        g.add_module("cic", CicDecimator::new(bits.reader(), dec.writer(), 64, 2));
+        let mut c = g.elaborate().unwrap();
+        // 4 ms: four sine periods; decimated rate = 40 kHz → 160 samples.
+        c.run_standalone(160).unwrap();
+        let v = p_dec.values();
+        // Skip the CIC warm-up, then check amplitude ≈ 0.5.
+        let tail = &v[40..];
+        let peak = tail.iter().fold(0.0f64, |a, &b| a.max(b.abs()));
+        assert!((peak - 0.5).abs() < 0.05, "recovered peak {peak}");
+        // Error vs the ideal sine at decimated timestamps is small.
+        let times = p_dec.times();
+        let mut err_rms = 0.0;
+        let mut n = 0;
+        for (t, y) in times.iter().zip(&v).skip(40) {
+            // CIC group delay: order·(factor−1)/2 fast samples.
+            let delay = 2.0 * 63.0 / 2.0 * 390.625e-9;
+            let ideal = 0.5 * (2.0 * std::f64::consts::PI * 1000.0 * (t - delay)).sin();
+            err_rms += (y - ideal).powi(2);
+            n += 1;
+        }
+        err_rms = (err_rms / n as f64).sqrt();
+        // Residual shaped quantization noise in the decimated band plus
+        // CIC droop leaves a few percent of rms error at this OSR.
+        assert!(err_rms < 0.08, "rms error {err_rms}");
+    }
+
+    #[test]
+    fn noise_shaping_pushes_noise_to_high_frequencies() {
+        // Compare in-band vs out-of-band quantization noise power of a
+        // first-order modulator driven by a small DC.
+        let mut g = TdfGraph::new("shape");
+        let x = g.signal("x");
+        let y = g.signal("y");
+        let probe = g.probe(y);
+        g.add_module("src", ConstSource::new(x.writer(), 0.1, Some(SimTime::from_ns(100))));
+        g.add_module("sd", SigmaDelta1::new(x.reader(), y.writer()));
+        let mut c = g.elaborate().unwrap();
+        let n = 4096;
+        c.run_standalone(n).unwrap();
+        let v = probe.values();
+        let spec = ams_math::fft::fft_real(&v).unwrap();
+        // Noise power in the lowest eighth vs the highest eighth of the
+        // spectrum (excluding DC).
+        let low: f64 = spec[1..n as usize / 8].iter().map(|z| z.norm_sqr()).sum();
+        let high: f64 = spec[3 * n as usize / 8..n as usize / 2]
+            .iter()
+            .map(|z| z.norm_sqr())
+            .sum();
+        assert!(
+            high > 10.0 * low,
+            "noise should rise with frequency: low {low:.1}, high {high:.1}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "order must be at least 1")]
+    fn zero_order_cic_panics() {
+        let mut g = TdfGraph::new("bad");
+        let a = g.signal("a");
+        let b = g.signal("b");
+        let _ = CicDecimator::new(a.reader(), b.writer(), 4, 0);
+    }
+}

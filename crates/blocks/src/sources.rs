@@ -1,0 +1,363 @@
+//! Stimulus sources for TDF clusters.
+
+use ams_core::{AcIo, CoreError, TdfIo, TdfModule, TdfOut, TdfSetup};
+use ams_kernel::SimTime;
+use ams_math::Complex64;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A constant (DC) source.
+#[derive(Debug, Clone)]
+pub struct ConstSource {
+    out: TdfOut,
+    value: f64,
+    timestep: Option<SimTime>,
+}
+
+impl ConstSource {
+    /// Creates a constant source; `timestep` may be `None` if another
+    /// module paces the cluster.
+    pub fn new(out: TdfOut, value: f64, timestep: Option<SimTime>) -> Self {
+        ConstSource {
+            out,
+            value,
+            timestep,
+        }
+    }
+}
+
+impl TdfModule for ConstSource {
+    fn setup(&mut self, cfg: &mut TdfSetup) {
+        cfg.output(self.out);
+        if let Some(ts) = self.timestep {
+            cfg.set_timestep(ts);
+        }
+    }
+    fn processing(&mut self, io: &mut TdfIo<'_>) -> Result<(), CoreError> {
+        io.write1(self.out, self.value);
+        Ok(())
+    }
+}
+
+/// A sine source `offset + ampl·sin(2π·freq·t + phase)`, optionally the
+/// AC stimulus of the cluster.
+#[derive(Debug, Clone)]
+pub struct SineSource {
+    out: TdfOut,
+    freq_hz: f64,
+    ampl: f64,
+    offset: f64,
+    phase: f64,
+    ac_mag: f64,
+    timestep: Option<SimTime>,
+}
+
+impl SineSource {
+    /// Creates a sine source with zero offset/phase.
+    pub fn new(out: TdfOut, freq_hz: f64, ampl: f64, timestep: Option<SimTime>) -> Self {
+        SineSource {
+            out,
+            freq_hz,
+            ampl,
+            offset: 0.0,
+            phase: 0.0,
+            ac_mag: 0.0,
+            timestep,
+        }
+    }
+
+    /// Adds a DC offset.
+    pub fn with_offset(mut self, offset: f64) -> Self {
+        self.offset = offset;
+        self
+    }
+
+    /// Sets the initial phase in radians.
+    pub fn with_phase(mut self, phase: f64) -> Self {
+        self.phase = phase;
+        self
+    }
+
+    /// Designates this source as the AC stimulus with the given
+    /// magnitude (used by [`ams_core::Cluster::ac_analysis`]).
+    pub fn with_ac_magnitude(mut self, mag: f64) -> Self {
+        self.ac_mag = mag;
+        self
+    }
+}
+
+impl TdfModule for SineSource {
+    fn setup(&mut self, cfg: &mut TdfSetup) {
+        cfg.output(self.out);
+        if let Some(ts) = self.timestep {
+            cfg.set_timestep(ts);
+        }
+    }
+    fn processing(&mut self, io: &mut TdfIo<'_>) -> Result<(), CoreError> {
+        let t = io.time();
+        let v = self.offset
+            + self.ampl * (2.0 * std::f64::consts::PI * self.freq_hz * t + self.phase).sin();
+        io.write1(self.out, v);
+        Ok(())
+    }
+    fn ac_processing(&mut self, ac: &mut AcIo<'_>) {
+        if self.ac_mag != 0.0 {
+            ac.set_source(self.out, Complex64::from_real(self.ac_mag));
+        }
+    }
+}
+
+/// A trapezoidal pulse train (like a SPICE PULSE source).
+#[derive(Debug, Clone)]
+pub struct PulseSource {
+    out: TdfOut,
+    /// Low level.
+    pub v1: f64,
+    /// High level.
+    pub v2: f64,
+    /// Delay before the first rise, seconds.
+    pub delay: f64,
+    /// Rise time, seconds.
+    pub rise: f64,
+    /// Fall time, seconds.
+    pub fall: f64,
+    /// Plateau width, seconds.
+    pub width: f64,
+    /// Period, seconds (0 = single pulse).
+    pub period: f64,
+    timestep: Option<SimTime>,
+}
+
+impl PulseSource {
+    /// Creates a square pulse train with the given period and 50 % duty.
+    pub fn square(out: TdfOut, v1: f64, v2: f64, period: f64, timestep: Option<SimTime>) -> Self {
+        PulseSource {
+            out,
+            v1,
+            v2,
+            delay: 0.0,
+            rise: 0.0,
+            fall: 0.0,
+            width: period / 2.0,
+            period,
+            timestep,
+        }
+    }
+}
+
+impl TdfModule for PulseSource {
+    fn setup(&mut self, cfg: &mut TdfSetup) {
+        cfg.output(self.out);
+        if let Some(ts) = self.timestep {
+            cfg.set_timestep(ts);
+        }
+    }
+    fn processing(&mut self, io: &mut TdfIo<'_>) -> Result<(), CoreError> {
+        let mut tau = io.time() - self.delay;
+        let v = if tau < 0.0 {
+            self.v1
+        } else {
+            if self.period > 0.0 {
+                tau %= self.period;
+            }
+            if tau < self.rise {
+                if self.rise == 0.0 {
+                    self.v2
+                } else {
+                    self.v1 + (self.v2 - self.v1) * tau / self.rise
+                }
+            } else if tau < self.rise + self.width {
+                self.v2
+            } else if tau < self.rise + self.width + self.fall {
+                self.v2 + (self.v1 - self.v2) * (tau - self.rise - self.width) / self.fall
+            } else {
+                self.v1
+            }
+        };
+        io.write1(self.out, v);
+        Ok(())
+    }
+}
+
+/// A pseudo-random bit source (Fibonacci LFSR, 0.0/1.0 levels).
+#[derive(Debug, Clone)]
+pub struct PrbsSource {
+    out: TdfOut,
+    state: u32,
+    timestep: Option<SimTime>,
+}
+
+impl PrbsSource {
+    /// Creates a PRBS-15 source with the given (non-zero) seed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `seed` is zero (the LFSR would lock up).
+    pub fn new(out: TdfOut, seed: u32, timestep: Option<SimTime>) -> Self {
+        assert!(seed != 0, "lfsr seed must be non-zero");
+        PrbsSource {
+            out,
+            state: seed & 0x7FFF | 1,
+            timestep,
+        }
+    }
+}
+
+impl TdfModule for PrbsSource {
+    fn setup(&mut self, cfg: &mut TdfSetup) {
+        cfg.output(self.out);
+        if let Some(ts) = self.timestep {
+            cfg.set_timestep(ts);
+        }
+    }
+    fn processing(&mut self, io: &mut TdfIo<'_>) -> Result<(), CoreError> {
+        // x^15 + x^14 + 1 (PRBS-15).
+        let bit = ((self.state >> 14) ^ (self.state >> 13)) & 1;
+        self.state = ((self.state << 1) | bit) & 0x7FFF;
+        io.write1(self.out, bit as f64);
+        Ok(())
+    }
+}
+
+/// Additive white Gaussian noise source with a fixed RNG seed for
+/// reproducible runs.
+#[derive(Debug)]
+pub struct NoiseSource {
+    out: TdfOut,
+    sigma: f64,
+    rng: StdRng,
+    timestep: Option<SimTime>,
+}
+
+impl NoiseSource {
+    /// Creates a zero-mean Gaussian noise source with standard deviation
+    /// `sigma`.
+    pub fn new(out: TdfOut, sigma: f64, seed: u64, timestep: Option<SimTime>) -> Self {
+        NoiseSource {
+            out,
+            sigma,
+            rng: StdRng::seed_from_u64(seed),
+            timestep,
+        }
+    }
+
+    /// Draws one Gaussian sample (Box–Muller).
+    fn gauss(&mut self) -> f64 {
+        let u1: f64 = self.rng.gen_range(f64::MIN_POSITIVE..1.0);
+        let u2: f64 = self.rng.gen::<f64>();
+        (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+    }
+}
+
+impl TdfModule for NoiseSource {
+    fn setup(&mut self, cfg: &mut TdfSetup) {
+        cfg.output(self.out);
+        if let Some(ts) = self.timestep {
+            cfg.set_timestep(ts);
+        }
+    }
+    fn processing(&mut self, io: &mut TdfIo<'_>) -> Result<(), CoreError> {
+        let v = self.sigma * self.gauss();
+        io.write1(self.out, v);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ams_core::TdfGraph;
+
+    fn run_source<M: TdfModule + 'static>(
+        build: impl FnOnce(TdfOut) -> M,
+        iterations: u64,
+    ) -> Vec<f64> {
+        let mut g = TdfGraph::new("src");
+        let s = g.signal("out");
+        let probe = g.probe(s);
+        g.add_module("src", build(s.writer()));
+        let mut c = g.elaborate().unwrap();
+        c.run_standalone(iterations).unwrap();
+        probe.values()
+    }
+
+    #[test]
+    fn const_source_holds_value() {
+        let v = run_source(
+            |out| ConstSource::new(out, 3.25, Some(SimTime::from_us(1))),
+            5,
+        );
+        assert_eq!(v, vec![3.25; 5]);
+    }
+
+    #[test]
+    fn sine_source_waveform() {
+        // 1 kHz sine sampled at 8 kHz: sample 2 is at the peak.
+        let v = run_source(
+            |out| SineSource::new(out, 1000.0, 2.0, Some(SimTime::from_ns(125_000))),
+            8,
+        );
+        assert!(v[0].abs() < 1e-12);
+        assert!((v[2] - 2.0).abs() < 1e-9);
+        assert!((v[6] + 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sine_with_offset_and_phase() {
+        let v = run_source(
+            |out| {
+                SineSource::new(out, 1000.0, 1.0, Some(SimTime::from_us(125)))
+                    .with_offset(10.0)
+                    .with_phase(std::f64::consts::FRAC_PI_2)
+            },
+            1,
+        );
+        assert!((v[0] - 11.0).abs() < 1e-12); // offset + cos(0)
+    }
+
+    #[test]
+    fn pulse_square_wave() {
+        // Period 8 µs, sampled at 1 µs: 4 high, 4 low.
+        let v = run_source(
+            |out| PulseSource::square(out, 0.0, 5.0, 8e-6, Some(SimTime::from_us(1))),
+            8,
+        );
+        assert_eq!(v, vec![5.0, 5.0, 5.0, 5.0, 0.0, 0.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn prbs_is_binary_and_balanced() {
+        let v = run_source(|out| PrbsSource::new(out, 0xACE1, Some(SimTime::from_ns(10))), 2000);
+        assert!(v.iter().all(|&x| x == 0.0 || x == 1.0));
+        let ones = v.iter().filter(|&&x| x == 1.0).count();
+        // Roughly balanced.
+        assert!((800..1200).contains(&ones), "ones = {ones}");
+    }
+
+    #[test]
+    #[should_panic(expected = "seed must be non-zero")]
+    fn zero_prbs_seed_panics() {
+        let mut g = TdfGraph::new("bad");
+        let s = g.signal("x");
+        let _ = PrbsSource::new(s.writer(), 0, None);
+    }
+
+    #[test]
+    fn noise_statistics() {
+        let v = run_source(
+            |out| NoiseSource::new(out, 0.5, 42, Some(SimTime::from_ns(10))),
+            20_000,
+        );
+        let mean = v.iter().sum::<f64>() / v.len() as f64;
+        let var = v.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / v.len() as f64;
+        assert!(mean.abs() < 0.02, "mean {mean}");
+        assert!((var.sqrt() - 0.5).abs() < 0.02, "sigma {}", var.sqrt());
+    }
+
+    #[test]
+    fn noise_is_reproducible() {
+        let a = run_source(|out| NoiseSource::new(out, 1.0, 7, Some(SimTime::from_ns(10))), 100);
+        let b = run_source(|out| NoiseSource::new(out, 1.0, 7, Some(SimTime::from_ns(10))), 100);
+        assert_eq!(a, b);
+    }
+}

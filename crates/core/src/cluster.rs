@@ -1,0 +1,1131 @@
+//! TDF cluster construction, elaboration and execution.
+//!
+//! A [`TdfGraph`] is the user-facing builder; [`TdfGraph::elaborate`]
+//! performs the analysis the paper prescribes for the SDF↔CT coupling —
+//! balance-equation scheduling (via `ams-sdf`), timestep propagation and
+//! consistency checking, buffer sizing — and produces a [`Cluster`], a
+//! self-contained executable that runs one schedule iteration per cluster
+//! period. The synchronization layer in [`crate::sim`] drives clusters
+//! from the DE kernel; [`Cluster::ac_analysis`] derives the small-signal
+//! frequency-domain model from the very same module graph.
+
+use crate::module::{AcIo, InPortRt, OutPortRt, SignalBuf, TdfInit, TdfIo, TdfModule, TdfSetup};
+use crate::port::{TdfIn, TdfSignal};
+use crate::CoreError;
+use ams_kernel::{Signal, SimTime};
+use ams_math::{Complex64, DMat, DVec, Lu};
+use ams_sdf::{schedule as sdf_schedule, SdfGraph};
+use std::cell::{Cell, RefCell};
+use std::collections::{HashMap, VecDeque};
+use std::rc::Rc;
+
+/// Identifier of a module within one graph/cluster.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ModuleId(pub(crate) usize);
+
+/// A recorded waveform handle: clones share the same storage, so the
+/// probe stays readable after the graph is consumed by elaboration.
+#[derive(Debug, Clone, Default)]
+pub struct TdfProbe {
+    data: Rc<RefCell<Vec<(f64, f64)>>>,
+}
+
+impl TdfProbe {
+    /// All recorded `(time_seconds, value)` samples so far.
+    pub fn samples(&self) -> Vec<(f64, f64)> {
+        self.data.borrow().clone()
+    }
+
+    /// Just the sample values.
+    pub fn values(&self) -> Vec<f64> {
+        self.data.borrow().iter().map(|&(_, v)| v).collect()
+    }
+
+    /// Just the sample times, in seconds.
+    pub fn times(&self) -> Vec<f64> {
+        self.data.borrow().iter().map(|&(t, _)| t).collect()
+    }
+
+    /// Number of samples recorded.
+    pub fn len(&self) -> usize {
+        self.data.borrow().len()
+    }
+
+    /// Returns `true` if nothing has been recorded yet.
+    pub fn is_empty(&self) -> bool {
+        self.data.borrow().is_empty()
+    }
+}
+
+/// DE→TDF converter: samples a kernel signal at cluster activation.
+struct DeInModule {
+    out: crate::port::TdfOut,
+    cell: Rc<Cell<f64>>,
+}
+
+impl TdfModule for DeInModule {
+    fn setup(&mut self, cfg: &mut TdfSetup) {
+        cfg.output(self.out);
+    }
+    fn processing(&mut self, io: &mut TdfIo<'_>) -> Result<(), CoreError> {
+        io.write1(self.out, self.cell.get());
+        Ok(())
+    }
+}
+
+/// TDF→DE converter: queues each sample with its exact time for the
+/// kernel-side writer process.
+struct DeOutModule {
+    inp: TdfIn,
+    queue: Rc<RefCell<VecDeque<(SimTime, f64)>>>,
+}
+
+impl TdfModule for DeOutModule {
+    fn setup(&mut self, cfg: &mut TdfSetup) {
+        cfg.input(self.inp);
+    }
+    fn processing(&mut self, io: &mut TdfIo<'_>) -> Result<(), CoreError> {
+        let v = io.read1(self.inp);
+        self.queue
+            .borrow_mut()
+            .push_back((io.time_exact(), v));
+        Ok(())
+    }
+}
+
+pub(crate) type DeReadBinding = (Signal<f64>, Rc<Cell<f64>>);
+pub(crate) type DeWriteBinding = (Signal<f64>, Rc<RefCell<VecDeque<(SimTime, f64)>>>);
+
+/// A timed-dataflow graph under construction.
+///
+/// # Example
+///
+/// ```
+/// use ams_core::{TdfGraph, TdfModule, TdfSetup, TdfIo, CoreError};
+/// use ams_kernel::SimTime;
+///
+/// struct One { out: ams_core::TdfOut }
+/// impl TdfModule for One {
+///     fn setup(&mut self, cfg: &mut TdfSetup) {
+///         cfg.output(self.out);
+///         cfg.set_timestep(SimTime::from_us(1));
+///     }
+///     fn processing(&mut self, io: &mut TdfIo<'_>) -> Result<(), CoreError> {
+///         io.write1(self.out, 1.0);
+///         Ok(())
+///     }
+/// }
+///
+/// # fn main() -> Result<(), CoreError> {
+/// let mut g = TdfGraph::new("demo");
+/// let s = g.signal("ones");
+/// let probe = g.probe(s);
+/// g.add_module("one", One { out: s.writer() });
+/// let mut cluster = g.elaborate()?;
+/// cluster.run_iteration(SimTime::ZERO)?;
+/// assert_eq!(probe.values(), vec![1.0]);
+/// # Ok(())
+/// # }
+/// ```
+pub struct TdfGraph {
+    name: String,
+    signal_names: Vec<String>,
+    modules: Vec<(String, Box<dyn TdfModule>)>,
+    de_reads: Vec<DeReadBinding>,
+    de_writes: Vec<DeWriteBinding>,
+    probes: Vec<(TdfSignal, TdfProbe)>,
+}
+
+impl TdfGraph {
+    /// Creates an empty graph with a diagnostic name.
+    pub fn new(name: impl Into<String>) -> Self {
+        TdfGraph {
+            name: name.into(),
+            signal_names: Vec::new(),
+            modules: Vec::new(),
+            de_reads: Vec::new(),
+            de_writes: Vec::new(),
+            probes: Vec::new(),
+        }
+    }
+
+    /// The graph's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Creates a named TDF signal.
+    pub fn signal(&mut self, name: impl Into<String>) -> TdfSignal {
+        let id = TdfSignal(self.signal_names.len());
+        self.signal_names.push(name.into());
+        id
+    }
+
+    /// Adds a module to the graph.
+    pub fn add_module(
+        &mut self,
+        name: impl Into<String>,
+        module: impl TdfModule + 'static,
+    ) -> ModuleId {
+        let id = ModuleId(self.modules.len());
+        self.modules.push((name.into(), Box::new(module)));
+        id
+    }
+
+    /// Adds a DE→TDF converter: the returned signal carries the value of
+    /// the kernel signal, sampled at each cluster activation (the
+    /// standard TDF converter-port semantics).
+    pub fn from_de(&mut self, name: impl Into<String>, de: Signal<f64>) -> TdfSignal {
+        let name = name.into();
+        let sig = self.signal(format!("{name}.tdf"));
+        let cell = Rc::new(Cell::new(0.0));
+        self.de_reads.push((de, cell.clone()));
+        self.add_module(
+            name,
+            DeInModule {
+                out: sig.writer(),
+                cell,
+            },
+        );
+        sig
+    }
+
+    /// Adds a TDF→DE converter: each sample of `input` is written to the
+    /// kernel signal at its exact sample time.
+    pub fn to_de(&mut self, name: impl Into<String>, input: TdfSignal, de: Signal<f64>) {
+        let queue = Rc::new(RefCell::new(VecDeque::new()));
+        self.de_writes.push((de, queue.clone()));
+        self.add_module(
+            name,
+            DeOutModule {
+                inp: input.reader(),
+                queue,
+            },
+        );
+    }
+
+    /// Registers a probe recording every sample of `signal`.
+    pub fn probe(&mut self, signal: TdfSignal) -> TdfProbe {
+        let probe = TdfProbe::default();
+        self.probes.push((signal, probe.clone()));
+        probe
+    }
+
+    /// Elaborates the graph: runs `setup`, checks writer uniqueness,
+    /// solves the balance equations, builds the static schedule,
+    /// propagates timesteps, and runs `initialize`.
+    ///
+    /// # Errors
+    ///
+    /// * [`CoreError::MultipleWriters`] / [`CoreError::NoWriter`] on
+    ///   malformed connectivity.
+    /// * [`CoreError::Sdf`] for inconsistent rates or deadlock.
+    /// * [`CoreError::NoTimestep`] / [`CoreError::InconsistentTimestep`] /
+    ///   [`CoreError::InexactTimestep`] for timestep problems.
+    pub fn elaborate(mut self) -> Result<Cluster, CoreError> {
+        let n_sigs = self.signal_names.len();
+        let n_mods = self.modules.len();
+
+        // Phase 1: collect declarations.
+        let mut setups = Vec::with_capacity(n_mods);
+        for (_, module) in &mut self.modules {
+            let mut cfg = TdfSetup::default();
+            module.setup(&mut cfg);
+            setups.push(cfg);
+        }
+
+        // Writer map.
+        let mut writer: Vec<Option<(usize, u64)>> = vec![None; n_sigs];
+        for (midx, cfg) in setups.iter().enumerate() {
+            for out in &cfg.outputs {
+                if writer[out.signal.0].is_some() {
+                    return Err(CoreError::MultipleWriters {
+                        signal: self.signal_names[out.signal.0].clone(),
+                    });
+                }
+                writer[out.signal.0] = Some((midx, out.rate));
+            }
+        }
+        // Reader validation.
+        for cfg in &setups {
+            for inp in &cfg.inputs {
+                if writer[inp.signal.0].is_none() {
+                    return Err(CoreError::NoWriter {
+                        signal: self.signal_names[inp.signal.0].clone(),
+                    });
+                }
+            }
+        }
+        for &(sig, _) in &self.probes {
+            if writer[sig.0].is_none() {
+                return Err(CoreError::NoWriter {
+                    signal: self.signal_names[sig.0].clone(),
+                });
+            }
+        }
+
+        // Phase 2: dataflow analysis.
+        let mut sdf = SdfGraph::new();
+        let actors: Vec<_> = self
+            .modules
+            .iter()
+            .map(|(name, _)| sdf.add_actor(name.clone()))
+            .collect();
+        for (midx, cfg) in setups.iter().enumerate() {
+            for inp in &cfg.inputs {
+                let (w_idx, w_rate) =
+                    writer[inp.signal.0].expect("validated above");
+                sdf.connect(actors[w_idx], w_rate, actors[midx], inp.rate, inp.delay)?;
+            }
+        }
+        let sched = sdf_schedule(&sdf)?;
+        let q = sched.repetition_vector().to_vec();
+
+        // Phase 3: timestep propagation.
+        let mut period: Option<(SimTime, usize)> = None;
+        for (midx, cfg) in setups.iter().enumerate() {
+            if let Some(ts) = cfg.timestep {
+                if ts.is_zero() {
+                    return Err(CoreError::invalid(format!(
+                        "module '{}' declared a zero timestep",
+                        self.modules[midx].0
+                    )));
+                }
+                let implied = ts * q[midx];
+                match period {
+                    None => period = Some((implied, midx)),
+                    Some((t, _)) if t == implied => {}
+                    Some((t, _)) => {
+                        return Err(CoreError::InconsistentTimestep {
+                            module: self.modules[midx].0.clone(),
+                            implied_period: implied,
+                            established_period: t,
+                        })
+                    }
+                }
+            }
+        }
+        let (period, _) = period.ok_or(CoreError::NoTimestep)?;
+        let mut timesteps = Vec::with_capacity(n_mods);
+        for midx in 0..n_mods {
+            if period.as_fs() % q[midx] != 0 {
+                return Err(CoreError::InexactTimestep {
+                    module: self.modules[midx].0.clone(),
+                    period,
+                    repetitions: q[midx],
+                });
+            }
+            timesteps.push(period / q[midx]);
+        }
+
+        // Signal sample periods (seconds) for probe timestamps.
+        let mut sig_period_secs = vec![0.0f64; n_sigs];
+        for (s, w) in writer.iter().enumerate() {
+            if let Some((w_idx, w_rate)) = w {
+                sig_period_secs[s] = timesteps[*w_idx].to_seconds() / *w_rate as f64;
+            }
+        }
+
+        // Phase 4: initialization.
+        let mut initial = HashMap::new();
+        for (midx, (name, module)) in self.modules.iter_mut().enumerate() {
+            let mut init = TdfInit {
+                module_timestep: timesteps[midx],
+                initial_values: &mut initial,
+                declared_inputs: &setups[midx].inputs,
+                module_name: name,
+            };
+            module.initialize(&mut init)?;
+        }
+
+        // Phase 5: assemble the runtime.
+        let mut modules_rt = Vec::with_capacity(n_mods);
+        for (midx, (name, module)) in self.modules.into_iter().enumerate() {
+            let mut in_ports = HashMap::new();
+            let mut in_sigs = Vec::new();
+            for d in &setups[midx].inputs {
+                in_ports.insert(
+                    d.signal,
+                    InPortRt {
+                        rate: d.rate,
+                        delay: d.delay,
+                        counter: 0,
+                    },
+                );
+                in_sigs.push(d.signal);
+            }
+            let mut out_ports = HashMap::new();
+            let mut out_sigs = Vec::new();
+            for d in &setups[midx].outputs {
+                out_ports.insert(
+                    d.signal,
+                    OutPortRt {
+                        rate: d.rate,
+                        counter: 0,
+                    },
+                );
+                out_sigs.push(d.signal);
+            }
+            modules_rt.push(ModuleRt {
+                name,
+                module: Some(module),
+                timestep: timesteps[midx],
+                timestep_secs: timesteps[midx].to_seconds(),
+                in_ports,
+                out_ports,
+                in_sigs,
+                out_sigs,
+                firing_in_iter: 0,
+            });
+        }
+
+        let schedule_order: Vec<usize> = sched.firings().iter().map(|a| a.index()).collect();
+        Ok(Cluster {
+            name: self.name,
+            signal_names: self.signal_names,
+            period,
+            modules: modules_rt,
+            schedule_order,
+            bufs: vec![SignalBuf::default(); n_sigs],
+            initial,
+            iteration: 0,
+            sig_period_secs,
+            probes: self
+                .probes
+                .into_iter()
+                .map(|(sig, probe)| ProbeRt {
+                    signal: sig,
+                    probe,
+                    next_idx: 0,
+                })
+                .collect(),
+            de_reads: self.de_reads,
+            de_writes: self.de_writes,
+        })
+    }
+}
+
+impl std::fmt::Debug for TdfGraph {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TdfGraph")
+            .field("name", &self.name)
+            .field("signals", &self.signal_names.len())
+            .field("modules", &self.modules.len())
+            .finish()
+    }
+}
+
+struct ModuleRt {
+    name: String,
+    module: Option<Box<dyn TdfModule>>,
+    timestep: SimTime,
+    timestep_secs: f64,
+    in_ports: HashMap<TdfSignal, InPortRt>,
+    out_ports: HashMap<TdfSignal, OutPortRt>,
+    in_sigs: Vec<TdfSignal>,
+    out_sigs: Vec<TdfSignal>,
+    firing_in_iter: u64,
+}
+
+struct ProbeRt {
+    signal: TdfSignal,
+    probe: TdfProbe,
+    next_idx: i64,
+}
+
+/// An elaborated, executable TDF cluster.
+pub struct Cluster {
+    name: String,
+    signal_names: Vec<String>,
+    period: SimTime,
+    modules: Vec<ModuleRt>,
+    schedule_order: Vec<usize>,
+    bufs: Vec<SignalBuf>,
+    initial: HashMap<(TdfSignal, u64), f64>,
+    iteration: u64,
+    sig_period_secs: Vec<f64>,
+    probes: Vec<ProbeRt>,
+    pub(crate) de_reads: Vec<DeReadBinding>,
+    pub(crate) de_writes: Vec<DeWriteBinding>,
+}
+
+impl Cluster {
+    /// The cluster period: the wall of simulated time covered by one
+    /// schedule iteration.
+    pub fn period(&self) -> SimTime {
+        self.period
+    }
+
+    /// The cluster's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Completed iterations.
+    pub fn iterations(&self) -> u64 {
+        self.iteration
+    }
+
+    /// The resolved timestep of a module.
+    pub fn module_timestep(&self, id: ModuleId) -> SimTime {
+        self.modules[id.0].timestep
+    }
+
+    /// Runs one schedule iteration whose first sample is at `start`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates module processing failures with module context.
+    pub fn run_iteration(&mut self, start: SimTime) -> Result<(), CoreError> {
+        for m in &mut self.modules {
+            m.firing_in_iter = 0;
+        }
+        let order = std::mem::take(&mut self.schedule_order);
+        let mut result = Ok(());
+        for &midx in &order {
+            if let Err(e) = self.fire(midx, start) {
+                result = Err(e);
+                break;
+            }
+        }
+        self.schedule_order = order;
+        result?;
+        self.iteration += 1;
+        self.flush_probes();
+        self.trim_buffers();
+        Ok(())
+    }
+
+    fn fire(&mut self, midx: usize, start: SimTime) -> Result<(), CoreError> {
+        let mut module = self.modules[midx]
+            .module
+            .take()
+            .expect("module present outside of firing");
+        let t0_exact = start + self.modules[midx].timestep * self.modules[midx].firing_in_iter;
+        let result = {
+            let mrt = &self.modules[midx];
+            let mut io = TdfIo {
+                module_name: &mrt.name,
+                t0: t0_exact.to_seconds(),
+                t0_exact,
+                timestep: mrt.timestep_secs,
+                in_ports: &mrt.in_ports,
+                out_ports: &mrt.out_ports,
+                bufs: &mut self.bufs,
+                initial: &self.initial,
+            };
+            module.processing(&mut io)
+        };
+        let mrt = &mut self.modules[midx];
+        mrt.module = Some(module);
+        for ip in mrt.in_ports.values_mut() {
+            ip.counter += ip.rate as i64;
+        }
+        for op in mrt.out_ports.values_mut() {
+            op.counter += op.rate as i64;
+        }
+        mrt.firing_in_iter += 1;
+        result.map_err(|e| match e {
+            CoreError::Solver { .. } => e,
+            other => CoreError::solver(&mrt.name, other),
+        })
+    }
+
+    fn flush_probes(&mut self) {
+        for p in &mut self.probes {
+            let buf = &self.bufs[p.signal.0];
+            let end = buf.base + buf.data.len() as i64;
+            let period = self.sig_period_secs[p.signal.0];
+            let mut data = p.probe.data.borrow_mut();
+            let from = p.next_idx.max(buf.base);
+            for idx in from..end {
+                let v = buf.get(idx).expect("index within window");
+                data.push((idx as f64 * period, v));
+            }
+            p.next_idx = end;
+        }
+    }
+
+    fn trim_buffers(&mut self) {
+        let n_sigs = self.bufs.len();
+        let mut keep_from: Vec<i64> = vec![i64::MAX; n_sigs];
+        for m in &self.modules {
+            for (sig, ip) in &m.in_ports {
+                keep_from[sig.0] = keep_from[sig.0].min(ip.counter - ip.delay as i64);
+            }
+        }
+        for p in &self.probes {
+            keep_from[p.signal.0] = keep_from[p.signal.0].min(p.next_idx);
+        }
+        for (s, buf) in self.bufs.iter_mut().enumerate() {
+            let kf = keep_from[s];
+            if kf == i64::MAX {
+                // No reader, no probe: drop everything produced.
+                buf.trim(buf.base + buf.data.len() as i64);
+            } else {
+                buf.trim(kf);
+            }
+        }
+    }
+
+    /// Runs the cluster standalone (without a DE kernel) for `iterations`
+    /// schedule iterations starting at time zero. Converter bindings, if
+    /// any, read 0.0 and queue writes unobserved.
+    ///
+    /// # Errors
+    ///
+    /// Propagates processing failures.
+    pub fn run_standalone(&mut self, iterations: u64) -> Result<(), CoreError> {
+        for _ in 0..iterations {
+            let start = self.period * self.iteration;
+            self.run_iteration(start)?;
+        }
+        Ok(())
+    }
+
+    /// Small-signal AC analysis of the whole cluster: solves the complex
+    /// linear system formed by every module's `ac_processing` stamps at
+    /// each frequency.
+    ///
+    /// # Errors
+    ///
+    /// * [`CoreError::Invalid`] for an empty frequency list.
+    /// * Solver failures for structurally singular stamp systems.
+    pub fn ac_analysis(&mut self, freqs_hz: &[f64]) -> Result<TdfAcResult, CoreError> {
+        if freqs_hz.is_empty() {
+            return Err(CoreError::invalid("ac analysis needs at least one frequency"));
+        }
+        let n = self.bufs.len();
+        let mut data = Vec::with_capacity(freqs_hz.len());
+        for &f in freqs_hz {
+            let omega = 2.0 * std::f64::consts::PI * f;
+            let mut mat = DMat::<Complex64>::identity(n);
+            let mut rhs = DVec::<Complex64>::zeros(n);
+            for m in &mut self.modules {
+                let module = m.module.as_mut().expect("module present");
+                let mut ac = AcIo {
+                    omega,
+                    module_name: &m.name,
+                    declared_inputs: &m.in_sigs,
+                    declared_outputs: &m.out_sigs,
+                    gains: Vec::new(),
+                    sources: Vec::new(),
+                };
+                module.ac_processing(&mut ac);
+                for (out, inp, g) in ac.gains {
+                    mat[(out.0, inp.0)] -= g;
+                }
+                for (out, src) in ac.sources {
+                    rhs[out.0] += src;
+                }
+            }
+            let lu = Lu::factor(&mat)
+                .map_err(|e| CoreError::solver(&self.name, e))?;
+            let x = lu
+                .solve(&rhs)
+                .map_err(|e| CoreError::solver(&self.name, e))?;
+            data.push(x.into_inner());
+        }
+        Ok(TdfAcResult {
+            freqs_hz: freqs_hz.to_vec(),
+            data,
+        })
+    }
+
+    /// The registered name of a TDF signal.
+    pub fn signal_name(&self, sig: TdfSignal) -> &str {
+        &self.signal_names[sig.0]
+    }
+}
+
+impl std::fmt::Debug for Cluster {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Cluster")
+            .field("name", &self.name)
+            .field("period", &self.period)
+            .field("modules", &self.modules.len())
+            .field("iterations", &self.iteration)
+            .finish()
+    }
+}
+
+/// AC sweep result over a TDF cluster.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TdfAcResult {
+    freqs_hz: Vec<f64>,
+    /// `data[freq_index][signal_index]`.
+    data: Vec<Vec<Complex64>>,
+}
+
+impl TdfAcResult {
+    /// The analysis frequencies in Hz.
+    pub fn freqs_hz(&self) -> &[f64] {
+        &self.freqs_hz
+    }
+
+    /// The complex response of one signal across all frequencies.
+    pub fn response(&self, signal: TdfSignal) -> Vec<Complex64> {
+        self.data.iter().map(|row| row[signal.0]).collect()
+    }
+
+    /// Magnitude (dB) of one signal across all frequencies.
+    pub fn mag_db(&self, signal: TdfSignal) -> Vec<f64> {
+        self.response(signal)
+            .iter()
+            .map(|v| 20.0 * v.abs().log10())
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::port::TdfOut;
+
+    /// Emits k, k+1, k+2, …
+    struct Counter {
+        out: TdfOut,
+        next: f64,
+        ts: SimTime,
+    }
+    impl TdfModule for Counter {
+        fn setup(&mut self, cfg: &mut TdfSetup) {
+            cfg.output(self.out);
+            cfg.set_timestep(self.ts);
+        }
+        fn processing(&mut self, io: &mut TdfIo<'_>) -> Result<(), CoreError> {
+            io.write1(self.out, self.next);
+            self.next += 1.0;
+            Ok(())
+        }
+    }
+
+    struct Gain {
+        inp: TdfIn,
+        out: TdfOut,
+        k: f64,
+    }
+    impl TdfModule for Gain {
+        fn setup(&mut self, cfg: &mut TdfSetup) {
+            cfg.input(self.inp);
+            cfg.output(self.out);
+        }
+        fn processing(&mut self, io: &mut TdfIo<'_>) -> Result<(), CoreError> {
+            let x = io.read1(self.inp);
+            io.write1(self.out, self.k * x);
+            Ok(())
+        }
+        fn ac_processing(&mut self, ac: &mut AcIo<'_>) {
+            ac.set_gain(self.inp, self.out, Complex64::from_real(self.k));
+        }
+    }
+
+    /// Consumes 4 samples, emits their mean (4:1 decimator).
+    struct Mean4 {
+        inp: TdfIn,
+        out: TdfOut,
+    }
+    impl TdfModule for Mean4 {
+        fn setup(&mut self, cfg: &mut TdfSetup) {
+            cfg.input_with(self.inp, 4, 0);
+            cfg.output(self.out);
+        }
+        fn processing(&mut self, io: &mut TdfIo<'_>) -> Result<(), CoreError> {
+            let sum: f64 = (0..4).map(|k| io.read(self.inp, k)).sum();
+            io.write1(self.out, sum / 4.0);
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn single_rate_pipeline() {
+        let mut g = TdfGraph::new("pipe");
+        let s1 = g.signal("s1");
+        let s2 = g.signal("s2");
+        let probe = g.probe(s2);
+        g.add_module(
+            "cnt",
+            Counter {
+                out: s1.writer(),
+                next: 1.0,
+                ts: SimTime::from_us(1),
+            },
+        );
+        g.add_module(
+            "g2",
+            Gain {
+                inp: s1.reader(),
+                out: s2.writer(),
+                k: 2.0,
+            },
+        );
+        let mut c = g.elaborate().unwrap();
+        assert_eq!(c.period(), SimTime::from_us(1));
+        c.run_standalone(3).unwrap();
+        assert_eq!(probe.values(), vec![2.0, 4.0, 6.0]);
+        // Sample times follow the signal period.
+        for (t, want) in probe.times().iter().zip([0.0, 1e-6, 2e-6]) {
+            assert!((t - want).abs() < 1e-12, "time {t} vs {want}");
+        }
+    }
+
+    #[test]
+    fn multirate_decimation() {
+        let mut g = TdfGraph::new("multi");
+        let fast = g.signal("fast");
+        let slow = g.signal("slow");
+        let probe = g.probe(slow);
+        g.add_module(
+            "cnt",
+            Counter {
+                out: fast.writer(),
+                next: 1.0,
+                ts: SimTime::from_us(1),
+            },
+        );
+        g.add_module(
+            "mean",
+            Mean4 {
+                inp: fast.reader(),
+                out: slow.writer(),
+            },
+        );
+        let mut c = g.elaborate().unwrap();
+        // Counter fires 4× per iteration → cluster period 4 µs.
+        assert_eq!(c.period(), SimTime::from_us(4));
+        c.run_standalone(2).unwrap();
+        assert_eq!(probe.values(), vec![2.5, 6.5]);
+        // The slow signal's sample period is 4 µs.
+        for (t, want) in probe.times().iter().zip([0.0, 4e-6]) {
+            assert!((t - want).abs() < 1e-12, "time {t} vs {want}");
+        }
+    }
+
+    #[test]
+    fn feedback_loop_with_delay() {
+        // Accumulator: out[n] = out[n−1] + 1, seeded with 10 via the
+        // delay sample.
+        struct Acc {
+            inp: TdfIn,
+            out: TdfOut,
+            ts: SimTime,
+        }
+        impl TdfModule for Acc {
+            fn setup(&mut self, cfg: &mut TdfSetup) {
+                cfg.input_with(self.inp, 1, 1);
+                cfg.output(self.out);
+                cfg.set_timestep(self.ts);
+            }
+            fn initialize(&mut self, init: &mut TdfInit<'_>) -> Result<(), CoreError> {
+                init.set_initial(self.inp, 0, 10.0);
+                Ok(())
+            }
+            fn processing(&mut self, io: &mut TdfIo<'_>) -> Result<(), CoreError> {
+                let prev = io.read1(self.inp);
+                io.write1(self.out, prev + 1.0);
+                Ok(())
+            }
+        }
+        let mut g = TdfGraph::new("fb");
+        let s = g.signal("acc");
+        let probe = g.probe(s);
+        g.add_module(
+            "acc",
+            Acc {
+                inp: s.reader(),
+                out: s.writer(),
+                ts: SimTime::from_ns(10),
+            },
+        );
+        let mut c = g.elaborate().unwrap();
+        c.run_standalone(4).unwrap();
+        assert_eq!(probe.values(), vec![11.0, 12.0, 13.0, 14.0]);
+    }
+
+    #[test]
+    fn feedback_without_delay_deadlocks() {
+        struct Loop {
+            inp: TdfIn,
+            out: TdfOut,
+        }
+        impl TdfModule for Loop {
+            fn setup(&mut self, cfg: &mut TdfSetup) {
+                cfg.input(self.inp);
+                cfg.output(self.out);
+                cfg.set_timestep(SimTime::from_ns(1));
+            }
+            fn processing(&mut self, _io: &mut TdfIo<'_>) -> Result<(), CoreError> {
+                Ok(())
+            }
+        }
+        let mut g = TdfGraph::new("dead");
+        let s = g.signal("x");
+        g.add_module(
+            "loop",
+            Loop {
+                inp: s.reader(),
+                out: s.writer(),
+            },
+        );
+        assert!(matches!(
+            g.elaborate(),
+            Err(CoreError::Sdf(ams_sdf::SdfError::Deadlock { .. }))
+        ));
+    }
+
+    #[test]
+    fn multiple_writers_rejected() {
+        let mut g = TdfGraph::new("dup");
+        let s = g.signal("x");
+        g.add_module(
+            "a",
+            Counter {
+                out: s.writer(),
+                next: 0.0,
+                ts: SimTime::from_us(1),
+            },
+        );
+        g.add_module(
+            "b",
+            Counter {
+                out: s.writer(),
+                next: 0.0,
+                ts: SimTime::from_us(1),
+            },
+        );
+        assert!(matches!(
+            g.elaborate(),
+            Err(CoreError::MultipleWriters { .. })
+        ));
+    }
+
+    #[test]
+    fn unwritten_signal_rejected() {
+        let mut g = TdfGraph::new("nowriter");
+        let s = g.signal("x");
+        let y = g.signal("y");
+        g.add_module(
+            "g",
+            Gain {
+                inp: s.reader(),
+                out: y.writer(),
+                k: 1.0,
+            },
+        );
+        assert!(matches!(g.elaborate(), Err(CoreError::NoWriter { .. })));
+    }
+
+    #[test]
+    fn no_timestep_rejected() {
+        let mut g = TdfGraph::new("nots");
+        let s = g.signal("x");
+        let y = g.signal("y");
+        struct Src {
+            out: TdfOut,
+        }
+        impl TdfModule for Src {
+            fn setup(&mut self, cfg: &mut TdfSetup) {
+                cfg.output(self.out);
+            }
+            fn processing(&mut self, io: &mut TdfIo<'_>) -> Result<(), CoreError> {
+                io.write1(self.out, 0.0);
+                Ok(())
+            }
+        }
+        g.add_module("src", Src { out: s.writer() });
+        g.add_module(
+            "g",
+            Gain {
+                inp: s.reader(),
+                out: y.writer(),
+                k: 1.0,
+            },
+        );
+        assert!(matches!(g.elaborate(), Err(CoreError::NoTimestep)));
+    }
+
+    #[test]
+    fn inconsistent_timesteps_rejected() {
+        let mut g = TdfGraph::new("mismatch");
+        let s1 = g.signal("a");
+        let s2 = g.signal("b");
+        g.add_module(
+            "c1",
+            Counter {
+                out: s1.writer(),
+                next: 0.0,
+                ts: SimTime::from_us(1),
+            },
+        );
+        struct GainTs {
+            inp: TdfIn,
+            out: TdfOut,
+        }
+        impl TdfModule for GainTs {
+            fn setup(&mut self, cfg: &mut TdfSetup) {
+                cfg.input(self.inp);
+                cfg.output(self.out);
+                cfg.set_timestep(SimTime::from_us(2)); // conflicts with 1 µs
+            }
+            fn processing(&mut self, io: &mut TdfIo<'_>) -> Result<(), CoreError> {
+                let v = io.read1(self.inp);
+                io.write1(self.out, v);
+                Ok(())
+            }
+        }
+        g.add_module(
+            "g",
+            GainTs {
+                inp: s1.reader(),
+                out: s2.writer(),
+            },
+        );
+        assert!(matches!(
+            g.elaborate(),
+            Err(CoreError::InconsistentTimestep { .. })
+        ));
+    }
+
+    #[test]
+    fn ac_analysis_of_gain_chain() {
+        let mut g = TdfGraph::new("ac");
+        let s1 = g.signal("in");
+        let s2 = g.signal("out");
+        struct AcSrc {
+            out: TdfOut,
+        }
+        impl TdfModule for AcSrc {
+            fn setup(&mut self, cfg: &mut TdfSetup) {
+                cfg.output(self.out);
+                cfg.set_timestep(SimTime::from_us(1));
+            }
+            fn processing(&mut self, io: &mut TdfIo<'_>) -> Result<(), CoreError> {
+                io.write1(self.out, 0.0);
+                Ok(())
+            }
+            fn ac_processing(&mut self, ac: &mut AcIo<'_>) {
+                ac.set_source(self.out, Complex64::ONE);
+            }
+        }
+        g.add_module("src", AcSrc { out: s1.writer() });
+        g.add_module(
+            "g3",
+            Gain {
+                inp: s1.reader(),
+                out: s2.writer(),
+                k: 3.0,
+            },
+        );
+        let mut c = g.elaborate().unwrap();
+        let ac = c.ac_analysis(&[100.0, 1000.0]).unwrap();
+        let resp = ac.response(s2);
+        assert!((resp[0].re - 3.0).abs() < 1e-12);
+        assert!((resp[1].re - 3.0).abs() < 1e-12);
+        assert_eq!(ac.freqs_hz(), &[100.0, 1000.0]);
+    }
+
+    #[test]
+    fn ac_analysis_solves_feedback() {
+        // Loop: y = src + k·y → y = 1/(1−k).
+        struct FbSum {
+            src: TdfIn,
+            fb: TdfIn,
+            out: TdfOut,
+            k: f64,
+        }
+        impl TdfModule for FbSum {
+            fn setup(&mut self, cfg: &mut TdfSetup) {
+                cfg.input(self.src);
+                cfg.input_with(self.fb, 1, 1);
+                cfg.output(self.out);
+            }
+            fn processing(&mut self, io: &mut TdfIo<'_>) -> Result<(), CoreError> {
+                let s = io.read1(self.src);
+                let f = io.read1(self.fb);
+                io.write1(self.out, s + self.k * f);
+                Ok(())
+            }
+            fn ac_processing(&mut self, ac: &mut AcIo<'_>) {
+                ac.set_gain(self.src, self.out, Complex64::ONE);
+                ac.set_gain(self.fb, self.out, Complex64::from_real(self.k));
+            }
+        }
+        struct AcSrc2 {
+            out: TdfOut,
+        }
+        impl TdfModule for AcSrc2 {
+            fn setup(&mut self, cfg: &mut TdfSetup) {
+                cfg.output(self.out);
+                cfg.set_timestep(SimTime::from_us(1));
+            }
+            fn processing(&mut self, io: &mut TdfIo<'_>) -> Result<(), CoreError> {
+                io.write1(self.out, 0.0);
+                Ok(())
+            }
+            fn ac_processing(&mut self, ac: &mut AcIo<'_>) {
+                ac.set_source(self.out, Complex64::ONE);
+            }
+        }
+        let mut g = TdfGraph::new("acfb");
+        let s_src = g.signal("src");
+        let s_y = g.signal("y");
+        g.add_module("src", AcSrc2 { out: s_src.writer() });
+        g.add_module(
+            "sum",
+            FbSum {
+                src: s_src.reader(),
+                fb: s_y.reader(),
+                out: s_y.writer(),
+                k: 0.5,
+            },
+        );
+        let mut c = g.elaborate().unwrap();
+        let ac = c.ac_analysis(&[10.0]).unwrap();
+        let y = ac.response(s_y)[0];
+        assert!((y.re - 2.0).abs() < 1e-12, "y = {y}");
+    }
+
+    #[test]
+    fn empty_frequency_list_rejected() {
+        let mut g = TdfGraph::new("x");
+        let s = g.signal("s");
+        g.add_module(
+            "c",
+            Counter {
+                out: s.writer(),
+                next: 0.0,
+                ts: SimTime::from_us(1),
+            },
+        );
+        let mut c = g.elaborate().unwrap();
+        assert!(c.ac_analysis(&[]).is_err());
+    }
+
+    #[test]
+    fn buffers_are_trimmed() {
+        let mut g = TdfGraph::new("trim");
+        let s1 = g.signal("s1");
+        let s2 = g.signal("s2");
+        g.add_module(
+            "cnt",
+            Counter {
+                out: s1.writer(),
+                next: 0.0,
+                ts: SimTime::from_us(1),
+            },
+        );
+        g.add_module(
+            "g",
+            Gain {
+                inp: s1.reader(),
+                out: s2.writer(),
+                k: 1.0,
+            },
+        );
+        let mut c = g.elaborate().unwrap();
+        c.run_standalone(1000).unwrap();
+        // No probe on s1/s2 readers beyond the gain: buffers stay bounded.
+        assert!(c.bufs[0].data.len() <= 2, "s1 buffer grew: {}", c.bufs[0].data.len());
+        assert!(c.bufs[1].data.len() <= 2, "s2 buffer grew: {}", c.bufs[1].data.len());
+    }
+}

@@ -1,0 +1,158 @@
+use ams_kernel::SimTime;
+use std::fmt;
+
+/// Errors from TDF elaboration, execution and analyses.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum CoreError {
+    /// No module in the cluster declared a timestep, so the cluster
+    /// period cannot be derived.
+    NoTimestep,
+    /// Two timestep declarations disagree after rate propagation.
+    InconsistentTimestep {
+        /// Module that declared the conflicting timestep.
+        module: String,
+        /// The cluster period implied by this module.
+        implied_period: SimTime,
+        /// The cluster period implied by earlier declarations.
+        established_period: SimTime,
+    },
+    /// The cluster period is not divisible by a module's repetition
+    /// count, so that module has no exact femtosecond-aligned timestep.
+    InexactTimestep {
+        /// The module with no exact timestep.
+        module: String,
+        /// The cluster period.
+        period: SimTime,
+        /// The module's firings per period.
+        repetitions: u64,
+    },
+    /// A TDF signal has more than one writer.
+    MultipleWriters {
+        /// Name of the signal.
+        signal: String,
+    },
+    /// A TDF signal is read but never written.
+    NoWriter {
+        /// Name of the signal.
+        signal: String,
+    },
+    /// Rate/consistency/deadlock errors from the dataflow analysis.
+    Sdf(ams_sdf::SdfError),
+    /// The DE kernel reported an error during co-simulation.
+    Kernel(ams_kernel::KernelError),
+    /// An embedded continuous-time solver failed.
+    Solver {
+        /// Which solver/module failed.
+        module: String,
+        /// Underlying message.
+        message: String,
+    },
+    /// A module accessed a port it never declared in `setup`.
+    UndeclaredPort {
+        /// The module at fault.
+        module: String,
+        /// The signal it touched.
+        signal: String,
+    },
+    /// Invalid argument (zero rate, empty frequency list, …).
+    Invalid {
+        /// Description of the violated precondition.
+        reason: String,
+    },
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::NoTimestep => {
+                write!(f, "no module declared a timestep; cluster period unknown")
+            }
+            CoreError::InconsistentTimestep {
+                module,
+                implied_period,
+                established_period,
+            } => write!(
+                f,
+                "module '{module}' implies cluster period {implied_period} but {established_period} was already established"
+            ),
+            CoreError::InexactTimestep {
+                module,
+                period,
+                repetitions,
+            } => write!(
+                f,
+                "cluster period {period} is not divisible by {repetitions} firings of module '{module}'"
+            ),
+            CoreError::MultipleWriters { signal } => {
+                write!(f, "tdf signal '{signal}' has more than one writer")
+            }
+            CoreError::NoWriter { signal } => {
+                write!(f, "tdf signal '{signal}' is read but never written")
+            }
+            CoreError::Sdf(e) => write!(f, "dataflow error: {e}"),
+            CoreError::Kernel(e) => write!(f, "kernel error: {e}"),
+            CoreError::Solver { module, message } => {
+                write!(f, "solver failure in module '{module}': {message}")
+            }
+            CoreError::UndeclaredPort { module, signal } => {
+                write!(f, "module '{module}' accessed undeclared port on signal '{signal}'")
+            }
+            CoreError::Invalid { reason } => write!(f, "invalid argument: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for CoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CoreError::Sdf(e) => Some(e),
+            CoreError::Kernel(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ams_sdf::SdfError> for CoreError {
+    fn from(e: ams_sdf::SdfError) -> Self {
+        CoreError::Sdf(e)
+    }
+}
+
+impl From<ams_kernel::KernelError> for CoreError {
+    fn from(e: ams_kernel::KernelError) -> Self {
+        CoreError::Kernel(e)
+    }
+}
+
+impl CoreError {
+    /// Builds an [`CoreError::Invalid`] from a reason string.
+    pub fn invalid(reason: impl Into<String>) -> Self {
+        CoreError::Invalid {
+            reason: reason.into(),
+        }
+    }
+
+    /// Builds a [`CoreError::Solver`] failure record.
+    pub fn solver(module: impl Into<String>, message: impl fmt::Display) -> Self {
+        CoreError::Solver {
+            module: module.into(),
+            message: message.to_string(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        let e = CoreError::NoWriter {
+            signal: "x".into(),
+        };
+        assert!(e.to_string().contains("'x'"));
+        let e: CoreError = ams_sdf::SdfError::ZeroRate { edge: 1 }.into();
+        assert!(std::error::Error::source(&e).is_some());
+    }
+}

@@ -1,0 +1,516 @@
+//! The TDF module trait and its per-phase context objects.
+//!
+//! Mirrors the SystemC-AMS module lifecycle this paper seeded:
+//! `setup` (attribute declaration) → `initialize` (delay samples, DC
+//! state) → repeated `processing` (one firing) → optional
+//! `ac_processing` (small-signal frequency-domain contribution derived
+//! from the same module, §3 O3: "this should not require additional
+//! language element").
+
+use crate::port::{PortDecl, TdfIn, TdfOut, TdfSignal};
+use ams_kernel::SimTime;
+use ams_math::Complex64;
+use std::collections::HashMap;
+
+/// A timed-dataflow module: the paper's "continuous behaviour encapsulated
+/// in static dataflow modules" (phase 1).
+///
+/// Implementors declare ports and (optionally) a timestep in
+/// [`setup`](TdfModule::setup), then compute samples in
+/// [`processing`](TdfModule::processing) each firing.
+pub trait TdfModule {
+    /// Declares port rates/delays and (optionally) the module timestep.
+    fn setup(&mut self, cfg: &mut TdfSetup);
+
+    /// One-time initialization after scheduling: set initial delay-sample
+    /// values, compute the DC state (the paper's consistent quiescent
+    /// state). Default: nothing.
+    ///
+    /// # Errors
+    ///
+    /// Implementations may fail (e.g. a DC operating point does not
+    /// converge); the error aborts elaboration.
+    fn initialize(&mut self, _init: &mut TdfInit<'_>) -> Result<(), crate::CoreError> {
+        Ok(())
+    }
+
+    /// One firing: read `rate` samples per input, write `rate` samples
+    /// per output.
+    ///
+    /// # Errors
+    ///
+    /// Implementations may fail (e.g. an embedded Newton solve diverges);
+    /// the error aborts the simulation run with context.
+    fn processing(&mut self, io: &mut TdfIo<'_>) -> Result<(), crate::CoreError>;
+
+    /// Stamps this module's small-signal frequency-domain relation
+    /// (`out = Σ gain·in + source`). Default: every output is 0 in AC.
+    fn ac_processing(&mut self, _ac: &mut AcIo<'_>) {}
+}
+
+/// Port/timestep declaration context passed to [`TdfModule::setup`].
+#[derive(Debug, Default)]
+pub struct TdfSetup {
+    pub(crate) inputs: Vec<PortDecl>,
+    pub(crate) outputs: Vec<PortDecl>,
+    pub(crate) timestep: Option<SimTime>,
+}
+
+impl TdfSetup {
+    /// Declares an input port with rate 1 and no delay.
+    pub fn input(&mut self, port: TdfIn) {
+        self.input_with(port, 1, 0);
+    }
+
+    /// Declares an input port with an explicit rate and delay (delay
+    /// samples break feedback loops; their values are set in
+    /// [`TdfModule::initialize`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rate` is zero.
+    pub fn input_with(&mut self, port: TdfIn, rate: u64, delay: u64) {
+        assert!(rate > 0, "port rate must be at least 1");
+        self.inputs.push(PortDecl {
+            signal: port.signal,
+            rate,
+            delay,
+        });
+    }
+
+    /// Declares an output port with rate 1.
+    pub fn output(&mut self, port: TdfOut) {
+        self.output_with(port, 1);
+    }
+
+    /// Declares an output port with an explicit rate.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rate` is zero.
+    pub fn output_with(&mut self, port: TdfOut, rate: u64) {
+        assert!(rate > 0, "port rate must be at least 1");
+        self.outputs.push(PortDecl {
+            signal: port.signal,
+            rate,
+            delay: 0,
+        });
+    }
+
+    /// Declares this module's firing period (timestep). At least one
+    /// module per cluster must declare one; all declarations must agree
+    /// after rate propagation.
+    pub fn set_timestep(&mut self, step: SimTime) {
+        self.timestep = Some(step);
+    }
+}
+
+/// Initialization context: set values of input-port delay samples.
+#[derive(Debug)]
+pub struct TdfInit<'a> {
+    pub(crate) module_timestep: SimTime,
+    /// (signal, delay slot) → initial value, collected for the runtime.
+    pub(crate) initial_values: &'a mut HashMap<(TdfSignal, u64), f64>,
+    pub(crate) declared_inputs: &'a [PortDecl],
+    pub(crate) module_name: &'a str,
+}
+
+impl TdfInit<'_> {
+    /// This module's resolved firing period.
+    pub fn timestep(&self) -> SimTime {
+        self.module_timestep
+    }
+
+    /// Sets the value of the `slot`-th delay sample of an input port
+    /// (defaults to 0.0).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the port was not declared with at least `slot + 1`
+    /// delay samples.
+    pub fn set_initial(&mut self, port: TdfIn, slot: u64, value: f64) {
+        let decl = self
+            .declared_inputs
+            .iter()
+            .find(|d| d.signal == port.signal)
+            .unwrap_or_else(|| {
+                panic!(
+                    "module '{}' set_initial on undeclared input {}",
+                    self.module_name, port.signal
+                )
+            });
+        assert!(
+            slot < decl.delay,
+            "module '{}': initial slot {slot} exceeds declared delay {}",
+            self.module_name,
+            decl.delay
+        );
+        self.initial_values.insert((port.signal, slot), value);
+    }
+}
+
+/// Sample storage for one TDF signal: a window of the absolute sample
+/// stream produced by its writer.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct SignalBuf {
+    /// Samples, with `data[0]` holding absolute stream index `base`.
+    pub data: Vec<f64>,
+    /// Absolute stream index of `data[0]`.
+    pub base: i64,
+}
+
+impl SignalBuf {
+    pub fn get(&self, idx: i64) -> Option<f64> {
+        if idx < self.base {
+            return None;
+        }
+        self.data.get((idx - self.base) as usize).copied()
+    }
+
+    pub fn set(&mut self, idx: i64, v: f64) {
+        debug_assert!(idx >= self.base, "writing below the trimmed window");
+        let pos = (idx - self.base) as usize;
+        if pos >= self.data.len() {
+            self.data.resize(pos + 1, 0.0);
+        }
+        self.data[pos] = v;
+    }
+
+    /// Drops samples with stream index below `keep_from`.
+    pub fn trim(&mut self, keep_from: i64) {
+        if keep_from <= self.base {
+            return;
+        }
+        let drop = ((keep_from - self.base) as usize).min(self.data.len());
+        self.data.drain(..drop);
+        self.base = keep_from;
+    }
+}
+
+/// Runtime state of one input port.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct InPortRt {
+    pub rate: u64,
+    pub delay: u64,
+    /// Tokens consumed so far (absolute).
+    pub counter: i64,
+}
+
+/// Runtime state of one output port.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct OutPortRt {
+    pub rate: u64,
+    /// Samples produced so far (absolute stream index of the next write).
+    pub counter: i64,
+}
+
+/// Per-firing sample I/O passed to [`TdfModule::processing`].
+///
+/// Reads and writes are indexed within the firing's rate window:
+/// `read(port, k)` returns the `k`-th of `rate` samples consumed this
+/// firing.
+pub struct TdfIo<'a> {
+    pub(crate) module_name: &'a str,
+    /// Absolute time of this firing's first sample, in seconds.
+    pub(crate) t0: f64,
+    /// The same instant as an exact kernel time (drift-free).
+    pub(crate) t0_exact: SimTime,
+    /// Module firing period in seconds.
+    pub(crate) timestep: f64,
+    pub(crate) in_ports: &'a HashMap<TdfSignal, InPortRt>,
+    pub(crate) out_ports: &'a HashMap<TdfSignal, OutPortRt>,
+    pub(crate) bufs: &'a mut [SignalBuf],
+    pub(crate) initial: &'a HashMap<(TdfSignal, u64), f64>,
+}
+
+impl TdfIo<'_> {
+    /// Time of this firing's first sample, in seconds.
+    pub fn time(&self) -> f64 {
+        self.t0
+    }
+
+    /// The same instant as an exact (femtosecond) kernel time.
+    pub fn time_exact(&self) -> SimTime {
+        self.t0_exact
+    }
+
+    /// This module's firing period, in seconds.
+    pub fn timestep(&self) -> f64 {
+        self.timestep
+    }
+
+    /// Reads the `k`-th input sample of this firing from `port`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the port was not declared or `k` exceeds its rate.
+    pub fn read(&mut self, port: TdfIn, k: u64) -> f64 {
+        let ip = self.in_ports.get(&port.signal).unwrap_or_else(|| {
+            panic!(
+                "module '{}' read undeclared input {}",
+                self.module_name, port.signal
+            )
+        });
+        assert!(
+            k < ip.rate,
+            "module '{}': read index {k} exceeds rate {}",
+            self.module_name,
+            ip.rate
+        );
+        let idx = ip.counter + k as i64 - ip.delay as i64;
+        if idx < 0 {
+            // Delay slot: slot 0 is consumed first.
+            let slot = (ip.delay as i64 + idx) as u64;
+            self.initial
+                .get(&(port.signal, slot))
+                .copied()
+                .unwrap_or(0.0)
+        } else {
+            self.bufs[port.signal.0].get(idx).unwrap_or_else(|| {
+                panic!(
+                    "module '{}': sample {idx} of {} unavailable (scheduler invariant violated)",
+                    self.module_name, port.signal
+                )
+            })
+        }
+    }
+
+    /// Reads the single sample of a rate-1 input port.
+    pub fn read1(&mut self, port: TdfIn) -> f64 {
+        self.read(port, 0)
+    }
+
+    /// Writes the `k`-th output sample of this firing to `port`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the port was not declared or `k` exceeds its rate.
+    pub fn write(&mut self, port: TdfOut, k: u64, value: f64) {
+        let op = self.out_ports.get(&port.signal).unwrap_or_else(|| {
+            panic!(
+                "module '{}' wrote undeclared output {}",
+                self.module_name, port.signal
+            )
+        });
+        assert!(
+            k < op.rate,
+            "module '{}': write index {k} exceeds rate {}",
+            self.module_name,
+            op.rate
+        );
+        let idx = op.counter + k as i64;
+        self.bufs[port.signal.0].set(idx, value);
+    }
+
+    /// Writes the single sample of a rate-1 output port.
+    pub fn write1(&mut self, port: TdfOut, value: f64) {
+        self.write(port, 0, value);
+    }
+}
+
+impl std::fmt::Debug for TdfIo<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TdfIo")
+            .field("module", &self.module_name)
+            .field("t0", &self.t0)
+            .field("timestep", &self.timestep)
+            .finish()
+    }
+}
+
+/// AC (small-signal frequency-domain) stamping context.
+///
+/// Each TDF signal is one complex unknown; a module contributes the
+/// linear relation `X(out) = Σ gain·X(in) + source` for each of its
+/// outputs. Unstamped outputs default to 0.
+#[derive(Debug)]
+pub struct AcIo<'a> {
+    pub(crate) omega: f64,
+    pub(crate) module_name: &'a str,
+    pub(crate) declared_inputs: &'a [TdfSignal],
+    pub(crate) declared_outputs: &'a [TdfSignal],
+    /// (out signal, in signal, gain) triplets.
+    pub(crate) gains: Vec<(TdfSignal, TdfSignal, Complex64)>,
+    /// (out signal, source) pairs.
+    pub(crate) sources: Vec<(TdfSignal, Complex64)>,
+}
+
+impl AcIo<'_> {
+    /// The analysis angular frequency ω in rad/s.
+    pub fn omega(&self) -> f64 {
+        self.omega
+    }
+
+    /// The analysis frequency in Hz.
+    pub fn freq_hz(&self) -> f64 {
+        self.omega / (2.0 * std::f64::consts::PI)
+    }
+
+    /// Stamps `X(out) += gain · X(in)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the ports were not declared by this module.
+    pub fn set_gain(&mut self, input: TdfIn, output: TdfOut, gain: Complex64) {
+        assert!(
+            self.declared_inputs.contains(&input.signal),
+            "module '{}' ac-stamped undeclared input {}",
+            self.module_name,
+            input.signal
+        );
+        assert!(
+            self.declared_outputs.contains(&output.signal),
+            "module '{}' ac-stamped undeclared output {}",
+            self.module_name,
+            output.signal
+        );
+        self.gains.push((output.signal, input.signal, gain));
+    }
+
+    /// Stamps an independent AC source on an output (the stimulus
+    /// designation).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the port was not declared by this module.
+    pub fn set_source(&mut self, output: TdfOut, value: Complex64) {
+        assert!(
+            self.declared_outputs.contains(&output.signal),
+            "module '{}' ac-stamped undeclared output {}",
+            self.module_name,
+            output.signal
+        );
+        self.sources.push((output.signal, value));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn setup_collects_declarations() {
+        let s0 = TdfSignal(0);
+        let s1 = TdfSignal(1);
+        let mut cfg = TdfSetup::default();
+        cfg.input_with(s0.reader(), 2, 1);
+        cfg.output(s1.writer());
+        cfg.set_timestep(SimTime::from_us(5));
+        assert_eq!(cfg.inputs.len(), 1);
+        assert_eq!(cfg.inputs[0].rate, 2);
+        assert_eq!(cfg.inputs[0].delay, 1);
+        assert_eq!(cfg.outputs[0].rate, 1);
+        assert_eq!(cfg.timestep, Some(SimTime::from_us(5)));
+    }
+
+    #[test]
+    #[should_panic(expected = "rate must be at least 1")]
+    fn zero_rate_panics() {
+        let mut cfg = TdfSetup::default();
+        cfg.input_with(TdfSignal(0).reader(), 0, 0);
+    }
+
+    #[test]
+    fn signal_buf_window() {
+        let mut b = SignalBuf::default();
+        b.set(0, 1.0);
+        b.set(3, 4.0);
+        assert_eq!(b.get(0), Some(1.0));
+        assert_eq!(b.get(1), Some(0.0)); // gap filled with zeros
+        assert_eq!(b.get(3), Some(4.0));
+        assert_eq!(b.get(4), None);
+        b.trim(2);
+        assert_eq!(b.get(1), None);
+        assert_eq!(b.get(3), Some(4.0));
+        b.set(5, 6.0);
+        assert_eq!(b.get(5), Some(6.0));
+    }
+
+    #[test]
+    fn io_reads_delay_slots_then_stream() {
+        let sig = TdfSignal(0);
+        let mut bufs = vec![SignalBuf::default()];
+        bufs[0].set(0, 10.0);
+        let mut in_ports = HashMap::new();
+        in_ports.insert(
+            sig,
+            InPortRt {
+                rate: 2,
+                delay: 1,
+                counter: 0,
+            },
+        );
+        let out_ports = HashMap::new();
+        let mut initial = HashMap::new();
+        initial.insert((sig, 0u64), 42.0);
+        let mut io = TdfIo {
+            module_name: "m",
+            t0: 0.0,
+            t0_exact: SimTime::ZERO,
+            timestep: 1e-6,
+            in_ports: &in_ports,
+            out_ports: &out_ports,
+            bufs: &mut bufs,
+            initial: &initial,
+        };
+        // k=0 → stream index −1 → delay slot 0 = 42; k=1 → stream 0 = 10.
+        assert_eq!(io.read(sig.reader(), 0), 42.0);
+        assert_eq!(io.read(sig.reader(), 1), 10.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "undeclared input")]
+    fn undeclared_read_panics() {
+        let in_ports = HashMap::new();
+        let out_ports = HashMap::new();
+        let initial = HashMap::new();
+        let mut bufs: Vec<SignalBuf> = vec![];
+        let mut io = TdfIo {
+            module_name: "m",
+            t0: 0.0,
+            t0_exact: SimTime::ZERO,
+            timestep: 1.0,
+            in_ports: &in_ports,
+            out_ports: &out_ports,
+            bufs: &mut bufs,
+            initial: &initial,
+        };
+        let _ = io.read1(TdfSignal(0).reader());
+    }
+
+    #[test]
+    fn ac_io_records_stamps() {
+        let s_in = TdfSignal(0);
+        let s_out = TdfSignal(1);
+        let ins = vec![s_in];
+        let outs = vec![s_out];
+        let mut ac = AcIo {
+            omega: 2.0 * std::f64::consts::PI * 50.0,
+            module_name: "g",
+            declared_inputs: &ins,
+            declared_outputs: &outs,
+            gains: Vec::new(),
+            sources: Vec::new(),
+        };
+        assert!((ac.freq_hz() - 50.0).abs() < 1e-9);
+        ac.set_gain(s_in.reader(), s_out.writer(), Complex64::from_real(2.0));
+        ac.set_source(s_out.writer(), Complex64::ONE);
+        assert_eq!(ac.gains.len(), 1);
+        assert_eq!(ac.sources.len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "undeclared input")]
+    fn ac_undeclared_port_panics() {
+        let outs = vec![TdfSignal(1)];
+        let mut ac = AcIo {
+            omega: 1.0,
+            module_name: "g",
+            declared_inputs: &[],
+            declared_outputs: &outs,
+            gains: Vec::new(),
+            sources: Vec::new(),
+        };
+        ac.set_gain(TdfSignal(5).reader(), TdfSignal(1).writer(), Complex64::ONE);
+    }
+}

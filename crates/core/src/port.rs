@@ -1,0 +1,91 @@
+//! TDF signals and port handles.
+//!
+//! A [`TdfSignal`] is a stream of `f64` samples flowing between TDF
+//! modules within one cluster — the signal-flow "directed graph [where]
+//! each edge represents a quantity" of the paper's O4. Modules hold typed
+//! [`TdfIn`]/[`TdfOut`] handles and declare their rates/delays during
+//! `setup`.
+
+use std::fmt;
+
+/// Identifier of a TDF signal within its cluster graph.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TdfSignal(pub(crate) usize);
+
+impl TdfSignal {
+    /// Raw index within the owning graph.
+    pub fn index(self) -> usize {
+        self.0
+    }
+
+    /// Creates a reading endpoint for this signal.
+    pub fn reader(self) -> TdfIn {
+        TdfIn { signal: self }
+    }
+
+    /// Creates the writing endpoint for this signal (one writer per
+    /// signal; enforced at elaboration).
+    pub fn writer(self) -> TdfOut {
+        TdfOut { signal: self }
+    }
+}
+
+/// A module's input port handle (reads samples from a signal).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TdfIn {
+    pub(crate) signal: TdfSignal,
+}
+
+impl TdfIn {
+    /// The signal this port reads.
+    pub fn signal(self) -> TdfSignal {
+        self.signal
+    }
+}
+
+/// A module's output port handle (writes samples to a signal).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TdfOut {
+    pub(crate) signal: TdfSignal,
+}
+
+impl TdfOut {
+    /// The signal this port writes.
+    pub fn signal(self) -> TdfSignal {
+        self.signal
+    }
+}
+
+/// A port declaration captured during `setup`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct PortDecl {
+    pub signal: TdfSignal,
+    /// Samples consumed/produced per module firing.
+    pub rate: u64,
+    /// Input-port delay: number of initial samples inserted before the
+    /// first produced sample is read (enables feedback loops).
+    pub delay: u64,
+}
+
+impl fmt::Display for TdfSignal {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "tdf#{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn handles_are_copy_and_refer_to_signal() {
+        let s = TdfSignal(3);
+        let r = s.reader();
+        let w = s.writer();
+        let r2 = r;
+        assert_eq!(r.signal(), s);
+        assert_eq!(w.signal(), s);
+        assert_eq!(r2.signal(), s);
+        assert_eq!(s.to_string(), "tdf#3");
+    }
+}

@@ -1,0 +1,478 @@
+//! The AMS simulator facade: DE kernel + TDF clusters under one roof.
+//!
+//! This is the paper's **synchronization layer** ("here comes the concept
+//! of a dedicated manager, let us call it the synchronization layer, in
+//! the SystemC-AMS framework", §3 O6). Each elaborated cluster is
+//! registered as a DE method process that re-arms itself every cluster
+//! period; converter bindings move values across the boundary with the
+//! static-dataflow semantics of the paper's phase 1:
+//!
+//! * **DE → TDF**: the kernel signal is sampled at cluster activation.
+//! * **TDF → DE**: every sample is written to the kernel signal at its
+//!   exact sample time by a dedicated writer process (delta-cycle
+//!   semantics preserved).
+//!
+//! Before the first activation every module's `initialize` has
+//! established the paper's "consistent initial (quiescent) state".
+
+use crate::cluster::{Cluster, TdfAcResult, TdfGraph};
+use crate::CoreError;
+use ams_kernel::{Kernel, SimTime};
+use std::cell::RefCell;
+use std::rc::Rc;
+
+/// Handle to a cluster registered with an [`AmsSimulator`].
+#[derive(Clone)]
+pub struct ClusterHandle {
+    inner: Rc<RefCell<Cluster>>,
+    error: Rc<RefCell<Option<CoreError>>>,
+}
+
+impl ClusterHandle {
+    /// The cluster period.
+    pub fn period(&self) -> SimTime {
+        self.inner.borrow().period()
+    }
+
+    /// Completed iterations.
+    pub fn iterations(&self) -> u64 {
+        self.inner.borrow().iterations()
+    }
+
+    /// Runs a small-signal AC analysis over the cluster's module graph.
+    ///
+    /// # Errors
+    ///
+    /// See [`Cluster::ac_analysis`].
+    pub fn ac_analysis(&self, freqs_hz: &[f64]) -> Result<TdfAcResult, CoreError> {
+        self.inner.borrow_mut().ac_analysis(freqs_hz)
+    }
+}
+
+impl std::fmt::Debug for ClusterHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        self.inner.borrow().fmt(f)
+    }
+}
+
+/// The heterogeneous simulator: one DE kernel plus any number of TDF
+/// clusters (each possibly embedding CT solvers) — the paper's O1
+/// ("suitable for the description and the simulation of heterogeneous
+/// systems") in one object.
+///
+/// # Example
+///
+/// ```
+/// use ams_core::{AmsSimulator, TdfGraph, CoreError, TdfSetup, TdfIo, TdfModule};
+/// use ams_kernel::SimTime;
+///
+/// struct Const { out: ams_core::TdfOut }
+/// impl TdfModule for Const {
+///     fn setup(&mut self, cfg: &mut TdfSetup) {
+///         cfg.output(self.out);
+///         cfg.set_timestep(SimTime::from_us(1));
+///     }
+///     fn processing(&mut self, io: &mut TdfIo<'_>) -> Result<(), CoreError> {
+///         io.write1(self.out, 2.5);
+///         Ok(())
+///     }
+/// }
+///
+/// # fn main() -> Result<(), CoreError> {
+/// let mut sim = AmsSimulator::new();
+/// let de_out = sim.kernel_mut().signal("tdf_out", 0.0f64);
+/// let mut g = TdfGraph::new("demo");
+/// let s = g.signal("c");
+/// g.add_module("const", Const { out: s.writer() });
+/// g.to_de("conv", s, de_out);
+/// sim.add_cluster(g)?;
+/// sim.run_until(SimTime::from_us(10))?;
+/// assert_eq!(sim.kernel().peek(de_out), 2.5);
+/// # Ok(())
+/// # }
+/// ```
+pub struct AmsSimulator {
+    kernel: Kernel,
+    clusters: Vec<ClusterHandle>,
+}
+
+impl Default for AmsSimulator {
+    fn default() -> Self {
+        AmsSimulator::new()
+    }
+}
+
+impl AmsSimulator {
+    /// Creates a simulator with an empty kernel at time zero.
+    pub fn new() -> Self {
+        AmsSimulator {
+            kernel: Kernel::new(),
+            clusters: Vec::new(),
+        }
+    }
+
+    /// The DE kernel (for reading signals, statistics, time).
+    pub fn kernel(&self) -> &Kernel {
+        &self.kernel
+    }
+
+    /// Mutable kernel access for building the DE side (signals, processes,
+    /// clocks).
+    pub fn kernel_mut(&mut self) -> &mut Kernel {
+        &mut self.kernel
+    }
+
+    /// Elaborates a TDF graph and registers it for execution: the cluster
+    /// activates at `t = 0` and every period thereafter.
+    ///
+    /// # Errors
+    ///
+    /// Propagates elaboration failures (scheduling, timestep, topology).
+    pub fn add_cluster(&mut self, graph: TdfGraph) -> Result<ClusterHandle, CoreError> {
+        let name = graph.name().to_string();
+        let cluster = graph.elaborate()?;
+        let period = cluster.period();
+        let de_reads = cluster.de_reads.clone();
+        let de_writes = cluster.de_writes.clone();
+        let inner = Rc::new(RefCell::new(cluster));
+        let error = Rc::new(RefCell::new(None::<CoreError>));
+
+        // One writer process + wake event per TDF→DE binding.
+        let mut write_events = Vec::new();
+        for (widx, (de_sig, queue)) in de_writes.iter().enumerate() {
+            let ev = self
+                .kernel
+                .event(format!("{name}.to_de{widx}.wake"));
+            write_events.push(ev);
+            let de_sig = *de_sig;
+            let queue = queue.clone();
+            let pid = self.kernel.add_process(
+                format!("{name}.to_de{widx}"),
+                move |ctx| {
+                    let mut q = queue.borrow_mut();
+                    let now = ctx.now();
+                    while let Some(&(t, v)) = q.front() {
+                        if t <= now {
+                            ctx.write(de_sig, v);
+                            q.pop_front();
+                        } else {
+                            ctx.next_trigger_in(t - now);
+                            return;
+                        }
+                    }
+                },
+            );
+            self.kernel.make_sensitive(pid, ev);
+            self.kernel.dont_initialize(pid);
+        }
+
+        // The cluster driver process.
+        let inner2 = inner.clone();
+        let error2 = error.clone();
+        self.kernel.add_process(format!("{name}.driver"), move |ctx| {
+            if error2.borrow().is_some() {
+                return; // poisoned: stop re-arming
+            }
+            // Sample DE inputs at activation time.
+            for (sig, cell) in &de_reads {
+                cell.set(ctx.read(*sig));
+            }
+            let start = ctx.now();
+            let result = inner2.borrow_mut().run_iteration(start);
+            match result {
+                Ok(()) => {
+                    // Wake the writer processes (next delta, same time).
+                    for &ev in &write_events {
+                        ctx.notify(ev);
+                    }
+                    ctx.next_trigger_in(period);
+                }
+                Err(e) => {
+                    *error2.borrow_mut() = Some(e);
+                }
+            }
+        });
+
+        let handle = ClusterHandle { inner, error };
+        self.clusters.push(handle.clone());
+        Ok(handle)
+    }
+
+    /// Runs the co-simulation until `until`.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first cluster failure or kernel error encountered.
+    pub fn run_until(&mut self, until: SimTime) -> Result<(), CoreError> {
+        self.kernel.run_until(until)?;
+        for c in &self.clusters {
+            if let Some(e) = c.error.borrow_mut().take() {
+                return Err(e);
+            }
+        }
+        Ok(())
+    }
+
+    /// Runs for a duration from the current time.
+    ///
+    /// # Errors
+    ///
+    /// See [`AmsSimulator::run_until`].
+    pub fn run_for(&mut self, duration: SimTime) -> Result<(), CoreError> {
+        let until = self.kernel.now().saturating_add(duration);
+        self.run_until(until)
+    }
+
+    /// Current simulation time.
+    pub fn now(&self) -> SimTime {
+        self.kernel.now()
+    }
+}
+
+impl std::fmt::Debug for AmsSimulator {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("AmsSimulator")
+            .field("kernel", &self.kernel)
+            .field("clusters", &self.clusters.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::module::{TdfIo, TdfModule, TdfSetup};
+    use crate::port::TdfOut;
+    use std::cell::RefCell as StdRefCell;
+    use std::rc::Rc as StdRc;
+
+    struct Ramp {
+        out: TdfOut,
+        ts: SimTime,
+        v: f64,
+    }
+    impl TdfModule for Ramp {
+        fn setup(&mut self, cfg: &mut TdfSetup) {
+            cfg.output(self.out);
+            cfg.set_timestep(self.ts);
+        }
+        fn processing(&mut self, io: &mut TdfIo<'_>) -> Result<(), CoreError> {
+            io.write1(self.out, self.v);
+            self.v += 1.0;
+            Ok(())
+        }
+    }
+
+    struct DeGain {
+        inp: crate::port::TdfIn,
+        out: TdfOut,
+        k: f64,
+    }
+    impl TdfModule for DeGain {
+        fn setup(&mut self, cfg: &mut TdfSetup) {
+            cfg.input(self.inp);
+            cfg.output(self.out);
+        }
+        fn processing(&mut self, io: &mut TdfIo<'_>) -> Result<(), CoreError> {
+            let v = io.read1(self.inp);
+            io.write1(self.out, self.k * v);
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn tdf_to_de_writes_each_sample_at_its_time() {
+        let mut sim = AmsSimulator::new();
+        let de_out = sim.kernel_mut().signal("out", -1.0f64);
+        let log = StdRc::new(StdRefCell::new(Vec::new()));
+        let l2 = log.clone();
+        sim.kernel_mut().observe(de_out, move |t, v| {
+            l2.borrow_mut().push((t, *v));
+        });
+
+        let mut g = TdfGraph::new("ramp");
+        let s = g.signal("r");
+        g.add_module(
+            "ramp",
+            Ramp {
+                out: s.writer(),
+                ts: SimTime::from_us(5),
+                v: 0.0,
+            },
+        );
+        g.to_de("conv", s, de_out);
+        sim.add_cluster(g).unwrap();
+        sim.run_until(SimTime::from_us(16)).unwrap();
+        assert_eq!(
+            *log.borrow(),
+            vec![
+                (SimTime::ZERO, 0.0),
+                (SimTime::from_us(5), 1.0),
+                (SimTime::from_us(10), 2.0),
+                (SimTime::from_us(15), 3.0),
+            ]
+        );
+    }
+
+    #[test]
+    fn de_to_tdf_samples_at_activation() {
+        let mut sim = AmsSimulator::new();
+        let ctrl = sim.kernel_mut().signal("ctrl", 10.0f64);
+        // DE process bumps the control value at 7 µs.
+        let c2 = ctrl;
+        sim.kernel_mut().add_process("bump", move |ctx| {
+            if ctx.now().is_zero() {
+                ctx.next_trigger_in(SimTime::from_us(7));
+            } else {
+                ctx.write(c2, 20.0);
+            }
+        });
+
+        let mut g = TdfGraph::new("sampler");
+        let s_in = g.from_de("ctrl_in", ctrl);
+        let s_out = g.signal("scaled");
+        let probe = g.probe(s_out);
+        g.add_module(
+            "gain",
+            DeGain {
+                inp: s_in.reader(),
+                out: s_out.writer(),
+                k: 0.5,
+            },
+        );
+        // A timestep must come from somewhere: declare on a dummy source?
+        // The gain chain has none — declare via a module with timestep.
+        struct Pace;
+        impl TdfModule for Pace {
+            fn setup(&mut self, cfg: &mut TdfSetup) {
+                cfg.set_timestep(SimTime::from_us(5));
+            }
+            fn processing(&mut self, _io: &mut TdfIo<'_>) -> Result<(), CoreError> {
+                Ok(())
+            }
+        }
+        g.add_module("pace", Pace);
+        sim.add_cluster(g).unwrap();
+        sim.run_until(SimTime::from_us(21)).unwrap();
+        // Activations at 0, 5, 10, 15, 20 µs; the 7 µs bump is visible
+        // from the 10 µs activation on.
+        assert_eq!(probe.values(), vec![5.0, 5.0, 10.0, 10.0, 10.0]);
+    }
+
+    #[test]
+    fn cluster_failure_surfaces_as_error() {
+        struct Failing {
+            out: TdfOut,
+        }
+        impl TdfModule for Failing {
+            fn setup(&mut self, cfg: &mut TdfSetup) {
+                cfg.output(self.out);
+                cfg.set_timestep(SimTime::from_us(1));
+            }
+            fn processing(&mut self, io: &mut TdfIo<'_>) -> Result<(), CoreError> {
+                if io.time() > 2e-6 {
+                    return Err(CoreError::solver("failing", "synthetic divergence"));
+                }
+                io.write1(self.out, 0.0);
+                Ok(())
+            }
+        }
+        let mut sim = AmsSimulator::new();
+        let mut g = TdfGraph::new("failer");
+        let s = g.signal("x");
+        g.add_module("f", Failing { out: s.writer() });
+        sim.add_cluster(g).unwrap();
+        let err = sim.run_until(SimTime::from_us(10)).unwrap_err();
+        assert!(matches!(err, CoreError::Solver { .. }), "{err}");
+        // Subsequent runs are clean (error consumed, cluster stopped).
+        sim.run_until(SimTime::from_us(20)).unwrap();
+    }
+
+    #[test]
+    fn two_clusters_with_different_periods_coexist() {
+        let mut sim = AmsSimulator::new();
+        let out_a = sim.kernel_mut().signal("a", 0.0f64);
+        let out_b = sim.kernel_mut().signal("b", 0.0f64);
+
+        let mut ga = TdfGraph::new("fast");
+        let sa = ga.signal("x");
+        ga.add_module(
+            "ramp",
+            Ramp {
+                out: sa.writer(),
+                ts: SimTime::from_us(1),
+                v: 1.0,
+            },
+        );
+        ga.to_de("conv", sa, out_a);
+        let ha = sim.add_cluster(ga).unwrap();
+
+        let mut gb = TdfGraph::new("slow");
+        let sb = gb.signal("x");
+        gb.add_module(
+            "ramp",
+            Ramp {
+                out: sb.writer(),
+                ts: SimTime::from_us(7),
+                v: 1.0,
+            },
+        );
+        gb.to_de("conv", sb, out_b);
+        let hb = sim.add_cluster(gb).unwrap();
+
+        sim.run_until(SimTime::from_us(21)).unwrap();
+        assert_eq!(ha.iterations(), 22); // t = 0..21 µs inclusive
+        assert_eq!(hb.iterations(), 4); // t = 0, 7, 14, 21 µs
+        assert_eq!(sim.kernel().peek(out_a), 22.0);
+        assert_eq!(sim.kernel().peek(out_b), 4.0);
+    }
+
+    #[test]
+    fn de_feedback_loop_through_clusters() {
+        // TDF writes to DE; a DE process doubles it; TDF reads it back
+        // next activation.
+        let mut sim = AmsSimulator::new();
+        let tdf_out = sim.kernel_mut().signal("tdf_out", 0.0f64);
+        let de_out = sim.kernel_mut().signal("de_out", 0.0f64);
+        let (s_in, s_out) = (tdf_out, de_out);
+        let pid = sim.kernel_mut().add_process("doubler", move |ctx| {
+            let v = ctx.read(s_in);
+            ctx.write(s_out, 2.0 * v);
+        });
+        let ev = sim.kernel().signal_event(tdf_out);
+        sim.kernel_mut().make_sensitive(pid, ev);
+
+        struct AddOne {
+            inp: crate::port::TdfIn,
+            out: TdfOut,
+        }
+        impl TdfModule for AddOne {
+            fn setup(&mut self, cfg: &mut TdfSetup) {
+                cfg.input(self.inp);
+                cfg.output(self.out);
+                cfg.set_timestep(SimTime::from_us(1));
+            }
+            fn processing(&mut self, io: &mut TdfIo<'_>) -> Result<(), CoreError> {
+                let v = io.read1(self.inp);
+                io.write1(self.out, v + 1.0);
+                Ok(())
+            }
+        }
+        let mut g = TdfGraph::new("loop");
+        let s_feedback = g.from_de("fb", de_out);
+        let s_next = g.signal("next");
+        g.add_module(
+            "addone",
+            AddOne {
+                inp: s_feedback.reader(),
+                out: s_next.writer(),
+            },
+        );
+        g.to_de("conv", s_next, tdf_out);
+        sim.add_cluster(g).unwrap();
+
+        // Iteration k: tdf_out = 2·tdf_out_prev + 1 → 1, 3, 7, 15, …
+        sim.run_until(SimTime::from_us(3)).unwrap();
+        assert_eq!(sim.kernel().peek(tdf_out), 15.0);
+    }
+}

@@ -1,0 +1,594 @@
+//! Pluggable continuous-time solvers (design objective O8).
+//!
+//! "SystemC-AMS … will provide an open architecture in which existing,
+//! mature, simulators or solvers may be plugged in and coupled with
+//! discrete-time MoCs" (paper §3). [`CtSolver`] is that coupling
+//! interface: an object-safe trait any solver can implement. The bundled
+//! implementations are
+//!
+//! * [`LtiCtSolver`] — the linear state-space solver from `ams-lti`
+//!   (phase 1: fixed-timestep linear dynamic MoC);
+//! * [`NetlistCtSolver`] — the conservative-law MNA solver from
+//!   `ams-net`, including its nonlinear Newton and switch support
+//!   (phases 2–3);
+//!
+//! and [`CtModule`] embeds any `Box<dyn CtSolver>` in a TDF cluster as a
+//! rate-1 module ("embedded linear DAE's" in the paper's Figure 1).
+
+use crate::module::{AcIo, TdfInit, TdfIo, TdfModule, TdfSetup};
+use crate::port::{TdfIn, TdfOut};
+use crate::CoreError;
+use ams_kernel::SimTime;
+use ams_lti::{Discretization, LtiSolver, StateSpace};
+use ams_math::{Complex64, DMat};
+use ams_net::{Circuit, InputId, IntegrationMethod, NodeId, TransientSolver};
+
+/// An object-safe continuous-time solver that can be scheduled inside a
+/// TDF cluster.
+///
+/// The synchronization contract: [`CtSolver::initialize`] establishes the
+/// quiescent state for the DC input values, then
+/// [`CtSolver::advance_to`] is called with strictly increasing times —
+/// once per TDF sample — holding `inputs` constant over the interval.
+pub trait CtSolver {
+    /// Number of input channels.
+    fn num_inputs(&self) -> usize;
+
+    /// Number of output channels.
+    fn num_outputs(&self) -> usize;
+
+    /// Establishes a consistent initial (quiescent) state for constant
+    /// `dc_inputs` (the paper's mixed-signal initialization requirement).
+    ///
+    /// # Errors
+    ///
+    /// Solver-specific failures (e.g. a DC solve that does not converge).
+    fn initialize(&mut self, dc_inputs: &[f64]) -> Result<(), CoreError>;
+
+    /// Advances the internal state from the previous time to `t`
+    /// (seconds), with `inputs` held constant, and writes the outputs at
+    /// `t` into `outputs`.
+    ///
+    /// # Errors
+    ///
+    /// Solver-specific failures (Newton divergence, singularities, …).
+    fn advance_to(&mut self, t: f64, inputs: &[f64], outputs: &mut [f64])
+        -> Result<(), CoreError>;
+
+    /// The small-signal transfer matrix `H(jω)` (outputs × inputs), if
+    /// the solver supports frequency-domain analysis. Default: `None`
+    /// (the embedding module stamps zeros).
+    fn ac_transfer(&self, _omega: f64) -> Option<DMat<Complex64>> {
+        None
+    }
+}
+
+/// [`CtSolver`] over a linear time-invariant state-space model.
+///
+/// Uses fixed-step discretization re-derived whenever the TDF timestep
+/// changes, so each TDF sample costs one matrix–vector product.
+#[derive(Debug, Clone)]
+pub struct LtiCtSolver {
+    ss: StateSpace,
+    method: Discretization,
+    solver: Option<LtiSolver>,
+    last_t: f64,
+}
+
+impl LtiCtSolver {
+    /// Wraps a state-space model.
+    pub fn new(ss: StateSpace, method: Discretization) -> Self {
+        LtiCtSolver {
+            ss,
+            method,
+            solver: None,
+            last_t: 0.0,
+        }
+    }
+
+    /// Wraps a SISO transfer function.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for improper transfer functions.
+    pub fn from_transfer_function(
+        tf: &ams_lti::TransferFunction,
+        method: Discretization,
+    ) -> Result<Self, CoreError> {
+        let ss = tf
+            .to_state_space()
+            .map_err(|e| CoreError::solver("lti", e))?;
+        Ok(LtiCtSolver::new(ss, method))
+    }
+}
+
+impl CtSolver for LtiCtSolver {
+    fn num_inputs(&self) -> usize {
+        self.ss.inputs()
+    }
+
+    fn num_outputs(&self) -> usize {
+        self.ss.outputs()
+    }
+
+    fn initialize(&mut self, dc_inputs: &[f64]) -> Result<(), CoreError> {
+        // The step size is unknown until the first advance; discretize
+        // lazily but compute the DC state now.
+        self.solver = None;
+        self.last_t = 0.0;
+        // Store DC state by building a provisional solver at a nominal
+        // step; the state carries over via set_state on first advance.
+        let mut s = LtiSolver::new(self.ss.clone(), 1.0, self.method)
+            .map_err(|e| CoreError::solver("lti", e))?;
+        if s.initialize_dc(dc_inputs).is_err() {
+            // Systems with poles at the origin have no unique DC point;
+            // start from zero state instead.
+        }
+        self.solver = Some(s);
+        Ok(())
+    }
+
+    fn advance_to(
+        &mut self,
+        t: f64,
+        inputs: &[f64],
+        outputs: &mut [f64],
+    ) -> Result<(), CoreError> {
+        let h = t - self.last_t;
+        if h <= 0.0 {
+            return Err(CoreError::invalid(format!(
+                "lti solver asked to advance backwards ({} → {t})",
+                self.last_t
+            )));
+        }
+        let solver = self
+            .solver
+            .as_mut()
+            .ok_or_else(|| CoreError::solver("lti", "advance_to before initialize"))?;
+        if (solver.step_size() - h).abs() > 1e-18 {
+            solver
+                .set_step_size(h)
+                .map_err(|e| CoreError::solver("lti", e))?;
+        }
+        let y = solver.step(inputs);
+        outputs.copy_from_slice(y);
+        self.last_t = t;
+        Ok(())
+    }
+
+    fn ac_transfer(&self, omega: f64) -> Option<DMat<Complex64>> {
+        self.ss.freq_response(omega).ok()
+    }
+}
+
+/// [`CtSolver`] over a conservative-law netlist: TDF inputs drive
+/// designated external source slots, TDF outputs read node voltages.
+pub struct NetlistCtSolver {
+    solver: TransientSolver,
+    inputs: Vec<InputId>,
+    outputs: Vec<NodeId>,
+    circuit: Circuit,
+    op_outputs: Vec<NodeId>,
+    last_t: f64,
+}
+
+impl NetlistCtSolver {
+    /// Wraps a circuit. `inputs` are the external-input slots driven by
+    /// the TDF input samples (in order); `outputs` the nodes whose
+    /// voltages become TDF outputs.
+    ///
+    /// # Errors
+    ///
+    /// Propagates transient-solver construction failures.
+    pub fn new(
+        circuit: &Circuit,
+        method: IntegrationMethod,
+        inputs: Vec<InputId>,
+        outputs: Vec<NodeId>,
+    ) -> Result<Self, CoreError> {
+        let solver = TransientSolver::new(circuit, method)
+            .map_err(|e| CoreError::solver("netlist", e))?;
+        Ok(NetlistCtSolver {
+            solver,
+            inputs,
+            op_outputs: outputs.clone(),
+            outputs,
+            circuit: circuit.clone(),
+            last_t: 0.0,
+        })
+    }
+
+    /// Access to the underlying transient solver (e.g. to flip switches
+    /// from a TDF module).
+    pub fn transient_mut(&mut self) -> &mut TransientSolver {
+        &mut self.solver
+    }
+}
+
+impl CtSolver for NetlistCtSolver {
+    fn num_inputs(&self) -> usize {
+        self.inputs.len()
+    }
+
+    fn num_outputs(&self) -> usize {
+        self.outputs.len()
+    }
+
+    fn initialize(&mut self, dc_inputs: &[f64]) -> Result<(), CoreError> {
+        for (slot, &v) in self.inputs.iter().zip(dc_inputs) {
+            self.solver.set_input(*slot, v);
+        }
+        self.solver
+            .initialize_dc()
+            .map_err(|e| CoreError::solver("netlist", e))?;
+        self.last_t = 0.0;
+        Ok(())
+    }
+
+    fn advance_to(
+        &mut self,
+        t: f64,
+        inputs: &[f64],
+        outputs: &mut [f64],
+    ) -> Result<(), CoreError> {
+        let h = t - self.last_t;
+        if h <= 0.0 {
+            return Err(CoreError::invalid(format!(
+                "netlist solver asked to advance backwards ({} → {t})",
+                self.last_t
+            )));
+        }
+        for (slot, &v) in self.inputs.iter().zip(inputs) {
+            self.solver.set_input(*slot, v);
+        }
+        self.solver
+            .step(h)
+            .map_err(|e| CoreError::solver("netlist", e))?;
+        for (o, node) in outputs.iter_mut().zip(&self.outputs) {
+            *o = self.solver.voltage(*node);
+        }
+        self.last_t = t;
+        Ok(())
+    }
+
+    fn ac_transfer(&self, omega: f64) -> Option<DMat<Complex64>> {
+        // Per-input AC transfer: activate each external-input source in
+        // turn with unit AC magnitude and read the output nodes. The
+        // circuit is linearized at its DC operating point with all
+        // external inputs at zero.
+        let op = self.circuit.dc_operating_point().ok()?;
+        let f = omega / (2.0 * std::f64::consts::PI);
+        let mut m = DMat::zeros(self.op_outputs.len(), self.inputs.len());
+        for (j, &input) in self.inputs.iter().enumerate() {
+            let mut ckt = self.circuit.clone();
+            ckt.clear_ac_magnitudes();
+            if ckt.set_external_ac_magnitude(input, 1.0) == 0 {
+                continue; // slot drives nothing: column stays zero
+            }
+            let sols = ckt.ac_sweep(&op, &[f]).ok()?;
+            let sol = sols.first()?;
+            for (i, node) in self.op_outputs.iter().enumerate() {
+                m[(i, j)] = sol.voltage(*node);
+            }
+        }
+        Some(m)
+    }
+}
+
+impl std::fmt::Debug for NetlistCtSolver {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("NetlistCtSolver")
+            .field("inputs", &self.inputs.len())
+            .field("outputs", &self.outputs.len())
+            .finish()
+    }
+}
+
+/// Embeds any [`CtSolver`] as a rate-1 TDF module: one solver step per
+/// TDF sample, inputs sampled from TDF signals, outputs written back.
+pub struct CtModule {
+    name: String,
+    solver: Box<dyn CtSolver>,
+    inputs: Vec<TdfIn>,
+    outputs: Vec<TdfOut>,
+    timestep: Option<SimTime>,
+    in_buf: Vec<f64>,
+    out_buf: Vec<f64>,
+    initialized: bool,
+}
+
+impl CtModule {
+    /// Creates the embedding. `timestep` may be `None` if another module
+    /// in the cluster declares one.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the port counts do not match the solver's channel
+    /// counts.
+    pub fn new(
+        name: impl Into<String>,
+        solver: Box<dyn CtSolver>,
+        inputs: Vec<TdfIn>,
+        outputs: Vec<TdfOut>,
+        timestep: Option<SimTime>,
+    ) -> Self {
+        assert_eq!(
+            inputs.len(),
+            solver.num_inputs(),
+            "input port count must match solver inputs"
+        );
+        assert_eq!(
+            outputs.len(),
+            solver.num_outputs(),
+            "output port count must match solver outputs"
+        );
+        let n_in = inputs.len();
+        let n_out = outputs.len();
+        CtModule {
+            name: name.into(),
+            solver,
+            inputs,
+            outputs,
+            timestep,
+            in_buf: vec![0.0; n_in],
+            out_buf: vec![0.0; n_out],
+            initialized: false,
+        }
+    }
+}
+
+impl TdfModule for CtModule {
+    fn setup(&mut self, cfg: &mut TdfSetup) {
+        for &p in &self.inputs {
+            cfg.input(p);
+        }
+        for &p in &self.outputs {
+            cfg.output(p);
+        }
+        if let Some(ts) = self.timestep {
+            cfg.set_timestep(ts);
+        }
+    }
+
+    fn initialize(&mut self, _init: &mut TdfInit<'_>) -> Result<(), CoreError> {
+        let zeros = vec![0.0; self.inputs.len()];
+        self.solver
+            .initialize(&zeros)
+            .map_err(|e| CoreError::solver(&self.name, e))?;
+        self.initialized = true;
+        Ok(())
+    }
+
+    fn processing(&mut self, io: &mut TdfIo<'_>) -> Result<(), CoreError> {
+        for (slot, &p) in self.inputs.iter().enumerate() {
+            self.in_buf[slot] = io.read1(p);
+        }
+        // Advance to the END of this sample interval so the output at
+        // sample k reflects the input held over [t_k, t_k + h).
+        let t_next = io.time() + io.timestep();
+        self.solver
+            .advance_to(t_next, &self.in_buf, &mut self.out_buf)
+            .map_err(|e| CoreError::solver(&self.name, e))?;
+        for (slot, &p) in self.outputs.iter().enumerate() {
+            io.write1(p, self.out_buf[slot]);
+        }
+        Ok(())
+    }
+
+    fn ac_processing(&mut self, ac: &mut AcIo<'_>) {
+        if let Some(h) = self.solver.ac_transfer(ac.omega()) {
+            for (i, &out) in self.outputs.iter().enumerate() {
+                for (j, &inp) in self.inputs.iter().enumerate() {
+                    ac.set_gain(inp, out, h[(i, j)]);
+                }
+            }
+        }
+    }
+}
+
+impl std::fmt::Debug for CtModule {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CtModule")
+            .field("name", &self.name)
+            .field("inputs", &self.inputs.len())
+            .field("outputs", &self.outputs.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cluster::TdfGraph;
+    use crate::module::{TdfIo, TdfModule, TdfSetup};
+    use ams_lti::TransferFunction;
+
+    struct Step {
+        out: TdfOut,
+        level: f64,
+        ts: SimTime,
+    }
+    impl TdfModule for Step {
+        fn setup(&mut self, cfg: &mut TdfSetup) {
+            cfg.output(self.out);
+            cfg.set_timestep(self.ts);
+        }
+        fn processing(&mut self, io: &mut TdfIo<'_>) -> Result<(), CoreError> {
+            io.write1(self.out, self.level);
+            Ok(())
+        }
+        fn ac_processing(&mut self, ac: &mut crate::module::AcIo<'_>) {
+            ac.set_source(self.out, Complex64::ONE);
+        }
+    }
+
+    #[test]
+    fn lti_solver_in_cluster_tracks_rc_response() {
+        let tf = TransferFunction::low_pass1(1000.0).unwrap(); // τ = 1 ms
+        let solver = LtiCtSolver::from_transfer_function(&tf, Discretization::Zoh).unwrap();
+
+        let mut g = TdfGraph::new("rc");
+        let u = g.signal("u");
+        let y = g.signal("y");
+        let probe = g.probe(y);
+        g.add_module(
+            "step",
+            Step {
+                out: u.writer(),
+                level: 1.0,
+                ts: SimTime::from_us(10),
+            },
+        );
+        g.add_module(
+            "rc",
+            CtModule::new(
+                "rc",
+                Box::new(solver),
+                vec![u.reader()],
+                vec![y.writer()],
+                None,
+            ),
+        );
+        let mut c = g.elaborate().unwrap();
+        // 1 τ = 1 ms = 100 iterations of 10 µs.
+        c.run_standalone(100).unwrap();
+        let last = *probe.values().last().unwrap();
+        let expected = 1.0 - (-1.0f64).exp();
+        assert!((last - expected).abs() < 1e-3, "{last} vs {expected}");
+    }
+
+    #[test]
+    fn lti_ac_transfer_through_cluster() {
+        let w0 = 2.0 * std::f64::consts::PI * 100.0;
+        let tf = TransferFunction::low_pass1(w0).unwrap();
+        let solver = LtiCtSolver::from_transfer_function(&tf, Discretization::Bilinear).unwrap();
+        let mut g = TdfGraph::new("acrc");
+        let u = g.signal("u");
+        let y = g.signal("y");
+        g.add_module(
+            "src",
+            Step {
+                out: u.writer(),
+                level: 0.0,
+                ts: SimTime::from_us(10),
+            },
+        );
+        g.add_module(
+            "rc",
+            CtModule::new("rc", Box::new(solver), vec![u.reader()], vec![y.writer()], None),
+        );
+        let mut c = g.elaborate().unwrap();
+        let ac = c.ac_analysis(&[100.0]).unwrap();
+        let h = ac.response(y)[0];
+        assert!((h.abs() - std::f64::consts::FRAC_1_SQRT_2).abs() < 1e-9);
+    }
+
+    #[test]
+    fn netlist_solver_in_cluster() {
+        // RC netlist driven by a TDF step through an external input.
+        let mut ckt = Circuit::new();
+        let a = ckt.node("a");
+        let out = ckt.node("out");
+        let inp = ckt.external_input();
+        ckt.voltage_source_wave("V1", a, Circuit::GROUND, ams_net::Waveform::External(inp))
+            .unwrap();
+        ckt.resistor("R1", a, out, 1e3).unwrap();
+        ckt.capacitor("C1", out, Circuit::GROUND, 1e-6).unwrap(); // τ = 1 ms
+        let solver =
+            NetlistCtSolver::new(&ckt, IntegrationMethod::Trapezoidal, vec![inp], vec![out])
+                .unwrap();
+
+        let mut g = TdfGraph::new("net");
+        let u = g.signal("u");
+        let y = g.signal("y");
+        let probe = g.probe(y);
+        g.add_module(
+            "step",
+            Step {
+                out: u.writer(),
+                level: 2.0,
+                ts: SimTime::from_us(10),
+            },
+        );
+        g.add_module(
+            "ckt",
+            CtModule::new("ckt", Box::new(solver), vec![u.reader()], vec![y.writer()], None),
+        );
+        let mut c = g.elaborate().unwrap();
+        c.run_standalone(500).unwrap(); // 5 ms = 5 τ
+        let last = *probe.values().last().unwrap();
+        assert!((last - 2.0).abs() < 0.02, "settled to {last}");
+    }
+
+    /// A hand-written "external" solver proving the O8 plug-in interface:
+    /// a simple integrator implemented without any of the bundled crates.
+    struct ExternalIntegrator {
+        state: f64,
+        last_t: f64,
+    }
+    impl CtSolver for ExternalIntegrator {
+        fn num_inputs(&self) -> usize {
+            1
+        }
+        fn num_outputs(&self) -> usize {
+            1
+        }
+        fn initialize(&mut self, _dc: &[f64]) -> Result<(), CoreError> {
+            self.state = 0.0;
+            self.last_t = 0.0;
+            Ok(())
+        }
+        fn advance_to(
+            &mut self,
+            t: f64,
+            inputs: &[f64],
+            outputs: &mut [f64],
+        ) -> Result<(), CoreError> {
+            self.state += inputs[0] * (t - self.last_t);
+            self.last_t = t;
+            outputs[0] = self.state;
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn external_solver_plugs_in() {
+        let mut g = TdfGraph::new("ext");
+        let u = g.signal("u");
+        let y = g.signal("y");
+        let probe = g.probe(y);
+        g.add_module(
+            "one",
+            Step {
+                out: u.writer(),
+                level: 1.0,
+                ts: SimTime::from_ms(1),
+            },
+        );
+        g.add_module(
+            "int",
+            CtModule::new(
+                "int",
+                Box::new(ExternalIntegrator {
+                    state: 0.0,
+                    last_t: 0.0,
+                }),
+                vec![u.reader()],
+                vec![y.writer()],
+                None,
+            ),
+        );
+        let mut c = g.elaborate().unwrap();
+        c.run_standalone(1000).unwrap(); // ∫1 dt over 1 s
+        let last = *probe.values().last().unwrap();
+        assert!((last - 1.0).abs() < 1e-9, "integral = {last}");
+    }
+
+    #[test]
+    #[should_panic(expected = "port count")]
+    fn mismatched_ports_panic() {
+        let tf = TransferFunction::gain(1.0);
+        let solver = LtiCtSolver::from_transfer_function(&tf, Discretization::Zoh).unwrap();
+        let _ = CtModule::new("bad", Box::new(solver), vec![], vec![], None);
+    }
+}

@@ -1,0 +1,136 @@
+//! A periodic boolean clock built on the kernel primitives.
+//!
+//! Digital RTL-style models in the examples (controllers, decimators,
+//! digital filters) are clocked; this helper creates the toggling process
+//! so models only need the signal handle.
+
+use crate::{Event, Kernel, Signal, SimTime};
+
+/// A free-running clock: a `bool` signal toggling with a fixed period.
+///
+/// # Example
+///
+/// ```
+/// use ams_kernel::{Clock, Kernel, SimTime};
+///
+/// # fn main() -> Result<(), ams_kernel::KernelError> {
+/// let mut kernel = Kernel::new();
+/// let clk = Clock::new(&mut kernel, "clk", SimTime::from_ns(10));
+/// kernel.run_until(SimTime::from_ns(26))?;
+/// // Edges at 5, 10, 15, 20, 25 ns (first rising edge at half period).
+/// assert!(kernel.peek(clk.signal()));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct Clock {
+    signal: Signal<bool>,
+    period: SimTime,
+}
+
+impl Clock {
+    /// Creates a clock with the given full period and 50 % duty cycle.
+    /// The signal starts low and makes its first transition (to high)
+    /// after half a period.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `period` is zero or odd in femtoseconds (the half period
+    /// must be representable exactly).
+    pub fn new(kernel: &mut Kernel, name: impl Into<String>, period: SimTime) -> Self {
+        assert!(!period.is_zero(), "clock period must be non-zero");
+        assert_eq!(
+            period.as_fs() % 2,
+            0,
+            "clock period must be an even number of femtoseconds"
+        );
+        let name = name.into();
+        let signal = kernel.signal(name.clone(), false);
+        let half = period / 2;
+        let pid = kernel.add_process(format!("{name}.driver"), move |ctx| {
+            if ctx.now().is_zero() {
+                // Initialization run: just arm the first edge.
+                ctx.next_trigger_in(half);
+                return;
+            }
+            let v = ctx.read(signal);
+            ctx.write(signal, !v);
+            ctx.next_trigger_in(half);
+        });
+        let _ = pid;
+        Clock { signal, period }
+    }
+
+    /// The clock's boolean signal.
+    pub fn signal(self) -> Signal<bool> {
+        self.signal
+    }
+
+    /// The full clock period.
+    pub fn period(self) -> SimTime {
+        self.period
+    }
+
+    /// The value-changed event (fires on both edges). For rising-edge-only
+    /// behaviour, check the signal level inside the process.
+    pub fn edge_event(self, kernel: &Kernel) -> Event {
+        kernel.signal_event(self.signal)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::KernelError;
+    use std::cell::RefCell;
+    use std::rc::Rc;
+
+    #[test]
+    fn clock_toggles_with_half_period() -> Result<(), KernelError> {
+        let mut k = Kernel::new();
+        let clk = Clock::new(&mut k, "clk", SimTime::from_ns(10));
+        let edges = Rc::new(RefCell::new(Vec::new()));
+        let e2 = edges.clone();
+        k.observe(clk.signal(), move |t, v| e2.borrow_mut().push((t, *v)));
+        k.run_until(SimTime::from_ns(30))?;
+        assert_eq!(
+            *edges.borrow(),
+            vec![
+                (SimTime::from_ns(5), true),
+                (SimTime::from_ns(10), false),
+                (SimTime::from_ns(15), true),
+                (SimTime::from_ns(20), false),
+                (SimTime::from_ns(25), true),
+                (SimTime::from_ns(30), false),
+            ]
+        );
+        Ok(())
+    }
+
+    #[test]
+    fn rising_edge_counter() -> Result<(), KernelError> {
+        let mut k = Kernel::new();
+        let clk = Clock::new(&mut k, "clk", SimTime::from_ns(4));
+        let count = Rc::new(RefCell::new(0u32));
+        let c2 = count.clone();
+        let sig = clk.signal();
+        let p = k.add_process("counter", move |ctx| {
+            if ctx.read(sig) {
+                *c2.borrow_mut() += 1;
+            }
+        });
+        k.make_sensitive(p, clk.edge_event(&k));
+        k.dont_initialize(p);
+        k.run_until(SimTime::from_ns(20))?;
+        // Rising edges at 2, 6, 10, 14, 18 ns.
+        assert_eq!(*count.borrow(), 5);
+        Ok(())
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero")]
+    fn zero_period_rejected() {
+        let mut k = Kernel::new();
+        let _ = Clock::new(&mut k, "bad", SimTime::ZERO);
+    }
+}

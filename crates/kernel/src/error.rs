@@ -1,0 +1,80 @@
+use crate::SimTime;
+use std::fmt;
+
+/// Errors reported by the discrete-event kernel.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum KernelError {
+    /// The delta-cycle limit was exceeded at one time point — the model
+    /// contains a zero-delay oscillation (e.g. two processes toggling a
+    /// signal back and forth without time advancing).
+    DeltaOverflow {
+        /// The simulation time at which the oscillation occurred.
+        time: SimTime,
+        /// The configured delta-cycle limit.
+        limit: u64,
+    },
+    /// A handle referred to an object that does not exist in this kernel
+    /// (e.g. a `Signal` from a different kernel instance).
+    UnknownHandle {
+        /// What kind of handle was invalid.
+        kind: &'static str,
+        /// The raw index of the invalid handle.
+        index: usize,
+    },
+    /// A typed signal handle was used with the wrong value type.
+    TypeMismatch {
+        /// Name of the signal involved.
+        signal: String,
+    },
+    /// An event or signal write was scheduled in the past.
+    SchedulingInPast {
+        /// Current simulation time.
+        now: SimTime,
+        /// The (invalid) requested time.
+        requested: SimTime,
+    },
+}
+
+impl fmt::Display for KernelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            KernelError::DeltaOverflow { time, limit } => write!(
+                f,
+                "delta-cycle limit of {limit} exceeded at t = {time} (zero-delay oscillation)"
+            ),
+            KernelError::UnknownHandle { kind, index } => {
+                write!(f, "unknown {kind} handle with index {index}")
+            }
+            KernelError::TypeMismatch { signal } => {
+                write!(f, "signal '{signal}' accessed with the wrong value type")
+            }
+            KernelError::SchedulingInPast { now, requested } => {
+                write!(f, "cannot schedule at {requested}, current time is {now}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for KernelError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        let e = KernelError::DeltaOverflow {
+            time: SimTime::from_ns(5),
+            limit: 1000,
+        };
+        assert!(e.to_string().contains("delta-cycle limit"));
+        assert!(e.to_string().contains("5 ns"));
+    }
+
+    #[test]
+    fn is_error_send_sync() {
+        fn check<E: std::error::Error + Send + Sync>() {}
+        check::<KernelError>();
+    }
+}

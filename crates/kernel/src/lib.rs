@@ -1,0 +1,52 @@
+//! A discrete-event (DE) simulation kernel with SystemC semantics.
+//!
+//! The paper mandates that SystemC-AMS "must be an extension of the
+//! SystemC language", whose simulation semantics "is defined by a
+//! scheduler and an execution model" (§3, O2). This crate is the Rust
+//! substrate standing in for the SystemC 2.0 kernel: it reproduces the
+//! parts of the DE execution model the AMS layer builds on —
+//!
+//! * exact integer simulation time ([`SimTime`], femtosecond resolution);
+//! * signals with evaluate/update (delta-cycle) semantics ([`Signal`]);
+//! * events with delta and timed notification ([`Event`]);
+//! * run-to-completion method processes with static sensitivity and
+//!   one-shot timeouts ([`Kernel::add_process`],
+//!   [`ProcContext::next_trigger_in`]);
+//! * a [`Clock`] helper for synchronous digital models.
+//!
+//! The AMS synchronization layer (crate `ams-core`) registers each timed
+//! dataflow cluster as a process on this kernel and uses converter ports
+//! to exchange values with DE signals — exactly the layering the paper
+//! prescribes.
+//!
+//! # Example
+//!
+//! ```
+//! use ams_kernel::{Kernel, SimTime};
+//!
+//! # fn main() -> Result<(), ams_kernel::KernelError> {
+//! let mut kernel = Kernel::new();
+//! let out = kernel.signal("out", 0u64);
+//! kernel.add_process("ticker", move |ctx| {
+//!     let v = ctx.read(out);
+//!     ctx.write(out, v + 1);
+//!     ctx.next_trigger_in(SimTime::from_ns(10));
+//! });
+//! kernel.run_until(SimTime::from_ns(45))?;
+//! assert_eq!(kernel.peek(out), 5); // t = 0, 10, 20, 30, 40
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod clock;
+mod error;
+mod scheduler;
+mod time;
+
+pub use clock::Clock;
+pub use error::KernelError;
+pub use scheduler::{Event, Kernel, KernelStats, ProcContext, ProcessId, Signal, SignalValue};
+pub use time::SimTime;

@@ -1,0 +1,268 @@
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, Rem, Sub, SubAssign};
+
+/// Simulation time as an exact count of femtoseconds.
+///
+/// SystemC represents time as an unsigned multiple of a *minimum
+/// resolvable time* (the paper, §3: "Time can be handled … as an integer
+/// multiple of a base time (a.k.a. the minimum resolvable time)"). We fix
+/// that base time at 1 fs, which keeps every schedule computation exact —
+/// cluster periods, clock edges and converter-port sample times never
+/// accumulate floating-point drift. The representable range at 1 fs is
+/// about 5.1 hours of simulated time, comfortably beyond any AMS scenario.
+///
+/// `SimTime` doubles as both an instant and a duration, like `sc_time`.
+///
+/// # Example
+///
+/// ```
+/// use ams_kernel::SimTime;
+///
+/// let t = SimTime::from_us(1) + SimTime::from_ns(500);
+/// assert_eq!(t.as_fs(), 1_500_000_000);
+/// assert_eq!(t.to_seconds(), 1.5e-6);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SimTime(u64);
+
+impl SimTime {
+    /// Time zero.
+    pub const ZERO: SimTime = SimTime(0);
+    /// The largest representable time (~5.1 simulated hours).
+    pub const MAX: SimTime = SimTime(u64::MAX);
+
+    /// Creates a time from femtoseconds.
+    pub const fn from_fs(fs: u64) -> Self {
+        SimTime(fs)
+    }
+
+    /// Creates a time from picoseconds.
+    pub const fn from_ps(ps: u64) -> Self {
+        SimTime(ps * 1_000)
+    }
+
+    /// Creates a time from nanoseconds.
+    pub const fn from_ns(ns: u64) -> Self {
+        SimTime(ns * 1_000_000)
+    }
+
+    /// Creates a time from microseconds.
+    pub const fn from_us(us: u64) -> Self {
+        SimTime(us * 1_000_000_000)
+    }
+
+    /// Creates a time from milliseconds.
+    pub const fn from_ms(ms: u64) -> Self {
+        SimTime(ms * 1_000_000_000_000)
+    }
+
+    /// Creates a time from whole seconds.
+    pub const fn from_secs(s: u64) -> Self {
+        SimTime(s * 1_000_000_000_000_000)
+    }
+
+    /// Creates a time from a floating-point second count, rounding to the
+    /// nearest femtosecond.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `s` is negative, NaN, or too large to represent.
+    pub fn from_seconds(s: f64) -> Self {
+        assert!(
+            s >= 0.0 && s.is_finite(),
+            "time must be a non-negative finite number of seconds"
+        );
+        let fs = s * 1e15;
+        assert!(fs <= u64::MAX as f64, "time {s} s overflows SimTime");
+        SimTime(fs.round() as u64)
+    }
+
+    /// The raw femtosecond count.
+    pub const fn as_fs(self) -> u64 {
+        self.0
+    }
+
+    /// Converts to floating-point seconds (for solver interfaces).
+    pub fn to_seconds(self) -> f64 {
+        self.0 as f64 * 1e-15
+    }
+
+    /// Checked addition; `None` on overflow.
+    pub fn checked_add(self, rhs: SimTime) -> Option<SimTime> {
+        self.0.checked_add(rhs.0).map(SimTime)
+    }
+
+    /// Checked subtraction; `None` if `rhs > self`.
+    pub fn checked_sub(self, rhs: SimTime) -> Option<SimTime> {
+        self.0.checked_sub(rhs.0).map(SimTime)
+    }
+
+    /// Saturating addition (clamps at [`SimTime::MAX`]).
+    pub fn saturating_add(self, rhs: SimTime) -> SimTime {
+        SimTime(self.0.saturating_add(rhs.0))
+    }
+
+    /// Returns `true` for time zero.
+    pub const fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Integer multiplication by a count (e.g. `period * n`).
+    pub const fn times(self, n: u64) -> SimTime {
+        SimTime(self.0 * n)
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let fs = self.0;
+        let (value, unit): (f64, &str) = if fs == 0 {
+            (0.0, "s")
+        } else if fs % 1_000_000_000_000_000 == 0 {
+            ((fs / 1_000_000_000_000_000) as f64, "s")
+        } else if fs % 1_000_000_000_000 == 0 {
+            ((fs / 1_000_000_000_000) as f64, "ms")
+        } else if fs % 1_000_000_000 == 0 {
+            ((fs / 1_000_000_000) as f64, "us")
+        } else if fs % 1_000_000 == 0 {
+            ((fs / 1_000_000) as f64, "ns")
+        } else if fs % 1_000 == 0 {
+            ((fs / 1_000) as f64, "ps")
+        } else {
+            (fs as f64, "fs")
+        };
+        write!(f, "{value} {unit}")
+    }
+}
+
+impl Add for SimTime {
+    type Output = SimTime;
+    /// # Panics
+    ///
+    /// Panics on overflow in debug builds (standard integer semantics).
+    fn add(self, rhs: SimTime) -> SimTime {
+        SimTime(self.0 + rhs.0)
+    }
+}
+
+impl Sub for SimTime {
+    type Output = SimTime;
+    /// # Panics
+    ///
+    /// Panics if `rhs > self` (durations are unsigned).
+    fn sub(self, rhs: SimTime) -> SimTime {
+        SimTime(self.0 - rhs.0)
+    }
+}
+
+impl AddAssign for SimTime {
+    fn add_assign(&mut self, rhs: SimTime) {
+        self.0 += rhs.0;
+    }
+}
+
+impl SubAssign for SimTime {
+    fn sub_assign(&mut self, rhs: SimTime) {
+        self.0 -= rhs.0;
+    }
+}
+
+impl Mul<u64> for SimTime {
+    type Output = SimTime;
+    fn mul(self, rhs: u64) -> SimTime {
+        SimTime(self.0 * rhs)
+    }
+}
+
+impl Div<u64> for SimTime {
+    type Output = SimTime;
+    fn div(self, rhs: u64) -> SimTime {
+        SimTime(self.0 / rhs)
+    }
+}
+
+impl Div<SimTime> for SimTime {
+    type Output = u64;
+    /// How many whole `rhs` periods fit into `self`.
+    fn div(self, rhs: SimTime) -> u64 {
+        self.0 / rhs.0
+    }
+}
+
+impl Rem<SimTime> for SimTime {
+    type Output = SimTime;
+    fn rem(self, rhs: SimTime) -> SimTime {
+        SimTime(self.0 % rhs.0)
+    }
+}
+
+impl Sum for SimTime {
+    fn sum<I: Iterator<Item = SimTime>>(iter: I) -> SimTime {
+        iter.fold(SimTime::ZERO, |a, b| a + b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unit_constructors_are_consistent() {
+        assert_eq!(SimTime::from_ps(1), SimTime::from_fs(1_000));
+        assert_eq!(SimTime::from_ns(1), SimTime::from_ps(1_000));
+        assert_eq!(SimTime::from_us(1), SimTime::from_ns(1_000));
+        assert_eq!(SimTime::from_ms(1), SimTime::from_us(1_000));
+        assert_eq!(SimTime::from_secs(1), SimTime::from_ms(1_000));
+    }
+
+    #[test]
+    fn seconds_roundtrip() {
+        let t = SimTime::from_seconds(1.25e-6);
+        assert_eq!(t, SimTime::from_ns(1_250));
+        assert!((t.to_seconds() - 1.25e-6).abs() < 1e-21);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_seconds_panics() {
+        let _ = SimTime::from_seconds(-1.0);
+    }
+
+    #[test]
+    fn arithmetic() {
+        let a = SimTime::from_ns(10);
+        let b = SimTime::from_ns(3);
+        assert_eq!(a + b, SimTime::from_ns(13));
+        assert_eq!(a - b, SimTime::from_ns(7));
+        assert_eq!(a * 2, SimTime::from_ns(20));
+        assert_eq!(a / 2, SimTime::from_ns(5));
+        assert_eq!(a / b, 3);
+        assert_eq!(a % b, SimTime::from_ns(1));
+    }
+
+    #[test]
+    fn checked_ops() {
+        assert_eq!(SimTime::MAX.checked_add(SimTime::from_fs(1)), None);
+        assert_eq!(SimTime::ZERO.checked_sub(SimTime::from_fs(1)), None);
+        assert_eq!(
+            SimTime::MAX.saturating_add(SimTime::from_secs(5)),
+            SimTime::MAX
+        );
+    }
+
+    #[test]
+    fn ordering_and_display() {
+        assert!(SimTime::from_ns(1) < SimTime::from_us(1));
+        assert_eq!(SimTime::from_ns(1500).to_string(), "1500 ns");
+        assert_eq!(SimTime::from_us(2).to_string(), "2 us");
+        assert_eq!(SimTime::ZERO.to_string(), "0 s");
+        assert_eq!(SimTime::from_fs(7).to_string(), "7 fs");
+    }
+
+    #[test]
+    fn sum_of_times() {
+        let total: SimTime = (1..=4).map(SimTime::from_ns).sum();
+        assert_eq!(total, SimTime::from_ns(10));
+    }
+}

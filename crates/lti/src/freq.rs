@@ -1,0 +1,234 @@
+//! Frequency-response sweeps (Bode data).
+//!
+//! "The frequency-domain model can be derived from the time-domain
+//! description" (paper §3, O3): these helpers sweep any function
+//! `ω → H(jω)` — from transfer functions, state-space models, TDF graph
+//! AC analysis or netlist AC analysis — into magnitude/phase tables.
+
+use ams_math::{Complex64, MathError};
+
+/// Generates `n` logarithmically spaced values between `start` and `stop`
+/// (inclusive).
+///
+/// # Errors
+///
+/// Returns [`MathError::InvalidArgument`] unless `0 < start < stop` and
+/// `n ≥ 2`.
+pub fn log_space(start: f64, stop: f64, n: usize) -> Result<Vec<f64>, MathError> {
+    if !(start > 0.0 && stop > start) {
+        return Err(MathError::invalid("need 0 < start < stop for log spacing"));
+    }
+    if n < 2 {
+        return Err(MathError::invalid("need at least 2 points"));
+    }
+    let l0 = start.log10();
+    let l1 = stop.log10();
+    Ok((0..n)
+        .map(|i| 10f64.powf(l0 + (l1 - l0) * i as f64 / (n - 1) as f64))
+        .collect())
+}
+
+/// Generates `n` linearly spaced values between `start` and `stop`
+/// (inclusive).
+///
+/// # Errors
+///
+/// Returns [`MathError::InvalidArgument`] unless `n ≥ 2` and
+/// `stop > start`.
+pub fn lin_space(start: f64, stop: f64, n: usize) -> Result<Vec<f64>, MathError> {
+    if n < 2 {
+        return Err(MathError::invalid("need at least 2 points"));
+    }
+    if stop <= start {
+        return Err(MathError::invalid("need stop > start"));
+    }
+    let step = (stop - start) / (n - 1) as f64;
+    Ok((0..n).map(|i| start + i as f64 * step).collect())
+}
+
+/// A sampled frequency response: frequencies (Hz) with complex values.
+///
+/// # Example
+///
+/// ```
+/// use ams_lti::{FreqResponse, TransferFunction};
+///
+/// # fn main() -> Result<(), ams_math::MathError> {
+/// let tf = TransferFunction::low_pass1(2.0 * std::f64::consts::PI * 1e3)?;
+/// let resp = FreqResponse::sweep(10.0, 1e6, 101, |w| tf.freq_response(w))?;
+/// // Find the -3 dB frequency: close to 1 kHz.
+/// let f3 = resp.crossing_frequency(-3.0103).expect("has a -3 dB point");
+/// assert!((f3 - 1e3).abs() / 1e3 < 0.05);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct FreqResponse {
+    freqs_hz: Vec<f64>,
+    values: Vec<Complex64>,
+}
+
+impl FreqResponse {
+    /// Sweeps `eval` (a function of angular frequency ω in rad/s) over a
+    /// logarithmic grid of `n` frequencies between `f_start` and `f_stop`
+    /// in Hz.
+    ///
+    /// # Errors
+    ///
+    /// Propagates grid-construction errors.
+    pub fn sweep(
+        f_start: f64,
+        f_stop: f64,
+        n: usize,
+        mut eval: impl FnMut(f64) -> Complex64,
+    ) -> Result<Self, MathError> {
+        let freqs_hz = log_space(f_start, f_stop, n)?;
+        let values = freqs_hz
+            .iter()
+            .map(|&f| eval(2.0 * std::f64::consts::PI * f))
+            .collect();
+        Ok(FreqResponse { freqs_hz, values })
+    }
+
+    /// Builds a response from parallel vectors.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MathError::InvalidArgument`] on length mismatch.
+    pub fn from_points(freqs_hz: Vec<f64>, values: Vec<Complex64>) -> Result<Self, MathError> {
+        if freqs_hz.len() != values.len() {
+            return Err(MathError::invalid("frequency/value length mismatch"));
+        }
+        Ok(FreqResponse { freqs_hz, values })
+    }
+
+    /// The frequency grid in Hz.
+    pub fn freqs_hz(&self) -> &[f64] {
+        &self.freqs_hz
+    }
+
+    /// The complex response values.
+    pub fn values(&self) -> &[Complex64] {
+        &self.values
+    }
+
+    /// Magnitudes in dB (`20·log10|H|`).
+    pub fn mag_db(&self) -> Vec<f64> {
+        self.values.iter().map(|v| 20.0 * v.abs().log10()).collect()
+    }
+
+    /// Phases in degrees, unwrapped so adjacent points never jump by more
+    /// than 180°.
+    pub fn phase_deg(&self) -> Vec<f64> {
+        let mut out = Vec::with_capacity(self.values.len());
+        let mut offset = 0.0;
+        let mut prev = None;
+        for v in &self.values {
+            let mut ph = v.arg().to_degrees();
+            if let Some(p) = prev {
+                while ph + offset - p > 180.0 {
+                    offset -= 360.0;
+                }
+                while ph + offset - p < -180.0 {
+                    offset += 360.0;
+                }
+            }
+            ph += offset;
+            prev = Some(ph);
+            out.push(ph);
+        }
+        out
+    }
+
+    /// The first frequency (Hz) where the magnitude crosses `level_db`
+    /// going downward, linearly interpolated in log-frequency.
+    pub fn crossing_frequency(&self, level_db: f64) -> Option<f64> {
+        let mags = self.mag_db();
+        for i in 1..mags.len() {
+            if mags[i - 1] >= level_db && mags[i] < level_db {
+                let t = (level_db - mags[i - 1]) / (mags[i] - mags[i - 1]);
+                let lf = self.freqs_hz[i - 1].log10()
+                    + t * (self.freqs_hz[i].log10() - self.freqs_hz[i - 1].log10());
+                return Some(10f64.powf(lf));
+            }
+        }
+        None
+    }
+
+    /// Peak magnitude in dB and the frequency (Hz) where it occurs.
+    pub fn peak(&self) -> Option<(f64, f64)> {
+        let mags = self.mag_db();
+        let (idx, &db) = mags
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.total_cmp(b.1))?;
+        Some((self.freqs_hz[idx], db))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::TransferFunction;
+
+    #[test]
+    fn log_space_endpoints_and_ratio() {
+        let g = log_space(1.0, 1000.0, 4).unwrap();
+        assert!((g[0] - 1.0).abs() < 1e-12);
+        assert!((g[3] - 1000.0).abs() < 1e-9);
+        assert!((g[1] - 10.0).abs() < 1e-9);
+        assert!(log_space(0.0, 1.0, 4).is_err());
+        assert!(log_space(10.0, 1.0, 4).is_err());
+        assert!(log_space(1.0, 10.0, 1).is_err());
+    }
+
+    #[test]
+    fn lin_space_basics() {
+        assert_eq!(lin_space(0.0, 1.0, 3).unwrap(), vec![0.0, 0.5, 1.0]);
+        assert!(lin_space(1.0, 1.0, 3).is_err());
+    }
+
+    #[test]
+    fn bode_of_low_pass() {
+        let w0 = 2.0 * std::f64::consts::PI * 100.0;
+        let tf = TransferFunction::low_pass1(w0).unwrap();
+        let r = FreqResponse::sweep(1.0, 1e5, 201, |w| tf.freq_response(w)).unwrap();
+        let mags = r.mag_db();
+        // DC ≈ 0 dB.
+        assert!(mags[0].abs() < 0.01);
+        // Far above cutoff: slope −20 dB/dec.
+        let f3 = r.crossing_frequency(-3.0103).unwrap();
+        assert!((f3 - 100.0).abs() < 2.0, "-3 dB at {f3} Hz");
+        // Phase goes 0 → −90°.
+        let ph = r.phase_deg();
+        assert!(ph[0].abs() < 1.0);
+        assert!((ph.last().unwrap() + 90.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn resonant_peak_detected() {
+        let w0 = 2.0 * std::f64::consts::PI * 1000.0;
+        let q = 10.0;
+        let tf = TransferFunction::low_pass2(w0, q).unwrap();
+        let r = FreqResponse::sweep(10.0, 1e5, 401, |w| tf.freq_response(w)).unwrap();
+        let (f_peak, db_peak) = r.peak().unwrap();
+        assert!((f_peak - 1000.0).abs() / 1000.0 < 0.05, "peak at {f_peak}");
+        // Peak of a Q=10 biquad ≈ 20·log10(Q) = 20 dB.
+        assert!((db_peak - 20.0).abs() < 0.5, "peak {db_peak} dB");
+    }
+
+    #[test]
+    fn phase_unwrap_monotone_for_double_pole() {
+        let tf = TransferFunction::new(vec![1.0], vec![1.0, 2.0, 1.0]).unwrap(); // (s+1)²
+        let r = FreqResponse::sweep(0.001, 1e4, 301, |w| tf.freq_response(w)).unwrap();
+        let ph = r.phase_deg();
+        // Ends near −180° without wrapping to +180.
+        assert!((ph.last().unwrap() + 180.0).abs() < 2.0, "{}", ph.last().unwrap());
+        assert!(ph.windows(2).all(|w| w[1] <= w[0] + 1e-9), "monotone");
+    }
+
+    #[test]
+    fn from_points_validates_lengths() {
+        assert!(FreqResponse::from_points(vec![1.0], vec![]).is_err());
+    }
+}

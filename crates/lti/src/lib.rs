@@ -1,0 +1,53 @@
+//! Linear time-invariant continuous-time models and solvers.
+//!
+//! Phase 1 of the paper's development plan requires a "linear dynamic
+//! continuous-time model of computation (MoC), including transient,
+//! small-signal AC … simulation" with "predefined linear operators
+//! (Laplace transfer function, zero-pole transfer function, state-space
+//! equations)". This crate provides exactly those three operator forms,
+//! conversions between them, and the machinery to execute them:
+//!
+//! * [`TransferFunction`] — `H(s) = N(s)/D(s)` with poles/zeros/stability
+//!   analysis and block algebra (series/parallel/feedback);
+//! * [`ZeroPole`] — zero-pole-gain form plus a Butterworth designer;
+//! * [`StateSpace`] — MIMO `ẋ = Ax + Bu, y = Cx + Du` with frequency
+//!   response and characteristic-polynomial pole extraction;
+//! * [`discretize`]/[`expm`] — backward-Euler, bilinear and exact ZOH
+//!   discretization (scaling-and-squaring matrix exponential);
+//! * [`LtiSolver`] — the fixed-step stepper embedded in TDF modules
+//!   ("linear ODE systems … solved using a fixed integration time step
+//!   that can be synchronized with the rate at which samples are handled
+//!   by the SDF model", §3);
+//! * [`FreqResponse`] — Bode sweeps of any `ω → H(jω)` map.
+//!
+//! # Example
+//!
+//! ```
+//! use ams_lti::{Discretization, LtiSolver, TransferFunction};
+//!
+//! # fn main() -> Result<(), ams_math::MathError> {
+//! let filter = TransferFunction::low_pass2(2.0 * std::f64::consts::PI * 50.0, 0.707)?;
+//! assert!(filter.is_stable()?);
+//! let mut solver = LtiSolver::from_transfer_function(&filter, 1e-5, Discretization::Zoh)?;
+//! let y = solver.step(&[1.0])[0];
+//! assert!(y.abs() < 1.0);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod discretize;
+mod freq;
+mod solver;
+mod state_space;
+mod transfer_function;
+mod zero_pole;
+
+pub use discretize::{discretize, expm, DiscreteSystem, Discretization};
+pub use freq::{lin_space, log_space, FreqResponse};
+pub use solver::LtiSolver;
+pub use state_space::StateSpace;
+pub use transfer_function::TransferFunction;
+pub use zero_pole::ZeroPole;

@@ -1,0 +1,380 @@
+//! State-space models `ẋ = A·x + B·u, y = C·x + D·u`.
+//!
+//! The multi-input multi-output "equation interface" of the paper's O7:
+//! behavioural continuous-time models formulated directly as first-order
+//! linear ODE systems. These are what the fixed-step LTI solver and the
+//! AC analysis consume.
+
+use ams_math::{Complex64, DMat, DVec, Lu, MathError, Poly};
+
+/// A continuous-time linear state-space model.
+///
+/// # Example
+///
+/// ```
+/// use ams_lti::StateSpace;
+/// use ams_math::DMat;
+///
+/// # fn main() -> Result<(), ams_math::MathError> {
+/// // RC low-pass, τ = 1: ẋ = -x + u, y = x.
+/// let ss = StateSpace::new(
+///     DMat::from_rows(&[&[-1.0]]),
+///     DMat::from_rows(&[&[1.0]]),
+///     DMat::from_rows(&[&[1.0]]),
+///     DMat::from_rows(&[&[0.0]]),
+/// )?;
+/// assert_eq!(ss.order(), 1);
+/// assert!((ss.dc_gain()?[(0, 0)] - 1.0).abs() < 1e-12);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct StateSpace {
+    a: DMat<f64>,
+    b: DMat<f64>,
+    c: DMat<f64>,
+    d: DMat<f64>,
+}
+
+impl StateSpace {
+    /// Creates a model, validating shape compatibility:
+    /// `A: n×n`, `B: n×m`, `C: p×n`, `D: p×m`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MathError::DimensionMismatch`] on inconsistent shapes.
+    pub fn new(
+        a: DMat<f64>,
+        b: DMat<f64>,
+        c: DMat<f64>,
+        d: DMat<f64>,
+    ) -> Result<Self, MathError> {
+        let n = a.rows();
+        if !a.is_square() {
+            return Err(MathError::dims("square A", format!("{}x{}", a.rows(), a.cols())));
+        }
+        if b.rows() != n {
+            return Err(MathError::dims(
+                format!("B with {n} rows"),
+                format!("{} rows", b.rows()),
+            ));
+        }
+        if c.cols() != n {
+            return Err(MathError::dims(
+                format!("C with {n} cols"),
+                format!("{} cols", c.cols()),
+            ));
+        }
+        if d.rows() != c.rows() || d.cols() != b.cols() {
+            return Err(MathError::dims(
+                format!("D of shape {}x{}", c.rows(), b.cols()),
+                format!("{}x{}", d.rows(), d.cols()),
+            ));
+        }
+        Ok(StateSpace { a, b, c, d })
+    }
+
+    /// System matrix `A`.
+    pub fn a(&self) -> &DMat<f64> {
+        &self.a
+    }
+
+    /// Input matrix `B`.
+    pub fn b(&self) -> &DMat<f64> {
+        &self.b
+    }
+
+    /// Output matrix `C`.
+    pub fn c(&self) -> &DMat<f64> {
+        &self.c
+    }
+
+    /// Feedthrough matrix `D`.
+    pub fn d(&self) -> &DMat<f64> {
+        &self.d
+    }
+
+    /// Number of states.
+    pub fn order(&self) -> usize {
+        self.a.rows()
+    }
+
+    /// Number of inputs.
+    pub fn inputs(&self) -> usize {
+        self.b.cols()
+    }
+
+    /// Number of outputs.
+    pub fn outputs(&self) -> usize {
+        self.c.rows()
+    }
+
+    /// Evaluates the transfer matrix `H(s) = C·(sI − A)⁻¹·B + D` at `s`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MathError::SingularMatrix`] if `s` is an eigenvalue of
+    /// `A` (evaluation exactly on a pole).
+    pub fn eval(&self, s: Complex64) -> Result<DMat<Complex64>, MathError> {
+        let n = self.order();
+        if n == 0 {
+            return Ok(self.d.map(Complex64::from_real));
+        }
+        // (sI − A) in complex arithmetic.
+        let mut m = DMat::<Complex64>::zeros(n, n);
+        for i in 0..n {
+            for j in 0..n {
+                let aij = Complex64::from_real(self.a[(i, j)]);
+                m[(i, j)] = if i == j { s - aij } else { -aij };
+            }
+        }
+        let lu = Lu::factor(&m)?;
+        let bc = self.b.map(Complex64::from_real);
+        let x = lu.solve_mat(&bc)?; // (sI-A)⁻¹ B
+        let cc = self.c.map(Complex64::from_real);
+        let cx = cc.mul_mat(&x)?;
+        let dc = self.d.map(Complex64::from_real);
+        Ok(&cx + &dc)
+    }
+
+    /// Frequency response `H(jω)`.
+    ///
+    /// # Errors
+    ///
+    /// See [`StateSpace::eval`].
+    pub fn freq_response(&self, omega: f64) -> Result<DMat<Complex64>, MathError> {
+        self.eval(Complex64::new(0.0, omega))
+    }
+
+    /// DC gain `−C·A⁻¹·B + D`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MathError::SingularMatrix`] for systems with a pole at
+    /// the origin.
+    pub fn dc_gain(&self) -> Result<DMat<f64>, MathError> {
+        let n = self.order();
+        if n == 0 {
+            return Ok(self.d.clone());
+        }
+        let lu = Lu::factor(&self.a)?;
+        let x = lu.solve_mat(&self.b)?; // A⁻¹ B
+        let cx = self.c.mul_mat(&x)?;
+        Ok(&self.d - &cx)
+    }
+
+    /// The characteristic polynomial `det(sI − A)` via the
+    /// Leverrier–Faddeev recursion (exact in rational arithmetic terms,
+    /// O(n⁴) — fine for behavioural model orders).
+    pub fn characteristic_polynomial(&self) -> Poly {
+        let n = self.order();
+        if n == 0 {
+            return Poly::one();
+        }
+        // Faddeev–LeVerrier: M₀ = I, cₙ = 1;
+        // Mₖ = A·Mₖ₋₁ + cₙ₋ₖ₊₁·I with cₙ₋ₖ = -tr(A·Mₖ₋₁)/k … standard form:
+        let mut coeffs = vec![0.0; n + 1];
+        coeffs[n] = 1.0;
+        let mut m = DMat::<f64>::identity(n);
+        for k in 1..=n {
+            let am = self.a.mul_mat(&m).expect("square times square");
+            let trace: f64 = (0..n).map(|i| am[(i, i)]).sum();
+            let ck = -trace / k as f64;
+            coeffs[n - k] = ck;
+            // M ← A·M + ck·I
+            m = am;
+            for i in 0..n {
+                m[(i, i)] += ck;
+            }
+        }
+        Poly::new(coeffs)
+    }
+
+    /// The system poles (eigenvalues of `A`).
+    ///
+    /// # Errors
+    ///
+    /// Propagates root-finding failures.
+    pub fn poles(&self) -> Result<Vec<Complex64>, MathError> {
+        if self.order() == 0 {
+            return Ok(Vec::new());
+        }
+        self.characteristic_polynomial().roots()
+    }
+
+    /// Returns `true` if every pole has a strictly negative real part.
+    ///
+    /// # Errors
+    ///
+    /// Propagates root-finding failures.
+    pub fn is_stable(&self) -> Result<bool, MathError> {
+        Ok(self.poles()?.iter().all(|p| p.re < 0.0))
+    }
+
+    /// Evaluates the state derivative `ẋ = A·x + B·u` into `dx`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if slice lengths do not match the model dimensions.
+    pub fn derivative(&self, x: &[f64], u: &[f64], dx: &mut [f64]) {
+        let n = self.order();
+        let m = self.inputs();
+        assert_eq!(x.len(), n, "state length");
+        assert_eq!(u.len(), m, "input length");
+        assert_eq!(dx.len(), n, "derivative length");
+        for i in 0..n {
+            let mut acc = 0.0;
+            for j in 0..n {
+                acc += self.a[(i, j)] * x[j];
+            }
+            for j in 0..m {
+                acc += self.b[(i, j)] * u[j];
+            }
+            dx[i] = acc;
+        }
+    }
+
+    /// Computes the output `y = C·x + D·u`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if slice lengths do not match the model dimensions.
+    pub fn output(&self, x: &[f64], u: &[f64]) -> DVec<f64> {
+        let p = self.outputs();
+        let n = self.order();
+        let m = self.inputs();
+        assert_eq!(x.len(), n, "state length");
+        assert_eq!(u.len(), m, "input length");
+        let mut y = DVec::zeros(p);
+        for i in 0..p {
+            let mut acc = 0.0;
+            for j in 0..n {
+                acc += self.c[(i, j)] * x[j];
+            }
+            for j in 0..m {
+                acc += self.d[(i, j)] * u[j];
+            }
+            y[i] = acc;
+        }
+        y
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rc() -> StateSpace {
+        StateSpace::new(
+            DMat::from_rows(&[&[-1.0]]),
+            DMat::from_rows(&[&[1.0]]),
+            DMat::from_rows(&[&[1.0]]),
+            DMat::from_rows(&[&[0.0]]),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn shape_validation() {
+        let bad = StateSpace::new(
+            DMat::zeros(2, 2),
+            DMat::zeros(1, 1),
+            DMat::zeros(1, 2),
+            DMat::zeros(1, 1),
+        );
+        assert!(matches!(bad, Err(MathError::DimensionMismatch { .. })));
+    }
+
+    #[test]
+    fn rc_dc_gain_and_response() {
+        let ss = rc();
+        assert!((ss.dc_gain().unwrap()[(0, 0)] - 1.0).abs() < 1e-12);
+        let h1 = ss.freq_response(1.0).unwrap()[(0, 0)];
+        assert!((h1.abs() - std::f64::consts::FRAC_1_SQRT_2).abs() < 1e-12);
+        assert!((h1.arg() + std::f64::consts::FRAC_PI_4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn characteristic_polynomial_of_companion() {
+        // A = [[0, 1], [-2, -3]] → char poly s² + 3s + 2.
+        let ss = StateSpace::new(
+            DMat::from_rows(&[&[0.0, 1.0], &[-2.0, -3.0]]),
+            DMat::zeros(2, 1),
+            DMat::zeros(1, 2),
+            DMat::zeros(1, 1),
+        )
+        .unwrap();
+        let p = ss.characteristic_polynomial();
+        assert_eq!(p.coeffs(), &[2.0, 3.0, 1.0]);
+        let mut poles: Vec<f64> = ss.poles().unwrap().iter().map(|z| z.re).collect();
+        poles.sort_by(f64::total_cmp);
+        assert!((poles[0] + 2.0).abs() < 1e-8);
+        assert!((poles[1] + 1.0).abs() < 1e-8);
+        assert!(ss.is_stable().unwrap());
+    }
+
+    #[test]
+    fn derivative_and_output() {
+        let ss = rc();
+        let mut dx = [0.0];
+        ss.derivative(&[2.0], &[5.0], &mut dx);
+        assert_eq!(dx[0], 3.0); // -2 + 5
+        let y = ss.output(&[2.0], &[5.0]);
+        assert_eq!(y[0], 2.0);
+    }
+
+    #[test]
+    fn mimo_shapes() {
+        // 2 states, 2 inputs, 3 outputs.
+        let ss = StateSpace::new(
+            DMat::from_rows(&[&[-1.0, 0.0], &[0.0, -2.0]]),
+            DMat::from_rows(&[&[1.0, 0.0], &[0.0, 1.0]]),
+            DMat::from_rows(&[&[1.0, 0.0], &[0.0, 1.0], &[1.0, 1.0]]),
+            DMat::zeros(3, 2),
+        )
+        .unwrap();
+        assert_eq!((ss.order(), ss.inputs(), ss.outputs()), (2, 2, 3));
+        let h = ss.freq_response(0.0).unwrap();
+        assert_eq!(h.rows(), 3);
+        assert_eq!(h.cols(), 2);
+        assert!((h[(0, 0)].re - 1.0).abs() < 1e-12); // 1/1
+        assert!((h[(1, 1)].re - 0.5).abs() < 1e-12); // 1/2
+        assert!((h[(2, 0)].re - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pole_at_origin_blocks_dc_gain() {
+        let ss = StateSpace::new(
+            DMat::from_rows(&[&[0.0]]),
+            DMat::from_rows(&[&[1.0]]),
+            DMat::from_rows(&[&[1.0]]),
+            DMat::from_rows(&[&[0.0]]),
+        )
+        .unwrap();
+        assert!(matches!(
+            ss.dc_gain(),
+            Err(MathError::SingularMatrix { .. })
+        ));
+    }
+
+    #[test]
+    fn eval_on_pole_is_singular() {
+        let ss = rc();
+        assert!(ss.eval(Complex64::from_real(-1.0)).is_err());
+    }
+
+    #[test]
+    fn static_system_order_zero() {
+        let ss = StateSpace::new(
+            DMat::zeros(0, 0),
+            DMat::zeros(0, 2),
+            DMat::zeros(1, 0),
+            DMat::from_rows(&[&[3.0, 4.0]]),
+        )
+        .unwrap();
+        assert_eq!(ss.order(), 0);
+        let h = ss.freq_response(10.0).unwrap();
+        assert!((h[(0, 1)].re - 4.0).abs() < 1e-12);
+        assert!(ss.poles().unwrap().is_empty());
+    }
+}

@@ -1,0 +1,419 @@
+//! Laplace-domain rational transfer functions.
+//!
+//! The paper's phase 1 requires "predefined linear operators (Laplace
+//! transfer function, zero-pole transfer function, state-space equations)".
+//! [`TransferFunction`] is the `H(s) = N(s)/D(s)` form; conversions to the
+//! other two forms live in [`crate::ZeroPole`] and [`crate::StateSpace`].
+
+use crate::StateSpace;
+use ams_math::{Complex64, DMat, MathError, Poly};
+use std::fmt;
+
+/// A single-input single-output continuous-time transfer function
+/// `H(s) = num(s) / den(s)`.
+///
+/// # Example
+///
+/// A unity-DC-gain RC low-pass with cutoff `ω₀`:
+///
+/// ```
+/// use ams_lti::TransferFunction;
+///
+/// # fn main() -> Result<(), ams_math::MathError> {
+/// let w0 = 2.0 * std::f64::consts::PI * 1000.0; // 1 kHz
+/// let h = TransferFunction::low_pass1(w0)?;
+/// assert!((h.dc_gain()? - 1.0).abs() < 1e-12);
+/// // At the cutoff the magnitude is 1/√2.
+/// let mag = h.freq_response(w0).abs();
+/// assert!((mag - std::f64::consts::FRAC_1_SQRT_2).abs() < 1e-12);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct TransferFunction {
+    num: Poly,
+    den: Poly,
+}
+
+impl TransferFunction {
+    /// Creates `H(s) = num(s)/den(s)` from ascending coefficient vectors.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MathError::InvalidArgument`] if the denominator is the
+    /// zero polynomial.
+    pub fn new(num: Vec<f64>, den: Vec<f64>) -> Result<Self, MathError> {
+        let num = Poly::new(num);
+        let den = Poly::new(den);
+        if den.is_zero() {
+            return Err(MathError::invalid("transfer function denominator is zero"));
+        }
+        Ok(TransferFunction { num, den })
+    }
+
+    /// Creates a transfer function from polynomials.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MathError::InvalidArgument`] if `den` is zero.
+    pub fn from_polys(num: Poly, den: Poly) -> Result<Self, MathError> {
+        if den.is_zero() {
+            return Err(MathError::invalid("transfer function denominator is zero"));
+        }
+        Ok(TransferFunction { num, den })
+    }
+
+    /// A pure gain `H(s) = k`.
+    pub fn gain(k: f64) -> Self {
+        TransferFunction {
+            num: Poly::new(vec![k]),
+            den: Poly::one(),
+        }
+    }
+
+    /// An integrator `H(s) = 1/s`.
+    pub fn integrator() -> Self {
+        TransferFunction {
+            num: Poly::one(),
+            den: Poly::new(vec![0.0, 1.0]),
+        }
+    }
+
+    /// First-order low-pass `H(s) = ω₀ / (s + ω₀)` (unity DC gain).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MathError::InvalidArgument`] unless `w0 > 0`.
+    pub fn low_pass1(w0: f64) -> Result<Self, MathError> {
+        if w0 <= 0.0 || !w0.is_finite() {
+            return Err(MathError::invalid("cutoff frequency must be positive"));
+        }
+        TransferFunction::new(vec![w0], vec![w0, 1.0])
+    }
+
+    /// First-order high-pass `H(s) = s / (s + ω₀)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MathError::InvalidArgument`] unless `w0 > 0`.
+    pub fn high_pass1(w0: f64) -> Result<Self, MathError> {
+        if w0 <= 0.0 || !w0.is_finite() {
+            return Err(MathError::invalid("cutoff frequency must be positive"));
+        }
+        TransferFunction::new(vec![0.0, 1.0], vec![w0, 1.0])
+    }
+
+    /// Second-order low-pass `H(s) = ω₀² / (s² + (ω₀/Q)·s + ω₀²)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MathError::InvalidArgument`] unless `w0 > 0` and `q > 0`.
+    pub fn low_pass2(w0: f64, q: f64) -> Result<Self, MathError> {
+        if w0 <= 0.0 || q <= 0.0 || !w0.is_finite() || !q.is_finite() {
+            return Err(MathError::invalid("w0 and q must be positive"));
+        }
+        TransferFunction::new(vec![w0 * w0], vec![w0 * w0, w0 / q, 1.0])
+    }
+
+    /// Second-order band-pass `H(s) = (ω₀/Q)·s / (s² + (ω₀/Q)·s + ω₀²)`
+    /// (unity gain at resonance).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MathError::InvalidArgument`] unless `w0 > 0` and `q > 0`.
+    pub fn band_pass2(w0: f64, q: f64) -> Result<Self, MathError> {
+        if w0 <= 0.0 || q <= 0.0 || !w0.is_finite() || !q.is_finite() {
+            return Err(MathError::invalid("w0 and q must be positive"));
+        }
+        TransferFunction::new(vec![0.0, w0 / q], vec![w0 * w0, w0 / q, 1.0])
+    }
+
+    /// Numerator polynomial.
+    pub fn num(&self) -> &Poly {
+        &self.num
+    }
+
+    /// Denominator polynomial.
+    pub fn den(&self) -> &Poly {
+        &self.den
+    }
+
+    /// Degree of the denominator (system order).
+    pub fn order(&self) -> usize {
+        self.den.degree()
+    }
+
+    /// Returns `true` if `deg(num) ≤ deg(den)` (realizable as state space).
+    pub fn is_proper(&self) -> bool {
+        self.num.degree() <= self.den.degree()
+    }
+
+    /// Returns `true` if `deg(num) < deg(den)`.
+    pub fn is_strictly_proper(&self) -> bool {
+        self.num.degree() < self.den.degree() || self.num.is_zero()
+    }
+
+    /// Evaluates `H(s)` at a complex frequency.
+    pub fn eval(&self, s: Complex64) -> Complex64 {
+        self.num.eval_complex(s) / self.den.eval_complex(s)
+    }
+
+    /// Evaluates the frequency response `H(jω)`.
+    pub fn freq_response(&self, omega: f64) -> Complex64 {
+        self.eval(Complex64::new(0.0, omega))
+    }
+
+    /// DC gain `H(0)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MathError::InvalidArgument`] when the system has a pole
+    /// at the origin (infinite DC gain).
+    pub fn dc_gain(&self) -> Result<f64, MathError> {
+        let d0 = self.den.coeffs()[0];
+        if d0 == 0.0 {
+            return Err(MathError::invalid(
+                "dc gain undefined: pole at the origin (integrating system)",
+            ));
+        }
+        Ok(self.num.coeffs()[0] / d0)
+    }
+
+    /// The system poles (roots of the denominator).
+    ///
+    /// # Errors
+    ///
+    /// Propagates root-finding failures.
+    pub fn poles(&self) -> Result<Vec<Complex64>, MathError> {
+        self.den.roots()
+    }
+
+    /// The system zeros (roots of the numerator); empty for a constant
+    /// numerator.
+    ///
+    /// # Errors
+    ///
+    /// Propagates root-finding failures.
+    pub fn zeros(&self) -> Result<Vec<Complex64>, MathError> {
+        if self.num.degree() == 0 {
+            return Ok(Vec::new());
+        }
+        self.num.roots()
+    }
+
+    /// Returns `true` if all poles have strictly negative real parts.
+    ///
+    /// # Errors
+    ///
+    /// Propagates root-finding failures.
+    pub fn is_stable(&self) -> Result<bool, MathError> {
+        Ok(self.poles()?.iter().all(|p| p.re < 0.0))
+    }
+
+    /// Series (cascade) connection: `self · other`.
+    pub fn series(&self, other: &TransferFunction) -> TransferFunction {
+        TransferFunction {
+            num: &self.num * &other.num,
+            den: &self.den * &other.den,
+        }
+    }
+
+    /// Parallel connection: `self + other`.
+    pub fn parallel(&self, other: &TransferFunction) -> TransferFunction {
+        TransferFunction {
+            num: &(&self.num * &other.den) + &(&other.num * &self.den),
+            den: &self.den * &other.den,
+        }
+    }
+
+    /// Negative feedback loop: `self / (1 + self·other)` where `other` is
+    /// in the feedback path.
+    pub fn feedback(&self, other: &TransferFunction) -> TransferFunction {
+        TransferFunction {
+            num: &self.num * &other.den,
+            den: &(&self.den * &other.den) + &(&self.num * &other.num),
+        }
+    }
+
+    /// Converts to state-space form (controllable canonical form).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MathError::InvalidArgument`] for improper transfer
+    /// functions (`deg(num) > deg(den)`), which have no state-space
+    /// realization.
+    pub fn to_state_space(&self) -> Result<StateSpace, MathError> {
+        if !self.is_proper() {
+            return Err(MathError::invalid(
+                "improper transfer function has no state-space realization",
+            ));
+        }
+        let n = self.den.degree();
+        let dn = self.den.leading();
+        // Normalize to a monic denominator.
+        let den: Vec<f64> = self.den.coeffs().iter().map(|c| c / dn).collect();
+        let mut num: Vec<f64> = self.num.coeffs().iter().map(|c| c / dn).collect();
+        num.resize(n + 1, 0.0);
+        let d_term = num[n]; // direct feedthrough when deg(num) == deg(den)
+
+        if n == 0 {
+            // Pure gain.
+            return StateSpace::new(
+                DMat::zeros(0, 0),
+                DMat::zeros(0, 1),
+                DMat::zeros(1, 0),
+                DMat::from_rows(&[&[d_term]]),
+            );
+        }
+
+        // Controllable canonical form.
+        let mut a = DMat::zeros(n, n);
+        for i in 0..n - 1 {
+            a[(i, i + 1)] = 1.0;
+        }
+        for j in 0..n {
+            a[(n - 1, j)] = -den[j];
+        }
+        let mut b = DMat::zeros(n, 1);
+        b[(n - 1, 0)] = 1.0;
+        let mut c = DMat::zeros(1, n);
+        for j in 0..n {
+            // cᵢ = numᵢ − denᵢ·d (strictly proper part).
+            c[(0, j)] = num[j] - den[j] * d_term;
+        }
+        let d = DMat::from_rows(&[&[d_term]]);
+        StateSpace::new(a, b, c, d)
+    }
+}
+
+impl fmt::Display for TransferFunction {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({}) / ({})", self.num, self.den)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::f64::consts::FRAC_1_SQRT_2;
+
+    #[test]
+    fn zero_denominator_rejected() {
+        assert!(TransferFunction::new(vec![1.0], vec![0.0]).is_err());
+    }
+
+    #[test]
+    fn low_pass_response_shape() {
+        let w0 = 100.0;
+        let h = TransferFunction::low_pass1(w0).unwrap();
+        assert!((h.freq_response(0.0).abs() - 1.0).abs() < 1e-12);
+        assert!((h.freq_response(w0).abs() - FRAC_1_SQRT_2).abs() < 1e-12);
+        // -20 dB/decade: at 10·ω₀ the magnitude is ≈ 0.0995.
+        let m = h.freq_response(10.0 * w0).abs();
+        assert!((m - 0.0995).abs() < 1e-3);
+    }
+
+    #[test]
+    fn high_pass_blocks_dc() {
+        let h = TransferFunction::high_pass1(100.0).unwrap();
+        assert_eq!(h.freq_response(0.0).abs(), 0.0);
+        assert!((h.freq_response(1e6).abs() - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn band_pass_peaks_at_resonance() {
+        let h = TransferFunction::band_pass2(1000.0, 5.0).unwrap();
+        assert!((h.freq_response(1000.0).abs() - 1.0).abs() < 1e-9);
+        assert!(h.freq_response(100.0).abs() < 0.3);
+        assert!(h.freq_response(10000.0).abs() < 0.3);
+    }
+
+    #[test]
+    fn resonant_poles() {
+        let h = TransferFunction::low_pass2(10.0, 10.0).unwrap();
+        let poles = h.poles().unwrap();
+        assert_eq!(poles.len(), 2);
+        for p in poles {
+            assert!(p.re < 0.0);
+            assert!((p.abs() - 10.0).abs() < 1e-6, "pole magnitude = ω₀");
+        }
+        assert!(h.is_stable().unwrap());
+    }
+
+    #[test]
+    fn unstable_system_detected() {
+        // H(s) = 1/(s - 1): pole at +1.
+        let h = TransferFunction::new(vec![1.0], vec![-1.0, 1.0]).unwrap();
+        assert!(!h.is_stable().unwrap());
+    }
+
+    #[test]
+    fn integrator_has_no_dc_gain() {
+        assert!(TransferFunction::integrator().dc_gain().is_err());
+    }
+
+    #[test]
+    fn series_parallel_feedback_algebra() {
+        let a = TransferFunction::gain(2.0);
+        let b = TransferFunction::gain(3.0);
+        assert!((a.series(&b).dc_gain().unwrap() - 6.0).abs() < 1e-12);
+        assert!((a.parallel(&b).dc_gain().unwrap() - 5.0).abs() < 1e-12);
+        // 2 / (1 + 2·3) = 2/7
+        assert!((a.feedback(&b).dc_gain().unwrap() - 2.0 / 7.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn feedback_closes_integrator_loop() {
+        // 1/s with unity feedback → 1/(s+1).
+        let h = TransferFunction::integrator().feedback(&TransferFunction::gain(1.0));
+        let expect = TransferFunction::new(vec![1.0], vec![1.0, 1.0]).unwrap();
+        for w in [0.1, 1.0, 10.0] {
+            assert!((h.freq_response(w) - expect.freq_response(w)).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn state_space_roundtrip_frequency_response() {
+        let h = TransferFunction::new(vec![2.0, 1.0], vec![4.0, 3.0, 1.0]).unwrap();
+        let ss = h.to_state_space().unwrap();
+        for w in [0.0, 0.5, 1.0, 5.0, 50.0] {
+            let a = h.freq_response(w);
+            let b = ss.freq_response(w).unwrap()[(0, 0)];
+            assert!((a - b).abs() < 1e-9, "mismatch at ω={w}: {a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn biproper_tf_has_feedthrough() {
+        // H(s) = (s+2)/(s+1): D = 1, C·(sI−A)⁻¹·B strictly proper part.
+        let h = TransferFunction::new(vec![2.0, 1.0], vec![1.0, 1.0]).unwrap();
+        let ss = h.to_state_space().unwrap();
+        assert_eq!(ss.d()[(0, 0)], 1.0);
+        let a = h.freq_response(3.0);
+        let b = ss.freq_response(3.0).unwrap()[(0, 0)];
+        assert!((a - b).abs() < 1e-10);
+    }
+
+    #[test]
+    fn improper_tf_rejected_for_state_space() {
+        // H(s) = s (differentiator) is improper.
+        let h = TransferFunction::new(vec![0.0, 1.0], vec![1.0]).unwrap();
+        assert!(!h.is_proper());
+        assert!(h.to_state_space().is_err());
+    }
+
+    #[test]
+    fn pure_gain_state_space() {
+        let h = TransferFunction::gain(4.0);
+        let ss = h.to_state_space().unwrap();
+        assert_eq!(ss.order(), 0);
+        let r = ss.freq_response(123.0).unwrap();
+        assert!((r[(0, 0)].re - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn display_format() {
+        let h = TransferFunction::new(vec![1.0], vec![1.0, 1.0]).unwrap();
+        assert_eq!(h.to_string(), "(1) / (1·x + 1)");
+    }
+}

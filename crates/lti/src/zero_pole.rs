@@ -1,0 +1,320 @@
+//! Zero-pole-gain models `H(s) = k·∏(s − zᵢ) / ∏(s − pⱼ)`.
+//!
+//! The second of the paper's three "predefined linear operators" (phase
+//! 1). Zero-pole form is how filter designers think; this type converts
+//! losslessly to [`TransferFunction`] for simulation.
+
+use crate::TransferFunction;
+use ams_math::{Complex64, MathError, Poly};
+use std::fmt;
+
+/// A zero-pole-gain transfer function description.
+///
+/// Complex zeros/poles must come in conjugate pairs so the expanded
+/// polynomials are real.
+///
+/// # Example
+///
+/// ```
+/// use ams_lti::ZeroPole;
+/// use ams_math::Complex64;
+///
+/// # fn main() -> Result<(), ams_math::MathError> {
+/// // Two real poles at -10 and -100, no zeros, unity DC gain.
+/// let zp = ZeroPole::new(
+///     vec![],
+///     vec![Complex64::from_real(-10.0), Complex64::from_real(-100.0)],
+///     1000.0,
+/// )?;
+/// let tf = zp.to_transfer_function()?;
+/// assert!((tf.dc_gain()? - 1.0).abs() < 1e-9);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct ZeroPole {
+    zeros: Vec<Complex64>,
+    poles: Vec<Complex64>,
+    gain: f64,
+}
+
+impl ZeroPole {
+    /// Creates a zero-pole-gain model.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MathError::InvalidArgument`] if there are no poles and no
+    /// zeros with a zero gain (degenerate), or if the sets are not closed
+    /// under conjugation (checked on conversion).
+    pub fn new(
+        zeros: Vec<Complex64>,
+        poles: Vec<Complex64>,
+        gain: f64,
+    ) -> Result<Self, MathError> {
+        if !gain.is_finite() {
+            return Err(MathError::invalid("gain must be finite"));
+        }
+        Ok(ZeroPole { zeros, poles, gain })
+    }
+
+    /// The zeros.
+    pub fn zeros(&self) -> &[Complex64] {
+        &self.zeros
+    }
+
+    /// The poles.
+    pub fn poles(&self) -> &[Complex64] {
+        &self.poles
+    }
+
+    /// The gain factor `k`.
+    pub fn gain(&self) -> f64 {
+        self.gain
+    }
+
+    /// Evaluates `H(s)`.
+    pub fn eval(&self, s: Complex64) -> Complex64 {
+        let num: Complex64 = self.zeros.iter().map(|&z| s - z).product();
+        let den: Complex64 = self.poles.iter().map(|&p| s - p).product();
+        Complex64::from_real(self.gain) * num / den
+    }
+
+    /// Frequency response `H(jω)`.
+    pub fn freq_response(&self, omega: f64) -> Complex64 {
+        self.eval(Complex64::new(0.0, omega))
+    }
+
+    /// Expands into numerator/denominator polynomial form.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MathError::InvalidArgument`] if the zeros or poles are
+    /// not conjugate-symmetric (the result would not be a real-coefficient
+    /// system).
+    pub fn to_transfer_function(&self) -> Result<TransferFunction, MathError> {
+        const TOL: f64 = 1e-9;
+        let num = Poly::from_complex_roots(&self.zeros, TOL)?.scale(self.gain);
+        let den = Poly::from_complex_roots(&self.poles, TOL)?;
+        TransferFunction::from_polys(num, den)
+    }
+
+    /// A Butterworth low-pass prototype of the given order and cutoff
+    /// `w0` (rad/s), with unity DC gain.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MathError::InvalidArgument`] unless `order ≥ 1` and
+    /// `w0 > 0`.
+    pub fn butterworth(order: usize, w0: f64) -> Result<Self, MathError> {
+        if order == 0 {
+            return Err(MathError::invalid("butterworth order must be >= 1"));
+        }
+        if w0 <= 0.0 || !w0.is_finite() {
+            return Err(MathError::invalid("cutoff frequency must be positive"));
+        }
+        // Poles equally spaced on the left half of the circle of radius w0:
+        // pₖ = w0·e^{j·π·(2k + n + 1)/(2n)}, k = 0..n-1.
+        let n = order;
+        let poles: Vec<Complex64> = (0..n)
+            .map(|k| {
+                let theta = std::f64::consts::PI * (2 * k + n + 1) as f64 / (2 * n) as f64;
+                Complex64::from_polar(w0, theta)
+            })
+            .collect();
+        // DC gain of ∏ 1/(s-p) at s=0 is 1/∏(-p); normalize with k = ∏|p| = w0^n.
+        let gain = w0.powi(n as i32);
+        ZeroPole::new(Vec::new(), poles, gain)
+    }
+
+    /// A Chebyshev type-I low-pass prototype: equiripple passband with
+    /// `ripple_db` of ripple up to `w0` (rad/s), then the steepest
+    /// roll-off any all-pole filter of that order achieves.
+    ///
+    /// The DC gain is 1 for odd orders and `1/√(1+ε²)` (the ripple
+    /// trough) for even orders, per the standard definition.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MathError::InvalidArgument`] unless `order ≥ 1`,
+    /// `w0 > 0` and `ripple_db > 0`.
+    pub fn chebyshev1(order: usize, w0: f64, ripple_db: f64) -> Result<Self, MathError> {
+        if order == 0 {
+            return Err(MathError::invalid("chebyshev order must be >= 1"));
+        }
+        if w0 <= 0.0 || !w0.is_finite() {
+            return Err(MathError::invalid("cutoff frequency must be positive"));
+        }
+        if ripple_db <= 0.0 || !ripple_db.is_finite() {
+            return Err(MathError::invalid("passband ripple must be positive"));
+        }
+        let n = order;
+        let eps = (10f64.powf(ripple_db / 10.0) - 1.0).sqrt();
+        let a = (1.0 / eps).asinh() / n as f64;
+        let (sinh_a, cosh_a) = (a.sinh(), a.cosh());
+        let poles: Vec<Complex64> = (0..n)
+            .map(|k| {
+                let theta = std::f64::consts::PI * (2 * k + 1) as f64 / (2 * n) as f64;
+                Complex64::new(-sinh_a * theta.sin() * w0, cosh_a * theta.cos() * w0)
+            })
+            .collect();
+        // k = ∏(−pₖ) gives unity DC gain; even orders sit in a ripple
+        // trough at DC, scaled by 1/√(1+ε²).
+        let prod: Complex64 = poles.iter().map(|&p| -p).product();
+        let mut gain = prod.re; // imaginary part cancels by conjugate symmetry
+        if n % 2 == 0 {
+            gain /= (1.0 + eps * eps).sqrt();
+        }
+        ZeroPole::new(Vec::new(), poles, gain)
+    }
+}
+
+impl fmt::Display for ZeroPole {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "zpk(zeros: {:?}, poles: {:?}, k: {})",
+            self.zeros, self.poles, self.gain
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eval_matches_expanded_form() {
+        let zp = ZeroPole::new(
+            vec![Complex64::from_real(-5.0)],
+            vec![Complex64::from_real(-1.0), Complex64::from_real(-10.0)],
+            2.0,
+        )
+        .unwrap();
+        let tf = zp.to_transfer_function().unwrap();
+        for w in [0.0, 0.3, 1.0, 3.0, 30.0] {
+            let a = zp.freq_response(w);
+            let b = tf.freq_response(w);
+            assert!((a - b).abs() < 1e-9, "mismatch at ω = {w}");
+        }
+    }
+
+    #[test]
+    fn conjugate_pair_gives_real_tf() {
+        let zp = ZeroPole::new(
+            vec![],
+            vec![Complex64::new(-1.0, 2.0), Complex64::new(-1.0, -2.0)],
+            5.0,
+        )
+        .unwrap();
+        let tf = zp.to_transfer_function().unwrap();
+        // (s+1)² + 4 = s² + 2s + 5
+        assert!((tf.den().coeffs()[0] - 5.0).abs() < 1e-12);
+        assert!((tf.den().coeffs()[1] - 2.0).abs() < 1e-12);
+        assert!((tf.dc_gain().unwrap() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn lone_complex_pole_rejected() {
+        let zp = ZeroPole::new(vec![], vec![Complex64::new(-1.0, 2.0)], 1.0).unwrap();
+        assert!(zp.to_transfer_function().is_err());
+    }
+
+    #[test]
+    fn butterworth_properties() {
+        for order in 1..=5 {
+            let w0 = 100.0;
+            let zp = ZeroPole::butterworth(order, w0).unwrap();
+            let tf = zp.to_transfer_function().unwrap();
+            // Unity DC gain.
+            assert!(
+                (tf.dc_gain().unwrap() - 1.0).abs() < 1e-6,
+                "order {order} dc gain"
+            );
+            // -3 dB at cutoff for every order.
+            let m = tf.freq_response(w0).abs();
+            assert!(
+                (m - std::f64::consts::FRAC_1_SQRT_2).abs() < 1e-6,
+                "order {order}: |H(jω₀)| = {m}"
+            );
+            // All poles strictly stable.
+            assert!(tf.is_stable().unwrap(), "order {order} stable");
+            // Roll-off: at 10·w0 the attenuation is ≈ order·20 dB.
+            let att_db = -20.0 * tf.freq_response(10.0 * w0).abs().log10();
+            assert!(
+                (att_db - 20.0 * order as f64).abs() < 1.0,
+                "order {order}: rolloff {att_db} dB"
+            );
+        }
+    }
+
+    #[test]
+    fn chebyshev_equiripple_passband() {
+        for order in 1..=6 {
+            let w0 = 1000.0;
+            let ripple_db = 1.0;
+            let zp = ZeroPole::chebyshev1(order, w0, ripple_db).unwrap();
+            let tf = zp.to_transfer_function().unwrap();
+            assert!(tf.is_stable().unwrap(), "order {order} stable");
+            // Every passband point lies within [−ripple, 0] dB.
+            let mut min_db: f64 = 0.0;
+            let mut max_db = f64::NEG_INFINITY;
+            for i in 0..=100 {
+                let w = w0 * i as f64 / 100.0;
+                let db = 20.0 * tf.freq_response(w).abs().log10();
+                min_db = min_db.min(db);
+                max_db = max_db.max(db);
+            }
+            assert!(max_db < 1e-6, "order {order}: peak {max_db} dB");
+            assert!(
+                min_db > -ripple_db - 1e-6,
+                "order {order}: trough {min_db} dB"
+            );
+            // The full ripple range is actually used (equiripple).
+            if order >= 2 {
+                assert!(
+                    min_db < -ripple_db + 0.05,
+                    "order {order}: ripple reaches the bound ({min_db} dB)"
+                );
+            }
+            // At the band edge the response is exactly −ripple dB.
+            let edge_db = 20.0 * tf.freq_response(w0).abs().log10();
+            assert!(
+                (edge_db + ripple_db).abs() < 1e-6,
+                "order {order}: edge {edge_db} dB"
+            );
+        }
+    }
+
+    #[test]
+    fn chebyshev_rolls_off_faster_than_butterworth() {
+        let w0 = 1.0;
+        let bw = ZeroPole::butterworth(5, w0)
+            .unwrap()
+            .to_transfer_function()
+            .unwrap();
+        let ch = ZeroPole::chebyshev1(5, w0, 1.0)
+            .unwrap()
+            .to_transfer_function()
+            .unwrap();
+        let att_bw = -20.0 * bw.freq_response(3.0 * w0).abs().log10();
+        let att_ch = -20.0 * ch.freq_response(3.0 * w0).abs().log10();
+        assert!(
+            att_ch > att_bw + 10.0,
+            "chebyshev {att_ch:.1} dB vs butterworth {att_bw:.1} dB at 3ω₀"
+        );
+    }
+
+    #[test]
+    fn chebyshev_invalid_parameters() {
+        assert!(ZeroPole::chebyshev1(0, 1.0, 1.0).is_err());
+        assert!(ZeroPole::chebyshev1(3, -1.0, 1.0).is_err());
+        assert!(ZeroPole::chebyshev1(3, 1.0, 0.0).is_err());
+    }
+
+    #[test]
+    fn infinite_gain_rejected() {
+        assert!(ZeroPole::new(vec![], vec![], f64::INFINITY).is_err());
+        assert!(ZeroPole::butterworth(0, 1.0).is_err());
+        assert!(ZeroPole::butterworth(2, -1.0).is_err());
+    }
+}

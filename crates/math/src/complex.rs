@@ -1,0 +1,346 @@
+use std::fmt;
+use std::iter::{Product, Sum};
+use std::ops::{Add, AddAssign, Div, DivAssign, Mul, MulAssign, Neg, Sub, SubAssign};
+
+/// A double-precision complex number.
+///
+/// Implemented from scratch (no external crates) with the operations the
+/// AC/noise solvers and the FFT need: field arithmetic, conjugation,
+/// magnitude/phase, exponential and square root.
+///
+/// # Example
+///
+/// ```
+/// use ams_math::Complex64;
+///
+/// let s = Complex64::new(0.0, 1.0); // j
+/// assert!((s * s + Complex64::ONE).abs() < 1e-15);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Complex64 {
+    /// Real part.
+    pub re: f64,
+    /// Imaginary part.
+    pub im: f64,
+}
+
+impl Complex64 {
+    /// The additive identity, `0 + 0j`.
+    pub const ZERO: Complex64 = Complex64 { re: 0.0, im: 0.0 };
+    /// The multiplicative identity, `1 + 0j`.
+    pub const ONE: Complex64 = Complex64 { re: 1.0, im: 0.0 };
+    /// The imaginary unit, `0 + 1j`.
+    pub const J: Complex64 = Complex64 { re: 0.0, im: 1.0 };
+
+    /// Creates a complex number from real and imaginary parts.
+    pub const fn new(re: f64, im: f64) -> Self {
+        Complex64 { re, im }
+    }
+
+    /// Creates a purely real complex number.
+    pub const fn from_real(re: f64) -> Self {
+        Complex64 { re, im: 0.0 }
+    }
+
+    /// Creates a complex number from polar coordinates.
+    ///
+    /// `r` is the magnitude, `theta` the angle in radians.
+    pub fn from_polar(r: f64, theta: f64) -> Self {
+        Complex64::new(r * theta.cos(), r * theta.sin())
+    }
+
+    /// Returns the complex conjugate.
+    pub fn conj(self) -> Self {
+        Complex64::new(self.re, -self.im)
+    }
+
+    /// Returns the magnitude `|z|`, computed robustly via `hypot`.
+    pub fn abs(self) -> f64 {
+        self.re.hypot(self.im)
+    }
+
+    /// Returns the squared magnitude `|z|²` (cheaper than [`abs`](Self::abs)).
+    pub fn norm_sqr(self) -> f64 {
+        self.re * self.re + self.im * self.im
+    }
+
+    /// Returns the argument (phase angle) in radians, in `(-π, π]`.
+    pub fn arg(self) -> f64 {
+        self.im.atan2(self.re)
+    }
+
+    /// Returns the multiplicative inverse `1/z`.
+    ///
+    /// Returns an infinite/NaN value if `z` is zero, mirroring `1.0 / 0.0`
+    /// semantics for floats.
+    pub fn recip(self) -> Self {
+        let d = self.norm_sqr();
+        Complex64::new(self.re / d, -self.im / d)
+    }
+
+    /// Returns the complex exponential `e^z`.
+    pub fn exp(self) -> Self {
+        Complex64::from_polar(self.re.exp(), self.im)
+    }
+
+    /// Returns the principal square root.
+    pub fn sqrt(self) -> Self {
+        let r = self.abs();
+        let re = ((r + self.re) / 2.0).max(0.0).sqrt();
+        let im = ((r - self.re) / 2.0).max(0.0).sqrt();
+        Complex64::new(re, if self.im < 0.0 { -im } else { im })
+    }
+
+    /// Returns `z` raised to an integer power by repeated squaring.
+    pub fn powi(self, mut n: i32) -> Self {
+        if n == 0 {
+            return Complex64::ONE;
+        }
+        let mut base = if n < 0 { self.recip() } else { self };
+        if n < 0 {
+            n = -n;
+        }
+        let mut acc = Complex64::ONE;
+        while n > 0 {
+            if n & 1 == 1 {
+                acc *= base;
+            }
+            base *= base;
+            n >>= 1;
+        }
+        acc
+    }
+
+    /// Returns `true` if either component is NaN.
+    pub fn is_nan(self) -> bool {
+        self.re.is_nan() || self.im.is_nan()
+    }
+
+    /// Returns `true` if both components are finite.
+    pub fn is_finite(self) -> bool {
+        self.re.is_finite() && self.im.is_finite()
+    }
+
+    /// Scales by a real factor.
+    pub fn scale(self, k: f64) -> Self {
+        Complex64::new(self.re * k, self.im * k)
+    }
+}
+
+impl From<f64> for Complex64 {
+    fn from(re: f64) -> Self {
+        Complex64::from_real(re)
+    }
+}
+
+impl fmt::Display for Complex64 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.im >= 0.0 {
+            write!(f, "{}+{}j", self.re, self.im)
+        } else {
+            write!(f, "{}{}j", self.re, self.im)
+        }
+    }
+}
+
+impl Add for Complex64 {
+    type Output = Complex64;
+    fn add(self, rhs: Complex64) -> Complex64 {
+        Complex64::new(self.re + rhs.re, self.im + rhs.im)
+    }
+}
+
+impl Sub for Complex64 {
+    type Output = Complex64;
+    fn sub(self, rhs: Complex64) -> Complex64 {
+        Complex64::new(self.re - rhs.re, self.im - rhs.im)
+    }
+}
+
+impl Mul for Complex64 {
+    type Output = Complex64;
+    fn mul(self, rhs: Complex64) -> Complex64 {
+        Complex64::new(
+            self.re * rhs.re - self.im * rhs.im,
+            self.re * rhs.im + self.im * rhs.re,
+        )
+    }
+}
+
+impl Div for Complex64 {
+    type Output = Complex64;
+    fn div(self, rhs: Complex64) -> Complex64 {
+        // Smith's algorithm for improved robustness against overflow.
+        if rhs.re.abs() >= rhs.im.abs() {
+            let r = rhs.im / rhs.re;
+            let d = rhs.re + rhs.im * r;
+            Complex64::new((self.re + self.im * r) / d, (self.im - self.re * r) / d)
+        } else {
+            let r = rhs.re / rhs.im;
+            let d = rhs.re * r + rhs.im;
+            Complex64::new((self.re * r + self.im) / d, (self.im * r - self.re) / d)
+        }
+    }
+}
+
+impl Neg for Complex64 {
+    type Output = Complex64;
+    fn neg(self) -> Complex64 {
+        Complex64::new(-self.re, -self.im)
+    }
+}
+
+impl Add<f64> for Complex64 {
+    type Output = Complex64;
+    fn add(self, rhs: f64) -> Complex64 {
+        Complex64::new(self.re + rhs, self.im)
+    }
+}
+
+impl Sub<f64> for Complex64 {
+    type Output = Complex64;
+    fn sub(self, rhs: f64) -> Complex64 {
+        Complex64::new(self.re - rhs, self.im)
+    }
+}
+
+impl Mul<f64> for Complex64 {
+    type Output = Complex64;
+    fn mul(self, rhs: f64) -> Complex64 {
+        self.scale(rhs)
+    }
+}
+
+impl Div<f64> for Complex64 {
+    type Output = Complex64;
+    fn div(self, rhs: f64) -> Complex64 {
+        Complex64::new(self.re / rhs, self.im / rhs)
+    }
+}
+
+impl Mul<Complex64> for f64 {
+    type Output = Complex64;
+    fn mul(self, rhs: Complex64) -> Complex64 {
+        rhs.scale(self)
+    }
+}
+
+impl AddAssign for Complex64 {
+    fn add_assign(&mut self, rhs: Complex64) {
+        *self = *self + rhs;
+    }
+}
+
+impl SubAssign for Complex64 {
+    fn sub_assign(&mut self, rhs: Complex64) {
+        *self = *self - rhs;
+    }
+}
+
+impl MulAssign for Complex64 {
+    fn mul_assign(&mut self, rhs: Complex64) {
+        *self = *self * rhs;
+    }
+}
+
+impl DivAssign for Complex64 {
+    fn div_assign(&mut self, rhs: Complex64) {
+        *self = *self / rhs;
+    }
+}
+
+impl Sum for Complex64 {
+    fn sum<I: Iterator<Item = Complex64>>(iter: I) -> Complex64 {
+        iter.fold(Complex64::ZERO, |a, b| a + b)
+    }
+}
+
+impl Product for Complex64 {
+    fn product<I: Iterator<Item = Complex64>>(iter: I) -> Complex64 {
+        iter.fold(Complex64::ONE, |a, b| a * b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::f64::consts::PI;
+
+    fn close(a: Complex64, b: Complex64) -> bool {
+        (a - b).abs() < 1e-12
+    }
+
+    #[test]
+    fn field_arithmetic() {
+        let a = Complex64::new(1.0, 2.0);
+        let b = Complex64::new(3.0, -4.0);
+        assert!(close(a + b, Complex64::new(4.0, -2.0)));
+        assert!(close(a - b, Complex64::new(-2.0, 6.0)));
+        assert!(close(a * b, Complex64::new(11.0, 2.0)));
+        assert!(close((a / b) * b, a));
+    }
+
+    #[test]
+    fn division_by_tiny_imaginary_is_stable() {
+        let a = Complex64::new(1.0, 0.0);
+        let b = Complex64::new(0.0, 1e-300);
+        let q = a / b;
+        assert!(q.is_finite());
+        assert!(close(q * b, a));
+    }
+
+    #[test]
+    fn polar_roundtrip() {
+        let z = Complex64::from_polar(2.0, PI / 3.0);
+        assert!((z.abs() - 2.0).abs() < 1e-12);
+        assert!((z.arg() - PI / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn exponential_identity() {
+        // e^{jπ} = -1
+        let z = (Complex64::J * PI).exp();
+        assert!(close(z, Complex64::new(-1.0, 0.0)));
+    }
+
+    #[test]
+    fn sqrt_squares_back() {
+        for &(re, im) in &[(4.0, 0.0), (-4.0, 0.0), (3.0, 4.0), (-3.0, -4.0), (0.0, 2.0)] {
+            let z = Complex64::new(re, im);
+            let r = z.sqrt();
+            assert!(close(r * r, z), "sqrt({z}) = {r}");
+            assert!(r.re >= 0.0, "principal branch");
+        }
+    }
+
+    #[test]
+    fn integer_powers() {
+        let z = Complex64::new(1.0, 1.0);
+        assert!(close(z.powi(0), Complex64::ONE));
+        assert!(close(z.powi(2), Complex64::new(0.0, 2.0)));
+        assert!(close(z.powi(4), Complex64::new(-4.0, 0.0)));
+        assert!(close(z.powi(-2) * z.powi(2), Complex64::ONE));
+    }
+
+    #[test]
+    fn conjugate_properties() {
+        let a = Complex64::new(2.0, -3.0);
+        assert!((a * a.conj()).im.abs() < 1e-15);
+        assert!(((a * a.conj()).re - a.norm_sqr()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn recip_is_inverse() {
+        let a = Complex64::new(0.5, -1.5);
+        assert!(close(a * a.recip(), Complex64::ONE));
+    }
+
+    #[test]
+    fn sum_and_product_fold() {
+        let xs = [Complex64::ONE, Complex64::J, Complex64::new(2.0, 0.0)];
+        let s: Complex64 = xs.iter().copied().sum();
+        assert!(close(s, Complex64::new(3.0, 1.0)));
+        let p: Complex64 = xs.iter().copied().product();
+        assert!(close(p, Complex64::new(0.0, 2.0)));
+    }
+}

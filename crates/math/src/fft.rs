@@ -1,0 +1,289 @@
+//! Radix-2 FFT, window functions and spectral helpers.
+//!
+//! Frequency-domain behaviour is a first-class requirement of the paper
+//! ("many frequency-based simulation methods have been developed…", §2;
+//! "SystemC-AMS will also have to support at least small-signal linear
+//! frequency-domain analysis", §3). The FFT here backs the waveform
+//! post-processing (PSD, SNR, ENOB in `ams-wave`) used to evaluate the
+//! ADC and sigma-delta examples.
+
+use crate::{Complex64, MathError};
+
+/// Returns `true` if `n` is a power of two (and non-zero).
+pub fn is_power_of_two(n: usize) -> bool {
+    n != 0 && n & (n - 1) == 0
+}
+
+/// In-place iterative radix-2 decimation-in-time FFT.
+///
+/// # Errors
+///
+/// Returns [`MathError::InvalidArgument`] if the length is not a power of
+/// two.
+///
+/// # Example
+///
+/// ```
+/// use ams_math::{fft, Complex64};
+///
+/// # fn main() -> Result<(), ams_math::MathError> {
+/// let mut x = vec![Complex64::ONE; 4];
+/// fft::fft(&mut x)?;
+/// assert!((x[0].re - 4.0).abs() < 1e-12); // DC bin picks up the sum
+/// assert!(x[1].abs() < 1e-12);
+/// # Ok(())
+/// # }
+/// ```
+pub fn fft(x: &mut [Complex64]) -> crate::Result<()> {
+    transform(x, false)
+}
+
+/// In-place inverse FFT (includes the 1/N normalization).
+///
+/// # Errors
+///
+/// Returns [`MathError::InvalidArgument`] if the length is not a power of
+/// two.
+pub fn ifft(x: &mut [Complex64]) -> crate::Result<()> {
+    transform(x, true)?;
+    let n = x.len() as f64;
+    for v in x.iter_mut() {
+        *v = *v / n;
+    }
+    Ok(())
+}
+
+fn transform(x: &mut [Complex64], inverse: bool) -> crate::Result<()> {
+    let n = x.len();
+    if !is_power_of_two(n) {
+        return Err(MathError::invalid(format!(
+            "fft length must be a power of two, got {n}"
+        )));
+    }
+    // Bit-reversal permutation.
+    let bits = n.trailing_zeros();
+    for i in 0..n {
+        let j = i.reverse_bits() >> (usize::BITS - bits);
+        if j > i {
+            x.swap(i, j);
+        }
+    }
+    // Butterflies.
+    let sign = if inverse { 1.0 } else { -1.0 };
+    let mut len = 2;
+    while len <= n {
+        let ang = sign * 2.0 * std::f64::consts::PI / len as f64;
+        let wlen = Complex64::from_polar(1.0, ang);
+        for start in (0..n).step_by(len) {
+            let mut w = Complex64::ONE;
+            for k in 0..len / 2 {
+                let u = x[start + k];
+                let v = x[start + k + len / 2] * w;
+                x[start + k] = u + v;
+                x[start + k + len / 2] = u - v;
+                w *= wlen;
+            }
+        }
+        len <<= 1;
+    }
+    Ok(())
+}
+
+/// Computes the FFT of a real signal, returning the full complex spectrum.
+///
+/// # Errors
+///
+/// Same conditions as [`fft`].
+pub fn fft_real(x: &[f64]) -> crate::Result<Vec<Complex64>> {
+    let mut buf: Vec<Complex64> = x.iter().map(|&v| Complex64::from_real(v)).collect();
+    fft(&mut buf)?;
+    Ok(buf)
+}
+
+/// Window functions for spectral estimation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Window {
+    /// No windowing (rectangular).
+    Rectangular,
+    /// Hann window — good general-purpose leakage suppression.
+    #[default]
+    Hann,
+    /// Blackman window — stronger sidelobe suppression for SNR metrics.
+    Blackman,
+}
+
+impl Window {
+    /// Evaluates the window at sample `i` of `n`.
+    pub fn value(self, i: usize, n: usize) -> f64 {
+        if n <= 1 {
+            return 1.0;
+        }
+        let x = i as f64 / (n - 1) as f64;
+        let tau = 2.0 * std::f64::consts::PI * x;
+        match self {
+            Window::Rectangular => 1.0,
+            Window::Hann => 0.5 - 0.5 * tau.cos(),
+            Window::Blackman => 0.42 - 0.5 * tau.cos() + 0.08 * (2.0 * tau).cos(),
+        }
+    }
+
+    /// Returns the coherent gain (mean of the window), used to normalize
+    /// amplitude spectra.
+    pub fn coherent_gain(self, n: usize) -> f64 {
+        (0..n).map(|i| self.value(i, n)).sum::<f64>() / n as f64
+    }
+
+    /// Returns the equivalent noise bandwidth in bins, used to normalize
+    /// power spectral densities.
+    pub fn enbw(self, n: usize) -> f64 {
+        let sum: f64 = (0..n).map(|i| self.value(i, n)).sum();
+        let sum_sq: f64 = (0..n).map(|i| self.value(i, n).powi(2)).sum();
+        n as f64 * sum_sq / (sum * sum)
+    }
+
+    /// Applies the window to a signal in place.
+    pub fn apply(self, x: &mut [f64]) {
+        let n = x.len();
+        for (i, v) in x.iter_mut().enumerate() {
+            *v *= self.value(i, n);
+        }
+    }
+}
+
+/// One-sided amplitude spectrum of a real signal (bins `0..=n/2`).
+///
+/// Amplitudes are corrected for the window's coherent gain so a full-scale
+/// coherently-sampled sine reads its true amplitude.
+///
+/// # Errors
+///
+/// Same conditions as [`fft`].
+pub fn amplitude_spectrum(x: &[f64], window: Window) -> crate::Result<Vec<f64>> {
+    let n = x.len();
+    let mut w = x.to_vec();
+    window.apply(&mut w);
+    let spec = fft_real(&w)?;
+    let gain = window.coherent_gain(n) * n as f64;
+    let half = n / 2;
+    let mut out = Vec::with_capacity(half + 1);
+    for (k, bin) in spec.iter().take(half + 1).enumerate() {
+        let scale = if k == 0 || (k == half && n % 2 == 0) {
+            1.0
+        } else {
+            2.0
+        };
+        out.push(scale * bin.abs() / gain);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::f64::consts::PI;
+
+    #[test]
+    fn rejects_non_power_of_two() {
+        let mut x = vec![Complex64::ZERO; 3];
+        assert!(fft(&mut x).is_err());
+    }
+
+    #[test]
+    fn impulse_transforms_to_flat_spectrum() {
+        let mut x = vec![Complex64::ZERO; 8];
+        x[0] = Complex64::ONE;
+        fft(&mut x).unwrap();
+        for bin in &x {
+            assert!((bin.abs() - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn roundtrip_fft_ifft() {
+        let orig: Vec<Complex64> = (0..64)
+            .map(|i| Complex64::new((i as f64).sin(), (i as f64 * 0.3).cos()))
+            .collect();
+        let mut x = orig.clone();
+        fft(&mut x).unwrap();
+        ifft(&mut x).unwrap();
+        for (a, b) in x.iter().zip(orig.iter()) {
+            assert!((*a - *b).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn parseval_identity() {
+        let sig: Vec<f64> = (0..128).map(|i| (0.1 * i as f64).sin()).collect();
+        let time_energy: f64 = sig.iter().map(|v| v * v).sum();
+        let spec = fft_real(&sig).unwrap();
+        let freq_energy: f64 = spec.iter().map(|z| z.norm_sqr()).sum::<f64>() / 128.0;
+        assert!((time_energy - freq_energy).abs() < 1e-8 * time_energy);
+    }
+
+    #[test]
+    fn sine_lands_in_correct_bin() {
+        let n = 256;
+        let k = 13; // coherent sampling
+        let sig: Vec<f64> = (0..n)
+            .map(|i| (2.0 * PI * k as f64 * i as f64 / n as f64).sin())
+            .collect();
+        let spec = fft_real(&sig).unwrap();
+        let (max_bin, _) = spec
+            .iter()
+            .take(n / 2)
+            .enumerate()
+            .max_by(|a, b| a.1.abs().total_cmp(&b.1.abs()))
+            .unwrap();
+        assert_eq!(max_bin, k);
+        assert!((spec[k].abs() - n as f64 / 2.0).abs() < 1e-8);
+    }
+
+    #[test]
+    fn amplitude_spectrum_reads_sine_amplitude() {
+        let n = 512;
+        let k = 31;
+        let amp = 0.7;
+        let sig: Vec<f64> = (0..n)
+            .map(|i| amp * (2.0 * PI * k as f64 * i as f64 / n as f64).sin())
+            .collect();
+        for window in [Window::Rectangular, Window::Hann, Window::Blackman] {
+            let spec = amplitude_spectrum(&sig, window).unwrap();
+            // Peak (allowing slight leakage into neighbours for windows)
+            let peak: f64 = spec[k - 1..=k + 1].iter().fold(0.0, |a, &b| a.max(b));
+            assert!(
+                (peak - amp).abs() < 0.02 * amp,
+                "{window:?}: peak {peak} vs {amp}"
+            );
+        }
+    }
+
+    #[test]
+    fn window_properties() {
+        let n = 128;
+        // Hann coherent gain → 0.5 for large n.
+        assert!((Window::Hann.coherent_gain(n) - 0.5).abs() < 0.01);
+        // Hann ENBW ≈ 1.5 bins.
+        assert!((Window::Hann.enbw(n) - 1.5).abs() < 0.05);
+        assert_eq!(Window::Rectangular.enbw(n), 1.0);
+        // Windows taper to ~0 at edges.
+        assert!(Window::Hann.value(0, n) < 1e-12);
+        assert!(Window::Blackman.value(0, n).abs() < 0.01);
+    }
+
+    #[test]
+    fn linearity() {
+        let a: Vec<Complex64> = (0..32).map(|i| Complex64::from_real(i as f64)).collect();
+        let b: Vec<Complex64> = (0..32)
+            .map(|i| Complex64::new(0.5 * i as f64, -(i as f64)))
+            .collect();
+        let mut fa = a.clone();
+        let mut fb = b.clone();
+        fft(&mut fa).unwrap();
+        fft(&mut fb).unwrap();
+        let mut fab: Vec<Complex64> = a.iter().zip(&b).map(|(&x, &y)| x + y).collect();
+        fft(&mut fab).unwrap();
+        for i in 0..32 {
+            assert!((fab[i] - (fa[i] + fb[i])).abs() < 1e-9);
+        }
+    }
+}

@@ -1,0 +1,193 @@
+//! Interpolation utilities.
+//!
+//! The DE↔CT synchronization layer needs to read continuous waveforms at
+//! event times that fall between solver timepoints; these helpers provide
+//! the interpolation used by converter ports and waveform probes.
+
+use crate::MathError;
+
+/// Linear interpolation between two points.
+///
+/// Returns `y0` when `x1 == x0` to avoid division by zero on degenerate
+/// segments.
+pub fn lerp(x0: f64, y0: f64, x1: f64, y1: f64, x: f64) -> f64 {
+    if x1 == x0 {
+        return y0;
+    }
+    y0 + (y1 - y0) * (x - x0) / (x1 - x0)
+}
+
+/// A sampled waveform supporting interpolated lookup.
+///
+/// Timepoints must be non-decreasing; lookups outside the range clamp to
+/// the end values (zero-order hold at the boundaries).
+///
+/// # Example
+///
+/// ```
+/// use ams_math::interp::Series;
+///
+/// # fn main() -> Result<(), ams_math::MathError> {
+/// let mut s = Series::new();
+/// s.push(0.0, 0.0)?;
+/// s.push(1.0, 10.0)?;
+/// assert_eq!(s.sample(0.5), 5.0);
+/// assert_eq!(s.sample(-1.0), 0.0);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Series {
+    t: Vec<f64>,
+    y: Vec<f64>,
+}
+
+impl Series {
+    /// Creates an empty series.
+    pub fn new() -> Self {
+        Series::default()
+    }
+
+    /// Creates a series from parallel time/value vectors.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MathError::InvalidArgument`] if lengths differ or the
+    /// times are decreasing.
+    pub fn from_points(t: Vec<f64>, y: Vec<f64>) -> crate::Result<Self> {
+        if t.len() != y.len() {
+            return Err(MathError::invalid("time and value lengths differ"));
+        }
+        if t.windows(2).any(|w| w[1] < w[0]) {
+            return Err(MathError::invalid("timepoints must be non-decreasing"));
+        }
+        Ok(Series { t, y })
+    }
+
+    /// Appends a sample.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MathError::InvalidArgument`] if `t` is earlier than the
+    /// last sample.
+    pub fn push(&mut self, t: f64, y: f64) -> crate::Result<()> {
+        if let Some(&last) = self.t.last() {
+            if t < last {
+                return Err(MathError::invalid(format!(
+                    "non-monotonic sample: {t} after {last}"
+                )));
+            }
+        }
+        self.t.push(t);
+        self.y.push(y);
+        Ok(())
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.t.len()
+    }
+
+    /// Returns `true` if the series holds no samples.
+    pub fn is_empty(&self) -> bool {
+        self.t.is_empty()
+    }
+
+    /// Timepoints.
+    pub fn times(&self) -> &[f64] {
+        &self.t
+    }
+
+    /// Values.
+    pub fn values(&self) -> &[f64] {
+        &self.y
+    }
+
+    /// Linearly interpolates the waveform at `x`, clamping at the ends.
+    ///
+    /// Returns `0.0` for an empty series.
+    pub fn sample(&self, x: f64) -> f64 {
+        if self.t.is_empty() {
+            return 0.0;
+        }
+        let n = self.t.len();
+        if x <= self.t[0] {
+            return self.y[0];
+        }
+        if x >= self.t[n - 1] {
+            return self.y[n - 1];
+        }
+        // Binary search for the bracketing segment.
+        let idx = self.t.partition_point(|&ti| ti <= x);
+        let (i0, i1) = (idx - 1, idx.min(n - 1));
+        lerp(self.t[i0], self.y[i0], self.t[i1], self.y[i1], x)
+    }
+
+    /// Resamples the waveform uniformly into `n` points over `[t0, t1]`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MathError::InvalidArgument`] if `n < 2` or `t1 <= t0`.
+    pub fn resample(&self, t0: f64, t1: f64, n: usize) -> crate::Result<Vec<f64>> {
+        if n < 2 {
+            return Err(MathError::invalid("need at least 2 resample points"));
+        }
+        if t1 <= t0 {
+            return Err(MathError::invalid("t1 must be greater than t0"));
+        }
+        let dt = (t1 - t0) / (n - 1) as f64;
+        Ok((0..n).map(|i| self.sample(t0 + i as f64 * dt)).collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lerp_basics() {
+        assert_eq!(lerp(0.0, 0.0, 2.0, 4.0, 1.0), 2.0);
+        assert_eq!(lerp(1.0, 5.0, 1.0, 9.0, 1.0), 5.0); // degenerate
+    }
+
+    #[test]
+    fn series_sample_interior_and_clamp() {
+        let s = Series::from_points(vec![0.0, 1.0, 3.0], vec![0.0, 10.0, 30.0]).unwrap();
+        assert_eq!(s.sample(0.5), 5.0);
+        assert_eq!(s.sample(2.0), 20.0);
+        assert_eq!(s.sample(-5.0), 0.0);
+        assert_eq!(s.sample(99.0), 30.0);
+    }
+
+    #[test]
+    fn series_rejects_non_monotonic() {
+        let mut s = Series::new();
+        s.push(1.0, 0.0).unwrap();
+        assert!(s.push(0.5, 0.0).is_err());
+        assert!(Series::from_points(vec![1.0, 0.0], vec![0.0, 0.0]).is_err());
+        assert!(Series::from_points(vec![0.0], vec![0.0, 1.0]).is_err());
+    }
+
+    #[test]
+    fn duplicate_timepoints_allowed_for_steps() {
+        // A DE-style step: value changes at the same timestamp.
+        let s = Series::from_points(vec![0.0, 1.0, 1.0, 2.0], vec![0.0, 0.0, 5.0, 5.0]).unwrap();
+        assert_eq!(s.sample(0.5), 0.0);
+        assert_eq!(s.sample(1.5), 5.0);
+    }
+
+    #[test]
+    fn resample_uniform() {
+        let s = Series::from_points(vec![0.0, 1.0], vec![0.0, 1.0]).unwrap();
+        let r = s.resample(0.0, 1.0, 5).unwrap();
+        assert_eq!(r, vec![0.0, 0.25, 0.5, 0.75, 1.0]);
+        assert!(s.resample(0.0, 1.0, 1).is_err());
+        assert!(s.resample(1.0, 0.0, 5).is_err());
+    }
+
+    #[test]
+    fn empty_series_samples_zero() {
+        assert_eq!(Series::new().sample(1.0), 0.0);
+        assert!(Series::new().is_empty());
+    }
+}

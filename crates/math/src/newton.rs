@@ -1,0 +1,302 @@
+//! Damped Newton–Raphson for nonlinear algebraic systems `F(x) = 0`.
+//!
+//! The paper requires iterative numerical methods "in case of algebraic
+//! loops … such that it is impossible to define a sequence of assignments"
+//! (§3, O3) and nonlinear DAE support in phase 2. This module provides the
+//! shared Newton engine used by the implicit integrators and the nonlinear
+//! MNA solver.
+
+use crate::{DMat, DVec, Lu, MathError};
+
+/// A nonlinear vector function with an optional analytic Jacobian.
+pub trait NonlinearSystem {
+    /// Problem dimension.
+    fn dim(&self) -> usize;
+
+    /// Evaluates the residual `F(x)` into `out`.
+    fn residual(&mut self, x: &[f64], out: &mut [f64]);
+
+    /// Fills the Jacobian `∂F/∂x` at `x`. The default implementation uses
+    /// forward finite differences with a scaled perturbation.
+    fn jacobian(&mut self, x: &[f64], jac: &mut DMat<f64>) {
+        numeric_jacobian(self, x, jac);
+    }
+}
+
+/// Computes a forward-difference Jacobian of `sys` at `x` into `jac`.
+///
+/// The perturbation is scaled per component: `ε·max(|xᵢ|, 1)` with
+/// `ε = √machine-epsilon`, the standard compromise between truncation and
+/// round-off error.
+pub fn numeric_jacobian<S: NonlinearSystem + ?Sized>(sys: &mut S, x: &[f64], jac: &mut DMat<f64>) {
+    let n = sys.dim();
+    debug_assert_eq!(jac.rows(), n);
+    debug_assert_eq!(jac.cols(), n);
+    let eps = f64::EPSILON.sqrt();
+    let mut f0 = vec![0.0; n];
+    let mut f1 = vec![0.0; n];
+    let mut xp = x.to_vec();
+    sys.residual(x, &mut f0);
+    for j in 0..n {
+        let h = eps * x[j].abs().max(1.0);
+        xp[j] = x[j] + h;
+        sys.residual(&xp, &mut f1);
+        xp[j] = x[j];
+        for i in 0..n {
+            jac[(i, j)] = (f1[i] - f0[i]) / h;
+        }
+    }
+}
+
+/// Options controlling the Newton iteration.
+#[derive(Debug, Clone, Copy)]
+pub struct NewtonOptions {
+    /// Maximum number of iterations.
+    pub max_iter: usize,
+    /// Convergence tolerance on the update norm (∞-norm, scaled).
+    pub x_tol: f64,
+    /// Convergence tolerance on the residual ∞-norm.
+    pub f_tol: f64,
+    /// Enables backtracking damping when a full step increases the
+    /// residual.
+    pub damping: bool,
+}
+
+impl Default for NewtonOptions {
+    fn default() -> Self {
+        NewtonOptions {
+            max_iter: 50,
+            x_tol: 1e-12,
+            f_tol: 1e-10,
+            damping: true,
+        }
+    }
+}
+
+/// Outcome of a successful Newton solve.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NewtonReport {
+    /// Iterations used.
+    pub iterations: usize,
+    /// Final residual ∞-norm.
+    pub residual: f64,
+}
+
+/// Solves `F(x) = 0`, refining `x` in place.
+///
+/// # Errors
+///
+/// * [`MathError::NoConvergence`] if `max_iter` is exhausted.
+/// * [`MathError::SingularMatrix`] if a Jacobian cannot be factored.
+///
+/// # Example
+///
+/// ```
+/// use ams_math::newton::{solve, NewtonOptions, NonlinearSystem};
+/// use ams_math::DMat;
+///
+/// struct Sqrt2;
+/// impl NonlinearSystem for Sqrt2 {
+///     fn dim(&self) -> usize { 1 }
+///     fn residual(&mut self, x: &[f64], out: &mut [f64]) { out[0] = x[0] * x[0] - 2.0; }
+/// }
+///
+/// # fn main() -> Result<(), ams_math::MathError> {
+/// let mut x = [1.0];
+/// solve(&mut Sqrt2, &mut x, &NewtonOptions::default())?;
+/// assert!((x[0] - 2f64.sqrt()).abs() < 1e-10);
+/// # Ok(())
+/// # }
+/// ```
+pub fn solve<S: NonlinearSystem + ?Sized>(
+    sys: &mut S,
+    x: &mut [f64],
+    opts: &NewtonOptions,
+) -> crate::Result<NewtonReport> {
+    let n = sys.dim();
+    if x.len() != n {
+        return Err(MathError::dims(
+            format!("state of length {n}"),
+            format!("length {}", x.len()),
+        ));
+    }
+    let mut f = vec![0.0; n];
+    let mut jac = DMat::zeros(n, n);
+    let mut x_trial = vec![0.0; n];
+    let mut f_trial = vec![0.0; n];
+
+    sys.residual(x, &mut f);
+    let mut fnorm = inf_norm(&f);
+
+    for iter in 1..=opts.max_iter {
+        if fnorm <= opts.f_tol {
+            return Ok(NewtonReport {
+                iterations: iter - 1,
+                residual: fnorm,
+            });
+        }
+        sys.jacobian(x, &mut jac);
+        let lu = Lu::factor(&jac)?;
+        let rhs: DVec<f64> = f.iter().map(|&v| -v).collect();
+        let dx = lu.solve(&rhs)?;
+
+        // Backtracking line search: halve the step until the residual
+        // decreases (or accept the smallest damped step).
+        let mut lambda = 1.0;
+        let mut accepted = false;
+        for _ in 0..8 {
+            for i in 0..n {
+                x_trial[i] = x[i] + lambda * dx[i];
+            }
+            sys.residual(&x_trial, &mut f_trial);
+            let fnorm_trial = inf_norm(&f_trial);
+            if !opts.damping || fnorm_trial < fnorm || fnorm_trial <= opts.f_tol {
+                x.copy_from_slice(&x_trial);
+                f.copy_from_slice(&f_trial);
+                fnorm = fnorm_trial;
+                accepted = true;
+                break;
+            }
+            lambda *= 0.5;
+        }
+        if !accepted {
+            // Take the most-damped step anyway to avoid stalling.
+            x.copy_from_slice(&x_trial);
+            f.copy_from_slice(&f_trial);
+            fnorm = inf_norm(&f);
+        }
+
+        let step_norm = dx.norm_inf() * lambda;
+        let x_scale = x.iter().fold(1.0f64, |a, &v| a.max(v.abs()));
+        if step_norm <= opts.x_tol * x_scale && fnorm <= opts.f_tol.max(1e-6) {
+            return Ok(NewtonReport {
+                iterations: iter,
+                residual: fnorm,
+            });
+        }
+    }
+    Err(MathError::NoConvergence {
+        iterations: opts.max_iter,
+        residual: fnorm,
+    })
+}
+
+fn inf_norm(v: &[f64]) -> f64 {
+    v.iter().fold(0.0, |a, &b| a.max(b.abs()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Scalar2;
+    impl NonlinearSystem for Scalar2 {
+        fn dim(&self) -> usize {
+            1
+        }
+        fn residual(&mut self, x: &[f64], out: &mut [f64]) {
+            out[0] = x[0] * x[0] - 2.0;
+        }
+    }
+
+    #[test]
+    fn scalar_sqrt() {
+        let mut x = [1.0];
+        let rep = solve(&mut Scalar2, &mut x, &NewtonOptions::default()).unwrap();
+        assert!((x[0] - 2f64.sqrt()).abs() < 1e-10);
+        assert!(rep.iterations <= 10);
+    }
+
+    struct Coupled;
+    impl NonlinearSystem for Coupled {
+        fn dim(&self) -> usize {
+            2
+        }
+        fn residual(&mut self, x: &[f64], out: &mut [f64]) {
+            // x² + y² = 4, x·y = 1
+            out[0] = x[0] * x[0] + x[1] * x[1] - 4.0;
+            out[1] = x[0] * x[1] - 1.0;
+        }
+    }
+
+    #[test]
+    fn coupled_system() {
+        let mut x = [2.0, 0.3];
+        solve(&mut Coupled, &mut x, &NewtonOptions::default()).unwrap();
+        assert!((x[0] * x[0] + x[1] * x[1] - 4.0).abs() < 1e-9);
+        assert!((x[0] * x[1] - 1.0).abs() < 1e-9);
+    }
+
+    struct DiodeLike;
+    impl NonlinearSystem for DiodeLike {
+        fn dim(&self) -> usize {
+            1
+        }
+        fn residual(&mut self, x: &[f64], out: &mut [f64]) {
+            // Stiff exponential: i = e^{40 v} - 1 must equal (1 - v)/1k·1e3
+            out[0] = (40.0 * x[0]).exp() - 1.0 - (1.0 - x[0]);
+        }
+    }
+
+    #[test]
+    fn damped_newton_handles_exponential() {
+        // Undamped Newton from v=1 would overflow e^{40}. Damping saves it.
+        let mut x = [0.9];
+        solve(&mut DiodeLike, &mut x, &NewtonOptions::default()).unwrap();
+        let mut r = [0.0];
+        DiodeLike.residual(&x, &mut r);
+        assert!(r[0].abs() < 1e-8, "residual {}", r[0]);
+    }
+
+    #[test]
+    fn no_solution_reports_no_convergence() {
+        struct NoRoot;
+        impl NonlinearSystem for NoRoot {
+            fn dim(&self) -> usize {
+                1
+            }
+            fn residual(&mut self, x: &[f64], out: &mut [f64]) {
+                out[0] = x[0] * x[0] + 1.0; // always ≥ 1
+            }
+        }
+        let mut x = [0.5];
+        let err = solve(&mut NoRoot, &mut x, &NewtonOptions { max_iter: 20, ..Default::default() });
+        assert!(matches!(err, Err(MathError::NoConvergence { .. }) | Err(MathError::SingularMatrix { .. })));
+    }
+
+    #[test]
+    fn wrong_state_length_rejected() {
+        let mut x = [1.0, 2.0];
+        assert!(matches!(
+            solve(&mut Scalar2, &mut x, &NewtonOptions::default()),
+            Err(MathError::DimensionMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn numeric_jacobian_matches_analytic() {
+        struct Quad;
+        impl NonlinearSystem for Quad {
+            fn dim(&self) -> usize {
+                2
+            }
+            fn residual(&mut self, x: &[f64], out: &mut [f64]) {
+                out[0] = x[0] * x[0] + x[1];
+                out[1] = 3.0 * x[0] - x[1] * x[1];
+            }
+        }
+        let mut jac = DMat::zeros(2, 2);
+        numeric_jacobian(&mut Quad, &[2.0, 3.0], &mut jac);
+        assert!((jac[(0, 0)] - 4.0).abs() < 1e-6);
+        assert!((jac[(0, 1)] - 1.0).abs() < 1e-6);
+        assert!((jac[(1, 0)] - 3.0).abs() < 1e-6);
+        assert!((jac[(1, 1)] + 6.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn already_converged_returns_zero_iterations() {
+        let mut x = [2f64.sqrt()];
+        let rep = solve(&mut Scalar2, &mut x, &NewtonOptions::default()).unwrap();
+        assert_eq!(rep.iterations, 0);
+    }
+}

@@ -1,0 +1,480 @@
+//! Explicit ODE integrators for first-order systems `ẋ = f(t, x)`.
+//!
+//! These implement the classic Continuous System Simulation Language (CSSL)
+//! discretization the paper cites: the state derivatives are evaluated with
+//! an explicit formula and the state is advanced as a sequence of
+//! assignments. Fixed-step Euler/Heun/RK4 are provided for synchronization
+//! with SDF rates (paper phase 1), and an adaptive embedded
+//! Runge–Kutta–Fehlberg 4(5) pair for variable-timestep integration
+//! (phase 2).
+//!
+//! # Example
+//!
+//! ```
+//! use ams_math::ode::{FixedStep, OdeMethod};
+//!
+//! // ẋ = -x, x(0) = 1  →  x(t) = e^{-t}
+//! let mut x = vec![1.0];
+//! let mut stepper = FixedStep::new(OdeMethod::Rk4, 1e-3);
+//! let mut rhs = |_t: f64, x: &[f64], dx: &mut [f64]| dx[0] = -x[0];
+//! let mut t = 0.0;
+//! while t < 1.0 {
+//!     stepper.step(&mut rhs, &mut t, &mut x);
+//! }
+//! assert!((x[0] - (-1.0f64).exp()).abs() < 1e-9);
+//! ```
+
+use crate::MathError;
+
+/// Right-hand side of `ẋ = f(t, x)`: fills `dx` with the derivative.
+///
+/// Using a writable output slice avoids per-step allocation in inner loops.
+pub trait OdeRhs {
+    /// Evaluates the derivative at time `t` and state `x` into `dx`.
+    fn eval(&mut self, t: f64, x: &[f64], dx: &mut [f64]);
+}
+
+impl<F: FnMut(f64, &[f64], &mut [f64])> OdeRhs for F {
+    fn eval(&mut self, t: f64, x: &[f64], dx: &mut [f64]) {
+        self(t, x, dx)
+    }
+}
+
+/// The explicit fixed-step methods available to [`FixedStep`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum OdeMethod {
+    /// Forward Euler — first order, one derivative evaluation per step.
+    Euler,
+    /// Heun (explicit trapezoidal) — second order, two evaluations.
+    Heun,
+    /// Classic Runge–Kutta — fourth order, four evaluations.
+    #[default]
+    Rk4,
+}
+
+impl OdeMethod {
+    /// The order of accuracy of the method (global error ∝ hᵒʳᵈᵉʳ).
+    pub fn order(self) -> u32 {
+        match self {
+            OdeMethod::Euler => 1,
+            OdeMethod::Heun => 2,
+            OdeMethod::Rk4 => 4,
+        }
+    }
+}
+
+/// A fixed-step explicit integrator with preallocated work buffers.
+///
+/// Suited to oversampled signal-processing systems where the timestep is
+/// locked to the SDF sample rate (paper §3: "Linear ODE systems … can be
+/// solved using a fixed integration time step that can be synchronized
+/// with the rate at which samples are handled by the SDF model").
+#[derive(Debug, Clone)]
+pub struct FixedStep {
+    method: OdeMethod,
+    h: f64,
+    k1: Vec<f64>,
+    k2: Vec<f64>,
+    k3: Vec<f64>,
+    k4: Vec<f64>,
+    tmp: Vec<f64>,
+}
+
+impl FixedStep {
+    /// Creates a fixed-step integrator with step size `h`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `h` is not strictly positive and finite.
+    pub fn new(method: OdeMethod, h: f64) -> Self {
+        assert!(h > 0.0 && h.is_finite(), "step size must be positive and finite");
+        FixedStep {
+            method,
+            h,
+            k1: Vec::new(),
+            k2: Vec::new(),
+            k3: Vec::new(),
+            k4: Vec::new(),
+            tmp: Vec::new(),
+        }
+    }
+
+    /// The configured step size.
+    pub fn step_size(&self) -> f64 {
+        self.h
+    }
+
+    /// Changes the step size (e.g. after a TDF timestep reassignment).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `h` is not strictly positive and finite.
+    pub fn set_step_size(&mut self, h: f64) {
+        assert!(h > 0.0 && h.is_finite(), "step size must be positive and finite");
+        self.h = h;
+    }
+
+    fn ensure(&mut self, n: usize) {
+        if self.k1.len() != n {
+            self.k1 = vec![0.0; n];
+            self.k2 = vec![0.0; n];
+            self.k3 = vec![0.0; n];
+            self.k4 = vec![0.0; n];
+            self.tmp = vec![0.0; n];
+        }
+    }
+
+    /// Advances `x` from `*t` to `*t + h` in place.
+    pub fn step(&mut self, f: &mut dyn OdeRhs, t: &mut f64, x: &mut [f64]) {
+        let n = x.len();
+        self.ensure(n);
+        let h = self.h;
+        match self.method {
+            OdeMethod::Euler => {
+                f.eval(*t, x, &mut self.k1);
+                for i in 0..n {
+                    x[i] += h * self.k1[i];
+                }
+            }
+            OdeMethod::Heun => {
+                f.eval(*t, x, &mut self.k1);
+                for i in 0..n {
+                    self.tmp[i] = x[i] + h * self.k1[i];
+                }
+                f.eval(*t + h, &self.tmp, &mut self.k2);
+                for i in 0..n {
+                    x[i] += h * 0.5 * (self.k1[i] + self.k2[i]);
+                }
+            }
+            OdeMethod::Rk4 => {
+                f.eval(*t, x, &mut self.k1);
+                for i in 0..n {
+                    self.tmp[i] = x[i] + 0.5 * h * self.k1[i];
+                }
+                f.eval(*t + 0.5 * h, &self.tmp, &mut self.k2);
+                for i in 0..n {
+                    self.tmp[i] = x[i] + 0.5 * h * self.k2[i];
+                }
+                f.eval(*t + 0.5 * h, &self.tmp, &mut self.k3);
+                for i in 0..n {
+                    self.tmp[i] = x[i] + h * self.k3[i];
+                }
+                f.eval(*t + h, &self.tmp, &mut self.k4);
+                for i in 0..n {
+                    x[i] += h / 6.0 * (self.k1[i] + 2.0 * self.k2[i] + 2.0 * self.k3[i] + self.k4[i]);
+                }
+            }
+        }
+        *t += h;
+    }
+
+    /// Integrates from `t0` to `t1`, returning the number of steps taken.
+    ///
+    /// The last step is shortened to land exactly on `t1`.
+    pub fn integrate(
+        &mut self,
+        f: &mut dyn OdeRhs,
+        t0: f64,
+        t1: f64,
+        x: &mut [f64],
+    ) -> usize {
+        let mut t = t0;
+        let mut steps = 0;
+        let saved_h = self.h;
+        while t < t1 {
+            if t + self.h > t1 {
+                self.h = t1 - t;
+                if self.h <= 0.0 {
+                    break;
+                }
+            }
+            self.step(f, &mut t, x);
+            steps += 1;
+        }
+        self.h = saved_h;
+        steps
+    }
+}
+
+/// Tolerances and step bounds for [`AdaptiveRkf45`].
+#[derive(Debug, Clone, Copy)]
+pub struct AdaptiveOptions {
+    /// Relative error tolerance per step.
+    pub rel_tol: f64,
+    /// Absolute error tolerance per step.
+    pub abs_tol: f64,
+    /// Smallest allowed step before reporting underflow.
+    pub min_step: f64,
+    /// Largest allowed step.
+    pub max_step: f64,
+    /// Initial step size guess.
+    pub initial_step: f64,
+}
+
+impl Default for AdaptiveOptions {
+    fn default() -> Self {
+        AdaptiveOptions {
+            rel_tol: 1e-6,
+            abs_tol: 1e-9,
+            min_step: 1e-15,
+            max_step: f64::INFINITY,
+            initial_step: 1e-6,
+        }
+    }
+}
+
+/// Statistics reported by an adaptive integration run.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct AdaptiveStats {
+    /// Steps that were accepted.
+    pub accepted: usize,
+    /// Steps that were rejected and retried with a smaller size.
+    pub rejected: usize,
+    /// Derivative evaluations performed.
+    pub evals: usize,
+}
+
+/// Adaptive Runge–Kutta–Fehlberg 4(5) integrator with PI-free step control.
+///
+/// Implements the variable-timestep requirement of the paper's phase 2
+/// ("the support of non linear DAEs and their simulation using variable
+/// time steps") for non-stiff systems; stiff systems should use the
+/// implicit methods in [`crate::implicit`].
+#[derive(Debug, Clone)]
+pub struct AdaptiveRkf45 {
+    opts: AdaptiveOptions,
+}
+
+impl AdaptiveRkf45 {
+    /// Creates an adaptive integrator with the given options.
+    pub fn new(opts: AdaptiveOptions) -> Self {
+        AdaptiveRkf45 { opts }
+    }
+
+    /// Integrates `ẋ = f(t, x)` from `t0` to `t1` in place.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MathError::StepSizeUnderflow`] if error control pushes the
+    /// step below `min_step`, and [`MathError::InvalidArgument`] if
+    /// `t1 < t0`.
+    pub fn integrate(
+        &self,
+        f: &mut dyn OdeRhs,
+        t0: f64,
+        t1: f64,
+        x: &mut [f64],
+    ) -> crate::Result<AdaptiveStats> {
+        if t1 < t0 {
+            return Err(MathError::invalid("t1 must be >= t0"));
+        }
+        let n = x.len();
+        let mut k = vec![vec![0.0; n]; 6];
+        let mut tmp = vec![0.0; n];
+        let mut x5 = vec![0.0; n];
+        let mut stats = AdaptiveStats::default();
+
+        // Fehlberg coefficients.
+        const A: [f64; 5] = [1.0 / 4.0, 3.0 / 8.0, 12.0 / 13.0, 1.0, 1.0 / 2.0];
+        const B: [[f64; 5]; 5] = [
+            [1.0 / 4.0, 0.0, 0.0, 0.0, 0.0],
+            [3.0 / 32.0, 9.0 / 32.0, 0.0, 0.0, 0.0],
+            [1932.0 / 2197.0, -7200.0 / 2197.0, 7296.0 / 2197.0, 0.0, 0.0],
+            [439.0 / 216.0, -8.0, 3680.0 / 513.0, -845.0 / 4104.0, 0.0],
+            [-8.0 / 27.0, 2.0, -3544.0 / 2565.0, 1859.0 / 4104.0, -11.0 / 40.0],
+        ];
+        // 4th-order solution weights.
+        const C4: [f64; 6] = [25.0 / 216.0, 0.0, 1408.0 / 2565.0, 2197.0 / 4104.0, -1.0 / 5.0, 0.0];
+        // 5th-order solution weights.
+        const C5: [f64; 6] = [
+            16.0 / 135.0,
+            0.0,
+            6656.0 / 12825.0,
+            28561.0 / 56430.0,
+            -9.0 / 50.0,
+            2.0 / 55.0,
+        ];
+
+        let mut t = t0;
+        let mut h = self.opts.initial_step.min(t1 - t0).max(self.opts.min_step);
+        if t1 == t0 {
+            return Ok(stats);
+        }
+
+        while t < t1 {
+            if t + h > t1 {
+                h = t1 - t;
+            }
+            // Stage evaluations.
+            f.eval(t, x, &mut k[0]);
+            stats.evals += 1;
+            for s in 0..5 {
+                for i in 0..n {
+                    let mut acc = x[i];
+                    for (j, kj) in k.iter().enumerate().take(s + 1) {
+                        acc += h * B[s][j] * kj[i];
+                    }
+                    tmp[i] = acc;
+                }
+                f.eval(t + A[s] * h, &tmp, &mut k[s + 1]);
+                stats.evals += 1;
+            }
+            // 4th/5th order candidates and error estimate.
+            let mut err = 0.0f64;
+            for i in 0..n {
+                let mut y4 = x[i];
+                let mut y5 = x[i];
+                for (s, ks) in k.iter().enumerate() {
+                    y4 += h * C4[s] * ks[i];
+                    y5 += h * C5[s] * ks[i];
+                }
+                x5[i] = y5;
+                let scale = self.opts.abs_tol + self.opts.rel_tol * x[i].abs().max(y5.abs());
+                err = err.max(((y5 - y4) / scale).abs());
+            }
+
+            if err <= 1.0 || h <= self.opts.min_step {
+                // Accept (propagate the higher-order solution).
+                x.copy_from_slice(&x5);
+                t += h;
+                stats.accepted += 1;
+            } else {
+                stats.rejected += 1;
+            }
+
+            // Step-size update with safety factor and growth clamps.
+            let factor = if err > 0.0 {
+                (0.9 * err.powf(-0.2)).clamp(0.2, 5.0)
+            } else {
+                5.0
+            };
+            h = (h * factor).clamp(self.opts.min_step, self.opts.max_step);
+            if h <= self.opts.min_step && err > 1.0 {
+                return Err(MathError::StepSizeUnderflow { time: t, step: h });
+            }
+        }
+        Ok(stats)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn decay(_t: f64, x: &[f64], dx: &mut [f64]) {
+        dx[0] = -x[0];
+    }
+
+    fn run_fixed(method: OdeMethod, h: f64) -> f64 {
+        let mut x = vec![1.0];
+        let mut s = FixedStep::new(method, h);
+        s.integrate(&mut decay, 0.0, 1.0, &mut x);
+        (x[0] - (-1.0f64).exp()).abs()
+    }
+
+    #[test]
+    fn euler_first_order_convergence() {
+        let e1 = run_fixed(OdeMethod::Euler, 1e-2);
+        let e2 = run_fixed(OdeMethod::Euler, 5e-3);
+        let ratio = e1 / e2;
+        assert!((1.6..2.4).contains(&ratio), "euler order ratio {ratio}");
+    }
+
+    #[test]
+    fn heun_second_order_convergence() {
+        let e1 = run_fixed(OdeMethod::Heun, 1e-2);
+        let e2 = run_fixed(OdeMethod::Heun, 5e-3);
+        let ratio = e1 / e2;
+        assert!((3.5..4.5).contains(&ratio), "heun order ratio {ratio}");
+    }
+
+    #[test]
+    fn rk4_fourth_order_convergence() {
+        let e1 = run_fixed(OdeMethod::Rk4, 1e-2);
+        let e2 = run_fixed(OdeMethod::Rk4, 5e-3);
+        let ratio = e1 / e2;
+        assert!((12.0..20.0).contains(&ratio), "rk4 order ratio {ratio}");
+    }
+
+    #[test]
+    fn integrate_lands_exactly_on_t1() {
+        let mut x = vec![1.0];
+        let mut s = FixedStep::new(OdeMethod::Rk4, 0.3);
+        let steps = s.integrate(&mut decay, 0.0, 1.0, &mut x);
+        assert_eq!(steps, 4); // 0.3 + 0.3 + 0.3 + 0.1
+        assert!((x[0] - (-1.0f64).exp()).abs() < 1e-4);
+        assert_eq!(s.step_size(), 0.3, "step size restored after clamped last step");
+    }
+
+    #[test]
+    fn harmonic_oscillator_energy_rk4() {
+        // ẍ = -x as a first-order system; RK4 should conserve energy well.
+        let mut f = |_t: f64, x: &[f64], dx: &mut [f64]| {
+            dx[0] = x[1];
+            dx[1] = -x[0];
+        };
+        let mut x = vec![1.0, 0.0];
+        let mut s = FixedStep::new(OdeMethod::Rk4, 1e-3);
+        s.integrate(&mut f, 0.0, 2.0 * std::f64::consts::PI, &mut x);
+        assert!((x[0] - 1.0).abs() < 1e-8);
+        assert!(x[1].abs() < 1e-8);
+    }
+
+    #[test]
+    fn adaptive_matches_analytic() {
+        let rkf = AdaptiveRkf45::new(AdaptiveOptions {
+            rel_tol: 1e-9,
+            abs_tol: 1e-12,
+            ..AdaptiveOptions::default()
+        });
+        let mut x = vec![1.0];
+        let stats = rkf.integrate(&mut decay, 0.0, 3.0, &mut x).unwrap();
+        assert!((x[0] - (-3.0f64).exp()).abs() < 1e-8);
+        assert!(stats.accepted > 0);
+    }
+
+    #[test]
+    fn adaptive_takes_fewer_steps_on_smooth_regions() {
+        // A pulse-like RHS: fast transient then flat. Adaptive should take
+        // far fewer steps than a fixed-step integrator of equal accuracy.
+        let mut f = |t: f64, x: &[f64], dx: &mut [f64]| {
+            dx[0] = -100.0 * (x[0] - 1.0) * (-t).exp();
+        };
+        let rkf = AdaptiveRkf45::new(AdaptiveOptions {
+            rel_tol: 1e-6,
+            abs_tol: 1e-9,
+            initial_step: 1e-4,
+            ..AdaptiveOptions::default()
+        });
+        let mut x = vec![0.0];
+        let stats = rkf.integrate(&mut f, 0.0, 10.0, &mut x).unwrap();
+        assert!(
+            stats.accepted < 2000,
+            "adaptive used too many steps: {}",
+            stats.accepted
+        );
+        assert!((x[0] - 1.0).abs() < 1e-4);
+    }
+
+    #[test]
+    fn adaptive_rejects_reverse_time() {
+        let rkf = AdaptiveRkf45::new(AdaptiveOptions::default());
+        let mut x = vec![1.0];
+        assert!(rkf.integrate(&mut decay, 1.0, 0.0, &mut x).is_err());
+    }
+
+    #[test]
+    fn adaptive_zero_span_is_noop() {
+        let rkf = AdaptiveRkf45::new(AdaptiveOptions::default());
+        let mut x = vec![1.0];
+        let stats = rkf.integrate(&mut decay, 1.0, 1.0, &mut x).unwrap();
+        assert_eq!(stats.accepted, 0);
+        assert_eq!(x[0], 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_step_size_panics() {
+        let _ = FixedStep::new(OdeMethod::Euler, 0.0);
+    }
+}

@@ -1,0 +1,432 @@
+use crate::{Complex64, MathError};
+use std::fmt;
+use std::ops::{Add, Mul, Sub};
+
+/// A real-coefficient polynomial in ascending order of powers:
+/// `c[0] + c[1]·x + c[2]·x² + …`.
+///
+/// Used for the numerator/denominator of Laplace transfer functions and
+/// for converting between zero-pole and rational forms. Root finding uses
+/// the Durand–Kerner (Weierstrass) simultaneous iteration, which is robust
+/// for the modest degrees (≲ 20) typical of behavioural AMS models.
+///
+/// # Example
+///
+/// ```
+/// use ams_math::Poly;
+///
+/// // x² - 3x + 2 = (x - 1)(x - 2)
+/// let p = Poly::new(vec![2.0, -3.0, 1.0]);
+/// let mut roots: Vec<f64> = p.roots().unwrap().iter().map(|r| r.re).collect();
+/// roots.sort_by(f64::total_cmp);
+/// assert!((roots[0] - 1.0).abs() < 1e-9 && (roots[1] - 2.0).abs() < 1e-9);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Poly {
+    coeffs: Vec<f64>,
+}
+
+impl Poly {
+    /// Creates a polynomial from ascending coefficients, trimming
+    /// (exactly) zero leading terms.
+    pub fn new(coeffs: Vec<f64>) -> Self {
+        let mut p = Poly { coeffs };
+        p.trim();
+        p
+    }
+
+    /// The zero polynomial.
+    pub fn zero() -> Self {
+        Poly { coeffs: vec![0.0] }
+    }
+
+    /// The constant polynomial `1`.
+    pub fn one() -> Self {
+        Poly { coeffs: vec![1.0] }
+    }
+
+    /// Builds the monic polynomial with the given real roots:
+    /// `∏ (x - rᵢ)`.
+    pub fn from_real_roots(roots: &[f64]) -> Self {
+        let mut p = Poly::one();
+        for &r in roots {
+            p = &p * &Poly::new(vec![-r, 1.0]);
+        }
+        p
+    }
+
+    /// Builds a real polynomial from complex roots.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MathError::InvalidArgument`] if the roots are not closed
+    /// under conjugation (within `tol`), since the result must have real
+    /// coefficients.
+    pub fn from_complex_roots(roots: &[Complex64], tol: f64) -> crate::Result<Self> {
+        // Multiply out in complex arithmetic, then check imaginary residue.
+        let mut c = vec![Complex64::ONE];
+        for &r in roots {
+            let mut next = vec![Complex64::ZERO; c.len() + 1];
+            for (i, &ci) in c.iter().enumerate() {
+                next[i + 1] += ci;
+                next[i] -= ci * r;
+            }
+            c = next;
+        }
+        let scale = c.iter().map(|z| z.abs()).fold(1.0, f64::max);
+        let mut coeffs = Vec::with_capacity(c.len());
+        for z in &c {
+            if z.im.abs() > tol * scale {
+                return Err(MathError::invalid(format!(
+                    "roots are not conjugate-symmetric (imaginary residue {:.3e})",
+                    z.im
+                )));
+            }
+            coeffs.push(z.re);
+        }
+        Ok(Poly::new(coeffs))
+    }
+
+    /// Degree of the polynomial (0 for constants, including zero).
+    pub fn degree(&self) -> usize {
+        self.coeffs.len() - 1
+    }
+
+    /// Ascending coefficients.
+    pub fn coeffs(&self) -> &[f64] {
+        &self.coeffs
+    }
+
+    /// Leading (highest-power) coefficient.
+    pub fn leading(&self) -> f64 {
+        *self.coeffs.last().expect("poly always has a coefficient")
+    }
+
+    /// Returns `true` if this is the zero polynomial.
+    pub fn is_zero(&self) -> bool {
+        self.coeffs.len() == 1 && self.coeffs[0] == 0.0
+    }
+
+    /// Evaluates at a real point via Horner's rule.
+    pub fn eval(&self, x: f64) -> f64 {
+        self.coeffs.iter().rev().fold(0.0, |acc, &c| acc * x + c)
+    }
+
+    /// Evaluates at a complex point via Horner's rule (used for `s = jω`).
+    pub fn eval_complex(&self, s: Complex64) -> Complex64 {
+        self.coeffs
+            .iter()
+            .rev()
+            .fold(Complex64::ZERO, |acc, &c| acc * s + c)
+    }
+
+    /// Returns the derivative polynomial.
+    pub fn derivative(&self) -> Poly {
+        if self.coeffs.len() <= 1 {
+            return Poly::zero();
+        }
+        Poly::new(
+            self.coeffs[1..]
+                .iter()
+                .enumerate()
+                .map(|(i, &c)| c * (i + 1) as f64)
+                .collect(),
+        )
+    }
+
+    /// Scales all coefficients by `k`.
+    pub fn scale(&self, k: f64) -> Poly {
+        Poly::new(self.coeffs.iter().map(|&c| c * k).collect())
+    }
+
+    /// Substitutes `x → k·x`, i.e. returns `p(k·x)` (frequency scaling).
+    pub fn scale_arg(&self, k: f64) -> Poly {
+        let mut pow = 1.0;
+        Poly::new(
+            self.coeffs
+                .iter()
+                .map(|&c| {
+                    let v = c * pow;
+                    pow *= k;
+                    v
+                })
+                .collect(),
+        )
+    }
+
+    /// Finds all complex roots with the Durand–Kerner iteration.
+    ///
+    /// # Errors
+    ///
+    /// * [`MathError::InvalidArgument`] for the zero polynomial.
+    /// * [`MathError::NoConvergence`] if the iteration fails (rare; the
+    ///   iteration is started from a scaled non-real geometric sequence).
+    pub fn roots(&self) -> crate::Result<Vec<Complex64>> {
+        if self.is_zero() {
+            return Err(MathError::invalid("zero polynomial has no defined roots"));
+        }
+        let n = self.degree();
+        if n == 0 {
+            return Ok(Vec::new());
+        }
+        // Normalize to a monic polynomial in complex arithmetic.
+        let lead = self.leading();
+        let monic: Vec<Complex64> = self
+            .coeffs
+            .iter()
+            .map(|&c| Complex64::from_real(c / lead))
+            .collect();
+
+        // Cauchy bound for root magnitude gives the start radius.
+        let bound = 1.0
+            + monic[..n]
+                .iter()
+                .map(|c| c.abs())
+                .fold(0.0, f64::max);
+        let radius = bound.min(1e6).max(1e-3);
+
+        let eval = |z: Complex64| -> Complex64 {
+            monic.iter().rev().fold(Complex64::ZERO, |acc, &c| acc * z + c)
+        };
+
+        // Start points: z_k = r · (0.4 + 0.9j)^k (classic non-symmetric seed).
+        let seed = Complex64::new(0.4, 0.9);
+        let mut z: Vec<Complex64> = (0..n)
+            .map(|k| seed.powi(k as i32 + 1).scale(radius))
+            .collect();
+
+        const MAX_ITER: usize = 500;
+        let tol = 1e-13 * radius.max(1.0);
+        for _ in 0..MAX_ITER {
+            let mut max_step = 0.0f64;
+            for i in 0..n {
+                let mut denom = Complex64::ONE;
+                for j in 0..n {
+                    if j != i {
+                        denom *= z[i] - z[j];
+                    }
+                }
+                if denom.abs() == 0.0 {
+                    // Perturb coincident estimates.
+                    z[i] += Complex64::new(1e-8 * radius, 1e-8 * radius);
+                    continue;
+                }
+                let step = eval(z[i]) / denom;
+                z[i] -= step;
+                max_step = max_step.max(step.abs());
+            }
+            if max_step < tol {
+                // Snap near-real roots to the real axis for cleanliness.
+                for r in &mut z {
+                    if r.im.abs() < 1e-8 * (1.0 + r.re.abs()) {
+                        r.im = 0.0;
+                    }
+                }
+                return Ok(z);
+            }
+        }
+        Err(MathError::NoConvergence {
+            iterations: MAX_ITER,
+            residual: z.iter().map(|&zi| eval(zi).abs()).fold(0.0, f64::max),
+        })
+    }
+}
+
+impl Poly {
+    fn trim(&mut self) {
+        while self.coeffs.len() > 1 && *self.coeffs.last().expect("nonempty") == 0.0 {
+            self.coeffs.pop();
+        }
+        if self.coeffs.is_empty() {
+            self.coeffs.push(0.0);
+        }
+    }
+}
+
+impl Default for Poly {
+    fn default() -> Self {
+        Poly::zero()
+    }
+}
+
+impl fmt::Display for Poly {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut first = true;
+        for (i, &c) in self.coeffs.iter().enumerate().rev() {
+            if c == 0.0 && self.coeffs.len() > 1 {
+                continue;
+            }
+            if !first {
+                write!(f, " {} ", if c < 0.0 { "-" } else { "+" })?;
+            } else if c < 0.0 {
+                write!(f, "-")?;
+            }
+            let a = c.abs();
+            match i {
+                0 => write!(f, "{a}")?,
+                1 => write!(f, "{a}·x")?,
+                _ => write!(f, "{a}·x^{i}")?,
+            }
+            first = false;
+        }
+        if first {
+            write!(f, "0")?;
+        }
+        Ok(())
+    }
+}
+
+impl Add for &Poly {
+    type Output = Poly;
+    fn add(self, rhs: &Poly) -> Poly {
+        let n = self.coeffs.len().max(rhs.coeffs.len());
+        let mut c = vec![0.0; n];
+        for (i, &a) in self.coeffs.iter().enumerate() {
+            c[i] += a;
+        }
+        for (i, &b) in rhs.coeffs.iter().enumerate() {
+            c[i] += b;
+        }
+        Poly::new(c)
+    }
+}
+
+impl Sub for &Poly {
+    type Output = Poly;
+    fn sub(self, rhs: &Poly) -> Poly {
+        let n = self.coeffs.len().max(rhs.coeffs.len());
+        let mut c = vec![0.0; n];
+        for (i, &a) in self.coeffs.iter().enumerate() {
+            c[i] += a;
+        }
+        for (i, &b) in rhs.coeffs.iter().enumerate() {
+            c[i] -= b;
+        }
+        Poly::new(c)
+    }
+}
+
+impl Mul for &Poly {
+    type Output = Poly;
+    fn mul(self, rhs: &Poly) -> Poly {
+        let mut c = vec![0.0; self.coeffs.len() + rhs.coeffs.len() - 1];
+        for (i, &a) in self.coeffs.iter().enumerate() {
+            if a == 0.0 {
+                continue;
+            }
+            for (j, &b) in rhs.coeffs.iter().enumerate() {
+                c[i + j] += a * b;
+            }
+        }
+        Poly::new(c)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arithmetic_and_eval() {
+        let p = Poly::new(vec![1.0, 2.0, 3.0]); // 1 + 2x + 3x²
+        let q = Poly::new(vec![0.0, 1.0]); // x
+        assert_eq!((&p + &q).coeffs(), &[1.0, 3.0, 3.0]);
+        assert_eq!((&p - &q).coeffs(), &[1.0, 1.0, 3.0]);
+        assert_eq!((&p * &q).coeffs(), &[0.0, 1.0, 2.0, 3.0]);
+        assert_eq!(p.eval(2.0), 1.0 + 4.0 + 12.0);
+    }
+
+    #[test]
+    fn trim_removes_leading_zeros() {
+        let p = Poly::new(vec![1.0, 0.0, 0.0]);
+        assert_eq!(p.degree(), 0);
+        assert_eq!(p.coeffs(), &[1.0]);
+    }
+
+    #[test]
+    fn derivative() {
+        let p = Poly::new(vec![1.0, 2.0, 3.0]); // 1 + 2x + 3x²
+        assert_eq!(p.derivative().coeffs(), &[2.0, 6.0]);
+        assert_eq!(Poly::new(vec![5.0]).derivative().coeffs(), &[0.0]);
+    }
+
+    #[test]
+    fn real_roots_found() {
+        let p = Poly::from_real_roots(&[1.0, 2.0, -3.0]);
+        let mut roots: Vec<f64> = p.roots().unwrap().iter().map(|r| r.re).collect();
+        roots.sort_by(f64::total_cmp);
+        assert!((roots[0] + 3.0).abs() < 1e-8);
+        assert!((roots[1] - 1.0).abs() < 1e-8);
+        assert!((roots[2] - 2.0).abs() < 1e-8);
+    }
+
+    #[test]
+    fn complex_conjugate_roots_found() {
+        // x² + 2x + 5 has roots -1 ± 2j
+        let p = Poly::new(vec![5.0, 2.0, 1.0]);
+        let roots = p.roots().unwrap();
+        assert_eq!(roots.len(), 2);
+        for r in roots {
+            assert!((r.re + 1.0).abs() < 1e-8);
+            assert!((r.im.abs() - 2.0).abs() < 1e-8);
+        }
+    }
+
+    #[test]
+    fn from_complex_roots_roundtrip() {
+        let roots = [Complex64::new(-1.0, 2.0), Complex64::new(-1.0, -2.0)];
+        let p = Poly::from_complex_roots(&roots, 1e-9).unwrap();
+        assert!((p.coeffs()[0] - 5.0).abs() < 1e-12);
+        assert!((p.coeffs()[1] - 2.0).abs() < 1e-12);
+        assert!((p.coeffs()[2] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn from_complex_roots_rejects_asymmetric() {
+        let roots = [Complex64::new(0.0, 1.0)]; // lone imaginary root
+        assert!(Poly::from_complex_roots(&roots, 1e-9).is_err());
+    }
+
+    #[test]
+    fn zero_poly_roots_error() {
+        assert!(Poly::zero().roots().is_err());
+        assert!(Poly::new(vec![3.0]).roots().unwrap().is_empty());
+    }
+
+    #[test]
+    fn eval_complex_matches_real() {
+        let p = Poly::new(vec![1.0, -2.0, 0.5]);
+        let x = 1.7;
+        let z = p.eval_complex(Complex64::from_real(x));
+        assert!((z.re - p.eval(x)).abs() < 1e-12);
+        assert!(z.im.abs() < 1e-12);
+    }
+
+    #[test]
+    fn scale_arg_scales_frequency() {
+        // p(x) = x, p(2x) = 2x
+        let p = Poly::new(vec![0.0, 1.0]);
+        assert_eq!(p.scale_arg(2.0).coeffs(), &[0.0, 2.0]);
+        // p(x) = x², p(3x) = 9x²
+        let p = Poly::new(vec![0.0, 0.0, 1.0]);
+        assert_eq!(p.scale_arg(3.0).coeffs(), &[0.0, 0.0, 9.0]);
+    }
+
+    #[test]
+    fn high_degree_root_finding() {
+        // Wilkinson-lite: roots 1..=8
+        let roots_in: Vec<f64> = (1..=8).map(|k| k as f64).collect();
+        let p = Poly::from_real_roots(&roots_in);
+        let mut roots: Vec<f64> = p.roots().unwrap().iter().map(|r| r.re).collect();
+        roots.sort_by(f64::total_cmp);
+        for (got, want) in roots.iter().zip(roots_in.iter()) {
+            assert!((got - want).abs() < 1e-5, "got {got}, want {want}");
+        }
+    }
+
+    #[test]
+    fn display_is_readable() {
+        let p = Poly::new(vec![1.0, -2.0, 3.0]);
+        assert_eq!(p.to_string(), "3·x^2 - 2·x + 1");
+    }
+}

@@ -1,0 +1,283 @@
+use crate::MathError;
+use std::cmp::Ordering;
+use std::fmt;
+use std::ops::{Add, Div, Mul, Sub};
+
+/// An exact non-negative rational number over `u64`.
+///
+/// Synchronous-dataflow balance equations and timed-dataflow timestep
+/// propagation must be solved *exactly* — floating point would make rate
+/// consistency checks flaky. Rationals are kept in lowest terms with a
+/// non-zero denominator.
+///
+/// # Example
+///
+/// ```
+/// use ams_math::Rational;
+///
+/// # fn main() -> Result<(), ams_math::MathError> {
+/// let a = Rational::new(2, 4)?;
+/// assert_eq!(a, Rational::new(1, 2)?);
+/// assert_eq!((a * Rational::from_int(6)).numer(), 3);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Rational {
+    numer: u64,
+    denom: u64,
+}
+
+/// Greatest common divisor (Euclid). `gcd(0, 0)` is defined as 0.
+pub fn gcd(mut a: u64, mut b: u64) -> u64 {
+    while b != 0 {
+        let t = a % b;
+        a = b;
+        b = t;
+    }
+    a
+}
+
+/// Least common multiple. Panics on overflow in debug builds.
+pub fn lcm(a: u64, b: u64) -> u64 {
+    if a == 0 || b == 0 {
+        return 0;
+    }
+    a / gcd(a, b) * b
+}
+
+impl Rational {
+    /// The rational zero.
+    pub const ZERO: Rational = Rational { numer: 0, denom: 1 };
+    /// The rational one.
+    pub const ONE: Rational = Rational { numer: 1, denom: 1 };
+
+    /// Creates `numer/denom` reduced to lowest terms.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MathError::InvalidArgument`] if `denom == 0`.
+    pub fn new(numer: u64, denom: u64) -> crate::Result<Self> {
+        if denom == 0 {
+            return Err(MathError::invalid("rational denominator must be non-zero"));
+        }
+        let g = gcd(numer, denom).max(1);
+        Ok(Rational {
+            numer: numer / g,
+            denom: denom / g,
+        })
+    }
+
+    /// Creates an integer rational `n/1`.
+    pub const fn from_int(n: u64) -> Self {
+        Rational { numer: n, denom: 1 }
+    }
+
+    /// Numerator (in lowest terms).
+    pub fn numer(self) -> u64 {
+        self.numer
+    }
+
+    /// Denominator (in lowest terms, always ≥ 1).
+    pub fn denom(self) -> u64 {
+        self.denom
+    }
+
+    /// Returns `true` if the value is zero.
+    pub fn is_zero(self) -> bool {
+        self.numer == 0
+    }
+
+    /// Returns `true` if the value is a whole number.
+    pub fn is_integer(self) -> bool {
+        self.denom == 1
+    }
+
+    /// Converts to `f64` (approximately, for display/diagnostics only).
+    pub fn to_f64(self) -> f64 {
+        self.numer as f64 / self.denom as f64
+    }
+
+    /// Multiplicative inverse.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MathError::InvalidArgument`] for zero.
+    pub fn recip(self) -> crate::Result<Self> {
+        Rational::new(self.denom, self.numer)
+    }
+
+    /// Checked subtraction; `None` if the result would be negative.
+    pub fn checked_sub(self, rhs: Rational) -> Option<Rational> {
+        let l = self.numer.checked_mul(rhs.denom)?;
+        let r = rhs.numer.checked_mul(self.denom)?;
+        if l < r {
+            return None;
+        }
+        Some(
+            Rational::new(l - r, self.denom.checked_mul(rhs.denom)?)
+                .expect("denominators are non-zero"),
+        )
+    }
+}
+
+impl Default for Rational {
+    fn default() -> Self {
+        Rational::ZERO
+    }
+}
+
+impl fmt::Display for Rational {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.denom == 1 {
+            write!(f, "{}", self.numer)
+        } else {
+            write!(f, "{}/{}", self.numer, self.denom)
+        }
+    }
+}
+
+impl Add for Rational {
+    type Output = Rational;
+    fn add(self, rhs: Rational) -> Rational {
+        // Reduce via gcd of denominators first to delay overflow.
+        let g = gcd(self.denom, rhs.denom).max(1);
+        let d = self.denom / g * rhs.denom;
+        let n = self.numer * (rhs.denom / g) + rhs.numer * (self.denom / g);
+        Rational::new(n, d).expect("denominator non-zero")
+    }
+}
+
+impl Sub for Rational {
+    type Output = Rational;
+    /// # Panics
+    ///
+    /// Panics if the result would be negative (use
+    /// [`Rational::checked_sub`] to handle that case).
+    fn sub(self, rhs: Rational) -> Rational {
+        self.checked_sub(rhs)
+            .expect("rational subtraction underflow (result would be negative)")
+    }
+}
+
+impl Mul for Rational {
+    type Output = Rational;
+    fn mul(self, rhs: Rational) -> Rational {
+        // Cross-reduce before multiplying to avoid overflow.
+        let g1 = gcd(self.numer, rhs.denom).max(1);
+        let g2 = gcd(rhs.numer, self.denom).max(1);
+        Rational::new(
+            (self.numer / g1) * (rhs.numer / g2),
+            (self.denom / g2) * (rhs.denom / g1),
+        )
+        .expect("denominator non-zero")
+    }
+}
+
+impl Div for Rational {
+    type Output = Rational;
+    /// # Panics
+    ///
+    /// Panics when dividing by zero.
+    fn div(self, rhs: Rational) -> Rational {
+        self * rhs.recip().expect("division by rational zero")
+    }
+}
+
+impl PartialOrd for Rational {
+    fn partial_cmp(&self, other: &Rational) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Rational {
+    fn cmp(&self, other: &Rational) -> Ordering {
+        // Compare a/b vs c/d as a·d vs c·b using u128 to avoid overflow.
+        let l = self.numer as u128 * other.denom as u128;
+        let r = other.numer as u128 * self.denom as u128;
+        l.cmp(&r)
+    }
+}
+
+/// Computes the least common multiple of the denominators of a slice of
+/// rationals — the scaling that turns them all into integers (used to get
+/// the minimal SDF repetition vector).
+pub fn common_denominator(xs: &[Rational]) -> u64 {
+    xs.iter().fold(1, |acc, r| lcm(acc, r.denom()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reduction_to_lowest_terms() {
+        let r = Rational::new(6, 8).unwrap();
+        assert_eq!((r.numer(), r.denom()), (3, 4));
+        assert_eq!(Rational::new(0, 5).unwrap(), Rational::ZERO);
+    }
+
+    #[test]
+    fn zero_denominator_rejected() {
+        assert!(Rational::new(1, 0).is_err());
+        assert!(Rational::ZERO.recip().is_err());
+    }
+
+    #[test]
+    fn arithmetic() {
+        let a = Rational::new(1, 2).unwrap();
+        let b = Rational::new(1, 3).unwrap();
+        assert_eq!(a + b, Rational::new(5, 6).unwrap());
+        assert_eq!(a - b, Rational::new(1, 6).unwrap());
+        assert_eq!(a * b, Rational::new(1, 6).unwrap());
+        assert_eq!(a / b, Rational::new(3, 2).unwrap());
+    }
+
+    #[test]
+    fn subtraction_underflow_is_checked() {
+        let a = Rational::new(1, 3).unwrap();
+        let b = Rational::new(1, 2).unwrap();
+        assert!(a.checked_sub(b).is_none());
+    }
+
+    #[test]
+    fn ordering() {
+        let a = Rational::new(2, 3).unwrap();
+        let b = Rational::new(3, 4).unwrap();
+        assert!(a < b);
+        assert!(Rational::ONE > b);
+        assert_eq!(a.cmp(&a), Ordering::Equal);
+    }
+
+    #[test]
+    fn gcd_lcm() {
+        assert_eq!(gcd(12, 18), 6);
+        assert_eq!(gcd(0, 7), 7);
+        assert_eq!(gcd(0, 0), 0);
+        assert_eq!(lcm(4, 6), 12);
+        assert_eq!(lcm(0, 6), 0);
+    }
+
+    #[test]
+    fn common_denominator_of_rates() {
+        let xs = [
+            Rational::new(1, 2).unwrap(),
+            Rational::new(1, 3).unwrap(),
+            Rational::new(5, 6).unwrap(),
+        ];
+        assert_eq!(common_denominator(&xs), 6);
+    }
+
+    #[test]
+    fn cross_reduction_avoids_overflow() {
+        let big = Rational::new(u64::MAX / 2, 3).unwrap();
+        let r = big * Rational::new(3, u64::MAX / 2).unwrap();
+        assert_eq!(r, Rational::ONE);
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Rational::new(3, 4).unwrap().to_string(), "3/4");
+        assert_eq!(Rational::from_int(7).to_string(), "7");
+    }
+}

@@ -1,0 +1,172 @@
+//! Running statistics for waveform post-processing.
+//!
+//! Used by the examples and benches to summarize simulated waveforms
+//! (ripple, RMS, settling) without storing full traces.
+
+/// Single-pass accumulator using Welford's algorithm for numerically
+/// stable mean/variance, plus min/max and RMS.
+///
+/// # Example
+///
+/// ```
+/// use ams_math::stats::Running;
+///
+/// let mut r = Running::new();
+/// for x in [1.0, 2.0, 3.0] {
+///     r.add(x);
+/// }
+/// assert_eq!(r.mean(), 2.0);
+/// assert_eq!(r.max(), 3.0);
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct Running {
+    n: u64,
+    mean: f64,
+    m2: f64,
+    sum_sq: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Running {
+    /// Creates an empty accumulator.
+    pub fn new() -> Self {
+        Running {
+            n: 0,
+            mean: 0.0,
+            m2: 0.0,
+            sum_sq: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Adds a sample.
+    pub fn add(&mut self, x: f64) {
+        self.n += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.n as f64;
+        self.m2 += delta * (x - self.mean);
+        self.sum_sq += x * x;
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Number of samples seen.
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    /// Arithmetic mean (0 for an empty accumulator).
+    pub fn mean(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.mean
+        }
+    }
+
+    /// Population variance (0 for fewer than two samples).
+    pub fn variance(&self) -> f64 {
+        if self.n < 2 {
+            0.0
+        } else {
+            self.m2 / self.n as f64
+        }
+    }
+
+    /// Population standard deviation.
+    pub fn std_dev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// Root-mean-square value.
+    pub fn rms(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            (self.sum_sq / self.n as f64).sqrt()
+        }
+    }
+
+    /// Smallest sample (+∞ for an empty accumulator).
+    pub fn min(&self) -> f64 {
+        self.min
+    }
+
+    /// Largest sample (−∞ for an empty accumulator).
+    pub fn max(&self) -> f64 {
+        self.max
+    }
+
+    /// Peak-to-peak range (0 for an empty accumulator).
+    pub fn peak_to_peak(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.max - self.min
+        }
+    }
+}
+
+impl FromIterator<f64> for Running {
+    fn from_iter<I: IntoIterator<Item = f64>>(iter: I) -> Self {
+        let mut r = Running::new();
+        for x in iter {
+            r.add(x);
+        }
+        r
+    }
+}
+
+/// Converts a power ratio to decibels (`10·log10`).
+pub fn to_db_power(ratio: f64) -> f64 {
+    10.0 * ratio.log10()
+}
+
+/// Converts an amplitude ratio to decibels (`20·log10`).
+pub fn to_db_amplitude(ratio: f64) -> f64 {
+    20.0 * ratio.log10()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basics() {
+        let r: Running = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0].into_iter().collect();
+        assert_eq!(r.count(), 8);
+        assert!((r.mean() - 5.0).abs() < 1e-12);
+        assert!((r.variance() - 4.0).abs() < 1e-12);
+        assert!((r.std_dev() - 2.0).abs() < 1e-12);
+        assert_eq!(r.min(), 2.0);
+        assert_eq!(r.max(), 9.0);
+        assert_eq!(r.peak_to_peak(), 7.0);
+    }
+
+    #[test]
+    fn rms_of_sine_is_amplitude_over_sqrt2() {
+        let n = 10_000;
+        let r: Running = (0..n)
+            .map(|i| (2.0 * std::f64::consts::PI * i as f64 / n as f64).sin())
+            .collect();
+        assert!((r.rms() - std::f64::consts::FRAC_1_SQRT_2).abs() < 1e-3);
+        assert!(r.mean().abs() < 1e-10);
+    }
+
+    #[test]
+    fn empty_is_benign() {
+        let r = Running::new();
+        assert_eq!(r.mean(), 0.0);
+        assert_eq!(r.variance(), 0.0);
+        assert_eq!(r.rms(), 0.0);
+        assert_eq!(r.peak_to_peak(), 0.0);
+    }
+
+    #[test]
+    fn db_conversions() {
+        assert!((to_db_power(100.0) - 20.0).abs() < 1e-12);
+        assert!((to_db_amplitude(10.0) - 20.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,208 @@
+//! Property-based tests of the numerical kernels, beyond the unit tests:
+//! algebraic laws, round-trips and invariants over randomized inputs.
+
+use ams_math::{fft, Complex64, DMat, DVec, Lu, Poly, Rational};
+use proptest::prelude::*;
+
+fn finite_f64(range: std::ops::Range<f64>) -> impl Strategy<Value = f64> {
+    range.prop_filter("finite", |v| v.is_finite())
+}
+
+proptest! {
+    // ---------- complex field laws ----------------------------------------
+
+    #[test]
+    fn complex_field_laws(
+        ar in finite_f64(-100.0..100.0), ai in finite_f64(-100.0..100.0),
+        br in finite_f64(-100.0..100.0), bi in finite_f64(-100.0..100.0),
+        cr in finite_f64(-100.0..100.0), ci in finite_f64(-100.0..100.0),
+    ) {
+        let a = Complex64::new(ar, ai);
+        let b = Complex64::new(br, bi);
+        let c = Complex64::new(cr, ci);
+        let close = |x: Complex64, y: Complex64| (x - y).abs() < 1e-9 * (1.0 + x.abs() + y.abs());
+        prop_assert!(close(a + b, b + a));
+        prop_assert!(close(a * b, b * a));
+        prop_assert!(close(a * (b + c), a * b + a * c));
+        prop_assert!(close((a * b) * c, a * (b * c)));
+        if b.abs() > 1e-6 {
+            prop_assert!(close(a / b * b, a));
+        }
+    }
+
+    #[test]
+    fn complex_modulus_is_multiplicative(
+        ar in finite_f64(-50.0..50.0), ai in finite_f64(-50.0..50.0),
+        br in finite_f64(-50.0..50.0), bi in finite_f64(-50.0..50.0),
+    ) {
+        let a = Complex64::new(ar, ai);
+        let b = Complex64::new(br, bi);
+        let lhs = (a * b).abs();
+        let rhs = a.abs() * b.abs();
+        prop_assert!((lhs - rhs).abs() < 1e-9 * (1.0 + rhs));
+    }
+
+    // ---------- polynomials -------------------------------------------------
+
+    #[test]
+    fn poly_ring_laws(
+        pa in proptest::collection::vec(finite_f64(-10.0..10.0), 1..6),
+        pb in proptest::collection::vec(finite_f64(-10.0..10.0), 1..6),
+        x in finite_f64(-3.0..3.0),
+    ) {
+        let a = Poly::new(pa);
+        let b = Poly::new(pb);
+        // Evaluation is a ring homomorphism.
+        let sum = &a + &b;
+        let prod = &a * &b;
+        prop_assert!((sum.eval(x) - (a.eval(x) + b.eval(x))).abs() < 1e-6);
+        prop_assert!((prod.eval(x) - a.eval(x) * b.eval(x)).abs() < 1e-4 * (1.0 + a.eval(x).abs() * b.eval(x).abs()));
+    }
+
+    #[test]
+    fn poly_roots_reconstruct(roots in proptest::collection::vec(finite_f64(-5.0..5.0), 1..5)) {
+        // Reject pathologically clustered roots (ill-conditioned).
+        let mut sorted = roots.clone();
+        sorted.sort_by(f64::total_cmp);
+        prop_assume!(sorted.windows(2).all(|w| (w[1] - w[0]).abs() > 0.3));
+        let p = Poly::from_real_roots(&roots);
+        let mut found: Vec<f64> = p.roots().unwrap().iter().map(|z| z.re).collect();
+        found.sort_by(f64::total_cmp);
+        for (f, r) in found.iter().zip(sorted.iter()) {
+            prop_assert!((f - r).abs() < 1e-4, "root {f} vs {r}");
+        }
+    }
+
+    #[test]
+    fn derivative_is_linear(
+        pa in proptest::collection::vec(finite_f64(-10.0..10.0), 1..6),
+        pb in proptest::collection::vec(finite_f64(-10.0..10.0), 1..6),
+    ) {
+        let a = Poly::new(pa);
+        let b = Poly::new(pb);
+        let lhs = (&a + &b).derivative();
+        let rhs = &a.derivative() + &b.derivative();
+        // Trailing-zero trimming can differ, so compare by evaluation
+        // (up to float rounding in the coefficient sums).
+        prop_assert!(lhs.degree() <= rhs.degree().max(lhs.degree()));
+        for i in 0..=lhs.degree().max(rhs.degree()) {
+            let lc = lhs.coeffs().get(i).copied().unwrap_or(0.0);
+            let rc = rhs.coeffs().get(i).copied().unwrap_or(0.0);
+            prop_assert!((lc - rc).abs() <= 1e-12 * (1.0 + lc.abs()), "coeff {i}: {lc} vs {rc}");
+        }
+    }
+
+    // ---------- linear algebra ----------------------------------------------
+
+    #[test]
+    fn lu_inverse_roundtrip(seed in proptest::collection::vec(finite_f64(-5.0..5.0), 9)) {
+        let mut a = DMat::from_fn(3, 3, |i, j| seed[i * 3 + j]);
+        for i in 0..3 {
+            a[(i, i)] += 20.0;
+        }
+        let inv = Lu::factor(&a).unwrap().inverse().unwrap();
+        let prod = a.mul_mat(&inv).unwrap();
+        let eye: DMat<f64> = DMat::identity(3);
+        prop_assert!((&prod - &eye).norm_inf() < 1e-9);
+    }
+
+    #[test]
+    fn transpose_respects_products(
+        sa in proptest::collection::vec(finite_f64(-5.0..5.0), 6),
+        sb in proptest::collection::vec(finite_f64(-5.0..5.0), 6),
+    ) {
+        // (A·B)ᵀ = Bᵀ·Aᵀ for a 2×3 times 3×2.
+        let a = DMat::from_fn(2, 3, |i, j| sa[i * 3 + j]);
+        let b = DMat::from_fn(3, 2, |i, j| sb[i * 2 + j]);
+        let lhs = a.mul_mat(&b).unwrap().transpose();
+        let rhs = b.transpose().mul_mat(&a.transpose()).unwrap();
+        prop_assert!((&lhs - &rhs).norm_inf() < 1e-12);
+    }
+
+    #[test]
+    fn complex_lu_solves_hermitian_like_systems(
+        seed in proptest::collection::vec(finite_f64(-3.0..3.0), 8),
+        rhs in proptest::collection::vec(finite_f64(-3.0..3.0), 4),
+    ) {
+        // 2×2 complex system with dominant diagonal.
+        let mut a = DMat::<Complex64>::zeros(2, 2);
+        for i in 0..2 {
+            for j in 0..2 {
+                a[(i, j)] = Complex64::new(seed[(i * 2 + j) * 2], seed[(i * 2 + j) * 2 + 1]);
+            }
+            a[(i, i)] += Complex64::from_real(15.0);
+        }
+        let b: DVec<Complex64> = (0..2)
+            .map(|i| Complex64::new(rhs[i * 2], rhs[i * 2 + 1]))
+            .collect();
+        let x = Lu::factor(&a).unwrap().solve(&b).unwrap();
+        let r = &a.mul_vec(&x).unwrap() - &b;
+        prop_assert!(r.norm_inf() < 1e-10);
+    }
+
+    // ---------- FFT ----------------------------------------------------------
+
+    #[test]
+    fn fft_time_shift_preserves_magnitude(
+        values in proptest::collection::vec(finite_f64(-10.0..10.0), 32),
+        shift in 0usize..32,
+    ) {
+        // Circular shift changes phases only.
+        let shifted: Vec<f64> = (0..32).map(|i| values[(i + shift) % 32]).collect();
+        let a = fft::fft_real(&values).unwrap();
+        let b = fft::fft_real(&shifted).unwrap();
+        for (x, y) in a.iter().zip(&b) {
+            prop_assert!((x.abs() - y.abs()).abs() < 1e-8 * (1.0 + x.abs()));
+        }
+    }
+
+    // ---------- rationals ------------------------------------------------------
+
+    #[test]
+    fn rational_reduction_is_canonical(n in 1u64..10_000, d in 1u64..10_000, k in 1u64..50) {
+        // (k·n)/(k·d) reduces to the same representation as n/d.
+        let a = Rational::new(n, d).unwrap();
+        let b = Rational::new(k * n, k * d).unwrap();
+        prop_assert_eq!(a, b);
+        prop_assert_eq!(ams_math::gcd(a.numer(), a.denom()), 1);
+    }
+
+    #[test]
+    fn rational_ordering_matches_floats(
+        an in 1u64..1000, ad in 1u64..1000,
+        bn in 1u64..1000, bd in 1u64..1000,
+    ) {
+        let a = Rational::new(an, ad).unwrap();
+        let b = Rational::new(bn, bd).unwrap();
+        if a.to_f64() < b.to_f64() - 1e-9 {
+            prop_assert!(a < b);
+        }
+        if a.to_f64() > b.to_f64() + 1e-9 {
+            prop_assert!(a > b);
+        }
+    }
+
+    // ---------- ODE integration ---------------------------------------------
+
+    #[test]
+    fn rk4_linear_decay_bounded(rate in finite_f64(0.1..5.0), x0 in finite_f64(0.1..10.0)) {
+        // ẋ = −λx from x0 > 0 stays positive and decreasing under RK4
+        // with a stable step (h·λ ≤ 1).
+        use ams_math::ode::{FixedStep, OdeMethod};
+        let h = (1.0 / rate).min(0.1);
+        let mut f = move |_t: f64, x: &[f64], dx: &mut [f64]| dx[0] = -rate * x[0];
+        let mut s = FixedStep::new(OdeMethod::Rk4, h);
+        let mut x = vec![x0];
+        let mut prev = x0;
+        let mut t = 0.0;
+        for _ in 0..50 {
+            s.step(&mut f, &mut t, &mut x);
+            prop_assert!(x[0] > 0.0);
+            prop_assert!(x[0] <= prev * (1.0 + 1e-12));
+            prev = x[0];
+        }
+        // And tracks the analytic decay.
+        let analytic = x0 * (-rate * t).exp();
+        prop_assert!((x[0] - analytic).abs() < 1e-3 * x0);
+    }
+}

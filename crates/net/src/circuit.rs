@@ -1,0 +1,998 @@
+//! Circuit (netlist) construction — the paper's "netlist interface"
+//! description layer (§3, O7).
+//!
+//! A [`Circuit`] is a bag of conservative two-terminal (and controlled
+//! four-terminal) elements between nodes. Node 0 is the reference
+//! (ground). The same netlist feeds every analysis: DC operating point,
+//! transient (with companion models), small-signal AC and noise — one
+//! description, many solvers, exactly as the paper's O7 prescribes.
+
+use crate::NetError;
+use std::fmt;
+
+/// Handle to a circuit node. Node 0 is ground.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeId(pub(crate) usize);
+
+impl NodeId {
+    /// The reference (ground) node.
+    pub const GROUND: NodeId = NodeId(0);
+
+    /// Raw index.
+    pub fn index(self) -> usize {
+        self.0
+    }
+
+    /// Returns `true` for the ground node.
+    pub fn is_ground(self) -> bool {
+        self.0 == 0
+    }
+}
+
+/// Handle to an element.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ElementId(pub(crate) usize);
+
+impl ElementId {
+    /// Raw index.
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+/// Handle to an externally driven source value (the TDF ↔ netlist
+/// coupling point: converter modules write these each cluster activation).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct InputId(pub(crate) usize);
+
+impl InputId {
+    /// Raw index.
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+/// Source waveform for independent sources.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Waveform {
+    /// Constant value.
+    Dc(f64),
+    /// `offset + ampl·sin(2π·freq·t + phase)`.
+    Sine {
+        /// DC offset.
+        offset: f64,
+        /// Amplitude.
+        ampl: f64,
+        /// Frequency in Hz.
+        freq: f64,
+        /// Phase in radians.
+        phase: f64,
+    },
+    /// Trapezoidal pulse train.
+    Pulse {
+        /// Initial value.
+        v1: f64,
+        /// Pulsed value.
+        v2: f64,
+        /// Delay before the first edge, seconds.
+        delay: f64,
+        /// Rise time, seconds.
+        rise: f64,
+        /// Fall time, seconds.
+        fall: f64,
+        /// Width at `v2`, seconds.
+        width: f64,
+        /// Repetition period, seconds (0 = single pulse).
+        period: f64,
+    },
+    /// Value driven from outside the solver (TDF converter input or a DE
+    /// process). Defaults to 0 until set.
+    External(InputId),
+}
+
+impl Waveform {
+    /// Evaluates the waveform at time `t`, with `ext` supplying external
+    /// input values.
+    pub(crate) fn value_at(&self, t: f64, ext: &[f64]) -> f64 {
+        match *self {
+            Waveform::Dc(v) => v,
+            Waveform::Sine {
+                offset,
+                ampl,
+                freq,
+                phase,
+            } => offset + ampl * (2.0 * std::f64::consts::PI * freq * t + phase).sin(),
+            Waveform::Pulse {
+                v1,
+                v2,
+                delay,
+                rise,
+                fall,
+                width,
+                period,
+            } => {
+                let mut tau = t - delay;
+                if tau < 0.0 {
+                    return v1;
+                }
+                if period > 0.0 {
+                    tau %= period;
+                }
+                if tau < rise {
+                    if rise == 0.0 {
+                        v2
+                    } else {
+                        v1 + (v2 - v1) * tau / rise
+                    }
+                } else if tau < rise + width {
+                    v2
+                } else if tau < rise + width + fall {
+                    if fall == 0.0 {
+                        v1
+                    } else {
+                        v2 + (v1 - v2) * (tau - rise - width) / fall
+                    }
+                } else {
+                    v1
+                }
+            }
+            Waveform::External(id) => ext.get(id.0).copied().unwrap_or(0.0),
+        }
+    }
+
+    /// The DC (t → 0⁻, quiescent) value used for operating-point analysis.
+    pub(crate) fn dc_value(&self, ext: &[f64]) -> f64 {
+        match *self {
+            Waveform::Dc(v) => v,
+            Waveform::Sine { offset, .. } => offset,
+            Waveform::Pulse { v1, .. } => v1,
+            Waveform::External(id) => ext.get(id.0).copied().unwrap_or(0.0),
+        }
+    }
+}
+
+/// The element kinds supported by the solvers.
+///
+/// This covers the paper's phase-1 "linear network elements (electrical
+/// element library: R, L, C, sources)", the controlled sources needed for
+/// macromodels, and the phase-2/3 nonlinear devices (diode, switch).
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum ElementKind {
+    /// Linear resistor (ohms).
+    Resistor {
+        /// Resistance in ohms.
+        ohms: f64,
+    },
+    /// Linear capacitor (farads), optional initial voltage.
+    Capacitor {
+        /// Capacitance in farads.
+        farads: f64,
+        /// Initial voltage for transient start (None = use DC solution).
+        ic: Option<f64>,
+    },
+    /// Linear inductor (henries), optional initial current. Carries a
+    /// branch-current unknown.
+    Inductor {
+        /// Inductance in henries.
+        henries: f64,
+        /// Initial current for transient start (None = use DC solution).
+        ic: Option<f64>,
+    },
+    /// Independent voltage source. Carries a branch-current unknown.
+    VoltageSource {
+        /// Large-signal waveform.
+        wave: Waveform,
+        /// Small-signal AC magnitude (for AC/noise analysis).
+        ac_mag: f64,
+    },
+    /// Independent current source (flows from `p` to `n` through the
+    /// source, i.e. injects into `n`).
+    CurrentSource {
+        /// Large-signal waveform.
+        wave: Waveform,
+        /// Small-signal AC magnitude.
+        ac_mag: f64,
+    },
+    /// Voltage-controlled voltage source `V(p,n) = gain·V(cp,cn)`.
+    /// Carries a branch-current unknown.
+    Vcvs {
+        /// Positive controlling node.
+        cp: NodeId,
+        /// Negative controlling node.
+        cn: NodeId,
+        /// Voltage gain.
+        gain: f64,
+    },
+    /// Voltage-controlled current source `I(p→n) = gm·V(cp,cn)`.
+    Vccs {
+        /// Positive controlling node.
+        cp: NodeId,
+        /// Negative controlling node.
+        cn: NodeId,
+        /// Transconductance in siemens.
+        gm: f64,
+    },
+    /// Current-controlled current source `I(p→n) = gain·I(ctrl)`, where
+    /// `ctrl` is an element with a branch current (V source or inductor).
+    Cccs {
+        /// The element whose branch current controls this source.
+        ctrl: ElementId,
+        /// Current gain.
+        gain: f64,
+    },
+    /// Current-controlled voltage source `V(p,n) = r·I(ctrl)`.
+    /// Carries a branch-current unknown.
+    Ccvs {
+        /// The element whose branch current controls this source.
+        ctrl: ElementId,
+        /// Transresistance in ohms.
+        r: f64,
+    },
+    /// Shockley diode `i = Is·(e^{v/(n·Vt)} − 1)` with series gmin.
+    Diode {
+        /// Saturation current in amperes.
+        is_sat: f64,
+        /// Ideality factor (1–2 typical).
+        n: f64,
+    },
+    /// Square-law NMOS transistor (level-1, no body effect): drain `p`,
+    /// source `n`, gate voltage sensed at `gate`.
+    ///
+    /// `i_d = kp·(v_gs − vt − v_ds/2)·v_ds·(1 + λ·v_ds)` in triode,
+    /// `i_d = kp/2·(v_gs − vt)²·(1 + λ·v_ds)` in saturation, 0 below
+    /// threshold. For a PMOS, swap terminal polarities externally.
+    Nmos {
+        /// Gate node (infinite gate impedance).
+        gate: NodeId,
+        /// Transconductance parameter `kp = µCox·W/L` in A/V².
+        kp: f64,
+        /// Threshold voltage in volts.
+        vt: f64,
+        /// Channel-length modulation λ in 1/V.
+        lambda: f64,
+    },
+    /// Ideal switch with on/off resistances; state driven externally (a DE
+    /// process or TDF module flips it — the power-electronics primitive of
+    /// seed work \[8\]).
+    Switch {
+        /// Closed-state resistance in ohms.
+        r_on: f64,
+        /// Open-state resistance in ohms.
+        r_off: f64,
+        /// Initial state.
+        initially_on: bool,
+    },
+}
+
+/// One element instance.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Element {
+    /// Instance name (unique per circuit, used in diagnostics).
+    pub name: String,
+    /// Positive terminal.
+    pub p: NodeId,
+    /// Negative terminal.
+    pub n: NodeId,
+    /// The element kind and parameters.
+    pub kind: ElementKind,
+}
+
+impl Element {
+    /// Returns `true` if this element carries a branch-current unknown in
+    /// the MNA formulation.
+    pub fn has_branch_current(&self) -> bool {
+        matches!(
+            self.kind,
+            ElementKind::Inductor { .. }
+                | ElementKind::VoltageSource { .. }
+                | ElementKind::Vcvs { .. }
+                | ElementKind::Ccvs { .. }
+        )
+    }
+
+    /// Returns `true` if the element is nonlinear (requires Newton).
+    pub fn is_nonlinear(&self) -> bool {
+        matches!(
+            self.kind,
+            ElementKind::Diode { .. } | ElementKind::Nmos { .. }
+        )
+    }
+}
+
+/// A conservative-law network under construction.
+///
+/// # Example
+///
+/// A resistive divider:
+///
+/// ```
+/// use ams_net::Circuit;
+///
+/// # fn main() -> Result<(), ams_net::NetError> {
+/// let mut ckt = Circuit::new();
+/// let vin = ckt.node("in");
+/// let out = ckt.node("out");
+/// ckt.voltage_source("V1", vin, Circuit::GROUND, 10.0)?;
+/// ckt.resistor("R1", vin, out, 6000.0)?;
+/// ckt.resistor("R2", out, Circuit::GROUND, 4000.0)?;
+/// let op = ckt.dc_operating_point()?;
+/// assert!((op.voltage(out) - 4.0).abs() < 1e-9);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Circuit {
+    pub(crate) node_names: Vec<String>,
+    pub(crate) elements: Vec<Element>,
+    pub(crate) external_inputs: usize,
+}
+
+impl Circuit {
+    /// The ground node.
+    pub const GROUND: NodeId = NodeId::GROUND;
+
+    /// Creates an empty circuit (ground pre-defined).
+    pub fn new() -> Self {
+        Circuit {
+            node_names: vec!["0".to_string()],
+            elements: Vec::new(),
+            external_inputs: 0,
+        }
+    }
+
+    /// Creates a named node.
+    pub fn node(&mut self, name: impl Into<String>) -> NodeId {
+        let id = NodeId(self.node_names.len());
+        self.node_names.push(name.into());
+        id
+    }
+
+    /// Number of nodes including ground.
+    pub fn node_count(&self) -> usize {
+        self.node_names.len()
+    }
+
+    /// Number of elements.
+    pub fn element_count(&self) -> usize {
+        self.elements.len()
+    }
+
+    /// Name of a node.
+    pub fn node_name(&self, node: NodeId) -> &str {
+        &self.node_names[node.0]
+    }
+
+    /// The elements (read-only view).
+    pub fn elements(&self) -> &[Element] {
+        &self.elements
+    }
+
+    /// Registers an externally driven input slot; pass the handle to a
+    /// [`Waveform::External`] source.
+    pub fn external_input(&mut self) -> InputId {
+        let id = InputId(self.external_inputs);
+        self.external_inputs += 1;
+        id
+    }
+
+    /// Number of external input slots.
+    pub fn external_input_count(&self) -> usize {
+        self.external_inputs
+    }
+
+    fn check_node(&self, node: NodeId) -> Result<(), NetError> {
+        if node.0 >= self.node_names.len() {
+            return Err(NetError::UnknownNode { index: node.0 });
+        }
+        Ok(())
+    }
+
+    fn push(&mut self, e: Element) -> Result<ElementId, NetError> {
+        self.check_node(e.p)?;
+        self.check_node(e.n)?;
+        match &e.kind {
+            ElementKind::Vcvs { cp, cn, .. } | ElementKind::Vccs { cp, cn, .. } => {
+                self.check_node(*cp)?;
+                self.check_node(*cn)?;
+            }
+            ElementKind::Nmos { gate, .. } => {
+                self.check_node(*gate)?;
+            }
+            ElementKind::Cccs { ctrl, .. } | ElementKind::Ccvs { ctrl, .. } => {
+                let idx = ctrl.0;
+                let valid = self
+                    .elements
+                    .get(idx)
+                    .map(Element::has_branch_current)
+                    .unwrap_or(false);
+                if !valid {
+                    return Err(NetError::UnknownElement {
+                        index: idx,
+                        what: "controlling branch current",
+                    });
+                }
+            }
+            _ => {}
+        }
+        let id = ElementId(self.elements.len());
+        self.elements.push(e);
+        Ok(id)
+    }
+
+    fn positive(name: &str, what: &str, v: f64) -> Result<(), NetError> {
+        if v <= 0.0 || !v.is_finite() {
+            return Err(NetError::InvalidValue {
+                element: name.to_string(),
+                reason: format!("{what} must be positive and finite, got {v}"),
+            });
+        }
+        Ok(())
+    }
+
+    /// Adds a resistor.
+    ///
+    /// # Errors
+    ///
+    /// Rejects non-positive or non-finite resistance and unknown nodes.
+    pub fn resistor(
+        &mut self,
+        name: impl Into<String>,
+        p: NodeId,
+        n: NodeId,
+        ohms: f64,
+    ) -> Result<ElementId, NetError> {
+        let name = name.into();
+        Self::positive(&name, "resistance", ohms)?;
+        self.push(Element {
+            name,
+            p,
+            n,
+            kind: ElementKind::Resistor { ohms },
+        })
+    }
+
+    /// Adds a capacitor.
+    ///
+    /// # Errors
+    ///
+    /// Rejects non-positive capacitance and unknown nodes.
+    pub fn capacitor(
+        &mut self,
+        name: impl Into<String>,
+        p: NodeId,
+        n: NodeId,
+        farads: f64,
+    ) -> Result<ElementId, NetError> {
+        let name = name.into();
+        Self::positive(&name, "capacitance", farads)?;
+        self.push(Element {
+            name,
+            p,
+            n,
+            kind: ElementKind::Capacitor { farads, ic: None },
+        })
+    }
+
+    /// Adds a capacitor with an initial-condition voltage for transient
+    /// analysis.
+    ///
+    /// # Errors
+    ///
+    /// Rejects non-positive capacitance and unknown nodes.
+    pub fn capacitor_ic(
+        &mut self,
+        name: impl Into<String>,
+        p: NodeId,
+        n: NodeId,
+        farads: f64,
+        ic: f64,
+    ) -> Result<ElementId, NetError> {
+        let name = name.into();
+        Self::positive(&name, "capacitance", farads)?;
+        self.push(Element {
+            name,
+            p,
+            n,
+            kind: ElementKind::Capacitor {
+                farads,
+                ic: Some(ic),
+            },
+        })
+    }
+
+    /// Adds an inductor.
+    ///
+    /// # Errors
+    ///
+    /// Rejects non-positive inductance and unknown nodes.
+    pub fn inductor(
+        &mut self,
+        name: impl Into<String>,
+        p: NodeId,
+        n: NodeId,
+        henries: f64,
+    ) -> Result<ElementId, NetError> {
+        let name = name.into();
+        Self::positive(&name, "inductance", henries)?;
+        self.push(Element {
+            name,
+            p,
+            n,
+            kind: ElementKind::Inductor { henries, ic: None },
+        })
+    }
+
+    /// Adds an inductor with an initial current.
+    ///
+    /// # Errors
+    ///
+    /// Rejects non-positive inductance and unknown nodes.
+    pub fn inductor_ic(
+        &mut self,
+        name: impl Into<String>,
+        p: NodeId,
+        n: NodeId,
+        henries: f64,
+        ic: f64,
+    ) -> Result<ElementId, NetError> {
+        let name = name.into();
+        Self::positive(&name, "inductance", henries)?;
+        self.push(Element {
+            name,
+            p,
+            n,
+            kind: ElementKind::Inductor {
+                henries,
+                ic: Some(ic),
+            },
+        })
+    }
+
+    /// Adds a DC voltage source (`p` is the positive terminal).
+    ///
+    /// # Errors
+    ///
+    /// Rejects unknown nodes.
+    pub fn voltage_source(
+        &mut self,
+        name: impl Into<String>,
+        p: NodeId,
+        n: NodeId,
+        volts: f64,
+    ) -> Result<ElementId, NetError> {
+        self.voltage_source_wave(name, p, n, Waveform::Dc(volts))
+    }
+
+    /// Adds a voltage source with an arbitrary waveform.
+    ///
+    /// # Errors
+    ///
+    /// Rejects unknown nodes.
+    pub fn voltage_source_wave(
+        &mut self,
+        name: impl Into<String>,
+        p: NodeId,
+        n: NodeId,
+        wave: Waveform,
+    ) -> Result<ElementId, NetError> {
+        self.push(Element {
+            name: name.into(),
+            p,
+            n,
+            kind: ElementKind::VoltageSource { wave, ac_mag: 0.0 },
+        })
+    }
+
+    /// Adds a voltage source carrying the AC stimulus (magnitude `ac_mag`)
+    /// for small-signal analysis, on top of a DC bias.
+    ///
+    /// # Errors
+    ///
+    /// Rejects unknown nodes.
+    pub fn voltage_source_ac(
+        &mut self,
+        name: impl Into<String>,
+        p: NodeId,
+        n: NodeId,
+        dc: f64,
+        ac_mag: f64,
+    ) -> Result<ElementId, NetError> {
+        self.push(Element {
+            name: name.into(),
+            p,
+            n,
+            kind: ElementKind::VoltageSource {
+                wave: Waveform::Dc(dc),
+                ac_mag,
+            },
+        })
+    }
+
+    /// Adds a DC current source (conventional current flows from `p`
+    /// through the source to `n`).
+    ///
+    /// # Errors
+    ///
+    /// Rejects unknown nodes.
+    pub fn current_source(
+        &mut self,
+        name: impl Into<String>,
+        p: NodeId,
+        n: NodeId,
+        amps: f64,
+    ) -> Result<ElementId, NetError> {
+        self.current_source_wave(name, p, n, Waveform::Dc(amps))
+    }
+
+    /// Adds a current source with an arbitrary waveform.
+    ///
+    /// # Errors
+    ///
+    /// Rejects unknown nodes.
+    pub fn current_source_wave(
+        &mut self,
+        name: impl Into<String>,
+        p: NodeId,
+        n: NodeId,
+        wave: Waveform,
+    ) -> Result<ElementId, NetError> {
+        self.push(Element {
+            name: name.into(),
+            p,
+            n,
+            kind: ElementKind::CurrentSource { wave, ac_mag: 0.0 },
+        })
+    }
+
+    /// Adds a voltage-controlled voltage source.
+    ///
+    /// # Errors
+    ///
+    /// Rejects unknown nodes.
+    pub fn vcvs(
+        &mut self,
+        name: impl Into<String>,
+        p: NodeId,
+        n: NodeId,
+        cp: NodeId,
+        cn: NodeId,
+        gain: f64,
+    ) -> Result<ElementId, NetError> {
+        self.push(Element {
+            name: name.into(),
+            p,
+            n,
+            kind: ElementKind::Vcvs { cp, cn, gain },
+        })
+    }
+
+    /// Adds a voltage-controlled current source (transconductance `gm`).
+    ///
+    /// # Errors
+    ///
+    /// Rejects unknown nodes.
+    pub fn vccs(
+        &mut self,
+        name: impl Into<String>,
+        p: NodeId,
+        n: NodeId,
+        cp: NodeId,
+        cn: NodeId,
+        gm: f64,
+    ) -> Result<ElementId, NetError> {
+        self.push(Element {
+            name: name.into(),
+            p,
+            n,
+            kind: ElementKind::Vccs { cp, cn, gm },
+        })
+    }
+
+    /// Adds a current-controlled current source. `ctrl` must be an element
+    /// with a branch current (voltage source, inductor, VCVS or CCVS).
+    ///
+    /// # Errors
+    ///
+    /// Rejects invalid controlling elements or unknown nodes.
+    pub fn cccs(
+        &mut self,
+        name: impl Into<String>,
+        p: NodeId,
+        n: NodeId,
+        ctrl: ElementId,
+        gain: f64,
+    ) -> Result<ElementId, NetError> {
+        self.push(Element {
+            name: name.into(),
+            p,
+            n,
+            kind: ElementKind::Cccs { ctrl, gain },
+        })
+    }
+
+    /// Adds a current-controlled voltage source.
+    ///
+    /// # Errors
+    ///
+    /// Rejects invalid controlling elements or unknown nodes.
+    pub fn ccvs(
+        &mut self,
+        name: impl Into<String>,
+        p: NodeId,
+        n: NodeId,
+        ctrl: ElementId,
+        r: f64,
+    ) -> Result<ElementId, NetError> {
+        self.push(Element {
+            name: name.into(),
+            p,
+            n,
+            kind: ElementKind::Ccvs { ctrl, r },
+        })
+    }
+
+    /// Adds a Shockley diode (anode `p`, cathode `n`).
+    ///
+    /// # Errors
+    ///
+    /// Rejects non-positive saturation current or ideality factor.
+    pub fn diode(
+        &mut self,
+        name: impl Into<String>,
+        p: NodeId,
+        n: NodeId,
+        is_sat: f64,
+        ideality: f64,
+    ) -> Result<ElementId, NetError> {
+        let name = name.into();
+        Self::positive(&name, "saturation current", is_sat)?;
+        Self::positive(&name, "ideality factor", ideality)?;
+        self.push(Element {
+            name,
+            p,
+            n,
+            kind: ElementKind::Diode {
+                is_sat,
+                n: ideality,
+            },
+        })
+    }
+
+    /// Adds a square-law NMOS transistor: drain `d`, gate `g`, source `s`
+    /// (source also acts as the bulk reference).
+    ///
+    /// # Errors
+    ///
+    /// Rejects non-positive `kp`, negative `lambda`, or unknown nodes.
+    pub fn nmos(
+        &mut self,
+        name: impl Into<String>,
+        d: NodeId,
+        g: NodeId,
+        s: NodeId,
+        kp: f64,
+        vt: f64,
+        lambda: f64,
+    ) -> Result<ElementId, NetError> {
+        let name = name.into();
+        Self::positive(&name, "transconductance parameter", kp)?;
+        if lambda < 0.0 || !lambda.is_finite() {
+            return Err(NetError::InvalidValue {
+                element: name,
+                reason: format!("lambda must be non-negative and finite, got {lambda}"),
+            });
+        }
+        self.check_node(g)?;
+        self.push(Element {
+            name,
+            p: d,
+            n: s,
+            kind: ElementKind::Nmos {
+                gate: g,
+                kp,
+                vt,
+                lambda,
+            },
+        })
+    }
+
+    /// Sets the small-signal AC magnitude on every independent source
+    /// driven by the given external input slot, returning how many
+    /// sources matched. Used by solver adaptors to compute per-input AC
+    /// transfer functions.
+    pub fn set_external_ac_magnitude(&mut self, input: InputId, mag: f64) -> usize {
+        let mut n = 0;
+        for e in &mut self.elements {
+            match &mut e.kind {
+                ElementKind::VoltageSource { wave, ac_mag }
+                | ElementKind::CurrentSource { wave, ac_mag } => {
+                    if matches!(wave, Waveform::External(id) if *id == input) {
+                        *ac_mag = mag;
+                        n += 1;
+                    }
+                }
+                _ => {}
+            }
+        }
+        n
+    }
+
+    /// Clears the AC magnitude of every independent source.
+    pub fn clear_ac_magnitudes(&mut self) {
+        for e in &mut self.elements {
+            match &mut e.kind {
+                ElementKind::VoltageSource { ac_mag, .. }
+                | ElementKind::CurrentSource { ac_mag, .. } => *ac_mag = 0.0,
+                _ => {}
+            }
+        }
+    }
+
+    /// Adds an externally controlled switch.
+    ///
+    /// # Errors
+    ///
+    /// Rejects non-positive resistances or `r_on ≥ r_off`.
+    pub fn switch(
+        &mut self,
+        name: impl Into<String>,
+        p: NodeId,
+        n: NodeId,
+        r_on: f64,
+        r_off: f64,
+        initially_on: bool,
+    ) -> Result<ElementId, NetError> {
+        let name = name.into();
+        Self::positive(&name, "on resistance", r_on)?;
+        Self::positive(&name, "off resistance", r_off)?;
+        if r_on >= r_off {
+            return Err(NetError::InvalidValue {
+                element: name,
+                reason: format!("r_on ({r_on}) must be smaller than r_off ({r_off})"),
+            });
+        }
+        self.push(Element {
+            name,
+            p,
+            n,
+            kind: ElementKind::Switch {
+                r_on,
+                r_off,
+                initially_on,
+            },
+        })
+    }
+}
+
+impl fmt::Display for Circuit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "Circuit ({} nodes, {} elements)",
+            self.node_names.len(),
+            self.elements.len()
+        )?;
+        for e in &self.elements {
+            writeln!(
+                f,
+                "  {} ({:?}): {} -> {}",
+                e.name,
+                std::mem::discriminant(&e.kind),
+                self.node_names[e.p.0],
+                self.node_names[e.n.0]
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn node_zero_is_ground() {
+        let ckt = Circuit::new();
+        assert_eq!(ckt.node_name(Circuit::GROUND), "0");
+        assert!(Circuit::GROUND.is_ground());
+        assert_eq!(ckt.node_count(), 1);
+    }
+
+    #[test]
+    fn invalid_values_rejected() {
+        let mut ckt = Circuit::new();
+        let a = ckt.node("a");
+        assert!(ckt.resistor("R1", a, Circuit::GROUND, -5.0).is_err());
+        assert!(ckt.resistor("R1", a, Circuit::GROUND, 0.0).is_err());
+        assert!(ckt.capacitor("C1", a, Circuit::GROUND, f64::NAN).is_err());
+        assert!(ckt.switch("S1", a, Circuit::GROUND, 1e6, 1.0, false).is_err());
+    }
+
+    #[test]
+    fn unknown_node_rejected() {
+        let mut ckt = Circuit::new();
+        let stale = NodeId(17);
+        assert!(matches!(
+            ckt.resistor("R1", stale, Circuit::GROUND, 1.0),
+            Err(NetError::UnknownNode { index: 17 })
+        ));
+    }
+
+    #[test]
+    fn cccs_requires_branch_element() {
+        let mut ckt = Circuit::new();
+        let a = ckt.node("a");
+        let r = ckt.resistor("R1", a, Circuit::GROUND, 1.0).unwrap();
+        // A resistor has no branch current in MNA: rejected.
+        assert!(ckt.cccs("F1", a, Circuit::GROUND, r, 2.0).is_err());
+        let v = ckt.voltage_source("V1", a, Circuit::GROUND, 1.0).unwrap();
+        assert!(ckt.cccs("F2", a, Circuit::GROUND, v, 2.0).is_ok());
+    }
+
+    #[test]
+    fn waveform_evaluation() {
+        let sine = Waveform::Sine {
+            offset: 1.0,
+            ampl: 2.0,
+            freq: 1.0,
+            phase: 0.0,
+        };
+        assert!((sine.value_at(0.25, &[]) - 3.0).abs() < 1e-12);
+        assert!((sine.dc_value(&[]) - 1.0).abs() < 1e-12);
+
+        let pulse = Waveform::Pulse {
+            v1: 0.0,
+            v2: 5.0,
+            delay: 1.0,
+            rise: 1.0,
+            fall: 1.0,
+            width: 2.0,
+            period: 10.0,
+        };
+        assert_eq!(pulse.value_at(0.5, &[]), 0.0);
+        assert!((pulse.value_at(1.5, &[]) - 2.5).abs() < 1e-12); // mid-rise
+        assert_eq!(pulse.value_at(2.5, &[]), 5.0); // plateau
+        assert!((pulse.value_at(4.5, &[]) - 2.5).abs() < 1e-12); // mid-fall
+        assert_eq!(pulse.value_at(9.0, &[]), 0.0);
+        assert_eq!(pulse.value_at(12.5, &[]), 5.0); // periodic repeat
+    }
+
+    #[test]
+    fn external_waveform_reads_inputs() {
+        let mut ckt = Circuit::new();
+        let inp = ckt.external_input();
+        let w = Waveform::External(inp);
+        assert_eq!(w.value_at(0.0, &[7.5]), 7.5);
+        assert_eq!(w.value_at(0.0, &[]), 0.0); // unset defaults to 0
+        assert_eq!(ckt.external_input_count(), 1);
+    }
+
+    #[test]
+    fn branch_current_classification() {
+        let mut ckt = Circuit::new();
+        let a = ckt.node("a");
+        ckt.resistor("R", a, Circuit::GROUND, 1.0).unwrap();
+        ckt.inductor("L", a, Circuit::GROUND, 1.0).unwrap();
+        ckt.voltage_source("V", a, Circuit::GROUND, 1.0).unwrap();
+        let e = ckt.elements();
+        assert!(!e[0].has_branch_current());
+        assert!(e[1].has_branch_current());
+        assert!(e[2].has_branch_current());
+    }
+
+    #[test]
+    fn zero_rise_pulse_is_square() {
+        let sq = Waveform::Pulse {
+            v1: 0.0,
+            v2: 1.0,
+            delay: 0.0,
+            rise: 0.0,
+            fall: 0.0,
+            width: 0.5,
+            period: 1.0,
+        };
+        assert_eq!(sq.value_at(0.25, &[]), 1.0);
+        assert_eq!(sq.value_at(0.75, &[]), 0.0);
+    }
+}

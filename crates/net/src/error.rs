@@ -1,0 +1,110 @@
+use ams_math::MathError;
+use std::fmt;
+
+/// Errors from network construction and simulation.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum NetError {
+    /// A node handle did not belong to this circuit.
+    UnknownNode {
+        /// Raw index of the invalid node.
+        index: usize,
+    },
+    /// An element handle did not belong to this circuit, or referred to an
+    /// element without the requested capability (e.g. branch current of a
+    /// resistor).
+    UnknownElement {
+        /// Raw index of the invalid element.
+        index: usize,
+        /// What was requested of it.
+        what: &'static str,
+    },
+    /// An element value was out of its physical domain (negative
+    /// resistance magnitude, zero capacitance, …).
+    InvalidValue {
+        /// Name of the offending element.
+        element: String,
+        /// Description of the violated constraint.
+        reason: String,
+    },
+    /// The nonlinear solve (DC operating point or implicit transient step)
+    /// failed to converge even with gmin/source stepping.
+    NoConvergence {
+        /// The analysis that failed.
+        analysis: &'static str,
+        /// Iterations spent in the last attempt.
+        iterations: usize,
+    },
+    /// The system matrix was singular — usually a floating node or a loop
+    /// of ideal voltage sources.
+    Singular {
+        /// Description of the likely topology problem.
+        hint: String,
+    },
+    /// An underlying numerical routine failed.
+    Math(MathError),
+}
+
+impl fmt::Display for NetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetError::UnknownNode { index } => write!(f, "unknown node handle {index}"),
+            NetError::UnknownElement { index, what } => {
+                write!(f, "unknown element handle {index} (requested {what})")
+            }
+            NetError::InvalidValue { element, reason } => {
+                write!(f, "invalid value for element '{element}': {reason}")
+            }
+            NetError::NoConvergence {
+                analysis,
+                iterations,
+            } => write!(f, "{analysis} failed to converge after {iterations} iterations"),
+            NetError::Singular { hint } => {
+                write!(f, "singular system matrix: {hint}")
+            }
+            NetError::Math(e) => write!(f, "numerical error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for NetError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            NetError::Math(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<MathError> for NetError {
+    fn from(e: MathError) -> Self {
+        match e {
+            MathError::SingularMatrix { pivot } => NetError::Singular {
+                hint: format!(
+                    "pivot failure at unknown {pivot}; check for floating nodes or voltage-source loops"
+                ),
+            },
+            other => NetError::Math(other),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn math_error_converts_with_hint() {
+        let e: NetError = MathError::SingularMatrix { pivot: 3 }.into();
+        assert!(e.to_string().contains("floating nodes"));
+    }
+
+    #[test]
+    fn display() {
+        let e = NetError::NoConvergence {
+            analysis: "dc operating point",
+            iterations: 100,
+        };
+        assert!(e.to_string().contains("dc operating point"));
+    }
+}

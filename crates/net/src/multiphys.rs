@@ -1,0 +1,510 @@
+//! Multi-domain (multi-discipline) conservative modeling.
+//!
+//! "Power electronic and automotive applications share the distinguished
+//! requirement to design multi-domain, or multi-discipline, systems, i.e.
+//! systems including non electronic parts (mechanical, fluidic, thermal,
+//! etc.)" (paper §2); phase 3 requires "support of conservative-law
+//! models" and a "mixed-signal library with conservative-law mixed-domain
+//! models".
+//!
+//! MNA does not care about units: any discipline with an *across*
+//! quantity (voltage-like) and a *through* quantity (current-like) obeying
+//! Kirchhoff-style conservation maps onto the same solver. This module
+//! provides discipline-typed node wrappers and element constructors using
+//! the **mobility analogy**:
+//!
+//! | discipline | across | through | C-like | R-like | L-like |
+//! |---|---|---|---|---|---|
+//! | electrical | voltage (V) | current (A) | capacitor | resistor | inductor |
+//! | translational | velocity (m/s) | force (N) | mass | 1/damping | 1/stiffness |
+//! | rotational | angular velocity (rad/s) | torque (N·m) | inertia | 1/damping | 1/stiffness |
+//! | thermal | temperature (K) | heat flow (W) | heat capacity | thermal resistance | — |
+//!
+//! The electro-mechanical coupling elements (motor constant: torque ∝
+//! current, back-EMF ∝ speed) are built from controlled sources, exactly
+//! how a DC motor macromodel is written in any conservative-law language.
+
+use crate::{Circuit, ElementId, NetError, NodeId};
+
+/// A node carrying translational-mechanics quantities
+/// (across = velocity m/s, through = force N).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct MechNode(pub NodeId);
+
+/// A node carrying rotational-mechanics quantities
+/// (across = angular velocity rad/s, through = torque N·m).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct RotNode(pub NodeId);
+
+/// A node carrying thermal quantities
+/// (across = temperature K, through = heat flow W).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ThermalNode(pub NodeId);
+
+/// Discipline-typed construction helpers layered over [`Circuit`].
+///
+/// # Example
+///
+/// A mass–spring–damper settling under a constant force:
+///
+/// ```
+/// use ams_net::{Circuit, IntegrationMethod, Multiphysics, TransientSolver};
+///
+/// # fn main() -> Result<(), ams_net::NetError> {
+/// let mut ckt = Circuit::new();
+/// let body = ckt.mech_node("body");
+/// ckt.mass("m", body, 1.0)?;              // 1 kg
+/// ckt.damper("b", body, Circuit::mech_ground(), 2.0)?;  // 2 N·s/m
+/// ckt.force_source("F", body, 10.0)?;     // 10 N
+/// let mut tr = TransientSolver::new(&ckt, IntegrationMethod::Trapezoidal)?;
+/// tr.initialize_with_ic()?;
+/// for _ in 0..20_000 {
+///     tr.step(1e-3)?; // 20 s — terminal velocity F/b = 5 m/s
+/// }
+/// assert!((tr.voltage(body.0) - 5.0).abs() < 1e-3);
+/// # Ok(())
+/// # }
+/// ```
+pub trait Multiphysics {
+    /// Creates a translational-mechanics node.
+    fn mech_node(&mut self, name: &str) -> MechNode;
+    /// Creates a rotational-mechanics node.
+    fn rot_node(&mut self, name: &str) -> RotNode;
+    /// Creates a thermal node.
+    fn thermal_node(&mut self, name: &str) -> ThermalNode;
+
+    /// The mechanical reference (zero velocity).
+    fn mech_ground() -> MechNode
+    where
+        Self: Sized,
+    {
+        MechNode(NodeId::GROUND)
+    }
+
+    /// The rotational reference (zero angular velocity).
+    fn rot_ground() -> RotNode
+    where
+        Self: Sized,
+    {
+        RotNode(NodeId::GROUND)
+    }
+
+    /// The thermal reference (ambient temperature, taken as 0 offset).
+    fn thermal_ground() -> ThermalNode
+    where
+        Self: Sized,
+    {
+        ThermalNode(NodeId::GROUND)
+    }
+
+    /// A point mass in kg (capacitor to mechanical ground).
+    ///
+    /// # Errors
+    ///
+    /// Rejects non-positive mass.
+    fn mass(&mut self, name: &str, node: MechNode, kg: f64) -> Result<ElementId, NetError>;
+
+    /// A viscous damper in N·s/m between two nodes (resistor `1/b`).
+    ///
+    /// # Errors
+    ///
+    /// Rejects non-positive damping.
+    fn damper(
+        &mut self,
+        name: &str,
+        a: MechNode,
+        b: MechNode,
+        n_s_per_m: f64,
+    ) -> Result<ElementId, NetError>;
+
+    /// A spring in N/m between two nodes (inductor `1/k`).
+    ///
+    /// # Errors
+    ///
+    /// Rejects non-positive stiffness.
+    fn spring(
+        &mut self,
+        name: &str,
+        a: MechNode,
+        b: MechNode,
+        n_per_m: f64,
+    ) -> Result<ElementId, NetError>;
+
+    /// A constant force in newtons applied to a node (current source into
+    /// the node).
+    ///
+    /// # Errors
+    ///
+    /// Propagates construction failures.
+    fn force_source(&mut self, name: &str, node: MechNode, newtons: f64)
+        -> Result<ElementId, NetError>;
+
+    /// A rotational inertia in kg·m².
+    ///
+    /// # Errors
+    ///
+    /// Rejects non-positive inertia.
+    fn inertia(&mut self, name: &str, node: RotNode, kg_m2: f64) -> Result<ElementId, NetError>;
+
+    /// Rotational viscous friction in N·m·s/rad.
+    ///
+    /// # Errors
+    ///
+    /// Rejects non-positive friction.
+    fn rot_damper(
+        &mut self,
+        name: &str,
+        a: RotNode,
+        b: RotNode,
+        n_m_s: f64,
+    ) -> Result<ElementId, NetError>;
+
+    /// A torsional spring in N·m/rad.
+    ///
+    /// # Errors
+    ///
+    /// Rejects non-positive stiffness.
+    fn torsion_spring(
+        &mut self,
+        name: &str,
+        a: RotNode,
+        b: RotNode,
+        n_m_per_rad: f64,
+    ) -> Result<ElementId, NetError>;
+
+    /// A constant torque in N·m applied to a node.
+    ///
+    /// # Errors
+    ///
+    /// Propagates construction failures.
+    fn torque_source(&mut self, name: &str, node: RotNode, n_m: f64)
+        -> Result<ElementId, NetError>;
+
+    /// A thermal capacitance in J/K.
+    ///
+    /// # Errors
+    ///
+    /// Rejects non-positive capacity.
+    fn thermal_capacity(
+        &mut self,
+        name: &str,
+        node: ThermalNode,
+        j_per_k: f64,
+    ) -> Result<ElementId, NetError>;
+
+    /// A thermal resistance in K/W between two nodes.
+    ///
+    /// # Errors
+    ///
+    /// Rejects non-positive resistance.
+    fn thermal_resistance(
+        &mut self,
+        name: &str,
+        a: ThermalNode,
+        b: ThermalNode,
+        k_per_w: f64,
+    ) -> Result<ElementId, NetError>;
+
+    /// A heat-flow source in watts into a node.
+    ///
+    /// # Errors
+    ///
+    /// Propagates construction failures.
+    fn heat_source(
+        &mut self,
+        name: &str,
+        node: ThermalNode,
+        watts: f64,
+    ) -> Result<ElementId, NetError>;
+
+    /// The electro-mechanical coupling of a DC machine: torque
+    /// `T = k·i(sense)` applied to `shaft`, and back-EMF `V = k·ω`
+    /// inserted via a CCVS/VCVS pair. `sense` must be a branch-current
+    /// element in the armature loop (e.g. a 0 V sense source); returns the
+    /// back-EMF element whose terminals must be wired in series with the
+    /// armature.
+    ///
+    /// # Errors
+    ///
+    /// Propagates construction failures.
+    fn dc_machine(
+        &mut self,
+        name: &str,
+        sense: ElementId,
+        emf_p: NodeId,
+        emf_n: NodeId,
+        shaft: RotNode,
+        k: f64,
+    ) -> Result<ElementId, NetError>;
+}
+
+impl Multiphysics for Circuit {
+    fn mech_node(&mut self, name: &str) -> MechNode {
+        MechNode(self.node(format!("mech:{name}")))
+    }
+
+    fn rot_node(&mut self, name: &str) -> RotNode {
+        RotNode(self.node(format!("rot:{name}")))
+    }
+
+    fn thermal_node(&mut self, name: &str) -> ThermalNode {
+        ThermalNode(self.node(format!("th:{name}")))
+    }
+
+    fn mass(&mut self, name: &str, node: MechNode, kg: f64) -> Result<ElementId, NetError> {
+        self.capacitor(name, node.0, NodeId::GROUND, kg)
+    }
+
+    fn damper(
+        &mut self,
+        name: &str,
+        a: MechNode,
+        b: MechNode,
+        n_s_per_m: f64,
+    ) -> Result<ElementId, NetError> {
+        if n_s_per_m <= 0.0 || !n_s_per_m.is_finite() {
+            return Err(NetError::InvalidValue {
+                element: name.to_string(),
+                reason: format!("damping must be positive, got {n_s_per_m}"),
+            });
+        }
+        self.resistor(name, a.0, b.0, 1.0 / n_s_per_m)
+    }
+
+    fn spring(
+        &mut self,
+        name: &str,
+        a: MechNode,
+        b: MechNode,
+        n_per_m: f64,
+    ) -> Result<ElementId, NetError> {
+        if n_per_m <= 0.0 || !n_per_m.is_finite() {
+            return Err(NetError::InvalidValue {
+                element: name.to_string(),
+                reason: format!("stiffness must be positive, got {n_per_m}"),
+            });
+        }
+        self.inductor(name, a.0, b.0, 1.0 / n_per_m)
+    }
+
+    fn force_source(
+        &mut self,
+        name: &str,
+        node: MechNode,
+        newtons: f64,
+    ) -> Result<ElementId, NetError> {
+        // Positive force accelerates the node: current into the node.
+        self.current_source(name, NodeId::GROUND, node.0, newtons)
+    }
+
+    fn inertia(&mut self, name: &str, node: RotNode, kg_m2: f64) -> Result<ElementId, NetError> {
+        self.capacitor(name, node.0, NodeId::GROUND, kg_m2)
+    }
+
+    fn rot_damper(
+        &mut self,
+        name: &str,
+        a: RotNode,
+        b: RotNode,
+        n_m_s: f64,
+    ) -> Result<ElementId, NetError> {
+        if n_m_s <= 0.0 || !n_m_s.is_finite() {
+            return Err(NetError::InvalidValue {
+                element: name.to_string(),
+                reason: format!("rotational damping must be positive, got {n_m_s}"),
+            });
+        }
+        self.resistor(name, a.0, b.0, 1.0 / n_m_s)
+    }
+
+    fn torsion_spring(
+        &mut self,
+        name: &str,
+        a: RotNode,
+        b: RotNode,
+        n_m_per_rad: f64,
+    ) -> Result<ElementId, NetError> {
+        if n_m_per_rad <= 0.0 || !n_m_per_rad.is_finite() {
+            return Err(NetError::InvalidValue {
+                element: name.to_string(),
+                reason: format!("torsional stiffness must be positive, got {n_m_per_rad}"),
+            });
+        }
+        self.inductor(name, a.0, b.0, 1.0 / n_m_per_rad)
+    }
+
+    fn torque_source(
+        &mut self,
+        name: &str,
+        node: RotNode,
+        n_m: f64,
+    ) -> Result<ElementId, NetError> {
+        self.current_source(name, NodeId::GROUND, node.0, n_m)
+    }
+
+    fn thermal_capacity(
+        &mut self,
+        name: &str,
+        node: ThermalNode,
+        j_per_k: f64,
+    ) -> Result<ElementId, NetError> {
+        self.capacitor(name, node.0, NodeId::GROUND, j_per_k)
+    }
+
+    fn thermal_resistance(
+        &mut self,
+        name: &str,
+        a: ThermalNode,
+        b: ThermalNode,
+        k_per_w: f64,
+    ) -> Result<ElementId, NetError> {
+        self.resistor(name, a.0, b.0, k_per_w)
+    }
+
+    fn heat_source(
+        &mut self,
+        name: &str,
+        node: ThermalNode,
+        watts: f64,
+    ) -> Result<ElementId, NetError> {
+        self.current_source(name, NodeId::GROUND, node.0, watts)
+    }
+
+    fn dc_machine(
+        &mut self,
+        name: &str,
+        sense: ElementId,
+        emf_p: NodeId,
+        emf_n: NodeId,
+        shaft: RotNode,
+        k: f64,
+    ) -> Result<ElementId, NetError> {
+        // Torque side: T = k·i, injected into the shaft node.
+        self.cccs(format!("{name}.torque"), NodeId::GROUND, shaft.0, sense, k)?;
+        // Back-EMF side: V = k·ω in series with the armature.
+        self.vcvs(
+            format!("{name}.bemf"),
+            emf_p,
+            emf_n,
+            shaft.0,
+            NodeId::GROUND,
+            k,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{IntegrationMethod, TransientSolver};
+
+    #[test]
+    fn mass_damper_terminal_velocity() {
+        let mut ckt = Circuit::new();
+        let body = ckt.mech_node("body");
+        ckt.mass("m", body, 2.0).unwrap();
+        ckt.damper("b", body, Circuit::mech_ground(), 4.0).unwrap();
+        ckt.force_source("F", body, 8.0).unwrap();
+        let mut tr = TransientSolver::new(&ckt, IntegrationMethod::Trapezoidal).unwrap();
+        tr.initialize_with_ic().unwrap();
+        // τ = m/b = 0.5 s; terminal velocity F/b = 2 m/s.
+        for _ in 0..50_000 {
+            tr.step(1e-4).unwrap(); // 5 s
+        }
+        assert!((tr.voltage(body.0) - 2.0).abs() < 1e-4);
+    }
+
+    #[test]
+    fn mass_spring_oscillates_at_natural_frequency() {
+        let mut ckt = Circuit::new();
+        let body = ckt.mech_node("body");
+        ckt.mass("m", body, 1.0).unwrap();
+        ckt.spring("k", body, Circuit::mech_ground(), 100.0).unwrap(); // ω₀ = 10 rad/s
+        ckt.damper("b", body, Circuit::mech_ground(), 0.01).unwrap();
+        // Kick: initial velocity via a force pulse modeled as IC on the
+        // mass capacitor — use capacitor_ic through the raw API instead:
+        let mut ckt2 = Circuit::new();
+        let body2 = ckt2.mech_node("body");
+        ckt2.capacitor_ic("m", body2.0, NodeId::GROUND, 1.0, 1.0).unwrap(); // v(0) = 1 m/s
+        ckt2.spring("k", body2, Circuit::mech_ground(), 100.0).unwrap();
+        ckt2.resistor("b", body2.0, NodeId::GROUND, 1e4).unwrap();
+        let mut tr = TransientSolver::new(&ckt2, IntegrationMethod::Trapezoidal).unwrap();
+        tr.initialize_with_ic().unwrap();
+        let mut crossings = 0;
+        let mut prev = tr.voltage(body2.0);
+        let t_end = 5.0;
+        let h = 1e-3;
+        for _ in 0..(t_end / h) as usize {
+            tr.step(h).unwrap();
+            let v = tr.voltage(body2.0);
+            if prev < 0.0 && v >= 0.0 {
+                crossings += 1;
+            }
+            prev = v;
+        }
+        // f₀ = 10/(2π) ≈ 1.59 Hz → ~8 upward crossings in 5 s.
+        let freq = crossings as f64 / t_end;
+        assert!((freq - 10.0 / (2.0 * std::f64::consts::PI)).abs() < 0.15, "freq {freq}");
+        let _ = ckt; // first circuit unused beyond construction checks
+    }
+
+    #[test]
+    fn thermal_rc_heats_up() {
+        let mut ckt = Circuit::new();
+        let die = ckt.thermal_node("die");
+        ckt.thermal_capacity("c_th", die, 0.01).unwrap(); // 10 mJ/K
+        ckt.thermal_resistance("r_th", die, Circuit::thermal_ground(), 50.0).unwrap(); // 50 K/W
+        ckt.heat_source("p_diss", die, 2.0).unwrap(); // 2 W
+        let mut tr = TransientSolver::new(&ckt, IntegrationMethod::BackwardEuler).unwrap();
+        tr.initialize_with_ic().unwrap();
+        // Steady state ΔT = P·R = 100 K; τ = R·C = 0.5 s.
+        for _ in 0..50_000 {
+            tr.step(1e-4).unwrap(); // 5 s = 10 τ
+        }
+        assert!((tr.voltage(die.0) - 100.0).abs() < 0.1, "ΔT = {}", tr.voltage(die.0));
+    }
+
+    #[test]
+    fn negative_parameters_rejected() {
+        let mut ckt = Circuit::new();
+        let a = ckt.mech_node("a");
+        assert!(ckt.mass("m", a, -1.0).is_err());
+        assert!(ckt.damper("b", a, Circuit::mech_ground(), 0.0).is_err());
+        assert!(ckt.spring("k", a, Circuit::mech_ground(), -3.0).is_err());
+        let r = ckt.rot_node("r");
+        assert!(ckt.inertia("j", r, 0.0).is_err());
+        assert!(ckt.rot_damper("b", r, Circuit::rot_ground(), -1.0).is_err());
+    }
+
+    #[test]
+    fn dc_motor_reaches_expected_steady_speed() {
+        // Armature: V → R → sense(0 V) → back-EMF → ground.
+        // Mechanics: inertia + friction on the shaft.
+        let mut ckt = Circuit::new();
+        let vcc = ckt.node("vcc");
+        let n1 = ckt.node("n1");
+        let n2 = ckt.node("n2");
+        let shaft = ckt.rot_node("shaft");
+        let k = 0.1; // N·m/A and V·s/rad
+        let r_arm = 2.0;
+        let friction = 0.01;
+        ckt.voltage_source("Vs", vcc, NodeId::GROUND, 12.0).unwrap();
+        ckt.resistor("Ra", vcc, n1, r_arm).unwrap();
+        let sense = ckt.voltage_source("Isense", n1, n2, 0.0).unwrap();
+        ckt.inertia("J", shaft, 0.001).unwrap();
+        ckt.rot_damper("Bf", shaft, Circuit::rot_ground(), friction).unwrap();
+        ckt.dc_machine("M1", sense, n2, NodeId::GROUND, shaft, k).unwrap();
+        let mut tr = TransientSolver::new(&ckt, IntegrationMethod::Trapezoidal).unwrap();
+        tr.initialize_with_ic().unwrap();
+        for _ in 0..100_000 {
+            tr.step(5e-5).unwrap(); // 5 s
+        }
+        // Steady state: ω = k·V / (k² + R·B).
+        let omega_expect = k * 12.0 / (k * k + r_arm * friction);
+        let omega = tr.voltage(shaft.0);
+        assert!(
+            (omega - omega_expect).abs() / omega_expect < 0.01,
+            "ω = {omega}, expected {omega_expect}"
+        );
+    }
+}

@@ -1,0 +1,1010 @@
+//! Transient (time-domain) analysis of conservative networks.
+//!
+//! Energy-storage elements are replaced per step by their companion
+//! models (Norton/Thévenin equivalents of the integration rule), turning
+//! each timestep into a linear — or, with diodes, Newton-iterated — MNA
+//! solve. Two execution paths matter for the paper's claims:
+//!
+//! * **Linear networks** ("Such networks can be simulated using efficient
+//!   dedicated algorithms", §3/O5): the system matrix is constant for a
+//!   fixed step, so it is factored *once* and only the right-hand side is
+//!   rebuilt per step — experiment E5 benchmarks exactly this.
+//! * **Stiff/nonlinear networks** (phase 2/3): Newton iteration per step
+//!   and local-truncation-error-controlled variable steps
+//!   ([`TransientSolver::run_adaptive`]) — experiment E3.
+
+use crate::dcop::{diode_iv, DcOptions, GMIN};
+use crate::devices::nmos_linearize;
+use crate::mna::{
+    stamp_branch_kcl, stamp_branch_voltage, stamp_conductance, stamp_current, stamp_mos,
+    stamp_vccs, MnaLayout,
+};
+use crate::{Circuit, ElementId, ElementKind, NetError, NodeId};
+use ams_math::{DMat, DVec, Lu};
+
+/// Integration rule for the companion models.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum IntegrationMethod {
+    /// Backward Euler: first order, L-stable, damps switching ringing.
+    BackwardEuler,
+    /// Trapezoidal: second order, A-stable (SPICE default).
+    #[default]
+    Trapezoidal,
+}
+
+/// Counters accumulated by a transient run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TransientStats {
+    /// Accepted timesteps.
+    pub steps: u64,
+    /// Steps rejected by the adaptive error controller.
+    pub rejected: u64,
+    /// Newton iterations across all steps (1 per step for linear
+    /// circuits).
+    pub newton_iterations: u64,
+    /// Matrix factorizations performed (≪ steps on the linear fast path).
+    pub factorizations: u64,
+}
+
+#[derive(Debug, Clone, Copy, Default)]
+struct EnergyState {
+    v: f64,
+    i: f64,
+}
+
+#[derive(Debug, Clone)]
+struct Snapshot {
+    x: DVec<f64>,
+    time: f64,
+    state: Vec<EnergyState>,
+    force_be: u32,
+}
+
+/// Options controlling [`TransientSolver::run_adaptive`].
+#[derive(Debug, Clone, Copy)]
+pub struct AdaptiveOptions {
+    /// Relative error tolerance on node voltages/branch currents.
+    pub rel_tol: f64,
+    /// Absolute error tolerance.
+    pub abs_tol: f64,
+    /// Minimum step (underflow → error).
+    pub min_step: f64,
+    /// Maximum step.
+    pub max_step: f64,
+    /// Initial step.
+    pub initial_step: f64,
+}
+
+impl Default for AdaptiveOptions {
+    fn default() -> Self {
+        AdaptiveOptions {
+            rel_tol: 1e-4,
+            abs_tol: 1e-7,
+            min_step: 1e-15,
+            max_step: f64::INFINITY,
+            initial_step: 1e-9,
+        }
+    }
+}
+
+/// A stepping transient solver over one circuit.
+///
+/// # Example
+///
+/// RC charging curve:
+///
+/// ```
+/// use ams_net::{Circuit, IntegrationMethod, TransientSolver};
+///
+/// # fn main() -> Result<(), ams_net::NetError> {
+/// let mut ckt = Circuit::new();
+/// let a = ckt.node("a");
+/// let out = ckt.node("out");
+/// ckt.voltage_source("V1", a, Circuit::GROUND, 1.0)?;
+/// ckt.resistor("R1", a, out, 1e3)?;
+/// ckt.capacitor_ic("C1", out, Circuit::GROUND, 1e-6, 0.0)?; // τ = 1 ms
+/// let mut tr = TransientSolver::new(&ckt, IntegrationMethod::Trapezoidal)?;
+/// tr.initialize_with_ic()?;
+/// for _ in 0..1000 {
+///     tr.step(1e-6)?; // 1 ms total
+/// }
+/// let expected = 1.0 - (-1.0f64).exp();
+/// assert!((tr.voltage(out) - expected).abs() < 1e-4);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct TransientSolver {
+    circuit: Circuit,
+    layout: MnaLayout,
+    method: IntegrationMethod,
+    x: DVec<f64>,
+    time: f64,
+    ext: Vec<f64>,
+    switches: Vec<bool>,
+    /// Per-element capacitor/inductor history (unused slots default).
+    state: Vec<EnergyState>,
+    nonlinear: bool,
+    /// Steps remaining that are forced to backward Euler (after
+    /// discontinuities such as switch toggles).
+    force_be: u32,
+    /// Cached factorization for the linear fast path.
+    cache: Option<LinearCache>,
+    /// Set to disable factorization reuse (for benchmarking E5).
+    pub reuse_factorization: bool,
+    stats: TransientStats,
+    initialized: bool,
+}
+
+#[derive(Debug, Clone)]
+struct LinearCache {
+    h: f64,
+    be: bool,
+    switches: Vec<bool>,
+    lu: Lu<f64>,
+}
+
+impl TransientSolver {
+    /// Creates a solver for the circuit.
+    ///
+    /// # Errors
+    ///
+    /// Currently always succeeds for a valid circuit; returns
+    /// [`NetError`] variants for future element kinds that cannot be
+    /// simulated in the time domain.
+    pub fn new(circuit: &Circuit, method: IntegrationMethod) -> Result<Self, NetError> {
+        let layout = MnaLayout::build(circuit);
+        let nonlinear = circuit.elements().iter().any(|e| e.is_nonlinear());
+        Ok(TransientSolver {
+            circuit: circuit.clone(),
+            layout: layout.clone(),
+            method,
+            x: DVec::zeros(layout.n_unknowns),
+            time: 0.0,
+            ext: vec![0.0; circuit.external_input_count()],
+            switches: circuit.initial_switch_states(),
+            state: vec![EnergyState::default(); circuit.element_count()],
+            nonlinear,
+            force_be: 0,
+            cache: None,
+            reuse_factorization: true,
+            stats: TransientStats::default(),
+            initialized: false,
+        })
+    }
+
+    /// Current simulation time in seconds.
+    pub fn time(&self) -> f64 {
+        self.time
+    }
+
+    /// Accumulated statistics.
+    pub fn stats(&self) -> TransientStats {
+        self.stats
+    }
+
+    /// Sets an external source input (takes effect from the next step).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the handle is out of range.
+    pub fn set_input(&mut self, input: crate::InputId, value: f64) {
+        self.ext[input.index()] = value;
+    }
+
+    /// Sets a switch state; the next step uses backward Euler once to
+    /// damp the discontinuity.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetError::UnknownElement`] if `elem` is not a switch.
+    pub fn set_switch(&mut self, elem: ElementId, on: bool) -> Result<(), NetError> {
+        match self.circuit.elements().get(elem.index()).map(|e| &e.kind) {
+            Some(ElementKind::Switch { .. }) => {
+                if self.switches[elem.index()] != on {
+                    self.switches[elem.index()] = on;
+                    self.force_be = 1;
+                    self.cache = None;
+                }
+                Ok(())
+            }
+            _ => Err(NetError::UnknownElement {
+                index: elem.index(),
+                what: "switch",
+            }),
+        }
+    }
+
+    /// The voltage of a node at the current time.
+    ///
+    /// # Panics
+    ///
+    /// Panics for nodes outside the circuit.
+    pub fn voltage(&self, node: NodeId) -> f64 {
+        assert!(node.index() < self.layout.n_nodes, "node out of range");
+        match self.layout.node_var(node) {
+            None => 0.0,
+            Some(i) => self.x[i],
+        }
+    }
+
+    /// The current through an element at the current time (branch
+    /// elements, resistors, switches, capacitors, inductors, diodes).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetError::UnknownElement`] for unsupported kinds.
+    pub fn current(&self, elem: ElementId) -> Result<f64, NetError> {
+        let e = self
+            .circuit
+            .elements()
+            .get(elem.index())
+            .ok_or(NetError::UnknownElement {
+                index: elem.index(),
+                what: "current",
+            })?;
+        if let Some(b) = self.layout.branch_var(elem) {
+            return Ok(self.x[b]);
+        }
+        let v = self.voltage(e.p) - self.voltage(e.n);
+        match &e.kind {
+            ElementKind::Resistor { ohms } => Ok(v / ohms),
+            ElementKind::Capacitor { .. } => Ok(self.state[elem.index()].i),
+            ElementKind::Switch { r_on, r_off, .. } => {
+                let r = if self.switches[elem.index()] { *r_on } else { *r_off };
+                Ok(v / r)
+            }
+            ElementKind::Diode { is_sat, n } => Ok(diode_iv(v, *is_sat, *n).0 + GMIN * v),
+            ElementKind::Nmos {
+                gate,
+                kp,
+                vt,
+                lambda,
+            } => {
+                let vg = self.voltage(*gate);
+                let vd = self.voltage(e.p);
+                let vs = self.voltage(e.n);
+                Ok(nmos_linearize(vg, vd, vs, *kp, *vt, *lambda).id + GMIN * v)
+            }
+            _ => Err(NetError::UnknownElement {
+                index: elem.index(),
+                what: "computable branch current",
+            }),
+        }
+    }
+
+    /// Initializes from the DC operating point (the paper's consistent
+    /// quiescent state), honoring element initial conditions where given.
+    ///
+    /// # Errors
+    ///
+    /// Propagates DC solve failures.
+    pub fn initialize_dc(&mut self) -> Result<(), NetError> {
+        let op = self
+            .circuit
+            .dc_operating_point_with(&self.ext, &self.switches)?;
+        self.x = op.x.clone();
+        self.seed_state_from_solution(true);
+        self.time = 0.0;
+        self.initialized = true;
+        self.cache = None;
+        Ok(())
+    }
+
+    /// Initializes using element initial conditions only (SPICE `UIC`):
+    /// capacitors at their `ic` (default 0 V), inductors at their `ic`
+    /// (default 0 A); no DC solve is performed.
+    ///
+    /// # Errors
+    ///
+    /// Infallible today; reserved for future validation.
+    pub fn initialize_with_ic(&mut self) -> Result<(), NetError> {
+        self.x = DVec::zeros(self.layout.n_unknowns);
+        for (idx, e) in self.circuit.elements().iter().enumerate() {
+            match e.kind {
+                ElementKind::Capacitor { ic, .. } => {
+                    self.state[idx] = EnergyState {
+                        v: ic.unwrap_or(0.0),
+                        i: 0.0,
+                    };
+                }
+                ElementKind::Inductor { ic, .. } => {
+                    self.state[idx] = EnergyState {
+                        v: 0.0,
+                        i: ic.unwrap_or(0.0),
+                    };
+                }
+                _ => {}
+            }
+        }
+        self.time = 0.0;
+        self.force_be = 1; // first step from possibly inconsistent state
+        self.initialized = true;
+        self.cache = None;
+        Ok(())
+    }
+
+    fn seed_state_from_solution(&mut self, honor_ic: bool) {
+        for (idx, e) in self.circuit.elements().iter().enumerate() {
+            match e.kind {
+                ElementKind::Capacitor { ic, .. } => {
+                    let v_sol = self.branch_voltage(e.p, e.n);
+                    let v = if honor_ic { ic.unwrap_or(v_sol) } else { v_sol };
+                    self.state[idx] = EnergyState { v, i: 0.0 };
+                    if honor_ic && ic.is_some() {
+                        self.force_be = 1;
+                    }
+                }
+                ElementKind::Inductor { ic, .. } => {
+                    let i_sol = self
+                        .layout
+                        .branch_var(ElementId(idx))
+                        .map_or(0.0, |b| self.x[b]);
+                    let i = if honor_ic { ic.unwrap_or(i_sol) } else { i_sol };
+                    self.state[idx] = EnergyState { v: 0.0, i };
+                    if honor_ic && ic.is_some() {
+                        self.force_be = 1;
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+
+    fn branch_voltage(&self, p: NodeId, n: NodeId) -> f64 {
+        let vp = self.layout.node_var(p).map_or(0.0, |i| self.x[i]);
+        let vn = self.layout.node_var(n).map_or(0.0, |i| self.x[i]);
+        vp - vn
+    }
+
+    /// Advances the solution by one step of size `h` seconds.
+    ///
+    /// # Errors
+    ///
+    /// * [`NetError::InvalidValue`] for a non-positive step.
+    /// * [`NetError::NoConvergence`] if the per-step Newton fails.
+    /// * [`NetError::Singular`] for topology problems.
+    pub fn step(&mut self, h: f64) -> Result<(), NetError> {
+        if !self.initialized {
+            self.initialize_dc()?;
+        }
+        if h <= 0.0 || !h.is_finite() {
+            return Err(NetError::InvalidValue {
+                element: "timestep".to_string(),
+                reason: format!("step must be positive and finite, got {h}"),
+            });
+        }
+        let be = self.force_be > 0 || matches!(self.method, IntegrationMethod::BackwardEuler);
+        let t_new = self.time + h;
+        let n = self.layout.n_unknowns;
+        let mut rhs = DVec::zeros(n);
+
+        let x_new = if self.nonlinear {
+            // Newton loop: reassemble and refactor each iteration.
+            let mut mat = DMat::zeros(n, n);
+            let mut x_iter = self.x.clone();
+            let opts = DcOptions::default();
+            let mut converged = false;
+            let mut iters = 0;
+            for _ in 0..opts.max_iter {
+                iters += 1;
+                mat.fill_zero();
+                rhs.fill_zero();
+                self.assemble(&mut mat, &mut rhs, &x_iter, t_new, h, be);
+                let lu = Lu::factor(&mat).map_err(NetError::from)?;
+                self.stats.factorizations += 1;
+                let x_next = lu.solve(&rhs).map_err(NetError::from)?;
+                let mut done = true;
+                for i in 0..n {
+                    let d = (x_next[i] - x_iter[i]).abs();
+                    if d > opts.v_tol + opts.rel_tol * x_next[i].abs().max(x_iter[i].abs()) {
+                        done = false;
+                        break;
+                    }
+                }
+                let finite = x_next.is_finite();
+                x_iter = x_next;
+                if done && finite {
+                    converged = true;
+                    break;
+                }
+                if !finite {
+                    break;
+                }
+            }
+            self.stats.newton_iterations += iters;
+            if !converged {
+                return Err(NetError::NoConvergence {
+                    analysis: "transient step",
+                    iterations: iters as usize,
+                });
+            }
+            x_iter
+        } else {
+            // Linear fast path: matrix depends only on (h, method, switches).
+            let cache_ok = self.reuse_factorization
+                && self.cache.as_ref().is_some_and(|c| {
+                    c.h == h && c.be == be && c.switches == self.switches
+                });
+            if !cache_ok {
+                let mut mat = DMat::zeros(n, n);
+                self.assemble(&mut mat, &mut rhs, &self.x.clone(), t_new, h, be);
+                let lu = Lu::factor(&mat).map_err(NetError::from)?;
+                self.stats.factorizations += 1;
+                self.cache = Some(LinearCache {
+                    h,
+                    be,
+                    switches: self.switches.clone(),
+                    lu,
+                });
+                rhs.fill_zero();
+            }
+            // (Re)build only the RHS.
+            self.assemble_rhs_only(&mut rhs, t_new, h, be);
+            self.stats.newton_iterations += 1;
+            let cache = self.cache.as_ref().expect("cache just ensured");
+            cache.lu.solve(&rhs).map_err(NetError::from)?
+        };
+
+        self.commit_step(x_new, t_new, h, be);
+        Ok(())
+    }
+
+    fn commit_step(&mut self, x_new: DVec<f64>, t_new: f64, h: f64, be: bool) {
+        self.x = x_new;
+        // Update energy-storage history.
+        for (idx, e) in self.circuit.elements().iter().enumerate() {
+            match e.kind {
+                ElementKind::Capacitor { farads, .. } => {
+                    let v_new = self.branch_voltage(e.p, e.n);
+                    let st = self.state[idx];
+                    let i_new = if be {
+                        farads / h * (v_new - st.v)
+                    } else {
+                        2.0 * farads / h * (v_new - st.v) - st.i
+                    };
+                    self.state[idx] = EnergyState { v: v_new, i: i_new };
+                }
+                ElementKind::Inductor { .. } => {
+                    let b = self
+                        .layout
+                        .branch_var(ElementId(idx))
+                        .expect("inductor branch");
+                    let i_new = self.x[b];
+                    let v_new = self.branch_voltage(e.p, e.n);
+                    self.state[idx] = EnergyState { v: v_new, i: i_new };
+                }
+                _ => {}
+            }
+        }
+        self.time = t_new;
+        self.stats.steps += 1;
+        if self.force_be > 0 {
+            self.force_be -= 1;
+        }
+    }
+
+    /// Assembles the full linearized system at candidate solution `x`.
+    fn assemble(
+        &self,
+        mat: &mut DMat<f64>,
+        rhs: &mut DVec<f64>,
+        x: &DVec<f64>,
+        t_new: f64,
+        h: f64,
+        be: bool,
+    ) {
+        let layout = &self.layout;
+        for (idx, e) in self.circuit.elements().iter().enumerate() {
+            let eid = ElementId(idx);
+            match &e.kind {
+                ElementKind::Resistor { ohms } => {
+                    stamp_conductance(layout, mat, e.p, e.n, 1.0 / ohms);
+                }
+                ElementKind::Capacitor { farads, .. } => {
+                    let st = self.state[idx];
+                    let (geq, ieq) = if be {
+                        let g = farads / h;
+                        (g, g * st.v)
+                    } else {
+                        let g = 2.0 * farads / h;
+                        (g, g * st.v + st.i)
+                    };
+                    stamp_conductance(layout, mat, e.p, e.n, geq);
+                    // Norton source injecting Ieq into p.
+                    stamp_current(layout, rhs, e.n, e.p, ieq);
+                }
+                ElementKind::Inductor { henries, .. } => {
+                    let b = layout.branch_var(eid).expect("inductor branch");
+                    let st = self.state[idx];
+                    stamp_branch_kcl(layout, mat, e.p, e.n, b);
+                    stamp_branch_voltage(layout, mat, b, e.p, e.n, 1.0);
+                    if be {
+                        let req = henries / h;
+                        mat[(b, b)] -= req;
+                        rhs[b] += -req * st.i;
+                    } else {
+                        let req = 2.0 * henries / h;
+                        mat[(b, b)] -= req;
+                        rhs[b] += -req * st.i - st.v;
+                    }
+                }
+                ElementKind::VoltageSource { wave, .. } => {
+                    let b = layout.branch_var(eid).expect("vsource branch");
+                    stamp_branch_kcl(layout, mat, e.p, e.n, b);
+                    stamp_branch_voltage(layout, mat, b, e.p, e.n, 1.0);
+                    rhs[b] += wave.value_at(t_new, &self.ext);
+                }
+                ElementKind::CurrentSource { wave, .. } => {
+                    stamp_current(layout, rhs, e.p, e.n, wave.value_at(t_new, &self.ext));
+                }
+                ElementKind::Vcvs { cp, cn, gain } => {
+                    let b = layout.branch_var(eid).expect("vcvs branch");
+                    stamp_branch_kcl(layout, mat, e.p, e.n, b);
+                    stamp_branch_voltage(layout, mat, b, e.p, e.n, 1.0);
+                    stamp_branch_voltage(layout, mat, b, *cp, *cn, -*gain);
+                }
+                ElementKind::Vccs { cp, cn, gm } => {
+                    stamp_vccs(layout, mat, e.p, e.n, *cp, *cn, *gm);
+                }
+                ElementKind::Cccs { ctrl, gain } => {
+                    let cb = layout.branch_var(*ctrl).expect("validated control");
+                    if let Some(ip) = layout.node_var(e.p) {
+                        mat[(ip, cb)] += *gain;
+                    }
+                    if let Some(in_) = layout.node_var(e.n) {
+                        mat[(in_, cb)] -= *gain;
+                    }
+                }
+                ElementKind::Ccvs { ctrl, r } => {
+                    let b = layout.branch_var(eid).expect("ccvs branch");
+                    let cb = layout.branch_var(*ctrl).expect("validated control");
+                    stamp_branch_kcl(layout, mat, e.p, e.n, b);
+                    stamp_branch_voltage(layout, mat, b, e.p, e.n, 1.0);
+                    mat[(b, cb)] -= *r;
+                }
+                ElementKind::Diode { is_sat, n } => {
+                    let vp = layout.node_var(e.p).map_or(0.0, |i| x[i]);
+                    let vn = layout.node_var(e.n).map_or(0.0, |i| x[i]);
+                    let v = vp - vn;
+                    let (i, g) = diode_iv(v, *is_sat, *n);
+                    stamp_conductance(layout, mat, e.p, e.n, g + GMIN);
+                    stamp_current(layout, rhs, e.p, e.n, i - g * v);
+                }
+                ElementKind::Nmos {
+                    gate,
+                    kp,
+                    vt,
+                    lambda,
+                } => {
+                    let vg = layout.node_var(*gate).map_or(0.0, |i| x[i]);
+                    let vd = layout.node_var(e.p).map_or(0.0, |i| x[i]);
+                    let vs = layout.node_var(e.n).map_or(0.0, |i| x[i]);
+                    let op = nmos_linearize(vg, vd, vs, *kp, *vt, *lambda);
+                    stamp_mos(layout, mat, rhs, e.p, *gate, e.n, &op, vg, vd, vs);
+                    stamp_conductance(layout, mat, e.p, e.n, GMIN);
+                }
+                ElementKind::Switch { r_on, r_off, .. } => {
+                    let r = if self.switches[idx] { *r_on } else { *r_off };
+                    stamp_conductance(layout, mat, e.p, e.n, 1.0 / r);
+                }
+            }
+        }
+    }
+
+    /// Rebuilds only the RHS (linear fast path).
+    fn assemble_rhs_only(&self, rhs: &mut DVec<f64>, t_new: f64, h: f64, be: bool) {
+        rhs.fill_zero();
+        let layout = &self.layout;
+        for (idx, e) in self.circuit.elements().iter().enumerate() {
+            let eid = ElementId(idx);
+            match &e.kind {
+                ElementKind::Capacitor { farads, .. } => {
+                    let st = self.state[idx];
+                    let ieq = if be {
+                        farads / h * st.v
+                    } else {
+                        2.0 * farads / h * st.v + st.i
+                    };
+                    stamp_current(layout, rhs, e.n, e.p, ieq);
+                }
+                ElementKind::Inductor { henries, .. } => {
+                    let b = layout.branch_var(eid).expect("inductor branch");
+                    let st = self.state[idx];
+                    if be {
+                        rhs[b] += -(henries / h) * st.i;
+                    } else {
+                        rhs[b] += -(2.0 * henries / h) * st.i - st.v;
+                    }
+                }
+                ElementKind::VoltageSource { wave, .. } => {
+                    let b = layout.branch_var(eid).expect("vsource branch");
+                    rhs[b] += wave.value_at(t_new, &self.ext);
+                }
+                ElementKind::CurrentSource { wave, .. } => {
+                    stamp_current(layout, rhs, e.p, e.n, wave.value_at(t_new, &self.ext));
+                }
+                _ => {}
+            }
+        }
+    }
+
+    fn snapshot(&self) -> Snapshot {
+        Snapshot {
+            x: self.x.clone(),
+            time: self.time,
+            state: self.state.clone(),
+            force_be: self.force_be,
+        }
+    }
+
+    fn restore(&mut self, s: &Snapshot) {
+        self.x = s.x.clone();
+        self.time = s.time;
+        self.state = s.state.clone();
+        self.force_be = s.force_be;
+    }
+
+    /// Runs fixed-step transient until `t_end`, invoking `probe` after
+    /// each step.
+    ///
+    /// # Errors
+    ///
+    /// Propagates step failures.
+    pub fn run(
+        &mut self,
+        t_end: f64,
+        h: f64,
+        mut probe: impl FnMut(&TransientSolver),
+    ) -> Result<(), NetError> {
+        if !self.initialized {
+            self.initialize_dc()?;
+        }
+        while self.time < t_end - 1e-18 {
+            let step = h.min(t_end - self.time);
+            self.step(step)?;
+            probe(self);
+        }
+        Ok(())
+    }
+
+    /// Runs variable-step transient until `t_end` using step-doubling
+    /// local-truncation-error control, invoking `probe` after each
+    /// accepted step.
+    ///
+    /// # Errors
+    ///
+    /// * [`NetError::InvalidValue`] when the controller underflows
+    ///   `min_step`.
+    /// * Propagates solver failures.
+    pub fn run_adaptive(
+        &mut self,
+        t_end: f64,
+        opts: &AdaptiveOptions,
+        mut probe: impl FnMut(&TransientSolver),
+    ) -> Result<(), NetError> {
+        if !self.initialized {
+            self.initialize_dc()?;
+        }
+        let mut h = opts.initial_step;
+        while self.time < t_end - 1e-18 {
+            h = h.min(t_end - self.time).max(opts.min_step);
+            let start = self.snapshot();
+
+            // Full step.
+            let full_ok = self.step(h).is_ok();
+            let x_full = self.x.clone();
+            self.restore(&start);
+
+            // Two half steps.
+            let half_ok = full_ok
+                && self.step(h / 2.0).is_ok()
+                && self.step(h / 2.0).is_ok();
+
+            if !half_ok {
+                self.restore(&start);
+                self.stats.rejected += 1;
+                h *= 0.25;
+                if h < opts.min_step {
+                    return Err(NetError::InvalidValue {
+                        element: "adaptive timestep".to_string(),
+                        reason: format!("step underflow at t = {}", self.time),
+                    });
+                }
+                continue;
+            }
+
+            // Error estimate between the two solutions.
+            let mut err = 0.0f64;
+            for i in 0..self.x.len() {
+                let scale = opts.abs_tol + opts.rel_tol * self.x[i].abs().max(x_full[i].abs());
+                err = err.max(((self.x[i] - x_full[i]) / scale).abs());
+            }
+
+            if err <= 1.0 {
+                // Accept the half-step solution (already committed).
+                probe(self);
+                let grow = if err > 0.0 { (0.8 / err).min(3.0) } else { 3.0 };
+                h = (h * grow).clamp(opts.min_step, opts.max_step);
+            } else {
+                self.restore(&start);
+                self.stats.rejected += 1;
+                h = (h * (0.8 / err).max(0.1)).max(opts.min_step);
+                if h <= opts.min_step {
+                    return Err(NetError::InvalidValue {
+                        element: "adaptive timestep".to_string(),
+                        reason: format!("step underflow at t = {}", self.time),
+                    });
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Waveform;
+
+    fn rc_circuit() -> (Circuit, NodeId, NodeId) {
+        let mut ckt = Circuit::new();
+        let a = ckt.node("a");
+        let out = ckt.node("out");
+        ckt.voltage_source("V1", a, Circuit::GROUND, 1.0).unwrap();
+        ckt.resistor("R1", a, out, 1e3).unwrap();
+        ckt.capacitor_ic("C1", out, Circuit::GROUND, 1e-6, 0.0).unwrap();
+        (ckt, a, out)
+    }
+
+    #[test]
+    fn rc_charging_matches_analytic() {
+        let (ckt, _a, out) = rc_circuit();
+        for method in [IntegrationMethod::BackwardEuler, IntegrationMethod::Trapezoidal] {
+            let mut tr = TransientSolver::new(&ckt, method).unwrap();
+            tr.initialize_with_ic().unwrap();
+            for _ in 0..2000 {
+                tr.step(0.5e-6).unwrap();
+            }
+            let expected = 1.0 - (-1.0f64).exp();
+            let tol = match method {
+                IntegrationMethod::BackwardEuler => 5e-4,
+                IntegrationMethod::Trapezoidal => 1e-6,
+            };
+            assert!(
+                (tr.voltage(out) - expected).abs() < tol,
+                "{method:?}: {} vs {expected}",
+                tr.voltage(out)
+            );
+        }
+    }
+
+    #[test]
+    fn trapezoidal_is_second_order() {
+        let (ckt, _a, out) = rc_circuit();
+        let run = |h: f64| {
+            let mut tr = TransientSolver::new(&ckt, IntegrationMethod::Trapezoidal).unwrap();
+            tr.initialize_with_ic().unwrap();
+            let steps = (1e-3 / h).round() as usize;
+            for _ in 0..steps {
+                tr.step(h).unwrap();
+            }
+            (tr.voltage(out) - (1.0 - (-1.0f64).exp())).abs()
+        };
+        let ratio = run(2e-6) / run(1e-6);
+        assert!((2.5..6.0).contains(&ratio), "order ratio {ratio}");
+    }
+
+    #[test]
+    fn linear_fast_path_factors_once() {
+        let (ckt, _a, _out) = rc_circuit();
+        let mut tr = TransientSolver::new(&ckt, IntegrationMethod::Trapezoidal).unwrap();
+        tr.initialize_with_ic().unwrap();
+        for _ in 0..100 {
+            tr.step(1e-6).unwrap();
+        }
+        let s = tr.stats();
+        assert_eq!(s.steps, 100);
+        // One factorization for the forced-BE first step, one for the rest.
+        assert!(s.factorizations <= 2, "factorizations = {}", s.factorizations);
+
+        // Disable reuse: one factorization per step.
+        let mut tr2 = TransientSolver::new(&ckt, IntegrationMethod::Trapezoidal).unwrap();
+        tr2.reuse_factorization = false;
+        tr2.initialize_with_ic().unwrap();
+        for _ in 0..100 {
+            tr2.step(1e-6).unwrap();
+        }
+        assert_eq!(tr2.stats().factorizations, 100);
+    }
+
+    #[test]
+    fn rl_current_rise() {
+        let mut ckt = Circuit::new();
+        let a = ckt.node("a");
+        let b = ckt.node("b");
+        ckt.voltage_source("V1", a, Circuit::GROUND, 1.0).unwrap();
+        ckt.resistor("R1", a, b, 10.0).unwrap();
+        let l = ckt.inductor_ic("L1", b, Circuit::GROUND, 1e-3, 0.0).unwrap();
+        let mut tr = TransientSolver::new(&ckt, IntegrationMethod::Trapezoidal).unwrap();
+        tr.initialize_with_ic().unwrap();
+        // τ = L/R = 100 µs; simulate 100 µs → i = (V/R)(1 − e^{−1}).
+        for _ in 0..1000 {
+            tr.step(1e-7).unwrap();
+        }
+        let expected = 0.1 * (1.0 - (-1.0f64).exp());
+        assert!((tr.current(l).unwrap() - expected).abs() < 1e-5);
+    }
+
+    #[test]
+    fn lc_oscillation_frequency() {
+        // LC tank kicked by an initial capacitor voltage.
+        let mut ckt = Circuit::new();
+        let top = ckt.node("top");
+        ckt.capacitor_ic("C1", top, Circuit::GROUND, 1e-6, 1.0).unwrap();
+        ckt.inductor("L1", top, Circuit::GROUND, 1e-3).unwrap();
+        // Tiny damping keeps the matrix friendly.
+        ckt.resistor("Rp", top, Circuit::GROUND, 1e6).unwrap();
+        let mut tr = TransientSolver::new(&ckt, IntegrationMethod::Trapezoidal).unwrap();
+        tr.initialize_with_ic().unwrap();
+        // f₀ = 1/(2π√(LC)) ≈ 5033 Hz; simulate 2 ms and count crossings.
+        let mut crossings = 0;
+        let mut prev = tr.voltage(top);
+        let h = 1e-7;
+        let t_end = 2e-3;
+        let steps = (t_end / h) as usize;
+        for _ in 0..steps {
+            tr.step(h).unwrap();
+            let v = tr.voltage(top);
+            if prev < 0.0 && v >= 0.0 {
+                crossings += 1;
+            }
+            prev = v;
+        }
+        let freq = crossings as f64 / t_end;
+        let f0 = 1.0 / (2.0 * std::f64::consts::PI * (1e-3f64 * 1e-6).sqrt());
+        assert!((freq - f0).abs() / f0 < 0.02, "freq {freq} vs {f0}");
+    }
+
+    #[test]
+    fn sine_source_drives_rc() {
+        let mut ckt = Circuit::new();
+        let a = ckt.node("a");
+        let out = ckt.node("out");
+        ckt.voltage_source_wave(
+            "V1",
+            a,
+            Circuit::GROUND,
+            Waveform::Sine {
+                offset: 0.0,
+                ampl: 1.0,
+                freq: 1e3,
+                phase: 0.0,
+            },
+        )
+        .unwrap();
+        ckt.resistor("R1", a, out, 1e3).unwrap();
+        ckt.capacitor("C1", out, Circuit::GROUND, 1e-6).unwrap();
+        let mut tr = TransientSolver::new(&ckt, IntegrationMethod::Trapezoidal).unwrap();
+        tr.initialize_dc().unwrap();
+        // Cutoff 159 Hz, driven at 1 kHz: expect attenuation ≈ 0.157.
+        // Skip the first 10 ms (10·τ) so the startup transient has decayed.
+        let mut peak: f64 = 0.0;
+        tr.run(15e-3, 1e-6, |s| {
+            if s.time() > 10e-3 {
+                peak = peak.max(s.voltage(out).abs());
+            }
+        })
+        .unwrap();
+        let f0 = 1.0 / (2.0 * std::f64::consts::PI * 1e-3);
+        let expected = 1.0 / (1.0 + (1e3 / f0).powi(2)).sqrt();
+        assert!((peak - expected).abs() / expected < 0.03, "peak {peak} vs {expected}");
+    }
+
+    #[test]
+    fn diode_rectifier_clips_negative() {
+        let mut ckt = Circuit::new();
+        let src = ckt.node("src");
+        let out = ckt.node("out");
+        ckt.voltage_source_wave(
+            "V1",
+            src,
+            Circuit::GROUND,
+            Waveform::Sine {
+                offset: 0.0,
+                ampl: 5.0,
+                freq: 50.0,
+                phase: 0.0,
+            },
+        )
+        .unwrap();
+        ckt.diode("D1", src, out, 1e-14, 1.0).unwrap();
+        ckt.resistor("RL", out, Circuit::GROUND, 1e3).unwrap();
+        let mut tr = TransientSolver::new(&ckt, IntegrationMethod::Trapezoidal).unwrap();
+        tr.initialize_dc().unwrap();
+        let mut min_v = f64::INFINITY;
+        let mut max_v = f64::NEG_INFINITY;
+        tr.run(40e-3, 20e-6, |s| {
+            min_v = min_v.min(s.voltage(out));
+            max_v = max_v.max(s.voltage(out));
+        })
+        .unwrap();
+        assert!(max_v > 4.0, "peak passes: {max_v}");
+        assert!(min_v > -0.1, "negative clipped: {min_v}");
+    }
+
+    #[test]
+    fn switch_toggle_discharges_capacitor() {
+        let mut ckt = Circuit::new();
+        let a = ckt.node("a");
+        let out = ckt.node("out");
+        ckt.voltage_source("V1", a, Circuit::GROUND, 5.0).unwrap();
+        ckt.resistor("R1", a, out, 1e3).unwrap();
+        ckt.capacitor("C1", out, Circuit::GROUND, 1e-6).unwrap();
+        let sw = ckt.switch("S1", out, Circuit::GROUND, 1.0, 1e12, false).unwrap();
+        let mut tr = TransientSolver::new(&ckt, IntegrationMethod::Trapezoidal).unwrap();
+        tr.initialize_dc().unwrap();
+        assert!((tr.voltage(out) - 5.0).abs() < 1e-4);
+        // Close the switch: capacitor discharges through 1 Ω (τ = 1 µs).
+        tr.set_switch(sw, true).unwrap();
+        for _ in 0..100 {
+            tr.step(1e-7).unwrap();
+        }
+        assert!(tr.voltage(out).abs() < 0.1, "v = {}", tr.voltage(out));
+    }
+
+    #[test]
+    fn set_switch_on_non_switch_errors() {
+        let (ckt, _, _) = rc_circuit();
+        let mut tr = TransientSolver::new(&ckt, IntegrationMethod::Trapezoidal).unwrap();
+        assert!(tr.set_switch(ElementId(0), true).is_err());
+    }
+
+    #[test]
+    fn invalid_step_rejected() {
+        let (ckt, _, _) = rc_circuit();
+        let mut tr = TransientSolver::new(&ckt, IntegrationMethod::Trapezoidal).unwrap();
+        tr.initialize_with_ic().unwrap();
+        assert!(tr.step(0.0).is_err());
+        assert!(tr.step(-1.0).is_err());
+        assert!(tr.step(f64::NAN).is_err());
+    }
+
+    #[test]
+    fn adaptive_matches_fixed_step_on_rc() {
+        let (ckt, _a, out) = rc_circuit();
+        let mut tr = TransientSolver::new(&ckt, IntegrationMethod::Trapezoidal).unwrap();
+        tr.initialize_with_ic().unwrap();
+        tr.run_adaptive(
+            1e-3,
+            &AdaptiveOptions {
+                rel_tol: 1e-6,
+                abs_tol: 1e-9,
+                initial_step: 1e-8,
+                ..Default::default()
+            },
+            |_| {},
+        )
+        .unwrap();
+        let expected = 1.0 - (-1.0f64).exp();
+        assert!((tr.voltage(out) - expected).abs() < 1e-4);
+        // Far fewer accepted steps than the 1000 fixed steps used above.
+        assert!(tr.stats().steps < 3000, "steps = {}", tr.stats().steps);
+    }
+
+    #[test]
+    fn external_input_varies_over_time() {
+        let mut ckt = Circuit::new();
+        let a = ckt.node("a");
+        let inp = ckt.external_input();
+        ckt.voltage_source_wave("V1", a, Circuit::GROUND, Waveform::External(inp)).unwrap();
+        ckt.resistor("R1", a, Circuit::GROUND, 1e3).unwrap();
+        let mut tr = TransientSolver::new(&ckt, IntegrationMethod::BackwardEuler).unwrap();
+        tr.initialize_dc().unwrap();
+        for k in 0..10 {
+            tr.set_input(inp, k as f64);
+            tr.step(1e-6).unwrap();
+            assert!((tr.voltage(a) - k as f64).abs() < 1e-12);
+        }
+    }
+}

@@ -1,0 +1,215 @@
+//! Integration tests for the level-1 NMOS across all analyses: DC bias,
+//! small-signal AC (gain = −gm·(RD ∥ ro)), transient switching, noise.
+
+use ams_net::{Circuit, IntegrationMethod, NetError, TransientSolver, Waveform};
+
+const KP: f64 = 2e-3; // A/V²
+const VT: f64 = 1.0;
+
+/// Common-source amplifier: VDD = 10 V, RD = 2 kΩ, gate biased at 2.5 V.
+fn common_source(lambda: f64) -> (Circuit, ams_net::NodeId, ams_net::ElementId) {
+    let mut ckt = Circuit::new();
+    let vdd = ckt.node("vdd");
+    let gate = ckt.node("gate");
+    let drain = ckt.node("drain");
+    ckt.voltage_source("VDD", vdd, Circuit::GROUND, 10.0).unwrap();
+    ckt.voltage_source_ac("VG", gate, Circuit::GROUND, 2.5, 1.0).unwrap();
+    ckt.resistor("RD", vdd, drain, 2e3).unwrap();
+    let m = ckt
+        .nmos("M1", drain, gate, Circuit::GROUND, KP, VT, lambda)
+        .unwrap();
+    (ckt, drain, m)
+}
+
+#[test]
+fn dc_bias_matches_square_law() {
+    let (ckt, drain, m) = common_source(0.0);
+    let op = ckt.dc_operating_point().unwrap();
+    // vov = 1.5 V; id = kp/2·vov² = 2.25 mA; vd = 10 − 2k·2.25m = 5.5 V.
+    let id_expect = KP / 2.0 * 1.5 * 1.5;
+    let vd = op.voltage(drain);
+    assert!((vd - (10.0 - 2e3 * id_expect)).abs() < 1e-6, "vd = {vd}");
+    assert!((op.current(m).unwrap() - id_expect).abs() < 1e-9);
+    // Saturation check: vds = 5.5 > vov = 1.5.
+    assert!(vd > 1.5);
+}
+
+#[test]
+fn small_signal_gain_is_minus_gm_rd() {
+    let (ckt, drain, _m) = common_source(0.0);
+    let op = ckt.dc_operating_point().unwrap();
+    let h = ckt.ac_transfer(&op, drain, &[1e3]).unwrap()[0];
+    // gm = kp·vov = 3 mS → gain = −gm·RD = −6.
+    assert!((h.re + 6.0).abs() < 1e-3, "gain {h}");
+    assert!(h.im.abs() < 1e-6);
+}
+
+#[test]
+fn channel_length_modulation_reduces_gain() {
+    let lambda = 0.05;
+    let (ckt, drain, _m) = common_source(lambda);
+    let op = ckt.dc_operating_point().unwrap();
+    let h = ckt.ac_transfer(&op, drain, &[1e3]).unwrap()[0];
+    // With finite ro = 1/(λ·id), |gain| = gm·(RD ∥ ro) < gm·RD.
+    assert!(h.re < 0.0);
+    assert!(h.re.abs() < 6.5, "clm keeps |gain| near gm·(RD∥ro): {h}");
+    // Compare against the analytic small-signal value at the solved bias.
+    let vd = op.voltage(drain);
+    let vov = 2.5 - VT;
+    let clm = 1.0 + lambda * vd;
+    let id = KP / 2.0 * vov * vov * clm;
+    let gm = KP * vov * clm;
+    let ro = 1.0 / (KP / 2.0 * vov * vov * lambda);
+    let gain_expect = -gm * (2e3 * ro) / (2e3 + ro);
+    assert!(
+        (h.re - gain_expect).abs() / gain_expect.abs() < 1e-3,
+        "gain {} vs analytic {gain_expect} (id = {id})",
+        h.re
+    );
+}
+
+#[test]
+fn cutoff_leaves_drain_at_vdd() {
+    let mut ckt = Circuit::new();
+    let vdd = ckt.node("vdd");
+    let gate = ckt.node("gate");
+    let drain = ckt.node("drain");
+    ckt.voltage_source("VDD", vdd, Circuit::GROUND, 10.0).unwrap();
+    ckt.voltage_source("VG", gate, Circuit::GROUND, 0.5).unwrap(); // < VT
+    ckt.resistor("RD", vdd, drain, 2e3).unwrap();
+    ckt.nmos("M1", drain, gate, Circuit::GROUND, KP, VT, 0.0).unwrap();
+    let op = ckt.dc_operating_point().unwrap();
+    assert!((op.voltage(drain) - 10.0).abs() < 1e-4);
+}
+
+#[test]
+fn source_follower_tracks_gate_minus_vgs() {
+    // Source follower: drain at VDD, source through RS to ground.
+    let mut ckt = Circuit::new();
+    let vdd = ckt.node("vdd");
+    let gate = ckt.node("gate");
+    let src = ckt.node("src");
+    ckt.voltage_source("VDD", vdd, Circuit::GROUND, 10.0).unwrap();
+    ckt.voltage_source("VG", gate, Circuit::GROUND, 5.0).unwrap();
+    ckt.nmos("M1", vdd, gate, src, KP, VT, 0.0).unwrap();
+    ckt.resistor("RS", src, Circuit::GROUND, 1e3).unwrap();
+    let op = ckt.dc_operating_point().unwrap();
+    let vs = op.voltage(src);
+    // Solve kp/2(5−vs−1)² = vs/1k self-consistently: residual must vanish.
+    let residual = KP / 2.0 * (4.0 - vs).powi(2) - vs / 1e3;
+    assert!(residual.abs() < 1e-9, "vs = {vs}, residual {residual}");
+    assert!(vs > 2.0 && vs < 4.0, "follower output in range: {vs}");
+}
+
+#[test]
+fn transient_inverter_switches() {
+    // NMOS inverter driven by a gate pulse.
+    let mut ckt = Circuit::new();
+    let vdd = ckt.node("vdd");
+    let gate = ckt.node("gate");
+    let drain = ckt.node("drain");
+    ckt.voltage_source("VDD", vdd, Circuit::GROUND, 5.0).unwrap();
+    ckt.voltage_source_wave(
+        "VG",
+        gate,
+        Circuit::GROUND,
+        Waveform::Pulse {
+            v1: 0.0,
+            v2: 5.0,
+            delay: 10e-6,
+            rise: 1e-6,
+            fall: 1e-6,
+            width: 20e-6,
+            period: 0.0,
+        },
+    )
+    .unwrap();
+    ckt.resistor("RD", vdd, drain, 10e3).unwrap();
+    ckt.capacitor("CL", drain, Circuit::GROUND, 1e-12).unwrap();
+    ckt.nmos("M1", drain, gate, Circuit::GROUND, KP, VT, 0.0).unwrap();
+
+    let mut tr = TransientSolver::new(&ckt, IntegrationMethod::Trapezoidal).unwrap();
+    tr.initialize_dc().unwrap();
+    let mut high_before = 0.0;
+    let mut low_during = f64::INFINITY;
+    tr.run(40e-6, 0.2e-6, |s| {
+        if s.time() < 9e-6 {
+            high_before = s.voltage(drain);
+        }
+        if s.time() > 15e-6 && s.time() < 28e-6 {
+            low_during = low_during.min(s.voltage(drain));
+        }
+    })
+    .unwrap();
+    assert!((high_before - 5.0).abs() < 1e-3, "off: drain at VDD");
+    // On: strong triode pull-down (vov = 4 V ≫): near 0.06 V.
+    assert!(low_during < 0.2, "on: drain pulled low ({low_during})");
+}
+
+#[test]
+fn mos_channel_noise_present() {
+    let (ckt, drain, _m) = common_source(0.0);
+    let op = ckt.dc_operating_point().unwrap();
+    let na = ckt.noise_analysis(&op, drain, &[1e3]).unwrap();
+    let mos = na.points[0]
+        .contributions
+        .iter()
+        .find(|c| c.element == "M1")
+        .unwrap();
+    // 8kT·gm/3 through RD²: analytic check.
+    let gm = KP * 1.5;
+    let expect = 8.0 / 3.0 * ams_net::BOLTZMANN * ams_net::NOISE_TEMP * gm * 2e3 * 2e3;
+    assert!(
+        (mos.output_psd - expect).abs() / expect < 1e-6,
+        "{} vs {expect}",
+        mos.output_psd
+    );
+}
+
+#[test]
+fn invalid_parameters_rejected() {
+    let mut ckt = Circuit::new();
+    let a = ckt.node("a");
+    let g = ckt.node("g");
+    assert!(matches!(
+        ckt.nmos("M", a, g, Circuit::GROUND, -1e-3, 1.0, 0.0),
+        Err(NetError::InvalidValue { .. })
+    ));
+    assert!(matches!(
+        ckt.nmos("M", a, g, Circuit::GROUND, 1e-3, 1.0, -0.1),
+        Err(NetError::InvalidValue { .. })
+    ));
+}
+
+#[test]
+fn diff_pair_balances() {
+    // Differential pair with ideal tail current source: equal bias →
+    // equal drain voltages; imbalance steers current.
+    let build = |vg1: f64, vg2: f64| {
+        let mut ckt = Circuit::new();
+        let vdd = ckt.node("vdd");
+        let g1 = ckt.node("g1");
+        let g2 = ckt.node("g2");
+        let d1 = ckt.node("d1");
+        let d2 = ckt.node("d2");
+        let tail = ckt.node("tail");
+        ckt.voltage_source("VDD", vdd, Circuit::GROUND, 10.0).unwrap();
+        ckt.voltage_source("VG1", g1, Circuit::GROUND, vg1).unwrap();
+        ckt.voltage_source("VG2", g2, Circuit::GROUND, vg2).unwrap();
+        ckt.resistor("RD1", vdd, d1, 2e3).unwrap();
+        ckt.resistor("RD2", vdd, d2, 2e3).unwrap();
+        ckt.nmos("M1", d1, g1, tail, KP, VT, 0.0).unwrap();
+        ckt.nmos("M2", d2, g2, tail, KP, VT, 0.0).unwrap();
+        // Tail current sink: 2 mA from tail to a negative rail via source.
+        let vneg = ckt.node("vneg");
+        ckt.voltage_source("VSS", vneg, Circuit::GROUND, -10.0).unwrap();
+        ckt.current_source("Itail", tail, vneg, 2e-3).unwrap();
+        let op = ckt.dc_operating_point().unwrap();
+        (op.voltage(d1), op.voltage(d2))
+    };
+    let (d1, d2) = build(2.0, 2.0);
+    assert!((d1 - d2).abs() < 1e-6, "balanced: {d1} vs {d2}");
+    assert!((d1 - 8.0).abs() < 1e-6, "each side carries 1 mA: {d1}");
+    let (d1, d2) = build(2.3, 1.7);
+    assert!(d1 < d2 - 1.0, "steering: {d1} vs {d2}");
+}

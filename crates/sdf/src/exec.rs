@@ -1,0 +1,427 @@
+//! Token-based execution of SDF graphs.
+//!
+//! The executor runs a precomputed [`Schedule`](crate::Schedule) against
+//! user-supplied actor implementations, moving typed tokens through FIFO
+//! channels. Digital signal-processing chains in the examples (digital
+//! filters, DSP blocks in Figure 1) run on this engine.
+
+use crate::{ActorId, Schedule, SdfError, SdfGraph};
+use std::collections::VecDeque;
+
+/// Per-firing I/O window handed to an actor.
+///
+/// Input tokens for this firing have already been popped from the input
+/// FIFOs (exactly `consume` per input edge); the actor must push exactly
+/// `produce` tokens to each output edge, or the executor reports a
+/// [`SdfError::RateViolation`].
+#[derive(Debug)]
+pub struct ActorIo<'a, T> {
+    /// Consumed input tokens, indexed by the actor's input port order
+    /// (the order edges were connected).
+    inputs: &'a [Vec<T>],
+    /// Output staging: one vector per output port.
+    outputs: &'a mut [Vec<T>],
+}
+
+impl<T: Clone> ActorIo<'_, T> {
+    /// Number of input ports.
+    pub fn input_count(&self) -> usize {
+        self.inputs.len()
+    }
+
+    /// Number of output ports.
+    pub fn output_count(&self) -> usize {
+        self.outputs.len()
+    }
+
+    /// The tokens consumed on input port `port` this firing.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `port` is out of range.
+    pub fn input(&self, port: usize) -> &[T] {
+        &self.inputs[port]
+    }
+
+    /// Convenience: the single token on input `port` (rate-1 ports).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the port consumed a number of tokens other than one.
+    pub fn input_one(&self, port: usize) -> T {
+        assert_eq!(
+            self.inputs[port].len(),
+            1,
+            "input_one requires a consumption rate of 1"
+        );
+        self.inputs[port][0].clone()
+    }
+
+    /// Pushes a token to output port `port`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `port` is out of range.
+    pub fn push(&mut self, port: usize, token: T) {
+        self.outputs[port].push(token);
+    }
+
+    /// Pushes several tokens to output port `port`.
+    pub fn push_all(&mut self, port: usize, tokens: impl IntoIterator<Item = T>) {
+        self.outputs[port].extend(tokens);
+    }
+}
+
+/// An SDF actor implementation over token type `T`.
+pub trait SdfActor<T> {
+    /// One firing: consume the provided inputs, produce outputs.
+    fn fire(&mut self, io: &mut ActorIo<'_, T>);
+}
+
+impl<T, F: FnMut(&mut ActorIo<'_, T>)> SdfActor<T> for F {
+    fn fire(&mut self, io: &mut ActorIo<'_, T>) {
+        self(io)
+    }
+}
+
+/// Executes a scheduled SDF graph over tokens of type `T`.
+///
+/// # Example
+///
+/// A doubling actor between a source and a sink:
+///
+/// ```
+/// use ams_sdf::{schedule, ActorIo, SdfExecutor, SdfGraph};
+///
+/// # fn main() -> Result<(), ams_sdf::SdfError> {
+/// let mut g = SdfGraph::new();
+/// let src = g.add_actor("src");
+/// let dbl = g.add_actor("double");
+/// let sink = g.add_actor("sink");
+/// g.connect(src, 1, dbl, 1, 0)?;
+/// g.connect(dbl, 1, sink, 1, 0)?;
+/// let sched = schedule(&g)?;
+///
+/// let mut exec = SdfExecutor::new(&g, sched)?;
+/// let mut n = 0.0_f64;
+/// exec.set_actor(src, move |io: &mut ActorIo<'_, f64>| {
+///     n += 1.0;
+///     io.push(0, n);
+/// });
+/// exec.set_actor(dbl, |io: &mut ActorIo<'_, f64>| {
+///     let x = io.input_one(0);
+///     io.push(0, 2.0 * x);
+/// });
+/// exec.set_actor(sink, move |io: &mut ActorIo<'_, f64>| {
+///     let doubled = io.input_one(0);
+///     assert_eq!(doubled % 2.0, 0.0);
+/// });
+/// exec.run_iterations(3)?;
+/// # Ok(())
+/// # }
+/// ```
+pub struct SdfExecutor<T> {
+    graph: SdfGraph,
+    sched: Schedule,
+    actors: Vec<Option<Box<dyn SdfActor<T>>>>,
+    fifos: Vec<VecDeque<T>>,
+    /// Per-actor input/output edge lists, in connection order.
+    in_edges: Vec<Vec<usize>>,
+    out_edges: Vec<Vec<usize>>,
+    iterations_run: u64,
+}
+
+impl<T: Clone + Default + 'static> SdfExecutor<T> {
+    /// Creates an executor for `graph` with the given `schedule`.
+    ///
+    /// Edges carrying initial tokens are pre-filled with `T::default()`
+    /// values (dataflow delays).
+    ///
+    /// # Errors
+    ///
+    /// Currently infallible for a schedule produced from the same graph;
+    /// returns [`SdfError::UnknownHandle`] if the schedule references
+    /// actors outside the graph.
+    pub fn new(graph: &SdfGraph, schedule: Schedule) -> Result<Self, SdfError> {
+        let n = graph.actor_count();
+        for &actor in schedule.firings() {
+            if actor.index() >= n {
+                return Err(SdfError::UnknownHandle {
+                    kind: "actor",
+                    index: actor.index(),
+                });
+            }
+        }
+        let mut in_edges: Vec<Vec<usize>> = vec![Vec::new(); n];
+        let mut out_edges: Vec<Vec<usize>> = vec![Vec::new(); n];
+        let mut fifos = Vec::with_capacity(graph.edge_count());
+        for (id, e) in graph.edges() {
+            out_edges[e.src.index()].push(id.index());
+            in_edges[e.dst.index()].push(id.index());
+            let mut q = VecDeque::new();
+            for _ in 0..e.initial_tokens {
+                q.push_back(T::default());
+            }
+            fifos.push(q);
+        }
+        Ok(SdfExecutor {
+            graph: graph.clone(),
+            sched: schedule,
+            actors: (0..n).map(|_| None).collect(),
+            fifos,
+            in_edges,
+            out_edges,
+            iterations_run: 0,
+        })
+    }
+
+    /// Installs the implementation for an actor.
+    pub fn set_actor(&mut self, id: ActorId, actor: impl SdfActor<T> + 'static) {
+        self.actors[id.index()] = Some(Box::new(actor));
+    }
+
+    /// Number of completed iterations.
+    pub fn iterations_run(&self) -> u64 {
+        self.iterations_run
+    }
+
+    /// Current queue length of an edge FIFO (diagnostics).
+    pub fn fifo_len(&self, edge: crate::EdgeId) -> usize {
+        self.fifos[edge.index()].len()
+    }
+
+    /// Runs `count` complete schedule iterations.
+    ///
+    /// # Errors
+    ///
+    /// * [`SdfError::UnknownHandle`] if a scheduled actor has no
+    ///   implementation installed.
+    /// * [`SdfError::RateViolation`] if an actor produced the wrong number
+    ///   of tokens.
+    pub fn run_iterations(&mut self, count: u64) -> Result<(), SdfError> {
+        for _ in 0..count {
+            self.run_one_iteration()?;
+        }
+        Ok(())
+    }
+
+    fn run_one_iteration(&mut self) -> Result<(), SdfError> {
+        let firings: Vec<ActorId> = self.sched.firings().to_vec();
+        for actor_id in firings {
+            self.fire_actor(actor_id)?;
+        }
+        self.iterations_run += 1;
+        Ok(())
+    }
+
+    fn fire_actor(&mut self, actor_id: ActorId) -> Result<(), SdfError> {
+        let a = actor_id.index();
+        let mut actor = self.actors[a].take().ok_or(SdfError::UnknownHandle {
+            kind: "actor implementation",
+            index: a,
+        })?;
+
+        // Pop inputs.
+        let mut inputs: Vec<Vec<T>> = Vec::with_capacity(self.in_edges[a].len());
+        for &ei in &self.in_edges[a] {
+            let rate = self.graph.edge(crate::EdgeId(ei)).consume as usize;
+            if self.fifos[ei].len() < rate {
+                self.actors[a] = Some(actor);
+                return Err(SdfError::RateViolation {
+                    actor: a,
+                    detail: format!(
+                        "edge {ei} has {} tokens, firing needs {rate}",
+                        self.fifos[ei].len()
+                    ),
+                });
+            }
+            let toks: Vec<T> = (0..rate)
+                .map(|_| self.fifos[ei].pop_front().expect("length checked above"))
+                .collect();
+            inputs.push(toks);
+        }
+
+        // Fire into staging buffers.
+        let mut outputs: Vec<Vec<T>> = vec![Vec::new(); self.out_edges[a].len()];
+        {
+            let mut io = ActorIo {
+                inputs: &inputs,
+                outputs: &mut outputs,
+            };
+            actor.fire(&mut io);
+        }
+        self.actors[a] = Some(actor);
+
+        // Validate and commit outputs.
+        for (port, &ei) in self.out_edges[a].iter().enumerate() {
+            let rate = self.graph.edge(crate::EdgeId(ei)).produce as usize;
+            if outputs[port].len() != rate {
+                return Err(SdfError::RateViolation {
+                    actor: a,
+                    detail: format!(
+                        "output port {port} produced {} tokens, declared rate is {rate}",
+                        outputs[port].len()
+                    ),
+                });
+            }
+            self.fifos[ei].extend(outputs[port].drain(..));
+        }
+        Ok(())
+    }
+}
+
+impl<T> std::fmt::Debug for SdfExecutor<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SdfExecutor")
+            .field("actors", &self.actors.len())
+            .field("edges", &self.fifos.len())
+            .field("iterations_run", &self.iterations_run)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schedule;
+    use std::cell::RefCell;
+    use std::rc::Rc;
+
+    fn pipeline() -> (SdfGraph, ActorId, ActorId, ActorId) {
+        let mut g = SdfGraph::new();
+        let src = g.add_actor("src");
+        let mid = g.add_actor("mid");
+        let sink = g.add_actor("sink");
+        g.connect(src, 1, mid, 1, 0).unwrap();
+        g.connect(mid, 1, sink, 1, 0).unwrap();
+        (g, src, mid, sink)
+    }
+
+    #[test]
+    fn tokens_flow_through_pipeline() {
+        let (g, src, mid, sink) = pipeline();
+        let sched = schedule(&g).unwrap();
+        let mut exec: SdfExecutor<f64> = SdfExecutor::new(&g, sched).unwrap();
+
+        let mut counter = 0.0;
+        exec.set_actor(src, move |io: &mut ActorIo<'_, f64>| {
+            counter += 1.0;
+            io.push(0, counter);
+        });
+        exec.set_actor(mid, |io: &mut ActorIo<'_, f64>| {
+            let x = io.input_one(0);
+            io.push(0, x * 10.0);
+        });
+        let out = Rc::new(RefCell::new(Vec::new()));
+        let o2 = out.clone();
+        exec.set_actor(sink, move |io: &mut ActorIo<'_, f64>| {
+            o2.borrow_mut().push(io.input_one(0));
+        });
+
+        exec.run_iterations(4).unwrap();
+        assert_eq!(*out.borrow(), vec![10.0, 20.0, 30.0, 40.0]);
+        assert_eq!(exec.iterations_run(), 4);
+    }
+
+    #[test]
+    fn multirate_decimator() {
+        // src (1) -> (4) avg : consumes 4 tokens, emits their mean.
+        let mut g = SdfGraph::new();
+        let src = g.add_actor("src");
+        let avg = g.add_actor("avg");
+        let sink = g.add_actor("sink");
+        g.connect(src, 1, avg, 4, 0).unwrap();
+        g.connect(avg, 1, sink, 1, 0).unwrap();
+        let sched = schedule(&g).unwrap();
+        let mut exec: SdfExecutor<f64> = SdfExecutor::new(&g, sched).unwrap();
+
+        let mut n = 0.0;
+        exec.set_actor(src, move |io: &mut ActorIo<'_, f64>| {
+            n += 1.0;
+            io.push(0, n);
+        });
+        exec.set_actor(avg, |io: &mut ActorIo<'_, f64>| {
+            let mean = io.input(0).iter().sum::<f64>() / io.input(0).len() as f64;
+            io.push(0, mean);
+        });
+        let out = Rc::new(RefCell::new(Vec::new()));
+        let o2 = out.clone();
+        exec.set_actor(sink, move |io: &mut ActorIo<'_, f64>| {
+            o2.borrow_mut().push(io.input_one(0));
+        });
+
+        exec.run_iterations(2).unwrap();
+        // First iteration consumes 1,2,3,4 → 2.5; second 5,6,7,8 → 6.5.
+        assert_eq!(*out.borrow(), vec![2.5, 6.5]);
+    }
+
+    #[test]
+    fn missing_actor_implementation_errors() {
+        let (g, src, _mid, sink) = pipeline();
+        let sched = schedule(&g).unwrap();
+        let mut exec: SdfExecutor<f64> = SdfExecutor::new(&g, sched).unwrap();
+        exec.set_actor(src, |io: &mut ActorIo<'_, f64>| io.push(0, 0.0));
+        exec.set_actor(sink, |_io: &mut ActorIo<'_, f64>| {});
+        assert!(matches!(
+            exec.run_iterations(1),
+            Err(SdfError::UnknownHandle { .. })
+        ));
+    }
+
+    #[test]
+    fn wrong_production_rate_detected() {
+        let (g, src, mid, sink) = pipeline();
+        let sched = schedule(&g).unwrap();
+        let mut exec: SdfExecutor<f64> = SdfExecutor::new(&g, sched).unwrap();
+        exec.set_actor(src, |io: &mut ActorIo<'_, f64>| {
+            io.push(0, 1.0);
+        });
+        exec.set_actor(mid, |io: &mut ActorIo<'_, f64>| {
+            let x = io.input_one(0);
+            io.push(0, x);
+            io.push(0, x); // one too many
+        });
+        exec.set_actor(sink, |_: &mut ActorIo<'_, f64>| {});
+        match exec.run_iterations(1) {
+            Err(SdfError::RateViolation { actor, .. }) => assert_eq!(actor, 1),
+            other => panic!("expected rate violation, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn initial_tokens_act_as_delays() {
+        // Feedback: acc -> add -> acc with one initial token (delay).
+        let mut g = SdfGraph::new();
+        let add = g.add_actor("add");
+        let delay_edge = g.connect(add, 1, add, 1, 1).unwrap();
+        let sched = schedule(&g).unwrap();
+        let mut exec: SdfExecutor<f64> = SdfExecutor::new(&g, sched).unwrap();
+        // Self-loop accumulator: y[n] = y[n-1] + 1.
+        exec.set_actor(add, |io: &mut ActorIo<'_, f64>| {
+            let prev = io.input_one(0);
+            io.push(0, prev + 1.0);
+        });
+        exec.run_iterations(5).unwrap();
+        assert_eq!(exec.fifo_len(delay_edge), 1);
+    }
+
+    #[test]
+    fn integer_tokens() {
+        let mut g = SdfGraph::new();
+        let a = g.add_actor("a");
+        let b = g.add_actor("b");
+        g.connect(a, 2, b, 2, 0).unwrap();
+        let sched = schedule(&g).unwrap();
+        let mut exec: SdfExecutor<i64> = SdfExecutor::new(&g, sched).unwrap();
+        exec.set_actor(a, |io: &mut ActorIo<'_, i64>| {
+            io.push_all(0, [1, 2]);
+        });
+        let sum = Rc::new(RefCell::new(0i64));
+        let s2 = sum.clone();
+        exec.set_actor(b, move |io: &mut ActorIo<'_, i64>| {
+            *s2.borrow_mut() += io.input(0).iter().sum::<i64>();
+        });
+        exec.run_iterations(3).unwrap();
+        assert_eq!(*sum.borrow(), 9);
+    }
+}

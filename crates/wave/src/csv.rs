@@ -1,0 +1,105 @@
+//! CSV export of sampled waveforms (for plotting outside the simulator).
+
+use crate::WaveError;
+use std::io::Write;
+
+/// A named waveform column: `(name, samples)` where each sample is
+/// `(time_seconds, value)`.
+pub type WaveColumn<'a> = (&'a str, &'a [(f64, f64)]);
+
+/// Writes one or more waveforms that share a time base into CSV.
+///
+/// The time base is taken from the first column; other columns are
+/// emitted positionally and must have the same length.
+///
+/// # Errors
+///
+/// * [`WaveError::NothingRecorded`] for an empty column list.
+/// * [`WaveError::LengthMismatch`] if column lengths differ.
+/// * [`WaveError::Io`] on write failure.
+///
+/// # Example
+///
+/// ```
+/// use ams_wave::write_csv;
+///
+/// # fn main() -> Result<(), ams_wave::WaveError> {
+/// let vin = [(0.0, 0.0), (1e-6, 1.0)];
+/// let vout = [(0.0, 0.0), (1e-6, 0.5)];
+/// let mut out = Vec::new();
+/// write_csv(&mut out, &[("vin", &vin), ("vout", &vout)])?;
+/// let text = String::from_utf8(out).unwrap();
+/// assert!(text.starts_with("time,vin,vout\n"));
+/// # Ok(())
+/// # }
+/// ```
+pub fn write_csv<W: Write>(mut w: W, columns: &[WaveColumn<'_>]) -> Result<(), WaveError> {
+    let first = columns.first().ok_or(WaveError::NothingRecorded)?;
+    let n = first.1.len();
+    for (name, col) in columns {
+        if col.len() != n {
+            return Err(WaveError::LengthMismatch {
+                column: (*name).to_string(),
+                expected: n,
+                found: col.len(),
+            });
+        }
+    }
+    let mut line = String::from("time");
+    for (name, _) in columns {
+        line.push(',');
+        line.push_str(name);
+    }
+    line.push('\n');
+    w.write_all(line.as_bytes()).map_err(WaveError::Io)?;
+
+    for row in 0..n {
+        let mut line = format!("{:.12e}", first.1[row].0);
+        for (_, col) in columns {
+            line.push(',');
+            line.push_str(&format!("{:.12e}", col[row].1));
+        }
+        line.push('\n');
+        w.write_all(line.as_bytes()).map_err(WaveError::Io)?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn writes_header_and_rows() {
+        let a = [(0.0, 1.0), (1.0, 2.0)];
+        let b = [(0.0, 10.0), (1.0, 20.0)];
+        let mut out = Vec::new();
+        write_csv(&mut out, &[("a", &a), ("b", &b)]).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert_eq!(lines[0], "time,a,b");
+        assert!(lines[1].starts_with("0.0"));
+        assert!(lines[1].contains("1.0"));
+    }
+
+    #[test]
+    fn empty_columns_rejected() {
+        let mut out = Vec::new();
+        assert!(matches!(
+            write_csv(&mut out, &[]),
+            Err(WaveError::NothingRecorded)
+        ));
+    }
+
+    #[test]
+    fn mismatched_lengths_rejected() {
+        let a = [(0.0, 1.0)];
+        let b = [(0.0, 1.0), (1.0, 2.0)];
+        let mut out = Vec::new();
+        assert!(matches!(
+            write_csv(&mut out, &[("a", &a), ("b", &b)]),
+            Err(WaveError::LengthMismatch { .. })
+        ));
+    }
+}

@@ -1,0 +1,72 @@
+use std::fmt;
+
+/// Errors from waveform recording, export and analysis.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum WaveError {
+    /// Nothing was recorded / no columns were supplied.
+    NothingRecorded,
+    /// Parallel waveform columns had different lengths.
+    LengthMismatch {
+        /// Name of the offending column.
+        column: String,
+        /// Expected sample count.
+        expected: usize,
+        /// Actual sample count.
+        found: usize,
+    },
+    /// An argument was out of its valid domain.
+    Invalid {
+        /// Description of the violated precondition.
+        reason: String,
+    },
+    /// An I/O error occurred during export.
+    Io(std::io::Error),
+}
+
+impl WaveError {
+    /// Builds a [`WaveError::Invalid`] from a reason string.
+    pub fn invalid(reason: impl Into<String>) -> Self {
+        WaveError::Invalid {
+            reason: reason.into(),
+        }
+    }
+}
+
+impl fmt::Display for WaveError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WaveError::NothingRecorded => write!(f, "nothing was recorded"),
+            WaveError::LengthMismatch {
+                column,
+                expected,
+                found,
+            } => write!(
+                f,
+                "column '{column}' has {found} samples, expected {expected}"
+            ),
+            WaveError::Invalid { reason } => write!(f, "invalid argument: {reason}"),
+            WaveError::Io(e) => write!(f, "i/o error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for WaveError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            WaveError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display() {
+        assert_eq!(WaveError::NothingRecorded.to_string(), "nothing was recorded");
+        assert!(WaveError::invalid("x").to_string().contains("x"));
+    }
+}

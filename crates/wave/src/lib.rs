@@ -1,0 +1,39 @@
+//! Waveform tracing and analysis for the SystemC-AMS reproduction.
+//!
+//! * [`VcdRecorder`] — records DE kernel signals and serializes standard
+//!   VCD for waveform viewers;
+//! * [`write_csv`] — exports sampled waveforms (e.g.
+//!   `TdfProbe` data from `ams-core`) as CSV;
+//! * [`Spectrum`] / [`analyze_sine`] — windowed-FFT amplitude spectra and
+//!   converter-test metrics (SNR, SINAD, THD, ENOB), the measurement side
+//!   of the ADC experiments.
+//!
+//! # Example
+//!
+//! ```
+//! use ams_wave::{analyze_sine, largest_pow2_len};
+//! use ams_math::fft::Window;
+//!
+//! # fn main() -> Result<(), ams_wave::WaveError> {
+//! let fs = 1.0e6;
+//! let samples: Vec<f64> = (0..4096)
+//!     .map(|i| (2.0 * std::f64::consts::PI * 257.0 * i as f64 / 4096.0).sin())
+//!     .collect();
+//! let metrics = analyze_sine(&samples, fs, Window::Blackman)?;
+//! assert!(metrics.snr_db > 100.0); // clean sine
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod csv;
+mod error;
+mod spectrum;
+mod vcd;
+
+pub use csv::{write_csv, WaveColumn};
+pub use error::WaveError;
+pub use spectrum::{analyze_sine, largest_pow2_len, SineMetrics, Spectrum};
+pub use vcd::VcdRecorder;

@@ -1,0 +1,311 @@
+//! Spectral waveform analysis: amplitude spectra, SNR, SINAD, THD and
+//! ENOB estimation.
+//!
+//! These are the measurement routines behind experiment E7 (pipelined ADC
+//! accuracy vs. the ideal-quantizer reference) and the SNR figures the
+//! ADSL example reports. The estimators follow standard converter-test
+//! practice (IEEE 1057-style): windowed FFT, signal power gathered over
+//! the fundamental's leakage bins, harmonics located by frequency
+//! folding.
+
+use crate::WaveError;
+use ams_math::fft::{amplitude_spectrum, Window};
+
+/// How many bins on each side of a spectral line are attributed to it
+/// (window leakage).
+const LEAKAGE_BINS: usize = 3;
+
+/// A one-sided amplitude spectrum with its frequency grid.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Spectrum {
+    freqs_hz: Vec<f64>,
+    amplitude: Vec<f64>,
+    sample_rate_hz: f64,
+}
+
+impl Spectrum {
+    /// Computes the spectrum of a uniformly sampled signal.
+    ///
+    /// # Errors
+    ///
+    /// * [`WaveError::Invalid`] for a non-positive sample rate or a
+    ///   length that is not a power of two (trim with
+    ///   [`largest_pow2_len`]).
+    pub fn new(samples: &[f64], sample_rate_hz: f64, window: Window) -> Result<Self, WaveError> {
+        if sample_rate_hz <= 0.0 || !sample_rate_hz.is_finite() {
+            return Err(WaveError::invalid("sample rate must be positive"));
+        }
+        let amplitude = amplitude_spectrum(samples, window)
+            .map_err(|e| WaveError::invalid(e.to_string()))?;
+        let n = samples.len();
+        let freqs_hz = (0..amplitude.len())
+            .map(|k| k as f64 * sample_rate_hz / n as f64)
+            .collect();
+        Ok(Spectrum {
+            freqs_hz,
+            amplitude,
+            sample_rate_hz,
+        })
+    }
+
+    /// The frequency grid (Hz), DC through Nyquist.
+    pub fn freqs_hz(&self) -> &[f64] {
+        &self.freqs_hz
+    }
+
+    /// Window-corrected amplitudes per bin.
+    pub fn amplitude(&self) -> &[f64] {
+        &self.amplitude
+    }
+
+    /// The bin index nearest to `freq_hz`.
+    pub fn bin_of(&self, freq_hz: f64) -> usize {
+        let n = (self.freqs_hz.len() - 1) * 2;
+        ((freq_hz / self.sample_rate_hz * n as f64).round() as usize)
+            .min(self.freqs_hz.len() - 1)
+    }
+
+    /// The bin index with the largest amplitude, excluding DC leakage.
+    pub fn peak_bin(&self) -> usize {
+        self.amplitude
+            .iter()
+            .enumerate()
+            .skip(LEAKAGE_BINS + 1)
+            .max_by(|a, b| a.1.total_cmp(b.1))
+            .map(|(i, _)| i)
+            .unwrap_or(0)
+    }
+
+    /// Power in the leakage window around a bin.
+    fn line_power(&self, bin: usize) -> f64 {
+        let lo = bin.saturating_sub(LEAKAGE_BINS);
+        let hi = (bin + LEAKAGE_BINS).min(self.amplitude.len() - 1);
+        self.amplitude[lo..=hi].iter().map(|a| a * a / 2.0).sum()
+    }
+}
+
+/// Converter/test metrics extracted from a sine-excited record.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SineMetrics {
+    /// Detected fundamental frequency, Hz.
+    pub fundamental_hz: f64,
+    /// Signal-to-noise ratio excluding harmonics, dB.
+    pub snr_db: f64,
+    /// Signal-to-noise-and-distortion ratio, dB.
+    pub sinad_db: f64,
+    /// Total harmonic distortion (first 5 harmonics), dB relative to the
+    /// fundamental (negative for small distortion).
+    pub thd_db: f64,
+    /// Effective number of bits derived from SINAD.
+    pub enob: f64,
+}
+
+/// Analyzes a sine-excited record (the standard ADC test method).
+///
+/// The fundamental is auto-detected as the largest non-DC line. Noise is
+/// everything outside the DC, fundamental and harmonic leakage windows.
+///
+/// # Errors
+///
+/// * [`WaveError::Invalid`] for bad sample rates / lengths or if the
+///   record contains no detectable fundamental.
+///
+/// # Example
+///
+/// ```
+/// use ams_wave::analyze_sine;
+/// use ams_math::fft::Window;
+///
+/// # fn main() -> Result<(), ams_wave::WaveError> {
+/// let n = 4096;
+/// let fs = 1.0e6;
+/// // Clean sine: SNR limited only by floating-point noise (very high).
+/// let signal: Vec<f64> = (0..n)
+///     .map(|i| (2.0 * std::f64::consts::PI * 101.0 * i as f64 / n as f64).sin())
+///     .collect();
+/// let m = analyze_sine(&signal, fs, Window::Blackman)?;
+/// assert!(m.snr_db > 100.0);
+/// # Ok(())
+/// # }
+/// ```
+pub fn analyze_sine(
+    samples: &[f64],
+    sample_rate_hz: f64,
+    window: Window,
+) -> Result<SineMetrics, WaveError> {
+    let spec = Spectrum::new(samples, sample_rate_hz, window)?;
+    let n_bins = spec.amplitude.len();
+    let fund_bin = spec.peak_bin();
+    if spec.amplitude[fund_bin] <= 0.0 {
+        return Err(WaveError::invalid("no fundamental line detected"));
+    }
+    let fundamental_hz = spec.freqs_hz[fund_bin];
+    let signal_power = spec.line_power(fund_bin);
+
+    // Harmonic bins (2f..6f), folded around Nyquist.
+    let full_n = (n_bins - 1) * 2;
+    let mut harmonic_bins = Vec::new();
+    for h in 2..=6usize {
+        let mut idx = (fund_bin * h) % full_n;
+        if idx >= n_bins {
+            idx = full_n - idx; // fold
+        }
+        harmonic_bins.push(idx);
+    }
+    let harmonic_power: f64 = harmonic_bins.iter().map(|&b| spec.line_power(b)).sum();
+
+    // Noise: total minus DC, fundamental and harmonic windows.
+    let mut excluded = vec![false; n_bins];
+    for k in 0..=LEAKAGE_BINS.min(n_bins - 1) {
+        excluded[k] = true; // DC leakage
+    }
+    let mut mark = |bin: usize| {
+        let lo = bin.saturating_sub(LEAKAGE_BINS);
+        let hi = (bin + LEAKAGE_BINS).min(n_bins - 1);
+        for k in lo..=hi {
+            excluded[k] = true;
+        }
+    };
+    mark(fund_bin);
+    for &b in &harmonic_bins {
+        mark(b);
+    }
+    let noise_power: f64 = spec
+        .amplitude
+        .iter()
+        .enumerate()
+        .filter(|(k, _)| !excluded[*k])
+        .map(|(_, a)| a * a / 2.0)
+        .sum();
+
+    // Avoid log(0) on synthetic noise-free records.
+    let tiny = signal_power * 1e-30 + f64::MIN_POSITIVE;
+    let snr_db = 10.0 * (signal_power / (noise_power + tiny)).log10();
+    let sinad_db = 10.0 * (signal_power / (noise_power + harmonic_power + tiny)).log10();
+    let thd_db = 10.0 * ((harmonic_power + tiny) / signal_power).log10();
+    let enob = (sinad_db - 1.76) / 6.02;
+
+    Ok(SineMetrics {
+        fundamental_hz,
+        snr_db,
+        sinad_db,
+        thd_db,
+        enob,
+    })
+}
+
+/// Returns the largest power-of-two prefix length of `n` (for trimming
+/// records before FFT analysis).
+pub fn largest_pow2_len(n: usize) -> usize {
+    if n == 0 {
+        0
+    } else {
+        1 << (usize::BITS - 1 - n.leading_zeros())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::f64::consts::PI;
+
+    fn sine(n: usize, cycles: f64, ampl: f64) -> Vec<f64> {
+        (0..n)
+            .map(|i| ampl * (2.0 * PI * cycles * i as f64 / n as f64).sin())
+            .collect()
+    }
+
+    #[test]
+    fn spectrum_grid_and_peak() {
+        let n = 1024;
+        let fs = 1024.0;
+        let s = sine(n, 100.0, 1.0);
+        let spec = Spectrum::new(&s, fs, Window::Hann).unwrap();
+        assert_eq!(spec.freqs_hz().len(), n / 2 + 1);
+        assert_eq!(spec.peak_bin(), 100);
+        assert_eq!(spec.bin_of(100.0), 100);
+        assert!((spec.amplitude()[100] - 1.0).abs() < 0.01);
+    }
+
+    #[test]
+    fn quantized_sine_enob_matches_bits() {
+        // Quantize an 8-bit sine and check ENOB ≈ 8.
+        let n = 8192;
+        let bits = 8;
+        let lsb = 2.0 / (1 << bits) as f64;
+        // Slightly under full scale, non-integer-ish bin for realism but
+        // still coherent (odd bin count).
+        let s: Vec<f64> = sine(n, 479.0, 0.99)
+            .iter()
+            .map(|v| (v / lsb).round() * lsb)
+            .collect();
+        let m = analyze_sine(&s, 1.0, Window::Blackman).unwrap();
+        assert!(
+            (m.enob - bits as f64).abs() < 0.5,
+            "enob {} for {} bits",
+            m.enob,
+            bits
+        );
+    }
+
+    #[test]
+    fn distorted_sine_reports_thd() {
+        let n = 4096;
+        let fund = sine(n, 101.0, 1.0);
+        // Add −40 dB second harmonic.
+        let s: Vec<f64> = (0..n)
+            .map(|i| fund[i] + 0.01 * (2.0 * PI * 202.0 * i as f64 / n as f64).sin())
+            .collect();
+        let m = analyze_sine(&s, 1.0, Window::Blackman).unwrap();
+        assert!((m.thd_db + 40.0).abs() < 1.0, "thd {}", m.thd_db);
+        // SINAD dominated by distortion: ≈ 40 dB; SNR much higher.
+        assert!((m.sinad_db - 40.0).abs() < 1.0, "sinad {}", m.sinad_db);
+        assert!(m.snr_db > 80.0, "snr {}", m.snr_db);
+    }
+
+    #[test]
+    fn noisy_sine_snr() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let n = 16384;
+        let mut rng = StdRng::seed_from_u64(1);
+        let sigma = 0.01;
+        let s: Vec<f64> = sine(n, 1001.0, 1.0)
+            .iter()
+            .map(|v| {
+                let u1: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+                let u2: f64 = rng.gen::<f64>();
+                let g = (-2.0 * u1.ln()).sqrt() * (2.0 * PI * u2).cos();
+                v + sigma * g
+            })
+            .collect();
+        // Expected SNR = 10·log10((1/2)/σ²) ≈ 37 dB.
+        let m = analyze_sine(&s, 1.0, Window::Blackman).unwrap();
+        let expect = 10.0 * (0.5 / (sigma * sigma)).log10();
+        assert!((m.snr_db - expect).abs() < 1.5, "snr {} vs {expect}", m.snr_db);
+    }
+
+    #[test]
+    fn fundamental_detection() {
+        let s = sine(2048, 333.0, 0.7);
+        let m = analyze_sine(&s, 2048.0, Window::Hann).unwrap();
+        assert!((m.fundamental_hz - 333.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn invalid_inputs_rejected() {
+        let s = sine(1000, 10.0, 1.0); // not a power of two
+        assert!(Spectrum::new(&s, 1.0, Window::Hann).is_err());
+        let s2 = sine(1024, 10.0, 1.0);
+        assert!(Spectrum::new(&s2, -1.0, Window::Hann).is_err());
+    }
+
+    #[test]
+    fn pow2_trim() {
+        assert_eq!(largest_pow2_len(0), 0);
+        assert_eq!(largest_pow2_len(1), 1);
+        assert_eq!(largest_pow2_len(1023), 512);
+        assert_eq!(largest_pow2_len(1024), 1024);
+        assert_eq!(largest_pow2_len(1025), 1024);
+    }
+}

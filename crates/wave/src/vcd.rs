@@ -1,0 +1,261 @@
+//! Value-change-dump (VCD) recording of DE kernel signals.
+//!
+//! A [`VcdRecorder`] subscribes to kernel signals via observers, buffers
+//! value changes in memory, and serializes a standard VCD file that any
+//! waveform viewer (GTKWave etc.) can open.
+
+use crate::WaveError;
+use ams_kernel::{Kernel, Signal, SignalValue, SimTime};
+use std::cell::RefCell;
+use std::fmt::Write as _;
+use std::io::Write;
+use std::rc::Rc;
+
+#[derive(Debug, Clone)]
+struct Change {
+    time: SimTime,
+    var: usize,
+    /// VCD value text: `0`/`1` for scalars, `r<float>` for reals.
+    text: String,
+}
+
+#[derive(Debug, Default)]
+struct VcdState {
+    vars: Vec<(String, VarKind)>,
+    changes: Vec<Change>,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum VarKind {
+    Real,
+    Bit,
+}
+
+/// Records DE signal changes for VCD export.
+///
+/// # Example
+///
+/// ```
+/// use ams_kernel::{Kernel, SimTime};
+/// use ams_wave::VcdRecorder;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut kernel = Kernel::new();
+/// let sig = kernel.signal("data", 0.0f64);
+/// let recorder = VcdRecorder::new();
+/// recorder.record_real(&mut kernel, sig);
+/// kernel.poke(sig, 1.5);
+/// kernel.run_until(SimTime::from_ns(10))?;
+/// let mut out = Vec::new();
+/// recorder.write(&mut out)?;
+/// let text = String::from_utf8(out)?;
+/// assert!(text.contains("$var real"));
+/// assert!(text.contains("r1.5"));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct VcdRecorder {
+    state: Rc<RefCell<VcdState>>,
+}
+
+impl VcdRecorder {
+    /// Creates an empty recorder.
+    pub fn new() -> Self {
+        VcdRecorder::default()
+    }
+
+    fn add_var(&self, name: &str, kind: VarKind) -> usize {
+        let mut st = self.state.borrow_mut();
+        st.vars.push((name.to_string(), kind));
+        st.vars.len() - 1
+    }
+
+    /// Starts recording a real-valued signal.
+    pub fn record_real(&self, kernel: &mut Kernel, sig: Signal<f64>) {
+        let name = kernel.signal_name(sig).to_string();
+        let var = self.add_var(&name, VarKind::Real);
+        let state = self.state.clone();
+        kernel.observe(sig, move |t, v| {
+            state.borrow_mut().changes.push(Change {
+                time: t,
+                var,
+                text: format!("r{v}"),
+            });
+        });
+    }
+
+    /// Starts recording a boolean signal.
+    pub fn record_bool(&self, kernel: &mut Kernel, sig: Signal<bool>) {
+        let name = kernel.signal_name(sig).to_string();
+        let var = self.add_var(&name, VarKind::Bit);
+        let state = self.state.clone();
+        kernel.observe(sig, move |t, v| {
+            state.borrow_mut().changes.push(Change {
+                time: t,
+                var,
+                text: if *v { "1".into() } else { "0".into() },
+            });
+        });
+    }
+
+    /// Starts recording an integer signal (stored as a VCD real for
+    /// simplicity of the identifier-width handling).
+    pub fn record_int<T: SignalValue + Into<i64> + Copy>(
+        &self,
+        kernel: &mut Kernel,
+        sig: Signal<T>,
+    ) {
+        let name = kernel.signal_name(sig).to_string();
+        let var = self.add_var(&name, VarKind::Real);
+        let state = self.state.clone();
+        kernel.observe(sig, move |t, v| {
+            let value: i64 = (*v).into();
+            state.borrow_mut().changes.push(Change {
+                time: t,
+                var,
+                text: format!("r{value}"),
+            });
+        });
+    }
+
+    /// Number of changes recorded so far.
+    pub fn change_count(&self) -> usize {
+        self.state.borrow().changes.len()
+    }
+
+    /// Serializes the recording as a VCD document.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WaveError::Io`] on write failures and
+    /// [`WaveError::NothingRecorded`] if no variable was registered.
+    pub fn write<W: Write>(&self, mut w: W) -> Result<(), WaveError> {
+        let st = self.state.borrow();
+        if st.vars.is_empty() {
+            return Err(WaveError::NothingRecorded);
+        }
+        let mut out = String::new();
+        out.push_str("$date\n  systemc-ams reproduction\n$end\n");
+        out.push_str("$timescale 1 fs $end\n");
+        out.push_str("$scope module top $end\n");
+        for (idx, (name, kind)) in st.vars.iter().enumerate() {
+            let id = var_id(idx);
+            let clean: String = name
+                .chars()
+                .map(|c| if c.is_whitespace() { '_' } else { c })
+                .collect();
+            match kind {
+                VarKind::Real => {
+                    let _ = writeln!(out, "$var real 64 {id} {clean} $end");
+                }
+                VarKind::Bit => {
+                    let _ = writeln!(out, "$var wire 1 {id} {clean} $end");
+                }
+            }
+        }
+        out.push_str("$upscope $end\n$enddefinitions $end\n");
+
+        let mut changes: Vec<&Change> = st.changes.iter().collect();
+        changes.sort_by_key(|c| c.time);
+        let mut current: Option<SimTime> = None;
+        for c in changes {
+            if current != Some(c.time) {
+                let _ = writeln!(out, "#{}", c.time.as_fs());
+                current = Some(c.time);
+            }
+            let id = var_id(c.var);
+            if c.text.starts_with('r') {
+                let _ = writeln!(out, "{} {id}", c.text);
+            } else {
+                let _ = writeln!(out, "{}{id}", c.text);
+            }
+        }
+        w.write_all(out.as_bytes()).map_err(WaveError::Io)?;
+        Ok(())
+    }
+}
+
+/// Generates a short printable VCD identifier for a variable index.
+fn var_id(mut idx: usize) -> String {
+    // Identifiers over the printable range '!'..='~'.
+    let mut s = String::new();
+    loop {
+        s.push((b'!' + (idx % 94) as u8) as char);
+        idx /= 94;
+        if idx == 0 {
+            break;
+        }
+        idx -= 1;
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_and_serializes() {
+        let mut k = Kernel::new();
+        let v = k.signal("volts", 0.0f64);
+        let b = k.signal("flag", false);
+        let rec = VcdRecorder::new();
+        rec.record_real(&mut k, v);
+        rec.record_bool(&mut k, b);
+
+        k.poke(v, 3.3);
+        k.poke(b, true);
+        k.run_until(SimTime::from_ns(1)).unwrap();
+        k.poke(v, 1.1);
+        k.run_until(SimTime::from_ns(5)).unwrap();
+
+        assert_eq!(rec.change_count(), 3);
+        let mut out = Vec::new();
+        rec.write(&mut out).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.contains("$timescale 1 fs $end"));
+        assert!(text.contains("$var real 64 ! volts $end"));
+        assert!(text.contains("$var wire 1 \" flag $end"));
+        assert!(text.contains("r3.3 !"));
+        assert!(text.contains("1\""));
+        assert!(text.contains("r1.1 !"));
+        // Timestamps in femtoseconds.
+        assert!(text.contains("#0"));
+        assert!(text.contains("#1000000"));
+    }
+
+    #[test]
+    fn empty_recorder_errors() {
+        let rec = VcdRecorder::new();
+        let mut out = Vec::new();
+        assert!(matches!(
+            rec.write(&mut out),
+            Err(WaveError::NothingRecorded)
+        ));
+    }
+
+    #[test]
+    fn var_ids_are_unique_and_printable() {
+        let ids: Vec<String> = (0..200).map(var_id).collect();
+        let mut dedup = ids.clone();
+        dedup.sort();
+        dedup.dedup();
+        assert_eq!(dedup.len(), ids.len());
+        assert!(ids.iter().all(|s| s.chars().all(|c| ('!'..='~').contains(&c))));
+    }
+
+    #[test]
+    fn int_signals_recorded_as_reals() {
+        let mut k = Kernel::new();
+        let c = k.signal("count", 0i32);
+        let rec = VcdRecorder::new();
+        rec.record_int(&mut k, c);
+        k.poke(c, 42);
+        k.run_until(SimTime::from_ns(1)).unwrap();
+        let mut out = Vec::new();
+        rec.write(&mut out).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.contains("r42"));
+    }
+}

@@ -1,0 +1,256 @@
+//! Property-based tests (proptest) of the core numerical and scheduling
+//! invariants across the workspace.
+
+use proptest::prelude::*;
+use systemc_ams::kernel::SimTime;
+use systemc_ams::math::{fft, solve_dense, Complex64, DMat, DVec, Lu, Rational};
+use systemc_ams::net::Circuit;
+use systemc_ams::sdf::{schedule, SdfGraph};
+
+// ---------- linear algebra ---------------------------------------------------
+
+proptest! {
+    /// For well-conditioned random matrices, LU solve leaves a tiny
+    /// residual: ‖A·x − b‖ ≪ ‖b‖.
+    #[test]
+    fn lu_solve_residual_is_small(
+        seed in proptest::collection::vec(-10.0f64..10.0, 16),
+        rhs in proptest::collection::vec(-10.0f64..10.0, 4),
+    ) {
+        let mut a = DMat::from_fn(4, 4, |i, j| seed[i * 4 + j]);
+        // Diagonal dominance guarantees regularity.
+        for i in 0..4 {
+            a[(i, i)] += 50.0;
+        }
+        let b = DVec::from(rhs);
+        let x = solve_dense(&a, &b).expect("regular by construction");
+        let r = &a.mul_vec(&x).unwrap() - &b;
+        prop_assert!(r.norm_inf() < 1e-9 * (1.0 + b.norm_inf()));
+    }
+
+    /// det(A·B) = det(A)·det(B) via the LU determinant.
+    #[test]
+    fn determinant_is_multiplicative(
+        sa in proptest::collection::vec(-3.0f64..3.0, 9),
+        sb in proptest::collection::vec(-3.0f64..3.0, 9),
+    ) {
+        let mut a = DMat::from_fn(3, 3, |i, j| sa[i * 3 + j]);
+        let mut b = DMat::from_fn(3, 3, |i, j| sb[i * 3 + j]);
+        for i in 0..3 {
+            a[(i, i)] += 10.0;
+            b[(i, i)] += 10.0;
+        }
+        let ab = a.mul_mat(&b).unwrap();
+        let da = Lu::factor(&a).unwrap().det();
+        let db = Lu::factor(&b).unwrap().det();
+        let dab = Lu::factor(&ab).unwrap().det();
+        prop_assert!((dab - da * db).abs() < 1e-6 * dab.abs().max(1.0));
+    }
+}
+
+// ---------- FFT ---------------------------------------------------------------
+
+proptest! {
+    /// fft → ifft is the identity.
+    #[test]
+    fn fft_roundtrip(values in proptest::collection::vec(-100.0f64..100.0, 64)) {
+        let orig: Vec<Complex64> = values.iter().map(|&v| Complex64::from_real(v)).collect();
+        let mut x = orig.clone();
+        fft::fft(&mut x).unwrap();
+        fft::ifft(&mut x).unwrap();
+        for (a, b) in x.iter().zip(&orig) {
+            prop_assert!((*a - *b).abs() < 1e-9);
+        }
+    }
+
+    /// Parseval: time-domain energy equals spectrum energy / N.
+    #[test]
+    fn fft_parseval(values in proptest::collection::vec(-100.0f64..100.0, 128)) {
+        let time_energy: f64 = values.iter().map(|v| v * v).sum();
+        let spec = fft::fft_real(&values).unwrap();
+        let freq_energy: f64 = spec.iter().map(|z| z.norm_sqr()).sum::<f64>() / 128.0;
+        prop_assert!((time_energy - freq_energy).abs() < 1e-6 * (1.0 + time_energy));
+    }
+}
+
+// ---------- rationals -----------------------------------------------------------
+
+proptest! {
+    /// Rational arithmetic satisfies the field laws we rely on.
+    #[test]
+    fn rational_laws(
+        an in 1u64..1000, ad in 1u64..1000,
+        bn in 1u64..1000, bd in 1u64..1000,
+    ) {
+        let a = Rational::new(an, ad).unwrap();
+        let b = Rational::new(bn, bd).unwrap();
+        prop_assert_eq!(a + b, b + a);
+        prop_assert_eq!(a * b, b * a);
+        prop_assert_eq!((a + b) * b, a * b + b * b);
+        prop_assert_eq!(a / b * b, a);
+        prop_assert_eq!((a + b) - b, a);
+    }
+}
+
+// ---------- SDF -----------------------------------------------------------------
+
+proptest! {
+    /// For a random two-stage chain, the repetition vector balances every
+    /// edge and is minimal (gcd = 1).
+    #[test]
+    fn repetition_vector_balances_chain(
+        r1 in 1u64..12, r2 in 1u64..12, r3 in 1u64..12, r4 in 1u64..12,
+    ) {
+        let mut g = SdfGraph::new();
+        let a = g.add_actor("a");
+        let b = g.add_actor("b");
+        let c = g.add_actor("c");
+        g.connect(a, r1, b, r2, 0).unwrap();
+        g.connect(b, r3, c, r4, 0).unwrap();
+        let q = g.repetition_vector().unwrap();
+        prop_assert_eq!(q[0] * r1, q[1] * r2);
+        prop_assert_eq!(q[1] * r3, q[2] * r4);
+        let g0 = systemc_ams::math::gcd(systemc_ams::math::gcd(q[0], q[1]), q[2]);
+        prop_assert_eq!(g0, 1, "not minimal: {:?}", q);
+    }
+
+    /// A valid schedule fires each actor exactly q times and never
+    /// underflows any FIFO (checked by re-simulating token counts).
+    #[test]
+    fn schedule_is_admissible(
+        r1 in 1u64..6, r2 in 1u64..6, delay in 0u64..4,
+    ) {
+        let mut g = SdfGraph::new();
+        let a = g.add_actor("a");
+        let b = g.add_actor("b");
+        g.connect(a, r1, b, r2, delay).unwrap();
+        let s = schedule(&g).unwrap();
+        let q = s.repetition_vector().to_vec();
+        let mut fired = vec![0u64; 2];
+        let mut tokens = delay as i64;
+        for &actor in s.firings() {
+            if actor == a {
+                tokens += r1 as i64;
+                fired[0] += 1;
+            } else {
+                tokens -= r2 as i64;
+                prop_assert!(tokens >= 0, "fifo underflow");
+                fired[1] += 1;
+            }
+        }
+        prop_assert_eq!(&fired[..], &q[..]);
+        prop_assert_eq!(tokens, delay as i64, "periodic token count");
+    }
+}
+
+// ---------- MNA ------------------------------------------------------------------
+
+proptest! {
+    /// KCL holds at every internal node of a random resistive ladder:
+    /// branch currents into each node sum to zero.
+    #[test]
+    fn kcl_holds_on_random_ladder(
+        resistances in proptest::collection::vec(10.0f64..10_000.0, 2..8),
+        vsrc in 0.1f64..100.0,
+    ) {
+        let mut ckt = Circuit::new();
+        let top = ckt.node("top");
+        ckt.voltage_source("V", top, Circuit::GROUND, vsrc).unwrap();
+        let mut prev = top;
+        let mut series = Vec::new();
+        let mut shunts = Vec::new();
+        for (i, &r) in resistances.iter().enumerate() {
+            let n = ckt.node(format!("n{i}"));
+            series.push((ckt.resistor(format!("Rs{i}"), prev, n, r).unwrap(), prev, n));
+            shunts.push((ckt.resistor(format!("Rp{i}"), n, Circuit::GROUND, 2.0 * r).unwrap(), n));
+            prev = n;
+        }
+        let op = ckt.dc_operating_point().unwrap();
+        // KCL at each internal node: current in from the series resistor
+        // equals current out through the shunt plus the next series one.
+        for (i, &(_, node)) in shunts.iter().enumerate() {
+            let i_in = op.current(series[i].0).unwrap();
+            let i_shunt = op.current(shunts[i].0).unwrap();
+            let i_next = if i + 1 < series.len() {
+                op.current(series[i + 1].0).unwrap()
+            } else {
+                0.0
+            };
+            prop_assert!(
+                (i_in - i_shunt - i_next).abs() < 1e-9 * (1.0 + i_in.abs()),
+                "KCL violated at node {} ({:?})",
+                i, node
+            );
+        }
+    }
+
+    /// A passive RC divider never amplifies: |H(jω)| ≤ 1 at any frequency.
+    #[test]
+    fn passive_rc_network_gain_bounded(
+        r in 10.0f64..100_000.0,
+        c in 1e-12f64..1e-6,
+        freq in 0.1f64..1e9,
+    ) {
+        let mut ckt = Circuit::new();
+        let a = ckt.node("a");
+        let out = ckt.node("out");
+        ckt.voltage_source_ac("V", a, Circuit::GROUND, 0.0, 1.0).unwrap();
+        ckt.resistor("R", a, out, r).unwrap();
+        ckt.capacitor("C", out, Circuit::GROUND, c).unwrap();
+        let op = ckt.dc_operating_point().unwrap();
+        let h = ckt.ac_transfer(&op, out, &[freq]).unwrap();
+        prop_assert!(h[0].abs() <= 1.0 + 1e-9, "|H| = {}", h[0].abs());
+        // And it matches the analytic single-pole response.
+        let expect = 1.0 / (1.0 + (2.0 * std::f64::consts::PI * freq * r * c).powi(2)).sqrt();
+        prop_assert!((h[0].abs() - expect).abs() < 1e-6 * (1.0 + expect));
+    }
+}
+
+// ---------- kernel time --------------------------------------------------------
+
+proptest! {
+    /// SimTime arithmetic is exact and consistent with integer femtoseconds.
+    #[test]
+    fn sim_time_arithmetic(a in 0u64..u64::MAX / 4, b in 0u64..u64::MAX / 4) {
+        let ta = SimTime::from_fs(a);
+        let tb = SimTime::from_fs(b);
+        prop_assert_eq!((ta + tb).as_fs(), a + b);
+        if a >= b {
+            prop_assert_eq!((ta - tb).as_fs(), a - b);
+        }
+        prop_assert_eq!(ta.checked_add(tb).map(SimTime::as_fs), a.checked_add(b));
+        if b > 0 {
+            prop_assert_eq!(ta / tb, a / b);
+            prop_assert_eq!((ta % tb).as_fs(), a % b);
+        }
+    }
+
+    /// Roundtrip through seconds is lossless within 1 fs for times below
+    /// ~1 ms (f64 has 52 bits of mantissa; 1 ms = 1e12 fs needs 40).
+    #[test]
+    fn sim_time_seconds_roundtrip(fs in 0u64..1_000_000_000_000u64) {
+        let t = SimTime::from_fs(fs);
+        let back = SimTime::from_seconds(t.to_seconds());
+        let diff = back.as_fs().abs_diff(fs);
+        prop_assert!(diff <= 1, "roundtrip error {diff} fs");
+    }
+}
+
+// ---------- LTI ------------------------------------------------------------------
+
+proptest! {
+    /// Transfer-function ↔ state-space conversion preserves the frequency
+    /// response for random stable second-order systems.
+    #[test]
+    fn tf_state_space_equivalence(
+        w0 in 1.0f64..1e5,
+        q in 0.2f64..20.0,
+        omega in 0.1f64..1e6,
+    ) {
+        let tf = systemc_ams::lti::TransferFunction::low_pass2(w0, q).unwrap();
+        let ss = tf.to_state_space().unwrap();
+        let a = tf.freq_response(omega);
+        let b = ss.freq_response(omega).unwrap()[(0, 0)];
+        prop_assert!((a - b).abs() < 1e-6 * (1.0 + a.abs()), "{a} vs {b}");
+    }
+}
