@@ -59,7 +59,10 @@ fn newton_convergence(damping: bool) -> (usize, bool) {
 
 fn bench(c: &mut Criterion) {
     println!("\n=== ablation 1: LTI discretization rule (biquad, 5 ms horizon) ===");
-    println!("{:>12} {:>14} {:>14} {:>14}", "h", "backward-euler", "bilinear", "zoh");
+    println!(
+        "{:>12} {:>14} {:>14} {:>14}",
+        "h", "backward-euler", "bilinear", "zoh"
+    );
     for &h in &[100e-6, 20e-6, 5e-6] {
         println!(
             "{h:>12.0e} {:>14.3e} {:>14.3e} {:>14.3e}",

@@ -73,8 +73,14 @@ fn bench(c: &mut Criterion) {
     let tdf_act = run_tdf();
     let de_act = run_de();
     println!("\n=== E1: kernel activations for {SAMPLES} samples, {DEPTH}-block chain ===");
-    println!("tdf-cluster : {tdf_act:>10} activations ({:.2}/sample)", tdf_act as f64 / SAMPLES as f64);
-    println!("de-processes: {de_act:>10} activations ({:.2}/sample)", de_act as f64 / SAMPLES as f64);
+    println!(
+        "tdf-cluster : {tdf_act:>10} activations ({:.2}/sample)",
+        tdf_act as f64 / SAMPLES as f64
+    );
+    println!(
+        "de-processes: {de_act:>10} activations ({:.2}/sample)",
+        de_act as f64 / SAMPLES as f64
+    );
     println!("ratio       : {:.2}x\n", de_act as f64 / tdf_act as f64);
 
     let mut group = c.benchmark_group("e1_sync_overhead");

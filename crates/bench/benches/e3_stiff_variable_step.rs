@@ -71,7 +71,10 @@ fn bench(c: &mut Criterion) {
     // Reference solution from a very fine fixed run.
     let (_, v_ref) = run_fixed(0.5e-6);
     println!("\n=== E3: diode rectifier, {T_END} s, reference v_out = {v_ref:.5} V ===");
-    println!("{:>22} {:>10} {:>12} {:>12}", "configuration", "steps", "v_out", "error");
+    println!(
+        "{:>22} {:>10} {:>12} {:>12}",
+        "configuration", "steps", "v_out", "error"
+    );
     for &h in &[20e-6, 5e-6] {
         let (steps, v) = run_fixed(h);
         println!(

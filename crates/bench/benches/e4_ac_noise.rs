@@ -23,7 +23,8 @@ fn bandpass() -> (Circuit, ams_net::NodeId) {
     let a = ckt.node("a");
     let b = ckt.node("b");
     let out = ckt.node("out");
-    ckt.voltage_source_ac("V", a, Circuit::GROUND, 0.0, 1.0).unwrap();
+    ckt.voltage_source_ac("V", a, Circuit::GROUND, 0.0, 1.0)
+        .unwrap();
     ckt.inductor("L", a, b, 1e-3).unwrap();
     ckt.capacitor("C", b, out, 253.3e-9).unwrap();
     ckt.resistor("R", out, Circuit::GROUND, 50.0).unwrap();
@@ -79,7 +80,9 @@ fn noise_rms() -> f64 {
     ckt.capacitor("C", out, Circuit::GROUND, 10e-12).unwrap();
     let op = ckt.dc_operating_point().unwrap();
     let freqs: Vec<f64> = (0..1500).map(|i| 100.0 * 1.02f64.powi(i)).collect();
-    ckt.noise_analysis(&op, out, &freqs).unwrap().integrated_rms()
+    ckt.noise_analysis(&op, out, &freqs)
+        .unwrap()
+        .integrated_rms()
 }
 
 fn bench(c: &mut Criterion) {
@@ -87,19 +90,28 @@ fn bench(c: &mut Criterion) {
     let net = netlist_sweep(&freqs);
     let ana = analytic_sweep(&freqs);
     println!("\n=== E4: RLC band-pass |H(f)| — netlist AC vs analytic ===");
-    println!("{:>12} {:>12} {:>12} {:>12}", "f (Hz)", "netlist", "analytic", "rel err");
+    println!(
+        "{:>12} {:>12} {:>12} {:>12}",
+        "f (Hz)", "netlist", "analytic", "rel err"
+    );
     let mut max_err = 0.0f64;
     for i in (0..freqs.len()).step_by(8) {
         let err = (net[i] - ana[i]).abs() / ana[i].max(1e-12);
         max_err = max_err.max(err);
-        println!("{:>12.0} {:>12.5} {:>12.5} {:>12.2e}", freqs[i], net[i], ana[i], err);
+        println!(
+            "{:>12.0} {:>12.5} {:>12.5} {:>12.2e}",
+            freqs[i], net[i], ana[i], err
+        );
     }
     println!("max relative error over sweep: {max_err:.2e}");
 
     let rms = noise_rms();
     let ktc = (BOLTZMANN * NOISE_TEMP / 10e-12).sqrt();
-    println!("\nnoise: integrated RC output noise = {:.3} µV vs √(kT/C) = {:.3} µV\n",
-        rms * 1e6, ktc * 1e6);
+    println!(
+        "\nnoise: integrated RC output noise = {:.3} µV vs √(kT/C) = {:.3} µV\n",
+        rms * 1e6,
+        ktc * 1e6
+    );
 
     let mut group = c.benchmark_group("e4_frequency_domain");
     group.sample_size(20);

@@ -30,7 +30,8 @@ fn ladder(n: usize) -> (Circuit, ams_net::NodeId) {
     for i in 0..n {
         let node = ckt.node(format!("n{i}"));
         ckt.resistor(format!("R{i}"), prev, node, 100.0).unwrap();
-        ckt.capacitor(format!("C{i}"), node, Circuit::GROUND, 1e-9).unwrap();
+        ckt.capacitor(format!("C{i}"), node, Circuit::GROUND, 1e-9)
+            .unwrap();
         prev = node;
     }
     (ckt, prev)

@@ -28,13 +28,16 @@ fn motor() -> (Circuit, ams_net::InputId, ams_net::NodeId) {
     let n3 = ckt.node("n3");
     let shaft = ckt.rot_node("shaft");
     let drive = ckt.external_input();
-    ckt.voltage_source_wave("V", vdrv, Circuit::GROUND, Waveform::External(drive)).unwrap();
+    ckt.voltage_source_wave("V", vdrv, Circuit::GROUND, Waveform::External(drive))
+        .unwrap();
     ckt.resistor("Ra", vdrv, n1, R).unwrap();
     ckt.inductor("La", n1, n2, L).unwrap();
     let sense = ckt.voltage_source("Is", n2, n3, 0.0).unwrap();
     ckt.inertia("J", shaft, J).unwrap();
-    ckt.rot_damper("B", shaft, Circuit::rot_ground(), B).unwrap();
-    ckt.dc_machine("M", sense, n3, Circuit::GROUND, shaft, K).unwrap();
+    ckt.rot_damper("B", shaft, Circuit::rot_ground(), B)
+        .unwrap();
+    ckt.dc_machine("M", sense, n3, Circuit::GROUND, shaft, K)
+        .unwrap();
     (ckt, drive, shaft.0)
 }
 
@@ -74,7 +77,8 @@ fn thermal_cosim() -> f64 {
     let mut ckt = Circuit::new();
     let die = ckt.thermal_node("winding");
     ckt.thermal_capacity("Cth", die, 5.0).unwrap();
-    ckt.thermal_resistance("Rth", die, Circuit::thermal_ground(), 8.0).unwrap();
+    ckt.thermal_resistance("Rth", die, Circuit::thermal_ground(), 8.0)
+        .unwrap();
     ckt.heat_source("P", die, p_loss).unwrap();
     let mut tr = TransientSolver::new(&ckt, IntegrationMethod::BackwardEuler).unwrap();
     tr.initialize_with_ic().unwrap();
@@ -85,9 +89,16 @@ fn thermal_cosim() -> f64 {
 fn bench(c: &mut Criterion) {
     let omega_ref = K * V / (K * K + R * B);
     println!("\n=== E6: DC motor to 1 s, analytic ω∞ = {omega_ref:.4} rad/s ===");
-    println!("{:>24} {:>10} {:>12} {:>12}", "method", "steps", "ω(1s)", "rel err");
+    println!(
+        "{:>24} {:>10} {:>12} {:>12}",
+        "method", "steps", "ω(1s)", "rel err"
+    );
     for (name, method, h) in [
-        ("backward euler h=1ms", IntegrationMethod::BackwardEuler, 1e-3),
+        (
+            "backward euler h=1ms",
+            IntegrationMethod::BackwardEuler,
+            1e-3,
+        ),
         ("trapezoidal h=1ms", IntegrationMethod::Trapezoidal, 1e-3),
         ("trapezoidal h=50µs", IntegrationMethod::Trapezoidal, 50e-6),
     ] {

@@ -38,12 +38,17 @@ fn measure_enob(stages: usize, errors: &[StageErrors], correction: bool) -> f64 
     );
     let mut c = g.elaborate().unwrap();
     c.run_standalone(N_FFT).unwrap();
-    analyze_sine(&probe.values(), fs, Window::Blackman).unwrap().enob
+    analyze_sine(&probe.values(), fs, Window::Blackman)
+        .unwrap()
+        .enob
 }
 
 fn bench(c: &mut Criterion) {
     println!("\n=== E7: pipelined ADC ENOB vs the analytic ideal quantizer ===");
-    println!("{:>8} {:>14} {:>14} {:>12}", "stages", "analytic bits", "measured ENOB", "delta");
+    println!(
+        "{:>8} {:>14} {:>14} {:>12}",
+        "stages", "analytic bits", "measured ENOB", "delta"
+    );
     for &stages in &[5usize, 7, 9, 11] {
         let ideal = vec![StageErrors::default(); stages];
         let enob = measure_enob(stages, &ideal, true);
@@ -53,10 +58,16 @@ fn bench(c: &mut Criterion) {
             enob - bits
         );
     }
-    println!("(analytic line: SNR = 6.02·N + 1.76 dB, e.g. N=10 → {:.1} dB)", ideal_sine_snr_db(10));
+    println!(
+        "(analytic line: SNR = 6.02·N + 1.76 dB, e.g. N=10 → {:.1} dB)",
+        ideal_sine_snr_db(10)
+    );
 
     println!("\ncomparator-offset tolerance (9 stages):");
-    println!("{:>12} {:>16} {:>18}", "offset/Vref", "ENOB corrected", "ENOB uncorrected");
+    println!(
+        "{:>12} {:>16} {:>18}",
+        "offset/Vref", "ENOB corrected", "ENOB uncorrected"
+    );
     for &off in &[0.0, 0.05, 0.10, 0.20] {
         let errors = vec![
             StageErrors {

@@ -1,0 +1,177 @@
+//! E8 — parallel execution scaling (`ams-exec`).
+//!
+//! The paper motivates statically scheduled dataflow clusters with
+//! simulation efficiency: clusters synchronize with the DE kernel only
+//! at cluster-period boundaries, so between two synchronization points
+//! they are independent work. `ams-exec` exploits that and runs them on
+//! worker threads.
+//!
+//! Measured: wall time to simulate N independent ADSL-style clusters
+//! (source → tanh line driver → embedded MNA line network → anti-alias
+//! biquad → Σ∆ modulator → CIC decimator → FIR) serially with
+//! `AmsSimulator` and in parallel with `ParallelSim` at 1/2/4/8
+//! workers. Reported series: wall time per configuration and the
+//! speedup over serial. A correctness gate first asserts the parallel
+//! probe waveforms are bit-identical to the serial ones.
+//!
+//! Note: speedup tracks the physical core count; on a single-core
+//! machine every configuration degenerates to ~1×.
+
+use std::time::Instant;
+
+use ams_blocks::{CicDecimator, FirFilter, LtiFilter, SigmaDelta2, SineSource, TanhAmp};
+use ams_core::{AmsSimulator, CtModule, NetlistCtSolver, TdfGraph, TdfProbe};
+use ams_exec::ParallelSim;
+use ams_kernel::SimTime;
+use ams_net::{Circuit, IntegrationMethod, Waveform};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+const CLUSTERS: usize = 8;
+
+/// One ADSL-style subscriber-line cluster; `i` detunes the tone so every
+/// cluster computes a distinct waveform.
+fn build_graph(i: usize) -> (TdfGraph, TdfProbe) {
+    let mut g = TdfGraph::new(format!("slic{i}"));
+    let tone = g.signal("tone");
+    let driven = g.signal("driven");
+    let line_out = g.signal("line_out");
+    let anti_alias = g.signal("anti_alias");
+    let bitstream = g.signal("bitstream");
+    let decimated = g.signal("decimated");
+    let digital = g.signal("digital");
+    let probe = g.probe(digital);
+
+    let fs = SimTime::from_us(1);
+    let freq = 4_000.0 + 500.0 * i as f64;
+    g.add_module("tone", SineSource::new(tone.writer(), freq, 0.1, Some(fs)));
+    g.add_module(
+        "hv",
+        TanhAmp::new(tone.reader(), driven.writer(), 4.0, 12.0),
+    );
+
+    let mut ckt = Circuit::new();
+    let drive = ckt.node("drive");
+    let line = ckt.node("line");
+    let sub = ckt.node("sub");
+    let input = ckt.external_input();
+    ckt.voltage_source_wave("Vd", drive, Circuit::GROUND, Waveform::External(input))
+        .unwrap();
+    ckt.resistor("Rp", drive, line, 50.0).unwrap();
+    ckt.capacitor("Cl", line, Circuit::GROUND, 20e-9).unwrap();
+    ckt.resistor("Rl", line, sub, 130.0).unwrap();
+    ckt.resistor("Rs", sub, Circuit::GROUND, 600.0).unwrap();
+    ckt.capacitor("Cs", sub, Circuit::GROUND, 10e-9).unwrap();
+    let solver =
+        NetlistCtSolver::new(&ckt, IntegrationMethod::Trapezoidal, vec![input], vec![sub]).unwrap();
+    g.add_module(
+        "line",
+        CtModule::new(
+            "line",
+            Box::new(solver),
+            vec![driven.reader()],
+            vec![line_out.writer()],
+            None,
+        ),
+    );
+    g.add_module(
+        "aa",
+        LtiFilter::biquad_low_pass(
+            line_out.reader(),
+            anti_alias.writer(),
+            20_000.0,
+            0.707,
+            None,
+        )
+        .unwrap(),
+    );
+    g.add_module(
+        "sd",
+        SigmaDelta2::new(anti_alias.reader(), bitstream.writer()),
+    );
+    g.add_module(
+        "cic",
+        CicDecimator::new(bitstream.reader(), decimated.writer(), 16, 2),
+    );
+    g.add_module(
+        "fir",
+        FirFilter::lowpass_design(decimated.reader(), digital.writer(), 63, 0.16),
+    );
+    (g, probe)
+}
+
+fn run_serial(ms: u64) -> Vec<Vec<(f64, f64)>> {
+    let mut sim = AmsSimulator::new();
+    let mut probes = Vec::new();
+    for i in 0..CLUSTERS {
+        let (g, p) = build_graph(i);
+        sim.add_cluster(g).unwrap();
+        probes.push(p);
+    }
+    sim.run_until(SimTime::from_ms(ms)).unwrap();
+    probes.iter().map(|p| p.samples()).collect()
+}
+
+fn run_parallel(ms: u64, workers: usize) -> Vec<Vec<(f64, f64)>> {
+    let mut sim = ParallelSim::new(workers);
+    let mut probes = Vec::new();
+    for i in 0..CLUSTERS {
+        let (g, p) = build_graph(i);
+        sim.add_graph(g);
+        probes.push(p);
+    }
+    sim.run_until(SimTime::from_ms(ms)).unwrap();
+    probes.iter().map(|p| p.samples()).collect()
+}
+
+fn bench(c: &mut Criterion) {
+    // Correctness gate: parallel output must be bit-identical to serial.
+    let reference = run_serial(2);
+    for workers in [1, 2, 4, 8] {
+        let par = run_parallel(2, workers);
+        assert_eq!(
+            reference, par,
+            "parallel probes diverged from serial at {workers} workers"
+        );
+    }
+
+    // One-shot speedup table over a longer horizon, outside criterion's
+    // repetition so the summary is easy to read in the bench log.
+    const MS: u64 = 5;
+    let t0 = Instant::now();
+    let _ = run_serial(MS);
+    let serial = t0.elapsed();
+    println!("\n=== E8: parallel scaling, {CLUSTERS} ADSL-style clusters, {MS} ms ===");
+    println!(
+        "  serial (AmsSimulator) : {:>9.1} ms   1.00x",
+        serial.as_secs_f64() * 1e3
+    );
+    for workers in [1, 2, 4, 8] {
+        let t0 = Instant::now();
+        let _ = run_parallel(MS, workers);
+        let par = t0.elapsed();
+        println!(
+            "  parallel, {workers} worker(s) : {:>9.1} ms   {:.2}x",
+            par.as_secs_f64() * 1e3,
+            serial.as_secs_f64() / par.as_secs_f64()
+        );
+    }
+    println!(
+        "  ({} physical CPUs visible to this run)\n",
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    );
+
+    let mut group = c.benchmark_group("e8_parallel_scaling");
+    group.sample_size(10);
+    group.bench_function("serial", |b| b.iter(|| run_serial(2)));
+    for workers in [1, 2, 4, 8] {
+        group.bench_function(BenchmarkId::new("parallel", workers), |b| {
+            b.iter(|| run_parallel(2, workers))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -28,34 +28,58 @@ fn build_sim() -> (AmsSimulator, TdfProbe) {
     let probe = g.probe(digital);
 
     let fs = SimTime::from_us(1);
-    g.add_module("tone", SineSource::new(tone.writer(), 5_000.0, 0.1, Some(fs)));
-    g.add_module("hv", TanhAmp::new(tone.reader(), driven.writer(), 4.0, 12.0));
+    g.add_module(
+        "tone",
+        SineSource::new(tone.writer(), 5_000.0, 0.1, Some(fs)),
+    );
+    g.add_module(
+        "hv",
+        TanhAmp::new(tone.reader(), driven.writer(), 4.0, 12.0),
+    );
 
     let mut ckt = Circuit::new();
     let drive = ckt.node("drive");
     let line = ckt.node("line");
     let sub = ckt.node("sub");
     let input = ckt.external_input();
-    ckt.voltage_source_wave("Vd", drive, Circuit::GROUND, Waveform::External(input)).unwrap();
+    ckt.voltage_source_wave("Vd", drive, Circuit::GROUND, Waveform::External(input))
+        .unwrap();
     ckt.resistor("Rp", drive, line, 50.0).unwrap();
     ckt.capacitor("Cl", line, Circuit::GROUND, 20e-9).unwrap();
     ckt.resistor("Rl", line, sub, 130.0).unwrap();
     ckt.resistor("Rs", sub, Circuit::GROUND, 600.0).unwrap();
     ckt.capacitor("Cs", sub, Circuit::GROUND, 10e-9).unwrap();
     let solver =
-        NetlistCtSolver::new(&ckt, IntegrationMethod::Trapezoidal, vec![input], vec![sub])
-            .unwrap();
+        NetlistCtSolver::new(&ckt, IntegrationMethod::Trapezoidal, vec![input], vec![sub]).unwrap();
     g.add_module(
         "line",
-        CtModule::new("line", Box::new(solver), vec![driven.reader()], vec![line_out.writer()], None),
+        CtModule::new(
+            "line",
+            Box::new(solver),
+            vec![driven.reader()],
+            vec![line_out.writer()],
+            None,
+        ),
     );
     g.add_module(
         "aa",
-        LtiFilter::biquad_low_pass(line_out.reader(), anti_alias.writer(), 20_000.0, 0.707, None)
-            .unwrap(),
+        LtiFilter::biquad_low_pass(
+            line_out.reader(),
+            anti_alias.writer(),
+            20_000.0,
+            0.707,
+            None,
+        )
+        .unwrap(),
     );
-    g.add_module("sd", SigmaDelta2::new(anti_alias.reader(), bitstream.writer()));
-    g.add_module("cic", CicDecimator::new(bitstream.reader(), decimated.writer(), 16, 2));
+    g.add_module(
+        "sd",
+        SigmaDelta2::new(anti_alias.reader(), bitstream.writer()),
+    );
+    g.add_module(
+        "cic",
+        CicDecimator::new(bitstream.reader(), decimated.writer(), 16, 2),
+    );
     g.add_module(
         "fir",
         FirFilter::lowpass_design(decimated.reader(), digital.writer(), 63, 0.16),

@@ -305,10 +305,16 @@ mod tests {
         let ga = g.signal("ga");
         let s = g.signal("sum");
         let probe = g.probe(s);
-        g.add_module("ca", ConstSource::new(a.writer(), 2.0, Some(SimTime::from_us(1))));
+        g.add_module(
+            "ca",
+            ConstSource::new(a.writer(), 2.0, Some(SimTime::from_us(1))),
+        );
         g.add_module("cb", ConstSource::new(b.writer(), 10.0, None));
         g.add_module("g", Gain::new(a.reader(), ga.writer(), 3.0));
-        g.add_module("s", Sum::weighted(ga.reader(), b.reader(), s.writer(), 1.0, -0.5));
+        g.add_module(
+            "s",
+            Sum::weighted(ga.reader(), b.reader(), s.writer(), 1.0, -0.5),
+        );
         let mut c = g.elaborate().unwrap();
         c.run_standalone(2).unwrap();
         assert_eq!(probe.values(), vec![1.0, 1.0]); // 6 − 5
@@ -321,7 +327,10 @@ mod tests {
         let b = g.signal("b");
         let p = g.signal("p");
         let probe = g.probe(p);
-        g.add_module("ca", ConstSource::new(a.writer(), 3.0, Some(SimTime::from_us(1))));
+        g.add_module(
+            "ca",
+            ConstSource::new(a.writer(), 3.0, Some(SimTime::from_us(1))),
+        );
         g.add_module("cb", ConstSource::new(b.writer(), -4.0, None));
         g.add_module("m", Product::new(a.reader(), b.reader(), p.writer()));
         let mut c = g.elaborate().unwrap();
@@ -350,7 +359,13 @@ mod tests {
         let x = g.signal("x");
         let y = g.signal("y");
         let probe = g.probe(y);
-        g.add_module("ramp", Ramp { out: x.writer(), v: 1.0 });
+        g.add_module(
+            "ramp",
+            Ramp {
+                out: x.writer(),
+                v: 1.0,
+            },
+        );
         g.add_module("z", UnitDelay::new(x.reader(), y.writer(), -1.0));
         let mut c = g.elaborate().unwrap();
         c.run_standalone(4).unwrap();
@@ -363,7 +378,10 @@ mod tests {
         let x = g.signal("x");
         let y = g.signal("y");
         let probe = g.probe(y);
-        g.add_module("one", ConstSource::new(x.writer(), 1.0, Some(SimTime::from_ms(1))));
+        g.add_module(
+            "one",
+            ConstSource::new(x.writer(), 1.0, Some(SimTime::from_ms(1))),
+        );
         g.add_module("int", Integrator::new(x.reader(), y.writer()));
         let mut c = g.elaborate().unwrap();
         c.run_standalone(1000).unwrap(); // ∫ 1 dt over 1 s
@@ -392,7 +410,13 @@ mod tests {
         let x = g.signal("x");
         let y = g.signal("y");
         let probe = g.probe(y);
-        g.add_module("ramp", Ramp { out: x.writer(), v: 1.0 });
+        g.add_module(
+            "ramp",
+            Ramp {
+                out: x.writer(),
+                v: 1.0,
+            },
+        );
         g.add_module("dec", Decimator::averaging(x.reader(), y.writer(), 4));
         let mut c = g.elaborate().unwrap();
         c.run_standalone(2).unwrap();
@@ -405,7 +429,10 @@ mod tests {
         let x = g.signal("x");
         let y = g.signal("y");
         let probe = g.probe(y);
-        g.add_module("c", ConstSource::new(x.writer(), 7.0, Some(SimTime::from_us(4))));
+        g.add_module(
+            "c",
+            ConstSource::new(x.writer(), 7.0, Some(SimTime::from_us(4))),
+        );
         g.add_module("up", Upsampler::new(x.reader(), y.writer(), 4));
         let mut c = g.elaborate().unwrap();
         c.run_standalone(2).unwrap();
@@ -427,7 +454,9 @@ mod tests {
         );
         g.add_module("int", Integrator::new(x.reader(), y.writer()));
         let mut c = g.elaborate().unwrap();
-        let ac = c.ac_analysis(&[1.0 / (2.0 * std::f64::consts::PI)]).unwrap();
+        let ac = c
+            .ac_analysis(&[1.0 / (2.0 * std::f64::consts::PI)])
+            .unwrap();
         // At ω = 1 rad/s the integrator's gain is 1∠−90°.
         let h = ac.response(y)[0];
         assert!((h.abs() - 1.0).abs() < 1e-9);

@@ -74,6 +74,13 @@ impl TdfModule for Pid {
         cfg.input(self.feedback);
         cfg.output(self.out);
     }
+    fn reset(&mut self) {
+        self.integral = 0.0;
+        self.prev_error = 0.0;
+        self.deriv_state = 0.0;
+        self.first = true;
+    }
+
     fn processing(&mut self, io: &mut TdfIo<'_>) -> Result<(), CoreError> {
         let sp = io.read1(self.setpoint);
         let fb = io.read1(self.feedback);
@@ -87,8 +94,7 @@ impl TdfModule for Pid {
         } else {
             (e - self.prev_error) / ts
         };
-        self.deriv_state =
-            self.deriv_alpha * self.deriv_state + (1.0 - self.deriv_alpha) * raw_d;
+        self.deriv_state = self.deriv_alpha * self.deriv_state + (1.0 - self.deriv_alpha) * raw_d;
         self.prev_error = e;
 
         // Trial output with current integral.
@@ -200,12 +206,14 @@ mod tests {
         let fb = g.signal("fb");
         let u = g.signal("u");
         let probe = g.probe(u);
-        g.add_module("sp", ConstSource::new(sp.writer(), 100.0, Some(SimTime::from_ms(1))));
+        g.add_module(
+            "sp",
+            ConstSource::new(sp.writer(), 100.0, Some(SimTime::from_ms(1))),
+        );
         g.add_module("fb", ConstSource::new(fb.writer(), 0.0, None));
         g.add_module(
             "pid",
-            Pid::new(sp.reader(), fb.reader(), u.writer(), 10.0, 100.0, 0.0)
-                .with_limits(-1.0, 1.0),
+            Pid::new(sp.reader(), fb.reader(), u.writer(), 10.0, 100.0, 0.0).with_limits(-1.0, 1.0),
         );
         let mut c = g.elaborate().unwrap();
         c.run_standalone(100).unwrap();

@@ -393,7 +393,13 @@ mod tests {
                 Ok(())
             }
         }
-        g.add_module("r", Ramp { out: x.writer(), v: 0.0 });
+        g.add_module(
+            "r",
+            Ramp {
+                out: x.writer(),
+                v: 0.0,
+            },
+        );
         g.add_module("sh", SampleHold::new(x.reader(), y.writer(), 4));
         let mut c = g.elaborate().unwrap();
         c.run_standalone(3).unwrap();

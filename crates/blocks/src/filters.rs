@@ -125,12 +125,8 @@ impl LtiFilter {
         ripple_db: f64,
         timestep: Option<SimTime>,
     ) -> Result<Self, CoreError> {
-        let zp = ams_lti::ZeroPole::chebyshev1(
-            order,
-            2.0 * std::f64::consts::PI * f_hz,
-            ripple_db,
-        )
-        .map_err(|e| CoreError::solver("chebyshev1", e))?;
+        let zp = ams_lti::ZeroPole::chebyshev1(order, 2.0 * std::f64::consts::PI * f_hz, ripple_db)
+            .map_err(|e| CoreError::solver("chebyshev1", e))?;
         let tf = zp
             .to_transfer_function()
             .map_err(|e| CoreError::solver("chebyshev1", e))?;
@@ -154,6 +150,12 @@ impl TdfModule for LtiFilter {
     fn initialize(&mut self, _init: &mut ams_core::TdfInit<'_>) -> Result<(), CoreError> {
         self.solver.initialize(&[0.0])
     }
+    fn reset(&mut self) {
+        self.solver
+            .initialize(&[0.0])
+            .expect("lti solver re-initialization");
+    }
+
     fn processing(&mut self, io: &mut TdfIo<'_>) -> Result<(), CoreError> {
         let u = io.read1(self.inp);
         let mut y = [0.0];
@@ -231,8 +233,7 @@ impl FirFilter {
             } else {
                 (2.0 * std::f64::consts::PI * fc_norm * x).sin() / (std::f64::consts::PI * x)
             };
-            let window =
-                0.54 - 0.46 * (2.0 * std::f64::consts::PI * i as f64 / m).cos();
+            let window = 0.54 - 0.46 * (2.0 * std::f64::consts::PI * i as f64 / m).cos();
             taps.push(sinc * window);
         }
         // Normalize DC gain to 1.
@@ -254,6 +255,10 @@ impl TdfModule for FirFilter {
         cfg.input(self.inp);
         cfg.output(self.out);
     }
+    fn reset(&mut self) {
+        self.line.iter_mut().for_each(|v| *v = 0.0);
+    }
+
     fn processing(&mut self, io: &mut TdfIo<'_>) -> Result<(), CoreError> {
         let x = io.read1(self.inp);
         self.line.pop_back();
@@ -290,7 +295,10 @@ mod tests {
         let x = g.signal("x");
         let y = g.signal("y");
         let probe = g.probe(y);
-        g.add_module("src", ConstSource::new(x.writer(), 2.0, Some(SimTime::from_us(10))));
+        g.add_module(
+            "src",
+            ConstSource::new(x.writer(), 2.0, Some(SimTime::from_us(10))),
+        );
         g.add_module(
             "lp",
             LtiFilter::low_pass1(x.reader(), y.writer(), 100.0, None).unwrap(),
@@ -366,7 +374,13 @@ mod tests {
         let x = g.signal("x");
         let y = g.signal("y");
         let probe = g.probe(y);
-        g.add_module("alt", Alt { out: x.writer(), v: 1.0 });
+        g.add_module(
+            "alt",
+            Alt {
+                out: x.writer(),
+                v: 1.0,
+            },
+        );
         g.add_module("ma", FirFilter::moving_average(x.reader(), y.writer(), 2));
         let mut c = g.elaborate().unwrap();
         c.run_standalone(10).unwrap();
@@ -380,7 +394,10 @@ mod tests {
         let x = g.signal("x");
         let y = g.signal("y");
         let probe = g.probe(y);
-        g.add_module("one", ConstSource::new(x.writer(), 1.0, Some(SimTime::from_us(1))));
+        g.add_module(
+            "one",
+            ConstSource::new(x.writer(), 1.0, Some(SimTime::from_us(1))),
+        );
         let fir = FirFilter::lowpass_design(x.reader(), y.writer(), 31, 0.1);
         assert!((fir.taps().iter().sum::<f64>() - 1.0).abs() < 1e-12);
         g.add_module("fir", fir);

@@ -40,13 +40,15 @@ pub mod sources;
 
 pub use arith::{Decimator, Gain, Integrator, Product, Sum, UnitDelay, Upsampler};
 pub use control::Pid;
-pub use converters::{ideal_sine_snr_db, IdealAdc, IdealDac, PipelinedAdc, SampleHold, StageErrors};
+pub use converters::{
+    ideal_sine_snr_db, IdealAdc, IdealDac, PipelinedAdc, SampleHold, StageErrors,
+};
 pub use filters::{FirFilter, LtiFilter};
 pub use nonlinear::{Comparator, DeadZone, Quantizer, SaturatingAmp, TanhAmp};
 pub use power::{GateDriver, PwmGenerator};
 pub use rf::{
-    erfc, qpsk_theoretical_ber, AwgnChannel, Mixer, Oscillator, PowerAmp, QpskDemapper,
-    QpskMapper, Vco,
+    erfc, qpsk_theoretical_ber, AwgnChannel, Mixer, Oscillator, PowerAmp, QpskDemapper, QpskMapper,
+    Vco,
 };
 pub use sigma_delta::{CicDecimator, SigmaDelta1, SigmaDelta2};
 pub use sources::{ConstSource, NoiseSource, PrbsSource, PulseSource, SineSource};

@@ -140,6 +140,10 @@ impl TdfModule for Comparator {
         cfg.input(self.inp);
         cfg.output(self.out);
     }
+    fn reset(&mut self) {
+        self.state_high = false;
+    }
+
     fn processing(&mut self, io: &mut TdfIo<'_>) -> Result<(), CoreError> {
         let x = io.read1(self.inp);
         let half = self.hysteresis / 2.0;
@@ -212,7 +216,7 @@ impl Quantizer {
     ///
     /// Panics for zero bits or a non-positive full scale.
     pub fn new(inp: TdfIn, out: TdfOut, bits: u32, full_scale: f64) -> Self {
-        assert!(bits >= 1 && bits <= 32, "bits must be in 1..=32");
+        assert!((1..=32).contains(&bits), "bits must be in 1..=32");
         assert!(full_scale > 0.0, "full scale must be positive");
         Quantizer {
             inp,
@@ -255,7 +259,7 @@ mod tests {
     use ams_kernel::SimTime;
 
     fn run_block<M: TdfModule + 'static>(
-        input: impl Fn(u64) -> f64 + 'static,
+        input: impl Fn(u64) -> f64 + Send + 'static,
         build: impl FnOnce(TdfIn, TdfOut) -> M,
         n: u64,
     ) -> Vec<f64> {
@@ -264,7 +268,7 @@ mod tests {
             f: F,
             k: u64,
         }
-        impl<F: Fn(u64) -> f64 + 'static> TdfModule for Driver<F> {
+        impl<F: Fn(u64) -> f64 + Send + 'static> TdfModule for Driver<F> {
             fn setup(&mut self, cfg: &mut TdfSetup) {
                 cfg.output(self.out);
                 cfg.set_timestep(SimTime::from_us(1));
@@ -279,7 +283,14 @@ mod tests {
         let x = g.signal("x");
         let y = g.signal("y");
         let probe = g.probe(y);
-        g.add_module("drv", Driver { out: x.writer(), f: input, k: 0 });
+        g.add_module(
+            "drv",
+            Driver {
+                out: x.writer(),
+                f: input,
+                k: 0,
+            },
+        );
         g.add_module("dut", build(x.reader(), y.writer()));
         let mut c = g.elaborate().unwrap();
         c.run_standalone(n).unwrap();

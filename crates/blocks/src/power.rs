@@ -76,6 +76,11 @@ impl TdfModule for GateDriver {
         cfg.output(self.high);
         cfg.output(self.low);
     }
+    fn reset(&mut self) {
+        self.countdown = 0;
+        self.last_pwm = false;
+    }
+
     fn processing(&mut self, io: &mut TdfIo<'_>) -> Result<(), CoreError> {
         let pwm = io.read1(self.pwm) >= 0.5;
         if pwm != self.last_pwm {
@@ -110,8 +115,14 @@ mod tests {
         let out = g.signal("pwm");
         let probe = g.probe(out);
         // 10 kHz carrier sampled at 1 MHz: 100 samples per period.
-        g.add_module("d", ConstSource::new(duty.writer(), 0.3, Some(SimTime::from_us(1))));
-        g.add_module("pwm", PwmGenerator::new(duty.reader(), out.writer(), 10_000.0));
+        g.add_module(
+            "d",
+            ConstSource::new(duty.writer(), 0.3, Some(SimTime::from_us(1))),
+        );
+        g.add_module(
+            "pwm",
+            PwmGenerator::new(duty.reader(), out.writer(), 10_000.0),
+        );
         let mut c = g.elaborate().unwrap();
         c.run_standalone(10_000).unwrap(); // 100 carrier periods
         let v = probe.values();
@@ -128,8 +139,14 @@ mod tests {
             let duty = g.signal("duty");
             let out = g.signal("pwm");
             let probe = g.probe(out);
-            g.add_module("d", ConstSource::new(duty.writer(), cmd, Some(SimTime::from_us(1))));
-            g.add_module("pwm", PwmGenerator::new(duty.reader(), out.writer(), 10_000.0));
+            g.add_module(
+                "d",
+                ConstSource::new(duty.writer(), cmd, Some(SimTime::from_us(1))),
+            );
+            g.add_module(
+                "pwm",
+                PwmGenerator::new(duty.reader(), out.writer(), 10_000.0),
+            );
             let mut c = g.elaborate().unwrap();
             c.run_standalone(500).unwrap();
             assert!(probe.values().iter().all(|&x| x == expect));
@@ -145,9 +162,18 @@ mod tests {
         let lo = g.signal("lo");
         let p_hi = g.probe(hi);
         let p_lo = g.probe(lo);
-        g.add_module("d", ConstSource::new(duty.writer(), 0.5, Some(SimTime::from_us(1))));
-        g.add_module("pwm", PwmGenerator::new(duty.reader(), pwm.writer(), 50_000.0));
-        g.add_module("gd", GateDriver::new(pwm.reader(), hi.writer(), lo.writer(), 2));
+        g.add_module(
+            "d",
+            ConstSource::new(duty.writer(), 0.5, Some(SimTime::from_us(1))),
+        );
+        g.add_module(
+            "pwm",
+            PwmGenerator::new(duty.reader(), pwm.writer(), 50_000.0),
+        );
+        g.add_module(
+            "gd",
+            GateDriver::new(pwm.reader(), hi.writer(), lo.writer(), 2),
+        );
         let mut c = g.elaborate().unwrap();
         c.run_standalone(2000).unwrap();
         let hi_v = p_hi.values();
@@ -155,10 +181,14 @@ mod tests {
         // Never both on.
         assert!(hi_v.iter().zip(&lo_v).all(|(h, l)| h + l <= 1.0));
         // Dead time present: some samples with both off.
-        let dead = hi_v.iter().zip(&lo_v).filter(|(h, l)| **h == 0.0 && **l == 0.0).count();
+        let dead = hi_v
+            .iter()
+            .zip(&lo_v)
+            .filter(|(h, l)| **h == 0.0 && **l == 0.0)
+            .count();
         assert!(dead > 0, "dead time samples expected");
         // Both sides actually switch.
-        assert!(hi_v.iter().any(|&x| x == 1.0));
-        assert!(lo_v.iter().any(|&x| x == 1.0));
+        assert!(hi_v.contains(&1.0));
+        assert!(lo_v.contains(&1.0));
     }
 }

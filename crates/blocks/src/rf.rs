@@ -70,6 +70,10 @@ impl TdfModule for Vco {
         cfg.input(self.ctrl);
         cfg.output(self.out);
     }
+    fn reset(&mut self) {
+        self.phase = 0.0;
+    }
+
     fn processing(&mut self, io: &mut TdfIo<'_>) -> Result<(), CoreError> {
         let v = io.read1(self.ctrl);
         let freq = self.f0_hz + self.kv_hz_per_v * v;
@@ -174,7 +178,11 @@ impl TdfModule for PowerAmp {
         Ok(())
     }
     fn ac_processing(&mut self, ac: &mut ams_core::AcIo<'_>) {
-        ac.set_gain(self.inp, self.out, ams_math::Complex64::from_real(self.gain));
+        ac.set_gain(
+            self.inp,
+            self.out,
+            ams_math::Complex64::from_real(self.gain),
+        );
     }
 }
 
@@ -321,10 +329,18 @@ mod tests {
         let fs = 1e6;
         g.add_module(
             "rf",
-            SineSource::new(rf.writer(), 10_000.0, 1.0, Some(SimTime::from_seconds(1.0 / fs))),
+            SineSource::new(
+                rf.writer(),
+                10_000.0,
+                1.0,
+                Some(SimTime::from_seconds(1.0 / fs)),
+            ),
         );
         g.add_module("lo", Oscillator::new(lo.writer(), 9_000.0, 0.0));
-        g.add_module("mix", Mixer::new(rf.reader(), lo.reader(), ifo.writer(), 2.0));
+        g.add_module(
+            "mix",
+            Mixer::new(rf.reader(), lo.reader(), ifo.writer(), 2.0),
+        );
         let mut c = g.elaborate().unwrap();
         let n = 8192;
         c.run_standalone(n).unwrap();
@@ -350,7 +366,7 @@ mod tests {
         g.add_module("vco", Vco::new(ctrl.reader(), out.writer(), 1000.0, 500.0));
         let mut c = g.elaborate().unwrap();
         c.run_standalone(100_000).unwrap(); // 100 ms
-        // f = 1000 + 500·2 = 2000 Hz → 200 upward crossings in 0.1 s.
+                                            // f = 1000 + 500·2 = 2000 Hz → 200 upward crossings in 0.1 s.
         let v = probe.values();
         let crossings = v.windows(2).filter(|w| w[0] < 0.0 && w[1] >= 0.0).count();
         assert!((195..=205).contains(&crossings), "crossings {crossings}");
@@ -369,7 +385,10 @@ mod tests {
         // P1dB exists and is below saturation drive.
         let p1 = pa.p1db_input();
         let ratio = pa.transfer(p1) / (10.0 * p1);
-        assert!((20.0 * ratio.log10() + 1.0).abs() < 0.01, "1 dB compression");
+        assert!(
+            (20.0 * ratio.log10() + 1.0).abs() < 0.01,
+            "1 dB compression"
+        );
     }
 
     #[test]
@@ -385,8 +404,14 @@ mod tests {
             "prbs",
             PrbsSource::new(bits.writer(), 0x1234, Some(SimTime::from_us(1))),
         );
-        g.add_module("map", QpskMapper::new(bits.reader(), i.writer(), q.writer()));
-        g.add_module("demap", QpskDemapper::new(i.reader(), q.reader(), rx.writer()));
+        g.add_module(
+            "map",
+            QpskMapper::new(bits.reader(), i.writer(), q.writer()),
+        );
+        g.add_module(
+            "demap",
+            QpskDemapper::new(i.reader(), q.reader(), rx.writer()),
+        );
         let mut c = g.elaborate().unwrap();
         c.run_standalone(500).unwrap();
         assert_eq!(p_tx.values(), p_rx.values());
@@ -417,7 +442,10 @@ mod tests {
         let x = g.signal("x");
         let y = g.signal("y");
         let probe = g.probe(y);
-        g.add_module("c", ConstSource::new(x.writer(), 5.0, Some(SimTime::from_us(1))));
+        g.add_module(
+            "c",
+            ConstSource::new(x.writer(), 5.0, Some(SimTime::from_us(1))),
+        );
         g.add_module("ch", AwgnChannel::new(x.reader(), y.writer(), 0.1, 99));
         let mut c = g.elaborate().unwrap();
         c.run_standalone(5000).unwrap();

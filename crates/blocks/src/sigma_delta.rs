@@ -33,6 +33,11 @@ impl TdfModule for SigmaDelta1 {
         cfg.input(self.inp);
         cfg.output(self.out);
     }
+    fn reset(&mut self) {
+        self.integrator = 0.0;
+        self.feedback = 0.0;
+    }
+
     fn processing(&mut self, io: &mut TdfIo<'_>) -> Result<(), CoreError> {
         let x = io.read1(self.inp);
         self.integrator += x - self.feedback;
@@ -72,6 +77,12 @@ impl TdfModule for SigmaDelta2 {
         cfg.input(self.inp);
         cfg.output(self.out);
     }
+    fn reset(&mut self) {
+        self.int1 = 0.0;
+        self.int2 = 0.0;
+        self.feedback = 0.0;
+    }
+
     fn processing(&mut self, io: &mut TdfIo<'_>) -> Result<(), CoreError> {
         let x = io.read1(self.inp);
         self.int1 += 0.5 * (x - self.feedback);
@@ -123,6 +134,11 @@ impl TdfModule for CicDecimator {
         cfg.input_with(self.inp, self.factor, 0);
         cfg.output(self.out);
     }
+    fn reset(&mut self) {
+        self.integrators.iter_mut().for_each(|v| *v = 0.0);
+        self.combs.iter_mut().for_each(|v| *v = 0.0);
+    }
+
     fn processing(&mut self, io: &mut TdfIo<'_>) -> Result<(), CoreError> {
         // Integrators run at the fast rate over the block.
         for k in 0..self.factor {
@@ -159,7 +175,10 @@ mod tests {
         let x = g.signal("x");
         let y = g.signal("y");
         let probe = g.probe(y);
-        g.add_module("src", ConstSource::new(x.writer(), 0.25, Some(SimTime::from_ns(100))));
+        g.add_module(
+            "src",
+            ConstSource::new(x.writer(), 0.25, Some(SimTime::from_ns(100))),
+        );
         g.add_module("sd", SigmaDelta1::new(x.reader(), y.writer()));
         let mut c = g.elaborate().unwrap();
         c.run_standalone(10_000).unwrap();
@@ -175,7 +194,10 @@ mod tests {
         let x = g.signal("x");
         let y = g.signal("y");
         let probe = g.probe(y);
-        g.add_module("src", ConstSource::new(x.writer(), -0.4, Some(SimTime::from_ns(100))));
+        g.add_module(
+            "src",
+            ConstSource::new(x.writer(), -0.4, Some(SimTime::from_ns(100))),
+        );
         g.add_module("sd", SigmaDelta2::new(x.reader(), y.writer()));
         let mut c = g.elaborate().unwrap();
         c.run_standalone(10_000).unwrap();
@@ -230,7 +252,10 @@ mod tests {
         let x = g.signal("x");
         let y = g.signal("y");
         let probe = g.probe(y);
-        g.add_module("src", ConstSource::new(x.writer(), 0.1, Some(SimTime::from_ns(100))));
+        g.add_module(
+            "src",
+            ConstSource::new(x.writer(), 0.1, Some(SimTime::from_ns(100))),
+        );
         g.add_module("sd", SigmaDelta1::new(x.reader(), y.writer()));
         let mut c = g.elaborate().unwrap();
         let n = 4096;

@@ -184,6 +184,7 @@ impl TdfModule for PulseSource {
 pub struct PrbsSource {
     out: TdfOut,
     state: u32,
+    seed: u32,
     timestep: Option<SimTime>,
 }
 
@@ -198,6 +199,7 @@ impl PrbsSource {
         PrbsSource {
             out,
             state: seed & 0x7FFF | 1,
+            seed: seed & 0x7FFF | 1,
             timestep,
         }
     }
@@ -210,6 +212,10 @@ impl TdfModule for PrbsSource {
             cfg.set_timestep(ts);
         }
     }
+    fn reset(&mut self) {
+        self.state = self.seed;
+    }
+
     fn processing(&mut self, io: &mut TdfIo<'_>) -> Result<(), CoreError> {
         // x^15 + x^14 + 1 (PRBS-15).
         let bit = ((self.state >> 14) ^ (self.state >> 13)) & 1;
@@ -327,7 +333,10 @@ mod tests {
 
     #[test]
     fn prbs_is_binary_and_balanced() {
-        let v = run_source(|out| PrbsSource::new(out, 0xACE1, Some(SimTime::from_ns(10))), 2000);
+        let v = run_source(
+            |out| PrbsSource::new(out, 0xACE1, Some(SimTime::from_ns(10))),
+            2000,
+        );
         assert!(v.iter().all(|&x| x == 0.0 || x == 1.0));
         let ones = v.iter().filter(|&&x| x == 1.0).count();
         // Roughly balanced.
@@ -356,8 +365,14 @@ mod tests {
 
     #[test]
     fn noise_is_reproducible() {
-        let a = run_source(|out| NoiseSource::new(out, 1.0, 7, Some(SimTime::from_ns(10))), 100);
-        let b = run_source(|out| NoiseSource::new(out, 1.0, 7, Some(SimTime::from_ns(10))), 100);
+        let a = run_source(
+            |out| NoiseSource::new(out, 1.0, 7, Some(SimTime::from_ns(10))),
+            100,
+        );
+        let b = run_source(
+            |out| NoiseSource::new(out, 1.0, 7, Some(SimTime::from_ns(10))),
+            100,
+        );
         assert_eq!(a, b);
     }
 }

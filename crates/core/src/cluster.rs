@@ -11,90 +11,99 @@
 
 use crate::module::{AcIo, InPortRt, OutPortRt, SignalBuf, TdfInit, TdfIo, TdfModule, TdfSetup};
 use crate::port::{TdfIn, TdfSignal};
+use crate::shared::{sample_queue, SampleQueue, SampleSink, SampleSource, SharedSample};
 use crate::CoreError;
 use ams_kernel::{Signal, SimTime};
 use ams_math::{Complex64, DMat, DVec, Lu};
 use ams_sdf::{schedule as sdf_schedule, SdfGraph};
-use std::cell::{Cell, RefCell};
-use std::collections::{HashMap, VecDeque};
-use std::rc::Rc;
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
 
 /// Identifier of a module within one graph/cluster.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct ModuleId(pub(crate) usize);
 
 /// A recorded waveform handle: clones share the same storage, so the
-/// probe stays readable after the graph is consumed by elaboration.
+/// probe stays readable after the graph is consumed by elaboration —
+/// including from another thread while a worker runs the cluster.
 #[derive(Debug, Clone, Default)]
 pub struct TdfProbe {
-    data: Rc<RefCell<Vec<(f64, f64)>>>,
+    data: Arc<Mutex<Vec<(f64, f64)>>>,
 }
 
 impl TdfProbe {
+    fn lock(&self) -> std::sync::MutexGuard<'_, Vec<(f64, f64)>> {
+        self.data.lock().expect("probe storage poisoned")
+    }
+
     /// All recorded `(time_seconds, value)` samples so far.
     pub fn samples(&self) -> Vec<(f64, f64)> {
-        self.data.borrow().clone()
+        self.lock().clone()
     }
 
     /// Just the sample values.
     pub fn values(&self) -> Vec<f64> {
-        self.data.borrow().iter().map(|&(_, v)| v).collect()
+        self.lock().iter().map(|&(_, v)| v).collect()
     }
 
     /// Just the sample times, in seconds.
     pub fn times(&self) -> Vec<f64> {
-        self.data.borrow().iter().map(|&(t, _)| t).collect()
+        self.lock().iter().map(|&(t, _)| t).collect()
     }
 
     /// Number of samples recorded.
     pub fn len(&self) -> usize {
-        self.data.borrow().len()
+        self.lock().len()
     }
 
     /// Returns `true` if nothing has been recorded yet.
     pub fn is_empty(&self) -> bool {
-        self.data.borrow().is_empty()
+        self.lock().is_empty()
     }
 }
 
-/// DE→TDF converter: samples a kernel signal at cluster activation.
-struct DeInModule {
+/// Input converter: pulls one sample per firing from a [`SampleSource`]
+/// (the DE latch, or an external transport such as an SPSC ring).
+struct SourceInModule {
     out: crate::port::TdfOut,
-    cell: Rc<Cell<f64>>,
+    source: Box<dyn SampleSource>,
 }
 
-impl TdfModule for DeInModule {
+impl TdfModule for SourceInModule {
     fn setup(&mut self, cfg: &mut TdfSetup) {
         cfg.output(self.out);
     }
     fn processing(&mut self, io: &mut TdfIo<'_>) -> Result<(), CoreError> {
-        io.write1(self.out, self.cell.get());
+        let v = self.source.pull();
+        io.write1(self.out, v);
         Ok(())
     }
 }
 
-/// TDF→DE converter: queues each sample with its exact time for the
-/// kernel-side writer process.
-struct DeOutModule {
+/// Output converter: pushes each sample with its exact time into a
+/// [`SampleSink`] (a kernel-replayed queue, or an external transport).
+struct SinkOutModule {
     inp: TdfIn,
-    queue: Rc<RefCell<VecDeque<(SimTime, f64)>>>,
+    sink: Box<dyn SampleSink>,
 }
 
-impl TdfModule for DeOutModule {
+impl TdfModule for SinkOutModule {
     fn setup(&mut self, cfg: &mut TdfSetup) {
         cfg.input(self.inp);
     }
     fn processing(&mut self, io: &mut TdfIo<'_>) -> Result<(), CoreError> {
         let v = io.read1(self.inp);
-        self.queue
-            .borrow_mut()
-            .push_back((io.time_exact(), v));
+        self.sink.push(io.time_exact(), v);
         Ok(())
     }
 }
 
-pub(crate) type DeReadBinding = (Signal<f64>, Rc<Cell<f64>>);
-pub(crate) type DeWriteBinding = (Signal<f64>, Rc<RefCell<VecDeque<(SimTime, f64)>>>);
+/// A DE→TDF converter binding: the kernel signal and the shared cell its
+/// value is sampled into at each cluster activation.
+pub type DeReadBinding = (Signal<f64>, SharedSample);
+/// A TDF→DE converter binding: the kernel signal and the timestamped
+/// sample queue feeding it.
+pub type DeWriteBinding = (Signal<f64>, SampleQueue);
 
 /// A timed-dataflow graph under construction.
 ///
@@ -176,30 +185,54 @@ impl TdfGraph {
     /// the kernel signal, sampled at each cluster activation (the
     /// standard TDF converter-port semantics).
     pub fn from_de(&mut self, name: impl Into<String>, de: Signal<f64>) -> TdfSignal {
-        let name = name.into();
-        let sig = self.signal(format!("{name}.tdf"));
-        let cell = Rc::new(Cell::new(0.0));
+        let cell = SharedSample::new(0.0);
         self.de_reads.push((de, cell.clone()));
-        self.add_module(
-            name,
-            DeInModule {
-                out: sig.writer(),
-                cell,
-            },
-        );
-        sig
+        self.from_source(name, cell)
     }
 
     /// Adds a TDF→DE converter: each sample of `input` is written to the
     /// kernel signal at its exact sample time.
     pub fn to_de(&mut self, name: impl Into<String>, input: TdfSignal, de: Signal<f64>) {
-        let queue = Rc::new(RefCell::new(VecDeque::new()));
+        let queue = sample_queue();
         self.de_writes.push((de, queue.clone()));
+        self.to_sink(name, input, queue);
+    }
+
+    /// Adds an input converter fed by an arbitrary [`SampleSource`]: the
+    /// returned signal carries one pulled sample per firing. This is how
+    /// external transports (e.g. the `ams-exec` SPSC rings crossing a
+    /// partition boundary) inject samples without a kernel signal.
+    pub fn from_source(
+        &mut self,
+        name: impl Into<String>,
+        source: impl SampleSource + 'static,
+    ) -> TdfSignal {
+        let name = name.into();
+        let sig = self.signal(format!("{name}.tdf"));
         self.add_module(
             name,
-            DeOutModule {
+            SourceInModule {
+                out: sig.writer(),
+                source: Box::new(source),
+            },
+        );
+        sig
+    }
+
+    /// Adds an output converter draining `input` into an arbitrary
+    /// [`SampleSink`], one timestamped sample per firing — the outbound
+    /// counterpart of [`TdfGraph::from_source`].
+    pub fn to_sink(
+        &mut self,
+        name: impl Into<String>,
+        input: TdfSignal,
+        sink: impl SampleSink + 'static,
+    ) {
+        self.add_module(
+            name,
+            SinkOutModule {
                 inp: input.reader(),
-                queue,
+                sink: Box::new(sink),
             },
         );
     }
@@ -273,8 +306,7 @@ impl TdfGraph {
             .collect();
         for (midx, cfg) in setups.iter().enumerate() {
             for inp in &cfg.inputs {
-                let (w_idx, w_rate) =
-                    writer[inp.signal.0].expect("validated above");
+                let (w_idx, w_rate) = writer[inp.signal.0].expect("validated above");
                 sdf.connect(actors[w_idx], w_rate, actors[midx], inp.rate, inp.delay)?;
             }
         }
@@ -307,15 +339,15 @@ impl TdfGraph {
         }
         let (period, _) = period.ok_or(CoreError::NoTimestep)?;
         let mut timesteps = Vec::with_capacity(n_mods);
-        for midx in 0..n_mods {
-            if period.as_fs() % q[midx] != 0 {
+        for (midx, &reps) in q.iter().enumerate() {
+            if period.as_fs() % reps != 0 {
                 return Err(CoreError::InexactTimestep {
                     module: self.modules[midx].0.clone(),
                     period,
-                    repetitions: q[midx],
+                    repetitions: reps,
                 });
             }
-            timesteps.push(period / q[midx]);
+            timesteps.push(period / reps);
         }
 
         // Signal sample periods (seconds) for probe timestamps.
@@ -390,6 +422,7 @@ impl TdfGraph {
             initial,
             iteration: 0,
             sig_period_secs,
+            stats: ClusterStats::default(),
             probes: self
                 .probes
                 .into_iter()
@@ -433,6 +466,22 @@ struct ProbeRt {
     next_idx: i64,
 }
 
+/// Execution counters of one cluster, surfaced to the instrumentation
+/// layer in `ams-exec` (and to anyone else who asks).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ClusterStats {
+    /// Completed schedule iterations.
+    pub iterations: u64,
+    /// Module firings across all iterations (converter modules included).
+    pub firings: u64,
+    /// Samples delivered to probes.
+    pub probe_samples: u64,
+    /// Newton iterations across all embedded numeric solvers.
+    pub newton_iterations: u64,
+    /// Matrix factorizations across all embedded numeric solvers.
+    pub factorizations: u64,
+}
+
 /// An elaborated, executable TDF cluster.
 pub struct Cluster {
     name: String,
@@ -445,6 +494,7 @@ pub struct Cluster {
     iteration: u64,
     sig_period_secs: Vec<f64>,
     probes: Vec<ProbeRt>,
+    stats: ClusterStats,
     pub(crate) de_reads: Vec<DeReadBinding>,
     pub(crate) de_writes: Vec<DeWriteBinding>,
 }
@@ -491,6 +541,7 @@ impl Cluster {
         self.schedule_order = order;
         result?;
         self.iteration += 1;
+        self.stats.iterations += 1;
         self.flush_probes();
         self.trim_buffers();
         Ok(())
@@ -525,6 +576,7 @@ impl Cluster {
             op.counter += op.rate as i64;
         }
         mrt.firing_in_iter += 1;
+        self.stats.firings += 1;
         result.map_err(|e| match e {
             CoreError::Solver { .. } => e,
             other => CoreError::solver(&mrt.name, other),
@@ -536,11 +588,12 @@ impl Cluster {
             let buf = &self.bufs[p.signal.0];
             let end = buf.base + buf.data.len() as i64;
             let period = self.sig_period_secs[p.signal.0];
-            let mut data = p.probe.data.borrow_mut();
+            let mut data = p.probe.data.lock().expect("probe storage poisoned");
             let from = p.next_idx.max(buf.base);
             for idx in from..end {
                 let v = buf.get(idx).expect("index within window");
                 data.push((idx as f64 * period, v));
+                self.stats.probe_samples += 1;
             }
             p.next_idx = end;
         }
@@ -583,6 +636,90 @@ impl Cluster {
         Ok(())
     }
 
+    /// Execution counters (iterations, firings, probe samples), with the
+    /// Newton/factorization totals of every embedded solver folded in via
+    /// [`TdfModule::solver_stats`].
+    pub fn stats(&self) -> ClusterStats {
+        let mut s = self.stats;
+        for m in &self.modules {
+            if let Some((newton, lu)) = m
+                .module
+                .as_ref()
+                .expect("module present outside of firing")
+                .solver_stats()
+            {
+                s.newton_iterations += newton;
+                s.factorizations += lu;
+            }
+        }
+        s
+    }
+
+    /// Firings per schedule iteration — the static cost model used by the
+    /// `ams-exec` partitioner (derived from the balance-equation
+    /// repetition vector, i.e. the token rates).
+    pub fn iteration_cost(&self) -> u64 {
+        self.schedule_order.len() as u64
+    }
+
+    /// `true` if the cluster exchanges samples with DE kernel signals
+    /// through converter bindings. Such clusters constrain the
+    /// synchronization window of a parallel run; fully decoupled clusters
+    /// can free-run to the horizon.
+    pub fn has_de_bindings(&self) -> bool {
+        !self.de_reads.is_empty() || !self.de_writes.is_empty()
+    }
+
+    /// DE→TDF converter bindings: each kernel signal and the shared cell
+    /// its value is sampled into at cluster activation.
+    pub fn de_read_bindings(&self) -> &[DeReadBinding] {
+        &self.de_reads
+    }
+
+    /// TDF→DE converter bindings: each kernel signal and the timestamped
+    /// sample queue feeding it.
+    pub fn de_write_bindings(&self) -> &[DeWriteBinding] {
+        &self.de_writes
+    }
+
+    /// Rewinds the elaborated cluster to `t = 0` without re-elaboration:
+    /// clears signal buffers, port counters, probes, queued DE writes and
+    /// execution counters, and asks every module to restore its
+    /// post-`initialize` state via [`TdfModule::reset`].
+    ///
+    /// Delay-sample initial values established during elaboration are
+    /// preserved, so the first iteration after a reset replays the first
+    /// iteration after elaboration exactly (for modules that implement
+    /// `reset` faithfully).
+    pub fn reset(&mut self) {
+        self.iteration = 0;
+        self.stats = ClusterStats::default();
+        for buf in &mut self.bufs {
+            buf.data.clear();
+            buf.base = 0;
+        }
+        for m in &mut self.modules {
+            for ip in m.in_ports.values_mut() {
+                ip.counter = 0;
+            }
+            for op in m.out_ports.values_mut() {
+                op.counter = 0;
+            }
+            m.firing_in_iter = 0;
+            m.module
+                .as_mut()
+                .expect("module present outside of firing")
+                .reset();
+        }
+        for p in &mut self.probes {
+            p.next_idx = 0;
+            p.probe.data.lock().expect("probe storage poisoned").clear();
+        }
+        for (_, queue) in &self.de_writes {
+            queue.lock().expect("sample queue poisoned").clear();
+        }
+    }
+
     /// Small-signal AC analysis of the whole cluster: solves the complex
     /// linear system formed by every module's `ac_processing` stamps at
     /// each frequency.
@@ -593,7 +730,9 @@ impl Cluster {
     /// * Solver failures for structurally singular stamp systems.
     pub fn ac_analysis(&mut self, freqs_hz: &[f64]) -> Result<TdfAcResult, CoreError> {
         if freqs_hz.is_empty() {
-            return Err(CoreError::invalid("ac analysis needs at least one frequency"));
+            return Err(CoreError::invalid(
+                "ac analysis needs at least one frequency",
+            ));
         }
         let n = self.bufs.len();
         let mut data = Vec::with_capacity(freqs_hz.len());
@@ -619,8 +758,7 @@ impl Cluster {
                     rhs[out.0] += src;
                 }
             }
-            let lu = Lu::factor(&mat)
-                .map_err(|e| CoreError::solver(&self.name, e))?;
+            let lu = Lu::factor(&mat).map_err(|e| CoreError::solver(&self.name, e))?;
             let x = lu
                 .solve(&rhs)
                 .map_err(|e| CoreError::solver(&self.name, e))?;
@@ -1069,7 +1207,12 @@ mod tests {
         let mut g = TdfGraph::new("acfb");
         let s_src = g.signal("src");
         let s_y = g.signal("y");
-        g.add_module("src", AcSrc2 { out: s_src.writer() });
+        g.add_module(
+            "src",
+            AcSrc2 {
+                out: s_src.writer(),
+            },
+        );
         g.add_module(
             "sum",
             FbSum {
@@ -1125,7 +1268,15 @@ mod tests {
         let mut c = g.elaborate().unwrap();
         c.run_standalone(1000).unwrap();
         // No probe on s1/s2 readers beyond the gain: buffers stay bounded.
-        assert!(c.bufs[0].data.len() <= 2, "s1 buffer grew: {}", c.bufs[0].data.len());
-        assert!(c.bufs[1].data.len() <= 2, "s2 buffer grew: {}", c.bufs[1].data.len());
+        assert!(
+            c.bufs[0].data.len() <= 2,
+            "s1 buffer grew: {}",
+            c.bufs[0].data.len()
+        );
+        assert!(
+            c.bufs[1].data.len() <= 2,
+            "s2 buffer grew: {}",
+            c.bufs[1].data.len()
+        );
     }
 }

@@ -148,9 +148,7 @@ mod tests {
 
     #[test]
     fn display_and_source() {
-        let e = CoreError::NoWriter {
-            signal: "x".into(),
-        };
+        let e = CoreError::NoWriter { signal: "x".into() };
         assert!(e.to_string().contains("'x'"));
         let e: CoreError = ams_sdf::SdfError::ZeroRate { edge: 1 }.into();
         assert!(std::error::Error::source(&e).is_some());

@@ -61,12 +61,16 @@ mod cluster;
 mod error;
 mod module;
 mod port;
+pub mod shared;
 mod sim;
 mod solver;
 
-pub use cluster::{Cluster, ModuleId, TdfAcResult, TdfGraph, TdfProbe};
+pub use cluster::{
+    Cluster, ClusterStats, DeReadBinding, DeWriteBinding, ModuleId, TdfAcResult, TdfGraph, TdfProbe,
+};
 pub use error::CoreError;
 pub use module::{AcIo, TdfInit, TdfIo, TdfModule, TdfSetup};
 pub use port::{TdfIn, TdfOut, TdfSignal};
+pub use shared::{SampleQueue, SampleSink, SampleSource, SharedSample};
 pub use sim::{AmsSimulator, ClusterHandle};
 pub use solver::{CtModule, CtSolver, LtiCtSolver, NetlistCtSolver};

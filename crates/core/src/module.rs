@@ -18,7 +18,12 @@ use std::collections::HashMap;
 /// Implementors declare ports and (optionally) a timestep in
 /// [`setup`](TdfModule::setup), then compute samples in
 /// [`processing`](TdfModule::processing) each firing.
-pub trait TdfModule {
+///
+/// Modules are `Send`: an elaborated [`Cluster`](crate::Cluster) can be
+/// handed to a worker thread of the parallel execution engine. Shared
+/// observation state must therefore use `Arc<Mutex<…>>` (or the
+/// primitives in [`crate::shared`]) rather than `Rc<RefCell<…>>`.
+pub trait TdfModule: Send {
     /// Declares port rates/delays and (optionally) the module timestep.
     fn setup(&mut self, cfg: &mut TdfSetup);
 
@@ -46,6 +51,21 @@ pub trait TdfModule {
     /// Stamps this module's small-signal frequency-domain relation
     /// (`out = Σ gain·in + source`). Default: every output is 0 in AC.
     fn ac_processing(&mut self, _ac: &mut AcIo<'_>) {}
+
+    /// Restores internal state to what it was right after
+    /// [`initialize`](TdfModule::initialize), so the cluster can be
+    /// re-run from `t = 0` (see [`Cluster::reset`](crate::Cluster::reset)).
+    /// Default: nothing — correct for stateless modules; stateful ones
+    /// should override.
+    fn reset(&mut self) {}
+
+    /// Counters `(newton_iterations, factorizations)` of an embedded
+    /// numeric solver, if this module wraps one. The default (`None`)
+    /// marks a module with no solver; [`crate::CtModule`] forwards its
+    /// plug-in solver's counters so clusters can aggregate them.
+    fn solver_stats(&self) -> Option<(u64, u64)> {
+        None
+    }
 }
 
 /// Port/timestep declaration context passed to [`TdfModule::setup`].

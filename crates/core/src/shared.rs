@@ -1,0 +1,139 @@
+//! Thread-safe converter-port primitives.
+//!
+//! The original converter ports ([`crate::TdfGraph::from_de`] /
+//! [`crate::TdfGraph::to_de`]) coupled clusters to the DE kernel through
+//! `Rc<Cell<…>>` plumbing, which pinned every cluster to one thread. The
+//! parallel execution engine (`ams-exec`) runs clusters on worker
+//! threads, so the boundary types here are `Send + Sync`:
+//!
+//! * [`SharedSample`] — an atomic, lock-free `f64` cell (the DE→TDF
+//!   latch: the synchronization layer stores the kernel signal's value,
+//!   the cluster samples it at activation);
+//! * [`SampleQueue`] — a mutex-guarded queue of `(time, value)` samples
+//!   (the TDF→DE direction: the cluster enqueues each sample with its
+//!   exact time, a kernel process replays them);
+//! * [`SampleSource`] / [`SampleSink`] — object-safe pull/push
+//!   interfaces so external transports (e.g. the lock-free SPSC rings in
+//!   `ams-exec`) can feed or drain a cluster without going through the
+//!   kernel at all.
+
+use ams_kernel::SimTime;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// A lock-free shared `f64` cell (bit-cast through `AtomicU64`).
+///
+/// Clones share storage. Reads and writes are single atomic operations —
+/// a reader never observes a torn value.
+#[derive(Debug, Clone, Default)]
+pub struct SharedSample {
+    bits: Arc<AtomicU64>,
+}
+
+impl SharedSample {
+    /// Creates a cell holding `value`.
+    pub fn new(value: f64) -> Self {
+        SharedSample {
+            bits: Arc::new(AtomicU64::new(value.to_bits())),
+        }
+    }
+
+    /// Reads the current value.
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.bits.load(Ordering::Acquire))
+    }
+
+    /// Replaces the value.
+    pub fn set(&self, value: f64) {
+        self.bits.store(value.to_bits(), Ordering::Release);
+    }
+}
+
+/// A shared queue of timestamped samples crossing the TDF→DE boundary.
+pub type SampleQueue = Arc<Mutex<VecDeque<(SimTime, f64)>>>;
+
+/// Creates an empty [`SampleQueue`].
+pub fn sample_queue() -> SampleQueue {
+    Arc::new(Mutex::new(VecDeque::new()))
+}
+
+/// A pull-style sample input: one value per call, consumed by a
+/// converter module at every firing.
+///
+/// Implemented by [`SharedSample`] (latest-value latch) and by the SPSC
+/// ring consumers in `ams-exec` (FIFO semantics).
+pub trait SampleSource: Send {
+    /// Produces the next input sample.
+    fn pull(&mut self) -> f64;
+}
+
+impl SampleSource for SharedSample {
+    fn pull(&mut self) -> f64 {
+        self.get()
+    }
+}
+
+/// A push-style sample output: receives every sample of a signal with
+/// its exact time, in order.
+///
+/// Implemented by the SPSC ring producers in `ams-exec`; a
+/// [`SampleQueue`] wrapper is provided for kernel-side replay.
+pub trait SampleSink: Send {
+    /// Consumes one output sample.
+    fn push(&mut self, t: SimTime, value: f64);
+}
+
+impl SampleSink for SampleQueue {
+    fn push(&mut self, t: SimTime, value: f64) {
+        self.lock()
+            .expect("sample queue poisoned")
+            .push_back((t, value));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shared_sample_roundtrip() {
+        let cell = SharedSample::new(1.5);
+        assert_eq!(cell.get(), 1.5);
+        cell.set(-2.25);
+        assert_eq!(cell.get(), -2.25);
+        let clone = cell.clone();
+        clone.set(7.0);
+        assert_eq!(cell.get(), 7.0);
+    }
+
+    #[test]
+    fn shared_sample_is_exact_across_threads() {
+        let cell = SharedSample::new(0.0);
+        let writer = cell.clone();
+        let handle = std::thread::spawn(move || {
+            for i in 0..10_000 {
+                writer.set(i as f64);
+            }
+        });
+        // Any observed value must be one that was actually written.
+        for _ in 0..10_000 {
+            let v = cell.get();
+            assert_eq!(v, v.trunc());
+            assert!((0.0..10_000.0).contains(&v));
+        }
+        handle.join().unwrap();
+    }
+
+    #[test]
+    fn sample_queue_sink_preserves_order() {
+        let mut q = sample_queue();
+        q.push(SimTime::from_us(1), 1.0);
+        q.push(SimTime::from_us(2), 2.0);
+        let drained: Vec<_> = q.lock().unwrap().drain(..).collect();
+        assert_eq!(
+            drained,
+            vec![(SimTime::from_us(1), 1.0), (SimTime::from_us(2), 2.0)]
+        );
+    }
+}

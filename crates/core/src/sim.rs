@@ -140,16 +140,14 @@ impl AmsSimulator {
         // One writer process + wake event per TDF→DE binding.
         let mut write_events = Vec::new();
         for (widx, (de_sig, queue)) in de_writes.iter().enumerate() {
-            let ev = self
-                .kernel
-                .event(format!("{name}.to_de{widx}.wake"));
+            let ev = self.kernel.event(format!("{name}.to_de{widx}.wake"));
             write_events.push(ev);
             let de_sig = *de_sig;
             let queue = queue.clone();
-            let pid = self.kernel.add_process(
-                format!("{name}.to_de{widx}"),
-                move |ctx| {
-                    let mut q = queue.borrow_mut();
+            let pid = self
+                .kernel
+                .add_process(format!("{name}.to_de{widx}"), move |ctx| {
+                    let mut q = queue.lock().expect("sample queue poisoned");
                     let now = ctx.now();
                     while let Some(&(t, v)) = q.front() {
                         if t <= now {
@@ -160,8 +158,7 @@ impl AmsSimulator {
                             return;
                         }
                     }
-                },
-            );
+                });
             self.kernel.make_sensitive(pid, ev);
             self.kernel.dont_initialize(pid);
         }
@@ -169,29 +166,30 @@ impl AmsSimulator {
         // The cluster driver process.
         let inner2 = inner.clone();
         let error2 = error.clone();
-        self.kernel.add_process(format!("{name}.driver"), move |ctx| {
-            if error2.borrow().is_some() {
-                return; // poisoned: stop re-arming
-            }
-            // Sample DE inputs at activation time.
-            for (sig, cell) in &de_reads {
-                cell.set(ctx.read(*sig));
-            }
-            let start = ctx.now();
-            let result = inner2.borrow_mut().run_iteration(start);
-            match result {
-                Ok(()) => {
-                    // Wake the writer processes (next delta, same time).
-                    for &ev in &write_events {
-                        ctx.notify(ev);
+        self.kernel
+            .add_process(format!("{name}.driver"), move |ctx| {
+                if error2.borrow().is_some() {
+                    return; // poisoned: stop re-arming
+                }
+                // Sample DE inputs at activation time.
+                for (sig, cell) in &de_reads {
+                    cell.set(ctx.read(*sig));
+                }
+                let start = ctx.now();
+                let result = inner2.borrow_mut().run_iteration(start);
+                match result {
+                    Ok(()) => {
+                        // Wake the writer processes (next delta, same time).
+                        for &ev in &write_events {
+                            ctx.notify(ev);
+                        }
+                        ctx.next_trigger_in(period);
                     }
-                    ctx.next_trigger_in(period);
+                    Err(e) => {
+                        *error2.borrow_mut() = Some(e);
+                    }
                 }
-                Err(e) => {
-                    *error2.borrow_mut() = Some(e);
-                }
-            }
-        });
+            });
 
         let handle = ClusterHandle { inner, error };
         self.clusters.push(handle.clone());

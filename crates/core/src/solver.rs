@@ -30,7 +30,10 @@ use ams_net::{Circuit, InputId, IntegrationMethod, NodeId, TransientSolver};
 /// quiescent state for the DC input values, then
 /// [`CtSolver::advance_to`] is called with strictly increasing times —
 /// once per TDF sample — holding `inputs` constant over the interval.
-pub trait CtSolver {
+///
+/// Solvers are `Send` so the embedding [`CtModule`] (and thus its
+/// cluster) can run on a worker thread of the parallel execution engine.
+pub trait CtSolver: Send {
     /// Number of input channels.
     fn num_inputs(&self) -> usize;
 
@@ -52,13 +55,18 @@ pub trait CtSolver {
     /// # Errors
     ///
     /// Solver-specific failures (Newton divergence, singularities, …).
-    fn advance_to(&mut self, t: f64, inputs: &[f64], outputs: &mut [f64])
-        -> Result<(), CoreError>;
+    fn advance_to(&mut self, t: f64, inputs: &[f64], outputs: &mut [f64]) -> Result<(), CoreError>;
 
     /// The small-signal transfer matrix `H(jω)` (outputs × inputs), if
     /// the solver supports frequency-domain analysis. Default: `None`
     /// (the embedding module stamps zeros).
     fn ac_transfer(&self, _omega: f64) -> Option<DMat<Complex64>> {
+        None
+    }
+
+    /// Counters `(newton_iterations, factorizations)`, if the solver
+    /// keeps them. Default: `None` (nothing to report).
+    fn newton_stats(&self) -> Option<(u64, u64)> {
         None
     }
 }
@@ -128,12 +136,7 @@ impl CtSolver for LtiCtSolver {
         Ok(())
     }
 
-    fn advance_to(
-        &mut self,
-        t: f64,
-        inputs: &[f64],
-        outputs: &mut [f64],
-    ) -> Result<(), CoreError> {
+    fn advance_to(&mut self, t: f64, inputs: &[f64], outputs: &mut [f64]) -> Result<(), CoreError> {
         let h = t - self.last_t;
         if h <= 0.0 {
             return Err(CoreError::invalid(format!(
@@ -186,8 +189,8 @@ impl NetlistCtSolver {
         inputs: Vec<InputId>,
         outputs: Vec<NodeId>,
     ) -> Result<Self, CoreError> {
-        let solver = TransientSolver::new(circuit, method)
-            .map_err(|e| CoreError::solver("netlist", e))?;
+        let solver =
+            TransientSolver::new(circuit, method).map_err(|e| CoreError::solver("netlist", e))?;
         Ok(NetlistCtSolver {
             solver,
             inputs,
@@ -225,12 +228,7 @@ impl CtSolver for NetlistCtSolver {
         Ok(())
     }
 
-    fn advance_to(
-        &mut self,
-        t: f64,
-        inputs: &[f64],
-        outputs: &mut [f64],
-    ) -> Result<(), CoreError> {
+    fn advance_to(&mut self, t: f64, inputs: &[f64], outputs: &mut [f64]) -> Result<(), CoreError> {
         let h = t - self.last_t;
         if h <= 0.0 {
             return Err(CoreError::invalid(format!(
@@ -249,6 +247,11 @@ impl CtSolver for NetlistCtSolver {
         }
         self.last_t = t;
         Ok(())
+    }
+
+    fn newton_stats(&self) -> Option<(u64, u64)> {
+        let st = self.solver.stats();
+        Some((st.newton_iterations, st.factorizations))
     }
 
     fn ac_transfer(&self, omega: f64) -> Option<DMat<Complex64>> {
@@ -338,6 +341,10 @@ impl CtModule {
 }
 
 impl TdfModule for CtModule {
+    fn solver_stats(&self) -> Option<(u64, u64)> {
+        self.solver.newton_stats()
+    }
+
     fn setup(&mut self, cfg: &mut TdfSetup) {
         for &p in &self.inputs {
             cfg.input(p);
@@ -382,6 +389,17 @@ impl TdfModule for CtModule {
                     ac.set_gain(inp, out, h[(i, j)]);
                 }
             }
+        }
+    }
+
+    fn reset(&mut self) {
+        if self.initialized {
+            let zeros = vec![0.0; self.inputs.len()];
+            // Initialization succeeded during elaboration; re-running it
+            // with the same inputs re-establishes the quiescent state.
+            self.solver
+                .initialize(&zeros)
+                .expect("solver re-initialization after a successful initialize");
         }
     }
 }
@@ -475,7 +493,13 @@ mod tests {
         );
         g.add_module(
             "rc",
-            CtModule::new("rc", Box::new(solver), vec![u.reader()], vec![y.writer()], None),
+            CtModule::new(
+                "rc",
+                Box::new(solver),
+                vec![u.reader()],
+                vec![y.writer()],
+                None,
+            ),
         );
         let mut c = g.elaborate().unwrap();
         let ac = c.ac_analysis(&[100.0]).unwrap();
@@ -512,7 +536,13 @@ mod tests {
         );
         g.add_module(
             "ckt",
-            CtModule::new("ckt", Box::new(solver), vec![u.reader()], vec![y.writer()], None),
+            CtModule::new(
+                "ckt",
+                Box::new(solver),
+                vec![u.reader()],
+                vec![y.writer()],
+                None,
+            ),
         );
         let mut c = g.elaborate().unwrap();
         c.run_standalone(500).unwrap(); // 5 ms = 5 τ

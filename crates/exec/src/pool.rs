@@ -1,0 +1,296 @@
+//! Persistent worker threads running partitions of the model.
+//!
+//! Each worker owns the clusters of its partition outright (clusters are
+//! `Send` by construction — modules and solvers are `Send` traits) and
+//! executes them in registration order inside every synchronization
+//! window. The coordinator broadcasts one command per window and the
+//! reply stream doubles as the barrier: a window is over exactly when
+//! every worker has answered.
+
+use ams_core::{Cluster, ClusterStats, CoreError};
+use ams_kernel::SimTime;
+use ams_sdf::{SdfError, SdfExecutor};
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::thread::JoinHandle;
+
+enum Cmd {
+    /// Run every activation with start time strictly before `until`.
+    Run {
+        until: SimTime,
+    },
+    /// Rewind every cluster to `t = 0` (see [`Cluster::reset`]).
+    Reset,
+    /// Report per-cluster statistics.
+    Collect,
+    Shutdown,
+}
+
+enum Reply {
+    Done {
+        result: Result<(), CoreError>,
+    },
+    Stats {
+        /// `(registration index, name, counters)` per owned cluster.
+        clusters: Vec<(usize, String, ClusterStats)>,
+    },
+}
+
+/// A pool of persistent worker threads, each owning one partition of the
+/// model's clusters.
+pub struct WorkerPool {
+    commands: Vec<Sender<Cmd>>,
+    replies: Receiver<Reply>,
+    handles: Vec<JoinHandle<()>>,
+}
+
+impl WorkerPool {
+    /// Spawns one worker per non-empty group and moves the clusters in.
+    /// Each cluster arrives as `(registration_index, cluster)` so the
+    /// coordinator can reassemble global statistics later.
+    pub fn spawn(groups: Vec<Vec<(usize, Cluster)>>) -> WorkerPool {
+        let (reply_tx, replies) = channel();
+        let mut commands = Vec::new();
+        let mut handles = Vec::new();
+        for (w, group) in groups.into_iter().enumerate() {
+            if group.is_empty() {
+                continue;
+            }
+            let (cmd_tx, cmd_rx) = channel::<Cmd>();
+            let tx = reply_tx.clone();
+            let handle = std::thread::Builder::new()
+                .name(format!("ams-exec-worker-{w}"))
+                .spawn(move || worker_main(group, cmd_rx, tx))
+                .expect("spawning a worker thread");
+            commands.push(cmd_tx);
+            handles.push(handle);
+        }
+        WorkerPool {
+            commands,
+            replies,
+            handles,
+        }
+    }
+
+    /// Number of live workers.
+    pub fn workers(&self) -> usize {
+        self.commands.len()
+    }
+
+    /// Runs one synchronization window on all workers and waits at the
+    /// barrier. Every cluster executes its activations with start time in
+    /// `[current, until)`.
+    ///
+    /// # Errors
+    ///
+    /// The first cluster failure from any worker.
+    pub fn run_window(&mut self, until: SimTime) -> Result<(), CoreError> {
+        for tx in &self.commands {
+            tx.send(Cmd::Run { until }).expect("worker alive");
+        }
+        self.barrier()
+    }
+
+    /// Rewinds every cluster to `t = 0` on its worker.
+    ///
+    /// # Errors
+    ///
+    /// Propagates reset-time failures (none today, reserved).
+    pub fn reset(&mut self) -> Result<(), CoreError> {
+        for tx in &self.commands {
+            tx.send(Cmd::Reset).expect("worker alive");
+        }
+        self.barrier()
+    }
+
+    /// Collects `(registration_index, name, stats)` for every cluster.
+    pub fn collect_stats(&mut self) -> Vec<(usize, String, ClusterStats)> {
+        for tx in &self.commands {
+            tx.send(Cmd::Collect).expect("worker alive");
+        }
+        let mut all = Vec::new();
+        for _ in 0..self.commands.len() {
+            match self.replies.recv().expect("worker alive") {
+                Reply::Stats { clusters } => all.extend(clusters),
+                Reply::Done { .. } => unreachable!("stats query answered with Done"),
+            }
+        }
+        all.sort_by_key(|&(idx, _, _)| idx);
+        all
+    }
+
+    fn barrier(&mut self) -> Result<(), CoreError> {
+        let mut first_err = None;
+        for _ in 0..self.commands.len() {
+            match self.replies.recv().expect("worker alive") {
+                Reply::Done { result } => {
+                    if let (Err(e), None) = (result, &first_err) {
+                        first_err = Some(e);
+                    }
+                }
+                Reply::Stats { .. } => unreachable!("run answered with Stats"),
+            }
+        }
+        match first_err {
+            None => Ok(()),
+            Some(e) => Err(e),
+        }
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        for tx in &self.commands {
+            let _ = tx.send(Cmd::Shutdown);
+        }
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+fn worker_main(
+    mut clusters: Vec<(usize, Cluster)>,
+    commands: Receiver<Cmd>,
+    replies: Sender<Reply>,
+) {
+    while let Ok(cmd) = commands.recv() {
+        match cmd {
+            Cmd::Run { until } => {
+                let mut result = Ok(());
+                'run: for (_, c) in &mut clusters {
+                    let period = c.period();
+                    loop {
+                        let start = period * c.iterations();
+                        if start >= until {
+                            break;
+                        }
+                        if let Err(e) = c.run_iteration(start) {
+                            result = Err(e);
+                            break 'run;
+                        }
+                    }
+                }
+                if replies.send(Reply::Done { result }).is_err() {
+                    return;
+                }
+            }
+            Cmd::Reset => {
+                for (_, c) in &mut clusters {
+                    c.reset();
+                }
+                if replies.send(Reply::Done { result: Ok(()) }).is_err() {
+                    return;
+                }
+            }
+            Cmd::Collect => {
+                let stats = clusters
+                    .iter()
+                    .map(|(idx, c)| (*idx, c.name().to_string(), c.stats()))
+                    .collect();
+                if replies.send(Reply::Stats { clusters: stats }).is_err() {
+                    return;
+                }
+            }
+            Cmd::Shutdown => return,
+        }
+    }
+}
+
+/// Runs independent SDF executors for `iterations` schedule iterations
+/// each, spread over `workers` threads with the same deterministic
+/// LPT partitioning as the cluster engine (cost =
+/// [`SdfExecutor::iteration_cost`]). The executors come back in their
+/// original order, counters advanced, ready for [`SdfExecutor::stats`]
+/// queries or further runs.
+///
+/// # Errors
+///
+/// The first executor failure encountered.
+pub fn run_sdf_parallel<T>(
+    mut executors: Vec<SdfExecutor<T>>,
+    iterations: u64,
+    workers: usize,
+) -> Result<Vec<SdfExecutor<T>>, SdfError>
+where
+    T: Clone + Default + Send + 'static,
+{
+    let costs: Vec<u64> = executors.iter().map(|e| e.iteration_cost()).collect();
+    let part = crate::partition::partition(&costs, &[], workers);
+
+    // Move each executor into its worker's slot list, remembering where
+    // it came from.
+    let mut slots: Vec<Vec<(usize, SdfExecutor<T>)>> =
+        (0..part.loads.len()).map(|_| Vec::new()).collect();
+    for (idx, exec) in executors.drain(..).enumerate().rev() {
+        slots[part.assignment[idx]].push((idx, exec));
+    }
+
+    let results = std::thread::scope(|scope| {
+        let handles: Vec<_> = slots
+            .into_iter()
+            .filter(|g| !g.is_empty())
+            .map(|mut group| {
+                scope.spawn(move || {
+                    for (_, e) in &mut group {
+                        e.run_iterations(iterations)?;
+                    }
+                    Ok::<_, SdfError>(group)
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("sdf worker panicked"))
+            .collect::<Vec<_>>()
+    });
+
+    let mut out: Vec<Option<SdfExecutor<T>>> = (0..costs.len()).map(|_| None).collect();
+    for r in results {
+        for (idx, e) in r? {
+            out[idx] = Some(e);
+        }
+    }
+    Ok(out
+        .into_iter()
+        .map(|e| e.expect("every executor returned"))
+        .collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ams_sdf::SdfGraph;
+
+    #[test]
+    fn sdf_partitions_run_in_parallel() {
+        // Four independent two-actor pipelines, each counting firings
+        // into a shared tally.
+        use std::sync::{Arc, Mutex};
+        let tallies: Vec<Arc<Mutex<i64>>> = (0..4).map(|_| Arc::new(Mutex::new(0))).collect();
+        let mut execs = Vec::new();
+        for tally in &tallies {
+            let mut g = SdfGraph::new();
+            let a = g.add_actor("src");
+            let b = g.add_actor("sink");
+            g.connect(a, 1, b, 1, 0).unwrap();
+            let sched = ams_sdf::schedule(&g).unwrap();
+            let mut ex = SdfExecutor::<i64>::new(&g, sched).unwrap();
+            ex.set_actor(a, |io: &mut ams_sdf::ActorIo<'_, i64>| {
+                io.push(0, 1);
+            });
+            let t = tally.clone();
+            ex.set_actor(b, move |io: &mut ams_sdf::ActorIo<'_, i64>| {
+                *t.lock().unwrap() += io.input_one(0);
+            });
+            execs.push(ex);
+        }
+        let execs = run_sdf_parallel(execs, 100, 4).unwrap();
+        for tally in &tallies {
+            assert_eq!(*tally.lock().unwrap(), 100);
+        }
+        for e in &execs {
+            assert_eq!(e.stats().iterations, 100);
+            assert_eq!(e.stats().firings, 200);
+        }
+    }
+}

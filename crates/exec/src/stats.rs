@@ -1,0 +1,130 @@
+//! Execution statistics and instrumentation hooks.
+//!
+//! Profiling a mixed-signal simulation means knowing where the time
+//! goes: dataflow firings, Newton iterations and matrix factorizations
+//! inside embedded solvers, FIFO pressure on converter streams, and the
+//! synchronization overhead of meeting the DE kernel at every cluster
+//! period. [`ExecStats`] aggregates all of it from the per-component
+//! counters ([`ClusterStats`](ams_core::ClusterStats),
+//! [`SdfExecStats`](ams_sdf::SdfExecStats),
+//! `ams_net::TransientStats` folded in through
+//! `TdfModule::solver_stats`); [`ExecHook`] lets callers observe every
+//! synchronization window as it happens.
+
+use ams_core::ClusterStats;
+use ams_kernel::SimTime;
+use std::time::Duration;
+
+/// Aggregated execution statistics of one parallel run.
+#[derive(Debug, Clone, Default)]
+pub struct ExecStats {
+    /// Synchronization windows executed.
+    pub windows: u64,
+    /// Barriers crossed (one per window with at least one busy worker).
+    pub barriers: u64,
+    /// Per-cluster counters, in registration order: `(name, stats)`.
+    /// Newton/factorization totals of embedded solvers are folded into
+    /// each entry.
+    pub clusters: Vec<(String, ClusterStats)>,
+    /// Highest occupancy observed across all SPSC converter rings.
+    pub ring_high_water: usize,
+    /// Wall time spent inside worker compute (dispatch to barrier).
+    pub compute_wall: Duration,
+    /// Wall time spent synchronizing with the DE kernel (drain + advance).
+    pub sync_wall: Duration,
+}
+
+impl ExecStats {
+    /// Sum of the per-cluster counters.
+    pub fn totals(&self) -> ClusterStats {
+        let mut t = ClusterStats::default();
+        for (_, s) in &self.clusters {
+            t.iterations += s.iterations;
+            t.firings += s.firings;
+            t.probe_samples += s.probe_samples;
+            t.newton_iterations += s.newton_iterations;
+            t.factorizations += s.factorizations;
+        }
+        t
+    }
+}
+
+/// Observation hook for a parallel run. All methods default to no-ops;
+/// implement the ones you care about. The hook runs on the coordinator
+/// thread, never inside workers, so it needs no internal locking beyond
+/// `Send`.
+pub trait ExecHook: Send {
+    /// A synchronization window `[start, end)` is about to be dispatched
+    /// to the workers.
+    fn on_window(&mut self, _start: SimTime, _end: SimTime) {}
+
+    /// All workers reached the barrier for the window ending at `end`.
+    fn on_barrier(&mut self, _end: SimTime) {}
+
+    /// The run finished; `stats` is the final aggregate.
+    fn on_finish(&mut self, _stats: &ExecStats) {}
+}
+
+/// A trivial hook that counts windows and barriers — handy in tests and
+/// as a template.
+#[derive(Debug, Default)]
+pub struct CountingHook {
+    /// Windows observed via [`ExecHook::on_window`].
+    pub windows: u64,
+    /// Barriers observed via [`ExecHook::on_barrier`].
+    pub barriers: u64,
+}
+
+impl ExecHook for CountingHook {
+    fn on_window(&mut self, _start: SimTime, _end: SimTime) {
+        self.windows += 1;
+    }
+
+    fn on_barrier(&mut self, _end: SimTime) {
+        self.barriers += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn totals_sum_over_clusters() {
+        let mut st = ExecStats::default();
+        st.clusters.push((
+            "a".into(),
+            ClusterStats {
+                iterations: 2,
+                firings: 10,
+                probe_samples: 4,
+                newton_iterations: 7,
+                factorizations: 1,
+            },
+        ));
+        st.clusters.push((
+            "b".into(),
+            ClusterStats {
+                iterations: 3,
+                firings: 5,
+                probe_samples: 0,
+                newton_iterations: 0,
+                factorizations: 0,
+            },
+        ));
+        let t = st.totals();
+        assert_eq!(t.iterations, 5);
+        assert_eq!(t.firings, 15);
+        assert_eq!(t.newton_iterations, 7);
+    }
+
+    #[test]
+    fn counting_hook_counts() {
+        let mut h = CountingHook::default();
+        h.on_window(SimTime::ZERO, SimTime::from_ns(1));
+        h.on_barrier(SimTime::from_ns(1));
+        h.on_window(SimTime::from_ns(1), SimTime::from_ns(2));
+        assert_eq!(h.windows, 2);
+        assert_eq!(h.barriers, 1);
+    }
+}

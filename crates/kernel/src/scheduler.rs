@@ -261,6 +261,17 @@ impl Kernel {
         self.stats
     }
 
+    /// The timestamp of the earliest pending timed notification, if any.
+    ///
+    /// This is the kernel's synchronization-point API: a parallel
+    /// execution engine may run decoupled dataflow clusters ahead of the
+    /// kernel up to (but not past) this time without missing a
+    /// discrete-event interaction. Delta-cycle (immediate) activity is
+    /// not visible here; it belongs to the current instant.
+    pub fn next_event_time(&self) -> Option<SimTime> {
+        self.timed.peek().map(|Reverse(e)| e.time)
+    }
+
     // ----- construction ---------------------------------------------------
 
     /// Creates a signal with an initial value and returns its handle.
@@ -459,7 +470,7 @@ impl Kernel {
                 fired.push(self.signals[idx].event());
             }
         }
-        fired.extend(self.delta_notified.drain(..));
+        fired.append(&mut self.delta_notified);
         let had_updates = !fired.is_empty();
         for ev in fired {
             self.notify_now(ev);

@@ -119,15 +119,15 @@ impl fmt::Display for SimTime {
         let fs = self.0;
         let (value, unit): (f64, &str) = if fs == 0 {
             (0.0, "s")
-        } else if fs % 1_000_000_000_000_000 == 0 {
+        } else if fs.is_multiple_of(1_000_000_000_000_000) {
             ((fs / 1_000_000_000_000_000) as f64, "s")
-        } else if fs % 1_000_000_000_000 == 0 {
+        } else if fs.is_multiple_of(1_000_000_000_000) {
             ((fs / 1_000_000_000_000) as f64, "ms")
-        } else if fs % 1_000_000_000 == 0 {
+        } else if fs.is_multiple_of(1_000_000_000) {
             ((fs / 1_000_000_000) as f64, "us")
-        } else if fs % 1_000_000 == 0 {
+        } else if fs.is_multiple_of(1_000_000) {
             ((fs / 1_000_000) as f64, "ns")
-        } else if fs % 1_000 == 0 {
+        } else if fs.is_multiple_of(1_000) {
             ((fs / 1_000) as f64, "ps")
         } else {
             (fs as f64, "fs")

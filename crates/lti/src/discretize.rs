@@ -89,7 +89,7 @@ pub fn expm(a: &DMat<f64>) -> Result<DMat<f64>, MathError> {
     // Padé(6): N = Σ cₖ Aᵏ, D = Σ (−1)ᵏ cₖ Aᵏ with
     // cₖ = (2q−k)!·q! / ((2q)!·k!·(q−k)!), q = 6.
     const Q: usize = 6;
-    let mut c = vec![1.0; Q + 1];
+    let mut c = [1.0; Q + 1];
     for k in 1..=Q {
         c[k] = c[k - 1] * (Q + 1 - k) as f64 / ((2 * Q + 1 - k) as f64 * k as f64);
     }
@@ -240,6 +240,7 @@ mod tests {
         assert!(expm(&a).is_err());
     }
 
+    #[allow(clippy::needless_range_loop)]
     fn simulate(d: &DiscreteSystem, steps: usize, u: f64) -> f64 {
         let n = d.f.rows();
         let mut x = vec![0.0; n];

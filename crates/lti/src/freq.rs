@@ -158,10 +158,7 @@ impl FreqResponse {
     /// Peak magnitude in dB and the frequency (Hz) where it occurs.
     pub fn peak(&self) -> Option<(f64, f64)> {
         let mags = self.mag_db();
-        let (idx, &db) = mags
-            .iter()
-            .enumerate()
-            .max_by(|a, b| a.1.total_cmp(b.1))?;
+        let (idx, &db) = mags.iter().enumerate().max_by(|a, b| a.1.total_cmp(b.1))?;
         Some((self.freqs_hz[idx], db))
     }
 }
@@ -223,7 +220,11 @@ mod tests {
         let r = FreqResponse::sweep(0.001, 1e4, 301, |w| tf.freq_response(w)).unwrap();
         let ph = r.phase_deg();
         // Ends near −180° without wrapping to +180.
-        assert!((ph.last().unwrap() + 180.0).abs() < 2.0, "{}", ph.last().unwrap());
+        assert!(
+            (ph.last().unwrap() + 180.0).abs() < 2.0,
+            "{}",
+            ph.last().unwrap()
+        );
         assert!(ph.windows(2).all(|w| w[1] <= w[0] + 1e-9), "monotone");
     }
 

@@ -153,6 +153,7 @@ impl LtiSolver {
     /// # Panics
     ///
     /// Panics if `u.len()` differs from the model's input count.
+    #[allow(clippy::needless_range_loop)]
     pub fn step(&mut self, u: &[f64]) -> &[f64] {
         let n = self.x.len();
         let m = self.ss.inputs();
@@ -200,8 +201,7 @@ mod tests {
     #[test]
     fn rc_step_response() {
         let tf = TransferFunction::low_pass1(10.0).unwrap();
-        let mut s =
-            LtiSolver::from_transfer_function(&tf, 1e-4, Discretization::Bilinear).unwrap();
+        let mut s = LtiSolver::from_transfer_function(&tf, 1e-4, Discretization::Bilinear).unwrap();
         let mut y = 0.0;
         for _ in 0..10_000 {
             y = s.step(&[1.0])[0]; // 1 s total, τ = 0.1 s
@@ -225,7 +225,10 @@ mod tests {
         }
         // Count zero crossings in the free-ringing tail → frequency.
         let tail = &samples[1000..];
-        let crossings = tail.windows(2).filter(|w| w[0] < 0.0 && w[1] >= 0.0).count();
+        let crossings = tail
+            .windows(2)
+            .filter(|w| w[0] < 0.0 && w[1] >= 0.0)
+            .count();
         let duration = tail.len() as f64 * h;
         let freq = crossings as f64 / duration;
         assert!((freq - 10.0).abs() < 0.5, "ring frequency {freq} Hz");
@@ -234,8 +237,7 @@ mod tests {
     #[test]
     fn dc_initialization_removes_startup_transient() {
         let tf = TransferFunction::low_pass1(100.0).unwrap();
-        let mut s =
-            LtiSolver::from_transfer_function(&tf, 1e-5, Discretization::Bilinear).unwrap();
+        let mut s = LtiSolver::from_transfer_function(&tf, 1e-5, Discretization::Bilinear).unwrap();
         s.initialize_dc(&[2.0]).unwrap();
         // Already at equilibrium: output stays at 2.0 from the first step.
         for _ in 0..100 {
@@ -247,8 +249,7 @@ mod tests {
     #[test]
     fn set_step_size_preserves_state() {
         let tf = TransferFunction::low_pass1(1.0).unwrap();
-        let mut s =
-            LtiSolver::from_transfer_function(&tf, 1e-3, Discretization::Bilinear).unwrap();
+        let mut s = LtiSolver::from_transfer_function(&tf, 1e-3, Discretization::Bilinear).unwrap();
         for _ in 0..500 {
             s.step(&[1.0]);
         }

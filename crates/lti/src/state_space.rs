@@ -43,15 +43,13 @@ impl StateSpace {
     /// # Errors
     ///
     /// Returns [`MathError::DimensionMismatch`] on inconsistent shapes.
-    pub fn new(
-        a: DMat<f64>,
-        b: DMat<f64>,
-        c: DMat<f64>,
-        d: DMat<f64>,
-    ) -> Result<Self, MathError> {
+    pub fn new(a: DMat<f64>, b: DMat<f64>, c: DMat<f64>, d: DMat<f64>) -> Result<Self, MathError> {
         let n = a.rows();
         if !a.is_square() {
-            return Err(MathError::dims("square A", format!("{}x{}", a.rows(), a.cols())));
+            return Err(MathError::dims(
+                "square A",
+                format!("{}x{}", a.rows(), a.cols()),
+            ));
         }
         if b.rows() != n {
             return Err(MathError::dims(
@@ -216,6 +214,7 @@ impl StateSpace {
     /// # Panics
     ///
     /// Panics if slice lengths do not match the model dimensions.
+    #[allow(clippy::needless_range_loop)]
     pub fn derivative(&self, x: &[f64], u: &[f64], dx: &mut [f64]) {
         let n = self.order();
         let m = self.inputs();
@@ -239,6 +238,7 @@ impl StateSpace {
     /// # Panics
     ///
     /// Panics if slice lengths do not match the model dimensions.
+    #[allow(clippy::needless_range_loop)]
     pub fn output(&self, x: &[f64], u: &[f64]) -> DVec<f64> {
         let p = self.outputs();
         let n = self.order();

@@ -46,11 +46,7 @@ impl ZeroPole {
     /// Returns [`MathError::InvalidArgument`] if there are no poles and no
     /// zeros with a zero gain (degenerate), or if the sets are not closed
     /// under conjugation (checked on conversion).
-    pub fn new(
-        zeros: Vec<Complex64>,
-        poles: Vec<Complex64>,
-        gain: f64,
-    ) -> Result<Self, MathError> {
+    pub fn new(zeros: Vec<Complex64>, poles: Vec<Complex64>, gain: f64) -> Result<Self, MathError> {
         if !gain.is_finite() {
             return Err(MathError::invalid("gain must be finite"));
         }
@@ -161,7 +157,7 @@ impl ZeroPole {
         // trough at DC, scaled by 1/√(1+ε²).
         let prod: Complex64 = poles.iter().map(|&p| -p).product();
         let mut gain = prod.re; // imaginary part cancels by conjugate symmetry
-        if n % 2 == 0 {
+        if n.is_multiple_of(2) {
             gain /= (1.0 + eps * eps).sqrt();
         }
         ZeroPole::new(Vec::new(), poles, gain)

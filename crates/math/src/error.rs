@@ -57,10 +57,9 @@ impl fmt::Display for MathError {
             MathError::InvalidArgument { reason } => {
                 write!(f, "invalid argument: {reason}")
             }
-            MathError::StepSizeUnderflow { time, step } => write!(
-                f,
-                "step size underflow at t = {time:.6e} (step {step:.3e})"
-            ),
+            MathError::StepSizeUnderflow { time, step } => {
+                write!(f, "step size underflow at t = {time:.6e} (step {step:.3e})")
+            }
         }
     }
 }

@@ -167,7 +167,7 @@ pub fn amplitude_spectrum(x: &[f64], window: Window) -> crate::Result<Vec<f64>> 
     let half = n / 2;
     let mut out = Vec::with_capacity(half + 1);
     for (k, bin) in spec.iter().take(half + 1).enumerate() {
-        let scale = if k == 0 || (k == half && n % 2 == 0) {
+        let scale = if k == 0 || (k == half && n.is_multiple_of(2)) {
             1.0
         } else {
             2.0

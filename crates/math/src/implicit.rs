@@ -70,9 +70,8 @@ impl NonlinearSystem for StepResidual<'_> {
             }
             ImplicitMethod::Trapezoidal => {
                 for i in 0..n {
-                    out[i] = x[i]
-                        - self.x_prev[i]
-                        - 0.5 * self.h * (self.scratch[i] + self.f_prev[i]);
+                    out[i] =
+                        x[i] - self.x_prev[i] - 0.5 * self.h * (self.scratch[i] + self.f_prev[i]);
                 }
             }
             ImplicitMethod::Bdf2 => {
@@ -109,7 +108,10 @@ impl ImplicitStepper {
     ///
     /// Panics if `h` is not strictly positive and finite.
     pub fn new(method: ImplicitMethod, h: f64) -> Self {
-        assert!(h > 0.0 && h.is_finite(), "step size must be positive and finite");
+        assert!(
+            h > 0.0 && h.is_finite(),
+            "step size must be positive and finite"
+        );
         ImplicitStepper {
             method,
             h,
@@ -326,11 +328,7 @@ pub fn integrate_variable(
             }
             t += h;
             stats.accepted += 1;
-            let grow = if err > 0.0 {
-                (0.8 / err).min(4.0)
-            } else {
-                4.0
-            };
+            let grow = if err > 0.0 { (0.8 / err).min(4.0) } else { 4.0 };
             h = (h * grow).clamp(opts.min_step, opts.max_step);
         } else {
             stats.rejected += 1;

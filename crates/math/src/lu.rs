@@ -76,7 +76,9 @@ impl<T: Scalar> Lu<T> {
                     p = i;
                 }
             }
-            if !(pmax > col_scale[k] * PIVOT_REL_TOL) {
+            // NaN pivots must also be rejected, hence partial_cmp.
+            let threshold = col_scale[k] * PIVOT_REL_TOL;
+            if pmax.partial_cmp(&threshold) != Some(std::cmp::Ordering::Greater) {
                 return Err(MathError::SingularMatrix { pivot: k });
             }
             if p != k {
@@ -101,7 +103,11 @@ impl<T: Scalar> Lu<T> {
                 }
             }
         }
-        Ok(Lu { lu, perm, perm_sign })
+        Ok(Lu {
+            lu,
+            perm,
+            perm_sign,
+        })
     }
 
     /// Dimension of the factored matrix.
@@ -208,11 +214,7 @@ mod tests {
 
     #[test]
     fn solves_3x3() {
-        let a = DMat::from_rows(&[
-            &[2.0, 1.0, -1.0],
-            &[-3.0, -1.0, 2.0],
-            &[-2.0, 1.0, 2.0],
-        ]);
+        let a = DMat::from_rows(&[&[2.0, 1.0, -1.0], &[-3.0, -1.0, 2.0], &[-2.0, 1.0, 2.0]]);
         let b = DVec::from(vec![8.0, -11.0, -3.0]);
         let x = solve_dense(&a, &b).unwrap();
         let expect = [2.0, 3.0, -1.0];

@@ -58,7 +58,11 @@ impl<T: Scalar> DMat<T> {
             assert_eq!(row.len(), c, "all rows must have the same length");
             data.extend_from_slice(row);
         }
-        DMat { rows: r, cols: c, data }
+        DMat {
+            rows: r,
+            cols: c,
+            data,
+        }
     }
 
     /// Builds a matrix from a function of `(row, col)`.
@@ -251,7 +255,11 @@ impl<T: Scalar> IndexMut<(usize, usize)> for DMat<T> {
 impl<T: Scalar> Add for &DMat<T> {
     type Output = DMat<T>;
     fn add(self, rhs: &DMat<T>) -> DMat<T> {
-        assert_eq!((self.rows, self.cols), (rhs.rows, rhs.cols), "shape mismatch in add");
+        assert_eq!(
+            (self.rows, self.cols),
+            (rhs.rows, rhs.cols),
+            "shape mismatch in add"
+        );
         DMat {
             rows: self.rows,
             cols: self.cols,
@@ -268,7 +276,11 @@ impl<T: Scalar> Add for &DMat<T> {
 impl<T: Scalar> Sub for &DMat<T> {
     type Output = DMat<T>;
     fn sub(self, rhs: &DMat<T>) -> DMat<T> {
-        assert_eq!((self.rows, self.cols), (rhs.rows, rhs.cols), "shape mismatch in sub");
+        assert_eq!(
+            (self.rows, self.cols),
+            (rhs.rows, rhs.cols),
+            "shape mismatch in sub"
+        );
         DMat {
             rows: self.rows,
             cols: self.cols,
@@ -285,7 +297,8 @@ impl<T: Scalar> Sub for &DMat<T> {
 impl<T: Scalar> Mul for &DMat<T> {
     type Output = DMat<T>;
     fn mul(self, rhs: &DMat<T>) -> DMat<T> {
-        self.mul_mat(rhs).expect("shape mismatch in matrix multiply")
+        self.mul_mat(rhs)
+            .expect("shape mismatch in matrix multiply")
     }
 }
 
@@ -324,7 +337,9 @@ pub struct DVec<T: Scalar = f64> {
 impl<T: Scalar> DVec<T> {
     /// Creates a zero vector of length `n`.
     pub fn zeros(n: usize) -> Self {
-        DVec { data: vec![T::ZERO; n] }
+        DVec {
+            data: vec![T::ZERO; n],
+        }
     }
 
     /// Length of the vector.

@@ -260,8 +260,18 @@ mod tests {
             }
         }
         let mut x = [0.5];
-        let err = solve(&mut NoRoot, &mut x, &NewtonOptions { max_iter: 20, ..Default::default() });
-        assert!(matches!(err, Err(MathError::NoConvergence { .. }) | Err(MathError::SingularMatrix { .. })));
+        let err = solve(
+            &mut NoRoot,
+            &mut x,
+            &NewtonOptions {
+                max_iter: 20,
+                ..Default::default()
+            },
+        );
+        assert!(matches!(
+            err,
+            Err(MathError::NoConvergence { .. }) | Err(MathError::SingularMatrix { .. })
+        ));
     }
 
     #[test]

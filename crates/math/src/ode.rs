@@ -87,7 +87,10 @@ impl FixedStep {
     ///
     /// Panics if `h` is not strictly positive and finite.
     pub fn new(method: OdeMethod, h: f64) -> Self {
-        assert!(h > 0.0 && h.is_finite(), "step size must be positive and finite");
+        assert!(
+            h > 0.0 && h.is_finite(),
+            "step size must be positive and finite"
+        );
         FixedStep {
             method,
             h,
@@ -110,7 +113,10 @@ impl FixedStep {
     ///
     /// Panics if `h` is not strictly positive and finite.
     pub fn set_step_size(&mut self, h: f64) {
-        assert!(h > 0.0 && h.is_finite(), "step size must be positive and finite");
+        assert!(
+            h > 0.0 && h.is_finite(),
+            "step size must be positive and finite"
+        );
         self.h = h;
     }
 
@@ -125,6 +131,7 @@ impl FixedStep {
     }
 
     /// Advances `x` from `*t` to `*t + h` in place.
+    #[allow(clippy::needless_range_loop)]
     pub fn step(&mut self, f: &mut dyn OdeRhs, t: &mut f64, x: &mut [f64]) {
         let n = x.len();
         self.ensure(n);
@@ -161,7 +168,8 @@ impl FixedStep {
                 }
                 f.eval(*t + h, &self.tmp, &mut self.k4);
                 for i in 0..n {
-                    x[i] += h / 6.0 * (self.k1[i] + 2.0 * self.k2[i] + 2.0 * self.k3[i] + self.k4[i]);
+                    x[i] +=
+                        h / 6.0 * (self.k1[i] + 2.0 * self.k2[i] + 2.0 * self.k3[i] + self.k4[i]);
                 }
             }
         }
@@ -171,13 +179,7 @@ impl FixedStep {
     /// Integrates from `t0` to `t1`, returning the number of steps taken.
     ///
     /// The last step is shortened to land exactly on `t1`.
-    pub fn integrate(
-        &mut self,
-        f: &mut dyn OdeRhs,
-        t0: f64,
-        t1: f64,
-        x: &mut [f64],
-    ) -> usize {
+    pub fn integrate(&mut self, f: &mut dyn OdeRhs, t0: f64, t1: f64, x: &mut [f64]) -> usize {
         let mut t = t0;
         let mut steps = 0;
         let saved_h = self.h;
@@ -281,10 +283,23 @@ impl AdaptiveRkf45 {
             [3.0 / 32.0, 9.0 / 32.0, 0.0, 0.0, 0.0],
             [1932.0 / 2197.0, -7200.0 / 2197.0, 7296.0 / 2197.0, 0.0, 0.0],
             [439.0 / 216.0, -8.0, 3680.0 / 513.0, -845.0 / 4104.0, 0.0],
-            [-8.0 / 27.0, 2.0, -3544.0 / 2565.0, 1859.0 / 4104.0, -11.0 / 40.0],
+            [
+                -8.0 / 27.0,
+                2.0,
+                -3544.0 / 2565.0,
+                1859.0 / 4104.0,
+                -11.0 / 40.0,
+            ],
         ];
         // 4th-order solution weights.
-        const C4: [f64; 6] = [25.0 / 216.0, 0.0, 1408.0 / 2565.0, 2197.0 / 4104.0, -1.0 / 5.0, 0.0];
+        const C4: [f64; 6] = [
+            25.0 / 216.0,
+            0.0,
+            1408.0 / 2565.0,
+            2197.0 / 4104.0,
+            -1.0 / 5.0,
+            0.0,
+        ];
         // 5th-order solution weights.
         const C5: [f64; 6] = [
             16.0 / 135.0,
@@ -403,7 +418,11 @@ mod tests {
         let steps = s.integrate(&mut decay, 0.0, 1.0, &mut x);
         assert_eq!(steps, 4); // 0.3 + 0.3 + 0.3 + 0.1
         assert!((x[0] - (-1.0f64).exp()).abs() < 1e-4);
-        assert_eq!(s.step_size(), 0.3, "step size restored after clamped last step");
+        assert_eq!(
+            s.step_size(),
+            0.3,
+            "step size restored after clamped last step"
+        );
     }
 
     #[test]

@@ -178,15 +178,14 @@ impl Poly {
             .collect();
 
         // Cauchy bound for root magnitude gives the start radius.
-        let bound = 1.0
-            + monic[..n]
-                .iter()
-                .map(|c| c.abs())
-                .fold(0.0, f64::max);
-        let radius = bound.min(1e6).max(1e-3);
+        let bound = 1.0 + monic[..n].iter().map(|c| c.abs()).fold(0.0, f64::max);
+        let radius = bound.clamp(1e-3, 1e6);
 
         let eval = |z: Complex64| -> Complex64 {
-            monic.iter().rev().fold(Complex64::ZERO, |acc, &c| acc * z + c)
+            monic
+                .iter()
+                .rev()
+                .fold(Complex64::ZERO, |acc, &c| acc * z + c)
         };
 
         // Start points: z_k = r · (0.4 + 0.9j)^k (classic non-symmetric seed).

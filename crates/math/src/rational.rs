@@ -179,6 +179,7 @@ impl Div for Rational {
     /// # Panics
     ///
     /// Panics when dividing by zero.
+    #[allow(clippy::suspicious_arithmetic_impl)]
     fn div(self, rhs: Rational) -> Rational {
         self * rhs.recip().expect("division by rational zero")
     }

@@ -119,9 +119,7 @@ pub(crate) fn assemble_ac(
                 mat[(b, cb)] -= Complex64::from_real(*r);
             }
             ElementKind::Diode { .. } => {
-                let g = op.diode_ops[idx]
-                    .map(|d| d.g)
-                    .unwrap_or(0.0);
+                let g = op.diode_ops[idx].map(|d| d.g).unwrap_or(0.0);
                 stamp_conductance(layout, mat, e.p, e.n, Complex64::from_real(g + GMIN));
             }
             ElementKind::Nmos { gate, .. } => {
@@ -167,11 +165,7 @@ impl Circuit {
     ///
     /// * [`NetError::Singular`] for unsolvable topologies.
     /// * Propagates factorization failures.
-    pub fn ac_sweep(
-        &self,
-        op: &DcSolution,
-        freqs_hz: &[f64],
-    ) -> Result<Vec<AcSolution>, NetError> {
+    pub fn ac_sweep(&self, op: &DcSolution, freqs_hz: &[f64]) -> Result<Vec<AcSolution>, NetError> {
         let layout = MnaLayout::build(self);
         let switches = self.initial_switch_states();
         let n = layout.n_unknowns;
@@ -224,7 +218,8 @@ mod tests {
         let mut ckt = Circuit::new();
         let a = ckt.node("a");
         let out = ckt.node("out");
-        ckt.voltage_source_ac("V1", a, Circuit::GROUND, 0.0, 1.0).unwrap();
+        ckt.voltage_source_ac("V1", a, Circuit::GROUND, 0.0, 1.0)
+            .unwrap();
         ckt.resistor("R1", a, out, 1e3).unwrap();
         ckt.capacitor("C1", out, Circuit::GROUND, 1e-6).unwrap();
         let op = ckt.dc_operating_point().unwrap();
@@ -244,7 +239,8 @@ mod tests {
         let a = ckt.node("a");
         let b = ckt.node("b");
         let out = ckt.node("out");
-        ckt.voltage_source_ac("V1", a, Circuit::GROUND, 0.0, 1.0).unwrap();
+        ckt.voltage_source_ac("V1", a, Circuit::GROUND, 0.0, 1.0)
+            .unwrap();
         ckt.resistor("R1", a, b, 10.0).unwrap();
         ckt.inductor("L1", b, out, 1e-3).unwrap();
         ckt.capacitor("C1", out, Circuit::GROUND, 1e-6).unwrap();
@@ -252,7 +248,11 @@ mod tests {
         let f0 = 1.0 / (2.0 * std::f64::consts::PI * (1e-3f64 * 1e-6).sqrt());
         let q = (1e-3f64 / 1e-6).sqrt() / 10.0; // √(L/C)/R ≈ 3.16
         let h = ckt.ac_transfer(&op, out, &[f0]).unwrap();
-        assert!((h[0].abs() - q).abs() / q < 0.01, "peak {} vs Q {q}", h[0].abs());
+        assert!(
+            (h[0].abs() - q).abs() / q < 0.01,
+            "peak {} vs Q {q}",
+            h[0].abs()
+        );
     }
 
     #[test]
@@ -262,7 +262,8 @@ mod tests {
         let mut ckt = Circuit::new();
         let a = ckt.node("a");
         let d = ckt.node("d");
-        ckt.voltage_source_ac("V1", a, Circuit::GROUND, 5.0, 1.0).unwrap();
+        ckt.voltage_source_ac("V1", a, Circuit::GROUND, 5.0, 1.0)
+            .unwrap();
         ckt.resistor("R1", a, d, 4.3e3).unwrap();
         ckt.diode("D1", d, Circuit::GROUND, 1e-14, 1.0).unwrap();
         let op = ckt.dc_operating_point().unwrap();
@@ -306,8 +307,10 @@ mod tests {
         let mut ckt = Circuit::new();
         let inp = ckt.node("in");
         let out = ckt.node("out");
-        ckt.voltage_source_ac("V1", inp, Circuit::GROUND, 0.0, 1.0).unwrap();
-        ckt.vcvs("E1", out, Circuit::GROUND, inp, Circuit::GROUND, -10.0).unwrap();
+        ckt.voltage_source_ac("V1", inp, Circuit::GROUND, 0.0, 1.0)
+            .unwrap();
+        ckt.vcvs("E1", out, Circuit::GROUND, inp, Circuit::GROUND, -10.0)
+            .unwrap();
         ckt.resistor("RL", out, Circuit::GROUND, 1e3).unwrap();
         let op = ckt.dc_operating_point().unwrap();
         let h = ckt.ac_transfer(&op, out, &[1e3]).unwrap();
@@ -321,12 +324,15 @@ mod tests {
         let mut ckt = Circuit::new();
         let a = ckt.node("a");
         let out = ckt.node("out");
-        ckt.voltage_source_ac("V1", a, Circuit::GROUND, 0.0, 1.0).unwrap();
+        ckt.voltage_source_ac("V1", a, Circuit::GROUND, 0.0, 1.0)
+            .unwrap();
         ckt.resistor("R1", a, out, 100.0).unwrap();
         ckt.inductor("L1", out, Circuit::GROUND, 1e-3).unwrap();
         let op = ckt.dc_operating_point().unwrap();
         let fc = 100.0 / (2.0 * std::f64::consts::PI * 1e-3); // R/(2πL)
-        let h = ckt.ac_transfer(&op, out, &[fc / 100.0, fc, fc * 100.0]).unwrap();
+        let h = ckt
+            .ac_transfer(&op, out, &[fc / 100.0, fc, fc * 100.0])
+            .unwrap();
         assert!(h[0].abs() < 0.02); // low f: inductor shorts output
         assert!((h[1].abs() - std::f64::consts::FRAC_1_SQRT_2).abs() < 0.01);
         assert!(h[2].abs() > 0.99); // high f: inductor open

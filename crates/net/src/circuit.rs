@@ -765,6 +765,7 @@ impl Circuit {
     /// # Errors
     ///
     /// Rejects non-positive `kp`, negative `lambda`, or unknown nodes.
+    #[allow(clippy::too_many_arguments)]
     pub fn nmos(
         &mut self,
         name: impl Into<String>,
@@ -906,7 +907,9 @@ mod tests {
         assert!(ckt.resistor("R1", a, Circuit::GROUND, -5.0).is_err());
         assert!(ckt.resistor("R1", a, Circuit::GROUND, 0.0).is_err());
         assert!(ckt.capacitor("C1", a, Circuit::GROUND, f64::NAN).is_err());
-        assert!(ckt.switch("S1", a, Circuit::GROUND, 1e6, 1.0, false).is_err());
+        assert!(ckt
+            .switch("S1", a, Circuit::GROUND, 1e6, 1.0, false)
+            .is_err());
     }
 
     #[test]

@@ -120,7 +120,11 @@ impl DcSolution {
         match &e.kind {
             ElementKind::Resistor { ohms } => Ok(v / ohms),
             ElementKind::Capacitor { .. } => Ok(0.0),
-            ElementKind::Switch { r_on, r_off, initially_on } => {
+            ElementKind::Switch {
+                r_on,
+                r_off,
+                initially_on,
+            } => {
                 let r = if *initially_on { *r_on } else { *r_off };
                 Ok(v / r)
             }
@@ -226,7 +230,16 @@ impl Circuit {
         let mut guess: Option<DVec<f64>> = None;
         for k in 1..=20 {
             let scale = k as f64 / 20.0;
-            match dc_newton(self, &layout, ext, switches, scale, GMIN, guess.take(), &opts) {
+            match dc_newton(
+                self,
+                &layout,
+                ext,
+                switches,
+                scale,
+                GMIN,
+                guess.take(),
+                &opts,
+            ) {
                 Ok(sol) => guess = Some(sol.x),
                 Err(e) => return Err(e),
             }
@@ -271,7 +284,17 @@ pub(crate) fn dc_newton(
     for iter in 1..=max_iter {
         mat.fill_zero();
         rhs.fill_zero();
-        assemble_dc(ckt, layout, &x, ext, switches, source_scale, gmin, &mut mat, &mut rhs);
+        assemble_dc(
+            ckt,
+            layout,
+            &x,
+            ext,
+            switches,
+            source_scale,
+            gmin,
+            &mut mat,
+            &mut rhs,
+        );
         let lu = Lu::factor(&mat).map_err(NetError::from)?;
         let x_new = lu.solve(&rhs).map_err(NetError::from)?;
 
@@ -486,7 +509,8 @@ mod tests {
         let mut ckt = Circuit::new();
         let vin = ckt.node("in");
         let out = ckt.node("out");
-        ckt.voltage_source("V1", vin, Circuit::GROUND, 10.0).unwrap();
+        ckt.voltage_source("V1", vin, Circuit::GROUND, 10.0)
+            .unwrap();
         ckt.resistor("R1", vin, out, 6e3).unwrap();
         ckt.resistor("R2", out, Circuit::GROUND, 4e3).unwrap();
         let op = ckt.dc_operating_point().unwrap();
@@ -577,7 +601,9 @@ mod tests {
         let mut ckt = Circuit::new();
         let a = ckt.node("a");
         let out = ckt.node("out");
-        let v = ckt.voltage_source("Vsense", a, Circuit::GROUND, 1.0).unwrap();
+        let v = ckt
+            .voltage_source("Vsense", a, Circuit::GROUND, 1.0)
+            .unwrap();
         ckt.resistor("R1", a, Circuit::GROUND, 1e3).unwrap();
         // Branch current of Vsense is −1 mA; mirror ×2 into `out`.
         ckt.cccs("F1", Circuit::GROUND, out, v, 2.0).unwrap();
@@ -631,7 +657,10 @@ mod tests {
         ckt.current_source("I1", Circuit::GROUND, a, 1e-3).unwrap();
         let r = ckt.dc_operating_point();
         assert!(
-            matches!(r, Err(NetError::Singular { .. }) | Err(NetError::NoConvergence { .. })),
+            matches!(
+                r,
+                Err(NetError::Singular { .. }) | Err(NetError::NoConvergence { .. })
+            ),
             "expected failure, got {r:?}"
         );
     }
@@ -661,9 +690,7 @@ mod tests {
         assert!((op_on.voltage(out) - 10.0 * 1e3 / 1001.0).abs() < 1e-6);
 
         let switches = vec![false];
-        let op_off = ckt
-            .dc_operating_point_with(&[], &switches)
-            .unwrap();
+        let op_off = ckt.dc_operating_point_with(&[], &switches).unwrap();
         assert!(op_off.voltage(out) < 1e-4);
     }
 

@@ -41,14 +41,7 @@ fn nmos_forward(vgs: f64, vds: f64, kp: f64, vt: f64, lambda: f64) -> (f64, f64,
 /// Linearizes the NMOS drain current `i(v_g, v_d, v_s)` (positive from
 /// drain to source) at the given node voltages, handling reverse mode
 /// (`v_ds < 0`) by terminal swap.
-pub(crate) fn nmos_linearize(
-    vg: f64,
-    vd: f64,
-    vs: f64,
-    kp: f64,
-    vt: f64,
-    lambda: f64,
-) -> NmosOp {
+pub(crate) fn nmos_linearize(vg: f64, vd: f64, vs: f64, kp: f64, vt: f64, lambda: f64) -> NmosOp {
     if vd >= vs {
         let (id, gm, gds) = nmos_forward(vg - vs, vd - vs, kp, vt, lambda);
         // i(vg, vd, vs): vgs = vg − vs, vds = vd − vs.

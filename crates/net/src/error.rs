@@ -58,7 +58,10 @@ impl fmt::Display for NetError {
             NetError::NoConvergence {
                 analysis,
                 iterations,
-            } => write!(f, "{analysis} failed to converge after {iterations} iterations"),
+            } => write!(
+                f,
+                "{analysis} failed to converge after {iterations} iterations"
+            ),
             NetError::Singular { hint } => {
                 write!(f, "singular system matrix: {hint}")
             }

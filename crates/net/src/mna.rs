@@ -145,7 +145,10 @@ pub(crate) fn stamp_vccs<T: Scalar>(
     gm: T,
 ) {
     let rows = [(layout.node_var(p), T::ONE), (layout.node_var(n), -T::ONE)];
-    let cols = [(layout.node_var(cp), T::ONE), (layout.node_var(cn), -T::ONE)];
+    let cols = [
+        (layout.node_var(cp), T::ONE),
+        (layout.node_var(cn), -T::ONE),
+    ];
     for (r, rs) in rows {
         if let Some(ri) = r {
             for (c, cs) in cols {
@@ -279,7 +282,15 @@ mod tests {
         let cp = ckt.node("cp");
         let layout = MnaLayout::build(&ckt);
         let mut m: DMat<f64> = DMat::zeros(2, 2);
-        stamp_vccs(&layout, &mut m, p, Circuit::GROUND, cp, Circuit::GROUND, 0.1);
+        stamp_vccs(
+            &layout,
+            &mut m,
+            p,
+            Circuit::GROUND,
+            cp,
+            Circuit::GROUND,
+            0.1,
+        );
         // I(p→gnd) = gm·V(cp): row p gets +gm at column cp.
         assert_eq!(m[(0, 1)], 0.1);
         assert_eq!(m[(1, 0)], 0.0);

@@ -136,8 +136,12 @@ pub trait Multiphysics {
     /// # Errors
     ///
     /// Propagates construction failures.
-    fn force_source(&mut self, name: &str, node: MechNode, newtons: f64)
-        -> Result<ElementId, NetError>;
+    fn force_source(
+        &mut self,
+        name: &str,
+        node: MechNode,
+        newtons: f64,
+    ) -> Result<ElementId, NetError>;
 
     /// A rotational inertia in kg·m².
     ///
@@ -419,14 +423,17 @@ mod tests {
         let mut ckt = Circuit::new();
         let body = ckt.mech_node("body");
         ckt.mass("m", body, 1.0).unwrap();
-        ckt.spring("k", body, Circuit::mech_ground(), 100.0).unwrap(); // ω₀ = 10 rad/s
+        ckt.spring("k", body, Circuit::mech_ground(), 100.0)
+            .unwrap(); // ω₀ = 10 rad/s
         ckt.damper("b", body, Circuit::mech_ground(), 0.01).unwrap();
         // Kick: initial velocity via a force pulse modeled as IC on the
         // mass capacitor — use capacitor_ic through the raw API instead:
         let mut ckt2 = Circuit::new();
         let body2 = ckt2.mech_node("body");
-        ckt2.capacitor_ic("m", body2.0, NodeId::GROUND, 1.0, 1.0).unwrap(); // v(0) = 1 m/s
-        ckt2.spring("k", body2, Circuit::mech_ground(), 100.0).unwrap();
+        ckt2.capacitor_ic("m", body2.0, NodeId::GROUND, 1.0, 1.0)
+            .unwrap(); // v(0) = 1 m/s
+        ckt2.spring("k", body2, Circuit::mech_ground(), 100.0)
+            .unwrap();
         ckt2.resistor("b", body2.0, NodeId::GROUND, 1e4).unwrap();
         let mut tr = TransientSolver::new(&ckt2, IntegrationMethod::Trapezoidal).unwrap();
         tr.initialize_with_ic().unwrap();
@@ -444,7 +451,10 @@ mod tests {
         }
         // f₀ = 10/(2π) ≈ 1.59 Hz → ~8 upward crossings in 5 s.
         let freq = crossings as f64 / t_end;
-        assert!((freq - 10.0 / (2.0 * std::f64::consts::PI)).abs() < 0.15, "freq {freq}");
+        assert!(
+            (freq - 10.0 / (2.0 * std::f64::consts::PI)).abs() < 0.15,
+            "freq {freq}"
+        );
         let _ = ckt; // first circuit unused beyond construction checks
     }
 
@@ -453,7 +463,8 @@ mod tests {
         let mut ckt = Circuit::new();
         let die = ckt.thermal_node("die");
         ckt.thermal_capacity("c_th", die, 0.01).unwrap(); // 10 mJ/K
-        ckt.thermal_resistance("r_th", die, Circuit::thermal_ground(), 50.0).unwrap(); // 50 K/W
+        ckt.thermal_resistance("r_th", die, Circuit::thermal_ground(), 50.0)
+            .unwrap(); // 50 K/W
         ckt.heat_source("p_diss", die, 2.0).unwrap(); // 2 W
         let mut tr = TransientSolver::new(&ckt, IntegrationMethod::BackwardEuler).unwrap();
         tr.initialize_with_ic().unwrap();
@@ -461,7 +472,11 @@ mod tests {
         for _ in 0..50_000 {
             tr.step(1e-4).unwrap(); // 5 s = 10 τ
         }
-        assert!((tr.voltage(die.0) - 100.0).abs() < 0.1, "ΔT = {}", tr.voltage(die.0));
+        assert!(
+            (tr.voltage(die.0) - 100.0).abs() < 0.1,
+            "ΔT = {}",
+            tr.voltage(die.0)
+        );
     }
 
     #[test]
@@ -492,8 +507,10 @@ mod tests {
         ckt.resistor("Ra", vcc, n1, r_arm).unwrap();
         let sense = ckt.voltage_source("Isense", n1, n2, 0.0).unwrap();
         ckt.inertia("J", shaft, 0.001).unwrap();
-        ckt.rot_damper("Bf", shaft, Circuit::rot_ground(), friction).unwrap();
-        ckt.dc_machine("M1", sense, n2, NodeId::GROUND, shaft, k).unwrap();
+        ckt.rot_damper("Bf", shaft, Circuit::rot_ground(), friction)
+            .unwrap();
+        ckt.dc_machine("M1", sense, n2, NodeId::GROUND, shaft, k)
+            .unwrap();
         let mut tr = TransientSolver::new(&ckt, IntegrationMethod::Trapezoidal).unwrap();
         tr.initialize_with_ic().unwrap();
         for _ in 0..100_000 {

@@ -264,9 +264,7 @@ mod tests {
         let out = ckt.node("out");
         ckt.resistor("R1", out, Circuit::GROUND, 1e3).unwrap();
         let op = ckt.dc_operating_point().unwrap();
-        assert!(ckt
-            .noise_analysis(&op, Circuit::GROUND, &[1e3])
-            .is_err());
+        assert!(ckt.noise_analysis(&op, Circuit::GROUND, &[1e3]).is_err());
     }
 
     #[test]

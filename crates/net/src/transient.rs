@@ -251,7 +251,11 @@ impl TransientSolver {
             ElementKind::Resistor { ohms } => Ok(v / ohms),
             ElementKind::Capacitor { .. } => Ok(self.state[elem.index()].i),
             ElementKind::Switch { r_on, r_off, .. } => {
-                let r = if self.switches[elem.index()] { *r_on } else { *r_off };
+                let r = if self.switches[elem.index()] {
+                    *r_on
+                } else {
+                    *r_off
+                };
                 Ok(v / r)
             }
             ElementKind::Diode { is_sat, n } => Ok(diode_iv(v, *is_sat, *n).0 + GMIN * v),
@@ -423,9 +427,10 @@ impl TransientSolver {
         } else {
             // Linear fast path: matrix depends only on (h, method, switches).
             let cache_ok = self.reuse_factorization
-                && self.cache.as_ref().is_some_and(|c| {
-                    c.h == h && c.be == be && c.switches == self.switches
-                });
+                && self
+                    .cache
+                    .as_ref()
+                    .is_some_and(|c| c.h == h && c.be == be && c.switches == self.switches);
             if !cache_ok {
                 let mut mat = DMat::zeros(n, n);
                 self.assemble(&mut mat, &mut rhs, &self.x.clone(), t_new, h, be);
@@ -697,9 +702,7 @@ impl TransientSolver {
             self.restore(&start);
 
             // Two half steps.
-            let half_ok = full_ok
-                && self.step(h / 2.0).is_ok()
-                && self.step(h / 2.0).is_ok();
+            let half_ok = full_ok && self.step(h / 2.0).is_ok() && self.step(h / 2.0).is_ok();
 
             if !half_ok {
                 self.restore(&start);
@@ -753,14 +756,18 @@ mod tests {
         let out = ckt.node("out");
         ckt.voltage_source("V1", a, Circuit::GROUND, 1.0).unwrap();
         ckt.resistor("R1", a, out, 1e3).unwrap();
-        ckt.capacitor_ic("C1", out, Circuit::GROUND, 1e-6, 0.0).unwrap();
+        ckt.capacitor_ic("C1", out, Circuit::GROUND, 1e-6, 0.0)
+            .unwrap();
         (ckt, a, out)
     }
 
     #[test]
     fn rc_charging_matches_analytic() {
         let (ckt, _a, out) = rc_circuit();
-        for method in [IntegrationMethod::BackwardEuler, IntegrationMethod::Trapezoidal] {
+        for method in [
+            IntegrationMethod::BackwardEuler,
+            IntegrationMethod::Trapezoidal,
+        ] {
             let mut tr = TransientSolver::new(&ckt, method).unwrap();
             tr.initialize_with_ic().unwrap();
             for _ in 0..2000 {
@@ -806,7 +813,11 @@ mod tests {
         let s = tr.stats();
         assert_eq!(s.steps, 100);
         // One factorization for the forced-BE first step, one for the rest.
-        assert!(s.factorizations <= 2, "factorizations = {}", s.factorizations);
+        assert!(
+            s.factorizations <= 2,
+            "factorizations = {}",
+            s.factorizations
+        );
 
         // Disable reuse: one factorization per step.
         let mut tr2 = TransientSolver::new(&ckt, IntegrationMethod::Trapezoidal).unwrap();
@@ -825,7 +836,9 @@ mod tests {
         let b = ckt.node("b");
         ckt.voltage_source("V1", a, Circuit::GROUND, 1.0).unwrap();
         ckt.resistor("R1", a, b, 10.0).unwrap();
-        let l = ckt.inductor_ic("L1", b, Circuit::GROUND, 1e-3, 0.0).unwrap();
+        let l = ckt
+            .inductor_ic("L1", b, Circuit::GROUND, 1e-3, 0.0)
+            .unwrap();
         let mut tr = TransientSolver::new(&ckt, IntegrationMethod::Trapezoidal).unwrap();
         tr.initialize_with_ic().unwrap();
         // τ = L/R = 100 µs; simulate 100 µs → i = (V/R)(1 − e^{−1}).
@@ -841,7 +854,8 @@ mod tests {
         // LC tank kicked by an initial capacitor voltage.
         let mut ckt = Circuit::new();
         let top = ckt.node("top");
-        ckt.capacitor_ic("C1", top, Circuit::GROUND, 1e-6, 1.0).unwrap();
+        ckt.capacitor_ic("C1", top, Circuit::GROUND, 1e-6, 1.0)
+            .unwrap();
         ckt.inductor("L1", top, Circuit::GROUND, 1e-3).unwrap();
         // Tiny damping keeps the matrix friendly.
         ckt.resistor("Rp", top, Circuit::GROUND, 1e6).unwrap();
@@ -898,7 +912,10 @@ mod tests {
         .unwrap();
         let f0 = 1.0 / (2.0 * std::f64::consts::PI * 1e-3);
         let expected = 1.0 / (1.0 + (1e3 / f0).powi(2)).sqrt();
-        assert!((peak - expected).abs() / expected < 0.03, "peak {peak} vs {expected}");
+        assert!(
+            (peak - expected).abs() / expected < 0.03,
+            "peak {peak} vs {expected}"
+        );
     }
 
     #[test]
@@ -941,7 +958,9 @@ mod tests {
         ckt.voltage_source("V1", a, Circuit::GROUND, 5.0).unwrap();
         ckt.resistor("R1", a, out, 1e3).unwrap();
         ckt.capacitor("C1", out, Circuit::GROUND, 1e-6).unwrap();
-        let sw = ckt.switch("S1", out, Circuit::GROUND, 1.0, 1e12, false).unwrap();
+        let sw = ckt
+            .switch("S1", out, Circuit::GROUND, 1.0, 1e12, false)
+            .unwrap();
         let mut tr = TransientSolver::new(&ckt, IntegrationMethod::Trapezoidal).unwrap();
         tr.initialize_dc().unwrap();
         assert!((tr.voltage(out) - 5.0).abs() < 1e-4);
@@ -997,7 +1016,8 @@ mod tests {
         let mut ckt = Circuit::new();
         let a = ckt.node("a");
         let inp = ckt.external_input();
-        ckt.voltage_source_wave("V1", a, Circuit::GROUND, Waveform::External(inp)).unwrap();
+        ckt.voltage_source_wave("V1", a, Circuit::GROUND, Waveform::External(inp))
+            .unwrap();
         ckt.resistor("R1", a, Circuit::GROUND, 1e3).unwrap();
         let mut tr = TransientSolver::new(&ckt, IntegrationMethod::BackwardEuler).unwrap();
         tr.initialize_dc().unwrap();

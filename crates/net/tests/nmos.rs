@@ -12,8 +12,10 @@ fn common_source(lambda: f64) -> (Circuit, ams_net::NodeId, ams_net::ElementId) 
     let vdd = ckt.node("vdd");
     let gate = ckt.node("gate");
     let drain = ckt.node("drain");
-    ckt.voltage_source("VDD", vdd, Circuit::GROUND, 10.0).unwrap();
-    ckt.voltage_source_ac("VG", gate, Circuit::GROUND, 2.5, 1.0).unwrap();
+    ckt.voltage_source("VDD", vdd, Circuit::GROUND, 10.0)
+        .unwrap();
+    ckt.voltage_source_ac("VG", gate, Circuit::GROUND, 2.5, 1.0)
+        .unwrap();
     ckt.resistor("RD", vdd, drain, 2e3).unwrap();
     let m = ckt
         .nmos("M1", drain, gate, Circuit::GROUND, KP, VT, lambda)
@@ -74,10 +76,13 @@ fn cutoff_leaves_drain_at_vdd() {
     let vdd = ckt.node("vdd");
     let gate = ckt.node("gate");
     let drain = ckt.node("drain");
-    ckt.voltage_source("VDD", vdd, Circuit::GROUND, 10.0).unwrap();
-    ckt.voltage_source("VG", gate, Circuit::GROUND, 0.5).unwrap(); // < VT
+    ckt.voltage_source("VDD", vdd, Circuit::GROUND, 10.0)
+        .unwrap();
+    ckt.voltage_source("VG", gate, Circuit::GROUND, 0.5)
+        .unwrap(); // < VT
     ckt.resistor("RD", vdd, drain, 2e3).unwrap();
-    ckt.nmos("M1", drain, gate, Circuit::GROUND, KP, VT, 0.0).unwrap();
+    ckt.nmos("M1", drain, gate, Circuit::GROUND, KP, VT, 0.0)
+        .unwrap();
     let op = ckt.dc_operating_point().unwrap();
     assert!((op.voltage(drain) - 10.0).abs() < 1e-4);
 }
@@ -89,8 +94,10 @@ fn source_follower_tracks_gate_minus_vgs() {
     let vdd = ckt.node("vdd");
     let gate = ckt.node("gate");
     let src = ckt.node("src");
-    ckt.voltage_source("VDD", vdd, Circuit::GROUND, 10.0).unwrap();
-    ckt.voltage_source("VG", gate, Circuit::GROUND, 5.0).unwrap();
+    ckt.voltage_source("VDD", vdd, Circuit::GROUND, 10.0)
+        .unwrap();
+    ckt.voltage_source("VG", gate, Circuit::GROUND, 5.0)
+        .unwrap();
     ckt.nmos("M1", vdd, gate, src, KP, VT, 0.0).unwrap();
     ckt.resistor("RS", src, Circuit::GROUND, 1e3).unwrap();
     let op = ckt.dc_operating_point().unwrap();
@@ -108,7 +115,8 @@ fn transient_inverter_switches() {
     let vdd = ckt.node("vdd");
     let gate = ckt.node("gate");
     let drain = ckt.node("drain");
-    ckt.voltage_source("VDD", vdd, Circuit::GROUND, 5.0).unwrap();
+    ckt.voltage_source("VDD", vdd, Circuit::GROUND, 5.0)
+        .unwrap();
     ckt.voltage_source_wave(
         "VG",
         gate,
@@ -126,7 +134,8 @@ fn transient_inverter_switches() {
     .unwrap();
     ckt.resistor("RD", vdd, drain, 10e3).unwrap();
     ckt.capacitor("CL", drain, Circuit::GROUND, 1e-12).unwrap();
-    ckt.nmos("M1", drain, gate, Circuit::GROUND, KP, VT, 0.0).unwrap();
+    ckt.nmos("M1", drain, gate, Circuit::GROUND, KP, VT, 0.0)
+        .unwrap();
 
     let mut tr = TransientSolver::new(&ckt, IntegrationMethod::Trapezoidal).unwrap();
     tr.initialize_dc().unwrap();
@@ -193,7 +202,8 @@ fn diff_pair_balances() {
         let d1 = ckt.node("d1");
         let d2 = ckt.node("d2");
         let tail = ckt.node("tail");
-        ckt.voltage_source("VDD", vdd, Circuit::GROUND, 10.0).unwrap();
+        ckt.voltage_source("VDD", vdd, Circuit::GROUND, 10.0)
+            .unwrap();
         ckt.voltage_source("VG1", g1, Circuit::GROUND, vg1).unwrap();
         ckt.voltage_source("VG2", g2, Circuit::GROUND, vg2).unwrap();
         ckt.resistor("RD1", vdd, d1, 2e3).unwrap();
@@ -202,7 +212,8 @@ fn diff_pair_balances() {
         ckt.nmos("M2", d2, g2, tail, KP, VT, 0.0).unwrap();
         // Tail current sink: 2 mA from tail to a negative rail via source.
         let vneg = ckt.node("vneg");
-        ckt.voltage_source("VSS", vneg, Circuit::GROUND, -10.0).unwrap();
+        ckt.voltage_source("VSS", vneg, Circuit::GROUND, -10.0)
+            .unwrap();
         ckt.current_source("Itail", tail, vneg, 2e-3).unwrap();
         let op = ckt.dc_operating_point().unwrap();
         (op.voltage(d1), op.voltage(d2))

@@ -123,12 +123,27 @@ impl<T, F: FnMut(&mut ActorIo<'_, T>)> SdfActor<T> for F {
 pub struct SdfExecutor<T> {
     graph: SdfGraph,
     sched: Schedule,
-    actors: Vec<Option<Box<dyn SdfActor<T>>>>,
+    actors: Vec<Option<Box<dyn SdfActor<T> + Send>>>,
     fifos: Vec<VecDeque<T>>,
     /// Per-actor input/output edge lists, in connection order.
     in_edges: Vec<Vec<usize>>,
     out_edges: Vec<Vec<usize>>,
     iterations_run: u64,
+    firings: u64,
+    /// Per-edge FIFO occupancy high-water marks.
+    fifo_high_water: Vec<usize>,
+}
+
+/// Execution counters of one [`SdfExecutor`], surfaced to the
+/// instrumentation layer in `ams-exec`.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SdfExecStats {
+    /// Completed schedule iterations.
+    pub iterations: u64,
+    /// Actor firings across all iterations.
+    pub firings: u64,
+    /// Highest FIFO occupancy observed on any edge.
+    pub fifo_high_water: usize,
 }
 
 impl<T: Clone + Default + 'static> SdfExecutor<T> {
@@ -164,6 +179,7 @@ impl<T: Clone + Default + 'static> SdfExecutor<T> {
             }
             fifos.push(q);
         }
+        let fifo_high_water = fifos.iter().map(|q| q.len()).collect();
         Ok(SdfExecutor {
             graph: graph.clone(),
             sched: schedule,
@@ -172,11 +188,17 @@ impl<T: Clone + Default + 'static> SdfExecutor<T> {
             in_edges,
             out_edges,
             iterations_run: 0,
+            firings: 0,
+            fifo_high_water,
         })
     }
 
     /// Installs the implementation for an actor.
-    pub fn set_actor(&mut self, id: ActorId, actor: impl SdfActor<T> + 'static) {
+    ///
+    /// Actors are `Send` so the executor can run on a worker thread of
+    /// the parallel execution engine; share observation state through
+    /// `Arc<Mutex<…>>` rather than `Rc<RefCell<…>>`.
+    pub fn set_actor(&mut self, id: ActorId, actor: impl SdfActor<T> + Send + 'static) {
         self.actors[id.index()] = Some(Box::new(actor));
     }
 
@@ -188,6 +210,46 @@ impl<T: Clone + Default + 'static> SdfExecutor<T> {
     /// Current queue length of an edge FIFO (diagnostics).
     pub fn fifo_len(&self, edge: crate::EdgeId) -> usize {
         self.fifos[edge.index()].len()
+    }
+
+    /// Actor firings per schedule iteration — the static cost model used
+    /// by the `ams-exec` partitioner.
+    pub fn iteration_cost(&self) -> u64 {
+        self.sched.firings().len() as u64
+    }
+
+    /// Execution counters (iterations, firings, FIFO high-water mark).
+    pub fn stats(&self) -> SdfExecStats {
+        SdfExecStats {
+            iterations: self.iterations_run,
+            firings: self.firings,
+            fifo_high_water: self.fifo_high_water.iter().copied().max().unwrap_or(0),
+        }
+    }
+
+    /// The occupancy high-water mark of one edge FIFO.
+    pub fn fifo_high_water(&self, edge: crate::EdgeId) -> usize {
+        self.fifo_high_water[edge.index()]
+    }
+
+    /// Rewinds the executor to its initial token state without
+    /// rebuilding it: every FIFO is cleared and re-filled with its
+    /// edge's initial (delay) tokens, and the counters restart from
+    /// zero. Actor implementations keep their internal state — reinstall
+    /// them with [`SdfExecutor::set_actor`] if they are stateful.
+    pub fn reset(&mut self) {
+        for (id, e) in self.graph.edges() {
+            let q = &mut self.fifos[id.index()];
+            q.clear();
+            for _ in 0..e.initial_tokens {
+                q.push_back(T::default());
+            }
+        }
+        for (hw, q) in self.fifo_high_water.iter_mut().zip(&self.fifos) {
+            *hw = q.len();
+        }
+        self.iterations_run = 0;
+        self.firings = 0;
     }
 
     /// Runs `count` complete schedule iterations.
@@ -265,7 +327,12 @@ impl<T: Clone + Default + 'static> SdfExecutor<T> {
                 });
             }
             self.fifos[ei].extend(outputs[port].drain(..));
+            let occupancy = self.fifos[ei].len();
+            if occupancy > self.fifo_high_water[ei] {
+                self.fifo_high_water[ei] = occupancy;
+            }
         }
+        self.firings += 1;
         Ok(())
     }
 }
@@ -284,8 +351,7 @@ impl<T> std::fmt::Debug for SdfExecutor<T> {
 mod tests {
     use super::*;
     use crate::schedule;
-    use std::cell::RefCell;
-    use std::rc::Rc;
+    use std::sync::{Arc, Mutex};
 
     fn pipeline() -> (SdfGraph, ActorId, ActorId, ActorId) {
         let mut g = SdfGraph::new();
@@ -312,14 +378,14 @@ mod tests {
             let x = io.input_one(0);
             io.push(0, x * 10.0);
         });
-        let out = Rc::new(RefCell::new(Vec::new()));
+        let out = Arc::new(Mutex::new(Vec::new()));
         let o2 = out.clone();
         exec.set_actor(sink, move |io: &mut ActorIo<'_, f64>| {
-            o2.borrow_mut().push(io.input_one(0));
+            o2.lock().unwrap().push(io.input_one(0));
         });
 
         exec.run_iterations(4).unwrap();
-        assert_eq!(*out.borrow(), vec![10.0, 20.0, 30.0, 40.0]);
+        assert_eq!(*out.lock().unwrap(), vec![10.0, 20.0, 30.0, 40.0]);
         assert_eq!(exec.iterations_run(), 4);
     }
 
@@ -344,15 +410,15 @@ mod tests {
             let mean = io.input(0).iter().sum::<f64>() / io.input(0).len() as f64;
             io.push(0, mean);
         });
-        let out = Rc::new(RefCell::new(Vec::new()));
+        let out = Arc::new(Mutex::new(Vec::new()));
         let o2 = out.clone();
         exec.set_actor(sink, move |io: &mut ActorIo<'_, f64>| {
-            o2.borrow_mut().push(io.input_one(0));
+            o2.lock().unwrap().push(io.input_one(0));
         });
 
         exec.run_iterations(2).unwrap();
         // First iteration consumes 1,2,3,4 → 2.5; second 5,6,7,8 → 6.5.
-        assert_eq!(*out.borrow(), vec![2.5, 6.5]);
+        assert_eq!(*out.lock().unwrap(), vec![2.5, 6.5]);
     }
 
     #[test]
@@ -416,12 +482,12 @@ mod tests {
         exec.set_actor(a, |io: &mut ActorIo<'_, i64>| {
             io.push_all(0, [1, 2]);
         });
-        let sum = Rc::new(RefCell::new(0i64));
+        let sum = Arc::new(Mutex::new(0i64));
         let s2 = sum.clone();
         exec.set_actor(b, move |io: &mut ActorIo<'_, i64>| {
-            *s2.borrow_mut() += io.input(0).iter().sum::<i64>();
+            *s2.lock().unwrap() += io.input(0).iter().sum::<i64>();
         });
         exec.run_iterations(3).unwrap();
-        assert_eq!(*sum.borrow(), 9);
+        assert_eq!(*sum.lock().unwrap(), 9);
     }
 }

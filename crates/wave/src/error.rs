@@ -66,7 +66,10 @@ mod tests {
 
     #[test]
     fn display() {
-        assert_eq!(WaveError::NothingRecorded.to_string(), "nothing was recorded");
+        assert_eq!(
+            WaveError::NothingRecorded.to_string(),
+            "nothing was recorded"
+        );
         assert!(WaveError::invalid("x").to_string().contains("x"));
     }
 }

@@ -35,8 +35,8 @@ impl Spectrum {
         if sample_rate_hz <= 0.0 || !sample_rate_hz.is_finite() {
             return Err(WaveError::invalid("sample rate must be positive"));
         }
-        let amplitude = amplitude_spectrum(samples, window)
-            .map_err(|e| WaveError::invalid(e.to_string()))?;
+        let amplitude =
+            amplitude_spectrum(samples, window).map_err(|e| WaveError::invalid(e.to_string()))?;
         let n = samples.len();
         let freqs_hz = (0..amplitude.len())
             .map(|k| k as f64 * sample_rate_hz / n as f64)
@@ -61,8 +61,7 @@ impl Spectrum {
     /// The bin index nearest to `freq_hz`.
     pub fn bin_of(&self, freq_hz: f64) -> usize {
         let n = (self.freqs_hz.len() - 1) * 2;
-        ((freq_hz / self.sample_rate_hz * n as f64).round() as usize)
-            .min(self.freqs_hz.len() - 1)
+        ((freq_hz / self.sample_rate_hz * n as f64).round() as usize).min(self.freqs_hz.len() - 1)
     }
 
     /// The bin index with the largest amplitude, excluding DC leakage.
@@ -156,15 +155,11 @@ pub fn analyze_sine(
 
     // Noise: total minus DC, fundamental and harmonic windows.
     let mut excluded = vec![false; n_bins];
-    for k in 0..=LEAKAGE_BINS.min(n_bins - 1) {
-        excluded[k] = true; // DC leakage
-    }
+    excluded[..=LEAKAGE_BINS.min(n_bins - 1)].fill(true); // DC leakage
     let mut mark = |bin: usize| {
         let lo = bin.saturating_sub(LEAKAGE_BINS);
         let hi = (bin + LEAKAGE_BINS).min(n_bins - 1);
-        for k in lo..=hi {
-            excluded[k] = true;
-        }
+        excluded[lo..=hi].fill(true);
     };
     mark(fund_bin);
     for &b in &harmonic_bins {
@@ -282,7 +277,11 @@ mod tests {
         // Expected SNR = 10·log10((1/2)/σ²) ≈ 37 dB.
         let m = analyze_sine(&s, 1.0, Window::Blackman).unwrap();
         let expect = 10.0 * (0.5 / (sigma * sigma)).log10();
-        assert!((m.snr_db - expect).abs() < 1.5, "snr {} vs {expect}", m.snr_db);
+        assert!(
+            (m.snr_db - expect).abs() < 1.5,
+            "snr {} vs {expect}",
+            m.snr_db
+        );
     }
 
     #[test]

@@ -18,8 +18,8 @@
 
 use systemc_ams::blocks::{CicDecimator, FirFilter, LtiFilter, Product, SineSource, TanhAmp};
 use systemc_ams::core::{
-    AmsSimulator, CoreError, CtModule, NetlistCtSolver, TdfGraph, TdfIn, TdfIo, TdfModule,
-    TdfOut, TdfSetup,
+    AmsSimulator, CoreError, CtModule, NetlistCtSolver, TdfGraph, TdfIn, TdfIo, TdfModule, TdfOut,
+    TdfSetup,
 };
 use systemc_ams::kernel::SimTime;
 use systemc_ams::math::fft::Window;
@@ -50,7 +50,10 @@ impl TdfModule for PowerEstimator {
 /// Builds the subscriber-line model: driver output through a protection
 /// resistor onto a 600 Ω line with shunt capacitance (one-pole "linear
 /// network (results in linear DAE's)").
-fn subscriber_line() -> Result<(Circuit, systemc_ams::net::InputId, systemc_ams::net::NodeId), systemc_ams::net::NetError> {
+fn subscriber_line() -> Result<
+    (Circuit, systemc_ams::net::InputId, systemc_ams::net::NodeId),
+    systemc_ams::net::NetError,
+> {
     let mut ckt = Circuit::new();
     let drive = ckt.node("drive");
     let line = ckt.node("line");
@@ -140,7 +143,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Anti-alias biquad before the Σ∆ prefi (20 kHz, Butterworth-ish Q).
     g.add_module(
         "anti_alias",
-        LtiFilter::biquad_low_pass(line_out.reader(), anti_alias.writer(), 20_000.0, 0.707, None)?,
+        LtiFilter::biquad_low_pass(
+            line_out.reader(),
+            anti_alias.writer(),
+            20_000.0,
+            0.707,
+            None,
+        )?,
     );
     // Σ∆ prefi at the 1 MHz base rate.
     g.add_module(
@@ -199,7 +208,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let all = p_digital.values();
     let settled = &all[all.len() / 2..];
     let n = largest_pow2_len(settled.len());
-    let metrics = analyze_sine(&settled[settled.len() - n..], digital_rate, Window::Blackman)?;
+    let metrics = analyze_sine(
+        &settled[settled.len() - n..],
+        digital_rate,
+        Window::Blackman,
+    )?;
     println!("digital output quality (last {n} samples):");
     println!("  fundamental    : {:.0} Hz", metrics.fundamental_hz);
     println!("  SNR            : {:.1} dB", metrics.snr_db);
@@ -210,7 +223,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         p_line.values().iter().fold(0.0f64, |a, &b| a.max(b.abs()))
     );
 
-    assert!((metrics.fundamental_hz - 5000.0).abs() < 200.0, "tone recovered");
+    assert!(
+        (metrics.fundamental_hz - 5000.0).abs() < 200.0,
+        "tone recovered"
+    );
     assert!(metrics.snr_db > 40.0, "in-band SNR should exceed 40 dB");
     assert!(
         (power_final - target_power).abs() / target_power < 0.25,

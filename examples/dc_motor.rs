@@ -17,12 +17,12 @@
 //!
 //! Run with `cargo run --release --example dc_motor`.
 
+use std::cell::RefCell;
+use std::rc::Rc;
 use systemc_ams::kernel::{Kernel, SimTime};
 use systemc_ams::net::{
     AdaptiveOptions, Circuit, IntegrationMethod, Multiphysics, TransientSolver, Waveform,
 };
-use std::cell::RefCell;
-use std::rc::Rc;
 
 // Motor parameters (small servo motor).
 const R_ARM: f64 = 1.0; // Ω
@@ -145,7 +145,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("  final speed    : {omega_end:.2} rad/s at t = {t_end:.3} s");
     println!("  drive voltage  : {u_end:.2} V");
     println!("  2 % settling   : {settle:.3} s");
-    assert!((omega_end - setpoint).abs() < 0.5, "servo settles on target");
+    assert!(
+        (omega_end - setpoint).abs() < 0.5,
+        "servo settles on target"
+    );
     // Steady-state drive ≈ ω/gain.
     assert!((u_end - setpoint / gain).abs() / (setpoint / gain) < 0.05);
     assert!(settle < 0.4, "settles within 400 ms");

@@ -33,7 +33,12 @@ fn measure_enob(errors: &[StageErrors], correction: bool) -> f64 {
     let f_in = 389.0 * fs / N_FFT as f64;
     g.add_module(
         "src",
-        SineSource::new(analog.writer(), f_in, 0.95 * VREF, Some(SimTime::from_us(1))),
+        SineSource::new(
+            analog.writer(),
+            f_in,
+            0.95 * VREF,
+            Some(SimTime::from_us(1)),
+        ),
     );
     g.add_module(
         "adc",
@@ -58,7 +63,10 @@ fn main() {
 
     // --- Sweep 1: comparator offset. -------------------------------------
     println!("comparator offset sweep (gain error = 0):");
-    println!("{:>12} {:>18} {:>18}", "offset/Vref", "ENOB corrected", "ENOB uncorrected");
+    println!(
+        "{:>12} {:>18} {:>18}",
+        "offset/Vref", "ENOB corrected", "ENOB uncorrected"
+    );
     let mut corrected_at_10pct = 0.0;
     let mut uncorrected_at_10pct = 0.0;
     for &off_frac in &[0.0, 0.01, 0.05, 0.10, 0.20, 0.30] {

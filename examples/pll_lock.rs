@@ -46,12 +46,18 @@ fn run_pll(f_ref: f64, t_end_ms: u64) -> Result<(f64, f64), Box<dyn std::error::
         SineSource::new(reference.writer(), f_ref, 1.0, Some(SimTime::from_ns(FS))),
     );
     // Multiplier phase detector on the delayed VCO output (loop delay).
-    g.add_module("pd", Product::new(reference.reader(), vco_fb.reader(), pd.writer()));
+    g.add_module(
+        "pd",
+        Product::new(reference.reader(), vco_fb.reader(), pd.writer()),
+    );
     // PI loop filter.
     g.add_module("kp", Gain::new(pd.reader(), prop.writer(), kp));
     g.add_module("int", Integrator::new(pd.reader(), integ.writer()));
     g.add_module("ki", Gain::new(integ.reader(), integ_scaled.writer(), ki));
-    g.add_module("sum", Sum::new(prop.reader(), integ_scaled.reader(), ctrl.writer()));
+    g.add_module(
+        "sum",
+        Sum::new(prop.reader(), integ_scaled.reader(), ctrl.writer()),
+    );
     // VCO and the delay that closes the loop.
     g.add_module("vco", Vco::new(ctrl.reader(), vco_out.writer(), F0, KV));
     g.add_module("z1", UnitDelay::new(vco_out.reader(), vco_fb.writer(), 0.0));

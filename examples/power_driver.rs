@@ -14,11 +14,11 @@
 //!
 //! Run with `cargo run --release --example power_driver`.
 
+use std::cell::RefCell;
+use std::rc::Rc;
 use systemc_ams::kernel::{Kernel, SimTime};
 use systemc_ams::math::stats::Running;
 use systemc_ams::net::{Circuit, ElementId, IntegrationMethod, NodeId, TransientSolver};
-use std::cell::RefCell;
-use std::rc::Rc;
 
 const VSUPPLY: f64 = 24.0;
 const R_LOAD: f64 = 2.0;
@@ -26,7 +26,9 @@ const L_LOAD: f64 = 1e-3;
 
 /// Builds the buck power stage: high-side switch from the supply, low-side
 /// freewheeling switch to ground, series RL load.
-fn power_stage() -> Result<(Circuit, ElementId, ElementId, ElementId, NodeId), Box<dyn std::error::Error>> {
+#[allow(clippy::type_complexity)]
+fn power_stage(
+) -> Result<(Circuit, ElementId, ElementId, ElementId, NodeId), Box<dyn std::error::Error>> {
     let mut ckt = Circuit::new();
     let vcc = ckt.node("vcc");
     let sw = ckt.node("sw");
@@ -103,7 +105,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // --- Ripple vs PWM frequency at 50 % duty. ----------------------------
     println!("ripple vs PWM frequency (duty = 0.5):");
-    println!("{:>10} {:>12} {:>14} {:>14}", "f_pwm", "mean I (A)", "ripple (A)", "analytic (A)");
+    println!(
+        "{:>10} {:>12} {:>14} {:>14}",
+        "f_pwm", "mean I (A)", "ripple (A)", "analytic (A)"
+    );
     let mut ripples = Vec::new();
     for &f in &[2_000.0, 5_000.0, 10_000.0, 20_000.0] {
         let (mean, ripple) = run_pwm(f, 0.5)?;

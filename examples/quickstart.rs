@@ -11,12 +11,12 @@
 //!
 //! Run with `cargo run --example quickstart`.
 
+use std::cell::RefCell;
+use std::rc::Rc;
 use systemc_ams::blocks::{Comparator, LtiFilter, SineSource};
 use systemc_ams::core::{AmsSimulator, TdfGraph};
 use systemc_ams::kernel::SimTime;
 use systemc_ams::wave::{write_csv, VcdRecorder};
-use std::cell::RefCell;
-use std::rc::Rc;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut sim = AmsSimulator::new();
@@ -68,14 +68,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Run 200 ms = 10 sine periods.
     sim.run_until(SimTime::from_ms(200))?;
 
-    let filtered_peak = probe
-        .values()
-        .iter()
-        .fold(0.0f64, |a, &b| a.max(b.abs()));
+    let filtered_peak = probe.values().iter().fold(0.0f64, |a, &b| a.max(b.abs()));
     println!("simulated time      : {}", sim.now());
     println!("tdf samples recorded: {}", probe.len());
     println!("filtered peak       : {filtered_peak:.4} V (50 Hz through 200 Hz pole)");
-    println!("comparator edges    : {} (expect 10 rising edges)", edges.borrow());
+    println!(
+        "comparator edges    : {} (expect 10 rising edges)",
+        edges.borrow()
+    );
 
     assert_eq!(*edges.borrow(), 10, "one rising edge per sine period");
     // |H| at 50 Hz with 200 Hz cutoff = 1/√(1+(50/200)²) ≈ 0.970.

@@ -17,13 +17,12 @@
 //!
 //! Run with `cargo run --release --example rf_transceiver`.
 
+use std::sync::{Arc, Mutex};
 use systemc_ams::blocks::{
     qpsk_theoretical_ber, AwgnChannel, PowerAmp, PrbsSource, QpskDemapper, QpskMapper,
 };
 use systemc_ams::core::{CoreError, TdfGraph, TdfIn, TdfIo, TdfModule, TdfOut, TdfSetup};
 use systemc_ams::kernel::SimTime;
-use std::cell::RefCell;
-use std::rc::Rc;
 
 /// Samples per QPSK symbol (oversampling of the "RF" carrier).
 const SPS: u64 = 16;
@@ -97,7 +96,7 @@ impl TdfModule for IqDownconverter {
 struct BitErrorCounter {
     tx: TdfIn,
     rx: TdfIn,
-    errors: Rc<RefCell<(u64, u64)>>,
+    errors: Arc<Mutex<(u64, u64)>>,
 }
 
 impl TdfModule for BitErrorCounter {
@@ -108,7 +107,7 @@ impl TdfModule for BitErrorCounter {
     fn processing(&mut self, io: &mut TdfIo<'_>) -> Result<(), CoreError> {
         let tx = io.read1(self.tx) >= 0.5;
         let rx = io.read1(self.rx) >= 0.5;
-        let mut e = self.errors.borrow_mut();
+        let mut e = self.errors.lock().expect("error counter poisoned");
         e.1 += 1;
         if tx != rx {
             e.0 += 1;
@@ -118,7 +117,11 @@ impl TdfModule for BitErrorCounter {
 }
 
 /// Runs the link at one Eb/N0 and returns (measured BER, bits).
-fn run_link(eb_n0_db: f64, symbols: u64, seed: u64) -> Result<(f64, u64), Box<dyn std::error::Error>> {
+fn run_link(
+    eb_n0_db: f64,
+    symbols: u64,
+    seed: u64,
+) -> Result<(f64, u64), Box<dyn std::error::Error>> {
     let mut g = TdfGraph::new("qpsk_link");
     let bits = g.signal("bits");
     let i_tx = g.signal("i_tx");
@@ -133,7 +136,10 @@ fn run_link(eb_n0_db: f64, symbols: u64, seed: u64) -> Result<(f64, u64), Box<dy
     let symbol_time = SimTime::from_us(1);
     let carrier_hz = CARRIER_CYCLES_PER_SYMBOL / symbol_time.to_seconds();
 
-    g.add_module("prbs", PrbsSource::new(bits.writer(), 0xBEEF ^ seed as u32 | 1, None));
+    g.add_module(
+        "prbs",
+        PrbsSource::new(bits.writer(), 0xBEEF ^ seed as u32 | 1, None),
+    );
     g.add_module(
         "map",
         QpskMapper::new(bits.reader(), i_tx.writer(), q_tx.writer()),
@@ -167,7 +173,10 @@ fn run_link(eb_n0_db: f64, symbols: u64, seed: u64) -> Result<(f64, u64), Box<dy
     let ebn0 = 10f64.powf(eb_n0_db / 10.0);
     let sigma = (SPS as f64 / (8.0 * ebn0)).sqrt();
 
-    g.add_module("chan", AwgnChannel::new(pa_out.reader(), rx.writer(), sigma, 7 + seed));
+    g.add_module(
+        "chan",
+        AwgnChannel::new(pa_out.reader(), rx.writer(), sigma, 7 + seed),
+    );
     g.add_module(
         "down",
         IqDownconverter {
@@ -181,7 +190,7 @@ fn run_link(eb_n0_db: f64, symbols: u64, seed: u64) -> Result<(f64, u64), Box<dy
         "demap",
         QpskDemapper::new(i_rx.reader(), q_rx.reader(), bits_rx.writer()),
     );
-    let errors = Rc::new(RefCell::new((0u64, 0u64)));
+    let errors = Arc::new(Mutex::new((0u64, 0u64)));
     g.add_module(
         "ber",
         BitErrorCounter {
@@ -204,7 +213,7 @@ fn run_link(eb_n0_db: f64, symbols: u64, seed: u64) -> Result<(f64, u64), Box<dy
 
     let mut c = g.elaborate()?;
     c.run_standalone(symbols)?;
-    let (err, total) = *errors.borrow();
+    let (err, total) = *errors.lock().expect("error counter poisoned");
     Ok((err as f64 / total as f64, total))
 }
 

@@ -20,6 +20,7 @@
 //! | [`core`] | `ams-core` | TDF MoC, DE↔CT synchronization layer, solver plug-ins, AMS simulator |
 //! | [`blocks`] | `ams-blocks` | mixed-signal block library (sources → Σ∆ → RF → power → control) |
 //! | [`wave`] | `ams-wave` | VCD/CSV tracing, spectral analysis (SNR/SINAD/THD/ENOB) |
+//! | [`exec`] | `ams-exec` | parallel execution engine: partitioner, worker pool, SPSC rings, stats |
 //!
 //! # Quickstart
 //!
@@ -60,6 +61,7 @@
 
 pub use ams_blocks as blocks;
 pub use ams_core as core;
+pub use ams_exec as exec;
 pub use ams_kernel as kernel;
 pub use ams_lti as lti;
 pub use ams_math as math;

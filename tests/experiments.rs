@@ -7,7 +7,9 @@ use systemc_ams::blocks::{ideal_sine_snr_db, PipelinedAdc, SineSource, StageErro
 use systemc_ams::core::{AmsSimulator, TdfGraph};
 use systemc_ams::kernel::{Kernel, SimTime};
 use systemc_ams::math::fft::Window;
-use systemc_ams::math::implicit::{integrate_variable, ImplicitStepper, ImplicitMethod, VariableStepOptions};
+use systemc_ams::math::implicit::{
+    integrate_variable, ImplicitMethod, ImplicitStepper, VariableStepOptions,
+};
 use systemc_ams::math::ode::{FixedStep, OdeMethod};
 use systemc_ams::net::{Circuit, IntegrationMethod, TransientSolver, Waveform};
 use systemc_ams::wave::analyze_sine;
@@ -137,7 +139,10 @@ fn e3_variable_step_wins_on_stiff_system() {
     .unwrap();
     let err_var = (x_var[0] - 2.0f64.cos()).abs();
 
-    assert!(err_fixed < 1e-3 && err_var < 1e-3, "{err_fixed} / {err_var}");
+    assert!(
+        err_fixed < 1e-3 && err_var < 1e-3,
+        "{err_fixed} / {err_var}"
+    );
     assert!(
         stats.accepted * 5 < fixed_steps as usize,
         "variable: {} steps, fixed: {fixed_steps}",
@@ -161,7 +166,8 @@ fn e4_ac_matches_transient_steady_state() {
     for &freq in &[50.0, 159.0, 500.0] {
         // AC path.
         let (mut ckt, a, out, _inp) = build();
-        ckt.voltage_source_ac("V", a, Circuit::GROUND, 0.0, 1.0).unwrap();
+        ckt.voltage_source_ac("V", a, Circuit::GROUND, 0.0, 1.0)
+            .unwrap();
         ckt.resistor("R", a, out, 1e3).unwrap();
         ckt.capacitor("C", out, Circuit::GROUND, 1e-6).unwrap();
         let op = ckt.dc_operating_point().unwrap();
@@ -224,7 +230,8 @@ fn e5_factorization_reuse_is_lossless_and_cheaper() {
     for i in 0..32 {
         let n = ckt.node(format!("n{}", i + 1));
         ckt.resistor(format!("R{i}"), prev, n, 100.0).unwrap();
-        ckt.capacitor(format!("C{i}"), n, Circuit::GROUND, 1e-9).unwrap();
+        ckt.capacitor(format!("C{i}"), n, Circuit::GROUND, 1e-9)
+            .unwrap();
         prev = n;
     }
     let last = prev;
@@ -234,7 +241,8 @@ fn e5_factorization_reuse_is_lossless_and_cheaper() {
         tr.reuse_factorization = reuse;
         tr.initialize_dc().unwrap();
         let mut trace = Vec::new();
-        tr.run(200e-6, 1e-6, |s| trace.push(s.voltage(last))).unwrap();
+        tr.run(200e-6, 1e-6, |s| trace.push(s.voltage(last)))
+            .unwrap();
         (tr.stats().factorizations, trace)
     };
     let (fact_reuse, trace_reuse) = run(true);
@@ -299,8 +307,10 @@ fn e6_multidomain_stiffness_requires_implicit() {
     // (armature inductance folded into the sense branch for brevity)
     let sense = ckt.voltage_source("Is", n1, n2, 0.0).unwrap();
     ckt.inertia("J", shaft, j).unwrap();
-    ckt.rot_damper("B", shaft, Circuit::rot_ground(), b).unwrap();
-    ckt.dc_machine("M", sense, n2, Circuit::GROUND, shaft, k).unwrap();
+    ckt.rot_damper("B", shaft, Circuit::rot_ground(), b)
+        .unwrap();
+    ckt.dc_machine("M", sense, n2, Circuit::GROUND, shaft, k)
+        .unwrap();
     let mut tr = TransientSolver::new(&ckt, IntegrationMethod::Trapezoidal).unwrap();
     tr.initialize_with_ic().unwrap();
     tr.run(1.0, 1e-3, |_| {}).unwrap();
@@ -335,7 +345,9 @@ fn e7_pipelined_adc_enob_vs_analytic() {
         );
         let mut c = g.elaborate().unwrap();
         c.run_standalone(n).unwrap();
-        analyze_sine(&probe.values(), 1e6, Window::Blackman).unwrap().enob
+        analyze_sine(&probe.values(), 1e6, Window::Blackman)
+            .unwrap()
+            .enob
     };
 
     let ideal = vec![StageErrors::default(); 9];
@@ -381,7 +393,10 @@ fn f1_sigma_delta_snr_improves_with_osr() {
             "src",
             SineSource::new(x.writer(), f_tone, 0.5, Some(SimTime::from_us(1))),
         );
-        g.add_module("sd", systemc_ams::blocks::SigmaDelta2::new(x.reader(), bits.writer()));
+        g.add_module(
+            "sd",
+            systemc_ams::blocks::SigmaDelta2::new(x.reader(), bits.writer()),
+        );
         g.add_module(
             "cic",
             systemc_ams::blocks::CicDecimator::new(bits.reader(), dec.writer(), osr, 2),

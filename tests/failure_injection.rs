@@ -157,7 +157,10 @@ fn bad_timestep_requests_are_typed() {
     let mut tr = TransientSolver::new(&ckt, IntegrationMethod::Trapezoidal).unwrap();
     tr.initialize_dc().unwrap();
     assert!(matches!(tr.step(-1e-6), Err(NetError::InvalidValue { .. })));
-    assert!(matches!(tr.step(f64::NAN), Err(NetError::InvalidValue { .. })));
+    assert!(matches!(
+        tr.step(f64::NAN),
+        Err(NetError::InvalidValue { .. })
+    ));
 }
 
 // ---------- kernel layer ------------------------------------------------------
@@ -184,7 +187,13 @@ fn delta_oscillation_is_typed() {
 fn missing_timestep_is_typed() {
     let mut g = TdfGraph::new("no_ts");
     let s = g.signal("s");
-    g.add_module("src", Src { out: s.writer(), ts: None });
+    g.add_module(
+        "src",
+        Src {
+            out: s.writer(),
+            ts: None,
+        },
+    );
     assert!(matches!(g.elaborate(), Err(CoreError::NoTimestep)));
 }
 
@@ -264,7 +273,13 @@ fn inexact_timestep_is_typed() {
     let mut g = TdfGraph::new("inexact");
     let a = g.signal("a");
     let b = g.signal("b");
-    g.add_module("src", Src { out: a.writer(), ts: None });
+    g.add_module(
+        "src",
+        Src {
+            out: a.writer(),
+            ts: None,
+        },
+    );
     g.add_module(
         "t3",
         Take3 {
@@ -301,7 +316,13 @@ fn runtime_module_failure_is_typed_and_stops_cluster() {
     let mut sim = AmsSimulator::new();
     let mut g = TdfGraph::new("failing");
     let s = g.signal("s");
-    g.add_module("f", FailAfter { out: s.writer(), n: 3 });
+    g.add_module(
+        "f",
+        FailAfter {
+            out: s.writer(),
+            n: 3,
+        },
+    );
     let handle = sim.add_cluster(g).unwrap();
     let err = sim.run_until(SimTime::from_us(10)).unwrap_err();
     assert!(matches!(err, CoreError::Solver { .. }));

@@ -40,16 +40,16 @@ fn de_tdf_ct_roundtrip_rc_step() {
     // Apply the step at t = 2 ms from the DE side.
     sim.kernel_mut().poke(stim, 0.0);
     sim.run_until(SimTime::from_ms(2)).unwrap();
-    assert!(sim.kernel().peek(resp).abs() < 1e-9, "quiescent before step");
+    assert!(
+        sim.kernel().peek(resp).abs() < 1e-9,
+        "quiescent before step"
+    );
     sim.kernel_mut().poke(stim, 2.0);
     // One time constant after the step.
     sim.run_until(SimTime::from_ms(3)).unwrap();
     let v = sim.kernel().peek(resp);
     let expect = 2.0 * (1.0 - (-1.0f64).exp());
-    assert!(
-        (v - expect).abs() < 0.01,
-        "v(τ) = {v}, analytic {expect}"
-    );
+    assert!((v - expect).abs() < 0.01, "v(τ) = {v}, analytic {expect}");
     // Five time constants: settled.
     sim.run_until(SimTime::from_ms(10)).unwrap();
     assert!((sim.kernel().peek(resp) - 2.0).abs() < 2e-3);
@@ -126,11 +126,17 @@ fn multi_cluster_multi_rate_cosimulation() {
         .unwrap();
     ckt.resistor("R", a, out, 1e3).unwrap();
     ckt.capacitor("C", out, Circuit::GROUND, 50e-9).unwrap(); // 3.2 kHz pole
-    let ns = NetlistCtSolver::new(&ckt, IntegrationMethod::Trapezoidal, vec![inp], vec![out])
-        .unwrap();
+    let ns =
+        NetlistCtSolver::new(&ckt, IntegrationMethod::Trapezoidal, vec![inp], vec![out]).unwrap();
     fast.add_module(
         "rc",
-        CtModule::new("rc", Box::new(ns), vec![src.reader()], vec![filt.writer()], None),
+        CtModule::new(
+            "rc",
+            Box::new(ns),
+            vec![src.reader()],
+            vec![filt.writer()],
+            None,
+        ),
     );
     fast.add_module("cmp", Comparator::new(filt.reader(), dec.writer(), 0.0));
     fast.to_de("cmp", dec, cmp_de);
@@ -144,8 +150,13 @@ fn multi_cluster_multi_rate_cosimulation() {
     let probe = slow.probe(avg);
     slow.add_module(
         "iir",
-        LtiFilter::low_pass1(cmp_in.reader(), avg.writer(), 20.0, Some(SimTime::from_ms(1)))
-            .unwrap(),
+        LtiFilter::low_pass1(
+            cmp_in.reader(),
+            avg.writer(),
+            20.0,
+            Some(SimTime::from_ms(1)),
+        )
+        .unwrap(),
     );
     slow.to_de("duty", avg, duty_de);
     sim.add_cluster(slow).unwrap();
@@ -183,10 +194,7 @@ fn ac_analysis_of_feedback_chain_matches_analytic() {
             cfg.input_with(self.b, 1, 1);
             cfg.output(self.out);
         }
-        fn processing(
-            &mut self,
-            io: &mut systemc_ams::core::TdfIo<'_>,
-        ) -> Result<(), CoreError> {
+        fn processing(&mut self, io: &mut systemc_ams::core::TdfIo<'_>) -> Result<(), CoreError> {
             let a = io.read1(self.a);
             let b = io.read1(self.b);
             io.write1(self.out, a - b);

@@ -126,7 +126,7 @@ proptest! {
         g.connect(a, r1, b, r2, delay).unwrap();
         let s = schedule(&g).unwrap();
         let q = s.repetition_vector().to_vec();
-        let mut fired = vec![0u64; 2];
+        let mut fired = [0u64; 2];
         let mut tokens = delay as i64;
         for &actor in s.firings() {
             if actor == a {
@@ -219,9 +219,9 @@ proptest! {
             prop_assert_eq!((ta - tb).as_fs(), a - b);
         }
         prop_assert_eq!(ta.checked_add(tb).map(SimTime::as_fs), a.checked_add(b));
-        if b > 0 {
-            prop_assert_eq!(ta / tb, a / b);
-            prop_assert_eq!((ta % tb).as_fs(), a % b);
+        if let (Some(quot), Some(rem)) = (a.checked_div(b), a.checked_rem(b)) {
+            prop_assert_eq!(ta / tb, quot);
+            prop_assert_eq!((ta % tb).as_fs(), rem);
         }
     }
 

@@ -1,0 +1,368 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build environment has no network access, so the workspace vendors
+//! a minimal, dependency-free benchmark harness with criterion's API
+//! shape: [`criterion_group!`], [`criterion_main!`], [`Criterion`],
+//! benchmark groups with `sample_size`/`throughput`, [`Bencher::iter`]
+//! and [`black_box`]. It measures wall-clock time (median of the sample
+//! runs, each timing one closure call) and prints one line per benchmark:
+//!
+//! ```text
+//! group/name            median 12.345 µs/iter  (11 samples)  850.1 Kelem/s
+//! ```
+//!
+//! There is no statistical analysis, plotting, or baseline comparison —
+//! the goal is that `cargo bench` builds, runs, and reports usable
+//! numbers in this sealed environment.
+
+#![forbid(unsafe_code)]
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Default number of timed samples per benchmark.
+const DEFAULT_SAMPLES: usize = 11;
+
+/// Wall-clock budget a single benchmark tries not to exceed.
+const TIME_BUDGET: Duration = Duration::from_secs(3);
+
+/// Per-iteration throughput annotation.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// A parameterized benchmark identifier (`name/param`).
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Creates `name/param`.
+    pub fn new(name: impl Into<String>, param: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", name.into(), param),
+        }
+    }
+
+    /// Creates an id from the parameter alone.
+    pub fn from_parameter(param: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: param.to_string(),
+        }
+    }
+}
+
+/// Conversion for the `bench_function` name argument: accepts both
+/// strings and [`BenchmarkId`]s.
+pub trait IntoBenchmarkId {
+    /// The rendered identifier.
+    fn into_id(self) -> String;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_id(self) -> String {
+        self.id
+    }
+}
+
+impl<S: Into<String>> IntoBenchmarkId for S {
+    fn into_id(self) -> String {
+        self.into()
+    }
+}
+
+/// Times closure executions for one benchmark.
+pub struct Bencher {
+    samples: usize,
+    /// Collected per-iteration durations, one per sample.
+    timings: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Calls `routine` repeatedly, timing each call.
+    pub fn iter<O>(&mut self, mut routine: impl FnMut() -> O) {
+        // One warm-up call, untimed.
+        black_box(routine());
+        let budget_start = Instant::now();
+        for _ in 0..self.samples {
+            let t0 = Instant::now();
+            black_box(routine());
+            self.timings.push(t0.elapsed());
+            if budget_start.elapsed() > TIME_BUDGET {
+                break;
+            }
+        }
+    }
+
+    /// Criterion's batched iteration: `setup` output feeds `routine`;
+    /// only `routine` is timed.
+    pub fn iter_batched<I, O>(
+        &mut self,
+        mut setup: impl FnMut() -> I,
+        mut routine: impl FnMut(I) -> O,
+        _size: BatchSize,
+    ) {
+        black_box(routine(setup()));
+        let budget_start = Instant::now();
+        for _ in 0..self.samples {
+            let input = setup();
+            let t0 = Instant::now();
+            black_box(routine(input));
+            self.timings.push(t0.elapsed());
+            if budget_start.elapsed() > TIME_BUDGET {
+                break;
+            }
+        }
+    }
+}
+
+/// Batch sizing hint (ignored; present for API compatibility).
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One input per batch.
+    PerIteration,
+}
+
+fn report(label: &str, timings: &[Duration], throughput: Option<Throughput>) {
+    if timings.is_empty() {
+        println!("{label:<44} no samples collected");
+        return;
+    }
+    let mut sorted: Vec<Duration> = timings.to_vec();
+    sorted.sort();
+    let median = sorted[sorted.len() / 2];
+    let rate = throughput.map(|tp| {
+        let secs = median.as_secs_f64().max(1e-12);
+        match tp {
+            Throughput::Elements(n) => format_rate(n as f64 / secs, "elem/s"),
+            Throughput::Bytes(n) => format_rate(n as f64 / secs, "B/s"),
+        }
+    });
+    println!(
+        "{label:<44} median {:>12}/iter  ({} samples){}",
+        format_duration(median),
+        sorted.len(),
+        rate.map(|r| format!("  {r}")).unwrap_or_default()
+    );
+}
+
+fn format_duration(d: Duration) -> String {
+    let ns = d.as_nanos() as f64;
+    if ns < 1e3 {
+        format!("{ns:.1} ns")
+    } else if ns < 1e6 {
+        format!("{:.3} µs", ns / 1e3)
+    } else if ns < 1e9 {
+        format!("{:.3} ms", ns / 1e6)
+    } else {
+        format!("{:.3} s", ns / 1e9)
+    }
+}
+
+fn format_rate(per_sec: f64, unit: &str) -> String {
+    if per_sec >= 1e9 {
+        format!("{:.1} G{unit}", per_sec / 1e9)
+    } else if per_sec >= 1e6 {
+        format!("{:.1} M{unit}", per_sec / 1e6)
+    } else if per_sec >= 1e3 {
+        format!("{:.1} K{unit}", per_sec / 1e3)
+    } else {
+        format!("{per_sec:.1} {unit}")
+    }
+}
+
+/// The benchmark manager handed to each `criterion_group!` target.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: DEFAULT_SAMPLES,
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets the default number of samples for subsequent benchmarks.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Overrides the measurement budget (accepted, unused).
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Runs one standalone benchmark.
+    pub fn bench_function(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let label = id.into_id();
+        run_one(&label, self.sample_size, None, f);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: self.sample_size,
+            throughput: None,
+            _parent: std::marker::PhantomData,
+        }
+    }
+}
+
+fn run_one(
+    label: &str,
+    samples: usize,
+    throughput: Option<Throughput>,
+    mut f: impl FnMut(&mut Bencher),
+) {
+    let mut b = Bencher {
+        samples,
+        timings: Vec::with_capacity(samples),
+    };
+    f(&mut b);
+    report(label, &b.timings, throughput);
+}
+
+/// A group of related benchmarks sharing settings.
+pub struct BenchmarkGroup<'c> {
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+    _parent: std::marker::PhantomData<&'c mut Criterion>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples per benchmark in this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Annotates subsequent benchmarks with a throughput for rate
+    /// reporting.
+    pub fn throughput(&mut self, tp: Throughput) -> &mut Self {
+        self.throughput = Some(tp);
+        self
+    }
+
+    /// Overrides the measurement budget (accepted, unused).
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Runs one benchmark in this group.
+    pub fn bench_function(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let label = format!("{}/{}", self.name, id.into_id());
+        run_one(&label, self.sample_size, self.throughput, f);
+        self
+    }
+
+    /// Runs one parameterized benchmark in this group.
+    pub fn bench_with_input<I>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) -> &mut Self {
+        let label = format!("{}/{}", self.name, id.id);
+        run_one(&label, self.sample_size, self.throughput, |b| f(b, input));
+        self
+    }
+
+    /// Ends the group (no-op; present for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// Declares a benchmark group function that runs each target.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+    (name = $group:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut c = $config;
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Declares the benchmark binary's `main`, running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_and_reports() {
+        let mut c = Criterion::default();
+        c.sample_size(3);
+        let mut runs = 0u32;
+        c.bench_function("smoke", |b| {
+            b.iter(|| {
+                runs += 1;
+                black_box(runs)
+            })
+        });
+        // warm-up + 3 samples
+        assert_eq!(runs, 4);
+    }
+
+    #[test]
+    fn group_settings_apply() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("g");
+        g.sample_size(2).throughput(Throughput::Elements(100));
+        let mut runs = 0u32;
+        g.bench_with_input(BenchmarkId::new("param", 7), &7u32, |b, &p| {
+            b.iter(|| {
+                runs += 1;
+                black_box(p)
+            })
+        });
+        g.finish();
+        assert_eq!(runs, 3);
+    }
+
+    #[test]
+    fn formatting_helpers() {
+        assert!(format_duration(Duration::from_nanos(500)).contains("ns"));
+        assert!(format_duration(Duration::from_micros(50)).contains("µs"));
+        assert!(format_duration(Duration::from_millis(50)).contains("ms"));
+        assert!(format_rate(2.5e6, "elem/s").contains("Melem/s"));
+    }
+}

@@ -1,0 +1,475 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build environment has no network access, so the workspace vendors
+//! a minimal, dependency-free property-testing harness that supports the
+//! subset of the proptest API used in-repo:
+//!
+//! * the [`proptest!`] macro over `#[test] fn name(arg in strategy, …)`
+//!   items;
+//! * [`prop_assert!`], [`prop_assert_eq!`], [`prop_assume!`];
+//! * range strategies (`-10.0f64..10.0`, `1u64..8`), tuple strategies,
+//!   [`collection::vec`] with a fixed length or a length range, and
+//!   [`Strategy::prop_filter`] / [`Strategy::prop_map`].
+//!
+//! Unlike real proptest there is **no shrinking**: a failing case reports
+//! its generated inputs via `Debug` and panics. Case generation is
+//! deterministic per test (seeded by the test's name), so failures
+//! reproduce across runs.
+
+#![forbid(unsafe_code)]
+
+pub mod strategy {
+    //! Value-generation strategies.
+
+    use crate::test_runner::TestRng;
+
+    /// A source of random values of one type.
+    pub trait Strategy {
+        /// The type of generated values.
+        type Value: std::fmt::Debug;
+
+        /// Draws one value.
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Retains only generated values satisfying `pred` (regenerates
+        /// otherwise; panics after 1024 consecutive rejections).
+        fn prop_filter<F>(self, whence: &'static str, pred: F) -> Filter<Self, F>
+        where
+            Self: Sized,
+            F: Fn(&Self::Value) -> bool,
+        {
+            Filter {
+                inner: self,
+                whence,
+                pred,
+            }
+        }
+
+        /// Maps generated values through `f`.
+        fn prop_map<O: std::fmt::Debug, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+        {
+            Map { inner: self, f }
+        }
+    }
+
+    /// See [`Strategy::prop_filter`].
+    pub struct Filter<S, F> {
+        inner: S,
+        whence: &'static str,
+        pred: F,
+    }
+
+    impl<S: Strategy, F: Fn(&S::Value) -> bool> Strategy for Filter<S, F> {
+        type Value = S::Value;
+        fn generate(&self, rng: &mut TestRng) -> S::Value {
+            for _ in 0..1024 {
+                let v = self.inner.generate(rng);
+                if (self.pred)(&v) {
+                    return v;
+                }
+            }
+            panic!(
+                "prop_filter '{}' rejected 1024 candidates in a row",
+                self.whence
+            );
+        }
+    }
+
+    /// See [`Strategy::prop_map`].
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S: Strategy, O: std::fmt::Debug, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+        type Value = O;
+        fn generate(&self, rng: &mut TestRng) -> O {
+            (self.f)(self.inner.generate(rng))
+        }
+    }
+
+    /// A constant strategy (mirrors `proptest::strategy::Just`).
+    #[derive(Debug, Clone)]
+    pub struct Just<T>(pub T);
+
+    impl<T: Clone + std::fmt::Debug> Strategy for Just<T> {
+        type Value = T;
+        fn generate(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    impl Strategy for std::ops::Range<f64> {
+        type Value = f64;
+        fn generate(&self, rng: &mut TestRng) -> f64 {
+            assert!(self.start < self.end, "empty strategy range");
+            self.start + rng.unit_f64() * (self.end - self.start)
+        }
+    }
+
+    impl Strategy for std::ops::Range<f32> {
+        type Value = f32;
+        fn generate(&self, rng: &mut TestRng) -> f32 {
+            assert!(self.start < self.end, "empty strategy range");
+            self.start + rng.unit_f64() as f32 * (self.end - self.start)
+        }
+    }
+
+    macro_rules! int_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for std::ops::Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty strategy range");
+                    let span = (self.end as i128 - self.start as i128) as u128;
+                    let off = (rng.next_u64() as u128) % span;
+                    (self.start as i128 + off as i128) as $t
+                }
+            }
+            impl Strategy for std::ops::RangeInclusive<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    let (lo, hi) = (*self.start(), *self.end());
+                    assert!(lo <= hi, "empty strategy range");
+                    let span = (hi as i128 - lo as i128) as u128 + 1;
+                    let off = (rng.next_u64() as u128) % span;
+                    (lo as i128 + off as i128) as $t
+                }
+            }
+        )*};
+    }
+    int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    macro_rules! tuple_strategy {
+        ($(($($s:ident . $idx:tt),+))*) => {$(
+            impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+                type Value = ($($s::Value,)+);
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    ($(self.$idx.generate(rng),)+)
+                }
+            }
+        )*};
+    }
+    tuple_strategy! {
+        (A.0)
+        (A.0, B.1)
+        (A.0, B.1, C.2)
+        (A.0, B.1, C.2, D.3)
+        (A.0, B.1, C.2, D.3, E.4)
+        (A.0, B.1, C.2, D.3, E.4, F.5)
+    }
+}
+
+pub mod collection {
+    //! Collection strategies.
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// Length specification for [`vec`]: a fixed `usize` or a `Range<usize>`.
+    pub trait SizeRange {
+        /// Draws a concrete length.
+        fn pick(&self, rng: &mut TestRng) -> usize;
+    }
+
+    impl SizeRange for usize {
+        fn pick(&self, _rng: &mut TestRng) -> usize {
+            *self
+        }
+    }
+
+    impl SizeRange for std::ops::Range<usize> {
+        fn pick(&self, rng: &mut TestRng) -> usize {
+            assert!(self.start < self.end, "empty vec length range");
+            self.start + (rng.next_u64() as usize) % (self.end - self.start)
+        }
+    }
+
+    impl SizeRange for std::ops::RangeInclusive<usize> {
+        fn pick(&self, rng: &mut TestRng) -> usize {
+            let (lo, hi) = (*self.start(), *self.end());
+            assert!(lo <= hi, "empty vec length range");
+            lo + (rng.next_u64() as usize) % (hi - lo + 1)
+        }
+    }
+
+    /// Strategy generating `Vec`s of `element` with a length drawn from
+    /// `size`.
+    pub fn vec<S: Strategy, Z: SizeRange>(element: S, size: Z) -> VecStrategy<S, Z> {
+        VecStrategy { element, size }
+    }
+
+    /// See [`vec`].
+    pub struct VecStrategy<S, Z> {
+        element: S,
+        size: Z,
+    }
+
+    impl<S: Strategy, Z: SizeRange> Strategy for VecStrategy<S, Z> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let n = self.size.pick(rng);
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+pub mod test_runner {
+    //! The per-test deterministic RNG and case outcome plumbing.
+
+    /// Deterministic xoshiro256** generator seeded from the test name.
+    #[derive(Debug, Clone)]
+    pub struct TestRng {
+        s: [u64; 4],
+    }
+
+    impl TestRng {
+        /// Seeds the generator from an arbitrary string (the test name),
+        /// so each test has its own reproducible stream.
+        pub fn deterministic(name: &str) -> Self {
+            // FNV-1a over the name, then SplitMix64 expansion.
+            let mut h: u64 = 0xcbf29ce484222325;
+            for b in name.bytes() {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x100000001b3);
+            }
+            let mut sm = h;
+            let mut next_sm = || {
+                sm = sm.wrapping_add(0x9E3779B97F4A7C15);
+                let mut z = sm;
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+                z ^ (z >> 31)
+            };
+            TestRng {
+                s: [next_sm(), next_sm(), next_sm(), next_sm()],
+            }
+        }
+
+        /// Next 64 random bits.
+        pub fn next_u64(&mut self) -> u64 {
+            let result = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+
+        /// Uniform draw in `[0, 1)` with 53 bits of precision.
+        pub fn unit_f64(&mut self) -> f64 {
+            (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+        }
+    }
+
+    /// Outcome of one generated case's body.
+    #[derive(Debug)]
+    pub enum TestCaseError {
+        /// `prop_assume!` failed: the case does not count, draw another.
+        Reject(String),
+        /// `prop_assert!`-style failure: the property is violated.
+        Fail(String),
+    }
+
+    impl TestCaseError {
+        /// Builds a failure outcome.
+        pub fn fail(msg: impl Into<String>) -> Self {
+            TestCaseError::Fail(msg.into())
+        }
+
+        /// Builds a rejection outcome.
+        pub fn reject(msg: impl Into<String>) -> Self {
+            TestCaseError::Reject(msg.into())
+        }
+    }
+
+    /// Number of accepted cases each property runs.
+    pub const CASES: u32 = 64;
+
+    /// Cap on consecutive `prop_assume!` rejections before the property
+    /// errors out as vacuous.
+    pub const MAX_REJECTS: u32 = 4096;
+}
+
+/// Everything a property test file needs.
+pub mod prelude {
+    pub use crate::collection;
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::TestCaseError;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+}
+
+/// Declares property tests: each `#[test] fn name(arg in strategy, …)`
+/// item runs its body over [`test_runner::CASES`] generated cases.
+#[macro_export]
+macro_rules! proptest {
+    ($($(#[$meta:meta])* fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block)+) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let mut rng = $crate::test_runner::TestRng::deterministic(concat!(
+                    module_path!(), "::", stringify!($name)
+                ));
+                let mut accepted = 0u32;
+                let mut rejected = 0u32;
+                while accepted < $crate::test_runner::CASES {
+                    $(let $arg = $crate::strategy::Strategy::generate(&($strat), &mut rng);)+
+                    let case = {
+                        $(let $arg = $arg.clone();)+
+                        move || -> ::std::result::Result<(), $crate::test_runner::TestCaseError> {
+                            $body
+                            #[allow(unreachable_code)]
+                            Ok(())
+                        }
+                    };
+                    match case() {
+                        Ok(()) => accepted += 1,
+                        Err($crate::test_runner::TestCaseError::Reject(_)) => {
+                            rejected += 1;
+                            assert!(
+                                rejected < $crate::test_runner::MAX_REJECTS,
+                                "property {} rejected {} candidate cases (vacuous prop_assume?)",
+                                stringify!($name),
+                                rejected,
+                            );
+                        }
+                        Err($crate::test_runner::TestCaseError::Fail(msg)) => {
+                            panic!(
+                                "property {} failed after {} cases: {}\n  inputs: {:#?}",
+                                stringify!($name),
+                                accepted,
+                                msg,
+                                ($(&$arg,)+),
+                            );
+                        }
+                    }
+                }
+            }
+        )+
+    };
+}
+
+/// Asserts a condition inside a property body (fails the case, reporting
+/// its generated inputs, instead of panicking mid-closure).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(format!($($fmt)+)),
+            );
+        }
+    };
+}
+
+/// Asserts equality inside a property body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&($left), &($right));
+        $crate::prop_assert!(
+            *l == *r,
+            "assertion failed: {} == {}\n  left: {:?}\n right: {:?}",
+            stringify!($left), stringify!($right), l, r
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&($left), &($right));
+        if !(*l == *r) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!("{} (left: {:?}, right: {:?})", format!($($fmt)+), l, r),
+            ));
+        }
+    }};
+}
+
+/// Asserts inequality inside a property body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&($left), &($right));
+        $crate::prop_assert!(
+            *l != *r,
+            "assertion failed: {} != {}\n  both: {:?}",
+            stringify!($left),
+            stringify!($right),
+            l
+        );
+    }};
+}
+
+/// Discards the current case when `cond` is false (does not count
+/// towards the accepted-case quota).
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::reject(
+                concat!("assumption failed: ", stringify!($cond)),
+            ));
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    fn finite_f64(range: std::ops::Range<f64>) -> impl Strategy<Value = f64> {
+        range.prop_filter("finite", |v| v.is_finite())
+    }
+
+    proptest! {
+        #[test]
+        fn ranges_stay_in_bounds(x in -10.0f64..10.0, n in 1u64..8) {
+            prop_assert!((-10.0..10.0).contains(&x));
+            prop_assert!((1..8).contains(&n));
+        }
+
+        #[test]
+        fn vec_respects_length_range(
+            v in collection::vec(finite_f64(-5.0..5.0), 2..6),
+            w in collection::vec((1u64..4, 1u64..4), 3),
+        ) {
+            prop_assert!(v.len() >= 2 && v.len() < 6);
+            prop_assert_eq!(w.len(), 3);
+            for &(a, b) in &w {
+                prop_assert!(a < 4 && b < 4, "tuple element out of range");
+            }
+        }
+
+        #[test]
+        fn assume_rejects_without_failing(a in 0u64..100) {
+            prop_assume!(a % 2 == 0);
+            prop_assert_eq!(a % 2, 0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "property always_fails failed")]
+    fn failure_panics_with_inputs() {
+        proptest! {
+            fn always_fails(x in 0u64..10) {
+                prop_assert!(x > 100, "x was {}", x);
+            }
+        }
+        always_fails();
+    }
+
+    #[test]
+    fn deterministic_per_test_name() {
+        let mut a = crate::test_runner::TestRng::deterministic("same");
+        let mut b = crate::test_runner::TestRng::deterministic("same");
+        assert_eq!(a.next_u64(), b.next_u64());
+        let mut c = crate::test_runner::TestRng::deterministic("other");
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+}
