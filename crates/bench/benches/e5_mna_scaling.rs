@@ -8,8 +8,17 @@
 //! Measured: transient wall time vs ladder size N for both paths, and
 //! the speedup factor (expected to grow with N, since factorization is
 //! O(N³) and the resolve is O(N²)).
+//!
+//! Extended for the sparse backend: the same ladder assembled as a
+//! [`CsrMat`] is factored with [`SparseLu`] (symbolic + numeric),
+//! numerically refactored over the cached pivot order, and re-solved —
+//! against the dense [`Lu`] reference. An RC ladder's MNA matrix is
+//! tridiagonal-plus-border, so nnz is O(N) and fill-in is near zero;
+//! dense factorization is O(N³). The crossover is expected early and
+//! the gap to grow without bound.
 
-use ams_net::{Circuit, IntegrationMethod, TransientSolver, Waveform};
+use ams_math::{CsrMat, DMat, DVec, Lu, SparseLu, Triplets};
+use ams_net::{Circuit, IntegrationMethod, SolverBackend, TransientSolver, Waveform};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 fn ladder(n: usize) -> (Circuit, ams_net::NodeId) {
@@ -37,15 +46,74 @@ fn ladder(n: usize) -> (Circuit, ams_net::NodeId) {
     (ckt, prev)
 }
 
-fn run(n: usize, reuse: bool, steps: u32) -> f64 {
+fn run(n: usize, backend: SolverBackend, reuse: bool, steps: u32) -> f64 {
     let (ckt, out) = ladder(n);
     let mut tr = TransientSolver::new(&ckt, IntegrationMethod::Trapezoidal).unwrap();
+    tr.backend = backend;
     tr.reuse_factorization = reuse;
     tr.initialize_dc().unwrap();
     for _ in 0..steps {
         tr.step(1e-7).unwrap();
     }
     tr.voltage(out)
+}
+
+/// The companion-model MNA matrix of the N-stage RC ladder at a fixed
+/// timestep: tridiagonal conductances plus the voltage-source border
+/// row/column — the same structure the transient solver assembles.
+fn ladder_matrix(n: usize) -> CsrMat<f64> {
+    let g = 1.0 / 100.0; // 100 Ω series
+    let gc = 2.0 * 1e-9 / 1e-7; // trapezoidal companion of 1 nF at h = 100 ns
+    let dim = n + 2; // n internal nodes + input node + branch current
+    let mut t = Triplets::new(dim, dim);
+    // Input node (index 0) with the source branch (index n + 1).
+    t.push(0, 0, g);
+    t.push(0, n + 1, 1.0);
+    t.push(n + 1, 0, 1.0);
+    for i in 0..n {
+        let v = i + 1;
+        let prev = if i == 0 { 0 } else { i };
+        t.push(v, v, g + gc + if i + 1 < n { g } else { 0.0 });
+        t.push(v, prev, -g);
+        t.push(prev, v, -g);
+    }
+    t.build()
+}
+
+fn bench_math_kernels(c: &mut Criterion) {
+    println!("\n=== E5b: ladder MNA kernels — dense LU vs sparse (symbolic-reuse) LU ===");
+    println!("  N     nnz  fill-in");
+    for &n in &[32usize, 128, 512, 1024, 2048] {
+        let a = ladder_matrix(n);
+        let lu = SparseLu::factor(&a).unwrap();
+        println!("  {:<5} {:<4} {}", n + 2, a.nnz(), lu.fill_in());
+    }
+
+    let mut group = c.benchmark_group("e5_kernels");
+    group.sample_size(10);
+    for &n in &[32usize, 128, 512, 1024, 2048] {
+        let a = ladder_matrix(n);
+        let b = DVec::from(vec![1.0; n + 2]);
+        // Dense factor: O(N³); skip the largest size to keep the run short.
+        if n <= 1024 {
+            let ad: DMat<f64> = a.to_dense();
+            group.bench_with_input(BenchmarkId::new("dense_factor", n), &n, |bch, _| {
+                bch.iter(|| Lu::factor(&ad).unwrap())
+            });
+        }
+        group.bench_with_input(BenchmarkId::new("sparse_factor", n), &n, |bch, _| {
+            bch.iter(|| SparseLu::factor(&a).unwrap())
+        });
+        let mut lu = SparseLu::factor(&a).unwrap();
+        group.bench_with_input(BenchmarkId::new("sparse_refactor", n), &n, |bch, _| {
+            bch.iter(|| lu.refactor(&a).unwrap())
+        });
+        let lu = SparseLu::factor(&a).unwrap();
+        group.bench_with_input(BenchmarkId::new("sparse_solve", n), &n, |bch, _| {
+            bch.iter(|| lu.solve(&b).unwrap())
+        });
+    }
+    group.finish();
 }
 
 fn bench(c: &mut Criterion) {
@@ -56,14 +124,22 @@ fn bench(c: &mut Criterion) {
     group.sample_size(10);
     for &n in &[8usize, 32, 64, 128] {
         group.bench_with_input(BenchmarkId::new("factor_once", n), &n, |b, &n| {
-            b.iter(|| run(n, true, 200))
+            b.iter(|| run(n, SolverBackend::Dense, true, 200))
         });
         group.bench_with_input(BenchmarkId::new("refactor_each_step", n), &n, |b, &n| {
-            b.iter(|| run(n, false, 200))
+            b.iter(|| run(n, SolverBackend::Dense, false, 200))
         });
+        group.bench_with_input(BenchmarkId::new("sparse_factor_once", n), &n, |b, &n| {
+            b.iter(|| run(n, SolverBackend::Sparse, true, 200))
+        });
+        group.bench_with_input(
+            BenchmarkId::new("sparse_refactor_each_step", n),
+            &n,
+            |b, &n| b.iter(|| run(n, SolverBackend::Sparse, false, 200)),
+        );
     }
     group.finish();
 }
 
-criterion_group!(benches, bench);
+criterion_group!(benches, bench, bench_math_kernels);
 criterion_main!(benches);

@@ -480,6 +480,10 @@ pub struct ClusterStats {
     pub newton_iterations: u64,
     /// Matrix factorizations across all embedded numeric solvers.
     pub factorizations: u64,
+    /// Linear-solver counters across all embedded numeric solvers
+    /// (sparse symbolic/numeric split, pattern sizes, reused
+    /// factorizations).
+    pub solve: ams_math::SolveStats,
 }
 
 /// An elaborated, executable TDF cluster.
@@ -642,14 +646,13 @@ impl Cluster {
     pub fn stats(&self) -> ClusterStats {
         let mut s = self.stats;
         for m in &self.modules {
-            if let Some((newton, lu)) = m
-                .module
-                .as_ref()
-                .expect("module present outside of firing")
-                .solver_stats()
-            {
+            let module = m.module.as_ref().expect("module present outside of firing");
+            if let Some((newton, lu)) = module.solver_stats() {
                 s.newton_iterations += newton;
                 s.factorizations += lu;
+            }
+            if let Some(solve) = module.solve_stats() {
+                s.solve.merge(&solve);
             }
         }
         s

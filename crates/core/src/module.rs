@@ -66,6 +66,14 @@ pub trait TdfModule: Send {
     fn solver_stats(&self) -> Option<(u64, u64)> {
         None
     }
+
+    /// Linear-solver counters of an embedded numeric solver (sparse
+    /// symbolic analyses, numeric refactorizations, pattern sizes,
+    /// reused factorizations), if this module wraps one. Default:
+    /// `None`.
+    fn solve_stats(&self) -> Option<ams_math::SolveStats> {
+        None
+    }
 }
 
 /// Port/timestep declaration context passed to [`TdfModule::setup`].

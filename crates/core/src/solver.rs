@@ -69,6 +69,13 @@ pub trait CtSolver: Send {
     fn newton_stats(&self) -> Option<(u64, u64)> {
         None
     }
+
+    /// Linear-solver counters (sparse symbolic analyses, numeric
+    /// refactorizations, pattern sizes, reused factorizations), if the
+    /// solver keeps them. Default: `None`.
+    fn solve_stats(&self) -> Option<ams_math::SolveStats> {
+        None
+    }
 }
 
 /// [`CtSolver`] over a linear time-invariant state-space model.
@@ -254,6 +261,10 @@ impl CtSolver for NetlistCtSolver {
         Some((st.newton_iterations, st.factorizations))
     }
 
+    fn solve_stats(&self) -> Option<ams_math::SolveStats> {
+        Some(self.solver.stats().solve)
+    }
+
     fn ac_transfer(&self, omega: f64) -> Option<DMat<Complex64>> {
         // Per-input AC transfer: activate each external-input source in
         // turn with unit AC magnitude and read the output nodes. The
@@ -343,6 +354,10 @@ impl CtModule {
 impl TdfModule for CtModule {
     fn solver_stats(&self) -> Option<(u64, u64)> {
         self.solver.newton_stats()
+    }
+
+    fn solve_stats(&self) -> Option<ams_math::SolveStats> {
+        self.solver.solve_stats()
     }
 
     fn setup(&mut self, cfg: &mut TdfSetup) {

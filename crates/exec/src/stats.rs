@@ -44,6 +44,7 @@ impl ExecStats {
             t.probe_samples += s.probe_samples;
             t.newton_iterations += s.newton_iterations;
             t.factorizations += s.factorizations;
+            t.solve.merge(&s.solve);
         }
         t
     }
@@ -100,6 +101,7 @@ mod tests {
                 probe_samples: 4,
                 newton_iterations: 7,
                 factorizations: 1,
+                ..Default::default()
             },
         ));
         st.clusters.push((
@@ -110,6 +112,7 @@ mod tests {
                 probe_samples: 0,
                 newton_iterations: 0,
                 factorizations: 0,
+                ..Default::default()
             },
         ));
         let t = st.totals();

@@ -12,7 +12,7 @@
 //! from [`crate::newton`]. A simple local-truncation-error controller
 //! provides the variable-step mode required by the paper's phase 2.
 
-use crate::newton::{self, NewtonOptions, NonlinearSystem};
+use crate::newton::{self, NewtonOptions, NewtonWorkspace, NonlinearSystem};
 use crate::ode::OdeRhs;
 use crate::MathError;
 
@@ -85,6 +85,17 @@ impl NonlinearSystem for StepResidual<'_> {
             }
         }
     }
+
+    fn jacobian_key(&self) -> u64 {
+        // FNV-1a over the quantities the step Jacobian depends on besides
+        // `x`: step size, evaluation time, and the discretization formula.
+        let mut k = 0xcbf2_9ce4_8422_2325u64;
+        for bits in [self.h.to_bits(), self.t_new.to_bits(), self.method as u64] {
+            k ^= bits;
+            k = k.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        k
+    }
 }
 
 /// A fixed-step implicit integrator.
@@ -96,6 +107,7 @@ pub struct ImplicitStepper {
     method: ImplicitMethod,
     h: f64,
     newton: NewtonOptions,
+    workspace: NewtonWorkspace,
     x_prev2: Option<Vec<f64>>,
     f_prev: Vec<f64>,
     have_f_prev: bool,
@@ -116,6 +128,7 @@ impl ImplicitStepper {
             method,
             h,
             newton: NewtonOptions::default(),
+            workspace: NewtonWorkspace::new(),
             x_prev2: None,
             f_prev: Vec::new(),
             have_f_prev: false,
@@ -152,6 +165,7 @@ impl ImplicitStepper {
             self.f_prev = vec![0.0; n];
             self.have_f_prev = false;
             self.x_prev2 = None;
+            self.workspace.reset();
         }
         if matches!(self.method, ImplicitMethod::Trapezoidal) && !self.have_f_prev {
             f.eval(*t, x, &mut self.f_prev);
@@ -175,7 +189,7 @@ impl ImplicitStepper {
             f_prev: &self.f_prev,
             scratch: vec![0.0; n],
         };
-        newton::solve(&mut res, x, &self.newton)?;
+        newton::solve_with(&mut res, x, &self.newton, &mut self.workspace)?;
 
         if matches!(self.method, ImplicitMethod::Trapezoidal) {
             f.eval(*t + self.h, x, &mut self.f_prev);
@@ -291,6 +305,9 @@ pub fn integrate_variable(
 
     let mut x_full = vec![0.0; n];
     let mut x_half = vec![0.0; n];
+    // One workspace across every step: a Jacobian factored for a rejected
+    // step is reused on the retry when nothing changed.
+    let mut ws = NewtonWorkspace::new();
 
     while t < t1 {
         if t + h > t1 {
@@ -298,11 +315,11 @@ pub fn integrate_variable(
         }
         // One full step.
         x_full.copy_from_slice(x);
-        let ok_full = be_step(f, t, h, &mut x_full, &newton).is_ok();
+        let ok_full = be_step(f, t, h, &mut x_full, &newton, &mut ws).is_ok();
         // Two half steps.
         x_half.copy_from_slice(x);
-        let ok_half = be_step(f, t, h / 2.0, &mut x_half, &newton).is_ok()
-            && be_step(f, t + h / 2.0, h / 2.0, &mut x_half, &newton).is_ok();
+        let ok_half = be_step(f, t, h / 2.0, &mut x_half, &newton, &mut ws).is_ok()
+            && be_step(f, t + h / 2.0, h / 2.0, &mut x_half, &newton, &mut ws).is_ok();
 
         if !(ok_full && ok_half) {
             h *= 0.25;
@@ -348,6 +365,7 @@ fn be_step(
     h: f64,
     x: &mut [f64],
     newton: &NewtonOptions,
+    ws: &mut NewtonWorkspace,
 ) -> crate::Result<()> {
     let x_prev = x.to_vec();
     let mut res = StepResidual {
@@ -360,7 +378,7 @@ fn be_step(
         f_prev: &[],
         scratch: vec![0.0; x_prev.len()],
     };
-    newton::solve(&mut res, x, newton)?;
+    newton::solve_with(&mut res, x, newton, ws)?;
     Ok(())
 }
 

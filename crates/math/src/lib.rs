@@ -8,6 +8,8 @@
 //!   field (`f64` or [`Complex64`]).
 //! * [`Lu`] — LU factorization with partial pivoting, the linear-solve
 //!   workhorse behind MNA and implicit integration.
+//! * [`sparse`] — CSR matrices and [`SparseLu`], a fill-reducing sparse
+//!   LU with a cached symbolic phase for fast per-step refactorization.
 //! * [`Poly`] — polynomial arithmetic and root finding (Durand–Kerner),
 //!   used by transfer-function and zero-pole models.
 //! * [`ode`] — explicit integrators (Euler, Heun, RK4, adaptive RKF45).
@@ -49,6 +51,7 @@ pub mod ode;
 mod poly;
 mod rational;
 mod scalar;
+pub mod sparse;
 pub mod stats;
 
 pub use complex::Complex64;
@@ -58,6 +61,7 @@ pub use matrix::{DMat, DVec};
 pub use poly::Poly;
 pub use rational::{common_denominator, gcd, lcm, Rational};
 pub use scalar::Scalar;
+pub use sparse::{solve_sparse, CsrMat, SolveStats, SparseLu, Triplets};
 
 /// Convenient result alias for fallible numerical routines.
 pub type Result<T> = std::result::Result<T, MathError>;

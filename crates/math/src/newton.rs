@@ -6,7 +6,7 @@
 //! shared Newton engine used by the implicit integrators and the nonlinear
 //! MNA solver.
 
-use crate::{DMat, DVec, Lu, MathError};
+use crate::{CsrMat, DMat, DVec, Lu, MathError, SparseLu};
 
 /// A nonlinear vector function with an optional analytic Jacobian.
 pub trait NonlinearSystem {
@@ -20,6 +20,37 @@ pub trait NonlinearSystem {
     /// forward finite differences with a scaled perturbation.
     fn jacobian(&mut self, x: &[f64], jac: &mut DMat<f64>) {
         numeric_jacobian(self, x, jac);
+    }
+
+    /// The sparsity pattern of the Jacobian, if the system wants the
+    /// sparse solve path. Returning `Some` makes [`solve_with`] assemble
+    /// and factor a [`CsrMat`] Jacobian (with symbolic reuse across
+    /// iterations and solves) instead of a dense one.
+    fn jacobian_pattern(&self) -> Option<CsrMat<f64>> {
+        None
+    }
+
+    /// Fills the sparse Jacobian at `x` into the pattern returned by
+    /// [`NonlinearSystem::jacobian_pattern`]. The default evaluates the
+    /// dense Jacobian and scatters it; override for a genuinely sparse
+    /// evaluation.
+    fn jacobian_sparse(&mut self, x: &[f64], jac: &mut CsrMat<f64>) {
+        let n = self.dim();
+        let mut dense = DMat::zeros(n, n);
+        self.jacobian(x, &mut dense);
+        jac.set_from_dense(&dense);
+    }
+
+    /// A caller-chosen fingerprint of the Jacobian *function* (not the
+    /// evaluation point): two calls with equal keys and bit-identical `x`
+    /// are promised to produce the identical Jacobian. [`solve_with`]
+    /// uses it to skip re-evaluating and re-factoring between a rejected
+    /// and retried step. The default (constant `0`) is correct for
+    /// systems whose Jacobian depends only on `x`; override it when the
+    /// Jacobian also depends on hidden state (time, step size, method)
+    /// and the workspace is shared across such changes.
+    fn jacobian_key(&self) -> u64 {
+        0
     }
 }
 
@@ -80,6 +111,142 @@ pub struct NewtonReport {
     pub iterations: usize,
     /// Final residual ∞-norm.
     pub residual: f64,
+    /// Factorization work done by this solve.
+    pub stats: NewtonStats,
+}
+
+/// Factorization counters for Newton solves.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NewtonStats {
+    /// Jacobian factorizations performed (dense or sparse).
+    pub factorizations: u64,
+    /// Factorizations skipped because the Jacobian was provably unchanged
+    /// (same fingerprint and evaluation point, or bit-identical values).
+    pub jacobian_reused: u64,
+}
+
+/// Persistent caches for [`solve_with`]: the evaluated Jacobian, its
+/// factorization, and the values/point it was computed at, kept across
+/// Newton solves so an unchanged Jacobian (a rejected-and-retried
+/// integration step, or the constant Jacobian of a linear residual) is
+/// not factored again. Create once per repeatedly-solved system and pass
+/// to every [`solve_with`] call.
+#[derive(Debug, Clone, Default)]
+pub struct NewtonWorkspace {
+    stats: NewtonStats,
+    key: u64,
+    /// Evaluation point of the currently cached factorization.
+    last_x: Vec<f64>,
+    dense_jac: Option<DMat<f64>>,
+    dense_snapshot: Option<DMat<f64>>,
+    dense_lu: Option<Lu<f64>>,
+    sparse_jac: Option<CsrMat<f64>>,
+    sparse_snapshot: Vec<f64>,
+    sparse_lu: Option<SparseLu<f64>>,
+}
+
+impl NewtonWorkspace {
+    /// Creates an empty workspace.
+    pub fn new() -> Self {
+        NewtonWorkspace::default()
+    }
+
+    /// Cumulative counters over every solve that used this workspace.
+    pub fn stats(&self) -> NewtonStats {
+        self.stats
+    }
+
+    /// Drops all cached factorizations (counters are kept). Call when the
+    /// system's dimension or sparsity pattern changes.
+    pub fn reset(&mut self) {
+        let stats = self.stats;
+        *self = NewtonWorkspace::default();
+        self.stats = stats;
+    }
+
+    /// Counter delta since a snapshot taken with [`NewtonWorkspace::stats`].
+    fn stats_since(&self, start: NewtonStats) -> NewtonStats {
+        NewtonStats {
+            factorizations: self.stats.factorizations - start.factorizations,
+            jacobian_reused: self.stats.jacobian_reused - start.jacobian_reused,
+        }
+    }
+
+    fn has_factor(&self) -> bool {
+        self.dense_lu.is_some() || self.sparse_lu.is_some()
+    }
+
+    /// Evaluates (if needed) and factors (if needed) the Jacobian of
+    /// `sys` at `x`, with the two reuse levels described on
+    /// [`solve_with`].
+    fn factor_jacobian<S: NonlinearSystem + ?Sized>(
+        &mut self,
+        sys: &mut S,
+        x: &[f64],
+    ) -> crate::Result<()> {
+        let n = sys.dim();
+        let key = sys.jacobian_key();
+        // Level 1: same Jacobian function, same evaluation point — skip
+        // even the Jacobian evaluation.
+        if self.has_factor() && self.key == key && self.last_x.as_slice() == x {
+            self.stats.jacobian_reused += 1;
+            return Ok(());
+        }
+        if self.sparse_jac.is_none() && self.dense_jac.is_none() {
+            match sys.jacobian_pattern() {
+                Some(pat) => self.sparse_jac = Some(pat),
+                None => self.dense_jac = Some(DMat::zeros(n, n)),
+            }
+        }
+        if let Some(jac) = self.sparse_jac.as_mut() {
+            sys.jacobian_sparse(x, jac);
+            // Level 2: bit-identical values — skip the factorization.
+            if self.sparse_lu.is_some() && self.sparse_snapshot.as_slice() == jac.values() {
+                self.stats.jacobian_reused += 1;
+            } else {
+                let refactored = match self.sparse_lu.as_mut() {
+                    Some(lu) => lu.refactor(jac).is_ok(),
+                    None => false,
+                };
+                if !refactored {
+                    self.sparse_lu = Some(SparseLu::factor(jac)?);
+                }
+                self.stats.factorizations += 1;
+                self.sparse_snapshot.clear();
+                self.sparse_snapshot.extend_from_slice(jac.values());
+            }
+        } else {
+            let jac = self.dense_jac.as_mut().expect("dense jacobian buffer");
+            sys.jacobian(x, jac);
+            let same = self.dense_lu.is_some()
+                && self
+                    .dense_snapshot
+                    .as_ref()
+                    .is_some_and(|s| s.as_slice() == jac.as_slice());
+            if same {
+                self.stats.jacobian_reused += 1;
+            } else {
+                self.dense_lu = Some(Lu::factor(jac)?);
+                self.stats.factorizations += 1;
+                self.dense_snapshot = Some(jac.clone());
+            }
+        }
+        self.key = key;
+        self.last_x.clear();
+        self.last_x.extend_from_slice(x);
+        Ok(())
+    }
+
+    fn solve_step(&self, rhs: &DVec<f64>) -> crate::Result<DVec<f64>> {
+        if let Some(lu) = &self.sparse_lu {
+            lu.solve(rhs)
+        } else {
+            self.dense_lu
+                .as_ref()
+                .expect("factor_jacobian must run before solve_step")
+                .solve(rhs)
+        }
+    }
 }
 
 /// Solves `F(x) = 0`, refining `x` in place.
@@ -113,6 +280,35 @@ pub fn solve<S: NonlinearSystem + ?Sized>(
     x: &mut [f64],
     opts: &NewtonOptions,
 ) -> crate::Result<NewtonReport> {
+    solve_with(sys, x, opts, &mut NewtonWorkspace::new())
+}
+
+/// Solves `F(x) = 0` like [`solve`], reusing factorization caches from
+/// `ws` across calls.
+///
+/// Two levels of Jacobian reuse apply, both counted in
+/// [`NewtonStats::jacobian_reused`]:
+///
+/// 1. same [`NonlinearSystem::jacobian_key`] and bit-identical evaluation
+///    point as the cached factorization — the Jacobian is neither
+///    re-evaluated nor re-factored (the rejected-and-retried-step case);
+/// 2. bit-identical Jacobian values after evaluation — the factorization
+///    is skipped (the linear-residual case).
+///
+/// When [`NonlinearSystem::jacobian_pattern`] returns `Some`, the
+/// Jacobian is assembled and factored sparse ([`SparseLu`]), with the
+/// symbolic analysis reused by numeric refactorization across iterations
+/// and solves.
+///
+/// # Errors
+///
+/// Same as [`solve`].
+pub fn solve_with<S: NonlinearSystem + ?Sized>(
+    sys: &mut S,
+    x: &mut [f64],
+    opts: &NewtonOptions,
+    ws: &mut NewtonWorkspace,
+) -> crate::Result<NewtonReport> {
     let n = sys.dim();
     if x.len() != n {
         return Err(MathError::dims(
@@ -120,8 +316,8 @@ pub fn solve<S: NonlinearSystem + ?Sized>(
             format!("length {}", x.len()),
         ));
     }
+    let start = ws.stats;
     let mut f = vec![0.0; n];
-    let mut jac = DMat::zeros(n, n);
     let mut x_trial = vec![0.0; n];
     let mut f_trial = vec![0.0; n];
 
@@ -133,12 +329,12 @@ pub fn solve<S: NonlinearSystem + ?Sized>(
             return Ok(NewtonReport {
                 iterations: iter - 1,
                 residual: fnorm,
+                stats: ws.stats_since(start),
             });
         }
-        sys.jacobian(x, &mut jac);
-        let lu = Lu::factor(&jac)?;
+        ws.factor_jacobian(sys, x)?;
         let rhs: DVec<f64> = f.iter().map(|&v| -v).collect();
-        let dx = lu.solve(&rhs)?;
+        let dx = ws.solve_step(&rhs)?;
 
         // Backtracking line search: halve the step until the residual
         // decreases (or accept the smallest damped step).
@@ -172,6 +368,7 @@ pub fn solve<S: NonlinearSystem + ?Sized>(
             return Ok(NewtonReport {
                 iterations: iter,
                 residual: fnorm,
+                stats: ws.stats_since(start),
             });
         }
     }
@@ -308,5 +505,95 @@ mod tests {
         let mut x = [2f64.sqrt()];
         let rep = solve(&mut Scalar2, &mut x, &NewtonOptions::default()).unwrap();
         assert_eq!(rep.iterations, 0);
+        assert_eq!(rep.stats, NewtonStats::default());
+    }
+
+    /// Linear system with an analytic (hence bit-reproducible) Jacobian.
+    struct Linear2;
+    impl NonlinearSystem for Linear2 {
+        fn dim(&self) -> usize {
+            2
+        }
+        fn residual(&mut self, x: &[f64], out: &mut [f64]) {
+            out[0] = 2.0 * x[0] + x[1] - 3.0;
+            out[1] = x[0] + 3.0 * x[1] - 4.0;
+        }
+        fn jacobian(&mut self, _x: &[f64], jac: &mut DMat<f64>) {
+            jac[(0, 0)] = 2.0;
+            jac[(0, 1)] = 1.0;
+            jac[(1, 0)] = 1.0;
+            jac[(1, 1)] = 3.0;
+        }
+    }
+
+    #[test]
+    fn workspace_reuses_constant_jacobian_across_solves() {
+        let mut ws = NewtonWorkspace::new();
+        let mut x = [0.0, 0.0];
+        solve_with(&mut Linear2, &mut x, &NewtonOptions::default(), &mut ws).unwrap();
+        assert_eq!(ws.stats().factorizations, 1);
+        // Second solve from a different start: the Jacobian values are
+        // bit-identical, so the factorization is reused.
+        let mut y = [5.0, -7.0];
+        let rep = solve_with(&mut Linear2, &mut y, &NewtonOptions::default(), &mut ws).unwrap();
+        assert_eq!(ws.stats().factorizations, 1);
+        assert!(ws.stats().jacobian_reused >= 1);
+        assert!(rep.stats.jacobian_reused >= 1);
+        assert!((y[0] - 1.0).abs() < 1e-10 && (y[1] - 1.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn workspace_skips_evaluation_on_retried_step() {
+        // A failed solve retried from the same point (the caller restored
+        // the state, as a rejected integration step does) must not
+        // re-evaluate or re-factor the Jacobian at that point.
+        let opts = NewtonOptions {
+            max_iter: 1,
+            ..Default::default()
+        };
+        let mut ws = NewtonWorkspace::new();
+        let mut x = [1.0];
+        assert!(solve_with(&mut Scalar2, &mut x, &opts, &mut ws).is_err());
+        assert_eq!(ws.stats().factorizations, 1);
+        x[0] = 1.0; // restore to the rejected step's starting point
+        assert!(solve_with(&mut Scalar2, &mut x, &opts, &mut ws).is_err());
+        assert_eq!(ws.stats().factorizations, 1);
+        assert_eq!(ws.stats().jacobian_reused, 1);
+    }
+
+    struct SparseCoupled;
+    impl NonlinearSystem for SparseCoupled {
+        fn dim(&self) -> usize {
+            2
+        }
+        fn residual(&mut self, x: &[f64], out: &mut [f64]) {
+            out[0] = x[0] * x[0] + x[1] * x[1] - 4.0;
+            out[1] = x[0] * x[1] - 1.0;
+        }
+        fn jacobian_pattern(&self) -> Option<crate::CsrMat<f64>> {
+            let mut t = crate::Triplets::new(2, 2);
+            t.push(0, 0, 0.0);
+            t.push(0, 1, 0.0);
+            t.push(1, 0, 0.0);
+            t.push(1, 1, 0.0);
+            Some(t.build())
+        }
+    }
+
+    #[test]
+    fn sparse_jacobian_path_matches_dense() {
+        let mut xs = [2.0, 0.3];
+        let mut ws = NewtonWorkspace::new();
+        let rep = solve_with(
+            &mut SparseCoupled,
+            &mut xs,
+            &NewtonOptions::default(),
+            &mut ws,
+        )
+        .unwrap();
+        assert!(rep.stats.factorizations >= 1);
+        let mut xd = [2.0, 0.3];
+        solve(&mut Coupled, &mut xd, &NewtonOptions::default()).unwrap();
+        assert!((xs[0] - xd[0]).abs() < 1e-9 && (xs[1] - xd[1]).abs() < 1e-9);
     }
 }

@@ -1,0 +1,144 @@
+//! Property-based parity tests: the sparse path (`Triplets` →
+//! [`CsrMat`] → [`SparseLu`]) must agree with the dense reference
+//! (`DMat` → [`Lu`]) on assembly, matrix–vector products, solves and
+//! singularity detection, over randomized diagonally dominant systems.
+
+use ams_math::{CsrMat, DMat, DVec, Lu, MathError, SparseLu, Triplets};
+use proptest::prelude::*;
+
+const N_MAX: usize = 16;
+
+/// Builds the dense and sparse assemblies of the same randomized system
+/// of `n` unknowns. Raw coordinates are reduced modulo `n`; duplicates
+/// are intended (MNA stamping sums them). The diagonal is set to (row
+/// absolute sum) + margin after the off-diagonal stamps, making the
+/// matrix strictly diagonally dominant and therefore nonsingular.
+fn assemble(n: usize, off: &[(usize, usize, f64)], margin: &[f64]) -> (DMat<f64>, CsrMat<f64>) {
+    let mut dense = DMat::<f64>::zeros(n, n);
+    let mut trip = Triplets::new(n, n);
+    for &(i, j, v) in off {
+        let (i, j) = (i % n, j % n);
+        if i != j {
+            dense[(i, j)] += v;
+            trip.push(i, j, v);
+        }
+    }
+    for i in 0..n {
+        let row_sum: f64 = (0..n)
+            .filter(|&j| j != i)
+            .map(|j| dense[(i, j)].abs())
+            .sum();
+        let d = row_sum + margin[i];
+        dense[(i, i)] += d;
+        trip.push(i, i, d);
+    }
+    (dense, trip.build())
+}
+
+proptest! {
+    #[test]
+    fn csr_round_trips_through_dense(
+        n in 2usize..N_MAX,
+        off in proptest::collection::vec((0usize..N_MAX, 0usize..N_MAX, -5.0f64..5.0), 0..4 * N_MAX),
+        margin in proptest::collection::vec(0.5f64..4.0, N_MAX),
+    ) {
+        let (dense, csr) = assemble(n, &off, &margin);
+        // Triplet assembly ≡ dense assembly. Duplicate coordinates may be
+        // summed in a different order than the dense `+=` loop, so allow
+        // rounding at the last ulp instead of demanding bitwise equality.
+        let expanded = csr.to_dense();
+        for (a, b) in expanded.as_slice().iter().zip(dense.as_slice()) {
+            prop_assert!((a - b).abs() <= 1e-12 * (1.0 + b.abs()), "{} vs {}", a, b);
+        }
+        // Dense → CSR → dense round-trip.
+        let back = CsrMat::from_dense(&dense).to_dense();
+        prop_assert_eq!(back.as_slice(), dense.as_slice());
+    }
+
+    #[test]
+    fn sparse_mat_vec_matches_dense(
+        n in 2usize..N_MAX,
+        off in proptest::collection::vec((0usize..N_MAX, 0usize..N_MAX, -5.0f64..5.0), 0..4 * N_MAX),
+        margin in proptest::collection::vec(0.5f64..4.0, N_MAX),
+        b in proptest::collection::vec(-10.0f64..10.0, N_MAX),
+    ) {
+        let (dense, csr) = assemble(n, &off, &margin);
+        let x = DVec::from(b[..n].to_vec());
+        let yd = dense.mul_vec(&x).unwrap();
+        let ys = csr.mul_vec(&x).unwrap();
+        for i in 0..n {
+            prop_assert!((yd[i] - ys[i]).abs() <= 1e-10 * (1.0 + yd[i].abs()));
+        }
+    }
+
+    #[test]
+    fn sparse_solve_matches_dense_lu(
+        n in 2usize..N_MAX,
+        off in proptest::collection::vec((0usize..N_MAX, 0usize..N_MAX, -5.0f64..5.0), 0..4 * N_MAX),
+        margin in proptest::collection::vec(0.5f64..4.0, N_MAX),
+        b in proptest::collection::vec(-10.0f64..10.0, N_MAX),
+    ) {
+        let (dense, csr) = assemble(n, &off, &margin);
+        let rhs = DVec::from(b[..n].to_vec());
+        let xd = Lu::factor(&dense).unwrap().solve(&rhs).unwrap();
+        let xs = SparseLu::factor(&csr).unwrap().solve(&rhs).unwrap();
+        for i in 0..n {
+            prop_assert!(
+                (xd[i] - xs[i]).abs() <= 1e-10 * (1.0 + xd[i].abs()),
+                "row {}: dense {} vs sparse {}", i, xd[i], xs[i]
+            );
+        }
+    }
+
+    #[test]
+    fn refactor_matches_fresh_factor(
+        n in 2usize..N_MAX,
+        off in proptest::collection::vec((0usize..N_MAX, 0usize..N_MAX, -5.0f64..5.0), 0..4 * N_MAX),
+        margin in proptest::collection::vec(0.5f64..4.0, N_MAX),
+        b in proptest::collection::vec(-10.0f64..10.0, N_MAX),
+        scale in 0.25f64..4.0,
+    ) {
+        let (_, csr) = assemble(n, &off, &margin);
+        let mut lu = SparseLu::factor(&csr).unwrap();
+        // Same pattern, scaled values: a numeric refactor must agree with
+        // a from-scratch factorization.
+        let mut scaled = csr.clone();
+        for v in scaled.values_mut() {
+            *v *= scale;
+        }
+        lu.refactor(&scaled).unwrap();
+        let rhs = DVec::from(b[..n].to_vec());
+        let x_re = lu.solve(&rhs).unwrap();
+        let x_fresh = SparseLu::factor(&scaled).unwrap().solve(&rhs).unwrap();
+        for i in 0..n {
+            prop_assert!((x_re[i] - x_fresh[i]).abs() <= 1e-10 * (1.0 + x_fresh[i].abs()));
+        }
+    }
+
+    #[test]
+    fn singular_detection_parity(
+        n in 2usize..N_MAX,
+        row in 0usize..N_MAX,
+        off in proptest::collection::vec((0usize..N_MAX, 0usize..N_MAX, -5.0f64..5.0), 0..4 * N_MAX),
+        margin in proptest::collection::vec(0.5f64..4.0, N_MAX),
+    ) {
+        // Take a nonsingular system and zero out one row: both backends
+        // must report a singular matrix.
+        let row = row % n;
+        let (mut dense, _) = assemble(n, &off, &margin);
+        for j in 0..n {
+            dense[(row, j)] = 0.0;
+        }
+        let csr = CsrMat::from_dense(&dense);
+        let dense_singular = matches!(
+            Lu::factor(&dense).err(),
+            Some(MathError::SingularMatrix { .. })
+        );
+        let sparse_singular = matches!(
+            SparseLu::factor(&csr).err(),
+            Some(MathError::SingularMatrix { .. })
+        );
+        prop_assert!(dense_singular);
+        prop_assert!(sparse_singular);
+    }
+}

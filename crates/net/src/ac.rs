@@ -9,13 +9,14 @@
 //! the paper requires: the frequency-domain model derives from the same
 //! time-domain description.
 
+use crate::assembly::{MnaSystem, SolverBackend, Stamp};
 use crate::dcop::{DcSolution, GMIN};
 use crate::mna::{
     stamp_branch_kcl, stamp_branch_voltage, stamp_conductance, stamp_current, stamp_mos_ac,
     stamp_vccs, MnaLayout,
 };
 use crate::{Circuit, ElementId, ElementKind, NetError, NodeId};
-use ams_math::{Complex64, DMat, DVec, Lu};
+use ams_math::{Complex64, DVec};
 
 /// The complex solution of one AC frequency point.
 #[derive(Debug, Clone)]
@@ -59,34 +60,38 @@ impl AcSolution {
 
 /// Assembles the complex MNA matrix at angular frequency `omega`,
 /// linearized at the operating point `op`.
+///
+/// The stamp sequence is topology-determined (independent of `omega`),
+/// so the sparse pattern recorded at one frequency serves the entire
+/// sweep and every later factorization is a numeric refactor.
 pub(crate) fn assemble_ac(
     ckt: &Circuit,
     layout: &MnaLayout,
     op: &DcSolution,
     switches: &[bool],
     omega: f64,
-    mat: &mut DMat<Complex64>,
+    st: &mut dyn Stamp<Complex64>,
 ) {
     let jw = Complex64::new(0.0, omega);
     for (idx, e) in ckt.elements().iter().enumerate() {
         let eid = ElementId(idx);
         match &e.kind {
             ElementKind::Resistor { ohms } => {
-                stamp_conductance(layout, mat, e.p, e.n, Complex64::from_real(1.0 / ohms));
+                stamp_conductance(layout, st, e.p, e.n, Complex64::from_real(1.0 / ohms));
             }
             ElementKind::Capacitor { farads, .. } => {
-                stamp_conductance(layout, mat, e.p, e.n, jw * *farads);
+                stamp_conductance(layout, st, e.p, e.n, jw * *farads);
             }
             ElementKind::Inductor { henries, .. } => {
                 let b = layout.branch_var(eid).expect("inductor branch");
-                stamp_branch_kcl(layout, mat, e.p, e.n, b);
-                stamp_branch_voltage(layout, mat, b, e.p, e.n, Complex64::ONE);
-                mat[(b, b)] -= jw * *henries;
+                stamp_branch_kcl(layout, st, e.p, e.n, b);
+                stamp_branch_voltage(layout, st, b, e.p, e.n, Complex64::ONE);
+                st.mat(b, b, -(jw * *henries));
             }
             ElementKind::VoltageSource { .. } => {
                 let b = layout.branch_var(eid).expect("vsource branch");
-                stamp_branch_kcl(layout, mat, e.p, e.n, b);
-                stamp_branch_voltage(layout, mat, b, e.p, e.n, Complex64::ONE);
+                stamp_branch_kcl(layout, st, e.p, e.n, b);
+                stamp_branch_voltage(layout, st, b, e.p, e.n, Complex64::ONE);
                 // RHS handled by the caller (stimulus).
             }
             ElementKind::CurrentSource { .. } => {
@@ -95,38 +100,38 @@ pub(crate) fn assemble_ac(
             }
             ElementKind::Vcvs { cp, cn, gain } => {
                 let b = layout.branch_var(eid).expect("vcvs branch");
-                stamp_branch_kcl(layout, mat, e.p, e.n, b);
-                stamp_branch_voltage(layout, mat, b, e.p, e.n, Complex64::ONE);
-                stamp_branch_voltage(layout, mat, b, *cp, *cn, Complex64::from_real(-*gain));
+                stamp_branch_kcl(layout, st, e.p, e.n, b);
+                stamp_branch_voltage(layout, st, b, e.p, e.n, Complex64::ONE);
+                stamp_branch_voltage(layout, st, b, *cp, *cn, Complex64::from_real(-*gain));
             }
             ElementKind::Vccs { cp, cn, gm } => {
-                stamp_vccs(layout, mat, e.p, e.n, *cp, *cn, Complex64::from_real(*gm));
+                stamp_vccs(layout, st, e.p, e.n, *cp, *cn, Complex64::from_real(*gm));
             }
             ElementKind::Cccs { ctrl, gain } => {
                 let cb = layout.branch_var(*ctrl).expect("validated control");
                 if let Some(ip) = layout.node_var(e.p) {
-                    mat[(ip, cb)] += Complex64::from_real(*gain);
+                    st.mat(ip, cb, Complex64::from_real(*gain));
                 }
                 if let Some(in_) = layout.node_var(e.n) {
-                    mat[(in_, cb)] -= Complex64::from_real(*gain);
+                    st.mat(in_, cb, Complex64::from_real(-*gain));
                 }
             }
             ElementKind::Ccvs { ctrl, r } => {
                 let b = layout.branch_var(eid).expect("ccvs branch");
                 let cb = layout.branch_var(*ctrl).expect("validated control");
-                stamp_branch_kcl(layout, mat, e.p, e.n, b);
-                stamp_branch_voltage(layout, mat, b, e.p, e.n, Complex64::ONE);
-                mat[(b, cb)] -= Complex64::from_real(*r);
+                stamp_branch_kcl(layout, st, e.p, e.n, b);
+                stamp_branch_voltage(layout, st, b, e.p, e.n, Complex64::ONE);
+                st.mat(b, cb, Complex64::from_real(-*r));
             }
             ElementKind::Diode { .. } => {
                 let g = op.diode_ops[idx].map(|d| d.g).unwrap_or(0.0);
-                stamp_conductance(layout, mat, e.p, e.n, Complex64::from_real(g + GMIN));
+                stamp_conductance(layout, st, e.p, e.n, Complex64::from_real(g + GMIN));
             }
             ElementKind::Nmos { gate, .. } => {
                 if let Some(mos) = op.nmos_ops[idx] {
-                    stamp_mos_ac(layout, mat, e.p, *gate, e.n, &mos);
+                    stamp_mos_ac(layout, st, e.p, *gate, e.n, &mos);
                 }
-                stamp_conductance(layout, mat, e.p, e.n, Complex64::from_real(GMIN));
+                stamp_conductance(layout, st, e.p, e.n, Complex64::from_real(GMIN));
             }
             ElementKind::Switch { r_on, r_off, .. } => {
                 let r = if switches.get(idx).copied().unwrap_or(false) {
@@ -134,22 +139,22 @@ pub(crate) fn assemble_ac(
                 } else {
                     *r_off
                 };
-                stamp_conductance(layout, mat, e.p, e.n, Complex64::from_real(1.0 / r));
+                stamp_conductance(layout, st, e.p, e.n, Complex64::from_real(1.0 / r));
             }
         }
     }
 }
 
 /// Builds the AC stimulus right-hand side from sources' `ac_mag`.
-pub(crate) fn assemble_ac_rhs(ckt: &Circuit, layout: &MnaLayout, rhs: &mut DVec<Complex64>) {
+pub(crate) fn assemble_ac_rhs(ckt: &Circuit, layout: &MnaLayout, st: &mut dyn Stamp<Complex64>) {
     for (idx, e) in ckt.elements().iter().enumerate() {
         match &e.kind {
             ElementKind::VoltageSource { ac_mag, .. } if *ac_mag != 0.0 => {
                 let b = layout.branch_var(ElementId(idx)).expect("vsource branch");
-                rhs[b] += Complex64::from_real(*ac_mag);
+                st.rhs(b, Complex64::from_real(*ac_mag));
             }
             ElementKind::CurrentSource { ac_mag, .. } if *ac_mag != 0.0 => {
-                stamp_current(layout, rhs, e.p, e.n, Complex64::from_real(*ac_mag));
+                stamp_current(layout, st, e.p, e.n, Complex64::from_real(*ac_mag));
             }
             _ => {}
         }
@@ -166,20 +171,38 @@ impl Circuit {
     /// * [`NetError::Singular`] for unsolvable topologies.
     /// * Propagates factorization failures.
     pub fn ac_sweep(&self, op: &DcSolution, freqs_hz: &[f64]) -> Result<Vec<AcSolution>, NetError> {
+        self.ac_sweep_with(op, freqs_hz, SolverBackend::Auto)
+    }
+
+    /// [`Circuit::ac_sweep`] with an explicit linear-solver backend. On
+    /// the sparse backend the symbolic analysis runs once for the whole
+    /// sweep; every frequency point is a numeric refactor over the cached
+    /// pattern.
+    ///
+    /// # Errors
+    ///
+    /// See [`Circuit::ac_sweep`].
+    pub fn ac_sweep_with(
+        &self,
+        op: &DcSolution,
+        freqs_hz: &[f64],
+        backend: SolverBackend,
+    ) -> Result<Vec<AcSolution>, NetError> {
         let layout = MnaLayout::build(self);
         let switches = self.initial_switch_states();
         let n = layout.n_unknowns;
         let mut out = Vec::with_capacity(freqs_hz.len());
-        let mut mat = DMat::<Complex64>::zeros(n, n);
-        let mut rhs = DVec::<Complex64>::zeros(n);
+        let mut sys = MnaSystem::<Complex64>::new(n, backend.use_sparse(n), |st| {
+            assemble_ac(self, &layout, op, &switches, 1.0, st)
+        });
         for &f in freqs_hz {
             let omega = 2.0 * std::f64::consts::PI * f;
-            mat.fill_zero();
-            rhs.fill_zero();
-            assemble_ac(self, &layout, op, &switches, omega, &mut mat);
-            assemble_ac_rhs(self, &layout, &mut rhs);
-            let lu = Lu::factor(&mat).map_err(NetError::from)?;
-            let x = lu.solve(&rhs).map_err(NetError::from)?;
+            sys.assemble(|st| {
+                assemble_ac(self, &layout, op, &switches, omega, st);
+                assemble_ac_rhs(self, &layout, st);
+            });
+            sys.factor(true)?;
+            let x = sys.solve_rhs()?;
             out.push(AcSolution {
                 layout: layout.clone(),
                 x,

@@ -8,13 +8,14 @@
 //! junction limiting, falling back to gmin stepping and source stepping
 //! when plain Newton fails.
 
+use crate::assembly::{MnaSystem, SolverBackend, Stamp};
 use crate::devices::{nmos_linearize, NmosOp};
 use crate::mna::{
     stamp_branch_kcl, stamp_branch_voltage, stamp_conductance, stamp_current, stamp_mos,
     stamp_vccs, MnaLayout,
 };
 use crate::{Circuit, ElementId, ElementKind, NetError, NodeId};
-use ams_math::{DMat, DVec, Lu};
+use ams_math::{DVec, SolveStats};
 
 /// Thermal voltage at 300 K.
 pub(crate) const VT: f64 = 0.02585;
@@ -76,6 +77,9 @@ pub struct DcSolution {
     pub(crate) nmos_ops: Vec<Option<NmosOp>>,
     /// Newton iterations used by the successful attempt.
     pub iterations: usize,
+    /// Linear-solver counters accumulated over every attempt (including
+    /// failed gmin/source-stepping ones).
+    pub solve: SolveStats,
 }
 
 impl DcSolution {
@@ -197,18 +201,55 @@ impl Circuit {
         ext: &[f64],
         switches: &[bool],
     ) -> Result<DcSolution, NetError> {
+        self.dc_operating_point_with_backend(ext, switches, SolverBackend::default())
+    }
+
+    /// Solves the DC operating point on an explicit solver backend.
+    ///
+    /// The sparse backend records the MNA sparsity pattern once and
+    /// reuses its symbolic analysis across every Newton iteration and
+    /// every gmin/source-stepping attempt.
+    ///
+    /// # Errors
+    ///
+    /// See [`Circuit::dc_operating_point`].
+    pub fn dc_operating_point_with_backend(
+        &self,
+        ext: &[f64],
+        switches: &[bool],
+        backend: SolverBackend,
+    ) -> Result<DcSolution, NetError> {
         let layout = MnaLayout::build(self);
         let opts = DcOptions::default();
+        let n = layout.n_unknowns;
+        // One system for all attempts: the stamp sequence (hence the
+        // pattern) does not depend on the iterate, gmin or source scale.
+        let zero = DVec::zeros(n);
+        let mut sys = MnaSystem::new(n, backend.use_sparse(n), |st| {
+            assemble_dc(self, &layout, &zero, ext, switches, 1.0, GMIN, st)
+        });
 
         // Attempt 1: plain Newton from zero.
-        if let Ok(sol) = dc_newton(self, &layout, ext, switches, 1.0, GMIN, None, &opts) {
+        if let Ok(sol) = dc_newton(
+            self, &layout, &mut sys, ext, switches, 1.0, GMIN, None, &opts,
+        ) {
             return Ok(sol);
         }
         // Attempt 2: gmin stepping.
         let mut guess: Option<DVec<f64>> = None;
         let mut ok = true;
         for exp in (-12..=-2).rev().map(|e| 10f64.powi(e)) {
-            match dc_newton(self, &layout, ext, switches, 1.0, exp, guess.take(), &opts) {
+            match dc_newton(
+                self,
+                &layout,
+                &mut sys,
+                ext,
+                switches,
+                1.0,
+                exp,
+                guess.take(),
+                &opts,
+            ) {
                 Ok(sol) => {
                     guess = Some(sol.x);
                 }
@@ -220,8 +261,17 @@ impl Circuit {
         }
         if ok {
             if let Some(g) = guess {
-                if let Ok(sol) = dc_newton(self, &layout, ext, switches, 1.0, GMIN, Some(g), &opts)
-                {
+                if let Ok(sol) = dc_newton(
+                    self,
+                    &layout,
+                    &mut sys,
+                    ext,
+                    switches,
+                    1.0,
+                    GMIN,
+                    Some(g),
+                    &opts,
+                ) {
                     return Ok(sol);
                 }
             }
@@ -233,6 +283,7 @@ impl Circuit {
             match dc_newton(
                 self,
                 &layout,
+                &mut sys,
                 ext,
                 switches,
                 scale,
@@ -244,7 +295,9 @@ impl Circuit {
                 Err(e) => return Err(e),
             }
         }
-        dc_newton(self, &layout, ext, switches, 1.0, GMIN, guess, &opts)
+        dc_newton(
+            self, &layout, &mut sys, ext, switches, 1.0, GMIN, guess, &opts,
+        )
     }
 
     /// Initial switch states, indexed by element position.
@@ -264,6 +317,7 @@ impl Circuit {
 pub(crate) fn dc_newton(
     ckt: &Circuit,
     layout: &MnaLayout,
+    sys: &mut MnaSystem<f64>,
     ext: &[f64],
     switches: &[bool],
     source_scale: f64,
@@ -277,26 +331,12 @@ pub(crate) fn dc_newton(
         x = DVec::zeros(n);
     }
     let nonlinear = ckt.elements().iter().any(|e| e.is_nonlinear());
-    let mut mat = DMat::zeros(n, n);
-    let mut rhs = DVec::zeros(n);
 
     let max_iter = if nonlinear { opts.max_iter } else { 2 };
     for iter in 1..=max_iter {
-        mat.fill_zero();
-        rhs.fill_zero();
-        assemble_dc(
-            ckt,
-            layout,
-            &x,
-            ext,
-            switches,
-            source_scale,
-            gmin,
-            &mut mat,
-            &mut rhs,
-        );
-        let lu = Lu::factor(&mat).map_err(NetError::from)?;
-        let x_new = lu.solve(&rhs).map_err(NetError::from)?;
+        sys.assemble(|st| assemble_dc(ckt, layout, &x, ext, switches, source_scale, gmin, st));
+        sys.factor(true)?;
+        let x_new = sys.solve_rhs()?;
 
         // Junction limiting on diode voltages.
         let mut x_lim = x_new.clone();
@@ -341,6 +381,7 @@ pub(crate) fn dc_newton(
                 diode_ops,
                 nmos_ops,
                 iterations: iter,
+                solve: sys.stats(),
             });
         }
         if !finite {
@@ -402,6 +443,11 @@ pub(crate) fn compute_diode_ops(
 }
 
 /// Assembles the DC-linearized MNA system at the given iterate.
+///
+/// The stamp-call sequence is data-independent (it depends only on the
+/// circuit topology), which is what makes the recorded sparsity pattern
+/// and stamp pointers of the sparse backend valid for every iterate,
+/// gmin and source scale.
 #[allow(clippy::too_many_arguments)]
 pub(crate) fn assemble_dc(
     ckt: &Circuit,
@@ -411,52 +457,51 @@ pub(crate) fn assemble_dc(
     switches: &[bool],
     source_scale: f64,
     gmin: f64,
-    mat: &mut DMat<f64>,
-    rhs: &mut DVec<f64>,
+    st: &mut dyn Stamp<f64>,
 ) {
     for (idx, e) in ckt.elements().iter().enumerate() {
         let eid = ElementId(idx);
         match &e.kind {
             ElementKind::Resistor { ohms } => {
-                stamp_conductance(layout, mat, e.p, e.n, 1.0 / ohms);
+                stamp_conductance(layout, st, e.p, e.n, 1.0 / ohms);
             }
             ElementKind::Capacitor { .. } => {
                 // Open at DC; tiny gmin keeps otherwise-floating nodes solvable.
-                stamp_conductance(layout, mat, e.p, e.n, GMIN);
+                stamp_conductance(layout, st, e.p, e.n, GMIN);
             }
             ElementKind::Inductor { .. } => {
                 // Short at DC: branch with V(p) − V(n) = 0.
                 let b = layout.branch_var(eid).expect("inductor has a branch");
-                stamp_branch_kcl(layout, mat, e.p, e.n, b);
-                stamp_branch_voltage(layout, mat, b, e.p, e.n, 1.0);
+                stamp_branch_kcl(layout, st, e.p, e.n, b);
+                stamp_branch_voltage(layout, st, b, e.p, e.n, 1.0);
             }
             ElementKind::VoltageSource { wave, .. } => {
                 let b = layout.branch_var(eid).expect("vsource has a branch");
-                stamp_branch_kcl(layout, mat, e.p, e.n, b);
-                stamp_branch_voltage(layout, mat, b, e.p, e.n, 1.0);
-                rhs[b] += source_scale * wave.dc_value(ext);
+                stamp_branch_kcl(layout, st, e.p, e.n, b);
+                stamp_branch_voltage(layout, st, b, e.p, e.n, 1.0);
+                st.rhs(b, source_scale * wave.dc_value(ext));
             }
             ElementKind::CurrentSource { wave, .. } => {
-                stamp_current(layout, rhs, e.p, e.n, source_scale * wave.dc_value(ext));
+                stamp_current(layout, st, e.p, e.n, source_scale * wave.dc_value(ext));
             }
             ElementKind::Vcvs { cp, cn, gain } => {
                 let b = layout.branch_var(eid).expect("vcvs has a branch");
-                stamp_branch_kcl(layout, mat, e.p, e.n, b);
-                stamp_branch_voltage(layout, mat, b, e.p, e.n, 1.0);
-                stamp_branch_voltage(layout, mat, b, *cp, *cn, -*gain);
+                stamp_branch_kcl(layout, st, e.p, e.n, b);
+                stamp_branch_voltage(layout, st, b, e.p, e.n, 1.0);
+                stamp_branch_voltage(layout, st, b, *cp, *cn, -*gain);
             }
             ElementKind::Vccs { cp, cn, gm } => {
-                stamp_vccs(layout, mat, e.p, e.n, *cp, *cn, *gm);
+                stamp_vccs(layout, st, e.p, e.n, *cp, *cn, *gm);
             }
             ElementKind::Cccs { ctrl, gain } => {
                 let cb = layout
                     .branch_var(*ctrl)
                     .expect("controlling element validated at construction");
                 if let Some(ip) = layout.node_var(e.p) {
-                    mat[(ip, cb)] += *gain;
+                    st.mat(ip, cb, *gain);
                 }
                 if let Some(in_) = layout.node_var(e.n) {
-                    mat[(in_, cb)] -= *gain;
+                    st.mat(in_, cb, -*gain);
                 }
             }
             ElementKind::Ccvs { ctrl, r } => {
@@ -464,16 +509,16 @@ pub(crate) fn assemble_dc(
                 let cb = layout
                     .branch_var(*ctrl)
                     .expect("controlling element validated at construction");
-                stamp_branch_kcl(layout, mat, e.p, e.n, b);
-                stamp_branch_voltage(layout, mat, b, e.p, e.n, 1.0);
-                mat[(b, cb)] -= *r;
+                stamp_branch_kcl(layout, st, e.p, e.n, b);
+                stamp_branch_voltage(layout, st, b, e.p, e.n, 1.0);
+                st.mat(b, cb, -*r);
             }
             ElementKind::Diode { is_sat, n } => {
                 let v = branch_voltage(layout, x, e.p, e.n);
                 let (i, g) = diode_iv(v, *is_sat, *n);
                 // Companion: i ≈ g·v + (i₀ − g·v₀).
-                stamp_conductance(layout, mat, e.p, e.n, g + gmin);
-                stamp_current(layout, rhs, e.p, e.n, i - g * v);
+                stamp_conductance(layout, st, e.p, e.n, g + gmin);
+                stamp_current(layout, st, e.p, e.n, i - g * v);
             }
             ElementKind::Nmos {
                 gate,
@@ -485,8 +530,8 @@ pub(crate) fn assemble_dc(
                 let vd = layout.node_var(e.p).map_or(0.0, |i| x[i]);
                 let vs = layout.node_var(e.n).map_or(0.0, |i| x[i]);
                 let op = nmos_linearize(vg, vd, vs, *kp, *vt, *lambda);
-                stamp_mos(layout, mat, rhs, e.p, *gate, e.n, &op, vg, vd, vs);
-                stamp_conductance(layout, mat, e.p, e.n, gmin);
+                stamp_mos(layout, st, e.p, *gate, e.n, &op, vg, vd, vs);
+                stamp_conductance(layout, st, e.p, e.n, gmin);
             }
             ElementKind::Switch { r_on, r_off, .. } => {
                 let r = if switches.get(idx).copied().unwrap_or(false) {
@@ -494,7 +539,7 @@ pub(crate) fn assemble_dc(
                 } else {
                     *r_off
                 };
-                stamp_conductance(layout, mat, e.p, e.n, 1.0 / r);
+                stamp_conductance(layout, st, e.p, e.n, 1.0 / r);
             }
         }
     }

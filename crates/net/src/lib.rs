@@ -44,6 +44,7 @@
 #![warn(missing_docs)]
 
 mod ac;
+mod assembly;
 mod circuit;
 mod dcop;
 mod devices;
@@ -54,6 +55,7 @@ mod noise;
 mod transient;
 
 pub use ac::AcSolution;
+pub use assembly::SolverBackend;
 pub use circuit::{Circuit, Element, ElementId, ElementKind, InputId, NodeId, Waveform};
 pub use dcop::DcSolution;
 pub use error::NetError;

@@ -8,8 +8,9 @@
 //! solvers (DC, transient, AC) share this layout and these stamps; only
 //! the element models differ per analysis.
 
+use crate::assembly::Stamp;
 use crate::{Circuit, ElementId, NodeId};
-use ams_math::{DMat, DVec, Scalar};
+use ams_math::Scalar;
 
 /// The unknown layout shared by every analysis of one circuit.
 #[derive(Debug, Clone)]
@@ -62,7 +63,7 @@ impl MnaLayout {
 /// Stamps a conductance `g` between nodes `p` and `n`.
 pub(crate) fn stamp_conductance<T: Scalar>(
     layout: &MnaLayout,
-    mat: &mut DMat<T>,
+    st: &mut dyn Stamp<T>,
     p: NodeId,
     n: NodeId,
     g: T,
@@ -70,14 +71,14 @@ pub(crate) fn stamp_conductance<T: Scalar>(
     let vp = layout.node_var(p);
     let vn = layout.node_var(n);
     if let Some(i) = vp {
-        mat[(i, i)] += g;
+        st.mat(i, i, g);
     }
     if let Some(j) = vn {
-        mat[(j, j)] += g;
+        st.mat(j, j, g);
     }
     if let (Some(i), Some(j)) = (vp, vn) {
-        mat[(i, j)] -= g;
-        mat[(j, i)] -= g;
+        st.mat(i, j, -g);
+        st.mat(j, i, -g);
     }
 }
 
@@ -85,16 +86,16 @@ pub(crate) fn stamp_conductance<T: Scalar>(
 /// (i.e. extracted from node `p`, injected into node `n`).
 pub(crate) fn stamp_current<T: Scalar>(
     layout: &MnaLayout,
-    rhs: &mut DVec<T>,
+    st: &mut dyn Stamp<T>,
     p: NodeId,
     n: NodeId,
     i: T,
 ) {
     if let Some(ip) = layout.node_var(p) {
-        rhs[ip] -= i;
+        st.rhs(ip, -i);
     }
     if let Some(in_) = layout.node_var(n) {
-        rhs[in_] += i;
+        st.rhs(in_, i);
     }
 }
 
@@ -102,16 +103,16 @@ pub(crate) fn stamp_current<T: Scalar>(
 /// `branch`): current `ib` leaves node `p` and enters node `n`.
 pub(crate) fn stamp_branch_kcl<T: Scalar>(
     layout: &MnaLayout,
-    mat: &mut DMat<T>,
+    st: &mut dyn Stamp<T>,
     p: NodeId,
     n: NodeId,
     branch: usize,
 ) {
     if let Some(ip) = layout.node_var(p) {
-        mat[(ip, branch)] += T::ONE;
+        st.mat(ip, branch, T::ONE);
     }
     if let Some(in_) = layout.node_var(n) {
-        mat[(in_, branch)] -= T::ONE;
+        st.mat(in_, branch, -T::ONE);
     }
 }
 
@@ -119,17 +120,17 @@ pub(crate) fn stamp_branch_kcl<T: Scalar>(
 /// `V(n)` in equation `row`.
 pub(crate) fn stamp_branch_voltage<T: Scalar>(
     layout: &MnaLayout,
-    mat: &mut DMat<T>,
+    st: &mut dyn Stamp<T>,
     row: usize,
     p: NodeId,
     n: NodeId,
     c: T,
 ) {
     if let Some(ip) = layout.node_var(p) {
-        mat[(row, ip)] += c;
+        st.mat(row, ip, c);
     }
     if let Some(in_) = layout.node_var(n) {
-        mat[(row, in_)] -= c;
+        st.mat(row, in_, -c);
     }
 }
 
@@ -137,7 +138,7 @@ pub(crate) fn stamp_branch_voltage<T: Scalar>(
 /// `n`.
 pub(crate) fn stamp_vccs<T: Scalar>(
     layout: &MnaLayout,
-    mat: &mut DMat<T>,
+    st: &mut dyn Stamp<T>,
     p: NodeId,
     n: NodeId,
     cp: NodeId,
@@ -153,7 +154,7 @@ pub(crate) fn stamp_vccs<T: Scalar>(
         if let Some(ri) = r {
             for (c, cs) in cols {
                 if let Some(ci) = c {
-                    mat[(ri, ci)] += gm * rs * cs;
+                    st.mat(ri, ci, gm * rs * cs);
                 }
             }
         }
@@ -166,8 +167,7 @@ pub(crate) fn stamp_vccs<T: Scalar>(
 #[allow(clippy::too_many_arguments)]
 pub(crate) fn stamp_mos(
     layout: &MnaLayout,
-    mat: &mut DMat<f64>,
-    rhs: &mut DVec<f64>,
+    st: &mut dyn Stamp<f64>,
     d: NodeId,
     g: NodeId,
     s: NodeId,
@@ -185,20 +185,20 @@ pub(crate) fn stamp_mos(
         if let Some(r) = layout.node_var(row_node) {
             for (col, a) in cols {
                 if let Some(cc) = col {
-                    mat[(r, cc)] += sign * a;
+                    st.mat(r, cc, sign * a);
                 }
             }
         }
     }
     let ieq = op.id - op.a_g * vg - op.a_d * vd - op.a_s * vs;
-    stamp_current(layout, rhs, d, s, ieq);
+    stamp_current(layout, st, d, s, ieq);
 }
 
 /// Complex variant for AC analysis (the linearization is real; only the
 /// matrix is complex).
 pub(crate) fn stamp_mos_ac(
     layout: &MnaLayout,
-    mat: &mut DMat<ams_math::Complex64>,
+    st: &mut dyn Stamp<ams_math::Complex64>,
     d: NodeId,
     g: NodeId,
     s: NodeId,
@@ -214,7 +214,7 @@ pub(crate) fn stamp_mos_ac(
         if let Some(r) = layout.node_var(row_node) {
             for (col, a) in cols {
                 if let Some(cc) = col {
-                    mat[(r, cc)] += Complex64::from_real(sign * a);
+                    st.mat(r, cc, Complex64::from_real(sign * a));
                 }
             }
         }
@@ -224,6 +224,7 @@ pub(crate) fn stamp_mos_ac(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::assembly::DenseStamp;
     use crate::Circuit;
     use ams_math::{DMat, DVec};
 
@@ -252,14 +253,24 @@ mod tests {
         let b = ckt.node("b");
         let layout = MnaLayout::build(&ckt);
         let mut m: DMat<f64> = DMat::zeros(2, 2);
-        stamp_conductance(&layout, &mut m, a, b, 0.5);
+        let mut rhs: DVec<f64> = DVec::zeros(2);
+        let mut st = DenseStamp {
+            mat: &mut m,
+            rhs: &mut rhs,
+        };
+        stamp_conductance(&layout, &mut st, a, b, 0.5);
         assert_eq!(m[(0, 0)], 0.5);
         assert_eq!(m[(1, 1)], 0.5);
         assert_eq!(m[(0, 1)], -0.5);
         assert_eq!(m[(1, 0)], -0.5);
         // Grounded stamp only touches the diagonal.
         let mut m2: DMat<f64> = DMat::zeros(2, 2);
-        stamp_conductance(&layout, &mut m2, a, Circuit::GROUND, 2.0);
+        let mut rhs2: DVec<f64> = DVec::zeros(2);
+        let mut st2 = DenseStamp {
+            mat: &mut m2,
+            rhs: &mut rhs2,
+        };
+        stamp_conductance(&layout, &mut st2, a, Circuit::GROUND, 2.0);
         assert_eq!(m2[(0, 0)], 2.0);
         assert_eq!(m2[(0, 1)], 0.0);
     }
@@ -269,9 +280,14 @@ mod tests {
         let mut ckt = Circuit::new();
         let a = ckt.node("a");
         let layout = MnaLayout::build(&ckt);
+        let mut m: DMat<f64> = DMat::zeros(1, 1);
         let mut rhs: DVec<f64> = DVec::zeros(1);
+        let mut st = DenseStamp {
+            mat: &mut m,
+            rhs: &mut rhs,
+        };
         // 1 A from ground into node a (p = ground, n = a).
-        stamp_current(&layout, &mut rhs, Circuit::GROUND, a, 1.0);
+        stamp_current(&layout, &mut st, Circuit::GROUND, a, 1.0);
         assert_eq!(rhs[0], 1.0);
     }
 
@@ -282,9 +298,14 @@ mod tests {
         let cp = ckt.node("cp");
         let layout = MnaLayout::build(&ckt);
         let mut m: DMat<f64> = DMat::zeros(2, 2);
+        let mut rhs: DVec<f64> = DVec::zeros(2);
+        let mut st = DenseStamp {
+            mat: &mut m,
+            rhs: &mut rhs,
+        };
         stamp_vccs(
             &layout,
-            &mut m,
+            &mut st,
             p,
             Circuit::GROUND,
             cp,

@@ -9,10 +9,11 @@
 //! a single solve.
 
 use crate::ac::assemble_ac;
+use crate::assembly::{MnaSystem, SolverBackend};
 use crate::dcop::DcSolution;
 use crate::mna::MnaLayout;
 use crate::{Circuit, ElementKind, NetError, NodeId};
-use ams_math::{Complex64, DMat, DVec, Lu};
+use ams_math::{Complex64, DVec};
 
 /// Boltzmann constant (J/K).
 pub const BOLTZMANN: f64 = 1.380_649e-23;
@@ -86,6 +87,25 @@ impl Circuit {
         output: NodeId,
         freqs_hz: &[f64],
     ) -> Result<NoiseAnalysis, NetError> {
+        self.noise_analysis_with(op, output, freqs_hz, SolverBackend::Auto)
+    }
+
+    /// [`Circuit::noise_analysis`] with an explicit linear-solver
+    /// backend. The sparse backend solves the adjoint system directly
+    /// over the factors of `A` (a transpose solve) — the matrix is never
+    /// explicitly transposed and the symbolic analysis is shared by the
+    /// whole sweep.
+    ///
+    /// # Errors
+    ///
+    /// See [`Circuit::noise_analysis`].
+    pub fn noise_analysis_with(
+        &self,
+        op: &DcSolution,
+        output: NodeId,
+        freqs_hz: &[f64],
+        backend: SolverBackend,
+    ) -> Result<NoiseAnalysis, NetError> {
         let layout = MnaLayout::build(self);
         let out_var = layout.node_var(output).ok_or(NetError::UnknownNode {
             index: output.index(),
@@ -123,18 +143,18 @@ impl Circuit {
         }
 
         let mut points = Vec::with_capacity(freqs_hz.len());
-        let mut mat = DMat::<Complex64>::zeros(n, n);
+        let mut sys = MnaSystem::<Complex64>::new(n, backend.use_sparse(n), |st| {
+            assemble_ac(self, &layout, op, &switches, 1.0, st)
+        });
+        let mut e_out = DVec::<Complex64>::zeros(n);
+        e_out[out_var] = Complex64::ONE;
         for &f in freqs_hz {
             let omega = 2.0 * std::f64::consts::PI * f;
-            mat.fill_zero();
-            assemble_ac(self, &layout, op, &switches, omega, &mut mat);
+            sys.assemble(|st| assemble_ac(self, &layout, op, &switches, omega, st));
+            sys.factor(true)?;
             // Adjoint: solve Aᵀ·y = e_out; the transfer impedance from a
             // unit current injected from p→n to V(out) is y(n) − y(p).
-            let at = mat.transpose();
-            let lu = Lu::factor(&at).map_err(NetError::from)?;
-            let mut e_out = DVec::<Complex64>::zeros(n);
-            e_out[out_var] = Complex64::ONE;
-            let y = lu.solve(&e_out).map_err(NetError::from)?;
+            let y = sys.solve_transpose(&e_out)?;
 
             let mut total = 0.0;
             let mut contributions = Vec::with_capacity(generators.len());

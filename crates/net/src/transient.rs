@@ -13,6 +13,7 @@
 //!   and local-truncation-error-controlled variable steps
 //!   ([`TransientSolver::run_adaptive`]) — experiment E3.
 
+use crate::assembly::{MnaSystem, SolverBackend, Stamp};
 use crate::dcop::{diode_iv, DcOptions, GMIN};
 use crate::devices::nmos_linearize;
 use crate::mna::{
@@ -20,7 +21,7 @@ use crate::mna::{
     stamp_vccs, MnaLayout,
 };
 use crate::{Circuit, ElementId, ElementKind, NetError, NodeId};
-use ams_math::{DMat, DVec, Lu};
+use ams_math::{DVec, SolveStats};
 
 /// Integration rule for the companion models.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
@@ -44,6 +45,9 @@ pub struct TransientStats {
     pub newton_iterations: u64,
     /// Matrix factorizations performed (≪ steps on the linear fast path).
     pub factorizations: u64,
+    /// Linear-solver counters (sparse symbolic/numeric split, pattern
+    /// sizes, reused factorizations).
+    pub solve: SolveStats,
 }
 
 #[derive(Debug, Clone, Copy, Default)]
@@ -128,20 +132,27 @@ pub struct TransientSolver {
     /// Steps remaining that are forced to backward Euler (after
     /// discontinuities such as switch toggles).
     force_be: u32,
-    /// Cached factorization for the linear fast path.
-    cache: Option<LinearCache>,
+    /// The backing linear system (pattern, values, cached factors);
+    /// created lazily on the first assembly.
+    sys: Option<MnaSystem<f64>>,
+    /// `(h, method, switches)` of the factorization currently cached by
+    /// `sys` on the linear fast path.
+    factor_key: Option<FactorKey>,
+    /// Linear-solver backend selection (dense / sparse / size-based).
+    pub backend: SolverBackend,
     /// Set to disable factorization reuse (for benchmarking E5).
     pub reuse_factorization: bool,
     stats: TransientStats,
     initialized: bool,
 }
 
-#[derive(Debug, Clone)]
-struct LinearCache {
-    h: f64,
+/// Everything the linear-path system matrix depends on: step size,
+/// effective integration rule and switch states.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct FactorKey {
+    h_bits: u64,
     be: bool,
     switches: Vec<bool>,
-    lu: Lu<f64>,
 }
 
 impl TransientSolver {
@@ -166,7 +177,9 @@ impl TransientSolver {
             state: vec![EnergyState::default(); circuit.element_count()],
             nonlinear,
             force_be: 0,
-            cache: None,
+            sys: None,
+            factor_key: None,
+            backend: SolverBackend::default(),
             reuse_factorization: true,
             stats: TransientStats::default(),
             initialized: false,
@@ -178,9 +191,14 @@ impl TransientSolver {
         self.time
     }
 
-    /// Accumulated statistics.
+    /// Accumulated statistics (including the live linear-solver
+    /// counters).
     pub fn stats(&self) -> TransientStats {
-        self.stats
+        let mut s = self.stats;
+        if let Some(sys) = &self.sys {
+            s.solve.merge(&sys.stats());
+        }
+        s
     }
 
     /// Sets an external source input (takes effect from the next step).
@@ -204,7 +222,7 @@ impl TransientSolver {
                 if self.switches[elem.index()] != on {
                     self.switches[elem.index()] = on;
                     self.force_be = 1;
-                    self.cache = None;
+                    self.factor_key = None;
                 }
                 Ok(())
             }
@@ -291,7 +309,7 @@ impl TransientSolver {
         self.seed_state_from_solution(true);
         self.time = 0.0;
         self.initialized = true;
-        self.cache = None;
+        self.factor_key = None;
         Ok(())
     }
 
@@ -324,7 +342,7 @@ impl TransientSolver {
         self.time = 0.0;
         self.force_be = 1; // first step from possibly inconsistent state
         self.initialized = true;
-        self.cache = None;
+        self.factor_key = None;
         Ok(())
     }
 
@@ -381,23 +399,21 @@ impl TransientSolver {
         let be = self.force_be > 0 || matches!(self.method, IntegrationMethod::BackwardEuler);
         let t_new = self.time + h;
         let n = self.layout.n_unknowns;
-        let mut rhs = DVec::zeros(n);
 
         let x_new = if self.nonlinear {
             // Newton loop: reassemble and refactor each iteration.
-            let mut mat = DMat::zeros(n, n);
             let mut x_iter = self.x.clone();
             let opts = DcOptions::default();
             let mut converged = false;
             let mut iters = 0;
             for _ in 0..opts.max_iter {
                 iters += 1;
-                mat.fill_zero();
-                rhs.fill_zero();
-                self.assemble(&mut mat, &mut rhs, &x_iter, t_new, h, be);
-                let lu = Lu::factor(&mat).map_err(NetError::from)?;
-                self.stats.factorizations += 1;
-                let x_next = lu.solve(&rhs).map_err(NetError::from)?;
+                self.assemble_and_factor(&x_iter, t_new, h, be, self.reuse_factorization)?;
+                let x_next = self
+                    .sys
+                    .as_ref()
+                    .expect("system just assembled")
+                    .solve_rhs()?;
                 let mut done = true;
                 for i in 0..n {
                     let d = (x_next[i] - x_iter[i]).abs();
@@ -426,32 +442,67 @@ impl TransientSolver {
             x_iter
         } else {
             // Linear fast path: matrix depends only on (h, method, switches).
+            let key = FactorKey {
+                h_bits: h.to_bits(),
+                be,
+                switches: self.switches.clone(),
+            };
             let cache_ok = self.reuse_factorization
+                && self.factor_key.as_ref() == Some(&key)
                 && self
-                    .cache
+                    .sys
                     .as_ref()
-                    .is_some_and(|c| c.h == h && c.be == be && c.switches == self.switches);
+                    .is_some_and(|s| s.is_sparse() == self.backend.use_sparse(n));
             if !cache_ok {
-                let mut mat = DMat::zeros(n, n);
-                self.assemble(&mut mat, &mut rhs, &self.x.clone(), t_new, h, be);
-                let lu = Lu::factor(&mat).map_err(NetError::from)?;
-                self.stats.factorizations += 1;
-                self.cache = Some(LinearCache {
-                    h,
-                    be,
-                    switches: self.switches.clone(),
-                    lu,
-                });
-                rhs.fill_zero();
+                let x = self.x.clone();
+                self.assemble_and_factor(&x, t_new, h, be, self.reuse_factorization)?;
+                self.factor_key = Some(key);
             }
-            // (Re)build only the RHS.
-            self.assemble_rhs_only(&mut rhs, t_new, h, be);
+            // (Re)build only the RHS and reuse the cached factors.
+            let mut sys = self.sys.take().expect("system just ensured");
+            sys.assemble_rhs(|st| self.assemble_rhs_only(st, t_new, h, be));
+            let solved = sys.solve_rhs();
+            self.sys = Some(sys);
             self.stats.newton_iterations += 1;
-            let cache = self.cache.as_ref().expect("cache just ensured");
-            cache.lu.solve(&rhs).map_err(NetError::from)?
+            solved?
         };
 
         self.commit_step(x_new, t_new, h, be);
+        Ok(())
+    }
+
+    /// Shared assemble-then-factor step of both the Newton and the
+    /// linear paths: lazily creates the backing [`MnaSystem`] (recording
+    /// the sparsity pattern once — the stamp sequence is
+    /// topology-determined, so any state works), replays the assembly at
+    /// iterate `x`, and factors. With `allow_reuse`, bitwise-identical
+    /// matrix values provably reuse the cached factors.
+    fn assemble_and_factor(
+        &mut self,
+        x: &DVec<f64>,
+        t_new: f64,
+        h: f64,
+        be: bool,
+        allow_reuse: bool,
+    ) -> Result<(), NetError> {
+        let n = self.layout.n_unknowns;
+        let use_sparse = self.backend.use_sparse(n);
+        let mut sys = match self.sys.take() {
+            Some(s) if s.is_sparse() == use_sparse => s,
+            other => {
+                if let Some(old) = other {
+                    // Keep the counters of a system we are replacing.
+                    self.stats.solve.merge(&old.stats());
+                }
+                MnaSystem::new(n, use_sparse, |st| self.assemble(st, x, t_new, h, be))
+            }
+        };
+        sys.assemble(|st| self.assemble(st, x, t_new, h, be));
+        let factored = sys.factor(allow_reuse);
+        self.sys = Some(sys);
+        if factored? {
+            self.stats.factorizations += 1;
+        }
         Ok(())
     }
 
@@ -490,91 +541,87 @@ impl TransientSolver {
     }
 
     /// Assembles the full linearized system at candidate solution `x`.
-    fn assemble(
-        &self,
-        mat: &mut DMat<f64>,
-        rhs: &mut DVec<f64>,
-        x: &DVec<f64>,
-        t_new: f64,
-        h: f64,
-        be: bool,
-    ) {
+    ///
+    /// The stamp-call sequence depends only on the circuit topology (not
+    /// on `x`, the time, the step or the switch states), which keeps the
+    /// recorded sparse pattern and stamp pointers valid across steps.
+    fn assemble(&self, st: &mut dyn Stamp<f64>, x: &DVec<f64>, t_new: f64, h: f64, be: bool) {
         let layout = &self.layout;
         for (idx, e) in self.circuit.elements().iter().enumerate() {
             let eid = ElementId(idx);
             match &e.kind {
                 ElementKind::Resistor { ohms } => {
-                    stamp_conductance(layout, mat, e.p, e.n, 1.0 / ohms);
+                    stamp_conductance(layout, st, e.p, e.n, 1.0 / ohms);
                 }
                 ElementKind::Capacitor { farads, .. } => {
-                    let st = self.state[idx];
+                    let es = self.state[idx];
                     let (geq, ieq) = if be {
                         let g = farads / h;
-                        (g, g * st.v)
+                        (g, g * es.v)
                     } else {
                         let g = 2.0 * farads / h;
-                        (g, g * st.v + st.i)
+                        (g, g * es.v + es.i)
                     };
-                    stamp_conductance(layout, mat, e.p, e.n, geq);
+                    stamp_conductance(layout, st, e.p, e.n, geq);
                     // Norton source injecting Ieq into p.
-                    stamp_current(layout, rhs, e.n, e.p, ieq);
+                    stamp_current(layout, st, e.n, e.p, ieq);
                 }
                 ElementKind::Inductor { henries, .. } => {
                     let b = layout.branch_var(eid).expect("inductor branch");
-                    let st = self.state[idx];
-                    stamp_branch_kcl(layout, mat, e.p, e.n, b);
-                    stamp_branch_voltage(layout, mat, b, e.p, e.n, 1.0);
+                    let es = self.state[idx];
+                    stamp_branch_kcl(layout, st, e.p, e.n, b);
+                    stamp_branch_voltage(layout, st, b, e.p, e.n, 1.0);
                     if be {
                         let req = henries / h;
-                        mat[(b, b)] -= req;
-                        rhs[b] += -req * st.i;
+                        st.mat(b, b, -req);
+                        st.rhs(b, -req * es.i);
                     } else {
                         let req = 2.0 * henries / h;
-                        mat[(b, b)] -= req;
-                        rhs[b] += -req * st.i - st.v;
+                        st.mat(b, b, -req);
+                        st.rhs(b, -req * es.i - es.v);
                     }
                 }
                 ElementKind::VoltageSource { wave, .. } => {
                     let b = layout.branch_var(eid).expect("vsource branch");
-                    stamp_branch_kcl(layout, mat, e.p, e.n, b);
-                    stamp_branch_voltage(layout, mat, b, e.p, e.n, 1.0);
-                    rhs[b] += wave.value_at(t_new, &self.ext);
+                    stamp_branch_kcl(layout, st, e.p, e.n, b);
+                    stamp_branch_voltage(layout, st, b, e.p, e.n, 1.0);
+                    st.rhs(b, wave.value_at(t_new, &self.ext));
                 }
                 ElementKind::CurrentSource { wave, .. } => {
-                    stamp_current(layout, rhs, e.p, e.n, wave.value_at(t_new, &self.ext));
+                    stamp_current(layout, st, e.p, e.n, wave.value_at(t_new, &self.ext));
                 }
                 ElementKind::Vcvs { cp, cn, gain } => {
                     let b = layout.branch_var(eid).expect("vcvs branch");
-                    stamp_branch_kcl(layout, mat, e.p, e.n, b);
-                    stamp_branch_voltage(layout, mat, b, e.p, e.n, 1.0);
-                    stamp_branch_voltage(layout, mat, b, *cp, *cn, -*gain);
+                    stamp_branch_kcl(layout, st, e.p, e.n, b);
+                    stamp_branch_voltage(layout, st, b, e.p, e.n, 1.0);
+                    stamp_branch_voltage(layout, st, b, *cp, *cn, -*gain);
                 }
                 ElementKind::Vccs { cp, cn, gm } => {
-                    stamp_vccs(layout, mat, e.p, e.n, *cp, *cn, *gm);
+                    stamp_vccs(layout, st, e.p, e.n, *cp, *cn, *gm);
                 }
                 ElementKind::Cccs { ctrl, gain } => {
                     let cb = layout.branch_var(*ctrl).expect("validated control");
                     if let Some(ip) = layout.node_var(e.p) {
-                        mat[(ip, cb)] += *gain;
+                        st.mat(ip, cb, *gain);
                     }
                     if let Some(in_) = layout.node_var(e.n) {
-                        mat[(in_, cb)] -= *gain;
+                        st.mat(in_, cb, -*gain);
                     }
                 }
                 ElementKind::Ccvs { ctrl, r } => {
                     let b = layout.branch_var(eid).expect("ccvs branch");
                     let cb = layout.branch_var(*ctrl).expect("validated control");
-                    stamp_branch_kcl(layout, mat, e.p, e.n, b);
-                    stamp_branch_voltage(layout, mat, b, e.p, e.n, 1.0);
-                    mat[(b, cb)] -= *r;
+                    stamp_branch_kcl(layout, st, e.p, e.n, b);
+                    stamp_branch_voltage(layout, st, b, e.p, e.n, 1.0);
+                    st.mat(b, cb, -*r);
                 }
                 ElementKind::Diode { is_sat, n } => {
                     let vp = layout.node_var(e.p).map_or(0.0, |i| x[i]);
                     let vn = layout.node_var(e.n).map_or(0.0, |i| x[i]);
                     let v = vp - vn;
                     let (i, g) = diode_iv(v, *is_sat, *n);
-                    stamp_conductance(layout, mat, e.p, e.n, g + GMIN);
-                    stamp_current(layout, rhs, e.p, e.n, i - g * v);
+                    stamp_conductance(layout, st, e.p, e.n, g + GMIN);
+                    stamp_current(layout, st, e.p, e.n, i - g * v);
                 }
                 ElementKind::Nmos {
                     gate,
@@ -586,48 +633,47 @@ impl TransientSolver {
                     let vd = layout.node_var(e.p).map_or(0.0, |i| x[i]);
                     let vs = layout.node_var(e.n).map_or(0.0, |i| x[i]);
                     let op = nmos_linearize(vg, vd, vs, *kp, *vt, *lambda);
-                    stamp_mos(layout, mat, rhs, e.p, *gate, e.n, &op, vg, vd, vs);
-                    stamp_conductance(layout, mat, e.p, e.n, GMIN);
+                    stamp_mos(layout, st, e.p, *gate, e.n, &op, vg, vd, vs);
+                    stamp_conductance(layout, st, e.p, e.n, GMIN);
                 }
                 ElementKind::Switch { r_on, r_off, .. } => {
                     let r = if self.switches[idx] { *r_on } else { *r_off };
-                    stamp_conductance(layout, mat, e.p, e.n, 1.0 / r);
+                    stamp_conductance(layout, st, e.p, e.n, 1.0 / r);
                 }
             }
         }
     }
 
     /// Rebuilds only the RHS (linear fast path).
-    fn assemble_rhs_only(&self, rhs: &mut DVec<f64>, t_new: f64, h: f64, be: bool) {
-        rhs.fill_zero();
+    fn assemble_rhs_only(&self, st: &mut dyn Stamp<f64>, t_new: f64, h: f64, be: bool) {
         let layout = &self.layout;
         for (idx, e) in self.circuit.elements().iter().enumerate() {
             let eid = ElementId(idx);
             match &e.kind {
                 ElementKind::Capacitor { farads, .. } => {
-                    let st = self.state[idx];
+                    let es = self.state[idx];
                     let ieq = if be {
-                        farads / h * st.v
+                        farads / h * es.v
                     } else {
-                        2.0 * farads / h * st.v + st.i
+                        2.0 * farads / h * es.v + es.i
                     };
-                    stamp_current(layout, rhs, e.n, e.p, ieq);
+                    stamp_current(layout, st, e.n, e.p, ieq);
                 }
                 ElementKind::Inductor { henries, .. } => {
                     let b = layout.branch_var(eid).expect("inductor branch");
-                    let st = self.state[idx];
+                    let es = self.state[idx];
                     if be {
-                        rhs[b] += -(henries / h) * st.i;
+                        st.rhs(b, -(henries / h) * es.i);
                     } else {
-                        rhs[b] += -(2.0 * henries / h) * st.i - st.v;
+                        st.rhs(b, -(2.0 * henries / h) * es.i - es.v);
                     }
                 }
                 ElementKind::VoltageSource { wave, .. } => {
                     let b = layout.branch_var(eid).expect("vsource branch");
-                    rhs[b] += wave.value_at(t_new, &self.ext);
+                    st.rhs(b, wave.value_at(t_new, &self.ext));
                 }
                 ElementKind::CurrentSource { wave, .. } => {
-                    stamp_current(layout, rhs, e.p, e.n, wave.value_at(t_new, &self.ext));
+                    stamp_current(layout, st, e.p, e.n, wave.value_at(t_new, &self.ext));
                 }
                 _ => {}
             }

@@ -1,0 +1,195 @@
+//! Dense/sparse backend parity on the paper's Figure 1 line network.
+//!
+//! The F1 ADSL subscriber-line interface (Vd → Rp → line ∥ Cl → Rl →
+//! sub ∥ (Rs, Cs)) is the repo's reference netlist. Every analysis —
+//! DC, transient, AC, noise — must produce the same answer on the
+//! sparse backend as on the dense one, to well below solver tolerance,
+//! and the sparse path must actually engage (symbolic analysis run,
+//! numeric refactors over the cached pattern).
+
+use ams_net::{
+    Circuit, IntegrationMethod, Multiphysics, NodeId, SolverBackend, TransientSolver, Waveform,
+};
+
+/// Figure 1 line network. `sine_drive` selects the stimulus: a 5 kHz
+/// sine source for transient runs, or a unit-magnitude AC source for
+/// DC/AC/noise. Returns the circuit plus the probe nodes.
+fn f1_line(sine_drive: bool) -> (Circuit, NodeId, NodeId, NodeId) {
+    let mut ckt = Circuit::new();
+    let drive = ckt.node("drive");
+    let line = ckt.node("line");
+    let sub = ckt.node("sub");
+    if sine_drive {
+        ckt.voltage_source_wave(
+            "Vd",
+            drive,
+            Circuit::GROUND,
+            Waveform::Sine {
+                offset: 0.0,
+                ampl: 1.0,
+                freq: 5e3,
+                phase: 0.0,
+            },
+        )
+        .unwrap();
+    } else {
+        ckt.voltage_source_ac("Vd", drive, Circuit::GROUND, 0.0, 1.0)
+            .unwrap();
+    }
+    ckt.resistor("Rp", drive, line, 50.0).unwrap();
+    ckt.capacitor("Cl", line, Circuit::GROUND, 20e-9).unwrap();
+    ckt.resistor("Rl", line, sub, 130.0).unwrap();
+    ckt.resistor("Rs", sub, Circuit::GROUND, 600.0).unwrap();
+    ckt.capacitor("Cs", sub, Circuit::GROUND, 10e-9).unwrap();
+    (ckt, drive, line, sub)
+}
+
+#[test]
+fn dc_parity_on_f1() {
+    let (ckt, drive, line, sub) = f1_line(false);
+    let ext: Vec<f64> = vec![];
+    let switches = vec![false; ckt.elements().len()];
+    let dense = ckt
+        .dc_operating_point_with_backend(&ext, &switches, SolverBackend::Dense)
+        .unwrap();
+    let sparse = ckt
+        .dc_operating_point_with_backend(&ext, &switches, SolverBackend::Sparse)
+        .unwrap();
+    for node in [drive, line, sub] {
+        assert!(
+            (dense.voltage(node) - sparse.voltage(node)).abs() <= 1e-12,
+            "node {}: dense {} vs sparse {}",
+            node.index(),
+            dense.voltage(node),
+            sparse.voltage(node)
+        );
+    }
+    assert!(
+        sparse.solve.symbolic_analyses >= 1,
+        "sparse backend must have run a symbolic analysis"
+    );
+    assert_eq!(
+        dense.solve.symbolic_analyses, 0,
+        "dense backend must not touch sparse counters"
+    );
+}
+
+#[test]
+fn transient_sparse_matches_dense_on_f1() {
+    let (ckt, _, line, sub) = f1_line(true);
+    let run = |backend: SolverBackend| {
+        let mut tr = TransientSolver::new(&ckt, IntegrationMethod::Trapezoidal).unwrap();
+        tr.backend = backend;
+        tr.initialize_dc().unwrap();
+        let mut trace = Vec::new();
+        tr.run(200e-6, 0.5e-6, |s| {
+            trace.push((s.voltage(line), s.voltage(sub)));
+        })
+        .unwrap();
+        (trace, tr.stats())
+    };
+    let (dense, dense_stats) = run(SolverBackend::Dense);
+    let (sparse, sparse_stats) = run(SolverBackend::Sparse);
+    assert_eq!(dense.len(), sparse.len());
+    for (i, ((dl, ds), (sl, ss))) in dense.iter().zip(&sparse).enumerate() {
+        assert!(
+            (dl - sl).abs() <= 1e-12 && (ds - ss).abs() <= 1e-12,
+            "step {i}: dense ({dl}, {ds}) vs sparse ({sl}, {ss})"
+        );
+    }
+    assert!(
+        sparse_stats.solve.symbolic_analyses >= 1,
+        "sparse transient must have built a symbolic factorization"
+    );
+    assert_eq!(dense_stats.solve.symbolic_analyses, 0);
+    // Linear circuit, fixed step: the LTI fast path must hold on both
+    // backends — at most 2 factorizations (DC init + first step).
+    assert!(
+        dense_stats.factorizations <= 2 && sparse_stats.factorizations <= 2,
+        "LTI fast path: dense {} / sparse {} factorizations",
+        dense_stats.factorizations,
+        sparse_stats.factorizations
+    );
+}
+
+#[test]
+fn ac_parity_on_f1() {
+    let (ckt, _, line, sub) = f1_line(false);
+    let op = ckt.dc_operating_point().unwrap();
+    let freqs = [1e2, 1e3, 5e3, 1e4, 1e5, 1e6];
+    let dense = ckt
+        .ac_sweep_with(&op, &freqs, SolverBackend::Dense)
+        .unwrap();
+    let sparse = ckt
+        .ac_sweep_with(&op, &freqs, SolverBackend::Sparse)
+        .unwrap();
+    for (d, s) in dense.iter().zip(&sparse) {
+        for node in [line, sub] {
+            let (vd, vs) = (d.voltage(node), s.voltage(node));
+            assert!(
+                (vd - vs).abs() <= 1e-12 * (1.0 + vd.abs()),
+                "node {}: dense {} vs sparse {}",
+                node.index(),
+                vd,
+                vs
+            );
+        }
+    }
+}
+
+#[test]
+fn noise_parity_on_f1() {
+    let (ckt, _, _, sub) = f1_line(false);
+    let op = ckt.dc_operating_point().unwrap();
+    let freqs = [1e3, 1e4, 1e5];
+    let dense = ckt
+        .noise_analysis_with(&op, sub, &freqs, SolverBackend::Dense)
+        .unwrap();
+    let sparse = ckt
+        .noise_analysis_with(&op, sub, &freqs, SolverBackend::Sparse)
+        .unwrap();
+    for (d, s) in dense.points.iter().zip(&sparse.points) {
+        assert!(
+            (d.total_psd - s.total_psd).abs() <= 1e-12 * (1.0 + d.total_psd.abs()),
+            "total PSD: dense {} vs sparse {}",
+            d.total_psd,
+            s.total_psd
+        );
+        for (dc, sc) in d.contributions.iter().zip(&s.contributions) {
+            assert_eq!(dc.element, sc.element);
+            assert!(
+                (dc.output_psd - sc.output_psd).abs() <= 1e-12 * (1.0 + dc.output_psd.abs()),
+                "{}: dense {} vs sparse {}",
+                dc.element,
+                dc.output_psd,
+                sc.output_psd
+            );
+        }
+    }
+}
+
+#[test]
+fn multiphysics_runs_on_sparse_backend() {
+    // Mass–spring–damper settling to terminal velocity F/b, solved on
+    // the sparse backend: multi-domain MNA reuses the same CSR path.
+    let mut ckt = Circuit::new();
+    let body = ckt.mech_node("body");
+    ckt.mass("m", body, 1.0).unwrap();
+    ckt.damper("b", body, Circuit::mech_ground(), 2.0).unwrap();
+    ckt.force_source("F", body, 10.0).unwrap();
+    let mut tr = TransientSolver::new(&ckt, IntegrationMethod::Trapezoidal).unwrap();
+    tr.backend = SolverBackend::Sparse;
+    tr.initialize_with_ic().unwrap();
+    for _ in 0..20_000 {
+        tr.step(1e-3).unwrap();
+    }
+    assert!(
+        (tr.voltage(body.0) - 5.0).abs() < 1e-3,
+        "terminal velocity {}",
+        tr.voltage(body.0)
+    );
+    assert!(
+        tr.stats().solve.symbolic_analyses >= 1,
+        "sparse backend engaged"
+    );
+}
