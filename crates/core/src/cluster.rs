@@ -244,6 +244,56 @@ impl TdfGraph {
         probe
     }
 
+    /// Number of DE converter bindings (reads plus writes) declared so
+    /// far — the cross-MoC surface the converter-timing lint checks.
+    pub fn de_binding_count(&self) -> usize {
+        self.de_reads.len() + self.de_writes.len()
+    }
+
+    /// Runs the pre-elaboration static analyses over this graph and
+    /// returns the diagnostics — rate consistency, delay-free cycles,
+    /// writer uniqueness, dangling signals, timestep coherence (see the
+    /// `ams-lint` code registry). The graph is not consumed; `setup` is
+    /// invoked on each module to collect port declarations, exactly as
+    /// [`TdfGraph::elaborate`] will do again later (`setup` is required
+    /// to be a pure declaration pass).
+    ///
+    /// [`crate::AmsSimulator::add_cluster`] calls this automatically
+    /// under its [`ams_lint::LintPolicy`]; calling it directly is useful
+    /// for `--lint-only` tooling.
+    pub fn lint(&mut self) -> ams_lint::LintReport {
+        ams_lint::lint_tdf(&self.lint_model())
+    }
+
+    /// Builds the neutral IR the static analyses run on.
+    pub(crate) fn lint_model(&mut self) -> ams_lint::TdfModel {
+        let mut m = ams_lint::TdfModel::new(self.name.clone());
+        let sigs: Vec<usize> = self
+            .signal_names
+            .iter()
+            .map(|name| m.add_signal(name.clone()))
+            .collect();
+        for (midx, (name, module)) in self.modules.iter_mut().enumerate() {
+            let mid = m.add_module(name.clone());
+            debug_assert_eq!(mid, midx);
+            let mut cfg = TdfSetup::default();
+            module.setup(&mut cfg);
+            for inp in &cfg.inputs {
+                m.read(mid, sigs[inp.signal.0], inp.rate, inp.delay);
+            }
+            for out in &cfg.outputs {
+                m.write(mid, sigs[out.signal.0], out.rate);
+            }
+            if let Some(ts) = cfg.timestep {
+                m.set_timestep_fs(mid, ts.as_fs());
+            }
+        }
+        for &(sig, _) in &self.probes {
+            m.mark_probed(sigs[sig.0]);
+        }
+        m
+    }
+
     /// Elaborates the graph: runs `setup`, checks writer uniqueness,
     /// solves the balance equations, builds the static schedule,
     /// propagates timesteps, and runs `initialize`.

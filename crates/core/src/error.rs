@@ -60,6 +60,11 @@ pub enum CoreError {
         /// Description of the violated precondition.
         reason: String,
     },
+    /// Pre-elaboration static analysis rejected the model: at least one
+    /// diagnostic reached deny level under the active
+    /// [`ams_lint::LintPolicy`]. The full report (including allowed and
+    /// warned findings) is attached.
+    Lint(ams_lint::LintReport),
 }
 
 impl fmt::Display for CoreError {
@@ -99,6 +104,16 @@ impl fmt::Display for CoreError {
                 write!(f, "module '{module}' accessed undeclared port on signal '{signal}'")
             }
             CoreError::Invalid { reason } => write!(f, "invalid argument: {reason}"),
+            CoreError::Lint(report) => {
+                write!(
+                    f,
+                    "static analysis rejected '{}' ({} error(s), {} warning(s)):\n{}",
+                    report.context,
+                    report.error_count(),
+                    report.warning_count(),
+                    report.render()
+                )
+            }
         }
     }
 }
@@ -138,6 +153,31 @@ impl CoreError {
         CoreError::Solver {
             module: module.into(),
             message: message.to_string(),
+        }
+    }
+
+    /// The stable diagnostic code of this error from the `ams-lint`
+    /// registry, when the failure corresponds to a static-analysis
+    /// finding (`TDF005` = no timestep, `TDF006` = inconsistent
+    /// timesteps, …). `None` for failures with no static counterpart
+    /// (kernel errors, solver divergence, runtime solver faults). For
+    /// [`CoreError::Lint`] the code of the first error-severity
+    /// diagnostic (or, failing that, the first diagnostic) is returned.
+    pub fn code(&self) -> Option<&'static str> {
+        match self {
+            CoreError::NoTimestep => Some("TDF005"),
+            CoreError::InconsistentTimestep { .. } => Some("TDF006"),
+            CoreError::InexactTimestep { .. } => Some("TDF012"),
+            CoreError::MultipleWriters { .. } => Some("TDF004"),
+            CoreError::NoWriter { .. } => Some("TDF003"),
+            CoreError::Sdf(e) => Some(e.code()),
+            CoreError::Lint(report) => report
+                .diagnostics
+                .iter()
+                .find(|d| d.severity == ams_lint::Severity::Error)
+                .or_else(|| report.diagnostics.first())
+                .map(|d| d.code),
+            _ => None,
         }
     }
 }

@@ -18,6 +18,7 @@
 use crate::cluster::{Cluster, TdfAcResult, TdfGraph};
 use crate::CoreError;
 use ams_kernel::{Kernel, SimTime};
+use ams_lint::{LintPolicy, LintReport};
 use std::cell::RefCell;
 use std::rc::Rc;
 
@@ -94,6 +95,8 @@ impl std::fmt::Debug for ClusterHandle {
 pub struct AmsSimulator {
     kernel: Kernel,
     clusters: Vec<ClusterHandle>,
+    lint_policy: LintPolicy,
+    lint_reports: Vec<LintReport>,
 }
 
 impl Default for AmsSimulator {
@@ -108,7 +111,30 @@ impl AmsSimulator {
         AmsSimulator {
             kernel: Kernel::new(),
             clusters: Vec::new(),
+            lint_policy: LintPolicy::default(),
+            lint_reports: Vec::new(),
         }
+    }
+
+    /// Replaces the static-analysis policy applied by
+    /// [`AmsSimulator::add_cluster`]. The default denies error-severity
+    /// diagnostics and warns the rest; use
+    /// [`ams_lint::LintPolicy::allow_all`] to opt out entirely, or
+    /// [`ams_lint::LintPolicy::set_code`] for per-code overrides.
+    pub fn set_lint_policy(&mut self, policy: LintPolicy) {
+        self.lint_policy = policy;
+    }
+
+    /// The active static-analysis policy.
+    pub fn lint_policy(&self) -> &LintPolicy {
+        &self.lint_policy
+    }
+
+    /// The lint reports collected so far, one per
+    /// [`AmsSimulator::add_cluster`] call (including clean and
+    /// warned-only reports).
+    pub fn lint_reports(&self) -> &[LintReport] {
+        &self.lint_reports
     }
 
     /// The DE kernel (for reading signals, statistics, time).
@@ -127,10 +153,47 @@ impl AmsSimulator {
     ///
     /// # Errors
     ///
-    /// Propagates elaboration failures (scheduling, timestep, topology).
-    pub fn add_cluster(&mut self, graph: TdfGraph) -> Result<ClusterHandle, CoreError> {
+    /// Returns [`CoreError::Lint`] when the pre-elaboration static
+    /// analyses find a diagnostic the active [`LintPolicy`] denies
+    /// (default: any error-severity finding), and otherwise propagates
+    /// elaboration failures (scheduling, timestep, topology).
+    pub fn add_cluster(&mut self, mut graph: TdfGraph) -> Result<ClusterHandle, CoreError> {
         let name = graph.name().to_string();
+
+        // Static analysis precedes elaboration so ill-posed graphs are
+        // rejected with stable diagnostic codes instead of mid-build
+        // errors.
+        let report = graph.lint();
+        let n_bindings = graph.de_binding_count();
+        if !self.lint_policy.denied(&report).is_empty() {
+            self.lint_reports.push(report.clone());
+            return Err(CoreError::Lint(report));
+        }
+        for d in self.lint_policy.warned(&report) {
+            eprintln!("lint [{}]: {d}", report.context);
+        }
+
         let cluster = graph.elaborate()?;
+
+        // Cross-MoC timing: converter ports vs. kernel clocks.
+        let mut report = report;
+        if n_bindings > 0 {
+            let timing = ams_lint::lint_converter_timing(
+                name.clone(),
+                cluster.period(),
+                n_bindings,
+                self.kernel.clock_periods(),
+            );
+            for d in self.lint_policy.warned(&timing) {
+                eprintln!("lint [{}]: {d}", timing.context);
+            }
+            if !self.lint_policy.denied(&timing).is_empty() {
+                self.lint_reports.push(timing.clone());
+                return Err(CoreError::Lint(timing));
+            }
+            report.merge(timing);
+        }
+        self.lint_reports.push(report);
         let period = cluster.period();
         let de_reads = cluster.de_reads.clone();
         let de_writes = cluster.de_writes.clone();

@@ -189,13 +189,46 @@ impl NetlistCtSolver {
     ///
     /// # Errors
     ///
-    /// Propagates transient-solver construction failures.
+    /// Returns [`CoreError::Lint`] when the netlist's structural lint
+    /// (floating nodes, voltage-source loops, current-source cutsets,
+    /// structural singularity — see the `MNA###` code registry) finds an
+    /// error-severity diagnostic, and otherwise propagates
+    /// transient-solver construction failures. Use
+    /// [`NetlistCtSolver::new_with_policy`] to relax the gate.
     pub fn new(
         circuit: &Circuit,
         method: IntegrationMethod,
         inputs: Vec<InputId>,
         outputs: Vec<NodeId>,
     ) -> Result<Self, CoreError> {
+        Self::new_with_policy(
+            circuit,
+            method,
+            inputs,
+            outputs,
+            &ams_lint::LintPolicy::default(),
+        )
+    }
+
+    /// [`NetlistCtSolver::new`] with an explicit static-analysis policy
+    /// (e.g. [`ams_lint::LintPolicy::allow_all`] to accept a netlist the
+    /// structural lint rejects).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::Lint`] for diagnostics the policy denies;
+    /// otherwise propagates transient-solver construction failures.
+    pub fn new_with_policy(
+        circuit: &Circuit,
+        method: IntegrationMethod,
+        inputs: Vec<InputId>,
+        outputs: Vec<NodeId>,
+        policy: &ams_lint::LintPolicy,
+    ) -> Result<Self, CoreError> {
+        let report = ams_lint::lint_circuit("netlist", circuit);
+        if !policy.denied(&report).is_empty() {
+            return Err(CoreError::Lint(report));
+        }
         let solver =
             TransientSolver::new(circuit, method).map_err(|e| CoreError::solver("netlist", e))?;
         Ok(NetlistCtSolver {

@@ -1,0 +1,164 @@
+//! End-to-end tests of the pre-elaboration lint gate: structurally
+//! broken models are rejected *before* any scheduling or solver work,
+//! with the stable diagnostic codes from the `ams-lint` registry.
+
+use ams_core::{AmsSimulator, CoreError, TdfGraph, TdfIn, TdfIo, TdfModule, TdfOut, TdfSetup};
+use ams_kernel::SimTime;
+use ams_lint::{codes, LintPolicy};
+use ams_net::Circuit;
+
+/// A module declaring arbitrary port rates — the raw material for
+/// rate-consistency tests.
+struct Rates {
+    inputs: Vec<(TdfIn, u64, u64)>,
+    outputs: Vec<(TdfOut, u64)>,
+    ts: Option<SimTime>,
+}
+
+impl TdfModule for Rates {
+    fn setup(&mut self, cfg: &mut TdfSetup) {
+        for &(p, rate, delay) in &self.inputs {
+            cfg.input_with(p, rate, delay);
+        }
+        for &(p, rate) in &self.outputs {
+            cfg.output_with(p, rate);
+        }
+        if let Some(ts) = self.ts {
+            cfg.set_timestep(ts);
+        }
+    }
+
+    fn processing(&mut self, _io: &mut TdfIo<'_>) -> Result<(), CoreError> {
+        Ok(())
+    }
+}
+
+/// A feedback pair with contradictory balance equations: `a` produces 2
+/// tokens per firing that `b` consumes one at a time (q_b = 2·q_a), but
+/// `b` feeds `a` one-for-one (q_b = q_a). The delay on the return edge
+/// rules out a delay-free-cycle report, so TDF001 is the sole error.
+fn rate_inconsistent_graph() -> TdfGraph {
+    let mut g = TdfGraph::new("bad_rates");
+    let fwd = g.signal("fwd");
+    let back = g.signal("back");
+    g.add_module(
+        "a",
+        Rates {
+            inputs: vec![(back.reader(), 1, 1)],
+            outputs: vec![(fwd.writer(), 2)],
+            ts: Some(SimTime::from_us(1)),
+        },
+    );
+    g.add_module(
+        "b",
+        Rates {
+            inputs: vec![(fwd.reader(), 1, 0)],
+            outputs: vec![(back.writer(), 1)],
+            ts: None,
+        },
+    );
+    g
+}
+
+#[test]
+fn rate_inconsistent_graph_rejected_pre_elaboration() {
+    let mut sim = AmsSimulator::new();
+    let err = sim
+        .add_cluster(rate_inconsistent_graph())
+        .expect_err("inconsistent rates must not elaborate");
+    assert_eq!(err.code(), Some(codes::TDF001), "{err}");
+    match err {
+        CoreError::Lint(report) => {
+            assert!(report.has_code(codes::TDF001), "{}", report.render());
+            assert!(report.error_count() >= 1);
+        }
+        other => panic!("expected CoreError::Lint, got {other}"),
+    }
+    // The rejected report is retained for inspection.
+    assert_eq!(sim.lint_reports().len(), 1);
+}
+
+#[test]
+fn delay_free_cycle_rejected_pre_elaboration() {
+    // Same feedback pair, balanced rates, but no delay anywhere: the
+    // cycle can never fire and is caught statically as TDF002.
+    let mut g = TdfGraph::new("deadlock");
+    let fwd = g.signal("fwd");
+    let back = g.signal("back");
+    g.add_module(
+        "a",
+        Rates {
+            inputs: vec![(back.reader(), 1, 0)],
+            outputs: vec![(fwd.writer(), 1)],
+            ts: Some(SimTime::from_us(1)),
+        },
+    );
+    g.add_module(
+        "b",
+        Rates {
+            inputs: vec![(fwd.reader(), 1, 0)],
+            outputs: vec![(back.writer(), 1)],
+            ts: None,
+        },
+    );
+    let mut sim = AmsSimulator::new();
+    let err = sim.add_cluster(g).expect_err("delay-free cycle");
+    assert_eq!(err.code(), Some(codes::TDF002), "{err}");
+}
+
+fn floating_node_circuit() -> Circuit {
+    let mut ckt = Circuit::new();
+    let a = ckt.node("a");
+    let c = ckt.node("c");
+    let d = ckt.node("d");
+    ckt.voltage_source("V1", a, Circuit::GROUND, 1.0).unwrap();
+    ckt.resistor("R1", a, Circuit::GROUND, 1e3).unwrap();
+    ckt.resistor("R2", c, d, 1e3).unwrap();
+    ckt
+}
+
+#[test]
+fn floating_node_netlist_rejected_pre_elaboration() {
+    use ams_core::NetlistCtSolver;
+    use ams_net::IntegrationMethod;
+
+    let ckt = floating_node_circuit();
+    let Err(err) = NetlistCtSolver::new(&ckt, IntegrationMethod::BackwardEuler, vec![], vec![])
+    else {
+        panic!("floating node must be rejected");
+    };
+    assert_eq!(err.code(), Some(codes::MNA001), "{err}");
+    match err {
+        CoreError::Lint(report) => {
+            assert!(report.has_code(codes::MNA001), "{}", report.render());
+        }
+        other => panic!("expected CoreError::Lint, got {other}"),
+    }
+
+    // The policy escape hatch skips the gate (construction may still
+    // fail later, but never with a lint error).
+    let relaxed = NetlistCtSolver::new_with_policy(
+        &ckt,
+        IntegrationMethod::BackwardEuler,
+        vec![],
+        vec![],
+        &LintPolicy::allow_all(),
+    );
+    if let Err(e) = relaxed {
+        assert!(!matches!(e, CoreError::Lint(_)), "gate not skipped: {e}");
+    }
+}
+
+#[test]
+fn allow_all_policy_defers_to_runtime_diagnostics() {
+    // With the lint gate disabled the same inconsistent graph still
+    // fails — in elaboration, with the *same* stable code (parity
+    // between the static pass and the runtime scheduler).
+    let mut sim = AmsSimulator::new();
+    sim.set_lint_policy(LintPolicy::allow_all());
+    let err = sim
+        .add_cluster(rate_inconsistent_graph())
+        .expect_err("still inconsistent at runtime");
+    assert!(!matches!(err, CoreError::Lint(_)), "gate ran: {err}");
+    assert_eq!(err.code(), Some(codes::TDF001), "{err}");
+}

@@ -37,6 +37,7 @@ use crate::spsc::{ring, RingMonitor};
 use crate::stats::{ExecHook, ExecStats};
 use ams_core::{CoreError, DeReadBinding, DeWriteBinding, TdfGraph, TdfSignal};
 use ams_kernel::{Kernel, SimTime};
+use ams_lint::{LintPolicy, LintReport};
 use std::time::Instant;
 
 /// Default capacity of the SPSC rings created by [`ParallelSim::pipe`].
@@ -75,6 +76,8 @@ pub struct ParallelSim {
     hook: Option<Box<dyn ExecHook>>,
     running: Option<Running>,
     stats: ExecStats,
+    lint_policy: LintPolicy,
+    lint_reports: Vec<LintReport>,
 }
 
 impl ParallelSim {
@@ -90,7 +93,27 @@ impl ParallelSim {
             hook: None,
             running: None,
             stats: ExecStats::default(),
+            lint_policy: LintPolicy::default(),
+            lint_reports: Vec::new(),
         }
+    }
+
+    /// Replaces the lint policy applied during
+    /// [`elaborate`](ParallelSim::elaborate). The default denies
+    /// error-severity diagnostics and prints warn-severity ones.
+    pub fn set_lint_policy(&mut self, policy: LintPolicy) {
+        self.lint_policy = policy;
+    }
+
+    /// The lint policy applied during elaboration.
+    pub fn lint_policy(&self) -> &LintPolicy {
+        &self.lint_policy
+    }
+
+    /// Lint reports collected so far, one per staged graph (in staging
+    /// order), populated by [`elaborate`](ParallelSim::elaborate).
+    pub fn lint_reports(&self) -> &[LintReport] {
+        &self.lint_reports
     }
 
     /// The DE kernel (signals, statistics, time).
@@ -197,8 +220,32 @@ impl ParallelSim {
         if self.running.is_some() {
             return Ok(());
         }
+        // ---- pre-elaboration static analysis ---------------------
+        // Every staged graph is linted before any of them elaborates,
+        // so a rejected model never spawns workers. Deny-level
+        // diagnostics abort with `CoreError::Lint`; warnings print and
+        // are kept in `lint_reports` either way.
+        let mut staged: Vec<TdfGraph> = self.staged.drain(..).collect();
+        self.lint_reports.clear();
+        self.stats.lint_errors = 0;
+        self.stats.lint_warnings = 0;
+        for g in &mut staged {
+            let report = g.lint();
+            self.stats.lint_errors += report.error_count();
+            self.stats.lint_warnings += report.warning_count();
+            for d in self.lint_policy.warned(&report) {
+                eprintln!("lint [{}]: {d}", report.context);
+            }
+            let denied = !self.lint_policy.denied(&report).is_empty();
+            self.lint_reports.push(report.clone());
+            if denied {
+                self.staged = staged;
+                return Err(CoreError::Lint(report));
+            }
+        }
+
         let mut clusters = Vec::new();
-        for g in self.staged.drain(..) {
+        for g in staged {
             clusters.push(g.elaborate()?);
         }
 
@@ -384,7 +431,12 @@ impl ParallelSim {
             run.frontier = SimTime::ZERO;
         }
         self.kernel = Kernel::new();
-        self.stats = ExecStats::default();
+        self.stats = ExecStats {
+            // Lint counts belong to elaboration, which survives a reset.
+            lint_errors: self.stats.lint_errors,
+            lint_warnings: self.stats.lint_warnings,
+            ..ExecStats::default()
+        };
         Ok(())
     }
 

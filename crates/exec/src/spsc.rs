@@ -17,8 +17,19 @@
 
 use ams_core::{SampleSink, SampleSource};
 use ams_kernel::SimTime;
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-use std::sync::Arc;
+// Under `--features loom` the ring is built on the loom model-checked
+// atomics so its push/pop protocol can be exhaustively interleaved; see
+// `tests/loom_spsc.rs`.
+#[cfg(feature = "loom")]
+use loom::sync::{
+    atomic::{AtomicU64, AtomicUsize, Ordering},
+    Arc,
+};
+#[cfg(not(feature = "loom"))]
+use std::sync::{
+    atomic::{AtomicU64, AtomicUsize, Ordering},
+    Arc,
+};
 
 struct RingShared {
     times: Vec<AtomicU64>,

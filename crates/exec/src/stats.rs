@@ -32,6 +32,11 @@ pub struct ExecStats {
     pub compute_wall: Duration,
     /// Wall time spent synchronizing with the DE kernel (drain + advance).
     pub sync_wall: Duration,
+    /// Deny-level diagnostics found by the pre-elaboration lint pass.
+    /// Non-zero only when elaboration was rejected.
+    pub lint_errors: usize,
+    /// Warn-level diagnostics found by the pre-elaboration lint pass.
+    pub lint_warnings: usize,
 }
 
 impl ExecStats {

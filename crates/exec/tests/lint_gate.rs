@@ -1,0 +1,99 @@
+//! The parallel engine applies the same pre-elaboration lint gate as
+//! the serial simulator: broken graphs are rejected before any worker
+//! thread spawns, and the diagnostic counts surface in [`ExecStats`].
+
+use ams_core::{CoreError, TdfGraph, TdfIn, TdfIo, TdfModule, TdfOut, TdfSetup};
+use ams_exec::ParallelSim;
+use ams_kernel::SimTime;
+use ams_lint::codes;
+
+struct Rates {
+    inputs: Vec<(TdfIn, u64, u64)>,
+    outputs: Vec<(TdfOut, u64)>,
+    ts: Option<SimTime>,
+}
+
+impl TdfModule for Rates {
+    fn setup(&mut self, cfg: &mut TdfSetup) {
+        for &(p, rate, delay) in &self.inputs {
+            cfg.input_with(p, rate, delay);
+        }
+        for &(p, rate) in &self.outputs {
+            cfg.output_with(p, rate);
+        }
+        if let Some(ts) = self.ts {
+            cfg.set_timestep(ts);
+        }
+    }
+
+    fn processing(&mut self, _io: &mut TdfIo<'_>) -> Result<(), CoreError> {
+        Ok(())
+    }
+}
+
+#[test]
+fn parallel_sim_rejects_inconsistent_graph_before_spawning_workers() {
+    let mut g = TdfGraph::new("bad_rates");
+    let fwd = g.signal("fwd");
+    let back = g.signal("back");
+    g.add_module(
+        "a",
+        Rates {
+            inputs: vec![(back.reader(), 1, 1)],
+            outputs: vec![(fwd.writer(), 2)],
+            ts: Some(SimTime::from_us(1)),
+        },
+    );
+    g.add_module(
+        "b",
+        Rates {
+            inputs: vec![(fwd.reader(), 1, 0)],
+            outputs: vec![(back.writer(), 1)],
+            ts: None,
+        },
+    );
+
+    let mut sim = ParallelSim::new(2);
+    sim.add_graph(g);
+    let err = sim.elaborate().expect_err("inconsistent rates");
+    assert_eq!(err.code(), Some(codes::TDF001), "{err}");
+    assert!(matches!(err, CoreError::Lint(_)));
+
+    // No worker pool exists and the counts made it into the stats.
+    assert!(sim.partition().is_none());
+    assert_eq!(sim.lint_reports().len(), 1);
+    let stats = sim.stats();
+    assert!(stats.lint_errors >= 1);
+}
+
+#[test]
+fn parallel_sim_runs_clean_graph_and_reports_zero_lint_counts() {
+    struct Src {
+        out: TdfOut,
+    }
+    impl TdfModule for Src {
+        fn setup(&mut self, cfg: &mut TdfSetup) {
+            cfg.output(self.out);
+            cfg.set_timestep(SimTime::from_us(1));
+        }
+        fn processing(&mut self, io: &mut TdfIo<'_>) -> Result<(), CoreError> {
+            io.write1(self.out, 1.0);
+            Ok(())
+        }
+    }
+
+    let mut g = TdfGraph::new("clean");
+    let s = g.signal("s");
+    let probe = g.probe(s);
+    g.add_module("src", Src { out: s.writer() });
+
+    let mut sim = ParallelSim::new(2);
+    sim.add_graph(g);
+    sim.run_until(SimTime::from_us(3)).unwrap();
+    let stats = sim.stats();
+    assert_eq!(stats.lint_errors, 0);
+    assert_eq!(stats.lint_warnings, 0);
+    assert_eq!(sim.lint_reports().len(), 1);
+    assert!(sim.lint_reports()[0].is_clean());
+    assert!(!probe.values().is_empty());
+}

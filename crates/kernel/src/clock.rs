@@ -45,6 +45,7 @@ impl Clock {
             "clock period must be an even number of femtoseconds"
         );
         let name = name.into();
+        kernel.register_clock(name.clone(), period);
         let signal = kernel.signal(name.clone(), false);
         let half = period / 2;
         let pid = kernel.add_process(format!("{name}.driver"), move |ctx| {

@@ -217,6 +217,9 @@ pub struct Kernel {
     seq: u64,
     stats: KernelStats,
     max_deltas_per_instant: u64,
+    /// Periods of the clocks created on this kernel, for cross-MoC
+    /// timing lint (converter ports vs. clock edges).
+    clock_periods: Vec<(String, SimTime)>,
 }
 
 impl Default for Kernel {
@@ -242,7 +245,20 @@ impl Kernel {
             seq: 0,
             stats: KernelStats::default(),
             max_deltas_per_instant: 100_000,
+            clock_periods: Vec::new(),
         }
+    }
+
+    /// Records a clock's name and period (called by [`crate::Clock`]).
+    pub(crate) fn register_clock(&mut self, name: String, period: SimTime) {
+        self.clock_periods.push((name, period));
+    }
+
+    /// Names and periods of every clock created on this kernel, in
+    /// creation order. Static analyses use this to check converter-port
+    /// timing against the digital time base.
+    pub fn clock_periods(&self) -> &[(String, SimTime)] {
+        &self.clock_periods
     }
 
     /// Sets the delta-cycle limit per time instant (default 100 000).

@@ -1,0 +1,151 @@
+//! Pre-elaboration static analysis ("lint") for AMS models.
+//!
+//! The paper's design objectives call for the framework to reject
+//! ill-posed models *before* simulation starts: multirate dataflow
+//! clusters whose token rates have no consistent solution, delay-free
+//! scheduling cycles, and conservative-law netlists whose MNA system is
+//! singular by construction. This crate implements those checks as a
+//! standalone diagnostics engine that runs on cheap structural views of
+//! the model — no state is allocated, no matrix factored — and emits
+//! machine-readable [`Diagnostic`]s with stable codes.
+//!
+//! # Code registry
+//!
+//! Every diagnostic carries a stable code (`TDF001`, `MNA003`, …) from
+//! [`diag::codes::registry`]. Runtime errors in `ams-core`, `ams-sdf`
+//! and `ams-net` map to the *same* codes via their `code()` methods, so
+//! a static finding and the runtime failure it predicts can be
+//! correlated by tooling.
+//!
+//! # Example
+//!
+//! ```
+//! use ams_lint::{codes, lint_tdf, TdfModel};
+//!
+//! let mut m = TdfModel::new("demo");
+//! let a = m.add_module("src");
+//! let b = m.add_module("sink");
+//! let s = m.add_signal("x");
+//! m.write(a, s, 2);
+//! m.read(b, s, 3, 0);
+//! m.set_timestep_fs(a, 1_000_000); // 1 ns
+//! let report = lint_tdf(&m);
+//! assert!(report.is_clean(), "{}", report.render());
+//!
+//! // A rate mismatch on a feedback loop is caught statically:
+//! let fb = m.add_signal("fb");
+//! m.write(b, fb, 1);
+//! m.read(a, fb, 1, 1);
+//! assert!(lint_tdf(&m).has_code(codes::TDF001));
+//! ```
+//!
+//! Enforcement is policy-driven: [`LintPolicy`] decides per code
+//! whether a diagnostic is denied (fails elaboration), warned, or
+//! allowed, with severity-level defaults (deny errors, warn warnings).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod diag;
+mod mna;
+mod tdf;
+
+pub use diag::{codes, Diagnostic, LintLevel, LintPolicy, LintReport, Severity};
+pub use mna::lint_circuit;
+pub use tdf::{lint_sdf, lint_tdf, PortUse, TdfModel};
+
+use ams_kernel::SimTime;
+use diag::codes as c;
+
+/// Checks a TDF cluster's period against the DE kernel clocks it
+/// exchanges data with through converter ports.
+///
+/// When a cluster with DE bindings has a period that is incommensurate
+/// with a kernel clock (neither divides the other), the converter ports
+/// sample/update at instants that drift against the clock edges — a
+/// frequent source of off-by-one-sample surprises. Emits [`codes::CNV001`]
+/// as a warning (the semantics are well-defined, just usually not what
+/// was meant).
+pub fn lint_converter_timing(
+    context: impl Into<String>,
+    cluster_period: SimTime,
+    n_de_bindings: usize,
+    clocks: &[(String, SimTime)],
+) -> LintReport {
+    let mut r = LintReport::new(context);
+    if n_de_bindings == 0 || cluster_period.is_zero() {
+        return r;
+    }
+    let p = cluster_period.as_fs();
+    for (name, period) in clocks {
+        let q = period.as_fs();
+        if q == 0 {
+            continue;
+        }
+        if !p.is_multiple_of(q) && !q.is_multiple_of(p) {
+            r.push(
+                Diagnostic::warning(
+                    c::CNV001,
+                    format!(
+                        "cluster period {p} fs is incommensurate with clock '{name}' \
+                         ({q} fs); converter-port samples drift against the clock edges"
+                    ),
+                )
+                .with_items([name.as_str()]),
+            );
+        }
+    }
+    r
+}
+
+/// `true` when `--lint-only` is among the process arguments.
+///
+/// Convenience for examples and small drivers: build the model, call
+/// this, and hand the reports to [`exit_lint_only`] instead of
+/// simulating.
+pub fn lint_only_requested() -> bool {
+    std::env::args().any(|a| a == "--lint-only")
+}
+
+/// Prints every report (human rendering followed by its JSON emission)
+/// and exits the process: status 0 when no error-severity diagnostic
+/// was found, status 1 otherwise.
+pub fn exit_lint_only(reports: &[LintReport]) -> ! {
+    let mut errors = 0;
+    for r in reports {
+        print!("{}", r.render());
+        println!("{}", r.to_json());
+        errors += r.error_count();
+    }
+    std::process::exit(if errors > 0 { 1 } else { 0 })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn commensurate_clocks_are_clean() {
+        let clocks = vec![("clk".to_string(), SimTime::from_ns(10))];
+        let r = lint_converter_timing("t", SimTime::from_ns(20), 1, &clocks);
+        assert!(r.is_clean(), "{}", r.render());
+        // The other direction (clock slower than cluster) is also fine.
+        let r = lint_converter_timing("t", SimTime::from_ns(5), 1, &clocks);
+        assert!(r.is_clean(), "{}", r.render());
+    }
+
+    #[test]
+    fn incommensurate_clock_warns_cnv001() {
+        let clocks = vec![("clk".to_string(), SimTime::from_ns(3))];
+        let r = lint_converter_timing("t", SimTime::from_ns(20), 1, &clocks);
+        assert!(r.has_code(codes::CNV001), "{}", r.render());
+        assert_eq!(r.error_count(), 0);
+    }
+
+    #[test]
+    fn no_bindings_no_check() {
+        let clocks = vec![("clk".to_string(), SimTime::from_ns(3))];
+        let r = lint_converter_timing("t", SimTime::from_ns(20), 0, &clocks);
+        assert!(r.is_clean());
+    }
+}

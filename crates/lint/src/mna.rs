@@ -1,0 +1,393 @@
+//! Structural analyses of MNA netlists.
+//!
+//! These checks catch, *before* any matrix is factored, the classical
+//! topology mistakes that make a nodal system singular or ill-posed:
+//! floating nodes (no DC path to ground), loops of ideal voltage
+//! sources, cutsets of current sources, and — as a catch-all — a
+//! structural-rank test on the DC stamp pattern via maximum bipartite
+//! matching. Runtime solver failures ([`ams_net::NetError`]) map to the
+//! same `MNA###` codes, so a pre-elaboration finding and the eventual
+//! pivot failure it predicts are correlated.
+
+use crate::diag::{codes, Diagnostic, LintReport};
+use ams_net::{Circuit, Element, ElementKind, NodeId};
+
+/// How an element couples its two terminals at DC, for reachability.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum DcCoupling {
+    /// A DC conduction path exists between `p` and `n` (R, L, V-source,
+    /// Vcvs, Ccvs, switch, diode, MOS channel).
+    Conductive,
+    /// Couples only through `dv/dt` — no DC path (capacitor).
+    Capacitive,
+    /// Injects current but provides no path (current sources).
+    CurrentOnly,
+}
+
+fn coupling(kind: &ElementKind) -> DcCoupling {
+    match kind {
+        ElementKind::Capacitor { .. } => DcCoupling::Capacitive,
+        ElementKind::CurrentSource { .. } | ElementKind::Vccs { .. } | ElementKind::Cccs { .. } => {
+            DcCoupling::CurrentOnly
+        }
+        // Resistor, Inductor, VoltageSource, Vcvs, Ccvs, Diode, Nmos
+        // (drain–source channel), Switch (r_off is finite) — and any
+        // future kind, conservatively, to avoid false positives.
+        _ => DcCoupling::Conductive,
+    }
+}
+
+/// `true` for elements that fix the branch voltage independently of the
+/// branch current (ideal voltage-defined branches) — the ones that form
+/// forbidden loops.
+fn is_voltage_defined(kind: &ElementKind) -> bool {
+    matches!(
+        kind,
+        ElementKind::VoltageSource { .. } | ElementKind::Vcvs { .. } | ElementKind::Ccvs { .. }
+    )
+}
+
+struct UnionFind(Vec<usize>);
+
+impl UnionFind {
+    fn new(n: usize) -> Self {
+        UnionFind((0..n).collect())
+    }
+    fn find(&mut self, mut x: usize) -> usize {
+        while self.0[x] != x {
+            self.0[x] = self.0[self.0[x]];
+            x = self.0[x];
+        }
+        x
+    }
+    /// Returns `false` if `a` and `b` were already connected.
+    fn union(&mut self, a: usize, b: usize) -> bool {
+        let (ra, rb) = (self.find(a), self.find(b));
+        if ra == rb {
+            return false;
+        }
+        self.0[ra] = rb;
+        true
+    }
+}
+
+/// Lints a netlist: ground reachability (MNA001/002/004), voltage-source
+/// loops (MNA003) and structural rank of the DC stamp pattern (MNA005).
+///
+/// `context` names the report (typically the solver or circuit name).
+pub fn lint_circuit(context: impl Into<String>, ckt: &Circuit) -> LintReport {
+    let mut r = LintReport::new(context);
+    let n = ckt.node_count();
+    if n == 0 {
+        return r;
+    }
+    let ground = Circuit::GROUND.index();
+
+    // Reachability from ground, once over conductive elements only and
+    // once with capacitors included. A node conductively connected is
+    // fine; one reachable only through capacitors relies on the
+    // solver's gmin and gets a warning; one not reachable at all has no
+    // defined DC voltage.
+    let mut cond = UnionFind::new(n);
+    let mut cond_cap = UnionFind::new(n);
+    // Nodes touched by a current-injecting element, to distinguish a
+    // current-source cutset (MNA004) from a plainly floating node.
+    let mut touched_by_current = vec![false; n];
+    for e in ckt.elements() {
+        let (p, nn) = (e.p.index(), e.n.index());
+        match coupling(&e.kind) {
+            DcCoupling::Conductive => {
+                cond.union(p, nn);
+                cond_cap.union(p, nn);
+            }
+            DcCoupling::Capacitive => {
+                cond_cap.union(p, nn);
+            }
+            DcCoupling::CurrentOnly => {
+                touched_by_current[p] = true;
+                touched_by_current[nn] = true;
+            }
+        }
+    }
+
+    let g_cond = cond.find(ground);
+    let g_cap = cond_cap.find(ground);
+    let mut floating: Vec<NodeId> = Vec::new();
+    let mut cap_only: Vec<NodeId> = Vec::new();
+    let mut cutset: Vec<NodeId> = Vec::new();
+    for node in ckt.nodes() {
+        let i = node.index();
+        if cond.find(i) == g_cond {
+            continue;
+        }
+        if cond_cap.find(i) == g_cap {
+            cap_only.push(node);
+        } else if touched_by_current[i] {
+            cutset.push(node);
+        } else {
+            floating.push(node);
+        }
+    }
+    if !floating.is_empty() {
+        let names: Vec<&str> = floating.iter().map(|&nd| ckt.node_name(nd)).collect();
+        r.push(
+            Diagnostic::error(
+                codes::MNA001,
+                format!(
+                    "node(s) {} have no DC path to ground; their voltage is undefined",
+                    quote_list(&names)
+                ),
+            )
+            .with_items(names),
+        );
+    }
+    if !cutset.is_empty() {
+        let names: Vec<&str> = cutset.iter().map(|&nd| ckt.node_name(nd)).collect();
+        r.push(
+            Diagnostic::error(
+                codes::MNA004,
+                format!(
+                    "node(s) {} are fed only by current sources (a current-source \
+                     cutset); KCL fixes the current but no element fixes the voltage",
+                    quote_list(&names)
+                ),
+            )
+            .with_items(names),
+        );
+    }
+    if !cap_only.is_empty() {
+        let names: Vec<&str> = cap_only.iter().map(|&nd| ckt.node_name(nd)).collect();
+        r.push(
+            Diagnostic::warning(
+                codes::MNA002,
+                format!(
+                    "node(s) {} reach ground only through capacitors; the DC operating \
+                     point is defined solely by the solver's gmin leakage",
+                    quote_list(&names)
+                ),
+            )
+            .with_items(names),
+        );
+    }
+
+    // MNA003: a loop of ideal voltage-defined branches over-determines
+    // KVL. Union-find over voltage-defined branches only: adding a
+    // branch whose terminals are already connected closes a loop.
+    let mut vloop = UnionFind::new(n);
+    let mut looped: Vec<&Element> = Vec::new();
+    for e in ckt.elements() {
+        if is_voltage_defined(&e.kind) && !vloop.union(e.p.index(), e.n.index()) {
+            looped.push(e);
+        }
+    }
+    if !looped.is_empty() {
+        let names: Vec<&str> = looped.iter().map(|e| e.name.as_str()).collect();
+        r.push(
+            Diagnostic::error(
+                codes::MNA003,
+                format!(
+                    "voltage source(s) {} close a loop of ideal voltage-defined \
+                     branches; KVL around the loop is over-determined",
+                    quote_list(&names)
+                ),
+            )
+            .with_items(names),
+        );
+    }
+
+    // MNA005: structural rank of the DC stamp pattern. A maximum
+    // bipartite matching of rows to columns smaller than the number of
+    // unknowns means the matrix is singular for *every* choice of
+    // element values — the numeric solver is guaranteed to hit a zero
+    // pivot.
+    let pattern = ckt.dc_stamp_pattern();
+    let nu = pattern.n_unknowns();
+    if nu > 0 {
+        let mut cols: Vec<Vec<usize>> = vec![Vec::new(); nu];
+        for &(i, j) in pattern.coords() {
+            cols[i].push(j);
+        }
+        for c in &mut cols {
+            c.sort_unstable();
+            c.dedup();
+        }
+        let (rank, unmatched) = structural_rank(&cols);
+        if rank < nu {
+            let names: Vec<String> = unmatched
+                .iter()
+                .map(|&i| pattern.unknown_name(i).to_string())
+                .collect();
+            r.push(
+                Diagnostic::error(
+                    codes::MNA005,
+                    format!(
+                        "the MNA system is structurally singular: structural rank \
+                         {rank} of {nu} unknowns; no values of the element parameters \
+                         can make row(s) {} independent",
+                        quote_list(&names)
+                    ),
+                )
+                .with_items(names),
+            );
+        }
+    }
+    r
+}
+
+/// Maximum bipartite matching (Kuhn's algorithm) of rows to columns on
+/// the sparsity pattern. Returns the matching size and the unmatched
+/// row indices.
+fn structural_rank(rows: &[Vec<usize>]) -> (usize, Vec<usize>) {
+    let n = rows.len();
+    // col_match[j] = row currently matched to column j.
+    let mut col_match: Vec<Option<usize>> = vec![None; n];
+    let mut rank = 0;
+    for start in 0..n {
+        let mut visited = vec![false; n];
+        if try_augment(rows, start, &mut visited, &mut col_match) {
+            rank += 1;
+        }
+    }
+    // Augmenting later rows never unmatches earlier ones, but the row a
+    // column maps to can change; read the final matching off col_match.
+    let mut matched = vec![false; n];
+    for &row in col_match.iter().flatten() {
+        matched[row] = true;
+    }
+    let unmatched = (0..n).filter(|&i| !matched[i]).collect();
+    (rank, unmatched)
+}
+
+fn try_augment(
+    rows: &[Vec<usize>],
+    row: usize,
+    visited: &mut [bool],
+    col_match: &mut [Option<usize>],
+) -> bool {
+    for &j in &rows[row] {
+        if visited[j] {
+            continue;
+        }
+        visited[j] = true;
+        match col_match[j] {
+            None => {
+                col_match[j] = Some(row);
+                return true;
+            }
+            Some(other) => {
+                if try_augment(rows, other, visited, col_match) {
+                    col_match[j] = Some(row);
+                    return true;
+                }
+            }
+        }
+    }
+    false
+}
+
+fn quote_list<S: AsRef<str>>(names: &[S]) -> String {
+    names
+        .iter()
+        .map(|s| format!("'{}'", s.as_ref()))
+        .collect::<Vec<_>>()
+        .join(", ")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn divider() -> Circuit {
+        let mut ckt = Circuit::new();
+        let a = ckt.node("a");
+        let b = ckt.node("b");
+        ckt.voltage_source("V1", a, Circuit::GROUND, 1.0).unwrap();
+        ckt.resistor("R1", a, b, 1e3).unwrap();
+        ckt.resistor("R2", b, Circuit::GROUND, 1e3).unwrap();
+        ckt
+    }
+
+    #[test]
+    fn clean_divider() {
+        let r = lint_circuit("t", &divider());
+        assert!(r.is_clean(), "{}", r.render());
+    }
+
+    #[test]
+    fn floating_node_flags_mna001() {
+        let mut ckt = divider();
+        let c = ckt.node("c");
+        let d = ckt.node("d");
+        ckt.resistor("R3", c, d, 1e3).unwrap();
+        let r = lint_circuit("t", &ckt);
+        assert!(r.has_code(codes::MNA001), "{}", r.render());
+        // Note: a floating resistor island is *numerically* singular
+        // but structurally full-rank (the diagonal is a perfect
+        // matching), which is exactly why the reachability check exists
+        // alongside the structural-rank check.
+        assert!(r.error_count() >= 1);
+    }
+
+    #[test]
+    fn cap_coupled_node_warns_mna002() {
+        let mut ckt = Circuit::new();
+        let a = ckt.node("a");
+        let c = ckt.node("c");
+        let d = ckt.node("d");
+        ckt.voltage_source("V1", a, Circuit::GROUND, 1.0).unwrap();
+        ckt.capacitor("C1", a, c, 1e-9).unwrap();
+        ckt.resistor("R3", c, d, 1e3).unwrap();
+        ckt.capacitor("C2", d, Circuit::GROUND, 1e-9).unwrap();
+        let r = lint_circuit("t", &ckt);
+        assert!(r.has_code(codes::MNA002), "{}", r.render());
+        assert_eq!(r.error_count(), 0, "{}", r.render());
+    }
+
+    #[test]
+    fn v_loop_flags_mna003() {
+        let mut ckt = Circuit::new();
+        let a = ckt.node("a");
+        ckt.voltage_source("V1", a, Circuit::GROUND, 1.0).unwrap();
+        ckt.voltage_source("V2", a, Circuit::GROUND, 2.0).unwrap();
+        ckt.resistor("RL", a, Circuit::GROUND, 1e3).unwrap();
+        let r = lint_circuit("t", &ckt);
+        assert!(r.has_code(codes::MNA003), "{}", r.render());
+        assert!(r
+            .diagnostics
+            .iter()
+            .any(|d| d.items.contains(&"V2".to_string())));
+    }
+
+    #[test]
+    fn current_source_cutset_flags_mna004() {
+        let mut ckt = Circuit::new();
+        let a = ckt.node("a");
+        ckt.current_source("I1", a, Circuit::GROUND, 1e-3).unwrap();
+        let r = lint_circuit("t", &ckt);
+        assert!(r.has_code(codes::MNA004), "{}", r.render());
+        // The empty matrix row is also a structural-rank deficiency.
+        assert!(r.has_code(codes::MNA005), "{}", r.render());
+    }
+
+    #[test]
+    fn inductor_is_a_dc_path() {
+        let mut ckt = Circuit::new();
+        let a = ckt.node("a");
+        let b = ckt.node("b");
+        ckt.current_source("I1", a, Circuit::GROUND, 1e-3).unwrap();
+        ckt.inductor("L1", a, b, 1e-3).unwrap();
+        ckt.resistor("R1", b, Circuit::GROUND, 50.0).unwrap();
+        let r = lint_circuit("t", &ckt);
+        assert!(r.is_clean(), "{}", r.render());
+    }
+
+    #[test]
+    fn structural_rank_on_identity() {
+        let rows = vec![vec![0], vec![1], vec![2]];
+        assert_eq!(structural_rank(&rows), (3, vec![]));
+        let deficient = vec![vec![0, 1], vec![0, 1], vec![0, 1]];
+        let (rank, unmatched) = structural_rank(&deficient);
+        assert_eq!(rank, 2);
+        assert_eq!(unmatched.len(), 1);
+    }
+}

@@ -1,0 +1,149 @@
+//! Golden tests: one minimal netlist per MNA structural diagnostic,
+//! with the exact human rendering and JSON emission pinned down. These
+//! freeze the diagnostic codes, message wording and item lists that
+//! external tooling is allowed to depend on — change them deliberately.
+
+use ams_lint::{codes, lint_circuit};
+use ams_net::Circuit;
+
+/// MNA001 — a resistor island with no DC path to ground.
+#[test]
+fn golden_floating_node() {
+    let mut ckt = Circuit::new();
+    let a = ckt.node("a");
+    let c = ckt.node("c");
+    let d = ckt.node("d");
+    ckt.voltage_source("V1", a, Circuit::GROUND, 1.0).unwrap();
+    ckt.resistor("R1", a, Circuit::GROUND, 1e3).unwrap();
+    ckt.resistor("R2", c, d, 1e3).unwrap();
+    let r = lint_circuit("island", &ckt);
+
+    assert_eq!(
+        r.render(),
+        "island: error [MNA001]: node(s) 'c', 'd' have no DC path to ground; \
+         their voltage is undefined (c, d)\n\
+         island: 1 error(s), 0 warning(s)\n"
+    );
+    assert_eq!(
+        r.to_json(),
+        "{\"context\":\"island\",\"errors\":1,\"warnings\":0,\"diagnostics\":[\
+         {\"code\":\"MNA001\",\"severity\":\"error\",\"message\":\
+         \"node(s) 'c', 'd' have no DC path to ground; their voltage is \
+         undefined\",\"items\":[\"c\",\"d\"]}]}"
+    );
+}
+
+/// MNA002 — a node reaching ground only through capacitors (warning).
+#[test]
+fn golden_cap_only_path() {
+    let mut ckt = Circuit::new();
+    let mid = ckt.node("mid");
+    ckt.voltage_source("V1", mid, Circuit::GROUND, 1.0).unwrap();
+    let tap = ckt.node("tap");
+    ckt.capacitor("C1", mid, tap, 1e-9).unwrap();
+    ckt.capacitor("C2", tap, Circuit::GROUND, 1e-9).unwrap();
+    let r = lint_circuit("cap", &ckt);
+
+    assert_eq!(r.error_count(), 0, "{}", r.render());
+    assert_eq!(r.warning_count(), 1);
+    let d = &r.diagnostics[0];
+    assert_eq!(d.code, codes::MNA002);
+    assert_eq!(d.items, vec!["tap".to_string()]);
+    assert_eq!(
+        d.message,
+        "node(s) 'tap' reach ground only through capacitors; the DC operating \
+         point is defined solely by the solver's gmin leakage"
+    );
+}
+
+/// MNA003 — two ideal voltage sources in parallel close a KVL loop.
+#[test]
+fn golden_voltage_source_loop() {
+    let mut ckt = Circuit::new();
+    let a = ckt.node("a");
+    ckt.voltage_source("V1", a, Circuit::GROUND, 1.0).unwrap();
+    ckt.voltage_source("V2", a, Circuit::GROUND, 2.0).unwrap();
+    ckt.resistor("RL", a, Circuit::GROUND, 1e3).unwrap();
+    let r = lint_circuit("vloop", &ckt);
+
+    let d = r
+        .diagnostics
+        .iter()
+        .find(|d| d.code == codes::MNA003)
+        .expect("MNA003 present");
+    assert_eq!(d.items, vec!["V2".to_string()]);
+    assert_eq!(
+        d.message,
+        "voltage source(s) 'V2' close a loop of ideal voltage-defined \
+         branches; KVL around the loop is over-determined"
+    );
+    // Parallel ideal sources also collapse the structural rank (two
+    // branch-current rows compete for one node column).
+    assert!(r.has_code(codes::MNA005), "{}", r.render());
+}
+
+/// MNA004 — a node fed only by current sources (cutset).
+#[test]
+fn golden_current_source_cutset() {
+    let mut ckt = Circuit::new();
+    let a = ckt.node("a");
+    ckt.current_source("I1", a, Circuit::GROUND, 1e-3).unwrap();
+    let r = lint_circuit("cutset", &ckt);
+
+    let d = r
+        .diagnostics
+        .iter()
+        .find(|d| d.code == codes::MNA004)
+        .expect("MNA004 present");
+    assert_eq!(d.items, vec!["a".to_string()]);
+    assert_eq!(
+        d.message,
+        "node(s) 'a' are fed only by current sources (a current-source \
+         cutset); KCL fixes the current but no element fixes the voltage"
+    );
+    assert!(r.has_code(codes::MNA005), "{}", r.render());
+}
+
+/// MNA005 — structural singularity reported with the offending rows.
+#[test]
+fn golden_structural_singularity() {
+    let mut ckt = Circuit::new();
+    let a = ckt.node("a");
+    ckt.voltage_source("V1", a, Circuit::GROUND, 1.0).unwrap();
+    ckt.voltage_source("V2", a, Circuit::GROUND, 1.0).unwrap();
+    ckt.resistor("RL", a, Circuit::GROUND, 1e3).unwrap();
+    let r = lint_circuit("singular", &ckt);
+
+    let d = r
+        .diagnostics
+        .iter()
+        .find(|d| d.code == codes::MNA005)
+        .expect("MNA005 present");
+    assert_eq!(d.items.len(), 1, "{}", r.render());
+    assert!(d.message.contains("structurally singular"), "{}", d.message);
+    assert!(
+        d.message.contains("structural rank 2 of 3"),
+        "{}",
+        d.message
+    );
+}
+
+/// A well-formed netlist stays silent — the golden "no findings" case.
+#[test]
+fn golden_clean_netlist_renders_summary_only() {
+    let mut ckt = Circuit::new();
+    let inp = ckt.node("in");
+    let out = ckt.node("out");
+    ckt.voltage_source("V1", inp, Circuit::GROUND, 1.0).unwrap();
+    ckt.resistor("R1", inp, out, 1e3).unwrap();
+    ckt.capacitor("C1", out, Circuit::GROUND, 1e-9).unwrap();
+    ckt.resistor("R2", out, Circuit::GROUND, 1e4).unwrap();
+    let r = lint_circuit("rc", &ckt);
+
+    assert!(r.is_clean(), "{}", r.render());
+    assert_eq!(r.render(), "rc: 0 error(s), 0 warning(s)\n");
+    assert_eq!(
+        r.to_json(),
+        "{\"context\":\"rc\",\"errors\":0,\"warnings\":0,\"diagnostics\":[]}"
+    );
+}

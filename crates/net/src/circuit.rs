@@ -363,6 +363,11 @@ impl Circuit {
         &self.node_names[node.0]
     }
 
+    /// All node handles including ground, in creation order.
+    pub fn nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
+        (0..self.node_names.len()).map(NodeId)
+    }
+
     /// The elements (read-only view).
     pub fn elements(&self) -> &[Element] {
         &self.elements

@@ -45,6 +45,23 @@ pub enum NetError {
     Math(MathError),
 }
 
+impl NetError {
+    /// The stable diagnostic code of this error, from the same registry
+    /// `ams-lint` uses (`MNA005` = singular system, `MNA006` = no
+    /// convergence, …), so runtime failures and pre-elaboration lint
+    /// findings are correlated by code.
+    pub fn code(&self) -> &'static str {
+        match self {
+            NetError::UnknownNode { .. } => "MNA007",
+            NetError::UnknownElement { .. } => "MNA008",
+            NetError::InvalidValue { .. } => "MNA009",
+            NetError::NoConvergence { .. } => "MNA006",
+            NetError::Singular { .. } => "MNA005",
+            NetError::Math(_) => "MNA010",
+        }
+    }
+}
+
 impl fmt::Display for NetError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {

@@ -52,6 +52,7 @@ mod error;
 mod mna;
 mod multiphys;
 mod noise;
+mod pattern;
 mod transient;
 
 pub use ac::AcSolution;
@@ -63,4 +64,5 @@ pub use multiphys::{MechNode, Multiphysics, RotNode, ThermalNode};
 pub use noise::{
     NoiseAnalysis, NoiseContribution, NoisePoint, BOLTZMANN, ELEMENTARY_CHARGE, NOISE_TEMP,
 };
+pub use pattern::StampPattern;
 pub use transient::{AdaptiveOptions, IntegrationMethod, TransientSolver, TransientStats};

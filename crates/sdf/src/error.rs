@@ -41,6 +41,23 @@ pub enum SdfError {
     },
 }
 
+impl SdfError {
+    /// The stable diagnostic code of this error, from the same registry
+    /// `ams-lint` uses (`TDF001` = inconsistent rates, `TDF002` =
+    /// deadlock, …), so a runtime scheduling failure and the
+    /// pre-elaboration lint finding that predicts it are correlated by
+    /// code.
+    pub fn code(&self) -> &'static str {
+        match self {
+            SdfError::InconsistentRates { .. } => "TDF001",
+            SdfError::Deadlock { .. } => "TDF002",
+            SdfError::ZeroRate { .. } => "TDF009",
+            SdfError::UnknownHandle { .. } => "TDF010",
+            SdfError::RateViolation { .. } => "TDF011",
+        }
+    }
+}
+
 impl fmt::Display for SdfError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {

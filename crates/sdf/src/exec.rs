@@ -198,8 +198,39 @@ impl<T: Clone + Default + 'static> SdfExecutor<T> {
     /// Actors are `Send` so the executor can run on a worker thread of
     /// the parallel execution engine; share observation state through
     /// `Arc<Mutex<…>>` rather than `Rc<RefCell<…>>`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is stale (from another graph). Use
+    /// [`try_set_actor`](SdfExecutor::try_set_actor) to get a
+    /// diagnosable [`SdfError::UnknownHandle`] (code `TDF010`) instead.
     pub fn set_actor(&mut self, id: ActorId, actor: impl SdfActor<T> + Send + 'static) {
-        self.actors[id.index()] = Some(Box::new(actor));
+        self.try_set_actor(id, actor)
+            .expect("stale actor handle passed to set_actor");
+    }
+
+    /// Fallible variant of [`set_actor`](SdfExecutor::set_actor):
+    /// rejects stale handles with [`SdfError::UnknownHandle`] instead of
+    /// panicking, matching the `TDF010` lint/runtime diagnostic code.
+    ///
+    /// # Errors
+    ///
+    /// [`SdfError::UnknownHandle`] if `id` does not name an actor of the
+    /// graph this executor was built from.
+    pub fn try_set_actor(
+        &mut self,
+        id: ActorId,
+        actor: impl SdfActor<T> + Send + 'static,
+    ) -> Result<(), SdfError> {
+        let slot = self
+            .actors
+            .get_mut(id.index())
+            .ok_or(SdfError::UnknownHandle {
+                kind: "actor",
+                index: id.index(),
+            })?;
+        *slot = Some(Box::new(actor));
+        Ok(())
     }
 
     /// Number of completed iterations.
@@ -208,6 +239,10 @@ impl<T: Clone + Default + 'static> SdfExecutor<T> {
     }
 
     /// Current queue length of an edge FIFO (diagnostics).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `edge` is stale (from another graph).
     pub fn fifo_len(&self, edge: crate::EdgeId) -> usize {
         self.fifos[edge.index()].len()
     }
@@ -489,5 +524,33 @@ mod tests {
         });
         exec.run_iterations(3).unwrap();
         assert_eq!(*sum.lock().unwrap(), 9);
+    }
+
+    #[test]
+    fn stale_actor_handle_is_rejected_not_panicked() {
+        let mut g = SdfGraph::new();
+        let a = g.add_actor("a");
+        let mut other = SdfGraph::new();
+        let _ = other.add_actor("x");
+        let stale = other.add_actor("y"); // index 1, unknown to `g`
+        let sched = schedule(&g).unwrap();
+        let mut exec: SdfExecutor<f64> = SdfExecutor::new(&g, sched).unwrap();
+        exec.try_set_actor(a, |_: &mut ActorIo<'_, f64>| {})
+            .unwrap();
+        let err = exec
+            .try_set_actor(stale, |_: &mut ActorIo<'_, f64>| {})
+            .unwrap_err();
+        assert!(matches!(err, SdfError::UnknownHandle { index: 1, .. }));
+        assert_eq!(err.code(), "TDF010");
+    }
+
+    #[test]
+    fn missing_actor_implementation_is_an_error() {
+        let mut g = SdfGraph::new();
+        let _ = g.add_actor("lonely");
+        let sched = schedule(&g).unwrap();
+        let mut exec: SdfExecutor<f64> = SdfExecutor::new(&g, sched).unwrap();
+        let err = exec.run_iterations(1).unwrap_err();
+        assert_eq!(err.code(), "TDF010");
     }
 }

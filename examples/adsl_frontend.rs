@@ -178,6 +178,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
     g.to_de("power_out", power, power_de);
 
+    // `--lint-only`: static checks on both the TDF graph and the
+    // embedded subscriber-line netlist.
+    if systemc_ams::lint::lint_only_requested() {
+        systemc_ams::lint::exit_lint_only(&[
+            g.lint(),
+            systemc_ams::lint::lint_circuit("subscriber_line", &ckt),
+        ]);
+    }
+
     let cluster = sim.add_cluster(g)?;
 
     // ---- Frequency-domain view (the "*" modules in Figure 1). ------------

@@ -58,6 +58,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("dc motor: R={R_ARM} Ω, L={L_ARM} H, K={K_M}, J={J_ROT}, B={B_FRICTION}");
     println!("open-loop speed gain: {gain:.2} (rad/s)/V\n");
 
+    // `--lint-only`: static checks on the conservative network only.
+    if systemc_ams::lint::lint_only_requested() {
+        let (ckt, _, _) = build_motor()?;
+        systemc_ams::lint::exit_lint_only(&[systemc_ams::lint::lint_circuit("dc_motor", &ckt)]);
+    }
+
     // ---- Part 1: open-loop step, fixed vs variable timestep. -------------
     let (ckt, drive, shaft) = build_motor()?;
     let mut fixed = TransientSolver::new(&ckt, IntegrationMethod::Trapezoidal)?;

@@ -53,6 +53,28 @@ fn measure_enob(errors: &[StageErrors], correction: bool) -> f64 {
 }
 
 fn main() {
+    // `--lint-only`: static checks on a representative configuration.
+    if systemc_ams::lint::lint_only_requested() {
+        let mut g = TdfGraph::new("adc");
+        let analog = g.signal("analog");
+        let code = g.signal("code");
+        let _probe = g.probe(code);
+        g.add_module(
+            "src",
+            SineSource::new(
+                analog.writer(),
+                1.0e3,
+                0.95 * VREF,
+                Some(SimTime::from_us(1)),
+            ),
+        );
+        g.add_module(
+            "adc",
+            PipelinedAdc::new(analog.reader(), code.writer(), STAGES, VREF),
+        );
+        systemc_ams::lint::exit_lint_only(&[g.lint()]);
+    }
+
     let ideal_bits = (STAGES + 1) as f64;
     println!("pipelined ADC: {STAGES} stages of 1.5 bit, Vref = {VREF} V");
     println!(

@@ -62,6 +62,11 @@ fn run_pll(f_ref: f64, t_end_ms: u64) -> Result<(f64, f64), Box<dyn std::error::
     g.add_module("vco", Vco::new(ctrl.reader(), vco_out.writer(), F0, KV));
     g.add_module("z1", UnitDelay::new(vco_out.reader(), vco_fb.writer(), 0.0));
 
+    // `--lint-only`: report the static checks instead of simulating.
+    if systemc_ams::lint::lint_only_requested() {
+        systemc_ams::lint::exit_lint_only(&[g.lint()]);
+    }
+
     let mut c = g.elaborate()?;
     let iterations = t_end_ms * 1_000_000 / FS;
     c.run_standalone(iterations)?;

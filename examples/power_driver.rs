@@ -101,6 +101,12 @@ fn run_pwm(f_pwm: f64, duty: f64) -> Result<(f64, f64), Box<dyn std::error::Erro
 }
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // `--lint-only`: static checks on the power stage netlist.
+    if systemc_ams::lint::lint_only_requested() {
+        let (ckt, _, _, _, _) = power_stage()?;
+        systemc_ams::lint::exit_lint_only(&[systemc_ams::lint::lint_circuit("power_stage", &ckt)]);
+    }
+
     println!("synchronous buck driver: {VSUPPLY} V supply, R = {R_LOAD} Ω, L = {L_LOAD} H\n");
 
     // --- Ripple vs PWM frequency at 50 % duty. ----------------------------

@@ -63,6 +63,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         Comparator::new(filtered.reader(), decision.writer(), 0.0),
     );
     g.to_de("cmp_out", decision, cmp_de);
+
+    // `--lint-only`: run the static checks and report instead of
+    // simulating (exit status 1 on any error-severity diagnostic).
+    if systemc_ams::lint::lint_only_requested() {
+        systemc_ams::lint::exit_lint_only(&[g.lint()]);
+    }
+
     sim.add_cluster(g)?;
 
     // Run 200 ms = 10 sine periods.

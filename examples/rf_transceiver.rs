@@ -211,6 +211,11 @@ fn run_link(
     }
     g.add_module("pace", Pace);
 
+    // `--lint-only`: report the static checks instead of simulating.
+    if systemc_ams::lint::lint_only_requested() {
+        systemc_ams::lint::exit_lint_only(&[g.lint()]);
+    }
+
     let mut c = g.elaborate()?;
     c.run_standalone(symbols)?;
     let (err, total) = *errors.lock().expect("error counter poisoned");

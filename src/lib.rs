@@ -17,6 +17,7 @@
 //! | [`sdf`] | `ams-sdf` | synchronous dataflow: balance equations, static schedules, execution |
 //! | [`lti`] | `ams-lti` | transfer functions, zero-pole, state space, discretization, Bode |
 //! | [`net`] | `ams-net` | conservative-law MNA networks: DC/transient/AC/noise, multi-domain |
+//! | [`lint`] | `ams-lint` | pre-elaboration static analysis: balance/cycle/topology diagnostics |
 //! | [`core`] | `ams-core` | TDF MoC, DE↔CT synchronization layer, solver plug-ins, AMS simulator |
 //! | [`blocks`] | `ams-blocks` | mixed-signal block library (sources → Σ∆ → RF → power → control) |
 //! | [`wave`] | `ams-wave` | VCD/CSV tracing, spectral analysis (SNR/SINAD/THD/ENOB) |
@@ -63,6 +64,7 @@ pub use ams_blocks as blocks;
 pub use ams_core as core;
 pub use ams_exec as exec;
 pub use ams_kernel as kernel;
+pub use ams_lint as lint;
 pub use ams_lti as lti;
 pub use ams_math as math;
 pub use ams_net as net;

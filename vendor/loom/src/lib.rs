@@ -1,0 +1,536 @@
+//! Offline stand-in for the [`loom`](https://docs.rs/loom) concurrency
+//! model checker, covering the API subset this workspace uses.
+//!
+//! [`model`] runs a closure repeatedly, exploring thread interleavings
+//! by depth-first search over scheduling decisions. Execution is fully
+//! serialized: exactly one logical thread runs at a time, and every
+//! access to a [`sync::atomic`] type (and every [`thread::yield_now`])
+//! is a *yield point* where the scheduler may switch threads. The
+//! search is exhaustive up to a preemption bound (default 3, override
+//! with `LOOM_MAX_PREEMPTIONS`): every schedule in which no thread is
+//! involuntarily descheduled more than the bounded number of times is
+//! executed exactly once. Preemption bounding is the same pruning
+//! strategy real loom uses, and it is known to find the vast majority
+//! of interleaving bugs at small bounds.
+//!
+//! Differences from real loom, by design of a minimal stand-in:
+//!
+//! * memory ordering is sequentially consistent (orderings are
+//!   accepted and ignored) — weak-memory reorderings are not explored;
+//! * only `thread`, `sync::Arc` and `sync::atomic::{AtomicU64,
+//!   AtomicUsize, AtomicBool, Ordering}` are provided;
+//! * spawned threads must be joined inside the model closure.
+
+#![warn(missing_docs)]
+
+use std::cell::RefCell;
+use std::sync::{Arc as StdArc, Condvar, Mutex, MutexGuard};
+
+/// Maximum model iterations before the search gives up. A genuine
+/// runaway (unbounded schedules) is a bug in the model under test; a
+/// clean exhaustive search of a small test finishes far below this.
+const MAX_ITERATIONS: usize = 1_000_000;
+
+/// Maximum yield points in a single run. An unbounded spin loop (e.g. a
+/// retry loop whose partner thread is blocked in `join`) would otherwise
+/// hang the search forever on one schedule; model bodies must bound
+/// their loops.
+const MAX_STEPS_PER_RUN: usize = 100_000;
+
+fn max_preemptions() -> usize {
+    std::env::var("LOOM_MAX_PREEMPTIONS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(3)
+}
+
+/// One recorded scheduling decision: which thread was chosen among the
+/// runnable set, and how to enumerate the remaining alternatives.
+#[derive(Debug, Clone)]
+struct PathEntry {
+    /// Runnable threads at this point, non-preempting choice first.
+    options: Vec<usize>,
+    /// Index into `options` of the branch taken this iteration.
+    chosen: usize,
+    /// The thread that was running when the decision was made (`None`
+    /// at a thread exit — switching then is not a preemption).
+    prev: Option<usize>,
+    /// Preemptions accumulated strictly before this decision.
+    preemptions_before: usize,
+}
+
+impl PathEntry {
+    fn is_preemption(&self, idx: usize) -> bool {
+        matches!(self.prev, Some(p) if self.options[idx] != p)
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ThreadState {
+    Runnable,
+    /// Waiting for another thread to finish.
+    Joining(usize),
+    Finished,
+}
+
+struct SchedState {
+    threads: Vec<ThreadState>,
+    /// The one thread currently allowed to run.
+    current: usize,
+    /// Decision sequence: replayed prefix + extensions made this run.
+    path: Vec<PathEntry>,
+    /// Next decision index.
+    depth: usize,
+    /// Length of `path` that is being replayed from the previous run.
+    replay_len: usize,
+    preemptions: usize,
+    /// Yield points taken in this run, for livelock detection.
+    steps: usize,
+}
+
+struct Scheduler {
+    state: Mutex<SchedState>,
+    cv: Condvar,
+    bound: usize,
+}
+
+impl Scheduler {
+    fn lock(&self) -> MutexGuard<'_, SchedState> {
+        // A panicking interleaving poisons the lock; the panic that
+        // matters is the original one, so ignore the poison.
+        self.state.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Picks the next thread to run (replaying the recorded path or
+    /// extending it), wakes it, and returns it. Panics on deadlock.
+    fn pick_next(&self, st: &mut SchedState, prev: Option<usize>) -> usize {
+        let runnable: Vec<usize> = (0..st.threads.len())
+            .filter(|&t| st.threads[t] == ThreadState::Runnable)
+            .collect();
+        assert!(
+            !runnable.is_empty(),
+            "deadlock: no runnable thread (states: {:?})",
+            st.threads
+        );
+        if runnable.len() == 1 {
+            // A forced move is not a decision; it is never recorded, so
+            // replay and extension agree on the path contents.
+            return runnable[0];
+        }
+        // Non-preempting continuation first, then by thread id.
+        let mut options = runnable;
+        if let Some(p) = prev {
+            if let Some(pos) = options.iter().position(|&t| t == p) {
+                options.remove(pos);
+                options.insert(0, p);
+            }
+        }
+        let entry_idx = st.depth;
+        if entry_idx < st.path.len() {
+            // Replay.
+            let entry = &st.path[entry_idx];
+            assert_eq!(
+                entry.options, options,
+                "nondeterministic model: runnable set diverged on replay"
+            );
+            let choice = entry.options[entry.chosen];
+            let preempt = entry.is_preemption(entry.chosen);
+            st.depth += 1;
+            if preempt {
+                st.preemptions += 1;
+            }
+            choice
+        } else {
+            let entry = PathEntry {
+                options,
+                chosen: 0,
+                prev,
+                preemptions_before: st.preemptions,
+            };
+            let choice = entry.options[0];
+            // options[0] is the non-preempting continuation when one
+            // exists, so `chosen == 0` never preempts.
+            st.path.push(entry);
+            st.depth += 1;
+            choice
+        }
+    }
+
+    /// Yield point: offer the scheduler a chance to switch away from
+    /// thread `me`, then block until `me` is scheduled again.
+    fn yield_point(&self, me: usize) {
+        let mut st = self.lock();
+        debug_assert_eq!(st.current, me);
+        st.steps += 1;
+        assert!(
+            st.steps <= MAX_STEPS_PER_RUN,
+            "livelock: {MAX_STEPS_PER_RUN} yield points in one schedule — \
+             bound the loops inside the model body"
+        );
+        let next = self.pick_next(&mut st, Some(me));
+        if next != me {
+            st.current = next;
+            self.cv.notify_all();
+            while st.current != me {
+                st = self.cv.wait(st).unwrap_or_else(|e| e.into_inner());
+            }
+        }
+    }
+
+    /// Blocks until this thread becomes the scheduled one (used by a
+    /// freshly spawned thread before its first instruction).
+    fn wait_scheduled(&self, me: usize) {
+        let mut st = self.lock();
+        while st.current != me {
+            st = self.cv.wait(st).unwrap_or_else(|e| e.into_inner());
+        }
+    }
+
+    /// Marks `me` finished, unblocks joiners, and hands the CPU to the
+    /// next runnable thread (if any remain).
+    fn finish(&self, me: usize) {
+        let mut st = self.lock();
+        st.threads[me] = ThreadState::Finished;
+        for t in 0..st.threads.len() {
+            if st.threads[t] == ThreadState::Joining(me) {
+                st.threads[t] = ThreadState::Runnable;
+            }
+        }
+        if st.threads.contains(&ThreadState::Runnable) {
+            let next = self.pick_next(&mut st, None);
+            st.current = next;
+            self.cv.notify_all();
+        } else {
+            // All threads done (or deadlocked — pick_next would have
+            // caught a mix of Joining with no Runnable).
+            let all_done = st.threads.iter().all(|&s| s == ThreadState::Finished);
+            assert!(all_done, "deadlock: all threads blocked in join");
+            self.cv.notify_all();
+        }
+    }
+
+    /// Blocks thread `me` until `target` finishes.
+    fn join_wait(&self, me: usize, target: usize) {
+        let mut st = self.lock();
+        if st.threads[target] == ThreadState::Finished {
+            return;
+        }
+        st.threads[me] = ThreadState::Joining(target);
+        let next = self.pick_next(&mut st, None);
+        st.current = next;
+        self.cv.notify_all();
+        while st.current != me {
+            st = self.cv.wait(st).unwrap_or_else(|e| e.into_inner());
+        }
+        debug_assert_eq!(st.threads[target], ThreadState::Finished);
+    }
+
+    /// Advances the recorded path to the next unexplored branch.
+    /// Returns `false` when the search space is exhausted.
+    fn advance(&self) -> bool {
+        let mut st = self.lock();
+        while let Some(mut entry) = st.path.pop() {
+            let mut next = entry.chosen + 1;
+            while next < entry.options.len() {
+                let extra = usize::from(entry.is_preemption(next));
+                if entry.preemptions_before + extra <= self.bound {
+                    entry.chosen = next;
+                    st.path.push(entry);
+                    return true;
+                }
+                next += 1;
+            }
+        }
+        false
+    }
+
+    fn reset_for_run(&self, n_threads_hint: usize) {
+        let mut st = self.lock();
+        st.threads.clear();
+        st.threads.reserve(n_threads_hint);
+        st.threads.push(ThreadState::Runnable); // thread 0 = model body
+        st.current = 0;
+        st.replay_len = st.path.len();
+        st.depth = 0;
+        st.preemptions = 0;
+        st.steps = 0;
+    }
+}
+
+thread_local! {
+    /// (scheduler, my thread id) for the logical thread running here.
+    static CONTEXT: RefCell<Option<(StdArc<Scheduler>, usize)>> = const { RefCell::new(None) };
+}
+
+fn context() -> Option<(StdArc<Scheduler>, usize)> {
+    CONTEXT.with(|c| c.borrow().clone())
+}
+
+fn yield_if_modeled() {
+    if let Some((sched, me)) = context() {
+        sched.yield_point(me);
+    }
+}
+
+/// Explores the interleavings of `f`.
+///
+/// Runs `f` once per distinct schedule (up to the preemption bound),
+/// replaying a recorded decision prefix and branching depth-first. Any
+/// panic inside `f` (assertion failure, overflow, …) surfaces on the
+/// caller with the iteration number, which identifies the failing
+/// schedule.
+pub fn model<F>(f: F)
+where
+    F: Fn() + Send + Sync + 'static,
+{
+    let sched = StdArc::new(Scheduler {
+        state: Mutex::new(SchedState {
+            threads: Vec::new(),
+            current: 0,
+            path: Vec::new(),
+            depth: 0,
+            replay_len: 0,
+            preemptions: 0,
+            steps: 0,
+        }),
+        cv: Condvar::new(),
+        bound: max_preemptions(),
+    });
+    let mut iterations = 0usize;
+    loop {
+        iterations += 1;
+        assert!(
+            iterations <= MAX_ITERATIONS,
+            "loom model did not converge after {MAX_ITERATIONS} iterations"
+        );
+        sched.reset_for_run(4);
+        CONTEXT.with(|c| *c.borrow_mut() = Some((sched.clone(), 0)));
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(&f));
+        CONTEXT.with(|c| *c.borrow_mut() = None);
+        match result {
+            Ok(()) => sched.finish(0),
+            Err(payload) => {
+                eprintln!("loom: model panicked on iteration {iterations}");
+                std::panic::resume_unwind(payload);
+            }
+        }
+        if !sched.advance() {
+            break;
+        }
+    }
+}
+
+/// Model-aware threads.
+pub mod thread {
+    use super::{context, ThreadState};
+
+    /// Handle to a spawned model thread.
+    pub struct JoinHandle<T> {
+        inner: std::thread::JoinHandle<T>,
+        tid: usize,
+    }
+
+    impl<T> JoinHandle<T> {
+        /// Waits for the thread to finish and returns its result.
+        ///
+        /// # Errors
+        ///
+        /// Returns the panic payload if the thread panicked.
+        pub fn join(self) -> std::thread::Result<T> {
+            if let Some((sched, me)) = context() {
+                sched.join_wait(me, self.tid);
+            }
+            self.inner.join()
+        }
+    }
+
+    /// Spawns a model thread. Must be called inside [`super::model`];
+    /// outside a model it degrades to a plain [`std::thread::spawn`].
+    pub fn spawn<F, T>(f: F) -> JoinHandle<T>
+    where
+        F: FnOnce() -> T + Send + 'static,
+        T: Send + 'static,
+    {
+        match context() {
+            None => JoinHandle {
+                inner: std::thread::spawn(f),
+                tid: usize::MAX,
+            },
+            Some((sched, _me)) => {
+                let tid = {
+                    let mut st = sched.lock();
+                    st.threads.push(ThreadState::Runnable);
+                    st.threads.len() - 1
+                };
+                let sched2 = sched.clone();
+                let inner = std::thread::spawn(move || {
+                    super::CONTEXT.with(|c| *c.borrow_mut() = Some((sched2.clone(), tid)));
+                    sched2.wait_scheduled(tid);
+                    // On panic the scheduler must still be told this
+                    // thread is done, or the joiner deadlocks instead
+                    // of seeing the panic.
+                    let out = std::panic::catch_unwind(std::panic::AssertUnwindSafe(f));
+                    super::CONTEXT.with(|c| *c.borrow_mut() = None);
+                    sched2.finish(tid);
+                    match out {
+                        Ok(v) => v,
+                        Err(payload) => std::panic::resume_unwind(payload),
+                    }
+                });
+                JoinHandle { inner, tid }
+            }
+        }
+    }
+
+    /// A scheduling point with no memory effect.
+    pub fn yield_now() {
+        super::yield_if_modeled();
+        if context().is_none() {
+            std::thread::yield_now();
+        }
+    }
+}
+
+/// Model-aware synchronization primitives.
+pub mod sync {
+    pub use std::sync::Arc;
+
+    /// Model-aware atomics: every access is a scheduling point.
+    pub mod atomic {
+        pub use std::sync::atomic::Ordering;
+
+        /// An atomic `usize` whose every access is a scheduling point.
+        #[derive(Debug, Default)]
+        pub struct AtomicUsize(std::sync::atomic::AtomicUsize);
+
+        impl AtomicUsize {
+            /// Creates a new atomic.
+            pub fn new(v: usize) -> Self {
+                AtomicUsize(std::sync::atomic::AtomicUsize::new(v))
+            }
+            /// Loads the value (scheduling point).
+            pub fn load(&self, order: Ordering) -> usize {
+                super::super::yield_if_modeled();
+                self.0.load(order)
+            }
+            /// Stores a value (scheduling point).
+            pub fn store(&self, v: usize, order: Ordering) {
+                super::super::yield_if_modeled();
+                self.0.store(v, order);
+            }
+            /// Adds, returning the previous value (scheduling point).
+            pub fn fetch_add(&self, v: usize, order: Ordering) -> usize {
+                super::super::yield_if_modeled();
+                self.0.fetch_add(v, order)
+            }
+        }
+
+        /// An atomic `u64` whose every access is a scheduling point.
+        #[derive(Debug, Default)]
+        pub struct AtomicU64(std::sync::atomic::AtomicU64);
+
+        impl AtomicU64 {
+            /// Creates a new atomic.
+            pub fn new(v: u64) -> Self {
+                AtomicU64(std::sync::atomic::AtomicU64::new(v))
+            }
+            /// Loads the value (scheduling point).
+            pub fn load(&self, order: Ordering) -> u64 {
+                super::super::yield_if_modeled();
+                self.0.load(order)
+            }
+            /// Stores a value (scheduling point).
+            pub fn store(&self, v: u64, order: Ordering) {
+                super::super::yield_if_modeled();
+                self.0.store(v, order);
+            }
+        }
+
+        /// An atomic `bool` whose every access is a scheduling point.
+        #[derive(Debug, Default)]
+        pub struct AtomicBool(std::sync::atomic::AtomicBool);
+
+        impl AtomicBool {
+            /// Creates a new atomic.
+            pub fn new(v: bool) -> Self {
+                AtomicBool(std::sync::atomic::AtomicBool::new(v))
+            }
+            /// Loads the value (scheduling point).
+            pub fn load(&self, order: Ordering) -> bool {
+                super::super::yield_if_modeled();
+                self.0.load(order)
+            }
+            /// Stores a value (scheduling point).
+            pub fn store(&self, v: bool, order: Ordering) {
+                super::super::yield_if_modeled();
+                self.0.store(v, order);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::sync::atomic::{AtomicUsize, Ordering};
+    use super::sync::Arc;
+    use std::sync::atomic::{AtomicUsize as StdAtomicUsize, Ordering as StdOrdering};
+
+    #[test]
+    fn explores_more_than_one_schedule() {
+        let iterations = Arc::new(StdAtomicUsize::new(0));
+        let it2 = iterations.clone();
+        super::model(move || {
+            it2.fetch_add(1, StdOrdering::Relaxed);
+            let x = Arc::new(AtomicUsize::new(0));
+            let x2 = x.clone();
+            let h = super::thread::spawn(move || {
+                x2.store(1, Ordering::SeqCst);
+            });
+            let _seen = x.load(Ordering::SeqCst);
+            h.join().unwrap();
+            assert_eq!(x.load(Ordering::SeqCst), 1);
+        });
+        // The load can observe 0 or 1 depending on the schedule, so at
+        // least two interleavings must have been run.
+        assert!(iterations.load(StdOrdering::Relaxed) >= 2);
+    }
+
+    #[test]
+    fn finds_lost_update() {
+        // Two unsynchronized read-modify-write threads: some schedule
+        // must lose an update. Verify the explorer reaches it.
+        let lost = Arc::new(StdAtomicUsize::new(0));
+        let lost2 = lost.clone();
+        super::model(move || {
+            let x = Arc::new(AtomicUsize::new(0));
+            let mut handles = Vec::new();
+            for _ in 0..2 {
+                let x2 = x.clone();
+                handles.push(super::thread::spawn(move || {
+                    let v = x2.load(Ordering::SeqCst);
+                    x2.store(v + 1, Ordering::SeqCst);
+                }));
+            }
+            for h in handles {
+                h.join().unwrap();
+            }
+            if x.load(Ordering::SeqCst) != 2 {
+                lost2.fetch_add(1, StdOrdering::Relaxed);
+            }
+        });
+        assert!(lost.load(StdOrdering::Relaxed) > 0, "never saw the race");
+    }
+
+    #[test]
+    fn single_thread_runs_once() {
+        let iterations = Arc::new(StdAtomicUsize::new(0));
+        let it2 = iterations.clone();
+        super::model(move || {
+            it2.fetch_add(1, StdOrdering::Relaxed);
+            let x = AtomicUsize::new(0);
+            x.store(7, Ordering::SeqCst);
+            assert_eq!(x.load(Ordering::SeqCst), 7);
+        });
+        assert_eq!(iterations.load(StdOrdering::Relaxed), 1);
+    }
+}
