@@ -1,0 +1,111 @@
+//! E10 — batched-sweep throughput: amortizing the symbolic analysis.
+//!
+//! Analog verification is dominated by many short variants of one model
+//! (corners, tolerances, Monte Carlo), not one long run. All variants
+//! share the netlist *topology*, so the sparse symbolic LU analysis
+//! (ordering, pivot sequence, fill pattern) is a per-topology cost, not
+//! a per-scenario one: `ams-sweep` runs the first scenario, exports its
+//! [`SymbolicFactor`](ams_net::SymbolicFactor), and every sibling
+//! adopts it — paying only a numeric refactorization per scenario.
+//!
+//! Measured: wall time per 256-scenario Monte-Carlo sweep of an RC
+//! ladder (sparse backend), shared-symbolic vs fresh-factorization, at
+//! two ladder sizes; plus the per-scenario solver counters proving the
+//! amortization (0 symbolic analyses on the shared path after scenario
+//! 0). The short horizon keeps the per-scenario step count low, the
+//! regime where factorization setup dominates and sharing pays most —
+//! exactly the corner-sweep workload.
+
+use ams_net::{Circuit, ElementId, IntegrationMethod, SolverBackend};
+use ams_sweep::{NetlistSweep, SweepSpec};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+const SCENARIOS: usize = 256;
+const WORKERS: usize = 4;
+
+fn ladder(n: usize) -> (Circuit, Vec<ElementId>, ams_net::NodeId) {
+    let mut ckt = Circuit::new();
+    let mut prev = ckt.node("in");
+    ckt.voltage_source("V", prev, Circuit::GROUND, 1.0).unwrap();
+    let mut resistors = Vec::new();
+    for i in 0..n {
+        let node = ckt.node(format!("n{i}"));
+        resistors.push(ckt.resistor(format!("R{i}"), prev, node, 100.0).unwrap());
+        ckt.capacitor(format!("C{i}"), node, Circuit::GROUND, 1e-9)
+            .unwrap();
+        prev = node;
+    }
+    (ckt, resistors, prev)
+}
+
+fn sweep(n: usize, share: bool, scenarios: usize) -> ams_sweep::SweepReport {
+    let (ckt, resistors, out) = ladder(n);
+    let spec = SweepSpec::monte_carlo(&[("tol", -0.2, 0.2)], scenarios, 0xE10).unwrap();
+    NetlistSweep::new(ckt, IntegrationMethod::Trapezoidal)
+        .backend(SolverBackend::Sparse)
+        .fixed_step(2e-8, 1e-9)
+        .share_symbolic(share)
+        .run(
+            &spec,
+            WORKERS,
+            &["v_out"],
+            |c, sc| {
+                // Every resistor off its nominal by the scenario's
+                // tolerance draw: values change, topology does not.
+                for r in &resistors {
+                    c.set_resistance(*r, 100.0 * (1.0 + sc.value("tol")))?;
+                }
+                Ok(())
+            },
+            |tr, m| m[0] = tr.voltage(out),
+        )
+        .unwrap()
+}
+
+fn bench_sweep_throughput(c: &mut Criterion) {
+    // Print the amortization evidence once, outside the timed loop.
+    for &n in &[64usize, 192] {
+        let shared = sweep(n, true, SCENARIOS);
+        let fresh = sweep(n, false, SCENARIOS);
+        let (ts, tf) = (shared.totals(), fresh.totals());
+        println!(
+            "e10 n={n}: shared {} symbolic + {} numeric refactors | \
+             fresh {} symbolic + {} numeric refactors | {} scenarios",
+            ts.solve.symbolic_analyses,
+            ts.solve.numeric_refactors,
+            tf.solve.symbolic_analyses,
+            tf.solve.numeric_refactors,
+            SCENARIOS
+        );
+        assert_eq!(
+            ts.solve.symbolic_analyses, 1,
+            "shared sweep must pay exactly one symbolic analysis"
+        );
+        assert_eq!(tf.solve.symbolic_analyses, SCENARIOS as u64);
+        // Same answers either way (to factorization rounding): sharing
+        // is a pure optimization.
+        let worst = shared
+            .values("v_out")
+            .unwrap()
+            .iter()
+            .zip(fresh.values("v_out").unwrap())
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0f64, f64::max);
+        assert!(worst < 1e-9, "shared vs fresh diverged by {worst}");
+    }
+
+    let mut group = c.benchmark_group("e10_sweep_throughput");
+    group.sample_size(10);
+    for &n in &[64usize, 192] {
+        group.bench_with_input(BenchmarkId::new("shared_symbolic", n), &n, |b, &n| {
+            b.iter(|| sweep(n, true, SCENARIOS));
+        });
+        group.bench_with_input(BenchmarkId::new("fresh_factorization", n), &n, |b, &n| {
+            b.iter(|| sweep(n, false, SCENARIOS));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_sweep_throughput);
+criterion_main!(benches);

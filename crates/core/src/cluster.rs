@@ -536,6 +536,19 @@ pub struct ClusterStats {
     pub solve: ams_math::SolveStats,
 }
 
+impl ClusterStats {
+    /// Folds another counter set into this one (counts add; the gauges
+    /// inside [`SolveStats`](ams_math::SolveStats) take the maximum).
+    pub fn merge(&mut self, other: &ClusterStats) {
+        self.iterations += other.iterations;
+        self.firings += other.firings;
+        self.probe_samples += other.probe_samples;
+        self.newton_iterations += other.newton_iterations;
+        self.factorizations += other.factorizations;
+        self.solve.merge(&other.solve);
+    }
+}
+
 /// An elaborated, executable TDF cluster.
 pub struct Cluster {
     name: String,

@@ -44,12 +44,7 @@ impl ExecStats {
     pub fn totals(&self) -> ClusterStats {
         let mut t = ClusterStats::default();
         for (_, s) in &self.clusters {
-            t.iterations += s.iterations;
-            t.firings += s.firings;
-            t.probe_samples += s.probe_samples;
-            t.newton_iterations += s.newton_iterations;
-            t.factorizations += s.factorizations;
-            t.solve.merge(&s.solve);
+            t.merge(s);
         }
         t
     }

@@ -37,29 +37,58 @@ impl SimTime {
         SimTime(fs)
     }
 
+    /// Femtoseconds per unit, checked: overflow beyond the ~5.1 h range
+    /// panics (in every build profile) instead of silently wrapping.
+    const fn scaled(count: u64, fs_per_unit: u64) -> Self {
+        match count.checked_mul(fs_per_unit) {
+            Some(fs) => SimTime(fs),
+            None => panic!("time overflows SimTime (max ~5.1 h at 1 fs resolution)"),
+        }
+    }
+
     /// Creates a time from picoseconds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the time overflows the representable range (~5.1 h).
     pub const fn from_ps(ps: u64) -> Self {
-        SimTime(ps * 1_000)
+        SimTime::scaled(ps, 1_000)
     }
 
     /// Creates a time from nanoseconds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the time overflows the representable range (~5.1 h).
     pub const fn from_ns(ns: u64) -> Self {
-        SimTime(ns * 1_000_000)
+        SimTime::scaled(ns, 1_000_000)
     }
 
     /// Creates a time from microseconds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the time overflows the representable range (~5.1 h).
     pub const fn from_us(us: u64) -> Self {
-        SimTime(us * 1_000_000_000)
+        SimTime::scaled(us, 1_000_000_000)
     }
 
     /// Creates a time from milliseconds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the time overflows the representable range (~5.1 h).
     pub const fn from_ms(ms: u64) -> Self {
-        SimTime(ms * 1_000_000_000_000)
+        SimTime::scaled(ms, 1_000_000_000_000)
     }
 
     /// Creates a time from whole seconds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the time overflows the representable range (~5.1 h).
     pub const fn from_secs(s: u64) -> Self {
-        SimTime(s * 1_000_000_000_000_000)
+        SimTime::scaled(s, 1_000_000_000_000_000)
     }
 
     /// Creates a time from a floating-point second count, rounding to the
@@ -258,6 +287,53 @@ mod tests {
         assert_eq!(SimTime::from_us(2).to_string(), "2 us");
         assert_eq!(SimTime::ZERO.to_string(), "0 s");
         assert_eq!(SimTime::from_fs(7).to_string(), "7 fs");
+    }
+
+    #[test]
+    fn unit_constructors_accept_the_full_range() {
+        // Largest exactly-representable value per unit: must not panic.
+        assert_eq!(
+            SimTime::from_ps(u64::MAX / 1_000).as_fs(),
+            u64::MAX / 1_000 * 1_000
+        );
+        assert_eq!(
+            SimTime::from_secs(18_446).as_fs(),
+            18_446_000_000_000_000_000
+        );
+    }
+
+    // Overflow must panic in *every* build profile (these run under
+    // `cargo test --release` in CI); before the checked_mul fix the
+    // release build silently wrapped, e.g. from_secs(20_000) wrapped
+    // past the ~5.1 h range into a small bogus time.
+    #[test]
+    #[should_panic(expected = "overflows SimTime")]
+    fn from_secs_overflow_panics() {
+        let _ = SimTime::from_secs(20_000);
+    }
+
+    #[test]
+    #[should_panic(expected = "overflows SimTime")]
+    fn from_ms_overflow_panics() {
+        let _ = SimTime::from_ms(20_000_000);
+    }
+
+    #[test]
+    #[should_panic(expected = "overflows SimTime")]
+    fn from_us_overflow_panics() {
+        let _ = SimTime::from_us(u64::MAX / 1_000_000_000 + 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "overflows SimTime")]
+    fn from_ns_overflow_panics() {
+        let _ = SimTime::from_ns(u64::MAX / 1_000_000 + 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "overflows SimTime")]
+    fn from_ps_overflow_panics() {
+        let _ = SimTime::from_ps(u64::MAX / 1_000 + 1);
     }
 
     #[test]

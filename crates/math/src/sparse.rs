@@ -656,6 +656,35 @@ impl<T: Scalar> SparseLu<T> {
         self.factor_nnz().saturating_sub(self.a_nnz)
     }
 
+    /// Whether `a` has the exact sparsity pattern this factorization was
+    /// computed for (the precondition of [`SparseLu::refactor`] and
+    /// [`SparseLu::refactored`]).
+    pub fn matches_pattern(&self, a: &CsrMat<T>) -> bool {
+        a.rows == self.n
+            && a.cols == self.n
+            && a.row_ptr == self.pat_row_ptr
+            && a.col_idx == self.pat_col_idx
+    }
+
+    /// Clones the symbolic analysis (column ordering, pivot sequence and
+    /// fill pattern) and numerically refactors the clone for `a`.
+    ///
+    /// This is the batched-scenario primitive: run one symbolic
+    /// [`SparseLu::factor`] on the first matrix of a structurally
+    /// identical family, then derive an independent factorization per
+    /// family member at numeric-refactor cost. The clone shares no
+    /// mutable state with `self`, so derived factorizations can live on
+    /// different threads.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`SparseLu::refactor`].
+    pub fn refactored(&self, a: &CsrMat<T>) -> crate::Result<SparseLu<T>> {
+        let mut lu = self.clone();
+        lu.refactor(a)?;
+        Ok(lu)
+    }
+
     /// Numeric-only refactorization: replays the cached elimination
     /// (ordering, pivot sequence, fill pattern) with the values of `a`.
     ///
@@ -964,6 +993,43 @@ mod tests {
         let xs = lu.solve(&b).unwrap();
         let xd = Lu::factor(&a2.to_dense()).unwrap().solve(&b).unwrap();
         assert!((&xs - &xd).norm_inf() < 1e-10);
+    }
+
+    #[test]
+    fn refactored_clones_share_the_symbolic_analysis() {
+        let a = ladder_csr(12);
+        let base = SparseLu::factor(&a).unwrap();
+        let b: DVec<f64> = (0..a.rows()).map(|i| (i as f64) * 0.5 - 2.0).collect();
+        // A family of scaled variants: each clone must solve its own
+        // matrix with the shared ordering/pivot sequence.
+        for scale in [0.5, 1.0, 7.25] {
+            let mut ak = a.clone();
+            for v in ak.values_mut() {
+                *v *= scale;
+            }
+            assert!(base.matches_pattern(&ak));
+            let lu = base.refactored(&ak).unwrap();
+            assert_eq!(lu.factor_nnz(), base.factor_nnz());
+            let xs = lu.solve(&b).unwrap();
+            let xd = Lu::factor(&ak.to_dense()).unwrap().solve(&b).unwrap();
+            assert!((&xs - &xd).norm_inf() < 1e-10, "scale {scale}");
+        }
+        // The base factorization is untouched by the derived clones.
+        let xs = base.solve(&b).unwrap();
+        let xd = Lu::factor(&a.to_dense()).unwrap().solve(&b).unwrap();
+        assert!((&xs - &xd).norm_inf() < 1e-10);
+    }
+
+    #[test]
+    fn refactored_rejects_different_pattern() {
+        let a = ladder_csr(4);
+        let lu = SparseLu::factor(&a).unwrap();
+        let other = ladder_csr(5);
+        assert!(!lu.matches_pattern(&other));
+        assert!(matches!(
+            lu.refactored(&other),
+            Err(MathError::InvalidArgument { .. })
+        ));
     }
 
     #[test]

@@ -294,6 +294,34 @@ impl<T: Scalar> MnaSystem<T> {
         }
     }
 
+    /// A clone of the cached sparse factorization — `None` on the dense
+    /// backend or before the first successful [`MnaSystem::factor`].
+    pub fn export_sparse_factor(&self) -> Option<SparseLu<T>> {
+        match &self.backend {
+            BackendState::Sparse { lu, .. } => lu.clone(),
+            BackendState::Dense { .. } => None,
+        }
+    }
+
+    /// Seeds the sparse backend with a factorization computed on a
+    /// structurally identical sibling system: the next
+    /// [`MnaSystem::factor`] replays its symbolic analysis as a numeric
+    /// refactor instead of running a fresh one. Returns `false` (and
+    /// changes nothing) on the dense backend or when the imported
+    /// pattern does not match this system's matrix.
+    pub fn import_sparse_factor(&mut self, imported: SparseLu<T>) -> bool {
+        match &mut self.backend {
+            BackendState::Sparse { csr, lu, .. } if imported.matches_pattern(csr) => {
+                *lu = Some(imported);
+                // The imported numeric values are foreign: forget the
+                // snapshot so bitwise reuse cannot trigger spuriously.
+                self.snapshot.clear();
+                true
+            }
+            _ => false,
+        }
+    }
+
     /// Solves against the assembled RHS.
     pub fn solve_rhs(&self) -> Result<DVec<T>, NetError> {
         self.solve(&self.rhs)
@@ -382,6 +410,57 @@ mod tests {
         assert!(s.factor(true).unwrap());
         assert_eq!(s.stats().numeric_refactors, 2);
         assert_eq!(s.stats().symbolic_analyses, 1);
+    }
+
+    #[test]
+    fn imported_factor_turns_first_factor_into_a_refactor() {
+        let mut first = MnaSystem::<f64>::new(2, true, |st| toy_assembly(st, 2.0));
+        first.assemble(|st| toy_assembly(st, 2.0));
+        first.factor(true).unwrap();
+        assert_eq!(first.stats().symbolic_analyses, 1);
+        let exported = first.export_sparse_factor().expect("sparse factor");
+
+        // A sibling system with the same pattern but different values:
+        // adopting the export replaces its symbolic analysis with a
+        // numeric refactor.
+        let mut sib = MnaSystem::<f64>::new(2, true, |st| toy_assembly(st, 7.0));
+        assert!(sib.import_sparse_factor(exported));
+        sib.assemble(|st| toy_assembly(st, 7.0));
+        sib.factor(true).unwrap();
+        assert_eq!(sib.stats().symbolic_analyses, 0);
+        assert_eq!(sib.stats().numeric_refactors, 1);
+        let x = sib.solve_rhs().unwrap();
+        // Reference solution from an independent dense system.
+        let mut d = MnaSystem::<f64>::new(2, false, |st| toy_assembly(st, 7.0));
+        d.assemble(|st| toy_assembly(st, 7.0));
+        d.factor(true).unwrap();
+        let xd = d.solve_rhs().unwrap();
+        assert!((x[0] - xd[0]).abs() < 1e-14 && (x[1] - xd[1]).abs() < 1e-14);
+    }
+
+    #[test]
+    fn import_rejects_dense_backend_and_foreign_patterns() {
+        let mut sparse = MnaSystem::<f64>::new(2, true, |st| toy_assembly(st, 2.0));
+        sparse.assemble(|st| toy_assembly(st, 2.0));
+        sparse.factor(true).unwrap();
+        let exported = sparse.export_sparse_factor().unwrap();
+
+        let mut dense = MnaSystem::<f64>::new(2, false, |st| toy_assembly(st, 2.0));
+        assert!(dense.export_sparse_factor().is_none());
+        assert!(!dense.import_sparse_factor(exported.clone()));
+
+        // Different pattern (3 unknowns): rejected, fresh analysis runs.
+        let tri = |st: &mut dyn Stamp<f64>| {
+            st.mat(0, 0, 1.0);
+            st.mat(1, 1, 1.0);
+            st.mat(2, 2, 1.0);
+            st.rhs(0, 1.0);
+        };
+        let mut other = MnaSystem::<f64>::new(3, true, tri);
+        assert!(!other.import_sparse_factor(exported));
+        other.assemble(tri);
+        other.factor(true).unwrap();
+        assert_eq!(other.stats().symbolic_analyses, 1);
     }
 
     #[test]

@@ -835,6 +835,122 @@ impl Circuit {
         }
     }
 
+    /// Replaces the resistance of resistor `elem`, leaving the topology
+    /// (nodes, element set, stamp pattern) untouched — the value-only
+    /// mutation primitive of parameter sweeps.
+    ///
+    /// # Errors
+    ///
+    /// * [`NetError::UnknownElement`] if `elem` is not a resistor.
+    /// * [`NetError::InvalidValue`] for a non-positive or non-finite
+    ///   value.
+    pub fn set_resistance(&mut self, elem: ElementId, new_ohms: f64) -> Result<(), NetError> {
+        let e = self
+            .elements
+            .get_mut(elem.0)
+            .ok_or(NetError::UnknownElement {
+                index: elem.0,
+                what: "resistance update",
+            })?;
+        match &mut e.kind {
+            ElementKind::Resistor { ohms } => {
+                Self::positive(&e.name, "resistance", new_ohms)?;
+                *ohms = new_ohms;
+                Ok(())
+            }
+            _ => Err(NetError::UnknownElement {
+                index: elem.0,
+                what: "resistance update",
+            }),
+        }
+    }
+
+    /// Replaces the capacitance of capacitor `elem` (topology
+    /// untouched; any initial-condition voltage is preserved).
+    ///
+    /// # Errors
+    ///
+    /// * [`NetError::UnknownElement`] if `elem` is not a capacitor.
+    /// * [`NetError::InvalidValue`] for a non-positive or non-finite
+    ///   value.
+    pub fn set_capacitance(&mut self, elem: ElementId, new_farads: f64) -> Result<(), NetError> {
+        let e = self
+            .elements
+            .get_mut(elem.0)
+            .ok_or(NetError::UnknownElement {
+                index: elem.0,
+                what: "capacitance update",
+            })?;
+        match &mut e.kind {
+            ElementKind::Capacitor { farads, .. } => {
+                Self::positive(&e.name, "capacitance", new_farads)?;
+                *farads = new_farads;
+                Ok(())
+            }
+            _ => Err(NetError::UnknownElement {
+                index: elem.0,
+                what: "capacitance update",
+            }),
+        }
+    }
+
+    /// Replaces the inductance of inductor `elem` (topology untouched;
+    /// any initial-condition current is preserved).
+    ///
+    /// # Errors
+    ///
+    /// * [`NetError::UnknownElement`] if `elem` is not an inductor.
+    /// * [`NetError::InvalidValue`] for a non-positive or non-finite
+    ///   value.
+    pub fn set_inductance(&mut self, elem: ElementId, new_henries: f64) -> Result<(), NetError> {
+        let e = self
+            .elements
+            .get_mut(elem.0)
+            .ok_or(NetError::UnknownElement {
+                index: elem.0,
+                what: "inductance update",
+            })?;
+        match &mut e.kind {
+            ElementKind::Inductor { henries, .. } => {
+                Self::positive(&e.name, "inductance", new_henries)?;
+                *henries = new_henries;
+                Ok(())
+            }
+            _ => Err(NetError::UnknownElement {
+                index: elem.0,
+                what: "inductance update",
+            }),
+        }
+    }
+
+    /// Replaces the large-signal waveform of an independent voltage or
+    /// current source (topology and AC magnitude untouched) — the
+    /// stimulus-variant primitive of scenario sweeps.
+    ///
+    /// # Errors
+    ///
+    /// [`NetError::UnknownElement`] if `elem` is not an independent
+    /// source.
+    pub fn set_source_waveform(&mut self, elem: ElementId, new: Waveform) -> Result<(), NetError> {
+        let e = self
+            .elements
+            .get_mut(elem.0)
+            .ok_or(NetError::UnknownElement {
+                index: elem.0,
+                what: "waveform update",
+            })?;
+        match &mut e.kind {
+            ElementKind::VoltageSource { wave, .. } | ElementKind::CurrentSource { wave, .. } => {
+                *wave = new;
+                Ok(())
+            }
+            _ => Err(NetError::UnknownElement {
+                index: elem.0,
+                what: "waveform update",
+            }),
+        }
+    }
+
     /// Adds an externally controlled switch.
     ///
     /// # Errors

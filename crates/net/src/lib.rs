@@ -65,4 +65,6 @@ pub use noise::{
     NoiseAnalysis, NoiseContribution, NoisePoint, BOLTZMANN, ELEMENTARY_CHARGE, NOISE_TEMP,
 };
 pub use pattern::StampPattern;
-pub use transient::{AdaptiveOptions, IntegrationMethod, TransientSolver, TransientStats};
+pub use transient::{
+    AdaptiveOptions, IntegrationMethod, SymbolicFactor, TransientSolver, TransientStats,
+};

@@ -142,9 +142,23 @@ pub struct TransientSolver {
     pub backend: SolverBackend,
     /// Set to disable factorization reuse (for benchmarking E5).
     pub reuse_factorization: bool,
+    /// A symbolic analysis adopted from a topology-identical sibling
+    /// solver, consumed when the backing system is first created.
+    symbolic_hint: Option<ams_math::SparseLu<f64>>,
     stats: TransientStats,
     initialized: bool,
 }
+
+/// An opaque, cloneable symbolic sparse-LU analysis extracted from one
+/// [`TransientSolver`] and adoptable by solvers over value-variants of
+/// the same circuit topology (same elements, different parameters).
+///
+/// The batched-sweep amortization primitive: the first scenario of a
+/// topology-invariant family pays the symbolic analysis (ordering,
+/// pivot sequence, fill pattern); every other scenario adopts it and
+/// pays only a numeric refactorization per matrix change.
+#[derive(Debug, Clone)]
+pub struct SymbolicFactor(ams_math::SparseLu<f64>);
 
 /// Everything the linear-path system matrix depends on: step size,
 /// effective integration rule and switch states.
@@ -181,6 +195,7 @@ impl TransientSolver {
             factor_key: None,
             backend: SolverBackend::default(),
             reuse_factorization: true,
+            symbolic_hint: None,
             stats: TransientStats::default(),
             initialized: false,
         })
@@ -189,6 +204,28 @@ impl TransientSolver {
     /// Current simulation time in seconds.
     pub fn time(&self) -> f64 {
         self.time
+    }
+
+    /// Extracts the sparse symbolic analysis of this solver's transient
+    /// system, if one has been computed (sparse backend, at least one
+    /// factored step). Solvers over value-variants of the same circuit
+    /// topology can [adopt](TransientSolver::adopt_symbolic_factor) it
+    /// to replace their own symbolic analysis with a numeric refactor.
+    pub fn symbolic_factor(&self) -> Option<SymbolicFactor> {
+        self.sys
+            .as_ref()
+            .and_then(|s| s.export_sparse_factor())
+            .map(SymbolicFactor)
+    }
+
+    /// Adopts a symbolic analysis extracted from a solver over the same
+    /// circuit topology: this solver's first sparse factorization
+    /// becomes a numeric refactor (counted in
+    /// [`SolveStats::numeric_refactors`](ams_math::SolveStats), not
+    /// `symbolic_analyses`). A hint whose pattern does not match is
+    /// ignored and a fresh symbolic analysis happens as usual.
+    pub fn adopt_symbolic_factor(&mut self, hint: &SymbolicFactor) {
+        self.symbolic_hint = Some(hint.0.clone());
     }
 
     /// Accumulated statistics (including the live linear-solver
@@ -494,7 +531,14 @@ impl TransientSolver {
                     // Keep the counters of a system we are replacing.
                     self.stats.solve.merge(&old.stats());
                 }
-                MnaSystem::new(n, use_sparse, |st| self.assemble(st, x, t_new, h, be))
+                let mut fresh =
+                    MnaSystem::new(n, use_sparse, |st| self.assemble(st, x, t_new, h, be));
+                if let Some(hint) = self.symbolic_hint.take() {
+                    // Adopted from a topology-identical sibling: the
+                    // first factor becomes a numeric refactor.
+                    fresh.import_sparse_factor(hint);
+                }
+                fresh
             }
         };
         sys.assemble(|st| self.assemble(st, x, t_new, h, be));
@@ -738,22 +782,38 @@ impl TransientSolver {
             self.initialize_dc()?;
         }
         let mut h = opts.initial_step;
+        // Step-doubling on an order-p method estimates an O(h^(p+1))
+        // local error, so the optimal-step update is
+        // h · (safety / err)^(1/(p+1)): exponent 1/3 for trapezoidal
+        // (p = 2), 1/2 for backward Euler (p = 1).
+        let order_exp = match self.method {
+            IntegrationMethod::BackwardEuler => 1.0 / 2.0,
+            IntegrationMethod::Trapezoidal => 1.0 / 3.0,
+        };
+        const SAFETY: f64 = 0.9;
         while self.time < t_end - 1e-18 {
-            h = h.min(t_end - self.time).max(opts.min_step);
+            // Enforce min_step first, then clamp to the remaining span
+            // unconditionally: the final step must never overshoot
+            // t_end, even when the remaining span is below min_step.
+            let remaining = t_end - self.time;
+            let h_step = h.max(opts.min_step).min(remaining);
+            // `min` returned the span ⇒ this step lands exactly on t_end.
+            let final_step = h_step >= remaining;
             let start = self.snapshot();
 
             // Full step.
-            let full_ok = self.step(h).is_ok();
+            let full_ok = self.step(h_step).is_ok();
             let x_full = self.x.clone();
             self.restore(&start);
 
             // Two half steps.
-            let half_ok = full_ok && self.step(h / 2.0).is_ok() && self.step(h / 2.0).is_ok();
+            let half_ok =
+                full_ok && self.step(h_step / 2.0).is_ok() && self.step(h_step / 2.0).is_ok();
 
             if !half_ok {
                 self.restore(&start);
                 self.stats.rejected += 1;
-                h *= 0.25;
+                h = h_step * 0.25;
                 if h < opts.min_step {
                     return Err(NetError::InvalidValue {
                         element: "adaptive timestep".to_string(),
@@ -772,13 +832,24 @@ impl TransientSolver {
 
             if err <= 1.0 {
                 // Accept the half-step solution (already committed).
+                // The two half steps of a span-clamped final step can
+                // drift an ulp past t_end; land exactly on the horizon
+                // so probes never observe a time beyond it.
+                if final_step {
+                    self.time = t_end;
+                }
                 probe(self);
-                let grow = if err > 0.0 { (0.8 / err).min(3.0) } else { 3.0 };
-                h = (h * grow).clamp(opts.min_step, opts.max_step);
+                let grow = if err > 0.0 {
+                    (SAFETY * err.powf(-order_exp)).min(3.0)
+                } else {
+                    3.0
+                };
+                h = (h_step * grow).clamp(opts.min_step, opts.max_step);
             } else {
                 self.restore(&start);
                 self.stats.rejected += 1;
-                h = (h * (0.8 / err).max(0.1)).max(opts.min_step);
+                let shrink = (SAFETY * err.powf(-order_exp)).max(0.1);
+                h = (h_step * shrink).max(opts.min_step);
                 if h <= opts.min_step {
                     return Err(NetError::InvalidValue {
                         element: "adaptive timestep".to_string(),

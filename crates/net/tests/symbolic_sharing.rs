@@ -1,0 +1,141 @@
+//! Symbolic-factor sharing across solver instances: the batched-sweep
+//! amortization primitive. One solver pays the sparse symbolic analysis;
+//! siblings over value-variants of the same topology adopt it and pay
+//! only numeric refactors.
+
+use ams_net::{
+    Circuit, ElementId, IntegrationMethod, NodeId, SolverBackend, TransientSolver, Waveform,
+};
+
+struct Ladder {
+    ckt: Circuit,
+    resistors: Vec<ElementId>,
+    caps: Vec<ElementId>,
+    source: ElementId,
+    out: NodeId,
+}
+
+/// An RC ladder of `n` identical sections driven by a 1 V source.
+fn ladder(n: usize, r: f64, c: f64) -> Ladder {
+    let mut ckt = Circuit::new();
+    let mut prev = ckt.node("in");
+    let source = ckt.voltage_source("V", prev, Circuit::GROUND, 1.0).unwrap();
+    let mut resistors = Vec::new();
+    let mut caps = Vec::new();
+    for i in 0..n {
+        let node = ckt.node(format!("n{i}"));
+        resistors.push(ckt.resistor(format!("R{i}"), prev, node, r).unwrap());
+        caps.push(
+            ckt.capacitor(format!("C{i}"), node, Circuit::GROUND, c)
+                .unwrap(),
+        );
+        prev = node;
+    }
+    Ladder {
+        ckt,
+        resistors,
+        caps,
+        source,
+        out: prev,
+    }
+}
+
+fn run(tr: &mut TransientSolver, out: NodeId) -> f64 {
+    tr.initialize_dc().unwrap();
+    let mut last = 0.0;
+    tr.run(1e-4, 1e-6, |s| last = s.voltage(out)).unwrap();
+    last
+}
+
+#[test]
+fn adopted_symbolic_factor_skips_the_symbolic_analysis() {
+    let lad = ladder(10, 1e3, 1e-9);
+
+    // Scenario 0: pays the symbolic analysis.
+    let mut base = TransientSolver::new(&lad.ckt, IntegrationMethod::Trapezoidal).unwrap();
+    base.backend = SolverBackend::Sparse;
+    let v0 = run(&mut base, lad.out);
+    let s0 = base.stats();
+    assert_eq!(s0.solve.symbolic_analyses, 1);
+    let hint = base.symbolic_factor().expect("sparse factor available");
+
+    // Scenario 1: same topology, different resistor values, adopted
+    // hint — zero symbolic analyses, at least one numeric refactor.
+    let mut variant = lad.ckt.clone();
+    for (k, r) in lad.resistors.iter().enumerate() {
+        variant
+            .set_resistance(*r, 1e3 * (1.0 + 0.05 * (k as f64 + 1.0)))
+            .unwrap();
+    }
+    let mut adopted = TransientSolver::new(&variant, IntegrationMethod::Trapezoidal).unwrap();
+    adopted.backend = SolverBackend::Sparse;
+    adopted.adopt_symbolic_factor(&hint);
+    let v_adopted = run(&mut adopted, lad.out);
+    let sa = adopted.stats();
+    assert_eq!(
+        sa.solve.symbolic_analyses, 0,
+        "adopted solver ran its own symbolic analysis"
+    );
+    assert!(sa.solve.numeric_refactors >= 1);
+
+    // Reference: the same variant solved without the hint. Identical
+    // pivot sequence ⇒ the trajectories agree to rounding.
+    let mut fresh = TransientSolver::new(&variant, IntegrationMethod::Trapezoidal).unwrap();
+    fresh.backend = SolverBackend::Sparse;
+    let v_fresh = run(&mut fresh, lad.out);
+    assert_eq!(fresh.stats().solve.symbolic_analyses, 1);
+    assert!(
+        (v_adopted - v_fresh).abs() < 1e-12,
+        "adopted {v_adopted} vs fresh {v_fresh}"
+    );
+    assert!((v0 - v_adopted).abs() > 1e-9, "variant changed the answer");
+}
+
+#[test]
+fn mismatched_hint_is_ignored_gracefully() {
+    let small = ladder(4, 1e3, 1e-9);
+    let big = ladder(10, 1e3, 1e-9);
+    let mut donor = TransientSolver::new(&small.ckt, IntegrationMethod::Trapezoidal).unwrap();
+    donor.backend = SolverBackend::Sparse;
+    donor.initialize_dc().unwrap();
+    donor.run(1e-5, 1e-6, |_| {}).unwrap();
+    let hint = donor.symbolic_factor().unwrap();
+
+    let mut recipient = TransientSolver::new(&big.ckt, IntegrationMethod::Trapezoidal).unwrap();
+    recipient.backend = SolverBackend::Sparse;
+    recipient.adopt_symbolic_factor(&hint);
+    recipient.initialize_dc().unwrap();
+    recipient.run(1e-5, 1e-6, |_| {}).unwrap();
+    // Foreign pattern: the solver falls back to its own analysis.
+    assert_eq!(recipient.stats().solve.symbolic_analyses, 1);
+}
+
+#[test]
+fn circuit_value_mutators_validate() {
+    let mut lad = ladder(3, 1e3, 1e-9);
+    assert!(lad.ckt.set_resistance(lad.resistors[0], -1.0).is_err());
+    assert!(lad.ckt.set_resistance(lad.resistors[1], 2e3).is_ok());
+    // Kind mismatch: a capacitor is not a resistor, a resistor holds no
+    // waveform.
+    assert!(lad.ckt.set_resistance(lad.caps[0], 1.0).is_err());
+    assert!(lad
+        .ckt
+        .set_source_waveform(lad.resistors[0], Waveform::Dc(2.0))
+        .is_err());
+    assert!(lad.ckt.set_capacitance(lad.caps[1], 2e-9).is_ok());
+    assert!(lad.ckt.set_capacitance(lad.caps[1], f64::NAN).is_err());
+    assert!(lad
+        .ckt
+        .set_source_waveform(lad.source, Waveform::Dc(2.0))
+        .is_ok());
+    // Out-of-range handle (an id minted by a larger sibling circuit).
+    let big = ladder(8, 1e3, 1e-9);
+    assert!(lad.ckt.set_resistance(big.resistors[7], 1e3).is_err());
+    // Inductor mutator round-trip on a dedicated circuit.
+    let mut rl = Circuit::new();
+    let a = rl.node("a");
+    rl.voltage_source("V", a, Circuit::GROUND, 1.0).unwrap();
+    let l = rl.inductor("L", a, Circuit::GROUND, 1e-3).unwrap();
+    assert!(rl.set_inductance(l, 2e-3).is_ok());
+    assert!(rl.set_inductance(l, 0.0).is_err());
+}

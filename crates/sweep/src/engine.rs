@@ -1,0 +1,308 @@
+//! The deterministic sharded runner shared by netlist and TDF sweeps.
+//!
+//! Scenarios are split over workers by [`ams_exec::partition`]'s
+//! longest-processing-time heuristic with uniform costs — a pure
+//! function of `(scenario count, worker count)`, so the shard layout is
+//! reproducible. Each worker streams its metric values back through an
+//! `ams-exec` SPSC ring while the coordinator drains all rings live;
+//! solver counters travel with the worker's join result. Because every
+//! result is keyed by scenario index, the assembled rows are identical
+//! no matter which worker ran which scenario or in what order the rings
+//! drained.
+
+use crate::SweepError;
+use ams_core::ClusterStats;
+use ams_exec::{partition, ring, RingConsumer, RingMonitor, RingProducer};
+use ams_kernel::SimTime;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::{Duration, Instant};
+
+/// Result-ring capacity per worker. Streaming is keyed, not windowed,
+/// so capacity only bounds batching; `push_spin` waits out a full ring.
+const RING_CAPACITY: usize = 256;
+
+/// Outcome of one sharded batch over items `0..n_items`.
+#[derive(Debug)]
+pub(crate) struct ShardRun {
+    /// Metric rows, one per item, in item order.
+    pub metrics: Vec<Vec<f64>>,
+    /// Solver counters, one per item.
+    pub stats: Vec<ClusterStats>,
+    /// Worker shards actually used.
+    pub shards: usize,
+    /// Peak occupancy across the result rings.
+    pub ring_high_water: usize,
+    /// Wall time from first dispatch to last worker exit.
+    pub compute_wall: Duration,
+    /// Wall time the coordinator spent in the final drain + join.
+    pub sync_wall: Duration,
+}
+
+/// Runs `run_one` for every item in `0..n_items`, sharded over at most
+/// `workers` threads.
+///
+/// `build_state` is invoked **on the coordinator**, once per shard in
+/// shard order, with the shard's item list — the place to pay per-worker
+/// setup (cluster elaboration, solver construction) deterministically.
+/// `run_one` then executes on the worker for each of the shard's items
+/// (ascending) and returns the item's metric values and counters.
+///
+/// The first failing item (lowest item index wins, so the error is
+/// deterministic too) aborts the batch with
+/// [`SweepError::Scenario`]-style context attached by the caller.
+pub(crate) fn run_sharded<S, B, R>(
+    n_items: usize,
+    n_metrics: usize,
+    workers: usize,
+    mut build_state: B,
+    run_one: R,
+) -> Result<ShardRun, SweepError>
+where
+    S: Send,
+    B: FnMut(usize, &[usize]) -> Result<S, SweepError>,
+    R: Fn(&mut S, usize) -> Result<(Vec<f64>, ClusterStats), SweepError> + Sync,
+{
+    let mut metrics = vec![vec![f64::NAN; n_metrics]; n_items];
+    let mut stats = vec![ClusterStats::default(); n_items];
+    if n_items == 0 {
+        return Ok(ShardRun {
+            metrics,
+            stats,
+            shards: 0,
+            ring_high_water: 0,
+            compute_wall: Duration::ZERO,
+            sync_wall: Duration::ZERO,
+        });
+    }
+
+    let shards_wanted = workers.max(1).min(n_items);
+    let part = partition(&vec![1; n_items], &[], shards_wanted);
+    let shard_items: Vec<Vec<usize>> = (0..shards_wanted)
+        .map(|w| part.nodes_of(w))
+        .filter(|items| !items.is_empty())
+        .collect();
+    let shards = shard_items.len();
+
+    // Per-shard setup on the coordinator, in shard order.
+    let mut states = Vec::with_capacity(shards);
+    for (slot, items) in shard_items.iter().enumerate() {
+        states.push(build_state(slot, items)?);
+    }
+
+    let mut producers: Vec<RingProducer> = Vec::with_capacity(shards);
+    let mut consumers: Vec<RingConsumer> = Vec::with_capacity(shards);
+    let mut monitors: Vec<RingMonitor> = Vec::with_capacity(shards);
+    for _ in 0..shards {
+        let (p, c) = ring(RING_CAPACITY);
+        monitors.push(p.monitor());
+        producers.push(p);
+        consumers.push(c);
+    }
+
+    let finished = AtomicUsize::new(0);
+    let run_one = &run_one;
+    let finished_ref = &finished;
+    let t0 = Instant::now();
+    let mut compute_wall = Duration::ZERO;
+    let mut sync_wall = Duration::ZERO;
+
+    let outcome: Result<Vec<Vec<(usize, ClusterStats)>>, SweepError> =
+        std::thread::scope(|scope| {
+            let mut handles = Vec::with_capacity(shards);
+            for ((items, mut state), mut producer) in shard_items.iter().zip(states).zip(producers)
+            {
+                handles.push(scope.spawn(move || {
+                    let mut local: Vec<(usize, ClusterStats)> = Vec::with_capacity(items.len());
+                    let mut failure: Option<SweepError> = None;
+                    for &item in items {
+                        match run_one(&mut state, item) {
+                            Ok((values, st)) => {
+                                debug_assert_eq!(values.len(), n_metrics);
+                                for (pos, v) in values.into_iter().enumerate() {
+                                    // Key each sample by (item, metric):
+                                    // the timestamp channel carries the
+                                    // slot, the payload the value.
+                                    let key = (item * n_metrics + pos) as u64;
+                                    producer.push_spin(SimTime::from_fs(key), v);
+                                }
+                                local.push((item, st));
+                            }
+                            Err(e) => {
+                                failure = Some(e);
+                                break;
+                            }
+                        }
+                    }
+                    finished_ref.fetch_add(1, Ordering::Release);
+                    match failure {
+                        None => Ok(local),
+                        Some(e) => Err(e),
+                    }
+                }));
+            }
+
+            // Live drain: keep the rings shallow while workers run.
+            while finished.load(Ordering::Acquire) < shards {
+                let mut drained = false;
+                for c in &mut consumers {
+                    while let Some((key, v)) = c.try_pop() {
+                        let key = key.as_fs() as usize;
+                        metrics[key / n_metrics.max(1)][key % n_metrics.max(1)] = v;
+                        drained = true;
+                    }
+                }
+                if !drained {
+                    std::thread::yield_now();
+                }
+            }
+            compute_wall = t0.elapsed();
+
+            // Final drain after the last worker exited, then join.
+            let t1 = Instant::now();
+            for c in &mut consumers {
+                while let Some((key, v)) = c.try_pop() {
+                    let key = key.as_fs() as usize;
+                    metrics[key / n_metrics.max(1)][key % n_metrics.max(1)] = v;
+                }
+            }
+            let mut all = Vec::with_capacity(shards);
+            let mut first_err: Option<(usize, SweepError)> = None;
+            for h in handles {
+                match h.join() {
+                    Ok(Ok(local)) => all.push(local),
+                    Ok(Err(e)) => {
+                        // Keep the error of the lowest failing item so
+                        // the reported failure does not depend on shard
+                        // scheduling.
+                        let item = match &e {
+                            SweepError::Scenario { index, .. } => *index,
+                            _ => usize::MAX,
+                        };
+                        if first_err.as_ref().is_none_or(|(i, _)| item < *i) {
+                            first_err = Some((item, e));
+                        }
+                    }
+                    Err(panic) => std::panic::resume_unwind(panic),
+                }
+            }
+            sync_wall = t1.elapsed();
+            match first_err {
+                Some((_, e)) => Err(e),
+                None => Ok(all),
+            }
+        });
+
+    let per_shard = outcome?;
+    for (item, st) in per_shard.into_iter().flatten() {
+        stats[item] = st;
+    }
+    let ring_high_water = monitors
+        .iter()
+        .map(RingMonitor::high_water)
+        .max()
+        .unwrap_or(0);
+
+    Ok(ShardRun {
+        metrics,
+        stats,
+        shards,
+        ring_high_water,
+        compute_wall,
+        sync_wall,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn double_and_count(workers: usize) -> ShardRun {
+        run_sharded(
+            10,
+            2,
+            workers,
+            |_slot, _items| Ok(0u64),
+            |state: &mut u64, item| {
+                *state += 1;
+                Ok((
+                    vec![item as f64 * 2.0, item as f64 + 0.5],
+                    ClusterStats {
+                        iterations: item as u64,
+                        ..Default::default()
+                    },
+                ))
+            },
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn rows_are_keyed_by_item_not_by_schedule() {
+        for workers in [1, 3, 8] {
+            let run = double_and_count(workers);
+            for (i, row) in run.metrics.iter().enumerate() {
+                assert_eq!(row[0], i as f64 * 2.0, "workers={workers}");
+                assert_eq!(row[1], i as f64 + 0.5);
+            }
+            for (i, st) in run.stats.iter().enumerate() {
+                assert_eq!(st.iterations, i as u64);
+            }
+            assert!(run.shards <= workers.max(1));
+        }
+    }
+
+    #[test]
+    fn worker_error_reports_the_lowest_failing_item() {
+        let err = run_sharded(
+            8,
+            1,
+            4,
+            |_, _| Ok(()),
+            |_state: &mut (), item| {
+                if item >= 3 {
+                    Err(SweepError::scenario(item, "boom"))
+                } else {
+                    Ok((vec![0.0], ClusterStats::default()))
+                }
+            },
+        )
+        .unwrap_err();
+        match err {
+            SweepError::Scenario { index, .. } => assert_eq!(index, 3),
+            other => panic!("unexpected error {other}"),
+        }
+    }
+
+    #[test]
+    fn build_failure_aborts_before_spawning() {
+        let err = run_sharded(
+            4,
+            1,
+            2,
+            |slot, _| {
+                if slot == 1 {
+                    Err(SweepError::invalid("bad slot"))
+                } else {
+                    Ok(())
+                }
+            },
+            |_: &mut (), _| Ok((vec![0.0], ClusterStats::default())),
+        )
+        .unwrap_err();
+        assert!(matches!(err, SweepError::Invalid(_)));
+    }
+
+    #[test]
+    fn empty_batch_is_a_no_op() {
+        let run = run_sharded(
+            0,
+            3,
+            4,
+            |_, _| Ok(()),
+            |_: &mut (), _| Ok((vec![0.0; 3], ClusterStats::default())),
+        )
+        .unwrap();
+        assert!(run.metrics.is_empty());
+        assert_eq!(run.shards, 0);
+    }
+}

@@ -1,0 +1,446 @@
+//! Batched transient sweeps over value-variants of one netlist.
+//!
+//! All scenarios of a [`NetlistSweep`] share the template circuit's
+//! *topology*: the `apply` closure may only change element values
+//! (through [`Circuit::set_resistance`](ams_net::Circuit::set_resistance)
+//! and friends, which cannot alter connectivity). That invariant is what
+//! the batch amortizes on:
+//!
+//! * the `ams-lint` MNA checks run **once**, on the template, not per
+//!   scenario;
+//! * with the sparse backend, the first scenario's symbolic LU analysis
+//!   (ordering, pivot sequence, fill pattern) is exported and adopted by
+//!   every other scenario's solver, which then pays only numeric
+//!   refactorization — see the `e10_sweep_throughput` benchmark for the
+//!   measured win.
+
+use crate::engine::run_sharded;
+use crate::report::{ScenarioResult, SweepReport};
+use crate::spec::{Scenario, SweepSpec};
+use crate::SweepError;
+use ams_core::ClusterStats;
+use ams_exec::ExecStats;
+use ams_lint::{lint_circuit, LintPolicy};
+use ams_net::{
+    AdaptiveOptions, Circuit, IntegrationMethod, NetError, SolverBackend, SymbolicFactor,
+    TransientSolver, TransientStats,
+};
+
+/// How each scenario's transient analysis is stepped.
+#[derive(Debug, Clone)]
+pub enum RunMode {
+    /// Fixed-step integration to `t_end` with step `h`.
+    Fixed {
+        /// Simulation horizon in seconds.
+        t_end: f64,
+        /// Timestep in seconds.
+        h: f64,
+    },
+    /// Adaptive step-doubling integration to `t_end`.
+    Adaptive {
+        /// Simulation horizon in seconds.
+        t_end: f64,
+        /// Error-controller options.
+        opts: AdaptiveOptions,
+    },
+}
+
+/// A batched transient sweep over one circuit topology.
+#[derive(Debug, Clone)]
+pub struct NetlistSweep {
+    template: Circuit,
+    method: IntegrationMethod,
+    backend: SolverBackend,
+    mode: RunMode,
+    share_symbolic: bool,
+    lint: LintPolicy,
+    context: String,
+}
+
+impl NetlistSweep {
+    /// A sweep over `template` with the given integration method.
+    /// Defaults: automatic backend selection, fixed-step 1 µs horizon at
+    /// 1 ns, symbolic sharing on, default lint policy.
+    pub fn new(template: Circuit, method: IntegrationMethod) -> NetlistSweep {
+        NetlistSweep {
+            template,
+            method,
+            backend: SolverBackend::Auto,
+            mode: RunMode::Fixed {
+                t_end: 1e-6,
+                h: 1e-9,
+            },
+            share_symbolic: true,
+            lint: LintPolicy::default(),
+            context: "sweep".into(),
+        }
+    }
+
+    /// Selects the linear-solver backend for every scenario.
+    pub fn backend(mut self, backend: SolverBackend) -> NetlistSweep {
+        self.backend = backend;
+        self
+    }
+
+    /// Fixed-step integration to `t_end` with step `h`.
+    pub fn fixed_step(mut self, t_end: f64, h: f64) -> NetlistSweep {
+        self.mode = RunMode::Fixed { t_end, h };
+        self
+    }
+
+    /// Adaptive integration to `t_end` with the given controller options.
+    pub fn adaptive(mut self, t_end: f64, opts: AdaptiveOptions) -> NetlistSweep {
+        self.mode = RunMode::Adaptive { t_end, opts };
+        self
+    }
+
+    /// Enables or disables cross-scenario symbolic-factor sharing
+    /// (enabled by default; disabling is mainly for benchmarking the
+    /// amortization itself).
+    pub fn share_symbolic(mut self, share: bool) -> NetlistSweep {
+        self.share_symbolic = share;
+        self
+    }
+
+    /// Sets the lint policy gating the template topology.
+    pub fn lint_policy(mut self, policy: LintPolicy) -> NetlistSweep {
+        self.lint = policy;
+        self
+    }
+
+    /// Names the sweep for lint reports and diagnostics.
+    pub fn context(mut self, context: impl Into<String>) -> NetlistSweep {
+        self.context = context.into();
+        self
+    }
+
+    /// Lints the template topology without running anything — for
+    /// `--lint-only` tooling.
+    pub fn lint_report(&self) -> ams_lint::LintReport {
+        lint_circuit(self.context.clone(), &self.template)
+    }
+
+    /// Runs every scenario of `spec` on up to `workers` threads and
+    /// aggregates a [`SweepReport`].
+    ///
+    /// `apply` receives a clone of the template and the scenario, and
+    /// writes the scenario's parameter values into it (element-value
+    /// mutators only — the topology must stay fixed). `observe` is the
+    /// probe: it runs after every accepted step with the solver and the
+    /// scenario's metric slots (initialized to NaN; one slot per name in
+    /// `metrics`), and typically records last/extreme values.
+    ///
+    /// The first scenario always runs on the coordinator thread; with a
+    /// sparse backend its symbolic analysis seeds every other scenario's
+    /// solver. Scheduling, seeds and the shared factor are all
+    /// independent of `workers`, so the report is **bit-identical**
+    /// across worker counts.
+    ///
+    /// # Errors
+    ///
+    /// * [`SweepError::Lint`] when the template fails the policy gate.
+    /// * [`SweepError::Invalid`] for an empty spec or empty metric list.
+    /// * [`SweepError::Scenario`] for the lowest-indexed failing
+    ///   scenario.
+    pub fn run<A, O>(
+        &self,
+        spec: &SweepSpec,
+        workers: usize,
+        metrics: &[&str],
+        apply: A,
+        observe: O,
+    ) -> Result<SweepReport, SweepError>
+    where
+        A: Fn(&mut Circuit, &Scenario) -> Result<(), NetError> + Sync,
+        O: Fn(&TransientSolver, &mut [f64]) + Sync,
+    {
+        if spec.is_empty() {
+            return Err(SweepError::invalid("sweep spec has no scenarios"));
+        }
+        if metrics.is_empty() {
+            return Err(SweepError::invalid("sweep needs at least one metric"));
+        }
+
+        // Lint gate: once per topology, never per scenario.
+        let report = self.lint_report();
+        if !self.lint.denied(&report).is_empty() {
+            return Err(SweepError::Lint(report));
+        }
+        let lint_warnings = self.lint.warned(&report).len();
+        for d in self.lint.warned(&report) {
+            eprintln!("[{}] warning: {d}", self.context);
+        }
+
+        let scenarios = spec.scenarios();
+        let n_metrics = metrics.len();
+
+        // Scenario 0 runs inline on the coordinator: it seeds the shared
+        // symbolic factor, so every worker count sees the same pivot
+        // sequence.
+        let first = &scenarios[0];
+        let (first_vals, first_stats, hint) =
+            self.run_scenario(first, None, true, n_metrics, &apply, &observe)?;
+
+        let rest = &scenarios[1..];
+        let hint_ref = hint.as_ref();
+        let shard = run_sharded(
+            rest.len(),
+            n_metrics,
+            workers,
+            |_slot, _items| Ok(()),
+            |_state: &mut (), item| {
+                let (vals, stats, _) =
+                    self.run_scenario(&rest[item], hint_ref, false, n_metrics, &apply, &observe)?;
+                Ok((vals, stats))
+            },
+        )?;
+
+        let mut results = Vec::with_capacity(scenarios.len());
+        results.push(ScenarioResult {
+            index: first.index(),
+            label: first.label(),
+            metrics: first_vals,
+            stats: first_stats,
+        });
+        for (pos, sc) in rest.iter().enumerate() {
+            results.push(ScenarioResult {
+                index: sc.index(),
+                label: sc.label(),
+                metrics: shard.metrics[pos].clone(),
+                stats: shard.stats[pos],
+            });
+        }
+
+        let mut exec = ExecStats {
+            windows: scenarios.len() as u64,
+            barriers: shard.shards as u64,
+            ring_high_water: shard.ring_high_water,
+            compute_wall: shard.compute_wall,
+            sync_wall: shard.sync_wall,
+            lint_warnings,
+            ..ExecStats::default()
+        };
+        for r in &results {
+            exec.clusters.push((r.label.clone(), r.stats));
+        }
+
+        Ok(SweepReport {
+            metric_names: metrics.iter().map(|m| (*m).to_string()).collect(),
+            scenarios: results,
+            exec,
+        })
+    }
+
+    /// Runs one scenario; returns its metric row, counters and (when
+    /// `export_hint`) the symbolic factor for siblings to adopt.
+    fn run_scenario<A, O>(
+        &self,
+        sc: &Scenario,
+        hint: Option<&SymbolicFactor>,
+        export_hint: bool,
+        n_metrics: usize,
+        apply: &A,
+        observe: &O,
+    ) -> Result<(Vec<f64>, ClusterStats, Option<SymbolicFactor>), SweepError>
+    where
+        A: Fn(&mut Circuit, &Scenario) -> Result<(), NetError> + Sync,
+        O: Fn(&TransientSolver, &mut [f64]) + Sync,
+    {
+        let fail = |e: NetError| SweepError::scenario(sc.index(), e);
+        let mut ckt = self.template.clone();
+        apply(&mut ckt, sc).map_err(fail)?;
+        let mut tr = TransientSolver::new(&ckt, self.method).map_err(fail)?;
+        tr.backend = self.backend;
+        if let (true, Some(h)) = (self.share_symbolic, hint) {
+            tr.adopt_symbolic_factor(h);
+        }
+
+        let mut vals = vec![f64::NAN; n_metrics];
+        let mut probes = 0u64;
+        let run = match &self.mode {
+            RunMode::Fixed { t_end, h } => tr.run(*t_end, *h, |s| {
+                probes += 1;
+                observe(s, &mut vals);
+            }),
+            RunMode::Adaptive { t_end, opts } => tr.run_adaptive(*t_end, opts, |s| {
+                probes += 1;
+                observe(s, &mut vals);
+            }),
+        };
+        run.map_err(fail)?;
+
+        let stats = cluster_stats(tr.stats(), probes);
+        let exported = if export_hint && self.share_symbolic {
+            tr.symbolic_factor()
+        } else {
+            None
+        };
+        Ok((vals, stats, exported))
+    }
+}
+
+/// Maps a scenario's transient counters onto the common
+/// [`ClusterStats`] shape: accepted steps count as iterations, rejected
+/// steps as firings (the only spare monotonic counter), probe calls as
+/// probe samples.
+fn cluster_stats(t: TransientStats, probes: u64) -> ClusterStats {
+    ClusterStats {
+        iterations: t.steps,
+        firings: t.rejected,
+        probe_samples: probes,
+        newton_iterations: t.newton_iterations,
+        factorizations: t.factorizations,
+        solve: t.solve,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ams_net::NodeId;
+
+    struct Rc {
+        ckt: Circuit,
+        r: ams_net::ElementId,
+        out: NodeId,
+    }
+
+    fn rc() -> Rc {
+        let mut ckt = Circuit::new();
+        let inp = ckt.node("in");
+        let out = ckt.node("out");
+        ckt.voltage_source("V", inp, Circuit::GROUND, 1.0).unwrap();
+        let r = ckt.resistor("R", inp, out, 1e3).unwrap();
+        ckt.capacitor("C", out, Circuit::GROUND, 1e-9).unwrap();
+        Rc { ckt, r, out }
+    }
+
+    #[test]
+    fn grid_sweep_reproduces_serial_answers() {
+        let Rc { ckt, r, out } = rc();
+        let values = [0.5e3, 1e3, 2e3, 4e3];
+        let spec = SweepSpec::grid(&[("r", &values)], 1).unwrap();
+        let sweep =
+            NetlistSweep::new(ckt.clone(), IntegrationMethod::Trapezoidal).fixed_step(2e-6, 2e-9);
+        let report = sweep
+            .run(
+                &spec,
+                3,
+                &["v_out"],
+                |c, sc| c.set_resistance(r, sc.value("r")),
+                |tr, m| m[0] = tr.voltage(out),
+            )
+            .unwrap();
+
+        assert_eq!(report.scenarios.len(), 4);
+        // Slower RC (larger R) charges less by the fixed horizon.
+        let v = report.values("v_out").unwrap();
+        assert!(v.windows(2).all(|w| w[0] > w[1]), "{v:?}");
+
+        // Each scenario matches a plain serial solver over the same
+        // variant exactly (dense auto backend here, no hint in play).
+        for (sc, row) in spec.scenarios().iter().zip(&report.scenarios) {
+            let mut variant = ckt.clone();
+            variant.set_resistance(r, sc.value("r")).unwrap();
+            let mut tr = TransientSolver::new(&variant, IntegrationMethod::Trapezoidal).unwrap();
+            let mut last = f64::NAN;
+            tr.run(2e-6, 2e-9, |s| last = s.voltage(out)).unwrap();
+            assert_eq!(row.metrics[0], last, "scenario {}", sc.index());
+        }
+    }
+
+    #[test]
+    fn empty_spec_and_metrics_are_rejected() {
+        let Rc { ckt, r, .. } = rc();
+        let mut spec = SweepSpec::grid(&[("r", &[1e3])], 0).unwrap();
+        let sweep = NetlistSweep::new(ckt, IntegrationMethod::BackwardEuler);
+        assert!(matches!(
+            sweep.run(
+                &spec,
+                1,
+                &[],
+                |c, s| c.set_resistance(r, s.value("r")),
+                |_, _| {}
+            ),
+            Err(SweepError::Invalid(_))
+        ));
+        spec.retain(|_| false);
+        assert!(matches!(
+            sweep.run(
+                &spec,
+                1,
+                &["m"],
+                |c, s| c.set_resistance(r, s.value("r")),
+                |_, _| {}
+            ),
+            Err(SweepError::Invalid(_))
+        ));
+    }
+
+    #[test]
+    fn failing_scenario_is_identified_by_lowest_index() {
+        let Rc { ckt, r, out } = rc();
+        let spec = SweepSpec::grid(&[("r", &[1e3, -1.0, 2e3, -2.0])], 0).unwrap();
+        let err = NetlistSweep::new(ckt, IntegrationMethod::Trapezoidal)
+            .fixed_step(1e-7, 1e-9)
+            .run(
+                &spec,
+                2,
+                &["v"],
+                |c, sc| c.set_resistance(r, sc.value("r")),
+                |tr, m| m[0] = tr.voltage(out),
+            )
+            .unwrap_err();
+        match err {
+            SweepError::Scenario { index, .. } => assert_eq!(index, 1),
+            other => panic!("unexpected error {other}"),
+        }
+    }
+
+    #[test]
+    fn lint_gate_rejects_ill_posed_templates_once() {
+        // A floating node: MNA lint flags it, the sweep refuses to run.
+        let mut ckt = Circuit::new();
+        let a = ckt.node("a");
+        ckt.node("floating");
+        ckt.voltage_source("V", a, Circuit::GROUND, 1.0).unwrap();
+        let spec = SweepSpec::grid(&[("x", &[1.0, 2.0])], 0).unwrap();
+        let err = NetlistSweep::new(ckt, IntegrationMethod::Trapezoidal)
+            .run(&spec, 1, &["m"], |_, _| Ok(()), |_, _| {})
+            .unwrap_err();
+        match err {
+            SweepError::Lint(report) => assert!(report.error_count() > 0),
+            other => panic!("unexpected error {other}"),
+        }
+    }
+
+    #[test]
+    fn adaptive_mode_runs_and_counts_rejections_as_firings() {
+        let Rc { ckt, r, out } = rc();
+        let spec = SweepSpec::grid(&[("r", &[1e3, 3e3])], 0).unwrap();
+        let report = NetlistSweep::new(ckt, IntegrationMethod::Trapezoidal)
+            .adaptive(
+                5e-6,
+                AdaptiveOptions {
+                    initial_step: 1e-9,
+                    ..AdaptiveOptions::default()
+                },
+            )
+            .run(
+                &spec,
+                2,
+                &["v_out"],
+                |c, sc| c.set_resistance(r, sc.value("r")),
+                |tr, m| m[0] = tr.voltage(out),
+            )
+            .unwrap();
+        for r in &report.scenarios {
+            assert!(r.stats.iterations > 0);
+            // Step-doubling runs full + two half solves per accepted
+            // step, so probes (one per accepted step) trail steps.
+            assert!(r.stats.probe_samples > 0);
+            assert!(r.stats.iterations >= r.stats.probe_samples);
+            assert!(r.metrics[0].is_finite());
+        }
+    }
+}

@@ -1,0 +1,301 @@
+//! Sweep results: per-scenario metric rows, statistical summaries and
+//! worst-case identification.
+
+use ams_core::ClusterStats;
+use ams_exec::ExecStats;
+
+/// One scenario's outcome: its metric values (in the order of
+/// [`SweepReport::metric_names`]) and the solver counters it spent.
+#[derive(Debug, Clone)]
+pub struct ScenarioResult {
+    /// Scenario index (row of the spec).
+    pub index: usize,
+    /// Human-readable scenario label (`"#3 r=1.2000e3"`).
+    pub label: String,
+    /// Extracted metric values, one per metric.
+    pub metrics: Vec<f64>,
+    /// Solver counters of this scenario (transient steps map to
+    /// `iterations`; the sparse symbolic/numeric split is in `solve`).
+    pub stats: ClusterStats,
+}
+
+/// Distribution summary of one metric across all scenarios.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MetricSummary {
+    /// Metric name.
+    pub name: String,
+    /// Scenarios contributing (NaN values are excluded and counted in
+    /// [`MetricSummary::nan_count`]).
+    pub count: usize,
+    /// Scenarios whose value was NaN.
+    pub nan_count: usize,
+    /// Smallest value and the scenario index that produced it.
+    pub min: f64,
+    /// Scenario index of `min`.
+    pub min_scenario: usize,
+    /// Largest value and the scenario index that produced it.
+    pub max: f64,
+    /// Scenario index of `max`.
+    pub max_scenario: usize,
+    /// Arithmetic mean.
+    pub mean: f64,
+}
+
+/// Aggregated result of a sweep run.
+#[derive(Debug, Clone)]
+pub struct SweepReport {
+    /// Metric names, shared by every [`ScenarioResult::metrics`] row.
+    pub metric_names: Vec<String>,
+    /// Per-scenario results, in scenario-index order.
+    pub scenarios: Vec<ScenarioResult>,
+    /// Execution-level statistics: `windows` counts scenarios,
+    /// `barriers` counts workers, `clusters` holds one entry per
+    /// scenario, `ring_high_water` is the peak occupancy of the result
+    /// rings, and the wall clocks time the whole batch. Wall times and
+    /// high-water marks are *measurements*, not results — they are
+    /// excluded from [`SweepReport::fingerprint`].
+    pub exec: ExecStats,
+}
+
+impl SweepReport {
+    /// Position of `metric` in the metric rows.
+    pub fn metric_index(&self, metric: &str) -> Option<usize> {
+        self.metric_names.iter().position(|n| n == metric)
+    }
+
+    /// All values of one metric, in scenario order.
+    pub fn values(&self, metric: &str) -> Option<Vec<f64>> {
+        let j = self.metric_index(metric)?;
+        Some(self.scenarios.iter().map(|s| s.metrics[j]).collect())
+    }
+
+    /// Min/max/mean summary of one metric, with the scenario indices
+    /// that produced the extremes.
+    pub fn summary(&self, metric: &str) -> Option<MetricSummary> {
+        let j = self.metric_index(metric)?;
+        let mut s = MetricSummary {
+            name: metric.to_string(),
+            count: 0,
+            nan_count: 0,
+            min: f64::INFINITY,
+            min_scenario: 0,
+            max: f64::NEG_INFINITY,
+            max_scenario: 0,
+            mean: 0.0,
+        };
+        let mut sum = 0.0;
+        for r in &self.scenarios {
+            let v = r.metrics[j];
+            if v.is_nan() {
+                s.nan_count += 1;
+                continue;
+            }
+            s.count += 1;
+            sum += v;
+            if v < s.min {
+                s.min = v;
+                s.min_scenario = r.index;
+            }
+            if v > s.max {
+                s.max = v;
+                s.max_scenario = r.index;
+            }
+        }
+        if s.count > 0 {
+            s.mean = sum / s.count as f64;
+        }
+        Some(s)
+    }
+
+    /// Nearest-rank percentile (`p` in `[0, 100]`) of one metric. NaN
+    /// values are excluded.
+    pub fn percentile(&self, metric: &str, p: f64) -> Option<f64> {
+        let mut vals: Vec<f64> = self.values(metric)?;
+        vals.retain(|v| !v.is_nan());
+        if vals.is_empty() {
+            return None;
+        }
+        vals.sort_by(|a, b| a.partial_cmp(b).expect("NaN filtered"));
+        let p = p.clamp(0.0, 100.0);
+        let rank = ((p / 100.0) * vals.len() as f64).ceil() as usize;
+        Some(vals[rank.saturating_sub(1)])
+    }
+
+    /// The scenario with the largest `|value|` of `metric` — the
+    /// worst case for error- or overshoot-style metrics.
+    pub fn worst_case(&self, metric: &str) -> Option<&ScenarioResult> {
+        let j = self.metric_index(metric)?;
+        self.scenarios
+            .iter()
+            .filter(|s| !s.metrics[j].is_nan())
+            .max_by(|a, b| {
+                a.metrics[j]
+                    .abs()
+                    .partial_cmp(&b.metrics[j].abs())
+                    .expect("NaN filtered")
+            })
+    }
+
+    /// Sum of the per-scenario solver counters.
+    pub fn totals(&self) -> ClusterStats {
+        let mut t = ClusterStats::default();
+        for s in &self.scenarios {
+            t.merge(&s.stats);
+        }
+        t
+    }
+
+    /// An order-sensitive FNV-1a hash of everything deterministic in
+    /// the report: scenario indices, metric bit patterns and solver
+    /// counters. Wall clocks and ring high-water marks are excluded —
+    /// two runs of the same spec must fingerprint identically no matter
+    /// the worker count or machine load.
+    pub fn fingerprint(&self) -> u64 {
+        let mut h = Fnv::new();
+        for name in &self.metric_names {
+            h.bytes(name.as_bytes());
+        }
+        for s in &self.scenarios {
+            h.u64(s.index as u64);
+            for v in &s.metrics {
+                h.u64(v.to_bits());
+            }
+            h.u64(s.stats.iterations);
+            h.u64(s.stats.firings);
+            h.u64(s.stats.newton_iterations);
+            h.u64(s.stats.factorizations);
+            h.u64(s.stats.solve.symbolic_analyses);
+            h.u64(s.stats.solve.numeric_refactors);
+            h.u64(s.stats.solve.jacobian_reused);
+        }
+        h.finish()
+    }
+
+    /// A compact human-readable table of all metric summaries.
+    pub fn render(&self) -> String {
+        use std::fmt::Write;
+        let mut out = format!(
+            "sweep: {} scenarios, {} metrics\n",
+            self.scenarios.len(),
+            self.metric_names.len()
+        );
+        for name in &self.metric_names {
+            if let Some(s) = self.summary(name) {
+                let _ = writeln!(
+                    out,
+                    "  {name}: min {:.6e} (#{}) | mean {:.6e} | max {:.6e} (#{})",
+                    s.min, s.min_scenario, s.mean, s.max, s.max_scenario
+                );
+            }
+        }
+        let t = self.totals();
+        let _ = writeln!(
+            out,
+            "  solver: {} steps, {} factorizations ({} symbolic, {} numeric refactors)",
+            t.iterations, t.factorizations, t.solve.symbolic_analyses, t.solve.numeric_refactors
+        );
+        out
+    }
+}
+
+/// Minimal FNV-1a, enough to fingerprint a report without pulling in a
+/// hashing dependency.
+struct Fnv(u64);
+
+impl Fnv {
+    fn new() -> Fnv {
+        Fnv(0xcbf2_9ce4_8422_2325)
+    }
+
+    fn u64(&mut self, v: u64) {
+        self.bytes(&v.to_le_bytes());
+    }
+
+    fn bytes(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= u64::from(b);
+            self.0 = self.0.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+    }
+
+    fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report(values: &[f64]) -> SweepReport {
+        SweepReport {
+            metric_names: vec!["m".into()],
+            scenarios: values
+                .iter()
+                .enumerate()
+                .map(|(i, &v)| ScenarioResult {
+                    index: i,
+                    label: format!("#{i}"),
+                    metrics: vec![v],
+                    stats: ClusterStats {
+                        iterations: 10 + i as u64,
+                        ..Default::default()
+                    },
+                })
+                .collect(),
+            exec: ExecStats::default(),
+        }
+    }
+
+    #[test]
+    fn summary_tracks_extremes_and_mean() {
+        let r = report(&[3.0, -1.0, 7.0, 5.0]);
+        let s = r.summary("m").unwrap();
+        assert_eq!(s.count, 4);
+        assert_eq!(s.min, -1.0);
+        assert_eq!(s.min_scenario, 1);
+        assert_eq!(s.max, 7.0);
+        assert_eq!(s.max_scenario, 2);
+        assert!((s.mean - 3.5).abs() < 1e-12);
+        assert!(r.summary("nope").is_none());
+    }
+
+    #[test]
+    fn percentile_is_nearest_rank() {
+        let r = report(&[15.0, 20.0, 35.0, 40.0, 50.0]);
+        assert_eq!(r.percentile("m", 0.0).unwrap(), 15.0);
+        assert_eq!(r.percentile("m", 30.0).unwrap(), 20.0);
+        assert_eq!(r.percentile("m", 40.0).unwrap(), 20.0);
+        assert_eq!(r.percentile("m", 50.0).unwrap(), 35.0);
+        assert_eq!(r.percentile("m", 100.0).unwrap(), 50.0);
+    }
+
+    #[test]
+    fn worst_case_uses_absolute_value_and_skips_nan() {
+        let r = report(&[3.0, -9.0, f64::NAN, 5.0]);
+        assert_eq!(r.worst_case("m").unwrap().index, 1);
+        let s = r.summary("m").unwrap();
+        assert_eq!(s.count, 3);
+        assert_eq!(s.nan_count, 1);
+    }
+
+    #[test]
+    fn fingerprint_is_stable_and_value_sensitive() {
+        let a = report(&[1.0, 2.0]);
+        let b = report(&[1.0, 2.0]);
+        let c = report(&[1.0, 2.0 + 1e-15]);
+        assert_eq!(a.fingerprint(), b.fingerprint());
+        assert_ne!(a.fingerprint(), c.fingerprint());
+        // Wall clocks do not perturb the fingerprint.
+        let mut d = report(&[1.0, 2.0]);
+        d.exec.compute_wall = std::time::Duration::from_secs(5);
+        d.exec.ring_high_water = 99;
+        assert_eq!(a.fingerprint(), d.fingerprint());
+    }
+
+    #[test]
+    fn totals_fold_scenario_stats() {
+        let r = report(&[1.0, 2.0, 3.0]);
+        assert_eq!(r.totals().iterations, 10 + 11 + 12);
+    }
+}

@@ -1,0 +1,316 @@
+//! Batched sweeps over one TDF cluster topology.
+//!
+//! A [`TdfSweep`] elaborates the graph **once per worker** — paying
+//! `setup`, balance-equation solving, schedule construction and
+//! timestep propagation once — and then replays scenarios through
+//! [`Cluster::reset`], which rewinds the elaborated cluster to `t = 0`
+//! without re-elaboration. The `ams-lint` gate likewise runs once, on
+//! the first worker's graph, since every worker builds the same
+//! topology.
+//!
+//! Scenario parameters reach the modules through whatever channel the
+//! model chooses — typically [`SharedSample`](ams_core::SharedSample)
+//! cells captured by both the modules and the [`SweepModel`].
+
+use crate::engine::run_sharded;
+use crate::report::{ScenarioResult, SweepReport};
+use crate::spec::{Scenario, SweepSpec};
+use crate::SweepError;
+use ams_core::{Cluster, TdfGraph};
+use ams_exec::ExecStats;
+use ams_lint::LintPolicy;
+
+/// The per-worker model half of a TDF sweep: applies a scenario's
+/// parameters before the run and extracts its metrics after.
+///
+/// One instance is built per worker (alongside that worker's graph) and
+/// reused for every scenario the worker executes, so it must leave no
+/// scenario state behind that `apply` does not overwrite.
+pub trait SweepModel: Send {
+    /// Writes the scenario's parameters into the model (e.g. through
+    /// [`SharedSample`](ams_core::SharedSample) cells wired into the
+    /// graph's modules). Runs after [`Cluster::reset`], before the run.
+    fn apply(&mut self, scenario: &Scenario);
+
+    /// Extracts the scenario's metric values after the run — typically
+    /// from probes the model kept when building the graph. `out` has
+    /// one slot per metric name, initialized to NaN.
+    fn metrics(&mut self, cluster: &Cluster, out: &mut [f64]);
+}
+
+/// A batched sweep over one TDF cluster topology.
+#[derive(Debug, Clone)]
+pub struct TdfSweep {
+    iterations: u64,
+    lint: LintPolicy,
+    context: String,
+}
+
+impl TdfSweep {
+    /// A sweep running each scenario for `iterations` schedule
+    /// iterations (standalone, no DE kernel).
+    pub fn new(iterations: u64) -> TdfSweep {
+        TdfSweep {
+            iterations,
+            lint: LintPolicy::default(),
+            context: "tdf-sweep".into(),
+        }
+    }
+
+    /// Sets the lint policy gating the topology.
+    pub fn lint_policy(mut self, policy: LintPolicy) -> TdfSweep {
+        self.lint = policy;
+        self
+    }
+
+    /// Names the sweep for lint reports and diagnostics.
+    pub fn context(mut self, context: impl Into<String>) -> TdfSweep {
+        self.context = context.into();
+        self
+    }
+
+    /// Runs every scenario of `spec` on up to `workers` threads.
+    ///
+    /// `build` is called once per worker shard, **on the coordinator**
+    /// and in shard order, and returns that worker's graph plus its
+    /// [`SweepModel`]. Every call must construct the same topology
+    /// (same modules, signals, rates); only then is linting the first
+    /// graph representative and the cross-worker determinism guarantee
+    /// meaningful. Each worker's cluster is elaborated once and then
+    /// `reset` between scenarios.
+    ///
+    /// # Errors
+    ///
+    /// * [`SweepError::Lint`] when the topology fails the policy gate.
+    /// * [`SweepError::Core`] when elaboration fails.
+    /// * [`SweepError::Invalid`] for an empty spec or metric list.
+    /// * [`SweepError::Scenario`] for the lowest-indexed failing
+    ///   scenario.
+    pub fn run<M, B>(
+        &self,
+        spec: &SweepSpec,
+        workers: usize,
+        metrics: &[&str],
+        mut build: B,
+    ) -> Result<SweepReport, SweepError>
+    where
+        M: SweepModel,
+        B: FnMut(usize) -> (TdfGraph, M),
+    {
+        if spec.is_empty() {
+            return Err(SweepError::invalid("sweep spec has no scenarios"));
+        }
+        if metrics.is_empty() {
+            return Err(SweepError::invalid("sweep needs at least one metric"));
+        }
+
+        let scenarios = spec.scenarios();
+        let n_metrics = metrics.len();
+        let mut lint_warnings = 0usize;
+        let iterations = self.iterations;
+
+        let shard = run_sharded(
+            scenarios.len(),
+            n_metrics,
+            workers,
+            |slot, _items| {
+                let (mut graph, model) = build(slot);
+                // One lint pass per topology: every worker builds the
+                // same graph, so the first one is representative.
+                if slot == 0 {
+                    let report = graph.lint();
+                    if !self.lint.denied(&report).is_empty() {
+                        return Err(SweepError::Lint(report));
+                    }
+                    lint_warnings = self.lint.warned(&report).len();
+                    for d in self.lint.warned(&report) {
+                        eprintln!("[{}] warning: {d}", self.context);
+                    }
+                }
+                let cluster = graph.elaborate()?;
+                Ok((cluster, model))
+            },
+            |(cluster, model): &mut (Cluster, M), item| {
+                let sc = &scenarios[item];
+                cluster.reset();
+                model.apply(sc);
+                cluster
+                    .run_standalone(iterations)
+                    .map_err(|e| SweepError::scenario(sc.index(), e))?;
+                let mut vals = vec![f64::NAN; n_metrics];
+                model.metrics(cluster, &mut vals);
+                Ok((vals, cluster.stats()))
+            },
+        )?;
+
+        let mut results = Vec::with_capacity(scenarios.len());
+        for (pos, sc) in scenarios.iter().enumerate() {
+            results.push(ScenarioResult {
+                index: sc.index(),
+                label: sc.label(),
+                metrics: shard.metrics[pos].clone(),
+                stats: shard.stats[pos],
+            });
+        }
+
+        let mut exec = ExecStats {
+            windows: scenarios.len() as u64,
+            barriers: shard.shards as u64,
+            ring_high_water: shard.ring_high_water,
+            compute_wall: shard.compute_wall,
+            sync_wall: shard.sync_wall,
+            lint_warnings,
+            ..ExecStats::default()
+        };
+        for r in &results {
+            exec.clusters.push((r.label.clone(), r.stats));
+        }
+
+        Ok(SweepReport {
+            metric_names: metrics.iter().map(|m| (*m).to_string()).collect(),
+            scenarios: results,
+            exec,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ams_core::{CoreError, SharedSample, TdfIo, TdfModule, TdfProbe, TdfSetup};
+    use ams_kernel::SimTime;
+
+    /// `y[k] = gain · sin(2π f k Δt)` with gain injected per scenario.
+    struct Osc {
+        out: ams_core::TdfOut,
+        gain: SharedSample,
+        k: u64,
+    }
+
+    impl TdfModule for Osc {
+        fn setup(&mut self, cfg: &mut TdfSetup) {
+            cfg.output(self.out);
+            cfg.set_timestep(SimTime::from_us(1));
+        }
+
+        fn processing(&mut self, io: &mut TdfIo<'_>) -> Result<(), CoreError> {
+            let t = self.k as f64 * 1e-6;
+            io.write1(
+                self.out,
+                self.gain.get() * (2.0 * std::f64::consts::PI * 1e4 * t).sin(),
+            );
+            self.k += 1;
+            Ok(())
+        }
+
+        fn reset(&mut self) {
+            self.k = 0;
+        }
+    }
+
+    struct Model {
+        gain: SharedSample,
+        probe: TdfProbe,
+    }
+
+    impl SweepModel for Model {
+        fn apply(&mut self, scenario: &Scenario) {
+            self.gain.set(scenario.value("gain"));
+        }
+
+        fn metrics(&mut self, _cluster: &Cluster, out: &mut [f64]) {
+            let peak = self
+                .probe
+                .values()
+                .into_iter()
+                .fold(0.0f64, |m, v| m.max(v.abs()));
+            out[0] = peak;
+        }
+    }
+
+    fn build(slot: usize) -> (TdfGraph, Model) {
+        let mut g = TdfGraph::new(format!("osc{slot}"));
+        let s = g.signal("y");
+        let probe = g.probe(s);
+        let gain = SharedSample::new(1.0);
+        g.add_module(
+            "osc",
+            Osc {
+                out: s.writer(),
+                gain: gain.clone(),
+                k: 0,
+            },
+        );
+        (g, Model { gain, probe })
+    }
+
+    #[test]
+    fn gain_sweep_scales_the_peak_and_reuses_elaboration() {
+        let gains = [0.5, 1.0, 2.0, 4.0, 8.0];
+        let spec = SweepSpec::grid(&[("gain", &gains)], 3).unwrap();
+        let report = TdfSweep::new(200).run(&spec, 2, &["peak"], build).unwrap();
+        let peaks = report.values("peak").unwrap();
+        for (peak, gain) in peaks.iter().zip(&gains) {
+            // 200 µs at 10 kHz covers two full periods: the sampled
+            // peak is within one sample step of the amplitude.
+            assert!((peak / gain - 1.0).abs() < 1e-2, "peak {peak} gain {gain}");
+        }
+        // Five scenarios ran on at most two elaborations (one per
+        // worker), each 200 iterations.
+        assert_eq!(report.totals().iterations, 5 * 200);
+        let s = report.summary("peak").unwrap();
+        assert_eq!(s.max_scenario, 4);
+        assert_eq!(s.min_scenario, 0);
+    }
+
+    #[test]
+    fn worker_count_does_not_change_the_report() {
+        let spec = SweepSpec::monte_carlo(&[("gain", 0.1, 10.0)], 12, 77).unwrap();
+        let base = TdfSweep::new(64).run(&spec, 1, &["peak"], build).unwrap();
+        for workers in [2, 4] {
+            let other = TdfSweep::new(64)
+                .run(&spec, workers, &["peak"], build)
+                .unwrap();
+            assert_eq!(base.fingerprint(), other.fingerprint(), "workers={workers}");
+        }
+    }
+
+    #[test]
+    fn lint_gate_rejects_rate_inconsistent_topologies() {
+        struct TwoRate {
+            a: ams_core::TdfOut,
+            b: ams_core::TdfIn,
+        }
+        impl TdfModule for TwoRate {
+            fn setup(&mut self, cfg: &mut TdfSetup) {
+                cfg.output_with(self.a, 2);
+                cfg.input_with(self.b, 3, 1);
+                cfg.set_timestep(SimTime::from_us(1));
+            }
+            fn processing(&mut self, _io: &mut TdfIo<'_>) -> Result<(), CoreError> {
+                Ok(())
+            }
+        }
+        struct NoModel;
+        impl SweepModel for NoModel {
+            fn apply(&mut self, _s: &Scenario) {}
+            fn metrics(&mut self, _c: &Cluster, _out: &mut [f64]) {}
+        }
+        let spec = SweepSpec::grid(&[("x", &[1.0])], 0).unwrap();
+        let err = TdfSweep::new(10)
+            .run(&spec, 1, &["m"], |_slot| {
+                let mut g = TdfGraph::new("bad");
+                let s = g.signal("x");
+                g.add_module(
+                    "m",
+                    TwoRate {
+                        a: s.writer(),
+                        b: s.reader(),
+                    },
+                );
+                (g, NoModel)
+            })
+            .unwrap_err();
+        assert!(matches!(err, SweepError::Lint(_)), "got {err}");
+    }
+}

@@ -69,4 +69,5 @@ pub use ams_lti as lti;
 pub use ams_math as math;
 pub use ams_net as net;
 pub use ams_sdf as sdf;
+pub use ams_sweep as sweep;
 pub use ams_wave as wave;

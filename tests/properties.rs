@@ -254,3 +254,53 @@ proptest! {
         prop_assert!((a - b).abs() < 1e-6 * (1.0 + a.abs()), "{a} vs {b}");
     }
 }
+
+// ---------- adaptive transient ---------------------------------------------------
+
+proptest! {
+    /// The adaptive controller never probes beyond the requested horizon
+    /// and probe times are strictly increasing, for random horizons,
+    /// tolerances and step bounds on an RC charge-up. The final probe
+    /// lands exactly on `t_end` (the controller clamps the last step to
+    /// the remaining span unconditionally).
+    #[test]
+    fn run_adaptive_respects_the_horizon(
+        t_end_us in 1.0f64..50.0,
+        rel_exp in 2.0f64..4.0,
+        init_ns in 0.5f64..200.0,
+        max_frac in 0.05f64..1.0,
+    ) {
+        use systemc_ams::net::{AdaptiveOptions, IntegrationMethod, TransientSolver};
+
+        let mut ckt = Circuit::new();
+        let inp = ckt.node("in");
+        let out = ckt.node("out");
+        ckt.voltage_source("V", inp, Circuit::GROUND, 1.0).unwrap();
+        ckt.resistor("R", inp, out, 1e3).unwrap();
+        ckt.capacitor("C", out, Circuit::GROUND, 1e-9).unwrap();
+
+        let t_end = t_end_us * 1e-6;
+        let opts = AdaptiveOptions {
+            rel_tol: 10f64.powf(-rel_exp),
+            abs_tol: 1e-9,
+            min_step: 1e-13,
+            max_step: t_end * max_frac,
+            initial_step: init_ns * 1e-9,
+        };
+        let mut tr = TransientSolver::new(&ckt, IntegrationMethod::Trapezoidal).unwrap();
+        let mut times = Vec::new();
+        tr.run_adaptive(t_end, &opts, |s| times.push(s.time())).unwrap();
+
+        prop_assert!(!times.is_empty());
+        for w in times.windows(2) {
+            prop_assert!(w[1] > w[0], "probe times not increasing: {} then {}", w[0], w[1]);
+        }
+        for &t in &times {
+            prop_assert!(t <= t_end, "probe at {t} beyond t_end {t_end}");
+        }
+        let last = *times.last().unwrap();
+        prop_assert!((last - t_end).abs() < 1e-15 * t_end.max(1.0) + 1e-18,
+            "final probe {last} does not land on t_end {t_end}");
+        prop_assert!(tr.time() == last);
+    }
+}

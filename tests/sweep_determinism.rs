@@ -1,0 +1,276 @@
+//! A sweep must be bit-identical regardless of worker count.
+//!
+//! `ams-sweep` promises that the same spec (same base seed, same
+//! scenario list) produces the same [`SweepReport`] — metric bits,
+//! scenario order and solver counters — whether it runs on one worker
+//! or many. Scenario seeds are derived from `(base_seed, index)` alone,
+//! scheduling is the deterministic `ams-exec` partitioner, and the
+//! shared symbolic factor always comes from scenario 0 on the
+//! coordinator, so no run order or thread interleaving can leak into
+//! the results. This is the sweep-level mirror of
+//! `parallel_determinism.rs`.
+
+use systemc_ams::core::{
+    Cluster, CoreError, SharedSample, TdfGraph, TdfIo, TdfModule, TdfProbe, TdfSetup,
+};
+use systemc_ams::kernel::SimTime;
+use systemc_ams::net::{Circuit, ElementId, IntegrationMethod, NodeId, SolverBackend};
+use systemc_ams::sweep::{NetlistSweep, Scenario, SweepModel, SweepReport, SweepSpec, TdfSweep};
+
+// ---------- netlist sweep ----------------------------------------------------
+
+struct Ladder {
+    ckt: Circuit,
+    resistors: Vec<ElementId>,
+    caps: Vec<ElementId>,
+    out: NodeId,
+}
+
+fn ladder(n: usize) -> Ladder {
+    let mut ckt = Circuit::new();
+    let mut prev = ckt.node("in");
+    ckt.voltage_source("V", prev, Circuit::GROUND, 1.0).unwrap();
+    let mut resistors = Vec::new();
+    let mut caps = Vec::new();
+    for i in 0..n {
+        let node = ckt.node(format!("n{i}"));
+        resistors.push(ckt.resistor(format!("R{i}"), prev, node, 1e3).unwrap());
+        caps.push(
+            ckt.capacitor(format!("C{i}"), node, Circuit::GROUND, 1e-9)
+                .unwrap(),
+        );
+        prev = node;
+    }
+    Ladder {
+        ckt,
+        resistors,
+        caps,
+        out: prev,
+    }
+}
+
+fn netlist_sweep(workers: usize) -> SweepReport {
+    let lad = ladder(12);
+    let spec = SweepSpec::monte_carlo(&[("dr", -0.2, 0.2), ("dc", -0.2, 0.2)], 24, 0xDE7).unwrap();
+    let resistors = lad.resistors.clone();
+    let caps = lad.caps.clone();
+    let out = lad.out;
+    NetlistSweep::new(lad.ckt, IntegrationMethod::Trapezoidal)
+        .backend(SolverBackend::Sparse)
+        .fixed_step(3e-6, 3e-9)
+        .run(
+            &spec,
+            workers,
+            &["v_out", "v_peak"],
+            move |c, sc| {
+                for r in &resistors {
+                    c.set_resistance(*r, 1e3 * (1.0 + sc.value("dr")))?;
+                }
+                for cap in &caps {
+                    c.set_capacitance(*cap, 1e-9 * (1.0 + sc.value("dc")))?;
+                }
+                Ok(())
+            },
+            |tr, m| {
+                let v = tr.voltage(out);
+                m[0] = v;
+                m[1] = m[1].max(v); // NaN-seeded: first max() adopts v
+            },
+        )
+        .unwrap()
+}
+
+/// Deep bit-level comparison, not just the fingerprint: metric bits,
+/// indices and every deterministic counter.
+fn assert_reports_identical(a: &SweepReport, b: &SweepReport, what: &str) {
+    assert_eq!(a.metric_names, b.metric_names, "{what}: metric names");
+    assert_eq!(a.scenarios.len(), b.scenarios.len(), "{what}: row count");
+    for (ra, rb) in a.scenarios.iter().zip(&b.scenarios) {
+        assert_eq!(ra.index, rb.index, "{what}: scenario order");
+        assert_eq!(ra.label, rb.label, "{what}: labels");
+        let bits_a: Vec<u64> = ra.metrics.iter().map(|v| v.to_bits()).collect();
+        let bits_b: Vec<u64> = rb.metrics.iter().map(|v| v.to_bits()).collect();
+        assert_eq!(bits_a, bits_b, "{what}: metric bits of #{}", ra.index);
+        assert_eq!(
+            ra.stats.iterations, rb.stats.iterations,
+            "{what}: steps of #{}",
+            ra.index
+        );
+        assert_eq!(
+            ra.stats.solve.symbolic_analyses, rb.stats.solve.symbolic_analyses,
+            "{what}: symbolic analyses of #{}",
+            ra.index
+        );
+        assert_eq!(
+            ra.stats.solve.numeric_refactors, rb.stats.solve.numeric_refactors,
+            "{what}: numeric refactors of #{}",
+            ra.index
+        );
+    }
+    assert_eq!(a.fingerprint(), b.fingerprint(), "{what}: fingerprint");
+}
+
+#[test]
+fn netlist_sweep_is_bit_identical_across_worker_counts() {
+    let serial = netlist_sweep(1);
+    for workers in [2, 4] {
+        let parallel = netlist_sweep(workers);
+        assert_reports_identical(&serial, &parallel, &format!("workers={workers}"));
+    }
+    // The amortization holds in every configuration: exactly one
+    // symbolic analysis per batch.
+    assert_eq!(serial.totals().solve.symbolic_analyses, 1);
+    assert!(serial.totals().solve.numeric_refactors >= 23);
+}
+
+#[test]
+fn different_seeds_change_the_fingerprint() {
+    let lad = ladder(4);
+    let out = lad.out;
+    let resistors = lad.resistors.clone();
+    let run = |seed: u64| {
+        let spec = SweepSpec::monte_carlo(&[("dr", -0.2, 0.2)], 8, seed).unwrap();
+        NetlistSweep::new(lad.ckt.clone(), IntegrationMethod::Trapezoidal)
+            .fixed_step(1e-6, 2e-9)
+            .run(
+                &spec,
+                2,
+                &["v_out"],
+                |c, sc| {
+                    for r in &resistors {
+                        c.set_resistance(*r, 1e3 * (1.0 + sc.value("dr")))?;
+                    }
+                    Ok(())
+                },
+                |tr, m| m[0] = tr.voltage(out),
+            )
+            .unwrap()
+    };
+    assert_eq!(run(11).fingerprint(), run(11).fingerprint());
+    assert_ne!(run(11).fingerprint(), run(12).fingerprint());
+}
+
+// ---------- TDF sweep --------------------------------------------------------
+
+/// A leaky integrator driven by seeded per-scenario noise: exercises
+/// both the parameter channel (leak via [`SharedSample`]) and the
+/// stimulus-variant channel (the scenario PRNG).
+struct NoisyIntegrator {
+    out: systemc_ams::core::TdfOut,
+    leak: SharedSample,
+    noise: Vec<f64>,
+    k: usize,
+    acc: f64,
+}
+
+impl TdfModule for NoisyIntegrator {
+    fn setup(&mut self, cfg: &mut TdfSetup) {
+        cfg.output(self.out);
+        cfg.set_timestep(SimTime::from_us(1));
+    }
+
+    fn processing(&mut self, io: &mut TdfIo<'_>) -> Result<(), CoreError> {
+        let x = self.noise[self.k % self.noise.len()];
+        self.k += 1;
+        self.acc = self.acc * self.leak.get() + x;
+        io.write1(self.out, self.acc);
+        Ok(())
+    }
+
+    fn reset(&mut self) {
+        self.k = 0;
+        self.acc = 0.0;
+    }
+}
+
+struct NoiseModel {
+    leak: SharedSample,
+    noise: std::sync::Arc<std::sync::Mutex<Vec<f64>>>,
+    probe: TdfProbe,
+}
+
+impl SweepModel for NoiseModel {
+    fn apply(&mut self, sc: &Scenario) {
+        use rand::prelude::*;
+        self.leak.set(sc.value("leak"));
+        let mut rng = sc.rng();
+        let mut noise = self.noise.lock().unwrap();
+        noise.clear();
+        noise.extend((0..64).map(|_| rng.gen_range(-1.0..1.0)));
+    }
+
+    fn metrics(&mut self, _cluster: &Cluster, out: &mut [f64]) {
+        let vals = self.probe.values();
+        out[0] = *vals.last().unwrap();
+        out[1] = vals.iter().fold(0.0f64, |m, v| m.max(v.abs()));
+    }
+}
+
+/// The noise buffer is shared between the module (reader) and the model
+/// (writer); `apply` refills it before each scenario's run.
+struct SharedNoise(std::sync::Arc<std::sync::Mutex<Vec<f64>>>);
+
+fn tdf_sweep(workers: usize) -> SweepReport {
+    let spec = SweepSpec::monte_carlo(&[("leak", 0.5, 0.99)], 16, 0x7DF).unwrap();
+    TdfSweep::new(128)
+        .run(&spec, workers, &["last", "peak"], |slot| {
+            let mut g = TdfGraph::new(format!("noisy{slot}"));
+            let s = g.signal("y");
+            let probe = g.probe(s);
+            let leak = SharedSample::new(0.9);
+            let noise = std::sync::Arc::new(std::sync::Mutex::new(vec![0.0]));
+            g.add_module(
+                "integ",
+                NoisyModule {
+                    inner: NoisyIntegrator {
+                        out: s.writer(),
+                        leak: leak.clone(),
+                        noise: Vec::new(),
+                        k: 0,
+                        acc: 0.0,
+                    },
+                    shared: SharedNoise(noise.clone()),
+                },
+            );
+            (g, NoiseModel { leak, noise, probe })
+        })
+        .unwrap()
+}
+
+/// Wraps the integrator so each firing reads the current shared noise
+/// buffer (refilled by `NoiseModel::apply` between scenarios).
+struct NoisyModule {
+    inner: NoisyIntegrator,
+    shared: SharedNoise,
+}
+
+impl TdfModule for NoisyModule {
+    fn setup(&mut self, cfg: &mut TdfSetup) {
+        self.inner.setup(cfg);
+    }
+
+    fn processing(&mut self, io: &mut TdfIo<'_>) -> Result<(), CoreError> {
+        if self.inner.k == 0 {
+            self.inner.noise = self.shared.0.lock().unwrap().clone();
+        }
+        self.inner.processing(io)
+    }
+
+    fn reset(&mut self) {
+        self.inner.reset();
+    }
+}
+
+#[test]
+fn tdf_sweep_is_bit_identical_across_worker_counts() {
+    let serial = tdf_sweep(1);
+    for workers in [2, 4] {
+        let parallel = tdf_sweep(workers);
+        assert_reports_identical(&serial, &parallel, &format!("workers={workers}"));
+    }
+    // Clusters were elaborated per worker but reset per scenario: every
+    // scenario ran the full 128 iterations from a clean slate.
+    for r in &serial.scenarios {
+        assert_eq!(r.stats.iterations, 128);
+    }
+}
