@@ -1,0 +1,136 @@
+//! E11 — cost of the `ams-scope` observability layer.
+//!
+//! The tracing hooks are compiled unconditionally (no feature gate), so
+//! the design contract is that a *disabled* tracer costs one predictable
+//! branch per hook site. This bench pins that contract down:
+//!
+//! * `scope/tracer_disabled` / `scope/tracer_enabled` — the raw cost of
+//!   one begin/end span pair on a [`Tracer`] in each state. Disabled
+//!   must be in the no-op range (a load + branch); enabled pays the
+//!   wall-clock read and two buffer pushes.
+//! * `scope/tdf_off` / `scope/tdf_on` — a 3-module TDF cluster run for
+//!   1000 iterations with tracing off vs on. The *off* number is the
+//!   one EXPERIMENTS.md compares against the pre-scope baseline: the
+//!   acceptance bar is < 2 % overhead for the disabled hooks.
+//! * `scope/net_off` / `scope/net_on` — 1000 fixed transient steps of
+//!   an RC ladder with the MNA assemble/factor/solve spans off vs on.
+//! * `scope/metrics_counter` — one `MetricsRegistry::counter_add`
+//!   (BTreeMap lookup), the unit cost of post-run stats folding.
+//!
+//! EXPERIMENTS.md quotes the off/on ratios from this bench.
+
+use ams_blocks::{Gain, LtiFilter, SineSource};
+use ams_core::TdfGraph;
+use ams_kernel::SimTime;
+use ams_net::{Circuit, IntegrationMethod, TransientSolver};
+use ams_scope::{MetricsRegistry, SpanKind, Tracer};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+/// A small sine → gain → low-pass TDF chain (per-iteration work is a
+/// few dozen flops, so the per-hook cost is visible, not drowned).
+fn tdf_chain() -> TdfGraph {
+    let mut g = TdfGraph::new("chain");
+    let raw = g.signal("raw");
+    let scaled = g.signal("scaled");
+    let filtered = g.signal("filtered");
+    g.add_module(
+        "src",
+        SineSource::new(raw.writer(), 1_000.0, 1.0, Some(SimTime::from_us(1))),
+    );
+    g.add_module("gain", Gain::new(raw.reader(), scaled.writer(), 0.5));
+    g.add_module(
+        "lp",
+        LtiFilter::low_pass1(scaled.reader(), filtered.writer(), 5_000.0, None).unwrap(),
+    );
+    g
+}
+
+/// A 4-stage RC ladder behind a DC source.
+fn rc_ladder() -> Circuit {
+    let mut ckt = Circuit::new();
+    let mut prev = ckt.node("in");
+    ckt.voltage_source("V", prev, Circuit::GROUND, 1.0).unwrap();
+    for i in 0..4 {
+        let node = ckt.node(format!("n{i}"));
+        ckt.resistor(format!("R{i}"), prev, node, 1e3).unwrap();
+        ckt.capacitor(format!("C{i}"), node, Circuit::GROUND, 1e-9)
+            .unwrap();
+        prev = node;
+    }
+    ckt
+}
+
+fn bench_scope_overhead(c: &mut Criterion) {
+    // Raw hook cost: one span pair through a disabled vs enabled tracer.
+    let mut off = Tracer::off();
+    c.bench_function("scope/tracer_disabled", |b| {
+        b.iter(|| {
+            if off.is_enabled() {
+                off.begin(SpanKind::Custom, black_box(1));
+            }
+            if off.is_enabled() {
+                off.end(SpanKind::Custom, black_box(2));
+            }
+        })
+    });
+    let mut on = Tracer::on();
+    c.bench_function("scope/tracer_enabled", |b| {
+        b.iter(|| {
+            if on.is_enabled() {
+                on.begin(SpanKind::Custom, black_box(1));
+            }
+            if on.is_enabled() {
+                on.end(SpanKind::Custom, black_box(2));
+            }
+            // Keep the buffer bounded across iterations.
+            if on.is_enabled() {
+                black_box(on.take_events());
+            }
+        })
+    });
+
+    // Whole-cluster overhead, hooks disabled vs enabled.
+    let mut cluster_off = tdf_chain().elaborate().unwrap();
+    c.bench_function("scope/tdf_off", |b| {
+        b.iter(|| cluster_off.run_standalone(1000).unwrap())
+    });
+    let mut cluster_on = tdf_chain().elaborate().unwrap();
+    cluster_on.set_tracing(true);
+    c.bench_function("scope/tdf_on", |b| {
+        b.iter(|| {
+            cluster_on.run_standalone(1000).unwrap();
+            black_box(cluster_on.take_traces());
+        })
+    });
+
+    // Transient solver: MNA assemble/factor/solve spans off vs on.
+    let ckt = rc_ladder();
+    let mut tr_off = TransientSolver::new(&ckt, IntegrationMethod::Trapezoidal).unwrap();
+    c.bench_function("scope/net_off", |b| {
+        b.iter(|| {
+            for _ in 0..1000 {
+                tr_off.step(1e-7).unwrap();
+            }
+        })
+    });
+    let mut tr_on = TransientSolver::new(&ckt, IntegrationMethod::Trapezoidal).unwrap();
+    tr_on.set_tracing(true);
+    c.bench_function("scope/net_on", |b| {
+        b.iter(|| {
+            for _ in 0..1000 {
+                tr_on.step(1e-7).unwrap();
+            }
+            black_box(tr_on.take_trace_events());
+        })
+    });
+
+    // Metrics registry unit cost.
+    let mut reg = MetricsRegistry::new();
+    c.bench_function("scope/metrics_counter", |b| {
+        b.iter(|| reg.counter_add(black_box("exec.windows"), 1))
+    });
+}
+
+criterion_group!(benches, bench_scope_overhead);
+criterion_main!(benches);

@@ -15,6 +15,7 @@ use crate::shared::{sample_queue, SampleQueue, SampleSink, SampleSource, SharedS
 use crate::CoreError;
 use ams_kernel::{Signal, SimTime};
 use ams_math::{Complex64, DMat, DVec, Lu};
+use ams_scope::{SpanKind, TraceEvent, Tracer};
 use ams_sdf::{schedule as sdf_schedule, SdfGraph};
 use std::collections::HashMap;
 use std::sync::{Arc, Mutex};
@@ -473,6 +474,7 @@ impl TdfGraph {
             iteration: 0,
             sig_period_secs,
             stats: ClusterStats::default(),
+            tracer: Tracer::off(),
             probes: self
                 .probes
                 .into_iter()
@@ -562,6 +564,7 @@ pub struct Cluster {
     sig_period_secs: Vec<f64>,
     probes: Vec<ProbeRt>,
     stats: ClusterStats,
+    tracer: Tracer,
     pub(crate) de_reads: Vec<DeReadBinding>,
     pub(crate) de_writes: Vec<DeWriteBinding>,
 }
@@ -594,6 +597,11 @@ impl Cluster {
     ///
     /// Propagates module processing failures with module context.
     pub fn run_iteration(&mut self, start: SimTime) -> Result<(), CoreError> {
+        let traced = self.tracer.is_enabled();
+        if traced {
+            self.tracer
+                .begin_with(SpanKind::ClusterIteration, start.as_fs(), self.iteration);
+        }
         for m in &mut self.modules {
             m.firing_in_iter = 0;
         }
@@ -611,6 +619,13 @@ impl Cluster {
         self.stats.iterations += 1;
         self.flush_probes();
         self.trim_buffers();
+        if traced {
+            self.tracer.end_with(
+                SpanKind::ClusterIteration,
+                (start + self.period).as_fs(),
+                self.schedule_order.len() as u64,
+            );
+        }
         Ok(())
     }
 
@@ -726,6 +741,47 @@ impl Cluster {
     /// repetition vector, i.e. the token rates).
     pub fn iteration_cost(&self) -> u64 {
         self.schedule_order.len() as u64
+    }
+
+    /// Enables or disables span tracing on the cluster and every
+    /// embedded solver (via [`TdfModule::set_tracing`]). Disabled (the
+    /// default) costs one branch per iteration.
+    pub fn set_tracing(&mut self, enabled: bool) {
+        self.tracer.set_enabled(enabled);
+        for m in &mut self.modules {
+            m.module
+                .as_mut()
+                .expect("module present outside of firing")
+                .set_tracing(enabled);
+        }
+    }
+
+    /// `true` when span tracing is enabled on this cluster.
+    pub fn tracing_enabled(&self) -> bool {
+        self.tracer.is_enabled()
+    }
+
+    /// Drains all trace buffers: one `(source, events)` entry for the
+    /// cluster's own iteration spans (source = cluster name) plus one
+    /// per module that recorded solver events (source =
+    /// `"{cluster}/{module}"`). Empty buffers are skipped.
+    pub fn take_traces(&mut self) -> Vec<(String, Vec<TraceEvent>)> {
+        let mut out = Vec::new();
+        let own = self.tracer.take_events();
+        if !own.is_empty() {
+            out.push((self.name.clone(), own));
+        }
+        for m in &mut self.modules {
+            let events = m
+                .module
+                .as_mut()
+                .expect("module present outside of firing")
+                .take_trace_events();
+            if !events.is_empty() {
+                out.push((format!("{}/{}", self.name, m.name), events));
+            }
+        }
+        out
     }
 
     /// `true` if the cluster exchanges samples with DE kernel signals

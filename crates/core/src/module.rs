@@ -74,6 +74,17 @@ pub trait TdfModule: Send {
     fn solve_stats(&self) -> Option<ams_math::SolveStats> {
         None
     }
+
+    /// Enables or disables span tracing on an embedded numeric solver.
+    /// The default is a no-op — correct for modules without one;
+    /// [`crate::CtModule`] forwards to its plug-in solver.
+    fn set_tracing(&mut self, _enabled: bool) {}
+
+    /// Drains trace events recorded by an embedded solver since the
+    /// last call. Default: none.
+    fn take_trace_events(&mut self) -> Vec<ams_scope::TraceEvent> {
+        Vec::new()
+    }
 }
 
 /// Port/timestep declaration context passed to [`TdfModule::setup`].

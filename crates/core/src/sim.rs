@@ -97,6 +97,7 @@ pub struct AmsSimulator {
     clusters: Vec<ClusterHandle>,
     lint_policy: LintPolicy,
     lint_reports: Vec<LintReport>,
+    tracing: bool,
 }
 
 impl Default for AmsSimulator {
@@ -113,7 +114,38 @@ impl AmsSimulator {
             clusters: Vec::new(),
             lint_policy: LintPolicy::default(),
             lint_reports: Vec::new(),
+            tracing: false,
         }
+    }
+
+    /// Enables or disables span tracing across the kernel and every
+    /// registered cluster (including their embedded solvers). Clusters
+    /// added later inherit the setting. Disabled (the default) costs
+    /// one branch per hook site.
+    pub fn set_tracing(&mut self, enabled: bool) {
+        self.tracing = enabled;
+        self.kernel.set_tracing(enabled);
+        for c in &self.clusters {
+            c.inner.borrow_mut().set_tracing(enabled);
+        }
+    }
+
+    /// Drains all trace buffers into a [`ams_scope::ScopeTrace`]: the
+    /// kernel's delta-cycle instants on track `(coordinator, kernel)`
+    /// and each cluster (and traced solver inside it) on its own
+    /// `(coordinator, source)` track.
+    pub fn take_trace(&mut self) -> ams_scope::ScopeTrace {
+        let mut trace = ams_scope::ScopeTrace::new();
+        let kernel_events = self.kernel.take_trace_events();
+        if !kernel_events.is_empty() {
+            trace.add_track("coordinator", "kernel", kernel_events);
+        }
+        for c in &self.clusters {
+            for (source, events) in c.inner.borrow_mut().take_traces() {
+                trace.add_track("coordinator", source, events);
+            }
+        }
+        trace
     }
 
     /// Replaces the static-analysis policy applied by
@@ -173,7 +205,10 @@ impl AmsSimulator {
             eprintln!("lint [{}]: {d}", report.context);
         }
 
-        let cluster = graph.elaborate()?;
+        let mut cluster = graph.elaborate()?;
+        if self.tracing {
+            cluster.set_tracing(true);
+        }
 
         // Cross-MoC timing: converter ports vs. kernel clocks.
         let mut report = report;
@@ -418,6 +453,40 @@ mod tests {
         // Activations at 0, 5, 10, 15, 20 µs; the 7 µs bump is visible
         // from the 10 µs activation on.
         assert_eq!(probe.values(), vec![5.0, 5.0, 10.0, 10.0, 10.0]);
+    }
+
+    #[test]
+    fn tracing_collects_kernel_and_cluster_tracks() {
+        let mut sim = AmsSimulator::new();
+        let de_out = sim.kernel_mut().signal("out", 0.0f64);
+        let mut g = TdfGraph::new("ramp");
+        let s = g.signal("r");
+        g.add_module(
+            "ramp",
+            Ramp {
+                out: s.writer(),
+                ts: SimTime::from_us(5),
+                v: 0.0,
+            },
+        );
+        g.to_de("conv", s, de_out);
+        sim.set_tracing(true);
+        sim.add_cluster(g).unwrap(); // added after enabling: inherits
+        sim.run_until(SimTime::from_us(20)).unwrap();
+        let trace = sim.take_trace();
+        let names: Vec<&str> = trace.tracks.iter().map(|t| t.thread.as_str()).collect();
+        assert!(names.contains(&"kernel"), "tracks: {names:?}");
+        assert!(names.contains(&"ramp"), "tracks: {names:?}");
+        let cluster_track = trace.tracks.iter().find(|t| t.thread == "ramp").unwrap();
+        // 5 iterations (t = 0, 5, 10, 15, 20 µs), each a begin/end pair.
+        assert_eq!(cluster_track.events.len(), 10);
+        assert!(cluster_track
+            .events
+            .iter()
+            .all(|e| e.kind == ams_scope::SpanKind::ClusterIteration));
+        assert!(trace.tracks.iter().all(|t| t.process == "coordinator"));
+        // Drained: a second take is empty.
+        assert!(sim.take_trace().is_empty());
     }
 
     #[test]

@@ -76,6 +76,16 @@ pub trait CtSolver: Send {
     fn solve_stats(&self) -> Option<ams_math::SolveStats> {
         None
     }
+
+    /// Enables or disables span tracing inside the solver (MNA
+    /// assemble/factor/solve, Newton iterations, adaptive-step
+    /// accept/reject). Default: no-op for solvers without tracing.
+    fn set_tracing(&mut self, _enabled: bool) {}
+
+    /// Drains trace events recorded since the last call. Default: none.
+    fn take_trace_events(&mut self) -> Vec<ams_scope::TraceEvent> {
+        Vec::new()
+    }
 }
 
 /// [`CtSolver`] over a linear time-invariant state-space model.
@@ -298,6 +308,14 @@ impl CtSolver for NetlistCtSolver {
         Some(self.solver.stats().solve)
     }
 
+    fn set_tracing(&mut self, enabled: bool) {
+        self.solver.set_tracing(enabled);
+    }
+
+    fn take_trace_events(&mut self) -> Vec<ams_scope::TraceEvent> {
+        self.solver.take_trace_events()
+    }
+
     fn ac_transfer(&self, omega: f64) -> Option<DMat<Complex64>> {
         // Per-input AC transfer: activate each external-input source in
         // turn with unit AC magnitude and read the output nodes. The
@@ -391,6 +409,14 @@ impl TdfModule for CtModule {
 
     fn solve_stats(&self) -> Option<ams_math::SolveStats> {
         self.solver.solve_stats()
+    }
+
+    fn set_tracing(&mut self, enabled: bool) {
+        self.solver.set_tracing(enabled);
+    }
+
+    fn take_trace_events(&mut self) -> Vec<ams_scope::TraceEvent> {
+        self.solver.take_trace_events()
     }
 
     fn setup(&mut self, cfg: &mut TdfSetup) {

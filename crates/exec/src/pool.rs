@@ -9,9 +9,14 @@
 
 use ams_core::{Cluster, ClusterStats, CoreError};
 use ams_kernel::SimTime;
+use ams_scope::TraceEvent;
 use ams_sdf::{SdfError, SdfExecutor};
 use std::sync::mpsc::{channel, Receiver, Sender};
 use std::thread::JoinHandle;
+
+/// Per-cluster trace tracks: `(registration index, sources)` where each
+/// source is a `(name, events)` track (see [`Cluster::take_traces`]).
+pub type ClusterTraces = Vec<(usize, Vec<(String, Vec<TraceEvent>)>)>;
 
 enum Cmd {
     /// Run every activation with start time strictly before `until`.
@@ -22,6 +27,10 @@ enum Cmd {
     Reset,
     /// Report per-cluster statistics.
     Collect,
+    /// Enable or disable span tracing on every owned cluster.
+    SetTracing(bool),
+    /// Drain per-cluster trace buffers.
+    CollectTraces,
     Shutdown,
 }
 
@@ -32,6 +41,12 @@ enum Reply {
     Stats {
         /// `(registration index, name, counters)` per owned cluster.
         clusters: Vec<(usize, String, ClusterStats)>,
+    },
+    Traces {
+        /// `(registration index, sources)` per owned cluster; each
+        /// source is a `(name, events)` track (see
+        /// [`Cluster::take_traces`]).
+        clusters: ClusterTraces,
     },
 }
 
@@ -111,10 +126,41 @@ impl WorkerPool {
         for _ in 0..self.commands.len() {
             match self.replies.recv().expect("worker alive") {
                 Reply::Stats { clusters } => all.extend(clusters),
-                Reply::Done { .. } => unreachable!("stats query answered with Done"),
+                _ => unreachable!("stats query answered with another reply"),
             }
         }
         all.sort_by_key(|&(idx, _, _)| idx);
+        all
+    }
+
+    /// Enables or disables span tracing on every cluster of every
+    /// worker.
+    ///
+    /// # Errors
+    ///
+    /// Propagates worker failures (none today, reserved).
+    pub fn set_tracing(&mut self, enabled: bool) -> Result<(), CoreError> {
+        for tx in &self.commands {
+            tx.send(Cmd::SetTracing(enabled)).expect("worker alive");
+        }
+        self.barrier()
+    }
+
+    /// Drains every cluster's trace buffers:
+    /// `(registration_index, sources)` in registration order, each
+    /// source a `(name, events)` track.
+    pub fn collect_traces(&mut self) -> ClusterTraces {
+        for tx in &self.commands {
+            tx.send(Cmd::CollectTraces).expect("worker alive");
+        }
+        let mut all = Vec::new();
+        for _ in 0..self.commands.len() {
+            match self.replies.recv().expect("worker alive") {
+                Reply::Traces { clusters } => all.extend(clusters),
+                _ => unreachable!("trace query answered with another reply"),
+            }
+        }
+        all.sort_by_key(|&(idx, _)| idx);
         all
     }
 
@@ -127,7 +173,7 @@ impl WorkerPool {
                         first_err = Some(e);
                     }
                 }
-                Reply::Stats { .. } => unreachable!("run answered with Stats"),
+                _ => unreachable!("run answered with another reply"),
             }
         }
         match first_err {
@@ -188,6 +234,23 @@ fn worker_main(
                     .map(|(idx, c)| (*idx, c.name().to_string(), c.stats()))
                     .collect();
                 if replies.send(Reply::Stats { clusters: stats }).is_err() {
+                    return;
+                }
+            }
+            Cmd::SetTracing(enabled) => {
+                for (_, c) in &mut clusters {
+                    c.set_tracing(enabled);
+                }
+                if replies.send(Reply::Done { result: Ok(()) }).is_err() {
+                    return;
+                }
+            }
+            Cmd::CollectTraces => {
+                let traces = clusters
+                    .iter_mut()
+                    .map(|(idx, c)| (*idx, c.take_traces()))
+                    .collect();
+                if replies.send(Reply::Traces { clusters: traces }).is_err() {
                     return;
                 }
             }
@@ -259,7 +322,96 @@ where
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::stats::CountingHook;
+    use crate::ParallelSim;
+    use ams_core::{CoreError, TdfGraph, TdfIo, TdfModule, TdfOut, TdfSetup};
     use ams_sdf::SdfGraph;
+    use std::sync::{Arc, Mutex};
+
+    /// A one-module free-running graph (no DE bindings).
+    fn src_graph(name: &str) -> TdfGraph {
+        struct Src {
+            out: TdfOut,
+        }
+        impl TdfModule for Src {
+            fn setup(&mut self, cfg: &mut TdfSetup) {
+                cfg.output(self.out);
+                cfg.set_timestep(SimTime::from_us(1));
+            }
+            fn processing(&mut self, io: &mut TdfIo<'_>) -> Result<(), CoreError> {
+                io.write1(self.out, 1.0);
+                Ok(())
+            }
+        }
+        let mut g = TdfGraph::new(name);
+        let s = g.signal("s");
+        g.add_module("src", Src { out: s.writer() });
+        g
+    }
+
+    #[test]
+    fn finish_hook_fires_exactly_once_per_run() {
+        let hook = Arc::new(Mutex::new(CountingHook::default()));
+        let mut sim = ParallelSim::new(2);
+        sim.set_hook(hook.clone());
+        sim.add_graph(src_graph("a"));
+        sim.run_until(SimTime::from_us(3)).unwrap();
+        // Repeated stats queries must not re-fire on_finish.
+        let _ = sim.stats();
+        let _ = sim.stats();
+        let _ = sim.stats();
+        {
+            let h = hook.lock().unwrap();
+            assert_eq!(h.finishes, 1);
+            assert!(h.windows >= 1);
+            assert_eq!(h.windows, h.barriers);
+        }
+        // A reset re-arms the finish notification for the next run.
+        sim.reset().unwrap();
+        sim.run_until(SimTime::from_us(3)).unwrap();
+        let _ = sim.stats();
+        let _ = sim.stats();
+        assert_eq!(hook.lock().unwrap().finishes, 2);
+    }
+
+    #[test]
+    fn tracing_attributes_cluster_tracks_to_workers() {
+        use ams_scope::SpanKind;
+        let mut sim = ParallelSim::new(2);
+        sim.set_tracing(true).unwrap();
+        sim.add_graph(src_graph("a"));
+        sim.add_graph(src_graph("b"));
+        sim.run_until(SimTime::from_us(3)).unwrap();
+        let trace = sim.take_trace();
+
+        // The coordinator's exec track carries window + barrier spans.
+        let exec = trace
+            .tracks
+            .iter()
+            .find(|t| t.process == "coordinator" && t.thread == "exec")
+            .expect("coordinator/exec track present");
+        assert!(exec.events.iter().any(|e| e.kind == SpanKind::DeWindow));
+        assert!(exec.events.iter().any(|e| e.kind == SpanKind::BarrierWait));
+
+        // Every cluster track lands on the worker process the partition
+        // assigned it to.
+        let assignment = sim.partition().expect("elaborated").assignment.clone();
+        for (idx, name) in ["a", "b"].iter().enumerate() {
+            let t = trace
+                .tracks
+                .iter()
+                .find(|t| t.thread == *name)
+                .unwrap_or_else(|| panic!("track for cluster {name}"));
+            assert_eq!(t.process, format!("worker-{}", assignment[idx]));
+            assert!(t
+                .events
+                .iter()
+                .any(|e| e.kind == SpanKind::ClusterIteration));
+        }
+
+        // Buffers drain on take: a second take is empty.
+        assert!(sim.take_trace().is_empty());
+    }
 
     #[test]
     fn sdf_partitions_run_in_parallel() {

@@ -38,6 +38,7 @@ use crate::stats::{ExecHook, ExecStats};
 use ams_core::{CoreError, DeReadBinding, DeWriteBinding, TdfGraph, TdfSignal};
 use ams_kernel::{Kernel, SimTime};
 use ams_lint::{LintPolicy, LintReport};
+use ams_scope::{ScopeTrace, SpanKind, Tracer};
 use std::time::Instant;
 
 /// Default capacity of the SPSC rings created by [`ParallelSim::pipe`].
@@ -78,6 +79,11 @@ pub struct ParallelSim {
     stats: ExecStats,
     lint_policy: LintPolicy,
     lint_reports: Vec<LintReport>,
+    tracing: bool,
+    tracer: Tracer,
+    /// Guards exactly-once [`ExecHook::on_finish`] delivery per run
+    /// (cleared by [`ParallelSim::reset`]).
+    finished: bool,
 }
 
 impl ParallelSim {
@@ -95,7 +101,57 @@ impl ParallelSim {
             stats: ExecStats::default(),
             lint_policy: LintPolicy::default(),
             lint_reports: Vec::new(),
+            tracing: false,
+            tracer: Tracer::off(),
+            finished: false,
         }
+    }
+
+    /// Enables or disables span tracing: `de.window` and `exec.barrier`
+    /// spans on the coordinator, delta-cycle instants on the kernel, and
+    /// iteration/solver spans on every cluster (workers buffer locally;
+    /// the coordinator merges deterministically in
+    /// [`take_trace`](ParallelSim::take_trace)). Disabled (the default)
+    /// costs one branch per hook site.
+    ///
+    /// # Errors
+    ///
+    /// Propagates worker failures when the pool is already running.
+    pub fn set_tracing(&mut self, enabled: bool) -> Result<(), CoreError> {
+        self.tracing = enabled;
+        self.tracer.set_enabled(enabled);
+        self.kernel.set_tracing(enabled);
+        if let Some(run) = &mut self.running {
+            run.pool.set_tracing(enabled)?;
+        }
+        Ok(())
+    }
+
+    /// Drains every trace buffer into one [`ScopeTrace`]: the
+    /// coordinator's window/barrier spans and the kernel's delta-cycle
+    /// instants first (process `coordinator`), then each cluster's
+    /// tracks on its worker's process (`worker-N`, from the partition
+    /// assignment), in cluster registration order. The merge is
+    /// deterministic: track order never depends on thread timing.
+    pub fn take_trace(&mut self) -> ScopeTrace {
+        let mut trace = ScopeTrace::new();
+        let own = self.tracer.take_events();
+        if !own.is_empty() {
+            trace.add_track("coordinator", "exec", own);
+        }
+        let kernel_events = self.kernel.take_trace_events();
+        if !kernel_events.is_empty() {
+            trace.add_track("coordinator", "kernel", kernel_events);
+        }
+        if let Some(run) = &mut self.running {
+            for (idx, sources) in run.pool.collect_traces() {
+                let worker = run.partition.assignment[idx];
+                for (source, events) in sources {
+                    trace.add_track(format!("worker-{worker}"), source, events);
+                }
+            }
+        }
+        trace
     }
 
     /// Replaces the lint policy applied during
@@ -246,7 +302,11 @@ impl ParallelSim {
 
         let mut clusters = Vec::new();
         for g in staged {
-            clusters.push(g.elaborate()?);
+            let mut c = g.elaborate()?;
+            if self.tracing {
+                c.set_tracing(true);
+            }
+            clusters.push(c);
         }
 
         // Couplings: explicit pipes, plus any two clusters touching the
@@ -365,11 +425,19 @@ impl ParallelSim {
             if let Some(h) = &mut self.hook {
                 h.on_window(t_act, t_next);
             }
+            let traced = self.tracer.is_enabled();
+            if traced {
+                self.tracer.begin(SpanKind::DeWindow, t_act.as_fs());
+                self.tracer.begin(SpanKind::BarrierWait, t_act.as_fs());
+            }
             let t0 = Instant::now();
             run.pool.run_window(t_next)?;
             self.stats.compute_wall += t0.elapsed();
             self.stats.windows += 1;
             self.stats.barriers += 1;
+            if traced {
+                self.tracer.end(SpanKind::BarrierWait, t_next.as_fs());
+            }
             if let Some(h) = &mut self.hook {
                 h.on_barrier(t_next);
             }
@@ -405,6 +473,9 @@ impl ParallelSim {
             // leaving instant `t_next` untouched for the next window.
             self.kernel.run_until(t_next - eps)?;
             self.stats.sync_wall += t1.elapsed();
+            if self.tracer.is_enabled() {
+                self.tracer.end(SpanKind::DeWindow, t_next.as_fs());
+            }
             run.frontier = t_next;
         }
 
@@ -431,6 +502,9 @@ impl ParallelSim {
             run.frontier = SimTime::ZERO;
         }
         self.kernel = Kernel::new();
+        self.kernel.set_tracing(self.tracing);
+        let _ = self.tracer.take_events();
+        self.finished = false;
         self.stats = ExecStats {
             // Lint counts belong to elaboration, which survives a reset.
             lint_errors: self.stats.lint_errors,
@@ -448,7 +522,9 @@ impl ParallelSim {
     /// A snapshot of the aggregated execution statistics: window and
     /// barrier counts, per-cluster counters (with embedded-solver totals
     /// folded in), SPSC high-water marks and per-phase wall time. Fires
-    /// [`ExecHook::on_finish`].
+    /// [`ExecHook::on_finish`] exactly once per run — repeated calls
+    /// return fresh snapshots without re-firing the hook (a
+    /// [`reset`](ParallelSim::reset) re-arms it).
     pub fn stats(&mut self) -> ExecStats {
         let mut stats = self.stats.clone();
         if let Some(run) = &mut self.running {
@@ -465,8 +541,11 @@ impl ParallelSim {
             .map(|m| m.high_water())
             .max()
             .unwrap_or(0);
-        if let Some(h) = &mut self.hook {
-            h.on_finish(&stats);
+        if !self.finished {
+            self.finished = true;
+            if let Some(h) = &mut self.hook {
+                h.on_finish(&stats);
+            }
         }
         stats
     }

@@ -48,6 +48,33 @@ impl ExecStats {
         }
         t
     }
+
+    /// Exports the aggregate into an `ams-scope` metrics registry:
+    /// window/barrier/firing counters, embedded-solver totals, the
+    /// SPSC ring high-water gauge and the per-phase wall-time gauges —
+    /// one deterministic name space shared with `ScopeReport`.
+    pub fn to_metrics(&self) -> ams_scope::MetricsRegistry {
+        let mut m = ams_scope::MetricsRegistry::new();
+        m.counter_add("exec.windows", self.windows);
+        m.counter_add("exec.barriers", self.barriers);
+        m.gauge_set("exec.ring_high_water", self.ring_high_water as f64);
+        m.gauge_set("exec.compute_wall_s", self.compute_wall.as_secs_f64());
+        m.gauge_set("exec.sync_wall_s", self.sync_wall.as_secs_f64());
+        m.counter_add("lint.errors", self.lint_errors as u64);
+        m.counter_add("lint.warnings", self.lint_warnings as u64);
+        let t = self.totals();
+        m.counter_add("cluster.iterations", t.iterations);
+        m.counter_add("cluster.firings", t.firings);
+        m.counter_add("cluster.probe_samples", t.probe_samples);
+        m.counter_add("newton.iterations", t.newton_iterations);
+        m.counter_add("lu.factorizations", t.factorizations);
+        m.counter_add("lu.symbolic_analyses", t.solve.symbolic_analyses);
+        m.counter_add("lu.numeric_refactors", t.solve.numeric_refactors);
+        m.counter_add("lu.jacobian_reused", t.solve.jacobian_reused);
+        m.gauge_set("lu.nnz", t.solve.nnz as f64);
+        m.gauge_set("lu.fill_in", t.solve.fill_in as f64);
+        m
+    }
 }
 
 /// Observation hook for a parallel run. All methods default to no-ops;
@@ -66,14 +93,17 @@ pub trait ExecHook: Send {
     fn on_finish(&mut self, _stats: &ExecStats) {}
 }
 
-/// A trivial hook that counts windows and barriers — handy in tests and
-/// as a template.
+/// A trivial hook that counts windows, barriers and finishes — handy in
+/// tests and as a template.
 #[derive(Debug, Default)]
 pub struct CountingHook {
     /// Windows observed via [`ExecHook::on_window`].
     pub windows: u64,
     /// Barriers observed via [`ExecHook::on_barrier`].
     pub barriers: u64,
+    /// Finishes observed via [`ExecHook::on_finish`] — exactly one per
+    /// run when driven by `ParallelSim::stats`.
+    pub finishes: u64,
 }
 
 impl ExecHook for CountingHook {
@@ -83,6 +113,26 @@ impl ExecHook for CountingHook {
 
     fn on_barrier(&mut self, _end: SimTime) {
         self.barriers += 1;
+    }
+
+    fn on_finish(&mut self, _stats: &ExecStats) {
+        self.finishes += 1;
+    }
+}
+
+/// A shared handle to a hook, so a test (or dashboard) can keep reading
+/// the counters while the engine owns the registered copy.
+impl<H: ExecHook> ExecHook for std::sync::Arc<std::sync::Mutex<H>> {
+    fn on_window(&mut self, start: SimTime, end: SimTime) {
+        self.lock().expect("hook poisoned").on_window(start, end);
+    }
+
+    fn on_barrier(&mut self, end: SimTime) {
+        self.lock().expect("hook poisoned").on_barrier(end);
+    }
+
+    fn on_finish(&mut self, stats: &ExecStats) {
+        self.lock().expect("hook poisoned").on_finish(stats);
     }
 }
 

@@ -20,6 +20,7 @@
 //!   TDF clusters at their period.
 
 use crate::{KernelError, SimTime};
+use ams_scope::{SpanKind, TraceEvent, Tracer};
 use std::any::Any;
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
@@ -220,6 +221,7 @@ pub struct Kernel {
     /// Periods of the clocks created on this kernel, for cross-MoC
     /// timing lint (converter ports vs. clock edges).
     clock_periods: Vec<(String, SimTime)>,
+    tracer: Tracer,
 }
 
 impl Default for Kernel {
@@ -246,7 +248,21 @@ impl Kernel {
             stats: KernelStats::default(),
             max_deltas_per_instant: 100_000,
             clock_periods: Vec::new(),
+            tracer: Tracer::off(),
         }
+    }
+
+    /// Enables or disables span tracing on this kernel. Disabled (the
+    /// default) costs one branch per delta cycle.
+    pub fn set_tracing(&mut self, enabled: bool) {
+        self.tracer.set_enabled(enabled);
+    }
+
+    /// Drains the trace events recorded so far (delta-cycle instants;
+    /// `t` is the simulated time in fs, `arg` the process activations
+    /// in that cycle).
+    pub fn take_trace_events(&mut self) -> Vec<TraceEvent> {
+        self.tracer.take_events()
     }
 
     /// Records a clock's name and period (called by [`crate::Clock`]).
@@ -460,6 +476,13 @@ impl Kernel {
         let had_runnable = !self.runnable.is_empty();
         if had_runnable {
             self.stats.delta_cycles += 1;
+            if self.tracer.is_enabled() {
+                self.tracer.instant(
+                    SpanKind::DeltaCycle,
+                    self.time.as_fs(),
+                    self.runnable.len() as u64,
+                );
+            }
         }
         // Evaluate phase.
         while let Some(pid) = self.runnable.pop_front() {
@@ -711,6 +734,32 @@ mod tests {
         k.poke(s, 7); // change: one activation
         k.run_until(SimTime::from_ns(2)).unwrap();
         assert_eq!(*count.borrow(), 1);
+    }
+
+    #[test]
+    fn tracing_records_delta_cycle_instants() {
+        let mut k = Kernel::new();
+        let s = k.signal("s", 0i32);
+        let p = k.add_process("echo", move |ctx| {
+            let v = ctx.read(s);
+            if v < 3 {
+                ctx.write(s, v + 1);
+            }
+        });
+        k.make_sensitive(p, k.signal_event(s));
+        k.set_tracing(true);
+        k.run_until(SimTime::from_ns(1)).unwrap();
+        let events = k.take_trace_events();
+        assert_eq!(events.len() as u64, k.stats().delta_cycles);
+        assert!(events
+            .iter()
+            .all(|e| e.kind == SpanKind::DeltaCycle && e.arg >= 1));
+        // Draining leaves the buffer empty; disabled kernels record nothing.
+        assert!(k.take_trace_events().is_empty());
+        k.set_tracing(false);
+        k.poke(s, 0);
+        k.run_until(SimTime::from_ns(2)).unwrap();
+        assert!(k.take_trace_events().is_empty());
     }
 
     #[test]

@@ -22,6 +22,13 @@ use crate::mna::{
 };
 use crate::{Circuit, ElementId, ElementKind, NetError, NodeId};
 use ams_math::{DVec, SolveStats};
+use ams_scope::{SpanKind, TraceEvent, Tracer};
+
+/// Seconds → femtoseconds, saturating (the tracer's time base).
+#[inline]
+fn fs(t: f64) -> u64 {
+    (t * 1e15) as u64
+}
 
 /// Integration rule for the companion models.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
@@ -147,6 +154,8 @@ pub struct TransientSolver {
     symbolic_hint: Option<ams_math::SparseLu<f64>>,
     stats: TransientStats,
     initialized: bool,
+    /// Span recorder (disabled by default: one branch per hook).
+    tracer: Tracer,
 }
 
 /// An opaque, cloneable symbolic sparse-LU analysis extracted from one
@@ -198,7 +207,26 @@ impl TransientSolver {
             symbolic_hint: None,
             stats: TransientStats::default(),
             initialized: false,
+            tracer: Tracer::off(),
         })
+    }
+
+    /// Enables or disables span tracing: MNA assemble/factor/solve
+    /// spans, Newton-solve instants and adaptive accept/reject events,
+    /// stamped with simulated time. Disabled (the default), every hook
+    /// costs a single branch.
+    pub fn set_tracing(&mut self, enabled: bool) {
+        self.tracer.set_enabled(enabled);
+    }
+
+    /// `true` when span tracing is enabled.
+    pub fn tracing_enabled(&self) -> bool {
+        self.tracer.is_enabled()
+    }
+
+    /// Drains the recorded trace events (empty when tracing is off).
+    pub fn take_trace_events(&mut self) -> Vec<TraceEvent> {
+        self.tracer.take_events()
     }
 
     /// Current simulation time in seconds.
@@ -446,11 +474,18 @@ impl TransientSolver {
             for _ in 0..opts.max_iter {
                 iters += 1;
                 self.assemble_and_factor(&x_iter, t_new, h, be, self.reuse_factorization)?;
-                let x_next = self
+                if self.tracer.is_enabled() {
+                    self.tracer.begin(SpanKind::MnaSolve, fs(t_new));
+                }
+                let solved = self
                     .sys
                     .as_ref()
                     .expect("system just assembled")
-                    .solve_rhs()?;
+                    .solve_rhs();
+                if self.tracer.is_enabled() {
+                    self.tracer.end(SpanKind::MnaSolve, fs(t_new));
+                }
+                let x_next = solved?;
                 let mut done = true;
                 for i in 0..n {
                     let d = (x_next[i] - x_iter[i]).abs();
@@ -470,6 +505,10 @@ impl TransientSolver {
                 }
             }
             self.stats.newton_iterations += iters;
+            if self.tracer.is_enabled() {
+                self.tracer
+                    .instant(SpanKind::NewtonIteration, fs(t_new), iters);
+            }
             if !converged {
                 return Err(NetError::NoConvergence {
                     analysis: "transient step",
@@ -498,7 +537,13 @@ impl TransientSolver {
             // (Re)build only the RHS and reuse the cached factors.
             let mut sys = self.sys.take().expect("system just ensured");
             sys.assemble_rhs(|st| self.assemble_rhs_only(st, t_new, h, be));
+            if self.tracer.is_enabled() {
+                self.tracer.begin(SpanKind::MnaSolve, fs(t_new));
+            }
             let solved = sys.solve_rhs();
+            if self.tracer.is_enabled() {
+                self.tracer.end(SpanKind::MnaSolve, fs(t_new));
+            }
             self.sys = Some(sys);
             self.stats.newton_iterations += 1;
             solved?
@@ -524,6 +569,10 @@ impl TransientSolver {
     ) -> Result<(), NetError> {
         let n = self.layout.n_unknowns;
         let use_sparse = self.backend.use_sparse(n);
+        let traced = self.tracer.is_enabled();
+        if traced {
+            self.tracer.begin(SpanKind::MnaAssemble, fs(t_new));
+        }
         let mut sys = match self.sys.take() {
             Some(s) if s.is_sparse() == use_sparse => s,
             other => {
@@ -542,7 +591,14 @@ impl TransientSolver {
             }
         };
         sys.assemble(|st| self.assemble(st, x, t_new, h, be));
+        if traced {
+            self.tracer.end(SpanKind::MnaAssemble, fs(t_new));
+            self.tracer.begin(SpanKind::MnaFactor, fs(t_new));
+        }
         let factored = sys.factor(allow_reuse);
+        if traced {
+            self.tracer.end(SpanKind::MnaFactor, fs(t_new));
+        }
         self.sys = Some(sys);
         if factored? {
             self.stats.factorizations += 1;
@@ -813,6 +869,10 @@ impl TransientSolver {
             if !half_ok {
                 self.restore(&start);
                 self.stats.rejected += 1;
+                if self.tracer.is_enabled() {
+                    self.tracer
+                        .instant(SpanKind::StepReject, fs(self.time), h_step.to_bits());
+                }
                 h = h_step * 0.25;
                 if h < opts.min_step {
                     return Err(NetError::InvalidValue {
@@ -838,6 +898,10 @@ impl TransientSolver {
                 if final_step {
                     self.time = t_end;
                 }
+                if self.tracer.is_enabled() {
+                    self.tracer
+                        .instant(SpanKind::StepAccept, fs(self.time), h_step.to_bits());
+                }
                 probe(self);
                 let grow = if err > 0.0 {
                     (SAFETY * err.powf(-order_exp)).min(3.0)
@@ -848,6 +912,10 @@ impl TransientSolver {
             } else {
                 self.restore(&start);
                 self.stats.rejected += 1;
+                if self.tracer.is_enabled() {
+                    self.tracer
+                        .instant(SpanKind::StepReject, fs(self.time), h_step.to_bits());
+                }
                 let shrink = (SAFETY * err.powf(-order_exp)).max(0.1);
                 h = (h_step * shrink).max(opts.min_step);
                 if h <= opts.min_step {
@@ -1126,6 +1194,56 @@ mod tests {
         assert!((tr.voltage(out) - expected).abs() < 1e-4);
         // Far fewer accepted steps than the 1000 fixed steps used above.
         assert!(tr.stats().steps < 3000, "steps = {}", tr.stats().steps);
+    }
+
+    #[test]
+    fn tracing_records_solver_spans_and_is_free_when_off() {
+        let (ckt, _a, _out) = rc_circuit();
+        let mut tr = TransientSolver::new(&ckt, IntegrationMethod::Trapezoidal).unwrap();
+        tr.initialize_with_ic().unwrap();
+        // Off by default: no events.
+        for _ in 0..5 {
+            tr.step(1e-6).unwrap();
+        }
+        assert!(tr.take_trace_events().is_empty());
+
+        tr.set_tracing(true);
+        for _ in 0..3 {
+            tr.step(1e-6).unwrap();
+        }
+        let events = tr.take_trace_events();
+        // Linear fast path: one MnaSolve begin/end pair per step, the
+        // (cached) factorization recorded at most once.
+        use ams_scope::Phase;
+        let solves = events
+            .iter()
+            .filter(|e| e.kind == SpanKind::MnaSolve && e.phase == Phase::Begin)
+            .count();
+        assert_eq!(solves, 3);
+        // Simulated timestamps are monotone.
+        let times: Vec<u64> = events.iter().map(|e| e.t_sim_fs).collect();
+        assert!(times.windows(2).all(|w| w[0] <= w[1]), "{times:?}");
+        // Buffer drained; subsequent steps keep recording.
+        tr.step(1e-6).unwrap();
+        assert!(!tr.take_trace_events().is_empty());
+    }
+
+    #[test]
+    fn adaptive_tracing_records_accepts_and_step_sizes() {
+        let (ckt, _a, _out) = rc_circuit();
+        let mut tr = TransientSolver::new(&ckt, IntegrationMethod::Trapezoidal).unwrap();
+        tr.initialize_with_ic().unwrap();
+        tr.set_tracing(true);
+        tr.run_adaptive(1e-4, &AdaptiveOptions::default(), |_| {})
+            .unwrap();
+        let events = tr.take_trace_events();
+        let accepts: Vec<f64> = events
+            .iter()
+            .filter(|e| e.kind == SpanKind::StepAccept)
+            .map(|e| f64::from_bits(e.arg))
+            .collect();
+        assert!(!accepts.is_empty());
+        assert!(accepts.iter().all(|h| *h > 0.0 && h.is_finite()));
     }
 
     #[test]

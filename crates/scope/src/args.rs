@@ -1,0 +1,145 @@
+//! Tiny CLI helper for the examples' shared observability flags.
+//!
+//! Every example accepts `--trace <path>` (write a Chrome trace) and
+//! `--report` (print the scope report); this module strips those two
+//! flags out of `std::env::args()` so each example's own argument loop
+//! only sees what it understands. No dependencies, ~no code per
+//! example:
+//!
+//! ```no_run
+//! let (scope, rest) = ams_scope::args::scope_args()?;
+//! let mut args = rest.into_iter();
+//! // ... example-specific parsing over `args` ...
+//! # let trace = ams_scope::ScopeTrace::new();
+//! # let metrics = ams_scope::MetricsRegistry::new();
+//! scope.emit(&trace, &metrics)?;
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+use crate::{chrome, MetricsRegistry, ScopeReport, ScopeTrace};
+
+/// The parsed observability flags.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ScopeArgs {
+    /// Where to write the Chrome trace, when `--trace` was given.
+    pub trace: Option<String>,
+    /// Whether `--report` was given.
+    pub report: bool,
+}
+
+impl ScopeArgs {
+    /// `true` when tracing must be enabled on the engines (either
+    /// output was requested).
+    pub fn enabled(&self) -> bool {
+        self.trace.is_some() || self.report
+    }
+
+    /// Writes the requested outputs: the Chrome trace file (if
+    /// `--trace`) and the rendered report on stdout (if `--report`).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the trace file write failure.
+    pub fn emit(&self, trace: &ScopeTrace, metrics: &MetricsRegistry) -> std::io::Result<()> {
+        if let Some(path) = &self.trace {
+            std::fs::write(path, chrome::export(trace))?;
+            eprintln!(
+                "wrote {} trace event(s) to {path} (load in Perfetto / chrome://tracing)",
+                trace.event_count()
+            );
+        }
+        if self.report {
+            print!("{}", ScopeReport::from_parts(trace, metrics).render());
+        }
+        Ok(())
+    }
+}
+
+/// Extracts `--trace <path>` / `--report` from a raw argument list,
+/// returning the parsed flags plus the remaining arguments in order.
+///
+/// # Errors
+///
+/// `--trace` without a following path.
+pub fn parse(args: impl IntoIterator<Item = String>) -> Result<(ScopeArgs, Vec<String>), String> {
+    let mut scope = ScopeArgs::default();
+    let mut rest = Vec::new();
+    let mut iter = args.into_iter();
+    while let Some(a) = iter.next() {
+        match a.as_str() {
+            "--trace" => {
+                scope.trace = Some(iter.next().ok_or("--trace needs a file path")?);
+            }
+            "--report" => scope.report = true,
+            _ => rest.push(a),
+        }
+    }
+    Ok((scope, rest))
+}
+
+/// [`parse`] over `std::env::args().skip(1)`.
+///
+/// # Errors
+///
+/// `--trace` without a following path.
+pub fn scope_args() -> Result<(ScopeArgs, Vec<String>), String> {
+    parse(std::env::args().skip(1))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn strs(v: &[&str]) -> Vec<String> {
+        v.iter().map(|s| (*s).to_string()).collect()
+    }
+
+    #[test]
+    fn strips_scope_flags_and_keeps_the_rest() {
+        let (scope, rest) = parse(strs(&[
+            "--scenarios",
+            "16",
+            "--trace",
+            "out.json",
+            "--workers",
+            "2",
+            "--report",
+        ]))
+        .unwrap();
+        assert_eq!(scope.trace.as_deref(), Some("out.json"));
+        assert!(scope.report);
+        assert!(scope.enabled());
+        assert_eq!(rest, strs(&["--scenarios", "16", "--workers", "2"]));
+    }
+
+    #[test]
+    fn no_flags_means_disabled() {
+        let (scope, rest) = parse(strs(&["--lint-only"])).unwrap();
+        assert!(!scope.enabled());
+        assert_eq!(rest, strs(&["--lint-only"]));
+    }
+
+    #[test]
+    fn trace_requires_a_path() {
+        assert!(parse(strs(&["--trace"])).is_err());
+    }
+
+    #[test]
+    fn emit_writes_the_trace_file() {
+        let dir = std::env::temp_dir().join(format!("ams-scope-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("trace.json");
+        let scope = ScopeArgs {
+            trace: Some(path.to_string_lossy().into_owned()),
+            report: false,
+        };
+        let mut tracer = crate::Tracer::on();
+        tracer.instant(crate::SpanKind::Custom, 0, 0);
+        let mut trace = ScopeTrace::new();
+        trace.add_track("p", "t", tracer.take_events());
+        scope.emit(&trace, &MetricsRegistry::new()).unwrap();
+        let written = std::fs::read_to_string(&path).unwrap();
+        assert!(chrome::validate(&written).is_ok());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -1,0 +1,242 @@
+//! Wait-free SPSC ring for [`TraceEvent`]s.
+//!
+//! Mirrors the sample-ring design of `ams-exec`: each slot is a group
+//! of `AtomicU64` words (packed kind/phase, simulated time, wall time,
+//! payload), and the head/tail indices publish slots with release
+//! stores and consume them with acquire loads. Capacity rounds up to a
+//! power of two so indexing is a mask.
+//!
+//! A trace ring connects a shard worker that records spans to a
+//! coordinator that drains them live — the sweep engine's aggregation
+//! loop already spins between result pops, so trace draining rides the
+//! same loop without new synchronization.
+
+use crate::{Phase, SpanKind, TraceEvent};
+use std::sync::{
+    atomic::{AtomicU64, AtomicUsize, Ordering},
+    Arc,
+};
+
+struct RingShared {
+    /// `kind | phase << 8`, one word per slot.
+    tags: Vec<AtomicU64>,
+    times: Vec<AtomicU64>,
+    walls: Vec<AtomicU64>,
+    args: Vec<AtomicU64>,
+    /// Next slot the consumer will read. Only the consumer stores it.
+    head: AtomicUsize,
+    /// Next slot the producer will write. Only the producer stores it.
+    tail: AtomicUsize,
+    /// Highest occupancy ever observed by the producer.
+    high_water: AtomicUsize,
+    mask: usize,
+}
+
+impl RingShared {
+    fn capacity(&self) -> usize {
+        self.mask + 1
+    }
+}
+
+/// Producer half of an SPSC event ring.
+pub struct EventProducer {
+    shared: Arc<RingShared>,
+}
+
+/// Consumer half of an SPSC event ring.
+pub struct EventConsumer {
+    shared: Arc<RingShared>,
+}
+
+/// Creates a ring holding up to `capacity` events (rounded up to a
+/// power of two, minimum 2).
+///
+/// # Panics
+///
+/// Panics on a zero capacity.
+pub fn event_ring(capacity: usize) -> (EventProducer, EventConsumer) {
+    assert!(capacity > 0, "event ring capacity must be non-zero");
+    let cap = capacity.next_power_of_two().max(2);
+    let shared = Arc::new(RingShared {
+        tags: (0..cap).map(|_| AtomicU64::new(0)).collect(),
+        times: (0..cap).map(|_| AtomicU64::new(0)).collect(),
+        walls: (0..cap).map(|_| AtomicU64::new(0)).collect(),
+        args: (0..cap).map(|_| AtomicU64::new(0)).collect(),
+        head: AtomicUsize::new(0),
+        tail: AtomicUsize::new(0),
+        high_water: AtomicUsize::new(0),
+        mask: cap - 1,
+    });
+    (
+        EventProducer {
+            shared: shared.clone(),
+        },
+        EventConsumer { shared },
+    )
+}
+
+impl EventProducer {
+    /// Attempts to enqueue an event; fails (returning it back) when the
+    /// ring is full.
+    pub fn try_push(&mut self, ev: TraceEvent) -> Result<(), TraceEvent> {
+        let s = &self.shared;
+        let tail = s.tail.load(Ordering::Relaxed);
+        let head = s.head.load(Ordering::Acquire);
+        let occupancy = tail.wrapping_sub(head);
+        if occupancy == s.capacity() {
+            return Err(ev);
+        }
+        let slot = tail & s.mask;
+        let tag = u64::from(ev.kind.index()) | (u64::from(ev.phase.index()) << 8);
+        s.tags[slot].store(tag, Ordering::Relaxed);
+        s.times[slot].store(ev.t_sim_fs, Ordering::Relaxed);
+        s.walls[slot].store(ev.wall_ns, Ordering::Relaxed);
+        s.args[slot].store(ev.arg, Ordering::Relaxed);
+        // Publish the slot: the stores above happen-before any consumer
+        // that acquires this tail value.
+        s.tail.store(tail.wrapping_add(1), Ordering::Release);
+        let occ = occupancy + 1;
+        if occ > s.high_water.load(Ordering::Relaxed) {
+            s.high_water.store(occ, Ordering::Relaxed);
+        }
+        Ok(())
+    }
+
+    /// Enqueues an event, spinning (with yields) until the consumer
+    /// frees a slot. Correct only when the consumer drains the ring
+    /// concurrently, as the sweep coordinator does.
+    pub fn push_spin(&mut self, ev: TraceEvent) {
+        let mut item = ev;
+        let mut spins = 0u32;
+        while let Err(back) = self.try_push(item) {
+            item = back;
+            spins += 1;
+            if spins < 64 {
+                std::hint::spin_loop();
+            } else {
+                std::thread::yield_now();
+            }
+        }
+    }
+
+    /// Total slots.
+    pub fn capacity(&self) -> usize {
+        self.shared.capacity()
+    }
+
+    /// Highest occupancy ever reached.
+    pub fn high_water(&self) -> usize {
+        self.shared.high_water.load(Ordering::Relaxed)
+    }
+}
+
+impl EventConsumer {
+    /// Dequeues the oldest event, if any.
+    pub fn try_pop(&mut self) -> Option<TraceEvent> {
+        let s = &self.shared;
+        let head = s.head.load(Ordering::Relaxed);
+        let tail = s.tail.load(Ordering::Acquire);
+        if head == tail {
+            return None;
+        }
+        let slot = head & s.mask;
+        let tag = s.tags[slot].load(Ordering::Relaxed);
+        let ev = TraceEvent {
+            kind: SpanKind::from_index((tag & 0xFF) as u8).expect("producer wrote a valid kind"),
+            phase: Phase::from_index(((tag >> 8) & 0xFF) as u8)
+                .expect("producer wrote a valid phase"),
+            t_sim_fs: s.times[slot].load(Ordering::Relaxed),
+            wall_ns: s.walls[slot].load(Ordering::Relaxed),
+            arg: s.args[slot].load(Ordering::Relaxed),
+        };
+        // Release the slot back to the producer.
+        s.head.store(head.wrapping_add(1), Ordering::Release);
+        Some(ev)
+    }
+
+    /// Events currently in flight (approximate under concurrency).
+    pub fn len(&self) -> usize {
+        let s = &self.shared;
+        s.tail
+            .load(Ordering::Acquire)
+            .wrapping_sub(s.head.load(Ordering::Relaxed))
+    }
+
+    /// `true` when no events are in flight.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Highest occupancy ever reached.
+    pub fn high_water(&self) -> usize {
+        self.shared.high_water.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(kind: SpanKind, phase: Phase, t: u64) -> TraceEvent {
+        TraceEvent {
+            kind,
+            phase,
+            t_sim_fs: t,
+            wall_ns: t * 2,
+            arg: t * 3,
+        }
+    }
+
+    #[test]
+    fn fifo_order_and_field_round_trip() {
+        let (mut tx, mut rx) = event_ring(4);
+        assert!(rx.try_pop().is_none());
+        tx.try_push(ev(SpanKind::DeWindow, Phase::Begin, 1))
+            .unwrap();
+        tx.try_push(ev(SpanKind::NewtonIteration, Phase::Instant, 2))
+            .unwrap();
+        let a = rx.try_pop().unwrap();
+        assert_eq!(a, ev(SpanKind::DeWindow, Phase::Begin, 1));
+        let b = rx.try_pop().unwrap();
+        assert_eq!(b.kind, SpanKind::NewtonIteration);
+        assert_eq!(b.phase, Phase::Instant);
+        assert_eq!(b.arg, 6);
+        assert!(rx.try_pop().is_none());
+    }
+
+    #[test]
+    fn full_ring_rejects_then_accepts() {
+        let (mut tx, mut rx) = event_ring(2);
+        let e = ev(SpanKind::Custom, Phase::Instant, 0);
+        assert!(tx.try_push(e).is_ok());
+        assert!(tx.try_push(e).is_ok());
+        assert_eq!(tx.try_push(e), Err(e));
+        assert!(rx.try_pop().is_some());
+        assert!(tx.try_push(e).is_ok());
+        assert_eq!(tx.high_water(), 2);
+    }
+
+    #[test]
+    fn push_spin_with_concurrent_consumer_preserves_every_event() {
+        let (mut tx, mut rx) = event_ring(8);
+        const N: u64 = 50_000;
+        let producer = std::thread::spawn(move || {
+            for i in 0..N {
+                tx.push_spin(ev(SpanKind::StepAccept, Phase::Instant, i));
+            }
+        });
+        let mut next = 0u64;
+        while next < N {
+            match rx.try_pop() {
+                Some(e) => {
+                    assert_eq!(e.t_sim_fs, next);
+                    assert_eq!(e.arg, next * 3);
+                    next += 1;
+                }
+                None => std::thread::yield_now(),
+            }
+        }
+        producer.join().expect("producer panicked");
+        assert!(rx.is_empty());
+    }
+}

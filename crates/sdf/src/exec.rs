@@ -6,6 +6,7 @@
 //! filters, DSP blocks in Figure 1) run on this engine.
 
 use crate::{ActorId, Schedule, SdfError, SdfGraph};
+use ams_scope::{SpanKind, TraceEvent, Tracer};
 use std::collections::VecDeque;
 
 /// Per-firing I/O window handed to an actor.
@@ -132,6 +133,7 @@ pub struct SdfExecutor<T> {
     firings: u64,
     /// Per-edge FIFO occupancy high-water marks.
     fifo_high_water: Vec<usize>,
+    tracer: Tracer,
 }
 
 /// Execution counters of one [`SdfExecutor`], surfaced to the
@@ -190,7 +192,21 @@ impl<T: Clone + Default + 'static> SdfExecutor<T> {
             iterations_run: 0,
             firings: 0,
             fifo_high_water,
+            tracer: Tracer::off(),
         })
+    }
+
+    /// Enables or disables span tracing: one `sdf.iteration` span per
+    /// schedule iteration, with the iteration index as its timestamp
+    /// (SDF is untimed) and the firing count as its argument. Disabled
+    /// (the default) costs one branch per iteration.
+    pub fn set_tracing(&mut self, enabled: bool) {
+        self.tracer.set_enabled(enabled);
+    }
+
+    /// Drains the trace events recorded since the last call.
+    pub fn take_trace_events(&mut self) -> Vec<TraceEvent> {
+        self.tracer.take_events()
     }
 
     /// Installs the implementation for an actor.
@@ -303,11 +319,24 @@ impl<T: Clone + Default + 'static> SdfExecutor<T> {
     }
 
     fn run_one_iteration(&mut self) -> Result<(), SdfError> {
+        let traced = self.tracer.is_enabled();
+        let firings_before = self.firings;
+        if traced {
+            self.tracer
+                .begin(SpanKind::SdfIteration, self.iterations_run);
+        }
         let firings: Vec<ActorId> = self.sched.firings().to_vec();
         for actor_id in firings {
             self.fire_actor(actor_id)?;
         }
         self.iterations_run += 1;
+        if traced {
+            self.tracer.end_with(
+                SpanKind::SdfIteration,
+                self.iterations_run,
+                self.firings - firings_before,
+            );
+        }
         Ok(())
     }
 
@@ -454,6 +483,30 @@ mod tests {
         exec.run_iterations(2).unwrap();
         // First iteration consumes 1,2,3,4 → 2.5; second 5,6,7,8 → 6.5.
         assert_eq!(*out.lock().unwrap(), vec![2.5, 6.5]);
+    }
+
+    #[test]
+    fn tracing_spans_one_per_iteration() {
+        let (g, src, mid, sink) = pipeline();
+        let sched = schedule(&g).unwrap();
+        let mut exec: SdfExecutor<f64> = SdfExecutor::new(&g, sched).unwrap();
+        exec.set_actor(src, |io: &mut ActorIo<'_, f64>| io.push(0, 1.0));
+        exec.set_actor(mid, |io: &mut ActorIo<'_, f64>| {
+            let x = io.input_one(0);
+            io.push(0, x);
+        });
+        exec.set_actor(sink, |_: &mut ActorIo<'_, f64>| {});
+        exec.set_tracing(true);
+        exec.run_iterations(3).unwrap();
+        let events = exec.take_trace_events();
+        // Begin/end pairs, one per iteration, three firings each.
+        assert_eq!(events.len(), 6);
+        assert!(events.iter().all(|e| e.kind == SpanKind::SdfIteration));
+        assert_eq!(events[1].arg, 3);
+        // Disabled again: nothing recorded.
+        exec.set_tracing(false);
+        exec.run_iterations(1).unwrap();
+        assert!(exec.take_trace_events().is_empty());
     }
 
     #[test]

@@ -75,6 +75,7 @@ pub mod report;
 pub mod spec;
 pub mod tdf;
 
+pub use engine::HookFactory;
 pub use netlist::{NetlistSweep, RunMode};
 pub use report::{MetricSummary, ScenarioResult, SweepReport};
 pub use spec::{Scenario, SweepSpec};

@@ -14,7 +14,7 @@
 //!   refactorization — see the `e10_sweep_throughput` benchmark for the
 //!   measured win.
 
-use crate::engine::run_sharded;
+use crate::engine::{run_sharded, HookFactory};
 use crate::report::{ScenarioResult, SweepReport};
 use crate::spec::{Scenario, SweepSpec};
 use crate::SweepError;
@@ -25,6 +25,7 @@ use ams_net::{
     AdaptiveOptions, Circuit, IntegrationMethod, NetError, SolverBackend, SymbolicFactor,
     TransientSolver, TransientStats,
 };
+use ams_scope::{ScopeTrace, SpanKind, Tracer};
 
 /// How each scenario's transient analysis is stepped.
 #[derive(Debug, Clone)]
@@ -46,7 +47,7 @@ pub enum RunMode {
 }
 
 /// A batched transient sweep over one circuit topology.
-#[derive(Debug, Clone)]
+#[derive(Clone)]
 pub struct NetlistSweep {
     template: Circuit,
     method: IntegrationMethod,
@@ -55,6 +56,22 @@ pub struct NetlistSweep {
     share_symbolic: bool,
     lint: LintPolicy,
     context: String,
+    trace: bool,
+    hooks: Option<HookFactory>,
+}
+
+impl std::fmt::Debug for NetlistSweep {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("NetlistSweep")
+            .field("method", &self.method)
+            .field("backend", &self.backend)
+            .field("mode", &self.mode)
+            .field("share_symbolic", &self.share_symbolic)
+            .field("context", &self.context)
+            .field("trace", &self.trace)
+            .field("hooks", &self.hooks.is_some())
+            .finish_non_exhaustive()
+    }
 }
 
 impl NetlistSweep {
@@ -73,7 +90,31 @@ impl NetlistSweep {
             share_symbolic: true,
             lint: LintPolicy::default(),
             context: "sweep".into(),
+            trace: false,
+            hooks: None,
         }
+    }
+
+    /// Enables span tracing: every scenario records a
+    /// [`SpanKind::Scenario`] span (timestamped in the scenario-index
+    /// domain, `arg` = scenario index) with the solver's
+    /// assemble/factor/solve/Newton spans folded in. The merged
+    /// [`ScopeTrace`] lands in [`SweepReport::trace`] — scenario 0 on
+    /// the `coordinator` track, shard `s` on `shard-s`. Disabled (the
+    /// default) costs one branch per scenario.
+    pub fn trace(mut self, enabled: bool) -> NetlistSweep {
+        self.trace = enabled;
+        self
+    }
+
+    /// Installs an [`ExecHook`](ams_exec::ExecHook) factory: one hook
+    /// per worker shard (built on the coordinator in shard order),
+    /// observing the shard's scenarios as windows and receiving
+    /// `on_finish` with the final aggregate. See
+    /// [`HookFactory`](crate::HookFactory).
+    pub fn hooks(mut self, factory: HookFactory) -> NetlistSweep {
+        self.hooks = Some(factory);
+        self
     }
 
     /// Selects the linear-solver backend for every scenario.
@@ -177,20 +218,41 @@ impl NetlistSweep {
         // Scenario 0 runs inline on the coordinator: it seeds the shared
         // symbolic factor, so every worker count sees the same pivot
         // sequence.
+        let mut coord_tracer = if self.trace {
+            Tracer::on()
+        } else {
+            Tracer::off()
+        };
         let first = &scenarios[0];
-        let (first_vals, first_stats, hint) =
-            self.run_scenario(first, None, true, n_metrics, &apply, &observe)?;
+        let (first_vals, first_stats, hint) = self.run_scenario(
+            first,
+            None,
+            true,
+            n_metrics,
+            &mut coord_tracer,
+            &apply,
+            &observe,
+        )?;
 
         let rest = &scenarios[1..];
         let hint_ref = hint.as_ref();
-        let shard = run_sharded(
+        let mut shard = run_sharded(
             rest.len(),
             n_metrics,
             workers,
+            self.trace,
+            self.hooks.as_ref(),
             |_slot, _items| Ok(()),
-            |_state: &mut (), item| {
-                let (vals, stats, _) =
-                    self.run_scenario(&rest[item], hint_ref, false, n_metrics, &apply, &observe)?;
+            |_state: &mut (), item, tracer: &mut Tracer| {
+                let (vals, stats, _) = self.run_scenario(
+                    &rest[item],
+                    hint_ref,
+                    false,
+                    n_metrics,
+                    tracer,
+                    &apply,
+                    &observe,
+                )?;
                 Ok((vals, stats))
             },
         )?;
@@ -224,21 +286,46 @@ impl NetlistSweep {
             exec.clusters.push((r.label.clone(), r.stats));
         }
 
+        // Exactly-once finish notification per shard hook, fired on the
+        // coordinator after the aggregate exists.
+        for h in &mut shard.hooks {
+            h.on_finish(&exec);
+        }
+
+        let trace = if self.trace {
+            let mut t = ScopeTrace::new();
+            let own = coord_tracer.take_events();
+            if !own.is_empty() {
+                t.add_track("coordinator", "scenarios", own);
+            }
+            for (s, events) in shard.traces.into_iter().enumerate() {
+                if !events.is_empty() {
+                    t.add_track(format!("shard-{s}"), "scenarios", events);
+                }
+            }
+            Some(t)
+        } else {
+            None
+        };
+
         Ok(SweepReport {
             metric_names: metrics.iter().map(|m| (*m).to_string()).collect(),
             scenarios: results,
             exec,
+            trace,
         })
     }
 
     /// Runs one scenario; returns its metric row, counters and (when
     /// `export_hint`) the symbolic factor for siblings to adopt.
+    #[allow(clippy::too_many_arguments)]
     fn run_scenario<A, O>(
         &self,
         sc: &Scenario,
         hint: Option<&SymbolicFactor>,
         export_hint: bool,
         n_metrics: usize,
+        tracer: &mut Tracer,
         apply: &A,
         observe: &O,
     ) -> Result<(Vec<f64>, ClusterStats, Option<SymbolicFactor>), SweepError>
@@ -254,6 +341,11 @@ impl NetlistSweep {
         if let (true, Some(h)) = (self.share_symbolic, hint) {
             tr.adopt_symbolic_factor(h);
         }
+        let traced = tracer.is_enabled();
+        if traced {
+            tracer.begin_with(SpanKind::Scenario, sc.index() as u64, sc.index() as u64);
+            tr.set_tracing(true);
+        }
 
         let mut vals = vec![f64::NAN; n_metrics];
         let mut probes = 0u64;
@@ -268,6 +360,13 @@ impl NetlistSweep {
             }),
         };
         run.map_err(fail)?;
+        if traced {
+            // Solver spans ride on the same track, inside the scenario
+            // span (solver timestamps are the scenario's local simulated
+            // time; the span itself lives in the index domain).
+            tracer.extend(tr.take_trace_events());
+            tracer.end_with(SpanKind::Scenario, sc.index() as u64 + 1, sc.index() as u64);
+        }
 
         let stats = cluster_stats(tr.stats(), probes);
         let exported = if export_hint && self.share_symbolic {
@@ -394,6 +493,54 @@ mod tests {
         match err {
             SweepError::Scenario { index, .. } => assert_eq!(index, 1),
             other => panic!("unexpected error {other}"),
+        }
+    }
+
+    #[test]
+    fn trace_attributes_solver_spans_to_scenarios() {
+        use ams_scope::Phase;
+        let Rc { ckt, r, out } = rc();
+        let spec = SweepSpec::grid(&[("r", &[0.5e3, 1e3, 2e3, 4e3])], 1).unwrap();
+        let report = NetlistSweep::new(ckt, IntegrationMethod::Trapezoidal)
+            .fixed_step(1e-7, 1e-9)
+            .trace(true)
+            .run(
+                &spec,
+                2,
+                &["v"],
+                |c, sc| c.set_resistance(r, sc.value("r")),
+                |tr, m| m[0] = tr.voltage(out),
+            )
+            .unwrap();
+
+        let trace = report.trace.as_ref().expect("trace enabled");
+        // Scenario 0 ran inline: its span and the solver's spans are on
+        // the coordinator track.
+        let coord = trace
+            .tracks
+            .iter()
+            .find(|t| t.process == "coordinator")
+            .expect("coordinator track");
+        assert_eq!(coord.thread, "scenarios");
+        assert!(coord
+            .events
+            .iter()
+            .any(|e| e.kind == SpanKind::Scenario && e.arg == 0));
+        assert!(coord.events.iter().any(|e| e.kind == SpanKind::MnaSolve));
+
+        // Every scenario index appears exactly once as a Scenario begin,
+        // spread over coordinator + shard tracks.
+        let mut indices: Vec<u64> = trace
+            .tracks
+            .iter()
+            .flat_map(|t| &t.events)
+            .filter(|e| e.kind == SpanKind::Scenario && e.phase == Phase::Begin)
+            .map(|e| e.arg)
+            .collect();
+        indices.sort_unstable();
+        assert_eq!(indices, vec![0, 1, 2, 3]);
+        for t in &trace.tracks {
+            assert!(t.process == "coordinator" || t.process.starts_with("shard-"));
         }
     }
 

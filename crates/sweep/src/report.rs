@@ -55,6 +55,14 @@ pub struct SweepReport {
     /// high-water marks are *measurements*, not results — they are
     /// excluded from [`SweepReport::fingerprint`].
     pub exec: ExecStats,
+    /// The merged span trace when the sweep ran with tracing enabled
+    /// (`.trace(true)` on the sweep builder), `None` otherwise. Tracks
+    /// carry scenario spans per worker shard in deterministic shard
+    /// order; export with [`ams_scope::chrome::export`]. Like the wall
+    /// clocks, the trace is a measurement and excluded from
+    /// [`SweepReport::fingerprint`] — but its simulated-time content is
+    /// itself deterministic for a fixed `(spec, workers)` pair.
+    pub trace: Option<ams_scope::ScopeTrace>,
 }
 
 impl SweepReport {
@@ -244,6 +252,7 @@ mod tests {
                 })
                 .collect(),
             exec: ExecStats::default(),
+            trace: None,
         }
     }
 

@@ -12,13 +12,14 @@
 //! model chooses — typically [`SharedSample`](ams_core::SharedSample)
 //! cells captured by both the modules and the [`SweepModel`].
 
-use crate::engine::run_sharded;
+use crate::engine::{run_sharded, HookFactory};
 use crate::report::{ScenarioResult, SweepReport};
 use crate::spec::{Scenario, SweepSpec};
 use crate::SweepError;
 use ams_core::{Cluster, TdfGraph};
 use ams_exec::ExecStats;
 use ams_lint::LintPolicy;
+use ams_scope::{ScopeTrace, SpanKind, Tracer};
 
 /// The per-worker model half of a TDF sweep: applies a scenario's
 /// parameters before the run and extracts its metrics after.
@@ -39,11 +40,24 @@ pub trait SweepModel: Send {
 }
 
 /// A batched sweep over one TDF cluster topology.
-#[derive(Debug, Clone)]
+#[derive(Clone)]
 pub struct TdfSweep {
     iterations: u64,
     lint: LintPolicy,
     context: String,
+    trace: bool,
+    hooks: Option<HookFactory>,
+}
+
+impl std::fmt::Debug for TdfSweep {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TdfSweep")
+            .field("iterations", &self.iterations)
+            .field("context", &self.context)
+            .field("trace", &self.trace)
+            .field("hooks", &self.hooks.is_some())
+            .finish_non_exhaustive()
+    }
 }
 
 impl TdfSweep {
@@ -54,7 +68,30 @@ impl TdfSweep {
             iterations,
             lint: LintPolicy::default(),
             context: "tdf-sweep".into(),
+            trace: false,
+            hooks: None,
         }
+    }
+
+    /// Enables span tracing: every scenario records a
+    /// [`SpanKind::Scenario`] span (timestamped in the scenario-index
+    /// domain, `arg` = scenario index) with the cluster's iteration and
+    /// embedded-solver spans folded in. The merged [`ScopeTrace`] lands
+    /// in [`SweepReport::trace`], one `shard-s` track per worker shard.
+    /// Disabled (the default) costs one branch per scenario.
+    pub fn trace(mut self, enabled: bool) -> TdfSweep {
+        self.trace = enabled;
+        self
+    }
+
+    /// Installs an [`ExecHook`](ams_exec::ExecHook) factory: one hook
+    /// per worker shard (built on the coordinator in shard order),
+    /// observing the shard's scenarios as windows and receiving
+    /// `on_finish` with the final aggregate. See
+    /// [`HookFactory`](crate::HookFactory).
+    pub fn hooks(mut self, factory: HookFactory) -> TdfSweep {
+        self.hooks = Some(factory);
+        self
     }
 
     /// Sets the lint policy gating the topology.
@@ -108,11 +145,14 @@ impl TdfSweep {
         let n_metrics = metrics.len();
         let mut lint_warnings = 0usize;
         let iterations = self.iterations;
+        let tracing = self.trace;
 
-        let shard = run_sharded(
+        let mut shard = run_sharded(
             scenarios.len(),
             n_metrics,
             workers,
+            tracing,
+            self.hooks.as_ref(),
             |slot, _items| {
                 let (mut graph, model) = build(slot);
                 // One lint pass per topology: every worker builds the
@@ -127,18 +167,34 @@ impl TdfSweep {
                         eprintln!("[{}] warning: {d}", self.context);
                     }
                 }
-                let cluster = graph.elaborate()?;
+                let mut cluster = graph.elaborate()?;
+                if tracing {
+                    cluster.set_tracing(true);
+                }
                 Ok((cluster, model))
             },
-            |(cluster, model): &mut (Cluster, M), item| {
+            |(cluster, model): &mut (Cluster, M), item, tracer: &mut Tracer| {
                 let sc = &scenarios[item];
+                let idx = sc.index() as u64;
                 cluster.reset();
                 model.apply(sc);
+                if tracer.is_enabled() {
+                    tracer.begin_with(SpanKind::Scenario, idx, idx);
+                }
                 cluster
                     .run_standalone(iterations)
                     .map_err(|e| SweepError::scenario(sc.index(), e))?;
                 let mut vals = vec![f64::NAN; n_metrics];
                 model.metrics(cluster, &mut vals);
+                if tracer.is_enabled() {
+                    // Cluster and embedded-solver spans ride on the same
+                    // track, inside the scenario span (their timestamps
+                    // are the scenario's local simulated time).
+                    for (_, events) in cluster.take_traces() {
+                        tracer.extend(events);
+                    }
+                    tracer.end_with(SpanKind::Scenario, idx + 1, idx);
+                }
                 Ok((vals, cluster.stats()))
             },
         )?;
@@ -166,10 +222,29 @@ impl TdfSweep {
             exec.clusters.push((r.label.clone(), r.stats));
         }
 
+        // Exactly-once finish notification per shard hook, fired on the
+        // coordinator after the aggregate exists.
+        for h in &mut shard.hooks {
+            h.on_finish(&exec);
+        }
+
+        let trace = if self.trace {
+            let mut t = ScopeTrace::new();
+            for (s, events) in shard.traces.into_iter().enumerate() {
+                if !events.is_empty() {
+                    t.add_track(format!("shard-{s}"), "scenarios", events);
+                }
+            }
+            Some(t)
+        } else {
+            None
+        };
+
         Ok(SweepReport {
             metric_names: metrics.iter().map(|m| (*m).to_string()).collect(),
             scenarios: results,
             exec,
+            trace,
         })
     }
 }
@@ -273,6 +348,67 @@ mod tests {
                 .unwrap();
             assert_eq!(base.fingerprint(), other.fingerprint(), "workers={workers}");
         }
+    }
+
+    #[test]
+    fn hook_factory_and_trace_cover_every_scenario() {
+        use ams_exec::CountingHook;
+        use ams_scope::Phase;
+        use std::sync::{Arc, Mutex};
+
+        let handles: Arc<Mutex<Vec<Arc<Mutex<CountingHook>>>>> = Arc::new(Mutex::new(Vec::new()));
+        let sink = handles.clone();
+        let factory: crate::HookFactory = Arc::new(move |_slot| {
+            let h = Arc::new(Mutex::new(CountingHook::default()));
+            sink.lock().unwrap().push(h.clone());
+            Box::new(h)
+        });
+
+        let gains = [0.5, 1.0, 2.0, 4.0, 8.0, 16.0];
+        let spec = SweepSpec::grid(&[("gain", &gains)], 3).unwrap();
+        let report = TdfSweep::new(50)
+            .trace(true)
+            .hooks(factory)
+            .run(&spec, 2, &["peak"], build)
+            .unwrap();
+
+        // One hook per shard: windows sum to the scenario count, one
+        // barrier and exactly one finish each.
+        let handles = handles.lock().unwrap();
+        assert_eq!(handles.len(), 2);
+        let windows: u64 = handles.iter().map(|h| h.lock().unwrap().windows).sum();
+        assert_eq!(windows, gains.len() as u64);
+        for h in handles.iter() {
+            let h = h.lock().unwrap();
+            assert_eq!(h.barriers, 1);
+            assert_eq!(h.finishes, 1);
+        }
+
+        // The trace carries one Scenario span per scenario, tagged with
+        // its index, on shard tracks, plus the cluster's iteration spans.
+        let trace = report.trace.as_ref().expect("trace enabled");
+        assert!(trace
+            .tracks
+            .iter()
+            .all(|t| t.process.starts_with("shard-") && t.thread == "scenarios"));
+        let mut indices: Vec<u64> = trace
+            .tracks
+            .iter()
+            .flat_map(|t| &t.events)
+            .filter(|e| e.kind == SpanKind::Scenario && e.phase == Phase::Begin)
+            .map(|e| e.arg)
+            .collect();
+        indices.sort_unstable();
+        assert_eq!(indices, vec![0, 1, 2, 3, 4, 5]);
+        assert!(trace
+            .tracks
+            .iter()
+            .flat_map(|t| &t.events)
+            .any(|e| e.kind == SpanKind::ClusterIteration));
+
+        // Tracing off (the default) leaves the report trace-free.
+        let plain = TdfSweep::new(50).run(&spec, 2, &["peak"], build).unwrap();
+        assert!(plain.trace.is_none());
     }
 
     #[test]

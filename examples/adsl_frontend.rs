@@ -14,7 +14,8 @@
 //! | "software controller" (event driven) | DE process implementing an AGC loop |
 //! | "modules with frequency domain behavior" | AC sweep over the same TDF graph |
 //!
-//! Run with `cargo run --release --example adsl_frontend`.
+//! Run with `cargo run --release --example adsl_frontend -- \
+//!   [--trace trace.json] [--report]`.
 
 use systemc_ams::blocks::{CicDecimator, FirFilter, LtiFilter, Product, SineSource, TanhAmp};
 use systemc_ams::core::{
@@ -69,7 +70,12 @@ fn subscriber_line() -> Result<
 }
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // `--trace <path>` / `--report`: span tracing across the kernel,
+    // the cluster and the embedded line solver.
+    let (scope, _rest) = systemc_ams::scope::args::scope_args()?;
+
     let mut sim = AmsSimulator::new();
+    sim.set_tracing(scope.enabled());
 
     // ---- DE side: the "software controller" (AGC). -----------------------
     let power_de = sim.kernel_mut().signal("power", 0.0f64);
@@ -241,6 +247,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         (power_final - target_power).abs() / target_power < 0.25,
         "AGC regulated the power"
     );
+
+    if scope.enabled() {
+        let trace = sim.take_trace();
+        let mut metrics = systemc_ams::scope::MetricsRegistry::new();
+        let ks = sim.kernel().stats();
+        metrics.counter_add("kernel.delta_cycles", ks.delta_cycles);
+        metrics.counter_add("kernel.activations", ks.activations);
+        metrics.counter_add("kernel.timed_events", ks.timed_events);
+        metrics.gauge_set("agc.gain_final", gain_final);
+        metrics.gauge_set("agc.power_final", power_final);
+        scope.emit(&trace, &metrics)?;
+    }
     println!("adsl_frontend OK");
     Ok(())
 }

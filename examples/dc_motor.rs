@@ -15,7 +15,8 @@
 //!   values differ by several orders of magnitude" situation the paper
 //!   calls out, handled by the variable-step transient solver.
 //!
-//! Run with `cargo run --release --example dc_motor`.
+//! Run with `cargo run --release --example dc_motor -- \
+//!   [--trace trace.json] [--report]`.
 
 use std::cell::RefCell;
 use std::rc::Rc;
@@ -53,6 +54,10 @@ fn build_motor() -> Result<
 }
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // `--trace <path>` / `--report`: one track per solver run plus the
+    // DE kernel's delta-cycle track.
+    let (scope, _rest) = systemc_ams::scope::args::scope_args()?;
+
     // Steady-state speed for a constant voltage: ω = K·V/(K² + R·B).
     let gain = K_M / (K_M * K_M + R_ARM * B_FRICTION);
     println!("dc motor: R={R_ARM} Ω, L={L_ARM} H, K={K_M}, J={J_ROT}, B={B_FRICTION}");
@@ -67,6 +72,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // ---- Part 1: open-loop step, fixed vs variable timestep. -------------
     let (ckt, drive, shaft) = build_motor()?;
     let mut fixed = TransientSolver::new(&ckt, IntegrationMethod::Trapezoidal)?;
+    fixed.set_tracing(scope.enabled());
     fixed.set_input(drive, 10.0);
     fixed.initialize_dc()?;
     // Fixed step must resolve the 2 ms electrical constant: 50 µs steps.
@@ -76,6 +82,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     let (ckt2, drive2, shaft2) = build_motor()?;
     let mut adaptive = TransientSolver::new(&ckt2, IntegrationMethod::Trapezoidal)?;
+    adaptive.set_tracing(scope.enabled());
     adaptive.set_input(drive2, 10.0);
     adaptive.initialize_dc()?;
     adaptive.run_adaptive(
@@ -110,9 +117,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         &ckt3,
         IntegrationMethod::Trapezoidal,
     )?));
+    solver.borrow_mut().set_tracing(scope.enabled());
     solver.borrow_mut().initialize_dc()?;
 
     let mut kernel = Kernel::new();
+    kernel.set_tracing(scope.enabled());
     let setpoint = 100.0; // rad/s
     let trace = Rc::new(RefCell::new(Vec::new()));
     let trace_in = trace.clone();
@@ -159,6 +168,27 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     assert!((u_end - setpoint / gain).abs() / (setpoint / gain) < 0.05);
     assert!(settle < 0.4, "settles within 400 ms");
 
+    if scope.enabled() {
+        let mut out = systemc_ams::scope::ScopeTrace::new();
+        for (thread, events) in [
+            ("fixed", fixed.take_trace_events()),
+            ("adaptive", adaptive.take_trace_events()),
+            ("servo", solver.borrow_mut().take_trace_events()),
+            ("kernel", kernel.take_trace_events()),
+        ] {
+            if !events.is_empty() {
+                out.add_track("coordinator", thread, events);
+            }
+        }
+        let mut metrics = systemc_ams::scope::MetricsRegistry::new();
+        metrics.counter_add("solver.fixed_steps", steps_fixed);
+        metrics.counter_add("solver.adaptive_steps", steps_adapt);
+        metrics.counter_add("solver.adaptive_rejected", adaptive.stats().rejected);
+        let ks = kernel.stats();
+        metrics.counter_add("kernel.delta_cycles", ks.delta_cycles);
+        metrics.counter_add("kernel.activations", ks.activations);
+        scope.emit(&out, &metrics)?;
+    }
     println!("\ndc_motor OK");
     Ok(())
 }

@@ -12,7 +12,7 @@
 //! report proves it in the solver counters.
 //!
 //! Run with `cargo run --release --example monte_carlo_filter -- \
-//!   [--scenarios N] [--workers N] [--lint-only]`.
+//!   [--scenarios N] [--workers N] [--lint-only] [--trace trace.json] [--report]`.
 
 use systemc_ams::net::{Circuit, IntegrationMethod, SolverBackend};
 use systemc_ams::sweep::{NetlistSweep, SweepSpec};
@@ -35,7 +35,8 @@ fn mismatch(sc: &systemc_ams::sweep::Scenario) -> Vec<f64> {
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut scenarios = 256usize;
     let mut workers = 4usize;
-    let mut args = std::env::args().skip(1);
+    let (scope, rest) = systemc_ams::scope::args::scope_args()?;
+    let mut args = rest.into_iter();
     while let Some(a) = args.next() {
         match a.as_str() {
             "--scenarios" => {
@@ -98,6 +99,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .backend(SolverBackend::Sparse)
         .fixed_step(t_end, 1e-6)
         .context("monte_carlo_filter")
+        .trace(scope.enabled())
         .run(
             &spec,
             workers,
@@ -141,5 +143,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         totals.solve.symbolic_analyses, scenarios, totals.solve.numeric_refactors
     );
     assert_eq!(totals.solve.symbolic_analyses, 1);
+
+    if scope.enabled() {
+        let trace = report.trace.clone().unwrap_or_default();
+        scope.emit(&trace, &report.exec.to_metrics())?;
+    }
     Ok(())
 }

@@ -9,7 +9,8 @@
 //! correction enabled and disabled. The analytic ideal-quantizer line
 //! (6.02·N + 1.76 dB) plays the role of the MATLAB reference model.
 //!
-//! Run with `cargo run --release --example pipelined_adc`.
+//! Run with `cargo run --release --example pipelined_adc -- \
+//!   [--trace trace.json] [--report]`.
 
 use systemc_ams::blocks::{ideal_sine_snr_db, PipelinedAdc, SineSource, StageErrors};
 use systemc_ams::core::TdfGraph;
@@ -22,8 +23,13 @@ const VREF: f64 = 1.0;
 const N_FFT: u64 = 8192;
 
 /// Runs one converter configuration on a coherent near-full-scale sine
-/// and returns the measured ENOB.
-fn measure_enob(errors: &[StageErrors], correction: bool) -> f64 {
+/// and returns the measured ENOB. With a trace sink, the cluster's spans
+/// land on a track named by the given label.
+fn measure_enob(
+    errors: &[StageErrors],
+    correction: bool,
+    trace: Option<(&mut systemc_ams::scope::ScopeTrace, &str)>,
+) -> f64 {
     let mut g = TdfGraph::new("adc");
     let analog = g.signal("analog");
     let code = g.signal("code");
@@ -47,12 +53,25 @@ fn measure_enob(errors: &[StageErrors], correction: bool) -> f64 {
             .with_correction(correction),
     );
     let mut c = g.elaborate().expect("valid graph");
+    if trace.is_some() {
+        c.set_tracing(true);
+    }
     c.run_standalone(N_FFT).expect("clean run");
+    if let Some((sink, label)) = trace {
+        for (source, events) in c.take_traces() {
+            sink.add_track(label.to_string(), source, events);
+        }
+    }
     let metrics = analyze_sine(&probe.values(), fs, Window::Blackman).expect("analysis");
     metrics.enob
 }
 
-fn main() {
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // `--trace <path>` / `--report`: span tracing of the ideal-pipeline
+    // reference run.
+    let (scope, _rest) = systemc_ams::scope::args::scope_args()?;
+    let mut trace = systemc_ams::scope::ScopeTrace::new();
+
     // `--lint-only`: static checks on a representative configuration.
     if systemc_ams::lint::lint_only_requested() {
         let mut g = TdfGraph::new("adc");
@@ -99,8 +118,8 @@ fn main() {
             };
             STAGES
         ];
-        let with = measure_enob(&errors, true);
-        let without = measure_enob(&errors, false);
+        let with = measure_enob(&errors, true, None);
+        let without = measure_enob(&errors, false, None);
         println!("{off_frac:>12.2} {with:>18.2} {without:>18.2}");
         if (off_frac - 0.10).abs() < 1e-9 {
             corrected_at_10pct = with;
@@ -119,12 +138,16 @@ fn main() {
             };
             STAGES
         ];
-        let enob = measure_enob(&errors, true);
+        let enob = measure_enob(&errors, true, None);
         println!("{ge:>12.3} {enob:>10.2}");
     }
 
     // --- Assertions: the architectural claims of seed work [2]. ----------
-    let ideal_enob = measure_enob(&vec![StageErrors::default(); STAGES], true);
+    let ideal_enob = measure_enob(
+        &vec![StageErrors::default(); STAGES],
+        true,
+        scope.enabled().then_some((&mut trace, "ideal")),
+    );
     assert!(
         (ideal_enob - ideal_bits).abs() < 0.7,
         "ideal pipeline ≈ {ideal_bits} bits, measured {ideal_enob:.2}"
@@ -137,5 +160,13 @@ fn main() {
         uncorrected_at_10pct < corrected_at_10pct - 3.0,
         "without correction the same offset costs >3 bits: {uncorrected_at_10pct:.2}"
     );
+    if scope.enabled() {
+        let mut metrics = systemc_ams::scope::MetricsRegistry::new();
+        metrics.gauge_set("adc.ideal_enob_bits", ideal_enob);
+        metrics.gauge_set("adc.corrected_enob_at_10pct", corrected_at_10pct);
+        metrics.gauge_set("adc.uncorrected_enob_at_10pct", uncorrected_at_10pct);
+        scope.emit(&trace, &metrics)?;
+    }
     println!("\npipelined_adc OK (ideal {ideal_enob:.2} bits ≈ analytic {ideal_bits} bits)");
+    Ok(())
 }

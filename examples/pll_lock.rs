@@ -9,7 +9,8 @@
 //! for two reference frequencies, along with the locked VCO frequency
 //! measured by cycle counting.
 //!
-//! Run with `cargo run --release --example pll_lock`.
+//! Run with `cargo run --release --example pll_lock -- \
+//!   [--trace trace.json] [--report]`.
 
 use systemc_ams::blocks::{Gain, Integrator, Product, SineSource, Sum, UnitDelay, Vco};
 use systemc_ams::core::TdfGraph;
@@ -21,7 +22,12 @@ const FS: u64 = 500; // sample period 500 ns → 2 MHz
 
 /// Runs the loop against one reference frequency; returns
 /// (mean control voltage, measured VCO frequency) over the settled tail.
-fn run_pll(f_ref: f64, t_end_ms: u64) -> Result<(f64, f64), Box<dyn std::error::Error>> {
+/// With a trace sink, the cluster's spans land on a per-f_ref track.
+fn run_pll(
+    f_ref: f64,
+    t_end_ms: u64,
+    trace: Option<&mut systemc_ams::scope::ScopeTrace>,
+) -> Result<(f64, f64), Box<dyn std::error::Error>> {
     let mut g = TdfGraph::new("pll");
     let reference = g.signal("ref");
     let vco_out = g.signal("vco_out");
@@ -68,8 +74,16 @@ fn run_pll(f_ref: f64, t_end_ms: u64) -> Result<(f64, f64), Box<dyn std::error::
     }
 
     let mut c = g.elaborate()?;
+    if trace.is_some() {
+        c.set_tracing(true);
+    }
     let iterations = t_end_ms * 1_000_000 / FS;
     c.run_standalone(iterations)?;
+    if let Some(sink) = trace {
+        for (source, events) in c.take_traces() {
+            sink.add_track(format!("fref-{f_ref:.0}Hz"), source, events);
+        }
+    }
 
     // Measure over the last half (settled).
     let ctrl_v = p_ctrl.values();
@@ -88,13 +102,20 @@ fn run_pll(f_ref: f64, t_end_ms: u64) -> Result<(f64, f64), Box<dyn std::error::
 }
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // `--trace <path>` / `--report`: one trace track per reference tone.
+    let (scope, _rest) = systemc_ams::scope::args::scope_args()?;
+    let mut trace = systemc_ams::scope::ScopeTrace::new();
+    let mut metrics = systemc_ams::scope::MetricsRegistry::new();
+
     println!("type-II PLL: f0 = {F0} Hz, Kv = {KV} Hz/V, ωn ≈ 2π·1 kHz, ζ ≈ 0.7\n");
     println!(
         "{:>10} {:>14} {:>14} {:>14} {:>12}",
         "f_ref", "ctrl (V)", "expected (V)", "f_vco (Hz)", "freq error"
     );
     for &f_ref in &[98_000.0, 100_000.0, 104_000.0] {
-        let (ctrl, f_vco) = run_pll(f_ref, 30)?;
+        let (ctrl, f_vco) = run_pll(f_ref, 30, scope.enabled().then_some(&mut trace))?;
+        metrics.gauge_set(&format!("pll.ctrl_v.{f_ref:.0}"), ctrl);
+        metrics.gauge_set(&format!("pll.f_vco.{f_ref:.0}"), f_vco);
         let expected = (f_ref - F0) / KV;
         println!(
             "{f_ref:>10.0} {ctrl:>14.4} {expected:>14.4} {f_vco:>14.0} {:>12.4}",
@@ -108,6 +129,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             (f_vco - f_ref).abs() / f_ref < 0.005,
             "f_ref {f_ref}: locked at {f_vco}"
         );
+    }
+    if scope.enabled() {
+        scope.emit(&trace, &metrics)?;
     }
     println!("\npll_lock OK (loop pulls in and tracks over ±9 kHz)");
     Ok(())

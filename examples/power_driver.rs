@@ -12,7 +12,8 @@
 //! Reported: average load current and ripple vs. PWM frequency (the
 //! classic ripple ∝ 1/f_pwm law), plus the duty-cycle → current law.
 //!
-//! Run with `cargo run --release --example power_driver`.
+//! Run with `cargo run --release --example power_driver -- \
+//!   [--trace trace.json] [--report]`.
 
 use std::cell::RefCell;
 use std::rc::Rc;
@@ -42,8 +43,13 @@ fn power_stage(
 }
 
 /// Runs the stage at one PWM frequency/duty and returns
-/// (mean current, peak-to-peak ripple).
-fn run_pwm(f_pwm: f64, duty: f64) -> Result<(f64, f64), Box<dyn std::error::Error>> {
+/// (mean current, peak-to-peak ripple). With a trace sink, the solver
+/// and kernel spans land on a per-operating-point track.
+fn run_pwm(
+    f_pwm: f64,
+    duty: f64,
+    trace: Option<&mut systemc_ams::scope::ScopeTrace>,
+) -> Result<(f64, f64), Box<dyn std::error::Error>> {
     // Settle for 5 load time constants before measuring 30 PWM periods,
     // so the ripple measurement is free of the start-up exponential.
     let tau = L_LOAD / R_LOAD;
@@ -54,12 +60,16 @@ fn run_pwm(f_pwm: f64, duty: f64) -> Result<(f64, f64), Box<dyn std::error::Erro
         &ckt,
         IntegrationMethod::Trapezoidal,
     )?));
+    if trace.is_some() {
+        solver.borrow_mut().set_tracing(true);
+    }
     solver.borrow_mut().initialize_dc()?;
 
     // DE side: a process toggles the gates at the PWM rate, stepping the
     // conservative solver between events (hardware-in-the-loop style
     // co-simulation: the DE kernel owns time, the network follows).
     let mut kernel = Kernel::new();
+    kernel.set_tracing(trace.is_some());
     let period = SimTime::from_seconds(1.0 / f_pwm);
     let on_time = SimTime::from_seconds(duty / f_pwm);
     let h = 1.0 / f_pwm / 200.0; // 200 steps per PWM period
@@ -96,11 +106,28 @@ fn run_pwm(f_pwm: f64, duty: f64) -> Result<(f64, f64), Box<dyn std::error::Erro
     });
     kernel.run_until(period * u64::from(periods))?;
 
+    if let Some(sink) = trace {
+        let label = format!("pwm-{f_pwm:.0}Hz-d{duty}");
+        let solver_events = solver.borrow_mut().take_trace_events();
+        if !solver_events.is_empty() {
+            sink.add_track(label.clone(), "solver", solver_events);
+        }
+        let kernel_events = kernel.take_trace_events();
+        if !kernel_events.is_empty() {
+            sink.add_track(label, "kernel", kernel_events);
+        }
+    }
+
     let st = stats.borrow();
     Ok((st.mean(), st.peak_to_peak()))
 }
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // `--trace <path>` / `--report`: one track per PWM operating point.
+    let (scope, _rest) = systemc_ams::scope::args::scope_args()?;
+    let mut trace = systemc_ams::scope::ScopeTrace::new();
+    let mut obs = systemc_ams::scope::MetricsRegistry::new();
+
     // `--lint-only`: static checks on the power stage netlist.
     if systemc_ams::lint::lint_only_requested() {
         let (ckt, _, _, _, _) = power_stage()?;
@@ -117,7 +144,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
     let mut ripples = Vec::new();
     for &f in &[2_000.0, 5_000.0, 10_000.0, 20_000.0] {
-        let (mean, ripple) = run_pwm(f, 0.5)?;
+        let (mean, ripple) = run_pwm(f, 0.5, scope.enabled().then_some(&mut trace))?;
+        obs.record("pwm.ripple_a", ripple);
+        obs.counter_add("pwm.runs", 1);
         // Analytic triangular ripple (τ = L/R ≫ T): ΔI ≈ V·d(1−d)/(L·f).
         let analytic = VSUPPLY * 0.25 / (L_LOAD * f);
         println!("{f:>10.0} {mean:>12.3} {ripple:>14.4} {analytic:>14.4}");
@@ -129,7 +158,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("{:>8} {:>12} {:>12}", "duty", "mean I (A)", "V·d/R (A)");
     let mut duty_results = Vec::new();
     for &d in &[0.2, 0.4, 0.6, 0.8] {
-        let (mean, _) = run_pwm(10_000.0, d)?;
+        let (mean, _) = run_pwm(10_000.0, d, scope.enabled().then_some(&mut trace))?;
+        obs.record("pwm.mean_current_a", mean);
+        obs.counter_add("pwm.runs", 1);
         println!("{d:>8.1} {mean:>12.3} {:>12.3}", VSUPPLY * d / R_LOAD);
         duty_results.push((d, mean));
     }
@@ -154,6 +185,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             (mean - expect).abs() / expect < 0.05,
             "duty {d}: mean {mean:.3} vs {expect:.3}"
         );
+    }
+    if scope.enabled() {
+        scope.emit(&trace, &obs)?;
     }
     println!("\npower_driver OK");
     Ok(())

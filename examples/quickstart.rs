@@ -9,7 +9,7 @@
 //!                                          DE counter ◄──┘ (kernel process)
 //! ```
 //!
-//! Run with `cargo run --example quickstart`.
+//! Run with `cargo run --example quickstart -- [--trace trace.json] [--report]`.
 
 use std::cell::RefCell;
 use std::rc::Rc;
@@ -19,7 +19,12 @@ use systemc_ams::kernel::SimTime;
 use systemc_ams::wave::{write_csv, VcdRecorder};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // `--trace <path>` emits a Chrome trace of the run; `--report`
+    // prints a span/metric summary.
+    let (scope, _rest) = systemc_ams::scope::args::scope_args()?;
+
     let mut sim = AmsSimulator::new();
+    sim.set_tracing(scope.enabled());
 
     // DE side: a signal carrying the comparator decision and a process
     // counting its rising edges (a stand-in for "control software").
@@ -97,6 +102,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut csv_file = std::fs::File::create(out_dir.join("filtered.csv"))?;
     write_csv(&mut csv_file, &[("filtered", &samples)])?;
     println!("waveforms written    : target/quickstart/{{comparator.vcd, filtered.csv}}");
+
+    if scope.enabled() {
+        let trace = sim.take_trace();
+        let mut metrics = systemc_ams::scope::MetricsRegistry::new();
+        let ks = sim.kernel().stats();
+        metrics.counter_add("kernel.delta_cycles", ks.delta_cycles);
+        metrics.counter_add("kernel.activations", ks.activations);
+        metrics.counter_add("kernel.timed_events", ks.timed_events);
+        scope.emit(&trace, &metrics)?;
+    }
     println!("quickstart OK");
     Ok(())
 }

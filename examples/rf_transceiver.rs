@@ -15,7 +15,8 @@
 //! `½·erfc(√(Eb/N0))`, and an AC sweep of the receive filter shows the
 //! frequency-domain view of the same model.
 //!
-//! Run with `cargo run --release --example rf_transceiver`.
+//! Run with `cargo run --release --example rf_transceiver -- \
+//!   [--trace trace.json] [--report]`.
 
 use std::sync::{Arc, Mutex};
 use systemc_ams::blocks::{
@@ -116,11 +117,13 @@ impl TdfModule for BitErrorCounter {
     }
 }
 
-/// Runs the link at one Eb/N0 and returns (measured BER, bits).
+/// Runs the link at one Eb/N0 and returns (measured BER, bits). With a
+/// trace sink, the cluster's iteration spans land on a per-Eb/N0 track.
 fn run_link(
     eb_n0_db: f64,
     symbols: u64,
     seed: u64,
+    trace: Option<&mut systemc_ams::scope::ScopeTrace>,
 ) -> Result<(f64, u64), Box<dyn std::error::Error>> {
     let mut g = TdfGraph::new("qpsk_link");
     let bits = g.signal("bits");
@@ -217,12 +220,25 @@ fn run_link(
     }
 
     let mut c = g.elaborate()?;
+    if trace.is_some() {
+        c.set_tracing(true);
+    }
     c.run_standalone(symbols)?;
+    if let Some(sink) = trace {
+        for (source, events) in c.take_traces() {
+            sink.add_track(format!("ebn0-{eb_n0_db:.0}dB"), source, events);
+        }
+    }
     let (err, total) = *errors.lock().expect("error counter poisoned");
     Ok((err as f64 / total as f64, total))
 }
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // `--trace <path>` / `--report`: one trace track per Eb/N0 point.
+    let (scope, _rest) = systemc_ams::scope::args::scope_args()?;
+    let mut trace = systemc_ams::scope::ScopeTrace::new();
+    let mut metrics = systemc_ams::scope::MetricsRegistry::new();
+
     println!("QPSK over AWGN ({SPS} samples/symbol, carrier = {CARRIER_CYCLES_PER_SYMBOL}×symbol rate)\n");
     println!(
         "{:>10} {:>12} {:>12} {:>10}",
@@ -231,7 +247,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut rows = Vec::new();
     for &ebn0 in &[0.0, 2.0, 4.0, 6.0, 8.0] {
         let symbols = if ebn0 >= 6.0 { 120_000 } else { 30_000 };
-        let (ber, bits) = run_link(ebn0, symbols, 1)?;
+        let (ber, bits) = run_link(ebn0, symbols, 1, scope.enabled().then_some(&mut trace))?;
+        metrics.record("link.ber", ber);
+        metrics.counter_add("link.bits", bits);
         let theory = qpsk_theoretical_ber(ebn0);
         println!("{ebn0:>10.1} {ber:>12.5} {theory:>12.5} {bits:>10}");
         rows.push((ebn0, ber, theory));
@@ -248,6 +266,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
     // Waterfall: monotone decreasing.
     assert!(rows.windows(2).all(|w| w[1].1 <= w[0].1));
+
+    if scope.enabled() {
+        scope.emit(&trace, &metrics)?;
+    }
     println!("\nrf_transceiver OK (measured BER tracks ½·erfc(√(Eb/N0)))");
     Ok(())
 }

@@ -22,6 +22,8 @@
 //! | [`blocks`] | `ams-blocks` | mixed-signal block library (sources → Σ∆ → RF → power → control) |
 //! | [`wave`] | `ams-wave` | VCD/CSV tracing, spectral analysis (SNR/SINAD/THD/ENOB) |
 //! | [`exec`] | `ams-exec` | parallel execution engine: partitioner, worker pool, SPSC rings, stats |
+//! | [`sweep`] | `ams-sweep` | batched multi-scenario runs: grids, corners, Monte Carlo, reports |
+//! | [`scope`] | `ams-scope` | observability: span tracer, metrics registry, Chrome trace export |
 //!
 //! # Quickstart
 //!
@@ -68,6 +70,7 @@ pub use ams_lint as lint;
 pub use ams_lti as lti;
 pub use ams_math as math;
 pub use ams_net as net;
+pub use ams_scope as scope;
 pub use ams_sdf as sdf;
 pub use ams_sweep as sweep;
 pub use ams_wave as wave;

@@ -1,0 +1,103 @@
+//! A traced sweep must export a byte-identical Chrome trace on every
+//! run with the same seed and worker count.
+//!
+//! The exporter only serializes *simulated* time (fs → µs) and the
+//! deterministic track/span structure — never wall-clock readings — so
+//! two runs of the same spec on the same worker count must produce the
+//! same JSON text, byte for byte. This is the observability mirror of
+//! `sweep_determinism.rs`: the trace is as reproducible as the report.
+
+use systemc_ams::net::{Circuit, ElementId, IntegrationMethod, NodeId, SolverBackend};
+use systemc_ams::scope::{chrome, Phase, ScopeTrace, SpanKind};
+use systemc_ams::sweep::{NetlistSweep, SweepSpec};
+
+struct Ladder {
+    ckt: Circuit,
+    resistors: Vec<ElementId>,
+    out: NodeId,
+}
+
+fn ladder(n: usize) -> Ladder {
+    let mut ckt = Circuit::new();
+    let mut prev = ckt.node("in");
+    ckt.voltage_source("V", prev, Circuit::GROUND, 1.0).unwrap();
+    let mut resistors = Vec::new();
+    for i in 0..n {
+        let node = ckt.node(format!("n{i}"));
+        resistors.push(ckt.resistor(format!("R{i}"), prev, node, 1e3).unwrap());
+        ckt.capacitor(format!("C{i}"), node, Circuit::GROUND, 1e-9)
+            .unwrap();
+        prev = node;
+    }
+    Ladder {
+        ckt,
+        resistors,
+        out: prev,
+    }
+}
+
+fn traced_sweep(workers: usize) -> ScopeTrace {
+    let lad = ladder(8);
+    let spec = SweepSpec::monte_carlo(&[("dr", -0.2, 0.2)], 12, 0x7AC3).unwrap();
+    let resistors = lad.resistors.clone();
+    let out = lad.out;
+    let report = NetlistSweep::new(lad.ckt, IntegrationMethod::Trapezoidal)
+        .backend(SolverBackend::Sparse)
+        .fixed_step(2e-6, 4e-9)
+        .trace(true)
+        .run(
+            &spec,
+            workers,
+            &["v_out"],
+            move |c, sc| {
+                for r in &resistors {
+                    c.set_resistance(*r, 1e3 * (1.0 + sc.value("dr")))?;
+                }
+                Ok(())
+            },
+            |tr, m| m[0] = tr.voltage(out),
+        )
+        .unwrap();
+    report.trace.expect("tracing was enabled")
+}
+
+#[test]
+fn chrome_export_is_byte_identical_across_runs() {
+    for workers in [1, 3] {
+        let a = chrome::export(&traced_sweep(workers));
+        let b = chrome::export(&traced_sweep(workers));
+        assert_eq!(a, b, "workers={workers}: export text diverged");
+        // And it stays a valid Chrome trace document.
+        let events = chrome::validate(&a).expect("schema-valid export");
+        assert!(events > 0, "workers={workers}: empty export");
+    }
+}
+
+#[test]
+fn every_span_is_attributed_to_a_scenario_and_a_track() {
+    let trace = traced_sweep(2);
+    // Every Scenario begin across all tracks, exactly once per index.
+    let mut begun: Vec<u64> = trace
+        .tracks
+        .iter()
+        .flat_map(|t| &t.events)
+        .filter(|e| e.kind == SpanKind::Scenario && e.phase == Phase::Begin)
+        .map(|e| e.arg)
+        .collect();
+    begun.sort_unstable();
+    assert_eq!(begun, (0..12).collect::<Vec<u64>>());
+    // Tracks carry the coordinator/shard attribution.
+    for t in &trace.tracks {
+        assert!(
+            t.process == "coordinator" || t.process.starts_with("shard-"),
+            "unexpected track {}",
+            t.process
+        );
+    }
+    // The solver spans (per-scenario MNA work) landed on those tracks.
+    assert!(trace
+        .tracks
+        .iter()
+        .flat_map(|t| &t.events)
+        .any(|e| e.kind == SpanKind::MnaSolve));
+}
