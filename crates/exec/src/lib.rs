@@ -21,6 +21,9 @@
 //!   cluster firings, embedded-solver Newton/factorization counts, FIFO
 //!   high-water marks and per-phase wall time; [`ExecHook`] observes the
 //!   run window by window;
+//! * [`slots`] — a [`SlotPool`] counting semaphore over the worker
+//!   budget, letting admission schedulers (e.g. `ams-serve`) lease
+//!   cores to concurrent jobs without oversubscription;
 //! * [`ParallelSim`] — the façade tying it together, a drop-in analogue
 //!   of `ams_core::AmsSimulator` with bit-identical observable results.
 //!
@@ -69,11 +72,13 @@
 pub mod partition;
 pub mod pool;
 pub mod sim;
+pub mod slots;
 pub mod spsc;
 pub mod stats;
 
 pub use partition::{partition, Partition};
 pub use pool::{run_sdf_parallel, WorkerPool};
 pub use sim::{ParallelSim, DEFAULT_PIPE_CAPACITY};
+pub use slots::{SlotLease, SlotPool};
 pub use spsc::{ring, RingConsumer, RingMonitor, RingProducer};
 pub use stats::{CountingHook, ExecHook, ExecStats};

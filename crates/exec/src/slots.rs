@@ -1,0 +1,150 @@
+//! Worker-slot accounting for schedulers layered over the pool.
+//!
+//! A [`SlotPool`] is a counting semaphore over the machine's worker
+//! budget: an admission scheduler (such as `ams-serve`'s) leases `n`
+//! slots before handing a job that many threads, and the lease returns
+//! the slots when dropped — even on a panic inside the job. The pool
+//! does not own any threads itself; it only keeps concurrent jobs from
+//! oversubscribing the cores the `ams-exec` workers run on.
+
+use std::sync::{Arc, Condvar, Mutex};
+
+#[derive(Debug)]
+struct Inner {
+    total: usize,
+    available: Mutex<usize>,
+    freed: Condvar,
+}
+
+/// A counting semaphore over a fixed number of worker slots.
+#[derive(Debug, Clone)]
+pub struct SlotPool {
+    inner: Arc<Inner>,
+}
+
+impl SlotPool {
+    /// A pool of `total` slots (at least 1).
+    pub fn new(total: usize) -> SlotPool {
+        let total = total.max(1);
+        SlotPool {
+            inner: Arc::new(Inner {
+                total,
+                available: Mutex::new(total),
+                freed: Condvar::new(),
+            }),
+        }
+    }
+
+    /// The pool's capacity.
+    pub fn total(&self) -> usize {
+        self.inner.total
+    }
+
+    /// Slots currently free (advisory: may change before you act on it).
+    pub fn available(&self) -> usize {
+        *self.inner.available.lock().expect("slot pool poisoned")
+    }
+
+    /// Leases `n` slots if they are free right now, without blocking.
+    /// `n` is clamped to the pool's capacity (a request larger than the
+    /// machine could never be granted) and raised to at least 1.
+    pub fn try_acquire(&self, n: usize) -> Option<SlotLease> {
+        let n = n.clamp(1, self.inner.total);
+        let mut free = self.inner.available.lock().expect("slot pool poisoned");
+        if *free >= n {
+            *free -= n;
+            Some(SlotLease {
+                inner: self.inner.clone(),
+                n,
+            })
+        } else {
+            None
+        }
+    }
+
+    /// Leases `n` slots, blocking until they are free. Same clamping as
+    /// [`SlotPool::try_acquire`].
+    pub fn acquire(&self, n: usize) -> SlotLease {
+        let n = n.clamp(1, self.inner.total);
+        let mut free = self.inner.available.lock().expect("slot pool poisoned");
+        while *free < n {
+            free = self.inner.freed.wait(free).expect("slot pool poisoned");
+        }
+        *free -= n;
+        SlotLease {
+            inner: self.inner.clone(),
+            n,
+        }
+    }
+}
+
+/// An RAII lease of worker slots; dropping it returns them to the pool
+/// and wakes blocked acquirers.
+#[derive(Debug)]
+pub struct SlotLease {
+    inner: Arc<Inner>,
+    n: usize,
+}
+
+impl SlotLease {
+    /// Number of slots held.
+    pub fn count(&self) -> usize {
+        self.n
+    }
+}
+
+impl Drop for SlotLease {
+    fn drop(&mut self) {
+        let mut free = self.inner.available.lock().expect("slot pool poisoned");
+        *free += self.n;
+        self.inner.freed.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn leases_subtract_and_drop_returns() {
+        let pool = SlotPool::new(4);
+        assert_eq!(pool.total(), 4);
+        let a = pool.try_acquire(3).expect("3 of 4 free");
+        assert_eq!(a.count(), 3);
+        assert_eq!(pool.available(), 1);
+        assert!(pool.try_acquire(2).is_none());
+        let b = pool.try_acquire(1).expect("last slot");
+        assert_eq!(pool.available(), 0);
+        drop(a);
+        assert_eq!(pool.available(), 3);
+        drop(b);
+        assert_eq!(pool.available(), 4);
+    }
+
+    #[test]
+    fn requests_are_clamped_to_capacity() {
+        let pool = SlotPool::new(2);
+        // An oversize request is clamped, not deadlocked.
+        let lease = pool.try_acquire(100).expect("clamped to 2");
+        assert_eq!(lease.count(), 2);
+        // Zero is raised to one.
+        drop(lease);
+        assert_eq!(pool.try_acquire(0).expect("one slot").count(), 1);
+    }
+
+    #[test]
+    fn blocking_acquire_wakes_on_release() {
+        let pool = SlotPool::new(2);
+        let lease = pool.try_acquire(2).unwrap();
+        let contender = {
+            let pool = pool.clone();
+            std::thread::spawn(move || pool.acquire(2).count())
+        };
+        // The contender is parked until the lease returns.
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        drop(lease);
+        assert_eq!(contender.join().unwrap(), 2);
+        // The contender's own lease dropped inside its closure.
+        assert_eq!(pool.available(), 2);
+    }
+}

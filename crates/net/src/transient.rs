@@ -169,6 +169,22 @@ pub struct TransientSolver {
 #[derive(Debug, Clone)]
 pub struct SymbolicFactor(ams_math::SparseLu<f64>);
 
+impl SymbolicFactor {
+    /// Dimension of the factored system (number of MNA unknowns).
+    pub fn dim(&self) -> usize {
+        self.0.dim()
+    }
+
+    /// Estimated resident size in bytes — factor nonzeros (index +
+    /// value) plus per-row bookkeeping. The currency of byte-budgeted
+    /// factor caches (`ams-serve`'s topology cache), not an exact
+    /// allocation count.
+    pub fn approx_bytes(&self) -> usize {
+        self.0.factor_nnz() * (std::mem::size_of::<f64>() + std::mem::size_of::<usize>())
+            + self.0.dim() * 3 * std::mem::size_of::<usize>()
+    }
+}
+
 /// Everything the linear-path system matrix depends on: step size,
 /// effective integration rule and switch states.
 #[derive(Debug, Clone, PartialEq, Eq)]

@@ -86,6 +86,49 @@ pub fn scope_args() -> Result<(ScopeArgs, Vec<String>), String> {
     parse(std::env::args().skip(1))
 }
 
+/// Rejects leftover arguments an example did not recognize.
+///
+/// Call after the example's own argument loop has consumed everything
+/// it understands: any survivor is an unknown flag, and silently
+/// ignoring it hides typos (`--senarios 16` quietly running the
+/// default sweep). `usage` is the example's one-line synopsis, echoed
+/// in the error.
+///
+/// # Errors
+///
+/// A `"unknown argument ... \nusage: ..."` message naming the first
+/// leftover argument.
+pub fn reject_unknown(rest: &[String], usage: &str) -> Result<(), String> {
+    match rest.first() {
+        None => Ok(()),
+        Some(arg) => Err(format!("unknown argument {arg:?}\nusage: {usage}")),
+    }
+}
+
+/// [`reject_unknown`] for examples whose only non-scope flag is
+/// `--lint-only`: strips that flag, errors on anything else, and
+/// returns whether it was present.
+///
+/// # Errors
+///
+/// See [`reject_unknown`].
+pub fn lint_only_or_reject(rest: Vec<String>, usage: &str) -> Result<bool, String> {
+    let mut lint_only = false;
+    let leftover: Vec<String> = rest
+        .into_iter()
+        .filter(|a| {
+            if a == "--lint-only" {
+                lint_only = true;
+                false
+            } else {
+                true
+            }
+        })
+        .collect();
+    reject_unknown(&leftover, usage)?;
+    Ok(lint_only)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -122,6 +165,23 @@ mod tests {
     #[test]
     fn trace_requires_a_path() {
         assert!(parse(strs(&["--trace"])).is_err());
+    }
+
+    #[test]
+    fn unknown_flags_are_rejected_with_usage() {
+        assert!(reject_unknown(&[], "example").is_ok());
+        let err =
+            reject_unknown(&strs(&["--senarios", "16"]), "example [--scenarios N]").unwrap_err();
+        assert!(err.contains("--senarios"), "{err}");
+        assert!(err.contains("usage: example [--scenarios N]"), "{err}");
+    }
+
+    #[test]
+    fn lint_only_is_stripped_everything_else_rejected() {
+        assert_eq!(lint_only_or_reject(strs(&["--lint-only"]), "u"), Ok(true));
+        assert_eq!(lint_only_or_reject(vec![], "u"), Ok(false));
+        let err = lint_only_or_reject(strs(&["--lint-only", "--bogus"]), "u").unwrap_err();
+        assert!(err.contains("--bogus"), "{err}");
     }
 
     #[test]

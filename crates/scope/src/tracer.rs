@@ -51,11 +51,17 @@ pub enum SpanKind {
     BarrierWait = 11,
     /// User-defined (instant or span; `arg` free).
     Custom = 12,
+    /// One wire request handled by the `ams-serve` daemon (span; `arg`
+    /// = request ordinal on the connection).
+    ServeRequest = 13,
+    /// One `ams-serve` job from admission to completion (span; `arg` =
+    /// job sequence number).
+    ServeJob = 14,
 }
 
 impl SpanKind {
     /// All kinds, in discriminant order.
-    pub const ALL: [SpanKind; 13] = [
+    pub const ALL: [SpanKind; 15] = [
         SpanKind::DeWindow,
         SpanKind::DeltaCycle,
         SpanKind::ClusterIteration,
@@ -69,6 +75,8 @@ impl SpanKind {
         SpanKind::Scenario,
         SpanKind::BarrierWait,
         SpanKind::Custom,
+        SpanKind::ServeRequest,
+        SpanKind::ServeJob,
     ];
 
     /// Stable display name, used as the Chrome event name.
@@ -87,6 +95,8 @@ impl SpanKind {
             SpanKind::Scenario => "sweep.scenario",
             SpanKind::BarrierWait => "exec.barrier",
             SpanKind::Custom => "custom",
+            SpanKind::ServeRequest => "serve.request",
+            SpanKind::ServeJob => "serve.job",
         }
     }
 

@@ -1,0 +1,256 @@
+//! The warm topology cache: elaborated circuits, lint verdicts and
+//! symbolic LU factors, keyed by topology fingerprint.
+//!
+//! The cache is what turns the daemon from "a socket in front of
+//! `ams-sweep`" into a service worth running: the second job over a
+//! topology pays zero elaboration, zero lint and zero symbolic
+//! analysis. Three design points:
+//!
+//! * **Negative verdicts are cached too.** A topology that failed the
+//!   lint gate will fail it identically next time; re-linting a known
+//!   bad netlist on every retry is how a misbehaving client DoSes the
+//!   daemon. The rejection is stored and replayed for free.
+//! * **Byte-budget LRU.** Entries are charged an estimate of their
+//!   resident size (circuit + factor); inserting past the budget
+//!   evicts least-recently-used entries first. A single entry larger
+//!   than the whole budget is still admitted alone — refusing to cache
+//!   it would make the hot topology the one that is never warm.
+//! * **Counters, not logs.** Hits, misses, evictions, resident bytes
+//!   and lint runs are exported into the shared
+//!   [`MetricsRegistry`](ams_scope::MetricsRegistry) under `serve.*`
+//!   names — the acceptance proof that a warm job did no cold work
+//!   reads these.
+
+use crate::model::BuiltCircuit;
+use ams_net::SymbolicFactor;
+use ams_scope::MetricsRegistry;
+use std::collections::HashMap;
+
+/// One cached topology.
+#[derive(Debug, Clone)]
+pub struct CacheEntry {
+    /// The elaborated template and name→id maps.
+    pub built: BuiltCircuit,
+    /// `Some(message)` when the topology failed the lint gate — the
+    /// cached *negative* verdict. `None` means it passed.
+    pub lint_rejected: Option<String>,
+    /// Warm symbolic factor, once some job has exported one.
+    pub factor: Option<SymbolicFactor>,
+    bytes: usize,
+    stamp: u64,
+}
+
+impl CacheEntry {
+    /// A fresh entry for a linted topology.
+    pub fn new(built: BuiltCircuit, lint_rejected: Option<String>) -> CacheEntry {
+        let bytes = circuit_bytes(&built);
+        CacheEntry {
+            built,
+            lint_rejected,
+            factor: None,
+            bytes,
+            stamp: 0,
+        }
+    }
+
+    /// The entry's charged size in bytes.
+    pub fn bytes(&self) -> usize {
+        self.bytes
+    }
+}
+
+/// Rough resident size of an elaborated template: elements, node
+/// names, and the two name→id maps. An estimate — the eviction policy
+/// needs proportionality, not exactness.
+fn circuit_bytes(built: &BuiltCircuit) -> usize {
+    let names: usize = built
+        .elements
+        .keys()
+        .chain(built.nodes.keys())
+        .map(|k| k.len() + 48)
+        .sum();
+    built.circuit.element_count() * 128 + built.circuit.node_count() * 48 + names
+}
+
+/// An LRU cache over topology fingerprints with a byte budget.
+#[derive(Debug)]
+pub struct TopologyCache {
+    entries: HashMap<u64, CacheEntry>,
+    budget: usize,
+    clock: u64,
+    bytes: usize,
+    hits: u64,
+    misses: u64,
+    evictions: u64,
+    lint_runs: u64,
+}
+
+impl TopologyCache {
+    /// A cache bounded by `budget` bytes.
+    pub fn new(budget: usize) -> TopologyCache {
+        TopologyCache {
+            entries: HashMap::new(),
+            budget,
+            clock: 0,
+            bytes: 0,
+            hits: 0,
+            misses: 0,
+            evictions: 0,
+            lint_runs: 0,
+        }
+    }
+
+    /// Looks up a topology, counting a hit or miss and refreshing its
+    /// LRU stamp.
+    pub fn lookup(&mut self, fp: u64) -> Option<&CacheEntry> {
+        self.clock += 1;
+        match self.entries.get_mut(&fp) {
+            Some(e) => {
+                e.stamp = self.clock;
+                self.hits += 1;
+                Some(e)
+            }
+            None => {
+                self.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Number of resident entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Resident bytes currently charged.
+    pub fn resident_bytes(&self) -> usize {
+        self.bytes
+    }
+
+    /// Records that a lint pass actually ran (cold path only).
+    pub fn count_lint_run(&mut self) {
+        self.lint_runs += 1;
+    }
+
+    /// Inserts (or replaces) an entry, then evicts least-recently-used
+    /// entries until the budget holds. The newly inserted entry is
+    /// never evicted by its own insertion, even when it alone exceeds
+    /// the budget — the hot topology must be cacheable.
+    pub fn insert(&mut self, fp: u64, mut entry: CacheEntry) {
+        self.clock += 1;
+        entry.stamp = self.clock;
+        if let Some(old) = self.entries.insert(fp, entry) {
+            self.bytes -= old.bytes;
+        }
+        self.bytes += self.entries[&fp].bytes;
+        self.evict_to_budget(fp);
+    }
+
+    /// Attaches a warm symbolic factor to an existing entry (no-op for
+    /// an already-evicted fingerprint), recharging its size.
+    pub fn store_factor(&mut self, fp: u64, factor: SymbolicFactor) {
+        let Some(e) = self.entries.get_mut(&fp) else {
+            return;
+        };
+        if e.factor.is_some() {
+            return;
+        }
+        let extra = factor.approx_bytes();
+        e.factor = Some(factor);
+        e.bytes += extra;
+        self.bytes += extra;
+        self.evict_to_budget(fp);
+    }
+
+    fn evict_to_budget(&mut self, keep: u64) {
+        while self.bytes > self.budget && self.entries.len() > 1 {
+            let victim = self
+                .entries
+                .iter()
+                .filter(|(fp, _)| **fp != keep)
+                .min_by_key(|(_, e)| e.stamp)
+                .map(|(fp, _)| *fp);
+            let Some(fp) = victim else { break };
+            let e = self.entries.remove(&fp).expect("victim exists");
+            self.bytes -= e.bytes;
+            self.evictions += 1;
+        }
+    }
+
+    /// Exports the cache counters into `metrics` under `serve.*` names
+    /// (counters are monotonic deltas against what the registry already
+    /// holds, so exporting repeatedly is safe).
+    pub fn export_metrics(&self, metrics: &mut MetricsRegistry) {
+        for (name, v) in [
+            ("serve.cache.hits", self.hits),
+            ("serve.cache.misses", self.misses),
+            ("serve.cache.evictions", self.evictions),
+            ("serve.lint.runs", self.lint_runs),
+        ] {
+            let cur = metrics.counter(name);
+            metrics.counter_add(name, v.saturating_sub(cur));
+        }
+        metrics.gauge_set("serve.cache.bytes", self.bytes as f64);
+        metrics.gauge_set("serve.cache.entries", self.entries.len() as f64);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::JobSpec;
+
+    fn entry() -> CacheEntry {
+        CacheEntry::new(JobSpec::demo_rc(2, 0).circuit.build().unwrap(), None)
+    }
+
+    #[test]
+    fn hits_and_misses_are_counted() {
+        let mut c = TopologyCache::new(1 << 20);
+        assert!(c.lookup(42).is_none());
+        c.insert(42, entry());
+        assert!(c.lookup(42).is_some());
+        assert!(c.lookup(7).is_none());
+        let mut m = MetricsRegistry::new();
+        c.export_metrics(&mut m);
+        assert_eq!(m.counter("serve.cache.hits"), 1);
+        assert_eq!(m.counter("serve.cache.misses"), 2);
+        // Re-export does not double count.
+        c.export_metrics(&mut m);
+        assert_eq!(m.counter("serve.cache.misses"), 2);
+    }
+
+    #[test]
+    fn lru_eviction_respects_the_byte_budget() {
+        let one = entry().bytes();
+        // Room for two entries, not three.
+        let mut c = TopologyCache::new(2 * one + one / 2);
+        c.insert(1, entry());
+        c.insert(2, entry());
+        assert_eq!(c.len(), 2);
+        // Touch 1 so 2 becomes the LRU victim.
+        assert!(c.lookup(1).is_some());
+        c.insert(3, entry());
+        assert_eq!(c.len(), 2);
+        assert!(c.lookup(2).is_none(), "LRU entry evicted");
+        assert!(c.lookup(1).is_some());
+        assert!(c.lookup(3).is_some());
+        let mut m = MetricsRegistry::new();
+        c.export_metrics(&mut m);
+        assert_eq!(m.counter("serve.cache.evictions"), 1);
+        assert!(c.resident_bytes() <= 2 * one + one / 2);
+    }
+
+    #[test]
+    fn an_oversized_entry_is_still_admitted_alone() {
+        let mut c = TopologyCache::new(1);
+        c.insert(9, entry());
+        assert_eq!(c.len(), 1);
+        assert!(c.lookup(9).is_some());
+    }
+}

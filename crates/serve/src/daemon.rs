@@ -1,0 +1,95 @@
+//! The TCP front end: accept loop, connection threads, graceful drain.
+//!
+//! Pure `std::net` — no async runtime. The listener runs nonblocking
+//! so the accept loop can poll two shutdown signals between accepts:
+//! the process-level stop flag (SIGTERM, see [`crate::signal`]) and
+//! the protocol-level `shutdown` op. Either way the sequence is the
+//! same: stop accepting, reject new submits, let queued and running
+//! jobs finish ([`ServeHandle::shutdown`] + [`ServeHandle::join`]),
+//! then return so the process can exit 0.
+//!
+//! Each connection gets a thread reading newline-delimited requests
+//! and writing newline-delimited responses ([`protocol`]); a slow or
+//! blocked client never stalls the acceptor or other connections.
+
+use crate::handle::ServeHandle;
+use crate::protocol;
+use std::io::{BufRead, BufReader, Write};
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::Duration;
+
+/// How often the accept loop polls the stop signals while idle.
+const ACCEPT_POLL: Duration = Duration::from_millis(20);
+
+/// Serves requests on `listener` until `stop` becomes true or an
+/// authorized `shutdown` request arrives, then drains and returns.
+///
+/// # Errors
+///
+/// Propagates listener configuration failures; per-connection I/O
+/// errors only end that connection.
+pub fn serve(
+    handle: &ServeHandle,
+    listener: TcpListener,
+    stop: &'static AtomicBool,
+) -> std::io::Result<()> {
+    listener.set_nonblocking(true)?;
+    loop {
+        if stop.load(Ordering::Acquire) || handle.is_draining() {
+            break;
+        }
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                let handle = handle.clone();
+                std::thread::Builder::new()
+                    .name("serve-conn".into())
+                    .spawn(move || connection(&handle, stream, stop))
+                    .expect("spawn connection thread");
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(ACCEPT_POLL);
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(e),
+        }
+    }
+    handle.shutdown();
+    handle.join();
+    Ok(())
+}
+
+/// One connection: read request lines, write response lines. Returns
+/// on EOF, I/O error, or after answering a `shutdown` request (the
+/// accept loop notices `is_draining` on its next poll).
+fn connection(handle: &ServeHandle, stream: TcpStream, stop: &'static AtomicBool) {
+    // Blocking I/O on the connection itself; `result` ops legitimately
+    // park until the job finishes.
+    if stream.set_nonblocking(false).is_err() {
+        return;
+    }
+    let mut writer = match stream.try_clone() {
+        Ok(w) => w,
+        Err(_) => return,
+    };
+    let reader = BufReader::new(stream);
+    for line in reader.lines() {
+        let Ok(line) = line else { return };
+        if line.trim().is_empty() {
+            continue;
+        }
+        let reply = protocol::handle_request(handle, &line);
+        if writer
+            .write_all(reply.line.as_bytes())
+            .and_then(|()| writer.write_all(b"\n"))
+            .and_then(|()| writer.flush())
+            .is_err()
+        {
+            return;
+        }
+        if reply.shutdown {
+            stop.store(true, Ordering::Release);
+            return;
+        }
+    }
+}

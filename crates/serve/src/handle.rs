@@ -1,0 +1,746 @@
+//! The in-process service: [`ServeHandle`].
+//!
+//! One dispatcher thread owns admission: it repeatedly asks the WFQ
+//! scheduler for the next dispatchable job, leases worker slots from
+//! the shared [`SlotPool`](ams_exec::SlotPool), and spawns a job
+//! thread that runs the sweep. All mutable state lives behind one
+//! mutex ([`Core`]) with one condvar for every wake-up (dispatcher,
+//! `wait` callers, drain) — the daemon's concurrency is deliberately
+//! boring.
+//!
+//! Authority model: the handle mints three kinds of unforgeable tokens
+//! from a SplitMix64 stream over the config seed — the admin token
+//! (tenant registration, stats, shutdown), tenant tokens (submitting),
+//! and job tokens (status/poll/wait/cancel). Job operations require
+//! the *pair* (tenant token, job token): a job token alone is not
+//! enough, and a tenant can never address another tenant's job even by
+//! guessing its token.
+
+use crate::cache::{CacheEntry, TopologyCache};
+use crate::model::{JobSpec, RunOpts};
+use crate::sched::{wfq_pick, ServeConfig, TenantConfig, TenantState};
+use crate::ServeError;
+use ams_exec::{SlotLease, SlotPool};
+use ams_lint::{lint_circuit, LintPolicy};
+use ams_scope::MetricsRegistry;
+use ams_sweep::{CancelToken, SweepReport};
+use std::collections::{BTreeMap, HashMap};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::thread::JoinHandle;
+
+/// Lifecycle of a submitted job.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum JobState {
+    /// Waiting for admission.
+    Queued,
+    /// Executing on the worker pool.
+    Running,
+    /// Completed; the report is available.
+    Done,
+    /// Ended in failure; the payload is the rendered cause.
+    Failed(String),
+    /// Cancelled before completion (queued or mid-run).
+    Cancelled,
+}
+
+impl JobState {
+    /// Whether the job will never change state again.
+    pub fn is_terminal(&self) -> bool {
+        !matches!(self, JobState::Queued | JobState::Running)
+    }
+
+    /// Stable wire tag.
+    pub fn tag(&self) -> &'static str {
+        match self {
+            JobState::Queued => "queued",
+            JobState::Running => "running",
+            JobState::Done => "done",
+            JobState::Failed(_) => "failed",
+            JobState::Cancelled => "cancelled",
+        }
+    }
+}
+
+/// One streamed result event: `(global scenario index, metric row)`,
+/// in completion order.
+pub type ScenarioEvent = (usize, Vec<f64>);
+
+/// A point-in-time job status snapshot.
+#[derive(Debug, Clone)]
+pub struct JobStatus {
+    /// Current lifecycle state.
+    pub state: JobState,
+    /// Scenarios completed so far (streamed).
+    pub completed: usize,
+    /// Total scenarios in the job.
+    pub total: usize,
+}
+
+/// SplitMix64 over a secret seed: the token mint. Tokens are 128 bits
+/// of stream output rendered as hex — unguessable without the seed,
+/// which never leaves the daemon.
+#[derive(Debug)]
+struct TokenMint {
+    state: u64,
+}
+
+impl TokenMint {
+    fn new(seed: u64) -> TokenMint {
+        TokenMint { state: seed }
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    fn token(&mut self, prefix: &str) -> String {
+        format!("{prefix}-{:016x}{:016x}", self.next_u64(), self.next_u64())
+    }
+}
+
+#[derive(Debug)]
+struct JobRecord {
+    /// Owning tenant's *name* (resolved at submit).
+    tenant: String,
+    spec: JobSpec,
+    scenarios: u64,
+    shards: usize,
+    state: JobState,
+    /// Streamed `(scenario index, metric row)` events, arrival order.
+    events: Vec<(usize, Vec<f64>)>,
+    report: Option<SweepReport>,
+    cancel: CancelToken,
+}
+
+struct Core {
+    mint: TokenMint,
+    tenants_by_token: HashMap<String, String>,
+    tenants: BTreeMap<String, TenantState>,
+    jobs: HashMap<String, JobRecord>,
+    cache: TopologyCache,
+    metrics: MetricsRegistry,
+    draining: bool,
+    running_jobs: usize,
+}
+
+impl Core {
+    fn tenant_name(&self, token: &str) -> Result<String, ServeError> {
+        self.tenants_by_token
+            .get(token)
+            .cloned()
+            .ok_or(ServeError::Auth)
+    }
+
+    /// Resolves a (tenant token, job token) pair, enforcing the
+    /// authority boundary: the job must exist *and* belong to the
+    /// tenant the first token names.
+    fn job_for(&self, tenant_token: &str, job_token: &str) -> Result<&JobRecord, ServeError> {
+        let name = self.tenant_name(tenant_token)?;
+        match self.jobs.get(job_token) {
+            Some(rec) if rec.tenant == name => Ok(rec),
+            _ => Err(ServeError::Auth),
+        }
+    }
+
+    fn queued_total(&self) -> usize {
+        self.tenants.values().map(|t| t.queue.len()).sum()
+    }
+}
+
+struct Shared {
+    core: Mutex<Core>,
+    cv: Condvar,
+    slots: SlotPool,
+    dispatcher: Mutex<Option<JoinHandle<()>>>,
+}
+
+/// A handle on a running service instance. Cheap to clone; all clones
+/// address the same daemon state.
+#[derive(Clone)]
+pub struct ServeHandle {
+    shared: Arc<Shared>,
+    admin: String,
+}
+
+impl std::fmt::Debug for ServeHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ServeHandle").finish_non_exhaustive()
+    }
+}
+
+impl ServeHandle {
+    /// Starts the service: seeds the token mint, registers the
+    /// configured tenants, and spawns the dispatcher thread.
+    pub fn start(config: ServeConfig) -> ServeHandle {
+        let mut mint = TokenMint::new(config.seed);
+        let admin = mint.token("admin");
+        let mut core = Core {
+            mint,
+            tenants_by_token: HashMap::new(),
+            tenants: BTreeMap::new(),
+            jobs: HashMap::new(),
+            cache: TopologyCache::new(config.cache_bytes),
+            metrics: MetricsRegistry::new(),
+            draining: false,
+            running_jobs: 0,
+        };
+        for t in &config.tenants {
+            let token = core.mint.token("tenant");
+            core.tenants_by_token.insert(token, t.name.clone());
+            core.tenants
+                .insert(t.name.clone(), TenantState::new(t.clone()));
+        }
+        let shared = Arc::new(Shared {
+            core: Mutex::new(core),
+            cv: Condvar::new(),
+            slots: SlotPool::new(config.workers),
+            dispatcher: Mutex::new(None),
+        });
+        let dispatcher = {
+            let shared = shared.clone();
+            std::thread::Builder::new()
+                .name("serve-dispatch".into())
+                .spawn(move || dispatch_loop(&shared))
+                .expect("spawn dispatcher")
+        };
+        *shared.dispatcher.lock().expect("dispatcher slot") = Some(dispatcher);
+        ServeHandle { shared, admin }
+    }
+
+    /// The admin capability minted at startup. The daemon owner prints
+    /// or configures this out of band; it authorizes tenant
+    /// registration, stats and shutdown.
+    pub fn admin_token(&self) -> &str {
+        &self.admin
+    }
+
+    /// Registers a tenant and mints its submit capability.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Auth`] for a bad admin token,
+    /// [`ServeError::Invalid`] for a duplicate tenant name,
+    /// [`ServeError::Shutdown`] while draining.
+    pub fn register_tenant(&self, admin: &str, config: TenantConfig) -> Result<String, ServeError> {
+        if admin != self.admin {
+            return Err(ServeError::Auth);
+        }
+        let mut core = self.lock();
+        if core.draining {
+            return Err(ServeError::Shutdown);
+        }
+        if core.tenants.contains_key(&config.name) {
+            return Err(ServeError::invalid(format!(
+                "tenant {:?} already registered",
+                config.name
+            )));
+        }
+        let token = core.mint.token("tenant");
+        core.tenants_by_token
+            .insert(token.clone(), config.name.clone());
+        core.tenants
+            .insert(config.name.clone(), TenantState::new(config));
+        Ok(token)
+    }
+
+    /// The tenant token minted at startup for a tenant that was listed
+    /// in [`ServeConfig::tenants`] (test convenience — over the wire,
+    /// tokens come back from registration).
+    pub fn tenant_token(&self, name: &str) -> Option<String> {
+        let core = self.lock();
+        core.tenants_by_token
+            .iter()
+            .find(|(_, n)| n.as_str() == name)
+            .map(|(t, _)| t.clone())
+    }
+
+    /// Submits a job, returning its unforgeable job token. The call
+    /// never blocks on a full queue: over-depth submits fail fast with
+    /// [`ServeError::Backpressure`].
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Auth`] (bad tenant token),
+    /// [`ServeError::Invalid`] (malformed job),
+    /// [`ServeError::Quota`] (job can never fit the tenant's scenario
+    /// budget), [`ServeError::Backpressure`], [`ServeError::Shutdown`].
+    pub fn submit(&self, tenant_token: &str, spec: JobSpec) -> Result<String, ServeError> {
+        // Validate the sweep declaration before touching any state.
+        spec.sweep.to_spec()?;
+        let scenarios = spec.scenario_count() as u64;
+        let mut core = self.lock();
+        if core.draining {
+            return Err(ServeError::Shutdown);
+        }
+        let name = core.tenant_name(tenant_token)?;
+        let tenant = core.tenants.get_mut(&name).expect("tenant state");
+        if scenarios > tenant.config.scenario_budget {
+            return Err(ServeError::Quota(format!(
+                "job has {scenarios} scenarios, tenant budget is {}",
+                tenant.config.scenario_budget
+            )));
+        }
+        if tenant.queue.len() >= tenant.config.max_queued {
+            return Err(ServeError::Backpressure);
+        }
+        let shards = spec.workers.clamp(1, tenant.config.max_concurrent_shards);
+        let token = {
+            let t = core.mint.token("job");
+            core.jobs.insert(
+                t.clone(),
+                JobRecord {
+                    tenant: name.clone(),
+                    spec,
+                    scenarios,
+                    shards,
+                    state: JobState::Queued,
+                    events: Vec::new(),
+                    report: None,
+                    cancel: CancelToken::new(),
+                },
+            );
+            t
+        };
+        core.tenants
+            .get_mut(&name)
+            .expect("tenant state")
+            .queue
+            .push_back(token.clone());
+        core.metrics.counter_add("serve.jobs.submitted", 1);
+        drop(core);
+        self.shared.cv.notify_all();
+        Ok(token)
+    }
+
+    /// Snapshot of a job's state and progress.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Auth`] unless the (tenant, job) pair matches.
+    pub fn status(&self, tenant_token: &str, job_token: &str) -> Result<JobStatus, ServeError> {
+        let core = self.lock();
+        let rec = core.job_for(tenant_token, job_token)?;
+        Ok(JobStatus {
+            state: rec.state.clone(),
+            completed: rec.events.len(),
+            total: rec.scenarios as usize,
+        })
+    }
+
+    /// Streaming delivery: per-scenario `(index, metric row)` events
+    /// from cursor `from` onward, plus the current status. Events are
+    /// in completion order; a client polls with its last cursor to
+    /// consume the stream incrementally while the job runs.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Auth`] unless the (tenant, job) pair matches.
+    pub fn poll(
+        &self,
+        tenant_token: &str,
+        job_token: &str,
+        from: usize,
+    ) -> Result<(Vec<ScenarioEvent>, JobStatus), ServeError> {
+        let core = self.lock();
+        let rec = core.job_for(tenant_token, job_token)?;
+        let events = rec.events[from.min(rec.events.len())..].to_vec();
+        Ok((
+            events,
+            JobStatus {
+                state: rec.state.clone(),
+                completed: rec.events.len(),
+                total: rec.scenarios as usize,
+            },
+        ))
+    }
+
+    /// Blocks until the job reaches a terminal state and returns its
+    /// report.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Auth`], [`ServeError::Failed`] with the rendered
+    /// cause, or [`ServeError::Cancelled`].
+    pub fn wait(&self, tenant_token: &str, job_token: &str) -> Result<SweepReport, ServeError> {
+        let mut core = self.lock();
+        loop {
+            let rec = core.job_for(tenant_token, job_token)?;
+            match &rec.state {
+                JobState::Done => {
+                    return Ok(rec.report.clone().expect("done job has a report"));
+                }
+                JobState::Failed(msg) => return Err(ServeError::Failed(msg.clone())),
+                JobState::Cancelled => return Err(ServeError::Cancelled),
+                JobState::Queued | JobState::Running => {
+                    core = self.shared.cv.wait(core).expect("serve core poisoned");
+                }
+            }
+        }
+    }
+
+    /// Cancels a job. A queued job is withdrawn immediately; a running
+    /// job observes its token at the next scenario boundary, stops,
+    /// and frees its worker slots. Cancelling a terminal job is a
+    /// no-op.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Auth`] unless the (tenant, job) pair matches.
+    pub fn cancel(&self, tenant_token: &str, job_token: &str) -> Result<(), ServeError> {
+        let mut core = self.lock();
+        let tenant = core.job_for(tenant_token, job_token)?.tenant.clone();
+        let rec = core.jobs.get_mut(job_token).expect("job exists");
+        match rec.state {
+            JobState::Queued => {
+                rec.state = JobState::Cancelled;
+                rec.cancel.cancel();
+                let t = core.tenants.get_mut(&tenant).expect("tenant state");
+                t.queue.retain(|j| j != job_token);
+                core.metrics.counter_add("serve.jobs.cancelled", 1);
+            }
+            JobState::Running => rec.cancel.cancel(),
+            _ => {}
+        }
+        drop(core);
+        self.shared.cv.notify_all();
+        Ok(())
+    }
+
+    /// A snapshot of the service metrics (`serve.*` counters and
+    /// gauges, including the topology-cache accounting).
+    pub fn metrics(&self) -> MetricsRegistry {
+        let mut core = self.lock();
+        let queued = core.queued_total() as f64;
+        let running = core.running_jobs as f64;
+        let Core { cache, metrics, .. } = &mut *core;
+        cache.export_metrics(metrics);
+        metrics.gauge_set("serve.queue.depth", queued);
+        metrics.gauge_set("serve.jobs.running", running);
+        metrics.clone()
+    }
+
+    /// Begins draining: new submits and registrations are rejected,
+    /// queued and running jobs complete normally. Idempotent.
+    pub fn shutdown(&self) {
+        self.lock().draining = true;
+        self.shared.cv.notify_all();
+    }
+
+    /// Whether [`ServeHandle::shutdown`] has been called.
+    pub fn is_draining(&self) -> bool {
+        self.lock().draining
+    }
+
+    /// Waits for the drain to finish (dispatcher exited, all jobs
+    /// terminal). Call after [`ServeHandle::shutdown`]; joining without
+    /// draining first would block forever, so this panics if called
+    /// while accepting.
+    pub fn join(&self) {
+        assert!(self.is_draining(), "join() requires shutdown() first");
+        let handle = self
+            .shared
+            .dispatcher
+            .lock()
+            .expect("dispatcher slot")
+            .take();
+        if let Some(h) = handle {
+            h.join().expect("dispatcher panicked");
+        }
+    }
+
+    fn lock(&self) -> MutexGuard<'_, Core> {
+        self.shared.core.lock().expect("serve core poisoned")
+    }
+}
+
+/// One admission decision, handed from the dispatcher to a job thread.
+struct Dispatch {
+    job_token: String,
+    spec: JobSpec,
+    cancel: CancelToken,
+    lease: SlotLease,
+}
+
+fn dispatch_loop(shared: &Arc<Shared>) {
+    loop {
+        let dispatch = {
+            let mut core = shared.core.lock().expect("serve core poisoned");
+            loop {
+                if core.draining && core.queued_total() == 0 && core.running_jobs == 0 {
+                    return;
+                }
+                if let Some(d) = try_dispatch(&mut core, &shared.slots) {
+                    break d;
+                }
+                core = shared.cv.wait(core).expect("serve core poisoned");
+            }
+        };
+        let shared = shared.clone();
+        std::thread::Builder::new()
+            .name("serve-job".into())
+            .spawn(move || run_job(&shared, dispatch))
+            .expect("spawn job thread");
+    }
+}
+
+/// The WFQ admission step, under the core lock. Returns `None` when
+/// nothing can dispatch right now (empty queues, quota-blocked
+/// tenants, or — head-of-line — the winner's slots are not free yet).
+fn try_dispatch(core: &mut Core, slots: &SlotPool) -> Option<Dispatch> {
+    // Tenants whose head job fits their own quota compete; the WFQ
+    // winner among them is the only one allowed to take slots (no
+    // queue-jumping past a slot-starved winner by design).
+    let eligible = core.tenants.values().filter(|t| {
+        t.queue.front().is_some_and(|job| {
+            core.jobs
+                .get(job)
+                .is_some_and(|rec| t.fits_quota(rec.scenarios, rec.shards))
+        })
+    });
+    let winner = wfq_pick(eligible)?.config.name.clone();
+    let job_token = core.tenants[&winner].queue.front().expect("head").clone();
+    let (scenarios, shards) = {
+        let rec = &core.jobs[&job_token];
+        (rec.scenarios, rec.shards)
+    };
+    let lease = slots.try_acquire(shards)?;
+    let tenant = core.tenants.get_mut(&winner).expect("tenant state");
+    tenant.queue.pop_front();
+    tenant.charge(scenarios, lease.count());
+    core.running_jobs += 1;
+    let rec = core.jobs.get_mut(&job_token).expect("job exists");
+    rec.state = JobState::Running;
+    rec.shards = lease.count();
+    Some(Dispatch {
+        job_token,
+        spec: rec.spec.clone(),
+        cancel: rec.cancel.clone(),
+        lease,
+    })
+}
+
+/// Runs one admitted job to a terminal state. Owns the slot lease for
+/// the duration; dropping it (normal return or panic) frees the slots.
+fn run_job(shared: &Arc<Shared>, dispatch: Dispatch) {
+    let Dispatch {
+        job_token,
+        spec,
+        cancel,
+        lease,
+    } = dispatch;
+    let fp = spec.fingerprint();
+    let outcome = execute(shared, &job_token, &spec, fp, &cancel, lease.count());
+    let mut core = shared.core.lock().expect("serve core poisoned");
+    let rec = core.jobs.get_mut(&job_token).expect("job exists");
+    let (scenarios, shards, tenant) = (rec.scenarios, rec.shards, rec.tenant.clone());
+    match outcome {
+        Ok(report) => {
+            let totals = report.totals();
+            core.metrics
+                .counter_add("serve.lu.symbolic_analyses", totals.solve.symbolic_analyses);
+            core.metrics
+                .counter_add("serve.lu.numeric_refactors", totals.solve.numeric_refactors);
+            core.metrics.counter_add("serve.jobs.completed", 1);
+            let rec = core.jobs.get_mut(&job_token).expect("job exists");
+            rec.report = Some(report);
+            rec.state = JobState::Done;
+        }
+        Err(ServeError::Cancelled) => {
+            core.metrics.counter_add("serve.jobs.cancelled", 1);
+            core.jobs.get_mut(&job_token).expect("job exists").state = JobState::Cancelled;
+        }
+        Err(e) => {
+            core.metrics.counter_add("serve.jobs.failed", 1);
+            core.jobs.get_mut(&job_token).expect("job exists").state =
+                JobState::Failed(e.to_string());
+        }
+    }
+    core.tenants
+        .get_mut(&tenant)
+        .expect("tenant state")
+        .release(scenarios, shards);
+    core.running_jobs -= 1;
+    drop(core);
+    drop(lease);
+    shared.cv.notify_all();
+}
+
+/// The cache-aware execution path: resolve the topology (warm or
+/// cold), then run the sweep with streaming progress.
+fn execute(
+    shared: &Arc<Shared>,
+    job_token: &str,
+    spec: &JobSpec,
+    fp: u64,
+    cancel: &CancelToken,
+    workers: usize,
+) -> Result<SweepReport, ServeError> {
+    let sweep_spec = spec.sweep.to_spec()?;
+
+    // Resolve the topology against the cache.
+    let cached = {
+        let mut core = shared.core.lock().expect("serve core poisoned");
+        core.cache
+            .lookup(fp)
+            .map(|e| (e.built.clone(), e.lint_rejected.clone(), e.factor.clone()))
+    };
+    let (built, hint, cold) = match cached {
+        Some((_, Some(msg), _)) => {
+            return Err(ServeError::Failed(format!("lint rejected (cached): {msg}")));
+        }
+        Some((built, None, factor)) => (built, factor, false),
+        None => {
+            // Cold: elaborate and lint off-lock, then publish the
+            // verdict (positive or negative) for every future job.
+            let built = spec.circuit.build()?;
+            let report = lint_circuit("serve", &built.circuit);
+            let policy = LintPolicy::default();
+            let denied = policy.denied(&report);
+            let rejection = (!denied.is_empty()).then(|| {
+                denied
+                    .iter()
+                    .map(|d| d.to_string())
+                    .collect::<Vec<_>>()
+                    .join("; ")
+            });
+            let mut core = shared.core.lock().expect("serve core poisoned");
+            core.cache.count_lint_run();
+            core.cache
+                .insert(fp, CacheEntry::new(built.clone(), rejection.clone()));
+            drop(core);
+            if let Some(msg) = rejection {
+                return Err(ServeError::Failed(format!("lint rejected: {msg}")));
+            }
+            (built, None, true)
+        }
+    };
+
+    let prepared = spec.prepare_with(built)?;
+    let progress: ams_sweep::ProgressFn = {
+        let shared = shared.clone();
+        let token = job_token.to_string();
+        Arc::new(move |index, row: &[f64]| {
+            let mut core = shared.core.lock().expect("serve core poisoned");
+            core.metrics.counter_add("serve.scenarios.completed", 1);
+            if let Some(rec) = core.jobs.get_mut(&token) {
+                rec.events.push((index, row.to_vec()));
+            }
+            drop(core);
+            shared.cv.notify_all();
+        })
+    };
+    let sink: ams_sweep::FactorSink = Arc::new(Mutex::new(None));
+    let result = prepared.run(
+        &sweep_spec,
+        workers,
+        RunOpts {
+            pre_linted: true,
+            symbolic_hint: hint,
+            cancel: Some(cancel.clone()),
+            progress: Some(progress),
+            factor_sink: cold.then(|| sink.clone()),
+        },
+    );
+
+    // Publish the factor scenario 0 exported, even when the run was
+    // later cancelled — the analysis is valid and paid for.
+    if cold {
+        if let Some(factor) = sink.lock().expect("factor sink poisoned").take() {
+            let mut core = shared.core.lock().expect("serve core poisoned");
+            core.cache.store_factor(fp, factor);
+        }
+    }
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn token_mint_is_deterministic_per_seed_and_distinct() {
+        let mut a = TokenMint::new(7);
+        let mut b = TokenMint::new(7);
+        let t1 = a.token("x");
+        assert_eq!(t1, b.token("x"));
+        assert_ne!(t1, a.token("x"));
+        let mut c = TokenMint::new(8);
+        assert_ne!(c.token("x"), t1);
+    }
+
+    #[test]
+    fn end_to_end_submit_wait() {
+        let handle = ServeHandle::start(ServeConfig {
+            workers: 2,
+            tenants: vec![TenantConfig::named("t")],
+            ..ServeConfig::default()
+        });
+        let tenant = handle.tenant_token("t").unwrap();
+        let job = handle.submit(&tenant, JobSpec::demo_rc(4, 3)).unwrap();
+        let report = handle.wait(&tenant, &job).unwrap();
+        assert_eq!(report.scenarios.len(), 4);
+        let status = handle.status(&tenant, &job).unwrap();
+        assert_eq!(status.state, JobState::Done);
+        assert_eq!(status.completed, 4);
+        // Streaming covered every scenario exactly once.
+        let (events, _) = handle.poll(&tenant, &job, 0).unwrap();
+        let mut idx: Vec<usize> = events.iter().map(|(i, _)| *i).collect();
+        idx.sort_unstable();
+        assert_eq!(idx, vec![0, 1, 2, 3]);
+        handle.shutdown();
+        handle.join();
+    }
+
+    #[test]
+    fn authority_pairs_are_enforced() {
+        let handle = ServeHandle::start(ServeConfig {
+            workers: 1,
+            tenants: vec![TenantConfig::named("a"), TenantConfig::named("b")],
+            ..ServeConfig::default()
+        });
+        let ta = handle.tenant_token("a").unwrap();
+        let tb = handle.tenant_token("b").unwrap();
+        let job = handle.submit(&ta, JobSpec::demo_rc(2, 0)).unwrap();
+        // Tenant b cannot address tenant a's job, even with the real
+        // job token; nor do forged tokens resolve.
+        assert!(matches!(handle.status(&tb, &job), Err(ServeError::Auth)));
+        assert!(matches!(
+            handle.status("tenant-feedbeef", &job),
+            Err(ServeError::Auth)
+        ));
+        assert!(matches!(
+            handle.status(&ta, "job-0000000000000000"),
+            Err(ServeError::Auth)
+        ));
+        assert!(matches!(
+            handle.register_tenant("admin-nope", TenantConfig::named("c")),
+            Err(ServeError::Auth)
+        ));
+        assert!(handle.wait(&ta, &job).is_ok());
+        handle.shutdown();
+        handle.join();
+    }
+
+    #[test]
+    fn draining_rejects_new_work_and_finishes_old() {
+        let handle = ServeHandle::start(ServeConfig {
+            workers: 1,
+            tenants: vec![TenantConfig::named("t")],
+            ..ServeConfig::default()
+        });
+        let tenant = handle.tenant_token("t").unwrap();
+        let job = handle.submit(&tenant, JobSpec::demo_rc(3, 9)).unwrap();
+        handle.shutdown();
+        assert!(matches!(
+            handle.submit(&tenant, JobSpec::demo_rc(1, 0)),
+            Err(ServeError::Shutdown)
+        ));
+        // The pre-drain job still completes.
+        assert!(handle.wait(&tenant, &job).is_ok());
+        handle.join();
+    }
+}

@@ -1,0 +1,207 @@
+//! Admission control: tenant quotas and weighted fair queuing.
+//!
+//! The daemon multiplexes one machine across tenants. Admission has
+//! two layers:
+//!
+//! * **Quotas** ([`TenantConfig`]) bound what one tenant can ask for:
+//!   queue depth (excess submits get immediate backpressure, the
+//!   acceptor never blocks), concurrent worker shards, and in-flight
+//!   scenarios (a huge job does not starve the tenant's own small
+//!   ones — or anyone else).
+//! * **Weighted fair queuing** picks *which* tenant dispatches next:
+//!   each tenant accrues virtual time in proportion to the scenarios
+//!   it dispatched divided by its weight; the backlogged tenant with
+//!   the smallest virtual time wins (ties break on name, so scheduling
+//!   is deterministic). Head-of-line blocking is deliberate: when the
+//!   winner's job cannot take its worker slots yet, nobody jumps the
+//!   queue — cheap jobs cannot starve an expensive one forever.
+
+use std::collections::VecDeque;
+
+/// Per-tenant admission quotas and fair-share weight.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TenantConfig {
+    /// Tenant name (unique; also the WFQ tiebreaker).
+    pub name: String,
+    /// Fair-share weight: a tenant with twice the weight accrues
+    /// virtual time half as fast, so it dispatches twice the scenarios
+    /// under contention. Clamped to ≥ 1.
+    pub weight: u64,
+    /// Maximum jobs waiting in the tenant's queue; further submits get
+    /// [`ServeError::Backpressure`](crate::ServeError::Backpressure).
+    pub max_queued: usize,
+    /// Maximum worker shards the tenant's running jobs may hold at
+    /// once; a job's request is clamped to this.
+    pub max_concurrent_shards: usize,
+    /// Maximum scenarios the tenant may have in flight across running
+    /// jobs; an over-budget job waits in queue until running work
+    /// completes.
+    pub scenario_budget: u64,
+}
+
+impl TenantConfig {
+    /// A tenant with default quotas (weight 1, 16 queued, 4 shards,
+    /// 4096 in-flight scenarios).
+    pub fn named(name: impl Into<String>) -> TenantConfig {
+        TenantConfig {
+            name: name.into(),
+            weight: 1,
+            max_queued: 16,
+            max_concurrent_shards: 4,
+            scenario_budget: 4096,
+        }
+    }
+}
+
+/// Daemon-wide configuration.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Worker slots shared by all running jobs (the
+    /// [`SlotPool`](ams_exec::SlotPool) capacity).
+    pub workers: usize,
+    /// Topology-cache byte budget.
+    pub cache_bytes: usize,
+    /// Secret seed for the token mint. A fixed default is fine for
+    /// tests; a real deployment should pass something unpredictable.
+    pub seed: u64,
+    /// Tenants registered at startup (more can be added via the admin
+    /// `hello` op).
+    pub tenants: Vec<TenantConfig>,
+}
+
+impl Default for ServeConfig {
+    fn default() -> ServeConfig {
+        ServeConfig {
+            workers: 4,
+            cache_bytes: 64 << 20,
+            seed: 0xA55_5EED,
+            tenants: Vec::new(),
+        }
+    }
+}
+
+/// Scheduler-side state of one tenant.
+#[derive(Debug)]
+pub(crate) struct TenantState {
+    pub config: TenantConfig,
+    /// Job tokens waiting to dispatch, FIFO within the tenant.
+    pub queue: VecDeque<String>,
+    /// WFQ virtual time.
+    pub vtime: u64,
+    /// Worker shards currently held by running jobs.
+    pub shards_in_flight: usize,
+    /// Scenarios currently held by running jobs.
+    pub scenarios_in_flight: u64,
+}
+
+impl TenantState {
+    pub fn new(mut config: TenantConfig) -> TenantState {
+        config.weight = config.weight.max(1);
+        config.max_concurrent_shards = config.max_concurrent_shards.max(1);
+        TenantState {
+            config,
+            queue: VecDeque::new(),
+            vtime: 0,
+            shards_in_flight: 0,
+            scenarios_in_flight: 0,
+        }
+    }
+
+    /// Whether a head-of-line job wanting `scenarios` scenarios and
+    /// `shards` worker shards fits the tenant's own quota right now.
+    pub fn fits_quota(&self, scenarios: u64, shards: usize) -> bool {
+        self.shards_in_flight + shards <= self.config.max_concurrent_shards
+            && self.scenarios_in_flight + scenarios <= self.config.scenario_budget
+    }
+
+    /// Charges a dispatch: WFQ virtual time plus in-flight quota.
+    pub fn charge(&mut self, scenarios: u64, shards: usize) {
+        self.vtime += (scenarios.max(1) * 1000) / self.config.weight;
+        self.shards_in_flight += shards;
+        self.scenarios_in_flight += scenarios;
+    }
+
+    /// Releases a completed/cancelled job's in-flight quota.
+    pub fn release(&mut self, scenarios: u64, shards: usize) {
+        self.shards_in_flight = self.shards_in_flight.saturating_sub(shards);
+        self.scenarios_in_flight = self.scenarios_in_flight.saturating_sub(scenarios);
+    }
+}
+
+/// Picks the backlogged tenant with the smallest (vtime, name) — the
+/// WFQ winner — among `tenants`. Returns its name.
+pub(crate) fn wfq_pick<'a>(
+    tenants: impl Iterator<Item = &'a TenantState>,
+) -> Option<&'a TenantState> {
+    tenants.filter(|t| !t.queue.is_empty()).min_by(|a, b| {
+        a.vtime
+            .cmp(&b.vtime)
+            .then_with(|| a.config.name.cmp(&b.config.name))
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tenant(name: &str, weight: u64) -> TenantState {
+        let mut t = TenantState::new(TenantConfig {
+            weight,
+            ..TenantConfig::named(name)
+        });
+        t.queue.push_back(format!("job-{name}"));
+        t
+    }
+
+    #[test]
+    fn wfq_shares_in_proportion_to_weight() {
+        // Tenant "b" has double weight: over many dispatches of equal
+        // jobs it should win about twice as often.
+        let mut a = tenant("a", 1);
+        let mut b = tenant("b", 2);
+        let (mut wins_a, mut wins_b) = (0, 0);
+        for _ in 0..300 {
+            let winner = wfq_pick([&a, &b].into_iter()).unwrap().config.name.clone();
+            if winner == "a" {
+                wins_a += 1;
+                a.charge(10, 1);
+                a.release(10, 1);
+            } else {
+                wins_b += 1;
+                b.charge(10, 1);
+                b.release(10, 1);
+            }
+        }
+        assert_eq!(wins_a + wins_b, 300);
+        assert_eq!(wins_b, 2 * wins_a, "2:1 weight ⇒ exactly 2:1 dispatches");
+    }
+
+    #[test]
+    fn ties_break_deterministically_by_name() {
+        let a = tenant("alpha", 1);
+        let b = tenant("beta", 1);
+        assert_eq!(wfq_pick([&b, &a].into_iter()).unwrap().config.name, "alpha");
+    }
+
+    #[test]
+    fn quotas_gate_dispatch() {
+        let mut t = TenantState::new(TenantConfig {
+            max_concurrent_shards: 2,
+            scenario_budget: 100,
+            ..TenantConfig::named("t")
+        });
+        assert!(t.fits_quota(100, 1));
+        assert!(!t.fits_quota(101, 1));
+        t.charge(60, 1);
+        assert!(t.fits_quota(40, 1));
+        assert!(!t.fits_quota(41, 1));
+        t.charge(40, 1);
+        // Both shard slots taken now.
+        assert!(!t.fits_quota(0, 1));
+        t.release(40, 1);
+        assert!(t.fits_quota(0, 1));
+        t.release(60, 1);
+        assert_eq!(t.shards_in_flight, 0);
+        assert_eq!(t.scenarios_in_flight, 0);
+    }
+}

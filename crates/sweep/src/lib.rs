@@ -70,13 +70,14 @@
 #![warn(missing_docs)]
 
 mod engine;
+pub mod json;
 pub mod netlist;
 pub mod report;
 pub mod spec;
 pub mod tdf;
 
 pub use engine::HookFactory;
-pub use netlist::{NetlistSweep, RunMode};
+pub use netlist::{FactorSink, NetlistSweep, ProgressFn, RunMode};
 pub use report::{MetricSummary, ScenarioResult, SweepReport};
 pub use spec::{Scenario, SweepSpec};
 pub use tdf::{SweepModel, TdfSweep};
@@ -84,6 +85,35 @@ pub use tdf::{SweepModel, TdfSweep};
 use ams_lint::LintReport;
 use ams_net::NetError;
 use std::fmt;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+/// A cooperative cancellation flag shared between a sweep run and its
+/// controller (another thread, a service scheduler, a signal handler).
+///
+/// Sweeps check the token **at scenario boundaries**: a cancelled run
+/// finishes the scenarios currently in flight (at most one per worker),
+/// skips everything else and returns [`SweepError::Cancelled`]. The
+/// token is one atomic flag — clone it freely, set it from anywhere.
+#[derive(Debug, Clone, Default)]
+pub struct CancelToken(Arc<AtomicBool>);
+
+impl CancelToken {
+    /// A fresh, un-cancelled token.
+    pub fn new() -> CancelToken {
+        CancelToken::default()
+    }
+
+    /// Requests cancellation. Idempotent; never blocks.
+    pub fn cancel(&self) {
+        self.0.store(true, Ordering::Release);
+    }
+
+    /// `true` once [`CancelToken::cancel`] has been called.
+    pub fn is_cancelled(&self) -> bool {
+        self.0.load(Ordering::Acquire)
+    }
+}
 
 /// Errors surfaced by a sweep run.
 #[derive(Debug)]
@@ -107,6 +137,10 @@ pub enum SweepError {
     Core(ams_core::CoreError),
     /// The sweep specification itself was malformed.
     Invalid(String),
+    /// The run was cancelled through its [`CancelToken`] before every
+    /// scenario completed. Scenarios already finished are discarded;
+    /// cancellation is a control-flow outcome, not a partial report.
+    Cancelled,
 }
 
 impl SweepError {
@@ -137,6 +171,7 @@ impl fmt::Display for SweepError {
             SweepError::Net(e) => write!(f, "netlist error: {e}"),
             SweepError::Core(e) => write!(f, "TDF error: {e}"),
             SweepError::Invalid(msg) => write!(f, "invalid sweep: {msg}"),
+            SweepError::Cancelled => write!(f, "sweep cancelled"),
         }
     }
 }

@@ -17,7 +17,7 @@
 use crate::engine::{run_sharded, HookFactory};
 use crate::report::{ScenarioResult, SweepReport};
 use crate::spec::{Scenario, SweepSpec};
-use crate::SweepError;
+use crate::{CancelToken, SweepError};
 use ams_core::ClusterStats;
 use ams_exec::ExecStats;
 use ams_lint::{lint_circuit, LintPolicy};
@@ -46,6 +46,19 @@ pub enum RunMode {
     },
 }
 
+/// A per-scenario completion callback: `(scenario index, metric row)`.
+/// Runs on whichever thread finished the scenario, so implementations
+/// must be `Send + Sync`; keyed by index, the stream is
+/// order-independent.
+pub type ProgressFn = std::sync::Arc<dyn Fn(usize, &[f64]) + Send + Sync>;
+
+/// A slot that receives the symbolic factor scenario 0 exports, letting
+/// callers keep it warm across runs of the same topology (`ams-serve`'s
+/// topology cache). Filled once scenario 0 completes; left untouched
+/// when the run was itself seeded by [`NetlistSweep::symbolic_hint`]
+/// (nothing new was analyzed) or the backend is dense.
+pub type FactorSink = std::sync::Arc<std::sync::Mutex<Option<SymbolicFactor>>>;
+
 /// A batched transient sweep over one circuit topology.
 #[derive(Clone)]
 pub struct NetlistSweep {
@@ -58,6 +71,11 @@ pub struct NetlistSweep {
     context: String,
     trace: bool,
     hooks: Option<HookFactory>,
+    pre_linted: bool,
+    symbolic_hint: Option<SymbolicFactor>,
+    cancel: Option<CancelToken>,
+    progress: Option<ProgressFn>,
+    factor_sink: Option<FactorSink>,
 }
 
 impl std::fmt::Debug for NetlistSweep {
@@ -70,6 +88,11 @@ impl std::fmt::Debug for NetlistSweep {
             .field("context", &self.context)
             .field("trace", &self.trace)
             .field("hooks", &self.hooks.is_some())
+            .field("pre_linted", &self.pre_linted)
+            .field("symbolic_hint", &self.symbolic_hint.is_some())
+            .field("cancel", &self.cancel.is_some())
+            .field("progress", &self.progress.is_some())
+            .field("factor_sink", &self.factor_sink.is_some())
             .finish_non_exhaustive()
     }
 }
@@ -92,7 +115,53 @@ impl NetlistSweep {
             context: "sweep".into(),
             trace: false,
             hooks: None,
+            pre_linted: false,
+            symbolic_hint: None,
+            cancel: None,
+            progress: None,
+            factor_sink: None,
         }
+    }
+
+    /// Declares the template topology as already gated: the lint pass
+    /// is skipped entirely (zero lint work per run). For callers that
+    /// cache lint verdicts across runs of one topology — `ams-serve`'s
+    /// warm path — not for skipping checks that never happened.
+    pub fn pre_linted(mut self, pre_linted: bool) -> NetlistSweep {
+        self.pre_linted = pre_linted;
+        self
+    }
+
+    /// Seeds the run with a symbolic factor from a previous run over the
+    /// same topology: **every** scenario, including the first, adopts it
+    /// and pays only a numeric refactorization — the whole run performs
+    /// zero symbolic analyses. A hint whose sparsity pattern does not
+    /// match is ignored (a fresh analysis happens as usual).
+    pub fn symbolic_hint(mut self, hint: SymbolicFactor) -> NetlistSweep {
+        self.symbolic_hint = Some(hint);
+        self
+    }
+
+    /// Attaches a cancellation token, checked at scenario boundaries on
+    /// the coordinator and on every worker. See [`CancelToken`].
+    pub fn cancel_token(mut self, token: CancelToken) -> NetlistSweep {
+        self.cancel = Some(token);
+        self
+    }
+
+    /// Installs a per-scenario completion callback for streaming result
+    /// delivery: invoked with `(index, metric row)` as soon as each
+    /// scenario finishes, before the batch completes. See [`ProgressFn`].
+    pub fn on_scenario(mut self, progress: ProgressFn) -> NetlistSweep {
+        self.progress = Some(progress);
+        self
+    }
+
+    /// Installs a sink that receives scenario 0's exported symbolic
+    /// factor, for callers that cache it across runs. See [`FactorSink`].
+    pub fn factor_sink(mut self, sink: FactorSink) -> NetlistSweep {
+        self.factor_sink = Some(sink);
+        self
     }
 
     /// Enables span tracing: every scenario records a
@@ -202,14 +271,23 @@ impl NetlistSweep {
             return Err(SweepError::invalid("sweep needs at least one metric"));
         }
 
-        // Lint gate: once per topology, never per scenario.
-        let report = self.lint_report();
-        if !self.lint.denied(&report).is_empty() {
-            return Err(SweepError::Lint(report));
-        }
-        let lint_warnings = self.lint.warned(&report).len();
-        for d in self.lint.warned(&report) {
-            eprintln!("[{}] warning: {d}", self.context);
+        // Lint gate: once per topology, never per scenario — and not at
+        // all when the caller holds a cached verdict (`pre_linted`).
+        let lint_warnings = if self.pre_linted {
+            0
+        } else {
+            let report = self.lint_report();
+            if !self.lint.denied(&report).is_empty() {
+                return Err(SweepError::Lint(report));
+            }
+            for d in self.lint.warned(&report) {
+                eprintln!("[{}] warning: {d}", self.context);
+            }
+            self.lint.warned(&report).len()
+        };
+
+        if self.cancel.as_ref().is_some_and(CancelToken::is_cancelled) {
+            return Err(SweepError::Cancelled);
         }
 
         let scenarios = spec.scenarios();
@@ -224,18 +302,26 @@ impl NetlistSweep {
             Tracer::off()
         };
         let first = &scenarios[0];
-        let (first_vals, first_stats, hint) = self.run_scenario(
+        let (first_vals, first_stats, exported) = self.run_scenario(
             first,
-            None,
-            true,
+            self.symbolic_hint.as_ref(),
+            self.symbolic_hint.is_none(),
             n_metrics,
             &mut coord_tracer,
             &apply,
             &observe,
         )?;
+        if let Some(p) = &self.progress {
+            p(first.index(), &first_vals);
+        }
+        if let (Some(sink), Some(f)) = (&self.factor_sink, &exported) {
+            *sink.lock().expect("factor sink poisoned") = Some(f.clone());
+        }
 
         let rest = &scenarios[1..];
-        let hint_ref = hint.as_ref();
+        // An externally supplied factor wins; otherwise scenario 0's
+        // export seeds the siblings as before.
+        let hint_ref = self.symbolic_hint.as_ref().or(exported.as_ref());
         let mut shard = run_sharded(
             rest.len(),
             n_metrics,
@@ -244,6 +330,9 @@ impl NetlistSweep {
             self.hooks.as_ref(),
             |_slot, _items| Ok(()),
             |_state: &mut (), item, tracer: &mut Tracer| {
+                if self.cancel.as_ref().is_some_and(CancelToken::is_cancelled) {
+                    return Err(SweepError::Cancelled);
+                }
                 let (vals, stats, _) = self.run_scenario(
                     &rest[item],
                     hint_ref,
@@ -253,6 +342,9 @@ impl NetlistSweep {
                     &apply,
                     &observe,
                 )?;
+                if let Some(p) = &self.progress {
+                    p(rest[item].index(), &vals);
+                }
                 Ok((vals, stats))
             },
         )?;

@@ -72,7 +72,11 @@ fn subscriber_line() -> Result<
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // `--trace <path>` / `--report`: span tracing across the kernel,
     // the cluster and the embedded line solver.
-    let (scope, _rest) = systemc_ams::scope::args::scope_args()?;
+    let (scope, rest) = systemc_ams::scope::args::scope_args()?;
+    systemc_ams::scope::args::lint_only_or_reject(
+        rest,
+        "cargo run --example adsl_frontend -- [--lint-only] [--trace FILE] [--report]",
+    )?;
 
     let mut sim = AmsSimulator::new();
     sim.set_tracing(scope.enabled());

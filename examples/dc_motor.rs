@@ -56,7 +56,11 @@ fn build_motor() -> Result<
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // `--trace <path>` / `--report`: one track per solver run plus the
     // DE kernel's delta-cycle track.
-    let (scope, _rest) = systemc_ams::scope::args::scope_args()?;
+    let (scope, rest) = systemc_ams::scope::args::scope_args()?;
+    systemc_ams::scope::args::lint_only_or_reject(
+        rest,
+        "cargo run --example dc_motor -- [--lint-only] [--trace FILE] [--report]",
+    )?;
 
     // Steady-state speed for a constant voltage: ω = K·V/(K² + R·B).
     let gain = K_M / (K_M * K_M + R_ARM * B_FRICTION);

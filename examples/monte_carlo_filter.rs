@@ -46,7 +46,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 workers = args.next().ok_or("--workers needs a value")?.parse()?;
             }
             "--lint-only" => {} // handled below, after the netlist exists
-            other => return Err(format!("unknown argument {other}").into()),
+            other => {
+                return Err(format!(
+                    "unknown argument {other:?}\nusage: cargo run --example monte_carlo_filter -- \
+                     [--scenarios N] [--workers N] [--lint-only] [--trace FILE] [--report]"
+                )
+                .into())
+            }
         }
     }
 

@@ -69,7 +69,11 @@ fn measure_enob(
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // `--trace <path>` / `--report`: span tracing of the ideal-pipeline
     // reference run.
-    let (scope, _rest) = systemc_ams::scope::args::scope_args()?;
+    let (scope, rest) = systemc_ams::scope::args::scope_args()?;
+    systemc_ams::scope::args::lint_only_or_reject(
+        rest,
+        "cargo run --example pipelined_adc -- [--lint-only] [--trace FILE] [--report]",
+    )?;
     let mut trace = systemc_ams::scope::ScopeTrace::new();
 
     // `--lint-only`: static checks on a representative configuration.

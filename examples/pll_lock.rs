@@ -103,7 +103,11 @@ fn run_pll(
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // `--trace <path>` / `--report`: one trace track per reference tone.
-    let (scope, _rest) = systemc_ams::scope::args::scope_args()?;
+    let (scope, rest) = systemc_ams::scope::args::scope_args()?;
+    systemc_ams::scope::args::lint_only_or_reject(
+        rest,
+        "cargo run --example pll_lock -- [--lint-only] [--trace FILE] [--report]",
+    )?;
     let mut trace = systemc_ams::scope::ScopeTrace::new();
     let mut metrics = systemc_ams::scope::MetricsRegistry::new();
 

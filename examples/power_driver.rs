@@ -124,7 +124,11 @@ fn run_pwm(
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // `--trace <path>` / `--report`: one track per PWM operating point.
-    let (scope, _rest) = systemc_ams::scope::args::scope_args()?;
+    let (scope, rest) = systemc_ams::scope::args::scope_args()?;
+    systemc_ams::scope::args::lint_only_or_reject(
+        rest,
+        "cargo run --example power_driver -- [--lint-only] [--trace FILE] [--report]",
+    )?;
     let mut trace = systemc_ams::scope::ScopeTrace::new();
     let mut obs = systemc_ams::scope::MetricsRegistry::new();
 

@@ -21,7 +21,11 @@ use systemc_ams::wave::{write_csv, VcdRecorder};
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // `--trace <path>` emits a Chrome trace of the run; `--report`
     // prints a span/metric summary.
-    let (scope, _rest) = systemc_ams::scope::args::scope_args()?;
+    let (scope, rest) = systemc_ams::scope::args::scope_args()?;
+    systemc_ams::scope::args::lint_only_or_reject(
+        rest,
+        "cargo run --example quickstart -- [--lint-only] [--trace FILE] [--report]",
+    )?;
 
     let mut sim = AmsSimulator::new();
     sim.set_tracing(scope.enabled());

@@ -235,7 +235,11 @@ fn run_link(
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // `--trace <path>` / `--report`: one trace track per Eb/N0 point.
-    let (scope, _rest) = systemc_ams::scope::args::scope_args()?;
+    let (scope, rest) = systemc_ams::scope::args::scope_args()?;
+    systemc_ams::scope::args::lint_only_or_reject(
+        rest,
+        "cargo run --example rf_transceiver -- [--lint-only] [--trace FILE] [--report]",
+    )?;
     let mut trace = systemc_ams::scope::ScopeTrace::new();
     let mut metrics = systemc_ams::scope::MetricsRegistry::new();
 

@@ -1,0 +1,183 @@
+//! Client for the simulation service daemon.
+//!
+//! Registers a tenant, submits the demo Monte-Carlo RC-ladder job, and
+//! streams results. With `--parity` it runs the full acceptance check
+//! for the warm topology cache:
+//!
+//! 1. run the job *directly* in-process (no daemon, no cache) at 1 and
+//!    4 workers — the reference fingerprints;
+//! 2. submit the same job to the daemon twice — a cold run (populates
+//!    the cache) and a warm run (hits it);
+//! 3. assert all four `SweepReport` fingerprints are bit-identical and
+//!    that the warm run performed **zero** symbolic analyses and
+//!    **zero** lint passes (from the daemon's `serve.*` metrics).
+//!
+//! ```text
+//! cargo run --release --example serve_client -- --addr HOST:PORT
+//!     --admin TOKEN [--scenarios N] [--seed N] [--parity] [--shutdown]
+//! ```
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use systemc_ams::sweep::json::{parse, Json};
+
+const USAGE: &str = "cargo run --example serve_client -- --addr HOST:PORT --admin TOKEN \
+                     [--scenarios N] [--seed N] [--parity] [--shutdown]";
+
+/// One newline-delimited JSON connection.
+struct Client {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl Client {
+    fn connect(addr: &str) -> std::io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        Ok(Client {
+            reader: BufReader::new(stream.try_clone()?),
+            writer: stream,
+        })
+    }
+
+    fn request(&mut self, line: &str) -> Result<Json, Box<dyn std::error::Error>> {
+        self.writer.write_all(line.as_bytes())?;
+        self.writer.write_all(b"\n")?;
+        self.writer.flush()?;
+        let mut reply = String::new();
+        self.reader.read_line(&mut reply)?;
+        let obj = parse(reply.trim_end()).map_err(|e| format!("bad reply: {e}"))?;
+        if obj.get("ok").and_then(Json::as_bool) != Some(true) {
+            return Err(format!(
+                "request failed [{}]: {}",
+                obj.get("code").and_then(Json::as_str).unwrap_or("?"),
+                obj.get("error").and_then(Json::as_str).unwrap_or("?"),
+            )
+            .into());
+        }
+        Ok(obj)
+    }
+
+    /// Submits `job` and blocks for its report; returns the server's
+    /// fingerprint string.
+    fn run_job(
+        &mut self,
+        tenant: &str,
+        job: &systemc_ams::serve::JobSpec,
+    ) -> Result<String, Box<dyn std::error::Error>> {
+        let submit = format!(
+            r#"{{"op":"submit","tenant":"{tenant}","job":{}}}"#,
+            job.to_json().render()
+        );
+        let reply = self.request(&submit)?;
+        let token = reply
+            .get("job_token")
+            .and_then(Json::as_str)
+            .ok_or("submit reply lacks job_token")?
+            .to_string();
+        let reply = self.request(&format!(
+            r#"{{"op":"result","tenant":"{tenant}","job":"{token}"}}"#
+        ))?;
+        // Round-trip the report (this also verifies its embedded
+        // fingerprint) and cross-check the top-level field.
+        let report = systemc_ams::sweep::json::report_from_json(
+            reply.get("report").ok_or("result reply lacks report")?,
+        )?;
+        let fp = reply
+            .get("fingerprint")
+            .and_then(Json::as_str)
+            .ok_or("result reply lacks fingerprint")?
+            .to_string();
+        assert_eq!(fp, format!("{:016x}", report.fingerprint()));
+        Ok(fp)
+    }
+
+    fn counter(&mut self, admin: &str, name: &str) -> Result<u64, Box<dyn std::error::Error>> {
+        let reply = self.request(&format!(r#"{{"op":"stats","admin":"{admin}"}}"#))?;
+        Ok(reply
+            .get("metrics")
+            .and_then(|m| m.get(name))
+            .and_then(Json::as_u64)
+            .unwrap_or(0))
+    }
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut addr = String::new();
+    let mut admin = String::new();
+    let mut scenarios = 64usize;
+    let mut seed = 0xF1u64;
+    let mut parity = false;
+    let mut shutdown = false;
+    let (_scope, rest) = systemc_ams::scope::args::scope_args()?;
+    let mut args = rest.into_iter();
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--addr" => addr = args.next().ok_or("--addr needs HOST:PORT")?,
+            "--admin" => admin = args.next().ok_or("--admin needs a token")?,
+            "--scenarios" => {
+                scenarios = args.next().ok_or("--scenarios needs a value")?.parse()?;
+            }
+            "--seed" => seed = args.next().ok_or("--seed needs a value")?.parse()?,
+            "--parity" => parity = true,
+            "--shutdown" => shutdown = true,
+            other => return Err(format!("unknown argument {other:?}\nusage: {USAGE}").into()),
+        }
+    }
+    if addr.is_empty() || admin.is_empty() {
+        return Err(format!("--addr and --admin are required\nusage: {USAGE}").into());
+    }
+
+    let job = systemc_ams::serve::JobSpec::demo_rc(scenarios, seed);
+    let mut client = Client::connect(&addr)?;
+    let reply = client.request(&format!(
+        r#"{{"op":"hello","admin":"{admin}","tenant":{{"name":"client","max_shards":"4","scenario_budget":"100000"}}}}"#
+    ))?;
+    let tenant = reply
+        .get("tenant_token")
+        .and_then(Json::as_str)
+        .ok_or("hello reply lacks tenant_token")?
+        .to_string();
+
+    if parity {
+        // References: direct in-process runs, no daemon involved.
+        let direct1 = format!("{:016x}", job.direct_run(1)?.fingerprint());
+        let direct4 = format!("{:016x}", job.direct_run(4)?.fingerprint());
+
+        let lint_before = client.counter(&admin, "serve.lint.runs")?;
+        let sym_before = client.counter(&admin, "serve.lu.symbolic_analyses")?;
+        let cold = client.run_job(&tenant, &job)?;
+        let sym_after_cold = client.counter(&admin, "serve.lu.symbolic_analyses")?;
+        let lint_after_cold = client.counter(&admin, "serve.lint.runs")?;
+        let warm = client.run_job(&tenant, &job)?;
+        let sym_after_warm = client.counter(&admin, "serve.lu.symbolic_analyses")?;
+        let lint_after_warm = client.counter(&admin, "serve.lint.runs")?;
+
+        println!("direct@1 {direct1}\ndirect@4 {direct4}\ncold     {cold}\nwarm     {warm}");
+        if !(direct1 == direct4 && direct1 == cold && cold == warm) {
+            return Err("fingerprint parity FAILED".into());
+        }
+        if sym_after_cold == sym_before {
+            return Err("cold run performed no symbolic analysis — check is vacuous".into());
+        }
+        if sym_after_warm != sym_after_cold {
+            return Err(format!(
+                "warm run performed {} symbolic analyses (want 0)",
+                sym_after_warm - sym_after_cold
+            )
+            .into());
+        }
+        if lint_after_warm != lint_after_cold || lint_after_cold != lint_before + 1 {
+            return Err("lint pass accounting FAILED (want exactly 1 cold lint, 0 warm)".into());
+        }
+        println!("parity OK: warm cache is bit-identical with 0 symbolic analyses, 0 lint passes");
+    } else {
+        let fp = client.run_job(&tenant, &job)?;
+        println!("job complete, fingerprint {fp}");
+    }
+
+    if shutdown {
+        client.request(&format!(r#"{{"op":"shutdown","admin":"{admin}"}}"#))?;
+        println!("daemon draining");
+    }
+    Ok(())
+}

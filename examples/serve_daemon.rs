@@ -1,0 +1,63 @@
+//! The simulation service daemon.
+//!
+//! Binds a TCP listener (ephemeral port by default), starts the
+//! [`ServeHandle`](systemc_ams::serve::ServeHandle) dispatcher, prints
+//! the listen address and the admin token, and serves newline-delimited
+//! JSON requests until SIGTERM/SIGINT or an authorized `shutdown`
+//! request — then drains queued and running jobs and exits 0.
+//!
+//! ```text
+//! cargo run --release --example serve_daemon -- [--addr HOST:PORT]
+//!     [--workers N] [--cache-mb N] [--seed N]
+//! ```
+//!
+//! Pair with `serve_client` for an end-to-end Monte-Carlo job.
+
+use systemc_ams::serve::{daemon, signal, ServeConfig, ServeHandle};
+
+const USAGE: &str =
+    "cargo run --example serve_daemon -- [--addr HOST:PORT] [--workers N] [--cache-mb N] [--seed N]";
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut addr = "127.0.0.1:0".to_string();
+    let mut config = ServeConfig::default();
+    let (scope, rest) = systemc_ams::scope::args::scope_args()?;
+    let mut args = rest.into_iter();
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--addr" => addr = args.next().ok_or("--addr needs HOST:PORT")?,
+            "--workers" => {
+                config.workers = args.next().ok_or("--workers needs a value")?.parse()?;
+            }
+            "--cache-mb" => {
+                let mb: usize = args.next().ok_or("--cache-mb needs a value")?.parse()?;
+                config.cache_bytes = mb << 20;
+            }
+            "--seed" => config.seed = args.next().ok_or("--seed needs a value")?.parse()?,
+            other => return Err(format!("unknown argument {other:?}\nusage: {USAGE}").into()),
+        }
+    }
+
+    // Unpredictable token-mint seed unless pinned for reproducibility.
+    if config.seed == ServeConfig::default().seed {
+        config.seed ^= std::process::id() as u64 ^ 0x53_45_52_56_45;
+    }
+
+    let listener = std::net::TcpListener::bind(&addr)?;
+    let local = listener.local_addr()?;
+    let handle = ServeHandle::start(config);
+    // The two lines clients scrape; keep the format stable.
+    println!("serve: listening on {local}");
+    println!("serve: admin token {}", handle.admin_token());
+    use std::io::Write as _;
+    std::io::stdout().flush()?;
+
+    let stop = signal::install_stop_flag();
+    daemon::serve(&handle, listener, stop)?;
+    eprintln!("serve: drained, exiting");
+
+    let metrics = handle.metrics();
+    let trace = systemc_ams::scope::ScopeTrace::new();
+    scope.emit(&trace, &metrics)?;
+    Ok(())
+}

@@ -24,6 +24,7 @@
 //! | [`exec`] | `ams-exec` | parallel execution engine: partitioner, worker pool, SPSC rings, stats |
 //! | [`sweep`] | `ams-sweep` | batched multi-scenario runs: grids, corners, Monte Carlo, reports |
 //! | [`scope`] | `ams-scope` | observability: span tracer, metrics registry, Chrome trace export |
+//! | [`serve`] | `ams-serve` | simulation service: TCP/JSON daemon, warm topology cache, tenant quotas |
 //!
 //! # Quickstart
 //!
@@ -72,5 +73,6 @@ pub use ams_math as math;
 pub use ams_net as net;
 pub use ams_scope as scope;
 pub use ams_sdf as sdf;
+pub use ams_serve as serve;
 pub use ams_sweep as sweep;
 pub use ams_wave as wave;

@@ -1,0 +1,67 @@
+//! Regression: examples reject unknown flags with a usage message.
+//!
+//! Every example routes its leftover arguments through
+//! `ams_scope::args::{lint_only_or_reject, reject_unknown}` (or an
+//! equivalent strict loop), so a typo like `--senarios` fails loudly
+//! instead of silently running the default configuration. This test
+//! drives one representative example binary end to end; the helper
+//! itself is unit-tested in `ams-scope`.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+/// Path of a compiled example binary. `cargo test` builds examples of
+/// the root package before running integration tests, so the binary
+/// exists by the time this runs.
+fn example_bin(name: &str) -> PathBuf {
+    // target/debug/deps/<this test> → target/debug/examples/<name>
+    let mut p = std::env::current_exe().expect("test binary path");
+    p.pop();
+    if p.ends_with("deps") {
+        p.pop();
+    }
+    p.push("examples");
+    p.push(name);
+    p
+}
+
+#[test]
+fn quickstart_rejects_unknown_flags_with_usage() {
+    let bin = example_bin("quickstart");
+    if !bin.exists() {
+        // Building examples is the root package's job; running this
+        // test binary directly (e.g. via a test runner that skips the
+        // example build) should not produce a false failure.
+        eprintln!("skipping: {} not built", bin.display());
+        return;
+    }
+    let out = Command::new(&bin)
+        .arg("--senarios")
+        .output()
+        .expect("run example");
+    assert!(
+        !out.status.success(),
+        "unknown flag must fail, got {:?}",
+        out.status
+    );
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("--senarios"),
+        "stderr must name the bad flag: {stderr}"
+    );
+    assert!(
+        stderr.contains("usage:"),
+        "stderr must include usage: {stderr}"
+    );
+
+    // The known flags still work.
+    let out = Command::new(&bin)
+        .arg("--report")
+        .output()
+        .expect("run example");
+    assert!(
+        out.status.success(),
+        "--report must be accepted: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+}
