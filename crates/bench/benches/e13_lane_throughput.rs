@@ -1,0 +1,115 @@
+//! E13 — lane-bundled batch transient: scenarios per second vs lane
+//! width.
+//!
+//! The corner-sweep workload of E10 leaves per-scenario *instruction*
+//! overhead on the table: 256 variants of one topology execute 256
+//! copies of the same assembly / LU / solve instruction stream, each
+//! over a single f64. Lane bundling ([`ams_math::F64xK`]) packs K
+//! scenarios into one structure-of-arrays solver so every instruction
+//! is issued once per bundle and the inner loops autovectorize over the
+//! K lanes — no intrinsics, plain arrays.
+//!
+//! Measured: wall time for the monte_carlo_filter workload (256-corner
+//! Monte-Carlo sweep of the 4-stage RC anti-alias ladder, sparse
+//! backend, 1000 trapezoidal steps per scenario) at lane widths
+//! K ∈ {1, 4, 8, 16}, one worker thread so the curve isolates the lane
+//! effect from thread scaling. Printed: the scenarios-per-second curve
+//! and the speedup over the scalar engine (K = 1), plus a lane-vs-
+//! scalar parity check (≤ 1e-9 relative) proving the speedup does not
+//! buy different answers.
+
+use ams_net::{Circuit, ElementId, IntegrationMethod, ScenarioProbe, SolverBackend};
+use ams_sweep::{NetlistSweep, SweepSpec};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+const SCENARIOS: usize = 256;
+const WORKERS: usize = 1;
+const STAGES: usize = 4;
+const R_NOM: f64 = 1.6e3;
+const C_NOM: f64 = 10e-9;
+
+fn filter() -> (Circuit, Vec<ElementId>, Vec<ElementId>, ams_net::NodeId) {
+    let mut ckt = Circuit::new();
+    let mut prev = ckt.node("in");
+    ckt.voltage_source("V", prev, Circuit::GROUND, 1.0).unwrap();
+    let mut resistors = Vec::new();
+    let mut caps = Vec::new();
+    for i in 0..STAGES {
+        let node = ckt.node(format!("n{i}"));
+        resistors.push(ckt.resistor(format!("R{i}"), prev, node, R_NOM).unwrap());
+        caps.push(
+            ckt.capacitor(format!("C{i}"), node, Circuit::GROUND, C_NOM)
+                .unwrap(),
+        );
+        prev = node;
+    }
+    (ckt, resistors, caps, prev)
+}
+
+fn sweep(lanes: usize, scenarios: usize) -> ams_sweep::SweepReport {
+    let (ckt, resistors, caps, out) = filter();
+    let spec =
+        SweepSpec::monte_carlo(&[("dr", -0.1, 0.1), ("dc", -0.1, 0.1)], scenarios, 0xE13).unwrap();
+    NetlistSweep::new(ckt, IntegrationMethod::Trapezoidal)
+        .backend(SolverBackend::Sparse)
+        .fixed_step(1e-3, 1e-6)
+        .lanes(lanes)
+        .run_lanes(
+            &spec,
+            WORKERS,
+            &["v_settle"],
+            |c, sc| {
+                for r in &resistors {
+                    c.set_resistance(*r, R_NOM * (1.0 + sc.value("dr")))?;
+                }
+                for cap in &caps {
+                    c.set_capacitance(*cap, C_NOM * (1.0 + sc.value("dc")))?;
+                }
+                Ok(())
+            },
+            |tr: &dyn ScenarioProbe, m| m[0] = tr.voltage(out),
+        )
+        .unwrap()
+}
+
+fn bench_lane_throughput(c: &mut Criterion) {
+    // The curve and the parity evidence, once, outside the timed loop.
+    let scalar = sweep(1, SCENARIOS);
+    let scalar_vals = scalar.values("v_settle").unwrap();
+    let mut t1 = 0.0f64;
+    for &lanes in &[1usize, 4, 8, 16] {
+        let start = std::time::Instant::now();
+        let report = sweep(lanes, SCENARIOS);
+        let dt = start.elapsed().as_secs_f64();
+        if lanes == 1 {
+            t1 = dt;
+        }
+        let worst = report
+            .values("v_settle")
+            .unwrap()
+            .iter()
+            .zip(&scalar_vals)
+            .map(|(a, b)| ((a - b) / b).abs())
+            .fold(0.0f64, f64::max);
+        assert!(worst <= 1e-9, "lanes={lanes} diverged by {worst}");
+        println!(
+            "e13 lanes={lanes:2}: {:8.0} scenarios/s | {:5.2}x over scalar | \
+             {} bundles | worst rel dev {worst:.2e}",
+            SCENARIOS as f64 / dt,
+            t1 / dt,
+            report.bundles.max(1),
+        );
+    }
+
+    let mut group = c.benchmark_group("e13_lane_throughput");
+    group.sample_size(10);
+    for &lanes in &[1usize, 4, 8, 16] {
+        group.bench_with_input(BenchmarkId::new("lanes", lanes), &lanes, |b, &lanes| {
+            b.iter(|| sweep(lanes, SCENARIOS));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_lane_throughput);
+criterion_main!(benches);

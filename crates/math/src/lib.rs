@@ -10,6 +10,10 @@
 //!   workhorse behind MNA and implicit integration.
 //! * [`sparse`] — CSR matrices and [`SparseLu`], a fill-reducing sparse
 //!   LU with a cached symbolic phase for fast per-step refactorization.
+//! * [`lanes`] — [`F64xK`] lane bundles: `K` parameter corners packed
+//!   into one [`Scalar`] so assembly, LU, and Newton run `K` scenarios
+//!   in lockstep per instruction stream (auto-vectorized, no
+//!   intrinsics).
 //! * [`Poly`] — polynomial arithmetic and root finding (Durand–Kerner),
 //!   used by transfer-function and zero-pole models.
 //! * [`ode`] — explicit integrators (Euler, Heun, RK4, adaptive RKF45).
@@ -44,6 +48,7 @@ mod error;
 pub mod fft;
 pub mod implicit;
 pub mod interp;
+pub mod lanes;
 mod lu;
 mod matrix;
 pub mod newton;
@@ -56,6 +61,7 @@ pub mod stats;
 
 pub use complex::Complex64;
 pub use error::MathError;
+pub use lanes::{F64x16, F64x4, F64x8, F64xK};
 pub use lu::{solve_dense, Lu};
 pub use matrix::{DMat, DVec};
 pub use poly::Poly;

@@ -311,7 +311,7 @@ impl<T: Scalar> fmt::Debug for DMat<T> {
                 if j > 0 {
                     write!(f, ", ")?;
                 }
-                write!(f, "{}", self[(i, j)])?;
+                write!(f, "{:?}", self[(i, j)])?;
             }
             writeln!(f, "]")?;
         }
@@ -498,7 +498,7 @@ impl<T: Scalar> fmt::Debug for DVec<T> {
             if i > 0 {
                 write!(f, ", ")?;
             }
-            write!(f, "{x}")?;
+            write!(f, "{x:?}")?;
         }
         write!(f, "]")
     }

@@ -1,17 +1,22 @@
 use crate::Complex64;
-use std::fmt::{Debug, Display};
+use std::fmt::Debug;
 use std::ops::{Add, AddAssign, Div, DivAssign, Mul, MulAssign, Neg, Sub, SubAssign};
 
 /// A field scalar usable by the generic dense linear algebra.
 ///
-/// Implemented for `f64` (DC, transient) and [`Complex64`] (AC, noise), so
-/// one LU factorization serves both real and complex Modified Nodal
-/// Analysis. The trait is sealed by convention: downstream code should not
-/// need additional scalar types.
+/// Implemented for three families: `f64` (DC, transient), [`Complex64`]
+/// (AC, noise), and [`crate::lanes::F64xK`] (lane-bundled batch
+/// transient — K parameter corners in lockstep), so one LU
+/// factorization routine serves real, complex, and bundled Modified
+/// Nodal Analysis. The trait is sealed by convention: the three
+/// implementor families above are the supported set, and downstream
+/// code should not add scalar types. Note that `Display` is
+/// deliberately *not* a supertrait — lane bundles have no natural
+/// scalar rendering — so generic code must format through `Debug` or
+/// `modulus()`.
 pub trait Scalar:
     Copy
     + Debug
-    + Display
     + PartialEq
     + Add<Output = Self>
     + Sub<Output = Self>

@@ -265,6 +265,19 @@ impl<T: Scalar> CsrMat<T> {
         &mut self.vals
     }
 
+    /// A matrix with the identical sparsity pattern whose values are
+    /// `f` applied entrywise — the pattern-preserving re-typing used to
+    /// widen a scalar matrix into a lane bundle (or narrow one back).
+    pub fn map_values<U: Scalar>(&self, f: impl FnMut(&T) -> U) -> CsrMat<U> {
+        CsrMat {
+            rows: self.rows,
+            cols: self.cols,
+            row_ptr: self.row_ptr.clone(),
+            col_idx: self.col_idx.clone(),
+            vals: self.vals.iter().map(f).collect(),
+        }
+    }
+
     /// Overwrites the stored values with the entries of `d` at the
     /// pattern's positions; entries of `d` outside the pattern are
     /// ignored. Used to route a dense-evaluated Jacobian into a sparse
@@ -654,6 +667,64 @@ impl<T: Scalar> SparseLu<T> {
     /// Fill-in: factor nonzeros beyond those of the factored matrix.
     pub fn fill_in(&self) -> usize {
         self.factor_nnz().saturating_sub(self.a_nnz)
+    }
+
+    /// Approximate resident bytes of this factorization: index arrays,
+    /// permutations, and the value/workspace arrays at `size_of::<T>()`
+    /// per entry. Scales with the scalar width, so a lane-bundle factor
+    /// (`F64xK`) reports `K×` the value bytes of its scalar twin —
+    /// cache byte budgets stay honest across scalar families.
+    pub fn approx_bytes(&self) -> usize {
+        let usz = std::mem::size_of::<usize>();
+        let val = std::mem::size_of::<T>();
+        let values = self.l_vals.len() + self.u_vals.len() + self.u_diag.len() + self.work.len();
+        let indices = self.colperm.len()
+            + self.rowperm.len()
+            + self.pinv.len()
+            + self.l_colptr.len()
+            + self.l_rows.len()
+            + self.u_colptr.len()
+            + self.u_rows.len()
+            + self.csc_colptr.len()
+            + self.csc_rows.len()
+            + self.csc_map.len()
+            + self.pat_row_ptr.len()
+            + self.pat_col_idx.len();
+        values * val + indices * usz
+    }
+
+    /// Re-types the *symbolic* analysis over a different scalar: the
+    /// column ordering, pivot sequence, fill pattern, and CSC maps are
+    /// cloned verbatim while every value array is reset to `U::ZERO`.
+    ///
+    /// The result is not yet a factorization — it must be completed by
+    /// [`SparseLu::refactor`] (which overwrites every value slot) with a
+    /// matrix of the same pattern over `U`. This is the lane-widening
+    /// primitive: one scalar symbolic analysis serves `f64`,
+    /// [`crate::Complex64`], and [`crate::lanes::F64xK`] numeric
+    /// refactorizations alike, because the pivot sequence is
+    /// pattern-determined and patterns do not depend on the scalar.
+    pub fn cast_symbolic<U: Scalar>(&self) -> SparseLu<U> {
+        SparseLu {
+            n: self.n,
+            colperm: self.colperm.clone(),
+            rowperm: self.rowperm.clone(),
+            pinv: self.pinv.clone(),
+            l_colptr: self.l_colptr.clone(),
+            l_rows: self.l_rows.clone(),
+            l_vals: vec![U::ZERO; self.l_vals.len()],
+            u_colptr: self.u_colptr.clone(),
+            u_rows: self.u_rows.clone(),
+            u_vals: vec![U::ZERO; self.u_vals.len()],
+            u_diag: vec![U::ZERO; self.u_diag.len()],
+            csc_colptr: self.csc_colptr.clone(),
+            csc_rows: self.csc_rows.clone(),
+            csc_map: self.csc_map.clone(),
+            pat_row_ptr: self.pat_row_ptr.clone(),
+            pat_col_idx: self.pat_col_idx.clone(),
+            a_nnz: self.a_nnz,
+            work: vec![U::ZERO; self.work.len()],
+        }
     }
 
     /// Whether `a` has the exact sparsity pattern this factorization was
@@ -1146,5 +1217,70 @@ mod tests {
         assert_eq!(a.jacobian_reused, 2);
         assert_eq!(a.nnz, 100);
         assert_eq!(a.fill_in, 20);
+    }
+
+    /// Perturbed copy of `ladder_csr(n)`: same pattern, lane-dependent
+    /// values.
+    fn ladder_csr_lane(n: usize, delta: f64) -> CsrMat<f64> {
+        let mut a = ladder_csr(n);
+        for v in a.values_mut() {
+            if *v != 1.0 && *v != -1.0 {
+                *v += delta;
+            }
+        }
+        a
+    }
+
+    #[test]
+    fn cast_symbolic_lane_refactor_matches_scalar_per_lane() {
+        use crate::lanes::F64x4;
+        let n = 12;
+        let deltas = [0.0, 0.05, -0.07, 0.11];
+        let scalar_lu = SparseLu::factor(&ladder_csr(n)).unwrap();
+
+        // Widen the scalar symbolic analysis and refactor with a bundle
+        // matrix whose lane l carries the delta-perturbed values.
+        let scalars: Vec<CsrMat<f64>> = deltas.iter().map(|&d| ladder_csr_lane(n, d)).collect();
+        let mut wide = ladder_csr(n).map_values(|_| F64x4::ZERO);
+        for (p, v) in wide.values_mut().iter_mut().enumerate() {
+            *v = F64x4::from_fn(|l| scalars[l].values()[p]);
+        }
+        let wide_lu = scalar_lu
+            .cast_symbolic::<F64x4>()
+            .refactored(&wide)
+            .unwrap();
+
+        let b: DVec<F64x4> = (0..wide.rows()).map(|i| F64x4::splat(i as f64)).collect();
+        let x = wide_lu.solve(&b).unwrap();
+        for (l, s) in scalars.iter().enumerate() {
+            let b_l: DVec<f64> = (0..s.rows()).map(|i| i as f64).collect();
+            let x_l = scalar_lu.refactored(s).unwrap().solve(&b_l).unwrap();
+            for i in 0..s.rows() {
+                assert!(
+                    (x[i].lane(l) - x_l[i]).abs() <= 1e-9 * x_l[i].abs().max(1.0),
+                    "lane {l} row {i}: {} vs {}",
+                    x[i].lane(l),
+                    x_l[i]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn approx_bytes_scales_with_lane_width() {
+        use crate::lanes::{F64x16, F64x8};
+        let lu = SparseLu::factor(&ladder_csr(16)).unwrap();
+        let b1 = lu.approx_bytes();
+        let b8 = lu.cast_symbolic::<F64x8>().approx_bytes();
+        let b16 = lu.cast_symbolic::<F64x16>().approx_bytes();
+        // Index bytes are shared; value bytes scale exactly K×.
+        assert!(b8 > b1);
+        assert!(b16 > b8);
+        let value_bytes = |k: usize| {
+            (lu.l_vals.len() + lu.u_vals.len() + lu.u_diag.len() + lu.work.len()) * 8 * k
+        };
+        let index_bytes = b1 - value_bytes(1);
+        assert_eq!(b8, index_bytes + value_bytes(8));
+        assert_eq!(b16, index_bytes + value_bytes(16));
     }
 }

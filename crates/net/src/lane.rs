@@ -1,0 +1,1505 @@
+//! Lane-bundled transient analysis: `K` parameter corners of one
+//! topology, simulated in lockstep per instruction stream.
+//!
+//! [`LaneTransientSolver`] is the batched twin of
+//! [`TransientSolver`](crate::TransientSolver): it takes `K`
+//! *topology-identical* circuits (same nodes, same element kinds and
+//! connectivity — only parameter values may differ), packs every device
+//! parameter into an [`F64xK`] lane bundle once at construction, and
+//! then runs the ordinary MNA machinery — `PatternStamp`/`CsrStamp`
+//! assembly, `SparseLu` numeric refactor, triangular solves, Newton —
+//! generically over the bundle scalar. One assembly pass stamps all `K`
+//! corners; one refactor+solve advances all `K` waveforms.
+//!
+//! # Semantics vs. the scalar solver
+//!
+//! * **Pivoting.** The sparse pivot *sequence* is pattern-determined
+//!   and shared by all lanes (it is the scalar symbolic factor's, when
+//!   adopted via [`LaneTransientSolver::adopt_scalar_factor`]). Pivot
+//!   acceptance guards use `modulus` = max across live lanes: a pivot
+//!   stands while at least one lane supports it, and a refactor fails
+//!   ([`NetError::Singular`](crate::NetError)) only when *every* lane
+//!   has gone numerically dead at that pivot.
+//! * **Newton.** Convergence is checked per lane; a lane whose iterate
+//!   goes non-finite is masked out (its solution becomes NaN) instead
+//!   of failing the bundle. The step errors only when no live lane
+//!   converges. Live lanes iterate until *all* of them converge, so a
+//!   hard corner can add iterations to easy corners — this is the
+//!   documented ≤1e-9 deviation source vs. scalar runs (same fixed
+//!   point, different iteration count).
+//! * **Step control.** [`LaneTransientSolver::run_adaptive`] computes
+//!   the local-truncation-error estimate per lane and accepts on the
+//!   *maximum* over live lanes — equivalently, the shared step is the
+//!   minimum of the per-lane desired steps. Per-lane accept masks fall
+//!   out of divergence masking: dead lanes neither veto nor shrink the
+//!   step.
+//! * **Divergence isolation.** Lanewise arithmetic never mixes lanes,
+//!   so a NaN corner stays confined to its lane by construction; its
+//!   metrics surface as NaN in the sweep report, exactly like a failed
+//!   scalar scenario.
+
+use crate::assembly::{MnaSystem, SolverBackend, Stamp};
+use crate::dcop::{diode_iv, DcOptions, GMIN};
+use crate::devices::nmos_linearize;
+use crate::mna::{
+    stamp_branch_kcl, stamp_branch_voltage, stamp_conductance, stamp_current, stamp_vccs, MnaLayout,
+};
+use crate::transient::{AdaptiveOptions, IntegrationMethod, SymbolicFactor, TransientStats};
+use crate::{Circuit, ElementId, ElementKind, NetError, NodeId};
+use ams_math::lanes::F64xK;
+use ams_math::{DVec, Scalar, SparseLu};
+use ams_scope::{SpanKind, TraceEvent, Tracer};
+
+/// Seconds → femtoseconds, saturating (the tracer's time base).
+#[inline]
+fn fs(t: f64) -> u64 {
+    (t * 1e15) as u64
+}
+
+#[derive(Debug, Clone, Copy)]
+struct LaneEnergyState<const K: usize> {
+    v: F64xK<K>,
+    i: F64xK<K>,
+}
+
+impl<const K: usize> Default for LaneEnergyState<K> {
+    fn default() -> Self {
+        LaneEnergyState {
+            v: F64xK::ZERO,
+            i: F64xK::ZERO,
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+struct LaneSnapshot<const K: usize> {
+    x: DVec<F64xK<K>>,
+    time: f64,
+    state: Vec<LaneEnergyState<K>>,
+    force_be: u32,
+    active: [bool; K],
+}
+
+/// Everything the linear-path system matrix depends on: step size,
+/// effective integration rule and switch states (mirrors the scalar
+/// solver's factor key).
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct LaneFactorKey {
+    h_bits: u64,
+    be: bool,
+    switches: Vec<bool>,
+}
+
+/// An opaque symbolic sparse-LU analysis over the lane-bundle scalar,
+/// exported by one [`LaneTransientSolver`] and adoptable by bundles
+/// over value-variants of the same topology — the lane-mode counterpart
+/// of [`SymbolicFactor`].
+#[derive(Debug, Clone)]
+pub struct LaneSymbolicFactor<const K: usize>(SparseLu<F64xK<K>>);
+
+impl<const K: usize> LaneSymbolicFactor<K> {
+    /// Dimension of the factored system (number of MNA unknowns).
+    pub fn dim(&self) -> usize {
+        self.0.dim()
+    }
+
+    /// Estimated resident size in bytes; value arrays are charged at
+    /// the full bundle width (`K × 8` bytes per nonzero), so byte
+    /// budgets see lane factors at their true size.
+    pub fn approx_bytes(&self) -> usize {
+        self.0.approx_bytes()
+    }
+}
+
+/// A read-only view of one lane of a [`LaneTransientSolver`], exposing
+/// the same probe surface as the scalar solver (`time`, `voltage`,
+/// `current`). Sweep observers written against [`ScenarioProbe`] work
+/// unchanged in scalar and lane mode.
+#[derive(Clone, Copy)]
+pub struct LaneView<'a, const K: usize> {
+    solver: &'a LaneTransientSolver<K>,
+    lane: usize,
+}
+
+impl<const K: usize> LaneView<'_, K> {
+    /// The lane index this view reads.
+    pub fn lane(&self) -> usize {
+        self.lane
+    }
+}
+
+/// The probe surface shared by the scalar [`TransientSolver`]
+/// (crate::TransientSolver) and a [`LaneView`] of a bundled solver:
+/// what a sweep's metric-extraction closure is allowed to see after
+/// each accepted step.
+pub trait ScenarioProbe {
+    /// Current simulation time in seconds.
+    fn time(&self) -> f64;
+
+    /// The voltage of a node at the current time.
+    fn voltage(&self, node: NodeId) -> f64;
+
+    /// The current through an element at the current time.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetError::UnknownElement`] for kinds without a
+    /// computable branch current.
+    fn current(&self, elem: ElementId) -> Result<f64, NetError>;
+}
+
+impl ScenarioProbe for crate::TransientSolver {
+    fn time(&self) -> f64 {
+        crate::TransientSolver::time(self)
+    }
+
+    fn voltage(&self, node: NodeId) -> f64 {
+        crate::TransientSolver::voltage(self, node)
+    }
+
+    fn current(&self, elem: ElementId) -> Result<f64, NetError> {
+        crate::TransientSolver::current(self, elem)
+    }
+}
+
+impl<const K: usize> ScenarioProbe for LaneView<'_, K> {
+    fn time(&self) -> f64 {
+        self.solver.time()
+    }
+
+    fn voltage(&self, node: NodeId) -> f64 {
+        self.solver.voltage_lane(node, self.lane)
+    }
+
+    fn current(&self, elem: ElementId) -> Result<f64, NetError> {
+        self.solver.current_lane(elem, self.lane)
+    }
+}
+
+/// A stepping transient solver over `K` topology-identical circuits.
+///
+/// # Example
+///
+/// Four RC charging curves with different resistors, one instruction
+/// stream:
+///
+/// ```
+/// use ams_net::{Circuit, IntegrationMethod, LaneTransientSolver};
+///
+/// # fn main() -> Result<(), ams_net::NetError> {
+/// let build = |r: f64| -> Result<Circuit, ams_net::NetError> {
+///     let mut ckt = Circuit::new();
+///     let a = ckt.node("a");
+///     let out = ckt.node("out");
+///     ckt.voltage_source("V1", a, Circuit::GROUND, 1.0)?;
+///     ckt.resistor("R1", a, out, r)?;
+///     ckt.capacitor_ic("C1", out, Circuit::GROUND, 1e-6, 0.0)?;
+///     Ok(ckt)
+/// };
+/// let circuits: Vec<Circuit> = [0.5e3, 1e3, 2e3, 4e3]
+///     .iter()
+///     .map(|&r| build(r))
+///     .collect::<Result<_, _>>()?;
+/// let mut tr =
+///     LaneTransientSolver::<4>::new(&circuits, IntegrationMethod::Trapezoidal)?;
+/// tr.initialize_with_ic()?;
+/// for _ in 0..1000 {
+///     tr.step(1e-6)?; // 1 ms total
+/// }
+/// let out = circuits[0].nodes().nth(2).unwrap();
+/// // Lane 1 is the τ = 1 ms circuit: v = 1 − e⁻¹ after one τ.
+/// let expected = 1.0 - (-1.0f64).exp();
+/// assert!((tr.voltage_lane(out, 1) - expected).abs() < 1e-4);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct LaneTransientSolver<const K: usize> {
+    /// The K lane circuits (lane l's parameters and waveforms).
+    circuits: Vec<Circuit>,
+    layout: MnaLayout,
+    method: IntegrationMethod,
+    x: DVec<F64xK<K>>,
+    time: f64,
+    /// Per-lane external inputs, lane-major (`ext[l][input]`) so each
+    /// lane's slice feeds `Waveform::value_at` directly.
+    ext: Vec<Vec<f64>>,
+    /// Switch states are topology-level events, shared by all lanes.
+    switches: Vec<bool>,
+    state: Vec<LaneEnergyState<K>>,
+    nonlinear: bool,
+    force_be: u32,
+    sys: Option<MnaSystem<F64xK<K>>>,
+    factor_key: Option<LaneFactorKey>,
+    /// Linear-solver backend selection (dense / sparse / size-based).
+    pub backend: SolverBackend,
+    /// Set to disable factorization reuse (for benchmarking).
+    pub reuse_factorization: bool,
+    symbolic_hint: Option<SparseLu<F64xK<K>>>,
+    /// Per-lane liveness: lanes drop out on divergence instead of
+    /// failing the bundle.
+    active: [bool; K],
+    stats: TransientStats,
+    initialized: bool,
+    tracer: Tracer,
+}
+
+impl<const K: usize> LaneTransientSolver<K> {
+    /// Creates a bundled solver over `circuits[0..K]`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetError::InvalidValue`] unless exactly `K` circuits
+    /// are given and they are topology-identical: same node and element
+    /// counts, and element-for-element the same kind, terminals and
+    /// control references. Parameter *values* (R/L/C, gains, waveform
+    /// shapes, initial conditions) are free per lane.
+    pub fn new(circuits: &[Circuit], method: IntegrationMethod) -> Result<Self, NetError> {
+        if circuits.len() != K {
+            return Err(NetError::InvalidValue {
+                element: "lane bundle".to_string(),
+                reason: format!("expected {K} circuits, got {}", circuits.len()),
+            });
+        }
+        check_topology_identical(circuits)?;
+        let base = &circuits[0];
+        let layout = MnaLayout::build(base);
+        let nonlinear = base.elements().iter().any(|e| e.is_nonlinear());
+        Ok(LaneTransientSolver {
+            circuits: circuits.to_vec(),
+            layout: layout.clone(),
+            method,
+            x: DVec::zeros(layout.n_unknowns),
+            time: 0.0,
+            ext: vec![vec![0.0; base.external_input_count()]; K],
+            switches: base.initial_switch_states(),
+            state: vec![LaneEnergyState::default(); base.element_count()],
+            nonlinear,
+            force_be: 0,
+            sys: None,
+            factor_key: None,
+            backend: SolverBackend::default(),
+            reuse_factorization: true,
+            symbolic_hint: None,
+            active: [true; K],
+            stats: TransientStats::default(),
+            initialized: false,
+            tracer: Tracer::off(),
+        })
+    }
+
+    /// Enables or disables span tracing (same spans as the scalar
+    /// solver: MNA assemble/factor/solve, Newton instants, step
+    /// accept/reject). Disabled, every hook costs a single branch.
+    pub fn set_tracing(&mut self, enabled: bool) {
+        self.tracer.set_enabled(enabled);
+    }
+
+    /// Drains the recorded trace events (empty when tracing is off).
+    pub fn take_trace_events(&mut self) -> Vec<TraceEvent> {
+        self.tracer.take_events()
+    }
+
+    /// Current simulation time in seconds (shared by all lanes).
+    pub fn time(&self) -> f64 {
+        self.time
+    }
+
+    /// The lane width `K`.
+    pub fn lanes(&self) -> usize {
+        K
+    }
+
+    /// Which lanes are still live (not masked out by divergence).
+    pub fn active_lanes(&self) -> [bool; K] {
+        self.active
+    }
+
+    /// A probe view of lane `l`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `l >= K`.
+    pub fn lane_view(&self, l: usize) -> LaneView<'_, K> {
+        assert!(l < K, "lane out of range");
+        LaneView {
+            solver: self,
+            lane: l,
+        }
+    }
+
+    /// Accumulated statistics. Counters are per *bundle*: one step or
+    /// factorization advances all `K` lanes at once.
+    pub fn stats(&self) -> TransientStats {
+        let mut s = self.stats;
+        if let Some(sys) = &self.sys {
+            s.solve.merge(&sys.stats());
+        }
+        s
+    }
+
+    /// Extracts the lane-width sparse symbolic analysis of this
+    /// solver's transient system, if one has been computed.
+    pub fn symbolic_factor(&self) -> Option<LaneSymbolicFactor<K>> {
+        self.sys
+            .as_ref()
+            .and_then(|s| s.export_sparse_factor())
+            .map(LaneSymbolicFactor)
+    }
+
+    /// Adopts a lane-width symbolic analysis from a bundle over the
+    /// same topology: the first sparse factorization becomes a numeric
+    /// refactor.
+    pub fn adopt_symbolic_factor(&mut self, hint: &LaneSymbolicFactor<K>) {
+        self.symbolic_hint = Some(hint.0.clone());
+    }
+
+    /// Adopts a *scalar* symbolic analysis (from a scalar
+    /// [`TransientSolver`](crate::TransientSolver) over the same
+    /// topology), widening it to the bundle scalar. The pivot sequence
+    /// is pattern-determined, so each lane replays exactly the scalar
+    /// factor's elimination — the op-for-op basis of lane-vs-scalar
+    /// parity.
+    pub fn adopt_scalar_factor(&mut self, hint: &SymbolicFactor) {
+        self.symbolic_hint = Some(hint.inner().cast_symbolic::<F64xK<K>>());
+    }
+
+    /// Sets an external source input of one lane (takes effect from the
+    /// next step).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the lane or handle is out of range.
+    pub fn set_input_lane(&mut self, input: crate::InputId, lane: usize, value: f64) {
+        self.ext[lane][input.index()] = value;
+    }
+
+    /// Sets a switch state for **all** lanes (switch events are
+    /// topology-level); the next step uses backward Euler once.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetError::UnknownElement`] if `elem` is not a switch.
+    pub fn set_switch(&mut self, elem: ElementId, on: bool) -> Result<(), NetError> {
+        match self.circuits[0]
+            .elements()
+            .get(elem.index())
+            .map(|e| &e.kind)
+        {
+            Some(ElementKind::Switch { .. }) => {
+                if self.switches[elem.index()] != on {
+                    self.switches[elem.index()] = on;
+                    self.force_be = 1;
+                    self.factor_key = None;
+                }
+                Ok(())
+            }
+            _ => Err(NetError::UnknownElement {
+                index: elem.index(),
+                what: "switch",
+            }),
+        }
+    }
+
+    /// The voltage of a node in lane `l` at the current time.
+    ///
+    /// # Panics
+    ///
+    /// Panics for nodes outside the circuit or `l >= K`.
+    pub fn voltage_lane(&self, node: NodeId, l: usize) -> f64 {
+        assert!(node.index() < self.layout.n_nodes, "node out of range");
+        match self.layout.node_var(node) {
+            None => 0.0,
+            Some(i) => self.x[i].lane(l),
+        }
+    }
+
+    /// The current through an element in lane `l` at the current time.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetError::UnknownElement`] for unsupported kinds.
+    pub fn current_lane(&self, elem: ElementId, l: usize) -> Result<f64, NetError> {
+        let e = self.circuits[l]
+            .elements()
+            .get(elem.index())
+            .ok_or(NetError::UnknownElement {
+                index: elem.index(),
+                what: "current",
+            })?;
+        if let Some(b) = self.layout.branch_var(elem) {
+            return Ok(self.x[b].lane(l));
+        }
+        let v = self.voltage_lane(e.p, l) - self.voltage_lane(e.n, l);
+        match &e.kind {
+            ElementKind::Resistor { ohms } => Ok(v / ohms),
+            ElementKind::Capacitor { .. } => Ok(self.state[elem.index()].i.lane(l)),
+            ElementKind::Switch { r_on, r_off, .. } => {
+                let r = if self.switches[elem.index()] {
+                    *r_on
+                } else {
+                    *r_off
+                };
+                Ok(v / r)
+            }
+            ElementKind::Diode { is_sat, n } => Ok(diode_iv(v, *is_sat, *n).0 + GMIN * v),
+            ElementKind::Nmos {
+                gate,
+                kp,
+                vt,
+                lambda,
+            } => {
+                let vg = self.voltage_lane(*gate, l);
+                let vd = self.voltage_lane(e.p, l);
+                let vs = self.voltage_lane(e.n, l);
+                Ok(nmos_linearize(vg, vd, vs, *kp, *vt, *lambda).id + GMIN * v)
+            }
+            _ => Err(NetError::UnknownElement {
+                index: elem.index(),
+                what: "computable branch current",
+            }),
+        }
+    }
+
+    /// Initializes every lane from its own DC operating point (`K`
+    /// scalar DC solves — paid once per run, amortized over every
+    /// bundled step), honoring element initial conditions where given.
+    ///
+    /// # Errors
+    ///
+    /// Propagates DC solve failures (any lane failing fails
+    /// initialization: a consistent start is a precondition, not a
+    /// per-lane property).
+    pub fn initialize_dc(&mut self) -> Result<(), NetError> {
+        let mut x: DVec<F64xK<K>> = DVec::zeros(self.layout.n_unknowns);
+        for l in 0..K {
+            let op = self.circuits[l].dc_operating_point_with(&self.ext[l], &self.switches)?;
+            for i in 0..self.layout.n_unknowns {
+                x[i].set_lane(l, op.x[i]);
+            }
+        }
+        self.x = x;
+        self.seed_state_from_solution();
+        self.time = 0.0;
+        self.initialized = true;
+        self.factor_key = None;
+        self.active = [true; K];
+        Ok(())
+    }
+
+    /// Initializes using element initial conditions only (SPICE `UIC`),
+    /// per lane.
+    ///
+    /// # Errors
+    ///
+    /// Infallible today; reserved for future validation.
+    pub fn initialize_with_ic(&mut self) -> Result<(), NetError> {
+        self.x = DVec::zeros(self.layout.n_unknowns);
+        for idx in 0..self.state.len() {
+            let mut st = LaneEnergyState::default();
+            let mut is_storage = false;
+            for l in 0..K {
+                match self.circuits[l].elements()[idx].kind {
+                    ElementKind::Capacitor { ic, .. } => {
+                        is_storage = true;
+                        st.v.set_lane(l, ic.unwrap_or(0.0));
+                    }
+                    ElementKind::Inductor { ic, .. } => {
+                        is_storage = true;
+                        st.i.set_lane(l, ic.unwrap_or(0.0));
+                    }
+                    _ => {}
+                }
+            }
+            if is_storage {
+                self.state[idx] = st;
+            }
+        }
+        self.time = 0.0;
+        self.force_be = 1; // first step from possibly inconsistent state
+        self.initialized = true;
+        self.factor_key = None;
+        self.active = [true; K];
+        Ok(())
+    }
+
+    fn seed_state_from_solution(&mut self) {
+        for idx in 0..self.state.len() {
+            let e_p = self.circuits[0].elements()[idx].p;
+            let e_n = self.circuits[0].elements()[idx].n;
+            match self.circuits[0].elements()[idx].kind {
+                ElementKind::Capacitor { .. } => {
+                    let v_sol = self.branch_voltage(e_p, e_n);
+                    let mut v = v_sol;
+                    for l in 0..K {
+                        if let ElementKind::Capacitor { ic: Some(ic), .. } =
+                            self.circuits[l].elements()[idx].kind
+                        {
+                            v.set_lane(l, ic);
+                            self.force_be = 1;
+                        }
+                    }
+                    self.state[idx] = LaneEnergyState { v, i: F64xK::ZERO };
+                }
+                ElementKind::Inductor { .. } => {
+                    let i_sol = self
+                        .layout
+                        .branch_var(ElementId(idx))
+                        .map_or(F64xK::ZERO, |b| self.x[b]);
+                    let mut i = i_sol;
+                    for l in 0..K {
+                        if let ElementKind::Inductor { ic: Some(ic), .. } =
+                            self.circuits[l].elements()[idx].kind
+                        {
+                            i.set_lane(l, ic);
+                            self.force_be = 1;
+                        }
+                    }
+                    self.state[idx] = LaneEnergyState { v: F64xK::ZERO, i };
+                }
+                _ => {}
+            }
+        }
+    }
+
+    fn branch_voltage(&self, p: NodeId, n: NodeId) -> F64xK<K> {
+        let vp = self.layout.node_var(p).map_or(F64xK::ZERO, |i| self.x[i]);
+        let vn = self.layout.node_var(n).map_or(F64xK::ZERO, |i| self.x[i]);
+        vp - vn
+    }
+
+    /// Kills lane `l`: marks it inactive and poisons its solution and
+    /// history with NaN so every later probe reads NaN.
+    fn kill_lane(&mut self, l: usize) {
+        self.active[l] = false;
+        for i in 0..self.x.len() {
+            self.x[i].set_lane(l, f64::NAN);
+        }
+        for st in &mut self.state {
+            st.v.set_lane(l, f64::NAN);
+            st.i.set_lane(l, f64::NAN);
+        }
+    }
+
+    /// Advances all live lanes by one step of size `h` seconds.
+    ///
+    /// # Errors
+    ///
+    /// * [`NetError::InvalidValue`] for a non-positive step.
+    /// * [`NetError::NoConvergence`] when the Newton loop leaves no
+    ///   live lane converged (single-lane divergence only masks).
+    /// * [`NetError::Singular`](crate::NetError) when every lane is
+    ///   numerically dead at some pivot.
+    pub fn step(&mut self, h: f64) -> Result<(), NetError> {
+        if !self.initialized {
+            self.initialize_dc()?;
+        }
+        if h <= 0.0 || !h.is_finite() {
+            return Err(NetError::InvalidValue {
+                element: "timestep".to_string(),
+                reason: format!("step must be positive and finite, got {h}"),
+            });
+        }
+        let be = self.force_be > 0 || matches!(self.method, IntegrationMethod::BackwardEuler);
+        let t_new = self.time + h;
+        let n = self.layout.n_unknowns;
+
+        let x_new = if self.nonlinear {
+            // Newton loop with per-lane convergence + divergence masks.
+            let mut x_iter = self.x.clone();
+            let opts = DcOptions::default();
+            let mut done = [false; K];
+            let mut iters = 0;
+            for _ in 0..opts.max_iter {
+                iters += 1;
+                self.assemble_and_factor(&x_iter, t_new, h, be, self.reuse_factorization)?;
+                if self.tracer.is_enabled() {
+                    self.tracer.begin(SpanKind::MnaSolve, fs(t_new));
+                }
+                let solved = self
+                    .sys
+                    .as_ref()
+                    .expect("system just assembled")
+                    .solve_rhs();
+                if self.tracer.is_enabled() {
+                    self.tracer.end(SpanKind::MnaSolve, fs(t_new));
+                }
+                let x_next = solved?;
+                for (l, done_l) in done.iter_mut().enumerate() {
+                    if !self.active[l] {
+                        continue;
+                    }
+                    let mut lane_done = true;
+                    let mut lane_finite = true;
+                    for i in 0..n {
+                        let a = x_next[i].lane(l);
+                        let b = x_iter[i].lane(l);
+                        if !a.is_finite() {
+                            lane_finite = false;
+                            break;
+                        }
+                        let d = (a - b).abs();
+                        if d > opts.v_tol + opts.rel_tol * a.abs().max(b.abs()) {
+                            lane_done = false;
+                        }
+                    }
+                    if !lane_finite {
+                        // Divergence masking: the corner dies, the
+                        // bundle lives.
+                        self.kill_lane(l);
+                    } else {
+                        *done_l = lane_done;
+                    }
+                }
+                x_iter = x_next;
+                // Re-poison dead lanes so NaN keeps flowing through the
+                // next assembly instead of a stale finite iterate.
+                for l in 0..K {
+                    if !self.active[l] {
+                        for i in 0..n {
+                            x_iter[i].set_lane(l, f64::NAN);
+                        }
+                    }
+                }
+                if (0..K).all(|l| !self.active[l] || done[l]) {
+                    break;
+                }
+            }
+            self.stats.newton_iterations += iters;
+            if self.tracer.is_enabled() {
+                self.tracer
+                    .instant(SpanKind::NewtonIteration, fs(t_new), iters);
+            }
+            // Lanes that never converged are masked out; the step fails
+            // only when that leaves no live lane.
+            for (l, &done_l) in done.iter().enumerate() {
+                if self.active[l] && !done_l {
+                    self.kill_lane(l);
+                    for i in 0..n {
+                        x_iter[i].set_lane(l, f64::NAN);
+                    }
+                }
+            }
+            if !self.active.iter().any(|&a| a) {
+                return Err(NetError::NoConvergence {
+                    analysis: "lane transient step",
+                    iterations: iters as usize,
+                });
+            }
+            x_iter
+        } else {
+            // Linear fast path: matrix depends only on (h, method,
+            // switches); only the RHS is rebuilt per step.
+            let key = LaneFactorKey {
+                h_bits: h.to_bits(),
+                be,
+                switches: self.switches.clone(),
+            };
+            let cache_ok = self.reuse_factorization
+                && self.factor_key.as_ref() == Some(&key)
+                && self
+                    .sys
+                    .as_ref()
+                    .is_some_and(|s| s.is_sparse() == self.backend.use_sparse(n));
+            if !cache_ok {
+                let x = self.x.clone();
+                self.assemble_and_factor(&x, t_new, h, be, self.reuse_factorization)?;
+                self.factor_key = Some(key);
+            }
+            let mut sys = self.sys.take().expect("system just ensured");
+            sys.assemble_rhs(|st| self.assemble_rhs_only(st, t_new, h, be));
+            if self.tracer.is_enabled() {
+                self.tracer.begin(SpanKind::MnaSolve, fs(t_new));
+            }
+            let solved = sys.solve_rhs();
+            if self.tracer.is_enabled() {
+                self.tracer.end(SpanKind::MnaSolve, fs(t_new));
+            }
+            self.sys = Some(sys);
+            self.stats.newton_iterations += 1;
+            solved?
+        };
+
+        self.commit_step(x_new, t_new, h, be);
+        Ok(())
+    }
+
+    fn assemble_and_factor(
+        &mut self,
+        x: &DVec<F64xK<K>>,
+        t_new: f64,
+        h: f64,
+        be: bool,
+        allow_reuse: bool,
+    ) -> Result<(), NetError> {
+        let n = self.layout.n_unknowns;
+        let use_sparse = self.backend.use_sparse(n);
+        let traced = self.tracer.is_enabled();
+        if traced {
+            self.tracer.begin(SpanKind::MnaAssemble, fs(t_new));
+        }
+        let mut sys = match self.sys.take() {
+            Some(s) if s.is_sparse() == use_sparse => s,
+            other => {
+                if let Some(old) = other {
+                    self.stats.solve.merge(&old.stats());
+                }
+                let mut fresh =
+                    MnaSystem::new(n, use_sparse, |st| self.assemble(st, x, t_new, h, be));
+                if let Some(hint) = self.symbolic_hint.take() {
+                    fresh.import_sparse_factor(hint);
+                }
+                fresh
+            }
+        };
+        sys.assemble(|st| self.assemble(st, x, t_new, h, be));
+        if traced {
+            self.tracer.end(SpanKind::MnaAssemble, fs(t_new));
+            self.tracer.begin(SpanKind::MnaFactor, fs(t_new));
+        }
+        let factored = sys.factor(allow_reuse);
+        if traced {
+            self.tracer.end(SpanKind::MnaFactor, fs(t_new));
+        }
+        self.sys = Some(sys);
+        if factored? {
+            self.stats.factorizations += 1;
+        }
+        Ok(())
+    }
+
+    fn commit_step(&mut self, x_new: DVec<F64xK<K>>, t_new: f64, h: f64, be: bool) {
+        self.x = x_new;
+        let hh = F64xK::<K>::splat(h);
+        let two = F64xK::<K>::splat(2.0);
+        for idx in 0..self.state.len() {
+            let e_p = self.circuits[0].elements()[idx].p;
+            let e_n = self.circuits[0].elements()[idx].n;
+            match self.circuits[0].elements()[idx].kind {
+                ElementKind::Capacitor { .. } => {
+                    let c = self.lane_param(idx, |k| match k {
+                        ElementKind::Capacitor { farads, .. } => *farads,
+                        _ => unreachable!(),
+                    });
+                    let v_new = self.branch_voltage(e_p, e_n);
+                    let st = self.state[idx];
+                    let i_new = if be {
+                        c / hh * (v_new - st.v)
+                    } else {
+                        two * c / hh * (v_new - st.v) - st.i
+                    };
+                    self.state[idx] = LaneEnergyState { v: v_new, i: i_new };
+                }
+                ElementKind::Inductor { .. } => {
+                    let b = self
+                        .layout
+                        .branch_var(ElementId(idx))
+                        .expect("inductor branch");
+                    let i_new = self.x[b];
+                    let v_new = self.branch_voltage(e_p, e_n);
+                    self.state[idx] = LaneEnergyState { v: v_new, i: i_new };
+                }
+                _ => {}
+            }
+        }
+        self.time = t_new;
+        self.stats.steps += 1;
+        if self.force_be > 0 {
+            self.force_be -= 1;
+        }
+    }
+
+    /// Gathers one scalar parameter of element `idx` across the `K`
+    /// lane circuits into a bundle — the "per-lane device parameters in
+    /// one pass" primitive of lane assembly.
+    #[inline]
+    fn lane_param(&self, idx: usize, f: impl Fn(&ElementKind) -> f64) -> F64xK<K> {
+        F64xK::from_fn(|l| f(&self.circuits[l].elements()[idx].kind))
+    }
+
+    /// Evaluates an independent source's waveform per lane at `t`.
+    #[inline]
+    fn lane_wave(&self, idx: usize, t: f64) -> F64xK<K> {
+        F64xK::from_fn(|l| match &self.circuits[l].elements()[idx].kind {
+            ElementKind::VoltageSource { wave, .. } | ElementKind::CurrentSource { wave, .. } => {
+                wave.value_at(t, &self.ext[l])
+            }
+            _ => unreachable!("lane_wave on a non-source element"),
+        })
+    }
+
+    /// Assembles the full linearized system at candidate solution `x`.
+    /// The stamp-call sequence mirrors the scalar solver's exactly —
+    /// topology-determined, value-independent — so the recorded pattern
+    /// (and any adopted scalar symbolic factor) stays valid.
+    fn assemble(
+        &self,
+        st: &mut dyn Stamp<F64xK<K>>,
+        x: &DVec<F64xK<K>>,
+        t_new: f64,
+        h: f64,
+        be: bool,
+    ) {
+        let layout = &self.layout;
+        let hh = F64xK::<K>::splat(h);
+        let two = F64xK::<K>::splat(2.0);
+        let one = F64xK::<K>::ONE;
+        let gmin = F64xK::<K>::splat(GMIN);
+        for (idx, e) in self.circuits[0].elements().iter().enumerate() {
+            let eid = ElementId(idx);
+            match &e.kind {
+                ElementKind::Resistor { .. } => {
+                    let g = self.lane_param(idx, |k| match k {
+                        ElementKind::Resistor { ohms } => 1.0 / ohms,
+                        _ => unreachable!(),
+                    });
+                    stamp_conductance(layout, st, e.p, e.n, g);
+                }
+                ElementKind::Capacitor { .. } => {
+                    let c = self.lane_param(idx, |k| match k {
+                        ElementKind::Capacitor { farads, .. } => *farads,
+                        _ => unreachable!(),
+                    });
+                    let es = self.state[idx];
+                    let (geq, ieq) = if be {
+                        let g = c / hh;
+                        (g, g * es.v)
+                    } else {
+                        let g = two * c / hh;
+                        (g, g * es.v + es.i)
+                    };
+                    stamp_conductance(layout, st, e.p, e.n, geq);
+                    stamp_current(layout, st, e.n, e.p, ieq);
+                }
+                ElementKind::Inductor { .. } => {
+                    let ind = self.lane_param(idx, |k| match k {
+                        ElementKind::Inductor { henries, .. } => *henries,
+                        _ => unreachable!(),
+                    });
+                    let b = layout.branch_var(eid).expect("inductor branch");
+                    let es = self.state[idx];
+                    stamp_branch_kcl(layout, st, e.p, e.n, b);
+                    stamp_branch_voltage(layout, st, b, e.p, e.n, one);
+                    if be {
+                        let req = ind / hh;
+                        st.mat(b, b, -req);
+                        st.rhs(b, -req * es.i);
+                    } else {
+                        let req = two * ind / hh;
+                        st.mat(b, b, -req);
+                        st.rhs(b, -req * es.i - es.v);
+                    }
+                }
+                ElementKind::VoltageSource { .. } => {
+                    let b = layout.branch_var(eid).expect("vsource branch");
+                    stamp_branch_kcl(layout, st, e.p, e.n, b);
+                    stamp_branch_voltage(layout, st, b, e.p, e.n, one);
+                    st.rhs(b, self.lane_wave(idx, t_new));
+                }
+                ElementKind::CurrentSource { .. } => {
+                    stamp_current(layout, st, e.p, e.n, self.lane_wave(idx, t_new));
+                }
+                ElementKind::Vcvs { cp, cn, .. } => {
+                    let gain = self.lane_param(idx, |k| match k {
+                        ElementKind::Vcvs { gain, .. } => *gain,
+                        _ => unreachable!(),
+                    });
+                    let b = layout.branch_var(eid).expect("vcvs branch");
+                    stamp_branch_kcl(layout, st, e.p, e.n, b);
+                    stamp_branch_voltage(layout, st, b, e.p, e.n, one);
+                    stamp_branch_voltage(layout, st, b, *cp, *cn, -gain);
+                }
+                ElementKind::Vccs { cp, cn, .. } => {
+                    let gm = self.lane_param(idx, |k| match k {
+                        ElementKind::Vccs { gm, .. } => *gm,
+                        _ => unreachable!(),
+                    });
+                    stamp_vccs(layout, st, e.p, e.n, *cp, *cn, gm);
+                }
+                ElementKind::Cccs { ctrl, .. } => {
+                    let gain = self.lane_param(idx, |k| match k {
+                        ElementKind::Cccs { gain, .. } => *gain,
+                        _ => unreachable!(),
+                    });
+                    let cb = layout.branch_var(*ctrl).expect("validated control");
+                    if let Some(ip) = layout.node_var(e.p) {
+                        st.mat(ip, cb, gain);
+                    }
+                    if let Some(in_) = layout.node_var(e.n) {
+                        st.mat(in_, cb, -gain);
+                    }
+                }
+                ElementKind::Ccvs { ctrl, .. } => {
+                    let r = self.lane_param(idx, |k| match k {
+                        ElementKind::Ccvs { r, .. } => *r,
+                        _ => unreachable!(),
+                    });
+                    let b = layout.branch_var(eid).expect("ccvs branch");
+                    let cb = layout.branch_var(*ctrl).expect("validated control");
+                    stamp_branch_kcl(layout, st, e.p, e.n, b);
+                    stamp_branch_voltage(layout, st, b, e.p, e.n, one);
+                    st.mat(b, cb, -r);
+                }
+                ElementKind::Diode { .. } => {
+                    let vp = layout.node_var(e.p).map_or(F64xK::ZERO, |i| x[i]);
+                    let vn = layout.node_var(e.n).map_or(F64xK::ZERO, |i| x[i]);
+                    let v = vp - vn;
+                    // The exponential is inherently scalar; linearize
+                    // each lane at its own bias and pack.
+                    let mut i_l = F64xK::<K>::ZERO;
+                    let mut g_l = F64xK::<K>::ZERO;
+                    for l in 0..K {
+                        if let ElementKind::Diode { is_sat, n } =
+                            self.circuits[l].elements()[idx].kind
+                        {
+                            let (i, g) = diode_iv(v.lane(l), is_sat, n);
+                            i_l.set_lane(l, i);
+                            g_l.set_lane(l, g);
+                        }
+                    }
+                    stamp_conductance(layout, st, e.p, e.n, g_l + gmin);
+                    stamp_current(layout, st, e.p, e.n, i_l - g_l * v);
+                }
+                ElementKind::Nmos { gate, .. } => {
+                    let vg = layout.node_var(*gate).map_or(F64xK::ZERO, |i| x[i]);
+                    let vd = layout.node_var(e.p).map_or(F64xK::ZERO, |i| x[i]);
+                    let vs = layout.node_var(e.n).map_or(F64xK::ZERO, |i| x[i]);
+                    let mut id = F64xK::<K>::ZERO;
+                    let mut a_g = F64xK::<K>::ZERO;
+                    let mut a_d = F64xK::<K>::ZERO;
+                    let mut a_s = F64xK::<K>::ZERO;
+                    for l in 0..K {
+                        if let ElementKind::Nmos { kp, vt, lambda, .. } =
+                            self.circuits[l].elements()[idx].kind
+                        {
+                            let op =
+                                nmos_linearize(vg.lane(l), vd.lane(l), vs.lane(l), kp, vt, lambda);
+                            id.set_lane(l, op.id);
+                            a_g.set_lane(l, op.a_g);
+                            a_d.set_lane(l, op.a_d);
+                            a_s.set_lane(l, op.a_s);
+                        }
+                    }
+                    // Lane-wide analogue of `stamp_mos`: drain/source
+                    // rows, gate/drain/source columns, RHS-folded bias.
+                    let cols = [
+                        (layout.node_var(*gate), a_g),
+                        (layout.node_var(e.p), a_d),
+                        (layout.node_var(e.n), a_s),
+                    ];
+                    for (row_node, sign) in [(e.p, 1.0), (e.n, -1.0)] {
+                        if let Some(r) = layout.node_var(row_node) {
+                            for (col, a) in cols {
+                                if let Some(cc) = col {
+                                    st.mat(r, cc, F64xK::splat(sign) * a);
+                                }
+                            }
+                        }
+                    }
+                    let ieq = id - a_g * vg - a_d * vd - a_s * vs;
+                    stamp_current(layout, st, e.p, e.n, ieq);
+                    stamp_conductance(layout, st, e.p, e.n, gmin);
+                }
+                ElementKind::Switch { .. } => {
+                    let on = self.switches[idx];
+                    let g = self.lane_param(idx, |k| match k {
+                        ElementKind::Switch { r_on, r_off, .. } => {
+                            1.0 / if on { *r_on } else { *r_off }
+                        }
+                        _ => unreachable!(),
+                    });
+                    stamp_conductance(layout, st, e.p, e.n, g);
+                }
+            }
+        }
+    }
+
+    /// Rebuilds only the RHS (linear fast path).
+    fn assemble_rhs_only(&self, st: &mut dyn Stamp<F64xK<K>>, t_new: f64, h: f64, be: bool) {
+        let layout = &self.layout;
+        let hh = F64xK::<K>::splat(h);
+        let two = F64xK::<K>::splat(2.0);
+        for (idx, e) in self.circuits[0].elements().iter().enumerate() {
+            let eid = ElementId(idx);
+            match &e.kind {
+                ElementKind::Capacitor { .. } => {
+                    let c = self.lane_param(idx, |k| match k {
+                        ElementKind::Capacitor { farads, .. } => *farads,
+                        _ => unreachable!(),
+                    });
+                    let es = self.state[idx];
+                    let ieq = if be {
+                        c / hh * es.v
+                    } else {
+                        two * c / hh * es.v + es.i
+                    };
+                    stamp_current(layout, st, e.n, e.p, ieq);
+                }
+                ElementKind::Inductor { .. } => {
+                    let ind = self.lane_param(idx, |k| match k {
+                        ElementKind::Inductor { henries, .. } => *henries,
+                        _ => unreachable!(),
+                    });
+                    let b = layout.branch_var(eid).expect("inductor branch");
+                    let es = self.state[idx];
+                    if be {
+                        st.rhs(b, -(ind / hh) * es.i);
+                    } else {
+                        st.rhs(b, -(two * ind / hh) * es.i - es.v);
+                    }
+                }
+                ElementKind::VoltageSource { .. } => {
+                    let b = layout.branch_var(eid).expect("vsource branch");
+                    st.rhs(b, self.lane_wave(idx, t_new));
+                }
+                ElementKind::CurrentSource { .. } => {
+                    stamp_current(layout, st, e.p, e.n, self.lane_wave(idx, t_new));
+                }
+                _ => {}
+            }
+        }
+    }
+
+    fn snapshot(&self) -> LaneSnapshot<K> {
+        LaneSnapshot {
+            x: self.x.clone(),
+            time: self.time,
+            state: self.state.clone(),
+            force_be: self.force_be,
+            active: self.active,
+        }
+    }
+
+    fn restore(&mut self, s: &LaneSnapshot<K>) {
+        self.x = s.x.clone();
+        self.time = s.time;
+        self.state = s.state.clone();
+        self.force_be = s.force_be;
+        self.active = s.active;
+    }
+
+    /// Runs fixed-step transient until `t_end`, invoking `probe` after
+    /// each step.
+    ///
+    /// # Errors
+    ///
+    /// Propagates step failures.
+    pub fn run(
+        &mut self,
+        t_end: f64,
+        h: f64,
+        mut probe: impl FnMut(&LaneTransientSolver<K>),
+    ) -> Result<(), NetError> {
+        if !self.initialized {
+            self.initialize_dc()?;
+        }
+        while self.time < t_end - 1e-18 {
+            let step = h.min(t_end - self.time);
+            self.step(step)?;
+            probe(self);
+        }
+        Ok(())
+    }
+
+    /// Runs variable-step transient until `t_end` with lane-wise step
+    /// control: the step-doubling error estimate is evaluated per lane
+    /// and the accept decision uses the maximum over live lanes, so the
+    /// shared step equals the smallest per-lane desired step. A lane
+    /// whose half- or full-step solution goes non-finite is masked out
+    /// (NaN results) rather than rejecting the bundle's step.
+    ///
+    /// # Errors
+    ///
+    /// * [`NetError::InvalidValue`] when the controller underflows
+    ///   `min_step`.
+    /// * Propagates solver failures (which, per [`Self::step`], occur
+    ///   only when every lane has failed).
+    pub fn run_adaptive(
+        &mut self,
+        t_end: f64,
+        opts: &AdaptiveOptions,
+        mut probe: impl FnMut(&LaneTransientSolver<K>),
+    ) -> Result<(), NetError> {
+        if !self.initialized {
+            self.initialize_dc()?;
+        }
+        let mut h = opts.initial_step;
+        let order_exp = match self.method {
+            IntegrationMethod::BackwardEuler => 1.0 / 2.0,
+            IntegrationMethod::Trapezoidal => 1.0 / 3.0,
+        };
+        const SAFETY: f64 = 0.9;
+        while self.time < t_end - 1e-18 {
+            let remaining = t_end - self.time;
+            let h_step = h.max(opts.min_step).min(remaining);
+            let final_step = h_step >= remaining;
+            let start = self.snapshot();
+
+            // Full step.
+            let full_ok = self.step(h_step).is_ok();
+            let x_full = self.x.clone();
+            self.restore(&start);
+
+            // Two half steps.
+            let half_ok =
+                full_ok && self.step(h_step / 2.0).is_ok() && self.step(h_step / 2.0).is_ok();
+
+            if !half_ok {
+                self.restore(&start);
+                self.stats.rejected += 1;
+                if self.tracer.is_enabled() {
+                    self.tracer
+                        .instant(SpanKind::StepReject, fs(self.time), h_step.to_bits());
+                }
+                h = h_step * 0.25;
+                if h < opts.min_step {
+                    return Err(NetError::InvalidValue {
+                        element: "adaptive timestep".to_string(),
+                        reason: format!("step underflow at t = {}", self.time),
+                    });
+                }
+                continue;
+            }
+
+            // Per-lane error estimates; lanes that went non-finite on
+            // either attempt are masked out instead of rejecting.
+            let mut err = 0.0f64;
+            for l in 0..K {
+                if !self.active[l] {
+                    continue;
+                }
+                let mut lane_err = 0.0f64;
+                let mut lane_finite = true;
+                for i in 0..self.x.len() {
+                    let xh = self.x[i].lane(l);
+                    let xf = x_full[i].lane(l);
+                    if !xh.is_finite() || !xf.is_finite() {
+                        lane_finite = false;
+                        break;
+                    }
+                    let scale = opts.abs_tol + opts.rel_tol * xh.abs().max(xf.abs());
+                    lane_err = lane_err.max(((xh - xf) / scale).abs());
+                }
+                if !lane_finite {
+                    self.kill_lane(l);
+                } else {
+                    // Shared step = min over lanes ⇔ shared error = max
+                    // over lanes.
+                    err = err.max(lane_err);
+                }
+            }
+            if !self.active.iter().any(|&a| a) {
+                return Err(NetError::NoConvergence {
+                    analysis: "lane adaptive transient",
+                    iterations: 0,
+                });
+            }
+
+            if err <= 1.0 {
+                if final_step {
+                    self.time = t_end;
+                }
+                if self.tracer.is_enabled() {
+                    self.tracer
+                        .instant(SpanKind::StepAccept, fs(self.time), h_step.to_bits());
+                }
+                probe(self);
+                let grow = if err > 0.0 {
+                    (SAFETY * err.powf(-order_exp)).min(3.0)
+                } else {
+                    3.0
+                };
+                h = (h_step * grow).clamp(opts.min_step, opts.max_step);
+            } else {
+                self.restore(&start);
+                self.stats.rejected += 1;
+                if self.tracer.is_enabled() {
+                    self.tracer
+                        .instant(SpanKind::StepReject, fs(self.time), h_step.to_bits());
+                }
+                let shrink = (SAFETY * err.powf(-order_exp)).max(0.1);
+                h = (h_step * shrink).max(opts.min_step);
+                if h <= opts.min_step {
+                    return Err(NetError::InvalidValue {
+                        element: "adaptive timestep".to_string(),
+                        reason: format!("step underflow at t = {}", self.time),
+                    });
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Verifies that every circuit in `circuits` is a value-variant of
+/// `circuits[0]`: identical node/element counts and, per element, the
+/// same kind, terminals, control references and switch initial state.
+fn check_topology_identical(circuits: &[Circuit]) -> Result<(), NetError> {
+    let base = &circuits[0];
+    for (l, c) in circuits.iter().enumerate().skip(1) {
+        let mismatch = |what: &str| NetError::InvalidValue {
+            element: format!("lane {l}"),
+            reason: format!("lane circuits must be topology-identical: {what} differs"),
+        };
+        if c.node_count() != base.node_count() {
+            return Err(mismatch("node count"));
+        }
+        if c.element_count() != base.element_count() {
+            return Err(mismatch("element count"));
+        }
+        if c.external_input_count() != base.external_input_count() {
+            return Err(mismatch("external input count"));
+        }
+        for (a, b) in base.elements().iter().zip(c.elements()) {
+            if a.p != b.p || a.n != b.n {
+                return Err(mismatch("element terminals"));
+            }
+            use std::mem::discriminant;
+            if discriminant(&a.kind) != discriminant(&b.kind) {
+                return Err(mismatch("element kind"));
+            }
+            let controls_match = match (&a.kind, &b.kind) {
+                (
+                    ElementKind::Vcvs { cp, cn, .. },
+                    ElementKind::Vcvs {
+                        cp: cp2, cn: cn2, ..
+                    },
+                )
+                | (
+                    ElementKind::Vccs { cp, cn, .. },
+                    ElementKind::Vccs {
+                        cp: cp2, cn: cn2, ..
+                    },
+                ) => cp == cp2 && cn == cn2,
+                (ElementKind::Cccs { ctrl, .. }, ElementKind::Cccs { ctrl: ctrl2, .. })
+                | (ElementKind::Ccvs { ctrl, .. }, ElementKind::Ccvs { ctrl: ctrl2, .. }) => {
+                    ctrl == ctrl2
+                }
+                (ElementKind::Nmos { gate, .. }, ElementKind::Nmos { gate: gate2, .. }) => {
+                    gate == gate2
+                }
+                (
+                    ElementKind::Switch { initially_on, .. },
+                    ElementKind::Switch {
+                        initially_on: on2, ..
+                    },
+                ) => initially_on == on2,
+                _ => true,
+            };
+            if !controls_match {
+                return Err(mismatch("element control references"));
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Circuit, TransientSolver, Waveform};
+
+    fn rc_ladder(r: f64, c: f64) -> Circuit {
+        let mut ckt = Circuit::new();
+        let a = ckt.node("a");
+        let out = ckt.node("out");
+        ckt.voltage_source("V1", a, Circuit::GROUND, 1.0).unwrap();
+        ckt.resistor("R1", a, out, r).unwrap();
+        ckt.capacitor_ic("C1", out, Circuit::GROUND, c, 0.0)
+            .unwrap();
+        ckt
+    }
+
+    #[test]
+    fn bundle_size_and_topology_are_checked() {
+        let c = rc_ladder(1e3, 1e-6);
+        assert!(LaneTransientSolver::<4>::new(
+            &[c.clone(), c.clone()],
+            IntegrationMethod::Trapezoidal
+        )
+        .is_err());
+        let mut other = Circuit::new();
+        other.node("a");
+        other.node("out");
+        assert!(
+            LaneTransientSolver::<2>::new(&[c.clone(), other], IntegrationMethod::Trapezoidal)
+                .is_err()
+        );
+        assert!(
+            LaneTransientSolver::<2>::new(&[c.clone(), c], IntegrationMethod::Trapezoidal).is_ok()
+        );
+    }
+
+    #[test]
+    fn lane_run_matches_scalar_runs() {
+        let rs = [0.5e3, 1e3, 2e3, 4e3];
+        let circuits: Vec<Circuit> = rs.iter().map(|&r| rc_ladder(r, 1e-6)).collect();
+        let mut lane =
+            LaneTransientSolver::<4>::new(&circuits, IntegrationMethod::Trapezoidal).unwrap();
+        lane.initialize_with_ic().unwrap();
+        lane.run(1e-3, 1e-6, |_| {}).unwrap();
+        let out = NodeId(2);
+        for (l, ckt) in circuits.iter().enumerate() {
+            let mut tr = TransientSolver::new(ckt, IntegrationMethod::Trapezoidal).unwrap();
+            tr.initialize_with_ic().unwrap();
+            tr.run(1e-3, 1e-6, |_| {}).unwrap();
+            let scalar = tr.voltage(out);
+            let bundled = lane.voltage_lane(out, l);
+            assert!(
+                (bundled - scalar).abs() <= 1e-9 * scalar.abs().max(1.0),
+                "lane {l}: {bundled} vs {scalar}"
+            );
+        }
+    }
+
+    #[test]
+    fn diode_newton_lane_matches_scalar() {
+        let build = |ampl: f64| {
+            let mut ckt = Circuit::new();
+            let src = ckt.node("src");
+            let out = ckt.node("out");
+            ckt.voltage_source_wave(
+                "V1",
+                src,
+                Circuit::GROUND,
+                Waveform::Sine {
+                    offset: 0.0,
+                    ampl,
+                    freq: 50.0,
+                    phase: 0.0,
+                },
+            )
+            .unwrap();
+            ckt.diode("D1", src, out, 1e-14, 1.0).unwrap();
+            ckt.resistor("RL", out, Circuit::GROUND, 1e3).unwrap();
+            ckt
+        };
+        let ampls = [2.0, 5.0];
+        let circuits: Vec<Circuit> = ampls.iter().map(|&a| build(a)).collect();
+        let mut lane =
+            LaneTransientSolver::<2>::new(&circuits, IntegrationMethod::Trapezoidal).unwrap();
+        lane.initialize_dc().unwrap();
+        lane.run(10e-3, 50e-6, |_| {}).unwrap();
+        let out = NodeId(2);
+        for (l, ckt) in circuits.iter().enumerate() {
+            let mut tr = TransientSolver::new(ckt, IntegrationMethod::Trapezoidal).unwrap();
+            tr.initialize_dc().unwrap();
+            tr.run(10e-3, 50e-6, |_| {}).unwrap();
+            let scalar = tr.voltage(out);
+            let bundled = lane.voltage_lane(out, l);
+            // Shared Newton iteration counts can move the iterate by a
+            // few ulps relative to the scalar runs.
+            assert!(
+                (bundled - scalar).abs() <= 1e-9 * scalar.abs().max(1.0),
+                "lane {l}: {bundled} vs {scalar}"
+            );
+        }
+    }
+
+    #[test]
+    fn dead_lane_is_isolated_and_reports_nan() {
+        // Lane 1's externally driven source is poisoned with NaN after
+        // the run starts; lanes 0 and 2 stay healthy.
+        let build = || {
+            let mut ckt = Circuit::new();
+            let src = ckt.node("src");
+            let out = ckt.node("out");
+            let inp = ckt.external_input();
+            ckt.voltage_source_wave("V1", src, Circuit::GROUND, Waveform::External(inp))
+                .unwrap();
+            ckt.diode("D1", src, out, 1e-14, 1.0).unwrap();
+            ckt.resistor("RL", out, Circuit::GROUND, 1e3).unwrap();
+            ckt
+        };
+        let circuits = vec![build(), build(), build()];
+        let mut lane =
+            LaneTransientSolver::<3>::new(&circuits, IntegrationMethod::Trapezoidal).unwrap();
+        lane.initialize_with_ic().unwrap();
+        let inp = crate::InputId(0);
+        lane.set_input_lane(inp, 0, 0.8);
+        lane.set_input_lane(inp, 1, f64::NAN);
+        lane.set_input_lane(inp, 2, 0.7);
+        lane.run(1e-4, 1e-6, |_| {}).unwrap();
+        let out = NodeId(2);
+        assert!(!lane.active_lanes()[1]);
+        assert!(lane.voltage_lane(out, 1).is_nan());
+        for l in [0usize, 2] {
+            assert!(lane.active_lanes()[l], "lane {l} should be live");
+            let v = lane.voltage_lane(out, l);
+            assert!(v.is_finite() && v > 0.0, "lane {l}: {v}");
+        }
+    }
+
+    #[test]
+    fn adaptive_lane_matches_scalar_within_tolerance() {
+        let rs = [0.8e3, 1e3, 1.6e3, 3.2e3];
+        let circuits: Vec<Circuit> = rs.iter().map(|&r| rc_ladder(r, 1e-6)).collect();
+        let opts = AdaptiveOptions {
+            rel_tol: 1e-6,
+            abs_tol: 1e-9,
+            initial_step: 1e-8,
+            ..Default::default()
+        };
+        let mut lane =
+            LaneTransientSolver::<4>::new(&circuits, IntegrationMethod::Trapezoidal).unwrap();
+        lane.initialize_with_ic().unwrap();
+        lane.run_adaptive(1e-3, &opts, |_| {}).unwrap();
+        let out = NodeId(2);
+        for (l, &r) in rs.iter().enumerate() {
+            let expected = 1.0 - (-1e-3 / (r * 1e-6)).exp();
+            let bundled = lane.voltage_lane(out, l);
+            // The shared (min-over-lanes) step keeps every lane at or
+            // below its own error target.
+            assert!(
+                (bundled - expected).abs() < 1e-4,
+                "lane {l}: {bundled} vs analytic {expected}"
+            );
+        }
+    }
+
+    #[test]
+    fn scalar_factor_adoption_skips_symbolic_analysis() {
+        let rs = [0.9e3, 1e3, 1.1e3, 1.2e3];
+        let circuits: Vec<Circuit> = rs.iter().map(|&r| rc_ladder(r, 1e-6)).collect();
+        // Scalar run provides the symbolic factor.
+        let mut tr = TransientSolver::new(&circuits[0], IntegrationMethod::Trapezoidal).unwrap();
+        tr.backend = SolverBackend::Sparse;
+        tr.initialize_with_ic().unwrap();
+        tr.run(1e-5, 1e-6, |_| {}).unwrap();
+        let hint = tr.symbolic_factor().expect("sparse factor");
+
+        let mut lane =
+            LaneTransientSolver::<4>::new(&circuits, IntegrationMethod::Trapezoidal).unwrap();
+        lane.backend = SolverBackend::Sparse;
+        lane.adopt_scalar_factor(&hint);
+        lane.initialize_with_ic().unwrap();
+        lane.run(1e-5, 1e-6, |_| {}).unwrap();
+        let stats = lane.stats();
+        assert_eq!(
+            stats.solve.symbolic_analyses, 0,
+            "adopted factor must turn the first factorization into a refactor: {stats:?}"
+        );
+        assert!(stats.solve.numeric_refactors >= 1);
+        // And the widened factor reports lane-width bytes.
+        let lane_factor = lane.symbolic_factor().expect("lane factor");
+        assert!(lane_factor.approx_bytes() > hint.approx_bytes());
+    }
+
+    #[test]
+    fn lane_view_implements_probe_surface() {
+        let circuits: Vec<Circuit> = [1e3, 2e3].iter().map(|&r| rc_ladder(r, 1e-6)).collect();
+        let mut lane =
+            LaneTransientSolver::<2>::new(&circuits, IntegrationMethod::Trapezoidal).unwrap();
+        lane.initialize_with_ic().unwrap();
+        lane.run(1e-4, 1e-6, |_| {}).unwrap();
+        let out = NodeId(2);
+        let view = lane.lane_view(0);
+        fn probe_voltage(p: &dyn ScenarioProbe, node: NodeId) -> f64 {
+            p.voltage(node)
+        }
+        assert_eq!(probe_voltage(&view, out), lane.voltage_lane(out, 0));
+        assert!(view.time() > 0.0);
+        // The resistor current is computable through the view too.
+        assert!(view.current(ElementId(1)).is_ok());
+    }
+}

@@ -15,6 +15,9 @@
 //!   trapezoidal), a factor-once linear fast path ("such networks can be
 //!   simulated using efficient dedicated algorithms", §3), per-step Newton
 //!   for nonlinear networks and LTE-controlled variable steps (phase 2);
+//! * [`LaneTransientSolver`] — lane-bundled batch transient: `K`
+//!   parameter corners of one topology advanced in lockstep through
+//!   assembly, sparse LU and Newton over `ams_math::F64xK` bundles;
 //! * [`Circuit::ac_sweep`] / [`Circuit::noise_analysis`] — small-signal
 //!   frequency-domain and noise analyses derived from the same netlist;
 //! * [`Multiphysics`] — discipline-typed mechanical (translational &
@@ -49,6 +52,7 @@ mod circuit;
 mod dcop;
 mod devices;
 mod error;
+mod lane;
 mod mna;
 mod multiphys;
 mod noise;
@@ -60,6 +64,7 @@ pub use assembly::SolverBackend;
 pub use circuit::{Circuit, Element, ElementId, ElementKind, InputId, NodeId, Waveform};
 pub use dcop::DcSolution;
 pub use error::NetError;
+pub use lane::{LaneSymbolicFactor, LaneTransientSolver, LaneView, ScenarioProbe};
 pub use multiphys::{MechNode, Multiphysics, RotNode, ThermalNode};
 pub use noise::{
     NoiseAnalysis, NoiseContribution, NoisePoint, BOLTZMANN, ELEMENTARY_CHARGE, NOISE_TEMP,

@@ -175,13 +175,22 @@ impl SymbolicFactor {
         self.0.dim()
     }
 
-    /// Estimated resident size in bytes — factor nonzeros (index +
-    /// value) plus per-row bookkeeping. The currency of byte-budgeted
+    /// Estimated resident size in bytes. The currency of byte-budgeted
     /// factor caches (`ams-serve`'s topology cache), not an exact
-    /// allocation count.
+    /// allocation count. Delegates to
+    /// [`SparseLu::approx_bytes`](ams_math::SparseLu::approx_bytes),
+    /// which charges value arrays at their true scalar width — a
+    /// lane-widened factor ([`crate::lane::LaneSymbolicFactor`]) reports
+    /// `K×` the value bytes, so lane-mode factors cannot slip under an
+    /// LRU byte budget at scalar prices.
     pub fn approx_bytes(&self) -> usize {
-        self.0.factor_nnz() * (std::mem::size_of::<f64>() + std::mem::size_of::<usize>())
-            + self.0.dim() * 3 * std::mem::size_of::<usize>()
+        self.0.approx_bytes()
+    }
+
+    /// The wrapped sparse factorization (crate-internal: the lane
+    /// solver widens it via `cast_symbolic`).
+    pub(crate) fn inner(&self) -> &ams_math::SparseLu<f64> {
+        &self.0
     }
 }
 

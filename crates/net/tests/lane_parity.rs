@@ -1,0 +1,239 @@
+//! Property-based lane-vs-scalar parity: a [`LaneTransientSolver`]
+//! bundle of K scenarios must reproduce K independent scalar
+//! [`TransientSolver`] runs to ~1e-9 relative on randomized netlists —
+//! random RC ladders (linear path, all integration methods) and the
+//! paper's Figure 1 line network with a diode clamp (Newton path) — at
+//! every supported lane width. A NaN injected into one lane must stay
+//! in that lane.
+
+use ams_net::{
+    Circuit, IntegrationMethod, LaneTransientSolver, NodeId, ScenarioProbe, TransientSolver,
+    Waveform,
+};
+use proptest::prelude::*;
+use proptest::test_runner::TestCaseError;
+
+const REL_TOL: f64 = 1e-9;
+
+/// RC ladder: V(1V) → R₀ → n₀ [C₀] → R₁ → n₁ [C₁] → … . Values are
+/// per-stage; all topologies of the same length are bundle-compatible.
+fn ladder(rs: &[f64], cs: &[f64]) -> (Circuit, Vec<NodeId>) {
+    let mut ckt = Circuit::new();
+    let drive = ckt.node("drive");
+    ckt.voltage_source("V", drive, Circuit::GROUND, 1.0)
+        .unwrap();
+    let mut prev = drive;
+    let mut nodes = Vec::new();
+    for (i, (&r, &c)) in rs.iter().zip(cs).enumerate() {
+        let n = ckt.node(format!("n{i}"));
+        ckt.resistor(format!("R{i}"), prev, n, r).unwrap();
+        ckt.capacitor(format!("C{i}"), n, Circuit::GROUND, c)
+            .unwrap();
+        nodes.push(n);
+        prev = n;
+    }
+    (ckt, nodes)
+}
+
+/// Figure 1 line network driven by a sine of amplitude `ampl`, with a
+/// diode clamping the subscriber node: every step Newton-iterates.
+fn f1_clamped(ampl: f64, rs: f64) -> (Circuit, Vec<NodeId>) {
+    let mut ckt = Circuit::new();
+    let drive = ckt.node("drive");
+    let line = ckt.node("line");
+    let sub = ckt.node("sub");
+    ckt.voltage_source_wave(
+        "Vd",
+        drive,
+        Circuit::GROUND,
+        Waveform::Sine {
+            offset: 0.0,
+            ampl,
+            freq: 5e3,
+            phase: 0.0,
+        },
+    )
+    .unwrap();
+    ckt.resistor("Rp", drive, line, 50.0).unwrap();
+    ckt.capacitor("Cl", line, Circuit::GROUND, 20e-9).unwrap();
+    ckt.resistor("Rl", line, sub, 130.0).unwrap();
+    ckt.resistor("Rs", sub, Circuit::GROUND, rs).unwrap();
+    ckt.capacitor("Cs", sub, Circuit::GROUND, 10e-9).unwrap();
+    ckt.diode("D", sub, Circuit::GROUND, 1e-14, 1.0).unwrap();
+    (ckt, vec![line, sub])
+}
+
+/// Runs the bundle and K scalar solvers over the same horizon, probing
+/// every node after every step, and checks ≤ `REL_TOL` relative.
+fn assert_parity<const K: usize>(
+    circuits: &[Circuit],
+    nodes: &[NodeId],
+    method: IntegrationMethod,
+    t_end: f64,
+    h: f64,
+) -> Result<(), TestCaseError> {
+    let mut lane = LaneTransientSolver::<K>::new(circuits, method).unwrap();
+    lane.initialize_dc().unwrap();
+    let mut lane_trace: Vec<Vec<f64>> = vec![Vec::new(); K];
+    lane.run(t_end, h, |s| {
+        for (l, t) in lane_trace.iter_mut().enumerate() {
+            let view = s.lane_view(l);
+            t.extend(nodes.iter().map(|&n| view.voltage(n)));
+        }
+    })
+    .unwrap();
+
+    for (l, ckt) in circuits.iter().enumerate() {
+        let mut tr = TransientSolver::new(ckt, method).unwrap();
+        tr.initialize_dc().unwrap();
+        let mut scalar_trace = Vec::new();
+        tr.run(t_end, h, |s| {
+            scalar_trace.extend(nodes.iter().map(|&n| s.voltage(n)));
+        })
+        .unwrap();
+        prop_assert_eq!(lane_trace[l].len(), scalar_trace.len());
+        for (i, (a, b)) in lane_trace[l].iter().zip(&scalar_trace).enumerate() {
+            prop_assert!(
+                (a - b).abs() <= REL_TOL * (1.0 + a.abs().max(b.abs())),
+                "lane {}, sample {}: lane {} vs scalar {}",
+                l,
+                i,
+                a,
+                b
+            );
+        }
+    }
+    Ok(())
+}
+
+fn per_lane_values<const K: usize>(lo: f64, hi: f64) -> impl Strategy<Value = Vec<f64>> {
+    proptest::collection::vec((lo..hi).prop_filter("finite", |v: &f64| v.is_finite()), K)
+}
+
+/// One parity case: `stages` ladder stages whose R/C values differ per
+/// lane (lane l scales stage i by `scale[l]`).
+fn ladder_case<const K: usize>(
+    base_r: &[f64],
+    base_c: &[f64],
+    scale: &[f64],
+    method: IntegrationMethod,
+) -> Result<(), TestCaseError> {
+    let circuits: Vec<Circuit> = (0..K)
+        .map(|l| {
+            let rs: Vec<f64> = base_r.iter().map(|r| r * scale[l]).collect();
+            let cs: Vec<f64> = base_c.iter().map(|c| c / scale[l]).collect();
+            ladder(&rs, &cs).0
+        })
+        .collect();
+    let nodes = ladder(base_r, base_c).1;
+    assert_parity::<K>(&circuits, &nodes, method, 5e-6, 0.05e-6)
+}
+
+fn f1_case<const K: usize>(ampls: &[f64], rss: &[f64]) -> Result<(), TestCaseError> {
+    let circuits: Vec<Circuit> = (0..K).map(|l| f1_clamped(ampls[l], rss[l]).0).collect();
+    let nodes = f1_clamped(1.0, 600.0).1;
+    assert_parity::<K>(
+        &circuits,
+        &nodes,
+        IntegrationMethod::Trapezoidal,
+        100e-6,
+        1e-6,
+    )
+}
+
+proptest! {
+    /// Linear path, trapezoidal, every lane width.
+    #[test]
+    fn lane_ladders_match_scalar_trapezoidal(
+        base_r in proptest::collection::vec(100.0..10e3f64, 2..5),
+        scale4 in per_lane_values::<4>(0.2, 5.0),
+        scale8 in per_lane_values::<8>(0.2, 5.0),
+        scale16 in per_lane_values::<16>(0.2, 5.0),
+    ) {
+        let base_c: Vec<f64> = base_r.iter().map(|_| 1e-9).collect();
+        let m = IntegrationMethod::Trapezoidal;
+        ladder_case::<4>(&base_r, &base_c, &scale4, m)?;
+        ladder_case::<8>(&base_r, &base_c, &scale8, m)?;
+        ladder_case::<16>(&base_r, &base_c, &scale16, m)?;
+    }
+
+    /// Linear path, backward Euler (different companion models).
+    #[test]
+    fn lane_ladders_match_scalar_backward_euler(
+        base_r in proptest::collection::vec(100.0..10e3f64, 2..5),
+        scale in per_lane_values::<8>(0.2, 5.0),
+    ) {
+        let base_c: Vec<f64> = base_r.iter().map(|_| 1e-9).collect();
+        ladder_case::<8>(&base_r, &base_c, &scale, IntegrationMethod::BackwardEuler)?;
+    }
+
+    /// Newton path: the diode clamp makes every step nonlinear; per-lane
+    /// convergence masking must not perturb converged lanes.
+    #[test]
+    fn lane_f1_diode_matches_scalar(
+        ampls4 in per_lane_values::<4>(0.5, 5.0),
+        rss4 in per_lane_values::<4>(200.0, 2e3),
+        ampls8 in per_lane_values::<8>(0.5, 5.0),
+        rss8 in per_lane_values::<8>(200.0, 2e3),
+    ) {
+        f1_case::<4>(&ampls4, &rss4)?;
+        f1_case::<8>(&ampls8, &rss8)?;
+    }
+
+    /// A NaN driven into one lane mid-run kills exactly that lane: its
+    /// probes go NaN, every other lane still matches its scalar run.
+    #[test]
+    fn nan_input_stays_in_its_lane(
+        dead in 0usize..8,
+        scale in per_lane_values::<8>(0.2, 5.0),
+    ) {
+        const K: usize = 8;
+        let build = |l: usize| {
+            let mut ckt = Circuit::new();
+            let drive = ckt.node("drive");
+            let out = ckt.node("out");
+            let inp = ckt.external_input();
+            ckt.voltage_source_wave("V", drive, Circuit::GROUND, Waveform::External(inp))
+                .unwrap();
+            ckt.resistor("R", drive, out, 1e3 * scale[l]).unwrap();
+            ckt.capacitor("C", out, Circuit::GROUND, 1e-9).unwrap();
+            (ckt, out, inp)
+        };
+        let circuits: Vec<Circuit> = (0..K).map(|l| build(l).0).collect();
+        let (_, out, inp) = build(0);
+
+        let mut lane = LaneTransientSolver::<K>::new(&circuits, IntegrationMethod::BackwardEuler)
+            .unwrap();
+        for l in 0..K {
+            lane.set_input_lane(inp, l, 1.0);
+        }
+        lane.initialize_dc().unwrap();
+        lane.set_input_lane(inp, dead, f64::NAN);
+        let mut finals = [0.0f64; K];
+        lane.run(2e-6, 0.02e-6, |s| {
+            for (l, f) in finals.iter_mut().enumerate() {
+                *f = s.lane_view(l).voltage(out);
+            }
+        })
+        .unwrap();
+
+        prop_assert!(finals[dead].is_nan(), "dead lane must read NaN");
+        for (l, ckt) in circuits.iter().enumerate() {
+            if l == dead {
+                continue;
+            }
+            let mut tr = TransientSolver::new(ckt, IntegrationMethod::BackwardEuler).unwrap();
+            tr.set_input(inp, 1.0);
+            tr.initialize_dc().unwrap();
+            let mut last = f64::NAN;
+            tr.run(2e-6, 0.02e-6, |s| last = s.voltage(out)).unwrap();
+            prop_assert!(
+                (finals[l] - last).abs() <= REL_TOL * (1.0 + last.abs()),
+                "live lane {}: lane {} vs scalar {}",
+                l,
+                finals[l],
+                last
+            );
+        }
+    }
+}

@@ -41,11 +41,12 @@ pub fn export(trace: &ScopeTrace) -> String {
             .count();
         push_meta(&mut out, &mut first, "thread_name", pid, tid, &track.thread);
 
-        let mut scenario: Option<u64> = None;
+        // (scenario index, lane width); scalar spans decode to width 1.
+        let mut scenario: Option<(u64, usize)> = None;
         for ev in &track.events {
             if ev.kind == SpanKind::Scenario {
                 match ev.phase {
-                    Phase::Begin => scenario = Some(ev.arg),
+                    Phase::Begin => scenario = Some(crate::tracer::scenario_arg_parts(ev.arg)),
                     Phase::End => {}
                     Phase::Instant => {}
                 }
@@ -69,8 +70,13 @@ pub fn export(trace: &ScopeTrace) -> String {
                 .then_some(ev.arg);
             if scenario.is_some() || arg.is_some() {
                 out.push_str(",\"args\":{");
-                if let Some(s) = scenario {
+                if let Some((s, lanes)) = scenario {
                     let _ = write!(out, "\"scenario\":{s}");
+                    if lanes > 1 {
+                        // Lane-bundled span: the index is the bundle's
+                        // first scenario; `lanes` scenarios share it.
+                        let _ = write!(out, ",\"lanes\":{lanes}");
+                    }
                     if arg.is_some() {
                         out.push(',');
                     }
@@ -250,6 +256,38 @@ mod tests {
             .find(|l| l.contains("sweep.scenario") && l.contains("\"ph\":\"B\""))
             .expect("scenario begin present");
         assert!(scenario_line.contains("\"scenario\":7"), "{scenario_line}");
+    }
+
+    #[test]
+    fn lane_scenario_spans_carry_the_width() {
+        let mut t = Tracer::on();
+        t.begin_with(SpanKind::Scenario, 0, crate::scenario_arg(12, 8));
+        t.begin(SpanKind::MnaSolve, 0);
+        t.end(SpanKind::MnaSolve, 0);
+        t.end(SpanKind::Scenario, 1);
+        let mut trace = ScopeTrace::new();
+        trace.add_track("shard-0", "scenarios", t.take_events());
+        let json = export(&trace);
+        let begin = json
+            .lines()
+            .find(|l| l.contains("sweep.scenario") && l.contains("\"ph\":\"B\""))
+            .expect("scenario begin");
+        assert!(begin.contains("\"scenario\":12"), "{begin}");
+        assert!(begin.contains("\"lanes\":8"), "{begin}");
+        // The nested solver span inherits both attributions.
+        let solve = json
+            .lines()
+            .find(|l| l.contains("mna.solve") && l.contains("\"ph\":\"B\""))
+            .expect("solve begin");
+        assert!(solve.contains("\"scenario\":12") && solve.contains("\"lanes\":8"));
+        validate(&json).unwrap();
+    }
+
+    #[test]
+    fn scalar_scenario_spans_export_unchanged() {
+        // A plain-index arg must not grow a "lanes" key.
+        let json = export(&sample_trace());
+        assert!(!json.contains("\"lanes\""), "{json}");
     }
 
     #[test]

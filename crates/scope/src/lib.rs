@@ -64,4 +64,6 @@ mod tracer;
 pub use args::ScopeArgs;
 pub use metrics::{Histogram, Metric, MetricsRegistry};
 pub use report::ScopeReport;
-pub use tracer::{Phase, ScopeTrace, SpanKind, TraceEvent, Tracer, TrackEvents};
+pub use tracer::{
+    scenario_arg, scenario_arg_parts, Phase, ScopeTrace, SpanKind, TraceEvent, Tracer, TrackEvents,
+};

@@ -111,6 +111,31 @@ impl SpanKind {
     }
 }
 
+/// Packs a sweep scenario index and its lane width into one
+/// [`SpanKind::Scenario`] span payload. Scalar scenarios (`lanes <= 1`)
+/// keep the plain index — scalar traces stay byte-identical to exports
+/// from before lane batching existed — while lane bundles carry the
+/// width in the high 16 bits (indices keep the low 48).
+pub fn scenario_arg(index: u64, lanes: usize) -> u64 {
+    if lanes <= 1 {
+        index
+    } else {
+        debug_assert!(index < 1 << 48, "scenario index overflows the lane packing");
+        index | ((lanes as u64) << 48)
+    }
+}
+
+/// Splits a [`SpanKind::Scenario`] span payload into
+/// `(scenario index, lane width)`; the lane width is 1 for scalar spans.
+pub fn scenario_arg_parts(arg: u64) -> (u64, usize) {
+    let lanes = (arg >> 48) as usize;
+    if lanes == 0 {
+        (arg, 1)
+    } else {
+        (arg & ((1 << 48) - 1), lanes)
+    }
+}
+
 /// Whether an event opens a span, closes one, or stands alone.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 #[repr(u8)]
@@ -423,6 +448,21 @@ mod tests {
         for phase in [Phase::Begin, Phase::End, Phase::Instant] {
             assert_eq!(Phase::from_index(phase.index()), Some(phase));
         }
+    }
+
+    #[test]
+    fn scenario_arg_round_trips_and_keeps_scalar_args_plain() {
+        // Scalar spans: the arg IS the index, bit-for-bit.
+        assert_eq!(scenario_arg(42, 1), 42);
+        assert_eq!(scenario_arg(42, 0), 42);
+        assert_eq!(scenario_arg_parts(42), (42, 1));
+        // Lane spans pack the width into the high bits.
+        for lanes in [4usize, 8, 16] {
+            let arg = scenario_arg(1234, lanes);
+            assert_ne!(arg, 1234);
+            assert_eq!(scenario_arg_parts(arg), (1234, lanes));
+        }
+        assert_eq!(scenario_arg_parts(scenario_arg(0, 8)), (0, 8));
     }
 
     #[test]

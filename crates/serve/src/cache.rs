@@ -246,6 +246,55 @@ mod tests {
         assert!(c.resident_bytes() <= 2 * one + one / 2);
     }
 
+    /// Regression for the byte accounting under the lane-aware
+    /// `approx_bytes`: a stored factor must charge exactly its own
+    /// estimate (scalar factors stay f64-sized — widening to a lane
+    /// scalar happens in the sweep engine, never in this cache), and
+    /// the recharge must be able to trigger eviction.
+    #[test]
+    fn storing_a_factor_recharges_the_entry_and_respects_the_budget() {
+        use ams_net::{IntegrationMethod, SolverBackend, TransientSolver};
+
+        let factor = || {
+            let built = JobSpec::demo_rc(6, 0).circuit.build().unwrap();
+            let mut tr =
+                TransientSolver::new(&built.circuit, IntegrationMethod::Trapezoidal).unwrap();
+            tr.backend = SolverBackend::Sparse;
+            tr.initialize_dc().unwrap();
+            tr.step(1e-9).unwrap();
+            tr.symbolic_factor().expect("sparse run exports a factor")
+        };
+        let f = factor();
+        let charge = f.approx_bytes();
+        assert!(charge > 0, "factor estimate must be non-trivial");
+
+        let mut c = TopologyCache::new(1 << 20);
+        c.insert(1, entry());
+        let before = c.resident_bytes();
+        c.store_factor(1, f);
+        assert_eq!(
+            c.resident_bytes(),
+            before + charge,
+            "store_factor must charge exactly approx_bytes()"
+        );
+        // A second store is a no-op: no double charge.
+        c.store_factor(1, factor());
+        assert_eq!(c.resident_bytes(), before + charge);
+
+        // The recharge participates in eviction: a budget with room for
+        // two bare entries but not for one entry + factor + another
+        // entry evicts the LRU sibling when the factor lands.
+        let bare = entry().bytes();
+        let mut c = TopologyCache::new(2 * bare + charge / 2);
+        c.insert(1, entry());
+        c.insert(2, entry());
+        assert_eq!(c.len(), 2);
+        c.store_factor(1, factor());
+        assert_eq!(c.len(), 1, "factor recharge evicted the LRU entry");
+        assert!(c.lookup(1).is_some(), "recharged entry survives");
+        assert_eq!(c.lookup(1).unwrap().bytes(), bare + charge);
+    }
+
     #[test]
     fn an_oversized_entry_is_still_admitted_alone() {
         let mut c = TopologyCache::new(1);

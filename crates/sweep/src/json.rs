@@ -598,9 +598,9 @@ pub fn report_to_json(report: &SweepReport) -> Json {
             Json::from_u64(report.exec.lint_warnings as u64),
         ),
     ]);
-    Json::Obj(vec![
+    let mut top = vec![
         (
-            "metric_names".into(),
+            "metric_names".to_string(),
             Json::Arr(
                 report
                     .metric_names
@@ -612,7 +612,14 @@ pub fn report_to_json(report: &SweepReport) -> Json {
         ("scenarios".into(), Json::Arr(scenarios)),
         ("exec".into(), exec),
         ("fingerprint".into(), Json::from_u64(report.fingerprint())),
-    ])
+    ];
+    // Lane-batched runs record their shape; scalar documents stay
+    // byte-identical to pre-lane serializations.
+    if report.lanes > 1 {
+        top.push(("lanes".into(), Json::from_u64(report.lanes as u64)));
+        top.push(("bundles".into(), Json::from_u64(report.bundles as u64)));
+    }
+    Json::Obj(top)
 }
 
 /// Reconstructs a report serialized by [`report_to_json`].
@@ -665,11 +672,21 @@ pub fn report_from_json(value: &Json) -> Result<SweepReport, SweepError> {
     for r in &scenarios {
         exec.clusters.push((r.label.clone(), r.stats));
     }
+    let lanes = match value.get("lanes") {
+        Some(v) => parse_u64(v, "lanes")? as usize,
+        None => 1,
+    };
+    let bundles = match value.get("bundles") {
+        Some(v) => parse_u64(v, "bundles")? as usize,
+        None => 0,
+    };
     let report = SweepReport {
         metric_names,
         scenarios,
         exec,
         trace: None,
+        lanes,
+        bundles,
     };
     if let Some(fp) = value.get("fingerprint") {
         let expected = parse_u64(fp, "fingerprint")?;
@@ -790,11 +807,25 @@ mod tests {
                 ..ExecStats::default()
             },
             trace: None,
+            lanes: 8,
+            bundles: 1,
         };
 
         let doc = report_to_json(&report).render();
         let back = report_from_json(&parse(&doc).unwrap()).unwrap();
         assert_eq!(back.fingerprint(), report.fingerprint());
+        // The lane shape round-trips; scalar documents omit the keys
+        // and parse back to the scalar defaults.
+        assert_eq!(back.lanes, 8);
+        assert_eq!(back.bundles, 1);
+        let mut scalar = report.clone();
+        scalar.lanes = 1;
+        scalar.bundles = 0;
+        let scalar_doc = report_to_json(&scalar).render();
+        assert!(!scalar_doc.contains("lanes"), "{scalar_doc}");
+        let scalar_back = report_from_json(&parse(&scalar_doc).unwrap()).unwrap();
+        assert_eq!(scalar_back.lanes, 1);
+        assert_eq!(scalar_back.bundles, 0);
         assert_eq!(back.metric_names, report.metric_names);
         assert_eq!(back.scenarios.len(), report.scenarios.len());
         for (a, b) in report.scenarios.iter().zip(&back.scenarios) {

@@ -80,7 +80,7 @@ pub use engine::HookFactory;
 pub use netlist::{FactorSink, NetlistSweep, ProgressFn, RunMode};
 pub use report::{MetricSummary, ScenarioResult, SweepReport};
 pub use spec::{Scenario, SweepSpec};
-pub use tdf::{SweepModel, TdfSweep};
+pub use tdf::{LaneSweepModel, SweepModel, TdfSweep};
 
 use ams_lint::LintReport;
 use ams_net::NetError;

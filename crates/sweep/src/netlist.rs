@@ -22,10 +22,10 @@ use ams_core::ClusterStats;
 use ams_exec::ExecStats;
 use ams_lint::{lint_circuit, LintPolicy};
 use ams_net::{
-    AdaptiveOptions, Circuit, IntegrationMethod, NetError, SolverBackend, SymbolicFactor,
-    TransientSolver, TransientStats,
+    AdaptiveOptions, Circuit, IntegrationMethod, LaneSymbolicFactor, LaneTransientSolver, NetError,
+    ScenarioProbe, SolverBackend, SymbolicFactor, TransientSolver, TransientStats,
 };
-use ams_scope::{ScopeTrace, SpanKind, Tracer};
+use ams_scope::{scenario_arg, ScopeTrace, SpanKind, Tracer};
 
 /// How each scenario's transient analysis is stepped.
 #[derive(Debug, Clone)]
@@ -59,6 +59,11 @@ pub type ProgressFn = std::sync::Arc<dyn Fn(usize, &[f64]) + Send + Sync>;
 /// (nothing new was analyzed) or the backend is dense.
 pub type FactorSink = std::sync::Arc<std::sync::Mutex<Option<SymbolicFactor>>>;
 
+/// What one lane bundle produces: the `K` metric rows (padding lanes
+/// included), the bundle's counters, and — when asked to export — the
+/// lane symbolic factor for sibling bundles.
+type BundleOutcome<const K: usize> = (Vec<Vec<f64>>, ClusterStats, Option<LaneSymbolicFactor<K>>);
+
 /// A batched transient sweep over one circuit topology.
 #[derive(Clone)]
 pub struct NetlistSweep {
@@ -76,6 +81,7 @@ pub struct NetlistSweep {
     cancel: Option<CancelToken>,
     progress: Option<ProgressFn>,
     factor_sink: Option<FactorSink>,
+    lanes: usize,
 }
 
 impl std::fmt::Debug for NetlistSweep {
@@ -120,7 +126,17 @@ impl NetlistSweep {
             cancel: None,
             progress: None,
             factor_sink: None,
+            lanes: 8,
         }
+    }
+
+    /// Sets the lane width [`run_lanes`](NetlistSweep::run_lanes) packs
+    /// scenarios at (default 8). Valid widths are 1 (scalar fallback)
+    /// and the [`F64xK`](ams_math::F64xK) bundle widths 4, 8 and 16.
+    /// Ignored by [`run`](NetlistSweep::run).
+    pub fn lanes(mut self, lanes: usize) -> NetlistSweep {
+        self.lanes = lanes;
+        self
     }
 
     /// Declares the template topology as already gated: the lint pass
@@ -405,7 +421,313 @@ impl NetlistSweep {
             scenarios: results,
             exec,
             trace,
+            lanes: 1,
+            bundles: 0,
         })
+    }
+
+    /// Runs every scenario of `spec` lane-batched: consecutive
+    /// scenarios are packed [`lanes`](NetlistSweep::lanes) at a time
+    /// into one [`LaneTransientSolver`], which assembles, factors and
+    /// solves all of them per instruction stream. The report is the
+    /// same per-scenario shape [`run`](NetlistSweep::run) produces.
+    ///
+    /// `observe` receives a [`ScenarioProbe`] instead of a concrete
+    /// solver — the same closure body works against a scalar
+    /// [`TransientSolver`] and a lane view, so callers can switch modes
+    /// without rewriting their metric extraction. With `lanes(1)` this
+    /// method *is* the scalar path (it delegates to `run`), and its
+    /// report fingerprints identically to `run`'s.
+    ///
+    /// Semantics that differ from the scalar path, all inherited from
+    /// [`LaneTransientSolver`]:
+    ///
+    /// * Metric values may deviate from a scalar run by up to ~1e-9
+    ///   relative: bundled Newton iterates until every live lane
+    ///   converges and adaptive runs share the min-over-lanes step, so
+    ///   easy corners get extra (convergent) iterations. Lane-mode
+    ///   reports are still **bit-identical across worker counts** —
+    ///   bundle composition is index-determined and bundle 0's lane
+    ///   factor seeds all shards.
+    /// * A diverging scenario surfaces as NaN metrics for its lane
+    ///   instead of failing the whole run; the run errors only when a
+    ///   bundle loses *all* its lanes (attributed to the bundle's first
+    ///   scenario).
+    /// * Per-scenario solver counters are the *bundle's* counters (one
+    ///   step advances every lane), so [`SweepReport::totals`]
+    ///   over-counts by up to the lane width vs. a scalar run.
+    /// * The last bundle is padded by replicating the final scenario;
+    ///   padded lanes are dropped before the report is assembled.
+    /// * A [`FactorSink`] is left untouched (lane factors are not
+    ///   scalar factors); a scalar
+    ///   [`symbolic_hint`](NetlistSweep::symbolic_hint) *is* honored by
+    ///   widening it to the lane scalar.
+    ///
+    /// # Errors
+    ///
+    /// As [`run`](NetlistSweep::run), plus [`SweepError::Invalid`] for
+    /// a lane width outside {1, 4, 8, 16}.
+    pub fn run_lanes<A, O>(
+        &self,
+        spec: &SweepSpec,
+        workers: usize,
+        metrics: &[&str],
+        apply: A,
+        observe: O,
+    ) -> Result<SweepReport, SweepError>
+    where
+        A: Fn(&mut Circuit, &Scenario) -> Result<(), NetError> + Sync,
+        O: Fn(&dyn ScenarioProbe, &mut [f64]) + Sync,
+    {
+        match self.lanes {
+            1 => self.run(spec, workers, metrics, apply, |tr, m| observe(tr, m)),
+            4 => self.run_lanes_k::<4, A, O>(spec, workers, metrics, &apply, &observe),
+            8 => self.run_lanes_k::<8, A, O>(spec, workers, metrics, &apply, &observe),
+            16 => self.run_lanes_k::<16, A, O>(spec, workers, metrics, &apply, &observe),
+            other => Err(SweepError::invalid(format!(
+                "unsupported lane width {other}: pick 1, 4, 8 or 16"
+            ))),
+        }
+    }
+
+    fn run_lanes_k<const K: usize, A, O>(
+        &self,
+        spec: &SweepSpec,
+        workers: usize,
+        metrics: &[&str],
+        apply: &A,
+        observe: &O,
+    ) -> Result<SweepReport, SweepError>
+    where
+        A: Fn(&mut Circuit, &Scenario) -> Result<(), NetError> + Sync,
+        O: Fn(&dyn ScenarioProbe, &mut [f64]) + Sync,
+    {
+        if spec.is_empty() {
+            return Err(SweepError::invalid("sweep spec has no scenarios"));
+        }
+        if metrics.is_empty() {
+            return Err(SweepError::invalid("sweep needs at least one metric"));
+        }
+        let lint_warnings = if self.pre_linted {
+            0
+        } else {
+            let report = self.lint_report();
+            if !self.lint.denied(&report).is_empty() {
+                return Err(SweepError::Lint(report));
+            }
+            for d in self.lint.warned(&report) {
+                eprintln!("[{}] warning: {d}", self.context);
+            }
+            self.lint.warned(&report).len()
+        };
+        if self.cancel.as_ref().is_some_and(CancelToken::is_cancelled) {
+            return Err(SweepError::Cancelled);
+        }
+
+        let scenarios = spec.scenarios();
+        let n = scenarios.len();
+        let n_metrics = metrics.len();
+        let n_bundles = n.div_ceil(K);
+
+        // Bundle 0 runs inline on the coordinator and exports the lane
+        // symbolic factor every shard adopts — the pivot sequence is
+        // the same at every worker count.
+        let mut coord_tracer = if self.trace {
+            Tracer::on()
+        } else {
+            Tracer::off()
+        };
+        let (first_rows, first_stats, exported) = self.run_bundle::<K, A, O>(
+            scenarios,
+            0,
+            None,
+            self.symbolic_hint.is_none(),
+            n_metrics,
+            &mut coord_tracer,
+            apply,
+            observe,
+        )?;
+        let first_used = K.min(n);
+        if let Some(p) = &self.progress {
+            for (l, sc) in scenarios[..first_used].iter().enumerate() {
+                p(sc.index(), &first_rows[l]);
+            }
+        }
+
+        let hint_ref = exported.as_ref();
+        let mut shard = run_sharded(
+            n_bundles - 1,
+            K * n_metrics,
+            workers,
+            self.trace,
+            self.hooks.as_ref(),
+            |_slot, _items| Ok(()),
+            |_state: &mut (), item, tracer: &mut Tracer| {
+                if self.cancel.as_ref().is_some_and(CancelToken::is_cancelled) {
+                    return Err(SweepError::Cancelled);
+                }
+                let b = item + 1;
+                let (rows, stats, _) = self.run_bundle::<K, A, O>(
+                    scenarios, b, hint_ref, false, n_metrics, tracer, apply, observe,
+                )?;
+                if let Some(p) = &self.progress {
+                    let used = K.min(n - b * K);
+                    for l in 0..used {
+                        p(scenarios[b * K + l].index(), &rows[l]);
+                    }
+                }
+                Ok((rows.into_iter().flatten().collect(), stats))
+            },
+        )?;
+
+        let mut results = Vec::with_capacity(n);
+        for (i, sc) in scenarios.iter().enumerate() {
+            let (b, l) = (i / K, i % K);
+            let (metrics_row, stats) = if b == 0 {
+                (first_rows[l].clone(), first_stats)
+            } else {
+                let flat = &shard.metrics[b - 1];
+                (
+                    flat[l * n_metrics..(l + 1) * n_metrics].to_vec(),
+                    shard.stats[b - 1],
+                )
+            };
+            results.push(ScenarioResult {
+                index: sc.index(),
+                label: sc.label(),
+                metrics: metrics_row,
+                stats,
+            });
+        }
+
+        let mut exec = ExecStats {
+            windows: n as u64,
+            barriers: shard.shards as u64,
+            ring_high_water: shard.ring_high_water,
+            compute_wall: shard.compute_wall,
+            sync_wall: shard.sync_wall,
+            lint_warnings,
+            ..ExecStats::default()
+        };
+        for r in &results {
+            exec.clusters.push((r.label.clone(), r.stats));
+        }
+        for h in &mut shard.hooks {
+            h.on_finish(&exec);
+        }
+
+        let trace = if self.trace {
+            let mut t = ScopeTrace::new();
+            let own = coord_tracer.take_events();
+            if !own.is_empty() {
+                t.add_track("coordinator", "scenarios", own);
+            }
+            for (s, events) in shard.traces.into_iter().enumerate() {
+                if !events.is_empty() {
+                    t.add_track(format!("shard-{s}"), "scenarios", events);
+                }
+            }
+            Some(t)
+        } else {
+            None
+        };
+
+        Ok(SweepReport {
+            metric_names: metrics.iter().map(|m| (*m).to_string()).collect(),
+            scenarios: results,
+            exec,
+            trace,
+            lanes: K,
+            bundles: n_bundles,
+        })
+    }
+
+    /// Runs bundle `b` (scenarios `b*K ..` padded to `K` by replicating
+    /// the last): returns all `K` metric rows (padding included — the
+    /// caller drops it), the bundle's counters, and (when
+    /// `export_hint`) the lane factor for sibling bundles.
+    #[allow(clippy::too_many_arguments)]
+    fn run_bundle<const K: usize, A, O>(
+        &self,
+        scenarios: &[Scenario],
+        b: usize,
+        hint: Option<&LaneSymbolicFactor<K>>,
+        export_hint: bool,
+        n_metrics: usize,
+        tracer: &mut Tracer,
+        apply: &A,
+        observe: &O,
+    ) -> Result<BundleOutcome<K>, SweepError>
+    where
+        A: Fn(&mut Circuit, &Scenario) -> Result<(), NetError> + Sync,
+        O: Fn(&dyn ScenarioProbe, &mut [f64]) + Sync,
+    {
+        let n = scenarios.len();
+        let start = b * K;
+        let used = K.min(n - start);
+        let first_idx = scenarios[start].index();
+        let fail = |e: NetError| SweepError::scenario(first_idx, e);
+
+        let mut circuits = Vec::with_capacity(K);
+        for l in 0..K {
+            let sc = &scenarios[(start + l).min(n - 1)];
+            let mut ckt = self.template.clone();
+            apply(&mut ckt, sc).map_err(|e| SweepError::scenario(sc.index(), e))?;
+            circuits.push(ckt);
+        }
+
+        let mut tr = LaneTransientSolver::<K>::new(&circuits, self.method).map_err(fail)?;
+        tr.backend = self.backend;
+        if self.share_symbolic {
+            if let Some(h) = &self.symbolic_hint {
+                tr.adopt_scalar_factor(h);
+            } else if let Some(h) = hint {
+                tr.adopt_symbolic_factor(h);
+            }
+        }
+        let traced = tracer.is_enabled();
+        if traced {
+            tracer.begin_with(
+                SpanKind::Scenario,
+                first_idx as u64,
+                scenario_arg(first_idx as u64, K),
+            );
+            tr.set_tracing(true);
+        }
+
+        let mut rows = vec![vec![f64::NAN; n_metrics]; K];
+        let mut probes = 0u64;
+        let run = match &self.mode {
+            RunMode::Fixed { t_end, h } => tr.run(*t_end, *h, |s| {
+                probes += 1;
+                for (l, row) in rows.iter_mut().enumerate().take(used) {
+                    observe(&s.lane_view(l), row);
+                }
+            }),
+            RunMode::Adaptive { t_end, opts } => tr.run_adaptive(*t_end, opts, |s| {
+                probes += 1;
+                for (l, row) in rows.iter_mut().enumerate().take(used) {
+                    observe(&s.lane_view(l), row);
+                }
+            }),
+        };
+        run.map_err(fail)?;
+        if traced {
+            tracer.extend(tr.take_trace_events());
+            tracer.end_with(
+                SpanKind::Scenario,
+                scenarios[start + used - 1].index() as u64 + 1,
+                scenario_arg(first_idx as u64, K),
+            );
+        }
+
+        let stats = cluster_stats(tr.stats(), probes);
+        let exported = if export_hint && self.share_symbolic {
+            tr.symbolic_factor()
+        } else {
+            None
+        };
+        Ok((rows, stats, exported))
     }
 
     /// Runs one scenario; returns its metric row, counters and (when
@@ -651,6 +973,95 @@ mod tests {
             SweepError::Lint(report) => assert!(report.error_count() > 0),
             other => panic!("unexpected error {other}"),
         }
+    }
+
+    #[test]
+    fn lane_run_matches_scalar_run_with_a_padded_final_bundle() {
+        let Rc { ckt, r, out } = rc();
+        // 10 scenarios at width 4: bundles of 4 + 4 + 2 (padded to 4).
+        let values = [
+            0.4e3, 0.6e3, 0.8e3, 1e3, 1.3e3, 1.7e3, 2.2e3, 2.8e3, 3.5e3, 4.5e3,
+        ];
+        let spec = SweepSpec::grid(&[("r", &values)], 1).unwrap();
+        let sweep = NetlistSweep::new(ckt, IntegrationMethod::Trapezoidal).fixed_step(2e-6, 2e-9);
+        let scalar = sweep
+            .run(
+                &spec,
+                2,
+                &["v_out"],
+                |c, sc| c.set_resistance(r, sc.value("r")),
+                |tr, m| m[0] = tr.voltage(out),
+            )
+            .unwrap();
+        let lane = sweep
+            .clone()
+            .lanes(4)
+            .run_lanes(
+                &spec,
+                2,
+                &["v_out"],
+                |c, sc| c.set_resistance(r, sc.value("r")),
+                |p, m| m[0] = p.voltage(out),
+            )
+            .unwrap();
+        assert_eq!(lane.lanes, 4);
+        assert_eq!(lane.bundles, 3);
+        assert_eq!(lane.scenarios.len(), 10); // padding dropped
+        let a = scalar.values("v_out").unwrap();
+        let b = lane.values("v_out").unwrap();
+        for (i, (x, y)) in a.iter().zip(&b).enumerate() {
+            assert!(
+                ((x - y) / x).abs() <= 1e-9,
+                "scenario {i}: scalar {x} lane {y}"
+            );
+        }
+    }
+
+    #[test]
+    fn lane_run_is_bit_identical_across_worker_counts() {
+        let Rc { ckt, r, out } = rc();
+        let spec = SweepSpec::monte_carlo(&[("r", 0.5e3, 5e3)], 11, 42).unwrap();
+        let sweep = NetlistSweep::new(ckt, IntegrationMethod::BackwardEuler)
+            .fixed_step(1e-6, 2e-9)
+            .lanes(8);
+        let apply = |c: &mut Circuit, sc: &Scenario| c.set_resistance(r, sc.value("r"));
+        let base = sweep
+            .run_lanes(&spec, 1, &["v"], apply, |p, m| m[0] = p.voltage(out))
+            .unwrap();
+        for workers in [2, 4] {
+            let other = sweep
+                .run_lanes(&spec, workers, &["v"], apply, |p, m| m[0] = p.voltage(out))
+                .unwrap();
+            assert_eq!(base.fingerprint(), other.fingerprint(), "workers={workers}");
+        }
+    }
+
+    #[test]
+    fn lane_width_one_is_the_scalar_path_and_odd_widths_are_rejected() {
+        let Rc { ckt, r, out } = rc();
+        let spec = SweepSpec::grid(&[("r", &[0.5e3, 1e3, 2e3])], 1).unwrap();
+        let apply = |c: &mut Circuit, sc: &Scenario| c.set_resistance(r, sc.value("r"));
+        let sweep = NetlistSweep::new(ckt, IntegrationMethod::Trapezoidal).fixed_step(1e-6, 2e-9);
+        let scalar = sweep
+            .run(&spec, 2, &["v"], apply, |tr, m| m[0] = tr.voltage(out))
+            .unwrap();
+        let via_lanes = sweep
+            .clone()
+            .lanes(1)
+            .run_lanes(&spec, 2, &["v"], apply, |p, m| m[0] = p.voltage(out))
+            .unwrap();
+        // Width 1 *is* the scalar engine: identical fingerprint, scalar
+        // report shape.
+        assert_eq!(scalar.fingerprint(), via_lanes.fingerprint());
+        assert_eq!(via_lanes.lanes, 1);
+        assert_eq!(via_lanes.bundles, 0);
+        assert!(matches!(
+            sweep
+                .clone()
+                .lanes(3)
+                .run_lanes(&spec, 1, &["v"], apply, |p, m| m[0] = p.voltage(out)),
+            Err(SweepError::Invalid(_))
+        ));
     }
 
     #[test]

@@ -63,6 +63,14 @@ pub struct SweepReport {
     /// [`SweepReport::fingerprint`] — but its simulated-time content is
     /// itself deterministic for a fixed `(spec, workers)` pair.
     pub trace: Option<ams_scope::ScopeTrace>,
+    /// Lane width the run was batched at: 1 for a scalar run, `K` when
+    /// scenarios were packed into `F64xK` bundles. Batching *policy*,
+    /// not a simulation result — excluded from
+    /// [`SweepReport::fingerprint`].
+    pub lanes: usize,
+    /// Number of lane bundles executed (0 for a scalar run). Like
+    /// [`SweepReport::lanes`], excluded from the fingerprint.
+    pub bundles: usize,
 }
 
 impl SweepReport {
@@ -183,6 +191,25 @@ impl SweepReport {
         h.finish()
     }
 
+    /// Exports the run's execution shape as `ams-scope` metrics under
+    /// the `sweep.*` namespace: scenario count, lane width and bundle
+    /// count (`sweep.lanes` is 1 and `sweep.bundles` 0 for scalar
+    /// runs), plus the folded step/Newton counters. Merge into a
+    /// service-level [`MetricsRegistry`](ams_scope::MetricsRegistry)
+    /// with [`MetricsRegistry::merge`](ams_scope::MetricsRegistry::merge).
+    pub fn scope_metrics(&self) -> ams_scope::MetricsRegistry {
+        let mut m = ams_scope::MetricsRegistry::new();
+        m.counter_add("sweep.scenarios", self.scenarios.len() as u64);
+        m.gauge_set("sweep.lanes", self.lanes.max(1) as f64);
+        m.counter_add("sweep.bundles", self.bundles as u64);
+        let t = self.totals();
+        m.counter_add("sweep.steps", t.iterations);
+        m.counter_add("sweep.steps_rejected", t.firings);
+        m.counter_add("sweep.newton_iterations", t.newton_iterations);
+        m.counter_add("sweep.factorizations", t.factorizations);
+        m
+    }
+
     /// A compact human-readable table of all metric summaries.
     pub fn render(&self) -> String {
         use std::fmt::Write;
@@ -191,6 +218,13 @@ impl SweepReport {
             self.scenarios.len(),
             self.metric_names.len()
         );
+        if self.lanes > 1 {
+            let _ = writeln!(
+                out,
+                "  lane-batched: {} bundles x {} lanes",
+                self.bundles, self.lanes
+            );
+        }
         for name in &self.metric_names {
             if let Some(s) = self.summary(name) {
                 let _ = writeln!(
@@ -257,6 +291,8 @@ mod tests {
                 .collect(),
             exec: ExecStats::default(),
             trace: None,
+            lanes: 1,
+            bundles: 0,
         }
     }
 
@@ -322,5 +358,26 @@ mod tests {
     fn totals_fold_scenario_stats() {
         let r = report(&[1.0, 2.0, 3.0]);
         assert_eq!(r.totals().iterations, 10 + 11 + 12);
+    }
+
+    #[test]
+    fn lane_shape_is_reported_but_not_fingerprinted() {
+        let scalar = report(&[1.0, 2.0]);
+        let mut lane = report(&[1.0, 2.0]);
+        lane.lanes = 8;
+        lane.bundles = 1;
+        // Batching policy never perturbs the result hash.
+        assert_eq!(scalar.fingerprint(), lane.fingerprint());
+
+        let m = lane.scope_metrics();
+        assert_eq!(m.gauge("sweep.lanes"), Some(8.0));
+        assert_eq!(m.counter("sweep.bundles"), 1);
+        assert_eq!(m.counter("sweep.scenarios"), 2);
+        assert_eq!(m.counter("sweep.steps"), 10 + 11);
+        let s = scalar.scope_metrics();
+        assert_eq!(s.gauge("sweep.lanes"), Some(1.0));
+        assert_eq!(s.counter("sweep.bundles"), 0);
+        assert!(lane.render().contains("1 bundles x 8 lanes"));
+        assert!(!scalar.render().contains("lane-batched"));
     }
 }

@@ -19,7 +19,7 @@ use crate::SweepError;
 use ams_core::{Cluster, TdfGraph};
 use ams_exec::ExecStats;
 use ams_lint::LintPolicy;
-use ams_scope::{ScopeTrace, SpanKind, Tracer};
+use ams_scope::{scenario_arg, ScopeTrace, SpanKind, Tracer};
 
 /// The per-worker model half of a TDF sweep: applies a scenario's
 /// parameters before the run and extracts its metrics after.
@@ -37,6 +37,28 @@ pub trait SweepModel: Send {
     /// from probes the model kept when building the graph. `out` has
     /// one slot per metric name, initialized to NaN.
     fn metrics(&mut self, cluster: &Cluster, out: &mut [f64]);
+}
+
+/// The per-worker model half of a *lane-batched* TDF sweep: one cluster
+/// run evaluates a whole bundle of scenarios at once.
+///
+/// Where [`SweepModel`] sees one scenario per run, a `LaneSweepModel`
+/// receives the bundle's scenario slice and is expected to carry all of
+/// them through a single cluster execution — typically by wiring
+/// lane-bundled state (e.g. [`ams_math::F64xK`]) into the modules, or
+/// by widening per-scenario parameters into per-lane arrays. The graph
+/// topology stays scalar; only the sample values fan out.
+pub trait LaneSweepModel: Send {
+    /// Writes the bundle's parameters into the model. `scenarios` holds
+    /// the bundle's scenarios in lane order; the final bundle of a
+    /// sweep may be shorter than the configured lane width. Runs after
+    /// [`Cluster::reset`], before the run.
+    fn apply(&mut self, scenarios: &[Scenario]);
+
+    /// Extracts each lane's metric values after the run. `out` has one
+    /// row per scenario in the bundle (matching the `apply` slice), each
+    /// with one slot per metric name, initialized to NaN.
+    fn metrics(&mut self, cluster: &Cluster, out: &mut [Vec<f64>]);
 }
 
 /// A batched sweep over one TDF cluster topology.
@@ -245,6 +267,177 @@ impl TdfSweep {
             scenarios: results,
             exec,
             trace,
+            lanes: 1,
+            bundles: 0,
+        })
+    }
+
+    /// Runs every scenario of `spec` lane-batched: `lanes` consecutive
+    /// scenarios form one bundle, and each bundle costs a single
+    /// cluster run (one `reset`, one `run_standalone`). The model — a
+    /// [`LaneSweepModel`] — carries the whole bundle through that run,
+    /// typically via lane-bundled samples inside the modules.
+    ///
+    /// Compared to [`run`](TdfSweep::run):
+    ///
+    /// * The report has the same per-scenario shape, but each
+    ///   scenario's solver counters are its *bundle's* counters, so
+    ///   [`SweepReport::totals`] over-counts the actual work by up to
+    ///   the lane width (the actual work is roughly `1/lanes` of a
+    ///   scalar sweep's).
+    /// * A scenario failure is attributed to the bundle's first
+    ///   scenario index.
+    /// * [`SpanKind::Scenario`] spans cover a bundle and carry the lane
+    ///   width in their `arg` (see [`scenario_arg`]).
+    /// * The final bundle may be shorter than `lanes`; the model sees
+    ///   the true bundle size — there is no padding.
+    ///
+    /// `lanes == 1` is valid and equivalent to a scalar sweep over a
+    /// model that happens to take one-element slices. Reports stay
+    /// bit-identical across worker counts: bundle composition depends
+    /// only on the scenario order and `lanes`.
+    ///
+    /// # Errors
+    ///
+    /// As [`run`](TdfSweep::run), plus [`SweepError::Invalid`] when
+    /// `lanes` is zero.
+    pub fn run_lanes<M, B>(
+        &self,
+        spec: &SweepSpec,
+        workers: usize,
+        metrics: &[&str],
+        lanes: usize,
+        mut build: B,
+    ) -> Result<SweepReport, SweepError>
+    where
+        M: LaneSweepModel,
+        B: FnMut(usize) -> (TdfGraph, M),
+    {
+        if spec.is_empty() {
+            return Err(SweepError::invalid("sweep spec has no scenarios"));
+        }
+        if metrics.is_empty() {
+            return Err(SweepError::invalid("sweep needs at least one metric"));
+        }
+        if lanes == 0 {
+            return Err(SweepError::invalid("lane width must be at least 1"));
+        }
+
+        let scenarios = spec.scenarios();
+        let n = scenarios.len();
+        let n_metrics = metrics.len();
+        let n_bundles = n.div_ceil(lanes);
+        let mut lint_warnings = 0usize;
+        let iterations = self.iterations;
+        let tracing = self.trace;
+
+        let mut shard = run_sharded(
+            n_bundles,
+            lanes * n_metrics,
+            workers,
+            tracing,
+            self.hooks.as_ref(),
+            |slot, _items| {
+                let (mut graph, model) = build(slot);
+                if slot == 0 {
+                    let report = graph.lint();
+                    if !self.lint.denied(&report).is_empty() {
+                        return Err(SweepError::Lint(report));
+                    }
+                    lint_warnings = self.lint.warned(&report).len();
+                    for d in self.lint.warned(&report) {
+                        eprintln!("[{}] warning: {d}", self.context);
+                    }
+                }
+                let mut cluster = graph.elaborate()?;
+                if tracing {
+                    cluster.set_tracing(true);
+                }
+                Ok((cluster, model))
+            },
+            |(cluster, model): &mut (Cluster, M), item, tracer: &mut Tracer| {
+                let start = item * lanes;
+                let used = lanes.min(n - start);
+                let bundle = &scenarios[start..start + used];
+                let first = bundle[0].index();
+                cluster.reset();
+                model.apply(bundle);
+                if tracer.is_enabled() {
+                    tracer.begin_with(
+                        SpanKind::Scenario,
+                        first as u64,
+                        scenario_arg(first as u64, lanes),
+                    );
+                }
+                cluster
+                    .run_standalone(iterations)
+                    .map_err(|e| SweepError::scenario(first, e))?;
+                let mut rows = vec![vec![f64::NAN; n_metrics]; used];
+                model.metrics(cluster, &mut rows);
+                if tracer.is_enabled() {
+                    for (_, events) in cluster.take_traces() {
+                        tracer.extend(events);
+                    }
+                    tracer.end_with(
+                        SpanKind::Scenario,
+                        bundle[used - 1].index() as u64 + 1,
+                        scenario_arg(first as u64, lanes),
+                    );
+                }
+                // Pad dropped lanes with NaN so every ring row has the
+                // same width; the unpack below never reads the padding.
+                let mut flat: Vec<f64> = rows.into_iter().flatten().collect();
+                flat.resize(lanes * n_metrics, f64::NAN);
+                Ok((flat, cluster.stats()))
+            },
+        )?;
+
+        let mut results = Vec::with_capacity(n);
+        for (i, sc) in scenarios.iter().enumerate() {
+            let (b, l) = (i / lanes, i % lanes);
+            results.push(ScenarioResult {
+                index: sc.index(),
+                label: sc.label(),
+                metrics: shard.metrics[b][l * n_metrics..(l + 1) * n_metrics].to_vec(),
+                stats: shard.stats[b],
+            });
+        }
+
+        let mut exec = ExecStats {
+            windows: n as u64,
+            barriers: shard.shards as u64,
+            ring_high_water: shard.ring_high_water,
+            compute_wall: shard.compute_wall,
+            sync_wall: shard.sync_wall,
+            lint_warnings,
+            ..ExecStats::default()
+        };
+        for r in &results {
+            exec.clusters.push((r.label.clone(), r.stats));
+        }
+        for h in &mut shard.hooks {
+            h.on_finish(&exec);
+        }
+
+        let trace = if self.trace {
+            let mut t = ScopeTrace::new();
+            for (s, events) in shard.traces.into_iter().enumerate() {
+                if !events.is_empty() {
+                    t.add_track(format!("shard-{s}"), "scenarios", events);
+                }
+            }
+            Some(t)
+        } else {
+            None
+        };
+
+        Ok(SweepReport {
+            metric_names: metrics.iter().map(|m| (*m).to_string()).collect(),
+            scenarios: results,
+            exec,
+            trace,
+            lanes,
+            bundles: n_bundles,
         })
     }
 }
@@ -409,6 +602,87 @@ mod tests {
         // Tracing off (the default) leaves the report trace-free.
         let plain = TdfSweep::new(50).run(&spec, 2, &["peak"], build).unwrap();
         assert!(plain.trace.is_none());
+    }
+
+    /// Lane model for the same oscillator: the cluster runs at unit
+    /// gain once per bundle; each lane's peak is its gain times the
+    /// shared unit peak. Scaling a positive factor through `max(|·|)`
+    /// commutes bit-exactly, so values match the scalar sweep.
+    struct LaneModel {
+        gains: Vec<f64>,
+        probe: TdfProbe,
+    }
+
+    impl LaneSweepModel for LaneModel {
+        fn apply(&mut self, scenarios: &[Scenario]) {
+            self.gains = scenarios.iter().map(|s| s.value("gain")).collect();
+        }
+
+        fn metrics(&mut self, _cluster: &Cluster, out: &mut [Vec<f64>]) {
+            let unit = self
+                .probe
+                .values()
+                .into_iter()
+                .fold(0.0f64, |m, v| m.max(v.abs()));
+            for (row, g) in out.iter_mut().zip(&self.gains) {
+                row[0] = g * unit;
+            }
+        }
+    }
+
+    fn build_lane(slot: usize) -> (TdfGraph, LaneModel) {
+        let mut g = TdfGraph::new(format!("osc{slot}"));
+        let s = g.signal("y");
+        let probe = g.probe(s);
+        g.add_module(
+            "osc",
+            Osc {
+                out: s.writer(),
+                gain: SharedSample::new(1.0),
+                k: 0,
+            },
+        );
+        (
+            g,
+            LaneModel {
+                gains: Vec::new(),
+                probe,
+            },
+        )
+    }
+
+    #[test]
+    fn lane_sweep_matches_scalar_values_with_a_short_final_bundle() {
+        let gains = [0.5, 1.0, 2.0, 4.0, 8.0];
+        let spec = SweepSpec::grid(&[("gain", &gains)], 3).unwrap();
+        let scalar = TdfSweep::new(200).run(&spec, 2, &["peak"], build).unwrap();
+        let lane = TdfSweep::new(200)
+            .run_lanes(&spec, 1, &["peak"], 4, build_lane)
+            .unwrap();
+        assert_eq!(lane.lanes, 4);
+        assert_eq!(lane.bundles, 2); // 4 + 1: the last bundle is short
+        assert_eq!(scalar.values("peak").unwrap(), lane.values("peak").unwrap());
+        // Counters are bundle-shared: every scenario reports its
+        // bundle's 200 iterations even though only 2 runs happened.
+        assert_eq!(lane.totals().iterations, 5 * 200);
+    }
+
+    #[test]
+    fn lane_sweep_is_worker_deterministic() {
+        let spec = SweepSpec::monte_carlo(&[("gain", 0.1, 10.0)], 13, 77).unwrap();
+        let base = TdfSweep::new(64)
+            .run_lanes(&spec, 1, &["peak"], 4, build_lane)
+            .unwrap();
+        for workers in [2, 4] {
+            let other = TdfSweep::new(64)
+                .run_lanes(&spec, workers, &["peak"], 4, build_lane)
+                .unwrap();
+            assert_eq!(base.fingerprint(), other.fingerprint(), "workers={workers}");
+        }
+        assert!(matches!(
+            TdfSweep::new(64).run_lanes(&spec, 1, &["peak"], 0, build_lane),
+            Err(SweepError::Invalid(_))
+        ));
     }
 
     #[test]

@@ -11,10 +11,16 @@
 //! runs the rest in parallel with only numeric refactorizations — the
 //! report proves it in the solver counters.
 //!
+//! With `--lanes K` (K ∈ {4, 8, 16}) the sweep runs lane-batched:
+//! K scenarios ride one `f64xK` solver, sharing every assembly, LU and
+//! probe instruction stream — the throughput mode measured in
+//! experiment E13. `--lanes 1` (the default) is the scalar engine.
+//!
 //! Run with `cargo run --release --example monte_carlo_filter -- \
-//!   [--scenarios N] [--workers N] [--lint-only] [--trace trace.json] [--report]`.
+//!   [--scenarios N] [--workers N] [--lanes K] [--lint-only] \
+//!   [--trace trace.json] [--report]`.
 
-use systemc_ams::net::{Circuit, IntegrationMethod, SolverBackend};
+use systemc_ams::net::{Circuit, IntegrationMethod, ScenarioProbe, SolverBackend};
 use systemc_ams::sweep::{NetlistSweep, SweepSpec};
 
 const STAGES: usize = 4;
@@ -35,6 +41,7 @@ fn mismatch(sc: &systemc_ams::sweep::Scenario) -> Vec<f64> {
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut scenarios = 256usize;
     let mut workers = 4usize;
+    let mut lanes = 1usize;
     let (scope, rest) = systemc_ams::scope::args::scope_args()?;
     let mut args = rest.into_iter();
     while let Some(a) = args.next() {
@@ -45,11 +52,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             "--workers" => {
                 workers = args.next().ok_or("--workers needs a value")?.parse()?;
             }
+            "--lanes" => {
+                lanes = args.next().ok_or("--lanes needs a value")?.parse()?;
+            }
             "--lint-only" => {} // handled below, after the netlist exists
             other => {
                 return Err(format!(
                     "unknown argument {other:?}\nusage: cargo run --example monte_carlo_filter -- \
-                     [--scenarios N] [--workers N] [--lint-only] [--trace FILE] [--report]"
+                     [--scenarios N] [--workers N] [--lanes K] [--lint-only] [--trace FILE] \
+                     [--report]"
                 )
                 .into())
             }
@@ -101,12 +112,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // The ladder's Elmore delay is Σ R_cum·C ≈ 160 µs; 1 ms settles it.
     let t_end = 1e-3;
+    // `run_lanes` with width 1 *is* the scalar engine, so one call site
+    // covers both modes; wider widths pack K scenarios per solver.
     let report = NetlistSweep::new(ckt, IntegrationMethod::Trapezoidal)
         .backend(SolverBackend::Sparse)
         .fixed_step(t_end, 1e-6)
         .context("monte_carlo_filter")
         .trace(scope.enabled())
-        .run(
+        .lanes(lanes)
+        .run_lanes(
             &spec,
             workers,
             &["v_settle", "t_rise"],
@@ -120,7 +134,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 }
                 Ok(())
             },
-            |tr, m| {
+            |tr: &dyn ScenarioProbe, m| {
                 let v = tr.voltage(out);
                 m[0] = v; // last value at t_end = settled output
                 if m[1].is_nan() && v >= 0.9 {
@@ -142,13 +156,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
 
     // The amortization evidence: one symbolic analysis for the whole
-    // batch, numeric refactors everywhere else.
+    // batch, numeric refactors everywhere else. In lane mode solver
+    // counters are bundle-shared, so bundle 0's single analysis is
+    // reported by each of its (up to `lanes`) scenarios.
     let totals = report.totals();
     println!(
         "symbolic analyses: {} (of {} scenarios); numeric refactors: {}",
         totals.solve.symbolic_analyses, scenarios, totals.solve.numeric_refactors
     );
-    assert_eq!(totals.solve.symbolic_analyses, 1);
+    assert_eq!(
+        totals.solve.symbolic_analyses,
+        lanes.min(scenarios).max(1) as u64
+    );
 
     if scope.enabled() {
         let trace = report.trace.clone().unwrap_or_default();

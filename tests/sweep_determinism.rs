@@ -14,7 +14,9 @@ use systemc_ams::core::{
     Cluster, CoreError, SharedSample, TdfGraph, TdfIo, TdfModule, TdfProbe, TdfSetup,
 };
 use systemc_ams::kernel::SimTime;
-use systemc_ams::net::{Circuit, ElementId, IntegrationMethod, NodeId, SolverBackend};
+use systemc_ams::net::{
+    Circuit, ElementId, IntegrationMethod, NodeId, ScenarioProbe, SolverBackend,
+};
 use systemc_ams::sweep::{NetlistSweep, Scenario, SweepModel, SweepReport, SweepSpec, TdfSweep};
 
 // ---------- netlist sweep ----------------------------------------------------
@@ -108,6 +110,77 @@ fn assert_reports_identical(a: &SweepReport, b: &SweepReport, what: &str) {
         );
     }
     assert_eq!(a.fingerprint(), b.fingerprint(), "{what}: fingerprint");
+}
+
+/// Same ladder sweep as [`netlist_sweep`], but lane-batched: 24
+/// scenarios packed 8 to a bundle (the last bundle padded). Bundle
+/// composition depends only on the scenario order and lane width, and
+/// bundle 0's lane factor seeds every shard, so worker count must not
+/// change a single bit.
+fn lane_netlist_sweep(workers: usize) -> SweepReport {
+    let lad = ladder(12);
+    let spec = SweepSpec::monte_carlo(&[("dr", -0.2, 0.2), ("dc", -0.2, 0.2)], 24, 0xDE7).unwrap();
+    let resistors = lad.resistors.clone();
+    let caps = lad.caps.clone();
+    let out = lad.out;
+    NetlistSweep::new(lad.ckt, IntegrationMethod::Trapezoidal)
+        .backend(SolverBackend::Sparse)
+        .fixed_step(3e-6, 3e-9)
+        .lanes(8)
+        .run_lanes(
+            &spec,
+            workers,
+            &["v_out", "v_peak"],
+            move |c, sc| {
+                for r in &resistors {
+                    c.set_resistance(*r, 1e3 * (1.0 + sc.value("dr")))?;
+                }
+                for cap in &caps {
+                    c.set_capacitance(*cap, 1e-9 * (1.0 + sc.value("dc")))?;
+                }
+                Ok(())
+            },
+            |p: &dyn ScenarioProbe, m| {
+                let v = p.voltage(out);
+                m[0] = v;
+                m[1] = m[1].max(v); // NaN-seeded: first max() adopts v
+            },
+        )
+        .unwrap()
+}
+
+#[test]
+fn lane_netlist_sweep_is_bit_identical_across_worker_counts() {
+    let serial = lane_netlist_sweep(1);
+    assert_eq!(serial.lanes, 8);
+    assert_eq!(serial.bundles, 3);
+    for workers in [2, 4] {
+        let parallel = lane_netlist_sweep(workers);
+        assert_reports_identical(&serial, &parallel, &format!("lanes=8 workers={workers}"));
+    }
+    // Lane metrics track the scalar sweep's to ~1e-9 relative — same
+    // scenarios, same integrator, bundled instruction stream.
+    let scalar = netlist_sweep(1);
+    for (a, b) in scalar.scenarios.iter().zip(&serial.scenarios) {
+        assert_eq!(a.index, b.index);
+        for (x, y) in a.metrics.iter().zip(&b.metrics) {
+            assert!(
+                (x - y).abs() <= 1e-9 * (1.0 + x.abs()),
+                "scenario {}: scalar {x} vs lane {y}",
+                a.index
+            );
+        }
+    }
+    // One symbolic analysis for the whole batch, shared from bundle 0.
+    assert_eq!(
+        serial
+            .scenarios
+            .iter()
+            .step_by(8) // one representative per bundle (stats are shared)
+            .map(|r| r.stats.solve.symbolic_analyses)
+            .sum::<u64>(),
+        1
+    );
 }
 
 #[test]
