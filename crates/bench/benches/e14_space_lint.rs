@@ -1,0 +1,90 @@
+//! E14 — cost of the sweep-space abstract interpretation (`ams-lint::space`).
+//!
+//! The space pass fronts whole batches (`NetlistSweep::space`) and
+//! every `ams-serve` submission, so its cost must vanish against the
+//! sweep it gates (E10/E13 measure that sweep at tens of
+//! milliseconds). Measured on the monte_carlo_filter workload's
+//! 4-stage RC ladder:
+//!
+//! * `space/prove_safe` — `lint_space` over the example's real ±12 %
+//!   tolerance box: every check proves safe (the common, whole-batch
+//!   admission cost).
+//! * `space/refute_doomed` — `lint_space` over a box whose corner
+//!   drives the resistances negative: bisection isolates a witness
+//!   sub-box (the rejection path, paid before any transient).
+//! * `space/classify_point` — the concrete per-scenario classifier the
+//!   sweep gate uses to prune exactly the doomed scenarios.
+//!
+//! EXPERIMENTS.md quotes the proof-vs-sweep ratio from this bench and
+//! the E10 sweep numbers.
+
+use ams_lint::{classify_point, lint_space, ParamRange, SpaceBind, SpaceSpec, SpaceTarget};
+use ams_net::Circuit;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+const STAGES: usize = 4;
+const R_NOM: f64 = 1.6e3;
+const C_NOM: f64 = 10e-9;
+
+/// The monte_carlo_filter ladder: step source → 4 RC sections.
+fn ladder() -> Circuit {
+    let mut ckt = Circuit::new();
+    let mut prev = ckt.node("in");
+    ckt.voltage_source("V", prev, Circuit::GROUND, 1.0).unwrap();
+    for i in 0..STAGES {
+        let node = ckt.node(format!("n{i}"));
+        ckt.resistor(format!("R{i}"), prev, node, R_NOM).unwrap();
+        ckt.capacitor(format!("C{i}"), node, Circuit::GROUND, C_NOM)
+            .unwrap();
+        prev = node;
+    }
+    ckt
+}
+
+fn spec(dr: (f64, f64), dc: (f64, f64)) -> SpaceSpec {
+    let mut binds = Vec::new();
+    for i in 0..STAGES {
+        binds.push(SpaceBind {
+            param: "dr".into(),
+            element: format!("R{i}"),
+            target: SpaceTarget::Resistance,
+            relative: true,
+            nominal: R_NOM,
+        });
+        binds.push(SpaceBind {
+            param: "dc".into(),
+            element: format!("C{i}"),
+            target: SpaceTarget::Capacitance,
+            relative: true,
+            nominal: C_NOM,
+        });
+    }
+    SpaceSpec::new(
+        vec![
+            ParamRange::new("dr", dr.0, dr.1),
+            ParamRange::new("dc", dc.0, dc.1),
+        ],
+        binds,
+    )
+    .requested_h(1e-6)
+}
+
+fn bench_space_lint(c: &mut Criterion) {
+    let ckt = ladder();
+    let safe = spec((-0.12, 0.12), (-0.12, 0.12));
+    let doomed = spec((-1.5, 0.12), (-0.12, 0.12));
+    let names = ["dr".to_string(), "dc".to_string()];
+
+    c.bench_function("space/prove_safe", |b| {
+        b.iter(|| lint_space("e14", &ckt, &safe))
+    });
+    c.bench_function("space/refute_doomed", |b| {
+        b.iter(|| lint_space("e14", &ckt, &doomed))
+    });
+    c.bench_function("space/classify_point", |b| {
+        b.iter(|| classify_point(&ckt, &doomed, &names, &[-1.2, 0.0]))
+    });
+}
+
+criterion_group!(benches, bench_space_lint);
+criterion_main!(benches);

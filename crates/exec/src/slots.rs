@@ -7,6 +7,11 @@
 //! does not own any threads itself; it only keeps concurrent jobs from
 //! oversubscribing the cores the `ams-exec` workers run on.
 
+// Under the `loom` feature the pool is rebuilt on model-checked
+// primitives so `tests/loom_slots.rs` can explore its interleavings.
+#[cfg(feature = "loom")]
+use loom::sync::{Arc, Condvar, Mutex};
+#[cfg(not(feature = "loom"))]
 use std::sync::{Arc, Condvar, Mutex};
 
 #[derive(Debug)]

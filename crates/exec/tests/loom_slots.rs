@@ -1,0 +1,102 @@
+//! Exhaustive-interleaving checks of the worker-slot semaphore.
+//!
+//! Run with `cargo test -p ams-exec --features loom`. The `loom`
+//! feature rebuilds [`ams_exec::SlotPool`] on model-checked mutex and
+//! condvar primitives; every test body below runs once per distinct
+//! thread schedule (exhaustive up to the preemption bound), so mutual
+//! exclusion, blocking hand-off and lease return are verified across
+//! *all* interleavings, not just the ones a stress test happens to hit.
+
+#![cfg(feature = "loom")]
+
+use ams_exec::SlotPool;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+/// A pool of one slot is a mutex: two threads that `acquire` around a
+/// critical section may never overlap inside it, under any schedule,
+/// and both leases must come back.
+#[test]
+fn single_slot_pool_is_mutually_exclusive() {
+    let schedules = Arc::new(AtomicUsize::new(0));
+    let counter = schedules.clone();
+    loom::model(move || {
+        counter.fetch_add(1, Ordering::Relaxed);
+        let pool = SlotPool::new(1);
+        let busy = Arc::new(AtomicUsize::new(0));
+        let mut handles = Vec::new();
+        for _ in 0..2 {
+            let pool = pool.clone();
+            let busy = busy.clone();
+            handles.push(loom::thread::spawn(move || {
+                let lease = pool.acquire(1);
+                // Entering the critical section: nobody else may be in.
+                assert_eq!(busy.fetch_add(1, Ordering::SeqCst), 0, "overlap");
+                busy.fetch_sub(1, Ordering::SeqCst);
+                drop(lease);
+            }));
+        }
+        for h in handles {
+            h.join().expect("worker panicked");
+        }
+        assert_eq!(pool.available(), 1, "lease not returned");
+    });
+    // The explorer must have exercised genuinely different schedules —
+    // a regression to single-schedule execution would make this whole
+    // file a no-op. (The exhaustive count at preemption bound 3 is 30;
+    // assert a floor well above one but below the exact count so the
+    // test is not brittle against scheduler refinements.)
+    assert!(
+        schedules.load(Ordering::Relaxed) >= 20,
+        "only {} schedules explored",
+        schedules.load(Ordering::Relaxed)
+    );
+}
+
+/// Two non-blocking attempts racing for one slot: they can serialize
+/// (both win in turn) or collide (one loses), but they can never both
+/// lose, and the slot always comes back.
+#[test]
+fn try_acquire_race_never_loses_the_slot() {
+    let outcomes = Arc::new([AtomicUsize::new(0), AtomicUsize::new(0)]);
+    let o2 = outcomes.clone();
+    loom::model(move || {
+        let pool = SlotPool::new(1);
+        let p2 = pool.clone();
+        let contender = loom::thread::spawn(move || {
+            // Lease dropped inside the closure if the attempt wins.
+            p2.try_acquire(1).map(|l| l.count())
+        });
+        let mine = pool.try_acquire(1);
+        let theirs = contender.join().expect("contender panicked");
+        assert!(
+            mine.is_some() || theirs.is_some(),
+            "both non-blocking attempts failed on a 1-slot pool"
+        );
+        o2[usize::from(theirs.is_some())].fetch_add(1, Ordering::Relaxed);
+        drop(mine);
+        assert_eq!(pool.available(), 1, "slot lost after the race");
+    });
+    // Both outcomes must be reachable: schedules where the contender
+    // loses to the held lease, and schedules where it wins.
+    assert!(outcomes[0].load(Ordering::Relaxed) > 0, "never saw a loss");
+    assert!(outcomes[1].load(Ordering::Relaxed) > 0, "never saw a win");
+}
+
+/// A blocked `acquire` must be woken by the lease drop in every
+/// schedule — a lost wakeup would surface as the model's deadlock
+/// panic — and the pool must end full.
+#[test]
+fn blocked_acquire_is_always_woken_by_release() {
+    loom::model(|| {
+        let pool = SlotPool::new(2);
+        let lease = pool.try_acquire(2).expect("pool starts full");
+        let p2 = pool.clone();
+        let contender = loom::thread::spawn(move || p2.acquire(2).count());
+        // The contender parks until this lease returns; dropping it is
+        // the only wakeup there will ever be.
+        drop(lease);
+        assert_eq!(contender.join().expect("contender panicked"), 2);
+        assert_eq!(pool.available(), 2);
+    });
+}

@@ -103,6 +103,25 @@ pub mod codes {
     /// are incommensurate, so TDF samples drift against clock edges.
     pub const CNV001: &str = "CNV001";
 
+    /// Element value range crosses its physical domain for some corner
+    /// of the parameter space (space-level, see `ams_lint::space`).
+    pub const SPC001: &str = "SPC001";
+    /// MNA matrix numerically singular at some corner of the parameter
+    /// space (space-level).
+    pub const SPC002: &str = "SPC002";
+    /// Requested timestep exceeds the interval-Gershgorin safe bound at
+    /// the worst corner of the parameter space (space-level).
+    pub const SPC003: &str = "SPC003";
+    /// A space bind references an unknown element or sweep parameter
+    /// (space-level).
+    pub const SPC004: &str = "SPC004";
+    /// Structural defect of the template netlist, invariant across the
+    /// whole parameter space (space-level lift of `MNA001`–`MNA005`).
+    pub const SPC005: &str = "SPC005";
+    /// Lane bundles may abort mid-bundle: some corners have invalid
+    /// element values (space-level).
+    pub const SPC006: &str = "SPC006";
+
     /// The registry: every code with its default severity and a short
     /// title. Used by docs and by the JSON emitter's consumers.
     pub fn registry() -> &'static [(&'static str, super::Severity, &'static str)] {
@@ -163,6 +182,36 @@ pub mod codes {
                 CNV001,
                 Warning,
                 "cluster period incommensurate with a DE clock",
+            ),
+            (
+                SPC001,
+                Error,
+                "element value range crosses its physical domain for some corner",
+            ),
+            (
+                SPC002,
+                Error,
+                "MNA matrix numerically singular at some corner",
+            ),
+            (
+                SPC003,
+                Warning,
+                "requested timestep exceeds the safe bound at the worst corner",
+            ),
+            (
+                SPC004,
+                Error,
+                "space bind references an unknown element or parameter",
+            ),
+            (
+                SPC005,
+                Error,
+                "structural defect invariant across the whole space",
+            ),
+            (
+                SPC006,
+                Warning,
+                "lane bundles may abort: some corners have invalid values",
             ),
         ]
     }

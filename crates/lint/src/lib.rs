@@ -48,10 +48,15 @@
 
 pub mod diag;
 mod mna;
+pub mod space;
 mod tdf;
 
 pub use diag::{codes, Diagnostic, LintLevel, LintPolicy, LintReport, Severity};
 pub use mna::lint_circuit;
+pub use space::{
+    classify_point, lint_space, ParamBox, ParamRange, SpaceBind, SpaceReport, SpaceSpec,
+    SpaceTarget, SpaceVerdict, Verdict,
+};
 pub use tdf::{lint_sdf, lint_tdf, PortUse, TdfModel};
 
 use ams_kernel::SimTime;
@@ -118,6 +123,26 @@ pub fn exit_lint_only(reports: &[LintReport]) -> ! {
         errors += r.error_count();
     }
     std::process::exit(if errors > 0 { 1 } else { 0 })
+}
+
+/// `true` when `--lint-space` is among the process arguments (the flag
+/// may be followed by a `NAME=LO:HI[,…]` ranges token, which the
+/// example's own argument loop parses via [`space::parse_ranges`]).
+pub fn lint_space_requested() -> bool {
+    std::env::args().any(|a| a == "--lint-space")
+}
+
+/// Prints a space report (human rendering, then the JSON of the inner
+/// [`LintReport`]) and exits: status 0 when no error-severity
+/// diagnostic was found, status 1 otherwise.
+pub fn exit_space_lint(report: &SpaceReport) -> ! {
+    print!("{}", report.render());
+    println!("{}", report.report.to_json());
+    std::process::exit(if report.report.error_count() > 0 {
+        1
+    } else {
+        0
+    })
 }
 
 #[cfg(test)]

@@ -1,0 +1,1200 @@
+//! Sweep-space abstract interpretation: lint over whole parameter
+//! spaces.
+//!
+//! PR 3's `lint_circuit` proves facts about **one** concrete netlist.
+//! A sweep, though, runs the same topology over a *box* of parameter
+//! values — grid extents or Monte-Carlo bounds — and a single bad
+//! sub-region either burns compute on scenarios that were doomed before
+//! any transient ran, or aborts a whole lane bundle at runtime. This
+//! module lifts the lint gate from points to boxes: element values are
+//! propagated as [`Interval`]s through the MNA companion stamps, and
+//! each space-level check returns a [`Verdict`]:
+//!
+//! * [`Verdict::ProvedSafe`] — the property holds at **every** corner of
+//!   the box.
+//! * [`Verdict::ProvedViolated`] — a witness sub-box is returned that
+//!   provably **contains a concrete failing corner** (for `SPC001` the
+//!   whole witness box violates; for `SPC002` its midpoint is a
+//!   concrete singular matrix).
+//! * [`Verdict::Unknown`] — neither could be proved within the
+//!   bisection budget; the unresolved sub-boxes are returned so a
+//!   caller can refine further or fall back to runtime checks.
+//!
+//! The abstract domain is plain closed-interval arithmetic
+//! ([`ams_math::Interval`]); refinement is bisection on the widest
+//! dimension down to a configurable budget of box evaluations. The
+//! nonsingularity proof for `SPC002` is the midpoint-preconditioned
+//! enclosure test (Rump-style): with `R = A(mid)⁻¹`, if the row-sum
+//! norm `‖I − R·A(box)‖∞ < 1` holds in interval arithmetic then every
+//! concrete matrix in the box family is nonsingular.
+//!
+//! Codes issued here are `SPC001`–`SPC006` in the stable registry
+//! ([`crate::codes::registry`]). Consumers: `NetlistSweep` prunes
+//! statically-doomed scenarios via [`classify_point`], and `ams-serve`
+//! rejects doomed `JobSpec`s at admission, caching the verdict.
+
+use crate::diag::{codes, Diagnostic, LintReport};
+use crate::mna::lint_circuit;
+use ams_math::{DMat, Interval, Lu};
+use ams_net::{Circuit, ElementKind};
+use std::collections::VecDeque;
+use std::sync::Arc;
+
+/// The solver's minimum leakage conductance, mirrored from
+/// `ams-net::dcop::GMIN` so the abstract matrix encloses what the
+/// runtime actually factors.
+const GMIN: f64 = 1e-12;
+
+/// One named parameter with its range over the whole sweep.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParamRange {
+    /// Sweep parameter name.
+    pub name: String,
+    /// Lower bound (inclusive).
+    pub lo: f64,
+    /// Upper bound (inclusive).
+    pub hi: f64,
+}
+
+impl ParamRange {
+    /// A named range `[lo, hi]`.
+    pub fn new(name: impl Into<String>, lo: f64, hi: f64) -> ParamRange {
+        ParamRange {
+            name: name.into(),
+            lo: lo.min(hi),
+            hi: lo.max(hi),
+        }
+    }
+}
+
+/// Which element value a space bind rewrites.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SpaceTarget {
+    /// Resistance in ohms.
+    Resistance,
+    /// Capacitance in farads.
+    Capacitance,
+    /// Inductance in henries.
+    Inductance,
+}
+
+impl SpaceTarget {
+    fn noun(self) -> &'static str {
+        match self {
+            SpaceTarget::Resistance => "resistance",
+            SpaceTarget::Capacitance => "capacitance",
+            SpaceTarget::Inductance => "inductance",
+        }
+    }
+}
+
+/// A declarative binding of one sweep parameter to one element value —
+/// the space-level mirror of the sweep's `apply` closure. `relative`
+/// means the element takes `nominal * (1 + p)`; otherwise it takes `p`
+/// directly.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpaceBind {
+    /// Sweep parameter name (must appear in the spec's ranges).
+    pub param: String,
+    /// Element name in the template circuit.
+    pub element: String,
+    /// Which value of the element is rewritten.
+    pub target: SpaceTarget,
+    /// Relative (`nominal * (1 + p)`) vs absolute (`p`) binding.
+    pub relative: bool,
+    /// Nominal value for relative binds (ignored for absolute ones).
+    pub nominal: f64,
+}
+
+/// A topology-plus-box specification for the space pass.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpaceSpec {
+    /// Parameter ranges spanning the box.
+    pub ranges: Vec<ParamRange>,
+    /// Parameter-to-element bindings.
+    pub binds: Vec<SpaceBind>,
+    /// Maximum number of box evaluations per check before giving up
+    /// with [`Verdict::Unknown`].
+    pub budget: usize,
+    /// The timestep the sweep intends to run with, for the `SPC003`
+    /// interval-Gershgorin bound. `None` skips the check.
+    pub requested_h: Option<f64>,
+}
+
+impl SpaceSpec {
+    /// A spec with the default bisection budget (64 box evaluations).
+    pub fn new(ranges: Vec<ParamRange>, binds: Vec<SpaceBind>) -> SpaceSpec {
+        SpaceSpec {
+            ranges,
+            binds,
+            budget: 64,
+            requested_h: None,
+        }
+    }
+
+    /// Sets the bisection budget (box evaluations per check, min 1).
+    pub fn budget(mut self, budget: usize) -> SpaceSpec {
+        self.budget = budget.max(1);
+        self
+    }
+
+    /// Declares the timestep the sweep will run with (`SPC003`).
+    pub fn requested_h(mut self, h: f64) -> SpaceSpec {
+        self.requested_h = Some(h);
+        self
+    }
+
+    /// The full parameter box spanned by the ranges.
+    pub fn param_box(&self) -> ParamBox {
+        ParamBox {
+            names: Arc::new(self.ranges.iter().map(|r| r.name.clone()).collect()),
+            intervals: self
+                .ranges
+                .iter()
+                .map(|r| Interval::new(r.lo, r.hi))
+                .collect(),
+        }
+    }
+
+    /// A stable FNV-1a fingerprint over ranges, binds, budget and
+    /// requested timestep — the cache key `ams-serve` pairs with the
+    /// topology fingerprint.
+    pub fn fingerprint(&self) -> u64 {
+        let mut h = 0xcbf29ce484222325u64;
+        let mut put = |bytes: &[u8]| {
+            h ^= bytes.len() as u64;
+            h = h.wrapping_mul(0x100000001b3);
+            for &b in bytes {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x100000001b3);
+            }
+        };
+        for r in &self.ranges {
+            put(r.name.as_bytes());
+            put(&r.lo.to_bits().to_le_bytes());
+            put(&r.hi.to_bits().to_le_bytes());
+        }
+        for b in &self.binds {
+            put(b.param.as_bytes());
+            put(b.element.as_bytes());
+            put(&[b.target as u8, b.relative as u8]);
+            put(&b.nominal.to_bits().to_le_bytes());
+        }
+        put(&(self.budget as u64).to_le_bytes());
+        put(&self.requested_h.unwrap_or(-1.0).to_bits().to_le_bytes());
+        h
+    }
+}
+
+/// An axis-aligned box in parameter space.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParamBox {
+    names: Arc<Vec<String>>,
+    intervals: Vec<Interval>,
+}
+
+impl ParamBox {
+    /// Parameter names, in axis order.
+    pub fn names(&self) -> &[String] {
+        &self.names
+    }
+
+    /// Per-axis intervals, in the same order as [`ParamBox::names`].
+    pub fn intervals(&self) -> &[Interval] {
+        &self.intervals
+    }
+
+    /// The interval of a named parameter, if present.
+    pub fn interval(&self, name: &str) -> Option<Interval> {
+        self.names
+            .iter()
+            .position(|n| n == name)
+            .map(|i| self.intervals[i])
+    }
+
+    /// The box center, one value per axis.
+    pub fn midpoint(&self) -> Vec<f64> {
+        self.intervals.iter().map(|i| i.midpoint()).collect()
+    }
+
+    /// Whether the concrete point (axis order) lies inside the box.
+    pub fn contains(&self, values: &[f64]) -> bool {
+        values.len() == self.intervals.len()
+            && self
+                .intervals
+                .iter()
+                .zip(values)
+                .all(|(i, &v)| i.contains(v))
+    }
+
+    /// Splits on the widest axis. Returns `None` for a zero-dimensional
+    /// or degenerate (all-point) box.
+    pub fn bisect_widest(&self) -> Option<(ParamBox, ParamBox)> {
+        let (dim, w) = self
+            .intervals
+            .iter()
+            .enumerate()
+            .map(|(i, iv)| (i, iv.width()))
+            .max_by(|a, b| a.1.total_cmp(&b.1))?;
+        if w <= 0.0 || !w.is_finite() {
+            return None;
+        }
+        let (l, r) = self.intervals[dim].bisect();
+        let mut left = self.clone();
+        let mut right = self.clone();
+        left.intervals[dim] = l;
+        right.intervals[dim] = r;
+        Some((left, right))
+    }
+}
+
+impl std::fmt::Display for ParamBox {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{{")?;
+        for (i, (n, iv)) in self.names.iter().zip(&self.intervals).enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{n} ∈ {iv}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+/// The outcome of one space-level check over the whole box.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Verdict {
+    /// The property holds at every corner of the box.
+    ProvedSafe,
+    /// The property fails somewhere: the witness box contains a
+    /// concrete failing corner.
+    ProvedViolated(ParamBox),
+    /// Undecided within the bisection budget; the listed sub-boxes are
+    /// the unresolved remainder.
+    Unknown(Vec<ParamBox>),
+}
+
+impl Verdict {
+    /// Short tag for rendering: `proved-safe`, `proved-violated`,
+    /// `unknown`.
+    pub fn tag(&self) -> &'static str {
+        match self {
+            Verdict::ProvedSafe => "proved-safe",
+            Verdict::ProvedViolated(_) => "proved-violated",
+            Verdict::Unknown(_) => "unknown",
+        }
+    }
+}
+
+/// One check's code paired with its verdict over the space.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpaceVerdict {
+    /// The stable `SPC###` code.
+    pub code: &'static str,
+    /// The verdict over the whole box.
+    pub verdict: Verdict,
+}
+
+/// The space pass result: a normal [`LintReport`] (so the existing
+/// policy machinery applies unchanged) plus the per-code verdicts and
+/// the interval-Gershgorin safe timestep, when one could be bounded.
+#[derive(Debug, Clone)]
+pub struct SpaceReport {
+    /// Diagnostics in the standard report shape — feed to `LintPolicy`.
+    pub report: LintReport,
+    /// Per-code space verdicts (one entry per check that ran).
+    pub verdicts: Vec<SpaceVerdict>,
+    /// Provably safe timestep at the worst corner (2/λ̄ from the
+    /// interval-Gershgorin bound), when the topology admits one.
+    pub safe_h: Option<f64>,
+}
+
+impl SpaceReport {
+    /// The verdict for a code, if that check ran.
+    pub fn verdict(&self, code: &str) -> Option<&Verdict> {
+        self.verdicts
+            .iter()
+            .find(|v| v.code == code)
+            .map(|v| &v.verdict)
+    }
+
+    /// Human rendering: the lint report followed by one verdict line
+    /// per check and the safe-timestep bound.
+    pub fn render(&self) -> String {
+        let mut out = self.report.render();
+        for v in &self.verdicts {
+            out.push_str(&format!("space [{}] {}", v.code, v.verdict.tag()));
+            match &v.verdict {
+                Verdict::ProvedViolated(b) => out.push_str(&format!(" witness {b}\n")),
+                Verdict::Unknown(boxes) => {
+                    out.push_str(&format!(" ({} sub-boxes unresolved)\n", boxes.len()))
+                }
+                Verdict::ProvedSafe => out.push('\n'),
+            }
+        }
+        if let Some(h) = self.safe_h {
+            out.push_str(&format!("space safe timestep (worst corner): {h:.3e}\n"));
+        }
+        out
+    }
+}
+
+// ---------------------------------------------------------------------
+// Bind resolution
+// ---------------------------------------------------------------------
+
+/// A bind resolved against the template: element index + target, with
+/// the value map. Later binds to the same (element, target) override
+/// earlier ones, mirroring the order the sweep's `apply` runs them in.
+struct ResolvedBind {
+    elem: usize,
+    target: SpaceTarget,
+    param: usize,
+    relative: bool,
+    nominal: f64,
+}
+
+impl ResolvedBind {
+    /// The element value over a parameter interval.
+    fn value(&self, p: Interval) -> Interval {
+        if self.relative {
+            (p + 1.0) * self.nominal
+        } else {
+            p
+        }
+    }
+
+    /// The element value at a concrete parameter point.
+    fn value_at(&self, p: f64) -> f64 {
+        if self.relative {
+            self.nominal * (1.0 + p)
+        } else {
+            p
+        }
+    }
+}
+
+/// Resolves binds, emitting `SPC004` for unknown elements/parameters or
+/// target-kind mismatches. On any `SPC004` the value-dependent checks
+/// are skipped (there is nothing meaningful to evaluate).
+fn resolve_binds(
+    ckt: &Circuit,
+    spec: &SpaceSpec,
+    r: &mut LintReport,
+    verdicts: &mut Vec<SpaceVerdict>,
+    full: &ParamBox,
+) -> Option<Vec<ResolvedBind>> {
+    let mut bad: Vec<String> = Vec::new();
+    let mut resolved: Vec<ResolvedBind> = Vec::new();
+    for b in &spec.binds {
+        let Some(param) = spec.ranges.iter().position(|rg| rg.name == b.param) else {
+            bad.push(format!("parameter '{}'", b.param));
+            continue;
+        };
+        let Some(elem) = ckt.elements().iter().position(|e| e.name == b.element) else {
+            bad.push(format!("element '{}'", b.element));
+            continue;
+        };
+        let kind_ok = matches!(
+            (&ckt.elements()[elem].kind, b.target),
+            (ElementKind::Resistor { .. }, SpaceTarget::Resistance)
+                | (ElementKind::Capacitor { .. }, SpaceTarget::Capacitance)
+                | (ElementKind::Inductor { .. }, SpaceTarget::Inductance)
+        );
+        if !kind_ok {
+            bad.push(format!(
+                "element '{}' has no {}",
+                b.element,
+                b.target.noun()
+            ));
+            continue;
+        }
+        // Later binds override earlier ones on the same value slot.
+        resolved.retain(|rb| !(rb.elem == elem && rb.target == b.target));
+        resolved.push(ResolvedBind {
+            elem,
+            target: b.target,
+            param,
+            relative: b.relative,
+            nominal: b.nominal,
+        });
+    }
+    if bad.is_empty() {
+        verdicts.push(SpaceVerdict {
+            code: codes::SPC004,
+            verdict: Verdict::ProvedSafe,
+        });
+        Some(resolved)
+    } else {
+        r.push(
+            Diagnostic::error(
+                codes::SPC004,
+                format!(
+                    "space bind(s) reference unknown targets: {}",
+                    bad.join(", ")
+                ),
+            )
+            .with_items(bad),
+        );
+        verdicts.push(SpaceVerdict {
+            code: codes::SPC004,
+            verdict: Verdict::ProvedViolated(full.clone()),
+        });
+        None
+    }
+}
+
+// ---------------------------------------------------------------------
+// Bisection refinement
+// ---------------------------------------------------------------------
+
+/// Trilean result of evaluating one property over one sub-box.
+enum BoxEval {
+    /// Holds at every corner of the sub-box.
+    Safe,
+    /// Fails somewhere in the sub-box (the sub-box is a valid witness).
+    Violated,
+    /// Undecided — bisect further.
+    Undecided,
+}
+
+/// Breadth-first bisection on the widest axis, up to `budget` box
+/// evaluations. Returns the first violated sub-box as witness, safe if
+/// every leaf proved safe, unknown (with the unresolved frontier)
+/// otherwise.
+fn refine(root: ParamBox, budget: usize, eval: impl Fn(&ParamBox) -> BoxEval) -> Verdict {
+    let mut queue: VecDeque<ParamBox> = VecDeque::new();
+    queue.push_back(root);
+    let mut unresolved: Vec<ParamBox> = Vec::new();
+    let mut evals = 0usize;
+    while let Some(b) = queue.pop_front() {
+        if evals >= budget {
+            unresolved.push(b);
+            unresolved.extend(queue);
+            return Verdict::Unknown(unresolved);
+        }
+        evals += 1;
+        match eval(&b) {
+            BoxEval::Safe => {}
+            BoxEval::Violated => return Verdict::ProvedViolated(b),
+            BoxEval::Undecided => match b.bisect_widest() {
+                Some((l, r)) => {
+                    queue.push_back(l);
+                    queue.push_back(r);
+                }
+                None => unresolved.push(b),
+            },
+        }
+    }
+    if unresolved.is_empty() {
+        Verdict::ProvedSafe
+    } else {
+        Verdict::Unknown(unresolved)
+    }
+}
+
+// ---------------------------------------------------------------------
+// Interval MNA assembly
+// ---------------------------------------------------------------------
+
+/// Element value intervals over a box: `values[elem]` is `Some(iv)` for
+/// bound R/C/L elements, `None` for unbound ones (use the template's
+/// concrete value).
+fn element_intervals(ckt: &Circuit, binds: &[ResolvedBind], b: &ParamBox) -> Vec<Option<Interval>> {
+    let mut v: Vec<Option<Interval>> = vec![None; ckt.elements().len()];
+    for rb in binds {
+        v[rb.elem] = Some(rb.value(b.intervals[rb.param]));
+    }
+    v
+}
+
+/// The template's concrete R/C/L value for an element.
+fn template_value(kind: &ElementKind) -> Option<f64> {
+    match kind {
+        ElementKind::Resistor { ohms } => Some(*ohms),
+        ElementKind::Capacitor { farads, .. } => Some(*farads),
+        ElementKind::Inductor { henries, .. } => Some(*henries),
+        _ => None,
+    }
+}
+
+/// The MNA unknown layout for the abstract matrix: non-ground node
+/// voltages first, then one branch current per voltage-defined or
+/// inductive element. Returns `None` when the circuit contains element
+/// kinds outside the linear R/C/L/source family the interval stamps
+/// model (controlled sources, diodes, MOS, switches) — the matrix
+/// checks then answer [`Verdict::Unknown`] rather than overclaim.
+struct MnaLayout {
+    /// node index -> matrix row (ground excluded).
+    node_row: Vec<Option<usize>>,
+    /// element index -> branch row, for branch-current elements.
+    branch_row: Vec<Option<usize>>,
+    n: usize,
+}
+
+fn layout(ckt: &Circuit) -> Option<MnaLayout> {
+    let ground = Circuit::GROUND.index();
+    let mut node_row = vec![None; ckt.node_count()];
+    let mut next = 0usize;
+    for node in ckt.nodes() {
+        if node.index() != ground {
+            node_row[node.index()] = Some(next);
+            next += 1;
+        }
+    }
+    let mut branch_row = vec![None; ckt.elements().len()];
+    for (i, e) in ckt.elements().iter().enumerate() {
+        match e.kind {
+            ElementKind::Inductor { .. } | ElementKind::VoltageSource { .. } => {
+                branch_row[i] = Some(next);
+                next += 1;
+            }
+            ElementKind::Resistor { .. }
+            | ElementKind::Capacitor { .. }
+            | ElementKind::CurrentSource { .. } => {}
+            // Controlled sources and nonlinear devices are outside the
+            // interval stamp family.
+            _ => return None,
+        }
+    }
+    Some(MnaLayout {
+        node_row,
+        branch_row,
+        n: next,
+    })
+}
+
+/// Assembles the interval BE companion matrix `G + C/h` (plus source
+/// and inductor branch rows) over a box; `h = None` assembles the DC
+/// matrix with the solver's gmin leakage, exactly as `ams-net` does.
+fn interval_matrix(
+    ckt: &Circuit,
+    lay: &MnaLayout,
+    values: &[Option<Interval>],
+    h: Option<f64>,
+) -> Option<Vec<Vec<Interval>>> {
+    let n = lay.n;
+    let z = Interval::point(0.0);
+    let mut a = vec![vec![z; n]; n];
+    let add = |a: &mut Vec<Vec<Interval>>, i: Option<usize>, j: Option<usize>, v: Interval| {
+        if let (Some(i), Some(j)) = (i, j) {
+            a[i][j] = a[i][j] + v;
+        }
+    };
+    for (idx, e) in ckt.elements().iter().enumerate() {
+        let p = lay.node_row[e.p.index()];
+        let nn = lay.node_row[e.n.index()];
+        let iv = |concrete: Option<f64>| -> Option<Interval> {
+            values[idx].or_else(|| concrete.map(Interval::point))
+        };
+        match &e.kind {
+            ElementKind::Resistor { ohms } => {
+                let g = iv(Some(*ohms))?.recip() + GMIN;
+                add(&mut a, p, p, g);
+                add(&mut a, nn, nn, g);
+                add(&mut a, p, nn, -g);
+                add(&mut a, nn, p, -g);
+            }
+            ElementKind::Capacitor { farads, .. } => {
+                let c = iv(Some(*farads))?;
+                let g = match h {
+                    Some(h) => c * (1.0 / h) + GMIN,
+                    None => Interval::point(GMIN),
+                };
+                add(&mut a, p, p, g);
+                add(&mut a, nn, nn, g);
+                add(&mut a, p, nn, -g);
+                add(&mut a, nn, p, -g);
+            }
+            ElementKind::Inductor { henries, .. } => {
+                let br = lay.branch_row[idx];
+                let one = Interval::point(1.0);
+                add(&mut a, p, br, one);
+                add(&mut a, nn, br, -one);
+                add(&mut a, br, p, one);
+                add(&mut a, br, nn, -one);
+                // BE companion: v = (L/h)(i - i_prev); DC: v = 0 with
+                // the branch current free — diagonal stays 0.
+                if let Some(h) = h {
+                    let l = iv(Some(*henries))?;
+                    add(&mut a, br, br, -(l * (1.0 / h)));
+                }
+            }
+            ElementKind::VoltageSource { .. } => {
+                let br = lay.branch_row[idx];
+                let one = Interval::point(1.0);
+                add(&mut a, p, br, one);
+                add(&mut a, nn, br, -one);
+                add(&mut a, br, p, one);
+                add(&mut a, br, nn, -one);
+            }
+            ElementKind::CurrentSource { .. } => {}
+            _ => return None,
+        }
+    }
+    Some(a)
+}
+
+/// The concrete matrix at a parameter point: same stamps, point values.
+fn concrete_matrix(
+    ckt: &Circuit,
+    lay: &MnaLayout,
+    binds: &[ResolvedBind],
+    point: &[f64],
+    h: Option<f64>,
+) -> Option<DMat<f64>> {
+    let mut values: Vec<Option<Interval>> = vec![None; ckt.elements().len()];
+    for rb in binds {
+        values[rb.elem] = Some(Interval::point(rb.value_at(point[rb.param])));
+    }
+    let a = interval_matrix(ckt, lay, &values, h)?;
+    let n = lay.n;
+    Some(DMat::from_fn(n, n, |i, j| a[i][j].midpoint()))
+}
+
+/// Midpoint-preconditioned nonsingularity proof: every matrix in the
+/// interval family is nonsingular if `‖I − A(mid)⁻¹·A(box)‖∞ < 1`.
+fn proves_nonsingular(a: &[Vec<Interval>], mid_lu: &Lu<f64>) -> bool {
+    let n = a.len();
+    // R = mid⁻¹ by solving against identity columns.
+    let r = match mid_lu.solve_mat(&DMat::identity(n)) {
+        Ok(r) => r,
+        Err(_) => return false,
+    };
+    // Row-sum norm of I − R·A(box), evaluated in interval arithmetic.
+    let mut worst: f64 = 0.0;
+    for i in 0..n {
+        let mut row_sum = 0.0f64;
+        for j in 0..n {
+            let mut cij = Interval::point(0.0);
+            for (k, ak) in a.iter().enumerate() {
+                let rik = *r.get(i, k).expect("inverse is n×n");
+                if rik != 0.0 {
+                    cij = cij + ak[j] * rik;
+                }
+            }
+            let eij = if i == j { cij + (-1.0) } else { cij };
+            row_sum += eij.abs().hi;
+            if !row_sum.is_finite() {
+                return false;
+            }
+        }
+        worst = worst.max(row_sum);
+    }
+    worst < 1.0
+}
+
+// ---------------------------------------------------------------------
+// The pass
+// ---------------------------------------------------------------------
+
+/// Runs the space pass over a template circuit and a parameter box.
+///
+/// `context` names the report, exactly like [`lint_circuit`]. The
+/// returned [`SpaceReport`] carries standard diagnostics (enforce with
+/// the usual `LintPolicy`) plus per-code [`Verdict`]s and the safe
+/// timestep bound.
+pub fn lint_space(context: impl Into<String>, ckt: &Circuit, spec: &SpaceSpec) -> SpaceReport {
+    let mut r = LintReport::new(context);
+    let mut verdicts: Vec<SpaceVerdict> = Vec::new();
+    let full = spec.param_box();
+
+    // SPC005: structural defects are value-independent — binds rewrite
+    // values, never topology — so the concrete verdict on the template
+    // lifts to every corner of the space.
+    let structural = lint_circuit("space-template", ckt);
+    let structural_errors: Vec<String> = structural
+        .diagnostics
+        .iter()
+        .filter(|d| d.severity == crate::diag::Severity::Error)
+        .map(|d| d.code.to_string())
+        .collect();
+    if structural_errors.is_empty() {
+        verdicts.push(SpaceVerdict {
+            code: codes::SPC005,
+            verdict: Verdict::ProvedSafe,
+        });
+    } else {
+        r.push(
+            Diagnostic::error(
+                codes::SPC005,
+                format!(
+                    "template netlist is structurally defective at every corner \
+                     of the space (value binds cannot repair topology): {}",
+                    structural_errors.join(", ")
+                ),
+            )
+            .with_items(structural_errors.clone()),
+        );
+        verdicts.push(SpaceVerdict {
+            code: codes::SPC005,
+            verdict: Verdict::ProvedViolated(full.clone()),
+        });
+    }
+
+    // SPC004 + bind resolution; value-dependent checks need it.
+    let Some(binds) = resolve_binds(ckt, spec, &mut r, &mut verdicts, &full) else {
+        return SpaceReport {
+            report: r,
+            verdicts,
+            safe_h: None,
+        };
+    };
+
+    // SPC001: element value ranges vs their physical domain (> 0).
+    let mut domain_bad: Vec<String> = Vec::new();
+    let mut spc001 = Verdict::ProvedSafe;
+    for rb in &binds {
+        let name = &ckt.elements()[rb.elem].name;
+        let v = refine(full.clone(), spec.budget, |b| {
+            let iv = rb.value(b.intervals[rb.param]);
+            if iv.hi <= 0.0 {
+                BoxEval::Violated
+            } else if iv.lo > 0.0 {
+                BoxEval::Safe
+            } else {
+                BoxEval::Undecided
+            }
+        });
+        match v {
+            Verdict::ProvedSafe => {}
+            Verdict::ProvedViolated(w) => {
+                domain_bad.push(name.clone());
+                if !matches!(spc001, Verdict::ProvedViolated(_)) {
+                    spc001 = Verdict::ProvedViolated(w);
+                }
+            }
+            Verdict::Unknown(boxes) => {
+                if matches!(spc001, Verdict::ProvedSafe) {
+                    spc001 = Verdict::Unknown(boxes);
+                }
+            }
+        }
+    }
+    if let Verdict::ProvedViolated(w) = &spc001 {
+        r.push(
+            Diagnostic::error(
+                codes::SPC001,
+                format!(
+                    "element value(s) of {} leave their physical domain (≤ 0) for \
+                     some corner; witness box {w}",
+                    domain_bad
+                        .iter()
+                        .map(|n| format!("'{n}'"))
+                        .collect::<Vec<_>>()
+                        .join(", ")
+                ),
+            )
+            .with_items(domain_bad.clone()),
+        );
+        r.push(Diagnostic::warning(
+            codes::SPC006,
+            "lane bundles over this space may abort mid-bundle: some corners \
+             have invalid element values (prune or narrow the ranges)"
+                .to_string(),
+        ));
+        verdicts.push(SpaceVerdict {
+            code: codes::SPC006,
+            verdict: Verdict::ProvedViolated(w.clone()),
+        });
+    } else {
+        verdicts.push(SpaceVerdict {
+            code: codes::SPC006,
+            verdict: Verdict::ProvedSafe,
+        });
+    }
+    verdicts.push(SpaceVerdict {
+        code: codes::SPC001,
+        verdict: spc001.clone(),
+    });
+
+    // SPC002: numerical nonsingularity across the box. Only meaningful
+    // when the structure is sound and values stay in-domain (a zero
+    // crossing already makes some corner singular — but that corner is
+    // SPC001's finding, not a new one).
+    let lay = layout(ckt);
+    let spc002 = match (&lay, &spc001, structural_errors.is_empty()) {
+        (Some(lay), Verdict::ProvedSafe, true) => refine(full.clone(), spec.budget, |b| {
+            let values = element_intervals(ckt, &binds, b);
+            let Some(a) = interval_matrix(ckt, lay, &values, spec.requested_h) else {
+                return BoxEval::Undecided;
+            };
+            let Some(mid) = concrete_matrix(ckt, lay, &binds, &b.midpoint(), spec.requested_h)
+            else {
+                return BoxEval::Undecided;
+            };
+            match Lu::factor(&mid) {
+                // Midpoint is a concrete singular corner: witness found.
+                Err(_) => BoxEval::Violated,
+                Ok(lu) => {
+                    if proves_nonsingular(&a, &lu) {
+                        BoxEval::Safe
+                    } else {
+                        BoxEval::Undecided
+                    }
+                }
+            }
+        }),
+        // Out-of-domain values or unmodelled element kinds: undecided
+        // over the whole box rather than a false proof either way.
+        (None, _, _) => Verdict::Unknown(vec![full.clone()]),
+        _ => Verdict::Unknown(vec![full.clone()]),
+    };
+    if let Verdict::ProvedViolated(w) = &spc002 {
+        r.push(Diagnostic::error(
+            codes::SPC002,
+            format!("the MNA matrix is numerically singular at some corner; witness box {w}"),
+        ));
+    }
+    verdicts.push(SpaceVerdict {
+        code: codes::SPC002,
+        verdict: spc002,
+    });
+
+    // SPC003: interval-Gershgorin timestep bound at the worst corner.
+    // For the RC part of the network, every eigenvalue of C⁻¹G lies in
+    // a Gershgorin disc of the row-scaled matrix; the worst-corner
+    // magnitude is bounded by max_i (Σ_j |G_ij|.hi) / c_ii.lo over
+    // capacitive nodes. 2/λ̄ is the trapezoidal stability / accuracy
+    // guard band.
+    let safe_h = lay
+        .as_ref()
+        .and_then(|lay| gershgorin_safe_h(ckt, lay, &binds, &full));
+    if let (Some(h_req), Some(h_safe)) = (spec.requested_h, safe_h) {
+        if h_req > h_safe {
+            r.push(Diagnostic::warning(
+                codes::SPC003,
+                format!(
+                    "requested timestep {h_req:.3e} exceeds the interval-Gershgorin \
+                     safe bound {h_safe:.3e} at the worst corner"
+                ),
+            ));
+            verdicts.push(SpaceVerdict {
+                code: codes::SPC003,
+                verdict: Verdict::ProvedViolated(full.clone()),
+            });
+        } else {
+            verdicts.push(SpaceVerdict {
+                code: codes::SPC003,
+                verdict: Verdict::ProvedSafe,
+            });
+        }
+    }
+
+    SpaceReport {
+        report: r,
+        verdicts,
+        safe_h,
+    }
+}
+
+/// `2 / λ̄` where `λ̄` bounds the fastest RC eigenvalue over the whole
+/// box. `None` when no node carries capacitance (nothing to bound) or
+/// any needed interval is unusable.
+fn gershgorin_safe_h(
+    ckt: &Circuit,
+    lay: &MnaLayout,
+    binds: &[ResolvedBind],
+    b: &ParamBox,
+) -> Option<f64> {
+    let values = element_intervals(ckt, binds, b);
+    let n_nodes = lay.node_row.len();
+    // Per-node capacitance (lo) and conductance row magnitude (hi).
+    let mut cap_lo = vec![0.0f64; n_nodes];
+    let mut g_hi = vec![0.0f64; n_nodes];
+    for (idx, e) in ckt.elements().iter().enumerate() {
+        let iv = values[idx].or_else(|| template_value(&e.kind).map(Interval::point));
+        match &e.kind {
+            ElementKind::Capacitor { .. } => {
+                let c = iv?;
+                if c.lo <= 0.0 {
+                    return None;
+                }
+                cap_lo[e.p.index()] += c.lo;
+                cap_lo[e.n.index()] += c.lo;
+            }
+            ElementKind::Resistor { .. } => {
+                let g = iv?.recip();
+                if !g.hi.is_finite() || g.lo <= 0.0 {
+                    return None;
+                }
+                // Diagonal + off-diagonal magnitude: 2·g.hi per node.
+                g_hi[e.p.index()] += 2.0 * g.hi;
+                g_hi[e.n.index()] += 2.0 * g.hi;
+            }
+            _ => {}
+        }
+    }
+    let ground = Circuit::GROUND.index();
+    let mut lambda: f64 = 0.0;
+    for i in 0..n_nodes {
+        if i == ground || g_hi[i] == 0.0 {
+            continue;
+        }
+        if cap_lo[i] > 0.0 {
+            lambda = lambda.max(g_hi[i] / cap_lo[i]);
+        }
+    }
+    (lambda > 0.0).then(|| 2.0 / lambda)
+}
+
+// ---------------------------------------------------------------------
+// Concrete-point classification (sweep pruning)
+// ---------------------------------------------------------------------
+
+/// Classifies one concrete scenario point: `Some(code)` when the corner
+/// is statically doomed (`SPC001` out-of-domain element value, `SPC002`
+/// singular matrix), `None` when it passes. `names`/`values` are the
+/// scenario's parameter row; parameters the binds do not use are
+/// ignored, and a bind whose parameter is missing from the row is
+/// classified `SPC004`.
+pub fn classify_point(
+    ckt: &Circuit,
+    spec: &SpaceSpec,
+    names: &[String],
+    values: &[f64],
+) -> Option<&'static str> {
+    let value_of =
+        |name: &str| -> Option<f64> { names.iter().position(|n| n == name).map(|i| values[i]) };
+    let mut resolved: Vec<(usize, SpaceTarget, f64)> = Vec::new();
+    for b in &spec.binds {
+        let p = match value_of(&b.param) {
+            Some(p) => p,
+            None => return Some(codes::SPC004),
+        };
+        let Some(elem) = ckt.elements().iter().position(|e| e.name == b.element) else {
+            return Some(codes::SPC004);
+        };
+        let v = if b.relative { b.nominal * (1.0 + p) } else { p };
+        resolved.retain(|(e, t, _)| !(*e == elem && *t == b.target));
+        resolved.push((elem, b.target, v));
+    }
+    if resolved.iter().any(|&(_, _, v)| v <= 0.0) {
+        return Some(codes::SPC001);
+    }
+    // Singularity at the concrete point, with the same companion stamps
+    // the interval pass uses.
+    if let Some(lay) = layout(ckt) {
+        let mut ivs: Vec<Option<Interval>> = vec![None; ckt.elements().len()];
+        for &(e, _, v) in &resolved {
+            ivs[e] = Some(Interval::point(v));
+        }
+        if let Some(a) = interval_matrix(ckt, &lay, &ivs, spec.requested_h) {
+            let n = lay.n;
+            let mid = DMat::from_fn(n, n, |i, j| a[i][j].midpoint());
+            if Lu::factor(&mid).is_err() {
+                return Some(codes::SPC002);
+            }
+        }
+    }
+    None
+}
+
+// ---------------------------------------------------------------------
+// Range-string parsing (example CLI support)
+// ---------------------------------------------------------------------
+
+/// Parses `"dr=-0.1:0.1,dc=-0.2:0.2"` into ranges, for the examples'
+/// `--lint-space` flag.
+pub fn parse_ranges(s: &str) -> Result<Vec<ParamRange>, String> {
+    let mut out = Vec::new();
+    for part in s.split(',').filter(|p| !p.is_empty()) {
+        let (name, rest) = part
+            .split_once('=')
+            .ok_or_else(|| format!("range '{part}' is not NAME=LO:HI"))?;
+        let (lo, hi) = rest
+            .split_once(':')
+            .ok_or_else(|| format!("range '{part}' is not NAME=LO:HI"))?;
+        let lo: f64 = lo
+            .parse()
+            .map_err(|_| format!("bad lower bound in '{part}'"))?;
+        let hi: f64 = hi
+            .parse()
+            .map_err(|_| format!("bad upper bound in '{part}'"))?;
+        out.push(ParamRange::new(name.trim(), lo, hi));
+    }
+    if out.is_empty() {
+        return Err("no ranges given (expected NAME=LO:HI[,NAME=LO:HI…])".to_string());
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// V source + R ladder + C to ground: the canonical sweep template.
+    fn rc_ladder(stages: usize) -> Circuit {
+        let mut ckt = Circuit::new();
+        let mut prev = ckt.node("n0");
+        ckt.voltage_source("Vin", prev, Circuit::GROUND, 1.0)
+            .unwrap();
+        for k in 0..stages {
+            let next = ckt.node(format!("n{}", k + 1));
+            ckt.resistor(format!("R{k}"), prev, next, 1e3).unwrap();
+            ckt.capacitor(format!("C{k}"), next, Circuit::GROUND, 1e-9)
+                .unwrap();
+            prev = next;
+        }
+        ckt
+    }
+
+    fn spec_rel(dr: (f64, f64), dc: (f64, f64), stages: usize) -> SpaceSpec {
+        let mut binds = Vec::new();
+        for k in 0..stages {
+            binds.push(SpaceBind {
+                param: "dr".into(),
+                element: format!("R{k}"),
+                target: SpaceTarget::Resistance,
+                relative: true,
+                nominal: 1e3,
+            });
+            binds.push(SpaceBind {
+                param: "dc".into(),
+                element: format!("C{k}"),
+                target: SpaceTarget::Capacitance,
+                relative: true,
+                nominal: 1e-9,
+            });
+        }
+        SpaceSpec::new(
+            vec![
+                ParamRange::new("dr", dr.0, dr.1),
+                ParamRange::new("dc", dc.0, dc.1),
+            ],
+            binds,
+        )
+        .requested_h(50e-9)
+    }
+
+    #[test]
+    fn healthy_box_proves_safe() {
+        let ckt = rc_ladder(3);
+        let rep = lint_space("t", &ckt, &spec_rel((-0.1, 0.1), (-0.1, 0.1), 3));
+        assert!(rep.report.is_clean(), "{}", rep.render());
+        assert_eq!(rep.verdict(codes::SPC001), Some(&Verdict::ProvedSafe));
+        assert_eq!(rep.verdict(codes::SPC005), Some(&Verdict::ProvedSafe));
+        assert_eq!(
+            rep.verdict(codes::SPC002),
+            Some(&Verdict::ProvedSafe),
+            "{}",
+            rep.render()
+        );
+        let h = rep.safe_h.expect("RC ladder admits a Gershgorin bound");
+        assert!(h > 0.0 && h.is_finite());
+    }
+
+    #[test]
+    fn domain_crossing_is_proved_violated_with_witness() {
+        let ckt = rc_ladder(2);
+        // dr reaches -1.2: R = nom·(1+dr) crosses zero inside the box.
+        let rep = lint_space("t", &ckt, &spec_rel((-1.2, 0.1), (-0.05, 0.05), 2));
+        assert!(rep.report.has_code(codes::SPC001), "{}", rep.render());
+        let Some(Verdict::ProvedViolated(w)) = rep.verdict(codes::SPC001) else {
+            panic!("expected a witness: {}", rep.render());
+        };
+        // Every point of the witness box must violate: R(dr) ≤ 0.
+        let dr = w.interval("dr").unwrap();
+        assert!(
+            1e3 * (1.0 + dr.hi) <= 0.0,
+            "witness box {w} contains passing corners"
+        );
+        // The lane-safety warning rides along.
+        assert!(rep.report.has_code(codes::SPC006));
+    }
+
+    #[test]
+    fn unknown_bind_targets_are_spc004() {
+        let ckt = rc_ladder(1);
+        let mut spec = spec_rel((-0.1, 0.1), (-0.1, 0.1), 1);
+        spec.binds.push(SpaceBind {
+            param: "dq".into(),
+            element: "R9".into(),
+            target: SpaceTarget::Resistance,
+            relative: true,
+            nominal: 1.0,
+        });
+        let rep = lint_space("t", &ckt, &spec);
+        assert!(rep.report.has_code(codes::SPC004), "{}", rep.render());
+        assert!(matches!(
+            rep.verdict(codes::SPC004),
+            Some(Verdict::ProvedViolated(_))
+        ));
+    }
+
+    #[test]
+    fn structural_defects_lift_to_spc005() {
+        let mut ckt = Circuit::new();
+        let a = ckt.node("a");
+        ckt.current_source("I1", a, Circuit::GROUND, 1e-3).unwrap();
+        let spec = SpaceSpec::new(vec![ParamRange::new("p", 0.0, 1.0)], vec![]);
+        let rep = lint_space("t", &ckt, &spec);
+        assert!(rep.report.has_code(codes::SPC005), "{}", rep.render());
+        assert!(matches!(
+            rep.verdict(codes::SPC005),
+            Some(Verdict::ProvedViolated(_))
+        ));
+    }
+
+    #[test]
+    fn point_classification_matches_the_space_verdicts() {
+        let ckt = rc_ladder(2);
+        let spec = spec_rel((-1.2, 0.1), (-0.05, 0.05), 2);
+        let names: Vec<String> = vec!["dr".into(), "dc".into()];
+        assert_eq!(
+            classify_point(&ckt, &spec, &names, &[-1.1, 0.0]),
+            Some(codes::SPC001),
+            "R = 1e3·(1-1.1) < 0 is out of domain"
+        );
+        assert_eq!(classify_point(&ckt, &spec, &names, &[0.05, 0.0]), None);
+        // Missing bind parameter in the row.
+        assert_eq!(
+            classify_point(&ckt, &spec, &["dr".to_string()], &[0.0]),
+            Some(codes::SPC004)
+        );
+    }
+
+    #[test]
+    fn requested_timestep_beyond_the_bound_warns_spc003() {
+        let ckt = rc_ladder(2);
+        let mut spec = spec_rel((-0.1, 0.1), (-0.1, 0.1), 2);
+        let base = lint_space("t", &ckt, &spec);
+        let safe = base.safe_h.unwrap();
+        spec.requested_h = Some(safe * 10.0);
+        let rep = lint_space("t", &ckt, &spec);
+        assert!(rep.report.has_code(codes::SPC003), "{}", rep.render());
+        assert_eq!(rep.report.error_count(), 0, "SPC003 is a warning");
+    }
+
+    #[test]
+    fn budget_exhaustion_reports_unknown_not_a_false_proof() {
+        let ckt = rc_ladder(2);
+        // A box that needs refinement (crosses zero) with budget 1.
+        let spec = spec_rel((-1.2, 0.1), (-0.05, 0.05), 2).budget(1);
+        let rep = lint_space("t", &ckt, &spec);
+        match rep.verdict(codes::SPC001) {
+            Some(Verdict::Unknown(boxes)) => assert!(!boxes.is_empty()),
+            Some(Verdict::ProvedViolated(_)) => {} // budget 1 may still hit a witness first
+            other => panic!("budget-starved verdict must not prove safety: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn fingerprint_is_value_sensitive() {
+        let a = spec_rel((-0.1, 0.1), (-0.1, 0.1), 2);
+        let mut b = a.clone();
+        assert_eq!(a.fingerprint(), b.fingerprint());
+        b.ranges[0].hi = 0.2;
+        assert_ne!(a.fingerprint(), b.fingerprint());
+    }
+
+    #[test]
+    fn range_parser_round_trips_and_rejects_garbage() {
+        let r = parse_ranges("dr=-0.1:0.1,dc=-0.2:0.2").unwrap();
+        assert_eq!(r.len(), 2);
+        assert_eq!(r[0], ParamRange::new("dr", -0.1, 0.1));
+        assert!(parse_ranges("").is_err());
+        assert!(parse_ranges("dr=0.1").is_err());
+        assert!(parse_ranges("dr=a:b").is_err());
+    }
+}

@@ -22,6 +22,8 @@
 //! * [`newton`] — damped Newton–Raphson with numeric Jacobians.
 //! * [`fft`] — radix-2 FFT, windows and spectral helpers.
 //! * [`Rational`] — exact rational arithmetic for SDF balance equations.
+//! * [`Interval`] — closed-interval arithmetic backing the sweep-space
+//!   abstract interpretation in `ams-lint::space`.
 //! * [`interp`] / [`stats`] — interpolation and running statistics.
 //!
 //! # Example
@@ -48,6 +50,7 @@ mod error;
 pub mod fft;
 pub mod implicit;
 pub mod interp;
+pub mod interval;
 pub mod lanes;
 mod lu;
 mod matrix;
@@ -61,6 +64,7 @@ pub mod stats;
 
 pub use complex::Complex64;
 pub use error::MathError;
+pub use interval::Interval;
 pub use lanes::{F64x16, F64x4, F64x8, F64xK};
 pub use lu::{solve_dense, Lu};
 pub use matrix::{DMat, DVec};

@@ -57,11 +57,14 @@ pub enum SpanKind {
     /// One `ams-serve` job from admission to completion (span; `arg` =
     /// job sequence number).
     ServeJob = 14,
+    /// One sweep-space abstract-interpretation pass (span; `arg` =
+    /// number of scenarios in the batch it fronts).
+    SpaceLint = 15,
 }
 
 impl SpanKind {
     /// All kinds, in discriminant order.
-    pub const ALL: [SpanKind; 15] = [
+    pub const ALL: [SpanKind; 16] = [
         SpanKind::DeWindow,
         SpanKind::DeltaCycle,
         SpanKind::ClusterIteration,
@@ -77,6 +80,7 @@ impl SpanKind {
         SpanKind::Custom,
         SpanKind::ServeRequest,
         SpanKind::ServeJob,
+        SpanKind::SpaceLint,
     ];
 
     /// Stable display name, used as the Chrome event name.
@@ -97,6 +101,7 @@ impl SpanKind {
             SpanKind::Custom => "custom",
             SpanKind::ServeRequest => "serve.request",
             SpanKind::ServeJob => "serve.job",
+            SpanKind::SpaceLint => "lint.space",
         }
     }
 

@@ -76,6 +76,13 @@ fn circuit_bytes(built: &BuiltCircuit) -> usize {
 #[derive(Debug)]
 pub struct TopologyCache {
     entries: HashMap<u64, CacheEntry>,
+    /// Space-admission verdicts keyed by `(topology fingerprint,
+    /// SpaceSpec fingerprint)`: `Some(message)` is a cached rejection,
+    /// `None` a cached pass. Kept apart from [`CacheEntry`] so the
+    /// warm-path invariants (zero lint runs, zero symbolic analyses on
+    /// a cache hit) are untouched, and deliberately outside the byte
+    /// budget — a verdict is a short string, never a resident circuit.
+    space: HashMap<(u64, u64), Option<String>>,
     budget: usize,
     clock: u64,
     bytes: usize,
@@ -83,6 +90,8 @@ pub struct TopologyCache {
     misses: u64,
     evictions: u64,
     lint_runs: u64,
+    space_hits: u64,
+    space_runs: u64,
 }
 
 impl TopologyCache {
@@ -90,6 +99,7 @@ impl TopologyCache {
     pub fn new(budget: usize) -> TopologyCache {
         TopologyCache {
             entries: HashMap::new(),
+            space: HashMap::new(),
             budget,
             clock: 0,
             bytes: 0,
@@ -97,6 +107,8 @@ impl TopologyCache {
             misses: 0,
             evictions: 0,
             lint_runs: 0,
+            space_hits: 0,
+            space_runs: 0,
         }
     }
 
@@ -135,6 +147,25 @@ impl TopologyCache {
     /// Records that a lint pass actually ran (cold path only).
     pub fn count_lint_run(&mut self) {
         self.lint_runs += 1;
+    }
+
+    /// Looks up a cached space-admission verdict for a `(topology,
+    /// space spec)` fingerprint pair. `Some(None)` is a cached pass,
+    /// `Some(Some(msg))` a cached rejection, `None` means the pass has
+    /// never run for this pair.
+    pub fn space_lookup(&mut self, key: (u64, u64)) -> Option<&Option<String>> {
+        let v = self.space.get(&key);
+        if v.is_some() {
+            self.space_hits += 1;
+        }
+        v
+    }
+
+    /// Publishes a space-admission verdict, counting the pass that
+    /// produced it.
+    pub fn space_insert(&mut self, key: (u64, u64), verdict: Option<String>) {
+        self.space_runs += 1;
+        self.space.insert(key, verdict);
     }
 
     /// Inserts (or replaces) an entry, then evicts least-recently-used
@@ -191,6 +222,8 @@ impl TopologyCache {
             ("serve.cache.misses", self.misses),
             ("serve.cache.evictions", self.evictions),
             ("serve.lint.runs", self.lint_runs),
+            ("serve.space.hits", self.space_hits),
+            ("serve.space.runs", self.space_runs),
         ] {
             let cur = metrics.counter(name);
             metrics.counter_add(name, v.saturating_sub(cur));
@@ -293,6 +326,29 @@ mod tests {
         assert_eq!(c.len(), 1, "factor recharge evicted the LRU entry");
         assert!(c.lookup(1).is_some(), "recharged entry survives");
         assert_eq!(c.lookup(1).unwrap().bytes(), bare + charge);
+    }
+
+    #[test]
+    fn space_verdicts_are_cached_per_fingerprint_pair() {
+        let mut c = TopologyCache::new(1);
+        assert!(c.space_lookup((1, 2)).is_none());
+        c.space_insert((1, 2), Some("space lint rejected: SPC001".into()));
+        c.space_insert((1, 3), None);
+        // Both polarities replay; neither touches entries or bytes.
+        assert_eq!(
+            c.space_lookup((1, 2)),
+            Some(&Some("space lint rejected: SPC001".to_string()))
+        );
+        assert_eq!(c.space_lookup((1, 3)), Some(&None));
+        assert!(c.is_empty());
+        assert_eq!(c.resident_bytes(), 0);
+        let mut m = MetricsRegistry::new();
+        c.export_metrics(&mut m);
+        assert_eq!(m.counter("serve.space.runs"), 2);
+        assert_eq!(m.counter("serve.space.hits"), 2);
+        // The ordinary lint/cache counters stay untouched.
+        assert_eq!(m.counter("serve.lint.runs"), 0);
+        assert_eq!(m.counter("serve.cache.hits"), 0);
     }
 
     #[test]

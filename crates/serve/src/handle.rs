@@ -21,7 +21,7 @@ use crate::model::{JobSpec, RunOpts};
 use crate::sched::{wfq_pick, ServeConfig, TenantConfig, TenantState};
 use crate::ServeError;
 use ams_exec::{SlotLease, SlotPool};
-use ams_lint::{lint_circuit, LintPolicy};
+use ams_lint::{lint_circuit, lint_space, LintPolicy, Verdict};
 use ams_scope::MetricsRegistry;
 use ams_sweep::{CancelToken, SweepReport};
 use std::collections::{BTreeMap, HashMap};
@@ -265,12 +265,21 @@ impl ServeHandle {
     /// # Errors
     ///
     /// [`ServeError::Auth`] (bad tenant token),
-    /// [`ServeError::Invalid`] (malformed job),
+    /// [`ServeError::Invalid`] (malformed job, or a job whose whole
+    /// parameter space is statically doomed — the space-admission
+    /// message carries the `SPC` code and a witness box),
     /// [`ServeError::Quota`] (job can never fit the tenant's scenario
     /// budget), [`ServeError::Backpressure`], [`ServeError::Shutdown`].
     pub fn submit(&self, tenant_token: &str, spec: JobSpec) -> Result<String, ServeError> {
         // Validate the sweep declaration before touching any state.
         spec.sweep.to_spec()?;
+        // Space admission: prove the job's parameter box clean — or
+        // reject it here, with the same `SPC` code and witness the
+        // library's sweep gate would report, before it costs a queue
+        // slot. Where the library *prunes* doomed scenarios, the
+        // service *rejects* the job: a client that submitted a doomed
+        // box should learn about it, not silently get fewer rows back.
+        self.space_admit(&spec)?;
         let scenarios = spec.scenario_count() as u64;
         let mut core = self.lock();
         if core.draining {
@@ -314,6 +323,57 @@ impl ServeHandle {
         drop(core);
         self.shared.cv.notify_all();
         Ok(token)
+    }
+
+    /// The space-admission gate behind [`ServeHandle::submit`]: runs
+    /// the `ams-lint::space` pass over the job's parameter box once per
+    /// `(topology, space spec)` fingerprint pair and caches the verdict
+    /// — positive or negative — so every later submit of the same pair
+    /// replays it for free.
+    fn space_admit(&self, spec: &JobSpec) -> Result<(), ServeError> {
+        // No binds means a trivial parameter space: the sweep varies
+        // nothing, so the per-topology lint verdict (cached on the
+        // execute path) already covers the job — nothing to prove here.
+        if spec.binds.is_empty() {
+            return Ok(());
+        }
+        let sspec = spec.space_spec();
+        let key = (spec.fingerprint(), sspec.fingerprint());
+        {
+            let mut core = self.lock();
+            if let Some(verdict) = core.cache.space_lookup(key) {
+                return match verdict {
+                    Some(msg) => Err(ServeError::invalid(msg.clone())),
+                    None => Ok(()),
+                };
+            }
+        }
+        // Cold: elaborate and analyze off-lock, then publish the
+        // verdict for every future submit of this pair.
+        let built = spec.circuit.build()?;
+        let report = lint_space("serve", &built.circuit, &sspec);
+        let denied = LintPolicy::default().denied(&report.report);
+        let rejection = (!denied.is_empty()).then(|| {
+            use std::fmt::Write;
+            let mut msg = String::from("space lint rejected:");
+            for d in &denied {
+                let _ = write!(msg, " [{}] {}", d.code, d.message);
+                if let Some(Verdict::ProvedViolated(witness)) = report.verdict(d.code) {
+                    let _ = write!(msg, " (witness {witness})");
+                }
+            }
+            msg
+        });
+        let mut core = self.lock();
+        core.cache.space_insert(key, rejection.clone());
+        if rejection.is_some() {
+            core.metrics.counter_add("serve.space.rejects", 1);
+        }
+        drop(core);
+        match rejection {
+            Some(msg) => Err(ServeError::invalid(msg)),
+            None => Ok(()),
+        }
     }
 
     /// Snapshot of a job's state and progress.
@@ -721,6 +781,45 @@ mod tests {
             Err(ServeError::Auth)
         ));
         assert!(handle.wait(&ta, &job).is_ok());
+        handle.shutdown();
+        handle.join();
+    }
+
+    #[test]
+    fn space_admission_rejects_doomed_boxes_and_caches_the_verdict() {
+        use crate::model::SweepDecl;
+        let handle = ServeHandle::start(ServeConfig {
+            workers: 1,
+            tenants: vec![TenantConfig::named("t")],
+            ..ServeConfig::default()
+        });
+        let tenant = handle.tenant_token("t").unwrap();
+        // Drive every stage resistance negative over the whole box: the
+        // same defect the sweep gate proves `SPC001`, caught at submit.
+        let mut doomed = JobSpec::demo_rc(2, 0);
+        if let SweepDecl::MonteCarlo { params, .. } = &mut doomed.sweep {
+            params[0] = ("dr".into(), -1.5, -1.2);
+        }
+        let err = handle.submit(&tenant, doomed.clone()).unwrap_err();
+        match err {
+            ServeError::Invalid(msg) => {
+                assert!(msg.contains("SPC001"), "{msg}");
+                assert!(msg.contains("witness"), "{msg}");
+            }
+            other => panic!("unexpected error {other}"),
+        }
+        // The resubmit replays the cached verdict (no second pass), and
+        // a healthy job over the same topology is unaffected.
+        assert!(matches!(
+            handle.submit(&tenant, doomed),
+            Err(ServeError::Invalid(_))
+        ));
+        let job = handle.submit(&tenant, JobSpec::demo_rc(2, 0)).unwrap();
+        assert!(handle.wait(&tenant, &job).is_ok());
+        let m = handle.metrics();
+        assert_eq!(m.counter("serve.space.runs"), 2); // doomed + healthy
+        assert_eq!(m.counter("serve.space.hits"), 1); // the resubmit
+        assert_eq!(m.counter("serve.space.rejects"), 1);
         handle.shutdown();
         handle.join();
     }

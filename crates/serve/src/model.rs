@@ -25,6 +25,7 @@
 //! elaborated circuit, same lint verdict, same symbolic LU factor.
 
 use crate::ServeError;
+use ams_lint::{ParamRange, SpaceBind, SpaceSpec, SpaceTarget};
 use ams_net::{Circuit, ElementId, IntegrationMethod, NodeId, Waveform};
 use ams_sweep::json::Json;
 use ams_sweep::{
@@ -744,6 +745,63 @@ impl JobSpec {
     /// [`CircuitSpec::fingerprint`]).
     pub fn fingerprint(&self) -> u64 {
         self.circuit.fingerprint()
+    }
+
+    /// The job's sweep-space specification: the parameter *box* the
+    /// sweep declaration spans (grid axes collapse to `[min, max]`
+    /// hulls, Monte-Carlo ranges are taken verbatim) plus the binds in
+    /// `ams-lint::space` form. This is what admission proves properties
+    /// over before the job touches any queue — see
+    /// [`ServeHandle::submit`](crate::ServeHandle::submit).
+    ///
+    /// A bind naming an element the circuit spec does not declare (or
+    /// one without a sweepable value) is carried through with a zero
+    /// nominal: the space pass classifies it `SPC004` rather than this
+    /// method failing, so admission and library verdicts stay aligned.
+    pub fn space_spec(&self) -> SpaceSpec {
+        let ranges = match &self.sweep {
+            SweepDecl::Grid { params, .. } => params
+                .iter()
+                .map(|(name, values)| {
+                    let lo = values.iter().copied().fold(f64::INFINITY, f64::min);
+                    let hi = values.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+                    ParamRange::new(name.clone(), lo, hi)
+                })
+                .collect(),
+            SweepDecl::MonteCarlo { params, .. } => params
+                .iter()
+                .map(|(name, lo, hi)| ParamRange::new(name.clone(), *lo, *hi))
+                .collect(),
+        };
+        let nominal = |name: &str| -> Option<f64> {
+            self.circuit.elements.iter().find_map(|e| {
+                if e.name != name {
+                    return None;
+                }
+                match &e.kind {
+                    ElementKindSpec::Resistor(v)
+                    | ElementKindSpec::Capacitor(v)
+                    | ElementKindSpec::Inductor(v) => Some(*v),
+                    _ => None,
+                }
+            })
+        };
+        let binds = self
+            .binds
+            .iter()
+            .map(|b| SpaceBind {
+                param: b.param.clone(),
+                element: b.element.clone(),
+                target: match b.target {
+                    BindTarget::Resistance => SpaceTarget::Resistance,
+                    BindTarget::Capacitance => SpaceTarget::Capacitance,
+                    BindTarget::Inductance => SpaceTarget::Inductance,
+                },
+                relative: b.relative,
+                nominal: nominal(&b.element).unwrap_or(0.0),
+            })
+            .collect();
+        SpaceSpec::new(ranges, binds).requested_h(self.h)
     }
 
     /// Elaborates and resolves the job against a freshly built circuit.

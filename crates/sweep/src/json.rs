@@ -619,6 +619,21 @@ pub fn report_to_json(report: &SweepReport) -> Json {
         top.push(("lanes".into(), Json::from_u64(report.lanes as u64)));
         top.push(("bundles".into(), Json::from_u64(report.bundles as u64)));
     }
+    // Space-gated runs record what was pruned; ungated documents stay
+    // byte-identical to pre-space serializations.
+    if !report.space_pruned.is_empty() {
+        let pruned = report
+            .space_pruned
+            .iter()
+            .map(|(i, code)| {
+                Json::Obj(vec![
+                    ("index".into(), Json::from_u64(*i as u64)),
+                    ("code".into(), Json::Str(code.clone())),
+                ])
+            })
+            .collect();
+        top.push(("space_pruned".into(), Json::Arr(pruned)));
+    }
     Json::Obj(top)
 }
 
@@ -680,6 +695,21 @@ pub fn report_from_json(value: &Json) -> Result<SweepReport, SweepError> {
         Some(v) => parse_u64(v, "bundles")? as usize,
         None => 0,
     };
+    let mut space_pruned = Vec::new();
+    if let Some(v) = value.get("space_pruned") {
+        for entry in v
+            .as_arr()
+            .ok_or_else(|| SweepError::invalid("space_pruned is not an array"))?
+        {
+            space_pruned.push((
+                parse_u64(field(entry, "index")?, "index")? as usize,
+                field(entry, "code")?
+                    .as_str()
+                    .ok_or_else(|| SweepError::invalid("space_pruned code is not a string"))?
+                    .to_string(),
+            ));
+        }
+    }
     let report = SweepReport {
         metric_names,
         scenarios,
@@ -687,6 +717,7 @@ pub fn report_from_json(value: &Json) -> Result<SweepReport, SweepError> {
         trace: None,
         lanes,
         bundles,
+        space_pruned,
     };
     if let Some(fp) = value.get("fingerprint") {
         let expected = parse_u64(fp, "fingerprint")?;
@@ -809,6 +840,7 @@ mod tests {
             trace: None,
             lanes: 8,
             bundles: 1,
+            space_pruned: vec![(5, "SPC001".into())],
         };
 
         let doc = report_to_json(&report).render();
@@ -818,14 +850,18 @@ mod tests {
         // and parse back to the scalar defaults.
         assert_eq!(back.lanes, 8);
         assert_eq!(back.bundles, 1);
+        assert_eq!(back.space_pruned, report.space_pruned);
         let mut scalar = report.clone();
         scalar.lanes = 1;
         scalar.bundles = 0;
+        scalar.space_pruned.clear();
         let scalar_doc = report_to_json(&scalar).render();
         assert!(!scalar_doc.contains("lanes"), "{scalar_doc}");
+        assert!(!scalar_doc.contains("space_pruned"), "{scalar_doc}");
         let scalar_back = report_from_json(&parse(&scalar_doc).unwrap()).unwrap();
         assert_eq!(scalar_back.lanes, 1);
         assert_eq!(scalar_back.bundles, 0);
+        assert!(scalar_back.space_pruned.is_empty());
         assert_eq!(back.metric_names, report.metric_names);
         assert_eq!(back.scenarios.len(), report.scenarios.len());
         for (a, b) in report.scenarios.iter().zip(&back.scenarios) {

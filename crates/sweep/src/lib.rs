@@ -85,7 +85,15 @@ pub use tdf::{LaneSweepModel, SweepModel, TdfSweep};
 use ams_lint::LintReport;
 use ams_net::NetError;
 use std::fmt;
+// Under the `loom` feature the token is rebuilt on model-checked
+// atomics so `tests/loom_cancel.rs` can explore its interleavings.
+#[cfg(feature = "loom")]
+use loom::sync::atomic::{AtomicBool, Ordering};
+#[cfg(feature = "loom")]
+use loom::sync::Arc;
+#[cfg(not(feature = "loom"))]
 use std::sync::atomic::{AtomicBool, Ordering};
+#[cfg(not(feature = "loom"))]
 use std::sync::Arc;
 
 /// A cooperative cancellation flag shared between a sweep run and its

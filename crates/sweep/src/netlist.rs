@@ -20,7 +20,7 @@ use crate::spec::{Scenario, SweepSpec};
 use crate::{CancelToken, SweepError};
 use ams_core::ClusterStats;
 use ams_exec::ExecStats;
-use ams_lint::{lint_circuit, LintPolicy};
+use ams_lint::{classify_point, lint_circuit, lint_space, LintPolicy, SpaceSpec};
 use ams_net::{
     AdaptiveOptions, Circuit, IntegrationMethod, LaneSymbolicFactor, LaneTransientSolver, NetError,
     ScenarioProbe, SolverBackend, SymbolicFactor, TransientSolver, TransientStats,
@@ -73,6 +73,7 @@ pub struct NetlistSweep {
     mode: RunMode,
     share_symbolic: bool,
     lint: LintPolicy,
+    space: Option<SpaceSpec>,
     context: String,
     trace: bool,
     hooks: Option<HookFactory>,
@@ -91,6 +92,7 @@ impl std::fmt::Debug for NetlistSweep {
             .field("backend", &self.backend)
             .field("mode", &self.mode)
             .field("share_symbolic", &self.share_symbolic)
+            .field("space", &self.space.is_some())
             .field("context", &self.context)
             .field("trace", &self.trace)
             .field("hooks", &self.hooks.is_some())
@@ -118,6 +120,7 @@ impl NetlistSweep {
             },
             share_symbolic: true,
             lint: LintPolicy::default(),
+            space: None,
             context: "sweep".into(),
             trace: false,
             hooks: None,
@@ -234,6 +237,33 @@ impl NetlistSweep {
         self
     }
 
+    /// Installs a sweep-space abstract-interpretation spec: before any
+    /// scenario runs, `ams-lint::space` interval-analyzes the whole
+    /// parameter box once per batch. The outcome is gated by the same
+    /// [`LintPolicy`] as the concrete checks:
+    ///
+    /// * a policy-denied space-wide defect (`SPC004` unknown bind,
+    ///   `SPC005` structural defect at every corner) rejects the batch
+    ///   with [`SweepError::Lint`](crate::SweepError::Lint);
+    /// * a policy-denied corner-dependent defect (`SPC001` domain
+    ///   crossing, `SPC002` singular corner) **prunes** exactly the
+    ///   statically doomed scenarios — each one re-classified at its
+    ///   concrete point — and lists them in
+    ///   [`SweepReport::space_pruned`]; survivors keep their indices
+    ///   and seeds, so the pruned run is bit-compatible with a
+    ///   hand-filtered spec at any worker count. A batch whose every
+    ///   scenario is doomed is rejected outright;
+    /// * warnings (`SPC003` unsafe timestep, `SPC006` lane hazard) are
+    ///   printed and counted like any other lint warning.
+    ///
+    /// With tracing enabled the pass records a
+    /// [`SpanKind::SpaceLint`] span on the coordinator track (`arg` =
+    /// scenario count of the incoming batch).
+    pub fn space(mut self, spec: SpaceSpec) -> NetlistSweep {
+        self.space = Some(spec);
+        self
+    }
+
     /// Names the sweep for lint reports and diagnostics.
     pub fn context(mut self, context: impl Into<String>) -> NetlistSweep {
         self.context = context.into();
@@ -244,6 +274,59 @@ impl NetlistSweep {
     /// `--lint-only` tooling.
     pub fn lint_report(&self) -> ams_lint::LintReport {
         lint_circuit(self.context.clone(), &self.template)
+    }
+
+    /// Runs the installed space pass (if any) and applies the policy:
+    /// whole-batch rejection, scenario pruning, or pass-through. See
+    /// [`NetlistSweep::space`]. Returns the pruned spec when anything
+    /// was removed; `None` leaves the caller's spec untouched.
+    fn space_gate(
+        &self,
+        spec: &SweepSpec,
+        tracer: &mut Tracer,
+        lint_warnings: &mut usize,
+        pruned: &mut Vec<(usize, String)>,
+    ) -> Result<Option<SweepSpec>, SweepError> {
+        let Some(sspec) = &self.space else {
+            return Ok(None);
+        };
+        let traced = tracer.is_enabled();
+        if traced {
+            tracer.begin_with(SpanKind::SpaceLint, 0, spec.len() as u64);
+        }
+        let sr = lint_space(self.context.clone(), &self.template, sspec);
+        if traced {
+            tracer.end_with(SpanKind::SpaceLint, 0, spec.len() as u64);
+        }
+        for d in self.lint.warned(&sr.report) {
+            eprintln!("[{}] warning: {d}", self.context);
+        }
+        *lint_warnings += self.lint.warned(&sr.report).len();
+        let denied = self.lint.denied(&sr.report);
+        if denied.is_empty() {
+            return Ok(None);
+        }
+        // Corner-dependent codes re-classify per scenario and prune;
+        // any other denied code dooms the whole box, so the batch is
+        // rejected before a single solver is built.
+        let prunable = [ams_lint::codes::SPC001, ams_lint::codes::SPC002];
+        if denied.iter().any(|d| !prunable.contains(&d.code)) {
+            return Err(SweepError::Lint(sr.report));
+        }
+        let mut survivors = spec.clone();
+        survivors.retain(|sc| {
+            match classify_point(&self.template, sspec, sc.names(), sc.values()) {
+                Some(code) => {
+                    pruned.push((sc.index(), code.to_string()));
+                    false
+                }
+                None => true,
+            }
+        });
+        if survivors.is_empty() {
+            return Err(SweepError::Lint(sr.report));
+        }
+        Ok(Some(survivors))
     }
 
     /// Runs every scenario of `spec` on up to `workers` threads and
@@ -289,7 +372,7 @@ impl NetlistSweep {
 
         // Lint gate: once per topology, never per scenario — and not at
         // all when the caller holds a cached verdict (`pre_linted`).
-        let lint_warnings = if self.pre_linted {
+        let mut lint_warnings = if self.pre_linted {
             0
         } else {
             let report = self.lint_report();
@@ -306,17 +389,36 @@ impl NetlistSweep {
             return Err(SweepError::Cancelled);
         }
 
+        let mut coord_tracer = if self.trace {
+            Tracer::on()
+        } else {
+            Tracer::off()
+        };
+
+        // Space gate: one abstract-interpretation pass over the whole
+        // parameter box; statically doomed scenarios never reach a
+        // solver.
+        let mut space_pruned = Vec::new();
+        let gated;
+        let spec = match self.space_gate(
+            spec,
+            &mut coord_tracer,
+            &mut lint_warnings,
+            &mut space_pruned,
+        )? {
+            Some(s) => {
+                gated = s;
+                &gated
+            }
+            None => spec,
+        };
+
         let scenarios = spec.scenarios();
         let n_metrics = metrics.len();
 
         // Scenario 0 runs inline on the coordinator: it seeds the shared
         // symbolic factor, so every worker count sees the same pivot
         // sequence.
-        let mut coord_tracer = if self.trace {
-            Tracer::on()
-        } else {
-            Tracer::off()
-        };
         let first = &scenarios[0];
         let (first_vals, first_stats, exported) = self.run_scenario(
             first,
@@ -423,6 +525,7 @@ impl NetlistSweep {
             trace,
             lanes: 1,
             bundles: 0,
+            space_pruned,
         })
     }
 
@@ -508,7 +611,7 @@ impl NetlistSweep {
         if metrics.is_empty() {
             return Err(SweepError::invalid("sweep needs at least one metric"));
         }
-        let lint_warnings = if self.pre_linted {
+        let mut lint_warnings = if self.pre_linted {
             0
         } else {
             let report = self.lint_report();
@@ -524,6 +627,28 @@ impl NetlistSweep {
             return Err(SweepError::Cancelled);
         }
 
+        let mut coord_tracer = if self.trace {
+            Tracer::on()
+        } else {
+            Tracer::off()
+        };
+        // Space gate, exactly as on the scalar path: pruning happens
+        // before bundle composition, so lanes pack only survivors.
+        let mut space_pruned = Vec::new();
+        let gated;
+        let spec = match self.space_gate(
+            spec,
+            &mut coord_tracer,
+            &mut lint_warnings,
+            &mut space_pruned,
+        )? {
+            Some(s) => {
+                gated = s;
+                &gated
+            }
+            None => spec,
+        };
+
         let scenarios = spec.scenarios();
         let n = scenarios.len();
         let n_metrics = metrics.len();
@@ -532,11 +657,6 @@ impl NetlistSweep {
         // Bundle 0 runs inline on the coordinator and exports the lane
         // symbolic factor every shard adopts — the pivot sequence is
         // the same at every worker count.
-        let mut coord_tracer = if self.trace {
-            Tracer::on()
-        } else {
-            Tracer::off()
-        };
         let (first_rows, first_stats, exported) = self.run_bundle::<K, A, O>(
             scenarios,
             0,
@@ -639,6 +759,7 @@ impl NetlistSweep {
             trace,
             lanes: K,
             bundles: n_bundles,
+            space_pruned,
         })
     }
 
@@ -1062,6 +1183,130 @@ mod tests {
                 .run_lanes(&spec, 1, &["v"], apply, |p, m| m[0] = p.voltage(out)),
             Err(SweepError::Invalid(_))
         ));
+    }
+
+    fn rc_space(dr_lo: f64, dr_hi: f64) -> ams_lint::SpaceSpec {
+        use ams_lint::{ParamRange, SpaceBind, SpaceSpec, SpaceTarget};
+        SpaceSpec::new(
+            vec![ParamRange::new("dr", dr_lo, dr_hi)],
+            vec![SpaceBind {
+                param: "dr".into(),
+                element: "R".into(),
+                target: SpaceTarget::Resistance,
+                relative: true,
+                nominal: 1e3,
+            }],
+        )
+    }
+
+    #[test]
+    fn space_gate_prunes_doomed_scenarios_bit_identically() {
+        let Rc { ckt, r, out } = rc();
+        // dr = -1.5 drives R to -500 Ω: statically doomed. The gate
+        // must remove exactly that scenario before `apply` ever sees it
+        // (set_resistance would reject the negative value).
+        let spec = SweepSpec::grid(&[("dr", &[-1.5, -0.5, 0.0, 0.5])], 7).unwrap();
+        let sweep = NetlistSweep::new(ckt.clone(), IntegrationMethod::Trapezoidal)
+            .fixed_step(2e-6, 2e-9)
+            .space(rc_space(-1.5, 0.5));
+        let apply =
+            |c: &mut Circuit, sc: &Scenario| c.set_resistance(r, 1e3 * (1.0 + sc.value("dr")));
+        let report = sweep
+            .run(&spec, 1, &["v"], apply, |tr, m| m[0] = tr.voltage(out))
+            .unwrap();
+        assert_eq!(report.space_pruned, vec![(0, "SPC001".to_string())]);
+        assert_eq!(report.scenarios.len(), 3);
+        // Survivors keep their original indices and seeds.
+        assert_eq!(report.scenarios[0].index, 1);
+
+        // Bit-identical across worker counts...
+        let at4 = sweep
+            .run(&spec, 4, &["v"], apply, |tr, m| m[0] = tr.voltage(out))
+            .unwrap();
+        assert_eq!(report.fingerprint(), at4.fingerprint());
+        assert_eq!(at4.space_pruned, report.space_pruned);
+
+        // ...and to an ungated run over a hand-filtered spec.
+        let mut hand = spec.clone();
+        hand.retain(|sc| sc.value("dr") > -1.0);
+        let ungated = NetlistSweep::new(ckt, IntegrationMethod::Trapezoidal)
+            .fixed_step(2e-6, 2e-9)
+            .run(&hand, 2, &["v"], apply, |tr, m| m[0] = tr.voltage(out))
+            .unwrap();
+        assert_eq!(report.fingerprint(), ungated.fingerprint());
+
+        // The lane path prunes before bundle composition.
+        let lanes = sweep
+            .clone()
+            .lanes(4)
+            .run_lanes(&spec, 2, &["v"], apply, |p, m| m[0] = p.voltage(out))
+            .unwrap();
+        assert_eq!(lanes.space_pruned, report.space_pruned);
+        assert_eq!(lanes.scenarios.len(), 3);
+    }
+
+    #[test]
+    fn space_gate_rejects_unknown_binds_and_fully_doomed_batches() {
+        let Rc { ckt, r, out } = rc();
+        let apply =
+            |c: &mut Circuit, sc: &Scenario| c.set_resistance(r, 1e3 * (1.0 + sc.value("dr")));
+
+        // A bind to a nonexistent element dooms the whole box: the
+        // batch is rejected outright, no pruning attempted.
+        let spec = SweepSpec::grid(&[("dr", &[0.0, 0.1])], 0).unwrap();
+        let mut bad = rc_space(0.0, 0.1);
+        bad.binds[0].element = "nope".into();
+        let err = NetlistSweep::new(ckt.clone(), IntegrationMethod::Trapezoidal)
+            .space(bad)
+            .run(&spec, 1, &["v"], apply, |tr, m| m[0] = tr.voltage(out))
+            .unwrap_err();
+        match err {
+            SweepError::Lint(rep) => assert!(rep.has_code(ams_lint::codes::SPC004)),
+            other => panic!("unexpected error {other}"),
+        }
+
+        // Every scenario doomed -> rejected, not an empty run.
+        let doomed = SweepSpec::grid(&[("dr", &[-1.5, -1.2])], 0).unwrap();
+        let err = NetlistSweep::new(ckt, IntegrationMethod::Trapezoidal)
+            .space(rc_space(-1.5, -1.2))
+            .run(&doomed, 1, &["v"], apply, |tr, m| m[0] = tr.voltage(out))
+            .unwrap_err();
+        match err {
+            SweepError::Lint(rep) => assert!(rep.has_code(ams_lint::codes::SPC001)),
+            other => panic!("unexpected error {other}"),
+        }
+    }
+
+    #[test]
+    fn healthy_space_passes_through_untouched_and_traces_a_span() {
+        let Rc { ckt, r, out } = rc();
+        let spec = SweepSpec::grid(&[("dr", &[-0.2, 0.0, 0.2])], 0).unwrap();
+        let report = NetlistSweep::new(ckt, IntegrationMethod::Trapezoidal)
+            .fixed_step(1e-7, 1e-9)
+            .space(rc_space(-0.2, 0.2))
+            .trace(true)
+            .run(
+                &spec,
+                2,
+                &["v"],
+                |c, sc| c.set_resistance(r, 1e3 * (1.0 + sc.value("dr"))),
+                |tr, m| m[0] = tr.voltage(out),
+            )
+            .unwrap();
+        assert!(report.space_pruned.is_empty());
+        assert_eq!(report.scenarios.len(), 3);
+        let trace = report.trace.as_ref().expect("trace enabled");
+        let coord = trace
+            .tracks
+            .iter()
+            .find(|t| t.process == "coordinator")
+            .expect("coordinator track");
+        // The pass itself is visible: one SpaceLint span fronting the
+        // batch, arg = incoming scenario count.
+        assert!(coord
+            .events
+            .iter()
+            .any(|e| e.kind == SpanKind::SpaceLint && e.arg == 3));
     }
 
     #[test]

@@ -71,6 +71,14 @@ pub struct SweepReport {
     /// Number of lane bundles executed (0 for a scalar run). Like
     /// [`SweepReport::lanes`], excluded from the fingerprint.
     pub bundles: usize,
+    /// Scenarios the sweep-space gate removed before any transient ran:
+    /// `(scenario index, SPC code)` pairs, in scenario order. Empty when
+    /// no [`space spec`](crate::NetlistSweep::space) was installed or
+    /// nothing was doomed. Gate *policy*, not a simulation result — the
+    /// surviving scenarios must fingerprint identically to a run over a
+    /// hand-filtered spec, so this field is excluded from
+    /// [`SweepReport::fingerprint`] (lanes/bundles precedent).
+    pub space_pruned: Vec<(usize, String)>,
 }
 
 impl SweepReport {
@@ -207,6 +215,10 @@ impl SweepReport {
         m.counter_add("sweep.steps_rejected", t.firings);
         m.counter_add("sweep.newton_iterations", t.newton_iterations);
         m.counter_add("sweep.factorizations", t.factorizations);
+        m.counter_add("sweep.space_pruned", self.space_pruned.len() as u64);
+        for (_, code) in &self.space_pruned {
+            m.counter_add(&format!("lint.space.{code}"), 1);
+        }
         m
     }
 
@@ -223,6 +235,13 @@ impl SweepReport {
                 out,
                 "  lane-batched: {} bundles x {} lanes",
                 self.bundles, self.lanes
+            );
+        }
+        if !self.space_pruned.is_empty() {
+            let _ = writeln!(
+                out,
+                "  space-pruned: {} scenario(s) proved doomed before running",
+                self.space_pruned.len()
             );
         }
         for name in &self.metric_names {
@@ -293,6 +312,7 @@ mod tests {
             trace: None,
             lanes: 1,
             bundles: 0,
+            space_pruned: Vec::new(),
         }
     }
 
@@ -379,5 +399,21 @@ mod tests {
         assert_eq!(s.counter("sweep.bundles"), 0);
         assert!(lane.render().contains("1 bundles x 8 lanes"));
         assert!(!scalar.render().contains("lane-batched"));
+    }
+
+    #[test]
+    fn space_pruning_is_reported_but_not_fingerprinted() {
+        let plain = report(&[1.0, 2.0]);
+        let mut pruned = report(&[1.0, 2.0]);
+        pruned.space_pruned = vec![(7, "SPC001".into()), (9, "SPC002".into())];
+        // Gate policy never perturbs the result hash: survivors match a
+        // run over a hand-filtered spec bit for bit.
+        assert_eq!(plain.fingerprint(), pruned.fingerprint());
+        let m = pruned.scope_metrics();
+        assert_eq!(m.counter("sweep.space_pruned"), 2);
+        assert_eq!(m.counter("lint.space.SPC001"), 1);
+        assert_eq!(m.counter("lint.space.SPC002"), 1);
+        assert!(pruned.render().contains("space-pruned: 2"));
+        assert!(!plain.render().contains("space-pruned"));
     }
 }

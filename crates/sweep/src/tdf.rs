@@ -269,6 +269,9 @@ impl TdfSweep {
             trace,
             lanes: 1,
             bundles: 0,
+            // The space pass is MNA-specific; TDF structure is
+            // scenario-invariant, so nothing is ever pruned here.
+            space_pruned: Vec::new(),
         })
     }
 
@@ -438,6 +441,7 @@ impl TdfSweep {
             trace,
             lanes,
             bundles: n_bundles,
+            space_pruned: Vec::new(),
         })
     }
 }

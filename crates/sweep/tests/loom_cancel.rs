@@ -1,0 +1,62 @@
+//! Exhaustive-interleaving checks of the sweep cancellation token.
+//!
+//! Run with `cargo test -p ams-sweep --features loom`. The `loom`
+//! feature rebuilds [`ams_sweep::CancelToken`] on model-checked
+//! atomics; every test body below runs once per distinct thread
+//! schedule (exhaustive up to the preemption bound).
+
+#![cfg(feature = "loom")]
+
+use ams_sweep::CancelToken;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+/// A cancel on one thread must be visible on another after `join`, and
+/// the pre-join observation is genuinely racy: the explorer must reach
+/// schedules where the flag is seen both ways.
+#[test]
+fn cancel_becomes_visible_and_the_race_is_explored() {
+    let seen = Arc::new([AtomicUsize::new(0), AtomicUsize::new(0)]);
+    let s2 = seen.clone();
+    loom::model(move || {
+        let token = CancelToken::new();
+        let remote = token.clone();
+        let h = loom::thread::spawn(move || remote.cancel());
+        // Racy read: either answer is legal depending on the schedule.
+        let early = token.is_cancelled();
+        s2[usize::from(early)].fetch_add(1, Ordering::Relaxed);
+        h.join().expect("canceller panicked");
+        assert!(token.is_cancelled(), "cancel lost after join");
+    });
+    assert!(
+        seen[0].load(Ordering::Relaxed) > 0,
+        "never saw the pre-cancel state"
+    );
+    assert!(
+        seen[1].load(Ordering::Relaxed) > 0,
+        "never saw the post-cancel state"
+    );
+}
+
+/// Cancellation is idempotent and monotonic: concurrent cancels from
+/// two threads leave the token cancelled, and once a clone observes the
+/// flag it can never flip back under any schedule.
+#[test]
+fn concurrent_cancels_are_idempotent_and_monotonic() {
+    loom::model(|| {
+        let token = CancelToken::new();
+        let mut handles = Vec::new();
+        for _ in 0..2 {
+            let t = token.clone();
+            handles.push(loom::thread::spawn(move || t.cancel()));
+        }
+        // Monotonicity mid-race: observed-cancelled stays cancelled.
+        if token.is_cancelled() {
+            assert!(token.is_cancelled(), "token flipped back");
+        }
+        for h in handles {
+            h.join().expect("canceller panicked");
+        }
+        assert!(token.is_cancelled());
+    });
+}

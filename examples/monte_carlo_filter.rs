@@ -18,7 +18,15 @@
 //!
 //! Run with `cargo run --release --example monte_carlo_filter -- \
 //!   [--scenarios N] [--workers N] [--lanes K] [--lint-only] \
-//!   [--trace trace.json] [--report]`.
+//!   [--lint-space [RANGES]] [--trace trace.json] [--report]`.
+//!
+//! `--lint-space` proves properties over the *whole* tolerance box
+//! before any transient runs: the interval pass sweeps `dr`/`dc` over
+//! every corner at once (default box ±12 %: the ±10 % class tolerance
+//! plus the ±2 % per-component mismatch) and reports per-code verdicts.
+//! An explicit `RANGES` token such as `dr=-0.5:0.5,dc=-0.1:0.1`
+//! overrides the box — handy for asking "how much tolerance *could*
+//! this ladder absorb?".
 
 use systemc_ams::net::{Circuit, IntegrationMethod, ScenarioProbe, SolverBackend};
 use systemc_ams::sweep::{NetlistSweep, SweepSpec};
@@ -42,8 +50,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut scenarios = 256usize;
     let mut workers = 4usize;
     let mut lanes = 1usize;
+    let mut space_ranges: Option<String> = None;
     let (scope, rest) = systemc_ams::scope::args::scope_args()?;
-    let mut args = rest.into_iter();
+    let mut args = rest.into_iter().peekable();
     while let Some(a) = args.next() {
         match a.as_str() {
             "--scenarios" => {
@@ -56,11 +65,17 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 lanes = args.next().ok_or("--lanes needs a value")?.parse()?;
             }
             "--lint-only" => {} // handled below, after the netlist exists
+            "--lint-space" => {
+                // Optional NAME=LO:HI[,…] token; flags keep their `--`.
+                if args.peek().is_some_and(|t| !t.starts_with("--")) {
+                    space_ranges = args.next();
+                }
+            }
             other => {
                 return Err(format!(
                     "unknown argument {other:?}\nusage: cargo run --example monte_carlo_filter -- \
-                     [--scenarios N] [--workers N] [--lanes K] [--lint-only] [--trace FILE] \
-                     [--report]"
+                     [--scenarios N] [--workers N] [--lanes K] [--lint-only] \
+                     [--lint-space [RANGES]] [--trace FILE] [--report]"
                 )
                 .into())
             }
@@ -103,6 +118,38 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             "monte_carlo_filter",
             &ckt,
         )]);
+    }
+
+    if systemc_ams::lint::lint_space_requested() {
+        use systemc_ams::lint::{lint_space, ParamRange, SpaceBind, SpaceSpec, SpaceTarget};
+        // Default box: the sweep draws ±10 % per class and stacks ±2 %
+        // per-component mismatch on top, so the proof must cover ±12 %.
+        let ranges = match &space_ranges {
+            Some(s) => systemc_ams::lint::space::parse_ranges(s)?,
+            None => vec![
+                ParamRange::new("dr", -0.12, 0.12),
+                ParamRange::new("dc", -0.12, 0.12),
+            ],
+        };
+        let mut binds = Vec::new();
+        for i in 0..STAGES {
+            binds.push(SpaceBind {
+                param: "dr".into(),
+                element: format!("R{i}"),
+                target: SpaceTarget::Resistance,
+                relative: true,
+                nominal: R_NOM,
+            });
+            binds.push(SpaceBind {
+                param: "dc".into(),
+                element: format!("C{i}"),
+                target: SpaceTarget::Capacitance,
+                relative: true,
+                nominal: C_NOM,
+            });
+        }
+        let spec = SpaceSpec::new(ranges, binds).requested_h(1e-6);
+        systemc_ams::lint::exit_space_lint(&lint_space("monte_carlo_filter", &ckt, &spec));
     }
 
     // ±10 % uniform tolerance per component class, one draw per class

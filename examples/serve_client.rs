@@ -15,14 +15,22 @@
 //! ```text
 //! cargo run --release --example serve_client -- --addr HOST:PORT
 //!     --admin TOKEN [--scenarios N] [--seed N] [--parity] [--shutdown]
+//!     [--lint-only] [--lint-space [RANGES]]
 //! ```
+//!
+//! `--lint-only` and `--lint-space` need no daemon (and no
+//! `--addr`/`--admin`): they run the same checks the daemon's admission
+//! gate applies to the demo job — concrete lint, or the interval pass
+//! over the job's whole parameter box — and exit. A rejection printed
+//! here is exactly what `submit` would answer.
 
 use std::io::{BufRead, BufReader, Write};
 use std::net::TcpStream;
 use systemc_ams::sweep::json::{parse, Json};
 
 const USAGE: &str = "cargo run --example serve_client -- --addr HOST:PORT --admin TOKEN \
-                     [--scenarios N] [--seed N] [--parity] [--shutdown]";
+                     [--scenarios N] [--seed N] [--parity] [--shutdown] \
+                     [--lint-only] [--lint-space [RANGES]]";
 
 /// One newline-delimited JSON connection.
 struct Client {
@@ -108,8 +116,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut seed = 0xF1u64;
     let mut parity = false;
     let mut shutdown = false;
+    let mut lint_only = false;
+    let mut lint_space = false;
+    let mut space_ranges: Option<String> = None;
     let (_scope, rest) = systemc_ams::scope::args::scope_args()?;
-    let mut args = rest.into_iter();
+    let mut args = rest.into_iter().peekable();
     while let Some(a) = args.next() {
         match a.as_str() {
             "--addr" => addr = args.next().ok_or("--addr needs HOST:PORT")?,
@@ -120,14 +131,42 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             "--seed" => seed = args.next().ok_or("--seed needs a value")?.parse()?,
             "--parity" => parity = true,
             "--shutdown" => shutdown = true,
+            "--lint-only" => lint_only = true,
+            "--lint-space" => {
+                lint_space = true;
+                // Optional NAME=LO:HI[,…] token; flags keep their `--`.
+                if args.peek().is_some_and(|t| !t.starts_with("--")) {
+                    space_ranges = args.next();
+                }
+            }
             other => return Err(format!("unknown argument {other:?}\nusage: {USAGE}").into()),
         }
     }
+
+    let job = systemc_ams::serve::JobSpec::demo_rc(scenarios, seed);
+
+    if lint_only || lint_space {
+        let built = job.circuit.build()?;
+        if lint_only {
+            systemc_ams::lint::exit_lint_only(&[systemc_ams::lint::lint_circuit(
+                "serve_client",
+                &built.circuit,
+            )]);
+        }
+        let mut sspec = job.space_spec();
+        if let Some(s) = &space_ranges {
+            sspec.ranges = systemc_ams::lint::space::parse_ranges(s)?;
+        }
+        systemc_ams::lint::exit_space_lint(&systemc_ams::lint::lint_space(
+            "serve_client",
+            &built.circuit,
+            &sspec,
+        ));
+    }
+
     if addr.is_empty() || admin.is_empty() {
         return Err(format!("--addr and --admin are required\nusage: {USAGE}").into());
     }
-
-    let job = systemc_ams::serve::JobSpec::demo_rc(scenarios, seed);
     let mut client = Client::connect(&addr)?;
     let reply = client.request(&format!(
         r#"{{"op":"hello","admin":"{admin}","tenant":{{"name":"client","max_shards":"4","scenario_budget":"100000"}}}}"#

@@ -9,20 +9,29 @@
 //! ```text
 //! cargo run --release --example serve_daemon -- [--addr HOST:PORT]
 //!     [--workers N] [--cache-mb N] [--seed N]
+//!     [--lint-only] [--lint-space [RANGES]]
 //! ```
+//!
+//! `--lint-only` and `--lint-space` never bind a socket: they run the
+//! daemon's admission checks (concrete lint, or the interval pass over
+//! the demo job's whole parameter box) against `JobSpec::demo_rc` and
+//! exit — a dry-run of what `submit` would accept or reject.
 //!
 //! Pair with `serve_client` for an end-to-end Monte-Carlo job.
 
-use systemc_ams::serve::{daemon, signal, ServeConfig, ServeHandle};
+use systemc_ams::serve::{daemon, signal, JobSpec, ServeConfig, ServeHandle};
 
-const USAGE: &str =
-    "cargo run --example serve_daemon -- [--addr HOST:PORT] [--workers N] [--cache-mb N] [--seed N]";
+const USAGE: &str = "cargo run --example serve_daemon -- [--addr HOST:PORT] [--workers N] \
+                     [--cache-mb N] [--seed N] [--lint-only] [--lint-space [RANGES]]";
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut addr = "127.0.0.1:0".to_string();
     let mut config = ServeConfig::default();
+    let mut lint_only = false;
+    let mut lint_space = false;
+    let mut space_ranges: Option<String> = None;
     let (scope, rest) = systemc_ams::scope::args::scope_args()?;
-    let mut args = rest.into_iter();
+    let mut args = rest.into_iter().peekable();
     while let Some(a) = args.next() {
         match a.as_str() {
             "--addr" => addr = args.next().ok_or("--addr needs HOST:PORT")?,
@@ -34,8 +43,36 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 config.cache_bytes = mb << 20;
             }
             "--seed" => config.seed = args.next().ok_or("--seed needs a value")?.parse()?,
+            "--lint-only" => lint_only = true,
+            "--lint-space" => {
+                lint_space = true;
+                // Optional NAME=LO:HI[,…] token; flags keep their `--`.
+                if args.peek().is_some_and(|t| !t.starts_with("--")) {
+                    space_ranges = args.next();
+                }
+            }
             other => return Err(format!("unknown argument {other:?}\nusage: {USAGE}").into()),
         }
+    }
+
+    if lint_only || lint_space {
+        let job = JobSpec::demo_rc(64, 0xF1);
+        let built = job.circuit.build()?;
+        if lint_only {
+            systemc_ams::lint::exit_lint_only(&[systemc_ams::lint::lint_circuit(
+                "serve_daemon",
+                &built.circuit,
+            )]);
+        }
+        let mut sspec = job.space_spec();
+        if let Some(s) = &space_ranges {
+            sspec.ranges = systemc_ams::lint::space::parse_ranges(s)?;
+        }
+        systemc_ams::lint::exit_space_lint(&systemc_ams::lint::lint_space(
+            "serve_daemon",
+            &built.circuit,
+            &sspec,
+        ));
     }
 
     // Unpredictable token-mint seed unless pinned for reproducibility.

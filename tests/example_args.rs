@@ -65,3 +65,76 @@ fn quickstart_rejects_unknown_flags_with_usage() {
         String::from_utf8_lossy(&out.stderr)
     );
 }
+
+/// `--lint-space` across the examples that expose it: a healthy default
+/// box proves safe (exit 0), a box driving resistances negative is
+/// proved violated with an SPC001 witness (exit 1), and the serve
+/// examples run the check without a daemon, socket or tokens.
+#[test]
+fn lint_space_flags_prove_and_refute_boxes() {
+    for name in ["monte_carlo_filter", "serve_daemon", "serve_client"] {
+        let bin = example_bin(name);
+        if !bin.exists() {
+            eprintln!("skipping: {} not built", bin.display());
+            return;
+        }
+        // Default box: every corner is provably safe.
+        let out = Command::new(&bin)
+            .arg("--lint-space")
+            .output()
+            .expect("run example");
+        let stdout = String::from_utf8_lossy(&out.stdout);
+        assert!(
+            out.status.success(),
+            "{name} --lint-space must prove the default box safe: {stdout}\n{}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        assert!(
+            stdout.contains("proved-safe"),
+            "{name} must print space verdicts: {stdout}"
+        );
+
+        // A box that drives the resistances negative at some corner:
+        // proved violated, witness printed, exit status 1.
+        let out = Command::new(&bin)
+            .args(["--lint-space", "dr=-2:0,dc=-0.1:0.1"])
+            .output()
+            .expect("run example");
+        let stdout = String::from_utf8_lossy(&out.stdout);
+        assert!(
+            !out.status.success(),
+            "{name} must reject the doomed box: {stdout}"
+        );
+        assert!(
+            stdout.contains("SPC001") && stdout.contains("witness"),
+            "{name} must name SPC001 with a witness box: {stdout}"
+        );
+    }
+}
+
+/// `--lint-only` on the serve examples: the concrete admission lint of
+/// the demo job runs standalone and exits cleanly.
+#[test]
+fn serve_examples_lint_only_needs_no_daemon() {
+    for name in ["serve_daemon", "serve_client"] {
+        let bin = example_bin(name);
+        if !bin.exists() {
+            eprintln!("skipping: {} not built", bin.display());
+            return;
+        }
+        let out = Command::new(&bin)
+            .arg("--lint-only")
+            .output()
+            .expect("run example");
+        let stdout = String::from_utf8_lossy(&out.stdout);
+        assert!(
+            out.status.success(),
+            "{name} --lint-only must pass on the demo job: {stdout}\n{}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        assert!(
+            stdout.contains("0 error(s)"),
+            "{name} must render a clean report: {stdout}"
+        );
+    }
+}

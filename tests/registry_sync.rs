@@ -1,0 +1,65 @@
+//! The DESIGN.md diagnostic-code table and the compiled registry in
+//! `ams-lint::codes` must list exactly the same codes with the same
+//! severities. Meaning strings are prose and may drift; codes and
+//! severities are contract and may not.
+
+use std::collections::BTreeMap;
+use systemc_ams::lint::codes;
+
+/// Parses `| CODE | severity | …` rows from DESIGN.md's code table.
+fn documented_codes(design: &str) -> BTreeMap<String, String> {
+    let mut out = BTreeMap::new();
+    for line in design.lines() {
+        let cells: Vec<&str> = line.split('|').map(str::trim).collect();
+        // A table row splits into ["", CODE, severity, meaning, ""].
+        if cells.len() < 4 {
+            continue;
+        }
+        let code = cells[1];
+        let is_code = code.len() == 6
+            && code[..3].chars().all(|c| c.is_ascii_uppercase())
+            && code[3..].chars().all(|c| c.is_ascii_digit());
+        if is_code {
+            out.insert(code.to_string(), cells[2].to_string());
+        }
+    }
+    out
+}
+
+#[test]
+fn design_doc_code_table_matches_compiled_registry() {
+    // Root-package integration tests run with CWD = the package root.
+    let design = std::fs::read_to_string("DESIGN.md").expect("DESIGN.md at repo root");
+    let documented = documented_codes(&design);
+    assert!(
+        !documented.is_empty(),
+        "no code table rows found in DESIGN.md — parser or doc broke"
+    );
+
+    let compiled: BTreeMap<String, String> = codes::registry()
+        .iter()
+        .map(|(c, s, _)| (c.to_string(), s.to_string()))
+        .collect();
+
+    let mut diff = String::new();
+    for (code, sev) in &compiled {
+        match documented.get(code) {
+            None => diff.push_str(&format!("  - {code} ({sev}): compiled but undocumented\n")),
+            Some(doc_sev) if doc_sev != sev => diff.push_str(&format!(
+                "  ~ {code}: registry says {sev}, DESIGN.md says {doc_sev}\n"
+            )),
+            Some(_) => {}
+        }
+    }
+    for code in documented.keys() {
+        if !compiled.contains_key(code) {
+            diff.push_str(&format!(
+                "  + {code}: documented but absent from the registry\n"
+            ));
+        }
+    }
+    assert!(
+        diff.is_empty(),
+        "DESIGN.md code table out of sync with ams_lint::codes::registry():\n{diff}"
+    );
+}

@@ -1,0 +1,130 @@
+//! Soundness of the sweep-space interval pass (proptest).
+//!
+//! The abstract interpreter in `ams-lint::space` makes two kinds of
+//! claim about a whole parameter box, and both must be *sound* —
+//! over-approximation may only ever cost precision (an `Unknown`
+//! verdict), never correctness:
+//!
+//! * **ProvedSafe** means every concrete point in the box passes; we
+//!   sample the corners and the midpoint and check them against the
+//!   concrete classifier, the concrete lint pass, and an actual DC
+//!   factorization.
+//! * **ProvedViolated** carries a witness box that must contain a
+//!   concrete failing point; we sample the witness and require the
+//!   concrete classifier to refute at least one sample.
+
+use proptest::prelude::*;
+use systemc_ams::lint::{
+    classify_point, codes, lint_circuit, lint_space, LintPolicy, ParamRange, SpaceBind, SpaceSpec,
+    SpaceTarget, Verdict,
+};
+use systemc_ams::net::Circuit;
+
+const R_NOM: f64 = 1.0e3;
+const C_NOM: f64 = 1.0e-9;
+
+/// DC source → R → C to ground: the smallest circuit on which both the
+/// domain check (SPC001) and the nonsingularity check (SPC002) bite.
+fn rc(dr: f64, dc: f64) -> Circuit {
+    let mut ckt = Circuit::new();
+    let inp = ckt.node("in");
+    let out = ckt.node("out");
+    ckt.voltage_source("V", inp, Circuit::GROUND, 1.0).unwrap();
+    ckt.resistor("R", inp, out, R_NOM * (1.0 + dr)).unwrap();
+    ckt.capacitor("C", out, Circuit::GROUND, C_NOM * (1.0 + dc))
+        .unwrap();
+    ckt
+}
+
+fn spec(dr: (f64, f64), dc: (f64, f64)) -> SpaceSpec {
+    SpaceSpec::new(
+        vec![
+            ParamRange::new("dr", dr.0, dr.1),
+            ParamRange::new("dc", dc.0, dc.1),
+        ],
+        vec![
+            SpaceBind {
+                param: "dr".into(),
+                element: "R".into(),
+                target: SpaceTarget::Resistance,
+                relative: true,
+                nominal: R_NOM,
+            },
+            SpaceBind {
+                param: "dc".into(),
+                element: "C".into(),
+                target: SpaceTarget::Capacitance,
+                relative: true,
+                nominal: C_NOM,
+            },
+        ],
+    )
+}
+
+/// The 2-D corners plus the midpoint of a (dr, dc) box.
+fn samples(dr: (f64, f64), dc: (f64, f64)) -> [(f64, f64); 5] {
+    [
+        (dr.0, dc.0),
+        (dr.0, dc.1),
+        (dr.1, dc.0),
+        (dr.1, dc.1),
+        (0.5 * (dr.0 + dr.1), 0.5 * (dc.0 + dc.1)),
+    ]
+}
+
+proptest! {
+    /// Soundness over random boxes straddling the physical-domain
+    /// boundary (relative deviations below −1 drive R or C negative).
+    #[test]
+    fn space_verdicts_are_sound(
+        a in -1.8f64..1.0, b in -1.8f64..1.0,
+        c in -1.8f64..1.0, d in -1.8f64..1.0,
+    ) {
+        let dr = (a.min(b), a.max(b));
+        let dc = (c.min(d), c.max(d));
+        let template = rc(0.0, 0.0);
+        let sspec = spec(dr, dc);
+        let sr = lint_space("soundness", &template, &sspec);
+        let names = ["dr".to_string(), "dc".to_string()];
+
+        // Claim 1: a clean report (every error-severity check proved
+        // safe) admits every sampled concrete point.
+        if LintPolicy::default().denied(&sr.report).is_empty()
+            && sr.verdicts.iter().all(|v| v.verdict == Verdict::ProvedSafe)
+        {
+            for (pr, pc) in samples(dr, dc) {
+                prop_assert_eq!(
+                    classify_point(&template, &sspec, &names, &[pr, pc]),
+                    None,
+                    "ProvedSafe box has a failing point ({}, {})", pr, pc
+                );
+                let concrete = rc(pr, pc);
+                let lr = lint_circuit("corner", &concrete);
+                prop_assert_eq!(
+                    lr.error_count(), 0,
+                    "ProvedSafe corner fails concrete lint: {}", lr.render()
+                );
+                prop_assert!(
+                    concrete.dc_operating_point().is_ok(),
+                    "ProvedSafe corner fails to factor at ({}, {})", pr, pc
+                );
+            }
+        }
+
+        // Claim 2: a domain violation's witness box contains a point
+        // the concrete classifier also rejects.
+        if let Some(Verdict::ProvedViolated(witness)) = sr.verdict(codes::SPC001) {
+            let wr = witness.interval("dr").expect("dr axis");
+            let wc = witness.interval("dc").expect("dc axis");
+            let refuted = samples((wr.lo, wr.hi), (wc.lo, wc.hi))
+                .iter()
+                .any(|&(pr, pc)| {
+                    classify_point(&template, &sspec, &names, &[pr, pc]).is_some()
+                });
+            prop_assert!(
+                refuted,
+                "SPC001 witness {} contains no concretely failing sample", witness
+            );
+        }
+    }
+}

@@ -17,8 +17,13 @@
 //!
 //! * memory ordering is sequentially consistent (orderings are
 //!   accepted and ignored) — weak-memory reorderings are not explored;
-//! * only `thread`, `sync::Arc` and `sync::atomic::{AtomicU64,
-//!   AtomicUsize, AtomicBool, Ordering}` are provided;
+//! * only `thread`, `sync::{Arc, Mutex, Condvar}` and
+//!   `sync::atomic::{AtomicU64, AtomicUsize, AtomicBool, Ordering}`
+//!   are provided;
+//! * [`sync::Mutex`] and [`sync::Condvar`] park the *logical* thread in
+//!   the model scheduler (a dedicated `Blocked` state); a schedule in
+//!   which parked threads can never be woken is reported as a deadlock,
+//!   which is how lost-wakeup bugs surface;
 //! * spawned threads must be joined inside the model closure.
 
 #![warn(missing_docs)]
@@ -70,6 +75,9 @@ enum ThreadState {
     Runnable,
     /// Waiting for another thread to finish.
     Joining(usize),
+    /// Parked on a modeled [`sync::Mutex`] or [`sync::Condvar`]; only
+    /// an explicit [`Scheduler::unblock`] makes it runnable again.
+    Blocked,
     Finished,
 }
 
@@ -204,8 +212,42 @@ impl Scheduler {
             // All threads done (or deadlocked — pick_next would have
             // caught a mix of Joining with no Runnable).
             let all_done = st.threads.iter().all(|&s| s == ThreadState::Finished);
-            assert!(all_done, "deadlock: all threads blocked in join");
+            assert!(
+                all_done,
+                "deadlock: threads still parked (join, mutex or condvar): {:?}",
+                st.threads
+            );
             self.cv.notify_all();
+        }
+    }
+
+    /// Parks thread `me` until some other thread calls
+    /// [`Scheduler::unblock`] on it (mutex release, condvar notify).
+    /// Panics on deadlock if nothing else can run.
+    fn block_current(&self, me: usize) {
+        let mut st = self.lock();
+        debug_assert_eq!(st.current, me);
+        st.threads[me] = ThreadState::Blocked;
+        let next = self.pick_next(&mut st, None);
+        st.current = next;
+        self.cv.notify_all();
+        while st.current != me {
+            st = self.cv.wait(st).unwrap_or_else(|e| e.into_inner());
+        }
+        debug_assert_eq!(st.threads[me], ThreadState::Runnable);
+    }
+
+    /// Marks the given blocked threads runnable again. Does not switch:
+    /// the caller keeps the CPU until its own next yield point, and the
+    /// woken threads re-contend when the scheduler picks them.
+    fn unblock(&self, tids: &[usize]) {
+        if tids.is_empty() {
+            return;
+        }
+        let mut st = self.lock();
+        for &t in tids {
+            debug_assert_eq!(st.threads[t], ThreadState::Blocked);
+            st.threads[t] = ThreadState::Runnable;
         }
     }
 
@@ -394,6 +436,215 @@ pub mod thread {
 /// Model-aware synchronization primitives.
 pub mod sync {
     pub use std::sync::Arc;
+    pub use std::sync::LockResult;
+
+    use super::context;
+    use std::fmt;
+    use std::ops::{Deref, DerefMut};
+
+    /// Modeled blocking state of a [`Mutex`]: whether a logical thread
+    /// holds it, and which logical threads are parked waiting for it.
+    #[derive(Debug, Default)]
+    struct MutexState {
+        held: bool,
+        waiters: Vec<usize>,
+    }
+
+    /// A mutual-exclusion lock whose acquire is a scheduling point and
+    /// whose contention parks the logical thread in the model scheduler.
+    ///
+    /// Inside [`super::model`], blocking is simulated: a contended
+    /// `lock` parks the logical thread until the holder's guard drops,
+    /// and the explorer branches over who wins the re-acquire. Outside
+    /// a model it degrades to a plain [`std::sync::Mutex`]. Data is
+    /// always protected by the inner std mutex; in modeled mode that
+    /// inner lock is uncontended by construction (exactly one logical
+    /// thread runs between acquire and release).
+    pub struct Mutex<T> {
+        data: std::sync::Mutex<T>,
+        state: std::sync::Mutex<MutexState>,
+    }
+
+    impl<T> Mutex<T> {
+        /// Creates a new unlocked mutex.
+        pub fn new(value: T) -> Mutex<T> {
+            Mutex {
+                data: std::sync::Mutex::new(value),
+                state: std::sync::Mutex::new(MutexState::default()),
+            }
+        }
+
+        /// Acquires the mutex, parking the logical thread while another
+        /// holds it. Never returns `Err`: the stub does not model
+        /// poisoning (a panicking schedule surfaces the panic itself).
+        pub fn lock(&self) -> LockResult<MutexGuard<'_, T>> {
+            match context() {
+                None => {
+                    let inner = self.data.lock().unwrap_or_else(|e| e.into_inner());
+                    Ok(MutexGuard {
+                        mutex: self,
+                        inner: Some(inner),
+                        modeled: false,
+                    })
+                }
+                Some((sched, me)) => {
+                    // The acquire is a visible synchronization action.
+                    sched.yield_point(me);
+                    loop {
+                        let mut st = self.state.lock().unwrap_or_else(|e| e.into_inner());
+                        if !st.held {
+                            st.held = true;
+                            break;
+                        }
+                        st.waiters.push(me);
+                        drop(st);
+                        sched.block_current(me);
+                        // Woken by a release; re-contend (another woken
+                        // waiter may have taken the lock first).
+                    }
+                    let inner = self.data.lock().unwrap_or_else(|e| e.into_inner());
+                    Ok(MutexGuard {
+                        mutex: self,
+                        inner: Some(inner),
+                        modeled: true,
+                    })
+                }
+            }
+        }
+    }
+
+    impl<T> fmt::Debug for Mutex<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str("Mutex(..)")
+        }
+    }
+
+    /// RAII guard for [`Mutex`]; releasing it wakes parked acquirers.
+    pub struct MutexGuard<'a, T> {
+        mutex: &'a Mutex<T>,
+        /// `Some` until the guard is dropped or handed to a condvar.
+        inner: Option<std::sync::MutexGuard<'a, T>>,
+        modeled: bool,
+    }
+
+    impl<T> Deref for MutexGuard<'_, T> {
+        type Target = T;
+        fn deref(&self) -> &T {
+            self.inner.as_ref().expect("guard already released")
+        }
+    }
+
+    impl<T> DerefMut for MutexGuard<'_, T> {
+        fn deref_mut(&mut self) -> &mut T {
+            self.inner.as_mut().expect("guard already released")
+        }
+    }
+
+    impl<T> Drop for MutexGuard<'_, T> {
+        fn drop(&mut self) {
+            // Release the real lock first so a woken waiter scheduled
+            // later can take it without contention.
+            self.inner.take();
+            if self.modeled {
+                let mut st = self.mutex.state.lock().unwrap_or_else(|e| e.into_inner());
+                st.held = false;
+                let woken = std::mem::take(&mut st.waiters);
+                drop(st);
+                if let Some((sched, _me)) = context() {
+                    sched.unblock(&woken);
+                }
+            }
+        }
+    }
+
+    /// A condition variable integrated with the model scheduler.
+    ///
+    /// In modeled mode the waiter is registered *before* the mutex is
+    /// released (the two happen with no intervening scheduling point),
+    /// so the classic lost-wakeup window does not exist in the model —
+    /// exactly the guarantee a real condvar gives code that checks its
+    /// predicate under the mutex. Outside a model it degrades to a
+    /// plain [`std::sync::Condvar`].
+    pub struct Condvar {
+        std: std::sync::Condvar,
+        waiters: std::sync::Mutex<Vec<usize>>,
+    }
+
+    impl Condvar {
+        /// Creates a new condition variable.
+        pub fn new() -> Condvar {
+            Condvar {
+                std: std::sync::Condvar::new(),
+                waiters: std::sync::Mutex::new(Vec::new()),
+            }
+        }
+
+        /// Atomically releases the guard and parks until notified, then
+        /// re-acquires the mutex. Never returns `Err` (no poisoning).
+        pub fn wait<'a, T>(&self, mut guard: MutexGuard<'a, T>) -> LockResult<MutexGuard<'a, T>> {
+            match context() {
+                None => {
+                    let mutex = guard.mutex;
+                    let inner = guard.inner.take().expect("guard already released");
+                    // Nothing left for the guard's Drop to release.
+                    std::mem::forget(guard);
+                    let inner = self.std.wait(inner).unwrap_or_else(|e| e.into_inner());
+                    Ok(MutexGuard {
+                        mutex,
+                        inner: Some(inner),
+                        modeled: false,
+                    })
+                }
+                Some((sched, me)) => {
+                    let mutex = guard.mutex;
+                    // Register, THEN release: serialized execution means
+                    // no notify can slip between the two.
+                    self.waiters
+                        .lock()
+                        .unwrap_or_else(|e| e.into_inner())
+                        .push(me);
+                    drop(guard);
+                    sched.block_current(me);
+                    mutex.lock()
+                }
+            }
+        }
+
+        /// Wakes one parked waiter (FIFO in the model).
+        pub fn notify_one(&self) {
+            if let Some((sched, _me)) = context() {
+                let mut ws = self.waiters.lock().unwrap_or_else(|e| e.into_inner());
+                if !ws.is_empty() {
+                    let t = ws.remove(0);
+                    drop(ws);
+                    sched.unblock(&[t]);
+                }
+            }
+            self.std.notify_one();
+        }
+
+        /// Wakes every parked waiter.
+        pub fn notify_all(&self) {
+            if let Some((sched, _me)) = context() {
+                let woken =
+                    std::mem::take(&mut *self.waiters.lock().unwrap_or_else(|e| e.into_inner()));
+                sched.unblock(&woken);
+            }
+            self.std.notify_all();
+        }
+    }
+
+    impl Default for Condvar {
+        fn default() -> Condvar {
+            Condvar::new()
+        }
+    }
+
+    impl fmt::Debug for Condvar {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str("Condvar")
+        }
+    }
 
     /// Model-aware atomics: every access is a scheduling point.
     pub mod atomic {
@@ -519,6 +770,51 @@ mod tests {
             }
         });
         assert!(lost.load(StdOrdering::Relaxed) > 0, "never saw the race");
+    }
+
+    #[test]
+    fn mutex_prevents_lost_updates() {
+        // The same read-modify-write race as `finds_lost_update`, but
+        // under the modeled Mutex: no schedule may lose an update.
+        super::model(|| {
+            let x = Arc::new(super::sync::Mutex::new(0usize));
+            let mut handles = Vec::new();
+            for _ in 0..2 {
+                let x2 = x.clone();
+                handles.push(super::thread::spawn(move || {
+                    let mut g = x2.lock().unwrap();
+                    *g += 1;
+                }));
+            }
+            for h in handles {
+                h.join().unwrap();
+            }
+            assert_eq!(*x.lock().unwrap(), 2, "update lost under mutex");
+        });
+    }
+
+    #[test]
+    fn condvar_handoff_is_never_lost() {
+        // Classic producer/consumer handoff: the consumer parks until
+        // the flag is set. Registering the waiter before releasing the
+        // mutex means no schedule can lose the wakeup — a regression
+        // would surface as the model's deadlock panic.
+        super::model(|| {
+            let pair = Arc::new((super::sync::Mutex::new(false), super::sync::Condvar::new()));
+            let p2 = pair.clone();
+            let producer = super::thread::spawn(move || {
+                let (m, cv) = &*p2;
+                *m.lock().unwrap() = true;
+                cv.notify_all();
+            });
+            let (m, cv) = &*pair;
+            let mut ready = m.lock().unwrap();
+            while !*ready {
+                ready = cv.wait(ready).unwrap();
+            }
+            drop(ready);
+            producer.join().unwrap();
+        });
     }
 
     #[test]
