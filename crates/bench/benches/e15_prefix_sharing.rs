@@ -1,0 +1,122 @@
+//! E15 — checkpoint prefix sharing (`NetlistSweep::prefix`).
+//!
+//! Verification sweeps often agree on a long settling prefix: every
+//! scenario plays the same stimulus until a parameterized event (a
+//! pulse edge, a load switch) fires late in the run. The checkpoint
+//! layer integrates that common prefix **once** on the coordinator,
+//! snapshots the solver, and forks every scenario from the snapshot —
+//! bit-identical to running each scenario from `t = 0` (the sweep
+//! tests prove fingerprint equality; this bench re-asserts it before
+//! timing anything), but the prefix is paid once instead of `N` times.
+//!
+//! Measured on the monte_carlo_filter 4-stage RC ladder driven by a
+//! pulse whose delay is the fork point, at three divergence depths
+//! (the pulse fires 25 %, 50 % or 87.5 % into a 4096-step horizon):
+//!
+//! * `prefix/zero/<depth>` — every scenario integrates from `t = 0`
+//!   (the baseline; cost is flat in the depth).
+//! * `prefix/fork/<depth>` — one shared prefix to the pulse delay,
+//!   then per-scenario continuation runs.
+//!
+//! The fork speedup grows with the divergence depth: at 87.5 % the
+//! sweep only pays `N × 12.5 %` of the transient work plus one shared
+//! prefix. EXPERIMENTS.md quotes the zero/fork ratios per depth.
+
+use ams_net::{Circuit, ElementId, IntegrationMethod, NodeId, SolverBackend, Waveform};
+use ams_sweep::{NetlistSweep, SweepSpec};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+const STAGES: usize = 4;
+const R_NOM: f64 = 1.6e3;
+const C_NOM: f64 = 10e-9;
+/// Power-of-two step so every partial sum of `h` is exact and the
+/// fixed-step fork is bit-identical to the zero-based run.
+const H: f64 = 1.0 / (1 << 20) as f64;
+const STEPS: u64 = 4096;
+const N_SCENARIOS: usize = 24;
+const WORKERS: usize = 2;
+
+/// Pulse whose leading edge sits at `delay`: identical to the DC
+/// baseline `v1 = 1` before it, scenario-dependent after — the
+/// prefix-sharing contract by construction.
+fn pulse(v2: f64, delay: f64) -> Waveform {
+    Waveform::Pulse {
+        v1: 1.0,
+        v2,
+        delay,
+        rise: 8.0 * H,
+        fall: 8.0 * H,
+        width: 2.0 * STEPS as f64 * H,
+        period: 0.0,
+    }
+}
+
+/// The monte_carlo_filter ladder: pulse source → 4 RC sections.
+fn ladder(delay: f64) -> (Circuit, ElementId, NodeId) {
+    let mut ckt = Circuit::new();
+    let mut prev = ckt.node("in");
+    let v = ckt.voltage_source("V", prev, Circuit::GROUND, 1.0).unwrap();
+    ckt.set_source_waveform(v, pulse(1.0, delay)).unwrap();
+    for i in 0..STAGES {
+        let node = ckt.node(format!("n{i}"));
+        ckt.resistor(format!("R{i}"), prev, node, R_NOM).unwrap();
+        ckt.capacitor(format!("C{i}"), node, Circuit::GROUND, C_NOM)
+            .unwrap();
+        prev = node;
+    }
+    (ckt, v, prev)
+}
+
+fn run_sweep(depth_steps: u64, fork: bool) -> u64 {
+    let t_end = STEPS as f64 * H;
+    let delay = depth_steps as f64 * H;
+    let (ckt, v, out) = ladder(delay);
+    let spec = SweepSpec::monte_carlo(&[("v2", 1.5, 3.0)], N_SCENARIOS, 0xE15).unwrap();
+    let mut sweep = NetlistSweep::new(ckt, IntegrationMethod::Trapezoidal)
+        .fixed_step(t_end, H)
+        .backend(SolverBackend::Sparse)
+        .context("e15");
+    if fork {
+        sweep = sweep.prefix(delay);
+    }
+    let report = sweep
+        .run(
+            &spec,
+            WORKERS,
+            &["v_end", "v_max"],
+            |c, sc| c.set_source_waveform(v, pulse(sc.value("v2"), delay)),
+            |tr, m| {
+                let x = tr.voltage(out);
+                m[0] = x;
+                m[1] = m[1].max(x);
+            },
+        )
+        .unwrap();
+    report.fingerprint()
+}
+
+fn bench_prefix_sharing(c: &mut Criterion) {
+    // Depths as fractions of the horizon: the later the scenarios
+    // diverge, the more transient work the shared prefix absorbs.
+    for (label, depth) in [
+        ("25%", STEPS / 4),
+        ("50%", STEPS / 2),
+        ("87.5%", STEPS * 7 / 8),
+    ] {
+        // Fork-vs-zero equivalence before timing anything: the bench
+        // must measure two ways of computing the *same* result.
+        assert_eq!(run_sweep(depth, false), run_sweep(depth, true));
+        let mut g = c.benchmark_group("prefix");
+        g.throughput(Throughput::Elements(N_SCENARIOS as u64));
+        g.bench_with_input(BenchmarkId::new("zero", label), &depth, |b, &d| {
+            b.iter(|| run_sweep(d, false))
+        });
+        g.bench_with_input(BenchmarkId::new("fork", label), &depth, |b, &d| {
+            b.iter(|| run_sweep(d, true))
+        });
+        g.finish();
+    }
+}
+
+criterion_group!(benches, bench_prefix_sharing);
+criterion_main!(benches);

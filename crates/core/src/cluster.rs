@@ -842,6 +842,147 @@ impl Cluster {
         }
     }
 
+    /// Freezes the cluster's full dynamic state into a
+    /// [`ClusterCheckpoint`]: iteration/stat counters, every signal
+    /// buffer's window, per-port sample counters, probe cursors *and*
+    /// recorded probe data, converter-binding samples and queues, plus
+    /// each module's internal state via
+    /// [`TdfModule::save_state`]. Restoring with [`Cluster::restore`]
+    /// and continuing the run reproduces an uninterrupted run exactly
+    /// (for modules that implement the save/restore hooks faithfully) —
+    /// probe data included, since the snapshot carries the samples
+    /// recorded so far.
+    pub fn save(&self) -> ClusterCheckpoint {
+        ClusterCheckpoint {
+            iteration: self.iteration,
+            stats: self.stats,
+            bufs: self.bufs.iter().map(|b| (b.base, b.data.clone())).collect(),
+            // Port counters are captured in declaration order
+            // (`in_sigs`/`out_sigs`), never in `HashMap` iteration
+            // order, so a checkpoint is stable across processes.
+            in_counters: self
+                .modules
+                .iter()
+                .map(|m| m.in_sigs.iter().map(|s| m.in_ports[s].counter).collect())
+                .collect(),
+            out_counters: self
+                .modules
+                .iter()
+                .map(|m| m.out_sigs.iter().map(|s| m.out_ports[s].counter).collect())
+                .collect(),
+            module_state: self
+                .modules
+                .iter()
+                .map(|m| {
+                    let mut st = Vec::new();
+                    m.module
+                        .as_ref()
+                        .expect("module present outside of firing")
+                        .save_state(&mut st);
+                    st
+                })
+                .collect(),
+            probe_next: self.probes.iter().map(|p| p.next_idx).collect(),
+            probe_data: self
+                .probes
+                .iter()
+                .map(|p| p.probe.data.lock().expect("probe storage poisoned").clone())
+                .collect(),
+            de_reads: self.de_reads.iter().map(|(_, cell)| cell.get()).collect(),
+            de_writes: self
+                .de_writes
+                .iter()
+                .map(|(_, q)| {
+                    q.lock()
+                        .expect("sample queue poisoned")
+                        .iter()
+                        .copied()
+                        .collect()
+                })
+                .collect(),
+        }
+    }
+
+    /// Rewinds the cluster to a state captured with [`Cluster::save`].
+    /// The target must be structurally identical (same elaboration:
+    /// module, signal, probe and converter counts) — typically the same
+    /// cluster, or a fresh elaboration of the same graph. Validation
+    /// happens before any mutation, so a failed restore leaves the
+    /// cluster unchanged.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::Invalid`] when the checkpoint's shape does not match
+    /// this cluster's.
+    pub fn restore(&mut self, cp: &ClusterCheckpoint) -> Result<(), CoreError> {
+        if cp.bufs.len() != self.bufs.len()
+            || cp.in_counters.len() != self.modules.len()
+            || cp.out_counters.len() != self.modules.len()
+            || cp.module_state.len() != self.modules.len()
+            || cp.probe_next.len() != self.probes.len()
+            || cp.probe_data.len() != self.probes.len()
+            || cp.de_reads.len() != self.de_reads.len()
+            || cp.de_writes.len() != self.de_writes.len()
+        {
+            return Err(CoreError::invalid(format!(
+                "checkpoint shape does not match cluster '{}'",
+                self.name
+            )));
+        }
+        for (m, (ins, outs)) in self
+            .modules
+            .iter()
+            .zip(cp.in_counters.iter().zip(&cp.out_counters))
+        {
+            if ins.len() != m.in_sigs.len() || outs.len() != m.out_sigs.len() {
+                return Err(CoreError::invalid(format!(
+                    "checkpoint port layout does not match module '{}'",
+                    m.name
+                )));
+            }
+        }
+        self.iteration = cp.iteration;
+        self.stats = cp.stats;
+        for (buf, (base, data)) in self.bufs.iter_mut().zip(&cp.bufs) {
+            buf.base = *base;
+            buf.data.clone_from(data);
+        }
+        for (midx, m) in self.modules.iter_mut().enumerate() {
+            for (s, &c) in m.in_sigs.iter().zip(&cp.in_counters[midx]) {
+                m.in_ports.get_mut(s).expect("declared port").counter = c;
+            }
+            for (s, &c) in m.out_sigs.iter().zip(&cp.out_counters[midx]) {
+                m.out_ports.get_mut(s).expect("declared port").counter = c;
+            }
+            m.firing_in_iter = 0;
+            m.module
+                .as_mut()
+                .expect("module present outside of firing")
+                .restore_state(&cp.module_state[midx]);
+        }
+        for (p, (&next, data)) in self
+            .probes
+            .iter_mut()
+            .zip(cp.probe_next.iter().zip(&cp.probe_data))
+        {
+            p.next_idx = next;
+            p.probe
+                .data
+                .lock()
+                .expect("probe storage poisoned")
+                .clone_from(data);
+        }
+        for ((_, cell), &v) in self.de_reads.iter().zip(&cp.de_reads) {
+            cell.set(v);
+        }
+        for ((_, queue), saved) in self.de_writes.iter().zip(&cp.de_writes) {
+            let mut q = queue.lock().expect("sample queue poisoned");
+            q.clear();
+            q.extend(saved.iter().copied());
+        }
+        Ok(())
+    }
+
     /// Small-signal AC analysis of the whole cluster: solves the complex
     /// linear system formed by every module's `ac_processing` stamps at
     /// each frequency.
@@ -895,6 +1036,60 @@ impl Cluster {
     /// The registered name of a TDF signal.
     pub fn signal_name(&self, sig: TdfSignal) -> &str {
         &self.signal_names[sig.0]
+    }
+}
+
+/// A frozen [`Cluster`] state: counters, signal-buffer windows, port
+/// cursors, probe data, converter-binding samples and per-module
+/// internal state. Produced by [`Cluster::save`], re-applied by
+/// [`Cluster::restore`]. Cloning is cheap relative to a run, so the
+/// prefix-sharing idiom is "save once after the common prefix, restore
+/// per scenario".
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClusterCheckpoint {
+    iteration: u64,
+    stats: ClusterStats,
+    /// Per-signal `(base, window)` buffer snapshots.
+    bufs: Vec<(i64, Vec<f64>)>,
+    /// Per-module input-port counters, in declaration order.
+    in_counters: Vec<Vec<i64>>,
+    /// Per-module output-port counters, in declaration order.
+    out_counters: Vec<Vec<i64>>,
+    /// Per-module [`TdfModule::save_state`] payloads.
+    module_state: Vec<Vec<f64>>,
+    probe_next: Vec<i64>,
+    probe_data: Vec<Vec<(f64, f64)>>,
+    de_reads: Vec<f64>,
+    de_writes: Vec<Vec<(SimTime, f64)>>,
+}
+
+impl ClusterCheckpoint {
+    /// Completed schedule iterations at the capture point.
+    pub fn iteration(&self) -> u64 {
+        self.iteration
+    }
+
+    /// Execution counters at the capture point.
+    pub fn stats(&self) -> ClusterStats {
+        self.stats
+    }
+
+    /// Estimated resident size in bytes — the currency of byte-budgeted
+    /// checkpoint caches, not an exact allocation count.
+    pub fn approx_bytes(&self) -> usize {
+        std::mem::size_of::<ClusterCheckpoint>()
+            + self
+                .bufs
+                .iter()
+                .map(|(_, d)| 8 + d.len() * 8)
+                .sum::<usize>()
+            + self.in_counters.iter().map(|c| c.len() * 8).sum::<usize>()
+            + self.out_counters.iter().map(|c| c.len() * 8).sum::<usize>()
+            + self.module_state.iter().map(|s| s.len() * 8).sum::<usize>()
+            + self.probe_next.len() * 8
+            + self.probe_data.iter().map(|d| d.len() * 16).sum::<usize>()
+            + self.de_reads.len() * 8
+            + self.de_writes.iter().map(|q| q.len() * 16).sum::<usize>()
     }
 }
 
@@ -957,6 +1152,12 @@ mod tests {
             io.write1(self.out, self.next);
             self.next += 1.0;
             Ok(())
+        }
+        fn save_state(&self, out: &mut Vec<f64>) {
+            out.push(self.next);
+        }
+        fn restore_state(&mut self, state: &[f64]) {
+            self.next = state[0];
         }
     }
 
@@ -1364,6 +1565,141 @@ mod tests {
         );
         let mut c = g.elaborate().unwrap();
         assert!(c.ac_analysis(&[]).is_err());
+    }
+
+    #[test]
+    fn save_restore_resumes_identical_run() {
+        // Counter (module-internal state) → gain → probe: the restored
+        // continuation must reproduce the uninterrupted run exactly,
+        // probe contents and stats included.
+        fn build() -> (Cluster, TdfProbe) {
+            let mut g = TdfGraph::new("ckpt");
+            let s1 = g.signal("s1");
+            let s2 = g.signal("s2");
+            let probe = g.probe(s2);
+            g.add_module(
+                "cnt",
+                Counter {
+                    out: s1.writer(),
+                    next: 1.0,
+                    ts: SimTime::from_us(1),
+                },
+            );
+            g.add_module(
+                "g2",
+                Gain {
+                    inp: s1.reader(),
+                    out: s2.writer(),
+                    k: 2.0,
+                },
+            );
+            (g.elaborate().unwrap(), probe)
+        }
+        let (mut c, probe) = build();
+        c.run_standalone(7).unwrap();
+        let full_samples = probe.samples();
+        let full_stats = c.stats();
+
+        let (mut c2, probe2) = build();
+        c2.run_standalone(3).unwrap();
+        let cp = c2.save();
+        assert_eq!(cp.iteration(), 3);
+        assert_eq!(cp.stats().iterations, 3);
+        assert!(cp.approx_bytes() > 0);
+        // Divergent detour, then rewind and run the remaining 4.
+        c2.run_standalone(5).unwrap();
+        c2.restore(&cp).unwrap();
+        assert_eq!(c2.iterations(), 3);
+        c2.run_standalone(4).unwrap();
+        assert_eq!(probe2.samples(), full_samples);
+        assert_eq!(c2.stats(), full_stats);
+
+        // Restore into a fresh elaboration of the same graph.
+        let (mut c3, probe3) = build();
+        c3.restore(&cp).unwrap();
+        c3.run_standalone(4).unwrap();
+        assert_eq!(probe3.samples(), full_samples);
+        assert_eq!(c3.stats(), full_stats);
+    }
+
+    #[test]
+    fn restore_rejects_mismatched_shape() {
+        let mut g = TdfGraph::new("a");
+        let s = g.signal("s");
+        g.add_module(
+            "c",
+            Counter {
+                out: s.writer(),
+                next: 0.0,
+                ts: SimTime::from_us(1),
+            },
+        );
+        let c = g.elaborate().unwrap();
+        let cp = c.save();
+
+        let mut g2 = TdfGraph::new("b");
+        let x = g2.signal("x");
+        let y = g2.signal("y");
+        g2.add_module(
+            "c",
+            Counter {
+                out: x.writer(),
+                next: 0.0,
+                ts: SimTime::from_us(1),
+            },
+        );
+        g2.add_module(
+            "g",
+            Gain {
+                inp: x.reader(),
+                out: y.writer(),
+                k: 1.0,
+            },
+        );
+        let mut other = g2.elaborate().unwrap();
+        assert!(other.restore(&cp).is_err());
+        // Failed restores leave the cluster untouched.
+        assert_eq!(other.iterations(), 0);
+    }
+
+    #[test]
+    fn save_restore_carries_delay_feedback_state() {
+        // The accumulator's whole state lives in the delayed signal
+        // buffer: restore must rewind it faithfully.
+        struct Acc {
+            inp: TdfIn,
+            out: TdfOut,
+        }
+        impl TdfModule for Acc {
+            fn setup(&mut self, cfg: &mut TdfSetup) {
+                cfg.input_with(self.inp, 1, 1);
+                cfg.output(self.out);
+                cfg.set_timestep(SimTime::from_ns(10));
+            }
+            fn processing(&mut self, io: &mut TdfIo<'_>) -> Result<(), CoreError> {
+                let prev = io.read1(self.inp);
+                io.write1(self.out, prev + 1.0);
+                Ok(())
+            }
+        }
+        let mut g = TdfGraph::new("fb");
+        let s = g.signal("acc");
+        let probe = g.probe(s);
+        g.add_module(
+            "acc",
+            Acc {
+                inp: s.reader(),
+                out: s.writer(),
+            },
+        );
+        let mut c = g.elaborate().unwrap();
+        c.run_standalone(2).unwrap();
+        let cp = c.save();
+        c.run_standalone(3).unwrap();
+        let full = probe.samples();
+        c.restore(&cp).unwrap();
+        c.run_standalone(3).unwrap();
+        assert_eq!(probe.samples(), full);
     }
 
     #[test]

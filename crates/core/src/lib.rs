@@ -66,7 +66,8 @@ mod sim;
 mod solver;
 
 pub use cluster::{
-    Cluster, ClusterStats, DeReadBinding, DeWriteBinding, ModuleId, TdfAcResult, TdfGraph, TdfProbe,
+    Cluster, ClusterCheckpoint, ClusterStats, DeReadBinding, DeWriteBinding, ModuleId, TdfAcResult,
+    TdfGraph, TdfProbe,
 };
 pub use error::CoreError;
 pub use module::{AcIo, TdfInit, TdfIo, TdfModule, TdfSetup};

@@ -59,6 +59,25 @@ pub trait TdfModule: Send {
     /// should override.
     fn reset(&mut self) {}
 
+    /// Appends the module's internal numeric state to `out`, for
+    /// [`Cluster::save`](crate::Cluster::save) checkpoints. Paired with
+    /// [`restore_state`](TdfModule::restore_state): restoring the saved
+    /// values must put the module back in the captured state, so a
+    /// continued run is indistinguishable from an uninterrupted one.
+    /// Default: nothing — correct for stateless modules (including every
+    /// pure converter); stateful ones should override both hooks, just
+    /// as they override [`reset`](TdfModule::reset).
+    fn save_state(&self, out: &mut Vec<f64>) {
+        let _ = out;
+    }
+
+    /// Rewinds internal state to values previously captured by
+    /// [`save_state`](TdfModule::save_state) on an identically
+    /// constructed module. Default: nothing.
+    fn restore_state(&mut self, state: &[f64]) {
+        let _ = state;
+    }
+
     /// Counters `(newton_iterations, factorizations)` of an embedded
     /// numeric solver, if this module wraps one. The default (`None`)
     /// marks a module with no solver; [`crate::CtModule`] forwards its

@@ -34,6 +34,14 @@ pub enum KernelError {
         /// The (invalid) requested time.
         requested: SimTime,
     },
+    /// A checkpoint was requested while delta-cycle activity was still
+    /// pending. Checkpoints are only well-defined at quiescent points
+    /// (between [`crate::Kernel::run_until`] calls), where the runnable
+    /// queue, update list and delta notifications are all empty.
+    NotQuiescent {
+        /// The simulation time at which the checkpoint was requested.
+        time: SimTime,
+    },
 }
 
 impl fmt::Display for KernelError {
@@ -52,6 +60,10 @@ impl fmt::Display for KernelError {
             KernelError::SchedulingInPast { now, requested } => {
                 write!(f, "cannot schedule at {requested}, current time is {now}")
             }
+            KernelError::NotQuiescent { time } => write!(
+                f,
+                "checkpoint requested at t = {time} with delta-cycle activity still pending"
+            ),
         }
     }
 }

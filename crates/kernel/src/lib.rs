@@ -48,5 +48,7 @@ mod time;
 
 pub use clock::Clock;
 pub use error::KernelError;
-pub use scheduler::{Event, Kernel, KernelStats, ProcContext, ProcessId, Signal, SignalValue};
+pub use scheduler::{
+    Event, Kernel, KernelCheckpoint, KernelStats, ProcContext, ProcessId, Signal, SignalValue,
+};
 pub use time::SimTime;

@@ -105,6 +105,45 @@ trait SignalSlot {
     fn name(&self) -> &str;
     fn as_any(&self) -> &dyn Any;
     fn as_any_mut(&mut self) -> &mut dyn Any;
+    /// Captures the current value for a [`KernelCheckpoint`].
+    fn snapshot_value(&self) -> Box<dyn ValueSnapshot>;
+}
+
+/// A frozen signal value that can be validated against and re-applied
+/// to the slot it was captured from (same index, same value type).
+trait ValueSnapshot {
+    /// `true` when `slot` holds the same value type this snapshot does.
+    fn matches(&self, slot: &dyn SignalSlot) -> bool;
+    /// Writes the frozen value back, discarding any pending write.
+    fn apply(&self, slot: &mut dyn SignalSlot);
+    fn clone_box(&self) -> Box<dyn ValueSnapshot>;
+}
+
+impl Clone for Box<dyn ValueSnapshot> {
+    fn clone(&self) -> Self {
+        self.clone_box()
+    }
+}
+
+struct TypedSnapshot<T: SignalValue>(T);
+
+impl<T: SignalValue> ValueSnapshot for TypedSnapshot<T> {
+    fn matches(&self, slot: &dyn SignalSlot) -> bool {
+        slot.as_any().downcast_ref::<TypedSignal<T>>().is_some()
+    }
+
+    fn apply(&self, slot: &mut dyn SignalSlot) {
+        let slot = slot
+            .as_any_mut()
+            .downcast_mut::<TypedSignal<T>>()
+            .expect("snapshot type validated before apply");
+        slot.value = self.0.clone();
+        slot.pending = None;
+    }
+
+    fn clone_box(&self) -> Box<dyn ValueSnapshot> {
+        Box::new(TypedSnapshot(self.0.clone()))
+    }
 }
 
 impl<T: SignalValue> SignalSlot for TypedSignal<T> {
@@ -135,6 +174,10 @@ impl<T: SignalValue> SignalSlot for TypedSignal<T> {
 
     fn as_any_mut(&mut self) -> &mut dyn Any {
         self
+    }
+
+    fn snapshot_value(&self) -> Box<dyn ValueSnapshot> {
+        Box::new(TypedSnapshot(self.value.clone()))
     }
 }
 
@@ -611,6 +654,140 @@ impl Kernel {
     pub fn process_name(&self, pid: ProcessId) -> &str {
         &self.processes[pid.0].name
     }
+
+    // ----- checkpoint / restore --------------------------------------------
+
+    /// Freezes the kernel's dynamic state — simulation time, the timed
+    /// event queue (which is where clock edges and `next_trigger_in`
+    /// wake-ups live), per-process timeout generations, every signal's
+    /// current value and the scheduling statistics — into a
+    /// [`KernelCheckpoint`] that [`Kernel::restore_checkpoint`] can
+    /// later re-apply.
+    ///
+    /// State owned by process closures (captured `Rc`s and the like) is
+    /// *not* part of the kernel and is not captured; layered runtimes
+    /// (TDF clusters, SDF executors, transient solvers) checkpoint that
+    /// state through their own snapshot types.
+    ///
+    /// # Errors
+    ///
+    /// [`KernelError::NotQuiescent`] if delta-cycle activity is still
+    /// pending — checkpoints are only well-defined between
+    /// [`Kernel::run_until`] calls, when the instant has settled.
+    pub fn checkpoint(&self) -> Result<KernelCheckpoint, KernelError> {
+        if !self.runnable.is_empty()
+            || !self.update_list.is_empty()
+            || !self.delta_notified.is_empty()
+        {
+            return Err(KernelError::NotQuiescent { time: self.time });
+        }
+        Ok(KernelCheckpoint {
+            time: self.time,
+            seq: self.seq,
+            started: self.started,
+            stats: self.stats,
+            timed: self.timed.iter().map(|Reverse(e)| *e).collect(),
+            timeout_gens: self.processes.iter().map(|p| p.timeout_gen).collect(),
+            values: self.signals.iter().map(|s| s.snapshot_value()).collect(),
+        })
+    }
+
+    /// Rewinds this kernel to a state previously captured with
+    /// [`Kernel::checkpoint`]. The kernel must have the same structure
+    /// (signals, events and processes created in the same order with the
+    /// same types) — typically it *is* the same kernel, or a freshly
+    /// elaborated copy of the same model.
+    ///
+    /// Validation is all-or-nothing: on error the kernel is unchanged.
+    ///
+    /// # Errors
+    ///
+    /// * [`KernelError::UnknownHandle`] when the signal or process count
+    ///   differs from the checkpointed kernel's;
+    /// * [`KernelError::TypeMismatch`] when a signal slot holds a
+    ///   different value type than the snapshot captured.
+    pub fn restore_checkpoint(&mut self, cp: &KernelCheckpoint) -> Result<(), KernelError> {
+        if cp.values.len() != self.signals.len() {
+            return Err(KernelError::UnknownHandle {
+                kind: "signal",
+                index: cp.values.len(),
+            });
+        }
+        if cp.timeout_gens.len() != self.processes.len() {
+            return Err(KernelError::UnknownHandle {
+                kind: "process",
+                index: cp.timeout_gens.len(),
+            });
+        }
+        for (snap, slot) in cp.values.iter().zip(&self.signals) {
+            if !snap.matches(slot.as_ref()) {
+                return Err(KernelError::TypeMismatch {
+                    signal: slot.name().to_string(),
+                });
+            }
+        }
+        for (snap, slot) in cp.values.iter().zip(&mut self.signals) {
+            snap.apply(slot.as_mut());
+        }
+        self.time = cp.time;
+        self.seq = cp.seq;
+        self.started = cp.started;
+        self.stats = cp.stats;
+        self.timed = cp.timed.iter().map(|e| Reverse(*e)).collect();
+        for (slot, &g) in self.processes.iter_mut().zip(&cp.timeout_gens) {
+            slot.timeout_gen = g;
+            slot.runnable = false;
+        }
+        self.runnable.clear();
+        self.update_list.clear();
+        for m in &mut self.update_marked {
+            *m = false;
+        }
+        self.delta_notified.clear();
+        Ok(())
+    }
+}
+
+/// A frozen [`Kernel`] state: simulation time, the timed event queue
+/// (clock edges, armed timeouts), per-process timeout generations,
+/// every signal's current value and the scheduling statistics.
+///
+/// Produced by [`Kernel::checkpoint`], re-applied by
+/// [`Kernel::restore_checkpoint`]. Cloning is cheap relative to a
+/// simulation run, so the copy-on-write forking idiom is "checkpoint
+/// once, clone per fork".
+#[derive(Clone)]
+pub struct KernelCheckpoint {
+    time: SimTime,
+    seq: u64,
+    started: bool,
+    stats: KernelStats,
+    timed: Vec<TimedEntry>,
+    timeout_gens: Vec<u64>,
+    values: Vec<Box<dyn ValueSnapshot>>,
+}
+
+impl KernelCheckpoint {
+    /// Simulation time of the captured state.
+    pub fn time(&self) -> SimTime {
+        self.time
+    }
+
+    /// Number of entries frozen from the timed event queue.
+    pub fn pending_timed(&self) -> usize {
+        self.timed.len()
+    }
+}
+
+impl fmt::Debug for KernelCheckpoint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("KernelCheckpoint")
+            .field("time", &self.time)
+            .field("timed", &self.timed.len())
+            .field("signals", &self.values.len())
+            .field("stats", &self.stats)
+            .finish()
+    }
 }
 
 impl fmt::Debug for Kernel {
@@ -922,6 +1099,82 @@ mod tests {
         k1.run_until(SimTime::from_ns(1)).unwrap();
         assert_eq!(k1.peek(s1), 10);
         assert_eq!(k2.peek(s2), 2);
+    }
+
+    #[test]
+    fn checkpoint_restore_resumes_identical_timeline() {
+        // A periodic process whose whole state lives in a signal: the
+        // continuation after restore must reproduce the original run.
+        fn build() -> (Kernel, Signal<u32>) {
+            let mut k = Kernel::new();
+            let s = k.signal("count", 0u32);
+            k.add_process("tick", move |ctx| {
+                let v = ctx.read(s);
+                ctx.write(s, v + 1);
+                ctx.next_trigger_in(SimTime::from_ns(10));
+            });
+            (k, s)
+        }
+        let (mut k, s) = build();
+        k.run_until(SimTime::from_ns(25)).unwrap();
+        let cp = k.checkpoint().unwrap();
+        assert_eq!(cp.time(), SimTime::from_ns(25));
+        assert_eq!(cp.pending_timed(), 1);
+        k.run_until(SimTime::from_ns(60)).unwrap();
+        let final_count = k.peek(s);
+        let final_stats = k.stats();
+
+        // Rewind the same kernel via a clone of the checkpoint.
+        k.restore_checkpoint(&cp.clone()).unwrap();
+        assert_eq!(k.now(), SimTime::from_ns(25));
+        assert_eq!(k.peek(s), 3); // activations at t = 0, 10, 20
+        k.run_until(SimTime::from_ns(60)).unwrap();
+        assert_eq!(k.peek(s), final_count);
+        assert_eq!(k.stats(), final_stats);
+
+        // And restore into a freshly elaborated copy of the same model.
+        let (mut k2, s2) = build();
+        k2.run_until(SimTime::from_ns(25)).unwrap();
+        k2.restore_checkpoint(&cp).unwrap();
+        k2.run_until(SimTime::from_ns(60)).unwrap();
+        assert_eq!(k2.peek(s2), final_count);
+    }
+
+    #[test]
+    fn checkpoint_requires_quiescence() {
+        let mut k = Kernel::new();
+        let s = k.signal("s", 0i32);
+        k.run_until(SimTime::ZERO).unwrap();
+        k.poke(s, 1); // pending update: the instant has not settled
+        assert!(matches!(
+            k.checkpoint(),
+            Err(KernelError::NotQuiescent { .. })
+        ));
+        k.run_until(SimTime::from_ns(1)).unwrap();
+        assert!(k.checkpoint().is_ok());
+    }
+
+    #[test]
+    fn restore_validates_structure_and_types() {
+        let mut a = Kernel::new();
+        a.signal("x", 0u32);
+        a.run_until(SimTime::ZERO).unwrap();
+        let cp = a.checkpoint().unwrap();
+
+        let mut wrong_count = Kernel::new();
+        assert!(matches!(
+            wrong_count.restore_checkpoint(&cp),
+            Err(KernelError::UnknownHandle { kind: "signal", .. })
+        ));
+
+        let mut wrong_type = Kernel::new();
+        wrong_type.signal("x", 0.0f64);
+        assert!(matches!(
+            wrong_type.restore_checkpoint(&cp),
+            Err(KernelError::TypeMismatch { .. })
+        ));
+        // Failed restores leave the kernel untouched.
+        assert_eq!(wrong_type.now(), SimTime::ZERO);
     }
 
     #[test]

@@ -1151,13 +1151,16 @@ impl<const K: usize> LaneTransientSolver<K> {
                     self.tracer
                         .instant(SpanKind::StepReject, fs(self.time), h_step.to_bits());
                 }
-                h = h_step * 0.25;
-                if h < opts.min_step {
+                // Same underflow predicate as the scalar controller:
+                // abort only when the attempted step was already at the
+                // floor, otherwise retry once clamped to min_step.
+                if h_step <= opts.min_step {
                     return Err(NetError::InvalidValue {
                         element: "adaptive timestep".to_string(),
                         reason: format!("step underflow at t = {}", self.time),
                     });
                 }
+                h = (h_step * 0.25).max(opts.min_step);
                 continue;
             }
 
@@ -1217,14 +1220,14 @@ impl<const K: usize> LaneTransientSolver<K> {
                     self.tracer
                         .instant(SpanKind::StepReject, fs(self.time), h_step.to_bits());
                 }
-                let shrink = (SAFETY * err.powf(-order_exp)).max(0.1);
-                h = (h_step * shrink).max(opts.min_step);
-                if h <= opts.min_step {
+                if h_step <= opts.min_step {
                     return Err(NetError::InvalidValue {
                         element: "adaptive timestep".to_string(),
                         reason: format!("step underflow at t = {}", self.time),
                     });
                 }
+                let shrink = (SAFETY * err.powf(-order_exp)).max(0.1);
+                h = (h_step * shrink).max(opts.min_step);
             }
         }
         Ok(())

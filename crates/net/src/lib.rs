@@ -48,6 +48,7 @@
 
 mod ac;
 mod assembly;
+pub mod checkpoint;
 mod circuit;
 mod dcop;
 mod devices;
@@ -61,6 +62,7 @@ mod transient;
 
 pub use ac::AcSolution;
 pub use assembly::SolverBackend;
+pub use checkpoint::Checkpoint;
 pub use circuit::{Circuit, Element, ElementId, ElementKind, InputId, NodeId, Waveform};
 pub use dcop::DcSolution;
 pub use error::NetError;

@@ -14,6 +14,7 @@
 //!   ([`TransientSolver::run_adaptive`]) — experiment E3.
 
 use crate::assembly::{MnaSystem, SolverBackend, Stamp};
+use crate::checkpoint::Checkpoint;
 use crate::dcop::{diode_iv, DcOptions, GMIN};
 use crate::devices::nmos_linearize;
 use crate::mna::{
@@ -154,6 +155,10 @@ pub struct TransientSolver {
     symbolic_hint: Option<ams_math::SparseLu<f64>>,
     stats: TransientStats,
     initialized: bool,
+    /// The adaptive controller's current step proposal, persisted
+    /// across [`TransientSolver::run_adaptive`] calls so a checkpointed
+    /// run resumes with the step it would have tried next.
+    adaptive_h: Option<f64>,
     /// Span recorder (disabled by default: one branch per hook).
     tracer: Tracer,
 }
@@ -232,6 +237,7 @@ impl TransientSolver {
             symbolic_hint: None,
             stats: TransientStats::default(),
             initialized: false,
+            adaptive_h: None,
             tracer: Tracer::off(),
         })
     }
@@ -400,6 +406,7 @@ impl TransientSolver {
         self.time = 0.0;
         self.initialized = true;
         self.factor_key = None;
+        self.adaptive_h = None;
         Ok(())
     }
 
@@ -433,6 +440,7 @@ impl TransientSolver {
         self.force_be = 1; // first step from possibly inconsistent state
         self.initialized = true;
         self.factor_key = None;
+        self.adaptive_h = None;
         Ok(())
     }
 
@@ -862,7 +870,9 @@ impl TransientSolver {
         if !self.initialized {
             self.initialize_dc()?;
         }
-        let mut h = opts.initial_step;
+        // Resume with the step proposal a previous (checkpointed) run
+        // left behind; a fresh solver starts at initial_step.
+        let mut h = self.adaptive_h.unwrap_or(opts.initial_step);
         // Step-doubling on an order-p method estimates an O(h^(p+1))
         // local error, so the optimal-step update is
         // h · (safety / err)^(1/(p+1)): exponent 1/3 for trapezoidal
@@ -898,13 +908,20 @@ impl TransientSolver {
                     self.tracer
                         .instant(SpanKind::StepReject, fs(self.time), h_step.to_bits());
                 }
-                h = h_step * 0.25;
-                if h < opts.min_step {
+                // Underflow only when the step just attempted was
+                // already at the floor: any larger rejected step earns
+                // one retry clamped to min_step. Both reject paths (and
+                // the lane controller) share this predicate — the clamp
+                // must never mask the abort, nor the abort skip the
+                // retry.
+                if h_step <= opts.min_step {
                     return Err(NetError::InvalidValue {
                         element: "adaptive timestep".to_string(),
                         reason: format!("step underflow at t = {}", self.time),
                     });
                 }
+                h = (h_step * 0.25).max(opts.min_step);
+                self.adaptive_h = Some(h);
                 continue;
             }
 
@@ -934,6 +951,7 @@ impl TransientSolver {
                     3.0
                 };
                 h = (h_step * grow).clamp(opts.min_step, opts.max_step);
+                self.adaptive_h = Some(h);
             } else {
                 self.restore(&start);
                 self.stats.rejected += 1;
@@ -941,16 +959,89 @@ impl TransientSolver {
                     self.tracer
                         .instant(SpanKind::StepReject, fs(self.time), h_step.to_bits());
                 }
-                let shrink = (SAFETY * err.powf(-order_exp)).max(0.1);
-                h = (h_step * shrink).max(opts.min_step);
-                if h <= opts.min_step {
+                if h_step <= opts.min_step {
                     return Err(NetError::InvalidValue {
                         element: "adaptive timestep".to_string(),
                         reason: format!("step underflow at t = {}", self.time),
                     });
                 }
+                let shrink = (SAFETY * err.powf(-order_exp)).max(0.1);
+                h = (h_step * shrink).max(opts.min_step);
+                self.adaptive_h = Some(h);
             }
         }
+        Ok(())
+    }
+
+    /// Freezes the solver's dynamic state into a [`Checkpoint`]: the
+    /// fork point for copy-on-write scenario forking (run the shared
+    /// prefix once, restore per fork) and the suspend point for
+    /// restartable jobs. The factored matrix is *not* captured — see
+    /// the [`checkpoint`](crate::checkpoint) module docs for exactly
+    /// what is and is not included.
+    pub fn checkpoint(&self) -> Checkpoint {
+        Checkpoint {
+            x: self.x.iter().copied().collect(),
+            time: self.time,
+            ext: self.ext.clone(),
+            switches: self.switches.clone(),
+            state: self.state.iter().map(|s| (s.v, s.i)).collect(),
+            force_be: self.force_be,
+            stats: self.stats,
+            adaptive_h: self.adaptive_h,
+            initialized: self.initialized,
+        }
+    }
+
+    /// Restores a [`Checkpoint`] taken from this solver or from a
+    /// solver over a **value-variant of the same topology** (the CoW
+    /// fork: one prefix solver, many restored siblings). Continuing a
+    /// restored run reproduces the donor's trajectory bit for bit as
+    /// long as both circuits agree on `[0, checkpoint.time()]`.
+    ///
+    /// The cached factorization is invalidated — the next step
+    /// refactors (a numeric refactor when a
+    /// [`SymbolicFactor`] was adopted), which only perturbs
+    /// fingerprint-excluded policy counters. The step counters are
+    /// overwritten with the checkpoint's, so a continued run
+    /// accumulates to run-from-zero totals.
+    ///
+    /// # Errors
+    ///
+    /// [`NetError::InvalidValue`] when the checkpoint's dimensions
+    /// (unknowns, elements, inputs, switches) do not match this
+    /// solver's circuit.
+    pub fn restore_checkpoint(&mut self, cp: &Checkpoint) -> Result<(), NetError> {
+        let mismatch = |what: &str| NetError::InvalidValue {
+            element: "checkpoint".to_string(),
+            reason: format!("checkpoint/solver {what} mismatch"),
+        };
+        if cp.x.len() != self.layout.n_unknowns {
+            return Err(mismatch("unknown count"));
+        }
+        if cp.state.len() != self.circuit.element_count() {
+            return Err(mismatch("element count"));
+        }
+        if cp.ext.len() != self.ext.len() {
+            return Err(mismatch("external input count"));
+        }
+        if cp.switches.len() != self.switches.len() {
+            return Err(mismatch("switch count"));
+        }
+        for (i, &v) in cp.x.iter().enumerate() {
+            self.x[i] = v;
+        }
+        self.time = cp.time;
+        self.ext.copy_from_slice(&cp.ext);
+        self.switches.copy_from_slice(&cp.switches);
+        for (s, &(v, i)) in self.state.iter_mut().zip(&cp.state) {
+            *s = EnergyState { v, i };
+        }
+        self.force_be = cp.force_be;
+        self.stats = cp.stats;
+        self.adaptive_h = cp.adaptive_h;
+        self.initialized = cp.initialized;
+        self.factor_key = None;
         Ok(())
     }
 }
@@ -1286,5 +1377,118 @@ mod tests {
             tr.step(1e-6).unwrap();
             assert!((tr.voltage(a) - k as f64).abs() < 1e-12);
         }
+    }
+    #[test]
+    fn checkpoint_fork_is_bit_identical_to_run_from_zero() {
+        // Sine-driven RC with a power-of-two step: every time sum is
+        // exact in f64, so the fork rendezvous at t0 = 64·h is the very
+        // value an uninterrupted run passes through.
+        let h = 2.0_f64.powi(-20); // ≈ 0.95 µs
+        let t0 = 64.0 * h;
+        let t_end = 256.0 * h;
+        let build = || {
+            let mut ckt = Circuit::new();
+            let a = ckt.node("a");
+            let out = ckt.node("out");
+            ckt.voltage_source_wave(
+                "V1",
+                a,
+                Circuit::GROUND,
+                Waveform::Sine {
+                    offset: 0.0,
+                    ampl: 1.0,
+                    freq: 5e3,
+                    phase: 0.0,
+                },
+            )
+            .unwrap();
+            ckt.resistor("R1", a, out, 1e3).unwrap();
+            ckt.capacitor("C1", out, Circuit::GROUND, 1e-9).unwrap();
+            (ckt, out)
+        };
+
+        for method in [
+            IntegrationMethod::BackwardEuler,
+            IntegrationMethod::Trapezoidal,
+        ] {
+            // Reference: one uninterrupted run.
+            let (ckt, out) = build();
+            let mut reference = TransientSolver::new(&ckt, method).unwrap();
+            reference.initialize_dc().unwrap();
+            let mut ref_trace = Vec::new();
+            reference
+                .run(t_end, h, |s| ref_trace.push(s.voltage(out).to_bits()))
+                .unwrap();
+
+            // Prefix to t0, checkpoint, fork into a *fresh* solver over
+            // an identical circuit, continue to t_end.
+            let mut prefix = TransientSolver::new(&ckt, method).unwrap();
+            prefix.initialize_dc().unwrap();
+            let mut fork_trace = Vec::new();
+            prefix
+                .run(t0, h, |s| fork_trace.push(s.voltage(out).to_bits()))
+                .unwrap();
+            let cp = prefix.checkpoint();
+            // Round-trip through the wire format on the way.
+            let cp = Checkpoint::from_bytes(&cp.to_bytes()).unwrap();
+            let (ckt2, _) = build();
+            let mut fork = TransientSolver::new(&ckt2, method).unwrap();
+            fork.restore_checkpoint(&cp).unwrap();
+            assert_eq!(fork.time(), t0);
+            fork.run(t_end, h, |s| fork_trace.push(s.voltage(out).to_bits()))
+                .unwrap();
+
+            assert_eq!(
+                ref_trace, fork_trace,
+                "fork-at-t0 must reproduce run-from-zero bit for bit ({method:?})"
+            );
+            // Counters accumulate to run-from-zero totals.
+            assert_eq!(fork.stats().steps, reference.stats().steps);
+            assert_eq!(
+                fork.voltage(out).to_bits(),
+                reference.voltage(out).to_bits()
+            );
+        }
+    }
+
+    #[test]
+    fn checkpoint_restore_validates_dimensions() {
+        let (ckt, _a, _out) = rc_circuit();
+        let mut tr = TransientSolver::new(&ckt, IntegrationMethod::Trapezoidal).unwrap();
+        tr.initialize_dc().unwrap();
+        let cp = tr.checkpoint();
+
+        let mut other = Circuit::new();
+        let x = other.node("x");
+        other.voltage_source("V", x, Circuit::GROUND, 1.0).unwrap();
+        other.resistor("R", x, Circuit::GROUND, 1.0).unwrap();
+        let mut wrong = TransientSolver::new(&other, IntegrationMethod::Trapezoidal).unwrap();
+        assert!(wrong.restore_checkpoint(&cp).is_err());
+    }
+
+    #[test]
+    fn adaptive_checkpoint_forks_deterministically() {
+        // Two forks restored from the same mid-adaptive-run checkpoint
+        // must finish bit-identically (the controller step proposal is
+        // part of the checkpoint).
+        let (ckt, _a, out) = rc_circuit();
+        let opts = AdaptiveOptions::default();
+        let mut tr = TransientSolver::new(&ckt, IntegrationMethod::Trapezoidal).unwrap();
+        tr.initialize_dc().unwrap();
+        tr.run_adaptive(0.2e-3, &opts, |_| {}).unwrap();
+        let cp = tr.checkpoint();
+        assert!(cp.stats().steps > 0);
+
+        let run_fork = || {
+            let mut f = TransientSolver::new(&ckt, IntegrationMethod::Trapezoidal).unwrap();
+            f.restore_checkpoint(&cp).unwrap();
+            let mut trace = Vec::new();
+            f.run_adaptive(1e-3, &opts, |s| {
+                trace.push((s.time().to_bits(), s.voltage(out).to_bits()));
+            })
+            .unwrap();
+            (trace, f.stats().steps, f.stats().rejected)
+        };
+        assert_eq!(run_fork(), run_fork());
     }
 }

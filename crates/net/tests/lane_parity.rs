@@ -237,3 +237,80 @@ proptest! {
         }
     }
 }
+
+/// Regression: the scalar and lane adaptive controllers must agree on
+/// min-step semantics. A rejected step larger than the floor earns
+/// exactly one retry clamped to `min_step`; only a rejection *at* the
+/// floor aborts. Impossible tolerances force every step to reject, so
+/// both controllers must attempt [initial_step, min_step] — two
+/// rejections, the last at exactly the floor — and then underflow.
+#[test]
+fn min_step_rejection_retries_once_at_the_floor_in_both_solvers() {
+    use ams_net::AdaptiveOptions;
+    use ams_scope::{Phase, SpanKind};
+
+    let sine_rc = || {
+        let mut ckt = Circuit::new();
+        let drive = ckt.node("drive");
+        let out = ckt.node("out");
+        ckt.voltage_source_wave(
+            "V",
+            drive,
+            Circuit::GROUND,
+            Waveform::Sine {
+                offset: 0.0,
+                ampl: 1.0,
+                freq: 1e6,
+                phase: 0.0,
+            },
+        )
+        .unwrap();
+        ckt.resistor("R", drive, out, 1e3).unwrap();
+        ckt.capacitor("C", out, Circuit::GROUND, 1e-9).unwrap();
+        ckt
+    };
+    let opts = AdaptiveOptions {
+        rel_tol: 1e-300,
+        abs_tol: 1e-300,
+        min_step: 5e-10,
+        max_step: f64::INFINITY,
+        initial_step: 1e-9,
+    };
+    let rejects = |events: &[ams_scope::TraceEvent]| -> Vec<u64> {
+        events
+            .iter()
+            .filter(|e| e.kind == SpanKind::StepReject && e.phase == Phase::Instant)
+            .map(|e| e.arg)
+            .collect()
+    };
+
+    let ckt = sine_rc();
+    let mut scalar = TransientSolver::new(&ckt, IntegrationMethod::Trapezoidal).unwrap();
+    scalar.initialize_dc().unwrap();
+    scalar.set_tracing(true);
+    let scalar_err = scalar.run_adaptive(1e-6, &opts, |_| {});
+    assert!(scalar_err.is_err(), "impossible tolerances must underflow");
+    let scalar_rejects = rejects(&scalar.take_trace_events());
+
+    let circuits = vec![ckt.clone(), sine_rc(), sine_rc(), sine_rc()];
+    let mut lane =
+        LaneTransientSolver::<4>::new(&circuits, IntegrationMethod::Trapezoidal).unwrap();
+    lane.initialize_dc().unwrap();
+    lane.set_tracing(true);
+    let lane_err = lane.run_adaptive(1e-6, &opts, |_| {});
+    assert!(lane_err.is_err(), "impossible tolerances must underflow");
+    let lane_rejects = rejects(&lane.take_trace_events());
+
+    // One retry clamped to the floor, then underflow — in both paths.
+    let expected = vec![opts.initial_step.to_bits(), opts.min_step.to_bits()];
+    assert_eq!(
+        scalar_rejects, expected,
+        "scalar must retry exactly once at min_step before aborting"
+    );
+    assert_eq!(
+        lane_rejects, scalar_rejects,
+        "lane controller must reject the same step sequence as scalar"
+    );
+    assert_eq!(scalar.stats().rejected, 2);
+    assert_eq!(lane.stats().rejected, 2);
+}

@@ -60,11 +60,15 @@ pub enum SpanKind {
     /// One sweep-space abstract-interpretation pass (span; `arg` =
     /// number of scenarios in the batch it fronts).
     SpaceLint = 15,
+    /// Solver-state checkpoint activity: a shared-prefix run, a state
+    /// capture or a restore (span for prefix runs, instant for
+    /// capture/restore; `arg` = forks served or checkpoint bytes).
+    Checkpoint = 16,
 }
 
 impl SpanKind {
     /// All kinds, in discriminant order.
-    pub const ALL: [SpanKind; 16] = [
+    pub const ALL: [SpanKind; 17] = [
         SpanKind::DeWindow,
         SpanKind::DeltaCycle,
         SpanKind::ClusterIteration,
@@ -81,6 +85,7 @@ impl SpanKind {
         SpanKind::ServeRequest,
         SpanKind::ServeJob,
         SpanKind::SpaceLint,
+        SpanKind::Checkpoint,
     ];
 
     /// Stable display name, used as the Chrome event name.
@@ -102,6 +107,7 @@ impl SpanKind {
             SpanKind::ServeRequest => "serve.request",
             SpanKind::ServeJob => "serve.job",
             SpanKind::SpaceLint => "lint.space",
+            SpanKind::Checkpoint => "checkpoint",
         }
     }
 

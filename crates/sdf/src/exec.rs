@@ -303,6 +303,51 @@ impl<T: Clone + Default + 'static> SdfExecutor<T> {
         self.firings = 0;
     }
 
+    /// Freezes the executor's token state — every FIFO's contents, the
+    /// iteration/firing counters and the per-edge high-water marks —
+    /// into an [`SdfCheckpoint`] that [`SdfExecutor::restore`] can
+    /// re-apply later, to this executor or to another one built from the
+    /// same graph. Actor-internal state is *not* captured (actors are
+    /// opaque closures); stateful actors should be reinstalled, exactly
+    /// as after [`SdfExecutor::reset`].
+    pub fn save(&self) -> SdfCheckpoint<T> {
+        SdfCheckpoint {
+            fifos: self
+                .fifos
+                .iter()
+                .map(|q| q.iter().cloned().collect())
+                .collect(),
+            iterations_run: self.iterations_run,
+            firings: self.firings,
+            fifo_high_water: self.fifo_high_water.clone(),
+        }
+    }
+
+    /// Rewinds the executor to a state captured with
+    /// [`SdfExecutor::save`]. The target must have the same edge count
+    /// (i.e. be built from the same graph); on error it is unchanged.
+    ///
+    /// # Errors
+    ///
+    /// [`SdfError::UnknownHandle`] when the checkpoint's edge count does
+    /// not match this executor's.
+    pub fn restore(&mut self, cp: &SdfCheckpoint<T>) -> Result<(), SdfError> {
+        if cp.fifos.len() != self.fifos.len() {
+            return Err(SdfError::UnknownHandle {
+                kind: "checkpoint edge",
+                index: cp.fifos.len(),
+            });
+        }
+        for (q, saved) in self.fifos.iter_mut().zip(&cp.fifos) {
+            q.clear();
+            q.extend(saved.iter().cloned());
+        }
+        self.fifo_high_water.clone_from(&cp.fifo_high_water);
+        self.iterations_run = cp.iterations_run;
+        self.firings = cp.firings;
+        Ok(())
+    }
+
     /// Runs `count` complete schedule iterations.
     ///
     /// # Errors
@@ -398,6 +443,31 @@ impl<T: Clone + Default + 'static> SdfExecutor<T> {
         }
         self.firings += 1;
         Ok(())
+    }
+}
+
+/// A frozen [`SdfExecutor`] token state: FIFO contents and execution
+/// counters, captured by [`SdfExecutor::save`] and re-applied by
+/// [`SdfExecutor::restore`]. Generic over the token type; clones are
+/// cheap relative to a run, so prefix-sharing forks clone one saved
+/// checkpoint per branch.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SdfCheckpoint<T> {
+    fifos: Vec<Vec<T>>,
+    iterations_run: u64,
+    firings: u64,
+    fifo_high_water: Vec<usize>,
+}
+
+impl<T> SdfCheckpoint<T> {
+    /// Completed schedule iterations at the capture point.
+    pub fn iterations_run(&self) -> u64 {
+        self.iterations_run
+    }
+
+    /// Total tokens frozen across all FIFOs.
+    pub fn token_count(&self) -> usize {
+        self.fifos.iter().map(Vec::len).sum()
     }
 }
 
@@ -595,6 +665,53 @@ mod tests {
             .unwrap_err();
         assert!(matches!(err, SdfError::UnknownHandle { index: 1, .. }));
         assert_eq!(err.code(), "TDF010");
+    }
+
+    #[test]
+    fn save_restore_resumes_identical_token_stream() {
+        // Accumulator with a delay edge: all state lives in the FIFO, so
+        // a restored run must reproduce the original token sequence.
+        let mut g = SdfGraph::new();
+        let add = g.add_actor("add");
+        let edge = g.connect(add, 1, add, 1, 1).unwrap();
+        let sched = schedule(&g).unwrap();
+        let mut exec: SdfExecutor<f64> = SdfExecutor::new(&g, sched.clone()).unwrap();
+        exec.set_actor(add, |io: &mut ActorIo<'_, f64>| {
+            let prev = io.input_one(0);
+            io.push(0, prev + 1.0);
+        });
+        exec.run_iterations(3).unwrap();
+        let cp = exec.save();
+        assert_eq!(cp.iterations_run(), 3);
+        assert_eq!(cp.token_count(), 1);
+        exec.run_iterations(4).unwrap();
+        let final_stats = exec.stats();
+        let final_len = exec.fifo_len(edge);
+
+        // Rewind the same executor and replay.
+        exec.restore(&cp).unwrap();
+        assert_eq!(exec.iterations_run(), 3);
+        exec.run_iterations(4).unwrap();
+        assert_eq!(exec.stats(), final_stats);
+        assert_eq!(exec.fifo_len(edge), final_len);
+
+        // Restore into a fresh executor over the same graph.
+        let mut other: SdfExecutor<f64> = SdfExecutor::new(&g, sched).unwrap();
+        other.set_actor(add, |io: &mut ActorIo<'_, f64>| {
+            let prev = io.input_one(0);
+            io.push(0, prev + 1.0);
+        });
+        other.restore(&cp).unwrap();
+        other.run_iterations(4).unwrap();
+        assert_eq!(other.stats(), final_stats);
+
+        // A graph with a different edge count is rejected untouched.
+        let mut g2 = SdfGraph::new();
+        let _ = g2.add_actor("lonely");
+        let mut mismatched: SdfExecutor<f64> =
+            SdfExecutor::new(&g2, schedule(&g2).unwrap()).unwrap();
+        assert!(mismatched.restore(&cp).is_err());
+        assert_eq!(mismatched.iterations_run(), 0);
     }
 
     #[test]

@@ -46,6 +46,6 @@ mod graph;
 mod schedule;
 
 pub use error::SdfError;
-pub use exec::{ActorIo, SdfActor, SdfExecStats, SdfExecutor};
+pub use exec::{ActorIo, SdfActor, SdfCheckpoint, SdfExecStats, SdfExecutor};
 pub use graph::{ActorId, EdgeId, EdgeInfo, SdfGraph};
 pub use schedule::{schedule, Schedule};

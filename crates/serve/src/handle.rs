@@ -16,14 +16,14 @@
 //! enough, and a tenant can never address another tenant's job even by
 //! guessing its token.
 
-use crate::cache::{CacheEntry, TopologyCache};
+use crate::cache::{CacheEntry, JobCheckpoint, TopologyCache};
 use crate::model::{JobSpec, RunOpts};
 use crate::sched::{wfq_pick, ServeConfig, TenantConfig, TenantState};
 use crate::ServeError;
 use ams_exec::{SlotLease, SlotPool};
 use ams_lint::{lint_circuit, lint_space, LintPolicy, Verdict};
 use ams_scope::MetricsRegistry;
-use ams_sweep::{CancelToken, SweepReport};
+use ams_sweep::{CancelToken, ClusterStats, ScenarioResult, SweepReport, SweepSpec};
 use std::collections::{BTreeMap, HashMap};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 use std::thread::JoinHandle;
@@ -35,6 +35,11 @@ pub enum JobState {
     Queued,
     /// Executing on the worker pool.
     Running,
+    /// Parked at a scenario boundary by [`ServeHandle::suspend`]: the
+    /// completed scenarios are checkpointed in the topology cache and
+    /// [`ServeHandle::resume`] re-queues the remainder. Not terminal —
+    /// `wait` keeps blocking until the job is resumed or cancelled.
+    Suspended,
     /// Completed; the report is available.
     Done,
     /// Ended in failure; the payload is the rendered cause.
@@ -46,7 +51,10 @@ pub enum JobState {
 impl JobState {
     /// Whether the job will never change state again.
     pub fn is_terminal(&self) -> bool {
-        !matches!(self, JobState::Queued | JobState::Running)
+        !matches!(
+            self,
+            JobState::Queued | JobState::Running | JobState::Suspended
+        )
     }
 
     /// Stable wire tag.
@@ -54,6 +62,7 @@ impl JobState {
         match self {
             JobState::Queued => "queued",
             JobState::Running => "running",
+            JobState::Suspended => "suspended",
             JobState::Done => "done",
             JobState::Failed(_) => "failed",
             JobState::Cancelled => "cancelled",
@@ -112,6 +121,19 @@ struct JobRecord {
     state: JobState,
     /// Streamed `(scenario index, metric row)` events, arrival order.
     events: Vec<(usize, Vec<f64>)>,
+    /// ScenarioResult-grade partials accumulated by the progress
+    /// callback: `(index, metric row, solver counters)`. On suspend
+    /// they move into the topology cache as a [`JobCheckpoint`]; on
+    /// resume they come back and the retained re-run merges them into
+    /// a report that fingerprints like an uninterrupted one.
+    partial: Vec<(usize, Vec<f64>, ClusterStats)>,
+    /// Set by [`ServeHandle::suspend`] on a running job: the cancel
+    /// token doubles as the suspend signal, and this flag tells the
+    /// outcome handler to park the job instead of cancelling it.
+    suspend: bool,
+    /// Whether a checkpoint was stored for this job (so a resume that
+    /// finds none can count the loss rather than a queued-suspend).
+    checkpointed: bool,
     report: Option<SweepReport>,
     cancel: CancelToken,
 }
@@ -308,6 +330,9 @@ impl ServeHandle {
                     shards,
                     state: JobState::Queued,
                     events: Vec::new(),
+                    partial: Vec::new(),
+                    suspend: false,
+                    checkpointed: false,
                     report: None,
                     cancel: CancelToken::new(),
                 },
@@ -419,7 +444,8 @@ impl ServeHandle {
     }
 
     /// Blocks until the job reaches a terminal state and returns its
-    /// report.
+    /// report. A suspended job keeps `wait` blocked until someone
+    /// resumes or cancels it.
     ///
     /// # Errors
     ///
@@ -435,7 +461,7 @@ impl ServeHandle {
                 }
                 JobState::Failed(msg) => return Err(ServeError::Failed(msg.clone())),
                 JobState::Cancelled => return Err(ServeError::Cancelled),
-                JobState::Queued | JobState::Running => {
+                JobState::Queued | JobState::Running | JobState::Suspended => {
                     core = self.shared.cv.wait(core).expect("serve core poisoned");
                 }
             }
@@ -444,8 +470,10 @@ impl ServeHandle {
 
     /// Cancels a job. A queued job is withdrawn immediately; a running
     /// job observes its token at the next scenario boundary, stops,
-    /// and frees its worker slots. Cancelling a terminal job is a
-    /// no-op.
+    /// and frees its worker slots; a suspended job is cancelled in
+    /// place and its checkpoint discarded. Cancelling a terminal job
+    /// is a no-op. A cancel overrides a pending suspend: if both race
+    /// on a running job, it ends [`JobState::Cancelled`].
     ///
     /// # Errors
     ///
@@ -462,9 +490,128 @@ impl ServeHandle {
                 t.queue.retain(|j| j != job_token);
                 core.metrics.counter_add("serve.jobs.cancelled", 1);
             }
-            JobState::Running => rec.cancel.cancel(),
+            JobState::Running => {
+                rec.suspend = false;
+                rec.cancel.cancel();
+            }
+            JobState::Suspended => {
+                rec.state = JobState::Cancelled;
+                rec.suspend = false;
+                rec.checkpointed = false;
+                rec.partial.clear();
+                core.cache.checkpoint_discard(job_token);
+                core.metrics.counter_add("serve.jobs.cancelled", 1);
+            }
             _ => {}
         }
+        drop(core);
+        self.shared.cv.notify_all();
+        Ok(())
+    }
+
+    /// Suspends a job at the next scenario boundary. A queued job is
+    /// parked immediately (no checkpoint — nothing ran); a running job
+    /// observes its cancel token at the boundary, and its completed
+    /// scenarios are persisted as a [`JobCheckpoint`] in the topology
+    /// cache under the LRU byte budget. Suspending a terminal or
+    /// already-suspended job is a no-op, and a suspend that races a
+    /// completing run simply loses: the job finishes `Done`.
+    ///
+    /// A job left suspended at drain time never completes — resume or
+    /// cancel it before `shutdown`/`join`.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Auth`] unless the (tenant, job) pair matches.
+    pub fn suspend(&self, tenant_token: &str, job_token: &str) -> Result<(), ServeError> {
+        let mut core = self.lock();
+        let tenant = core.job_for(tenant_token, job_token)?.tenant.clone();
+        let rec = core.jobs.get_mut(job_token).expect("job exists");
+        match rec.state {
+            JobState::Queued => {
+                rec.state = JobState::Suspended;
+                let t = core.tenants.get_mut(&tenant).expect("tenant state");
+                t.queue.retain(|j| j != job_token);
+                core.metrics.counter_add("serve.jobs.suspended", 1);
+            }
+            // A cancel already in flight wins; otherwise the cancel
+            // token doubles as the suspend signal and the outcome
+            // handler parks the job instead of cancelling it.
+            JobState::Running if !rec.cancel.is_cancelled() => {
+                rec.suspend = true;
+                rec.cancel.cancel();
+            }
+            _ => {}
+        }
+        drop(core);
+        self.shared.cv.notify_all();
+        Ok(())
+    }
+
+    /// Resumes a suspended job: restores its checkpoint from the
+    /// topology cache and re-queues it. Only the scenarios the
+    /// checkpoint does not hold run again; the final report — indices,
+    /// labels, metric rows, solver counters and fingerprint — is
+    /// indistinguishable from an uninterrupted run. When the byte
+    /// budget evicted the checkpoint, everything re-runs, which by
+    /// determinism yields the same report (the loss is counted in
+    /// `serve.checkpoint.lost`).
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Auth`] unless the (tenant, job) pair matches,
+    /// [`ServeError::Invalid`] unless the job is suspended,
+    /// [`ServeError::Shutdown`] while draining.
+    pub fn resume(&self, tenant_token: &str, job_token: &str) -> Result<(), ServeError> {
+        let mut core = self.lock();
+        if core.draining {
+            return Err(ServeError::Shutdown);
+        }
+        let tenant = {
+            let rec = core.job_for(tenant_token, job_token)?;
+            if rec.state != JobState::Suspended {
+                return Err(ServeError::invalid(format!(
+                    "cannot resume a {} job",
+                    rec.state.tag()
+                )));
+            }
+            rec.tenant.clone()
+        };
+        let restored = core.cache.checkpoint_take(job_token);
+        match &restored {
+            Some(cp) => {
+                core.metrics.counter_add("serve.checkpoint.restored", 1);
+                core.metrics
+                    .counter_add("serve.checkpoint.scenarios_restored", cp.done.len() as u64);
+            }
+            None => {
+                if core.jobs[job_token].checkpointed {
+                    core.metrics.counter_add("serve.checkpoint.lost", 1);
+                }
+            }
+        }
+        let rec = core.jobs.get_mut(job_token).expect("job exists");
+        rec.checkpointed = false;
+        rec.suspend = false;
+        // The old token is permanently cancelled — the resumed run
+        // needs a fresh one (handle.cancel() addresses the new token).
+        rec.cancel = CancelToken::new();
+        rec.state = JobState::Queued;
+        match restored {
+            Some(cp) => rec.partial = cp.done,
+            None => {
+                // Nothing restored: the whole job re-runs, so the event
+                // stream restarts from scratch too.
+                rec.partial.clear();
+                rec.events.clear();
+            }
+        }
+        core.metrics.counter_add("serve.jobs.resumed", 1);
+        core.tenants
+            .get_mut(&tenant)
+            .expect("tenant state")
+            .queue
+            .push_back(job_token.to_string());
         drop(core);
         self.shared.cv.notify_all();
         Ok(())
@@ -608,15 +755,38 @@ fn run_job(shared: &Arc<Shared>, dispatch: Dispatch) {
             let rec = core.jobs.get_mut(&job_token).expect("job exists");
             rec.report = Some(report);
             rec.state = JobState::Done;
+            // A suspend that raced the completing run lost; the
+            // partials are folded into the report already.
+            rec.suspend = false;
+            rec.partial.clear();
         }
         Err(ServeError::Cancelled) => {
-            core.metrics.counter_add("serve.jobs.cancelled", 1);
-            core.jobs.get_mut(&job_token).expect("job exists").state = JobState::Cancelled;
+            let suspend = {
+                let rec = core.jobs.get_mut(&job_token).expect("job exists");
+                std::mem::take(&mut rec.suspend)
+            };
+            if suspend {
+                let done = {
+                    let rec = core.jobs.get_mut(&job_token).expect("job exists");
+                    rec.state = JobState::Suspended;
+                    rec.checkpointed = true;
+                    std::mem::take(&mut rec.partial)
+                };
+                core.cache
+                    .checkpoint_insert(&job_token, JobCheckpoint::new(done));
+                core.metrics.counter_add("serve.jobs.suspended", 1);
+                core.metrics.counter_add("serve.checkpoint.stored", 1);
+            } else {
+                core.metrics.counter_add("serve.jobs.cancelled", 1);
+                core.jobs.get_mut(&job_token).expect("job exists").state = JobState::Cancelled;
+            }
         }
         Err(e) => {
             core.metrics.counter_add("serve.jobs.failed", 1);
-            core.jobs.get_mut(&job_token).expect("job exists").state =
-                JobState::Failed(e.to_string());
+            let rec = core.jobs.get_mut(&job_token).expect("job exists");
+            rec.suspend = false;
+            rec.partial.clear();
+            rec.state = JobState::Failed(e.to_string());
         }
     }
     core.tenants
@@ -639,7 +809,40 @@ fn execute(
     cancel: &CancelToken,
     workers: usize,
 ) -> Result<SweepReport, ServeError> {
-    let sweep_spec = spec.sweep.to_spec()?;
+    let mut sweep_spec = spec.sweep.to_spec()?;
+
+    // A resumed job carries checkpoint-restored partials: re-run only
+    // the scenarios the checkpoint does not hold. `retain` keeps the
+    // original indices and per-scenario seeds, so the remaining rows
+    // are bit-identical to what an uninterrupted run would produce.
+    let restored: Vec<(usize, Vec<f64>, ClusterStats)> = {
+        let core = shared.core.lock().expect("serve core poisoned");
+        core.jobs
+            .get(job_token)
+            .map(|r| r.partial.clone())
+            .unwrap_or_default()
+    };
+    if !restored.is_empty() {
+        let done: std::collections::HashSet<usize> = restored.iter().map(|(i, _, _)| *i).collect();
+        sweep_spec.retain(|s| !done.contains(&s.index()));
+        if sweep_spec.is_empty() {
+            // Every scenario was already checkpointed: the report is
+            // the checkpoint, no simulation left to run.
+            let mut report = SweepReport {
+                metric_names: spec.metrics.iter().map(|m| m.name.clone()).collect(),
+                scenarios: Vec::new(),
+                exec: ams_exec::ExecStats::default(),
+                trace: None,
+                lanes: 1,
+                bundles: 0,
+                space_pruned: Vec::new(),
+                prefix_forks: 0,
+                prefix_steps: 0,
+            };
+            merge_restored(&mut report, restored, &spec.sweep.to_spec()?);
+            return Ok(report);
+        }
+    }
 
     // Resolve the topology against the cache.
     let cached = {
@@ -683,11 +886,12 @@ fn execute(
     let progress: ams_sweep::ProgressFn = {
         let shared = shared.clone();
         let token = job_token.to_string();
-        Arc::new(move |index, row: &[f64]| {
+        Arc::new(move |index, row: &[f64], stats: &ClusterStats| {
             let mut core = shared.core.lock().expect("serve core poisoned");
             core.metrics.counter_add("serve.scenarios.completed", 1);
             if let Some(rec) = core.jobs.get_mut(&token) {
                 rec.events.push((index, row.to_vec()));
+                rec.partial.push((index, row.to_vec(), *stats));
             }
             drop(core);
             shared.cv.notify_all();
@@ -714,7 +918,43 @@ fn execute(
             core.cache.store_factor(fp, factor);
         }
     }
-    result
+    let mut report = result?;
+    if !restored.is_empty() {
+        merge_restored(&mut report, restored, &spec.sweep.to_spec()?);
+    }
+    Ok(report)
+}
+
+/// Splices checkpoint-restored scenarios back into a resumed run's
+/// report, in index order, with labels recomputed from the full spec.
+/// The merged report is indistinguishable — fingerprint included —
+/// from one uninterrupted run over the whole sweep.
+fn merge_restored(
+    report: &mut SweepReport,
+    restored: Vec<(usize, Vec<f64>, ClusterStats)>,
+    full: &SweepSpec,
+) {
+    for (index, metrics, stats) in restored {
+        let label = full
+            .scenarios()
+            .iter()
+            .find(|s| s.index() == index)
+            .map(|s| s.label())
+            .unwrap_or_else(|| format!("#{index}"));
+        report.scenarios.push(ScenarioResult {
+            index,
+            label,
+            metrics,
+            stats,
+        });
+    }
+    report.scenarios.sort_by_key(|s| s.index);
+    report.exec.windows = report.scenarios.len() as u64;
+    report.exec.clusters = report
+        .scenarios
+        .iter()
+        .map(|s| (s.label.clone(), s.stats))
+        .collect();
 }
 
 #[cfg(test)]
@@ -820,6 +1060,216 @@ mod tests {
         assert_eq!(m.counter("serve.space.runs"), 2); // doomed + healthy
         assert_eq!(m.counter("serve.space.hits"), 1); // the resubmit
         assert_eq!(m.counter("serve.space.rejects"), 1);
+        handle.shutdown();
+        handle.join();
+    }
+
+    /// `demo_rc` with a 10× finer step: each scenario runs long enough
+    /// that a suspend issued after the first progress event lands at a
+    /// scenario boundary with plenty of work left.
+    fn slow_job(n: usize, seed: u64) -> JobSpec {
+        let mut job = JobSpec::demo_rc(n, seed);
+        job.h = 5e-9;
+        job
+    }
+
+    fn wait_for(what: &str, mut cond: impl FnMut() -> bool) {
+        for _ in 0..4000 {
+            if cond() {
+                return;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(5));
+        }
+        panic!("timed out waiting for {what}");
+    }
+
+    fn suspended_mid_run(handle: &ServeHandle, tenant: &str, job: JobSpec) -> String {
+        let token = handle.submit(tenant, job).unwrap();
+        wait_for("first scenario", || {
+            handle.status(tenant, &token).unwrap().completed >= 1
+        });
+        handle.suspend(tenant, &token).unwrap();
+        wait_for("suspension", || {
+            let s = handle.status(tenant, &token).unwrap();
+            assert!(
+                !matches!(s.state, JobState::Done),
+                "suspend raced job completion — slow_job is not slow enough"
+            );
+            s.state == JobState::Suspended
+        });
+        token
+    }
+
+    #[test]
+    fn suspend_resume_reproduces_the_uninterrupted_fingerprint() {
+        let handle = ServeHandle::start(ServeConfig {
+            workers: 2,
+            tenants: vec![TenantConfig::named("t")],
+            ..ServeConfig::default()
+        });
+        let tenant = handle.tenant_token("t").unwrap();
+        let spec = slow_job(32, 0xC0DE);
+        let direct = spec.direct_run(2).unwrap();
+
+        let job = suspended_mid_run(&handle, &tenant, spec);
+        let status = handle.status(&tenant, &job).unwrap();
+        assert!(status.completed >= 1 && status.completed < 32);
+        let m = handle.metrics();
+        assert_eq!(m.counter("serve.jobs.suspended"), 1);
+        assert_eq!(m.counter("serve.checkpoint.stored"), 1);
+        assert!(m.gauge("serve.checkpoint.bytes").unwrap() > 0.0);
+
+        handle.resume(&tenant, &job).unwrap();
+        let report = handle.wait(&tenant, &job).unwrap();
+        assert_eq!(report.scenarios.len(), 32);
+        assert_eq!(
+            report.fingerprint(),
+            direct.fingerprint(),
+            "suspended+resumed job must be indistinguishable from an uninterrupted run"
+        );
+        // Labels and ordering survive the merge too.
+        for (i, (got, want)) in report.scenarios.iter().zip(&direct.scenarios).enumerate() {
+            assert_eq!(got.index, i);
+            assert_eq!(got.label, want.label);
+        }
+        // The event stream covers every scenario exactly once.
+        let (events, _) = handle.poll(&tenant, &job, 0).unwrap();
+        let mut idx: Vec<usize> = events.iter().map(|(i, _)| *i).collect();
+        idx.sort_unstable();
+        assert_eq!(idx, (0..32).collect::<Vec<_>>());
+        let m = handle.metrics();
+        assert_eq!(m.counter("serve.checkpoint.restored"), 1);
+        assert!(m.counter("serve.checkpoint.scenarios_restored") >= 1);
+        assert_eq!(m.counter("serve.checkpoint.lost"), 0);
+        assert_eq!(m.counter("serve.jobs.resumed"), 1);
+        handle.shutdown();
+        handle.join();
+    }
+
+    #[test]
+    fn an_evicted_checkpoint_degrades_to_a_full_rerun() {
+        let handle = ServeHandle::start(ServeConfig {
+            workers: 2,
+            tenants: vec![TenantConfig::named("t")],
+            ..ServeConfig::default()
+        });
+        let tenant = handle.tenant_token("t").unwrap();
+        let spec = slow_job(24, 7);
+        let direct = spec.direct_run(2).unwrap();
+
+        let job = suspended_mid_run(&handle, &tenant, spec);
+        // Simulate the byte budget reclaiming the checkpoint while the
+        // job sat suspended.
+        handle.lock().cache.checkpoint_discard(&job);
+        handle.resume(&tenant, &job).unwrap();
+        let report = handle.wait(&tenant, &job).unwrap();
+        assert_eq!(report.fingerprint(), direct.fingerprint());
+        assert_eq!(report.scenarios.len(), 24);
+        let (events, _) = handle.poll(&tenant, &job, 0).unwrap();
+        let mut idx: Vec<usize> = events.iter().map(|(i, _)| *i).collect();
+        idx.sort_unstable();
+        assert_eq!(idx, (0..24).collect::<Vec<_>>(), "stream restarted clean");
+        let m = handle.metrics();
+        assert_eq!(m.counter("serve.checkpoint.lost"), 1);
+        assert_eq!(m.counter("serve.checkpoint.restored"), 0);
+        handle.shutdown();
+        handle.join();
+    }
+
+    #[test]
+    fn queued_jobs_suspend_in_place_and_cancel_discards_the_checkpoint() {
+        // Tenant budget of 8 in-flight scenarios: while the 8-scenario
+        // job A runs, job B deterministically sits queued.
+        let handle = ServeHandle::start(ServeConfig {
+            workers: 2,
+            tenants: vec![TenantConfig {
+                scenario_budget: 8,
+                ..TenantConfig::named("t")
+            }],
+            ..ServeConfig::default()
+        });
+        let tenant = handle.tenant_token("t").unwrap();
+        let a = handle.submit(&tenant, slow_job(8, 1)).unwrap();
+        wait_for("job a running", || {
+            handle.status(&tenant, &a).unwrap().state == JobState::Running
+        });
+        let b = handle.submit(&tenant, JobSpec::demo_rc(8, 2)).unwrap();
+        assert_eq!(handle.status(&tenant, &b).unwrap().state, JobState::Queued);
+
+        handle.suspend(&tenant, &b).unwrap();
+        assert_eq!(
+            handle.status(&tenant, &b).unwrap().state,
+            JobState::Suspended,
+            "queued jobs park synchronously"
+        );
+        // No checkpoint for a job that never ran.
+        assert_eq!(handle.lock().cache.checkpoint_count(), 0);
+
+        handle.cancel(&tenant, &b).unwrap();
+        assert_eq!(
+            handle.status(&tenant, &b).unwrap().state,
+            JobState::Cancelled
+        );
+        assert!(matches!(
+            handle.wait(&tenant, &b),
+            Err(ServeError::Cancelled)
+        ));
+        assert!(handle.wait(&tenant, &a).is_ok());
+        handle.shutdown();
+        handle.join();
+    }
+
+    #[test]
+    fn resumed_then_cancelled_job_reaches_cancelled() {
+        let handle = ServeHandle::start(ServeConfig {
+            workers: 2,
+            tenants: vec![TenantConfig::named("t")],
+            ..ServeConfig::default()
+        });
+        let tenant = handle.tenant_token("t").unwrap();
+        let job = suspended_mid_run(&handle, &tenant, slow_job(32, 5));
+        handle.resume(&tenant, &job).unwrap();
+        // Cancel right away: whether it lands while queued or running,
+        // the restored job must end Cancelled, never Suspended.
+        handle.cancel(&tenant, &job).unwrap();
+        assert!(matches!(
+            handle.wait(&tenant, &job),
+            Err(ServeError::Cancelled)
+        ));
+        assert_eq!(
+            handle.status(&tenant, &job).unwrap().state,
+            JobState::Cancelled
+        );
+        handle.shutdown();
+        handle.join();
+    }
+
+    #[test]
+    fn resume_rejects_jobs_that_are_not_suspended() {
+        let handle = ServeHandle::start(ServeConfig {
+            workers: 2,
+            tenants: vec![TenantConfig::named("t")],
+            ..ServeConfig::default()
+        });
+        let tenant = handle.tenant_token("t").unwrap();
+        let job = handle.submit(&tenant, JobSpec::demo_rc(2, 0)).unwrap();
+        handle.wait(&tenant, &job).unwrap();
+        assert!(matches!(
+            handle.resume(&tenant, &job),
+            Err(ServeError::Invalid(_))
+        ));
+        // Suspending a done job is a harmless no-op.
+        handle.suspend(&tenant, &job).unwrap();
+        assert_eq!(handle.status(&tenant, &job).unwrap().state, JobState::Done);
+        // Authority still gates both verbs.
+        assert!(matches!(
+            handle.resume("tenant-feedbeef", &job),
+            Err(ServeError::Auth)
+        ));
+        assert!(matches!(
+            handle.suspend("tenant-feedbeef", &job),
+            Err(ServeError::Auth)
+        ));
         handle.shutdown();
         handle.join();
     }

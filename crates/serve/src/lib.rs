@@ -18,10 +18,14 @@
 //! * [`sched`] — tenant quotas ([`TenantConfig`]) and weighted fair
 //!   queuing across tenants;
 //! * [`handle`] — [`ServeHandle`], the in-process service: submit /
-//!   status / poll / wait / cancel / metrics / shutdown, a dispatcher
-//!   thread leasing worker slots from an [`ams_exec::SlotPool`], and
-//!   per-job threads running `ams-sweep` batches with cooperative
-//!   cancellation at scenario boundaries;
+//!   status / poll / wait / cancel / suspend / resume / metrics /
+//!   shutdown, a dispatcher thread leasing worker slots from an
+//!   [`ams_exec::SlotPool`], and per-job threads running `ams-sweep`
+//!   batches with cooperative cancellation at scenario boundaries.
+//!   Suspension checkpoints a job's completed scenarios into the
+//!   topology cache (same byte budget); the resumed job re-runs only
+//!   the remainder and its report fingerprints identically to an
+//!   uninterrupted run;
 //! * [`protocol`] — the newline-delimited JSON request/response mapping
 //!   used over TCP (and directly testable without a socket);
 //! * [`daemon`] — the accept loop over `std::net::TcpListener`, with
@@ -67,7 +71,7 @@ pub mod protocol;
 pub mod sched;
 pub mod signal;
 
-pub use cache::TopologyCache;
+pub use cache::{JobCheckpoint, TopologyCache};
 pub use daemon::serve;
 pub use handle::{JobState, JobStatus, ScenarioEvent, ServeHandle};
 pub use model::{

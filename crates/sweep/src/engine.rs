@@ -188,8 +188,11 @@ where
                             for (pos, v) in values.into_iter().enumerate() {
                                 // Key each sample by (item, metric):
                                 // the timestamp channel carries the
-                                // slot, the payload the value.
-                                let key = (item * n_metrics + pos) as u64;
+                                // slot, the payload the value. The key
+                                // is u64 end-to-end — computing it in
+                                // usize would overflow on 32-bit
+                                // targets before the cast.
+                                let key = item as u64 * n_metrics as u64 + pos as u64;
                                 producer.push_spin(SimTime::from_fs(key), v);
                             }
                             local.push((item, st));
@@ -218,8 +221,10 @@ where
             let mut drained = false;
             for c in &mut consumers {
                 while let Some((key, v)) = c.try_pop() {
-                    let key = key.as_fs() as usize;
-                    metrics[key / n_metrics.max(1)][key % n_metrics.max(1)] = v;
+                    // Split the u64 key before narrowing: `as usize`
+                    // on the raw key truncates on 32-bit targets.
+                    let (key, n) = (key.as_fs(), n_metrics.max(1) as u64);
+                    metrics[(key / n) as usize][(key % n) as usize] = v;
                     drained = true;
                 }
             }
@@ -233,8 +238,8 @@ where
         let t1 = Instant::now();
         for c in &mut consumers {
             while let Some((key, v)) = c.try_pop() {
-                let key = key.as_fs() as usize;
-                metrics[key / n_metrics.max(1)][key % n_metrics.max(1)] = v;
+                let (key, n) = (key.as_fs(), n_metrics.max(1) as u64);
+                metrics[(key / n) as usize][(key % n) as usize] = v;
             }
         }
         let mut all = Vec::with_capacity(shards);

@@ -634,6 +634,12 @@ pub fn report_to_json(report: &SweepReport) -> Json {
             .collect();
         top.push(("space_pruned".into(), Json::Arr(pruned)));
     }
+    // Prefix-shared runs record the sharing; run-from-zero documents
+    // stay byte-identical to pre-checkpoint serializations.
+    if report.prefix_forks > 0 {
+        top.push(("prefix_forks".into(), Json::from_u64(report.prefix_forks)));
+        top.push(("prefix_steps".into(), Json::from_u64(report.prefix_steps)));
+    }
     Json::Obj(top)
 }
 
@@ -710,6 +716,14 @@ pub fn report_from_json(value: &Json) -> Result<SweepReport, SweepError> {
             ));
         }
     }
+    let prefix_forks = match value.get("prefix_forks") {
+        Some(v) => parse_u64(v, "prefix_forks")?,
+        None => 0,
+    };
+    let prefix_steps = match value.get("prefix_steps") {
+        Some(v) => parse_u64(v, "prefix_steps")?,
+        None => 0,
+    };
     let report = SweepReport {
         metric_names,
         scenarios,
@@ -718,6 +732,8 @@ pub fn report_from_json(value: &Json) -> Result<SweepReport, SweepError> {
         lanes,
         bundles,
         space_pruned,
+        prefix_forks,
+        prefix_steps,
     };
     if let Some(fp) = value.get("fingerprint") {
         let expected = parse_u64(fp, "fingerprint")?;
@@ -841,6 +857,8 @@ mod tests {
             lanes: 8,
             bundles: 1,
             space_pruned: vec![(5, "SPC001".into())],
+            prefix_forks: 4,
+            prefix_steps: 64,
         };
 
         let doc = report_to_json(&report).render();
@@ -851,17 +869,23 @@ mod tests {
         assert_eq!(back.lanes, 8);
         assert_eq!(back.bundles, 1);
         assert_eq!(back.space_pruned, report.space_pruned);
+        assert_eq!(back.prefix_forks, 4);
+        assert_eq!(back.prefix_steps, 64);
         let mut scalar = report.clone();
         scalar.lanes = 1;
         scalar.bundles = 0;
         scalar.space_pruned.clear();
+        scalar.prefix_forks = 0;
+        scalar.prefix_steps = 0;
         let scalar_doc = report_to_json(&scalar).render();
         assert!(!scalar_doc.contains("lanes"), "{scalar_doc}");
         assert!(!scalar_doc.contains("space_pruned"), "{scalar_doc}");
+        assert!(!scalar_doc.contains("prefix_forks"), "{scalar_doc}");
         let scalar_back = report_from_json(&parse(&scalar_doc).unwrap()).unwrap();
         assert_eq!(scalar_back.lanes, 1);
         assert_eq!(scalar_back.bundles, 0);
         assert!(scalar_back.space_pruned.is_empty());
+        assert_eq!(scalar_back.prefix_forks, 0);
         assert_eq!(back.metric_names, report.metric_names);
         assert_eq!(back.scenarios.len(), report.scenarios.len());
         for (a, b) in report.scenarios.iter().zip(&back.scenarios) {

@@ -78,6 +78,9 @@ pub mod tdf;
 
 pub use engine::HookFactory;
 pub use netlist::{FactorSink, NetlistSweep, ProgressFn, RunMode};
+// Re-exported because it appears in the public surface twice over:
+// [`ScenarioResult::stats`] and the [`ProgressFn`] callback signature.
+pub use ams_core::ClusterStats;
 pub use report::{MetricSummary, ScenarioResult, SweepReport};
 pub use spec::{Scenario, SweepSpec};
 pub use tdf::{LaneSweepModel, SweepModel, TdfSweep};

@@ -22,8 +22,9 @@ use ams_core::ClusterStats;
 use ams_exec::ExecStats;
 use ams_lint::{classify_point, lint_circuit, lint_space, LintPolicy, SpaceSpec};
 use ams_net::{
-    AdaptiveOptions, Circuit, IntegrationMethod, LaneSymbolicFactor, LaneTransientSolver, NetError,
-    ScenarioProbe, SolverBackend, SymbolicFactor, TransientSolver, TransientStats,
+    AdaptiveOptions, Checkpoint, Circuit, IntegrationMethod, LaneSymbolicFactor,
+    LaneTransientSolver, NetError, ScenarioProbe, SolverBackend, SymbolicFactor, TransientSolver,
+    TransientStats,
 };
 use ams_scope::{scenario_arg, ScopeTrace, SpanKind, Tracer};
 
@@ -46,11 +47,15 @@ pub enum RunMode {
     },
 }
 
-/// A per-scenario completion callback: `(scenario index, metric row)`.
-/// Runs on whichever thread finished the scenario, so implementations
-/// must be `Send + Sync`; keyed by index, the stream is
-/// order-independent.
-pub type ProgressFn = std::sync::Arc<dyn Fn(usize, &[f64]) + Send + Sync>;
+/// A per-scenario completion callback: `(scenario index, metric row,
+/// solver counters)`. Runs on whichever thread finished the scenario,
+/// so implementations must be `Send + Sync`; keyed by index, the
+/// stream is order-independent. The counters are the same
+/// [`ClusterStats`] the scenario's [`ScenarioResult`] will carry, so a
+/// consumer can persist resumable, fingerprint-grade partial results
+/// (lane runs report the bundle's counters for every scenario in the
+/// bundle, exactly as the report does).
+pub type ProgressFn = std::sync::Arc<dyn Fn(usize, &[f64], &ClusterStats) + Send + Sync>;
 
 /// A slot that receives the symbolic factor scenario 0 exports, letting
 /// callers keep it warm across runs of the same topology (`ams-serve`'s
@@ -83,6 +88,7 @@ pub struct NetlistSweep {
     progress: Option<ProgressFn>,
     factor_sink: Option<FactorSink>,
     lanes: usize,
+    prefix_t0: Option<f64>,
 }
 
 impl std::fmt::Debug for NetlistSweep {
@@ -101,6 +107,7 @@ impl std::fmt::Debug for NetlistSweep {
             .field("cancel", &self.cancel.is_some())
             .field("progress", &self.progress.is_some())
             .field("factor_sink", &self.factor_sink.is_some())
+            .field("prefix_t0", &self.prefix_t0)
             .finish_non_exhaustive()
     }
 }
@@ -130,7 +137,41 @@ impl NetlistSweep {
             progress: None,
             factor_sink: None,
             lanes: 8,
+            prefix_t0: None,
         }
+    }
+
+    /// Declares the first `t0` seconds of every scenario as a shared
+    /// prefix: [`run`](NetlistSweep::run) integrates the *template*
+    /// circuit once to `t0` on the coordinator, freezes a
+    /// [`Checkpoint`], and forks every scenario from it — each
+    /// scenario pays only the `[t0, t_end]` tail of solver work. The
+    /// report counts the sharing in [`SweepReport::prefix_forks`] /
+    /// [`SweepReport::prefix_steps`] (fingerprint-excluded), and with
+    /// tracing enabled the prefix run appears as a
+    /// [`SpanKind::Checkpoint`] span on the coordinator track (`arg` =
+    /// scenario count) with one `Checkpoint` instant per fork (`arg` =
+    /// checkpoint size in bytes).
+    ///
+    /// **Contract:** sharing is only valid when every scenario's
+    /// trajectory is identical to the template's on `[0, t0]` — the
+    /// swept parameters must act strictly after `t0` (a
+    /// [`Waveform::Pulse`](ams_net::Waveform::Pulse) with
+    /// `delay >= t0`, external inputs driven after `t0`, …). The sweep
+    /// cannot verify this; a violated contract silently yields forked
+    /// trajectories that differ from a run-from-zero sweep.
+    ///
+    /// Under the contract a **fixed-step** forked sweep is
+    /// bit-identical to run-from-zero when `t0` is a step multiple
+    /// (the step sequence is unchanged); an **adaptive** prefix
+    /// clamps its last step at `t0`, so forked runs are
+    /// self-consistent and worker-invariant but not bit-comparable to
+    /// run-from-zero. Rejected by
+    /// [`run_lanes`](NetlistSweep::run_lanes) at widths above 1
+    /// (lane bundles already amortize differently).
+    pub fn prefix(mut self, t0: f64) -> NetlistSweep {
+        self.prefix_t0 = Some(t0);
+        self
     }
 
     /// Sets the lane width [`run_lanes`](NetlistSweep::run_lanes) packs
@@ -413,6 +454,22 @@ impl NetlistSweep {
             None => spec,
         };
 
+        // Prefix sharing replaces the scenario loop wholesale: one
+        // coordinator run to t0, then every scenario forks.
+        if let Some(t0) = self.prefix_t0 {
+            return self.run_prefixed(
+                spec,
+                workers,
+                metrics,
+                &apply,
+                &observe,
+                t0,
+                coord_tracer,
+                lint_warnings,
+                space_pruned,
+            );
+        }
+
         let scenarios = spec.scenarios();
         let n_metrics = metrics.len();
 
@@ -430,7 +487,7 @@ impl NetlistSweep {
             &observe,
         )?;
         if let Some(p) = &self.progress {
-            p(first.index(), &first_vals);
+            p(first.index(), &first_vals, &first_stats);
         }
         if let (Some(sink), Some(f)) = (&self.factor_sink, &exported) {
             *sink.lock().expect("factor sink poisoned") = Some(f.clone());
@@ -461,7 +518,7 @@ impl NetlistSweep {
                     &observe,
                 )?;
                 if let Some(p) = &self.progress {
-                    p(rest[item].index(), &vals);
+                    p(rest[item].index(), &vals, &stats);
                 }
                 Ok((vals, stats))
             },
@@ -526,6 +583,8 @@ impl NetlistSweep {
             lanes: 1,
             bundles: 0,
             space_pruned,
+            prefix_forks: 0,
+            prefix_steps: 0,
         })
     }
 
@@ -611,6 +670,11 @@ impl NetlistSweep {
         if metrics.is_empty() {
             return Err(SweepError::invalid("sweep needs at least one metric"));
         }
+        if self.prefix_t0.is_some() {
+            return Err(SweepError::invalid(
+                "prefix sharing is a scalar-path feature: use lanes(1)",
+            ));
+        }
         let mut lint_warnings = if self.pre_linted {
             0
         } else {
@@ -670,7 +734,7 @@ impl NetlistSweep {
         let first_used = K.min(n);
         if let Some(p) = &self.progress {
             for (l, sc) in scenarios[..first_used].iter().enumerate() {
-                p(sc.index(), &first_rows[l]);
+                p(sc.index(), &first_rows[l], &first_stats);
             }
         }
 
@@ -693,7 +757,7 @@ impl NetlistSweep {
                 if let Some(p) = &self.progress {
                     let used = K.min(n - b * K);
                     for l in 0..used {
-                        p(scenarios[b * K + l].index(), &rows[l]);
+                        p(scenarios[b * K + l].index(), &rows[l], &stats);
                     }
                 }
                 Ok((rows.into_iter().flatten().collect(), stats))
@@ -760,6 +824,8 @@ impl NetlistSweep {
             lanes: K,
             bundles: n_bundles,
             space_pruned,
+            prefix_forks: 0,
+            prefix_steps: 0,
         })
     }
 
@@ -849,6 +915,237 @@ impl NetlistSweep {
             None
         };
         Ok((rows, stats, exported))
+    }
+
+    /// The prefix-shared scenario loop (see [`NetlistSweep::prefix`]):
+    /// integrates the template once to `t0` on the coordinator, takes a
+    /// [`Checkpoint`], then runs **every** scenario as a fork of it
+    /// through the sharded engine. Scheduling and the shared factor
+    /// are worker-independent, so the report stays bit-identical
+    /// across worker counts.
+    #[allow(clippy::too_many_arguments)]
+    fn run_prefixed<A, O>(
+        &self,
+        spec: &SweepSpec,
+        workers: usize,
+        metrics: &[&str],
+        apply: &A,
+        observe: &O,
+        t0: f64,
+        mut coord_tracer: Tracer,
+        lint_warnings: usize,
+        space_pruned: Vec<(usize, String)>,
+    ) -> Result<SweepReport, SweepError>
+    where
+        A: Fn(&mut Circuit, &Scenario) -> Result<(), NetError> + Sync,
+        O: Fn(&TransientSolver, &mut [f64]) + Sync,
+    {
+        let t_end = match &self.mode {
+            RunMode::Fixed { t_end, .. } | RunMode::Adaptive { t_end, .. } => *t_end,
+        };
+        if !t0.is_finite() || t0 <= 0.0 || t0 >= t_end {
+            return Err(SweepError::invalid(format!(
+                "prefix t0 = {t0} must satisfy 0 < t0 < t_end = {t_end}"
+            )));
+        }
+
+        let scenarios = spec.scenarios();
+        let n = scenarios.len();
+        let n_metrics = metrics.len();
+
+        // The shared prefix integrates the *template* — the contract
+        // guarantees every scenario is indistinguishable from it on
+        // [0, t0]. Prefix failures are batch failures, not scenario
+        // failures: no scenario's parameters are in play yet.
+        let mut pre = TransientSolver::new(&self.template, self.method).map_err(SweepError::Net)?;
+        pre.backend = self.backend;
+        if let (true, Some(h)) = (self.share_symbolic, self.symbolic_hint.as_ref()) {
+            pre.adopt_symbolic_factor(h);
+        }
+        let traced = coord_tracer.is_enabled();
+        if traced {
+            coord_tracer.begin_with(SpanKind::Checkpoint, 0, n as u64);
+            pre.set_tracing(true);
+        }
+
+        // The prefix observes into a template metric row every fork
+        // starts from, so whole-trajectory metrics (max, integral, …)
+        // see exactly what a run-from-zero scenario would.
+        let mut prefix_vals = vec![f64::NAN; n_metrics];
+        let mut prefix_probes = 0u64;
+        let run = match &self.mode {
+            RunMode::Fixed { h, .. } => pre.run(t0, *h, |s| {
+                prefix_probes += 1;
+                observe(s, &mut prefix_vals);
+            }),
+            RunMode::Adaptive { opts, .. } => pre.run_adaptive(t0, opts, |s| {
+                prefix_probes += 1;
+                observe(s, &mut prefix_vals);
+            }),
+        };
+        run.map_err(SweepError::Net)?;
+        let cp = pre.checkpoint();
+        let prefix_steps = pre.stats().steps;
+        if traced {
+            coord_tracer.extend(pre.take_trace_events());
+            coord_tracer.end_with(SpanKind::Checkpoint, 1, n as u64);
+        }
+
+        // The prefix run doubles as the symbolic-analysis donor the
+        // inline scenario 0 is on the plain path.
+        let exported = if self.share_symbolic && self.symbolic_hint.is_none() {
+            pre.symbolic_factor()
+        } else {
+            None
+        };
+        if let (Some(sink), Some(f)) = (&self.factor_sink, &exported) {
+            *sink.lock().expect("factor sink poisoned") = Some(f.clone());
+        }
+        let hint_ref = self.symbolic_hint.as_ref().or(exported.as_ref());
+
+        let mut shard = run_sharded(
+            n,
+            n_metrics,
+            workers,
+            self.trace,
+            self.hooks.as_ref(),
+            |_slot, _items| Ok(()),
+            |_state: &mut (), item, tracer: &mut Tracer| {
+                if self.cancel.as_ref().is_some_and(CancelToken::is_cancelled) {
+                    return Err(SweepError::Cancelled);
+                }
+                let (vals, stats) = self.run_scenario_forked(
+                    &scenarios[item],
+                    &cp,
+                    hint_ref,
+                    &prefix_vals,
+                    prefix_probes,
+                    tracer,
+                    apply,
+                    observe,
+                )?;
+                if let Some(p) = &self.progress {
+                    p(scenarios[item].index(), &vals, &stats);
+                }
+                Ok((vals, stats))
+            },
+        )?;
+
+        let mut results = Vec::with_capacity(n);
+        for (pos, sc) in scenarios.iter().enumerate() {
+            results.push(ScenarioResult {
+                index: sc.index(),
+                label: sc.label(),
+                metrics: shard.metrics[pos].clone(),
+                stats: shard.stats[pos],
+            });
+        }
+
+        let mut exec = ExecStats {
+            windows: n as u64,
+            barriers: shard.shards as u64,
+            ring_high_water: shard.ring_high_water,
+            compute_wall: shard.compute_wall,
+            sync_wall: shard.sync_wall,
+            lint_warnings,
+            ..ExecStats::default()
+        };
+        for r in &results {
+            exec.clusters.push((r.label.clone(), r.stats));
+        }
+        for h in &mut shard.hooks {
+            h.on_finish(&exec);
+        }
+
+        let trace = if self.trace {
+            let mut t = ScopeTrace::new();
+            let own = coord_tracer.take_events();
+            if !own.is_empty() {
+                t.add_track("coordinator", "scenarios", own);
+            }
+            for (s, events) in shard.traces.into_iter().enumerate() {
+                if !events.is_empty() {
+                    t.add_track(format!("shard-{s}"), "scenarios", events);
+                }
+            }
+            Some(t)
+        } else {
+            None
+        };
+
+        Ok(SweepReport {
+            metric_names: metrics.iter().map(|m| (*m).to_string()).collect(),
+            scenarios: results,
+            exec,
+            trace,
+            lanes: 1,
+            bundles: 0,
+            space_pruned,
+            prefix_forks: n as u64,
+            prefix_steps,
+        })
+    }
+
+    /// Runs one scenario as a fork of the shared-prefix checkpoint:
+    /// apply the scenario's values to a template clone, restore `cp`,
+    /// and integrate only `[t0, t_end]`. The restored step counters
+    /// continue from the checkpoint's, so the scenario's stats — and
+    /// with them the report fingerprint — accumulate to run-from-zero
+    /// totals.
+    #[allow(clippy::too_many_arguments)]
+    fn run_scenario_forked<A, O>(
+        &self,
+        sc: &Scenario,
+        cp: &Checkpoint,
+        hint: Option<&SymbolicFactor>,
+        prefix_vals: &[f64],
+        prefix_probes: u64,
+        tracer: &mut Tracer,
+        apply: &A,
+        observe: &O,
+    ) -> Result<(Vec<f64>, ClusterStats), SweepError>
+    where
+        A: Fn(&mut Circuit, &Scenario) -> Result<(), NetError> + Sync,
+        O: Fn(&TransientSolver, &mut [f64]) + Sync,
+    {
+        let fail = |e: NetError| SweepError::scenario(sc.index(), e);
+        let mut ckt = self.template.clone();
+        apply(&mut ckt, sc).map_err(fail)?;
+        let mut tr = TransientSolver::new(&ckt, self.method).map_err(fail)?;
+        tr.backend = self.backend;
+        if let (true, Some(h)) = (self.share_symbolic, hint) {
+            tr.adopt_symbolic_factor(h);
+        }
+        tr.restore_checkpoint(cp).map_err(fail)?;
+        let traced = tracer.is_enabled();
+        if traced {
+            tracer.begin_with(SpanKind::Scenario, sc.index() as u64, sc.index() as u64);
+            tracer.instant(
+                SpanKind::Checkpoint,
+                sc.index() as u64,
+                cp.approx_bytes() as u64,
+            );
+            tr.set_tracing(true);
+        }
+
+        let mut vals = prefix_vals.to_vec();
+        let mut probes = prefix_probes;
+        let run = match &self.mode {
+            RunMode::Fixed { t_end, h } => tr.run(*t_end, *h, |s| {
+                probes += 1;
+                observe(s, &mut vals);
+            }),
+            RunMode::Adaptive { t_end, opts } => tr.run_adaptive(*t_end, opts, |s| {
+                probes += 1;
+                observe(s, &mut vals);
+            }),
+        };
+        run.map_err(fail)?;
+        if traced {
+            tracer.extend(tr.take_trace_events());
+            tracer.end_with(SpanKind::Scenario, sc.index() as u64 + 1, sc.index() as u64);
+        }
+        Ok((vals, cluster_stats(tr.stats(), probes)))
     }
 
     /// Runs one scenario; returns its metric row, counters and (when
@@ -1307,6 +1604,214 @@ mod tests {
             .events
             .iter()
             .any(|e| e.kind == SpanKind::SpaceLint && e.arg == 3));
+    }
+
+    /// Pulse whose leading edge sits at `delay`: identical to the DC
+    /// baseline `v1 = 1` before it, scenario-dependent after — the
+    /// prefix-sharing contract by construction.
+    fn pulse(v2: f64, delay: f64, tau: f64) -> ams_net::Waveform {
+        ams_net::Waveform::Pulse {
+            v1: 1.0,
+            v2,
+            delay,
+            rise: 8.0 * tau,
+            fall: 8.0 * tau,
+            width: 64.0 * tau,
+            period: 0.0,
+        }
+    }
+
+    fn pulse_rc(delay: f64, tau: f64) -> (Circuit, ams_net::ElementId, NodeId) {
+        let mut ckt = Circuit::new();
+        let inp = ckt.node("in");
+        let out = ckt.node("out");
+        let v = ckt.voltage_source("V", inp, Circuit::GROUND, 1.0).unwrap();
+        ckt.resistor("R", inp, out, 1e3).unwrap();
+        ckt.capacitor("C", out, Circuit::GROUND, 1e-9).unwrap();
+        ckt.set_source_waveform(v, pulse(1.0, delay, tau)).unwrap();
+        (ckt, v, out)
+    }
+
+    #[test]
+    fn prefix_fork_is_bit_identical_to_run_from_zero_across_workers() {
+        // Power-of-two step and fork point: every partial sum of h is
+        // exact, so fixed-step bit-identity is testable with `==`.
+        let h = (2.0f64).powi(-20);
+        let t0 = 64.0 * h;
+        let t_end = 256.0 * h;
+        let (ckt, v, out) = pulse_rc(t0, h);
+        let values = [0.0, 0.5, 2.0, 4.0, 8.0];
+        let spec = SweepSpec::grid(&[("v2", &values)], 3).unwrap();
+        let apply =
+            |c: &mut Circuit, sc: &Scenario| c.set_source_waveform(v, pulse(sc.value("v2"), t0, h));
+        // One last-value and one whole-trajectory metric: the latter
+        // only matches when forks inherit the prefix's observations.
+        let observe = |tr: &TransientSolver, m: &mut [f64]| {
+            let x = tr.voltage(out);
+            m[0] = x;
+            m[1] = m[1].max(x);
+        };
+        let plain = NetlistSweep::new(ckt.clone(), IntegrationMethod::Trapezoidal)
+            .fixed_step(t_end, h)
+            .run(&spec, 2, &["v_end", "v_max"], apply, observe)
+            .unwrap();
+        assert_eq!(plain.prefix_forks, 0);
+        // The contract is not vacuous: scenarios genuinely diverge
+        // after t0.
+        let vs = plain.values("v_end").unwrap();
+        assert!(vs.windows(2).any(|w| w[0] != w[1]), "{vs:?}");
+
+        let shared = NetlistSweep::new(ckt, IntegrationMethod::Trapezoidal)
+            .fixed_step(t_end, h)
+            .prefix(t0);
+        for workers in [1, 2, 4] {
+            let report = shared
+                .run(&spec, workers, &["v_end", "v_max"], apply, observe)
+                .unwrap();
+            assert_eq!(
+                plain.fingerprint(),
+                report.fingerprint(),
+                "workers={workers}"
+            );
+            assert_eq!(report.prefix_forks, 5);
+            assert_eq!(report.prefix_steps, 64);
+        }
+    }
+
+    #[test]
+    fn prefix_trace_records_checkpoint_spans() {
+        use ams_scope::Phase;
+        let h = (2.0f64).powi(-20);
+        let t0 = 64.0 * h;
+        let (ckt, v, out) = pulse_rc(t0, h);
+        let values = [0.0, 2.0, 4.0];
+        let spec = SweepSpec::grid(&[("v2", &values)], 0).unwrap();
+        let report = NetlistSweep::new(ckt, IntegrationMethod::Trapezoidal)
+            .fixed_step(256.0 * h, h)
+            .prefix(t0)
+            .trace(true)
+            .run(
+                &spec,
+                2,
+                &["v"],
+                |c, sc| c.set_source_waveform(v, pulse(sc.value("v2"), t0, h)),
+                |tr, m| m[0] = tr.voltage(out),
+            )
+            .unwrap();
+        let trace = report.trace.as_ref().expect("trace enabled");
+        // The prefix run is one Checkpoint span on the coordinator
+        // track, arg = scenario count, with the solver's spans inside.
+        let coord = trace
+            .tracks
+            .iter()
+            .find(|t| t.process == "coordinator")
+            .expect("coordinator track");
+        assert!(coord
+            .events
+            .iter()
+            .any(|e| e.kind == SpanKind::Checkpoint && e.phase == Phase::Begin && e.arg == 3));
+        assert!(coord.events.iter().any(|e| e.kind == SpanKind::MnaSolve));
+        // Every fork records a Checkpoint instant (arg = checkpoint
+        // bytes) inside its Scenario span on some worker track.
+        let instants: Vec<_> = trace
+            .tracks
+            .iter()
+            .flat_map(|t| &t.events)
+            .filter(|e| e.kind == SpanKind::Checkpoint && e.phase == Phase::Instant)
+            .collect();
+        assert_eq!(instants.len(), 3);
+        assert!(instants.iter().all(|e| e.arg > 0));
+        let mut indices: Vec<u64> = trace
+            .tracks
+            .iter()
+            .flat_map(|t| &t.events)
+            .filter(|e| e.kind == SpanKind::Scenario && e.phase == Phase::Begin)
+            .map(|e| e.arg)
+            .collect();
+        indices.sort_unstable();
+        assert_eq!(indices, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn prefix_rejects_bad_t0_and_lane_widths() {
+        let h = (2.0f64).powi(-20);
+        let t0 = 64.0 * h;
+        let t_end = 256.0 * h;
+        let (ckt, v, out) = pulse_rc(t0, h);
+        let values = [0.0, 2.0];
+        let spec = SweepSpec::grid(&[("v2", &values)], 0).unwrap();
+        let apply =
+            |c: &mut Circuit, sc: &Scenario| c.set_source_waveform(v, pulse(sc.value("v2"), t0, h));
+        let observe = |tr: &TransientSolver, m: &mut [f64]| m[0] = tr.voltage(out);
+        let base = NetlistSweep::new(ckt, IntegrationMethod::Trapezoidal).fixed_step(t_end, h);
+        for bad in [0.0, -1.0, t_end, 2.0 * t_end, f64::NAN] {
+            assert!(
+                matches!(
+                    base.clone()
+                        .prefix(bad)
+                        .run(&spec, 1, &["v"], apply, observe),
+                    Err(SweepError::Invalid(_))
+                ),
+                "t0 = {bad}"
+            );
+        }
+        // Lane bundles amortize differently; prefix + lanes > 1 is
+        // rejected, lanes(1) is the scalar path and works.
+        assert!(matches!(
+            base.clone()
+                .prefix(t0)
+                .lanes(4)
+                .run_lanes(&spec, 1, &["v"], apply, |p, m| m[0] = p.voltage(out)),
+            Err(SweepError::Invalid(_))
+        ));
+        let scalar = base
+            .clone()
+            .prefix(t0)
+            .run(&spec, 2, &["v"], apply, observe)
+            .unwrap();
+        let via_lanes = base
+            .prefix(t0)
+            .lanes(1)
+            .run_lanes(&spec, 2, &["v"], apply, |p, m| m[0] = p.voltage(out))
+            .unwrap();
+        assert_eq!(scalar.fingerprint(), via_lanes.fingerprint());
+        assert_eq!(via_lanes.prefix_forks, 2);
+    }
+
+    #[test]
+    fn adaptive_prefix_is_worker_invariant() {
+        // Adaptive forks are not bit-comparable to run-from-zero (the
+        // prefix clamps its last step at t0) but must stay
+        // self-consistent: identical fingerprints at any worker count.
+        let t0 = 2e-6;
+        let (ckt, v, out) = pulse_rc(t0, 0.1e-6);
+        let values = [0.0, 2.0, 4.0, 8.0];
+        let spec = SweepSpec::grid(&[("v2", &values)], 0).unwrap();
+        let sweep = NetlistSweep::new(ckt, IntegrationMethod::Trapezoidal)
+            .adaptive(
+                5e-6,
+                AdaptiveOptions {
+                    initial_step: 1e-9,
+                    ..AdaptiveOptions::default()
+                },
+            )
+            .prefix(t0);
+        let apply = |c: &mut Circuit, sc: &Scenario| {
+            c.set_source_waveform(v, pulse(sc.value("v2"), t0, 0.1e-6))
+        };
+        let base = sweep
+            .run(&spec, 1, &["v"], apply, |tr, m| m[0] = tr.voltage(out))
+            .unwrap();
+        assert_eq!(base.prefix_forks, 4);
+        assert!(base.prefix_steps > 0);
+        for r in &base.scenarios {
+            assert!(r.metrics[0].is_finite());
+            assert!(r.stats.iterations > 0);
+        }
+        let at4 = sweep
+            .run(&spec, 4, &["v"], apply, |tr, m| m[0] = tr.voltage(out))
+            .unwrap();
+        assert_eq!(base.fingerprint(), at4.fingerprint());
     }
 
     #[test]

@@ -20,6 +20,11 @@ pub struct ScenarioResult {
 }
 
 /// Distribution summary of one metric across all scenarios.
+///
+/// When **every** scenario's value is NaN (`count == 0`) the summary is
+/// degenerate: `min`, `max` and `mean` are all NaN and the scenario
+/// indices hold the sentinel [`MetricSummary::NO_SCENARIO`] — there is
+/// no scenario that produced an extreme.
 #[derive(Debug, Clone, PartialEq)]
 pub struct MetricSummary {
     /// Metric name.
@@ -29,16 +34,25 @@ pub struct MetricSummary {
     pub count: usize,
     /// Scenarios whose value was NaN.
     pub nan_count: usize,
-    /// Smallest value and the scenario index that produced it.
+    /// Smallest value; NaN when no scenario contributed.
     pub min: f64,
-    /// Scenario index of `min`.
+    /// Scenario index of `min`, or [`MetricSummary::NO_SCENARIO`] when
+    /// no scenario contributed.
     pub min_scenario: usize,
-    /// Largest value and the scenario index that produced it.
+    /// Largest value; NaN when no scenario contributed.
     pub max: f64,
-    /// Scenario index of `max`.
+    /// Scenario index of `max`, or [`MetricSummary::NO_SCENARIO`] when
+    /// no scenario contributed.
     pub max_scenario: usize,
-    /// Arithmetic mean.
+    /// Arithmetic mean; NaN when no scenario contributed.
     pub mean: f64,
+}
+
+impl MetricSummary {
+    /// Sentinel for [`MetricSummary::min_scenario`] /
+    /// [`MetricSummary::max_scenario`] when `count == 0`: no scenario
+    /// produced the (nonexistent) extreme.
+    pub const NO_SCENARIO: usize = usize::MAX;
 }
 
 /// Aggregated result of a sweep run.
@@ -79,6 +93,17 @@ pub struct SweepReport {
     /// hand-filtered spec, so this field is excluded from
     /// [`SweepReport::fingerprint`] (lanes/bundles precedent).
     pub space_pruned: Vec<(usize, String)>,
+    /// Number of scenarios forked from a shared-prefix checkpoint
+    /// (0 when the sweep ran every scenario from `t = 0`). Sharing
+    /// *policy*, not a simulation result — a prefix-shared run must
+    /// fingerprint identically to a run-from-zero sweep, so this field
+    /// is excluded from [`SweepReport::fingerprint`] (lanes/bundles
+    /// precedent).
+    pub prefix_forks: u64,
+    /// Solver steps (or TDF iterations) spent in the shared prefix run,
+    /// counted once however many scenarios forked from it. Excluded
+    /// from the fingerprint like [`SweepReport::prefix_forks`].
+    pub prefix_steps: u64,
 }
 
 impl SweepReport {
@@ -94,7 +119,9 @@ impl SweepReport {
     }
 
     /// Min/max/mean summary of one metric, with the scenario indices
-    /// that produced the extremes.
+    /// that produced the extremes. When every value is NaN the summary
+    /// is degenerate: NaN extremes and mean,
+    /// [`MetricSummary::NO_SCENARIO`] indices.
     pub fn summary(&self, metric: &str) -> Option<MetricSummary> {
         let j = self.metric_index(metric)?;
         let mut s = MetricSummary {
@@ -102,10 +129,10 @@ impl SweepReport {
             count: 0,
             nan_count: 0,
             min: f64::INFINITY,
-            min_scenario: 0,
+            min_scenario: MetricSummary::NO_SCENARIO,
             max: f64::NEG_INFINITY,
-            max_scenario: 0,
-            mean: 0.0,
+            max_scenario: MetricSummary::NO_SCENARIO,
+            mean: f64::NAN,
         };
         let mut sum = 0.0;
         for r in &self.scenarios {
@@ -127,6 +154,11 @@ impl SweepReport {
         }
         if s.count > 0 {
             s.mean = sum / s.count as f64;
+        } else {
+            // All-NaN metric: ±inf "extremes" would be fabrications —
+            // no scenario produced them — so report NaN throughout.
+            s.min = f64::NAN;
+            s.max = f64::NAN;
         }
         Some(s)
     }
@@ -219,6 +251,8 @@ impl SweepReport {
         for (_, code) in &self.space_pruned {
             m.counter_add(&format!("lint.space.{code}"), 1);
         }
+        m.counter_add("sweep.prefix.forks", self.prefix_forks);
+        m.counter_add("sweep.prefix.steps", self.prefix_steps);
         m
     }
 
@@ -244,13 +278,24 @@ impl SweepReport {
                 self.space_pruned.len()
             );
         }
+        if self.prefix_forks > 0 {
+            let _ = writeln!(
+                out,
+                "  prefix-shared: {} fork(s) from a {}-step common prefix",
+                self.prefix_forks, self.prefix_steps
+            );
+        }
         for name in &self.metric_names {
             if let Some(s) = self.summary(name) {
-                let _ = writeln!(
-                    out,
-                    "  {name}: min {:.6e} (#{}) | mean {:.6e} | max {:.6e} (#{})",
-                    s.min, s.min_scenario, s.mean, s.max, s.max_scenario
-                );
+                if s.count == 0 {
+                    let _ = writeln!(out, "  {name}: all {} value(s) NaN", s.nan_count);
+                } else {
+                    let _ = writeln!(
+                        out,
+                        "  {name}: min {:.6e} (#{}) | mean {:.6e} | max {:.6e} (#{})",
+                        s.min, s.min_scenario, s.mean, s.max, s.max_scenario
+                    );
+                }
             }
         }
         let t = self.totals();
@@ -313,6 +358,8 @@ mod tests {
             lanes: 1,
             bundles: 0,
             space_pruned: Vec::new(),
+            prefix_forks: 0,
+            prefix_steps: 0,
         }
     }
 
@@ -346,6 +393,30 @@ mod tests {
         let s = r.summary("m").unwrap();
         assert_eq!(s.count, 3);
         assert_eq!(s.nan_count, 1);
+    }
+
+    #[test]
+    fn all_nan_metric_summarizes_as_nan_not_inf() {
+        // Regression: the summary used to report min:+inf / max:-inf
+        // with a fabricated min_scenario of 0 and a 0.0/0 mean.
+        let r = report(&[f64::NAN, f64::NAN, f64::NAN]);
+        let s = r.summary("m").unwrap();
+        assert_eq!(s.count, 0);
+        assert_eq!(s.nan_count, 3);
+        assert!(s.min.is_nan(), "min must be NaN, got {}", s.min);
+        assert!(s.max.is_nan(), "max must be NaN, got {}", s.max);
+        assert!(s.mean.is_nan(), "mean must be NaN, got {}", s.mean);
+        assert_eq!(s.min_scenario, MetricSummary::NO_SCENARIO);
+        assert_eq!(s.max_scenario, MetricSummary::NO_SCENARIO);
+        // render() must not print the sentinel as a scenario number.
+        let text = r.render();
+        assert!(text.contains("all 3 value(s) NaN"), "{text}");
+        assert!(!text.contains("18446744073709551615"), "{text}");
+        // A single finite value still wins both extremes.
+        let r = report(&[f64::NAN, 2.5]);
+        let s = r.summary("m").unwrap();
+        assert_eq!((s.min, s.max, s.mean), (2.5, 2.5, 2.5));
+        assert_eq!((s.min_scenario, s.max_scenario), (1, 1));
     }
 
     #[test]
@@ -399,6 +470,22 @@ mod tests {
         assert_eq!(s.counter("sweep.bundles"), 0);
         assert!(lane.render().contains("1 bundles x 8 lanes"));
         assert!(!scalar.render().contains("lane-batched"));
+    }
+
+    #[test]
+    fn prefix_sharing_is_reported_but_not_fingerprinted() {
+        let plain = report(&[1.0, 2.0]);
+        let mut shared = report(&[1.0, 2.0]);
+        shared.prefix_forks = 2;
+        shared.prefix_steps = 64;
+        // Sharing policy never perturbs the result hash: a forked sweep
+        // must match a run-from-zero sweep bit for bit.
+        assert_eq!(plain.fingerprint(), shared.fingerprint());
+        let m = shared.scope_metrics();
+        assert_eq!(m.counter("sweep.prefix.forks"), 2);
+        assert_eq!(m.counter("sweep.prefix.steps"), 64);
+        assert!(shared.render().contains("2 fork(s) from a 64-step"));
+        assert!(!plain.render().contains("prefix-shared"));
     }
 
     #[test]

@@ -16,7 +16,7 @@ use crate::engine::{run_sharded, HookFactory};
 use crate::report::{ScenarioResult, SweepReport};
 use crate::spec::{Scenario, SweepSpec};
 use crate::SweepError;
-use ams_core::{Cluster, TdfGraph};
+use ams_core::{Cluster, ClusterCheckpoint, TdfGraph};
 use ams_exec::ExecStats;
 use ams_lint::LintPolicy;
 use ams_scope::{scenario_arg, ScopeTrace, SpanKind, Tracer};
@@ -69,6 +69,7 @@ pub struct TdfSweep {
     context: String,
     trace: bool,
     hooks: Option<HookFactory>,
+    prefix_iterations: Option<u64>,
 }
 
 impl std::fmt::Debug for TdfSweep {
@@ -78,6 +79,7 @@ impl std::fmt::Debug for TdfSweep {
             .field("context", &self.context)
             .field("trace", &self.trace)
             .field("hooks", &self.hooks.is_some())
+            .field("prefix_iterations", &self.prefix_iterations)
             .finish_non_exhaustive()
     }
 }
@@ -92,7 +94,36 @@ impl TdfSweep {
             context: "tdf-sweep".into(),
             trace: false,
             hooks: None,
+            prefix_iterations: None,
         }
+    }
+
+    /// Declares the first `prefix` schedule iterations of every
+    /// scenario as a shared prefix: each worker runs its pristine
+    /// cluster once to the fork point, saves a [`ClusterCheckpoint`],
+    /// and every scenario **restores** it instead of rewinding to
+    /// iteration 0 — paying only the remaining iterations of cluster
+    /// work. The sharing is counted in [`SweepReport::prefix_forks`] /
+    /// [`SweepReport::prefix_steps`] (fingerprint-excluded); with
+    /// tracing enabled each fork records a
+    /// [`SpanKind::Checkpoint`] instant (`arg` = checkpoint bytes)
+    /// inside its scenario span. Every worker's prefix is identical
+    /// (same topology, template parameters), so reports stay
+    /// bit-identical across worker counts.
+    ///
+    /// **Contract:** valid only when the cluster's trajectory over the
+    /// prefix iterations is scenario-invariant — the parameters
+    /// written by [`SweepModel::apply`] must act strictly after the
+    /// fork point, or only in [`SweepModel::metrics`]. Stateful
+    /// modules must implement
+    /// [`TdfModule::save_state`](ams_core::TdfModule::save_state) /
+    /// [`restore_state`](ams_core::TdfModule::restore_state) (the same
+    /// contract [`Cluster::save`] itself documents); the sweep cannot
+    /// verify either. Rejected by [`run_lanes`](TdfSweep::run_lanes)
+    /// (bundles amortize differently).
+    pub fn prefix(mut self, iterations: u64) -> TdfSweep {
+        self.prefix_iterations = Some(iterations);
+        self
     }
 
     /// Enables span tracing: every scenario records a
@@ -163,10 +194,23 @@ impl TdfSweep {
             return Err(SweepError::invalid("sweep needs at least one metric"));
         }
 
+        let prefix = self.prefix_iterations;
+        if let Some(p) = prefix {
+            if p == 0 || p >= self.iterations {
+                return Err(SweepError::invalid(format!(
+                    "prefix iterations = {p} must satisfy 0 < prefix < iterations = {}",
+                    self.iterations
+                )));
+            }
+        }
+
         let scenarios = spec.scenarios();
         let n_metrics = metrics.len();
         let mut lint_warnings = 0usize;
         let iterations = self.iterations;
+        // Forks restore the checkpoint's iteration counter, so each
+        // scenario runs only the tail beyond the fork point.
+        let tail = iterations - prefix.unwrap_or(0);
         let tracing = self.trace;
 
         let mut shard = run_sharded(
@@ -190,21 +234,41 @@ impl TdfSweep {
                     }
                 }
                 let mut cluster = graph.elaborate()?;
+                // The shared prefix runs once per worker, on the
+                // pristine cluster and before tracing switches on, so
+                // its spans never land in a scenario's track.
+                let ckpt = match prefix {
+                    Some(p) => {
+                        cluster.run_standalone(p).map_err(SweepError::Core)?;
+                        Some(cluster.save())
+                    }
+                    None => None,
+                };
                 if tracing {
                     cluster.set_tracing(true);
                 }
-                Ok((cluster, model))
+                Ok((cluster, model, ckpt))
             },
-            |(cluster, model): &mut (Cluster, M), item, tracer: &mut Tracer| {
+            |(cluster, model, ckpt): &mut (Cluster, M, Option<ClusterCheckpoint>),
+             item,
+             tracer: &mut Tracer| {
                 let sc = &scenarios[item];
                 let idx = sc.index() as u64;
-                cluster.reset();
+                match ckpt {
+                    Some(cp) => cluster
+                        .restore(cp)
+                        .map_err(|e| SweepError::scenario(sc.index(), e))?,
+                    None => cluster.reset(),
+                }
                 model.apply(sc);
                 if tracer.is_enabled() {
                     tracer.begin_with(SpanKind::Scenario, idx, idx);
+                    if let Some(cp) = ckpt {
+                        tracer.instant(SpanKind::Checkpoint, idx, cp.approx_bytes() as u64);
+                    }
                 }
                 cluster
-                    .run_standalone(iterations)
+                    .run_standalone(tail)
                     .map_err(|e| SweepError::scenario(sc.index(), e))?;
                 let mut vals = vec![f64::NAN; n_metrics];
                 model.metrics(cluster, &mut vals);
@@ -272,6 +336,12 @@ impl TdfSweep {
             // The space pass is MNA-specific; TDF structure is
             // scenario-invariant, so nothing is ever pruned here.
             space_pruned: Vec::new(),
+            prefix_forks: if prefix.is_some() {
+                scenarios.len() as u64
+            } else {
+                0
+            },
+            prefix_steps: prefix.unwrap_or(0),
         })
     }
 
@@ -324,6 +394,11 @@ impl TdfSweep {
         }
         if lanes == 0 {
             return Err(SweepError::invalid("lane width must be at least 1"));
+        }
+        if self.prefix_iterations.is_some() {
+            return Err(SweepError::invalid(
+                "prefix sharing is a scalar-path feature: use run()",
+            ));
         }
 
         let scenarios = spec.scenarios();
@@ -442,6 +517,8 @@ impl TdfSweep {
             lanes,
             bundles: n_bundles,
             space_pruned: Vec::new(),
+            prefix_forks: 0,
+            prefix_steps: 0,
         })
     }
 }
@@ -477,6 +554,14 @@ mod tests {
 
         fn reset(&mut self) {
             self.k = 0;
+        }
+
+        fn save_state(&self, out: &mut Vec<f64>) {
+            out.push(self.k as f64);
+        }
+
+        fn restore_state(&mut self, state: &[f64]) {
+            self.k = state[0] as u64;
         }
     }
 
@@ -685,6 +770,125 @@ mod tests {
         }
         assert!(matches!(
             TdfSweep::new(64).run_lanes(&spec, 1, &["peak"], 0, build_lane),
+            Err(SweepError::Invalid(_))
+        ));
+    }
+
+    /// A gain that only acts in `metrics` (post-scaling, LaneModel
+    /// style): the cluster's trajectory is scenario-invariant, which is
+    /// exactly the prefix-sharing contract.
+    struct PostModel {
+        gain: f64,
+        probe: TdfProbe,
+    }
+
+    impl SweepModel for PostModel {
+        fn apply(&mut self, scenario: &Scenario) {
+            self.gain = scenario.value("gain");
+        }
+
+        fn metrics(&mut self, _cluster: &Cluster, out: &mut [f64]) {
+            let unit = self
+                .probe
+                .values()
+                .into_iter()
+                .fold(0.0f64, |m, v| m.max(v.abs()));
+            out[0] = self.gain * unit;
+        }
+    }
+
+    fn build_post(slot: usize) -> (TdfGraph, PostModel) {
+        let mut g = TdfGraph::new(format!("osc{slot}"));
+        let s = g.signal("y");
+        let probe = g.probe(s);
+        g.add_module(
+            "osc",
+            Osc {
+                out: s.writer(),
+                gain: SharedSample::new(1.0),
+                k: 0,
+            },
+        );
+        (g, PostModel { gain: 1.0, probe })
+    }
+
+    #[test]
+    fn prefix_fork_matches_run_from_zero_bit_for_bit() {
+        let gains = [0.5, 1.0, 2.0, 4.0, 8.0];
+        let spec = SweepSpec::grid(&[("gain", &gains)], 3).unwrap();
+        let plain = TdfSweep::new(200)
+            .run(&spec, 2, &["peak"], build_post)
+            .unwrap();
+        assert_eq!(plain.prefix_forks, 0);
+        for workers in [1, 2, 4] {
+            let shared = TdfSweep::new(200)
+                .prefix(64)
+                .run(&spec, workers, &["peak"], build_post)
+                .unwrap();
+            assert_eq!(
+                plain.fingerprint(),
+                shared.fingerprint(),
+                "workers={workers}"
+            );
+            assert_eq!(shared.prefix_forks, 5);
+            assert_eq!(shared.prefix_steps, 64);
+            // Restored counters continue from the checkpoint's: totals
+            // accumulate to run-from-zero work per scenario.
+            assert_eq!(shared.totals().iterations, 5 * 200);
+        }
+    }
+
+    #[test]
+    fn prefix_fork_restores_module_and_probe_state() {
+        use ams_scope::Phase;
+        // The oscillator's phase counter `k` lives in module state: a
+        // fork that failed to restore it would resume mid-waveform and
+        // shift every sample of the tail. Compare actual metric values,
+        // not just fingerprints.
+        let gains = [0.5, 2.0, 4.0];
+        let spec = SweepSpec::grid(&[("gain", &gains)], 0).unwrap();
+        let plain = TdfSweep::new(100)
+            .run(&spec, 1, &["peak"], build_post)
+            .unwrap();
+        let shared = TdfSweep::new(100)
+            .prefix(30)
+            .trace(true)
+            .run(&spec, 2, &["peak"], build_post)
+            .unwrap();
+        assert_eq!(
+            plain.values("peak").unwrap(),
+            shared.values("peak").unwrap()
+        );
+        // Each fork records a Checkpoint instant inside its span.
+        let trace = shared.trace.as_ref().expect("trace enabled");
+        let instants: Vec<_> = trace
+            .tracks
+            .iter()
+            .flat_map(|t| &t.events)
+            .filter(|e| e.kind == SpanKind::Checkpoint && e.phase == Phase::Instant)
+            .collect();
+        assert_eq!(instants.len(), 3);
+        assert!(instants.iter().all(|e| e.arg > 0));
+    }
+
+    #[test]
+    fn prefix_rejects_bad_lengths_and_lane_runs() {
+        let spec = SweepSpec::grid(&[("gain", &[1.0, 2.0])], 0).unwrap();
+        for bad in [0, 100, 150] {
+            assert!(
+                matches!(
+                    TdfSweep::new(100)
+                        .prefix(bad)
+                        .run(&spec, 1, &["peak"], build_post),
+                    Err(SweepError::Invalid(_))
+                ),
+                "prefix = {bad}"
+            );
+        }
+        assert!(matches!(
+            TdfSweep::new(100)
+                .prefix(30)
+                .run_lanes(&spec, 1, &["peak"], 4, build_lane),
             Err(SweepError::Invalid(_))
         ));
     }

@@ -12,10 +12,19 @@
 //!    that the warm run performed **zero** symbolic analyses and
 //!    **zero** lint passes (from the daemon's `serve.*` metrics).
 //!
+//! With `--suspend-resume` it exercises the checkpoint layer over the
+//! wire: submit a deliberately slow job, suspend it mid-run (the
+//! daemon checkpoints the completed scenarios into the topology
+//! cache), resume it, and assert the stitched-together report's
+//! fingerprint is bit-identical to an uninterrupted in-process run —
+//! with the `serve.checkpoint.*` metrics confirming a checkpoint was
+//! actually stored and restored.
+//!
 //! ```text
 //! cargo run --release --example serve_client -- --addr HOST:PORT
-//!     --admin TOKEN [--scenarios N] [--seed N] [--parity] [--shutdown]
-//!     [--lint-only] [--lint-space [RANGES]]
+//!     --admin TOKEN [--scenarios N] [--seed N] [--parity]
+//!     [--suspend-resume] [--shutdown] [--lint-only]
+//!     [--lint-space [RANGES]]
 //! ```
 //!
 //! `--lint-only` and `--lint-space` need no daemon (and no
@@ -29,8 +38,8 @@ use std::net::TcpStream;
 use systemc_ams::sweep::json::{parse, Json};
 
 const USAGE: &str = "cargo run --example serve_client -- --addr HOST:PORT --admin TOKEN \
-                     [--scenarios N] [--seed N] [--parity] [--shutdown] \
-                     [--lint-only] [--lint-space [RANGES]]";
+                     [--scenarios N] [--seed N] [--parity] [--suspend-resume] \
+                     [--shutdown] [--lint-only] [--lint-space [RANGES]]";
 
 /// One newline-delimited JSON connection.
 struct Client {
@@ -65,9 +74,7 @@ impl Client {
         Ok(obj)
     }
 
-    /// Submits `job` and blocks for its report; returns the server's
-    /// fingerprint string.
-    fn run_job(
+    fn submit(
         &mut self,
         tenant: &str,
         job: &systemc_ams::serve::JobSpec,
@@ -77,11 +84,34 @@ impl Client {
             job.to_json().render()
         );
         let reply = self.request(&submit)?;
-        let token = reply
+        Ok(reply
             .get("job_token")
             .and_then(Json::as_str)
             .ok_or("submit reply lacks job_token")?
+            .to_string())
+    }
+
+    /// One `status` round-trip: (state tag, completed scenarios).
+    fn status(
+        &mut self,
+        tenant: &str,
+        token: &str,
+    ) -> Result<(String, u64), Box<dyn std::error::Error>> {
+        let reply = self.request(&format!(
+            r#"{{"op":"status","tenant":"{tenant}","job":"{token}"}}"#
+        ))?;
+        let state = reply
+            .get("state")
+            .and_then(Json::as_str)
+            .ok_or("status reply lacks state")?
             .to_string();
+        let completed = reply.get("completed").and_then(Json::as_u64).unwrap_or(0);
+        Ok((state, completed))
+    }
+
+    /// Blocks on `result` for an already-submitted job; returns the
+    /// server's fingerprint string.
+    fn result(&mut self, tenant: &str, token: &str) -> Result<String, Box<dyn std::error::Error>> {
         let reply = self.request(&format!(
             r#"{{"op":"result","tenant":"{tenant}","job":"{token}"}}"#
         ))?;
@@ -97,6 +127,17 @@ impl Client {
             .to_string();
         assert_eq!(fp, format!("{:016x}", report.fingerprint()));
         Ok(fp)
+    }
+
+    /// Submits `job` and blocks for its report; returns the server's
+    /// fingerprint string.
+    fn run_job(
+        &mut self,
+        tenant: &str,
+        job: &systemc_ams::serve::JobSpec,
+    ) -> Result<String, Box<dyn std::error::Error>> {
+        let token = self.submit(tenant, job)?;
+        self.result(tenant, &token)
     }
 
     fn counter(&mut self, admin: &str, name: &str) -> Result<u64, Box<dyn std::error::Error>> {
@@ -115,6 +156,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut scenarios = 64usize;
     let mut seed = 0xF1u64;
     let mut parity = false;
+    let mut suspend_resume = false;
     let mut shutdown = false;
     let mut lint_only = false;
     let mut lint_space = false;
@@ -130,6 +172,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             }
             "--seed" => seed = args.next().ok_or("--seed needs a value")?.parse()?,
             "--parity" => parity = true,
+            "--suspend-resume" => suspend_resume = true,
             "--shutdown" => shutdown = true,
             "--lint-only" => lint_only = true,
             "--lint-space" => {
@@ -209,6 +252,68 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             return Err("lint pass accounting FAILED (want exactly 1 cold lint, 0 warm)".into());
         }
         println!("parity OK: warm cache is bit-identical with 0 symbolic analyses, 0 lint passes");
+    } else if suspend_resume {
+        // A deliberately slow variant of the demo job (100× finer step)
+        // so the suspend lands while scenarios are still pending.
+        let mut slow = job.clone();
+        slow.h /= 100.0;
+        let direct = format!("{:016x}", slow.direct_run(2)?.fingerprint());
+
+        let stored_before = client.counter(&admin, "serve.checkpoint.stored")?;
+        let token = client.submit(&tenant, &slow)?;
+        // Let at least one scenario land so there is something to
+        // checkpoint, then ask for suspension.
+        loop {
+            let (state, completed) = client.status(&tenant, &token)?;
+            if completed >= 1 || state == "done" {
+                break;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(5));
+        }
+        client.request(&format!(
+            r#"{{"op":"suspend","tenant":"{tenant}","job":"{token}"}}"#
+        ))?;
+        let suspended = loop {
+            let (state, completed) = client.status(&tenant, &token)?;
+            match state.as_str() {
+                "suspended" => break true,
+                // The job beat the suspension to the finish line;
+                // nothing was checkpointed, which is a legal outcome —
+                // rerun with more --scenarios to widen the window.
+                "done" => break false,
+                _ => {
+                    println!("waiting: {state}, {completed} scenarios done");
+                    std::thread::sleep(std::time::Duration::from_millis(20));
+                }
+            }
+        };
+        if suspended {
+            let stored = client.counter(&admin, "serve.checkpoint.stored")?;
+            if stored != stored_before + 1 {
+                return Err("suspension stored no checkpoint".into());
+            }
+            let restored_before = client.counter(&admin, "serve.checkpoint.restored")?;
+            client.request(&format!(
+                r#"{{"op":"resume","tenant":"{tenant}","job":"{token}"}}"#
+            ))?;
+            let fp = client.result(&tenant, &token)?;
+            let restored = client.counter(&admin, "serve.checkpoint.restored")?;
+            println!("direct   {direct}\nresumed  {fp}");
+            if fp != direct {
+                return Err("suspend/resume fingerprint parity FAILED".into());
+            }
+            if restored != restored_before + 1 {
+                return Err("resume restored no checkpoint".into());
+            }
+            let n = client.counter(&admin, "serve.checkpoint.scenarios_restored")?;
+            println!(
+                "suspend/resume OK: resumed report is bit-identical \
+                 ({n} scenarios served from the checkpoint so far)"
+            );
+        } else {
+            let fp = client.result(&tenant, &token)?;
+            println!("job finished before suspension landed, fingerprint {fp}");
+        }
     } else {
         let fp = client.run_job(&tenant, &job)?;
         println!("job complete, fingerprint {fp}");

@@ -151,6 +151,21 @@ pub mod rngs {
     }
 
     impl StdRng {
+        /// The generator's current stream position: its full internal
+        /// state, as expanded from the SplitMix64-seeded construction
+        /// and advanced by every draw since. Feed it back through
+        /// [`StdRng::from_state`] to resume the identical stream — the
+        /// checkpoint/restore hook for deterministic forked runs.
+        pub fn state(&self) -> [u64; 4] {
+            self.s
+        }
+
+        /// Reconstructs a generator at a stream position previously
+        /// captured with [`StdRng::state`].
+        pub fn from_state(s: [u64; 4]) -> Self {
+            StdRng { s }
+        }
+
         fn next(&mut self) -> u64 {
             let result = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
             let t = self.s[1] << 17;
@@ -219,6 +234,18 @@ mod tests {
             assert!((3..9).contains(&n));
             let i = rng.gen_range(-5i32..5);
             assert!((-5..5).contains(&i));
+        }
+    }
+
+    #[test]
+    fn state_round_trip_resumes_identical_stream() {
+        let mut a = StdRng::seed_from_u64(9);
+        for _ in 0..17 {
+            a.gen::<u64>();
+        }
+        let mut b = StdRng::from_state(a.state());
+        for _ in 0..100 {
+            assert_eq!(a.gen::<u64>(), b.gen::<u64>());
         }
     }
 
