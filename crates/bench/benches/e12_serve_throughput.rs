@@ -67,6 +67,7 @@ fn ladder_job() -> JobSpec {
         h: 10e-9,
         trapezoidal: true,
         workers: 2,
+        monitors: None,
     }
 }
 

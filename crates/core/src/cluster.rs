@@ -15,6 +15,7 @@ use crate::shared::{sample_queue, SampleQueue, SampleSink, SampleSource, SharedS
 use crate::CoreError;
 use ams_kernel::{Signal, SimTime};
 use ams_math::{Complex64, DMat, DVec, Lu};
+use ams_monitor::MonitorBank;
 use ams_scope::{SpanKind, TraceEvent, Tracer};
 use ams_sdf::{schedule as sdf_schedule, SdfGraph};
 use std::collections::HashMap;
@@ -486,6 +487,7 @@ impl TdfGraph {
                 .collect(),
             de_reads: self.de_reads,
             de_writes: self.de_writes,
+            monitors: None,
         })
     }
 }
@@ -567,6 +569,20 @@ pub struct Cluster {
     tracer: Tracer,
     pub(crate) de_reads: Vec<DeReadBinding>,
     pub(crate) de_writes: Vec<DeWriteBinding>,
+    /// Attached streaming assertion monitors (`None` = one branch per
+    /// iteration, the same disabled-cost discipline as `tracer`).
+    monitors: Option<ClusterMonitors>,
+}
+
+/// A monitor bank bound to this cluster's signal buffers. Each channel
+/// walks its signal's buffer with a cursor, exactly like a probe — but
+/// folds samples into the automata instead of storing them.
+struct ClusterMonitors {
+    bank: MonitorBank,
+    /// The bank as attached, for [`Cluster::reset`].
+    pristine: MonitorBank,
+    /// Per channel: `(signal index, next buffer index to feed)`.
+    taps: Vec<(usize, i64)>,
 }
 
 impl Cluster {
@@ -584,6 +600,73 @@ impl Cluster {
     /// Completed iterations.
     pub fn iterations(&self) -> u64 {
         self.iteration
+    }
+
+    /// Looks a TDF signal up by name. `None` when no signal carries
+    /// that name; first match wins on duplicates.
+    pub fn find_signal(&self, name: &str) -> Option<TdfSignal> {
+        self.signal_names
+            .iter()
+            .position(|n| n == name)
+            .map(TdfSignal)
+    }
+
+    /// Attaches a compiled monitor bank: channel `ch` of the bank
+    /// streams signal `signals[ch]` (pair them with
+    /// [`MonitorBank::channels`], resolved via
+    /// [`Cluster::find_signal`]). Samples are fed once per completed
+    /// iteration, in buffer order, with the same timestamps probes
+    /// record; nothing is buffered. Replaces any bank attached earlier.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `signals` does not pair 1:1 with the bank's channels
+    /// or names a signal outside the cluster.
+    pub fn attach_monitors(&mut self, bank: MonitorBank, signals: &[TdfSignal]) {
+        assert_eq!(
+            bank.channels().len(),
+            signals.len(),
+            "one signal per monitor channel"
+        );
+        let taps = signals
+            .iter()
+            .map(|s| {
+                assert!(s.0 < self.bufs.len(), "signal out of range");
+                (s.0, 0i64)
+            })
+            .collect();
+        self.monitors = Some(ClusterMonitors {
+            pristine: bank.clone(),
+            bank,
+            taps,
+        });
+    }
+
+    /// The attached monitor bank, when present.
+    pub fn monitor_bank(&self) -> Option<&MonitorBank> {
+        self.monitors.as_ref().map(|m| &m.bank)
+    }
+
+    /// Detaches and returns the monitor bank (with all accumulated
+    /// automaton state), when present.
+    pub fn take_monitors(&mut self) -> Option<MonitorBank> {
+        self.monitors.take().map(|m| m.bank)
+    }
+
+    /// Overwrites the attached bank's automaton state and re-syncs the
+    /// feed cursors to the current buffer positions. [`Cluster::save`]
+    /// deliberately excludes monitor state, so a checkpoint-forking
+    /// sweep calls this right after [`Cluster::restore`] with the bank
+    /// snapshot it took at the checkpoint. No-op when no bank is
+    /// attached.
+    pub fn set_monitor_bank_state(&mut self, bank: MonitorBank) {
+        if let Some(mon) = self.monitors.as_mut() {
+            mon.bank = bank;
+            for (sig, next) in mon.taps.iter_mut() {
+                let buf = &self.bufs[*sig];
+                *next = buf.base + buf.data.len() as i64;
+            }
+        }
     }
 
     /// The resolved timestep of a module.
@@ -618,6 +701,7 @@ impl Cluster {
         self.iteration += 1;
         self.stats.iterations += 1;
         self.flush_probes();
+        self.feed_monitors();
         self.trim_buffers();
         if traced {
             self.tracer.end_with(
@@ -681,6 +765,26 @@ impl Cluster {
         }
     }
 
+    /// Streams every not-yet-seen buffer sample of each monitored
+    /// signal into the attached bank (same cursor walk as
+    /// [`Cluster::flush_probes`], without storing anything). One branch
+    /// when no bank is attached.
+    fn feed_monitors(&mut self) {
+        if let Some(mon) = self.monitors.as_mut() {
+            for (ch, (sig, next)) in mon.taps.iter_mut().enumerate() {
+                let buf = &self.bufs[*sig];
+                let end = buf.base + buf.data.len() as i64;
+                let period = self.sig_period_secs[*sig];
+                let from = (*next).max(buf.base);
+                for idx in from..end {
+                    let v = buf.get(idx).expect("index within window");
+                    mon.bank.feed(ch, idx as f64 * period, v);
+                }
+                *next = end;
+            }
+        }
+    }
+
     fn trim_buffers(&mut self) {
         let n_sigs = self.bufs.len();
         let mut keep_from: Vec<i64> = vec![i64::MAX; n_sigs];
@@ -691,6 +795,11 @@ impl Cluster {
         }
         for p in &self.probes {
             keep_from[p.signal.0] = keep_from[p.signal.0].min(p.next_idx);
+        }
+        if let Some(mon) = &self.monitors {
+            for (sig, next) in &mon.taps {
+                keep_from[*sig] = keep_from[*sig].min(*next);
+            }
         }
         for (s, buf) in self.bufs.iter_mut().enumerate() {
             let kf = keep_from[s];
@@ -836,6 +945,12 @@ impl Cluster {
         for p in &mut self.probes {
             p.next_idx = 0;
             p.probe.data.lock().expect("probe storage poisoned").clear();
+        }
+        if let Some(mon) = self.monitors.as_mut() {
+            mon.bank = mon.pristine.clone();
+            for (_, next) in mon.taps.iter_mut() {
+                *next = 0;
+            }
         }
         for (_, queue) in &self.de_writes {
             queue.lock().expect("sample queue poisoned").clear();
@@ -1228,6 +1343,76 @@ mod tests {
         for (t, want) in probe.times().iter().zip([0.0, 1e-6, 2e-6]) {
             assert!((t - want).abs() < 1e-12, "time {t} vs {want}");
         }
+    }
+
+    #[test]
+    fn monitors_stream_signals_like_probes() {
+        use ams_monitor::MonitorSpec;
+        let build = |k: f64| {
+            let mut g = TdfGraph::new("mon");
+            let s1 = g.signal("s1");
+            let s2 = g.signal("s2");
+            g.add_module(
+                "cnt",
+                Counter {
+                    out: s1.writer(),
+                    next: 1.0,
+                    ts: SimTime::from_us(1),
+                },
+            );
+            g.add_module(
+                "g2",
+                Gain {
+                    inp: s1.reader(),
+                    out: s2.writer(),
+                    k,
+                },
+            );
+            g.elaborate().unwrap()
+        };
+        let spec = MonitorSpec::parse(
+            "bounded:overshoot(max=9.5)@s2;\
+             ramping:ramp(from=0,until=1,tol=0)@s2;\
+             fin:finite()@s1",
+        )
+        .unwrap();
+        let bank = MonitorBank::new(&spec);
+        let mut c = build(2.0);
+        let sigs: Vec<TdfSignal> = bank
+            .channels()
+            .iter()
+            .map(|ch| c.find_signal(ch).unwrap())
+            .collect();
+        assert!(c.find_signal("missing").is_none());
+        c.attach_monitors(bank.clone(), &sigs);
+        // s2 = 2, 4, 6 after 3 iterations: all pass.
+        c.run_standalone(3).unwrap();
+        let fed = c.monitor_bank().unwrap();
+        assert_eq!(fed.samples(), 6); // 3 samples × 2 channels
+        assert!(fed.finish().iter().all(|v| v.is_pass()));
+        // reset() rewinds the bank with the buffers.
+        c.reset();
+        assert_eq!(c.monitor_bank().unwrap().samples(), 0);
+        // Run further: s2 = 2..=10, overshoot fires at the 5th sample.
+        c.run_standalone(5).unwrap();
+        let v = c.monitor_bank().unwrap().finish();
+        assert_eq!(v[0].code(), Some("MON002"));
+        assert!(v[1].is_pass() && v[2].is_pass());
+        // Checkpoint forking: snapshot the bank with the cluster state,
+        // run ahead, then restore + re-sync — the fork replays bit-
+        // identically to the uninterrupted run.
+        let mut c = build(2.0);
+        c.attach_monitors(bank, &sigs);
+        c.run_standalone(2).unwrap();
+        let cp = c.save();
+        let snap = c.monitor_bank().unwrap().clone();
+        c.run_standalone(6).unwrap();
+        let ahead = c.monitor_bank().unwrap().finish();
+        c.restore(&cp).unwrap();
+        c.set_monitor_bank_state(snap);
+        c.run_standalone(6).unwrap();
+        assert_eq!(c.monitor_bank().unwrap().finish(), ahead);
+        assert_eq!(c.monitor_bank().unwrap().samples(), 16);
     }
 
     #[test]

@@ -1,0 +1,195 @@
+//! A bank of monitors sharing a set of named channels.
+//!
+//! The bank is what solver layers attach: they resolve each channel
+//! name to whatever they probe (an MNA node, a TDF signal) once at
+//! attach time, then call [`MonitorBank::feed`] with the channel
+//! *index* per accepted sample. Fan-out to the monitors watching that
+//! channel is precomputed, so the per-sample cost is a slice walk over
+//! exactly the interested automata.
+
+use crate::monitor::{Monitor, Verdict};
+use crate::property::MonitorSpec;
+
+/// A compiled [`MonitorSpec`]: all monitors plus the channel table.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MonitorBank {
+    channels: Vec<String>,
+    names: Vec<String>,
+    monitors: Vec<Monitor>,
+    by_channel: Vec<Vec<usize>>,
+    samples: u64,
+}
+
+impl MonitorBank {
+    /// Compiles every property in `spec`. Channel names are deduplicated
+    /// in first-appearance order; [`MonitorBank::channels`] is the list
+    /// the embedding layer must resolve and feed by index.
+    pub fn new(spec: &MonitorSpec) -> MonitorBank {
+        let mut channels: Vec<String> = Vec::new();
+        let mut by_channel: Vec<Vec<usize>> = Vec::new();
+        let mut monitors = Vec::with_capacity(spec.props.len());
+        let mut names = Vec::with_capacity(spec.props.len());
+        for (i, p) in spec.props.iter().enumerate() {
+            let ch = match channels.iter().position(|c| *c == p.channel) {
+                Some(ch) => ch,
+                None => {
+                    channels.push(p.channel.clone());
+                    by_channel.push(Vec::new());
+                    channels.len() - 1
+                }
+            };
+            by_channel[ch].push(i);
+            names.push(p.name.clone());
+            monitors.push(Monitor::new(ch, p.property.clone()));
+        }
+        MonitorBank {
+            channels,
+            names,
+            monitors,
+            by_channel,
+            samples: 0,
+        }
+    }
+
+    /// Channel names in feed-index order.
+    pub fn channels(&self) -> &[String] {
+        &self.channels
+    }
+
+    /// Property names, in spec declaration order (= verdict order).
+    pub fn names(&self) -> &[String] {
+        &self.names
+    }
+
+    /// Number of properties.
+    pub fn len(&self) -> usize {
+        self.monitors.len()
+    }
+
+    /// `true` when the bank holds no monitors.
+    pub fn is_empty(&self) -> bool {
+        self.monitors.is_empty()
+    }
+
+    /// Total samples fed (across all channels).
+    pub fn samples(&self) -> u64 {
+        self.samples
+    }
+
+    /// The monitors, in spec declaration order.
+    pub fn monitors(&self) -> &[Monitor] {
+        &self.monitors
+    }
+
+    /// Feeds one sample of channel index `channel` (an index into
+    /// [`MonitorBank::channels`]) to every monitor watching it.
+    pub fn feed(&mut self, channel: usize, t: f64, v: f64) {
+        self.samples += 1;
+        for &i in &self.by_channel[channel] {
+            self.monitors[i].feed(t, v);
+        }
+    }
+
+    /// Feeds one sample per channel, `values[ch]` being channel `ch`'s
+    /// value at time `t`. `values` must cover every channel.
+    pub fn feed_all(&mut self, t: f64, values: &[f64]) {
+        for (ch, &v) in values.iter().enumerate().take(self.channels.len()) {
+            self.feed(ch, t, v);
+        }
+    }
+
+    /// Verdicts in spec declaration order. Non-consuming: sweeps may
+    /// snapshot verdicts at a checkpoint and keep feeding.
+    pub fn finish(&self) -> Vec<Verdict> {
+        self.monitors.iter().map(Monitor::finish).collect()
+    }
+
+    /// Resets every monitor to its freshly compiled state.
+    pub fn reset(&mut self) {
+        self.samples = 0;
+        for m in &mut self.monitors {
+            m.reset();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::property::Property;
+
+    fn spec() -> MonitorSpec {
+        MonitorSpec::parse(
+            "over:overshoot(max=1.0)@out;\
+             fin:finite()@in;\
+             under:undershoot(min=-1.0)@out",
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn channels_dedupe_in_first_appearance_order() {
+        let bank = MonitorBank::new(&spec());
+        assert_eq!(bank.channels(), ["out", "in"]);
+        assert_eq!(bank.names(), ["over", "fin", "under"]);
+        assert_eq!(bank.len(), 3);
+        assert!(!bank.is_empty());
+    }
+
+    #[test]
+    fn feed_routes_to_watching_monitors_only() {
+        let mut bank = MonitorBank::new(&spec());
+        bank.feed(0, 0.0, 2.0); // trips "over", not "under" or "fin"
+        bank.feed(1, 0.0, 0.5);
+        let v = bank.finish();
+        assert!(v[0].is_fail());
+        assert!(v[1].is_pass());
+        assert!(v[2].is_pass());
+        assert_eq!(bank.samples(), 2);
+    }
+
+    #[test]
+    fn feed_all_matches_per_channel_feeds() {
+        let mut a = MonitorBank::new(&spec());
+        let mut b = MonitorBank::new(&spec());
+        for k in 0..10 {
+            let t = f64::from(k) * 0.1;
+            let out = 0.5 + 0.01 * f64::from(k);
+            let inp = -0.5;
+            a.feed_all(t, &[out, inp]);
+            b.feed(0, t, out);
+            b.feed(1, t, inp);
+        }
+        assert_eq!(a, b);
+        assert_eq!(a.finish(), b.finish());
+    }
+
+    #[test]
+    fn reset_matches_fresh_bank() {
+        let mut bank = MonitorBank::new(&spec());
+        bank.feed(0, 0.0, 5.0);
+        bank.feed(1, 0.0, f64::NAN);
+        bank.reset();
+        assert_eq!(bank, MonitorBank::new(&spec()));
+    }
+
+    #[test]
+    fn empty_spec_builds_empty_bank() {
+        let bank = MonitorBank::new(&MonitorSpec::new());
+        assert!(bank.is_empty());
+        assert!(bank.finish().is_empty());
+    }
+
+    #[test]
+    fn one_property_verdict_snapshot_then_continue() {
+        let mut bank = MonitorBank::new(&MonitorSpec::new().prop(
+            "s",
+            "out",
+            Property::Overshoot { max: 1.0 },
+        ));
+        bank.feed(0, 0.0, 0.5);
+        assert!(bank.finish()[0].is_pass());
+        bank.feed(0, 1.0, 2.0);
+        assert!(bank.finish()[0].is_fail());
+    }
+}

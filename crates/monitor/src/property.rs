@@ -1,0 +1,517 @@
+//! The property language: kinds, specs, and the text grammar.
+//!
+//! A [`MonitorSpec`] is a list of named properties, each watching one
+//! *channel* (a node or signal name the embedding layer resolves). The
+//! text form — used by `--monitor` flags and the `ams-serve` job
+//! protocol — is:
+//!
+//! ```text
+//! spec     := prop ( ';' prop )*
+//! prop     := name ':' kind '(' [ key '=' num ( ',' key '=' num )* ] ')' '@' channel
+//! kind     := settle | overshoot | undershoot | ramp | envelope
+//!           | rise | ripple | fmask | finite
+//! ```
+//!
+//! For example `settled:settle(lo=0.55,hi=0.65,by=8e-4)@out` names the
+//! property `settled`, watches channel `out`, and requires the signal
+//! to sit inside `[0.55, 0.65]` at every sample from `t = 0.8 ms` on.
+//! All numbers are `f64` literals (`1e-6`, `0.5`, `-3` …); whitespace
+//! around tokens is ignored.
+
+use crate::codes;
+
+/// One temporal property kind with its parameters. Times are simulated
+/// seconds, levels are in the channel's unit (volts for MNA nodes).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Property {
+    /// `settle(lo,hi,by)` — from `t >= by` on, every sample must lie in
+    /// `[lo, hi]`. Fails with [`codes::MON001`]; vacuous when the run
+    /// ends before `by`.
+    Settle {
+        /// Band lower edge.
+        lo: f64,
+        /// Band upper edge.
+        hi: f64,
+        /// Settling deadline in seconds.
+        by: f64,
+    },
+    /// `overshoot(max)` — no sample may exceed `max`. Fails with
+    /// [`codes::MON002`].
+    Overshoot {
+        /// Upper bound.
+        max: f64,
+    },
+    /// `undershoot(min)` — no sample may fall below `min`. Fails with
+    /// [`codes::MON003`].
+    Undershoot {
+        /// Lower bound.
+        min: f64,
+    },
+    /// `ramp(from,until,tol)` — inside `[from, until]` the signal must
+    /// be non-decreasing up to dips of `tol` below its running peak.
+    /// Fails with [`codes::MON004`]; vacuous when the window saw no
+    /// sample.
+    Ramp {
+        /// Window start in seconds.
+        from: f64,
+        /// Window end in seconds.
+        until: f64,
+        /// Allowed dip below the running peak.
+        tol: f64,
+    },
+    /// `envelope(lo,hi,from,until)` — inside `[from, until]` every
+    /// sample must lie in `[lo, hi]`. `from`/`until` default to
+    /// `0`/`+inf`. Fails with [`codes::MON005`]; vacuous when the
+    /// window saw no sample.
+    Envelope {
+        /// Envelope floor.
+        lo: f64,
+        /// Envelope ceiling.
+        hi: f64,
+        /// Window start in seconds.
+        from: f64,
+        /// Window end in seconds.
+        until: f64,
+    },
+    /// `rise(lo,hi,within)` — once the signal first reaches `lo`, it
+    /// must reach `hi` within `within` seconds. Fails with
+    /// [`codes::MON006`]; vacuous when `lo` is never reached (or the
+    /// run ends before the window elapses).
+    Rise {
+        /// Low threshold arming the measurement.
+        lo: f64,
+        /// High threshold completing it.
+        hi: f64,
+        /// Maximum allowed `lo → hi` time in seconds.
+        within: f64,
+    },
+    /// `ripple(after,max)` — from `t >= after` on, the running
+    /// peak-to-peak excursion must stay at or below `max`. Fails with
+    /// [`codes::MON007`] (witness value = the excursion); vacuous when
+    /// the run ends before `after`.
+    Ripple {
+        /// Steady-state window start in seconds.
+        after: f64,
+        /// Maximum allowed peak-to-peak excursion.
+        max: f64,
+    },
+    /// `fmask(f,max)` — the streamed Goertzel-style amplitude estimate
+    /// at each bin frequency must stay at or below the bin's ceiling.
+    /// The text form declares one bin; the API accepts a whole bank.
+    /// Evaluated at end of run. Fails with [`codes::MON008`] (witness
+    /// value = the amplitude); vacuous when no sample arrived.
+    FreqMask {
+        /// `(frequency_hz, max_amplitude)` bins.
+        bins: Vec<(f64, f64)>,
+    },
+    /// `finite()` — every sample must be finite. Fails with
+    /// [`codes::MON009`]; vacuous when no sample arrived. (All other
+    /// kinds *also* fail with `MON009` on a non-finite sample; this
+    /// kind asserts nothing else.)
+    Finite,
+}
+
+impl Property {
+    /// The code this property fails with (non-finite samples override
+    /// it with [`codes::MON009`] for every kind).
+    pub fn code(&self) -> &'static str {
+        match self {
+            Property::Settle { .. } => codes::MON001,
+            Property::Overshoot { .. } => codes::MON002,
+            Property::Undershoot { .. } => codes::MON003,
+            Property::Ramp { .. } => codes::MON004,
+            Property::Envelope { .. } => codes::MON005,
+            Property::Rise { .. } => codes::MON006,
+            Property::Ripple { .. } => codes::MON007,
+            Property::FreqMask { .. } => codes::MON008,
+            Property::Finite => codes::MON009,
+        }
+    }
+
+    /// The grammar keyword of this kind.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Property::Settle { .. } => "settle",
+            Property::Overshoot { .. } => "overshoot",
+            Property::Undershoot { .. } => "undershoot",
+            Property::Ramp { .. } => "ramp",
+            Property::Envelope { .. } => "envelope",
+            Property::Rise { .. } => "rise",
+            Property::Ripple { .. } => "ripple",
+            Property::FreqMask { .. } => "fmask",
+            Property::Finite => "finite",
+        }
+    }
+
+    /// Renders the property in grammar form (`settle(lo=…,hi=…,by=…)`).
+    /// Multi-bin frequency masks render their first bin only in text
+    /// (the grammar declares one bin per property).
+    pub fn render(&self) -> String {
+        match self {
+            Property::Settle { lo, hi, by } => format!("settle(lo={lo:?},hi={hi:?},by={by:?})"),
+            Property::Overshoot { max } => format!("overshoot(max={max:?})"),
+            Property::Undershoot { min } => format!("undershoot(min={min:?})"),
+            Property::Ramp { from, until, tol } => {
+                format!("ramp(from={from:?},until={until:?},tol={tol:?})")
+            }
+            Property::Envelope {
+                lo,
+                hi,
+                from,
+                until,
+            } => {
+                format!("envelope(lo={lo:?},hi={hi:?},from={from:?},until={until:?})")
+            }
+            Property::Rise { lo, hi, within } => {
+                format!("rise(lo={lo:?},hi={hi:?},within={within:?})")
+            }
+            Property::Ripple { after, max } => format!("ripple(after={after:?},max={max:?})"),
+            Property::FreqMask { bins } => {
+                let (f, max) = bins.first().copied().unwrap_or((0.0, 0.0));
+                format!("fmask(f={f:?},max={max:?})")
+            }
+            Property::Finite => "finite()".to_string(),
+        }
+    }
+}
+
+/// One named property bound to a channel.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PropertySpec {
+    /// Property name (appears in reports and metrics).
+    pub name: String,
+    /// Channel name, resolved by the embedding layer (an MNA node name
+    /// for netlist sweeps, a TDF signal name for cluster sweeps).
+    pub channel: String,
+    /// The property itself.
+    pub property: Property,
+}
+
+/// An ordered list of properties — the unit the sweep and serve layers
+/// accept.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct MonitorSpec {
+    /// The properties, in declaration order (verdict order everywhere).
+    pub props: Vec<PropertySpec>,
+}
+
+impl MonitorSpec {
+    /// An empty spec.
+    pub fn new() -> MonitorSpec {
+        MonitorSpec::default()
+    }
+
+    /// Appends a property (builder style).
+    pub fn prop(
+        mut self,
+        name: impl Into<String>,
+        channel: impl Into<String>,
+        property: Property,
+    ) -> MonitorSpec {
+        self.props.push(PropertySpec {
+            name: name.into(),
+            channel: channel.into(),
+            property,
+        });
+        self
+    }
+
+    /// `true` when the spec holds no properties.
+    pub fn is_empty(&self) -> bool {
+        self.props.is_empty()
+    }
+
+    /// Number of properties.
+    pub fn len(&self) -> usize {
+        self.props.len()
+    }
+
+    /// Property names in declaration order.
+    pub fn names(&self) -> Vec<String> {
+        self.props.iter().map(|p| p.name.clone()).collect()
+    }
+
+    /// Parses the text grammar (see the module docs). Returns the
+    /// first violation as a rendered message.
+    ///
+    /// # Errors
+    ///
+    /// A message naming the offending property or argument.
+    pub fn parse(text: &str) -> Result<MonitorSpec, String> {
+        let mut spec = MonitorSpec::new();
+        for raw in text.split(';') {
+            let raw = raw.trim();
+            if raw.is_empty() {
+                continue;
+            }
+            spec.props.push(parse_prop(raw)?);
+        }
+        if spec.props.is_empty() {
+            return Err("monitor spec holds no properties".into());
+        }
+        Ok(spec)
+    }
+
+    /// Renders the spec in grammar form; `parse ∘ render` is the
+    /// identity for single-bin specs. Deterministic, so serve jobs can
+    /// fold it into their fingerprints.
+    pub fn render(&self) -> String {
+        self.props
+            .iter()
+            .map(|p| format!("{}:{}@{}", p.name, p.property.render(), p.channel))
+            .collect::<Vec<_>>()
+            .join(";")
+    }
+}
+
+fn parse_prop(raw: &str) -> Result<PropertySpec, String> {
+    let (name, rest) = raw
+        .split_once(':')
+        .ok_or_else(|| format!("property {raw:?}: expected name ':' kind(...)@channel"))?;
+    let (body, channel) = rest
+        .rsplit_once('@')
+        .ok_or_else(|| format!("property {name:?}: missing '@channel'"))?;
+    let name = name.trim();
+    let channel = channel.trim();
+    if name.is_empty() || channel.is_empty() {
+        return Err(format!("property {raw:?}: empty name or channel"));
+    }
+    let body = body.trim();
+    let open = body
+        .find('(')
+        .ok_or_else(|| format!("property {name:?}: missing '('"))?;
+    if !body.ends_with(')') {
+        return Err(format!("property {name:?}: missing ')'"));
+    }
+    let kind = body[..open].trim();
+    let args = parse_args(name, &body[open + 1..body.len() - 1])?;
+    let get = |key: &str| -> Result<f64, String> {
+        args.iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| *v)
+            .ok_or_else(|| format!("property {name:?}: {kind} needs argument {key:?}"))
+    };
+    let opt = |key: &str, default: f64| -> f64 {
+        args.iter()
+            .find(|(k, _)| k == key)
+            .map_or(default, |(_, v)| *v)
+    };
+    let known: &[&str] = match kind {
+        "settle" => &["lo", "hi", "by"],
+        "overshoot" => &["max"],
+        "undershoot" => &["min"],
+        "ramp" => &["from", "until", "tol"],
+        "envelope" => &["lo", "hi", "from", "until"],
+        "rise" => &["lo", "hi", "within"],
+        "ripple" => &["after", "max"],
+        "fmask" => &["f", "max"],
+        "finite" => &[],
+        other => return Err(format!("property {name:?}: unknown kind {other:?}")),
+    };
+    for (k, _) in &args {
+        if !known.contains(&k.as_str()) {
+            return Err(format!(
+                "property {name:?}: {kind} does not take argument {k:?}"
+            ));
+        }
+    }
+    let property = match kind {
+        "settle" => Property::Settle {
+            lo: get("lo")?,
+            hi: get("hi")?,
+            by: get("by")?,
+        },
+        "overshoot" => Property::Overshoot { max: get("max")? },
+        "undershoot" => Property::Undershoot { min: get("min")? },
+        "ramp" => Property::Ramp {
+            from: get("from")?,
+            until: get("until")?,
+            tol: opt("tol", 0.0),
+        },
+        "envelope" => Property::Envelope {
+            lo: get("lo")?,
+            hi: get("hi")?,
+            from: opt("from", 0.0),
+            until: opt("until", f64::INFINITY),
+        },
+        "rise" => Property::Rise {
+            lo: get("lo")?,
+            hi: get("hi")?,
+            within: get("within")?,
+        },
+        "ripple" => Property::Ripple {
+            after: get("after")?,
+            max: get("max")?,
+        },
+        "fmask" => Property::FreqMask {
+            bins: vec![(get("f")?, get("max")?)],
+        },
+        "finite" => Property::Finite,
+        _ => unreachable!("kind validated above"),
+    };
+    validate(name, &property)?;
+    Ok(PropertySpec {
+        name: name.to_string(),
+        channel: channel.to_string(),
+        property,
+    })
+}
+
+fn parse_args(name: &str, text: &str) -> Result<Vec<(String, f64)>, String> {
+    let mut out = Vec::new();
+    for part in text.split(',') {
+        let part = part.trim();
+        if part.is_empty() {
+            continue;
+        }
+        let (k, v) = part
+            .split_once('=')
+            .ok_or_else(|| format!("property {name:?}: argument {part:?} is not key=value"))?;
+        let v: f64 = v
+            .trim()
+            .parse()
+            .map_err(|_| format!("property {name:?}: {:?} is not a number", v.trim()))?;
+        out.push((k.trim().to_string(), v));
+    }
+    Ok(out)
+}
+
+/// Rejects parameterizations that can never produce a meaningful
+/// verdict (inverted bands, non-finite thresholds, negative windows).
+fn validate(name: &str, p: &Property) -> Result<(), String> {
+    let bad = |what: &str| Err(format!("property {name:?}: {what}"));
+    let finite = |v: f64| v.is_finite();
+    match p {
+        Property::Settle { lo, hi, by } => {
+            if !finite(*lo) || !finite(*hi) || lo > hi {
+                return bad("settle band is inverted or non-finite");
+            }
+            if !finite(*by) || *by < 0.0 {
+                return bad("settle deadline must be finite and non-negative");
+            }
+        }
+        Property::Overshoot { max } => {
+            if !finite(*max) {
+                return bad("overshoot bound must be finite");
+            }
+        }
+        Property::Undershoot { min } => {
+            if !finite(*min) {
+                return bad("undershoot bound must be finite");
+            }
+        }
+        Property::Ramp { from, until, tol } => {
+            if !finite(*from) || !finite(*until) || from >= until {
+                return bad("ramp window is empty or non-finite");
+            }
+            if !finite(*tol) || *tol < 0.0 {
+                return bad("ramp tolerance must be finite and non-negative");
+            }
+        }
+        Property::Envelope {
+            lo,
+            hi,
+            from,
+            until,
+        } => {
+            if !finite(*lo) || !finite(*hi) || lo > hi {
+                return bad("envelope band is inverted or non-finite");
+            }
+            if from.is_nan() || until.is_nan() || from >= until {
+                return bad("envelope window is empty");
+            }
+        }
+        Property::Rise { lo, hi, within } => {
+            if !finite(*lo) || !finite(*hi) || lo >= hi {
+                return bad("rise thresholds must satisfy lo < hi");
+            }
+            if !finite(*within) || *within <= 0.0 {
+                return bad("rise window must be finite and positive");
+            }
+        }
+        Property::Ripple { after, max } => {
+            if !finite(*after) || *after < 0.0 {
+                return bad("ripple window start must be finite and non-negative");
+            }
+            if !finite(*max) || *max < 0.0 {
+                return bad("ripple bound must be finite and non-negative");
+            }
+        }
+        Property::FreqMask { bins } => {
+            if bins.is_empty() {
+                return bad("frequency mask needs at least one bin");
+            }
+            for (f, max) in bins {
+                if !finite(*f) || *f <= 0.0 || !finite(*max) || *max < 0.0 {
+                    return bad("frequency-mask bins need f > 0 and max >= 0");
+                }
+            }
+        }
+        Property::Finite => {}
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grammar_round_trips_every_kind() {
+        let text = "a:settle(lo=0.9,hi=1.1,by=4e-4)@out;\
+                    b:overshoot(max=1.3)@out;\
+                    c:undershoot(min=-0.1)@n1;\
+                    d:ramp(from=0,until=1e-3,tol=0.01)@n1;\
+                    e:envelope(lo=-2,hi=2)@out;\
+                    f:rise(lo=0.1,hi=0.9,within=2e-4)@out;\
+                    g:ripple(after=5e-4,max=0.05)@out;\
+                    h:fmask(f=1e4,max=0.2)@out;\
+                    i:finite()@n1";
+        let spec = MonitorSpec::parse(text).unwrap();
+        assert_eq!(spec.len(), 9);
+        assert_eq!(spec.props[0].channel, "out");
+        assert_eq!(spec.props[3].property.code(), crate::codes::MON004);
+        // envelope defaults
+        assert_eq!(
+            spec.props[4].property,
+            Property::Envelope {
+                lo: -2.0,
+                hi: 2.0,
+                from: 0.0,
+                until: f64::INFINITY
+            }
+        );
+        let back = MonitorSpec::parse(&spec.render()).unwrap();
+        assert_eq!(back, spec);
+    }
+
+    #[test]
+    fn malformed_specs_are_rejected_with_context() {
+        for (text, needle) in [
+            ("", "no properties"),
+            ("x:settle(lo=1,hi=0,by=1)@out", "inverted"),
+            ("x:settle(lo=0,hi=1)@out", "\"by\""),
+            ("x:wiggle(a=1)@out", "unknown kind"),
+            ("x:overshoot(max=1)", "@channel"),
+            ("overshoot(max=1)@out", "name"),
+            ("x:overshoot(max=abc)@out", "not a number"),
+            ("x:overshoot(max=1,extra=2)@out", "does not take"),
+            ("x:rise(lo=1,hi=0.5,within=1)@out", "lo < hi"),
+            ("x:fmask(f=-5,max=1)@out", "f > 0"),
+            ("x:ramp(from=2,until=1)@out", "empty"),
+        ] {
+            let err = MonitorSpec::parse(text).unwrap_err();
+            assert!(err.contains(needle), "{text:?}: {err}");
+        }
+    }
+
+    #[test]
+    fn builder_and_names_agree_with_parse() {
+        let spec = MonitorSpec::new()
+            .prop("p", "out", Property::Overshoot { max: 2.0 })
+            .prop("q", "n1", Property::Finite);
+        assert_eq!(spec.names(), vec!["p", "q"]);
+        assert_eq!(spec.render(), "p:overshoot(max=2.0)@out;q:finite()@n1");
+        assert_eq!(MonitorSpec::parse(&spec.render()).unwrap(), spec);
+    }
+}

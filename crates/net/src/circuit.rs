@@ -363,6 +363,12 @@ impl Circuit {
         &self.node_names[node.0]
     }
 
+    /// Looks a node up by name (`"0"` is ground). `None` when no node
+    /// carries that name; first match wins on duplicates.
+    pub fn find_node(&self, name: &str) -> Option<NodeId> {
+        self.node_names.iter().position(|n| n == name).map(NodeId)
+    }
+
     /// All node handles including ground, in creation order.
     pub fn nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
         (0..self.node_names.len()).map(NodeId)
@@ -1019,6 +1025,17 @@ mod tests {
         assert_eq!(ckt.node_name(Circuit::GROUND), "0");
         assert!(Circuit::GROUND.is_ground());
         assert_eq!(ckt.node_count(), 1);
+    }
+
+    #[test]
+    fn find_node_resolves_names() {
+        let mut ckt = Circuit::new();
+        let a = ckt.node("a");
+        let out = ckt.node("out");
+        assert_eq!(ckt.find_node("0"), Some(Circuit::GROUND));
+        assert_eq!(ckt.find_node("a"), Some(a));
+        assert_eq!(ckt.find_node("out"), Some(out));
+        assert_eq!(ckt.find_node("missing"), None);
     }
 
     #[test]

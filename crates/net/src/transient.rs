@@ -23,6 +23,7 @@ use crate::mna::{
 };
 use crate::{Circuit, ElementId, ElementKind, NetError, NodeId};
 use ams_math::{DVec, SolveStats};
+use ams_monitor::MonitorBank;
 use ams_scope::{SpanKind, TraceEvent, Tracer};
 
 /// Seconds → femtoseconds, saturating (the tracer's time base).
@@ -161,6 +162,17 @@ pub struct TransientSolver {
     adaptive_h: Option<f64>,
     /// Span recorder (disabled by default: one branch per hook).
     tracer: Tracer,
+    /// Attached streaming assertion monitors (`None` = one branch per
+    /// accepted step, the same disabled-cost discipline as `tracer`).
+    monitors: Option<MonitorTap>,
+}
+
+/// A monitor bank bound to this solver's unknown vector: channel `ch`
+/// of the bank reads MNA variable `vars[ch]` (`None` = ground, 0 V).
+#[derive(Debug, Clone)]
+struct MonitorTap {
+    bank: MonitorBank,
+    vars: Vec<Option<usize>>,
 }
 
 /// An opaque, cloneable symbolic sparse-LU analysis extracted from one
@@ -239,7 +251,61 @@ impl TransientSolver {
             initialized: false,
             adaptive_h: None,
             tracer: Tracer::off(),
+            monitors: None,
         })
+    }
+
+    /// Attaches a compiled monitor bank: channel `ch` of the bank reads
+    /// node `nodes[ch]` (pair them with [`MonitorBank::channels`],
+    /// resolved via [`Circuit::find_node`]). The bank is fed once per
+    /// *accepted* step — trial and half steps of the adaptive
+    /// controller never reach it — replacing any bank attached earlier.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `nodes` does not pair 1:1 with the bank's channels
+    /// or names a node outside the circuit.
+    pub fn attach_monitors(&mut self, bank: MonitorBank, nodes: &[NodeId]) {
+        assert_eq!(
+            bank.channels().len(),
+            nodes.len(),
+            "one node per monitor channel"
+        );
+        let vars = nodes
+            .iter()
+            .map(|&n| {
+                assert!(n.index() < self.layout.n_nodes, "node out of range");
+                self.layout.node_var(n)
+            })
+            .collect();
+        self.monitors = Some(MonitorTap { bank, vars });
+    }
+
+    /// The attached monitor bank, when present.
+    pub fn monitor_bank(&self) -> Option<&MonitorBank> {
+        self.monitors.as_ref().map(|t| &t.bank)
+    }
+
+    /// Detaches and returns the monitor bank (with all accumulated
+    /// automaton state), when present.
+    pub fn take_monitors(&mut self) -> Option<MonitorBank> {
+        self.monitors.take().map(|t| t.bank)
+    }
+
+    /// Feeds the attached monitors the current solution. One branch
+    /// when no bank is attached.
+    #[inline]
+    fn feed_monitors(&mut self) {
+        if let Some(tap) = self.monitors.as_mut() {
+            let t = self.time;
+            for (ch, var) in tap.vars.iter().enumerate() {
+                let v = match *var {
+                    Some(i) => self.x[i],
+                    None => 0.0,
+                };
+                tap.bank.feed(ch, t, v);
+            }
+        }
     }
 
     /// Enables or disables span tracing: MNA assemble/factor/solve
@@ -847,6 +913,7 @@ impl TransientSolver {
         while self.time < t_end - 1e-18 {
             let step = h.min(t_end - self.time);
             self.step(step)?;
+            self.feed_monitors();
             probe(self);
         }
         Ok(())
@@ -944,6 +1011,7 @@ impl TransientSolver {
                     self.tracer
                         .instant(SpanKind::StepAccept, fs(self.time), h_step.to_bits());
                 }
+                self.feed_monitors();
                 probe(self);
                 let grow = if err > 0.0 {
                     (SAFETY * err.powf(-order_exp)).min(3.0)
@@ -1085,6 +1153,55 @@ mod tests {
                 tr.voltage(out)
             );
         }
+    }
+
+    #[test]
+    fn monitors_fed_on_accepted_steps_only() {
+        use ams_monitor::{MonitorBank, MonitorSpec};
+        let (ckt, _a, out) = rc_circuit();
+        let spec = MonitorSpec::parse(
+            "charged:settle(lo=0.6,hi=1.0,by=2e-3)@out;\
+             no_over:overshoot(max=1.05)@out;\
+             gnd:envelope(lo=0,hi=0)@0",
+        )
+        .unwrap();
+        let bank = MonitorBank::new(&spec);
+        let nodes: Vec<NodeId> = bank
+            .channels()
+            .iter()
+            .map(|ch| ckt.find_node(ch).unwrap())
+            .collect();
+        assert_eq!(nodes[1], Circuit::GROUND);
+        // Fixed-step run: every step feeds the bank once per channel.
+        let mut tr = TransientSolver::new(&ckt, IntegrationMethod::Trapezoidal).unwrap();
+        tr.initialize_with_ic().unwrap();
+        tr.attach_monitors(bank.clone(), &nodes);
+        let mut probes = 0u64;
+        tr.run(4e-3, 1e-6, |_| probes += 1).unwrap();
+        let fed = tr.monitor_bank().unwrap();
+        assert_eq!(fed.samples(), probes * nodes.len() as u64);
+        let verdicts = fed.finish();
+        assert!(verdicts.iter().all(|v| v.is_pass()), "{verdicts:?}");
+        // Adaptive run: rejected trial/half steps never reach the bank.
+        let mut tr = TransientSolver::new(&ckt, IntegrationMethod::Trapezoidal).unwrap();
+        tr.initialize_with_ic().unwrap();
+        tr.attach_monitors(bank, &nodes);
+        let mut accepted = 0u64;
+        tr.run_adaptive(4e-3, &AdaptiveOptions::default(), |_| accepted += 1)
+            .unwrap();
+        let taken = tr.take_monitors().unwrap();
+        assert_eq!(taken.samples(), accepted * nodes.len() as u64);
+        assert!(taken.finish().iter().all(|v| v.is_pass()));
+        assert!(tr.monitor_bank().is_none());
+        // A property that the waveform violates fires with a witness.
+        let spec = MonitorSpec::parse("low:envelope(lo=-0.1,hi=0.1,from=2e-3)@out").unwrap();
+        let bank = MonitorBank::new(&spec);
+        let mut tr = TransientSolver::new(&ckt, IntegrationMethod::Trapezoidal).unwrap();
+        tr.initialize_with_ic().unwrap();
+        tr.attach_monitors(bank, &[out]);
+        tr.run(4e-3, 1e-6, |_| {}).unwrap();
+        let v = tr.monitor_bank().unwrap().finish();
+        assert_eq!(v[0].code(), Some("MON005"));
     }
 
     #[test]

@@ -199,6 +199,15 @@ impl MetricsRegistry {
         }
     }
 
+    /// Registers an empty histogram under `name` when absent, so
+    /// renderings expose a stable key set even before the first
+    /// observation arrives. No-op when `name` already exists.
+    pub fn declare_histogram(&mut self, name: &str) {
+        self.metrics
+            .entry(name.to_string())
+            .or_insert_with(|| Metric::Histogram(Histogram::new()));
+    }
+
     /// The counter's value, or 0 when absent (or not a counter).
     pub fn counter(&self, name: &str) -> u64 {
         match self.metrics.get(name) {
@@ -263,6 +272,9 @@ impl MetricsRegistry {
                 }
                 Metric::Gauge(v) => {
                     let _ = writeln!(out, "  {name}: {v:.6e}");
+                }
+                Metric::Histogram(h) if h.count() == 0 => {
+                    let _ = writeln!(out, "  {name}: (no samples)");
                 }
                 Metric::Histogram(h) => {
                     let _ = writeln!(
@@ -355,6 +367,18 @@ mod tests {
         assert_eq!(h.count(), 2);
         assert_eq!(h.min(), 1.0);
         assert_eq!(h.max(), 100.0);
+    }
+
+    #[test]
+    fn zero_count_histogram_renders_an_explicit_marker() {
+        let mut m = MetricsRegistry::new();
+        m.declare_histogram("sweep.latency_us");
+        assert_eq!(m.render(), "  sweep.latency_us: (no samples)\n");
+        m.record("sweep.latency_us", 3.0);
+        assert!(m.render().contains("n=1"), "{}", m.render());
+        // Declaring an existing metric never clobbers it.
+        m.declare_histogram("sweep.latency_us");
+        assert_eq!(m.histogram("sweep.latency_us").unwrap().count(), 1);
     }
 
     #[test]

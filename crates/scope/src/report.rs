@@ -9,11 +9,11 @@
 //! aggregates (`ExecStats` and friends) merge in through an extra
 //! [`MetricsRegistry`].
 
-use crate::{Metric, MetricsRegistry, Phase, ScopeTrace, SpanKind};
+use crate::{Histogram, Metric, MetricsRegistry, Phase, ScopeTrace, SpanKind};
 use std::fmt::Write;
 
 /// Per-[`SpanKind`] aggregate of one trace.
-#[derive(Debug, Clone, Default, PartialEq, Eq)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct KindSummary {
     /// Completed (begin/end matched) spans.
     pub spans: u64,
@@ -23,6 +23,8 @@ pub struct KindSummary {
     pub sim_fs: u64,
     /// Total wall duration of completed spans, nanoseconds.
     pub wall_ns: u64,
+    /// Distribution of per-span wall durations, nanoseconds.
+    pub wall: Histogram,
 }
 
 /// A rendered-on-demand profile of one run.
@@ -60,6 +62,7 @@ impl ScopeReport {
                             slot.sim_fs += ev.t_sim_fs.saturating_sub(t0);
                             let wall = ev.wall_ns.saturating_sub(w0);
                             slot.wall_ns += wall;
+                            slot.wall.record(wall as f64);
                             if ev.kind == SpanKind::BarrierWait {
                                 metrics.record("exec.barrier_wait_us", wall as f64 / 1e3);
                             }
@@ -120,10 +123,13 @@ impl ScopeReport {
             if k.spans > 0 {
                 let _ = write!(
                     out,
-                    " {} span(s), sim {}, wall {}",
+                    " {} span(s), sim {}, wall {} (p50 {}, p95 {}, max {})",
                     k.spans,
                     fmt_seconds(k.sim_fs as f64 * 1e-15),
                     fmt_seconds(k.wall_ns as f64 * 1e-9),
+                    fmt_seconds(k.wall.percentile(50.0) * 1e-9),
+                    fmt_seconds(k.wall.percentile(95.0) * 1e-9),
+                    fmt_seconds(k.wall.max() * 1e-9),
                 );
             }
             if k.instants > 0 {
@@ -281,6 +287,24 @@ mod tests {
         assert!(json.contains("\"de.window\":{\"spans\":1"), "{json}");
         assert!(json.contains("\"newton.iterations_per_solve\""), "{json}");
         assert!(json.starts_with('{') && json.ends_with('}'));
+    }
+
+    #[test]
+    fn span_lines_carry_wall_percentile_columns() {
+        let mut t = Tracer::on();
+        for _ in 0..3 {
+            t.begin(SpanKind::MnaFactor, 0);
+            t.end(SpanKind::MnaFactor, 100);
+        }
+        let mut tr = ScopeTrace::new();
+        tr.add_track("p", "t", t.take_events());
+        let r = ScopeReport::from_parts(&tr, &MetricsRegistry::new());
+        assert_eq!(r.kind(SpanKind::MnaFactor).wall.count(), 3);
+        let text = r.render();
+        assert!(
+            text.contains("(p50 ") && text.contains(", p95 ") && text.contains(", max "),
+            "{text}"
+        );
     }
 
     #[test]

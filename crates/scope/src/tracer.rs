@@ -64,11 +64,15 @@ pub enum SpanKind {
     /// capture or a restore (span for prefix runs, instant for
     /// capture/restore; `arg` = forks served or checkpoint bytes).
     Checkpoint = 16,
+    /// One monitor verdict rendered after a scenario (instant; `arg` =
+    /// property index `<< 8 | ` violation-code number, `0` for a pass,
+    /// timestamped with the witness point's simulated time).
+    Monitor = 17,
 }
 
 impl SpanKind {
     /// All kinds, in discriminant order.
-    pub const ALL: [SpanKind; 17] = [
+    pub const ALL: [SpanKind; 18] = [
         SpanKind::DeWindow,
         SpanKind::DeltaCycle,
         SpanKind::ClusterIteration,
@@ -86,6 +90,7 @@ impl SpanKind {
         SpanKind::ServeJob,
         SpanKind::SpaceLint,
         SpanKind::Checkpoint,
+        SpanKind::Monitor,
     ];
 
     /// Stable display name, used as the Chrome event name.
@@ -108,6 +113,7 @@ impl SpanKind {
             SpanKind::ServeJob => "serve.job",
             SpanKind::SpaceLint => "lint.space",
             SpanKind::Checkpoint => "checkpoint",
+            SpanKind::Monitor => "monitor",
         }
     }
 

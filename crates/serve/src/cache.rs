@@ -24,8 +24,13 @@
 use crate::model::BuiltCircuit;
 use ams_net::SymbolicFactor;
 use ams_scope::MetricsRegistry;
-use ams_sweep::ClusterStats;
+use ams_sweep::{ClusterStats, Verdict};
 use std::collections::HashMap;
+
+/// One checkpointed scenario: `(index, metric row, solver counters,
+/// monitor verdicts)` — exactly the ScenarioResult-grade data the
+/// progress callback streams and a resumed run merges back.
+pub type PartialScenario = (usize, Vec<f64>, ClusterStats, Vec<Verdict>);
 
 /// One cached topology.
 #[derive(Debug, Clone)]
@@ -61,8 +66,8 @@ impl CacheEntry {
 }
 
 /// Partial results of a suspended job: the scenarios that completed
-/// before the suspend landed, as `(index, metric row, solver
-/// counters)` triples — exactly the ScenarioResult-grade data the
+/// before the suspend landed, as [`PartialScenario`] tuples — exactly
+/// the ScenarioResult-grade data (monitor verdicts included) the
 /// resumed run needs to merge into a report that fingerprints
 /// identically to an uninterrupted one.
 ///
@@ -73,20 +78,22 @@ impl CacheEntry {
 /// scenarios, producing bit-identical rows.
 #[derive(Debug, Clone)]
 pub struct JobCheckpoint {
-    /// Completed scenarios: `(index, metric row, solver counters)`.
-    pub done: Vec<(usize, Vec<f64>, ClusterStats)>,
+    /// Completed scenarios, verdicts included.
+    pub done: Vec<PartialScenario>,
     bytes: usize,
     stamp: u64,
 }
 
 impl JobCheckpoint {
     /// A checkpoint over the given completed scenarios.
-    pub fn new(done: Vec<(usize, Vec<f64>, ClusterStats)>) -> JobCheckpoint {
+    pub fn new(done: Vec<PartialScenario>) -> JobCheckpoint {
         let bytes = 48
             + done
                 .iter()
-                .map(|(_, row, _)| {
-                    row.len() * 8 + std::mem::size_of::<(usize, Vec<f64>, ClusterStats)>()
+                .map(|(_, row, _, verdicts)| {
+                    row.len() * 8
+                        + verdicts.len() * std::mem::size_of::<Verdict>()
+                        + std::mem::size_of::<PartialScenario>()
                 })
                 .sum::<usize>();
         JobCheckpoint {
@@ -483,7 +490,7 @@ mod tests {
     fn checkpoint(rows: usize) -> JobCheckpoint {
         JobCheckpoint::new(
             (0..rows)
-                .map(|i| (i, vec![1.0, 2.0], ClusterStats::default()))
+                .map(|i| (i, vec![1.0, 2.0], ClusterStats::default(), Vec::new()))
                 .collect(),
         )
     }

@@ -16,14 +16,14 @@
 //! enough, and a tenant can never address another tenant's job even by
 //! guessing its token.
 
-use crate::cache::{CacheEntry, JobCheckpoint, TopologyCache};
+use crate::cache::{CacheEntry, JobCheckpoint, PartialScenario, TopologyCache};
 use crate::model::{JobSpec, RunOpts};
 use crate::sched::{wfq_pick, ServeConfig, TenantConfig, TenantState};
 use crate::ServeError;
 use ams_exec::{SlotLease, SlotPool};
 use ams_lint::{lint_circuit, lint_space, LintPolicy, Verdict};
 use ams_scope::MetricsRegistry;
-use ams_sweep::{CancelToken, ClusterStats, ScenarioResult, SweepReport, SweepSpec};
+use ams_sweep::{CancelToken, ScenarioResult, SweepReport, SweepSpec};
 use std::collections::{BTreeMap, HashMap};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 use std::thread::JoinHandle;
@@ -74,6 +74,29 @@ impl JobState {
 /// in completion order.
 pub type ScenarioEvent = (usize, Vec<f64>);
 
+/// Running totals of a monitored job's per-scenario verdicts: one
+/// count per completed scenario and property, folded live from the
+/// progress stream (and from the final report once the job is done).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct MonitorCounts {
+    /// Properties that held with their trigger observed.
+    pub pass: u64,
+    /// Properties that latched a violation.
+    pub fail: u64,
+    /// Properties whose trigger never fired.
+    pub vacuous: u64,
+}
+
+impl MonitorCounts {
+    fn add(&mut self, v: &ams_sweep::Verdict) {
+        match v {
+            ams_sweep::Verdict::Pass => self.pass += 1,
+            ams_sweep::Verdict::Fail { .. } => self.fail += 1,
+            ams_sweep::Verdict::Vacuous => self.vacuous += 1,
+        }
+    }
+}
+
 /// A point-in-time job status snapshot.
 #[derive(Debug, Clone)]
 pub struct JobStatus {
@@ -83,6 +106,8 @@ pub struct JobStatus {
     pub completed: usize,
     /// Total scenarios in the job.
     pub total: usize,
+    /// Verdict totals so far — `Some` only for a monitored job.
+    pub monitors: Option<MonitorCounts>,
 }
 
 /// SplitMix64 over a secret seed: the token mint. Tokens are 128 bits
@@ -122,11 +147,11 @@ struct JobRecord {
     /// Streamed `(scenario index, metric row)` events, arrival order.
     events: Vec<(usize, Vec<f64>)>,
     /// ScenarioResult-grade partials accumulated by the progress
-    /// callback: `(index, metric row, solver counters)`. On suspend
-    /// they move into the topology cache as a [`JobCheckpoint`]; on
-    /// resume they come back and the retained re-run merges them into
-    /// a report that fingerprints like an uninterrupted one.
-    partial: Vec<(usize, Vec<f64>, ClusterStats)>,
+    /// callback (monitor verdicts included). On suspend they move into
+    /// the topology cache as a [`JobCheckpoint`]; on resume they come
+    /// back and the retained re-run merges them into a report that
+    /// fingerprints like an uninterrupted one.
+    partial: Vec<PartialScenario>,
     /// Set by [`ServeHandle::suspend`] on a running job: the cancel
     /// token doubles as the suspend signal, and this flag tells the
     /// outcome handler to park the job instead of cancelling it.
@@ -136,6 +161,42 @@ struct JobRecord {
     checkpointed: bool,
     report: Option<SweepReport>,
     cancel: CancelToken,
+}
+
+impl JobRecord {
+    /// Verdict totals for a monitored job: folded from the final report
+    /// when one exists, otherwise from the streamed partials. `None`
+    /// for an unmonitored job.
+    fn monitor_counts(&self) -> Option<MonitorCounts> {
+        self.spec.monitors.as_ref()?;
+        let mut counts = MonitorCounts::default();
+        match &self.report {
+            Some(report) => {
+                for sc in &report.scenarios {
+                    for v in &sc.verdicts {
+                        counts.add(v);
+                    }
+                }
+            }
+            None => {
+                for (_, _, _, verdicts) in &self.partial {
+                    for v in verdicts {
+                        counts.add(v);
+                    }
+                }
+            }
+        }
+        Some(counts)
+    }
+
+    fn status(&self) -> JobStatus {
+        JobStatus {
+            state: self.state.clone(),
+            completed: self.events.len(),
+            total: self.scenarios as usize,
+            monitors: self.monitor_counts(),
+        }
+    }
 }
 
 struct Core {
@@ -293,8 +354,26 @@ impl ServeHandle {
     /// [`ServeError::Quota`] (job can never fit the tenant's scenario
     /// budget), [`ServeError::Backpressure`], [`ServeError::Shutdown`].
     pub fn submit(&self, tenant_token: &str, spec: JobSpec) -> Result<String, ServeError> {
-        // Validate the sweep declaration before touching any state.
+        // Validate the sweep and monitor declarations before touching
+        // any state: a malformed property spec fails the submit, never
+        // a queued job.
         spec.sweep.to_spec()?;
+        let monitor_spec = spec.monitor_spec()?;
+        if let Some(ms) = &monitor_spec {
+            // Node names exist by being mentioned as element terminals,
+            // so a dangling channel is detectable without elaborating.
+            for ch in ms.props.iter().map(|p| p.channel.as_str()) {
+                let known = ch == "0"
+                    || ch == "gnd"
+                    || spec.circuit.elements.iter().any(|e| e.p == ch || e.n == ch);
+                if !known {
+                    return Err(ServeError::invalid(format!(
+                        "monitor channel {ch:?} names no circuit node"
+                    )));
+                }
+            }
+        }
+        let monitored = monitor_spec.is_some();
         // Space admission: prove the job's parameter box clean — or
         // reject it here, with the same `SPC` code and witness the
         // library's sweep gate would report, before it costs a queue
@@ -345,6 +424,9 @@ impl ServeHandle {
             .queue
             .push_back(token.clone());
         core.metrics.counter_add("serve.jobs.submitted", 1);
+        if monitored {
+            core.metrics.counter_add("serve.monitor.jobs", 1);
+        }
         drop(core);
         self.shared.cv.notify_all();
         Ok(token)
@@ -363,7 +445,9 @@ impl ServeHandle {
             return Ok(());
         }
         let sspec = spec.space_spec();
-        let key = (spec.fingerprint(), sspec.fingerprint());
+        // Keyed by *topology*, not job identity: monitors play no part
+        // in the space verdict.
+        let key = (spec.circuit.fingerprint(), sspec.fingerprint());
         {
             let mut core = self.lock();
             if let Some(verdict) = core.cache.space_lookup(key) {
@@ -409,11 +493,7 @@ impl ServeHandle {
     pub fn status(&self, tenant_token: &str, job_token: &str) -> Result<JobStatus, ServeError> {
         let core = self.lock();
         let rec = core.job_for(tenant_token, job_token)?;
-        Ok(JobStatus {
-            state: rec.state.clone(),
-            completed: rec.events.len(),
-            total: rec.scenarios as usize,
-        })
+        Ok(rec.status())
     }
 
     /// Streaming delivery: per-scenario `(index, metric row)` events
@@ -433,14 +513,7 @@ impl ServeHandle {
         let core = self.lock();
         let rec = core.job_for(tenant_token, job_token)?;
         let events = rec.events[from.min(rec.events.len())..].to_vec();
-        Ok((
-            events,
-            JobStatus {
-                state: rec.state.clone(),
-                completed: rec.events.len(),
-                total: rec.scenarios as usize,
-            },
-        ))
+        Ok((events, rec.status()))
     }
 
     /// Blocks until the job reaches a terminal state and returns its
@@ -739,7 +812,10 @@ fn run_job(shared: &Arc<Shared>, dispatch: Dispatch) {
         cancel,
         lease,
     } = dispatch;
-    let fp = spec.fingerprint();
+    // Cache entries are keyed by topology: jobs that differ only in
+    // monitors still share the elaborated circuit, lint verdict and
+    // symbolic factor.
+    let fp = spec.circuit.fingerprint();
     let outcome = execute(shared, &job_token, &spec, fp, &cancel, lease.count());
     let mut core = shared.core.lock().expect("serve core poisoned");
     let rec = core.jobs.get_mut(&job_token).expect("job exists");
@@ -766,11 +842,16 @@ fn run_job(shared: &Arc<Shared>, dispatch: Dispatch) {
                 std::mem::take(&mut rec.suspend)
             };
             if suspend {
+                // Clone rather than drain: the record keeps its
+                // partials so `status` (progress + verdict counts)
+                // stays truthful while the job sits suspended. Resume
+                // overwrites them from the checkpoint (or clears them
+                // when the checkpoint was evicted).
                 let done = {
                     let rec = core.jobs.get_mut(&job_token).expect("job exists");
                     rec.state = JobState::Suspended;
                     rec.checkpointed = true;
-                    std::mem::take(&mut rec.partial)
+                    rec.partial.clone()
                 };
                 core.cache
                     .checkpoint_insert(&job_token, JobCheckpoint::new(done));
@@ -815,7 +896,7 @@ fn execute(
     // the scenarios the checkpoint does not hold. `retain` keeps the
     // original indices and per-scenario seeds, so the remaining rows
     // are bit-identical to what an uninterrupted run would produce.
-    let restored: Vec<(usize, Vec<f64>, ClusterStats)> = {
+    let restored: Vec<PartialScenario> = {
         let core = shared.core.lock().expect("serve core poisoned");
         core.jobs
             .get(job_token)
@@ -823,13 +904,15 @@ fn execute(
             .unwrap_or_default()
     };
     if !restored.is_empty() {
-        let done: std::collections::HashSet<usize> = restored.iter().map(|(i, _, _)| *i).collect();
+        let done: std::collections::HashSet<usize> =
+            restored.iter().map(|(i, _, _, _)| *i).collect();
         sweep_spec.retain(|s| !done.contains(&s.index()));
         if sweep_spec.is_empty() {
             // Every scenario was already checkpointed: the report is
             // the checkpoint, no simulation left to run.
             let mut report = SweepReport {
                 metric_names: spec.metrics.iter().map(|m| m.name.clone()).collect(),
+                monitor_names: spec.monitor_spec()?.map(|s| s.names()).unwrap_or_default(),
                 scenarios: Vec::new(),
                 exec: ams_exec::ExecStats::default(),
                 trace: None,
@@ -886,16 +969,27 @@ fn execute(
     let progress: ams_sweep::ProgressFn = {
         let shared = shared.clone();
         let token = job_token.to_string();
-        Arc::new(move |index, row: &[f64], stats: &ClusterStats| {
-            let mut core = shared.core.lock().expect("serve core poisoned");
-            core.metrics.counter_add("serve.scenarios.completed", 1);
-            if let Some(rec) = core.jobs.get_mut(&token) {
-                rec.events.push((index, row.to_vec()));
-                rec.partial.push((index, row.to_vec(), *stats));
-            }
-            drop(core);
-            shared.cv.notify_all();
-        })
+        Arc::new(
+            move |index, row: &[f64], stats, verdicts: &[ams_sweep::Verdict]| {
+                let mut core = shared.core.lock().expect("serve core poisoned");
+                core.metrics.counter_add("serve.scenarios.completed", 1);
+                for v in verdicts {
+                    let name = match v {
+                        ams_sweep::Verdict::Pass => "serve.monitor.pass",
+                        ams_sweep::Verdict::Fail { .. } => "serve.monitor.fail",
+                        ams_sweep::Verdict::Vacuous => "serve.monitor.vacuous",
+                    };
+                    core.metrics.counter_add(name, 1);
+                }
+                if let Some(rec) = core.jobs.get_mut(&token) {
+                    rec.events.push((index, row.to_vec()));
+                    rec.partial
+                        .push((index, row.to_vec(), *stats, verdicts.to_vec()));
+                }
+                drop(core);
+                shared.cv.notify_all();
+            },
+        )
     };
     let sink: ams_sweep::FactorSink = Arc::new(Mutex::new(None));
     let result = prepared.run(
@@ -929,12 +1023,8 @@ fn execute(
 /// report, in index order, with labels recomputed from the full spec.
 /// The merged report is indistinguishable — fingerprint included —
 /// from one uninterrupted run over the whole sweep.
-fn merge_restored(
-    report: &mut SweepReport,
-    restored: Vec<(usize, Vec<f64>, ClusterStats)>,
-    full: &SweepSpec,
-) {
-    for (index, metrics, stats) in restored {
+fn merge_restored(report: &mut SweepReport, restored: Vec<PartialScenario>, full: &SweepSpec) {
+    for (index, metrics, stats, verdicts) in restored {
         let label = full
             .scenarios()
             .iter()
@@ -946,6 +1036,7 @@ fn merge_restored(
             label,
             metrics,
             stats,
+            verdicts,
         });
     }
     report.scenarios.sort_by_key(|s| s.index);
@@ -1270,6 +1361,121 @@ mod tests {
             handle.suspend("tenant-feedbeef", &job),
             Err(ServeError::Auth)
         ));
+        handle.shutdown();
+        handle.join();
+    }
+
+    #[test]
+    fn monitored_job_reports_verdicts_and_counters() {
+        let handle = ServeHandle::start(ServeConfig {
+            workers: 2,
+            tenants: vec![TenantConfig::named("t")],
+            ..ServeConfig::default()
+        });
+        let tenant = handle.tenant_token("t").unwrap();
+        let spec = JobSpec::demo_rc_monitored(8, 3);
+        let job = handle.submit(&tenant, spec.clone()).unwrap();
+        let report = handle.wait(&tenant, &job).unwrap();
+        assert_eq!(
+            report.monitor_names,
+            vec!["bounded".to_string(), "over".into(), "settled".into()]
+        );
+        for sc in &report.scenarios {
+            assert_eq!(sc.verdicts.len(), 3, "every scenario carries a verdict row");
+        }
+        // Live counts agree with the finished report.
+        let status = handle.status(&tenant, &job).unwrap();
+        let m = status.monitors.expect("monitored job exposes counts");
+        assert_eq!(m.pass + m.fail + m.vacuous, 8 * 3);
+        let mut want = MonitorCounts::default();
+        for sc in &report.scenarios {
+            for v in &sc.verdicts {
+                want.add(v);
+            }
+        }
+        assert_eq!(m, want);
+        // The RC ladder never leaves [lo, hi] nor overshoots a 1 V
+        // pulse, so those two properties pass in every scenario.
+        assert!(m.pass >= 16, "envelope+overshoot pass everywhere: {m:?}");
+        let metrics = handle.metrics();
+        assert_eq!(metrics.counter("serve.monitor.jobs"), 1);
+        assert_eq!(
+            metrics.counter("serve.monitor.pass")
+                + metrics.counter("serve.monitor.fail")
+                + metrics.counter("serve.monitor.vacuous"),
+            8 * 3
+        );
+        // Verdicts are deterministic across worker counts.
+        assert_eq!(
+            spec.direct_run(1).unwrap().fingerprint(),
+            spec.direct_run(4).unwrap().fingerprint()
+        );
+        assert_eq!(
+            report.fingerprint(),
+            spec.direct_run(1).unwrap().fingerprint()
+        );
+        handle.shutdown();
+        handle.join();
+    }
+
+    #[test]
+    fn monitored_suspend_resume_keeps_verdicts_and_fingerprint() {
+        let handle = ServeHandle::start(ServeConfig {
+            workers: 2,
+            tenants: vec![TenantConfig::named("t")],
+            ..ServeConfig::default()
+        });
+        let tenant = handle.tenant_token("t").unwrap();
+        let mut spec = JobSpec::demo_rc_monitored(24, 0xBEEF);
+        spec.h = 5e-9; // slow_job pacing, monitored
+        let direct = spec.direct_run(2).unwrap();
+
+        let job = suspended_mid_run(&handle, &tenant, spec);
+        // The checkpoint already carries verdict counts for the
+        // completed prefix.
+        let status = handle.status(&tenant, &job).unwrap();
+        let mid = status.monitors.expect("suspended monitored job");
+        assert_eq!(
+            mid.pass + mid.fail + mid.vacuous,
+            status.completed as u64 * 3
+        );
+
+        handle.resume(&tenant, &job).unwrap();
+        let report = handle.wait(&tenant, &job).unwrap();
+        assert_eq!(
+            report.fingerprint(),
+            direct.fingerprint(),
+            "restored verdicts must match an uninterrupted monitored run"
+        );
+        for (got, want) in report.scenarios.iter().zip(&direct.scenarios) {
+            assert_eq!(got.verdicts, want.verdicts);
+        }
+        handle.shutdown();
+        handle.join();
+    }
+
+    #[test]
+    fn bad_monitor_specs_are_rejected_at_submit() {
+        let handle = ServeHandle::start(ServeConfig {
+            workers: 1,
+            tenants: vec![TenantConfig::named("t")],
+            ..ServeConfig::default()
+        });
+        let tenant = handle.tenant_token("t").unwrap();
+        let mut garbled = JobSpec::demo_rc(2, 0);
+        garbled.monitors = Some("p:settle(lo=".into());
+        match handle.submit(&tenant, garbled) {
+            Err(ServeError::Invalid(msg)) => assert!(msg.contains("monitor spec"), "{msg}"),
+            other => panic!("unexpected {other:?}"),
+        }
+        let mut dangling = JobSpec::demo_rc(2, 0);
+        dangling.monitors = Some("p:finite()@n99".into());
+        match handle.submit(&tenant, dangling) {
+            Err(ServeError::Invalid(msg)) => assert!(msg.contains("n99"), "{msg}"),
+            other => panic!("unexpected {other:?}"),
+        }
+        // Rejection happens before admission: nothing was queued.
+        assert_eq!(handle.metrics().counter("serve.jobs.submitted"), 0);
         handle.shutdown();
         handle.join();
     }

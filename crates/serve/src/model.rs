@@ -26,6 +26,7 @@
 
 use crate::ServeError;
 use ams_lint::{ParamRange, SpaceBind, SpaceSpec, SpaceTarget};
+use ams_monitor::MonitorSpec;
 use ams_net::{Circuit, ElementId, IntegrationMethod, NodeId, Waveform};
 use ams_sweep::json::Json;
 use ams_sweep::{
@@ -682,6 +683,12 @@ pub struct JobSpec {
     pub metrics: Vec<MetricSpec>,
     /// Scenario generation.
     pub sweep: SweepDecl,
+    /// Optional temporal-assertion monitors, as an `ams-monitor` spec
+    /// string (see [`MonitorSpec::parse`]); channels name circuit
+    /// nodes. Parsed and validated at submit, folded into the job
+    /// fingerprint, and evaluated during every scenario — per-scenario
+    /// verdicts land in the report and stream through `poll`.
+    pub monitors: Option<String>,
     /// Transient horizon, seconds.
     pub t_end: f64,
     /// Fixed timestep, seconds.
@@ -703,6 +710,8 @@ pub struct PreparedJob {
     binds: Vec<(ElementId, BindTarget, f64, bool, String)>,
     /// `(metric name, node id, probe)` per metric.
     probes: Vec<(String, NodeId, ProbeKind)>,
+    /// Parsed monitor declaration (channels resolve inside the sweep).
+    monitors: Option<MonitorSpec>,
     method: IntegrationMethod,
     t_end: f64,
     h: f64,
@@ -741,10 +750,40 @@ impl JobSpec {
         self.sweep.scenario_count()
     }
 
-    /// The job's topology fingerprint (see
-    /// [`CircuitSpec::fingerprint`]).
+    /// The job's identity fingerprint: the topology fingerprint (see
+    /// [`CircuitSpec::fingerprint`]) with the monitor spec text folded
+    /// on top when present. An unmonitored job's fingerprint equals its
+    /// topology fingerprint, so pre-monitor identities are unchanged;
+    /// cache keying stays on [`CircuitSpec::fingerprint`] alone
+    /// (monitors change what a job *checks*, not what it elaborates).
     pub fn fingerprint(&self) -> u64 {
-        self.circuit.fingerprint()
+        match &self.monitors {
+            None => self.circuit.fingerprint(),
+            Some(m) => {
+                let mut h = Fnv::new();
+                h.u64(self.circuit.fingerprint());
+                h.bytes(m.as_bytes());
+                h.finish()
+            }
+        }
+    }
+
+    /// Parses the job's monitor declaration, when present. An empty
+    /// spec string counts as "no monitors".
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Invalid`] with the parser's message for a
+    /// malformed spec.
+    pub fn monitor_spec(&self) -> Result<Option<MonitorSpec>, ServeError> {
+        match &self.monitors {
+            None => Ok(None),
+            Some(text) => {
+                let spec = MonitorSpec::parse(text)
+                    .map_err(|e| ServeError::invalid(format!("monitor spec: {e}")))?;
+                Ok((!spec.is_empty()).then_some(spec))
+            }
+        }
     }
 
     /// The job's sweep-space specification: the parameter *box* the
@@ -865,10 +904,21 @@ impl JobSpec {
             })?;
             probes.push((m.name.clone(), node, m.probe));
         }
+        let monitors = self.monitor_spec()?;
+        if let Some(spec) = &monitors {
+            for ch in spec.props.iter().map(|p| p.channel.as_str()) {
+                if ch != "0" && ch != "gnd" && !built.nodes.contains_key(ch) {
+                    return Err(ServeError::invalid(format!(
+                        "monitor channel {ch:?} names no circuit node"
+                    )));
+                }
+            }
+        }
         Ok(PreparedJob {
             built,
             binds,
             probes,
+            monitors,
             method: if self.trapezoidal {
                 IntegrationMethod::Trapezoidal
             } else {
@@ -891,9 +941,11 @@ impl JobSpec {
         self.prepare()?.run(&spec, workers, RunOpts::default())
     }
 
-    /// Serializes the job to its wire JSON.
+    /// Serializes the job to its wire JSON. The `monitors` field is
+    /// emitted only when present, so unmonitored jobs serialize exactly
+    /// as they did before monitors existed.
     pub fn to_json(&self) -> Json {
-        Json::Obj(vec![
+        let mut fields = vec![
             ("circuit".into(), self.circuit.to_json()),
             (
                 "binds".into(),
@@ -931,7 +983,11 @@ impl JobSpec {
             ("h".into(), Json::from_f64(self.h)),
             ("trapezoidal".into(), Json::Bool(self.trapezoidal)),
             ("workers".into(), Json::from_u64(self.workers as u64)),
-        ])
+        ];
+        if let Some(m) = &self.monitors {
+            fields.push(("monitors".into(), Json::Str(m.clone())));
+        }
+        Json::Obj(fields)
     }
 
     /// Parses a job from its wire JSON.
@@ -1006,6 +1062,7 @@ impl JobSpec {
                 v.get("sweep")
                     .ok_or_else(|| ServeError::invalid("job needs a \"sweep\""))?,
             )?,
+            monitors: v.get("monitors").and_then(Json::as_str).map(str::to_string),
             t_end: f("t_end")?,
             h: f("h")?,
             trapezoidal: v.get("trapezoidal").and_then(Json::as_bool).unwrap_or(true),
@@ -1079,11 +1136,30 @@ impl JobSpec {
                 n,
                 seed,
             },
+            monitors: None,
             t_end: 50e-6,
             h: 50e-9,
             trapezoidal: true,
             workers: 2,
         }
+    }
+
+    /// [`JobSpec::demo_rc`] with three temporal assertions on the
+    /// output node: a passivity envelope (an RC low-pass of a 0→1 V
+    /// pulse can never leave `[0, 1]`, so this property passes in every
+    /// scenario), an overshoot bound at the same ceiling, and a
+    /// settling-time requirement whose verdict depends on the sampled
+    /// component tolerances — the yield-style property sweeps exist to
+    /// measure.
+    pub fn demo_rc_monitored(n: usize, seed: u64) -> JobSpec {
+        let mut job = JobSpec::demo_rc(n, seed);
+        job.monitors = Some(
+            "bounded:envelope(lo=-0.05,hi=1.05)@n4;\
+             over:overshoot(max=1.05)@n4;\
+             settled:settle(lo=0.93,hi=1.07,by=4.6e-5)@n4"
+                .into(),
+        );
+        job
     }
 }
 
@@ -1134,6 +1210,9 @@ impl PreparedJob {
         }
         if let Some(sink) = opts.factor_sink {
             sweep = sweep.factor_sink(sink);
+        }
+        if let Some(monitors) = &self.monitors {
+            sweep = sweep.monitors(monitors.clone());
         }
         let metric_names: Vec<&str> = self.probes.iter().map(|(n, _, _)| n.as_str()).collect();
         let report = sweep.run(
@@ -1226,6 +1305,45 @@ mod tests {
         assert_eq!(job, back);
         // The fingerprint survives the wire.
         assert_eq!(job.fingerprint(), back.fingerprint());
+        // A monitored job round-trips its property spec too.
+        let monitored = JobSpec::demo_rc_monitored(16, 0xF1);
+        let wire = monitored.to_json().render();
+        let back = JobSpec::from_json(&ams_sweep::json::parse(&wire).unwrap()).unwrap();
+        assert_eq!(monitored, back);
+        assert_eq!(monitored.fingerprint(), back.fingerprint());
+    }
+
+    #[test]
+    fn monitors_fold_into_job_identity_but_not_topology() {
+        let plain = JobSpec::demo_rc(8, 1);
+        let monitored = JobSpec::demo_rc_monitored(8, 1);
+        // Same circuit, so the same topology-cache entry …
+        assert_eq!(plain.circuit.fingerprint(), monitored.circuit.fingerprint());
+        // … but distinct job identities, and distinct again for a
+        // different property list.
+        assert_ne!(plain.fingerprint(), monitored.fingerprint());
+        let mut other = monitored.clone();
+        other.monitors = Some("only:finite()@n4".into());
+        assert_ne!(other.fingerprint(), monitored.fingerprint());
+        // Unmonitored jobs keep the historical identity.
+        assert_eq!(plain.fingerprint(), plain.circuit.fingerprint());
+    }
+
+    #[test]
+    fn monitored_direct_run_yields_verdicts() {
+        let job = JobSpec::demo_rc_monitored(6, 0xAB);
+        let one = job.direct_run(1).unwrap();
+        let four = job.direct_run(4).unwrap();
+        assert_eq!(one.fingerprint(), four.fingerprint());
+        assert_eq!(one.monitor_names.len(), 3);
+        for s in &one.scenarios {
+            assert_eq!(s.verdicts.len(), 3);
+        }
+        // The envelope and overshoot properties hold on every RC
+        // scenario of a unit pulse.
+        let summary = one.monitor_summary();
+        assert_eq!(summary[0].pass, 6, "envelope: {:?}", summary[0]);
+        assert_eq!(summary[1].pass, 6, "overshoot: {:?}", summary[1]);
     }
 
     #[test]

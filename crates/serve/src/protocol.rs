@@ -22,6 +22,15 @@
 //! response := {"ok":true, ...} | {"ok":false,"code":C,"error":S}
 //! ```
 //!
+//! `JOBSPEC` may carry an optional `"monitors"` string — a
+//! [`ams_monitor::MonitorSpec`] property list whose channels name
+//! circuit nodes. Monitored jobs fold the spec text into their job
+//! fingerprint (topology caching still keys on the circuit alone), and
+//! `status`/`poll` responses gain a `"monitors"` object with running
+//! `pass`/`fail`/`vacuous` verdict counts. `stats` returns the whole
+//! metrics registry grouped as `counters`/`gauges`/`histograms` in
+//! stable name order.
+//!
 //! Failure codes are [`ServeError::code`] values (`auth`,
 //! `backpressure`, `quota`, `invalid`, `shutdown`, `failed`,
 //! `cancelled`, `sweep`). The handler is a pure request→response
@@ -77,6 +86,16 @@ fn status_fields(status: &JobStatus) -> Vec<(String, Json)> {
         ),
         ("total".to_string(), Json::from_u64(status.total as u64)),
     ];
+    if let Some(m) = &status.monitors {
+        fields.push((
+            "monitors".to_string(),
+            Json::Obj(vec![
+                ("pass".into(), Json::from_u64(m.pass)),
+                ("fail".into(), Json::from_u64(m.fail)),
+                ("vacuous".into(), Json::from_u64(m.vacuous)),
+            ]),
+        ));
+    }
     if let crate::handle::JobState::Failed(msg) = &status.state {
         fields.push(("error".to_string(), Json::Str(msg.clone())));
     }
@@ -138,7 +157,10 @@ fn dispatch(handle: &ServeHandle, line: &str) -> Result<Reply, ServeError> {
                     .ok_or_else(|| ServeError::invalid("submit needs a \"job\""))?,
             )?;
             let scenarios = job.scenario_count() as u64;
-            let fingerprint = job.fingerprint();
+            // Topology identity, deliberately distinct from job identity:
+            // two jobs that differ only in monitor specs share cached
+            // factorisations, and this field advertises that sharing.
+            let fingerprint = job.circuit.fingerprint();
             let token = handle.submit(&tenant, job)?;
             Ok(Reply::ok(vec![
                 ("job_token".into(), Json::Str(token)),
@@ -199,22 +221,14 @@ fn dispatch(handle: &ServeHandle, line: &str) -> Result<Reply, ServeError> {
             if tok("admin")? != handle.admin_token() {
                 return Err(ServeError::Auth);
             }
+            // The whole registry, grouped by kind in name order —
+            // every counter, gauge and full histogram summary, not a
+            // hand-picked subset.
             let metrics = handle.metrics();
-            let mut fields: Vec<(String, Json)> = Vec::new();
-            for (name, metric) in metrics.iter() {
-                match metric {
-                    ams_scope::Metric::Counter(v) => {
-                        fields.push((name.to_string(), Json::from_u64(*v)));
-                    }
-                    ams_scope::Metric::Gauge(v) => {
-                        fields.push((name.to_string(), Json::from_f64(*v)));
-                    }
-                    ams_scope::Metric::Histogram(h) => {
-                        fields.push((format!("{name}.count"), Json::from_u64(h.count())));
-                    }
-                }
-            }
-            Ok(Reply::ok(vec![("metrics".into(), Json::Obj(fields))]))
+            Ok(Reply::ok(vec![(
+                "metrics".into(),
+                ams_sweep::json::metrics_to_json(&metrics),
+            )]))
         }
         "shutdown" => {
             if tok("admin")? != handle.admin_token() {
@@ -294,6 +308,75 @@ mod tests {
         let obj = parse(&reply.line).unwrap();
         assert_eq!(obj.get("events").and_then(Json::as_arr).unwrap().len(), 2);
         assert_eq!(obj.get("state").and_then(Json::as_str), Some("done"));
+        handle.shutdown();
+        handle.join();
+    }
+
+    #[test]
+    fn monitored_jobs_surface_verdict_counts_and_full_stats() {
+        let (handle, admin, tenant) = service();
+        let job_json = JobSpec::demo_rc_monitored(4, 0x51).to_json().render();
+        let reply = handle_request(
+            &handle,
+            &format!(r#"{{"op":"submit","tenant":"{tenant}","job":{job_json}}}"#),
+        );
+        let obj = parse(&reply.line).unwrap();
+        assert_eq!(obj.get("ok").and_then(Json::as_bool), Some(true), "{obj:?}");
+        let job = obj
+            .get("job_token")
+            .and_then(Json::as_str)
+            .unwrap()
+            .to_string();
+        // The topology field advertises the *circuit* identity, which
+        // an unmonitored job over the same netlist shares.
+        assert_eq!(
+            obj.get("topology").and_then(Json::as_str).unwrap(),
+            format!("{:016x}", JobSpec::demo_rc(4, 0x51).circuit.fingerprint())
+        );
+
+        let reply = handle_request(
+            &handle,
+            &format!(r#"{{"op":"result","tenant":"{tenant}","job":"{job}"}}"#),
+        );
+        let obj = parse(&reply.line).unwrap();
+        let report =
+            ams_sweep::json::report_from_json(obj.get("report").unwrap()).expect("valid report");
+        assert_eq!(report.monitor_names.len(), 3);
+
+        // Status carries the verdict tallies.
+        let reply = handle_request(
+            &handle,
+            &format!(r#"{{"op":"status","tenant":"{tenant}","job":"{job}"}}"#),
+        );
+        let obj = parse(&reply.line).unwrap();
+        let monitors = obj.get("monitors").expect("monitored status object");
+        let total = ["pass", "fail", "vacuous"]
+            .iter()
+            .map(|k| monitors.get(k).and_then(Json::as_u64).unwrap())
+            .sum::<u64>();
+        assert_eq!(total, 4 * 3);
+
+        // Stats exports the whole registry, grouped and ordered.
+        let reply = handle_request(&handle, &format!(r#"{{"op":"stats","admin":"{admin}"}}"#));
+        let obj = parse(&reply.line).unwrap();
+        let metrics = obj.get("metrics").expect("metrics object");
+        let counters = metrics.get("counters").expect("counters group");
+        assert_eq!(
+            counters.get("serve.monitor.jobs").and_then(Json::as_u64),
+            Some(1)
+        );
+        let monitor_total = ["pass", "fail", "vacuous"]
+            .iter()
+            .map(|k| {
+                counters
+                    .get(&format!("serve.monitor.{k}"))
+                    .and_then(Json::as_u64)
+                    .unwrap_or(0)
+            })
+            .sum::<u64>();
+        assert_eq!(monitor_total, 4 * 3);
+        assert!(metrics.get("gauges").is_some());
+        assert!(metrics.get("histograms").is_some());
         handle.shutdown();
         handle.join();
     }

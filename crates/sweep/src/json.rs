@@ -24,6 +24,7 @@ use crate::SweepError;
 use ams_core::ClusterStats;
 use ams_exec::ExecStats;
 use ams_math::SolveStats;
+use ams_monitor::{codes as mon_codes, Verdict};
 use std::fmt::Write as _;
 use std::time::Duration;
 
@@ -555,15 +556,55 @@ fn cluster_stats_from_json(value: &Json) -> Result<ClusterStats, SweepError> {
     })
 }
 
+/// One verdict under the wire conventions: passes and vacuous
+/// outcomes are bare strings, failures carry their code and witness
+/// point.
+fn verdict_to_json(v: &Verdict) -> Json {
+    match v {
+        Verdict::Pass => Json::Str("pass".into()),
+        Verdict::Vacuous => Json::Str("vacuous".into()),
+        Verdict::Fail { code, t, value } => Json::Obj(vec![
+            ("code".into(), Json::Str((*code).into())),
+            ("t".into(), Json::from_f64(*t)),
+            ("value".into(), Json::from_f64(*value)),
+        ]),
+    }
+}
+
+fn verdict_from_json(value: &Json) -> Result<Verdict, SweepError> {
+    match value {
+        Json::Str(s) if s == "pass" => Ok(Verdict::Pass),
+        Json::Str(s) if s == "vacuous" => Ok(Verdict::Vacuous),
+        Json::Obj(_) => {
+            let code = field(value, "code")?
+                .as_str()
+                .ok_or_else(|| SweepError::invalid("verdict code is not a string"))?;
+            // Map the parsed string back onto the static registry so
+            // the verdict carries the same `&'static str` a live run
+            // would (and unknown codes fail loudly).
+            let code = mon_codes::code_number(code)
+                .and_then(mon_codes::code_for_number)
+                .ok_or_else(|| SweepError::invalid(format!("unknown monitor code {code:?}")))?;
+            Ok(Verdict::Fail {
+                code,
+                t: parse_f64(field(value, "t")?, "verdict t")?,
+                value: parse_f64(field(value, "value")?, "verdict value")?,
+            })
+        }
+        _ => Err(SweepError::invalid("verdict is not a string or object")),
+    }
+}
+
 /// Serializes a report: metric names, per-scenario rows (with solver
 /// counters) and the exec-level aggregate. The trace, a measurement
 /// rather than a result, is not serialized.
 pub fn report_to_json(report: &SweepReport) -> Json {
+    let monitored = !report.monitor_names.is_empty();
     let scenarios = report
         .scenarios
         .iter()
         .map(|r| {
-            Json::Obj(vec![
+            let mut fields = vec![
                 ("index".into(), Json::from_u64(r.index as u64)),
                 ("label".into(), Json::Str(r.label.clone())),
                 (
@@ -571,7 +612,14 @@ pub fn report_to_json(report: &SweepReport) -> Json {
                     Json::Arr(r.metrics.iter().map(|&v| Json::from_f64(v)).collect()),
                 ),
                 ("stats".into(), cluster_stats_to_json(&r.stats)),
-            ])
+            ];
+            if monitored {
+                fields.push((
+                    "verdicts".into(),
+                    Json::Arr(r.verdicts.iter().map(verdict_to_json).collect()),
+                ));
+            }
+            Json::Obj(fields)
         })
         .collect();
     let exec = Json::Obj(vec![
@@ -640,6 +688,20 @@ pub fn report_to_json(report: &SweepReport) -> Json {
         top.push(("prefix_forks".into(), Json::from_u64(report.prefix_forks)));
         top.push(("prefix_steps".into(), Json::from_u64(report.prefix_steps)));
     }
+    // Monitored runs record their property names; unmonitored documents
+    // stay byte-identical to pre-monitor serializations.
+    if monitored {
+        top.push((
+            "monitor_names".into(),
+            Json::Arr(
+                report
+                    .monitor_names
+                    .iter()
+                    .map(|n| Json::Str(n.clone()))
+                    .collect(),
+            ),
+        ));
+    }
     Json::Obj(top)
 }
 
@@ -657,6 +719,10 @@ pub fn report_to_json(report: &SweepReport) -> Json {
 /// mismatch.
 pub fn report_from_json(value: &Json) -> Result<SweepReport, SweepError> {
     let metric_names = parse_strings(field(value, "metric_names")?, "metric_names")?;
+    let monitor_names = match value.get("monitor_names") {
+        Some(v) => parse_strings(v, "monitor_names")?,
+        None => Vec::new(),
+    };
     let mut scenarios = Vec::new();
     for sc in field(value, "scenarios")?
         .as_arr()
@@ -666,6 +732,20 @@ pub fn report_from_json(value: &Json) -> Result<SweepReport, SweepError> {
         if metrics.len() != metric_names.len() {
             return Err(SweepError::invalid("metric row shape mismatch"));
         }
+        let verdicts = if monitor_names.is_empty() {
+            Vec::new()
+        } else {
+            let vs: Vec<Verdict> = field(sc, "verdicts")?
+                .as_arr()
+                .ok_or_else(|| SweepError::invalid("verdicts is not an array"))?
+                .iter()
+                .map(verdict_from_json)
+                .collect::<Result<_, _>>()?;
+            if vs.len() != monitor_names.len() {
+                return Err(SweepError::invalid("verdict row shape mismatch"));
+            }
+            vs
+        };
         scenarios.push(ScenarioResult {
             index: parse_u64(field(sc, "index")?, "index")? as usize,
             label: field(sc, "label")?
@@ -674,6 +754,7 @@ pub fn report_from_json(value: &Json) -> Result<SweepReport, SweepError> {
                 .to_string(),
             metrics,
             stats: cluster_stats_from_json(field(sc, "stats")?)?,
+            verdicts,
         });
     }
     let ex = field(value, "exec")?;
@@ -726,6 +807,7 @@ pub fn report_from_json(value: &Json) -> Result<SweepReport, SweepError> {
     };
     let report = SweepReport {
         metric_names,
+        monitor_names,
         scenarios,
         exec,
         trace: None,
@@ -745,6 +827,41 @@ pub fn report_from_json(value: &Json) -> Result<SweepReport, SweepError> {
         }
     }
     Ok(report)
+}
+
+/// Serializes a full [`MetricsRegistry`] — every counter, gauge and
+/// histogram — grouped by kind, in registry (name) order, so the
+/// rendering is byte-deterministic for a given registry. Histograms
+/// expand to `{count, min, max, mean, p50, p95}` objects (empty ones
+/// keep the stable key set, with `count` 0 and `"NaN"` statistics);
+/// counters follow the module's decimal-string convention for `u64`.
+pub fn metrics_to_json(metrics: &ams_scope::MetricsRegistry) -> Json {
+    use ams_scope::Metric;
+    let mut counters = Vec::new();
+    let mut gauges = Vec::new();
+    let mut histograms = Vec::new();
+    for (name, metric) in metrics.iter() {
+        match metric {
+            Metric::Counter(v) => counters.push((name.to_string(), Json::from_u64(*v))),
+            Metric::Gauge(v) => gauges.push((name.to_string(), Json::from_f64(*v))),
+            Metric::Histogram(h) => histograms.push((
+                name.to_string(),
+                Json::Obj(vec![
+                    ("count".into(), Json::from_u64(h.count())),
+                    ("min".into(), Json::from_f64(h.min())),
+                    ("max".into(), Json::from_f64(h.max())),
+                    ("mean".into(), Json::from_f64(h.mean())),
+                    ("p50".into(), Json::from_f64(h.percentile(50.0))),
+                    ("p95".into(), Json::from_f64(h.percentile(95.0))),
+                ]),
+            )),
+        }
+    }
+    Json::Obj(vec![
+        ("counters".into(), Json::Obj(counters)),
+        ("gauges".into(), Json::Obj(gauges)),
+        ("histograms".into(), Json::Obj(histograms)),
+    ])
 }
 
 #[cfg(test)]
@@ -823,11 +940,13 @@ mod tests {
         use ams_core::ClusterStats;
         let report = SweepReport {
             metric_names: vec!["v".into(), "t".into()],
+            monitor_names: Vec::new(),
             scenarios: (0..4)
                 .map(|i| ScenarioResult {
                     index: i,
                     label: format!("#{i}"),
                     metrics: vec![i as f64 * 1.25, if i == 2 { f64::NAN } else { -1.0 }],
+                    verdicts: Vec::new(),
                     stats: ClusterStats {
                         iterations: 100 + i as u64,
                         firings: i as u64,
@@ -903,5 +1022,68 @@ mod tests {
         // A tampered metric fails the embedded fingerprint check.
         let tampered = doc.replace("1.25", "1.26");
         assert!(report_from_json(&parse(&tampered).unwrap()).is_err());
+
+        // Without monitors the document never mentions them.
+        assert!(!doc.contains("verdicts"), "{doc}");
+        assert!(!doc.contains("monitor_names"), "{doc}");
+    }
+
+    #[test]
+    fn monitor_verdicts_round_trip_with_their_fingerprint() {
+        use ams_core::ClusterStats;
+        let mut report = SweepReport {
+            metric_names: vec!["v".into()],
+            monitor_names: vec!["settled".into(), "bounded".into()],
+            scenarios: (0..3)
+                .map(|i| ScenarioResult {
+                    index: i,
+                    label: format!("#{i}"),
+                    metrics: vec![i as f64],
+                    verdicts: vec![
+                        if i == 1 {
+                            Verdict::Fail {
+                                code: mon_codes::MON001,
+                                t: 2.5e-6,
+                                value: 0.71,
+                            }
+                        } else {
+                            Verdict::Pass
+                        },
+                        Verdict::Vacuous,
+                    ],
+                    stats: ClusterStats::default(),
+                })
+                .collect(),
+            exec: ExecStats::default(),
+            trace: None,
+            lanes: 1,
+            bundles: 0,
+            space_pruned: Vec::new(),
+            prefix_forks: 0,
+            prefix_steps: 0,
+        };
+
+        let doc = report_to_json(&report).render();
+        assert!(doc.contains("\"monitor_names\""), "{doc}");
+        assert!(doc.contains("\"MON001\""), "{doc}");
+        let back = report_from_json(&parse(&doc).unwrap()).unwrap();
+        assert_eq!(back.fingerprint(), report.fingerprint());
+        assert_eq!(back.monitor_names, report.monitor_names);
+        for (a, b) in report.scenarios.iter().zip(&back.scenarios) {
+            assert_eq!(a.verdicts, b.verdicts);
+        }
+
+        // A tampered verdict fails the embedded fingerprint check, and
+        // an unknown code is rejected before hashing.
+        let flipped = doc.replace("\"pass\"", "\"vacuous\"");
+        assert!(report_from_json(&parse(&flipped).unwrap()).is_err());
+        let unknown = doc.replace("MON001", "MON999");
+        assert!(report_from_json(&parse(&unknown).unwrap()).is_err());
+
+        // A verdict row that disagrees with the property count is a
+        // shape error.
+        report.scenarios[0].verdicts.pop();
+        let short = report_to_json(&report).render();
+        assert!(report_from_json(&parse(&short).unwrap()).is_err());
     }
 }

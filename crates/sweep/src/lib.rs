@@ -81,7 +81,10 @@ pub use netlist::{FactorSink, NetlistSweep, ProgressFn, RunMode};
 // Re-exported because it appears in the public surface twice over:
 // [`ScenarioResult::stats`] and the [`ProgressFn`] callback signature.
 pub use ams_core::ClusterStats;
-pub use report::{MetricSummary, ScenarioResult, SweepReport};
+// Re-exported because monitor specs and verdicts appear in the sweep
+// builder and report surfaces.
+pub use ams_monitor::{MonitorSpec, Verdict};
+pub use report::{MetricSummary, MonitorSummary, ScenarioResult, SweepReport};
 pub use spec::{Scenario, SweepSpec};
 pub use tdf::{LaneSweepModel, SweepModel, TdfSweep};
 

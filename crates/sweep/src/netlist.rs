@@ -21,10 +21,11 @@ use crate::{CancelToken, SweepError};
 use ams_core::ClusterStats;
 use ams_exec::ExecStats;
 use ams_lint::{classify_point, lint_circuit, lint_space, LintPolicy, SpaceSpec};
+use ams_monitor::{codes as mon_codes, MonitorBank, MonitorSpec, Verdict, VERDICT_SLOTS};
 use ams_net::{
     AdaptiveOptions, Checkpoint, Circuit, IntegrationMethod, LaneSymbolicFactor,
-    LaneTransientSolver, NetError, ScenarioProbe, SolverBackend, SymbolicFactor, TransientSolver,
-    TransientStats,
+    LaneTransientSolver, NetError, NodeId, ScenarioProbe, SolverBackend, SymbolicFactor,
+    TransientSolver, TransientStats,
 };
 use ams_scope::{scenario_arg, ScopeTrace, SpanKind, Tracer};
 
@@ -48,14 +49,16 @@ pub enum RunMode {
 }
 
 /// A per-scenario completion callback: `(scenario index, metric row,
-/// solver counters)`. Runs on whichever thread finished the scenario,
-/// so implementations must be `Send + Sync`; keyed by index, the
-/// stream is order-independent. The counters are the same
-/// [`ClusterStats`] the scenario's [`ScenarioResult`] will carry, so a
-/// consumer can persist resumable, fingerprint-grade partial results
-/// (lane runs report the bundle's counters for every scenario in the
-/// bundle, exactly as the report does).
-pub type ProgressFn = std::sync::Arc<dyn Fn(usize, &[f64], &ClusterStats) + Send + Sync>;
+/// solver counters, monitor verdicts)`. Runs on whichever thread
+/// finished the scenario, so implementations must be `Send + Sync`;
+/// keyed by index, the stream is order-independent. The counters are
+/// the same [`ClusterStats`] the scenario's [`ScenarioResult`] will
+/// carry, and the verdicts the same slice (empty with no monitors
+/// attached), so a consumer can persist resumable, fingerprint-grade
+/// partial results (lane runs report the bundle's counters for every
+/// scenario in the bundle, exactly as the report does).
+pub type ProgressFn =
+    std::sync::Arc<dyn Fn(usize, &[f64], &ClusterStats, &[Verdict]) + Send + Sync>;
 
 /// A slot that receives the symbolic factor scenario 0 exports, letting
 /// callers keep it warm across runs of the same topology (`ams-serve`'s
@@ -68,6 +71,60 @@ pub type FactorSink = std::sync::Arc<std::sync::Mutex<Option<SymbolicFactor>>>;
 /// included), the bundle's counters, and — when asked to export — the
 /// lane symbolic factor for sibling bundles.
 type BundleOutcome<const K: usize> = (Vec<Vec<f64>>, ClusterStats, Option<LaneSymbolicFactor<K>>);
+
+/// A monitor spec resolved against the template circuit: the prototype
+/// (unfed) bank every scenario clones, and the node each bank channel
+/// probes (parallel to [`MonitorBank::channels`]). Resolution happens
+/// once per run — unknown channel names reject the batch before any
+/// scenario is built.
+struct ResolvedMonitors {
+    bank: MonitorBank,
+    nodes: Vec<NodeId>,
+}
+
+/// Appends each verdict's [`Verdict::encode`] slots to a metric row —
+/// the transport that carries verdicts through the sharded engine
+/// without widening its `(row, stats)` item shape.
+pub(crate) fn push_verdict_slots(row: &mut Vec<f64>, verdicts: &[Verdict]) {
+    for v in verdicts {
+        row.extend_from_slice(&v.encode());
+    }
+}
+
+/// Decodes a slice of transported verdict slots (a multiple of
+/// [`VERDICT_SLOTS`] wide, possibly empty).
+pub(crate) fn decode_verdict_slots(tail: &[f64]) -> Vec<Verdict> {
+    tail.chunks_exact(VERDICT_SLOTS)
+        .map(|c| Verdict::decode(c.try_into().expect("verdict slot width")))
+        .collect()
+}
+
+/// Splits a transported row back into its metric prefix and decoded
+/// verdicts — the inverse of [`push_verdict_slots`]. With no monitors
+/// attached the tail is empty and the row passes through untouched.
+pub(crate) fn split_verdict_slots(mut row: Vec<f64>, n_metrics: usize) -> (Vec<f64>, Vec<Verdict>) {
+    let verdicts = decode_verdict_slots(&row[n_metrics..]);
+    row.truncate(n_metrics);
+    (row, verdicts)
+}
+
+/// Emits one [`SpanKind::Monitor`] instant per property verdict,
+/// timestamped with the witness point's simulated time (the horizon
+/// for non-failures); `arg` = property index `<< 8 |` violation-code
+/// number (low byte 0 for a pass or vacuous verdict).
+pub(crate) fn emit_monitor_instants(tracer: &mut Tracer, verdicts: &[Verdict], t_end: f64) {
+    for (i, v) in verdicts.iter().enumerate() {
+        let (t, code) = match v {
+            Verdict::Fail { code, t, .. } => (*t, mon_codes::code_number(code).unwrap_or(0)),
+            _ => (t_end, 0),
+        };
+        tracer.instant(
+            SpanKind::Monitor,
+            (t * 1e15) as u64,
+            ((i as u64) << 8) | u64::from(code),
+        );
+    }
+}
 
 /// A batched transient sweep over one circuit topology.
 #[derive(Clone)]
@@ -89,6 +146,7 @@ pub struct NetlistSweep {
     factor_sink: Option<FactorSink>,
     lanes: usize,
     prefix_t0: Option<f64>,
+    monitors: Option<MonitorSpec>,
 }
 
 impl std::fmt::Debug for NetlistSweep {
@@ -108,6 +166,7 @@ impl std::fmt::Debug for NetlistSweep {
             .field("progress", &self.progress.is_some())
             .field("factor_sink", &self.factor_sink.is_some())
             .field("prefix_t0", &self.prefix_t0)
+            .field("monitors", &self.monitors.is_some())
             .finish_non_exhaustive()
     }
 }
@@ -138,7 +197,54 @@ impl NetlistSweep {
             factor_sink: None,
             lanes: 8,
             prefix_t0: None,
+            monitors: None,
         }
+    }
+
+    /// Attaches streaming temporal assertion monitors: every scenario
+    /// evaluates `spec`'s properties *during* integration (fed on
+    /// accepted steps only, exactly when the probe fires — no sample
+    /// is buffered), and the report carries one
+    /// [`Verdict`](ams_monitor::Verdict) per property per scenario.
+    /// Channel names are resolved against the *template* circuit's
+    /// node names once per run; an unknown channel rejects the batch
+    /// with [`SweepError::Invalid`](crate::SweepError::Invalid).
+    ///
+    /// Verdicts are part of the report's deterministic surface: they
+    /// fold into [`SweepReport::fingerprint`], are bit-identical
+    /// across worker counts, survive [`prefix`](NetlistSweep::prefix)
+    /// forking unchanged (the prefix run feeds the automata on
+    /// `[0, t0]` and every fork continues from that state), and under
+    /// [`run_lanes`](NetlistSweep::run_lanes) each lane keeps its own
+    /// bank. With tracing enabled each scenario records one
+    /// [`SpanKind::Monitor`] instant per property, timestamped with
+    /// the violation's witness time.
+    pub fn monitors(mut self, spec: MonitorSpec) -> NetlistSweep {
+        self.monitors = Some(spec);
+        self
+    }
+
+    /// Resolves the installed monitor spec (if any) against the
+    /// template: builds the prototype bank and maps each channel name
+    /// to a node. An empty spec behaves as no monitors at all.
+    fn resolve_monitors(&self) -> Result<Option<ResolvedMonitors>, SweepError> {
+        let Some(spec) = &self.monitors else {
+            return Ok(None);
+        };
+        if spec.is_empty() {
+            return Ok(None);
+        }
+        let bank = MonitorBank::new(spec);
+        let mut nodes = Vec::with_capacity(bank.channels().len());
+        for ch in bank.channels() {
+            let node = self.template.find_node(ch).ok_or_else(|| {
+                SweepError::invalid(format!(
+                    "monitor channel {ch:?} names no node in the sweep template"
+                ))
+            })?;
+            nodes.push(node);
+        }
+        Ok(Some(ResolvedMonitors { bank, nodes }))
     }
 
     /// Declares the first `t0` seconds of every scenario as a shared
@@ -472,22 +578,26 @@ impl NetlistSweep {
 
         let scenarios = spec.scenarios();
         let n_metrics = metrics.len();
+        let mon = self.resolve_monitors()?;
+        let mon_ref = mon.as_ref();
+        let n_slots = mon_ref.map_or(0, |m| m.bank.len() * VERDICT_SLOTS);
 
         // Scenario 0 runs inline on the coordinator: it seeds the shared
         // symbolic factor, so every worker count sees the same pivot
         // sequence.
         let first = &scenarios[0];
-        let (first_vals, first_stats, exported) = self.run_scenario(
+        let (first_vals, first_stats, first_verdicts, exported) = self.run_scenario(
             first,
             self.symbolic_hint.as_ref(),
             self.symbolic_hint.is_none(),
             n_metrics,
+            mon_ref,
             &mut coord_tracer,
             &apply,
             &observe,
         )?;
         if let Some(p) = &self.progress {
-            p(first.index(), &first_vals, &first_stats);
+            p(first.index(), &first_vals, &first_stats, &first_verdicts);
         }
         if let (Some(sink), Some(f)) = (&self.factor_sink, &exported) {
             *sink.lock().expect("factor sink poisoned") = Some(f.clone());
@@ -499,7 +609,7 @@ impl NetlistSweep {
         let hint_ref = self.symbolic_hint.as_ref().or(exported.as_ref());
         let mut shard = run_sharded(
             rest.len(),
-            n_metrics,
+            n_metrics + n_slots,
             workers,
             self.trace,
             self.hooks.as_ref(),
@@ -508,19 +618,24 @@ impl NetlistSweep {
                 if self.cancel.as_ref().is_some_and(CancelToken::is_cancelled) {
                     return Err(SweepError::Cancelled);
                 }
-                let (vals, stats, _) = self.run_scenario(
+                let (vals, stats, verdicts, _) = self.run_scenario(
                     &rest[item],
                     hint_ref,
                     false,
                     n_metrics,
+                    mon_ref,
                     tracer,
                     &apply,
                     &observe,
                 )?;
                 if let Some(p) = &self.progress {
-                    p(rest[item].index(), &vals, &stats);
+                    p(rest[item].index(), &vals, &stats, &verdicts);
                 }
-                Ok((vals, stats))
+                // Verdicts ride home in extra row slots; the report
+                // assembly strips and decodes them.
+                let mut row = vals;
+                push_verdict_slots(&mut row, &verdicts);
+                Ok((row, stats))
             },
         )?;
 
@@ -530,13 +645,17 @@ impl NetlistSweep {
             label: first.label(),
             metrics: first_vals,
             stats: first_stats,
+            verdicts: first_verdicts,
         });
         for (pos, sc) in rest.iter().enumerate() {
+            let (metrics_row, verdicts) =
+                split_verdict_slots(shard.metrics[pos].clone(), n_metrics);
             results.push(ScenarioResult {
                 index: sc.index(),
                 label: sc.label(),
-                metrics: shard.metrics[pos].clone(),
+                metrics: metrics_row,
                 stats: shard.stats[pos],
+                verdicts,
             });
         }
 
@@ -577,6 +696,7 @@ impl NetlistSweep {
 
         Ok(SweepReport {
             metric_names: metrics.iter().map(|m| (*m).to_string()).collect(),
+            monitor_names: mon_ref.map(|m| m.bank.names().to_vec()).unwrap_or_default(),
             scenarios: results,
             exec,
             trace,
@@ -717,6 +837,10 @@ impl NetlistSweep {
         let n = scenarios.len();
         let n_metrics = metrics.len();
         let n_bundles = n.div_ceil(K);
+        let mon = self.resolve_monitors()?;
+        let mon_ref = mon.as_ref();
+        // Each lane's row carries its verdict slots after the metrics.
+        let lane_w = n_metrics + mon_ref.map_or(0, |m| m.bank.len() * VERDICT_SLOTS);
 
         // Bundle 0 runs inline on the coordinator and exports the lane
         // symbolic factor every shard adopts — the pivot sequence is
@@ -727,6 +851,7 @@ impl NetlistSweep {
             None,
             self.symbolic_hint.is_none(),
             n_metrics,
+            mon_ref,
             &mut coord_tracer,
             apply,
             observe,
@@ -734,14 +859,20 @@ impl NetlistSweep {
         let first_used = K.min(n);
         if let Some(p) = &self.progress {
             for (l, sc) in scenarios[..first_used].iter().enumerate() {
-                p(sc.index(), &first_rows[l], &first_stats);
+                let verdicts = decode_verdict_slots(&first_rows[l][n_metrics..]);
+                p(
+                    sc.index(),
+                    &first_rows[l][..n_metrics],
+                    &first_stats,
+                    &verdicts,
+                );
             }
         }
 
         let hint_ref = exported.as_ref();
         let mut shard = run_sharded(
             n_bundles - 1,
-            K * n_metrics,
+            K * lane_w,
             workers,
             self.trace,
             self.hooks.as_ref(),
@@ -752,12 +883,18 @@ impl NetlistSweep {
                 }
                 let b = item + 1;
                 let (rows, stats, _) = self.run_bundle::<K, A, O>(
-                    scenarios, b, hint_ref, false, n_metrics, tracer, apply, observe,
+                    scenarios, b, hint_ref, false, n_metrics, mon_ref, tracer, apply, observe,
                 )?;
                 if let Some(p) = &self.progress {
                     let used = K.min(n - b * K);
                     for l in 0..used {
-                        p(scenarios[b * K + l].index(), &rows[l], &stats);
+                        let verdicts = decode_verdict_slots(&rows[l][n_metrics..]);
+                        p(
+                            scenarios[b * K + l].index(),
+                            &rows[l][..n_metrics],
+                            &stats,
+                            &verdicts,
+                        );
                     }
                 }
                 Ok((rows.into_iter().flatten().collect(), stats))
@@ -767,20 +904,22 @@ impl NetlistSweep {
         let mut results = Vec::with_capacity(n);
         for (i, sc) in scenarios.iter().enumerate() {
             let (b, l) = (i / K, i % K);
-            let (metrics_row, stats) = if b == 0 {
+            let (row, stats) = if b == 0 {
                 (first_rows[l].clone(), first_stats)
             } else {
                 let flat = &shard.metrics[b - 1];
                 (
-                    flat[l * n_metrics..(l + 1) * n_metrics].to_vec(),
+                    flat[l * lane_w..(l + 1) * lane_w].to_vec(),
                     shard.stats[b - 1],
                 )
             };
+            let (metrics_row, verdicts) = split_verdict_slots(row, n_metrics);
             results.push(ScenarioResult {
                 index: sc.index(),
                 label: sc.label(),
                 metrics: metrics_row,
                 stats,
+                verdicts,
             });
         }
 
@@ -818,6 +957,7 @@ impl NetlistSweep {
 
         Ok(SweepReport {
             metric_names: metrics.iter().map(|m| (*m).to_string()).collect(),
+            monitor_names: mon_ref.map(|m| m.bank.names().to_vec()).unwrap_or_default(),
             scenarios: results,
             exec,
             trace,
@@ -841,6 +981,7 @@ impl NetlistSweep {
         hint: Option<&LaneSymbolicFactor<K>>,
         export_hint: bool,
         n_metrics: usize,
+        mon: Option<&ResolvedMonitors>,
         tracer: &mut Tracer,
         apply: &A,
         observe: &O,
@@ -882,25 +1023,58 @@ impl NetlistSweep {
             tr.set_tracing(true);
         }
 
+        // One monitor bank per live lane: lanes share the instruction
+        // stream but each watches its own scenario's waveforms.
+        let mut banks: Vec<MonitorBank> = match mon {
+            Some(m) => (0..used).map(|_| m.bank.clone()).collect(),
+            None => Vec::new(),
+        };
         let mut rows = vec![vec![f64::NAN; n_metrics]; K];
         let mut probes = 0u64;
         let run = match &self.mode {
             RunMode::Fixed { t_end, h } => tr.run(*t_end, *h, |s| {
                 probes += 1;
                 for (l, row) in rows.iter_mut().enumerate().take(used) {
-                    observe(&s.lane_view(l), row);
+                    let view = s.lane_view(l);
+                    observe(&view, row);
+                    if let Some(m) = mon {
+                        let t = view.time();
+                        for (ci, node) in m.nodes.iter().enumerate() {
+                            banks[l].feed(ci, t, view.voltage(*node));
+                        }
+                    }
                 }
             }),
             RunMode::Adaptive { t_end, opts } => tr.run_adaptive(*t_end, opts, |s| {
                 probes += 1;
                 for (l, row) in rows.iter_mut().enumerate().take(used) {
-                    observe(&s.lane_view(l), row);
+                    let view = s.lane_view(l);
+                    observe(&view, row);
+                    if let Some(m) = mon {
+                        let t = view.time();
+                        for (ci, node) in m.nodes.iter().enumerate() {
+                            banks[l].feed(ci, t, view.voltage(*node));
+                        }
+                    }
                 }
             }),
         };
         run.map_err(fail)?;
+        let lane_verdicts: Vec<Vec<Verdict>> = banks.iter().map(MonitorBank::finish).collect();
+        if let Some(m) = mon {
+            // Padding lanes replicate the last scenario's circuit but
+            // carry no bank; their slots are vacuous and dropped at
+            // assembly (rows must stay uniform for the flat transport).
+            let pad = vec![Verdict::Vacuous; m.bank.len()];
+            for (l, row) in rows.iter_mut().enumerate() {
+                push_verdict_slots(row, lane_verdicts.get(l).unwrap_or(&pad));
+            }
+        }
         if traced {
             tracer.extend(tr.take_trace_events());
+            for verdicts in &lane_verdicts {
+                emit_monitor_instants(tracer, verdicts, self.horizon());
+            }
             tracer.end_with(
                 SpanKind::Scenario,
                 scenarios[start + used - 1].index() as u64 + 1,
@@ -952,6 +1126,8 @@ impl NetlistSweep {
         let scenarios = spec.scenarios();
         let n = scenarios.len();
         let n_metrics = metrics.len();
+        let mon = self.resolve_monitors()?;
+        let n_slots = mon.as_ref().map_or(0, |m| m.bank.len() * VERDICT_SLOTS);
 
         // The shared prefix integrates the *template* — the contract
         // guarantees every scenario is indistinguishable from it on
@@ -961,6 +1137,12 @@ impl NetlistSweep {
         pre.backend = self.backend;
         if let (true, Some(h)) = (self.share_symbolic, self.symbolic_hint.as_ref()) {
             pre.adopt_symbolic_factor(h);
+        }
+        // Monitors watch the whole trajectory: the prefix feeds the
+        // prototype bank on [0, t0] and every fork resumes from that
+        // fed state — verdicts match a run-from-zero scenario.
+        if let Some(m) = &mon {
+            pre.attach_monitors(m.bank.clone(), &m.nodes);
         }
         let traced = coord_tracer.is_enabled();
         if traced {
@@ -986,6 +1168,13 @@ impl NetlistSweep {
         run.map_err(SweepError::Net)?;
         let cp = pre.checkpoint();
         let prefix_steps = pre.stats().steps;
+        // Swap the prototype for the fed bank: forks clone automaton
+        // state as of t0, not fresh monitors.
+        let mon = mon.map(|m| ResolvedMonitors {
+            bank: pre.take_monitors().expect("prefix monitors attached"),
+            nodes: m.nodes,
+        });
+        let mon_ref = mon.as_ref();
         if traced {
             coord_tracer.extend(pre.take_trace_events());
             coord_tracer.end_with(SpanKind::Checkpoint, 1, n as u64);
@@ -1005,7 +1194,7 @@ impl NetlistSweep {
 
         let mut shard = run_sharded(
             n,
-            n_metrics,
+            n_metrics + n_slots,
             workers,
             self.trace,
             self.hooks.as_ref(),
@@ -1014,30 +1203,36 @@ impl NetlistSweep {
                 if self.cancel.as_ref().is_some_and(CancelToken::is_cancelled) {
                     return Err(SweepError::Cancelled);
                 }
-                let (vals, stats) = self.run_scenario_forked(
+                let (vals, stats, verdicts) = self.run_scenario_forked(
                     &scenarios[item],
                     &cp,
                     hint_ref,
                     &prefix_vals,
                     prefix_probes,
+                    mon_ref,
                     tracer,
                     apply,
                     observe,
                 )?;
                 if let Some(p) = &self.progress {
-                    p(scenarios[item].index(), &vals, &stats);
+                    p(scenarios[item].index(), &vals, &stats, &verdicts);
                 }
-                Ok((vals, stats))
+                let mut row = vals;
+                push_verdict_slots(&mut row, &verdicts);
+                Ok((row, stats))
             },
         )?;
 
         let mut results = Vec::with_capacity(n);
         for (pos, sc) in scenarios.iter().enumerate() {
+            let (metrics_row, verdicts) =
+                split_verdict_slots(shard.metrics[pos].clone(), n_metrics);
             results.push(ScenarioResult {
                 index: sc.index(),
                 label: sc.label(),
-                metrics: shard.metrics[pos].clone(),
+                metrics: metrics_row,
                 stats: shard.stats[pos],
+                verdicts,
             });
         }
 
@@ -1075,6 +1270,7 @@ impl NetlistSweep {
 
         Ok(SweepReport {
             metric_names: metrics.iter().map(|m| (*m).to_string()).collect(),
+            monitor_names: mon_ref.map(|m| m.bank.names().to_vec()).unwrap_or_default(),
             scenarios: results,
             exec,
             trace,
@@ -1100,10 +1296,11 @@ impl NetlistSweep {
         hint: Option<&SymbolicFactor>,
         prefix_vals: &[f64],
         prefix_probes: u64,
+        mon: Option<&ResolvedMonitors>,
         tracer: &mut Tracer,
         apply: &A,
         observe: &O,
-    ) -> Result<(Vec<f64>, ClusterStats), SweepError>
+    ) -> Result<(Vec<f64>, ClusterStats, Vec<Verdict>), SweepError>
     where
         A: Fn(&mut Circuit, &Scenario) -> Result<(), NetError> + Sync,
         O: Fn(&TransientSolver, &mut [f64]) + Sync,
@@ -1117,6 +1314,12 @@ impl NetlistSweep {
             tr.adopt_symbolic_factor(h);
         }
         tr.restore_checkpoint(cp).map_err(fail)?;
+        // Checkpoints deliberately exclude monitor state; the fork
+        // resumes from the bank the prefix run already fed on [0, t0],
+        // so verdicts match a run-from-zero scenario.
+        if let Some(m) = mon {
+            tr.attach_monitors(m.bank.clone(), &m.nodes);
+        }
         let traced = tracer.is_enabled();
         if traced {
             tracer.begin_with(SpanKind::Scenario, sc.index() as u64, sc.index() as u64);
@@ -1141,26 +1344,33 @@ impl NetlistSweep {
             }),
         };
         run.map_err(fail)?;
+        let verdicts = tr
+            .monitor_bank()
+            .map(MonitorBank::finish)
+            .unwrap_or_default();
         if traced {
             tracer.extend(tr.take_trace_events());
+            emit_monitor_instants(tracer, &verdicts, self.horizon());
             tracer.end_with(SpanKind::Scenario, sc.index() as u64 + 1, sc.index() as u64);
         }
-        Ok((vals, cluster_stats(tr.stats(), probes)))
+        Ok((vals, cluster_stats(tr.stats(), probes), verdicts))
     }
 
-    /// Runs one scenario; returns its metric row, counters and (when
-    /// `export_hint`) the symbolic factor for siblings to adopt.
-    #[allow(clippy::too_many_arguments)]
+    /// Runs one scenario; returns its metric row, counters, monitor
+    /// verdicts (empty without monitors) and (when `export_hint`) the
+    /// symbolic factor for siblings to adopt.
+    #[allow(clippy::too_many_arguments, clippy::type_complexity)]
     fn run_scenario<A, O>(
         &self,
         sc: &Scenario,
         hint: Option<&SymbolicFactor>,
         export_hint: bool,
         n_metrics: usize,
+        mon: Option<&ResolvedMonitors>,
         tracer: &mut Tracer,
         apply: &A,
         observe: &O,
-    ) -> Result<(Vec<f64>, ClusterStats, Option<SymbolicFactor>), SweepError>
+    ) -> Result<(Vec<f64>, ClusterStats, Vec<Verdict>, Option<SymbolicFactor>), SweepError>
     where
         A: Fn(&mut Circuit, &Scenario) -> Result<(), NetError> + Sync,
         O: Fn(&TransientSolver, &mut [f64]) + Sync,
@@ -1172,6 +1382,9 @@ impl NetlistSweep {
         tr.backend = self.backend;
         if let (true, Some(h)) = (self.share_symbolic, hint) {
             tr.adopt_symbolic_factor(h);
+        }
+        if let Some(m) = mon {
+            tr.attach_monitors(m.bank.clone(), &m.nodes);
         }
         let traced = tracer.is_enabled();
         if traced {
@@ -1192,11 +1405,16 @@ impl NetlistSweep {
             }),
         };
         run.map_err(fail)?;
+        let verdicts = tr
+            .monitor_bank()
+            .map(MonitorBank::finish)
+            .unwrap_or_default();
         if traced {
             // Solver spans ride on the same track, inside the scenario
             // span (solver timestamps are the scenario's local simulated
             // time; the span itself lives in the index domain).
             tracer.extend(tr.take_trace_events());
+            emit_monitor_instants(tracer, &verdicts, self.horizon());
             tracer.end_with(SpanKind::Scenario, sc.index() as u64 + 1, sc.index() as u64);
         }
 
@@ -1206,7 +1424,14 @@ impl NetlistSweep {
         } else {
             None
         };
-        Ok((vals, stats, exported))
+        Ok((vals, stats, verdicts, exported))
+    }
+
+    /// The simulation horizon of the configured [`RunMode`].
+    fn horizon(&self) -> f64 {
+        match &self.mode {
+            RunMode::Fixed { t_end, .. } | RunMode::Adaptive { t_end, .. } => *t_end,
+        }
     }
 }
 

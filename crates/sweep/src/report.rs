@@ -3,6 +3,7 @@
 
 use ams_core::ClusterStats;
 use ams_exec::ExecStats;
+use ams_monitor::Verdict;
 
 /// One scenario's outcome: its metric values (in the order of
 /// [`SweepReport::metric_names`]) and the solver counters it spent.
@@ -17,6 +18,34 @@ pub struct ScenarioResult {
     /// Solver counters of this scenario (transient steps map to
     /// `iterations`; the sparse symbolic/numeric split is in `solve`).
     pub stats: ClusterStats,
+    /// Monitor verdicts, one per property in the order of
+    /// [`SweepReport::monitor_names`]. Empty when the sweep ran without
+    /// monitors.
+    pub verdicts: Vec<Verdict>,
+}
+
+impl ScenarioResult {
+    /// `true` when no monitor failed on this scenario (vacuous verdicts
+    /// don't fail — they carry no evidence either way).
+    pub fn monitors_passed(&self) -> bool {
+        !self.verdicts.iter().any(Verdict::is_fail)
+    }
+}
+
+/// Per-property aggregate of monitor verdicts across all scenarios.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MonitorSummary {
+    /// Property name (from [`SweepReport::monitor_names`]).
+    pub name: String,
+    /// Scenarios on which the property passed.
+    pub pass: usize,
+    /// Scenarios on which the property failed.
+    pub fail: usize,
+    /// Scenarios on which the property was vacuous.
+    pub vacuous: usize,
+    /// The lowest-index failing scenario, with its violation code and
+    /// witness point: `(scenario index, code, t, value)`.
+    pub first_fail: Option<(usize, &'static str, f64, f64)>,
 }
 
 /// Distribution summary of one metric across all scenarios.
@@ -104,6 +133,12 @@ pub struct SweepReport {
     /// counted once however many scenarios forked from it. Excluded
     /// from the fingerprint like [`SweepReport::prefix_forks`].
     pub prefix_steps: u64,
+    /// Monitor property names, shared by every
+    /// [`ScenarioResult::verdicts`] row. Empty when the sweep ran
+    /// without monitors — and only then are verdicts excluded from
+    /// [`SweepReport::fingerprint`], so pre-monitor reports hash
+    /// exactly as before.
+    pub monitor_names: Vec<String>,
 }
 
 impl SweepReport {
@@ -219,6 +254,14 @@ impl SweepReport {
         for name in &self.metric_names {
             h.bytes(name.as_bytes());
         }
+        // Monitors fold in only when attached, so a monitor-free run
+        // hashes exactly as it did before monitors existed.
+        let monitored = !self.monitor_names.is_empty();
+        if monitored {
+            for name in &self.monitor_names {
+                h.bytes(name.as_bytes());
+            }
+        }
         for s in &self.scenarios {
             h.u64(s.index as u64);
             for v in &s.metrics {
@@ -227,8 +270,55 @@ impl SweepReport {
             h.u64(s.stats.iterations);
             h.u64(s.stats.firings);
             h.u64(s.stats.newton_iterations);
+            if monitored {
+                for v in &s.verdicts {
+                    v.fold_bits(|b| h.u64(b));
+                }
+            }
         }
         h.finish()
+    }
+
+    /// Per-property pass/fail/vacuous tallies across all scenarios,
+    /// with the first failing witness each. Empty when the sweep ran
+    /// without monitors.
+    pub fn monitor_summary(&self) -> Vec<MonitorSummary> {
+        self.monitor_names
+            .iter()
+            .enumerate()
+            .map(|(j, name)| {
+                let mut s = MonitorSummary {
+                    name: name.clone(),
+                    pass: 0,
+                    fail: 0,
+                    vacuous: 0,
+                    first_fail: None,
+                };
+                for r in &self.scenarios {
+                    match r.verdicts[j] {
+                        Verdict::Pass => s.pass += 1,
+                        Verdict::Vacuous => s.vacuous += 1,
+                        Verdict::Fail { code, t, value } => {
+                            s.fail += 1;
+                            if s.first_fail.is_none() {
+                                s.first_fail = Some((r.index, code, t, value));
+                            }
+                        }
+                    }
+                }
+                s
+            })
+            .collect()
+    }
+
+    /// Scenarios on which every monitor held (no failing verdict), i.e.
+    /// the sweep's yield numerator. Equals the scenario count when no
+    /// monitors were attached.
+    pub fn passing_scenarios(&self) -> usize {
+        self.scenarios
+            .iter()
+            .filter(|s| s.monitors_passed())
+            .count()
     }
 
     /// Exports the run's execution shape as `ams-scope` metrics under
@@ -253,6 +343,28 @@ impl SweepReport {
         }
         m.counter_add("sweep.prefix.forks", self.prefix_forks);
         m.counter_add("sweep.prefix.steps", self.prefix_steps);
+        if !self.monitor_names.is_empty() {
+            m.counter_add("monitor.properties", self.monitor_names.len() as u64);
+            let mut pass = 0u64;
+            let mut fail = 0u64;
+            let mut vacuous = 0u64;
+            for s in &self.scenarios {
+                for v in &s.verdicts {
+                    match v {
+                        Verdict::Pass => pass += 1,
+                        Verdict::Vacuous => vacuous += 1,
+                        Verdict::Fail { code, .. } => {
+                            fail += 1;
+                            m.counter_add(&format!("monitor.{code}"), 1);
+                        }
+                    }
+                }
+            }
+            m.counter_add("monitor.pass", pass);
+            m.counter_add("monitor.fail", fail);
+            m.counter_add("monitor.vacuous", vacuous);
+            m.counter_add("monitor.scenarios_passed", self.passing_scenarios() as u64);
+        }
         m
     }
 
@@ -296,6 +408,34 @@ impl SweepReport {
                         s.min, s.min_scenario, s.mean, s.max, s.max_scenario
                     );
                 }
+            }
+        }
+        if !self.monitor_names.is_empty() {
+            let passed = self.passing_scenarios();
+            let total = self.scenarios.len();
+            let pct = if total > 0 {
+                100.0 * passed as f64 / total as f64
+            } else {
+                100.0
+            };
+            let _ = writeln!(
+                out,
+                "  monitors: {} propertie(s), yield {passed}/{total} ({pct:.1}%)",
+                self.monitor_names.len()
+            );
+            for s in self.monitor_summary() {
+                let _ = write!(
+                    out,
+                    "    {}: {} pass, {} fail, {} vacuous",
+                    s.name, s.pass, s.fail, s.vacuous
+                );
+                if let Some((idx, code, t, value)) = s.first_fail {
+                    let _ = write!(
+                        out,
+                        " | first fail #{idx} {code} at t={t:.6e} v={value:.6e}"
+                    );
+                }
+                out.push('\n');
             }
         }
         let t = self.totals();
@@ -351,6 +491,7 @@ mod tests {
                         iterations: 10 + i as u64,
                         ..Default::default()
                     },
+                    verdicts: Vec::new(),
                 })
                 .collect(),
             exec: ExecStats::default(),
@@ -360,6 +501,7 @@ mod tests {
             space_pruned: Vec::new(),
             prefix_forks: 0,
             prefix_steps: 0,
+            monitor_names: Vec::new(),
         }
     }
 
@@ -486,6 +628,81 @@ mod tests {
         assert_eq!(m.counter("sweep.prefix.steps"), 64);
         assert!(shared.render().contains("2 fork(s) from a 64-step"));
         assert!(!plain.render().contains("prefix-shared"));
+    }
+
+    #[test]
+    fn monitor_verdicts_fingerprint_only_when_attached() {
+        // Without monitors: verdicts (there are none) leave the hash
+        // exactly as the pre-monitor format.
+        let plain = report(&[1.0, 2.0]);
+        let mut with_empty_names = report(&[1.0, 2.0]);
+        with_empty_names.scenarios[0].verdicts = Vec::new();
+        assert_eq!(plain.fingerprint(), with_empty_names.fingerprint());
+
+        let monitored = |verdicts: Vec<Vec<Verdict>>| {
+            let mut r = report(&[1.0, 2.0]);
+            r.monitor_names = vec!["settled".into(), "no_over".into()];
+            for (s, v) in r.scenarios.iter_mut().zip(verdicts) {
+                s.verdicts = v;
+            }
+            r
+        };
+        let all_pass = monitored(vec![
+            vec![Verdict::Pass, Verdict::Pass],
+            vec![Verdict::Pass, Verdict::Pass],
+        ]);
+        let one_fail = monitored(vec![
+            vec![Verdict::Pass, Verdict::Pass],
+            vec![
+                Verdict::Fail {
+                    code: "MON002",
+                    t: 1e-3,
+                    value: 1.4,
+                },
+                Verdict::Vacuous,
+            ],
+        ]);
+        assert_ne!(plain.fingerprint(), all_pass.fingerprint());
+        assert_ne!(all_pass.fingerprint(), one_fail.fingerprint());
+        // Same verdicts → same hash (worker-count invariance relies on
+        // this being purely value-determined).
+        assert_eq!(
+            one_fail.fingerprint(),
+            monitored(vec![
+                vec![Verdict::Pass, Verdict::Pass],
+                vec![
+                    Verdict::Fail {
+                        code: "MON002",
+                        t: 1e-3,
+                        value: 1.4
+                    },
+                    Verdict::Vacuous,
+                ],
+            ])
+            .fingerprint()
+        );
+
+        // Summary, yield and metrics.
+        assert_eq!(one_fail.passing_scenarios(), 1);
+        assert!(one_fail.scenarios[0].monitors_passed());
+        assert!(!one_fail.scenarios[1].monitors_passed());
+        let sums = one_fail.monitor_summary();
+        assert_eq!(sums[0].name, "settled");
+        assert_eq!((sums[0].pass, sums[0].fail, sums[0].vacuous), (1, 1, 0));
+        assert_eq!(sums[0].first_fail, Some((1, "MON002", 1e-3, 1.4)));
+        assert_eq!((sums[1].pass, sums[1].fail, sums[1].vacuous), (1, 0, 1));
+        let m = one_fail.scope_metrics();
+        assert_eq!(m.counter("monitor.properties"), 2);
+        assert_eq!(m.counter("monitor.pass"), 2);
+        assert_eq!(m.counter("monitor.fail"), 1);
+        assert_eq!(m.counter("monitor.vacuous"), 1);
+        assert_eq!(m.counter("monitor.MON002"), 1);
+        assert_eq!(m.counter("monitor.scenarios_passed"), 1);
+        assert_eq!(plain.scope_metrics().counter("monitor.properties"), 0);
+        let text = one_fail.render();
+        assert!(text.contains("yield 1/2 (50.0%)"), "{text}");
+        assert!(text.contains("first fail #1 MON002"), "{text}");
+        assert!(!plain.render().contains("monitors:"));
     }
 
     #[test]

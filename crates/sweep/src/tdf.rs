@@ -13,12 +13,14 @@
 //! cells captured by both the modules and the [`SweepModel`].
 
 use crate::engine::{run_sharded, HookFactory};
+use crate::netlist::{emit_monitor_instants, push_verdict_slots, split_verdict_slots};
 use crate::report::{ScenarioResult, SweepReport};
 use crate::spec::{Scenario, SweepSpec};
 use crate::SweepError;
 use ams_core::{Cluster, ClusterCheckpoint, TdfGraph};
 use ams_exec::ExecStats;
 use ams_lint::LintPolicy;
+use ams_monitor::{MonitorBank, MonitorSpec, VERDICT_SLOTS};
 use ams_scope::{scenario_arg, ScopeTrace, SpanKind, Tracer};
 
 /// The per-worker model half of a TDF sweep: applies a scenario's
@@ -70,6 +72,7 @@ pub struct TdfSweep {
     trace: bool,
     hooks: Option<HookFactory>,
     prefix_iterations: Option<u64>,
+    monitors: Option<MonitorSpec>,
 }
 
 impl std::fmt::Debug for TdfSweep {
@@ -80,6 +83,7 @@ impl std::fmt::Debug for TdfSweep {
             .field("trace", &self.trace)
             .field("hooks", &self.hooks.is_some())
             .field("prefix_iterations", &self.prefix_iterations)
+            .field("monitors", &self.monitors.is_some())
             .finish_non_exhaustive()
     }
 }
@@ -95,7 +99,35 @@ impl TdfSweep {
             trace: false,
             hooks: None,
             prefix_iterations: None,
+            monitors: None,
         }
+    }
+
+    /// Attaches streaming temporal assertion monitors: every scenario
+    /// evaluates `spec`'s properties over its signal samples as the
+    /// cluster runs (fed once per completed schedule iteration, like
+    /// probes — no sample buffering), and the report carries one
+    /// [`Verdict`](ams_monitor::Verdict) per property per scenario.
+    /// Channel names are resolved against each worker's elaborated
+    /// cluster by signal name; an unknown channel rejects the batch
+    /// with [`SweepError::Invalid`](crate::SweepError::Invalid).
+    ///
+    /// Verdicts fold into [`SweepReport::fingerprint`], are
+    /// bit-identical across worker counts, and survive
+    /// [`prefix`](TdfSweep::prefix) forking unchanged (each fork
+    /// resumes from the automaton state the shared prefix accumulated).
+    /// Rejected by [`run_lanes`](TdfSweep::run_lanes): a lane-bundled
+    /// cluster multiplexes all lanes through one scalar signal trace,
+    /// so no per-scenario waveform exists to monitor.
+    pub fn monitors(mut self, spec: MonitorSpec) -> TdfSweep {
+        self.monitors = Some(spec);
+        self
+    }
+
+    /// The installed monitor spec, with an empty spec normalized to
+    /// "no monitors".
+    fn effective_monitors(&self) -> Option<&MonitorSpec> {
+        self.monitors.as_ref().filter(|s| !s.is_empty())
     }
 
     /// Declares the first `prefix` schedule iterations of every
@@ -212,10 +244,12 @@ impl TdfSweep {
         // scenario runs only the tail beyond the fork point.
         let tail = iterations - prefix.unwrap_or(0);
         let tracing = self.trace;
+        let mon_spec = self.effective_monitors();
+        let n_slots = mon_spec.map_or(0, |s| s.len() * VERDICT_SLOTS);
 
         let mut shard = run_sharded(
             scenarios.len(),
-            n_metrics,
+            n_metrics + n_slots,
             workers,
             tracing,
             self.hooks.as_ref(),
@@ -234,30 +268,59 @@ impl TdfSweep {
                     }
                 }
                 let mut cluster = graph.elaborate()?;
+                // Monitors attach before the prefix so the shared
+                // prefix iterations feed the automata exactly as a
+                // run-from-zero scenario would.
+                if let Some(spec) = mon_spec {
+                    let bank = MonitorBank::new(spec);
+                    let mut sigs = Vec::with_capacity(bank.channels().len());
+                    for ch in bank.channels() {
+                        let sig = cluster.find_signal(ch).ok_or_else(|| {
+                            SweepError::invalid(format!(
+                                "monitor channel {ch:?} names no signal in the TDF graph"
+                            ))
+                        })?;
+                        sigs.push(sig);
+                    }
+                    cluster.attach_monitors(bank, &sigs);
+                }
                 // The shared prefix runs once per worker, on the
                 // pristine cluster and before tracing switches on, so
                 // its spans never land in a scenario's track.
-                let ckpt = match prefix {
+                let (ckpt, mon_snap) = match prefix {
                     Some(p) => {
                         cluster.run_standalone(p).map_err(SweepError::Core)?;
-                        Some(cluster.save())
+                        // The checkpoint deliberately excludes monitor
+                        // state; snapshot the fed bank separately so
+                        // every fork resumes its automata from t0.
+                        (Some(cluster.save()), cluster.monitor_bank().cloned())
                     }
-                    None => None,
+                    None => (None, None),
                 };
                 if tracing {
                     cluster.set_tracing(true);
                 }
-                Ok((cluster, model, ckpt))
+                Ok((cluster, model, ckpt, mon_snap))
             },
-            |(cluster, model, ckpt): &mut (Cluster, M, Option<ClusterCheckpoint>),
+            |(cluster, model, ckpt, mon_snap): &mut (
+                Cluster,
+                M,
+                Option<ClusterCheckpoint>,
+                Option<MonitorBank>,
+            ),
              item,
              tracer: &mut Tracer| {
                 let sc = &scenarios[item];
                 let idx = sc.index() as u64;
                 match ckpt {
-                    Some(cp) => cluster
-                        .restore(cp)
-                        .map_err(|e| SweepError::scenario(sc.index(), e))?,
+                    Some(cp) => {
+                        cluster
+                            .restore(cp)
+                            .map_err(|e| SweepError::scenario(sc.index(), e))?;
+                        if let Some(snap) = mon_snap {
+                            cluster.set_monitor_bank_state(snap.clone());
+                        }
+                    }
                     None => cluster.reset(),
                 }
                 model.apply(sc);
@@ -272,6 +335,10 @@ impl TdfSweep {
                     .map_err(|e| SweepError::scenario(sc.index(), e))?;
                 let mut vals = vec![f64::NAN; n_metrics];
                 model.metrics(cluster, &mut vals);
+                let verdicts = cluster
+                    .monitor_bank()
+                    .map(MonitorBank::finish)
+                    .unwrap_or_default();
                 if tracer.is_enabled() {
                     // Cluster and embedded-solver spans ride on the same
                     // track, inside the scenario span (their timestamps
@@ -279,19 +346,34 @@ impl TdfSweep {
                     for (_, events) in cluster.take_traces() {
                         tracer.extend(events);
                     }
+                    if let Some(bank) = cluster.monitor_bank() {
+                        // Non-failures stamp the last sample the bank
+                        // saw (the TDF horizon in seconds).
+                        let horizon = bank
+                            .monitors()
+                            .iter()
+                            .map(ams_monitor::Monitor::last_time)
+                            .fold(0.0f64, f64::max);
+                        emit_monitor_instants(tracer, &verdicts, horizon);
+                    }
                     tracer.end_with(SpanKind::Scenario, idx + 1, idx);
                 }
-                Ok((vals, cluster.stats()))
+                let mut row = vals;
+                push_verdict_slots(&mut row, &verdicts);
+                Ok((row, cluster.stats()))
             },
         )?;
 
         let mut results = Vec::with_capacity(scenarios.len());
         for (pos, sc) in scenarios.iter().enumerate() {
+            let (metrics_row, verdicts) =
+                split_verdict_slots(shard.metrics[pos].clone(), n_metrics);
             results.push(ScenarioResult {
                 index: sc.index(),
                 label: sc.label(),
-                metrics: shard.metrics[pos].clone(),
+                metrics: metrics_row,
                 stats: shard.stats[pos],
+                verdicts,
             });
         }
 
@@ -328,6 +410,7 @@ impl TdfSweep {
 
         Ok(SweepReport {
             metric_names: metrics.iter().map(|m| (*m).to_string()).collect(),
+            monitor_names: mon_spec.map(MonitorSpec::names).unwrap_or_default(),
             scenarios: results,
             exec,
             trace,
@@ -398,6 +481,13 @@ impl TdfSweep {
         if self.prefix_iterations.is_some() {
             return Err(SweepError::invalid(
                 "prefix sharing is a scalar-path feature: use run()",
+            ));
+        }
+        if self.effective_monitors().is_some() {
+            return Err(SweepError::invalid(
+                "monitors are a scalar-path feature for TDF sweeps: lane bundles \
+                 multiplex every lane through one signal trace, so no per-scenario \
+                 waveform exists to monitor — use run()",
             ));
         }
 
@@ -478,6 +568,7 @@ impl TdfSweep {
                 label: sc.label(),
                 metrics: shard.metrics[b][l * n_metrics..(l + 1) * n_metrics].to_vec(),
                 stats: shard.stats[b],
+                verdicts: Vec::new(),
             });
         }
 
@@ -511,6 +602,7 @@ impl TdfSweep {
 
         Ok(SweepReport {
             metric_names: metrics.iter().map(|m| (*m).to_string()).collect(),
+            monitor_names: Vec::new(),
             scenarios: results,
             exec,
             trace,

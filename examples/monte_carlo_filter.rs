@@ -18,7 +18,14 @@
 //!
 //! Run with `cargo run --release --example monte_carlo_filter -- \
 //!   [--scenarios N] [--workers N] [--lanes K] [--lint-only] \
-//!   [--lint-space [RANGES]] [--trace trace.json] [--report]`.
+//!   [--lint-space [RANGES]] [--monitor SPEC] [--trace trace.json] \
+//!   [--report]`.
+//!
+//! `--monitor SPEC` attaches streaming temporal assertions to the
+//! sweep: the spec is an `ams-monitor` property list such as
+//! `ok:envelope(lo=-0.05,hi=1.05)@n3;fast:rise(lo=0.0,hi=0.9,within=2e-4)@n3`
+//! and every scenario reports a per-property pass/fail/vacuous verdict
+//! — a yield figure, printed after the metric summaries.
 //!
 //! `--lint-space` proves properties over the *whole* tolerance box
 //! before any transient runs: the interval pass sweeps `dr`/`dc` over
@@ -51,6 +58,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut workers = 4usize;
     let mut lanes = 1usize;
     let mut space_ranges: Option<String> = None;
+    let mut monitor_text: Option<String> = None;
     let (scope, rest) = systemc_ams::scope::args::scope_args()?;
     let mut args = rest.into_iter().peekable();
     while let Some(a) = args.next() {
@@ -71,11 +79,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                     space_ranges = args.next();
                 }
             }
+            "--monitor" => {
+                monitor_text = Some(args.next().ok_or("--monitor needs a property spec")?);
+            }
             other => {
                 return Err(format!(
                     "unknown argument {other:?}\nusage: cargo run --example monte_carlo_filter -- \
                      [--scenarios N] [--workers N] [--lanes K] [--lint-only] \
-                     [--lint-space [RANGES]] [--trace FILE] [--report]"
+                     [--lint-space [RANGES]] [--monitor SPEC] [--trace FILE] [--report]"
                 )
                 .into())
             }
@@ -161,34 +172,37 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let t_end = 1e-3;
     // `run_lanes` with width 1 *is* the scalar engine, so one call site
     // covers both modes; wider widths pack K scenarios per solver.
-    let report = NetlistSweep::new(ckt, IntegrationMethod::Trapezoidal)
+    let mut sweep = NetlistSweep::new(ckt, IntegrationMethod::Trapezoidal)
         .backend(SolverBackend::Sparse)
         .fixed_step(t_end, 1e-6)
         .context("monte_carlo_filter")
         .trace(scope.enabled())
-        .lanes(lanes)
-        .run_lanes(
-            &spec,
-            workers,
-            &["v_settle", "t_rise"],
-            |c, sc| {
-                let m = mismatch(sc);
-                for (i, r) in resistors.iter().enumerate() {
-                    c.set_resistance(*r, R_NOM * (1.0 + sc.value("dr") + m[i]))?;
-                }
-                for (i, cap) in caps.iter().enumerate() {
-                    c.set_capacitance(*cap, C_NOM * (1.0 + sc.value("dc") + m[STAGES + i]))?;
-                }
-                Ok(())
-            },
-            |tr: &dyn ScenarioProbe, m| {
-                let v = tr.voltage(out);
-                m[0] = v; // last value at t_end = settled output
-                if m[1].is_nan() && v >= 0.9 {
-                    m[1] = tr.time(); // first crossing of 90 %
-                }
-            },
-        )?;
+        .lanes(lanes);
+    if let Some(text) = &monitor_text {
+        sweep = sweep.monitors(systemc_ams::monitor::MonitorSpec::parse(text)?);
+    }
+    let report = sweep.run_lanes(
+        &spec,
+        workers,
+        &["v_settle", "t_rise"],
+        |c, sc| {
+            let m = mismatch(sc);
+            for (i, r) in resistors.iter().enumerate() {
+                c.set_resistance(*r, R_NOM * (1.0 + sc.value("dr") + m[i]))?;
+            }
+            for (i, cap) in caps.iter().enumerate() {
+                c.set_capacitance(*cap, C_NOM * (1.0 + sc.value("dc") + m[STAGES + i]))?;
+            }
+            Ok(())
+        },
+        |tr: &dyn ScenarioProbe, m| {
+            let v = tr.voltage(out);
+            m[0] = v; // last value at t_end = settled output
+            if m[1].is_nan() && v >= 0.9 {
+                m[1] = tr.time(); // first crossing of 90 %
+            }
+        },
+    )?;
 
     println!("{}", report.render());
     for metric in ["v_settle", "t_rise"] {
@@ -200,6 +214,28 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             report.worst_case(metric).expect("non-empty").label
         );
         assert_eq!(s.count + s.nan_count, scenarios);
+    }
+
+    // Yield report: one line per property, with the first failing
+    // scenario's witness point when the property ever failed.
+    if monitor_text.is_some() {
+        for s in report.monitor_summary() {
+            print!(
+                "monitor {}: {} pass, {} fail, {} vacuous",
+                s.name, s.pass, s.fail, s.vacuous
+            );
+            match s.first_fail {
+                Some((idx, code, t, v)) => {
+                    println!("; first fail scenario {idx} [{code}] at t={t:.3e}s v={v:.4}")
+                }
+                None => println!(),
+            }
+        }
+        println!(
+            "yield: {}/{} scenarios pass all properties",
+            report.passing_scenarios(),
+            scenarios
+        );
     }
 
     // The amortization evidence: one symbolic analysis for the whole

@@ -24,8 +24,15 @@
 //! cargo run --release --example serve_client -- --addr HOST:PORT
 //!     --admin TOKEN [--scenarios N] [--seed N] [--parity]
 //!     [--suspend-resume] [--shutdown] [--lint-only]
-//!     [--lint-space [RANGES]]
+//!     [--lint-space [RANGES]] [--monitor SPEC]
 //! ```
+//!
+//! `--monitor SPEC` attaches an `ams-monitor` property list to the
+//! submitted job (channels name the demo ladder's nodes `n1`…`n4`),
+//! e.g. `--monitor 'over:overshoot(max=1.05)@n4;fin:finite()@n4'`.
+//! The daemon validates the spec at submit, folds it into the job
+//! fingerprint, and reports per-property verdict tallies which this
+//! client prints alongside the result.
 //!
 //! `--lint-only` and `--lint-space` need no daemon (and no
 //! `--addr`/`--admin`): they run the same checks the daemon's admission
@@ -39,7 +46,8 @@ use systemc_ams::sweep::json::{parse, Json};
 
 const USAGE: &str = "cargo run --example serve_client -- --addr HOST:PORT --admin TOKEN \
                      [--scenarios N] [--seed N] [--parity] [--suspend-resume] \
-                     [--shutdown] [--lint-only] [--lint-space [RANGES]]";
+                     [--shutdown] [--lint-only] [--lint-space [RANGES]] \
+                     [--monitor SPEC]";
 
 /// One newline-delimited JSON connection.
 struct Client {
@@ -142,9 +150,11 @@ impl Client {
 
     fn counter(&mut self, admin: &str, name: &str) -> Result<u64, Box<dyn std::error::Error>> {
         let reply = self.request(&format!(r#"{{"op":"stats","admin":"{admin}"}}"#))?;
+        // `stats` groups the registry: counters, gauges, histograms.
         Ok(reply
             .get("metrics")
-            .and_then(|m| m.get(name))
+            .and_then(|m| m.get("counters"))
+            .and_then(|c| c.get(name))
             .and_then(Json::as_u64)
             .unwrap_or(0))
     }
@@ -161,6 +171,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut lint_only = false;
     let mut lint_space = false;
     let mut space_ranges: Option<String> = None;
+    let mut monitor_text: Option<String> = None;
     let (_scope, rest) = systemc_ams::scope::args::scope_args()?;
     let mut args = rest.into_iter().peekable();
     while let Some(a) = args.next() {
@@ -182,11 +193,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                     space_ranges = args.next();
                 }
             }
+            "--monitor" => {
+                monitor_text = Some(args.next().ok_or("--monitor needs a property spec")?);
+            }
             other => return Err(format!("unknown argument {other:?}\nusage: {USAGE}").into()),
         }
     }
 
-    let job = systemc_ams::serve::JobSpec::demo_rc(scenarios, seed);
+    let mut job = systemc_ams::serve::JobSpec::demo_rc(scenarios, seed);
+    job.monitors = monitor_text;
 
     if lint_only || lint_space {
         let built = job.circuit.build()?;
@@ -315,8 +330,29 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             println!("job finished before suspension landed, fingerprint {fp}");
         }
     } else {
-        let fp = client.run_job(&tenant, &job)?;
-        println!("job complete, fingerprint {fp}");
+        let token = client.submit(&tenant, &job)?;
+        let reply = client.request(&format!(
+            r#"{{"op":"result","tenant":"{tenant}","job":"{token}"}}"#
+        ))?;
+        let report = systemc_ams::sweep::json::report_from_json(
+            reply.get("report").ok_or("result reply lacks report")?,
+        )?;
+        println!("job complete, fingerprint {:016x}", report.fingerprint());
+        if !report.monitor_names.is_empty() {
+            for s in report.monitor_summary() {
+                println!(
+                    "monitor {}: {} pass, {} fail, {} vacuous",
+                    s.name, s.pass, s.fail, s.vacuous
+                );
+            }
+            println!(
+                "yield: {}/{} scenarios pass all properties",
+                report.passing_scenarios(),
+                report.scenarios.len()
+            );
+            let monitored_jobs = client.counter(&admin, "serve.monitor.jobs")?;
+            println!("daemon has served {monitored_jobs} monitored job(s)");
+        }
     }
 
     if shutdown {

@@ -18,6 +18,7 @@
 //! | [`lti`] | `ams-lti` | transfer functions, zero-pole, state space, discretization, Bode |
 //! | [`net`] | `ams-net` | conservative-law MNA networks: DC/transient/AC/noise, multi-domain |
 //! | [`lint`] | `ams-lint` | pre-elaboration static analysis: balance/cycle/topology diagnostics |
+//! | [`monitor`] | `ams-monitor` | runtime verification: streaming temporal assertions, verdicts, codes |
 //! | [`core`] | `ams-core` | TDF MoC, DE↔CT synchronization layer, solver plug-ins, AMS simulator |
 //! | [`blocks`] | `ams-blocks` | mixed-signal block library (sources → Σ∆ → RF → power → control) |
 //! | [`wave`] | `ams-wave` | VCD/CSV tracing, spectral analysis (SNR/SINAD/THD/ENOB) |
@@ -70,6 +71,7 @@ pub use ams_kernel as kernel;
 pub use ams_lint as lint;
 pub use ams_lti as lti;
 pub use ams_math as math;
+pub use ams_monitor as monitor;
 pub use ams_net as net;
 pub use ams_scope as scope;
 pub use ams_sdf as sdf;

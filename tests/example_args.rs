@@ -112,6 +112,76 @@ fn lint_space_flags_prove_and_refute_boxes() {
     }
 }
 
+/// `--monitor` on the sweep examples: a valid property spec runs and
+/// prints the yield rollup, a garbled one fails loudly at startup —
+/// before any scenario runs (for `serve_client`, before the missing
+/// `--addr` is even checked, since parsing happens daemon-side and the
+/// example validates the required flags first; a bad spec still never
+/// reaches a socket).
+#[test]
+fn monitor_flags_run_and_reject_garbage() {
+    let bin = example_bin("monte_carlo_filter");
+    if !bin.exists() {
+        eprintln!("skipping: {} not built", bin.display());
+        return;
+    }
+    // A tiny monitored sweep: verdict lines and the yield rollup.
+    let out = Command::new(&bin)
+        .args([
+            "--scenarios",
+            "4",
+            "--workers",
+            "2",
+            "--monitor",
+            "ok:envelope(lo=-0.05,hi=1.05)@n3;fin:finite()@n3",
+        ])
+        .output()
+        .expect("run example");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        out.status.success(),
+        "monitored run must succeed: {stdout}\n{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(
+        stdout.contains("monitor ok: 4 pass") && stdout.contains("yield: 4/4"),
+        "must print per-property verdicts and yield: {stdout}"
+    );
+
+    // A garbled spec fails before any simulation starts.
+    let out = Command::new(&bin)
+        .args(["--scenarios", "4", "--monitor", "broken:settle(lo=@n3"])
+        .output()
+        .expect("run example");
+    assert!(!out.status.success(), "garbled spec must fail");
+
+    // A channel that names no node is caught by sweep resolution.
+    let out = Command::new(&bin)
+        .args(["--scenarios", "4", "--monitor", "fin:finite()@n99"])
+        .output()
+        .expect("run example");
+    assert!(!out.status.success(), "dangling channel must fail");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("n99"),
+        "error must name the channel: {stderr}"
+    );
+
+    // `--monitor` with no spec is a usage error on both examples.
+    for name in ["monte_carlo_filter", "serve_client"] {
+        let bin = example_bin(name);
+        if !bin.exists() {
+            eprintln!("skipping: {} not built", bin.display());
+            return;
+        }
+        let out = Command::new(&bin)
+            .arg("--monitor")
+            .output()
+            .expect("run example");
+        assert!(!out.status.success(), "{name}: bare --monitor must fail");
+    }
+}
+
 /// `--lint-only` on the serve examples: the concrete admission lint of
 /// the demo job runs standalone and exits cleanly.
 #[test]

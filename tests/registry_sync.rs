@@ -1,7 +1,8 @@
-//! The DESIGN.md diagnostic-code table and the compiled registry in
-//! `ams-lint::codes` must list exactly the same codes with the same
-//! severities. Meaning strings are prose and may drift; codes and
-//! severities are contract and may not.
+//! The DESIGN.md diagnostic-code tables and the compiled registries —
+//! `ams-lint::codes` (LNT/SPC, severities) and `ams-monitor::codes`
+//! (MON, always `fail`) — must list exactly the same codes with the
+//! same severity/verdict column. Meaning strings are prose and may
+//! drift; codes and severities are contract and may not.
 
 use std::collections::BTreeMap;
 use systemc_ams::lint::codes;
@@ -36,9 +37,16 @@ fn design_doc_code_table_matches_compiled_registry() {
         "no code table rows found in DESIGN.md — parser or doc broke"
     );
 
+    // Union of every code-bearing registry in the workspace: lint
+    // severities plus monitor verdicts (whose column is always `fail`).
     let compiled: BTreeMap<String, String> = codes::registry()
         .iter()
         .map(|(c, s, _)| (c.to_string(), s.to_string()))
+        .chain(
+            systemc_ams::monitor::codes::registry()
+                .iter()
+                .map(|(c, s, _)| (c.to_string(), s.to_string())),
+        )
         .collect();
 
     let mut diff = String::new();
